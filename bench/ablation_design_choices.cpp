@@ -1,0 +1,276 @@
+// Ablations of the design choices DESIGN.md calls out (not a paper figure —
+// these benches justify our modelling decisions with measurements):
+//
+//   A. Reward-shaping weight W (Eq. 8): does the high penalty multiplier for
+//      balance-reducing orders actually help the DQN find profit?
+//   B. Joint objective for several IFUs: summed balance vs fair-collusion
+//      minimum gain — the mechanism behind the Fig. 6 per-IFU decline.
+//   C. The validity rule (Eqs. 1/3/5 as a hard constraint): how much of the
+//      permutation space it removes, and how much *phantom* profit an
+//      attacker would claim if invalid orders were allowed to ship.
+//   D. Defense on/off at campaign scale (Sec. VIII end to end).
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "parole/common/env.hpp"
+#include "parole/common/table.hpp"
+#include "parole/core/campaign.hpp"
+#include "parole/core/gentranseq.hpp"
+#include "parole/data/case_study.hpp"
+
+using namespace parole;
+namespace cs = data::case_study;
+
+namespace {
+
+void ablation_reward_weight(std::uint64_t seed) {
+  TablePrinter table(
+      "Ablation A: Eq. 8 penalty weight W (DQN on the case study)");
+  table.columns({"W", "best balance (ETH)", "episodes to first profit",
+                 "profitable episodes"});
+  for (double weight : {1.0, 5.0, 10.0, 20.0}) {
+    auto problem = cs::make_problem();
+    core::GenTranSeqConfig config;
+    config.dqn.hidden = {32};
+    config.dqn.episodes = static_cast<std::size_t>(scaled(60, 25));
+    config.dqn.steps_per_episode = static_cast<std::size_t>(scaled(120, 50));
+    config.dqn.minibatch = 16;
+    config.reward.penalty_weight = weight;
+    core::GenTranSeq gts(problem, config, seed);
+    const core::TrainResult result = gts.train();
+    const std::size_t first_episode =
+        result.first_candidate_episode.empty()
+            ? config.dqn.episodes
+            : result.first_candidate_episode.front();
+    table.row({TablePrinter::num(weight, 0),
+               to_eth_string(result.best_balance),
+               std::to_string(first_episode),
+               std::to_string(result.swaps_to_first_candidate.size())});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void ablation_objective(std::uint64_t seed) {
+  TablePrinter table(
+      "Ablation B: multi-IFU objective (campaign profit per IFU, uETH)");
+  table.columns({"IFUs", "kSumBalance", "kMinGain (fair collusion)"});
+  for (std::size_t ifus : {std::size_t{1}, std::size_t{2}, std::size_t{3}}) {
+    std::vector<std::string> row = {std::to_string(ifus)};
+    for (solvers::Objective objective :
+         {solvers::Objective::kSumBalance, solvers::Objective::kMinGain}) {
+      core::CampaignConfig config;
+      config.num_aggregators = 5;
+      config.adversarial_fraction = 0.2;
+      config.mempool_size = 12;
+      config.num_ifus = ifus;
+      config.rounds = static_cast<std::size_t>(scaled(30, 10));
+      config.workload.num_users = 16;
+      config.workload.max_supply = 40;
+      config.workload.premint = 12;
+      config.seed = seed;
+      config.parole.objective = objective;
+      // run() overrides the objective to kMinGain by default; mirror the
+      // requested one by running the Parole modules directly instead.
+      core::ParoleConfig parole_config = config.parole;
+      parole_config.kind = core::ReordererKind::kAnnealing;
+      parole_config.objective = objective;
+      parole_config.seed = seed;
+
+      // Replay the same adversarial batches under both objectives.
+      data::WorkloadGenerator workload(config.workload, config.seed);
+      const vm::L2State genesis = workload.initial_state();
+      auto txs = workload.generate(config.rounds * config.mempool_size);
+      const auto ifu_set = workload.pick_ifus(ifus);
+
+      core::Parole parole(parole_config);
+      Amount profit = 0;
+      vm::L2State state = genesis;
+      const vm::ExecutionEngine engine(
+          {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+      for (std::size_t r = 0; r < config.rounds; ++r) {
+        std::vector<vm::Tx> batch(
+            txs.begin() + static_cast<std::ptrdiff_t>(r * config.mempool_size),
+            txs.begin() +
+                static_cast<std::ptrdiff_t>((r + 1) * config.mempool_size));
+        if (r % config.num_aggregators == 0) {  // the adversary's turn
+          core::AttackOutcome outcome = parole.run(state, batch, ifu_set);
+          profit += outcome.profit();
+          batch = std::move(outcome.final_sequence);
+        }
+        (void)engine.execute(state, batch);
+      }
+      row.push_back(TablePrinter::num(
+          static_cast<double>(profit) / static_cast<double>(ifus) / 1'000.0,
+          1));
+    }
+    table.row(std::move(row));
+  }
+  table.print();
+  std::printf(
+      "kSumBalance rewards pumping the largest holders (superadditive); "
+      "kMinGain must serve every colluder, reproducing the Fig. 6 decline.\n\n");
+}
+
+void ablation_validity(std::uint64_t /*seed*/) {
+  // Walk all 8! orders of the case study, with and without the validity
+  // rule, by evaluating through the problem (valid) and through a raw
+  // skip-invalid execution (invalid orders allowed to ship partially).
+  auto problem = cs::make_problem();
+  const auto txs = cs::original_txs();
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+
+  std::vector<std::size_t> order(8);
+  std::iota(order.begin(), order.end(), 0);
+  std::size_t valid = 0, total = 0;
+  Amount best_valid = 0, best_phantom = 0;
+  do {
+    ++total;
+    const auto value = problem.evaluate(order);
+    if (value) {
+      ++valid;
+      best_valid = std::max(best_valid, *value);
+    }
+    // Phantom evaluation: ship anyway, let stale txs revert.
+    vm::L2State state = cs::initial_state();
+    std::vector<vm::Tx> seq;
+    for (std::size_t idx : order) seq.push_back(txs[idx]);
+    (void)engine.execute(state, seq);
+    best_phantom = std::max(best_phantom, state.total_balance(cs::kIfu));
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  TablePrinter table("Ablation C: the Eqs. 1/3/5 validity rule (case study)");
+  table.columns({"metric", "value"});
+  table.row({"permutations", std::to_string(total)});
+  table.row({"valid under Eq. 1/3/5",
+             std::to_string(valid) + " (" +
+                 TablePrinter::num(100.0 * static_cast<double>(valid) /
+                                       static_cast<double>(total),
+                                   1) +
+                 "%)"});
+  table.row({"best valid IFU balance", to_eth_string(best_valid) + " ETH"});
+  table.row({"best if invalid orders shipped (phantom)",
+             to_eth_string(best_phantom) + " ETH"});
+  table.print();
+  std::printf(
+      "orders that let protected txs fail can fake higher balances by "
+      "suppressing other users' trades — exactly what the paper's 'crucial "
+      "to verify the execution' rule forbids.\n\n");
+}
+
+void ablation_dqn_variants(std::uint64_t seed) {
+  TablePrinter table(
+      "Ablation E: DQN variants (GENTRANSEQ on the case study)");
+  table.columns({"variant", "best balance (ETH)", "found profit",
+                 "first-profit episode"});
+  struct Variant {
+    const char* name;
+    bool double_dqn;
+    bool prioritized;
+  };
+  for (const Variant& v :
+       {Variant{"vanilla (paper)", false, false},
+        Variant{"double DQN", true, false},
+        Variant{"prioritized replay", false, true},
+        Variant{"double + prioritized", true, true}}) {
+    auto problem = cs::make_problem();
+    core::GenTranSeqConfig config;
+    config.dqn.hidden = {32};
+    config.dqn.episodes = static_cast<std::size_t>(scaled(60, 25));
+    config.dqn.steps_per_episode = static_cast<std::size_t>(scaled(120, 50));
+    config.dqn.minibatch = 16;
+    config.dqn.use_double_dqn = v.double_dqn;
+    config.dqn.prioritized_replay = v.prioritized;
+    core::GenTranSeq gts(problem, config, seed ^ 0xd9);
+    const core::TrainResult result = gts.train();
+    table.row({v.name, to_eth_string(result.best_balance),
+               result.found_profit ? "yes" : "no",
+               result.first_candidate_episode.empty()
+                   ? "-"
+                   : std::to_string(result.first_candidate_episode.front())});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void ablation_defense(std::uint64_t seed) {
+  TablePrinter table("Ablation D: Sec. VIII defense, campaign scale");
+  table.columns({"configuration", "total profit (uETH)", "reordered batches",
+                 "screened txs"});
+  for (bool defended : {false, true}) {
+    core::CampaignConfig config;
+    config.num_aggregators = 5;
+    config.adversarial_fraction = 0.2;
+    config.mempool_size = 10;
+    config.num_ifus = 1;
+    config.rounds = static_cast<std::size_t>(scaled(30, 10));
+    config.workload.num_users = 16;
+    config.workload.max_supply = 40;
+    config.workload.premint = 12;
+    config.seed = seed;
+    config.defended = defended;
+    config.defense.search = core::ReordererKind::kHillClimb;
+    config.defense.threshold_floor = eth(0, 20);  // 0.02 ETH
+    config.defense.threshold_fee_multiplier = 0.0;
+
+    const core::CampaignResult result = core::AttackCampaign(config).run();
+    table.row({defended ? "defended" : "undefended",
+               TablePrinter::num(
+                   static_cast<double>(result.total_profit) / 1'000.0, 1),
+               std::to_string(result.reordered_batches),
+               std::to_string(result.screened_txs)});
+  }
+  table.print();
+}
+
+void ablation_detection(std::uint64_t seed) {
+  TablePrinter table(
+      "Ablation F: post-hoc forensics (detection of shipped PAROLE batches)");
+  table.columns({"adversarial %", "reordered batches", "flagged by audit",
+                 "mean suspicion"});
+  for (double fraction : {0.2, 0.4}) {
+    core::CampaignConfig config;
+    config.num_aggregators = 5;
+    config.adversarial_fraction = fraction;
+    config.mempool_size = 10;
+    config.num_ifus = 1;
+    config.rounds = static_cast<std::size_t>(scaled(30, 10));
+    config.workload.num_users = 16;
+    config.workload.max_supply = 40;
+    config.workload.premint = 12;
+    config.seed = seed ^ 0xf0;
+    config.audit = true;
+    const core::CampaignResult result = core::AttackCampaign(config).run();
+    double mean_suspicion = 0.0;
+    for (double s : result.suspicion_scores) mean_suspicion += s;
+    if (!result.suspicion_scores.empty()) {
+      mean_suspicion /= static_cast<double>(result.suspicion_scores.size());
+    }
+    table.row({TablePrinter::num(fraction * 100, 0),
+               std::to_string(result.reordered_batches),
+               std::to_string(result.flagged_batches),
+               TablePrinter::num(mean_suspicion, 3)});
+  }
+  table.print();
+  std::printf(
+      "a PAROLE batch is honest to the fraud-proof machinery but visibly "
+      "deviates from fee-priority order toward one beneficiary; the audit "
+      "flags what the verifiers cannot.\n");
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = experiment_seed(0xab1a7eULL);
+  std::printf("Design-choice ablations (%.0f%% bench scale)\n\n",
+              bench_scale() * 100);
+  ablation_reward_weight(seed);
+  ablation_objective(seed);
+  ablation_validity(seed);
+  ablation_dqn_variants(seed);
+  ablation_defense(seed);
+  ablation_detection(seed);
+  return 0;
+}

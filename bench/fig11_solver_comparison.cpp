@@ -1,0 +1,156 @@
+// Fig. 11 — DQN inference vs non-linear solvers on the re-ordering problem:
+// (a) execution time, (b) memory usage, as the mempool size N grows.
+//
+// Baselines are the from-scratch stand-ins documented in DESIGN.md:
+//   BnB-APOPT        branch-and-bound (APOPT: branching/active-set)
+//   Annealing-MINOS  simulated annealing with an in-core history (MINOS)
+//   HillClimb-SQP    best-improvement swap descent (SNOPT: SQP steps)
+// plus exhaustive search at N = 5 as ground truth. The DQN trains offline
+// (the paper: "the IFU trains the model offline"), so Fig. 11 times the
+// *inference* rollout; its memory is the network + activations, independent
+// of the search history the NLP solvers accumulate.
+//
+// Shape to reproduce: the heuristic/NLP solvers' time grows super-linearly
+// with N (SNOPT competitive at N=5, degrading after), the DQN near-linearly;
+// DQN memory stays ~flat while solver memory grows.
+#include <cstdio>
+
+#include "parole/common/env.hpp"
+#include "parole/common/table.hpp"
+#include "parole/core/gentranseq.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/solvers/annealing.hpp"
+#include "parole/solvers/branch_bound.hpp"
+#include "parole/solvers/exhaustive.hpp"
+#include "parole/solvers/hill_climb.hpp"
+#include "parole/solvers/instrument.hpp"
+
+using namespace parole;
+
+namespace {
+
+solvers::ReorderingProblem make_instance(std::size_t n, std::uint64_t seed) {
+  data::WorkloadConfig config;
+  config.num_users = 24;
+  config.max_supply = 80;
+  config.premint = 24;
+  data::WorkloadGenerator generator(config, seed);
+  const vm::L2State genesis = generator.initial_state();
+  auto txs = generator.generate(n);
+  return solvers::ReorderingProblem(genesis, std::move(txs),
+                                    generator.pick_ifus(1));
+}
+
+struct Measurement {
+  double millis{0.0};
+  double kilobytes{0.0};
+  Amount profit{0};
+  bool ran{false};
+};
+
+Measurement measure_solver(solvers::Solver& solver,
+                           const solvers::ReorderingProblem& problem,
+                           Rng& rng) {
+  const solvers::SolveResult result = solver.solve(problem, rng);
+  Measurement m;
+  m.millis = result.wall_millis;
+  m.kilobytes = static_cast<double>(result.peak_bytes) / 1024.0;
+  m.profit = result.profit();
+  m.ran = true;
+  return m;
+}
+
+Measurement measure_dqn(const solvers::ReorderingProblem& problem,
+                        std::uint64_t seed) {
+  core::GenTranSeqConfig config;
+  config.dqn.hidden = {96, 96};
+  config.dqn.episodes = static_cast<std::size_t>(scaled(40, 8));
+  config.dqn.steps_per_episode = static_cast<std::size_t>(scaled(100, 25));
+  config.dqn.minibatch = 24;
+  core::GenTranSeq gts(problem, config, seed);
+  (void)gts.train();  // offline training, not timed
+
+  solvers::Timer timer;
+  const core::InferenceResult inferred = gts.infer();
+  Measurement m;
+  m.millis = timer.elapsed_millis();
+  // Inference working set: Q-network parameters + one activation set +
+  // the encoded state, all doubles.
+  const std::size_t params = gts.agent().q_network().parameter_count();
+  const std::size_t activations =
+      gts.env().state_dim() + 2 * 96 + gts.env().action_count();
+  m.kilobytes =
+      static_cast<double>((params + activations) * sizeof(double)) / 1024.0;
+  m.profit = inferred.balance - inferred.baseline;
+  m.ran = true;
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = experiment_seed(0xf1b0ULL);
+  const std::size_t sizes[] = {5, 10, 25, 50, 75, 100};
+
+  TablePrinter time_table("Fig. 11(a): execution time (ms) vs mempool size");
+  time_table.columns({"N", "DQN-inference", "BnB-APOPT", "Annealing-MINOS",
+                      "HillClimb-SQP", "Exhaustive"});
+  TablePrinter mem_table("Fig. 11(b): memory usage (KiB) vs mempool size");
+  mem_table.columns({"N", "DQN-inference", "BnB-APOPT", "Annealing-MINOS",
+                     "HillClimb-SQP", "Exhaustive"});
+
+  for (std::size_t n : sizes) {
+    const auto problem = make_instance(n, seed + n);
+    Rng rng(seed ^ n);
+
+    solvers::BranchBoundConfig bnb_config;
+    bnb_config.node_budget = static_cast<std::size_t>(scaled(400'000, 50'000));
+    solvers::BranchBoundSolver bnb(bnb_config);
+
+    solvers::AnnealingConfig anneal_config;
+    anneal_config.iteration_factor = bench_scale() * 4.0;
+    solvers::AnnealingSolver anneal(anneal_config);
+
+    solvers::HillClimbConfig hill_config;
+    hill_config.max_iterations = static_cast<std::size_t>(scaled(20, 3));
+    hill_config.restarts = 0;
+    solvers::HillClimbSolver hill(hill_config);
+
+    const Measurement dqn = measure_dqn(problem, seed + 31 * n);
+    const Measurement m_bnb = measure_solver(bnb, problem, rng);
+    const Measurement m_anneal = measure_solver(anneal, problem, rng);
+    const Measurement m_hill = measure_solver(hill, problem, rng);
+    Measurement m_exhaustive;
+    if (n <= 5) {
+      solvers::ExhaustiveSolver exhaustive;
+      m_exhaustive = measure_solver(exhaustive, problem, rng);
+    }
+
+    auto cell_ms = [](const Measurement& m) {
+      return m.ran ? TablePrinter::num(m.millis, 2) : std::string("-");
+    };
+    auto cell_kb = [](const Measurement& m) {
+      return m.ran ? TablePrinter::num(m.kilobytes, 1) : std::string("-");
+    };
+    time_table.row({std::to_string(n), cell_ms(dqn), cell_ms(m_bnb),
+                    cell_ms(m_anneal), cell_ms(m_hill),
+                    cell_ms(m_exhaustive)});
+    mem_table.row({std::to_string(n), cell_kb(dqn), cell_kb(m_bnb),
+                   cell_kb(m_anneal), cell_kb(m_hill),
+                   cell_kb(m_exhaustive)});
+  }
+
+  std::printf("Fig. 11 (%.0f%% bench scale; DQN trains offline, inference "
+              "timed)\n\n",
+              bench_scale() * 100);
+  time_table.print();
+  std::printf("\n");
+  mem_table.print();
+  std::printf(
+      "\nexpected shape: solver time grows super-linearly with N (SQP "
+      "competitive only at N=5), DQN inference near-linear; DQN memory "
+      "~flat, solver bookkeeping grows.\nprocess RSS cross-check: %.1f "
+      "MiB\n",
+      static_cast<double>(solvers::process_rss_bytes()) / (1024.0 * 1024.0));
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Fig. 5 — the three Sec. VI case studies, regenerated row by row.
+//
+// Prints the per-transaction price and IFU-balance tables for (a) the
+// original order, (b) the candidate improved order, (c) the optimized order,
+// plus two reproduction findings: the literal printed orders of 5(b)/(c)
+// violate Eq. 3, and the instance's true optimum beats the paper's Case 3.
+#include <cstdio>
+
+#include "parole/common/table.hpp"
+#include "parole/data/case_study.hpp"
+#include "parole/solvers/exhaustive.hpp"
+
+using namespace parole;
+namespace cs = data::case_study;
+
+namespace {
+
+void print_case(const char* title, const std::vector<std::size_t>& order) {
+  vm::L2State state = cs::initial_state();
+  const auto txs = cs::original_txs();
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kStrict, false, {}});
+
+  TablePrinter table(title);
+  table.columns({"TX", "Description", "PT Price (1 unit)",
+                 "IFU L2 balance", "PTs owned", "IFU Total Balance"});
+  for (std::size_t idx : order) {
+    const vm::Receipt receipt = engine.execute_tx(state, txs[idx]);
+    if (receipt.status != vm::TxStatus::kExecuted) {
+      std::fprintf(stderr, "tx %zu failed: %s\n", idx + 1,
+                   receipt.failure_reason.c_str());
+      return;
+    }
+    table.row({"TX" + std::to_string(idx + 1), txs[idx].describe(),
+               to_eth_string(state.nft().current_price()) + " ETH",
+               to_eth_string(state.ledger().balance(cs::kIfu)) + " ETH",
+               std::to_string(state.nft().balance_of(cs::kIfu)),
+               to_eth_string(state.total_balance(cs::kIfu)) + " ETH"});
+  }
+  table.print(false);
+  std::printf("final IFU total balance: %s ETH\n\n",
+              to_eth_string(state.total_balance(cs::kIfu)).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "System status (Sec. VI-A): S0=10, P0=0.2 ETH, 5 PTs minted, price "
+      "0.4 ETH; IFU holds 1.5 ETH + 2 PTs (total 2.3 ETH).\n\n");
+
+  print_case("Fig. 5(a) Case 1: original TX sequence", cs::case1_order());
+  print_case(
+      "Fig. 5(b) Case 2: candidate altered sequence (feasible repair; "
+      "paper value 2.57)",
+      cs::case2_order());
+  print_case(
+      "Fig. 5(c) Case 3: optimized altered sequence (feasible repair; "
+      "paper value 2.74)",
+      cs::case3_order());
+  print_case("True optimum of the instance (exhaustive search)",
+             cs::optimal_order());
+
+  // Findings.
+  auto problem = cs::make_problem();
+  std::printf("reproduction findings:\n");
+  std::printf(
+      " * literal Fig. 5(b) order valid: %s (TX4 sells U19's token before "
+      "TX2 mints it — violates Eq. 3)\n",
+      problem.evaluate(cs::paper_case2_order()) ? "yes" : "no");
+  std::printf(" * literal Fig. 5(c) order valid: %s (same TX4/TX2 issue)\n",
+              problem.evaluate(cs::paper_case3_order()) ? "yes" : "no");
+
+  solvers::ExhaustiveSolver exhaustive;
+  Rng rng(1);
+  const auto best = exhaustive.solve(problem, rng);
+  std::printf(
+      " * exhaustive optimum: %s ETH vs paper case 3: %s ETH (the paper's "
+      "'optimal' order is near-optimal, not optimal)\n",
+      to_eth_string(best.best_value).c_str(),
+      to_eth_string(cs::kCase3Final).c_str());
+  std::printf(
+      " * L2 (non-volatile) balance gain vs case 1: case2 +%.0f%%, case3 "
+      "+%.0f%% (paper: +7%%, +24%%)\n",
+      100.0 * to_eth_double(cs::kCase2Final - cs::kCase1Final) /
+          to_eth_double(cs::kCase1Final - 3 * eth(0, 500)),
+      100.0 * to_eth_double(cs::kCase3Final - cs::kCase1Final) /
+          to_eth_double(cs::kCase1Final - 3 * eth(0, 500)));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 7 — total profit (summed over all IFUs) vs the fraction of
+// adversarial aggregators, for mempool sizes N = 50 and N = 100.
+// (a) serving 1 IFU, (b) serving 2 IFUs.
+//
+// Paper shape: total profit grows with the adversarial share; with N = 50
+// the growth flattens from ~20% adversarial onward (few alternate orders to
+// monetize), while N = 100 keeps growing ~linearly.
+#include <cstdio>
+
+#include "parole/common/env.hpp"
+#include "parole/common/stats.hpp"
+#include "parole/common/table.hpp"
+#include "parole/core/campaign.hpp"
+
+using namespace parole;
+
+namespace {
+
+// Point estimate plus a bootstrap CI over the per-seed totals (the profit
+// distribution is heavy-tailed; common/stats.hpp).
+std::string run_cell(double adversarial_fraction, std::size_t mempool,
+                     std::size_t ifus, std::uint64_t seed) {
+  core::CampaignConfig config;
+  config.num_aggregators = 10;
+  config.adversarial_fraction = adversarial_fraction;
+  config.mempool_size = mempool;
+  config.num_ifus = ifus;
+  config.rounds = static_cast<std::size_t>(scaled(40, 10));
+  config.num_verifiers = 1;
+  config.workload.num_users = 24;
+  config.workload.max_supply = 60;
+  config.workload.premint = 20;
+  config.parole.kind = core::ReordererKind::kAnnealing;
+
+  const int repeats = static_cast<int>(scaled(4, 3));
+  std::vector<double> totals;
+  for (int r = 0; r < repeats; ++r) {
+    config.seed = seed + static_cast<std::uint64_t>(r) * 104'729;
+    totals.push_back(static_cast<double>(
+        core::AttackCampaign(config).run().total_profit));
+  }
+  Rng rng(seed ^ 0xb007);
+  const BootstrapCi ci = bootstrap_mean_ci(totals, rng, 0.05, 500);
+  return TablePrinter::num(ci.mean / 1'000.0, 1) + " [" +
+         TablePrinter::num(ci.lower / 1'000.0, 0) + ", " +
+         TablePrinter::num(ci.upper / 1'000.0, 0) + "]";
+}
+
+void panel(const char* title, std::size_t ifus, std::uint64_t seed) {
+  TablePrinter table(title);
+  table.columns({"adversarial %", "N=50 total uETH [95% CI]",
+                 "N=100 total uETH [95% CI]"});
+  for (int percent : {10, 20, 30, 40, 50}) {
+    const double fraction = percent / 100.0;
+    table.row({std::to_string(percent),
+               run_cell(fraction, 50, ifus, seed + percent),
+               run_cell(fraction, 100, ifus, seed + percent + 1'000)});
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = experiment_seed(0xf170ULL);
+  std::printf(
+      "Fig. 7: total IFU profit vs adversarial aggregator share "
+      "(micro-ETH), %.0f%% bench scale\n\n",
+      bench_scale() * 100);
+  panel("Fig. 7(a): serving 1 IFU", 1, seed);
+  panel("Fig. 7(b): serving 2 IFUs", 2, seed ^ 0x77);
+  std::printf(
+      "expected shape: totals grow with the adversarial share; N=50 "
+      "flattens after ~20%% while N=100 keeps growing.\n");
+  return 0;
+}

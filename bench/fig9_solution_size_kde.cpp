@@ -1,0 +1,105 @@
+// Fig. 9 — kernel-density estimates of the solution size: the number of
+// swaps a trained DQN agent performs before reaching the first candidate
+// solution (an order strictly better than the original), for 1-4 IFUs.
+// (a) mempool N = 50, (b) N = 100.
+//
+// Paper shape: with 1 IFU the mass concentrates at ~5 swaps; serving more
+// IFUs spreads the distribution right, and at N = 100 the 3-4 IFU curves go
+// multi-modal. Samples come from training episodes' first-candidate swap
+// counts plus greedy-inference rollouts over fresh batches.
+#include <cstdio>
+
+#include "parole/common/env.hpp"
+#include "parole/common/table.hpp"
+#include "parole/core/gentranseq.hpp"
+#include "parole/data/kde.hpp"
+#include "parole/data/workload.hpp"
+
+using namespace parole;
+
+namespace {
+
+std::vector<double> solution_sizes(std::size_t n, std::size_t ifus,
+                                   std::uint64_t seed) {
+  std::vector<double> samples;
+  const auto batches = static_cast<std::size_t>(scaled(6, 2));
+  for (std::size_t b = 0; b < batches; ++b) {
+    data::WorkloadConfig config;
+    config.num_users = 24;
+    config.max_supply = 60;
+    config.premint = 20;
+    data::WorkloadGenerator generator(config, seed + b * 37);
+    const vm::L2State genesis = generator.initial_state();
+    auto txs = generator.generate(n);
+    // Fair collusion for multiple IFUs: an order must serve every colluder,
+    // which is what stretches the multi-IFU solution sizes rightward.
+    solvers::ReorderingProblem problem(
+        genesis, std::move(txs), generator.pick_ifus(ifus),
+        ifus > 1 ? solvers::Objective::kMinGain
+                 : solvers::Objective::kSumBalance);
+
+    core::GenTranSeqConfig gts_config;
+    gts_config.dqn.episodes = static_cast<std::size_t>(scaled(60, 12));
+    gts_config.dqn.steps_per_episode =
+        static_cast<std::size_t>(scaled(120, 30));
+    gts_config.dqn.hidden = {64, 64};
+    gts_config.dqn.minibatch = 24;
+    core::GenTranSeq gts(problem, gts_config, seed ^ (b * 101));
+    const core::TrainResult trained = gts.train();
+    // Trained-agent behaviour only: drop the first half of training.
+    for (std::size_t i = 0; i < trained.swaps_to_first_candidate.size();
+         ++i) {
+      if (trained.first_candidate_episode[i] >= gts_config.dqn.episodes / 2) {
+        samples.push_back(
+            static_cast<double>(trained.swaps_to_first_candidate[i]));
+      }
+    }
+    const core::InferenceResult inferred = gts.infer();
+    if (inferred.improved) {
+      samples.push_back(
+          static_cast<double>(inferred.swaps_to_first_candidate));
+    }
+  }
+  if (samples.empty()) samples.push_back(0.0);
+  return samples;
+}
+
+void panel(const char* title, std::size_t n, std::uint64_t seed) {
+  std::vector<data::Kde> kdes;
+  std::vector<double> modes;
+  for (std::size_t ifus = 1; ifus <= 4; ++ifus) {
+    kdes.emplace_back(solution_sizes(n, ifus, seed + ifus * 1'000));
+    modes.push_back(kdes.back().mode(0.0, 40.0));
+  }
+
+  TablePrinter table(title);
+  table.columns({"swaps", "density 1 IFU", "density 2 IFUs",
+                 "density 3 IFUs", "density 4 IFUs"});
+  for (double x = 0.0; x <= 30.0; x += 1.0) {
+    table.row({TablePrinter::num(x, 0), TablePrinter::num(kdes[0].density(x), 4),
+               TablePrinter::num(kdes[1].density(x), 4),
+               TablePrinter::num(kdes[2].density(x), 4),
+               TablePrinter::num(kdes[3].density(x), 4)});
+  }
+  table.print();
+  std::printf("modes: 1 IFU %.1f, 2 IFUs %.1f, 3 IFUs %.1f, 4 IFUs %.1f\n\n",
+              modes[0], modes[1], modes[2], modes[3]);
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = experiment_seed(0xf190ULL);
+  const auto n_small = static_cast<std::size_t>(scaled(50, 14));
+  const auto n_large = static_cast<std::size_t>(scaled(100, 24));
+  std::printf(
+      "Fig. 9: KDE of solution sizes (swaps to first candidate solution), "
+      "%.0f%% bench scale\n\n",
+      bench_scale() * 100);
+  panel("Fig. 9(a): mempool size 50 (scaled)", n_small, seed);
+  panel("Fig. 9(b): mempool size 100 (scaled)", n_large, seed ^ 0x9);
+  std::printf(
+      "expected shape: 1-IFU mass near ~5 swaps; more IFUs spread right; "
+      "the larger mempool shows broader, multi-peaked 3-4 IFU curves.\n");
+  return 0;
+}

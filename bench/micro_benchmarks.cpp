@@ -1,0 +1,161 @@
+// google-benchmark microbenches for the hot paths: hashing, Merkle roots,
+// VM execution, state roots, mempool operations, the DQN forward pass, and
+// one MDP environment step. These bound the cost model behind the Fig. 11
+// discussion (per-candidate evaluation dominates every solver).
+#include <benchmark/benchmark.h>
+
+#include "parole/core/reorder_env.hpp"
+#include "parole/crypto/keccak256.hpp"
+#include "parole/rollup/codec.hpp"
+#include "parole/crypto/merkle.hpp"
+#include "parole/crypto/sha256.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/ml/dqn.hpp"
+#include "parole/rollup/mempool.hpp"
+
+namespace {
+
+using namespace parole;
+
+void BM_Sha256(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::hash(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_Keccak256(benchmark::State& state) {
+  const std::string payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Keccak256::hash(payload));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Keccak256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<crypto::Hash256> leaves;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(crypto::Sha256::hash("leaf" + std::to_string(i)));
+  }
+  for (auto _ : state) {
+    crypto::MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_MerkleRoot)->Arg(16)->Arg(128)->Arg(1024);
+
+data::WorkloadGenerator make_generator(std::uint64_t seed) {
+  data::WorkloadConfig config;
+  config.num_users = 24;
+  config.max_supply = 80;
+  config.premint = 24;
+  return data::WorkloadGenerator(config, seed);
+}
+
+void BM_VmExecuteSequence(benchmark::State& state) {
+  auto generator = make_generator(1);
+  const vm::L2State genesis = generator.initial_state();
+  const auto txs = generator.generate(static_cast<std::size_t>(state.range(0)));
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+  for (auto _ : state) {
+    vm::L2State working = genesis;
+    benchmark::DoNotOptimize(engine.execute(working, txs));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_VmExecuteSequence)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_StateRoot(benchmark::State& state) {
+  auto generator = make_generator(2);
+  vm::L2State working = generator.initial_state();
+  const auto txs = generator.generate(static_cast<std::size_t>(state.range(0)));
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+  (void)engine.execute(working, txs);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(working.state_root());
+  }
+}
+BENCHMARK(BM_StateRoot)->Arg(50)->Arg(200);
+
+void BM_MempoolSubmitCollect(benchmark::State& state) {
+  auto generator = make_generator(3);
+  const auto txs = generator.generate(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    rollup::BedrockMempool pool;
+    for (const auto& tx : txs) pool.submit(tx);
+    benchmark::DoNotOptimize(pool.collect(txs.size()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_MempoolSubmitCollect)->Arg(100)->Arg(1000);
+
+void BM_CodecEncodeDecode(benchmark::State& state) {
+  auto generator = make_generator(9);
+  auto txs = generator.generate(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < txs.size(); ++i) txs[i].arrival = i;
+  for (auto _ : state) {
+    const auto bytes = rollup::encode_batch(txs);
+    benchmark::DoNotOptimize(rollup::decode_batch(bytes));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_CodecEncodeDecode)->Arg(50)->Arg(500);
+
+void BM_DqnForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  ml::DqnConfig config;
+  config.hidden = {96, 96};
+  ml::DqnAgent agent(8 * n, n * (n - 1) / 2, config, 7);
+  const std::vector<double> input(8 * n, 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.greedy_action(input));
+  }
+}
+BENCHMARK(BM_DqnForward)->Arg(10)->Arg(50)->Arg(100);
+
+void BM_DqnTrainStep(benchmark::State& state) {
+  ml::DqnConfig config;
+  config.hidden = {96, 96};
+  config.minibatch = 24;
+  ml::DqnAgent agent(80, 45, config, 11);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> s(80), next(80);
+    for (auto& v : s) v = rng.uniform();
+    for (auto& v : next) v = rng.uniform();
+    agent.remember({std::move(s), rng.index(45),
+                    rng.uniform(-1.0, 1.0), std::move(next), false});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agent.train_step());
+  }
+}
+BENCHMARK(BM_DqnTrainStep);
+
+void BM_ReorderEnvStep(benchmark::State& state) {
+  auto generator = make_generator(4);
+  const vm::L2State genesis = generator.initial_state();
+  auto txs = generator.generate(static_cast<std::size_t>(state.range(0)));
+  solvers::ReorderingProblem problem(genesis, std::move(txs),
+                                     generator.pick_ifus(1));
+  core::ReorderEnv env(problem, {});
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(env.step(rng.index(env.action_count())));
+  }
+}
+BENCHMARK(BM_ReorderEnvStep)->Arg(10)->Arg(50);
+
+}  // namespace
+
+BENCHMARK_MAIN();

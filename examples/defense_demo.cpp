@@ -1,0 +1,89 @@
+// Defense demo (Sec. VIII): GENTRANSEQ as a mempool-side detector.
+//
+// Screens the case-study batch: computes the worst-case extractable profit
+// over every involved user, compares it against a priority-fee-derived
+// threshold, defers the minimal set of transactions, and then demonstrates
+// that the attack on the admitted batch is neutralized.
+//
+// Build & run:  ./build/examples/defense_demo
+#include <cstdio>
+
+#include "parole/core/defense.hpp"
+#include "parole/core/forensics.hpp"
+#include "parole/data/case_study.hpp"
+
+using namespace parole;
+namespace cs = data::case_study;
+
+int main() {
+  const vm::L2State state = cs::initial_state();
+  auto batch = cs::original_txs();
+  // Give the batch realistic priority fees so the threshold is meaningful.
+  for (auto& tx : batch) tx.priority_fee = gwei(2'000);
+
+  core::DefenseConfig config;
+  config.search = core::ReordererKind::kHillClimb;
+  config.threshold_fee_multiplier = 2.0;
+  config.threshold_floor = gwei(10'000);
+  core::MempoolDefense defense(config);
+
+  std::printf("screening a batch of %zu transactions...\n\n", batch.size());
+  const core::DefenseReport report = defense.screen(state, batch);
+
+  std::printf("threshold (2x priority fees): %s\n",
+              to_gwei_string(report.threshold).c_str());
+  std::printf("worst-case extractable profit before: %s (%s ETH)\n",
+              to_gwei_string(report.worst_case_before).c_str(),
+              to_eth_string(report.worst_case_before).c_str());
+  std::printf("defense triggered: %s\n\n",
+              report.triggered ? "YES" : "no");
+
+  if (!report.deferred.empty()) {
+    std::printf("deferred to the block behind (%zu txs):\n",
+                report.deferred.size());
+    for (const auto& tx : report.deferred) {
+      std::printf("  %s\n", tx.describe().c_str());
+    }
+  }
+  std::printf("\nadmitted this block (%zu txs):\n", report.admitted.size());
+  for (const auto& tx : report.admitted) {
+    std::printf("  %s\n", tx.describe().c_str());
+  }
+  std::printf("\nworst-case extractable profit after: %s (%s ETH)\n",
+              to_gwei_string(report.worst_case_after).c_str(),
+              to_eth_string(report.worst_case_after).c_str());
+
+  // Prove it: attack the admitted batch.
+  core::Parole attacker({core::ReordererKind::kAnnealing, {}, solvers::Objective::kSumBalance, 99});
+  const core::AttackOutcome outcome =
+      attacker.run(state, report.admitted, {cs::kIfu});
+  std::printf(
+      "\nPAROLE on the screened batch: profit %s (vs %s unscreened)\n",
+      to_eth_string(outcome.profit()).c_str(),
+      to_eth_string(report.worst_case_before).c_str());
+
+  // Post-hoc audit: what the unscreened attack would have looked like to a
+  // forensics pass over public batch data.
+  core::Parole unscreened({core::ReordererKind::kAnnealing, {},
+                           solvers::Objective::kSumBalance, 99});
+  auto stamped = cs::original_txs();
+  Amount fee = gwei(800'000);
+  for (auto& tx : stamped) {
+    tx.base_fee = fee;
+    fee -= gwei(50'000);
+  }
+  const auto attack = unscreened.run(state, stamped, {cs::kIfu});
+  const core::BatchForensics forensics;
+  const auto audit = forensics.analyze(state, attack.final_sequence);
+  std::printf(
+      "\nforensics on the unscreened PAROLE batch: fee-order deviation "
+      "%.2f, top beneficiary U%u (+%s ETH), suspicion %.2f -> %s\n",
+      audit.ordering_deviation,
+      audit.beneficiaries.empty() ? 0u
+                                  : audit.beneficiaries.front().user.value(),
+      audit.beneficiaries.empty()
+          ? "0"
+          : to_eth_string(audit.beneficiaries.front().gain).c_str(),
+      audit.suspicion, audit.flagged ? "FLAGGED" : "clean");
+  return 0;
+}

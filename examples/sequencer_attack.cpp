@@ -1,0 +1,77 @@
+// Sequencer-power demo (Sec. I): what a *centralized* sequencer can do that
+// even an adversarial aggregator cannot — total ordering power, silent
+// censorship, and a liveness kill switch.
+//
+// Runs the case-study batch through three sequencer configurations and
+// contrasts them with the honest aggregator outcome.
+//
+// Build & run:  ./build/examples/sequencer_attack
+#include <cstdio>
+
+#include "parole/core/parole_attack.hpp"
+#include "parole/data/case_study.hpp"
+#include "parole/rollup/sequencer.hpp"
+
+using namespace parole;
+namespace cs = data::case_study;
+
+namespace {
+
+void run_config(const char* label, rollup::SequencerConfig config,
+                bool halt_first = false) {
+  rollup::CentralSequencer sequencer(std::move(config));
+  if (halt_first) sequencer.halt();
+
+  for (const auto& tx : cs::original_txs()) sequencer.submit(tx);
+
+  vm::L2State state = cs::initial_state();
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+  const auto batch = sequencer.produce_block(state, engine);
+
+  std::printf("%-22s | blocks: %llu | backlog: %zu | censored: %llu | "
+              "IFU balance: %s ETH\n",
+              label,
+              static_cast<unsigned long long>(
+                  sequencer.stats().blocks_produced),
+              sequencer.backlog(),
+              static_cast<unsigned long long>(sequencer.stats().txs_censored),
+              batch ? to_eth_string(state.total_balance(cs::kIfu)).c_str()
+                    : "(no block)");
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "case-study batch (8 txs), IFU starts at %s ETH; honest FIFO order "
+      "yields %s ETH.\n\n",
+      to_eth_string(cs::kInitialIfuBalance).c_str(),
+      to_eth_string(cs::kCase1Final).c_str());
+
+  // 1. Honest sequencer: FIFO, everything included.
+  run_config("honest FIFO", {8, std::nullopt, nullptr});
+
+  // 2. MEV-extracting sequencer: PAROLE with total ordering power.
+  core::ParoleConfig parole_config;
+  parole_config.kind = core::ReordererKind::kAnnealing;
+  core::Parole parole(parole_config);
+  run_config("MEV (PAROLE) sequencer",
+             {8, parole.as_reorderer({cs::kIfu}), nullptr});
+
+  // 3. Censoring sequencer: burns never make it on chain, so the price can
+  //    only ratchet upward — good for every holder, invisible to users.
+  run_config("censoring (no burns)",
+             {8, std::nullopt,
+              [](const vm::Tx& tx) { return tx.kind == vm::TxKind::kBurn; }});
+
+  // 4. Failed sequencer: the paper's systemic risk — the whole L2 halts.
+  run_config("halted", {8, std::nullopt, nullptr}, /*halt_first=*/true);
+
+  std::printf(
+      "\nthe MEV row reaches the instance optimum (%s ETH) because a "
+      "sequencer, unlike an aggregator, need not even pretend to honour "
+      "fee-priority collection.\n",
+      to_eth_string(cs::kOptimalFinal).c_str());
+  return 0;
+}

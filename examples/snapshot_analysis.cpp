@@ -1,0 +1,63 @@
+// Snapshot analysis (Sec. VII-E): scan NFT collection histories for
+// re-ordering arbitrage windows, the way the paper analyzed holders.at
+// snapshots from Optimism and Arbitrum.
+//
+// Generates a synthetic corpus (see DESIGN.md substitutions), scans every
+// collection with a batch-sized sliding window, and reports the most
+// attackable collections plus the per-chain / per-band aggregates of
+// Fig. 10.
+//
+// Build & run:  ./build/examples/snapshot_analysis
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "parole/data/scanner.hpp"
+#include "parole/data/snapshot.hpp"
+
+using namespace parole;
+using data::CollectionReport;
+
+int main() {
+  data::SnapshotGenerator generator({}, 777);
+  const auto corpus = generator.generate_corpus(/*per_cell=*/5);
+  std::printf("generated %zu collection snapshots (2 chains x 3 FT bands)\n\n",
+              corpus.size());
+
+  data::SnapshotScanner scanner({/*window=*/10, /*capture_rate=*/0.35});
+
+  std::vector<std::pair<CollectionReport, const data::CollectionSnapshot*>>
+      reports;
+  for (const auto& snap : corpus) {
+    reports.emplace_back(scanner.scan(snap), &snap);
+  }
+  std::sort(reports.begin(), reports.end(),
+            [](const auto& a, const auto& b) {
+              return a.first.total_profit > b.first.total_profit;
+            });
+
+  std::printf("top 5 most attackable collections:\n");
+  for (std::size_t i = 0; i < 5 && i < reports.size(); ++i) {
+    const auto& [report, snap] = reports[i];
+    std::printf(
+        "  %zu. %s (%s, %s band): %zu ownerships, %zu/%zu windows "
+        "exploitable, est. profit %s ETH\n",
+        i + 1, snap->contract.short_hex().c_str(),
+        std::string(data::to_string(snap->chain)).c_str(),
+        std::string(data::to_string(snap->band)).c_str(),
+        snap->ownership_count(), report.windows_with_opportunity,
+        report.windows_scanned,
+        to_eth_string(report.total_profit).c_str());
+  }
+
+  std::printf("\nper-cell aggregates (the Fig. 10 bars):\n");
+  for (const auto& cell : scanner.summarize(corpus)) {
+    std::printf("  %-8s %-4s: %zu collections, total %8.2f ETH, "
+                "opportunity rate %.2f\n",
+                std::string(data::to_string(cell.chain)).c_str(),
+                std::string(data::to_string(cell.band)).c_str(),
+                cell.collections, to_eth_double(cell.total_profit),
+                cell.opportunity_rate);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+#include "parole/chain/block.hpp"
+
+#include "parole/crypto/sha256.hpp"
+
+namespace parole::chain {
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_hash(std::vector<std::uint8_t>& out, const crypto::Hash256& h) {
+  out.insert(out.end(), h.bytes().begin(), h.bytes().end());
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> BatchHeader::encode() const {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(3 * 32 + 4 * 8);
+  put_u64(bytes, batch_id);
+  put_u64(bytes, aggregator.value());
+  put_hash(bytes, tx_root);
+  put_hash(bytes, pre_state_root);
+  put_hash(bytes, post_state_root);
+  put_u64(bytes, tx_count);
+  put_u64(bytes, submitted_at);
+  return bytes;
+}
+
+crypto::Hash256 BatchHeader::hash() const {
+  return crypto::Sha256::hash(encode());
+}
+
+crypto::Hash256 L1Block::hash() const {
+  std::vector<std::uint8_t> bytes;
+  put_u64(bytes, number);
+  put_u64(bytes, timestamp);
+  put_hash(bytes, parent_hash);
+  for (const auto& d : deposits) {
+    put_u64(bytes, d.user.value());
+    put_u64(bytes, static_cast<std::uint64_t>(d.amount));
+  }
+  for (const auto& b : batches) put_hash(bytes, b.hash());
+  return crypto::Sha256::hash(bytes);
+}
+
+}  // namespace parole::chain

@@ -1,0 +1,48 @@
+// L1 block structure for the simulated main chain.
+//
+// The L1 simulator only needs enough structure for the rollup workflow of
+// Fig. 1: blocks carry deposits into the ORSC and batch commitments from
+// aggregators, are hash-chained, and advance a timestamp that drives the
+// challenge period clock.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/crypto/hash.hpp"
+
+namespace parole::chain {
+
+// A batch commitment recorded on L1 (the header the ORSC stores; full batch
+// bodies live off-chain with the aggregators).
+struct BatchHeader {
+  std::uint64_t batch_id{0};
+  AggregatorId aggregator{};
+  crypto::Hash256 tx_root;         // Merkle root over the batch's tx hashes
+  crypto::Hash256 pre_state_root;  // L2 state root before the batch
+  crypto::Hash256 post_state_root; // claimed L2 state root after the batch
+  std::uint64_t tx_count{0};
+  std::uint64_t submitted_at{0};   // L1 timestamp
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] crypto::Hash256 hash() const;
+};
+
+struct Deposit {
+  UserId user{};
+  Amount amount{0};
+};
+
+struct L1Block {
+  std::uint64_t number{0};
+  std::uint64_t timestamp{0};
+  crypto::Hash256 parent_hash;
+  std::vector<Deposit> deposits;
+  std::vector<BatchHeader> batches;
+
+  [[nodiscard]] crypto::Hash256 hash() const;
+};
+
+}  // namespace parole::chain

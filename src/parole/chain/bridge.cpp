@@ -1,0 +1,39 @@
+#include "parole/chain/bridge.hpp"
+
+namespace parole::chain {
+
+std::size_t Bridge::process_deposits() {
+  const std::vector<Deposit> deposits = orsc_->drain_pending_deposits();
+  for (const Deposit& d : deposits) {
+    l2_->credit(d.user, d.amount);
+    locked_ += d.amount;
+  }
+  return deposits.size();
+}
+
+Status Bridge::request_withdrawal(UserId user, Amount amount,
+                                  std::uint64_t now) {
+  if (amount <= 0) {
+    return Error{"bad_amount", "withdrawal must be positive"};
+  }
+  const Status debited = l2_->debit(user, amount);
+  if (!debited.ok()) return debited;
+  withdrawals_.push_back(
+      {user, amount, now + orsc_->config().challenge_period, false});
+  return ok_status();
+}
+
+std::size_t Bridge::process_withdrawals(std::uint64_t now) {
+  std::size_t released = 0;
+  for (auto& w : withdrawals_) {
+    if (!w.released && now > w.unlock_time) {
+      orsc_->release_withdrawal(w.user, w.amount);
+      locked_ -= w.amount;
+      w.released = true;
+      ++released;
+    }
+  }
+  return released;
+}
+
+}  // namespace parole::chain

@@ -1,0 +1,61 @@
+// L1 <-> L2 bridge (Fig. 1, User 2's path).
+//
+// Users exchange L1 ETH for L2 tokens via the ORSC: deposits lock L1 funds
+// and mint an equal L2 ledger credit when the rollup node processes them;
+// withdrawals burn L2 balance and queue an L1 release that unlocks only after
+// the enclosing batch's challenge period ends. The Bridge wraps that plumbing
+// so examples and tests read like user actions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/chain/orsc.hpp"
+#include "parole/common/result.hpp"
+#include "parole/token/ledger.hpp"
+
+namespace parole::chain {
+
+struct PendingWithdrawal {
+  UserId user{};
+  Amount amount{0};
+  std::uint64_t unlock_time{0};
+  bool released{false};
+};
+
+class Bridge {
+ public:
+  Bridge(OrscContract& orsc, token::BalanceLedger& l2_ledger)
+      : orsc_(&orsc), l2_(&l2_ledger) {}
+
+  // User locks L1 funds into the ORSC (picked up by process_deposits()).
+  Status deposit_to_l2(UserId user, Amount amount) {
+    return orsc_->deposit(user, amount);
+  }
+
+  // Drain the ORSC deposit queue into the L2 ledger. Returns count credited.
+  std::size_t process_deposits();
+
+  // Burn L2 balance now; L1 funds release after the challenge period.
+  Status request_withdrawal(UserId user, Amount amount, std::uint64_t now);
+
+  // Release every withdrawal whose unlock time has passed. Returns count.
+  std::size_t process_withdrawals(std::uint64_t now);
+
+  [[nodiscard]] const std::vector<PendingWithdrawal>& pending_withdrawals()
+      const {
+    return withdrawals_;
+  }
+
+  // Funds locked in the bridge: total deposited minus total released back.
+  // L2 ledger supply should always equal this (conservation invariant).
+  [[nodiscard]] Amount locked() const { return locked_; }
+
+ private:
+  OrscContract* orsc_;
+  token::BalanceLedger* l2_;
+  std::vector<PendingWithdrawal> withdrawals_;
+  Amount locked_{0};
+};
+
+}  // namespace parole::chain

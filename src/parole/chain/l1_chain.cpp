@@ -1,0 +1,52 @@
+#include "parole/chain/l1_chain.hpp"
+
+#include <cassert>
+
+namespace parole::chain {
+
+L1Chain::L1Chain(std::uint64_t block_time_seconds)
+    : block_time_(block_time_seconds) {
+  assert(block_time_ > 0);
+}
+
+void L1Chain::stage_deposit(Deposit deposit) {
+  pending_deposits_.push_back(deposit);
+}
+
+void L1Chain::stage_batch(BatchHeader header) {
+  pending_batches_.push_back(std::move(header));
+}
+
+const L1Block& L1Chain::seal_block() {
+  L1Block block;
+  block.number = blocks_.size();
+  timestamp_ += block_time_;
+  block.timestamp = timestamp_;
+  block.parent_hash = head_hash();
+  block.deposits = std::move(pending_deposits_);
+  block.batches = std::move(pending_batches_);
+  pending_deposits_.clear();
+  pending_batches_.clear();
+  blocks_.push_back(std::move(block));
+  return blocks_.back();
+}
+
+const L1Block& L1Chain::block(std::uint64_t number) const {
+  assert(number < blocks_.size());
+  return blocks_[number];
+}
+
+crypto::Hash256 L1Chain::head_hash() const {
+  return blocks_.empty() ? crypto::Hash256{} : blocks_.back().hash();
+}
+
+bool L1Chain::verify_links() const {
+  crypto::Hash256 parent{};
+  for (const auto& block : blocks_) {
+    if (block.parent_hash != parent) return false;
+    parent = block.hash();
+  }
+  return true;
+}
+
+}  // namespace parole::chain

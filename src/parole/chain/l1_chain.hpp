@@ -1,0 +1,41 @@
+// The simulated L1 main chain: a hash-linked sequence of blocks with a
+// monotone timestamp. Time on L1 is what drives the rollup's challenge
+// period; seal_block() advances it by the configured block time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/chain/block.hpp"
+
+namespace parole::chain {
+
+class L1Chain {
+ public:
+  explicit L1Chain(std::uint64_t block_time_seconds = 12);
+
+  // Stage content for the next block.
+  void stage_deposit(Deposit deposit);
+  void stage_batch(BatchHeader header);
+
+  // Seal the staged content into a new block; advances the timestamp.
+  const L1Block& seal_block();
+
+  [[nodiscard]] std::uint64_t height() const { return blocks_.size(); }
+  [[nodiscard]] std::uint64_t now() const { return timestamp_; }
+  [[nodiscard]] const L1Block& block(std::uint64_t number) const;
+  [[nodiscard]] const std::vector<L1Block>& blocks() const { return blocks_; }
+  [[nodiscard]] crypto::Hash256 head_hash() const;
+
+  // Verify the parent-hash links of the whole chain (test invariant).
+  [[nodiscard]] bool verify_links() const;
+
+ private:
+  std::uint64_t block_time_;
+  std::uint64_t timestamp_{0};
+  std::vector<L1Block> blocks_;
+  std::vector<Deposit> pending_deposits_;
+  std::vector<BatchHeader> pending_batches_;
+};
+
+}  // namespace parole::chain

@@ -1,0 +1,164 @@
+#include "parole/chain/orsc.hpp"
+
+#include <cassert>
+
+namespace parole::chain {
+
+OrscContract::OrscContract(OrscConfig config) : config_(config) {
+  assert(config_.slash_reward_percent >= 0 &&
+         config_.slash_reward_percent <= 100);
+}
+
+void OrscContract::fund_l1(UserId user, Amount amount) {
+  assert(amount >= 0);
+  l1_balances_[user] += amount;
+}
+
+Amount OrscContract::l1_balance(UserId user) const {
+  const auto it = l1_balances_.find(user);
+  return it == l1_balances_.end() ? 0 : it->second;
+}
+
+Status OrscContract::deposit(UserId user, Amount amount) {
+  if (amount <= 0) {
+    return Error{"bad_amount", "deposit must be positive"};
+  }
+  auto& balance = l1_balances_[user];
+  if (balance < amount) {
+    return Error{"insufficient_l1_balance",
+                 "user " + std::to_string(user.value()) +
+                     " cannot deposit " + to_eth_string(amount) + " ETH"};
+  }
+  balance -= amount;
+  pending_deposits_.push_back({user, amount});
+  return ok_status();
+}
+
+std::vector<Deposit> OrscContract::drain_pending_deposits() {
+  std::vector<Deposit> out = std::move(pending_deposits_);
+  pending_deposits_.clear();
+  return out;
+}
+
+void OrscContract::release_withdrawal(UserId user, Amount amount) {
+  assert(amount >= 0);
+  l1_balances_[user] += amount;
+}
+
+Status OrscContract::register_aggregator(AggregatorId id) {
+  if (aggregator_bonds_.contains(id)) {
+    return Error{"already_registered", "aggregator already bonded"};
+  }
+  aggregator_bonds_[id] = config_.aggregator_bond;
+  return ok_status();
+}
+
+Status OrscContract::register_verifier(VerifierId id) {
+  if (verifier_bonds_.contains(id)) {
+    return Error{"already_registered", "verifier already bonded"};
+  }
+  verifier_bonds_[id] = config_.verifier_bond;
+  return ok_status();
+}
+
+Amount OrscContract::aggregator_bond(AggregatorId id) const {
+  const auto it = aggregator_bonds_.find(id);
+  return it == aggregator_bonds_.end() ? 0 : it->second;
+}
+
+Amount OrscContract::verifier_bond(VerifierId id) const {
+  const auto it = verifier_bonds_.find(id);
+  return it == verifier_bonds_.end() ? 0 : it->second;
+}
+
+bool OrscContract::aggregator_registered(AggregatorId id) const {
+  return aggregator_bonds_.contains(id);
+}
+
+Result<std::uint64_t> OrscContract::submit_batch(BatchHeader header,
+                                                 std::uint64_t now) {
+  if (!aggregator_bonds_.contains(header.aggregator)) {
+    return Error{"unknown_aggregator", "aggregator is not bonded"};
+  }
+  if (aggregator_bonds_[header.aggregator] <= 0) {
+    return Error{"slashed_aggregator", "aggregator bond already slashed"};
+  }
+  BatchRecord record;
+  header.batch_id = batches_.size();
+  header.submitted_at = now;
+  record.header = std::move(header);
+  record.challenge_deadline = now + config_.challenge_period;
+  batches_.push_back(std::move(record));
+  return batches_.back().header.batch_id;
+}
+
+Status OrscContract::open_challenge(std::uint64_t batch_id,
+                                    VerifierId verifier, std::uint64_t now) {
+  if (batch_id >= batches_.size()) {
+    return Error{"unknown_batch", "no such batch"};
+  }
+  BatchRecord& record = batches_[batch_id];
+  if (record.status != BatchStatus::kPending) {
+    return Error{"not_challengeable", "batch is not pending"};
+  }
+  if (now > record.challenge_deadline) {
+    return Error{"period_elapsed", "challenge period already over"};
+  }
+  const auto it = verifier_bonds_.find(verifier);
+  if (it == verifier_bonds_.end() || it->second <= 0) {
+    return Error{"unbonded_verifier", "verifier has no live bond"};
+  }
+  record.status = BatchStatus::kDisputed;
+  record.challenger = verifier;
+  return ok_status();
+}
+
+Status OrscContract::resolve_challenge(std::uint64_t batch_id,
+                                       bool fraud_proven) {
+  if (batch_id >= batches_.size()) {
+    return Error{"unknown_batch", "no such batch"};
+  }
+  BatchRecord& record = batches_[batch_id];
+  if (record.status != BatchStatus::kDisputed || !record.challenger) {
+    return Error{"no_open_challenge", "batch has no open dispute"};
+  }
+
+  const VerifierId challenger = *record.challenger;
+  if (fraud_proven) {
+    // A_k.Bond -= SlashBond(): the whole aggregator bond is forfeited; a
+    // share rewards the challenger, the rest burns.
+    Amount& bond = aggregator_bonds_[record.header.aggregator];
+    const Amount reward = bond * config_.slash_reward_percent / 100;
+    verifier_bonds_[challenger] += reward;
+    burnt_ += bond - reward;
+    bond = 0;
+    record.status = BatchStatus::kReverted;
+  } else {
+    Amount& bond = verifier_bonds_[challenger];
+    const Amount reward = bond * config_.slash_reward_percent / 100;
+    aggregator_bonds_[record.header.aggregator] += reward;
+    burnt_ += bond - reward;
+    bond = 0;
+    record.status = BatchStatus::kFinalized;
+  }
+  return ok_status();
+}
+
+std::vector<std::uint64_t> OrscContract::finalize_due(std::uint64_t now) {
+  std::vector<std::uint64_t> finalized;
+  for (auto& record : batches_) {
+    if (record.status == BatchStatus::kPending &&
+        now > record.challenge_deadline) {
+      record.status = BatchStatus::kFinalized;
+      finalized.push_back(record.header.batch_id);
+    }
+  }
+  return finalized;
+}
+
+const BatchRecord* OrscContract::batch(std::uint64_t batch_id) const {
+  if (batch_id >= batches_.size()) return nullptr;
+  return &batches_[batch_id];
+}
+
+}  // namespace parole::chain

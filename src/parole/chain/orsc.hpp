@@ -1,0 +1,111 @@
+// ORSC — the Optimistic Rollup Smart Contract on L1 (Sec. V-A).
+//
+// Holds user L1 funds, escrows deposits into L2, registers aggregator and
+// verifier bonds, records batch commitments, runs the challenge-period clock,
+// and settles disputes by slashing whichever side was wrong:
+//
+//   V_k.Challenge(A.Proof) -> Success  =>  A_k loses its bond
+//   V_k.Challenge(A.Proof) -> Fail     =>  V_k loses its bond
+//
+// The contract is deliberately mechanism-only: *whether* a challenge is
+// justified is decided by the dispute game in rollup/dispute.*, which then
+// calls resolve_challenge() with the verdict.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "parole/chain/block.hpp"
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/common/result.hpp"
+
+namespace parole::chain {
+
+enum class BatchStatus : std::uint8_t {
+  kPending,    // inside the challenge period
+  kDisputed,   // a verifier has opened a challenge
+  kFinalized,  // challenge period elapsed unchallenged (or challenge failed)
+  kReverted,   // fraud proven; batch rolled back
+};
+
+struct BatchRecord {
+  BatchHeader header;
+  BatchStatus status{BatchStatus::kPending};
+  std::uint64_t challenge_deadline{0};
+  std::optional<VerifierId> challenger;
+};
+
+struct OrscConfig {
+  // Challenge period in L1 seconds (real systems use ~7 days; the simulator
+  // default keeps tests fast while still exercising the state machine).
+  std::uint64_t challenge_period = 600;
+  Amount aggregator_bond = eth(5);
+  Amount verifier_bond = eth(2);
+  // Slashed bonds are split: this fraction (percent) rewards the winning
+  // party, the rest is burnt.
+  int slash_reward_percent = 50;
+};
+
+class OrscContract {
+ public:
+  explicit OrscContract(OrscConfig config = {});
+
+  // --- L1 funds & bridge ----------------------------------------------------
+
+  // Fund a user's L1 wallet (genesis allocation / faucet).
+  void fund_l1(UserId user, Amount amount);
+  [[nodiscard]] Amount l1_balance(UserId user) const;
+
+  // Lock L1 funds for bridging to L2; the rollup node later consumes the
+  // pending deposits and credits the L2 ledger.
+  Status deposit(UserId user, Amount amount);
+  [[nodiscard]] std::vector<Deposit> drain_pending_deposits();
+
+  // Credit an L2 withdrawal back to L1 (called by the node once the owning
+  // batch finalizes).
+  void release_withdrawal(UserId user, Amount amount);
+
+  // --- participants ----------------------------------------------------------
+
+  Status register_aggregator(AggregatorId id);
+  Status register_verifier(VerifierId id);
+  [[nodiscard]] Amount aggregator_bond(AggregatorId id) const;
+  [[nodiscard]] Amount verifier_bond(VerifierId id) const;
+  [[nodiscard]] bool aggregator_registered(AggregatorId id) const;
+
+  // --- batches & challenges ---------------------------------------------------
+
+  // Record a batch commitment; starts its challenge period at `now`.
+  Result<std::uint64_t> submit_batch(BatchHeader header, std::uint64_t now);
+
+  // A verifier opens a challenge; only pending batches inside the period.
+  Status open_challenge(std::uint64_t batch_id, VerifierId verifier,
+                        std::uint64_t now);
+
+  // Settle a dispute: if `fraud_proven`, the aggregator's bond is slashed and
+  // the batch reverted; otherwise the challenger's bond is slashed and the
+  // batch finalizes immediately.
+  Status resolve_challenge(std::uint64_t batch_id, bool fraud_proven);
+
+  // Finalize every unchallenged batch whose deadline passed; returns their ids.
+  std::vector<std::uint64_t> finalize_due(std::uint64_t now);
+
+  [[nodiscard]] const BatchRecord* batch(std::uint64_t batch_id) const;
+  [[nodiscard]] std::size_t batch_count() const { return batches_.size(); }
+  [[nodiscard]] Amount burnt_total() const { return burnt_; }
+  [[nodiscard]] const OrscConfig& config() const { return config_; }
+
+ private:
+  OrscConfig config_;
+  std::unordered_map<UserId, Amount> l1_balances_;
+  std::vector<Deposit> pending_deposits_;
+  std::unordered_map<AggregatorId, Amount> aggregator_bonds_;
+  std::unordered_map<VerifierId, Amount> verifier_bonds_;
+  std::vector<BatchRecord> batches_;
+  Amount burnt_{0};
+};
+
+}  // namespace parole::chain

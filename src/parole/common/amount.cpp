@@ -1,0 +1,47 @@
+#include "parole/common/amount.hpp"
+
+#include <cstdlib>
+
+namespace parole {
+
+std::string to_eth_string(Amount a) {
+  const bool negative = a < 0;
+  // Use unsigned magnitude so INT64_MIN would not overflow on negation;
+  // amounts never get near that, but defensiveness is free here.
+  std::uint64_t mag = negative ? 0ULL - static_cast<std::uint64_t>(a)
+                               : static_cast<std::uint64_t>(a);
+  const std::uint64_t whole = mag / static_cast<std::uint64_t>(kGweiPerEth);
+  std::uint64_t frac = mag % static_cast<std::uint64_t>(kGweiPerEth);
+
+  std::string out = negative ? "-" : "";
+  out += std::to_string(whole);
+  if (frac != 0) {
+    std::string digits = std::to_string(frac);
+    digits.insert(digits.begin(), 9 - digits.size(), '0');
+    while (!digits.empty() && digits.back() == '0') digits.pop_back();
+    out += '.';
+    out += digits;
+  }
+  return out;
+}
+
+std::string to_gwei_string(Amount a) {
+  const bool negative = a < 0;
+  std::uint64_t mag = negative ? 0ULL - static_cast<std::uint64_t>(a)
+                               : static_cast<std::uint64_t>(a);
+  std::string digits = std::to_string(mag);
+  std::string grouped;
+  grouped.reserve(digits.size() + digits.size() / 3 + 2);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) grouped.push_back(',');
+    grouped.push_back(*it);
+    ++count;
+  }
+  if (negative) grouped.push_back('-');
+  std::string out(grouped.rbegin(), grouped.rend());
+  out += " gwei";
+  return out;
+}
+
+}  // namespace parole

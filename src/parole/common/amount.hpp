@@ -1,0 +1,45 @@
+// Fixed-point money type.
+//
+// All balances, prices and fees are signed 64-bit *gwei* (1 ETH = 1e9 gwei).
+// The case studies in Sec. VI use values like 0.33 ETH = 10/6 * 0.2 ETH; with
+// integer gwei that is exactly 333'333'333, so tests can pin exact integers
+// instead of comparing doubles. int64 gwei covers ±9.2e9 ETH, far beyond any
+// balance the simulator produces, and intermediate products in the price
+// curve are evaluated in __int128 (see token/price_curve.*).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parole {
+
+// Signed amount in gwei.
+using Amount = std::int64_t;
+
+inline constexpr Amount kGweiPerEth = 1'000'000'000;
+
+// Build an Amount from whole ETH.
+constexpr Amount eth(std::int64_t whole) { return whole * kGweiPerEth; }
+
+// Build an Amount from a decimal ETH literal split as whole + milli-ETH,
+// e.g. eth(0, 400) == 0.4 ETH. Avoids floating point in constants.
+constexpr Amount eth(std::int64_t whole, std::int64_t milli) {
+  return whole * kGweiPerEth + milli * (kGweiPerEth / 1000);
+}
+
+// Exact gwei constructor, for symmetry with eth().
+constexpr Amount gwei(std::int64_t g) { return g; }
+
+// Render an amount as a decimal ETH string, trimming trailing zeros:
+// 2'300'000'000 -> "2.3", 333'333'333 -> "0.333333333", -5e8 -> "-0.5".
+std::string to_eth_string(Amount a);
+
+// Render an amount as "<n> gwei" with thousands separators.
+std::string to_gwei_string(Amount a);
+
+// Convert to double ETH for plotting/series output only (never for state).
+constexpr double to_eth_double(Amount a) {
+  return static_cast<double>(a) / static_cast<double>(kGweiPerEth);
+}
+
+}  // namespace parole

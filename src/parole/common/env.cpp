@@ -1,0 +1,40 @@
+#include "parole/common/env.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace parole {
+
+double env_double(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return end == raw ? fallback : value;
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  return end == raw ? fallback : static_cast<std::int64_t>(value);
+}
+
+double bench_scale() {
+  const double s = env_double("PAROLE_BENCH_SCALE", kDefaultBenchScale);
+  return std::clamp(s, 1e-3, 1.0);
+}
+
+std::int64_t scaled(std::int64_t full_value, std::int64_t min_value) {
+  const auto v =
+      static_cast<std::int64_t>(static_cast<double>(full_value) * bench_scale());
+  return std::max(v, min_value);
+}
+
+std::uint64_t experiment_seed(std::uint64_t fallback) {
+  return static_cast<std::uint64_t>(
+      env_int("PAROLE_SEED", static_cast<std::int64_t>(fallback)));
+}
+
+}  // namespace parole

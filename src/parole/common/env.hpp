@@ -1,0 +1,31 @@
+// Environment-variable knobs for the benchmark harness.
+//
+// Full-fidelity runs of the DQN figures train 100 episodes x 200 steps per
+// configuration; PAROLE_BENCH_SCALE (a float in (0, 1], default from
+// kDefaultBenchScale) lets CI shrink the episode/step counts proportionally
+// while keeping every series shape intact. PAROLE_SEED overrides the
+// experiment seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parole {
+
+inline constexpr double kDefaultBenchScale = 0.25;
+
+// Read an environment variable, empty optional-style: returns fallback when
+// unset or unparsable.
+double env_double(const std::string& name, double fallback);
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+// The global bench scale in (0, 1]. Values outside are clamped.
+double bench_scale();
+
+// Scale a count by bench_scale(), with a floor of min_value.
+std::int64_t scaled(std::int64_t full_value, std::int64_t min_value = 1);
+
+// Experiment seed: PAROLE_SEED or the provided default.
+std::uint64_t experiment_seed(std::uint64_t fallback);
+
+}  // namespace parole

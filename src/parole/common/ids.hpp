@@ -1,0 +1,81 @@
+// Strongly-typed identifiers used across the rollup simulator.
+//
+// The paper indexes users as U_k, aggregators as A_k, verifiers as V_k and
+// tokens by an integer ID 'i' (Table I). We keep those as distinct integral
+// wrapper types so a TokenId can never be passed where a UserId is expected.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace parole {
+
+// CRTP-free tagged integer. Comparable, hashable, streamable.
+template <typename Tag, typename Rep = std::uint32_t>
+class TaggedId {
+ public:
+  using rep_type = Rep;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(Rep value) : value_(value) {}
+
+  [[nodiscard]] constexpr Rep value() const { return value_; }
+
+  friend constexpr bool operator==(TaggedId a, TaggedId b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(TaggedId a, TaggedId b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(TaggedId a, TaggedId b) {
+    return a.value_ < b.value_;
+  }
+  friend constexpr bool operator>(TaggedId a, TaggedId b) {
+    return a.value_ > b.value_;
+  }
+  friend constexpr bool operator<=(TaggedId a, TaggedId b) {
+    return a.value_ <= b.value_;
+  }
+  friend constexpr bool operator>=(TaggedId a, TaggedId b) {
+    return a.value_ >= b.value_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, TaggedId id) {
+    return os << id.value_;
+  }
+
+ private:
+  Rep value_{0};
+};
+
+struct UserIdTag {};
+struct TokenIdTag {};
+struct TxIdTag {};
+struct AggregatorIdTag {};
+struct VerifierIdTag {};
+struct CollectionIdTag {};
+
+// The 'k'-th rollup user U_k.
+using UserId = TaggedId<UserIdTag>;
+// The unique identifier 'i' of an ERC-721 token instance.
+using TokenId = TaggedId<TokenIdTag>;
+// A transaction identifier unique within a simulation.
+using TxId = TaggedId<TxIdTag, std::uint64_t>;
+// The 'k'-th rollup aggregator A_k.
+using AggregatorId = TaggedId<AggregatorIdTag>;
+// The 'k'-th rollup verifier V_k.
+using VerifierId = TaggedId<VerifierIdTag>;
+// An NFT collection in the snapshot data substrate.
+using CollectionId = TaggedId<CollectionIdTag>;
+
+}  // namespace parole
+
+namespace std {
+template <typename Tag, typename Rep>
+struct hash<parole::TaggedId<Tag, Rep>> {
+  size_t operator()(parole::TaggedId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value());
+  }
+};
+}  // namespace std

@@ -1,0 +1,70 @@
+// Minimal expected-like Result<T, E> for recoverable errors.
+//
+// The simulator never throws for domain outcomes (an NFT transfer whose
+// constraints fail is data, not an exception); exceptions are reserved for
+// programming errors. Result keeps that distinction explicit at interfaces.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace parole {
+
+// Default error payload: a short machine-readable code plus human detail.
+struct Error {
+  std::string code;
+  std::string detail;
+
+  friend bool operator==(const Error&, const Error&) = default;
+};
+
+template <typename T, typename E = Error>
+class [[nodiscard]] Result {
+ public:
+  // Implicit from value / error keeps call sites terse:
+  //   return 42;            return Error{"nope", "..."};
+  Result(T value) : data_(std::in_place_index<0>, std::move(value)) {}
+  Result(E error) : data_(std::in_place_index<1>, std::move(error)) {}
+
+  [[nodiscard]] bool ok() const { return data_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    assert(ok());
+    return std::get<0>(data_);
+  }
+  [[nodiscard]] T&& value() && {
+    assert(ok());
+    return std::get<0>(std::move(data_));
+  }
+
+  [[nodiscard]] const E& error() const& {
+    assert(!ok());
+    return std::get<1>(data_);
+  }
+
+  // value_or for cheap defaults.
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? std::get<0>(data_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, E> data_;
+};
+
+// Void specialisation helper: Result<Unit>.
+struct Unit {
+  friend bool operator==(const Unit&, const Unit&) = default;
+};
+
+using Status = Result<Unit>;
+
+inline Status ok_status() { return Unit{}; }
+
+}  // namespace parole

@@ -1,0 +1,92 @@
+// Deterministic random number generation.
+//
+// Every stochastic component (workload generation, epsilon-greedy exploration,
+// annealing schedules, snapshot synthesis) draws from a parole::Rng seeded by
+// the experiment harness, so each table/figure is bit-reproducible. xoshiro256**
+// is used for generation and SplitMix64 for seeding, per Blackman & Vigna.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace parole {
+
+// SplitMix64: used to expand a single seed into xoshiro state.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// xoshiro256** with convenience distributions. Satisfies
+// UniformRandomBitGenerator so it also plugs into <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1).
+  double uniform();
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Standard normal via Box-Muller (cached pair).
+  double normal();
+  double normal(double mean, double stddev);
+
+  // Bernoulli with probability p of true.
+  bool chance(double p);
+
+  // Zipf-like rank sampler over {0..n-1} with exponent s (s=0 => uniform).
+  // Uses inverse-CDF over precomputed weights; intended for modest n.
+  std::size_t zipf(std::size_t n, double s);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i)));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  // Pick a uniformly random element index of a non-empty container.
+  std::size_t index(std::size_t size) {
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  // Derive an independent child stream (for per-aggregator randomness).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  bool have_cached_normal_{false};
+  double cached_normal_{0.0};
+};
+
+}  // namespace parole

@@ -1,0 +1,95 @@
+#include "parole/common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "parole/common/rng.hpp"
+
+namespace parole {
+
+void RunningStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::vector<double> moving_average(const std::vector<double>& xs,
+                                   std::size_t window) {
+  assert(window > 0);
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    if (i >= window) acc -= xs[i - window];
+    const std::size_t n = std::min(i + 1, window);
+    out.push_back(acc / static_cast<double>(n));
+  }
+  return out;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  assert(!xs.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double mean_of(const std::vector<double>& xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.mean();
+}
+
+double stddev_of(const std::vector<double>& xs) {
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  return rs.stddev();
+}
+
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& xs, Rng& rng,
+                              double alpha, std::size_t resamples) {
+  assert(!xs.empty());
+  assert(alpha > 0.0 && alpha < 1.0);
+  assert(resamples > 1);
+
+  BootstrapCi ci;
+  ci.mean = mean_of(xs);
+
+  std::vector<double> means;
+  means.reserve(resamples);
+  for (std::size_t r = 0; r < resamples; ++r) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      total += xs[rng.index(xs.size())];
+    }
+    means.push_back(total / static_cast<double>(xs.size()));
+  }
+  ci.lower = percentile(means, 100.0 * alpha / 2.0);
+  ci.upper = percentile(std::move(means), 100.0 * (1.0 - alpha / 2.0));
+  return ci;
+}
+
+}  // namespace parole

@@ -1,0 +1,64 @@
+// Small statistics toolbox used by the evaluation harness:
+// running mean/variance, moving averages (Fig. 8 plots a window-9 moving
+// average of episode rewards), percentiles, and min/max summaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace parole {
+
+class Rng;
+
+// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+  // Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t count_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+  double sum_{0.0};
+};
+
+// Trailing moving average with the given window (the series starts at the
+// first sample: element i averages samples max(0, i-window+1)..i). This is
+// what Fig. 8 plots with window = 9.
+std::vector<double> moving_average(const std::vector<double>& xs,
+                                   std::size_t window);
+
+// Linear-interpolated percentile of an unsorted sample, p in [0, 100].
+double percentile(std::vector<double> xs, double p);
+
+double mean_of(const std::vector<double>& xs);
+double stddev_of(const std::vector<double>& xs);
+
+// Percentile-bootstrap confidence interval for the mean: resample with
+// replacement `resamples` times and take the (alpha/2, 1-alpha/2) quantiles
+// of the resampled means. Campaign experiments report these next to their
+// point estimates (the underlying profit distributions are heavy-tailed, so
+// a normal approximation would mislead).
+struct BootstrapCi {
+  double mean{0.0};
+  double lower{0.0};
+  double upper{0.0};
+};
+
+BootstrapCi bootstrap_mean_ci(const std::vector<double>& xs, Rng& rng,
+                              double alpha = 0.05,
+                              std::size_t resamples = 2'000);
+
+}  // namespace parole

@@ -1,0 +1,130 @@
+#include "parole/common/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cctype>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+namespace parole {
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  bool digit_seen = false;
+  for (char c : s) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      digit_seen = true;
+    } else if (c != '.' && c != '-' && c != '+' && c != 'e' && c != 'E' &&
+               c != ',' && c != '%') {
+      return false;
+    }
+  }
+  return digit_seen;
+}
+
+std::string escape_csv(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+TablePrinter& TablePrinter::columns(std::vector<std::string> headers) {
+  headers_ = std::move(headers);
+  return *this;
+}
+
+TablePrinter& TablePrinter::row(std::vector<std::string> cells) {
+  assert(headers_.empty() || cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TablePrinter::integer(long long value) {
+  return std::to_string(value);
+}
+
+std::string TablePrinter::to_string() const {
+  const std::size_t ncols = headers_.size();
+  std::vector<std::size_t> width(ncols, 0);
+  std::vector<bool> numeric(ncols, true);
+  for (std::size_t c = 0; c < ncols; ++c) width[c] = headers_[c].size();
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < ncols && c < r.size(); ++c) {
+      width[c] = std::max(width[c], r[c].size());
+      if (!looks_numeric(r[c])) numeric[c] = false;
+    }
+  }
+
+  auto pad = [](const std::string& s, std::size_t w, bool right) {
+    std::string out;
+    if (right) out.append(w - s.size(), ' ');
+    out += s;
+    if (!right) out.append(w - s.size(), ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  std::string sep = "+";
+  for (std::size_t c = 0; c < ncols; ++c) {
+    sep += std::string(width[c] + 2, '-');
+    sep += '+';
+  }
+  os << sep << '\n' << '|';
+  for (std::size_t c = 0; c < ncols; ++c) {
+    os << ' ' << pad(headers_[c], width[c], false) << " |";
+  }
+  os << '\n' << sep << '\n';
+  for (const auto& r : rows_) {
+    os << '|';
+    for (std::size_t c = 0; c < ncols; ++c) {
+      const std::string& cell = c < r.size() ? r[c] : std::string{};
+      os << ' ' << pad(cell, width[c], numeric[c]) << " |";
+    }
+    os << '\n';
+  }
+  os << sep << '\n';
+  return os.str();
+}
+
+std::string TablePrinter::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << escape_csv(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      if (c) os << ',';
+      os << escape_csv(r[c]);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void TablePrinter::print(bool with_csv) const {
+  std::cout << to_string();
+  if (with_csv) {
+    std::cout << "--- csv ---\n" << to_csv() << "--- end csv ---\n";
+  }
+  std::cout.flush();
+}
+
+}  // namespace parole

@@ -1,0 +1,41 @@
+// ASCII table / CSV renderer for the benchmark harness.
+//
+// Every bench/figN_* binary prints the same rows or series the paper plots;
+// TablePrinter renders them both as an aligned console table (for humans) and
+// as CSV (for re-plotting). Columns are right-aligned when every cell parses
+// as a number, left-aligned otherwise.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace parole {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  TablePrinter& columns(std::vector<std::string> headers);
+  TablePrinter& row(std::vector<std::string> cells);
+
+  // Convenience: format doubles with the given precision.
+  static std::string num(double value, int precision = 3);
+  static std::string integer(long long value);
+
+  // Render the aligned ASCII table.
+  [[nodiscard]] std::string to_string() const;
+  // Render as CSV (header row first).
+  [[nodiscard]] std::string to_csv() const;
+
+  // Print table followed by a csv block to stdout.
+  void print(bool with_csv = true) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace parole

@@ -1,0 +1,50 @@
+#include "parole/core/arbitrage.hpp"
+
+#include <algorithm>
+
+namespace parole::core {
+namespace {
+
+bool is_ifu(UserId user, std::span<const UserId> ifus) {
+  return std::find(ifus.begin(), ifus.end(), user) != ifus.end();
+}
+
+}  // namespace
+
+ArbitrageAssessment assess_arbitrage(std::span<const vm::Tx> txs,
+                                     std::span<const UserId> ifus) {
+  ArbitrageAssessment out;
+
+  for (const vm::Tx& tx : txs) {
+    const bool sender_ifu = is_ifu(tx.sender, ifus);
+    const bool recipient_ifu =
+        tx.kind == vm::TxKind::kTransfer && is_ifu(tx.recipient, ifus);
+    const bool involved = sender_ifu || recipient_ifu;
+
+    if (involved) {
+      ++out.ifu_tx_count;
+      if (tx.kind == vm::TxKind::kMint && sender_ifu) out.ifu_has_mint = true;
+      if (tx.kind == vm::TxKind::kTransfer) out.ifu_has_transfer = true;
+    }
+    if (tx.kind != vm::TxKind::kTransfer) ++out.price_moving_txs;
+  }
+
+  // Re-ordering can only help when (a) an IFU appears in at least two
+  // transactions (otherwise no position of its single tx changes its final
+  // holdings more than the price-movers do on their own) and (b) something
+  // in the batch moves the price at all.
+  out.opportunity = out.ifu_tx_count >= 2 && out.price_moving_txs >= 1;
+
+  // 0-100 leverage score: saturating mix of IFU involvement and price movers,
+  // with the mint+transfer pairing the paper singles out as a bonus.
+  const int involvement = static_cast<int>(std::min<std::size_t>(
+      out.ifu_tx_count * 15, 45));
+  const int movers = static_cast<int>(std::min<std::size_t>(
+      out.price_moving_txs * 10, 35));
+  const int pairing = (out.ifu_has_mint && out.ifu_has_transfer) ? 20 : 0;
+  out.score = out.opportunity ? involvement + movers + pairing : 0;
+
+  return out;
+}
+
+}  // namespace parole::core

@@ -1,0 +1,41 @@
+// Arbitrage-opportunity assessment (Sec. V-B, and the Arbitrage() predicate
+// of Algorithm 1 line 2).
+//
+// The PAROLE module first checks whether the collected transaction set can be
+// re-ordered profitably for the IFU at all, before spending any effort on
+// GENTRANSEQ. Per the paper: "There is potential for profitable arbitrage for
+// the IFU, if he is involved in multiple transactions within the set ...
+// Ideally, he should at least be involved in a pair of minting and transfer
+// transactions, while being involved in more transactions increases the
+// chance". Price movement requires at least one mint or burn somewhere in the
+// batch (transfers alone never move the Eq. 10 price).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "parole/common/ids.hpp"
+#include "parole/vm/tx.hpp"
+
+namespace parole::core {
+
+struct ArbitrageAssessment {
+  // The gating verdict used by Algorithm 1.
+  bool opportunity{false};
+
+  // Diagnostics behind the verdict.
+  std::size_t ifu_tx_count{0};        // txs involving any IFU
+  bool ifu_has_mint{false};           // an IFU mints in the batch
+  bool ifu_has_transfer{false};       // an IFU buys or sells in the batch
+  std::size_t price_moving_txs{0};    // mints + burns in the whole batch
+  // Heuristic 0-100 score: more IFU involvement and more price movers mean
+  // more re-ordering leverage (Sec. V-B's "more transactions increases the
+  // chance").
+  int score{0};
+};
+
+// Assess a collected batch for a set of IFUs.
+[[nodiscard]] ArbitrageAssessment assess_arbitrage(
+    std::span<const vm::Tx> txs, std::span<const UserId> ifus);
+
+}  // namespace parole::core

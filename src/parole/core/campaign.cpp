@@ -1,0 +1,119 @@
+#include "parole/core/campaign.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <memory>
+
+namespace parole::core {
+
+AttackCampaign::AttackCampaign(CampaignConfig config)
+    : config_(std::move(config)) {
+  assert(config_.num_aggregators >= 1);
+  assert(config_.adversarial_fraction >= 0.0 &&
+         config_.adversarial_fraction <= 1.0);
+}
+
+CampaignResult AttackCampaign::run() {
+  CampaignResult result;
+
+  // --- workload -------------------------------------------------------------
+  data::WorkloadGenerator workload(config_.workload, config_.seed);
+  const vm::L2State genesis = workload.initial_state();  // pre-generation copy
+  const std::size_t total_txs = config_.rounds * config_.mempool_size;
+  std::vector<vm::Tx> txs = workload.generate(total_txs);
+  result.ifus = workload.pick_ifus(config_.num_ifus);
+
+  // --- rollup topology --------------------------------------------------------
+  rollup::NodeConfig node_config;
+  node_config.max_supply = config_.workload.max_supply;
+  node_config.initial_price = config_.workload.initial_price;
+  rollup::RollupNode node(node_config);
+  node.state() = genesis;
+
+  std::size_t adversarial = config_.adversarial_fraction <= 0.0
+                                ? 0
+                                : std::max<std::size_t>(
+                                      1, static_cast<std::size_t>(std::lround(
+                                             config_.adversarial_fraction *
+                                             static_cast<double>(
+                                                 config_.num_aggregators))));
+  adversarial = std::min(adversarial, config_.num_aggregators);
+  result.adversarial_aggregators = adversarial;
+
+  // One Parole instance shared by the colluding aggregators; profit and
+  // per-batch bookkeeping flow through the sink.
+  ParoleConfig parole_config = config_.parole;
+  parole_config.seed ^= config_.seed;
+  // Fair collusion: an order must improve *every* served IFU (identical to
+  // the plain objective for one IFU). This is what produces the Fig. 6
+  // decline in per-IFU profit as more IFUs are served.
+  parole_config.objective = solvers::Objective::kMinGain;
+  auto parole = std::make_unique<Parole>(parole_config);
+
+  Amount profit_sink = 0;
+  std::size_t reordered = 0;
+  const BatchForensics auditor(config_.forensics);
+  const bool audit = config_.audit;
+  auto counting_reorderer =
+      [&parole, &profit_sink, &reordered, &result, &auditor, audit,
+       ifus = result.ifus](const vm::L2State& state,
+                           std::vector<vm::Tx> batch) -> std::vector<vm::Tx> {
+    AttackOutcome outcome = parole->run(state, std::move(batch), ifus);
+    profit_sink += outcome.profit();
+    if (outcome.reordered) ++reordered;
+    if (audit) {
+      // The auditor sees exactly what lands on chain: pre-state + shipped
+      // order, reconstructable from public data.
+      const ForensicReport report =
+          auditor.analyze(state, outcome.final_sequence);
+      result.suspicion_scores.push_back(report.suspicion);
+      if (outcome.reordered && report.flagged) ++result.flagged_batches;
+    }
+    return std::move(outcome.final_sequence);
+  };
+
+  for (std::size_t a = 0; a < config_.num_aggregators; ++a) {
+    rollup::AggregatorConfig agg;
+    agg.id = AggregatorId{static_cast<std::uint32_t>(a)};
+    agg.mempool_size = config_.mempool_size;
+    if (a < adversarial) agg.reorderer = counting_reorderer;
+    node.add_aggregator(std::move(agg));
+  }
+  for (std::size_t v = 0; v < config_.num_verifiers; ++v) {
+    node.add_verifier(VerifierId{static_cast<std::uint32_t>(v)});
+  }
+
+  std::unique_ptr<MempoolDefense> defense;
+  if (config_.defended) {
+    defense = std::make_unique<MempoolDefense>(config_.defense);
+    node.set_batch_screen(defense->as_screen());
+  }
+
+  // --- run --------------------------------------------------------------------
+  for (vm::Tx& tx : txs) node.submit_tx(std::move(tx));
+
+  Amount profit_before = 0;
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    const rollup::StepOutcome outcome = node.step();
+    // PAROLE batches are honestly committed; none may be challenged.
+    assert(!outcome.fraud_proven);
+    result.screened_txs += outcome.screened_out;
+    if (outcome.produced_batch &&
+        outcome.aggregator.value() < adversarial) {
+      ++result.adversarial_batches;
+      result.per_batch_profit.push_back(profit_sink - profit_before);
+      profit_before = profit_sink;
+    }
+  }
+
+  result.total_profit = profit_sink;
+  result.reordered_batches = reordered;
+  if (config_.num_ifus > 0) {
+    result.avg_profit_per_ifu = static_cast<double>(result.total_profit) /
+                                static_cast<double>(config_.num_ifus);
+  }
+  return result;
+}
+
+}  // namespace parole::core

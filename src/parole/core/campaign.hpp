@@ -1,0 +1,79 @@
+// Attack campaign driver — the simulation behind Figs. 6 and 7.
+//
+// Builds a full rollup (Bedrock mempool, A aggregators of which a fraction is
+// adversarial, verifiers, ORSC), feeds it a synthetic NFT workload, and runs
+// aggregation rounds. Every adversarial aggregator routes its collected batch
+// through the PAROLE module serving the same set of IFUs; per-batch profit is
+// the GENTRANSEQ-achieved IFU balance minus the original-order balance.
+//
+// Reorderer choice: campaigns default to the annealing reorderer — a
+// fidelity-validated proxy for the DQN (tests/core assert both reach the
+// same optimum on exhaustive-verifiable instances) that keeps the Figs. 6/7
+// parameter sweeps tractable; set ParoleConfig::kind = kDqn for
+// paper-faithful (slow) runs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/core/defense.hpp"
+#include "parole/core/forensics.hpp"
+#include "parole/core/parole_attack.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/rollup/node.hpp"
+
+namespace parole::core {
+
+struct CampaignConfig {
+  std::size_t num_aggregators = 10;
+  // Fraction of aggregators running PAROLE (Fig. 6: 0.10 / 0.50; Fig. 7
+  // sweeps 0.10..0.50). At least one adversary when > 0.
+  double adversarial_fraction = 0.10;
+  // Transactions each aggregator collects per batch ("Mempool size" N).
+  std::size_t mempool_size = 50;
+  std::size_t num_ifus = 1;
+  // Aggregation rounds to simulate.
+  std::size_t rounds = 30;
+  data::WorkloadConfig workload;
+  ParoleConfig parole{ReordererKind::kAnnealing, {},
+                      solvers::Objective::kSumBalance, 0x9a601eULL};
+  std::size_t num_verifiers = 2;
+  // Install the Sec. VIII mempool defense in front of every aggregator
+  // (defense-vs-attack ablation).
+  bool defended = false;
+  DefenseConfig defense;
+  // Run batch forensics (core/forensics.*) over every adversarial batch and
+  // report how many an auditor would flag.
+  bool audit = false;
+  ForensicsConfig forensics;
+  std::uint64_t seed = 0xca59a16eULL;  // "campaign"
+};
+
+struct CampaignResult {
+  Amount total_profit{0};             // summed over adversarial batches
+  double avg_profit_per_ifu{0.0};     // total / (IFUs) — the Fig. 6 metric
+  std::size_t adversarial_aggregators{0};
+  std::size_t adversarial_batches{0};
+  std::size_t reordered_batches{0};   // batches where an improvement shipped
+  std::size_t screened_txs{0};        // txs the defense deferred (defended)
+  // Forensics (when audit=true): suspicion score per adversarial batch and
+  // how many of the *reordered* batches the auditor flags.
+  std::vector<double> suspicion_scores;
+  std::size_t flagged_batches{0};
+  std::vector<Amount> per_batch_profit;
+  std::vector<UserId> ifus;
+};
+
+class AttackCampaign {
+ public:
+  explicit AttackCampaign(CampaignConfig config);
+
+  CampaignResult run();
+
+  [[nodiscard]] const CampaignConfig& config() const { return config_; }
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace parole::core

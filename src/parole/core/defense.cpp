@@ -1,0 +1,123 @@
+#include "parole/core/defense.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace parole::core {
+namespace {
+
+std::vector<UserId> involved_users(const std::vector<vm::Tx>& batch) {
+  std::unordered_set<UserId> seen;
+  std::vector<UserId> out;
+  for (const vm::Tx& tx : batch) {
+    if (seen.insert(tx.sender).second) out.push_back(tx.sender);
+    if (tx.kind == vm::TxKind::kTransfer && seen.insert(tx.recipient).second) {
+      out.push_back(tx.recipient);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MempoolDefense::MempoolDefense(DefenseConfig config)
+    : config_(std::move(config)) {}
+
+Amount MempoolDefense::worst_case(const vm::L2State& state,
+                                  const std::vector<vm::Tx>& batch) {
+  if (batch.size() < 2) return 0;
+
+  Amount worst = 0;
+  for (UserId user : involved_users(batch)) {
+    ParoleConfig search_config;
+    search_config.kind = config_.search;
+    search_config.seed = config_.seed + 0x9e3779b97f4a7c15ULL * ++invocation_;
+    Parole search(search_config);
+    const AttackOutcome outcome = search.run(state, batch, {user});
+    worst = std::max(worst, outcome.profit());
+  }
+  return worst;
+}
+
+DefenseReport MempoolDefense::screen(const vm::L2State& state,
+                                     std::vector<vm::Tx> batch) {
+  DefenseReport report;
+
+  Amount priority_fees = 0;
+  for (const vm::Tx& tx : batch) priority_fees += tx.priority_fee;
+  report.threshold = std::max<Amount>(
+      static_cast<Amount>(config_.threshold_fee_multiplier *
+                          static_cast<double>(priority_fees)),
+      config_.threshold_floor);
+
+  report.worst_case_before = worst_case(state, batch);
+  report.worst_case_after = report.worst_case_before;
+
+  if (report.worst_case_before <= report.threshold) {
+    report.admitted = std::move(batch);
+    return report;
+  }
+
+  report.triggered = true;
+
+  // Greedy minimal deferral: repeatedly remove the transaction whose removal
+  // reduces the worst case the most, until under threshold (or the cap).
+  while (report.worst_case_after > report.threshold &&
+         report.deferred.size() < config_.max_deferrals && batch.size() >= 2) {
+    std::size_t best_index = batch.size();
+    Amount best_residual = report.worst_case_after;
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      std::vector<vm::Tx> reduced;
+      reduced.reserve(batch.size() - 1);
+      for (std::size_t j = 0; j < batch.size(); ++j) {
+        if (j != i) reduced.push_back(batch[j]);
+      }
+      const Amount residual = worst_case(state, reduced);
+      if (residual < best_residual) {
+        best_residual = residual;
+        best_index = i;
+      }
+    }
+
+    if (best_index == batch.size()) {
+      // No single removal helps further; defer the highest-leverage guess
+      // (the first price-moving tx) to make progress, or stop.
+      const auto it = std::find_if(batch.begin(), batch.end(),
+                                   [](const vm::Tx& tx) {
+                                     return tx.kind != vm::TxKind::kTransfer;
+                                   });
+      if (it == batch.end()) break;
+      best_index = static_cast<std::size_t>(it - batch.begin());
+      best_residual = worst_case(state, [&] {
+        std::vector<vm::Tx> reduced;
+        for (std::size_t j = 0; j < batch.size(); ++j) {
+          if (j != best_index) reduced.push_back(batch[j]);
+        }
+        return reduced;
+      }());
+    }
+
+    report.deferred.push_back(batch[best_index]);
+    batch.erase(batch.begin() + static_cast<std::ptrdiff_t>(best_index));
+    report.worst_case_after = best_residual;
+  }
+
+  report.admitted = std::move(batch);
+  return report;
+}
+
+rollup::BatchScreen MempoolDefense::as_screen(
+    std::vector<DefenseReport>* reports) {
+  return [this, reports](const vm::L2State& state,
+                         std::vector<vm::Tx> batch) -> rollup::ScreenResult {
+    DefenseReport report = screen(state, std::move(batch));
+    if (reports != nullptr) reports->push_back(report);
+    rollup::ScreenResult result;
+    result.admitted = std::move(report.admitted);
+    result.deferred = std::move(report.deferred);
+    return result;
+  };
+}
+
+}  // namespace parole::core

@@ -1,0 +1,79 @@
+// Defense against PAROLE (Sec. VIII).
+//
+// The mempool's fee-only prioritization is what leaves room for arbitrage, so
+// the proposed defense embeds GENTRANSEQ *in the mempool* as a detector:
+//
+//   1. Take the batch in fee-priority order.
+//   2. Run the re-ordering search to find the worst case — the maximum
+//      profit any user involved in the pending transactions could extract.
+//   3. If the worst case is below a threshold (derived from the batch's
+//      priority fees), ship the batch unchanged: the arbitrage is negligible
+//      next to what users paid for priority.
+//   4. Otherwise, defer the minimal number of involved transactions to the
+//      next block until the residual worst case drops below the threshold.
+//
+// The detector reuses the heuristic reorderer by default (the mempool has to
+// run this on every block; annealing is the validated fast proxy for the
+// DQN), and the deferral step greedily removes the transaction whose removal
+// shrinks the worst case most.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/core/parole_attack.hpp"
+#include "parole/rollup/mempool.hpp"
+#include "parole/rollup/node.hpp"
+
+namespace parole::core {
+
+struct DefenseConfig {
+  // Threshold = multiplier * (sum of priority fees in the batch): an
+  // arbitrage smaller than what users collectively paid for priority is
+  // considered negligible (Sec. VIII's "depending on the priority fee").
+  double threshold_fee_multiplier = 2.0;
+  // Floor for the threshold so zero-fee batches are not all deferred.
+  Amount threshold_floor = gwei(10'000);
+  // Search strategy for the worst case (kDqn for fidelity, heuristics for
+  // per-block speed).
+  ReordererKind search = ReordererKind::kAnnealing;
+  // Cap on deferrals per batch (safety valve against pathological batches).
+  std::size_t max_deferrals = 8;
+  std::uint64_t seed = 0xdefe45eULL;
+};
+
+struct DefenseReport {
+  Amount threshold{0};
+  Amount worst_case_before{0};  // max extractable profit, incoming batch
+  Amount worst_case_after{0};   // after deferrals
+  bool triggered{false};
+  std::vector<vm::Tx> deferred;  // txs pushed to the block behind
+  std::vector<vm::Tx> admitted;  // txs kept in this block
+};
+
+class MempoolDefense {
+ public:
+  explicit MempoolDefense(DefenseConfig config = {});
+
+  // Analyze a batch against the given pre-batch state. Returns the admitted
+  // set and the deferred set; callers push the deferred txs back via
+  // BedrockMempool::defer().
+  DefenseReport screen(const vm::L2State& state, std::vector<vm::Tx> batch);
+
+  // Worst case for a batch: the maximum re-ordering profit over every user
+  // involved in it (each evaluated as the would-be IFU).
+  Amount worst_case(const vm::L2State& state,
+                    const std::vector<vm::Tx>& batch);
+
+  // Adapt to the rollup layer: a BatchScreen for RollupNode::set_batch_screen
+  // that runs screen() on every collected batch before aggregation.
+  // `reports`, when non-null, receives one DefenseReport per screened batch.
+  [[nodiscard]] rollup::BatchScreen as_screen(
+      std::vector<DefenseReport>* reports = nullptr);
+
+ private:
+  DefenseConfig config_;
+  std::uint64_t invocation_{0};
+};
+
+}  // namespace parole::core

@@ -1,0 +1,72 @@
+#include "parole/core/encoding.hpp"
+
+#include <algorithm>
+
+namespace parole::core {
+namespace {
+
+bool is_ifu(UserId user, const std::vector<UserId>& ifus) {
+  return std::find(ifus.begin(), ifus.end(), user) != ifus.end();
+}
+
+}  // namespace
+
+SequenceEncoder::SequenceEncoder(vm::L2State initial_state,
+                                 std::vector<UserId> ifus)
+    : initial_state_(std::move(initial_state)),
+      ifus_(std::move(ifus)),
+      engine_(vm::ExecConfig{vm::InvalidTxPolicy::kSkipInvalid,
+                             /*charge_fees=*/false, vm::GasSchedule{}}) {}
+
+std::vector<double> SequenceEncoder::encode(
+    std::span<const vm::Tx> txs) const {
+  const auto& curve = initial_state_.nft().curve();
+  const double price_scale = static_cast<double>(curve.max_supply()) *
+                             static_cast<double>(curve.initial_price());
+  const double supply_scale = static_cast<double>(curve.max_supply());
+
+  Amount max_fee = 0;
+  for (const vm::Tx& tx : txs) max_fee = std::max(max_fee, tx.total_fee());
+  const double fee_scale =
+      max_fee > 0 ? static_cast<double>(max_fee) : 1.0;
+
+  std::vector<double> out;
+  out.reserve(kFeaturesPerTx * txs.size());
+
+  vm::L2State state = initial_state_;
+  for (const vm::Tx& tx : txs) {
+    const bool sender_ifu = is_ifu(tx.sender, ifus_);
+    const bool recipient_ifu =
+        tx.kind == vm::TxKind::kTransfer && is_ifu(tx.recipient, ifus_);
+
+    out.push_back(sender_ifu || recipient_ifu ? 1.0 : 0.0);
+    out.push_back(tx.kind == vm::TxKind::kMint ? 1.0 : 0.0);
+    out.push_back(tx.kind == vm::TxKind::kTransfer ? 1.0 : 0.0);
+    out.push_back(tx.kind == vm::TxKind::kBurn ? 1.0 : 0.0);
+    out.push_back(static_cast<double>(state.nft().current_price()) /
+                  price_scale);
+    out.push_back(static_cast<double>(state.nft().remaining_supply()) /
+                  supply_scale);
+    out.push_back(static_cast<double>(tx.total_fee()) / fee_scale);
+
+    double direction = 0.0;
+    switch (tx.kind) {
+      case vm::TxKind::kMint:
+        if (sender_ifu) direction = 1.0;
+        break;
+      case vm::TxKind::kTransfer:
+        if (recipient_ifu && !sender_ifu) direction = 1.0;
+        if (sender_ifu && !recipient_ifu) direction = -1.0;
+        break;
+      case vm::TxKind::kBurn:
+        if (sender_ifu) direction = -1.0;
+        break;
+    }
+    out.push_back(direction);
+
+    (void)engine_.execute_tx(state, tx);
+  }
+  return out;
+}
+
+}  // namespace parole::core

@@ -1,0 +1,54 @@
+// Transaction-sequence encoder (the pre-processing stage of Fig. 4).
+//
+// "each transaction is converted into a 1-dimensional tensor by encoding each
+// attribute of the transaction. Generally, it is an eight-element tensor,
+// including flags like the involvement of IFU in the transaction, the type of
+// the transaction, and values like current token price, available tokens to
+// be minted, etc."
+//
+// Our eight features per transaction, in sequence order:
+//   0  IFU involved in this tx (0/1)
+//   1  is mint                  (0/1)
+//   2  is transfer              (0/1)
+//   3  is burn                  (0/1)
+//   4  token price when this tx executes at its position, / (S0 * P0)
+//   5  remaining mintable supply at its position, / S0
+//   6  total fee, / max total fee in the batch
+//   7  IFU direction: +1 the IFU gains a token here, -1 the IFU gives one
+//      up, 0 otherwise
+//
+// Features 4-5 are position-dependent: they come from executing the sequence
+// (skip-invalid policy, so the encoding is total) — this is how the DQN
+// "takes into consideration the current state of the L2 chain" (Sec. IV-B).
+// The flattened concatenation (8*N values) is the DQN input.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "parole/common/ids.hpp"
+#include "parole/vm/engine.hpp"
+
+namespace parole::core {
+
+inline constexpr std::size_t kFeaturesPerTx = 8;
+
+class SequenceEncoder {
+ public:
+  // `initial_state` is the L2 state before the batch (copied).
+  SequenceEncoder(vm::L2State initial_state, std::vector<UserId> ifus);
+
+  // Encode a full sequence into a flat 8*N vector.
+  [[nodiscard]] std::vector<double> encode(std::span<const vm::Tx> txs) const;
+
+  [[nodiscard]] std::size_t state_dim(std::size_t tx_count) const {
+    return kFeaturesPerTx * tx_count;
+  }
+
+ private:
+  vm::L2State initial_state_;
+  std::vector<UserId> ifus_;
+  vm::ExecutionEngine engine_;  // skip-invalid: encoding must be total
+};
+
+}  // namespace parole::core

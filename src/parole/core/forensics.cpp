@@ -1,0 +1,97 @@
+#include "parole/core/forensics.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace parole::core {
+namespace {
+
+// Stable fee-priority order of the executed transactions: total fee
+// descending; arrival ascending breaks ties the way the mempool would.
+std::vector<vm::Tx> fee_priority_order(std::span<const vm::Tx> txs) {
+  std::vector<vm::Tx> sorted(txs.begin(), txs.end());
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const vm::Tx& a, const vm::Tx& b) {
+                     if (a.total_fee() != b.total_fee()) {
+                       return a.total_fee() > b.total_fee();
+                     }
+                     return a.arrival < b.arrival;
+                   });
+  return sorted;
+}
+
+std::vector<UserId> users_of(std::span<const vm::Tx> txs) {
+  std::unordered_set<UserId> seen;
+  std::vector<UserId> out;
+  for (const vm::Tx& tx : txs) {
+    if (seen.insert(tx.sender).second) out.push_back(tx.sender);
+    if (tx.kind == vm::TxKind::kTransfer && seen.insert(tx.recipient).second) {
+      out.push_back(tx.recipient);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+double fee_order_deviation(std::span<const vm::Tx> executed) {
+  const std::size_t n = executed.size();
+  if (n < 2) return 0.0;
+
+  // A pair (i, j) with i before j in the executed order is discordant when
+  // the fee ordering strictly prefers j first.
+  std::size_t comparable = 0;
+  std::size_t discordant = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const Amount fee_i = executed[i].total_fee();
+      const Amount fee_j = executed[j].total_fee();
+      if (fee_i == fee_j) continue;  // tie: ordering unobservable
+      ++comparable;
+      if (fee_j > fee_i) ++discordant;
+    }
+  }
+  if (comparable == 0) return 0.0;
+  return static_cast<double>(discordant) / static_cast<double>(comparable);
+}
+
+ForensicReport BatchForensics::analyze(const vm::L2State& pre_state,
+                                       std::span<const vm::Tx> executed)
+    const {
+  ForensicReport report;
+  report.ordering_deviation = fee_order_deviation(executed);
+
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, /*charge_fees=*/false, {}});
+
+  vm::L2State shipped_state = pre_state;
+  (void)engine.execute(shipped_state, executed);
+
+  const std::vector<vm::Tx> counterfactual = fee_priority_order(executed);
+  vm::L2State fee_state = pre_state;
+  (void)engine.execute(fee_state, counterfactual);
+
+  for (UserId user : users_of(executed)) {
+    const Amount gain =
+        shipped_state.total_balance(user) - fee_state.total_balance(user);
+    if (gain >= config_.min_gain) {
+      report.beneficiaries.push_back({user, gain});
+      report.total_positive_gain += gain;
+    }
+  }
+  std::sort(report.beneficiaries.begin(), report.beneficiaries.end(),
+            [](const Beneficiary& a, const Beneficiary& b) {
+              return a.gain > b.gain;
+            });
+
+  if (report.total_positive_gain > 0 && !report.beneficiaries.empty()) {
+    report.concentration =
+        static_cast<double>(report.beneficiaries.front().gain) /
+        static_cast<double>(report.total_positive_gain);
+  }
+  report.suspicion = report.ordering_deviation * report.concentration;
+  report.flagged = report.suspicion > config_.suspicion_threshold;
+  return report;
+}
+
+}  // namespace parole::core

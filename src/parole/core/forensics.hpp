@@ -1,0 +1,76 @@
+// Batch forensics: detecting PAROLE after the fact.
+//
+// A PAROLE batch is honestly executed, so fraud proofs never fire — but it
+// is not *invisible*. Aggregators are expected to execute "in order of their
+// base and priority fees" (Sec. IV-A); a reordered batch deviates from that
+// order, and the deviation systematically benefits someone. This module is
+// the auditor's counterpart to the attack (in the spirit of the wash-trading
+// detectors of the related work):
+//
+//   * ordering deviation — normalized Kendall-tau distance between the
+//     executed order and the fee-priority order of the same transactions;
+//   * beneficiary concentration — re-execute the batch in fee-priority
+//     order (public data suffices) and rank users by how much better the
+//     shipped order left them; a PAROLE batch concentrates the gain on the
+//     IFU(s);
+//   * a combined suspicion score with a flag threshold.
+//
+// Deviation alone is weak evidence (ties, equal-fee shuffles); benefit
+// concentration alone is weak too (volatile markets). The product of both
+// is what separates PAROLE batches from honest ones in the tests.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/vm/engine.hpp"
+
+namespace parole::core {
+
+// Normalized Kendall-tau distance in [0, 1] between `order` and the
+// fee-priority order of the same transactions (0 = identical, 1 = reversed).
+// Equal-fee pairs are not counted as discordant (the mempool breaks such
+// ties by arrival, which an external auditor cannot always observe).
+[[nodiscard]] double fee_order_deviation(std::span<const vm::Tx> executed);
+
+struct Beneficiary {
+  UserId user{};
+  // Final total balance under the shipped order minus under the fee order.
+  Amount gain{0};
+};
+
+struct ForensicReport {
+  double ordering_deviation{0.0};  // Kendall-tau vs fee order
+  std::vector<Beneficiary> beneficiaries;  // sorted by gain, descending
+  Amount total_positive_gain{0};
+  // Share of the total positive gain captured by the top beneficiary.
+  double concentration{0.0};
+  // deviation * concentration, in [0, 1].
+  double suspicion{0.0};
+  bool flagged{false};
+};
+
+struct ForensicsConfig {
+  // Flag when suspicion exceeds this (ablated in tests: honest batches stay
+  // well below, PAROLE batches well above).
+  double suspicion_threshold = 0.10;
+  // Ignore gains below this (price jitter floor).
+  Amount min_gain = gwei(1'000);
+};
+
+class BatchForensics {
+ public:
+  explicit BatchForensics(ForensicsConfig config = {}) : config_(config) {}
+
+  // Analyze a shipped batch against its pre-state (both reconstructable
+  // from public L1/L2 data).
+  [[nodiscard]] ForensicReport analyze(const vm::L2State& pre_state,
+                                       std::span<const vm::Tx> executed) const;
+
+ private:
+  ForensicsConfig config_;
+};
+
+}  // namespace parole::core

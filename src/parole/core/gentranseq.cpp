@@ -1,0 +1,115 @@
+#include "parole/core/gentranseq.hpp"
+
+#include <cassert>
+
+#include "parole/ml/epsilon.hpp"
+
+namespace parole::core {
+
+GenTranSeq::GenTranSeq(const solvers::ReorderingProblem& problem,
+                       GenTranSeqConfig config, std::uint64_t seed)
+    : problem_(&problem),
+      config_(std::move(config)),
+      env_(problem, config_.reward),
+      agent_(env_.state_dim(), env_.action_count(), config_.dqn, seed),
+      rng_(seed ^ 0xa77acc5eedULL) {
+  assert(problem.size() >= 2);
+}
+
+TrainResult GenTranSeq::train() {
+  TrainResult result;
+  result.baseline = env_.baseline_balance();
+  result.best_balance = result.baseline;
+
+  const double eps_max = config_.epsilon_override >= 0.0
+                             ? config_.epsilon_override
+                             : config_.dqn.epsilon_max;
+  const ml::EpsilonSchedule schedule(eps_max, config_.dqn.epsilon_min,
+                                     config_.dqn.epsilon_decay);
+
+  for (std::size_t ep = 0; ep < config_.dqn.episodes; ++ep) {
+    std::vector<double> state = env_.reset();
+    const double epsilon = schedule.at(ep);
+    double episode_reward = 0.0;
+    bool episode_found_profit = false;
+
+    for (std::size_t sp = 0; sp < config_.dqn.steps_per_episode; ++sp) {
+      const std::size_t action = agent_.select_action(state, epsilon);
+      EnvStep step = env_.step(action);
+      episode_reward += step.reward;
+
+      const bool done = sp + 1 == config_.dqn.steps_per_episode;
+      agent_.remember({std::move(state), action, step.reward, step.state,
+                       done});
+      state = std::move(step.state);
+
+      if (step.profit && !episode_found_profit) {
+        episode_found_profit = true;
+        result.swaps_to_first_candidate.push_back(env_.swaps_applied());
+        result.first_candidate_episode.push_back(ep);
+      }
+      if (step.balance > result.best_balance) {
+        result.best_balance = step.balance;
+        result.best_order = env_.order();
+        result.found_profit = true;
+      }
+
+      // Q-network fitting every 5 steps (Table II).
+      if ((sp + 1) % config_.dqn.qnet_update_every == 0) {
+        (void)agent_.train_step();
+      }
+      // Target sync: every 30 steps (Table II) and on profit (Algorithm 1).
+      if ((sp + 1) % config_.dqn.target_update_every == 0 ||
+          (step.profit && config_.sync_target_on_profit)) {
+        agent_.sync_target();
+      }
+    }
+    result.episode_rewards.push_back(episode_reward);
+  }
+
+  if (result.best_order.empty()) {
+    // Never improved: the final sequence is the original one.
+    result.best_order.resize(problem_->size());
+    for (std::size_t i = 0; i < result.best_order.size(); ++i) {
+      result.best_order[i] = i;
+    }
+  }
+  return result;
+}
+
+InferenceResult GenTranSeq::infer(std::size_t max_steps) {
+  if (max_steps == 0) max_steps = 2 * env_.tx_count();
+
+  InferenceResult result;
+  result.baseline = env_.baseline_balance();
+
+  std::vector<double> state = env_.reset();
+  result.order = env_.order();
+  result.balance = result.baseline;
+
+  std::size_t last_action = env_.action_count();  // sentinel
+  for (std::size_t sp = 0; sp < max_steps; ++sp) {
+    const std::size_t action = agent_.greedy_action(state);
+    // A greedy policy that keeps picking the same swap is oscillating
+    // (swap + swap back) or stuck on a rejected action; stop early.
+    if (action == last_action) break;
+    last_action = action;
+
+    const EnvStep step = env_.step(action);
+    state = step.state;
+
+    if (step.balance > result.balance) {
+      result.balance = step.balance;
+      result.order = env_.order();
+      if (!result.improved) {
+        result.improved = true;
+        result.swaps_to_first_candidate = env_.swaps_applied();
+      }
+    }
+  }
+  result.swaps_applied = env_.swaps_applied();
+  result.improved = result.balance > result.baseline;
+  return result;
+}
+
+}  // namespace parole::core

@@ -1,0 +1,81 @@
+// GENTRANSEQ — the DQN-driven transaction re-ordering module (Sec. V-C,
+// Algorithm 1 lines 3-21).
+//
+// Trains a DqnAgent on the ReorderEnv MDP for a fresh batch: every episode
+// restarts from the original order, every step swaps one transaction pair,
+// rewards follow Eq. 8. The target network is synchronised both on the
+// Table II cadence (every 30 steps) and whenever an order beats the original
+// ("TargetNet.copy(QNet) if Profit", Algorithm 1 line 16). After training,
+// infer() replays greedy policy rollouts to produce TxSeq^Final.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/core/reorder_env.hpp"
+#include "parole/ml/dqn.hpp"
+
+namespace parole::core {
+
+struct GenTranSeqConfig {
+  ml::DqnConfig dqn;      // Table II defaults
+  RewardConfig reward;
+  bool sync_target_on_profit = true;
+  // Override epsilon_max for the Fig. 8 epsilon sweep (<0 keeps dqn value).
+  double epsilon_override = -1.0;
+};
+
+struct TrainResult {
+  // R^ep, total reward per episode (Eq. 7) — the Fig. 8 series.
+  std::vector<double> episode_rewards;
+  // Applied swaps until the episode first found a candidate solution (an
+  // order strictly better than the original) — the Fig. 9 samples. One entry
+  // per episode that found one; first_candidate_episode[i] records which
+  // episode sample i came from (so consumers can keep trained-agent episodes
+  // only).
+  std::vector<std::size_t> swaps_to_first_candidate;
+  std::vector<std::size_t> first_candidate_episode;
+  // Best order and balance seen across all training episodes.
+  std::vector<std::size_t> best_order;
+  Amount best_balance{0};
+  Amount baseline{0};
+  bool found_profit{false};
+};
+
+struct InferenceResult {
+  std::vector<std::size_t> order;
+  Amount balance{0};
+  Amount baseline{0};
+  bool improved{false};
+  std::size_t swaps_applied{0};
+  // Applied swaps when the rollout first beat the original order (Fig. 9's
+  // "solution size"); 0 when never.
+  std::size_t swaps_to_first_candidate{0};
+};
+
+class GenTranSeq {
+ public:
+  GenTranSeq(const solvers::ReorderingProblem& problem,
+             GenTranSeqConfig config, std::uint64_t seed);
+
+  // Run the Algorithm 1 training loop.
+  TrainResult train();
+
+  // Greedy policy rollout from the original order (inference path used once
+  // the model is trained; also what Fig. 11 times). max_steps = 0 means
+  // 2 * N steps.
+  InferenceResult infer(std::size_t max_steps = 0);
+
+  [[nodiscard]] ml::DqnAgent& agent() { return agent_; }
+  [[nodiscard]] const ReorderEnv& env() const { return env_; }
+  [[nodiscard]] const GenTranSeqConfig& config() const { return config_; }
+
+ private:
+  const solvers::ReorderingProblem* problem_;
+  GenTranSeqConfig config_;
+  ReorderEnv env_;
+  ml::DqnAgent agent_;
+  Rng rng_;
+};
+
+}  // namespace parole::core

@@ -1,0 +1,160 @@
+#include "parole/core/parole_attack.hpp"
+
+#include <cassert>
+#include <numeric>
+
+#include "parole/ml/serialize.hpp"
+#include "parole/solvers/annealing.hpp"
+#include "parole/solvers/greedy.hpp"
+#include "parole/solvers/hill_climb.hpp"
+
+namespace parole::core {
+namespace {
+
+Amount sum_of(const std::vector<Amount>& balances) {
+  return std::accumulate(balances.begin(), balances.end(), Amount{0});
+}
+
+}  // namespace
+
+Parole::Parole(ParoleConfig config) : config_(std::move(config)) {}
+
+TrainResult Parole::pretrain(const vm::L2State& chain_state,
+                             std::vector<vm::Tx> representative_batch,
+                             const std::vector<UserId>& ifus) {
+  const std::size_t batch_size = representative_batch.size();
+  solvers::ReorderingProblem problem(chain_state,
+                                     std::move(representative_batch), ifus,
+                                     config_.objective);
+  GenTranSeq gts(problem, config_.gentranseq, config_.seed ^ 0x0ff11e);
+  TrainResult result = gts.train();
+  pretrained_weights_ = ml::serialize_network(gts.agent().q_network());
+  pretrained_batch_size_ = batch_size;
+  return result;
+}
+
+Status Parole::load_pretrained(const std::vector<std::uint8_t>& checkpoint,
+                               std::size_t batch_size) {
+  // Shape validation happens at first use (the network is rebuilt per batch
+  // and import fails loudly on mismatch); record eagerly.
+  if (checkpoint.empty()) {
+    return Error{"empty_checkpoint", "no weights provided"};
+  }
+  pretrained_weights_ = checkpoint;
+  pretrained_batch_size_ = batch_size;
+  return ok_status();
+}
+
+std::vector<std::uint8_t> Parole::export_pretrained() const {
+  return pretrained_weights_;
+}
+
+AttackOutcome Parole::run(const vm::L2State& chain_state,
+                          std::vector<vm::Tx> txs,
+                          const std::vector<UserId>& ifus) {
+  AttackOutcome outcome;
+  outcome.assessment = assess_arbitrage(txs, ifus);
+
+  // Per-invocation stream so repeated batches explore independently but the
+  // whole campaign stays reproducible from one seed.
+  const std::uint64_t seed =
+      config_.seed + 0x9e3779b97f4a7c15ULL * ++invocation_;
+
+  if (!outcome.assessment.opportunity || txs.size() < 2) {
+    outcome.final_sequence = std::move(txs);
+    return outcome;
+  }
+
+  solvers::ReorderingProblem problem(chain_state, std::move(txs), ifus,
+                                     config_.objective);
+  const Amount baseline_score = problem.baseline();
+  outcome.baseline = sum_of(problem.baseline_balances());
+  outcome.achieved = outcome.baseline;
+
+  std::vector<std::size_t> best_order;
+  Amount best_score = baseline_score;
+  switch (config_.kind) {
+    case ReordererKind::kDqn: {
+      GenTranSeq gts(problem, config_.gentranseq, seed);
+      const TrainResult trained = gts.train();
+      // Inference pass per Algorithm 1 line 24's returned TxSeq^Final; the
+      // training best is kept when the greedy rollout underperforms it.
+      const InferenceResult inferred = gts.infer();
+      if (inferred.balance >= trained.best_balance) {
+        best_order = inferred.order;
+        best_score = inferred.balance;
+      } else {
+        best_order = trained.best_order;
+        best_score = trained.best_balance;
+      }
+      break;
+    }
+    case ReordererKind::kDqnPretrained: {
+      if (pretrained_weights_.empty() ||
+          problem.size() != pretrained_batch_size_) {
+        // No usable model for this batch size: ship the original order.
+        break;
+      }
+      GenTranSeq gts(problem, config_.gentranseq, seed);
+      const Status loaded = ml::deserialize_network(
+          gts.agent().q_network(), pretrained_weights_);
+      if (!loaded.ok()) break;
+      gts.agent().sync_target();
+      const InferenceResult inferred = gts.infer();
+      best_order = inferred.order;
+      best_score = inferred.balance;
+      break;
+    }
+    case ReordererKind::kAnnealing: {
+      solvers::AnnealingSolver solver;
+      Rng rng(seed);
+      const solvers::SolveResult solved = solver.solve(problem, rng);
+      best_order = solved.best_order;
+      best_score = solved.best_value;
+      break;
+    }
+    case ReordererKind::kHillClimb: {
+      solvers::HillClimbSolver solver;
+      Rng rng(seed);
+      const solvers::SolveResult solved = solver.solve(problem, rng);
+      best_order = solved.best_order;
+      best_score = solved.best_value;
+      break;
+    }
+    case ReordererKind::kGreedy: {
+      solvers::GreedyInsertionSolver solver;
+      Rng rng(seed);
+      const solvers::SolveResult solved = solver.solve(problem, rng);
+      best_order = solved.best_order;
+      best_score = solved.best_value;
+      break;
+    }
+  }
+
+  if (best_score > baseline_score && !best_order.empty()) {
+    // Only hand over orders that improve the objective *and* are valid.
+    const auto balances = problem.ifu_balances(best_order);
+    assert(balances.has_value());
+    outcome.achieved = sum_of(*balances);
+    outcome.reordered = true;
+    outcome.final_sequence = problem.materialize(best_order);
+  } else {
+    std::vector<std::size_t> identity(problem.size());
+    std::iota(identity.begin(), identity.end(), 0);
+    outcome.final_sequence = problem.materialize(identity);
+  }
+  return outcome;
+}
+
+rollup::Reorderer Parole::as_reorderer(std::vector<UserId> ifus,
+                                       Amount* profit_sink) {
+  return [this, ifus = std::move(ifus), profit_sink](
+             const vm::L2State& state,
+             std::vector<vm::Tx> txs) -> std::vector<vm::Tx> {
+    AttackOutcome outcome = run(state, std::move(txs), ifus);
+    if (profit_sink != nullptr) *profit_sink += outcome.profit();
+    return std::move(outcome.final_sequence);
+  };
+}
+
+}  // namespace parole::core

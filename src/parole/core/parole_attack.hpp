@@ -1,0 +1,96 @@
+// The PAROLE module (Sec. IV, Algorithm 1).
+//
+// Entry point the adversarial aggregator calls with the IFU wallet set, the
+// current L2 chain state and the originally collected transaction sequence:
+//
+//   1. Arbitrage(U_IFU, TxSeq) gate — assess_arbitrage().
+//   2. GENTRANSEQ: train (or reuse) the DQN and search for an order with a
+//      higher final balance for the IFUs.
+//   3. Return TxSeq^Final — the profitable order, or the original sequence
+//      when nothing better was found (the attack must never hand the
+//      aggregator an invalid or losing order).
+//
+// Reorderer strategy is pluggable: kDqn is the paper's design; the heuristic
+// strategies reuse the baseline solvers and exist for fast large-scale
+// campaign simulation (Figs. 6/7 sweeps) and for ablations.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "parole/core/arbitrage.hpp"
+#include "parole/core/gentranseq.hpp"
+#include "parole/rollup/aggregator.hpp"
+#include "parole/solvers/problem.hpp"
+
+namespace parole::core {
+
+enum class ReordererKind : std::uint8_t {
+  kDqn,            // GENTRANSEQ trained per batch (as Algorithm 1 reads)
+  kDqnPretrained,  // GENTRANSEQ trained *offline* once, inference per batch
+                   // (the paper's threat model: "the IFU trains the model
+                   // offline"); requires pretrain() before the first batch
+  kAnnealing,      // heuristic stand-in (fast campaigns)
+  kHillClimb,      // heuristic stand-in
+  kGreedy,         // heuristic stand-in
+};
+
+struct ParoleConfig {
+  ReordererKind kind = ReordererKind::kDqn;
+  GenTranSeqConfig gentranseq;
+  // Joint objective when serving several IFUs (see solvers::Objective);
+  // identical rankings for a single IFU.
+  solvers::Objective objective = solvers::Objective::kSumBalance;
+  std::uint64_t seed = 0x9a601eULL;
+};
+
+struct AttackOutcome {
+  ArbitrageAssessment assessment;
+  bool reordered{false};
+  Amount baseline{0};   // IFUs' summed final balance, original order
+  Amount achieved{0};   // IFUs' summed final balance, returned order
+  std::vector<vm::Tx> final_sequence;
+
+  [[nodiscard]] Amount profit() const { return achieved - baseline; }
+};
+
+class Parole {
+ public:
+  explicit Parole(ParoleConfig config = {});
+
+  // Offline training for kDqnPretrained: train GENTRANSEQ on a
+  // representative batch (same size N as the batches the aggregator will
+  // collect) and keep the Q-network weights for inference-only reordering.
+  // Returns the training result; also accepts an existing checkpoint via
+  // load_pretrained().
+  TrainResult pretrain(const vm::L2State& chain_state,
+                       std::vector<vm::Tx> representative_batch,
+                       const std::vector<UserId>& ifus);
+  Status load_pretrained(const std::vector<std::uint8_t>& checkpoint,
+                         std::size_t batch_size);
+  [[nodiscard]] std::vector<std::uint8_t> export_pretrained() const;
+  [[nodiscard]] bool pretrained() const { return !pretrained_weights_.empty(); }
+
+  // Algorithm 1: PAROLE(U_IFU, Chain^L2, TxSeq^Original) -> TxSeq^Final.
+  AttackOutcome run(const vm::L2State& chain_state, std::vector<vm::Tx> txs,
+                    const std::vector<UserId>& ifus);
+
+  // Adapt to the rollup layer: a Reorderer closure for AggregatorConfig.
+  // `profit_sink`, when non-null, accumulates the per-batch profit so
+  // campaigns can aggregate attack revenue.
+  [[nodiscard]] rollup::Reorderer as_reorderer(std::vector<UserId> ifus,
+                                               Amount* profit_sink = nullptr);
+
+  [[nodiscard]] const ParoleConfig& config() const { return config_; }
+
+ private:
+  ParoleConfig config_;
+  std::uint64_t invocation_{0};
+  // kDqnPretrained: serialized Q-network weights + the batch size they were
+  // trained for (the network shape is a function of N).
+  std::vector<std::uint8_t> pretrained_weights_;
+  std::size_t pretrained_batch_size_{0};
+};
+
+}  // namespace parole::core

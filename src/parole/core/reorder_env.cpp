@@ -1,0 +1,95 @@
+#include "parole/core/reorder_env.hpp"
+
+#include <cassert>
+#include <numeric>
+
+namespace parole::core {
+namespace {
+
+constexpr double kMilliEthPerGwei = 1.0 / 1'000'000.0;  // 1e-3 ETH = 1e6 gwei
+
+}  // namespace
+
+ReorderEnv::ReorderEnv(const solvers::ReorderingProblem& problem,
+                       RewardConfig reward)
+    : problem_(&problem),
+      reward_(reward),
+      encoder_(problem.initial_state(),
+               std::vector<UserId>(problem.ifus().begin(),
+                                   problem.ifus().end())),
+      n_(problem.size()) {
+  baseline_ = problem_->baseline();
+  (void)reset();
+}
+
+std::vector<double> ReorderEnv::reset() {
+  order_.resize(n_);
+  std::iota(order_.begin(), order_.end(), 0);
+  current_balance_ = baseline_;
+  swaps_applied_ = 0;
+  return encode_current();
+}
+
+EnvStep ReorderEnv::step(std::size_t action) {
+  assert(action < action_count());
+  const auto [i, j] = decode_action(action, n_);
+
+  EnvStep out;
+  const Amount previous_balance = current_balance_;
+
+  std::swap(order_[i], order_[j]);
+  const std::optional<Amount> value = problem_->evaluate(order_);
+
+  if (!value) {
+    // Constraint-breaking order: reject the swap, penalize the action.
+    std::swap(order_[i], order_[j]);
+    out.applied = false;
+    out.balance = current_balance_;
+    out.reward = -reward_.invalid_action_penalty * reward_.penalty_weight;
+  } else {
+    out.applied = true;
+    ++swaps_applied_;
+    current_balance_ = *value;
+    out.balance = current_balance_;
+
+    // Eq. 8: r = W * (B^{N,k} - B^{N,0}), in milli-ETH.
+    const double delta_milli =
+        static_cast<double>(current_balance_ - baseline_) * kMilliEthPerGwei;
+    const double weight = delta_milli < 0.0 ? reward_.penalty_weight : 1.0;
+    out.reward = weight * delta_milli;
+
+    if (current_balance_ <= previous_balance) {
+      out.reward -= reward_.no_progress_penalty;
+    }
+  }
+
+  out.profit = current_balance_ > baseline_;
+  out.state = encode_current();
+  return out;
+}
+
+std::vector<double> ReorderEnv::encode_current() const {
+  return encoder_.encode(problem_->materialize(order_));
+}
+
+std::pair<std::size_t, std::size_t> ReorderEnv::decode_action(
+    std::size_t action, std::size_t n) {
+  assert(n >= 2);
+  // Lexicographic over pairs (i, j), i < j: action = i*(2n-i-1)/2 + (j-i-1).
+  std::size_t i = 0;
+  std::size_t remaining = action;
+  while (remaining >= n - i - 1) {
+    remaining -= n - i - 1;
+    ++i;
+    assert(i + 1 < n);
+  }
+  return {i, i + 1 + remaining};
+}
+
+std::size_t ReorderEnv::encode_action(std::size_t i, std::size_t j,
+                                      std::size_t n) {
+  assert(i < j && j < n);
+  return i * (2 * n - i - 1) / 2 + (j - i - 1);
+}
+
+}  // namespace parole::core

@@ -1,0 +1,97 @@
+// The transaction re-ordering MDP (Sec. V-C-1).
+//
+//   State:  the current order of the collected transactions (encoded as the
+//           flattened 8*N feature tensor).
+//   Action: swap two transactions — C(N,2) discrete actions.
+//   Reward: Eq. 8,  r_k = W * (B_IFU^{N,k} - B_IFU^{N,0}),  the IFUs' final
+//           balance of the current order minus the original order's, with W
+//           a high penalty multiplier for "penalizable" actions (orders that
+//           reduce the balance or break a transaction's constraints) and 1
+//           otherwise.
+//
+// Rewards are expressed in milli-ETH so episode totals land in the +-10^4
+// range of Fig. 8.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "parole/core/encoding.hpp"
+#include "parole/solvers/problem.hpp"
+
+namespace parole::core {
+
+struct RewardConfig {
+  // W for penalizable actions (balance-reducing orders). 1 for gains.
+  double penalty_weight = 10.0;
+  // Flat extra penalty (milli-ETH) for an action producing an *invalid*
+  // order; the swap is rejected and the state does not change. Kept small
+  // relative to typical balance deltas so exploration under high epsilon is
+  // not drowned in rejection penalties (it is multiplied by penalty_weight).
+  double invalid_action_penalty = 5.0;
+  // Small shaping penalty when an action fails to improve on the previous
+  // step's balance ("penalized if it takes an action that fails to guide the
+  // agent towards an increasing final balance").
+  double no_progress_penalty = 1.0;
+};
+
+struct EnvStep {
+  std::vector<double> state;  // encoding of the (possibly unchanged) order
+  double reward{0.0};
+  // B^{N,k} > B^{N,0}: the current order beats the original (Algorithm 1's
+  // "Profit" flag).
+  bool profit{false};
+  // The attempted swap produced a valid order (and was applied).
+  bool applied{false};
+  Amount balance{0};  // IFUs' final balance under the current order
+};
+
+class ReorderEnv {
+ public:
+  ReorderEnv(const solvers::ReorderingProblem& problem, RewardConfig reward);
+
+  [[nodiscard]] std::size_t tx_count() const { return n_; }
+  [[nodiscard]] std::size_t state_dim() const {
+    return kFeaturesPerTx * n_;
+  }
+  [[nodiscard]] std::size_t action_count() const {
+    return n_ < 2 ? 0 : n_ * (n_ - 1) / 2;
+  }
+
+  // Reset to the original order; returns its encoding.
+  std::vector<double> reset();
+
+  // Apply action (a swap). Invalid-resulting swaps are rejected with a
+  // penalty; valid swaps move the state.
+  EnvStep step(std::size_t action);
+
+  // Current order (indices into the problem's original sequence).
+  [[nodiscard]] const std::vector<std::size_t>& order() const {
+    return order_;
+  }
+  [[nodiscard]] Amount current_balance() const { return current_balance_; }
+  [[nodiscard]] Amount baseline_balance() const { return baseline_; }
+  // Number of *applied* swaps since reset.
+  [[nodiscard]] std::size_t swaps_applied() const { return swaps_applied_; }
+
+  // Action index <-> (i, j) pair with i < j, lexicographic enumeration.
+  static std::pair<std::size_t, std::size_t> decode_action(std::size_t action,
+                                                           std::size_t n);
+  static std::size_t encode_action(std::size_t i, std::size_t j,
+                                   std::size_t n);
+
+ private:
+  [[nodiscard]] std::vector<double> encode_current() const;
+
+  const solvers::ReorderingProblem* problem_;
+  RewardConfig reward_;
+  SequenceEncoder encoder_;
+  std::size_t n_;
+  Amount baseline_{0};
+  std::vector<std::size_t> order_;
+  Amount current_balance_{0};
+  std::size_t swaps_applied_{0};
+};
+
+}  // namespace parole::core

@@ -1,0 +1,64 @@
+#include "parole/crypto/hash.hpp"
+
+#include <cstring>
+
+#include "parole/crypto/keccak256.hpp"
+
+namespace parole::crypto {
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+}
+
+std::string to_hex(std::span<const std::uint8_t> bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+std::string Hash256::hex() const { return "0x" + to_hex(bytes_); }
+
+std::string Hash256::short_hex() const {
+  const std::string full = to_hex(bytes_);
+  return "0x" + full.substr(0, 4) + ".." + full.substr(full.size() - 2);
+}
+
+bool Hash256::is_zero() const {
+  for (std::uint8_t b : bytes_) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+Address Address::derive(std::span<const std::uint8_t> seed) {
+  const Hash256 digest = Keccak256::hash(seed);
+  std::array<std::uint8_t, kSize> out{};
+  std::memcpy(out.data(), digest.bytes().data() + (Hash256::kSize - kSize),
+              kSize);
+  return Address(out);
+}
+
+Address Address::from_id(std::string_view domain, std::uint64_t id) {
+  Keccak256 k;
+  k.update(domain);
+  std::uint8_t raw[8];
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>(id >> (8 * i));
+  k.update(std::span<const std::uint8_t>(raw, sizeof(raw)));
+  const Hash256 digest = k.finalize();
+  std::array<std::uint8_t, kSize> out{};
+  std::memcpy(out.data(), digest.bytes().data() + (Hash256::kSize - kSize),
+              kSize);
+  return Address(out);
+}
+
+std::string Address::hex() const { return "0x" + to_hex(bytes_); }
+
+std::string Address::short_hex() const {
+  const std::string full = to_hex(bytes_);
+  return "0x" + full.substr(0, 2) + ".." + full.substr(full.size() - 3);
+}
+
+}  // namespace parole::crypto

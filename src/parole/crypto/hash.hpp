@@ -1,0 +1,94 @@
+// 32-byte hash value and 20-byte Ethereum-style address types, plus hex
+// rendering. These are the currency of the fraud-proof machinery: state roots,
+// batch commitments and Merkle nodes are all Hash256.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace parole::crypto {
+
+class Hash256 {
+ public:
+  static constexpr std::size_t kSize = 32;
+
+  constexpr Hash256() = default;
+  explicit Hash256(const std::array<std::uint8_t, kSize>& bytes)
+      : bytes_(bytes) {}
+
+  [[nodiscard]] const std::array<std::uint8_t, kSize>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] std::span<const std::uint8_t, kSize> span() const {
+    return bytes_;
+  }
+
+  // "0x"-prefixed lowercase hex.
+  [[nodiscard]] std::string hex() const;
+  // Abbreviated "0x8f..56" form used in Table III.
+  [[nodiscard]] std::string short_hex() const;
+
+  [[nodiscard]] bool is_zero() const;
+
+  friend bool operator==(const Hash256&, const Hash256&) = default;
+  friend auto operator<=>(const Hash256&, const Hash256&) = default;
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+class Address {
+ public:
+  static constexpr std::size_t kSize = 20;
+
+  constexpr Address() = default;
+  explicit Address(const std::array<std::uint8_t, kSize>& bytes)
+      : bytes_(bytes) {}
+
+  // Derive an address the Ethereum way: last 20 bytes of keccak256(seed).
+  static Address derive(std::span<const std::uint8_t> seed);
+  // Deterministic address for simulator user/aggregator ids.
+  static Address from_id(std::string_view domain, std::uint64_t id);
+
+  [[nodiscard]] const std::array<std::uint8_t, kSize>& bytes() const {
+    return bytes_;
+  }
+  [[nodiscard]] std::string hex() const;
+  // "0x7A..c8e"-style abbreviation (Sec. VII-E).
+  [[nodiscard]] std::string short_hex() const;
+
+  friend bool operator==(const Address&, const Address&) = default;
+  friend auto operator<=>(const Address&, const Address&) = default;
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+// Lowercase hex of arbitrary bytes, no prefix.
+std::string to_hex(std::span<const std::uint8_t> bytes);
+
+}  // namespace parole::crypto
+
+namespace std {
+template <>
+struct hash<parole::crypto::Hash256> {
+  size_t operator()(const parole::crypto::Hash256& h) const noexcept {
+    size_t out;
+    static_assert(sizeof(out) <= parole::crypto::Hash256::kSize);
+    __builtin_memcpy(&out, h.bytes().data(), sizeof(out));
+    return out;
+  }
+};
+template <>
+struct hash<parole::crypto::Address> {
+  size_t operator()(const parole::crypto::Address& a) const noexcept {
+    size_t out;
+    static_assert(sizeof(out) <= parole::crypto::Address::kSize);
+    __builtin_memcpy(&out, a.bytes().data(), sizeof(out));
+    return out;
+  }
+};
+}  // namespace std

@@ -1,0 +1,116 @@
+#include "parole/crypto/keccak256.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace parole::crypto {
+namespace {
+
+constexpr std::array<std::uint64_t, 24> kRoundConstants = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808aULL,
+    0x8000000080008000ULL, 0x000000000000808bULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008aULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000aULL,
+    0x000000008000808bULL, 0x800000000000008bULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800aULL, 0x800000008000000aULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr std::array<int, 25> kRotations = {0,  1,  62, 28, 27, 36, 44, 6,  55,
+                                            20, 3,  10, 43, 25, 39, 41, 45, 15,
+                                            21, 8,  18, 2,  61, 56, 14};
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int n) {
+  return n == 0 ? x : (x << n) | (x >> (64 - n));
+}
+
+void keccak_f1600(std::array<std::uint64_t, 25>& a) {
+  for (int round = 0; round < 24; ++round) {
+    // Theta
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      const std::uint64_t d = c[(x + 4) % 5] ^ rotl64(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d;
+    }
+    // Rho + Pi
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] =
+            rotl64(a[x + 5 * y], kRotations[x + 5 * y]);
+      }
+    }
+    // Chi
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] =
+            b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+Keccak256& Keccak256::update(std::span<const std::uint8_t> data) {
+  assert(!finalized_);
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t take =
+        std::min(data.size() - offset, kRate - buffer_len_);
+    std::memcpy(buffer_.data() + buffer_len_, data.data() + offset, take);
+    buffer_len_ += take;
+    offset += take;
+    if (buffer_len_ == kRate) absorb_block();
+  }
+  return *this;
+}
+
+Keccak256& Keccak256::update(std::string_view data) {
+  return update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+}
+
+void Keccak256::absorb_block() {
+  for (std::size_t i = 0; i < kRate / 8; ++i) {
+    std::uint64_t lane;
+    std::memcpy(&lane, buffer_.data() + 8 * i, 8);  // little-endian host
+    state_[i] ^= lane;
+  }
+  keccak_f1600(state_);
+  buffer_len_ = 0;
+}
+
+Hash256 Keccak256::finalize() {
+  assert(!finalized_);
+  // Keccak (pre-SHA3) pad10*1: 0x01 domain byte, 0x80 at the rate boundary.
+  std::memset(buffer_.data() + buffer_len_, 0, kRate - buffer_len_);
+  buffer_[buffer_len_] ^= 0x01;
+  buffer_[kRate - 1] ^= 0x80;
+  buffer_len_ = kRate;
+  absorb_block();
+  finalized_ = true;
+
+  std::array<std::uint8_t, Hash256::kSize> out{};
+  std::memcpy(out.data(), state_.data(), out.size());
+  return Hash256(out);
+}
+
+Hash256 Keccak256::hash(std::span<const std::uint8_t> data) {
+  Keccak256 k;
+  k.update(data);
+  return k.finalize();
+}
+
+Hash256 Keccak256::hash(std::string_view data) {
+  Keccak256 k;
+  k.update(data);
+  return k.finalize();
+}
+
+}  // namespace parole::crypto

@@ -1,0 +1,38 @@
+// Keccak-256 as used by Ethereum (the original Keccak padding, 0x01, not the
+// NIST SHA-3 0x06 variant). Addresses and transaction hashes use this so the
+// simulator's identifiers look and behave like mainnet ones.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "parole/crypto/hash.hpp"
+
+namespace parole::crypto {
+
+class Keccak256 {
+ public:
+  Keccak256() = default;
+
+  Keccak256& update(std::span<const std::uint8_t> data);
+  Keccak256& update(std::string_view data);
+
+  [[nodiscard]] Hash256 finalize();
+
+  static Hash256 hash(std::span<const std::uint8_t> data);
+  static Hash256 hash(std::string_view data);
+
+ private:
+  static constexpr std::size_t kRate = 136;  // 1088-bit rate for 256-bit output
+
+  void absorb_block();
+
+  std::array<std::uint64_t, 25> state_{};
+  std::array<std::uint8_t, kRate> buffer_{};
+  std::size_t buffer_len_{0};
+  bool finalized_{false};
+};
+
+}  // namespace parole::crypto

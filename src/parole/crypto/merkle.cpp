@@ -1,0 +1,86 @@
+#include "parole/crypto/merkle.hpp"
+
+#include <cassert>
+
+#include "parole/crypto/sha256.hpp"
+
+namespace parole::crypto {
+namespace {
+constexpr std::uint8_t kLeafDomain = 0x00;
+constexpr std::uint8_t kNodeDomain = 0x01;
+}  // namespace
+
+Hash256 MerkleTree::hash_leaf(const Hash256& data) {
+  Sha256 h;
+  h.update(std::span<const std::uint8_t>(&kLeafDomain, 1));
+  h.update(data.span());
+  return h.finalize();
+}
+
+Hash256 MerkleTree::hash_node(const Hash256& left, const Hash256& right) {
+  Sha256 h;
+  h.update(std::span<const std::uint8_t>(&kNodeDomain, 1));
+  h.update(left.span());
+  h.update(right.span());
+  return h.finalize();
+}
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves)
+    : leaf_count_(leaves.size()) {
+  if (leaves.empty()) return;
+  std::vector<Hash256> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(hash_leaf(leaf));
+  levels_.push_back(std::move(level));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Hash256& left = prev[i];
+      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(hash_node(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+Hash256 MerkleTree::root() const {
+  if (levels_.empty()) return Hash256{};
+  return levels_.back().front();
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  assert(index < leaf_count_);
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::size_t pos = index;
+  for (std::size_t depth = 0; depth + 1 < levels_.size(); ++depth) {
+    const auto& level = levels_[depth];
+    const bool is_left = (pos % 2 == 0);
+    std::size_t sibling_pos = is_left ? pos + 1 : pos - 1;
+    if (sibling_pos >= level.size()) sibling_pos = pos;  // duplicated tail
+    proof.steps.push_back({level[sibling_pos], /*sibling_on_left=*/!is_left});
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(const Hash256& root, const Hash256& leaf,
+                        const MerkleProof& proof) {
+  Hash256 current = hash_leaf(leaf);
+  for (const auto& step : proof.steps) {
+    current = step.sibling_on_left ? hash_node(step.sibling, current)
+                                   : hash_node(current, step.sibling);
+  }
+  return current == root;
+}
+
+Hash256 MerkleTree::root_of(std::span<const std::vector<std::uint8_t>> items) {
+  std::vector<Hash256> leaves;
+  leaves.reserve(items.size());
+  for (const auto& item : items) leaves.push_back(Sha256::hash(item));
+  return MerkleTree(std::move(leaves)).root();
+}
+
+}  // namespace parole::crypto

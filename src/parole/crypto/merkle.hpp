@@ -1,0 +1,58 @@
+// Binary Merkle tree over arbitrary leaf hashes, with inclusion proofs.
+//
+// The aggregator commits to the post-batch L2 state with a Merkle root
+// ("cryptographic aggregate of these transactions along with the Merkle state
+// root of the L2 chain", Sec. II-A). Verifiers check inclusion proofs during
+// the dispute game. Odd levels duplicate the trailing node (Bitcoin-style),
+// and leaves are domain-separated from interior nodes to prevent second
+// pre-image ambiguity.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parole/crypto/hash.hpp"
+
+namespace parole::crypto {
+
+struct MerkleProofStep {
+  Hash256 sibling;
+  bool sibling_on_left{false};
+};
+
+struct MerkleProof {
+  std::size_t leaf_index{0};
+  std::vector<MerkleProofStep> steps;
+};
+
+class MerkleTree {
+ public:
+  // Builds the full tree; leaves may be empty (root is the zero-hash then).
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  [[nodiscard]] Hash256 root() const;
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+
+  // Inclusion proof for the given leaf index; index must be < leaf_count().
+  [[nodiscard]] MerkleProof prove(std::size_t index) const;
+
+  // Verify an inclusion proof against a root.
+  static bool verify(const Hash256& root, const Hash256& leaf,
+                     const MerkleProof& proof);
+
+  // Domain-separated hashing used by the tree (exposed so fraud proofs can
+  // recompute single nodes).
+  static Hash256 hash_leaf(const Hash256& data);
+  static Hash256 hash_node(const Hash256& left, const Hash256& right);
+
+  // Convenience: root of a sequence of raw byte strings.
+  static Hash256 root_of(std::span<const std::vector<std::uint8_t>> items);
+
+ private:
+  // levels_[0] = hashed leaves; levels_.back() has exactly one node (if any).
+  std::vector<std::vector<Hash256>> levels_;
+  std::size_t leaf_count_{0};
+};
+
+}  // namespace parole::crypto

@@ -1,0 +1,40 @@
+// SHA-256 (FIPS 180-4), streaming interface plus one-shot helper.
+// Used for Merkle trees and state roots in the rollup simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "parole/crypto/hash.hpp"
+
+namespace parole::crypto {
+
+class Sha256 {
+ public:
+  Sha256();
+
+  Sha256& update(std::span<const std::uint8_t> data);
+  Sha256& update(std::string_view data);
+
+  // Finalizes and returns the digest. The object must not be reused after
+  // finalize() without reset().
+  [[nodiscard]] Hash256 finalize();
+
+  void reset();
+
+  static Hash256 hash(std::span<const std::uint8_t> data);
+  static Hash256 hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffer_len_{0};
+  std::uint64_t total_len_{0};
+  bool finalized_{false};
+};
+
+}  // namespace parole::crypto

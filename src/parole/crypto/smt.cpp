@@ -1,0 +1,299 @@
+#include "parole/crypto/smt.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parole/crypto/keccak256.hpp"
+#include "parole/crypto/sha256.hpp"
+
+namespace parole::crypto {
+namespace {
+
+// levels[l] maps node index -> hash at height l (0 = leaf slots). Builds all
+// ancestors of the occupied nodes; absent nodes are empty subtrees.
+using LevelMaps =
+    std::array<std::map<std::uint32_t, Hash256>, SparseMerkleTree::kDepth + 1>;
+
+LevelMaps build_levels(
+    const std::map<std::uint32_t, std::vector<SparseMerkleTree::Entry>>&
+        slots) {
+  LevelMaps levels;
+  for (const auto& [slot, entries] : slots) {
+    levels[0][slot] = SparseMerkleTree::hash_slot(entries);
+  }
+  for (int l = 0; l < SparseMerkleTree::kDepth; ++l) {
+    for (const auto& [idx, hash] : levels[l]) {
+      const std::uint32_t parent = idx >> 1;
+      if (levels[l + 1].contains(parent)) continue;
+      const std::uint32_t sibling = idx ^ 1;
+      const auto sit = levels[l].find(sibling);
+      const Hash256 sibling_hash = sit != levels[l].end()
+                                       ? sit->second
+                                       : SparseMerkleTree::empty_hash(l);
+      const Hash256 left = (idx & 1) ? sibling_hash : hash;
+      const Hash256 right = (idx & 1) ? hash : sibling_hash;
+      levels[l + 1][parent] =
+          SparseMerkleTree::hash_children(left, right);
+    }
+  }
+  return levels;
+}
+
+}  // namespace
+
+std::uint32_t SparseMerkleTree::slot_of(const Hash256& key) {
+  const Hash256 digest = Keccak256::hash(key.span());
+  std::uint32_t raw = 0;
+  for (int i = 0; i < 4; ++i) {
+    raw = (raw << 8) | digest.bytes()[static_cast<std::size_t>(i)];
+  }
+  return raw >> (32 - kDepth);
+}
+
+Hash256 SparseMerkleTree::hash_slot(const std::vector<Entry>& entries) {
+  if (entries.empty()) return empty_hash(0);
+  Sha256 h;
+  h.update("smt_leaf");
+  for (const Entry& e : entries) {
+    h.update(e.key.span());
+    h.update(e.value.span());
+  }
+  return h.finalize();
+}
+
+Hash256 SparseMerkleTree::empty_hash(int level) {
+  static const std::array<Hash256, kDepth + 1> kCache = [] {
+    std::array<Hash256, kDepth + 1> cache;
+    cache[0] = Sha256::hash("smt_empty");
+    for (int l = 1; l <= kDepth; ++l) {
+      cache[static_cast<std::size_t>(l)] = hash_children(
+          cache[static_cast<std::size_t>(l - 1)],
+          cache[static_cast<std::size_t>(l - 1)]);
+    }
+    return cache;
+  }();
+  assert(level >= 0 && level <= kDepth);
+  return kCache[static_cast<std::size_t>(level)];
+}
+
+Hash256 SparseMerkleTree::hash_children(const Hash256& left,
+                                        const Hash256& right) {
+  Sha256 h;
+  h.update("smt_node");
+  h.update(left.span());
+  h.update(right.span());
+  return h.finalize();
+}
+
+std::optional<Hash256> SparseMerkleTree::set(const Hash256& key,
+                                             const Hash256& value) {
+  auto& entries = slots_[slot_of(key)];
+  for (Entry& e : entries) {
+    if (e.key == key) {
+      const Hash256 previous = e.value;
+      e.value = value;
+      return previous;
+    }
+  }
+  entries.push_back({key, value});
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.key < b.key; });
+  return std::nullopt;
+}
+
+bool SparseMerkleTree::erase(const Hash256& key) {
+  const std::uint32_t slot = slot_of(key);
+  const auto it = slots_.find(slot);
+  if (it == slots_.end()) return false;
+  auto& entries = it->second;
+  const auto eit =
+      std::find_if(entries.begin(), entries.end(),
+                   [&key](const Entry& e) { return e.key == key; });
+  if (eit == entries.end()) return false;
+  entries.erase(eit);
+  if (entries.empty()) slots_.erase(it);
+  return true;
+}
+
+std::optional<Hash256> SparseMerkleTree::get(const Hash256& key) const {
+  const auto it = slots_.find(slot_of(key));
+  if (it == slots_.end()) return std::nullopt;
+  for (const Entry& e : it->second) {
+    if (e.key == key) return e.value;
+  }
+  return std::nullopt;
+}
+
+std::size_t SparseMerkleTree::size() const {
+  std::size_t total = 0;
+  for (const auto& [slot, entries] : slots_) total += entries.size();
+  return total;
+}
+
+Hash256 SparseMerkleTree::root() const {
+  if (slots_.empty()) return empty_hash(kDepth);
+  const LevelMaps levels = build_levels(slots_);
+  return levels[kDepth].begin()->second;
+}
+
+SparseMerkleTree::Proof SparseMerkleTree::prove(const Hash256& key) const {
+  Proof proof;
+  const std::uint32_t slot = slot_of(key);
+  const auto it = slots_.find(slot);
+  if (it != slots_.end()) proof.slot_entries = it->second;
+
+  const LevelMaps levels = build_levels(slots_);
+  for (int l = 0; l < kDepth; ++l) {
+    const std::uint32_t sibling = (slot >> l) ^ 1;
+    const auto sit = levels[static_cast<std::size_t>(l)].find(sibling);
+    proof.siblings[static_cast<std::size_t>(l)] =
+        sit != levels[static_cast<std::size_t>(l)].end() ? sit->second
+                                                         : empty_hash(l);
+  }
+  return proof;
+}
+
+SparseMerkleTree::VerifyResult SparseMerkleTree::verify(const Hash256& root,
+                                                        const Hash256& key,
+                                                        const Proof& proof) {
+  VerifyResult result;
+  const std::uint32_t slot = slot_of(key);
+
+  // Slot entries must be key-sorted (canonical form; otherwise two byte
+  // encodings of the same slot could both verify).
+  for (std::size_t i = 1; i < proof.slot_entries.size(); ++i) {
+    if (!(proof.slot_entries[i - 1].key < proof.slot_entries[i].key)) {
+      return result;
+    }
+  }
+
+  Hash256 current = hash_slot(proof.slot_entries);
+  for (int l = 0; l < kDepth; ++l) {
+    const std::uint32_t idx = slot >> l;
+    const Hash256& sibling = proof.siblings[static_cast<std::size_t>(l)];
+    current = (idx & 1) ? hash_children(sibling, current)
+                        : hash_children(current, sibling);
+  }
+  if (current != root) return result;
+
+  result.valid = true;
+  for (const Entry& e : proof.slot_entries) {
+    if (e.key == key) {
+      result.value = e.value;
+      break;
+    }
+  }
+  return result;
+}
+
+// --- PartialSmt -------------------------------------------------------------------
+
+Status PartialSmt::add_proof(const Hash256& key,
+                             const SparseMerkleTree::Proof& proof) {
+  const auto check = SparseMerkleTree::verify(root_, key, proof);
+  if (!check.valid) {
+    return Error{"bad_proof", "witness proof does not match the pre-root"};
+  }
+  const std::uint32_t slot = SparseMerkleTree::slot_of(key);
+  const auto it = slots_.find(slot);
+  if (it != slots_.end()) {
+    // Same slot registered twice (two touched keys colliding): the proofs
+    // must agree on the slot contents.
+    if (it->second.entries != proof.slot_entries) {
+      return Error{"inconsistent_witness",
+                   "conflicting proofs for one slot"};
+    }
+    return ok_status();
+  }
+  slots_[slot] = SlotState{proof.slot_entries, proof.siblings};
+  return ok_status();
+}
+
+bool PartialSmt::covers(const Hash256& key) const {
+  return slots_.contains(SparseMerkleTree::slot_of(key));
+}
+
+std::optional<Hash256> PartialSmt::get(const Hash256& key) const {
+  const auto it = slots_.find(SparseMerkleTree::slot_of(key));
+  if (it == slots_.end()) return std::nullopt;
+  for (const auto& e : it->second.entries) {
+    if (e.key == key) return e.value;
+  }
+  return std::nullopt;
+}
+
+Status PartialSmt::set(const Hash256& key, const Hash256& value) {
+  const auto it = slots_.find(SparseMerkleTree::slot_of(key));
+  if (it == slots_.end()) {
+    return Error{"uncovered_key", "witness has no proof for this key"};
+  }
+  auto& entries = it->second.entries;
+  for (auto& e : entries) {
+    if (e.key == key) {
+      e.value = value;
+      return ok_status();
+    }
+  }
+  entries.push_back({key, value});
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.key < b.key; });
+  return ok_status();
+}
+
+Status PartialSmt::erase(const Hash256& key) {
+  const auto it = slots_.find(SparseMerkleTree::slot_of(key));
+  if (it == slots_.end()) {
+    return Error{"uncovered_key", "witness has no proof for this key"};
+  }
+  auto& entries = it->second.entries;
+  const auto eit = std::find_if(entries.begin(), entries.end(),
+                                [&key](const auto& e) { return e.key == key; });
+  if (eit == entries.end()) {
+    return Error{"missing_key", "key not present in witness slot"};
+  }
+  entries.erase(eit);
+  return ok_status();
+}
+
+Hash256 PartialSmt::root() const {
+  if (slots_.empty()) return root_;
+
+  // Current hash of every registered slot's path, recomputed bottom-up.
+  // Paths may converge; computed nodes take precedence over the recorded
+  // (pre-update) siblings from the proofs.
+  std::map<std::uint32_t, Hash256> level;
+  for (const auto& [slot, state] : slots_) {
+    level[slot] = SparseMerkleTree::hash_slot(state.entries);
+  }
+
+  for (int l = 0; l < SparseMerkleTree::kDepth; ++l) {
+    // Recorded sibling for index at this level: from any registered slot
+    // whose path passes through it.
+    auto recorded_sibling = [this, l](std::uint32_t idx) {
+      for (const auto& [slot, state] : slots_) {
+        if ((slot >> l) == idx) {
+          return state.siblings[static_cast<std::size_t>(l)];
+        }
+      }
+      // Unreachable: only queried for indices on registered paths.
+      return SparseMerkleTree::empty_hash(l);
+    };
+
+    std::map<std::uint32_t, Hash256> next;
+    for (const auto& [idx, hash] : level) {
+      const std::uint32_t parent = idx >> 1;
+      if (next.contains(parent)) continue;
+      const std::uint32_t sibling_idx = idx ^ 1;
+      const auto sit = level.find(sibling_idx);
+      const Hash256 sibling =
+          sit != level.end() ? sit->second : recorded_sibling(idx);
+      const Hash256 left = (idx & 1) ? sibling : hash;
+      const Hash256 right = (idx & 1) ? hash : sibling;
+      next[parent] = SparseMerkleTree::hash_children(left, right);
+    }
+    level = std::move(next);
+  }
+  return level.begin()->second;
+}
+
+}  // namespace parole::crypto

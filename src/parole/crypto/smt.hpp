@@ -1,0 +1,118 @@
+// Sparse Merkle tree with membership and non-membership proofs.
+//
+// The dispute game's final step asks L1 to re-execute one transaction. A
+// production optimistic rollup cannot hand L1 the whole L2 state; it hands a
+// *witness*: the few state entries the transaction touches, each proven
+// against the committed pre-state root. That requires an accumulator
+// supporting both membership proofs ("this account has balance X") and
+// non-membership proofs ("this token id does not exist") — which a plain
+// Merkle list cannot do. This SMT provides both:
+//
+//  * fixed depth kDepth over the first kDepth bits of keccak(key);
+//  * empty subtrees hash to precomputed per-level defaults, so the tree is
+//    O(entries) to build regardless of the 2^kDepth key space;
+//  * each occupied slot stores the key-sorted list of entries hashing to it
+//    (collision chaining), so proofs stay sound even when two keys share a
+//    slot;
+//  * PartialSmt reconstructs the proof-covered fragment of the tree,
+//    applies updates to proven keys, and recomputes the post-root — the
+//    verifier-side primitive for stateless execution (vm/witness.*).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "parole/common/result.hpp"
+#include "parole/crypto/hash.hpp"
+
+namespace parole::crypto {
+
+class SparseMerkleTree {
+ public:
+  static constexpr int kDepth = 20;
+
+  struct Entry {
+    Hash256 key;
+    Hash256 value;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  struct Proof {
+    // Sibling hashes from the leaf level (index 0) up to the root's
+    // children (index kDepth-1).
+    std::array<Hash256, kDepth> siblings;
+    // Every entry stored in the key's slot (possibly empty, possibly other
+    // keys only — that is the non-membership case).
+    std::vector<Entry> slot_entries;
+  };
+
+  struct VerifyResult {
+    bool valid{false};
+    // Set when the key is present (membership); nullopt with valid=true is
+    // a proven absence (non-membership).
+    std::optional<Hash256> value;
+  };
+
+  SparseMerkleTree() = default;
+
+  // Insert or update a key. Returns the previous value if any.
+  std::optional<Hash256> set(const Hash256& key, const Hash256& value);
+  // Remove a key; true if it existed.
+  bool erase(const Hash256& key);
+
+  [[nodiscard]] std::optional<Hash256> get(const Hash256& key) const;
+  [[nodiscard]] std::size_t size() const;
+
+  [[nodiscard]] Hash256 root() const;
+  [[nodiscard]] Proof prove(const Hash256& key) const;
+
+  static VerifyResult verify(const Hash256& root, const Hash256& key,
+                             const Proof& proof);
+
+  // Exposed for PartialSmt / tests.
+  static std::uint32_t slot_of(const Hash256& key);
+  static Hash256 hash_slot(const std::vector<Entry>& entries);
+  static Hash256 empty_hash(int level);  // level 0 = leaf
+  static Hash256 hash_children(const Hash256& left, const Hash256& right);
+
+ private:
+  // slot -> key-sorted entries.
+  std::map<std::uint32_t, std::vector<Entry>> slots_;
+};
+
+// Verifier-side partial tree: seeded with proofs against a trusted root,
+// then updated (set/erase on proven keys only) to derive the post-root.
+class PartialSmt {
+ public:
+  explicit PartialSmt(const Hash256& root) : root_(root) {}
+
+  // Register a proof for `key`; rejected unless it verifies against the
+  // construction root (or is consistent with already-registered slots).
+  Status add_proof(const Hash256& key, const SparseMerkleTree::Proof& proof);
+
+  [[nodiscard]] bool covers(const Hash256& key) const;
+  [[nodiscard]] std::optional<Hash256> get(const Hash256& key) const;
+
+  // Update a covered key. Fails on uncovered keys (the witness did not
+  // authorize touching them).
+  Status set(const Hash256& key, const Hash256& value);
+  Status erase(const Hash256& key);
+
+  // Current root after the applied updates.
+  [[nodiscard]] Hash256 root() const;
+
+ private:
+  Hash256 root_;
+  // Proven slots: entries + path siblings (leaf-level upward).
+  struct SlotState {
+    std::vector<SparseMerkleTree::Entry> entries;
+    std::array<Hash256, SparseMerkleTree::kDepth> siblings;
+  };
+  std::map<std::uint32_t, SlotState> slots_;
+};
+
+}  // namespace parole::crypto

@@ -1,0 +1,95 @@
+#include "parole/data/case_study.hpp"
+
+#include <cassert>
+
+namespace parole::data::case_study {
+namespace {
+
+// Token ids assigned by the seed mints below.
+constexpr TokenId kIfuToken0{0};
+constexpr TokenId kU1TokenA{2};  // sold to U2 in TX1, burnt in TX7
+constexpr TokenId kU1TokenB{3};  // sold to the IFU in TX8
+constexpr TokenId kU13Token{4};  // sold to U3 in TX6
+
+}  // namespace
+
+vm::L2State initial_state() {
+  vm::L2State state(/*max_supply=*/10, /*initial_price=*/eth(0, 200));
+
+  // L2 balances: exactly what each participant needs for its paper role.
+  state.ledger().credit(kIfu, eth(1, 500));
+  state.ledger().credit(kU2, eth(0, 400));
+  // U3 buys at the "0.66" cell of Fig. 5(a), which is exactly 2/3 ETH; 0.7
+  // covers it (the paper's display rounds 0.666... down to 0.66).
+  state.ledger().credit(kU3, eth(0, 700));
+  state.ledger().credit(kU6, eth(0, 500));
+  state.ledger().credit(kU11, eth(0, 500));
+  state.ledger().credit(kU19, eth(0, 400));
+
+  // 5 pre-minted tokens: IFU 2 (ids 0,1), U1 2 (ids 2,3), U13 1 (id 4).
+  auto seeded = state.nft().seed_mint(kIfu, 2);
+  assert(seeded.ok());
+  seeded = state.nft().seed_mint(kU1, 2);
+  assert(seeded.ok());
+  seeded = state.nft().seed_mint(kU13, 1);
+  assert(seeded.ok());
+  (void)seeded;
+
+  assert(state.nft().remaining_supply() == 5);
+  assert(state.nft().current_price() == eth(0, 400));
+  assert(state.total_balance(kIfu) == kInitialIfuBalance);
+  return state;
+}
+
+std::vector<vm::Tx> original_txs() {
+  std::vector<vm::Tx> txs;
+  txs.push_back(vm::Tx::make_transfer(TxId{1}, kU1, kU2, kU1TokenA));
+  // Explicit mint ids keep TX4's target well-defined in every order: TX2
+  // creates token 5 (which TX4 then sells), TX5 creates token 6.
+  txs.push_back(vm::Tx::make_mint(TxId{2}, kU19, 0, 0, TokenId{5}));
+  txs.push_back(vm::Tx::make_transfer(TxId{3}, kIfu, kU11, kIfuToken0));
+  txs.push_back(vm::Tx::make_transfer(TxId{4}, kU19, kU6, TokenId{5}));
+  txs.push_back(vm::Tx::make_mint(TxId{5}, kIfu, 0, 0, TokenId{6}));
+  txs.push_back(vm::Tx::make_transfer(TxId{6}, kU13, kU3, kU13Token));
+  txs.push_back(vm::Tx::make_burn(TxId{7}, kU2, kU1TokenA));
+  txs.push_back(vm::Tx::make_transfer(TxId{8}, kU1, kIfu, kU1TokenB));
+  return txs;
+}
+
+std::vector<std::size_t> case1_order() {
+  return {0, 1, 2, 3, 4, 5, 6, 7};
+}
+
+std::vector<std::size_t> paper_case2_order() {
+  // TX1, TX7, TX5, TX4, TX3, TX6, TX2, TX8 (Fig. 5(b), 1-based).
+  return {0, 6, 4, 3, 2, 5, 1, 7};
+}
+
+std::vector<std::size_t> paper_case3_order() {
+  // TX1, TX7, TX8, TX5, TX4, TX3, TX6, TX2 (Fig. 5(c), 1-based).
+  return {0, 6, 7, 4, 3, 2, 5, 1};
+}
+
+std::vector<std::size_t> case2_order() {
+  // Feasible repair of Fig. 5(b): TX4 moved after TX2.
+  // TX1, TX7, TX5, TX3, TX6, TX2, TX8, TX4.
+  return {0, 6, 4, 2, 5, 1, 7, 3};
+}
+
+std::vector<std::size_t> case3_order() {
+  // Feasible repair of Fig. 5(c): TX4 moved after TX2.
+  // TX1, TX7, TX8, TX5, TX3, TX6, TX2, TX4.
+  return {0, 6, 7, 4, 2, 5, 1, 3};
+}
+
+std::vector<std::size_t> optimal_order() {
+  // TX1, TX7, TX8, TX5, TX2, TX3, TX4, TX6: buy and mint at the post-burn
+  // 1/3 ETH trough, sell only after both mints at 0.5 ETH.
+  return {0, 6, 7, 4, 1, 2, 3, 5};
+}
+
+solvers::ReorderingProblem make_problem() {
+  return solvers::ReorderingProblem(initial_state(), original_txs(), {kIfu});
+}
+
+}  // namespace parole::data::case_study

@@ -1,0 +1,182 @@
+#include "parole/data/csv.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace parole::data {
+namespace {
+
+constexpr char kHeader[] =
+    "collection_id,chain,band,max_supply,initial_price_gwei,"
+    "time,kind,price_gwei,from,to,token";
+
+std::string_view kind_name(vm::TxKind kind) { return vm::to_string(kind); }
+
+Result<vm::TxKind> parse_kind(const std::string& s) {
+  if (s == "mint") return vm::TxKind::kMint;
+  if (s == "transfer") return vm::TxKind::kTransfer;
+  if (s == "burn") return vm::TxKind::kBurn;
+  return Error{"bad_kind", "unknown tx kind '" + s + "'"};
+}
+
+Result<RollupChain> parse_chain(const std::string& s) {
+  if (s == "Optimism") return RollupChain::kOptimism;
+  if (s == "Arbitrum") return RollupChain::kArbitrum;
+  return Error{"bad_chain", "unknown chain '" + s + "'"};
+}
+
+Result<FtBand> parse_band(const std::string& s) {
+  if (s == "LFT") return FtBand::kLft;
+  if (s == "MFT") return FtBand::kMft;
+  if (s == "HFT") return FtBand::kHft;
+  return Error{"bad_band", "unknown FT band '" + s + "'"};
+}
+
+Result<std::uint64_t> parse_u64(const std::string& s) {
+  if (s.empty()) return Error{"bad_number", "empty numeric field"};
+  std::uint64_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') {
+      return Error{"bad_number", "non-digit in numeric field '" + s + "'"};
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+std::vector<std::string> split_commas(const std::string& line) {
+  std::vector<std::string> out;
+  std::string field;
+  for (char c : line) {
+    if (c == ',') {
+      out.push_back(std::move(field));
+      field.clear();
+    } else if (c != '\r') {
+      field.push_back(c);
+    }
+  }
+  out.push_back(std::move(field));
+  return out;
+}
+
+}  // namespace
+
+std::string snapshot_csv_header() { return kHeader; }
+
+std::string to_csv(const std::vector<CollectionSnapshot>& corpus) {
+  std::ostringstream os;
+  os << kHeader << '\n';
+  for (const auto& snap : corpus) {
+    for (const auto& e : snap.events) {
+      os << snap.id.value() << ',' << to_string(snap.chain) << ','
+         << to_string(snap.band) << ',' << snap.max_supply << ','
+         << snap.initial_price << ',' << e.time << ',' << kind_name(e.kind)
+         << ',' << e.price << ',' << e.from.value() << ',' << e.to.value()
+         << ',' << e.token.value() << '\n';
+    }
+  }
+  return os.str();
+}
+
+Result<std::vector<CollectionSnapshot>> from_csv(const std::string& text) {
+  std::vector<CollectionSnapshot> corpus;
+  std::istringstream is(text);
+  std::string line;
+  std::size_t line_no = 0;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty() || line == "\r") continue;
+    if (line_no == 1 && line.rfind("collection_id,", 0) == 0) continue;
+
+    const auto fields = split_commas(line);
+    if (fields.size() != 11) {
+      return Error{"bad_row", "line " + std::to_string(line_no) + ": " +
+                                  std::to_string(fields.size()) +
+                                  " fields, expected 11"};
+    }
+    auto fail = [&line_no](const Error& e) {
+      return Error{e.code, "line " + std::to_string(line_no) + ": " + e.detail};
+    };
+
+    const auto id = parse_u64(fields[0]);
+    if (!id.ok()) return fail(id.error());
+    const auto chain = parse_chain(fields[1]);
+    if (!chain.ok()) return fail(chain.error());
+    const auto band = parse_band(fields[2]);
+    if (!band.ok()) return fail(band.error());
+    const auto max_supply = parse_u64(fields[3]);
+    if (!max_supply.ok()) return fail(max_supply.error());
+    const auto initial_price = parse_u64(fields[4]);
+    if (!initial_price.ok()) return fail(initial_price.error());
+    const auto time = parse_u64(fields[5]);
+    if (!time.ok()) return fail(time.error());
+    const auto kind = parse_kind(fields[6]);
+    if (!kind.ok()) return fail(kind.error());
+    const auto price = parse_u64(fields[7]);
+    if (!price.ok()) return fail(price.error());
+    const auto from = parse_u64(fields[8]);
+    if (!from.ok()) return fail(from.error());
+    const auto to = parse_u64(fields[9]);
+    if (!to.ok()) return fail(to.error());
+    const auto token = parse_u64(fields[10]);
+    if (!token.ok()) return fail(token.error());
+
+    const CollectionId collection{static_cast<std::uint32_t>(id.value())};
+    if (corpus.empty() || corpus.back().id != collection) {
+      CollectionSnapshot snap;
+      snap.id = collection;
+      snap.chain = chain.value();
+      snap.band = band.value();
+      snap.contract =
+          crypto::Address::from_id("collection", collection.value());
+      snap.max_supply = static_cast<std::uint32_t>(max_supply.value());
+      snap.initial_price = static_cast<Amount>(initial_price.value());
+      corpus.push_back(std::move(snap));
+    }
+
+    SnapshotEvent event;
+    event.time = time.value();
+    event.kind = kind.value();
+    event.price = static_cast<Amount>(price.value());
+    event.from = UserId{static_cast<std::uint32_t>(from.value())};
+    event.to = UserId{static_cast<std::uint32_t>(to.value())};
+    event.token = TokenId{static_cast<std::uint32_t>(token.value())};
+    corpus.back().events.push_back(event);
+  }
+  return corpus;
+}
+
+Status save_csv(const std::vector<CollectionSnapshot>& corpus,
+                const std::string& path) {
+  const std::string text = to_csv(corpus);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Error{"io_error", "cannot open " + path + " for writing"};
+  }
+  const std::size_t written = std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  if (written != text.size()) {
+    return Error{"io_error", "short write to " + path};
+  }
+  return ok_status();
+}
+
+Result<std::vector<CollectionSnapshot>> load_csv(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Error{"io_error", "cannot open " + path + " for reading"};
+  }
+  std::fseek(file, 0, SEEK_END);
+  const long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  std::string text(static_cast<std::size_t>(size), '\0');
+  const std::size_t read = std::fread(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  if (read != text.size()) {
+    return Error{"io_error", "short read from " + path};
+  }
+  return from_csv(text);
+}
+
+}  // namespace parole::data

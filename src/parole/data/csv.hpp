@@ -1,0 +1,42 @@
+// CSV import/export for the snapshot substrate.
+//
+// The paper's Fig. 10 analysis consumed NFT snapshots collected from
+// holders.at; anyone re-running this reproduction with *real* snapshot data
+// needs a wire format. One CSV row per event:
+//
+//   collection_id,chain,band,max_supply,initial_price_gwei,
+//   time,kind,price_gwei,from,to,token
+//
+// (collection metadata is repeated per row so a file is self-contained and
+// trivially filterable with standard tools). Export and import round-trip
+// exactly; import validates enums and numeric fields and fails with row
+// context instead of guessing.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parole/common/result.hpp"
+#include "parole/data/snapshot.hpp"
+
+namespace parole::data {
+
+// Header line (without trailing newline).
+[[nodiscard]] std::string snapshot_csv_header();
+
+// Serialize a corpus (any mix of collections) to CSV text.
+[[nodiscard]] std::string to_csv(
+    const std::vector<CollectionSnapshot>& corpus);
+
+// Parse CSV text (with or without the header row) back into collections.
+// Events of one collection must be contiguous; rows are validated.
+[[nodiscard]] Result<std::vector<CollectionSnapshot>> from_csv(
+    const std::string& text);
+
+// File convenience wrappers.
+Status save_csv(const std::vector<CollectionSnapshot>& corpus,
+                const std::string& path);
+[[nodiscard]] Result<std::vector<CollectionSnapshot>> load_csv(
+    const std::string& path);
+
+}  // namespace parole::data

@@ -1,0 +1,73 @@
+#include "parole/data/kde.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "parole/common/stats.hpp"
+
+namespace parole::data {
+namespace {
+constexpr double kInvSqrt2Pi = 0.3989422804014327;
+}
+
+Kde::Kde(std::vector<double> samples, double bandwidth)
+    : samples_(std::move(samples)) {
+  assert(!samples_.empty());
+  if (bandwidth > 0.0) {
+    bandwidth_ = bandwidth;
+  } else {
+    // Silverman: h = 0.9 * min(sigma, IQR/1.34) * n^(-1/5).
+    const double sigma = stddev_of(samples_);
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double q1 = percentile(sorted, 25.0);
+    const double q3 = percentile(sorted, 75.0);
+    const double iqr = (q3 - q1) / 1.34;
+    double spread = sigma;
+    if (iqr > 0.0) spread = std::min(spread, iqr);
+    if (spread <= 0.0) spread = 1.0;  // degenerate sample
+    bandwidth_ = 0.9 * spread *
+                 std::pow(static_cast<double>(samples_.size()), -0.2);
+    if (bandwidth_ <= 0.0) bandwidth_ = 1.0;
+  }
+}
+
+double Kde::density(double x) const {
+  double total = 0.0;
+  for (double s : samples_) {
+    const double z = (x - s) / bandwidth_;
+    total += std::exp(-0.5 * z * z);
+  }
+  return total * kInvSqrt2Pi /
+         (bandwidth_ * static_cast<double>(samples_.size()));
+}
+
+std::vector<std::pair<double, double>> Kde::grid(double lo, double hi,
+                                                 std::size_t points) const {
+  assert(points >= 2);
+  assert(hi > lo);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  const double step = (hi - lo) / static_cast<double>(points - 1);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double x = lo + step * static_cast<double>(i);
+    out.emplace_back(x, density(x));
+  }
+  return out;
+}
+
+double Kde::mode(double lo, double hi, std::size_t points) const {
+  const auto g = grid(lo, hi, points);
+  double best_x = g.front().first;
+  double best_density = g.front().second;
+  for (const auto& [x, d] : g) {
+    if (d > best_density) {
+      best_density = d;
+      best_x = x;
+    }
+  }
+  return best_x;
+}
+
+}  // namespace parole::data

@@ -1,0 +1,31 @@
+// Gaussian kernel density estimation (Fig. 9 plots KDE curves of solution
+// sizes). Bandwidth defaults to Silverman's rule of thumb.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace parole::data {
+
+class Kde {
+ public:
+  // `samples` must be non-empty. bandwidth <= 0 selects Silverman's rule.
+  explicit Kde(std::vector<double> samples, double bandwidth = 0.0);
+
+  [[nodiscard]] double density(double x) const;
+  [[nodiscard]] double bandwidth() const { return bandwidth_; }
+
+  // Evaluate on a uniform grid of `points` values across [lo, hi].
+  [[nodiscard]] std::vector<std::pair<double, double>> grid(
+      double lo, double hi, std::size_t points) const;
+
+  // Location of the highest-density grid point (the mode Fig. 9 discusses).
+  [[nodiscard]] double mode(double lo, double hi,
+                            std::size_t points = 256) const;
+
+ private:
+  std::vector<double> samples_;
+  double bandwidth_{1.0};
+};
+
+}  // namespace parole::data

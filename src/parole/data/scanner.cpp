@@ -1,0 +1,88 @@
+#include "parole/data/scanner.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace parole::data {
+
+CollectionReport SnapshotScanner::scan(const CollectionSnapshot& snap) const {
+  CollectionReport report;
+  report.id = snap.id;
+  report.chain = snap.chain;
+  report.band = snap.band;
+
+  if (snap.events.size() < config_.window) return report;
+
+  for (std::size_t start = 0; start + config_.window <= snap.events.size();
+       start += config_.window) {
+    ++report.windows_scanned;
+
+    Amount min_price = snap.events[start].price;
+    Amount max_price = min_price;
+    std::unordered_set<TokenId> tokens;
+    for (std::size_t i = start; i < start + config_.window; ++i) {
+      const SnapshotEvent& e = snap.events[i];
+      min_price = std::min(min_price, e.price);
+      max_price = std::max(max_price, e.price);
+      if (e.kind == vm::TxKind::kTransfer) tokens.insert(e.token);
+    }
+
+    const Amount spread = max_price - min_price;
+    if (spread <= 0 || tokens.empty()) continue;
+    if (static_cast<double>(spread) <
+        config_.min_spread_fraction * static_cast<double>(min_price)) {
+      continue;  // immaterial: the spread would not survive fees
+    }
+
+    WindowOpportunity opp;
+    opp.start_event = start;
+    opp.min_price = min_price;
+    opp.max_price = max_price;
+    opp.tradable_tokens = tokens.size();
+    opp.profit = static_cast<Amount>(
+        static_cast<double>(spread) * static_cast<double>(tokens.size()) *
+        config_.capture_rate);
+    if (opp.profit <= 0) continue;
+
+    ++report.windows_with_opportunity;
+    report.total_profit += opp.profit;
+    report.opportunities.push_back(opp);
+  }
+  return report;
+}
+
+std::vector<CellSummary> SnapshotScanner::summarize(
+    const std::vector<CollectionSnapshot>& corpus) const {
+  std::vector<CellSummary> cells;
+  for (RollupChain chain :
+       {RollupChain::kOptimism, RollupChain::kArbitrum}) {
+    for (FtBand band : {FtBand::kLft, FtBand::kMft, FtBand::kHft}) {
+      CellSummary cell;
+      cell.chain = chain;
+      cell.band = band;
+      std::size_t windows = 0;
+      std::size_t hits = 0;
+      for (const auto& snap : corpus) {
+        if (snap.chain != chain || snap.band != band) continue;
+        const CollectionReport report = scan(snap);
+        ++cell.collections;
+        cell.total_profit += report.total_profit;
+        windows += report.windows_scanned;
+        hits += report.windows_with_opportunity;
+      }
+      if (cell.collections > 0) {
+        cell.mean_profit_per_collection =
+            static_cast<double>(cell.total_profit) /
+            static_cast<double>(cell.collections);
+      }
+      if (windows > 0) {
+        cell.opportunity_rate =
+            static_cast<double>(hits) / static_cast<double>(windows);
+      }
+      cells.push_back(cell);
+    }
+  }
+  return cells;
+}
+
+}  // namespace parole::data

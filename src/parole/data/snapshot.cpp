@@ -1,0 +1,167 @@
+#include "parole/data/snapshot.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "parole/token/price_curve.hpp"
+
+namespace parole::data {
+
+std::string_view to_string(RollupChain chain) {
+  switch (chain) {
+    case RollupChain::kOptimism:
+      return "Optimism";
+    case RollupChain::kArbitrum:
+      return "Arbitrum";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(FtBand band) {
+  switch (band) {
+    case FtBand::kLft:
+      return "LFT";
+    case FtBand::kMft:
+      return "MFT";
+    case FtBand::kHft:
+      return "HFT";
+  }
+  return "unknown";
+}
+
+std::size_t CollectionSnapshot::ownership_count() const {
+  std::size_t count = 0;
+  for (const auto& e : events) {
+    if (e.kind == vm::TxKind::kTransfer) ++count;
+  }
+  return count;
+}
+
+namespace {
+std::uint32_t max_supply_floor(std::uint32_t max_supply) {
+  return std::max<std::uint32_t>(1, max_supply / 4);
+}
+}  // namespace
+
+SnapshotGenerator::SnapshotGenerator(SnapshotConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed) {}
+
+CollectionSnapshot SnapshotGenerator::generate(RollupChain chain,
+                                               FtBand band) {
+  return generate_with(chain, band, rng_);
+}
+
+CollectionSnapshot SnapshotGenerator::generate_with(RollupChain chain,
+                                                    FtBand band, Rng& rng) {
+  CollectionSnapshot snap;
+  snap.id = CollectionId{next_collection_++};
+  snap.chain = chain;
+  snap.band = band;
+  snap.contract = crypto::Address::from_id("collection", snap.id.value());
+  snap.max_supply = static_cast<std::uint32_t>(
+      rng.uniform_int(config_.supply_min, config_.supply_max));
+  snap.initial_price =
+      rng.uniform_int(config_.initial_price_min, config_.initial_price_max);
+
+  std::size_t lo = 0, hi = 0;
+  switch (band) {
+    case FtBand::kLft:
+      lo = config_.lft_min;
+      hi = config_.lft_max;
+      break;
+    case FtBand::kMft:
+      lo = config_.mft_min;
+      hi = config_.mft_max;
+      break;
+    case FtBand::kHft:
+      lo = config_.hft_min;
+      hi = config_.hft_max;
+      break;
+  }
+  const auto event_count = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(lo),
+                       static_cast<std::int64_t>(hi)));
+
+  const double volatility = chain == RollupChain::kArbitrum
+                                ? config_.arbitrum_volatility
+                                : config_.optimism_volatility;
+
+  const token::PriceCurve curve(snap.max_supply, snap.initial_price);
+  std::uint32_t remaining = snap.max_supply;
+  std::uint32_t next_token = 0;
+  std::vector<std::pair<TokenId, UserId>> owners;
+  std::uint64_t time = 0;
+  std::uint32_t next_user = 0;
+
+  snap.events.reserve(event_count);
+  while (snap.events.size() < event_count) {
+    time += static_cast<std::uint64_t>(rng.uniform_int(30, 3'600));
+
+    // Curve price + chain-specific market noise (never below 10% of curve).
+    const Amount curve_price = curve.price(remaining);
+    const double noisy = static_cast<double>(curve_price) *
+                         (1.0 + volatility * rng.normal());
+    const Amount price = std::max<Amount>(
+        static_cast<Amount>(noisy), curve_price / 10);
+
+    SnapshotEvent event;
+    event.time = time;
+    event.price = price;
+
+    const double roll = rng.uniform();
+    // Mints stop once scarcity hits 25% remaining: live collections keep a
+    // float of unminted supply, and this keeps the curve price within ~4x of
+    // P0 so the window spreads are dominated by market volatility (the
+    // chain-dependent signal) rather than curve blow-up.
+    const bool mintable = remaining > max_supply_floor(snap.max_supply);
+    if ((roll < 0.25 && mintable) || owners.empty()) {
+      if (remaining == 0) break;  // fully minted and nothing owned: done
+      event.kind = vm::TxKind::kMint;
+      event.to = UserId{next_user++};
+      event.token = TokenId{next_token++};
+      owners.emplace_back(event.token, event.to);
+      --remaining;
+    } else if (roll < 0.92 || owners.size() < 2) {
+      event.kind = vm::TxKind::kTransfer;
+      auto& [token, owner] = owners[rng.index(owners.size())];
+      event.token = token;
+      event.from = owner;
+      // Mostly fresh buyers (market growth), sometimes an existing holder.
+      event.to = rng.chance(0.7) || owners.size() < 2
+                     ? UserId{next_user++}
+                     : owners[rng.index(owners.size())].second;
+      owner = event.to;
+    } else {
+      event.kind = vm::TxKind::kBurn;
+      const std::size_t pick = rng.index(owners.size());
+      event.token = owners[pick].first;
+      event.from = owners[pick].second;
+      owners.erase(owners.begin() + static_cast<std::ptrdiff_t>(pick));
+      ++remaining;
+    }
+    snap.events.push_back(event);
+  }
+  return snap;
+}
+
+std::vector<CollectionSnapshot> SnapshotGenerator::generate_corpus(
+    std::size_t per_cell) {
+  std::vector<CollectionSnapshot> out;
+  out.reserve(per_cell * 6);
+  for (FtBand band : {FtBand::kLft, FtBand::kMft, FtBand::kHft}) {
+    for (std::size_t i = 0; i < per_cell; ++i) {
+      // Pair the chains: identical parameter and event randomness, so the
+      // volatility difference is the only cross-chain variable.
+      const std::uint64_t pair_seed = rng_.next();
+      for (RollupChain chain :
+           {RollupChain::kOptimism, RollupChain::kArbitrum}) {
+        Rng paired(pair_seed);
+        out.push_back(generate_with(chain, band, paired));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace parole::data

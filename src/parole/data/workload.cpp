@@ -1,0 +1,176 @@
+#include "parole/data/workload.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parole::data {
+
+WorkloadGenerator::WorkloadGenerator(WorkloadConfig config, std::uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      state_(config.max_supply, config.initial_price),
+      engine_(vm::ExecConfig{vm::InvalidTxPolicy::kSkipInvalid,
+                             /*charge_fees=*/false, vm::GasSchedule{}}) {
+  assert(config_.num_users >= 2);
+  assert(config_.premint <= config_.max_supply);
+
+  for (std::size_t u = 0; u < config_.num_users; ++u) {
+    const Amount funding =
+        rng_.uniform_int(config_.min_funding, config_.max_funding);
+    state_.ledger().credit(UserId{static_cast<std::uint32_t>(u)}, funding);
+  }
+  // Distribute the pre-minted tokens across random users for free (they are
+  // prior history, not part of the measured workload).
+  for (std::uint32_t i = 0; i < config_.premint; ++i) {
+    const auto minted = state_.nft().mint(pick_user());
+    assert(minted.ok());
+    (void)minted;
+  }
+}
+
+std::vector<UserId> WorkloadGenerator::users() const {
+  std::vector<UserId> out;
+  out.reserve(config_.num_users);
+  for (std::size_t u = 0; u < config_.num_users; ++u) {
+    out.push_back(UserId{static_cast<std::uint32_t>(u)});
+  }
+  return out;
+}
+
+UserId WorkloadGenerator::pick_user() {
+  const std::size_t rank = rng_.zipf(config_.num_users, config_.activity_skew);
+  return UserId{static_cast<std::uint32_t>(rank)};
+}
+
+Amount WorkloadGenerator::random_fee(Amount lo, Amount hi) {
+  return rng_.uniform_int(lo, hi);
+}
+
+bool WorkloadGenerator::try_mint(vm::Tx& out) {
+  if (state_.nft().remaining_supply() == 0) return false;
+  const Amount price = state_.nft().current_price();
+  // Find a funded minter, biased by activity.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const UserId user = pick_user();
+    if (state_.ledger().balance(user) >= price) {
+      // Explicit token id from the shadow state so later transfers/burns of
+      // this token stay well-defined however the aggregator orders the batch.
+      const TokenId token{state_.nft().minted_total()};
+      out = vm::Tx::make_mint(
+          TxId{next_tx_id_}, user,
+          random_fee(config_.base_fee_min, config_.base_fee_max),
+          random_fee(config_.priority_fee_min, config_.priority_fee_max),
+          token);
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WorkloadGenerator::try_transfer(vm::Tx& out) {
+  const auto owners = state_.nft().sorted_owners();
+  if (owners.empty()) return false;
+  const Amount price = state_.nft().current_price();
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const auto& [token, seller] = owners[rng_.index(owners.size())];
+    const UserId buyer = pick_user();
+    if (buyer == seller) continue;
+    if (state_.ledger().balance(buyer) < price) continue;
+    out = vm::Tx::make_transfer(
+        TxId{next_tx_id_}, seller, buyer, token,
+        random_fee(config_.base_fee_min, config_.base_fee_max),
+        random_fee(config_.priority_fee_min, config_.priority_fee_max));
+    return true;
+  }
+  return false;
+}
+
+bool WorkloadGenerator::try_burn(vm::Tx& out) {
+  const auto owners = state_.nft().sorted_owners();
+  if (owners.empty()) return false;
+  const auto& [token, owner] = owners[rng_.index(owners.size())];
+  out = vm::Tx::make_burn(
+      TxId{next_tx_id_}, owner, token,
+      random_fee(config_.base_fee_min, config_.base_fee_max),
+      random_fee(config_.priority_fee_min, config_.priority_fee_max));
+  return true;
+}
+
+std::vector<vm::Tx> WorkloadGenerator::generate(std::size_t count) {
+  const double total_weight =
+      config_.mint_weight + config_.transfer_weight + config_.burn_weight;
+  assert(total_weight > 0.0);
+
+  std::vector<vm::Tx> out;
+  out.reserve(count);
+
+  while (out.size() < count) {
+    const double roll = rng_.uniform() * total_weight;
+    vm::Tx tx;
+    bool made = false;
+    if (roll < config_.mint_weight) {
+      made = try_mint(tx) || try_transfer(tx) || try_burn(tx);
+    } else if (roll < config_.mint_weight + config_.transfer_weight) {
+      made = try_transfer(tx) || try_mint(tx) || try_burn(tx);
+    } else {
+      made = try_burn(tx) || try_transfer(tx) || try_mint(tx);
+    }
+    if (!made) {
+      // Market wedged (nobody funded, nothing owned): top a user up so the
+      // stream keeps flowing — models fresh deposits arriving.
+      state_.ledger().credit(pick_user(), config_.max_funding);
+      continue;
+    }
+    ++next_tx_id_;
+    // Advance the shadow state so the *next* tx is feasible given this one.
+    (void)engine_.execute_tx(state_, tx);
+    out.push_back(std::move(tx));
+  }
+  return out;
+}
+
+std::vector<UserId> WorkloadGenerator::pick_ifus(std::size_t k) {
+  // Colluding users come in two flavours with *opposing* price interests:
+  // holders (who profit when their tokens appreciate and their sells land
+  // high) and cash-rich buyers (who profit when their buys/mints land low).
+  // Alternating between the two rankings models the paper's observation
+  // that "very few alternate orders could increase the final balance for
+  // multiple IFUs" — a single order cannot serve both sides well, so the
+  // average per-IFU profit falls as more IFUs are served.
+  std::vector<UserId> holders = users();
+  std::sort(holders.begin(), holders.end(), [this](UserId a, UserId b) {
+    const auto ha = state_.nft().balance_of(a);
+    const auto hb = state_.nft().balance_of(b);
+    if (ha != hb) return ha > hb;
+    return state_.ledger().balance(a) > state_.ledger().balance(b);
+  });
+  std::vector<UserId> buyers = users();
+  std::sort(buyers.begin(), buyers.end(), [this](UserId a, UserId b) {
+    const auto ha = state_.nft().balance_of(a);
+    const auto hb = state_.nft().balance_of(b);
+    if (ha != hb) return ha < hb;  // fewest tokens first
+    return state_.ledger().balance(a) > state_.ledger().balance(b);
+  });
+
+  std::vector<UserId> out;
+  std::size_t hi = 0, bi = 0;
+  while (out.size() < k && out.size() < config_.num_users) {
+    auto take_from = [&out](std::vector<UserId>& ranked, std::size_t& index) {
+      while (index < ranked.size()) {
+        const UserId candidate = ranked[index++];
+        if (std::find(out.begin(), out.end(), candidate) == out.end()) {
+          out.push_back(candidate);
+          return;
+        }
+      }
+    };
+    if (out.size() % 2 == 0) {
+      take_from(holders, hi);
+    } else {
+      take_from(buyers, bi);
+    }
+  }
+  return out;
+}
+
+}  // namespace parole::data

@@ -1,0 +1,73 @@
+// Synthetic NFT-market workload generator.
+//
+// Drives the Figs. 6/7 campaign sweeps: a population of rollup users trading
+// one limited-edition collection. The generator keeps a shadow L2 state so
+// each generated transaction is feasible at generation time (mints pick
+// funded users while supply remains, transfers pick real owners and funded
+// buyers, burns pick owners); fees are drawn independently, so the
+// fee-priority *collection* order can still reorder them — exactly the
+// situation an aggregator faces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/rng.hpp"
+#include "parole/vm/engine.hpp"
+#include "parole/vm/tx.hpp"
+
+namespace parole::data {
+
+struct WorkloadConfig {
+  std::size_t num_users = 20;
+  Amount min_funding = eth(1);
+  Amount max_funding = eth(4);
+  // Transaction mix (normalized internally).
+  double mint_weight = 0.30;
+  double transfer_weight = 0.50;
+  double burn_weight = 0.20;
+  // Fee ranges (gwei).
+  Amount base_fee_min = gwei(50);
+  Amount base_fee_max = gwei(200);
+  Amount priority_fee_min = gwei(0);
+  Amount priority_fee_max = gwei(500);
+  // Collection parameters.
+  std::uint32_t max_supply = 40;
+  Amount initial_price = eth(0, 200);  // 0.2 ETH
+  std::uint32_t premint = 10;          // seeded before the workload starts
+  // Zipf exponent of user activity (0 = uniform).
+  double activity_skew = 0.8;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(WorkloadConfig config, std::uint64_t seed);
+
+  // The initial L2 state: all users funded, `premint` tokens distributed.
+  [[nodiscard]] const vm::L2State& initial_state() const { return state_; }
+
+  [[nodiscard]] std::vector<UserId> users() const;
+
+  // Generate `count` transactions, advancing the shadow state.
+  std::vector<vm::Tx> generate(std::size_t count);
+
+  // Pick `k` distinct IFUs that hold at least one token and some balance —
+  // the colluding users an adversarial aggregator would serve.
+  [[nodiscard]] std::vector<UserId> pick_ifus(std::size_t k);
+
+ private:
+  [[nodiscard]] UserId pick_user();
+  [[nodiscard]] Amount random_fee(Amount lo, Amount hi);
+  bool try_mint(vm::Tx& out);
+  bool try_transfer(vm::Tx& out);
+  bool try_burn(vm::Tx& out);
+
+  WorkloadConfig config_;
+  Rng rng_;
+  vm::L2State state_;       // shadow state, advanced as txs are generated
+  vm::ExecutionEngine engine_;
+  std::uint64_t next_tx_id_{0};
+};
+
+}  // namespace parole::data

@@ -1,0 +1,141 @@
+#include "parole/ml/dqn.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <optional>
+
+#include "parole/ml/loss.hpp"
+
+namespace parole::ml {
+namespace {
+
+Matrix row_from(std::span<const double> values) {
+  Matrix m(1, values.size());
+  std::copy(values.begin(), values.end(), m.data());
+  return m;
+}
+
+std::size_t argmax_row(const Matrix& m, std::size_t row) {
+  std::size_t best = 0;
+  double best_value = m.at(row, 0);
+  for (std::size_t c = 1; c < m.cols(); ++c) {
+    if (m.at(row, c) > best_value) {
+      best_value = m.at(row, c);
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+DqnAgent::DqnAgent(std::size_t state_dim, std::size_t action_count,
+                   DqnConfig config, std::uint64_t seed)
+    : state_dim_(state_dim),
+      action_count_(action_count),
+      config_(std::move(config)),
+      rng_(seed),
+      buffer_(config_.replay_capacity) {
+  assert(state_dim_ > 0 && action_count_ > 0);
+  q_net_ = Network::mlp(state_dim_, config_.hidden, action_count_, rng_);
+  target_net_ = q_net_;
+  if (config_.use_adam) {
+    optimizer_ = std::make_unique<Adam>(config_.learning_rate / 1000.0);
+  } else {
+    optimizer_ = std::make_unique<Sgd>(config_.learning_rate,
+                                       config_.grad_clip);
+  }
+}
+
+std::size_t DqnAgent::select_action(std::span<const double> state,
+                                    double epsilon) {
+  if (rng_.chance(epsilon)) {
+    return rng_.index(action_count_);
+  }
+  return greedy_action(state);
+}
+
+std::size_t DqnAgent::greedy_action(std::span<const double> state) {
+  assert(state.size() == state_dim_);
+  const Matrix q = q_net_.forward(row_from(state));
+  return argmax_row(q, 0);
+}
+
+Matrix DqnAgent::q_values(std::span<const double> state) {
+  assert(state.size() == state_dim_);
+  return q_net_.forward(row_from(state));
+}
+
+void DqnAgent::remember(Transition transition) {
+  assert(transition.state.size() == state_dim_);
+  assert(transition.next_state.size() == state_dim_);
+  assert(transition.action < action_count_);
+  buffer_.push(std::move(transition));
+}
+
+double DqnAgent::train_step() {
+  if (!buffer_.can_sample(config_.minibatch)) return -1.0;
+
+  // Select the minibatch: uniform, or priority-proportional when enabled.
+  std::vector<std::size_t> indices;
+  std::vector<const Transition*> batch;
+  if (config_.prioritized_replay) {
+    indices = buffer_.sample_prioritized(config_.minibatch,
+                                         config_.priority_alpha, rng_);
+    batch.reserve(indices.size());
+    for (std::size_t index : indices) batch.push_back(&buffer_.at(index));
+  } else {
+    batch = buffer_.sample(config_.minibatch, rng_);
+  }
+
+  Matrix states(batch.size(), state_dim_);
+  Matrix next_states(batch.size(), state_dim_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::copy(batch[i]->state.begin(), batch[i]->state.end(),
+              states.data() + i * state_dim_);
+    std::copy(batch[i]->next_state.begin(), batch[i]->next_state.end(),
+              next_states.data() + i * state_dim_);
+  }
+
+  // TD targets via the Bellman backup. Vanilla DQN takes both the argmax
+  // and the value from the target network; Double DQN decouples them (the
+  // online network chooses, the target network evaluates).
+  const Matrix next_q_target = target_net_.forward(next_states);
+  std::optional<Matrix> next_q_online;
+  if (config_.use_double_dqn) {
+    next_q_online = q_net_.forward(next_states);
+  }
+
+  std::vector<std::size_t> actions(batch.size());
+  std::vector<double> targets(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    actions[i] = batch[i]->action;
+    double target = batch[i]->reward;
+    if (!batch[i]->done) {
+      const std::size_t best = config_.use_double_dqn
+                                   ? argmax_row(*next_q_online, i)
+                                   : argmax_row(next_q_target, i);
+      target += config_.gamma * next_q_target.at(i, best);
+    }
+    targets[i] = target;
+  }
+
+  const Matrix predictions = q_net_.forward(states);
+  const LossResult loss = masked_huber_loss(predictions, actions, targets);
+
+  if (config_.prioritized_replay) {
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      buffer_.update_priority(indices[i],
+                              predictions.at(i, actions[i]) - targets[i]);
+    }
+  }
+
+  q_net_.zero_grads();
+  q_net_.backward(loss.grad);
+  optimizer_->step(q_net_);
+  return loss.value;
+}
+
+void DqnAgent::sync_target() { target_net_.copy_weights_from(q_net_); }
+
+}  // namespace parole::ml

@@ -1,0 +1,98 @@
+// Deep Q-Network agent (Sec. II-C / V-C, Fig. 2 and Fig. 4).
+//
+// Q-network + target network over a generic discrete-action environment:
+// epsilon-greedy action selection, replay-buffer storage, TD-target updates
+// with the Bellman backup
+//     y = r + gamma * max_a' Q_target(s', a')        (y = r when terminal)
+// and periodic hard target synchronisation. Hyper-parameter defaults are the
+// paper's Table II values.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "parole/common/rng.hpp"
+#include "parole/ml/epsilon.hpp"
+#include "parole/ml/network.hpp"
+#include "parole/ml/optimizer.hpp"
+#include "parole/ml/replay_buffer.hpp"
+
+namespace parole::ml {
+
+struct DqnConfig {
+  // Table II values.
+  double epsilon_max = 0.95;
+  double epsilon_min = 0.01;
+  double epsilon_decay = 0.05;
+  double gamma = 0.618;
+  std::size_t episodes = 100;
+  std::size_t steps_per_episode = 200;
+  double learning_rate = 0.7;
+  std::size_t replay_capacity = 5'000;
+  std::size_t qnet_update_every = 5;    // steps between fitting updates
+  std::size_t target_update_every = 30; // steps between target syncs
+  // Implementation parameters (not pinned by the paper).
+  std::vector<std::size_t> hidden = {128, 128};
+  std::size_t minibatch = 32;
+  // SGD at the paper's alpha diverges on gwei-scale rewards unless gradients
+  // are clipped; Adam (use_adam=true) with lr/1000 reproduces the same
+  // learning curves more stably. The ablation test covers both.
+  bool use_adam = true;
+  double grad_clip = 10.0;
+  // Extensions beyond the paper's vanilla DQN (both off by default so the
+  // reproduction stays faithful; flipped on by the extension tests and the
+  // ablation bench):
+  // Double DQN (van Hasselt et al.): the online network picks the next
+  // action, the target network values it — removes the max-operator
+  // overestimation bias.
+  bool use_double_dqn = false;
+  // Prioritized experience replay (Schaul et al.): sample transitions
+  // proportional to |TD error|^alpha.
+  bool prioritized_replay = false;
+  double priority_alpha = 0.6;
+};
+
+class DqnAgent {
+ public:
+  DqnAgent(std::size_t state_dim, std::size_t action_count, DqnConfig config,
+           std::uint64_t seed);
+
+  // Epsilon-greedy: with probability `epsilon` a uniformly random action,
+  // otherwise argmax_a Q(state, a).
+  [[nodiscard]] std::size_t select_action(std::span<const double> state,
+                                          double epsilon);
+
+  // Greedy action (inference path; Fig. 9/11 use this).
+  [[nodiscard]] std::size_t greedy_action(std::span<const double> state);
+
+  // Q-values for a state (1 x action_count).
+  [[nodiscard]] Matrix q_values(std::span<const double> state);
+
+  void remember(Transition transition);
+
+  // One fitting update from a replay minibatch; returns the TD loss, or a
+  // negative value when the buffer cannot fill a minibatch yet.
+  double train_step();
+
+  void sync_target();
+
+  [[nodiscard]] const DqnConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t state_dim() const { return state_dim_; }
+  [[nodiscard]] std::size_t action_count() const { return action_count_; }
+  [[nodiscard]] const ReplayBuffer& buffer() const { return buffer_; }
+  [[nodiscard]] Network& q_network() { return q_net_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  std::size_t state_dim_;
+  std::size_t action_count_;
+  DqnConfig config_;
+  Rng rng_;
+  Network q_net_;
+  Network target_net_;
+  std::unique_ptr<Optimizer> optimizer_;
+  ReplayBuffer buffer_;
+};
+
+}  // namespace parole::ml

@@ -1,0 +1,29 @@
+#include "parole/ml/epsilon.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace parole::ml {
+
+EpsilonSchedule::EpsilonSchedule(double eps_max, double eps_min, double decay)
+    : eps_max_(eps_max), eps_min_(eps_min), decay_(decay) {
+  assert(eps_max_ >= eps_min_);
+  assert(eps_min_ >= 0.0 && eps_max_ <= 1.0);
+  assert(decay_ >= 0.0);
+}
+
+double EpsilonSchedule::at(std::size_t episode) const {
+  return eps_min_ + (eps_max_ - eps_min_) *
+                        std::exp(-decay_ * static_cast<double>(episode));
+}
+
+double EpsilonSchedule::literal_eq9(std::size_t episode) const {
+  const double base = eps_max_ - eps_min_;
+  if (base <= 0.0) return eps_min_;
+  const double raw =
+      eps_min_ + std::pow(base, -decay_ * static_cast<double>(episode));
+  return std::clamp(raw, eps_min_, eps_max_);
+}
+
+}  // namespace parole::ml

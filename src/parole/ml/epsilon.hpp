@@ -1,0 +1,39 @@
+// Exploration schedule (Eq. 9).
+//
+// The paper prints the decay as
+//     eps_i = eps_min + (eps_max - eps_min)^(-(d * i))
+// which, taken literally with eps_max - eps_min < 1, *grows* with i — while
+// the text around it says epsilon "decays ... reducing the probability of
+// random actions". We implement the standard exponential decay the text
+// describes,
+//     eps_i = eps_min + (eps_max - eps_min) * exp(-d * i),
+// and additionally expose the literal printed formula (clamped to
+// [eps_min, eps_max]) so the discrepancy can be inspected; tests document
+// both behaviours.
+#pragma once
+
+#include <cstddef>
+
+namespace parole::ml {
+
+class EpsilonSchedule {
+ public:
+  EpsilonSchedule(double eps_max, double eps_min, double decay);
+
+  // Exponential decay (the behaviour the paper describes).
+  [[nodiscard]] double at(std::size_t episode) const;
+
+  // The literal printed Eq. 9, clamped into [eps_min, eps_max].
+  [[nodiscard]] double literal_eq9(std::size_t episode) const;
+
+  [[nodiscard]] double eps_max() const { return eps_max_; }
+  [[nodiscard]] double eps_min() const { return eps_min_; }
+  [[nodiscard]] double decay() const { return decay_; }
+
+ private:
+  double eps_max_;
+  double eps_min_;
+  double decay_;
+};
+
+}  // namespace parole::ml

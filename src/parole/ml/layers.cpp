@@ -1,0 +1,79 @@
+#include "parole/ml/layers.hpp"
+
+#include <cassert>
+
+namespace parole::ml {
+
+Dense::Dense(std::size_t in_features, std::size_t out_features, Rng& rng)
+    : weights_(Matrix::kaiming_uniform(in_features, out_features, rng)),
+      bias_(1, out_features, 0.0),
+      grad_weights_(in_features, out_features, 0.0),
+      grad_bias_(1, out_features, 0.0) {}
+
+Matrix Dense::forward(const Matrix& input) {
+  assert(input.cols() == weights_.rows());
+  last_input_ = input;
+  Matrix out = input.matmul(weights_);
+  out.add_row_broadcast(bias_);
+  return out;
+}
+
+Matrix Dense::backward(const Matrix& grad_output) {
+  assert(grad_output.rows() == last_input_.rows());
+  assert(grad_output.cols() == weights_.cols());
+  grad_weights_.add_in_place(last_input_.transposed_matmul(grad_output));
+  grad_bias_.add_in_place(grad_output.row_sum());
+  return grad_output.matmul_transposed(weights_);
+}
+
+std::unique_ptr<Layer> Dense::clone() const {
+  auto copy = std::unique_ptr<Dense>(new Dense());
+  copy->weights_ = weights_;
+  copy->bias_ = bias_;
+  copy->grad_weights_ = Matrix::zeros(weights_.rows(), weights_.cols());
+  copy->grad_bias_ = Matrix::zeros(1, bias_.cols());
+  return copy;
+}
+
+Matrix Relu::forward(const Matrix& input) {
+  last_input_ = input;
+  return input.map([](double v) { return v > 0.0 ? v : 0.0; });
+}
+
+Matrix Relu::backward(const Matrix& grad_output) {
+  assert(grad_output.rows() == last_input_.rows());
+  assert(grad_output.cols() == last_input_.cols());
+  Matrix grad = grad_output;
+  for (std::size_t r = 0; r < grad.rows(); ++r) {
+    for (std::size_t c = 0; c < grad.cols(); ++c) {
+      if (last_input_.at(r, c) <= 0.0) grad.at(r, c) = 0.0;
+    }
+  }
+  return grad;
+}
+
+Matrix Flatten::forward(const Matrix& input) {
+  in_rows_ = input.rows();
+  in_cols_ = input.cols();
+  Matrix out(1, input.rows() * input.cols());
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    for (std::size_t c = 0; c < input.cols(); ++c) {
+      out.at(0, r * input.cols() + c) = input.at(r, c);
+    }
+  }
+  return out;
+}
+
+Matrix Flatten::backward(const Matrix& grad_output) {
+  assert(grad_output.rows() == 1);
+  assert(grad_output.cols() == in_rows_ * in_cols_);
+  Matrix grad(in_rows_, in_cols_);
+  for (std::size_t r = 0; r < in_rows_; ++r) {
+    for (std::size_t c = 0; c < in_cols_; ++c) {
+      grad.at(r, c) = grad_output.at(0, r * in_cols_ + c);
+    }
+  }
+  return grad;
+}
+
+}  // namespace parole::ml

@@ -1,0 +1,96 @@
+// Neural-network layers (Fig. 4: flatten -> input -> hidden -> output).
+//
+// Layers cache what backward() needs during forward(); backward() consumes
+// dL/d(output) and returns dL/d(input) while accumulating parameter
+// gradients. The numerical-gradient test suite (tests/ml) validates every
+// layer's backward pass against finite differences.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "parole/ml/tensor.hpp"
+
+namespace parole::ml {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  virtual Matrix forward(const Matrix& input) = 0;
+  virtual Matrix backward(const Matrix& grad_output) = 0;
+
+  // Parameter / gradient views (empty for stateless layers).
+  virtual std::vector<Matrix*> params() { return {}; }
+  virtual std::vector<Matrix*> grads() { return {}; }
+
+  void zero_grads() {
+    for (Matrix* g : grads()) g->fill(0.0);
+  }
+
+  [[nodiscard]] virtual std::unique_ptr<Layer> clone() const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+// Fully-connected layer: Y = X W + b, with X (batch x in), W (in x out).
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_features, std::size_t out_features, Rng& rng);
+
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+
+  std::vector<Matrix*> params() override { return {&weights_, &bias_}; }
+  std::vector<Matrix*> grads() override {
+    return {&grad_weights_, &grad_bias_};
+  }
+
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override;
+  [[nodiscard]] std::string name() const override { return "Dense"; }
+
+  [[nodiscard]] std::size_t in_features() const { return weights_.rows(); }
+  [[nodiscard]] std::size_t out_features() const { return weights_.cols(); }
+
+ private:
+  Dense() = default;  // for clone()
+
+  Matrix weights_;
+  Matrix bias_;  // 1 x out
+  Matrix grad_weights_;
+  Matrix grad_bias_;
+  Matrix last_input_;
+};
+
+class Relu final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Relu>();
+  }
+  [[nodiscard]] std::string name() const override { return "Relu"; }
+
+ private:
+  Matrix last_input_;
+};
+
+// The "flattening layer" of Fig. 4. The transaction encoder hands the network
+// a (txs x features) 2D tensor per sample; Flatten reshapes each sample to a
+// single row of txs*features values. For already-flat batches it is the
+// identity. Gradients reshape back.
+class Flatten final : public Layer {
+ public:
+  Matrix forward(const Matrix& input) override;
+  Matrix backward(const Matrix& grad_output) override;
+  [[nodiscard]] std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>();
+  }
+  [[nodiscard]] std::string name() const override { return "Flatten"; }
+
+ private:
+  std::size_t in_rows_{0};
+  std::size_t in_cols_{0};
+};
+
+}  // namespace parole::ml

@@ -1,0 +1,64 @@
+#include "parole/ml/loss.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace parole::ml {
+
+LossResult mse_loss(const Matrix& predictions, const Matrix& targets) {
+  assert(predictions.rows() == targets.rows());
+  assert(predictions.cols() == targets.cols());
+  LossResult result;
+  result.grad = Matrix::zeros(predictions.rows(), predictions.cols());
+  const double n = static_cast<double>(predictions.size());
+  for (std::size_t r = 0; r < predictions.rows(); ++r) {
+    for (std::size_t c = 0; c < predictions.cols(); ++c) {
+      const double diff = predictions.at(r, c) - targets.at(r, c);
+      result.value += diff * diff / n;
+      result.grad.at(r, c) = 2.0 * diff / n;
+    }
+  }
+  return result;
+}
+
+LossResult masked_mse_loss(const Matrix& predictions,
+                           const std::vector<std::size_t>& actions,
+                           const std::vector<double>& targets) {
+  assert(actions.size() == predictions.rows());
+  assert(targets.size() == predictions.rows());
+  LossResult result;
+  result.grad = Matrix::zeros(predictions.rows(), predictions.cols());
+  const double n = static_cast<double>(predictions.rows());
+  for (std::size_t r = 0; r < predictions.rows(); ++r) {
+    assert(actions[r] < predictions.cols());
+    const double diff = predictions.at(r, actions[r]) - targets[r];
+    result.value += diff * diff / n;
+    result.grad.at(r, actions[r]) = 2.0 * diff / n;
+  }
+  return result;
+}
+
+LossResult masked_huber_loss(const Matrix& predictions,
+                             const std::vector<std::size_t>& actions,
+                             const std::vector<double>& targets, double delta) {
+  assert(actions.size() == predictions.rows());
+  assert(targets.size() == predictions.rows());
+  assert(delta > 0.0);
+  LossResult result;
+  result.grad = Matrix::zeros(predictions.rows(), predictions.cols());
+  const double n = static_cast<double>(predictions.rows());
+  for (std::size_t r = 0; r < predictions.rows(); ++r) {
+    assert(actions[r] < predictions.cols());
+    const double diff = predictions.at(r, actions[r]) - targets[r];
+    if (std::fabs(diff) <= delta) {
+      result.value += 0.5 * diff * diff / n;
+      result.grad.at(r, actions[r]) = diff / n;
+    } else {
+      result.value += delta * (std::fabs(diff) - 0.5 * delta) / n;
+      result.grad.at(r, actions[r]) = (diff > 0 ? delta : -delta) / n;
+    }
+  }
+  return result;
+}
+
+}  // namespace parole::ml

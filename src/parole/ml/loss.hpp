@@ -1,0 +1,35 @@
+// Losses for DQN training.
+//
+// The TD error is computed only on the *chosen* action of each sample; the
+// masked losses below return both the scalar loss and the gradient matrix to
+// feed Network::backward (zero at unchosen actions).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parole/ml/tensor.hpp"
+
+namespace parole::ml {
+
+struct LossResult {
+  double value{0.0};
+  Matrix grad;  // dL/d(predictions), same shape as predictions
+};
+
+// Mean squared error over all entries.
+LossResult mse_loss(const Matrix& predictions, const Matrix& targets);
+
+// MSE restricted to one action per row: loss = mean_i (pred[i][a_i] - y_i)^2.
+LossResult masked_mse_loss(const Matrix& predictions,
+                           const std::vector<std::size_t>& actions,
+                           const std::vector<double>& targets);
+
+// Huber (smooth-L1) variant of the masked TD loss; delta is the transition
+// point between quadratic and linear regimes.
+LossResult masked_huber_loss(const Matrix& predictions,
+                             const std::vector<std::size_t>& actions,
+                             const std::vector<double>& targets,
+                             double delta = 1.0);
+
+}  // namespace parole::ml

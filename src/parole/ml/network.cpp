@@ -1,0 +1,113 @@
+#include "parole/ml/network.hpp"
+
+#include <cassert>
+
+namespace parole::ml {
+
+Network::Network(const Network& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+}
+
+Network& Network::operator=(const Network& other) {
+  if (this == &other) return *this;
+  layers_.clear();
+  layers_.reserve(other.layers_.size());
+  for (const auto& layer : other.layers_) layers_.push_back(layer->clone());
+  return *this;
+}
+
+Network& Network::add(std::unique_ptr<Layer> layer) {
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Network Network::mlp(std::size_t in_features,
+                     const std::vector<std::size_t>& hidden,
+                     std::size_t out_features, Rng& rng) {
+  Network net;
+  std::size_t prev = in_features;
+  for (std::size_t width : hidden) {
+    net.add(std::make_unique<Dense>(prev, width, rng));
+    net.add(std::make_unique<Relu>());
+    prev = width;
+  }
+  net.add(std::make_unique<Dense>(prev, out_features, rng));
+  return net;
+}
+
+Matrix Network::forward(const Matrix& input) {
+  Matrix current = input;
+  for (auto& layer : layers_) current = layer->forward(current);
+  return current;
+}
+
+Matrix Network::backward(const Matrix& grad_output) {
+  Matrix grad = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    grad = (*it)->backward(grad);
+  }
+  return grad;
+}
+
+void Network::zero_grads() {
+  for (auto& layer : layers_) layer->zero_grads();
+}
+
+std::vector<Matrix*> Network::params() {
+  std::vector<Matrix*> out;
+  for (auto& layer : layers_) {
+    for (Matrix* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Matrix*> Network::grads() {
+  std::vector<Matrix*> out;
+  for (auto& layer : layers_) {
+    for (Matrix* g : layer->grads()) out.push_back(g);
+  }
+  return out;
+}
+
+std::size_t Network::parameter_count() const {
+  std::size_t total = 0;
+  for (const auto& layer : layers_) {
+    for (Matrix* p : const_cast<Layer&>(*layer).params()) total += p->size();
+  }
+  return total;
+}
+
+void Network::copy_weights_from(const Network& other) {
+  assert(layers_.size() == other.layers_.size());
+  auto mine = params();
+  auto theirs = const_cast<Network&>(other).params();
+  assert(mine.size() == theirs.size());
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    assert(mine[i]->rows() == theirs[i]->rows());
+    assert(mine[i]->cols() == theirs[i]->cols());
+    *mine[i] = *theirs[i];
+  }
+}
+
+std::vector<double> Network::export_weights() const {
+  std::vector<double> flat;
+  for (Matrix* p : const_cast<Network*>(this)->params()) {
+    flat.insert(flat.end(), p->data(), p->data() + p->size());
+  }
+  return flat;
+}
+
+void Network::import_weights(const std::vector<double>& flat) {
+  std::size_t offset = 0;
+  for (Matrix* p : params()) {
+    assert(offset + p->size() <= flat.size());
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(offset),
+              flat.begin() + static_cast<std::ptrdiff_t>(offset + p->size()),
+              p->data());
+    offset += p->size();
+  }
+  assert(offset == flat.size());
+}
+
+}  // namespace parole::ml

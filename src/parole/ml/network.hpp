@@ -1,0 +1,53 @@
+// Sequential network: the Q-network / target-network container.
+//
+// Supports cloning (the DQN's periodic "TargetNet.copy(QNet)", Algorithm 1
+// line 16) and flat weight export/import for checkpointing in tests.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "parole/ml/layers.hpp"
+
+namespace parole::ml {
+
+class Network {
+ public:
+  Network() = default;
+
+  Network(const Network& other);
+  Network& operator=(const Network& other);
+  Network(Network&&) noexcept = default;
+  Network& operator=(Network&&) noexcept = default;
+
+  Network& add(std::unique_ptr<Layer> layer);
+
+  // Build the Fig. 4 MLP: in -> hidden... (ReLU between) -> out.
+  static Network mlp(std::size_t in_features,
+                     const std::vector<std::size_t>& hidden,
+                     std::size_t out_features, Rng& rng);
+
+  Matrix forward(const Matrix& input);
+  // Backprop from dL/d(output); accumulates parameter grads, returns
+  // dL/d(input).
+  Matrix backward(const Matrix& grad_output);
+
+  void zero_grads();
+
+  [[nodiscard]] std::vector<Matrix*> params();
+  [[nodiscard]] std::vector<Matrix*> grads();
+  [[nodiscard]] std::size_t parameter_count() const;
+
+  // Copy weights from another structurally identical network.
+  void copy_weights_from(const Network& other);
+
+  [[nodiscard]] std::vector<double> export_weights() const;
+  void import_weights(const std::vector<double>& flat);
+
+  [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace parole::ml

@@ -1,0 +1,62 @@
+#include "parole/ml/optimizer.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace parole::ml {
+
+void Sgd::step(Network& net) {
+  auto params = net.params();
+  auto grads = net.grads();
+  assert(params.size() == grads.size());
+
+  double scale = 1.0;
+  if (clip_ > 0.0) {
+    double max_abs = 0.0;
+    for (Matrix* g : grads) max_abs = std::max(max_abs, g->max_abs());
+    if (max_abs > clip_) scale = clip_ / max_abs;
+  }
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Matrix update = *grads[i];
+    update.scale_in_place(lr_ * scale);
+    params[i]->sub_in_place(update);
+  }
+  net.zero_grads();
+}
+
+void Adam::step(Network& net) {
+  auto params = net.params();
+  auto grads = net.grads();
+  assert(params.size() == grads.size());
+
+  if (m_.empty()) {
+    for (Matrix* p : params) {
+      m_.emplace_back(Matrix::zeros(p->rows(), p->cols()));
+      v_.emplace_back(Matrix::zeros(p->rows(), p->cols()));
+    }
+  }
+  assert(m_.size() == params.size());
+
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    Matrix& p = *params[i];
+    const Matrix& g = *grads[i];
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      const double grad = g.data()[j];
+      m.data()[j] = beta1_ * m.data()[j] + (1.0 - beta1_) * grad;
+      v.data()[j] = beta2_ * v.data()[j] + (1.0 - beta2_) * grad * grad;
+      const double m_hat = m.data()[j] / bias1;
+      const double v_hat = v.data()[j] / bias2;
+      p.data()[j] -= lr_ * m_hat / (std::sqrt(v_hat) + eps_);
+    }
+  }
+  net.zero_grads();
+}
+
+}  // namespace parole::ml

@@ -1,0 +1,51 @@
+// Optimizers. SGD is what the paper's Table II learning rate (alpha = 0.7)
+// maps onto; Adam is provided because the reward scale in gwei spans several
+// orders of magnitude and adaptive steps keep training stable at the full
+// Table II rate (the ablation in tests/ml compares both).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "parole/ml/network.hpp"
+
+namespace parole::ml {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  // Apply one update from the accumulated gradients, then zero them.
+  virtual void step(Network& net) = 0;
+};
+
+class Sgd final : public Optimizer {
+ public:
+  explicit Sgd(double learning_rate, double grad_clip = 0.0)
+      : lr_(learning_rate), clip_(grad_clip) {}
+
+  void step(Network& net) override;
+
+ private:
+  double lr_;
+  double clip_;  // 0 disables clipping; otherwise clip by global max-abs.
+};
+
+class Adam final : public Optimizer {
+ public:
+  explicit Adam(double learning_rate, double beta1 = 0.9, double beta2 = 0.999,
+                double epsilon = 1e-8)
+      : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
+
+  void step(Network& net) override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  std::size_t t_{0};
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace parole::ml

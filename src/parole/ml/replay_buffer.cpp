@@ -1,0 +1,70 @@
+#include "parole/ml/replay_buffer.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace parole::ml {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  assert(capacity_ > 0);
+  entries_.reserve(capacity_);
+  priorities_.reserve(capacity_);
+}
+
+void ReplayBuffer::push(Transition transition) {
+  if (entries_.size() < capacity_) {
+    entries_.push_back(std::move(transition));
+    priorities_.push_back(max_priority_);
+  } else {
+    entries_[write_pos_] = std::move(transition);
+    priorities_[write_pos_] = max_priority_;
+  }
+  write_pos_ = (write_pos_ + 1) % capacity_;
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t batch,
+                                                    Rng& rng) const {
+  assert(can_sample(batch));
+  std::vector<const Transition*> out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    out.push_back(&entries_[rng.index(entries_.size())]);
+  }
+  return out;
+}
+
+std::vector<std::size_t> ReplayBuffer::sample_prioritized(std::size_t batch,
+                                                          double alpha,
+                                                          Rng& rng) const {
+  assert(can_sample(batch));
+  assert(alpha >= 0.0);
+
+  // Cumulative distribution over priority^alpha; linear scan is fine at the
+  // Table II buffer size (5,000).
+  std::vector<double> cumulative(entries_.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    total += std::pow(priorities_[i], alpha);
+    cumulative[i] = total;
+  }
+
+  std::vector<std::size_t> out;
+  out.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const double target = rng.uniform() * total;
+    const auto it =
+        std::lower_bound(cumulative.begin(), cumulative.end(), target);
+    out.push_back(static_cast<std::size_t>(it - cumulative.begin()));
+  }
+  return out;
+}
+
+void ReplayBuffer::update_priority(std::size_t index, double td_error) {
+  assert(index < priorities_.size());
+  const double priority = std::fabs(td_error) + 1e-4;  // never exactly zero
+  priorities_[index] = priority;
+  max_priority_ = std::max(max_priority_, priority);
+}
+
+}  // namespace parole::ml

@@ -1,0 +1,61 @@
+// Replay memory buffer ("the agent's experiences are stored as training data
+// in a repository known as the replay memory buffer", Sec. II-C). Fixed
+// capacity ring (Table II: 5,000 entries), uniform sampling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "parole/common/rng.hpp"
+
+namespace parole::ml {
+
+struct Transition {
+  std::vector<double> state;
+  std::size_t action{0};
+  double reward{0.0};
+  std::vector<double> next_state;
+  bool done{false};
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  void push(Transition transition);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool can_sample(std::size_t batch) const {
+    return entries_.size() >= batch;
+  }
+
+  // Uniform sample with replacement of `batch` transitions.
+  [[nodiscard]] std::vector<const Transition*> sample(std::size_t batch,
+                                                      Rng& rng) const;
+
+  // Prioritized sample (Schaul et al.): transition i is drawn with
+  // probability proportional to priority_i^alpha. New transitions enter at
+  // the current maximum priority so everything is replayed at least once;
+  // update_priority() feeds |TD error| back after each fit. Returns the
+  // sampled indices so priorities can be updated.
+  [[nodiscard]] std::vector<std::size_t> sample_prioritized(
+      std::size_t batch, double alpha, Rng& rng) const;
+  void update_priority(std::size_t index, double td_error);
+
+  [[nodiscard]] const Transition& at(std::size_t index) const {
+    return entries_[index];
+  }
+  [[nodiscard]] double priority_of(std::size_t index) const {
+    return priorities_[index];
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t write_pos_{0};
+  std::vector<Transition> entries_;
+  std::vector<double> priorities_;
+  double max_priority_{1.0};
+};
+
+}  // namespace parole::ml

@@ -1,0 +1,35 @@
+// Network checkpointing.
+//
+// The paper's threat model has the IFU train GENTRANSEQ *offline* and hand
+// the weights to the adversarial aggregator; that hand-off needs a wire
+// format. Checkpoints are a small binary file: magic, format version, the
+// per-parameter-tensor shapes (so loading into a structurally different
+// network fails loudly rather than silently misassigning weights), then the
+// flat float64 weights.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "parole/common/result.hpp"
+#include "parole/ml/network.hpp"
+
+namespace parole::ml {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x50524C45;  // "PRLE"
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+// Serialize the network's parameters into a checkpoint byte buffer.
+[[nodiscard]] std::vector<std::uint8_t> serialize_network(const Network& net);
+
+// Restore parameters from a checkpoint buffer into a structurally identical
+// network. Fails (without touching `net`) on magic/version/shape mismatch.
+Status deserialize_network(Network& net,
+                           const std::vector<std::uint8_t>& bytes);
+
+// File convenience wrappers.
+Status save_checkpoint(const Network& net, const std::string& path);
+Status load_checkpoint(Network& net, const std::string& path);
+
+}  // namespace parole::ml

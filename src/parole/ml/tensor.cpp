@@ -1,0 +1,145 @@
+#include "parole/ml/tensor.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace parole::ml {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill_value)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill_value) {}
+
+Matrix Matrix::zeros(std::size_t rows, std::size_t cols) {
+  return Matrix(rows, cols, 0.0);
+}
+
+Matrix Matrix::kaiming_uniform(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit = std::sqrt(6.0 / static_cast<double>(rows));
+  for (double& v : m.data_) v = rng.uniform(-limit, limit);
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<std::vector<double>>& rows) {
+  assert(!rows.empty());
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    assert(rows[r].size() == m.cols_);
+    for (std::size_t c = 0; c < m.cols_; ++c) m.at(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.data_.data() + k * other.cols_;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed_matmul(const Matrix& other) const {
+  // (this^T) * other : (cols_ x rows_) * (rows_ x other.cols_)
+  assert(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (std::size_t k = 0; k < rows_; ++k) {
+    const double* arow = data_.data() + k * cols_;
+    const double* brow = other.data_.data() + k * other.cols_;
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double a = arow[i];
+      if (a == 0.0) continue;
+      double* orow = out.data_.data() + i * other.cols_;
+      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed(const Matrix& other) const {
+  // this * (other^T) : (rows_ x cols_) * (other.cols_ x other.rows_)
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* arow = data_.data() + i * cols_;
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const double* brow = other.data_.data() + j * other.cols_;
+      double acc = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) acc += arow[k] * brow[k];
+      out.at(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) out.at(c, r) = at(r, c);
+  }
+  return out;
+}
+
+void Matrix::add_in_place(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::sub_in_place(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+void Matrix::scale_in_place(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+void Matrix::fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+void Matrix::add_row_broadcast(const Matrix& row) {
+  assert(row.rows_ == 1 && row.cols_ == cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* dst = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) dst[c] += row.data_[c];
+  }
+}
+
+Matrix Matrix::row_sum() const {
+  Matrix out(1, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) out.data_[c] += src[c];
+  }
+  return out;
+}
+
+void Matrix::apply(const std::function<double(double)>& fn) {
+  for (double& v : data_) v = fn(v);
+}
+
+Matrix Matrix::map(const std::function<double(double)>& fn) const {
+  Matrix out = *this;
+  out.apply(fn);
+  return out;
+}
+
+double Matrix::max_abs() const {
+  double best = 0.0;
+  for (double v : data_) best = std::max(best, std::fabs(v));
+  return best;
+}
+
+double Matrix::sum() const {
+  double total = 0.0;
+  for (double v : data_) total += v;
+  return total;
+}
+
+}  // namespace parole::ml

@@ -1,0 +1,75 @@
+// Dense row-major matrix used by the neural-network substrate.
+//
+// Sized for the GENTRANSEQ workload: batches of a few dozen rows, layer
+// widths in the hundreds up to C(N,2) ~ 5k outputs. A hand-rolled triple loop
+// with the middle index innermost (cache-friendly) is plenty; doubles keep
+// the numerical-gradient tests tight.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "parole/common/rng.hpp"
+
+namespace parole::ml {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix zeros(std::size_t rows, std::size_t cols);
+  // He/Kaiming-style uniform init in [-limit, limit], limit = sqrt(6/fan_in).
+  static Matrix kaiming_uniform(std::size_t rows, std::size_t cols, Rng& rng);
+  static Matrix from_rows(
+      const std::vector<std::vector<double>>& rows);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* data() const { return data_.data(); }
+
+  // this (r x k) times other (k x c) -> (r x c).
+  [[nodiscard]] Matrix matmul(const Matrix& other) const;
+  // this^T (k x r) times other... convenience fused transposed products used
+  // by Dense::backward to avoid materializing transposes.
+  [[nodiscard]] Matrix transposed_matmul(const Matrix& other) const;  // A^T B
+  [[nodiscard]] Matrix matmul_transposed(const Matrix& other) const;  // A B^T
+
+  [[nodiscard]] Matrix transpose() const;
+
+  void add_in_place(const Matrix& other);
+  void sub_in_place(const Matrix& other);
+  void scale_in_place(double factor);
+  void fill(double value);
+
+  // Add a 1 x cols row vector to every row (bias broadcast).
+  void add_row_broadcast(const Matrix& row);
+  // Sum of rows -> 1 x cols (bias gradient).
+  [[nodiscard]] Matrix row_sum() const;
+
+  void apply(const std::function<double(double)>& fn);
+  [[nodiscard]] Matrix map(const std::function<double(double)>& fn) const;
+
+  [[nodiscard]] double max_abs() const;
+  [[nodiscard]] double sum() const;
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_{0};
+  std::size_t cols_{0};
+  std::vector<double> data_;
+};
+
+}  // namespace parole::ml

@@ -1,0 +1,51 @@
+#include "parole/rollup/aggregator.hpp"
+
+#include <utility>
+
+namespace parole::rollup {
+
+Aggregator::Aggregator(AggregatorConfig config) : config_(std::move(config)) {}
+
+Batch Aggregator::build_batch(vm::L2State& state, std::vector<vm::Tx> txs,
+                              const vm::ExecutionEngine& engine) {
+  if (config_.reorderer) {
+    txs = (*config_.reorderer)(state, std::move(txs));
+  }
+
+  Batch batch;
+  batch.header.aggregator = config_.id;
+  batch.header.pre_state_root = state.state_root();
+  batch.header.tx_count = txs.size();
+
+  batch.intermediate_roots.reserve(txs.size());
+  for (const vm::Tx& tx : txs) {
+    // Per-tx execution so the trace carries every intermediate root. A tx
+    // whose constraints fail in the committed order simply reverts on chain
+    // (skip-invalid view at the batch level); GENTRANSEQ's own search uses
+    // strict mode internally before the order ever reaches this point.
+    (void)engine.execute_tx(state, tx);
+    batch.intermediate_roots.push_back(state.state_root());
+  }
+
+  batch.txs = std::move(txs);
+  batch.header.tx_root = Batch::tx_root_of(batch.txs);
+  batch.header.post_state_root = batch.txs.empty()
+                                     ? batch.header.pre_state_root
+                                     : batch.intermediate_roots.back();
+
+  if (config_.corrupt_at_step && *config_.corrupt_at_step < batch.txs.size()) {
+    // Fault injection: flip a byte in the committed root at the chosen step
+    // and propagate to the post root so header and trace stay consistent.
+    const std::size_t step = *config_.corrupt_at_step;
+    for (std::size_t i = step; i < batch.intermediate_roots.size(); ++i) {
+      auto bytes = batch.intermediate_roots[i].bytes();
+      bytes[0] ^= 0xff;
+      batch.intermediate_roots[i] = crypto::Hash256(bytes);
+    }
+    batch.header.post_state_root = batch.intermediate_roots.back();
+  }
+
+  return batch;
+}
+
+}  // namespace parole::rollup

@@ -1,0 +1,63 @@
+// Rollup aggregator A_k.
+//
+// Collects a fixed number of transactions from Bedrock's mempool (its
+// "Mempool size" N in the evaluation), executes them against its L2 view and
+// commits the batch on L1. An *adversarial* aggregator A_P first routes the
+// collected transactions through a Reorderer (the PAROLE module, injected as
+// a callback so this layer stays independent of the attack implementation);
+// after re-ordering it executes and commits *honestly* — the batch trace and
+// post-root are correct for the altered order, so verifiers have nothing to
+// challenge. That asymmetry (profitable yet unchallengeable) is the paper's
+// core observation.
+//
+// For dispute-game testing the aggregator can also be configured to commit an
+// outright fraudulent post-root.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "parole/rollup/fraud_proof.hpp"
+#include "parole/vm/engine.hpp"
+
+namespace parole::rollup {
+
+// Maps (pre-state, collected txs) -> execution order. Implemented by
+// core::Parole for the attack; identity for honest aggregators.
+using Reorderer =
+    std::function<std::vector<vm::Tx>(const vm::L2State&, std::vector<vm::Tx>)>;
+
+struct AggregatorConfig {
+  AggregatorId id{};
+  // Number of transactions collected per batch ("Mempool size" N).
+  std::size_t mempool_size = 10;
+  // Present on adversarial aggregators only.
+  std::optional<Reorderer> reorderer;
+  // Fault injection for dispute tests: corrupt the committed post-root and
+  // the trace entry at the given step.
+  std::optional<std::size_t> corrupt_at_step;
+};
+
+class Aggregator {
+ public:
+  explicit Aggregator(AggregatorConfig config);
+
+  // Execute `txs` on `state` (in place) and build the batch + trace that
+  // would be committed on L1. Applies the reorderer first when adversarial.
+  Batch build_batch(vm::L2State& state, std::vector<vm::Tx> txs,
+                    const vm::ExecutionEngine& engine);
+
+  [[nodiscard]] AggregatorId id() const { return config_.id; }
+  [[nodiscard]] bool adversarial() const {
+    return config_.reorderer.has_value();
+  }
+  [[nodiscard]] std::size_t mempool_size() const {
+    return config_.mempool_size;
+  }
+
+ private:
+  AggregatorConfig config_;
+};
+
+}  // namespace parole::rollup

@@ -1,0 +1,141 @@
+#include "parole/rollup/codec.hpp"
+
+namespace parole::rollup {
+namespace {
+constexpr std::uint8_t kCodecVersion = 1;
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(value));
+}
+
+bool get_varint(std::span<const std::uint8_t> in, std::size_t& pos,
+                std::uint64_t& value) {
+  value = 0;
+  int shift = 0;
+  while (pos < in.size() && shift < 64) {
+    const std::uint8_t byte = in[pos++];
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+std::uint64_t zigzag_encode(std::int64_t value) {
+  return (static_cast<std::uint64_t>(value) << 1) ^
+         static_cast<std::uint64_t>(value >> 63);
+}
+
+std::int64_t zigzag_decode(std::uint64_t value) {
+  return static_cast<std::int64_t>(value >> 1) ^
+         -static_cast<std::int64_t>(value & 1);
+}
+
+std::vector<std::uint8_t> encode_batch(std::span<const vm::Tx> txs) {
+  std::vector<std::uint8_t> out;
+  out.push_back(kCodecVersion);
+  put_varint(out, txs.size());
+
+  std::uint64_t prev_id = 0;
+  std::uint64_t prev_arrival = 0;
+  for (const vm::Tx& tx : txs) {
+    // Kind (2 bits) + has-token flag packed into one byte.
+    const std::uint8_t flags = static_cast<std::uint8_t>(tx.kind) |
+                               (tx.token.has_value() ? 0x04 : 0x00);
+    out.push_back(flags);
+    put_varint(out, zigzag_encode(static_cast<std::int64_t>(tx.id.value()) -
+                                  static_cast<std::int64_t>(prev_id)));
+    prev_id = tx.id.value();
+    put_varint(out, tx.sender.value());
+    if (tx.kind == vm::TxKind::kTransfer) {
+      put_varint(out, tx.recipient.value());
+    }
+    if (tx.token.has_value()) put_varint(out, tx.token->value());
+    put_varint(out, static_cast<std::uint64_t>(tx.base_fee));
+    put_varint(out, static_cast<std::uint64_t>(tx.priority_fee));
+    put_varint(out,
+               zigzag_encode(static_cast<std::int64_t>(tx.arrival) -
+                             static_cast<std::int64_t>(prev_arrival)));
+    prev_arrival = tx.arrival;
+  }
+  return out;
+}
+
+Result<std::vector<vm::Tx>> decode_batch(
+    std::span<const std::uint8_t> bytes) {
+  std::size_t pos = 0;
+  if (bytes.empty() || bytes[pos++] != kCodecVersion) {
+    return Error{"bad_version", "unknown batch codec version"};
+  }
+  std::uint64_t count = 0;
+  if (!get_varint(bytes, pos, count)) {
+    return Error{"truncated", "missing tx count"};
+  }
+
+  std::vector<vm::Tx> txs;
+  txs.reserve(count);
+  std::uint64_t prev_id = 0;
+  std::uint64_t prev_arrival = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (pos >= bytes.size()) return Error{"truncated", "missing tx flags"};
+    const std::uint8_t flags = bytes[pos++];
+    const auto kind = static_cast<vm::TxKind>(flags & 0x03);
+    if ((flags & 0x03) > 2) return Error{"corrupt", "invalid tx kind"};
+    const bool has_token = (flags & 0x04) != 0;
+
+    std::uint64_t id_delta = 0, sender = 0, recipient = 0, token = 0;
+    std::uint64_t base_fee = 0, priority_fee = 0, arrival_delta = 0;
+    if (!get_varint(bytes, pos, id_delta) ||
+        !get_varint(bytes, pos, sender)) {
+      return Error{"truncated", "missing tx header"};
+    }
+    if (kind == vm::TxKind::kTransfer &&
+        !get_varint(bytes, pos, recipient)) {
+      return Error{"truncated", "missing recipient"};
+    }
+    if (has_token && !get_varint(bytes, pos, token)) {
+      return Error{"truncated", "missing token"};
+    }
+    if (!get_varint(bytes, pos, base_fee) ||
+        !get_varint(bytes, pos, priority_fee) ||
+        !get_varint(bytes, pos, arrival_delta)) {
+      return Error{"truncated", "missing fees"};
+    }
+
+    vm::Tx tx;
+    tx.kind = kind;
+    prev_id = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(prev_id) + zigzag_decode(id_delta));
+    tx.id = TxId{prev_id};
+    tx.sender = UserId{static_cast<std::uint32_t>(sender)};
+    if (kind == vm::TxKind::kTransfer) {
+      tx.recipient = UserId{static_cast<std::uint32_t>(recipient)};
+    }
+    if (has_token) tx.token = TokenId{static_cast<std::uint32_t>(token)};
+    tx.base_fee = static_cast<Amount>(base_fee);
+    tx.priority_fee = static_cast<Amount>(priority_fee);
+    prev_arrival = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(prev_arrival) +
+        zigzag_decode(arrival_delta));
+    tx.arrival = prev_arrival;
+    txs.push_back(std::move(tx));
+  }
+  if (pos != bytes.size()) {
+    return Error{"trailing_bytes", "unexpected bytes after batch"};
+  }
+  return txs;
+}
+
+std::size_t naive_encoded_size(std::span<const vm::Tx> txs) {
+  // The Tx::encode() canonical fixed-layout record.
+  std::size_t total = 8;  // count header
+  for (const vm::Tx& tx : txs) total += tx.encode().size();
+  return total;
+}
+
+}  // namespace parole::rollup

@@ -1,0 +1,44 @@
+// Batch calldata codec.
+//
+// Rollups are cost-effective because batches are posted to L1 as compressed
+// calldata (Sec. I-II: "batching transactions, reducing on-chain operations,
+// and minimizing transaction fees"). This codec is the simulator's version
+// of that pipeline: a compact varint wire format for NFT transactions with
+// field-wise delta encoding (tx ids and arrivals are near-sequential, so
+// their deltas are tiny), plus exact decode — aggregators post
+// encode_batch() bytes, and anyone can reconstruct the batch body to
+// re-execute against a commitment.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parole/common/result.hpp"
+#include "parole/vm/tx.hpp"
+
+namespace parole::rollup {
+
+// LEB128-style unsigned varint.
+void put_varint(std::vector<std::uint8_t>& out, std::uint64_t value);
+// Reads a varint at `pos` (advances it); false on truncation.
+bool get_varint(std::span<const std::uint8_t> in, std::size_t& pos,
+                std::uint64_t& value);
+// ZigZag for signed deltas.
+std::uint64_t zigzag_encode(std::int64_t value);
+std::int64_t zigzag_decode(std::uint64_t value);
+
+// Encode a batch body. Layout: version, count, then per-tx records with
+// delta-encoded ids/arrivals and varint fields.
+[[nodiscard]] std::vector<std::uint8_t> encode_batch(
+    std::span<const vm::Tx> txs);
+
+// Exact inverse of encode_batch().
+[[nodiscard]] Result<std::vector<vm::Tx>> decode_batch(
+    std::span<const std::uint8_t> bytes);
+
+// Size of the naive fixed-width encoding (what posting raw structs would
+// cost) — the compression baseline.
+[[nodiscard]] std::size_t naive_encoded_size(std::span<const vm::Tx> txs);
+
+}  // namespace parole::rollup

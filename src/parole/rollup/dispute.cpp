@@ -1,0 +1,90 @@
+#include "parole/rollup/dispute.hpp"
+
+#include <cassert>
+
+namespace parole::rollup {
+
+DisputeVerdict DisputeGame::run(
+    const Batch& batch, const vm::L2State& pre_state,
+    const std::vector<crypto::Hash256>& honest_roots,
+    const vm::ExecutionEngine& engine) {
+  DisputeVerdict verdict;
+  const std::size_t n = batch.txs.size();
+  assert(honest_roots.size() == n);
+
+  if (n == 0) {
+    verdict.fraud_proven =
+        batch.header.post_state_root != batch.header.pre_state_root;
+    return verdict;
+  }
+
+  // Header must match its own committed trace; if not, fraud is structural
+  // and needs no bisection.
+  if (!batch.trace_consistent()) {
+    verdict.fraud_proven = true;
+    verdict.disputed_step = n - 1;
+    verdict.proof = {batch.header.batch_id, n - 1,
+                     n >= 2 ? batch.intermediate_roots[n - 2]
+                            : batch.header.pre_state_root,
+                     batch.header.post_state_root, batch.txs[n - 1]};
+    return verdict;
+  }
+
+  // The challenger must actually disagree somewhere; otherwise the challenge
+  // is frivolous and fails.
+  std::size_t divergent = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (batch.intermediate_roots[i] != honest_roots[i]) {
+      divergent = i;
+      break;
+    }
+  }
+  if (divergent == n) {
+    verdict.fraud_proven = false;
+    return verdict;
+  }
+
+  // Bisection: invariant — parties agree on the root after step `lo`
+  // (lo == -1 means the pre-state root) and disagree after step `hi`.
+  std::ptrdiff_t lo = -1;
+  std::ptrdiff_t hi = static_cast<std::ptrdiff_t>(divergent);
+  while (hi - lo > 1) {
+    const std::ptrdiff_t mid = lo + (hi - lo) / 2;
+    const bool agree = batch.intermediate_roots[static_cast<std::size_t>(mid)] ==
+                       honest_roots[static_cast<std::size_t>(mid)];
+    verdict.transcript.push_back({static_cast<std::size_t>(lo + 1),
+                                  static_cast<std::size_t>(hi),
+                                  static_cast<std::size_t>(mid),
+                                  /*challenger_says_left=*/!agree});
+    if (agree) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    ++verdict.rounds;
+  }
+
+  const auto step = static_cast<std::size_t>(hi);
+  verdict.disputed_step = step;
+
+  // Single-step adjudication: materialize the agreed state (replay up to and
+  // including `lo`), execute the one disputed transaction, compare.
+  vm::L2State replay = pre_state;
+  for (std::size_t i = 0; i < step; ++i) {
+    (void)engine.execute_tx(replay, batch.txs[i]);
+  }
+  const crypto::Hash256 agreed_pre =
+      step == 0 ? batch.header.pre_state_root
+                : batch.intermediate_roots[step - 1];
+  assert(replay.state_root() == agreed_pre);
+
+  (void)engine.execute_tx(replay, batch.txs[step]);
+  const crypto::Hash256 truth = replay.state_root();
+
+  verdict.fraud_proven = truth != batch.intermediate_roots[step];
+  verdict.proof = {batch.header.batch_id, step, agreed_pre,
+                   batch.intermediate_roots[step], batch.txs[step]};
+  return verdict;
+}
+
+}  // namespace parole::rollup

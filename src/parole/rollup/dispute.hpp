@@ -1,0 +1,50 @@
+// Interactive dispute game (bisection over the batch's state-root trace).
+//
+// When a verifier challenges a batch, the referee (the ORSC, i.e. L1) cannot
+// re-execute the whole batch on chain. Instead, challenger and defender play
+// a bisection game over the intermediate state roots: at every round the
+// challenger points at the half of the trace containing the first
+// disagreement, until a single step remains. L1 then re-executes *only that
+// one transaction* from the agreed pre-root and rules for whichever party the
+// result supports.
+//
+// Our simulated L1 can afford single-tx re-execution (it owns a copy of the
+// pre-state and replays up to the disputed step to materialize it — standing
+// in for the state witnesses a production system would supply).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/rollup/fraud_proof.hpp"
+#include "parole/vm/engine.hpp"
+
+namespace parole::rollup {
+
+struct DisputeRound {
+  std::size_t lo{0};
+  std::size_t hi{0};
+  std::size_t mid{0};
+  bool challenger_says_left{false};
+};
+
+struct DisputeVerdict {
+  bool fraud_proven{false};
+  std::size_t disputed_step{0};
+  std::size_t rounds{0};
+  StepFraudProof proof;
+  std::vector<DisputeRound> transcript;
+};
+
+class DisputeGame {
+ public:
+  // `pre_state` is the canonical state before the batch; `honest_roots` the
+  // challenger's own re-executed trace (one root per tx). Runs the bisection
+  // against the batch's committed trace and adjudicates the final step by
+  // re-execution.
+  static DisputeVerdict run(const Batch& batch, const vm::L2State& pre_state,
+                            const std::vector<crypto::Hash256>& honest_roots,
+                            const vm::ExecutionEngine& engine);
+};
+
+}  // namespace parole::rollup

@@ -1,0 +1,49 @@
+#include "parole/rollup/economics.hpp"
+
+#include <limits>
+
+namespace parole::rollup {
+
+Amount EconomicsModel::gas_to_gwei(std::uint64_t gas) const {
+  const __int128 wei = static_cast<__int128>(gas) *
+                       static_cast<__int128>(config_.l1_gas_price_wei);
+  return static_cast<Amount>(wei / 1'000'000'000);
+}
+
+BatchEconomics EconomicsModel::analyze(std::span<const vm::Tx> txs) const {
+  BatchEconomics out;
+  out.tx_count = txs.size();
+  out.encoded_bytes = encode_batch(txs).size();
+  out.naive_bytes = naive_encoded_size(txs);
+  out.compression_ratio =
+      out.encoded_bytes == 0
+          ? 0.0
+          : static_cast<double>(out.naive_bytes) /
+                static_cast<double>(out.encoded_bytes);
+
+  const std::uint64_t gas =
+      config_.submission_overhead_gas +
+      config_.gas_per_byte * static_cast<std::uint64_t>(out.encoded_bytes);
+  out.l1_cost = gas_to_gwei(gas);
+
+  for (const vm::Tx& tx : txs) out.fee_revenue += tx.total_fee();
+  out.aggregator_net = out.fee_revenue - out.l1_cost;
+  return out;
+}
+
+std::size_t EconomicsModel::break_even_size(Amount avg_fee_per_tx,
+                                            std::size_t bytes_per_tx) const {
+  const Amount per_tx_cost =
+      gas_to_gwei(config_.gas_per_byte *
+                  static_cast<std::uint64_t>(bytes_per_tx));
+  if (avg_fee_per_tx <= per_tx_cost) {
+    return std::numeric_limits<std::size_t>::max();  // never profitable
+  }
+  const Amount overhead = gas_to_gwei(config_.submission_overhead_gas);
+  const Amount margin = avg_fee_per_tx - per_tx_cost;
+  // Smallest n with n * margin > overhead.
+  const auto n = static_cast<std::size_t>(overhead / margin) + 1;
+  return n;
+}
+
+}  // namespace parole::rollup

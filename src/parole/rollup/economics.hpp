@@ -1,0 +1,62 @@
+// Rollup economics: what a batch costs to post on L1 and what the
+// aggregator nets (Sec. I: rollups "optimize efficiency by batching
+// transactions ... minimizing transaction fees").
+//
+// Cost model follows Ethereum calldata pricing: a fixed per-submission
+// overhead (the L1 transaction to the inbox plus the commitment storage)
+// plus per-byte calldata gas on the encoded batch body. Revenue is the sum
+// of the batch's user fees. The break-even batch size — where amortized
+// overhead drops below fee income — is why aggregators batch at all.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "parole/common/amount.hpp"
+#include "parole/rollup/codec.hpp"
+
+namespace parole::rollup {
+
+struct EconomicsConfig {
+  // L1 gas for the submission transaction itself (21k base + inbox logic).
+  std::uint64_t submission_overhead_gas = 60'000;
+  // Gas per calldata byte (Ethereum charges 16 for nonzero bytes; our
+  // varint encoding is dense, so a flat 16 is the conservative model).
+  std::uint64_t gas_per_byte = 16;
+  // L1 gas price in wei per gas.
+  std::uint64_t l1_gas_price_wei = 20'000'000'000;  // 20 gwei
+};
+
+struct BatchEconomics {
+  std::size_t tx_count{0};
+  std::size_t encoded_bytes{0};
+  std::size_t naive_bytes{0};
+  double compression_ratio{0.0};  // naive / encoded
+  Amount l1_cost{0};              // gwei
+  Amount fee_revenue{0};          // gwei (sum of user fees)
+  Amount aggregator_net{0};       // revenue - cost
+
+  [[nodiscard]] bool profitable() const { return aggregator_net > 0; }
+};
+
+class EconomicsModel {
+ public:
+  explicit EconomicsModel(EconomicsConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] BatchEconomics analyze(std::span<const vm::Tx> txs) const;
+
+  // Smallest batch size at which the given average per-tx fee covers the
+  // amortized L1 cost, assuming `bytes_per_tx` encoded bytes per tx.
+  // Returns 0 when even one tx is profitable, SIZE_MAX when none is.
+  [[nodiscard]] std::size_t break_even_size(Amount avg_fee_per_tx,
+                                            std::size_t bytes_per_tx) const;
+
+  [[nodiscard]] const EconomicsConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] Amount gas_to_gwei(std::uint64_t gas) const;
+
+  EconomicsConfig config_;
+};
+
+}  // namespace parole::rollup

@@ -1,0 +1,20 @@
+#include "parole/rollup/fraud_proof.hpp"
+
+namespace parole::rollup {
+
+crypto::Hash256 Batch::tx_root_of(const std::vector<vm::Tx>& txs) {
+  std::vector<crypto::Hash256> leaves;
+  leaves.reserve(txs.size());
+  for (const vm::Tx& tx : txs) leaves.push_back(tx.hash());
+  return crypto::MerkleTree(std::move(leaves)).root();
+}
+
+bool Batch::trace_consistent() const {
+  if (intermediate_roots.size() != txs.size()) return false;
+  if (txs.empty()) {
+    return header.pre_state_root == header.post_state_root;
+  }
+  return intermediate_roots.back() == header.post_state_root;
+}
+
+}  // namespace parole::rollup

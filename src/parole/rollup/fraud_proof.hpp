@@ -1,0 +1,48 @@
+// Batches and fraud proofs.
+//
+// A batch is the unit an aggregator commits on L1: the ordered transactions,
+// a Merkle root over their hashes, and the claimed pre/post L2 state roots
+// ("the cryptographic aggregate of these transactions along with the Merkle
+// state root of the L2 chain", Sec. II-A). The aggregator also keeps the
+// intermediate state root after each transaction — that trace is what the
+// interactive dispute game bisects over to localize fraud to a single step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/chain/block.hpp"
+#include "parole/crypto/merkle.hpp"
+#include "parole/vm/engine.hpp"
+#include "parole/vm/tx.hpp"
+
+namespace parole::rollup {
+
+struct Batch {
+  chain::BatchHeader header;
+  std::vector<vm::Tx> txs;
+  // intermediate_roots[i] = state root after executing txs[0..i]. Size equals
+  // txs.size(); the last entry must equal header.post_state_root for an
+  // honest batch.
+  std::vector<crypto::Hash256> intermediate_roots;
+
+  // Merkle root over the transaction hashes, in batch order.
+  [[nodiscard]] static crypto::Hash256 tx_root_of(
+      const std::vector<vm::Tx>& txs);
+
+  // Does the carried trace terminate in the claimed post-state root?
+  [[nodiscard]] bool trace_consistent() const;
+};
+
+// A single-step fraud proof: "executing txs[step] from the state committed at
+// step-1 does not yield the root committed at step". Produced by the dispute
+// game; checked by re-execution.
+struct StepFraudProof {
+  std::uint64_t batch_id{0};
+  std::size_t step{0};
+  crypto::Hash256 agreed_pre_root;   // root both parties accept before `step`
+  crypto::Hash256 claimed_post_root; // root the aggregator committed at `step`
+  vm::Tx tx;                         // the transaction executed at `step`
+};
+
+}  // namespace parole::rollup

@@ -1,0 +1,26 @@
+#include "parole/rollup/mempool.hpp"
+
+namespace parole::rollup {
+
+void BedrockMempool::submit(vm::Tx tx) {
+  tx.arrival = arrival_seq_++;
+  queue_.push(Entry{std::move(tx), /*defer_round=*/0});
+}
+
+std::vector<vm::Tx> BedrockMempool::collect(std::size_t n) {
+  std::vector<vm::Tx> out;
+  out.reserve(std::min(n, queue_.size()));
+  while (out.size() < n && !queue_.empty()) {
+    out.push_back(queue_.top().tx);
+    queue_.pop();
+  }
+  return out;
+}
+
+void BedrockMempool::defer(vm::Tx tx) {
+  ++defer_round_;
+  tx.arrival = arrival_seq_++;
+  queue_.push(Entry{std::move(tx), defer_round_});
+}
+
+}  // namespace parole::rollup

@@ -1,0 +1,69 @@
+// Bedrock-style private mempool (Sec. IV-A).
+//
+// Bedrock creates L2 blocks at fixed intervals, so pending transactions wait
+// in a mempool that is *private*: aggregators cannot browse it or cherry-pick
+// an arbitrary subset. They must collect transactions "according to priority
+// sequence" — ordered by total (base + priority) fee, FIFO on ties. That is
+// exactly the interface exposed here: submit() and collect(n); there is no
+// peek/inspect API, which is the privacy property the paper leans on (the
+// adversarial aggregator re-orders *after* collection, it cannot choose what
+// it collects).
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "parole/vm/tx.hpp"
+
+namespace parole::rollup {
+
+class BedrockMempool {
+ public:
+  BedrockMempool() = default;
+
+  // Submit a pending transaction; stamps its arrival sequence number.
+  void submit(vm::Tx tx);
+
+  // Collect up to `n` transactions in priority order (highest total fee
+  // first, earliest arrival on ties; deferred txs always last). The returned
+  // transactions leave the pool. This models one aggregator's collection —
+  // its "Mempool size" N in the paper's evaluation.
+  std::vector<vm::Tx> collect(std::size_t n);
+
+  [[nodiscard]] std::size_t size() const { return queue_.size(); }
+  [[nodiscard]] bool empty() const { return queue_.empty(); }
+
+  // Push a transaction back with *lowest* effective priority ("send the
+  // transactions with the lowest fees to the block behind", Sec. VIII): the
+  // tx keeps its fees but sorts behind every non-deferred transaction.
+  void defer(vm::Tx tx);
+
+  [[nodiscard]] std::uint64_t submitted_total() const { return arrival_seq_; }
+
+ private:
+  struct Entry {
+    vm::Tx tx;
+    std::uint32_t defer_round{0};
+  };
+
+  struct PriorityOrder {
+    // std::priority_queue pops the *greatest*; return true when a is lower
+    // priority than b.
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.defer_round != b.defer_round) {
+        return a.defer_round > b.defer_round;
+      }
+      if (a.tx.total_fee() != b.tx.total_fee()) {
+        return a.tx.total_fee() < b.tx.total_fee();
+      }
+      return a.tx.arrival > b.tx.arrival;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, PriorityOrder> queue_;
+  std::uint64_t arrival_seq_{0};
+  std::uint32_t defer_round_{0};
+};
+
+}  // namespace parole::rollup

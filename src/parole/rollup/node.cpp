@@ -1,0 +1,162 @@
+#include "parole/rollup/node.hpp"
+
+#include <cassert>
+
+namespace parole::rollup {
+
+RollupNode::RollupNode(NodeConfig config)
+    : config_(config),
+      state_(config.max_supply, config.initial_price),
+      engine_(config.exec),
+      l1_(config.l1_block_time),
+      orsc_(config.orsc),
+      bridge_(orsc_, state_.ledger()) {}
+
+void RollupNode::add_aggregator(AggregatorConfig config) {
+  const Status registered = orsc_.register_aggregator(config.id);
+  assert(registered.ok());
+  (void)registered;
+  aggregators_.emplace_back(std::move(config));
+}
+
+void RollupNode::add_verifier(VerifierId id) {
+  const Status registered = orsc_.register_verifier(id);
+  assert(registered.ok());
+  (void)registered;
+  verifiers_.emplace_back(id);
+}
+
+void RollupNode::fund_l1(UserId user, Amount amount) {
+  orsc_.fund_l1(user, amount);
+}
+
+Status RollupNode::deposit(UserId user, Amount amount) {
+  return orsc_.deposit(user, amount);
+}
+
+void RollupNode::submit_tx(vm::Tx tx) {
+  tx.id = TxId{next_tx_id_++};
+  mempool_.submit(std::move(tx));
+}
+
+StepOutcome RollupNode::step() {
+  StepOutcome outcome;
+
+  bridge_.process_deposits();
+
+  if (aggregators_.empty() || mempool_.empty()) {
+    l1_.seal_block();
+    outcome.finalized_batches = orsc_.finalize_due(l1_.now());
+    return outcome;
+  }
+
+  // Round-robin over aggregators that still hold a live bond — a slashed
+  // aggregator's submissions would be rejected by the ORSC.
+  std::size_t probes = 0;
+  while (probes < aggregators_.size() &&
+         orsc_.aggregator_bond(aggregators_[next_aggregator_].id()) <= 0) {
+    next_aggregator_ = (next_aggregator_ + 1) % aggregators_.size();
+    ++probes;
+  }
+  if (probes == aggregators_.size()) {
+    // Everyone slashed: the rollup has no operators left.
+    l1_.seal_block();
+    outcome.finalized_batches = orsc_.finalize_due(l1_.now());
+    return outcome;
+  }
+  Aggregator& aggregator = aggregators_[next_aggregator_];
+  next_aggregator_ = (next_aggregator_ + 1) % aggregators_.size();
+
+  std::vector<vm::Tx> collected = mempool_.collect(aggregator.mempool_size());
+  if (collected.empty()) {
+    l1_.seal_block();
+    outcome.finalized_batches = orsc_.finalize_due(l1_.now());
+    return outcome;
+  }
+
+  // Mempool-side screening (Sec. VIII defense) runs before the aggregator —
+  // and therefore before any adversarial reordering — and pushes high-
+  // arbitrage transactions to the block behind.
+  if (batch_screen_) {
+    ScreenResult screened = batch_screen_(state_, std::move(collected));
+    collected = std::move(screened.admitted);
+    outcome.screened_out = screened.deferred.size();
+    for (vm::Tx& tx : screened.deferred) mempool_.defer(std::move(tx));
+    if (collected.empty()) {
+      l1_.seal_block();
+      outcome.finalized_batches = orsc_.finalize_due(l1_.now());
+      return outcome;
+    }
+  }
+
+  // Keep the pre-batch state so verifiers can re-execute and, if fraud is
+  // proven, the canonical state can roll back.
+  const vm::L2State pre_state = state_;
+
+  Batch batch = aggregator.build_batch(state_, std::move(collected), engine_);
+  auto submitted = orsc_.submit_batch(batch.header, l1_.now());
+  assert(submitted.ok());
+  batch.header.batch_id = submitted.value();
+
+  outcome.produced_batch = true;
+  outcome.batch_id = batch.header.batch_id;
+  outcome.aggregator = aggregator.id();
+  outcome.tx_count = batch.txs.size();
+
+  // Every verifier independently checks the batch; the first one that finds
+  // fraud opens the (single) challenge.
+  for (const Verifier& verifier : verifiers_) {
+    const VerificationOutcome check =
+        verifier.check(batch, pre_state, engine_);
+    if (check.valid) continue;
+
+    const Status opened =
+        orsc_.open_challenge(batch.header.batch_id, verifier.id(), l1_.now());
+    if (!opened.ok()) continue;  // someone else already disputed
+    outcome.challenged = true;
+
+    // The challenger's honest trace for the bisection game.
+    std::vector<crypto::Hash256> honest_roots;
+    honest_roots.reserve(batch.txs.size());
+    vm::L2State replay = pre_state;
+    for (const vm::Tx& tx : batch.txs) {
+      (void)engine_.execute_tx(replay, tx);
+      honest_roots.push_back(replay.state_root());
+    }
+
+    const DisputeVerdict verdict =
+        DisputeGame::run(batch, pre_state, honest_roots, engine_);
+    const Status resolved =
+        orsc_.resolve_challenge(batch.header.batch_id, verdict.fraud_proven);
+    assert(resolved.ok());
+    (void)resolved;
+
+    if (verdict.fraud_proven) {
+      outcome.fraud_proven = true;
+      // The fraudulent batch is reverted: canonical state rolls back and the
+      // transactions return to the mempool for an honest aggregator.
+      state_ = pre_state;
+      for (vm::Tx& tx : batch.txs) mempool_.defer(std::move(tx));
+    }
+    break;
+  }
+
+  // The commitment hit L1 regardless of how the dispute ended.
+  l1_.stage_batch(batch.header);
+  if (!outcome.fraud_proven) {
+    batches_.push_back(std::move(batch));
+  }
+  l1_.seal_block();
+  outcome.finalized_batches = orsc_.finalize_due(l1_.now());
+  return outcome;
+}
+
+std::vector<StepOutcome> RollupNode::run_until_drained(std::size_t max_steps) {
+  std::vector<StepOutcome> outcomes;
+  for (std::size_t i = 0; i < max_steps && !mempool_.empty(); ++i) {
+    outcomes.push_back(step());
+  }
+  return outcomes;
+}
+
+}  // namespace parole::rollup

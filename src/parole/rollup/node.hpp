@@ -1,0 +1,108 @@
+// RollupNode: the full optimistic-rollup pipeline of Fig. 1 wired together.
+//
+//   users --deposit--> ORSC --bridge--> L2 ledger
+//   users --submit---> Bedrock mempool --collect--> aggregator (A_P reorders)
+//   aggregator --batch+roots--> ORSC --challenge period--> finalized on L1
+//   verifiers --re-execute--> challenge --bisection--> slash / finalize
+//
+// One step() = one aggregation round: the next aggregator (round-robin)
+// collects its N transactions, builds and commits a batch, every verifier
+// checks it, disputes resolve, an L1 block seals, and due batches finalize.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/chain/bridge.hpp"
+#include "parole/chain/l1_chain.hpp"
+#include "parole/chain/orsc.hpp"
+#include "parole/rollup/aggregator.hpp"
+#include "parole/rollup/dispute.hpp"
+#include "parole/rollup/mempool.hpp"
+#include "parole/rollup/verifier.hpp"
+#include "parole/vm/engine.hpp"
+
+namespace parole::rollup {
+
+struct NodeConfig {
+  std::uint32_t max_supply = 10;
+  Amount initial_price = eth(0, 200);  // 0.2 ETH, the Sec. VI default
+  chain::OrscConfig orsc;
+  vm::ExecConfig exec;
+  std::uint64_t l1_block_time = 12;
+};
+
+struct StepOutcome {
+  bool produced_batch{false};
+  std::uint64_t batch_id{0};
+  AggregatorId aggregator{};
+  std::size_t tx_count{0};
+  bool challenged{false};
+  bool fraud_proven{false};
+  std::size_t screened_out{0};  // txs deferred by the batch screen
+  std::vector<std::uint64_t> finalized_batches;
+};
+
+// Mempool-side batch screening hook (the Sec. VIII defense plugs in here):
+// given the pre-batch state and the collected transactions, return the
+// admitted set and the set to defer to the block behind. Runs *before* the
+// aggregator (and therefore before any adversarial reordering).
+struct ScreenResult {
+  std::vector<vm::Tx> admitted;
+  std::vector<vm::Tx> deferred;
+};
+using BatchScreen =
+    std::function<ScreenResult(const vm::L2State&, std::vector<vm::Tx>)>;
+
+class RollupNode {
+ public:
+  explicit RollupNode(NodeConfig config = {});
+
+  // --- topology --------------------------------------------------------------
+  void add_aggregator(AggregatorConfig config);
+  void add_verifier(VerifierId id);
+  // Install (or clear, with nullptr) the mempool-side batch screen.
+  void set_batch_screen(BatchScreen screen) {
+    batch_screen_ = std::move(screen);
+  }
+
+  // --- user actions ----------------------------------------------------------
+  void fund_l1(UserId user, Amount amount);
+  Status deposit(UserId user, Amount amount);
+  void submit_tx(vm::Tx tx);
+
+  // --- simulation ------------------------------------------------------------
+  StepOutcome step();
+  // Run steps until the mempool is drained (or `max_steps`).
+  std::vector<StepOutcome> run_until_drained(std::size_t max_steps = 10'000);
+
+  // --- inspection ------------------------------------------------------------
+  [[nodiscard]] const vm::L2State& state() const { return state_; }
+  [[nodiscard]] vm::L2State& state() { return state_; }
+  [[nodiscard]] BedrockMempool& mempool() { return mempool_; }
+  [[nodiscard]] const chain::L1Chain& l1() const { return l1_; }
+  [[nodiscard]] chain::OrscContract& orsc() { return orsc_; }
+  [[nodiscard]] chain::Bridge& bridge() { return bridge_; }
+  [[nodiscard]] const vm::ExecutionEngine& engine() const { return engine_; }
+  [[nodiscard]] const std::vector<Batch>& batches() const { return batches_; }
+  [[nodiscard]] std::size_t aggregator_count() const {
+    return aggregators_.size();
+  }
+
+ private:
+  NodeConfig config_;
+  vm::L2State state_;
+  vm::ExecutionEngine engine_;
+  BedrockMempool mempool_;
+  chain::L1Chain l1_;
+  chain::OrscContract orsc_;
+  chain::Bridge bridge_;
+  std::vector<Aggregator> aggregators_;
+  std::vector<Verifier> verifiers_;
+  BatchScreen batch_screen_;
+  std::vector<Batch> batches_;
+  std::size_t next_aggregator_{0};
+  std::uint64_t next_tx_id_{0};
+};
+
+}  // namespace parole::rollup

@@ -1,0 +1,55 @@
+#include "parole/rollup/sequencer.hpp"
+
+#include <utility>
+
+namespace parole::rollup {
+
+CentralSequencer::CentralSequencer(SequencerConfig config)
+    : config_(std::move(config)) {}
+
+void CentralSequencer::submit(vm::Tx tx) {
+  if (config_.censor && config_.censor(tx)) {
+    ++stats_.txs_censored;
+    return;
+  }
+  pending_.push_back(std::move(tx));
+}
+
+std::optional<Batch> CentralSequencer::produce_block(
+    vm::L2State& state, const vm::ExecutionEngine& engine) {
+  if (halted_) {
+    ++stats_.halted_ticks;
+    return std::nullopt;
+  }
+  if (pending_.empty()) return std::nullopt;
+
+  std::vector<vm::Tx> txs;
+  while (txs.size() < config_.max_block_txs && !pending_.empty()) {
+    txs.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+
+  if (config_.reorderer) {
+    txs = (*config_.reorderer)(state, std::move(txs));
+  }
+
+  Batch batch;
+  batch.header.pre_state_root = state.state_root();
+  batch.header.tx_count = txs.size();
+  batch.intermediate_roots.reserve(txs.size());
+  for (const vm::Tx& tx : txs) {
+    (void)engine.execute_tx(state, tx);
+    batch.intermediate_roots.push_back(state.state_root());
+  }
+  batch.txs = std::move(txs);
+  batch.header.tx_root = Batch::tx_root_of(batch.txs);
+  batch.header.post_state_root = batch.txs.empty()
+                                     ? batch.header.pre_state_root
+                                     : batch.intermediate_roots.back();
+
+  ++stats_.blocks_produced;
+  stats_.txs_sequenced += batch.txs.size();
+  return batch;
+}
+
+}  // namespace parole::rollup

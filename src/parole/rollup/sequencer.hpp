@@ -1,0 +1,75 @@
+// Centralized sequencer model (Sec. I).
+//
+// Before aggregator decentralization, a rollup's ordering power sits with a
+// single sequencer, which the paper flags for three risks:
+//   * MEV extraction — it can order however it likes (same Reorderer hook
+//     the adversarial aggregator uses, but with *no* fee-priority pretense);
+//   * censorship — it can silently drop transactions;
+//   * liveness — "if it fails, the entire L2 rollup system can collapse":
+//     a halted sequencer produces no blocks and the backlog grows without
+//     bound.
+//
+// The sequencer composes with the same execution engine and batch format as
+// the aggregator path, so the attack comparison (aggregator-PAROLE vs
+// sequencer-PAROLE) is apples to apples.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <deque>
+#include <vector>
+
+#include "parole/rollup/aggregator.hpp"
+#include "parole/rollup/fraud_proof.hpp"
+#include "parole/vm/engine.hpp"
+
+namespace parole::rollup {
+
+struct SequencerConfig {
+  // Transactions per produced L2 block.
+  std::size_t max_block_txs = 20;
+  // MEV extraction hook (the PAROLE module, for a sequencer-side attack).
+  std::optional<Reorderer> reorderer;
+  // Censorship predicate: submitted txs matching it are silently dropped.
+  std::function<bool(const vm::Tx&)> censor;
+};
+
+struct SequencerStats {
+  std::uint64_t blocks_produced{0};
+  std::uint64_t txs_sequenced{0};
+  std::uint64_t txs_censored{0};
+  std::uint64_t halted_ticks{0};
+};
+
+class CentralSequencer {
+ public:
+  explicit CentralSequencer(SequencerConfig config);
+
+  // Users submit directly to the sequencer (no public mempool at all —
+  // stronger privacy than Bedrock's, and stronger ordering power).
+  void submit(vm::Tx tx);
+
+  // Produce one L2 block against `state`: take up to max_block_txs pending
+  // txs in FIFO order, apply the reorderer if configured, execute, and
+  // return the committed batch. Returns nullopt while halted (the backlog
+  // keeps growing) or when nothing is pending.
+  std::optional<Batch> produce_block(vm::L2State& state,
+                                     const vm::ExecutionEngine& engine);
+
+  // Liveness failure and recovery.
+  void halt() { halted_ = true; }
+  void recover() { halted_ = false; }
+  [[nodiscard]] bool halted() const { return halted_; }
+
+  [[nodiscard]] std::size_t backlog() const { return pending_.size(); }
+  [[nodiscard]] const SequencerStats& stats() const { return stats_; }
+
+ private:
+  SequencerConfig config_;
+  std::deque<vm::Tx> pending_;
+  bool halted_{false};
+  SequencerStats stats_;
+};
+
+}  // namespace parole::rollup

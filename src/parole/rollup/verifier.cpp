@@ -1,0 +1,38 @@
+#include "parole/rollup/verifier.hpp"
+
+namespace parole::rollup {
+
+VerificationOutcome Verifier::check(const Batch& batch,
+                                    const vm::L2State& pre_state,
+                                    const vm::ExecutionEngine& engine) const {
+  VerificationOutcome outcome;
+
+  vm::L2State replay = pre_state;
+  if (replay.state_root() != batch.header.pre_state_root) {
+    // The aggregator built on a state the verifier does not recognise.
+    outcome.valid = false;
+    outcome.first_bad_step = 0;
+    outcome.honest_post_root = replay.state_root();
+    return outcome;
+  }
+
+  for (std::size_t i = 0; i < batch.txs.size(); ++i) {
+    (void)engine.execute_tx(replay, batch.txs[i]);
+    const crypto::Hash256 honest_root = replay.state_root();
+    if (i >= batch.intermediate_roots.size() ||
+        batch.intermediate_roots[i] != honest_root) {
+      outcome.valid = false;
+      if (!outcome.first_bad_step) outcome.first_bad_step = i;
+    }
+  }
+
+  outcome.honest_post_root = replay.state_root();
+  if (outcome.valid &&
+      batch.header.post_state_root != outcome.honest_post_root) {
+    outcome.valid = false;
+    outcome.first_bad_step = batch.txs.empty() ? 0 : batch.txs.size() - 1;
+  }
+  return outcome;
+}
+
+}  // namespace parole::rollup

@@ -1,0 +1,43 @@
+// Rollup verifier V_k.
+//
+// Monitors batch commitments and re-executes each batch from the pre-state
+// to check the claimed post-root (the optimistic-rollup fraud-proof check,
+// Sec. II-A / V-A). When the re-derived root disagrees, the verifier opens a
+// challenge; the interactive dispute game (dispute.*) then pins the fraud to
+// one step. Challenging carries risk: a wrong challenge costs the verifier
+// its own bond, so check() is exact, not heuristic.
+#pragma once
+
+#include <optional>
+
+#include "parole/rollup/fraud_proof.hpp"
+#include "parole/vm/engine.hpp"
+
+namespace parole::rollup {
+
+struct VerificationOutcome {
+  bool valid{true};
+  // First step whose committed root disagrees with honest re-execution
+  // (what the verifier would assert in the dispute game).
+  std::optional<std::size_t> first_bad_step;
+  crypto::Hash256 honest_post_root;
+};
+
+class Verifier {
+ public:
+  explicit Verifier(VerifierId id) : id_(id) {}
+
+  // Re-execute `batch` from a copy of `pre_state` and compare the committed
+  // trace. `pre_state` must be the canonical L2 state before the batch.
+  [[nodiscard]] VerificationOutcome check(const Batch& batch,
+                                          const vm::L2State& pre_state,
+                                          const vm::ExecutionEngine& engine)
+      const;
+
+  [[nodiscard]] VerifierId id() const { return id_; }
+
+ private:
+  VerifierId id_;
+};
+
+}  // namespace parole::rollup

@@ -1,0 +1,82 @@
+#include "parole/rollup/witnessed_dispute.hpp"
+
+#include <cassert>
+
+namespace parole::rollup {
+
+SmtTrace build_smt_trace(const vm::L2State& pre_state,
+                         std::span<const vm::Tx> txs,
+                         const vm::ExecutionEngine& engine) {
+  SmtTrace trace;
+  trace.pre_root = vm::smt_state_root(pre_state);
+  trace.roots.reserve(txs.size());
+  vm::L2State state = pre_state;
+  for (const vm::Tx& tx : txs) {
+    (void)engine.execute_tx(state, tx);
+    trace.roots.push_back(vm::smt_state_root(state));
+  }
+  return trace;
+}
+
+WitnessedVerdict WitnessedDisputeGame::run(
+    std::span<const vm::Tx> txs, const SmtTrace& committed,
+    const SmtTrace& honest, const WitnessProvider& witness_provider,
+    const vm::StatelessConfig& config) {
+  WitnessedVerdict verdict;
+  const std::size_t n = txs.size();
+  assert(committed.roots.size() == n);
+  assert(honest.roots.size() == n);
+  assert(committed.pre_root == honest.pre_root);
+
+  // The challenge must name a disagreement; otherwise it is frivolous.
+  std::size_t divergent = n;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (committed.roots[i] != honest.roots[i]) {
+      divergent = i;
+      break;
+    }
+  }
+  if (divergent == n) return verdict;
+
+  // Bisection: agree after `lo` (-1 = the shared pre-root), disagree after
+  // `hi`. Each round the challenger reveals whether its root at the midpoint
+  // matches the asserter's commitment.
+  std::ptrdiff_t lo = -1;
+  std::ptrdiff_t hi = static_cast<std::ptrdiff_t>(divergent);
+  while (hi - lo > 1) {
+    const std::ptrdiff_t mid = lo + (hi - lo) / 2;
+    const bool agree =
+        committed.roots[static_cast<std::size_t>(mid)] ==
+        honest.roots[static_cast<std::size_t>(mid)];
+    if (agree) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    ++verdict.rounds;
+  }
+
+  const auto step = static_cast<std::size_t>(hi);
+  verdict.disputed_step = step;
+  const crypto::Hash256& agreed_pre = committed.root_before(step);
+
+  // Single-step adjudication, stateless: the witness must prove against the
+  // agreed pre-root; then one transaction is executed from it.
+  const vm::TxWitness witness = witness_provider(step);
+  if (witness.pre_root != agreed_pre) {
+    verdict.witness_rejected = true;  // unusable witness: challenge fails
+    return verdict;
+  }
+  const auto outcome = vm::stateless_execute(witness, txs[step], config);
+  if (!outcome.ok()) {
+    verdict.witness_rejected = true;
+    return verdict;
+  }
+
+  verdict.adjudicated_root = outcome.value().post_root;
+  verdict.fraud_proven =
+      outcome.value().post_root != committed.roots[step];
+  return verdict;
+}
+
+}  // namespace parole::rollup

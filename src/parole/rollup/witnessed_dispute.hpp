@@ -1,0 +1,71 @@
+// Witnessed dispute game: the full interactive fraud proof the way a
+// production optimistic rollup runs it.
+//
+// DisputeGame (dispute.*) localizes fraud by bisection but adjudicates the
+// final step by replaying the pre-state — something a real L1 cannot do.
+// This variant removes that crutch: batches commit SMT state roots
+// (vm::smt_state_root), the bisection narrows the disagreement to one
+// transaction exactly as before, and the final step is adjudicated by
+// vm::stateless_execute over a witness proven against the *agreed* pre-root.
+// The referee therefore only ever touches:
+//
+//   * the two parties' root claims (O(log N) of them, via bisection),
+//   * one transaction,
+//   * one witness (a handful of SMT proofs).
+//
+// A dishonest witness cannot help either party: every proof must verify
+// against the root both parties already agreed on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "parole/vm/engine.hpp"
+#include "parole/vm/witness.hpp"
+
+namespace parole::rollup {
+
+// SMT state-root trace over a batch: root after every transaction.
+struct SmtTrace {
+  crypto::Hash256 pre_root;
+  std::vector<crypto::Hash256> roots;
+
+  [[nodiscard]] const crypto::Hash256& root_before(std::size_t step) const {
+    return step == 0 ? pre_root : roots[step - 1];
+  }
+};
+
+// Execute `txs` from `pre_state` (copy) and record the SMT root after each
+// transaction — what an aggregator would commit alongside the batch.
+[[nodiscard]] SmtTrace build_smt_trace(const vm::L2State& pre_state,
+                                       std::span<const vm::Tx> txs,
+                                       const vm::ExecutionEngine& engine);
+
+// Supplies the witness for the disputed step once bisection has pinned it.
+// In practice the challenger (who has the honest state) provides it; the
+// game verifies it against the agreed pre-root regardless of provenance.
+using WitnessProvider = std::function<vm::TxWitness(std::size_t step)>;
+
+struct WitnessedVerdict {
+  bool fraud_proven{false};
+  std::size_t disputed_step{0};
+  std::size_t rounds{0};
+  // Set when the provided witness itself failed verification (the challenge
+  // collapses without an adjudicable witness — challenger loses).
+  bool witness_rejected{false};
+  crypto::Hash256 adjudicated_root;  // the truth for the disputed step
+};
+
+class WitnessedDisputeGame {
+ public:
+  // `committed` is the asserter's (possibly fraudulent) trace, `honest` the
+  // challenger's. Both must share pre_root (the previously finalized state).
+  static WitnessedVerdict run(std::span<const vm::Tx> txs,
+                              const SmtTrace& committed,
+                              const SmtTrace& honest,
+                              const WitnessProvider& witness_provider,
+                              const vm::StatelessConfig& config);
+};
+
+}  // namespace parole::rollup

@@ -1,0 +1,90 @@
+#include "parole/solvers/annealing.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "parole/solvers/instrument.hpp"
+
+namespace parole::solvers {
+
+SolveResult AnnealingSolver::solve(const ReorderingProblem& problem,
+                                   Rng& rng) {
+  Timer timer;
+  MemoryMeter meter;
+  const std::uint64_t evals_before = problem.evaluations();
+  const std::size_t n = problem.size();
+
+  SolveResult result;
+  result.solver = name();
+  result.baseline = problem.baseline();
+  result.best_value = result.baseline;
+  result.best_order.resize(n);
+  std::iota(result.best_order.begin(), result.best_order.end(), 0);
+
+  if (n < 2) {
+    result.wall_millis = timer.elapsed_millis();
+    return result;
+  }
+
+  std::vector<std::size_t> current = result.best_order;
+  Amount current_value = result.baseline;
+
+  // The retained in-core history: every accepted state's order + value.
+  std::vector<std::pair<std::vector<std::size_t>, Amount>> history;
+
+  const auto iterations = static_cast<std::size_t>(
+      config_.iteration_factor * static_cast<double>(n) *
+      static_cast<double>(n));
+  double temperature =
+      config_.initial_temperature * static_cast<double>(kGweiPerEth);
+
+  for (std::size_t iter = 0; iter < iterations; ++iter) {
+    const std::size_t i = rng.index(n);
+    std::size_t j = rng.index(n);
+    if (i == j) j = (j + 1) % n;
+
+    std::swap(current[i], current[j]);
+    const auto value = problem.evaluate(current);
+
+    bool accept = false;
+    if (value) {
+      const double delta = static_cast<double>(*value - current_value);
+      accept = delta >= 0.0 ||
+               rng.uniform() < std::exp(delta / std::max(temperature, 1.0));
+    }
+
+    if (accept) {
+      current_value = *value;
+      if (history.size() < config_.history_cap) {
+        history.emplace_back(current, current_value);
+        meter.add(current.size() * sizeof(std::size_t) +
+                  sizeof(std::pair<std::vector<std::size_t>, Amount>));
+      }
+      if (current_value > result.best_value) {
+        result.best_value = current_value;
+        result.best_order = current;
+      }
+    } else {
+      std::swap(current[i], current[j]);  // revert
+    }
+
+    temperature *= config_.cooling;
+
+    // Reheat from the best retained state when the search has gone cold.
+    if (temperature < 1.0 && !history.empty() &&
+        iter + n * n / 4 < iterations) {
+      temperature = config_.initial_temperature *
+                    static_cast<double>(kGweiPerEth) * 0.25;
+      current = result.best_order;
+      current_value = result.best_value;
+    }
+  }
+
+  result.improved = result.best_value > result.baseline;
+  result.evaluations = problem.evaluations() - evals_before;
+  result.wall_millis = timer.elapsed_millis();
+  result.peak_bytes = meter.peak();
+  return result;
+}
+
+}  // namespace parole::solvers

@@ -1,0 +1,38 @@
+// Simulated annealing over swap moves — the stand-in for MINOS in Fig. 11
+// (see DESIGN.md substitutions).
+//
+// MINOS ("Modular In-core Nonlinear Optimization System") is characterized by
+// holding its full working set in core while iterating projected-Lagrangian
+// steps. The combinatorial analogue here anneals over the swap neighbourhood
+// with a geometric temperature schedule, retaining the visited-state history
+// in memory (the "in-core" working set) for reheating and best-so-far
+// restoration. Iteration count scales with N^2, which yields the
+// super-linear Fig. 11(a) time growth; the retained history yields the
+// Fig. 11(b) memory growth.
+#pragma once
+
+#include "parole/solvers/problem.hpp"
+
+namespace parole::solvers {
+
+struct AnnealingConfig {
+  double initial_temperature = 0.05;  // in ETH units of objective delta
+  double cooling = 0.995;
+  // Iterations = iteration_factor * N^2 (N = problem size).
+  double iteration_factor = 4.0;
+  // Cap on the retained visited-state history (entries).
+  std::size_t history_cap = 200'000;
+};
+
+class AnnealingSolver final : public Solver {
+ public:
+  explicit AnnealingSolver(AnnealingConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "Annealing-MINOS"; }
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+
+ private:
+  AnnealingConfig config_;
+};
+
+}  // namespace parole::solvers

@@ -1,0 +1,41 @@
+// Depth-first branch-and-bound over sequence prefixes — the stand-in for
+// APOPT in Fig. 11 (see DESIGN.md substitutions).
+//
+// APOPT is an active-set/branching NLP-MINLP solver; its combinatorial
+// analogue here branches on "which transaction executes next", bounding each
+// subtree with an optimistic estimate of the IFUs' achievable final balance:
+//
+//   bound = L2(ifu) + sells_remaining * P_max + (holdings + acquisitions) * P_max
+//
+// where P_max is the price at the minimum supply reachable in the suffix.
+// The bound is admissible (never underestimates), so pruning is exact; the
+// frontier stack still grows combinatorially on adversarial instances, which
+// is the honest source of its Fig. 11 time/memory growth. A node budget keeps
+// worst cases finite; within budget on small N it returns the true optimum.
+#pragma once
+
+#include "parole/solvers/problem.hpp"
+
+namespace parole::solvers {
+
+struct BranchBoundConfig {
+  std::size_t node_budget = 2'000'000;
+};
+
+class BranchBoundSolver final : public Solver {
+ public:
+  explicit BranchBoundSolver(BranchBoundConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "BnB-APOPT"; }
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+
+  // Exposed for tests: was the last solve exhaustive (budget not exhausted)?
+  [[nodiscard]] bool last_run_complete() const { return last_run_complete_; }
+
+ private:
+  BranchBoundConfig config_;
+  bool last_run_complete_{false};
+};
+
+}  // namespace parole::solvers

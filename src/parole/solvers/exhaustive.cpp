@@ -1,0 +1,45 @@
+#include "parole/solvers/exhaustive.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "parole/solvers/instrument.hpp"
+
+namespace parole::solvers {
+
+SolveResult ExhaustiveSolver::solve(const ReorderingProblem& problem,
+                                    Rng& rng) {
+  (void)rng;  // deterministic
+  assert(problem.size() <= kMaxSize);
+
+  Timer timer;
+  MemoryMeter meter;
+  const std::uint64_t evals_before = problem.evaluations();
+
+  std::vector<std::size_t> order(problem.size());
+  std::iota(order.begin(), order.end(), 0);
+  meter.add(order.size() * sizeof(std::size_t) * 2);  // order + best copy
+
+  SolveResult result;
+  result.solver = name();
+  result.baseline = problem.baseline();
+  result.best_order = order;
+  result.best_value = result.baseline;
+
+  do {
+    const auto value = problem.evaluate(order);
+    if (value && *value > result.best_value) {
+      result.best_value = *value;
+      result.best_order = order;
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+
+  result.improved = result.best_value > result.baseline;
+  result.evaluations = problem.evaluations() - evals_before;
+  result.wall_millis = timer.elapsed_millis();
+  result.peak_bytes = meter.peak();
+  return result;
+}
+
+}  // namespace parole::solvers

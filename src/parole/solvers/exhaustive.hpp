@@ -1,0 +1,20 @@
+// Exhaustive permutation search — ground truth for small N.
+//
+// Enumerates all N! orders (guarded: refuses N > 10). Used by tests to
+// certify that heuristic solvers and the DQN find the true optimum on small
+// instances, e.g. the Sec. VI case study where the optimum is Fig. 5(c).
+#pragma once
+
+#include "parole/solvers/problem.hpp"
+
+namespace parole::solvers {
+
+class ExhaustiveSolver final : public Solver {
+ public:
+  static constexpr std::size_t kMaxSize = 10;
+
+  [[nodiscard]] std::string name() const override { return "Exhaustive"; }
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+};
+
+}  // namespace parole::solvers

@@ -1,0 +1,76 @@
+#include "parole/solvers/greedy.hpp"
+
+#include <numeric>
+
+#include "parole/solvers/instrument.hpp"
+
+namespace parole::solvers {
+
+SolveResult GreedyInsertionSolver::solve(const ReorderingProblem& problem,
+                                         Rng& rng) {
+  (void)rng;  // deterministic
+
+  Timer timer;
+  MemoryMeter meter;
+  const std::uint64_t evals_before = problem.evaluations();
+  const std::size_t n = problem.size();
+
+  SolveResult result;
+  result.solver = name();
+  result.baseline = problem.baseline();
+
+  // `chosen` is the committed prefix; `remaining` keeps original relative
+  // order so every candidate is a full permutation.
+  std::vector<std::size_t> chosen;
+  std::vector<std::size_t> remaining(n);
+  std::iota(remaining.begin(), remaining.end(), 0);
+  std::vector<std::size_t> candidate(n);
+  meter.add((2 * n + n) * sizeof(std::size_t));
+
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    std::size_t best_pick = remaining.size();  // sentinel: keep original head
+    Amount best_value = 0;
+    bool have_valid = false;
+
+    for (std::size_t pick = 0; pick < remaining.size(); ++pick) {
+      candidate.clear();
+      candidate.insert(candidate.end(), chosen.begin(), chosen.end());
+      candidate.push_back(remaining[pick]);
+      for (std::size_t i = 0; i < remaining.size(); ++i) {
+        if (i != pick) candidate.push_back(remaining[i]);
+      }
+      const auto value = problem.evaluate(candidate);
+      if (value && (!have_valid || *value > best_value)) {
+        have_valid = true;
+        best_value = *value;
+        best_pick = pick;
+      }
+    }
+
+    // If no placement is valid (cannot happen for the original order's head,
+    // but keep the loop robust), fall back to the original-relative head.
+    if (best_pick == remaining.size()) best_pick = 0;
+    chosen.push_back(remaining[best_pick]);
+    remaining.erase(remaining.begin() +
+                    static_cast<std::ptrdiff_t>(best_pick));
+  }
+
+  result.best_order = chosen;
+  const auto final_value = problem.evaluate(chosen);
+  result.best_value = final_value.value_or(result.baseline);
+
+  // Never return something worse than the original order.
+  if (result.best_value < result.baseline) {
+    result.best_order.resize(n);
+    std::iota(result.best_order.begin(), result.best_order.end(), 0);
+    result.best_value = result.baseline;
+  }
+
+  result.improved = result.best_value > result.baseline;
+  result.evaluations = problem.evaluations() - evals_before;
+  result.wall_millis = timer.elapsed_millis();
+  result.peak_bytes = meter.peak();
+  return result;
+}
+
+}  // namespace parole::solvers

@@ -1,0 +1,22 @@
+// Greedy insertion heuristic.
+//
+// Builds the order position by position: at slot t, try every not-yet-placed
+// transaction, complete the suffix with the remaining transactions in their
+// original relative order, and keep the candidate with the best (valid)
+// objective. O(N^2) full-sequence evaluations, each O(N) tx executions.
+// Fast, deterministic, and a useful floor for the heuristic comparisons —
+// it captures the "mint late, burn early" structure of Sec. VI but misses
+// coupled multi-swap improvements.
+#pragma once
+
+#include "parole/solvers/problem.hpp"
+
+namespace parole::solvers {
+
+class GreedyInsertionSolver final : public Solver {
+ public:
+  [[nodiscard]] std::string name() const override { return "GreedyInsertion"; }
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+};
+
+}  // namespace parole::solvers

@@ -1,0 +1,84 @@
+#include "parole/solvers/hill_climb.hpp"
+
+#include <numeric>
+
+#include "parole/solvers/instrument.hpp"
+
+namespace parole::solvers {
+namespace {
+
+struct NeighbourEntry {
+  std::size_t i;
+  std::size_t j;
+  Amount value;
+  bool valid;
+};
+
+}  // namespace
+
+SolveResult HillClimbSolver::solve(const ReorderingProblem& problem,
+                                   Rng& rng) {
+  Timer timer;
+  MemoryMeter meter;
+  const std::uint64_t evals_before = problem.evaluations();
+  const std::size_t n = problem.size();
+
+  SolveResult result;
+  result.solver = name();
+  result.baseline = problem.baseline();
+  result.best_value = result.baseline;
+  result.best_order.resize(n);
+  std::iota(result.best_order.begin(), result.best_order.end(), 0);
+
+  std::vector<NeighbourEntry> neighbourhood;
+  neighbourhood.reserve(n * (n - 1) / 2);
+  meter.add(neighbourhood.capacity() * sizeof(NeighbourEntry));
+
+  for (std::size_t restart = 0; restart <= config_.restarts; ++restart) {
+    std::vector<std::size_t> current(n);
+    std::iota(current.begin(), current.end(), 0);
+    if (restart > 0) rng.shuffle(current);
+
+    auto current_value = problem.evaluate(current);
+    if (!current_value) continue;  // shuffled start can be invalid
+
+    for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+      // Scan the full swap neighbourhood, retaining the dense table.
+      neighbourhood.clear();
+      for (std::size_t i = 0; i + 1 < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          std::swap(current[i], current[j]);
+          const auto value = problem.evaluate(current);
+          neighbourhood.push_back(
+              {i, j, value.value_or(0), value.has_value()});
+          std::swap(current[i], current[j]);
+        }
+      }
+      meter.set_current(neighbourhood.capacity() * sizeof(NeighbourEntry) +
+                        2 * n * sizeof(std::size_t));
+
+      const NeighbourEntry* best = nullptr;
+      for (const auto& entry : neighbourhood) {
+        if (!entry.valid) continue;
+        if (best == nullptr || entry.value > best->value) best = &entry;
+      }
+      if (best == nullptr || best->value <= *current_value) break;
+
+      std::swap(current[best->i], current[best->j]);
+      current_value = best->value;
+    }
+
+    if (current_value && *current_value > result.best_value) {
+      result.best_value = *current_value;
+      result.best_order = current;
+    }
+  }
+
+  result.improved = result.best_value > result.baseline;
+  result.evaluations = problem.evaluations() - evals_before;
+  result.wall_millis = timer.elapsed_millis();
+  result.peak_bytes = meter.peak();
+  return result;
+}
+
+}  // namespace parole::solvers

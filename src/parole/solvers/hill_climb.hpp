@@ -1,0 +1,39 @@
+// Best-improvement hill climbing over the pairwise-swap neighbourhood —
+// the stand-in for SNOPT in Fig. 11 (see DESIGN.md substitutions).
+//
+// SNOPT is a sequential-quadratic-programming solver: it iterates local
+// models around the incumbent and takes the best improving step, terminating
+// at a local optimum. The combinatorial analogue on this problem is
+// best-improvement local search over all C(N,2) swaps: each iteration scans
+// the full quadratic neighbourhood (the "QP subproblem") and applies the best
+// improving swap. Like SNOPT it is excellent at small N — it finds the true
+// optimum of the 8-tx case study — and degrades super-linearly with N, which
+// is the Fig. 11(a) shape.
+//
+// Bookkeeping: the full neighbourhood's (value, swap) table is retained per
+// iteration (O(N^2) entries), mirroring a dense QP workspace; that is the
+// honest source of its Fig. 11(b) memory growth.
+#pragma once
+
+#include "parole/solvers/problem.hpp"
+
+namespace parole::solvers {
+
+struct HillClimbConfig {
+  std::size_t max_iterations = 200;
+  // Random restarts after convergence (0 = single descent).
+  std::size_t restarts = 2;
+};
+
+class HillClimbSolver final : public Solver {
+ public:
+  explicit HillClimbSolver(HillClimbConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "HillClimb-SQP"; }
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+
+ private:
+  HillClimbConfig config_;
+};
+
+}  // namespace parole::solvers

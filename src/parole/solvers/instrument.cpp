@@ -1,0 +1,23 @@
+#include "parole/solvers/instrument.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace parole::solvers {
+
+std::size_t process_rss_bytes() {
+  std::FILE* file = std::fopen("/proc/self/status", "r");
+  if (file == nullptr) return 0;
+  char line[256];
+  std::size_t rss_kb = 0;
+  while (std::fgets(line, sizeof(line), file) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%zu", &rss_kb);
+      break;
+    }
+  }
+  std::fclose(file);
+  return rss_kb * 1024;
+}
+
+}  // namespace parole::solvers

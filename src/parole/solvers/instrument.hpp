@@ -1,0 +1,55 @@
+// Instrumentation shared by the solver implementations: wall-clock timing
+// and solver-owned memory accounting for Fig. 11.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace parole::solvers {
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] double elapsed_millis() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Tracks the peak of a running byte count. Solvers add/release as their
+// bookkeeping structures grow and shrink.
+class MemoryMeter {
+ public:
+  void add(std::size_t bytes) {
+    current_ += bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+  void release(std::size_t bytes) {
+    current_ = bytes > current_ ? 0 : current_ - bytes;
+  }
+  // Set the current figure directly (for container-capacity snapshots).
+  void set_current(std::size_t bytes) {
+    current_ = bytes;
+    if (current_ > peak_) peak_ = current_;
+  }
+
+  [[nodiscard]] std::size_t peak() const { return peak_; }
+  [[nodiscard]] std::size_t current() const { return current_; }
+
+ private:
+  std::size_t current_{0};
+  std::size_t peak_{0};
+};
+
+// Resident-set size of the process in bytes (Linux, /proc/self/status);
+// 0 when unavailable. Used as a cross-check next to MemoryMeter in bench.
+std::size_t process_rss_bytes();
+
+}  // namespace parole::solvers

@@ -1,0 +1,117 @@
+#include "parole/solvers/problem.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+namespace parole::solvers {
+
+ReorderingProblem::ReorderingProblem(vm::L2State initial_state,
+                                     std::vector<vm::Tx> original,
+                                     std::vector<UserId> ifus,
+                                     Objective objective)
+    : state_(std::move(initial_state)),
+      original_(std::move(original)),
+      ifus_(std::move(ifus)),
+      objective_(objective),
+      engine_(vm::ExecConfig{vm::InvalidTxPolicy::kSkipInvalid,
+                             /*charge_fees=*/false, vm::GasSchedule{}}) {}
+
+const std::vector<bool>& ReorderingProblem::originally_executed() const {
+  if (!originally_executed_) {
+    vm::L2State state = state_;
+    const vm::ExecutionResult result = engine_.execute(state, original_);
+    std::vector<bool> executed(original_.size(), false);
+    for (std::size_t i = 0; i < result.receipts.size(); ++i) {
+      executed[i] = result.receipts[i].status == vm::TxStatus::kExecuted;
+    }
+    baseline_balances_.clear();
+    Amount total = 0;
+    for (UserId ifu : ifus_) {
+      const Amount balance = state.total_balance(ifu);
+      baseline_balances_.push_back(balance);
+      total += balance;
+    }
+    // Objective score of the identity order: the summed balance, or a zero
+    // minimum gain (the original order improves nobody over itself).
+    baseline_ = objective_ == Objective::kSumBalance ? total : 0;
+    originally_executed_ = std::move(executed);
+  }
+  return *originally_executed_;
+}
+
+const std::vector<Amount>& ReorderingProblem::baseline_balances() const {
+  (void)originally_executed();
+  return baseline_balances_;
+}
+
+bool ReorderingProblem::fully_valid_baseline() const {
+  for (bool executed : originally_executed()) {
+    if (!executed) return false;
+  }
+  return true;
+}
+
+std::optional<std::vector<Amount>> ReorderingProblem::ifu_balances(
+    std::span<const std::size_t> order) const {
+  assert(order.size() == original_.size());
+  const std::vector<bool>& must_execute = originally_executed();
+  ++evaluations_;
+
+  vm::L2State state = state_;
+  const std::vector<vm::Tx> txs = materialize(order);
+  const vm::ExecutionResult result = engine_.execute(state, txs);
+
+  // Validity: every originally executed tx must execute here too.
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t original_index = order[pos];
+    if (must_execute[original_index] &&
+        result.receipts[pos].status != vm::TxStatus::kExecuted) {
+      return std::nullopt;
+    }
+  }
+
+  std::vector<Amount> balances;
+  balances.reserve(ifus_.size());
+  for (UserId ifu : ifus_) balances.push_back(state.total_balance(ifu));
+  return balances;
+}
+
+std::optional<Amount> ReorderingProblem::evaluate(
+    std::span<const std::size_t> order) const {
+  const auto balances = ifu_balances(order);
+  if (!balances) return std::nullopt;
+
+  if (objective_ == Objective::kSumBalance) {
+    Amount total = 0;
+    for (Amount b : *balances) total += b;
+    return total;
+  }
+  // kMinGain: the smallest per-IFU improvement over the original order.
+  const std::vector<Amount>& base = baseline_balances();
+  assert(base.size() == balances->size());
+  Amount min_gain = std::numeric_limits<Amount>::max();
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    min_gain = std::min(min_gain, (*balances)[i] - base[i]);
+  }
+  return min_gain;
+}
+
+Amount ReorderingProblem::baseline() const {
+  (void)originally_executed();  // computes and caches
+  return *baseline_;
+}
+
+std::vector<vm::Tx> ReorderingProblem::materialize(
+    std::span<const std::size_t> order) const {
+  std::vector<vm::Tx> txs;
+  txs.reserve(order.size());
+  for (std::size_t idx : order) {
+    assert(idx < original_.size());
+    txs.push_back(original_[idx]);
+  }
+  return txs;
+}
+
+}  // namespace parole::solvers

@@ -1,0 +1,126 @@
+// The transaction re-ordering problem, as a self-contained optimization
+// instance (Sec. V-B / VII-F).
+//
+// Given an initial L2 state, the originally collected order of N transactions
+// and a set of IFUs, find a permutation that maximizes the IFUs' summed final
+// total balance subject to the paper's validity constraint ("it is crucial to
+// verify the execution of specific transactions, all of which would have
+// satisfied the constraints in the original sequence"): every transaction
+// that executed under the original order must also execute — satisfy
+// Eqs. (1)/(3)/(5) — at its new position. Transactions that were already
+// stale in the collected order (possible when fee-priority collection breaks
+// causal order) stay free to fail.
+//
+// All solvers (and the DQN, via core::ReorderEnv) evaluate candidates through
+// evaluate(), so Fig. 11's comparisons count identical work units.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/common/rng.hpp"
+#include "parole/vm/engine.hpp"
+
+namespace parole::solvers {
+
+// Joint objective when serving several IFUs.
+//   kSumBalance: maximize the summed final balance (aligned collusion).
+//   kMinGain:    maximize the *minimum* per-IFU improvement over the
+//                original order — fair collusion: an IFU only pays the
+//                aggregator if his own balance improved, so an order must
+//                serve every colluder at once. This is what makes serving
+//                more IFUs harder (Sec. VII-A: "very few alternate orders
+//                could increase the final balance for multiple IFUs").
+// For a single IFU the two rank orders identically.
+enum class Objective : std::uint8_t { kSumBalance, kMinGain };
+
+class ReorderingProblem {
+ public:
+  ReorderingProblem(vm::L2State initial_state, std::vector<vm::Tx> original,
+                    std::vector<UserId> ifus,
+                    Objective objective = Objective::kSumBalance);
+
+  [[nodiscard]] std::size_t size() const { return original_.size(); }
+  [[nodiscard]] const std::vector<vm::Tx>& original_order() const {
+    return original_;
+  }
+  [[nodiscard]] const std::vector<UserId>& ifus() const { return ifus_; }
+  [[nodiscard]] const vm::L2State& initial_state() const { return state_; }
+
+  [[nodiscard]] Objective objective() const { return objective_; }
+
+  // Objective score for the permutation `order` (indices into
+  // original_order()): the summed final balance (kSumBalance) or the minimum
+  // per-IFU gain (kMinGain); nullopt when the order is invalid (a tx that
+  // executed in the original order fails here). Increments the counter.
+  [[nodiscard]] std::optional<Amount> evaluate(
+      std::span<const std::size_t> order) const;
+
+  // Per-IFU final total balances under `order` (same validity rule).
+  [[nodiscard]] std::optional<std::vector<Amount>> ifu_balances(
+      std::span<const std::size_t> order) const;
+
+  // Per-IFU final balances under the original order.
+  [[nodiscard]] const std::vector<Amount>& baseline_balances() const;
+
+  // Which original indices execute under the identity order (the set the
+  // validity constraint protects).
+  [[nodiscard]] const std::vector<bool>& originally_executed() const;
+  // True when every tx executes under the original order (the common case
+  // for causally generated batches; some solvers require it).
+  [[nodiscard]] bool fully_valid_baseline() const;
+
+  // Objective of the original (identity) order. Cached.
+  [[nodiscard]] Amount baseline() const;
+
+  // Build the tx sequence for a permutation.
+  [[nodiscard]] std::vector<vm::Tx> materialize(
+      std::span<const std::size_t> order) const;
+
+  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
+  void reset_evaluations() { evaluations_ = 0; }
+
+ private:
+  vm::L2State state_;
+  std::vector<vm::Tx> original_;
+  std::vector<UserId> ifus_;
+  Objective objective_;
+  // Skip-invalid execution + the executed-set check implements the paper's
+  // validity rule; fees off: the attack models Eqs. 1-6.
+  vm::ExecutionEngine engine_;
+  mutable std::uint64_t evaluations_{0};
+  mutable std::optional<Amount> baseline_;
+  mutable std::optional<std::vector<bool>> originally_executed_;
+  mutable std::vector<Amount> baseline_balances_;
+};
+
+// Uniform result record for every solver (and the DQN wrapper in bench).
+struct SolveResult {
+  std::string solver;
+  std::vector<std::size_t> best_order;
+  Amount best_value{0};
+  Amount baseline{0};
+  bool improved{false};
+  std::uint64_t evaluations{0};
+  double wall_millis{0.0};
+  // Peak bytes of solver-owned bookkeeping (frontiers, histories, tabu sets);
+  // the solver self-reports via instrument.hpp so Fig. 11(b) is allocation-
+  // accurate rather than RSS-noisy.
+  std::size_t peak_bytes{0};
+
+  [[nodiscard]] Amount profit() const { return best_value - baseline; }
+};
+
+class Solver {
+ public:
+  virtual ~Solver() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual SolveResult solve(const ReorderingProblem& problem, Rng& rng) = 0;
+};
+
+}  // namespace parole::solvers

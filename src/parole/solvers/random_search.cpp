@@ -1,0 +1,42 @@
+#include "parole/solvers/random_search.hpp"
+
+#include <numeric>
+
+#include "parole/solvers/instrument.hpp"
+
+namespace parole::solvers {
+
+SolveResult RandomSearchSolver::solve(const ReorderingProblem& problem,
+                                      Rng& rng) {
+  Timer timer;
+  MemoryMeter meter;
+  const std::uint64_t evals_before = problem.evaluations();
+  const std::size_t n = problem.size();
+
+  SolveResult result;
+  result.solver = name();
+  result.baseline = problem.baseline();
+  result.best_value = result.baseline;
+  result.best_order.resize(n);
+  std::iota(result.best_order.begin(), result.best_order.end(), 0);
+
+  std::vector<std::size_t> candidate = result.best_order;
+  meter.add(2 * n * sizeof(std::size_t));
+
+  for (std::size_t s = 0; s < config_.samples; ++s) {
+    rng.shuffle(candidate);
+    const auto value = problem.evaluate(candidate);
+    if (value && *value > result.best_value) {
+      result.best_value = *value;
+      result.best_order = candidate;
+    }
+  }
+
+  result.improved = result.best_value > result.baseline;
+  result.evaluations = problem.evaluations() - evals_before;
+  result.wall_millis = timer.elapsed_millis();
+  result.peak_bytes = meter.peak();
+  return result;
+}
+
+}  // namespace parole::solvers

@@ -1,0 +1,26 @@
+// Uniform random permutation sampling — the weakest sensible baseline.
+// Useful in tests as a floor: every serious solver must beat it given the
+// same evaluation budget.
+#pragma once
+
+#include "parole/solvers/problem.hpp"
+
+namespace parole::solvers {
+
+struct RandomSearchConfig {
+  std::size_t samples = 2'000;
+};
+
+class RandomSearchSolver final : public Solver {
+ public:
+  explicit RandomSearchSolver(RandomSearchConfig config = {})
+      : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "RandomSearch"; }
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+
+ private:
+  RandomSearchConfig config_;
+};
+
+}  // namespace parole::solvers

@@ -1,0 +1,88 @@
+#include "parole/solvers/tabu.hpp"
+
+#include <numeric>
+
+#include "parole/solvers/instrument.hpp"
+
+namespace parole::solvers {
+
+SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng) {
+  (void)rng;  // deterministic given the problem
+
+  Timer timer;
+  MemoryMeter meter;
+  const std::uint64_t evals_before = problem.evaluations();
+  const std::size_t n = problem.size();
+
+  SolveResult result;
+  result.solver = name();
+  result.baseline = problem.baseline();
+  result.best_value = result.baseline;
+  result.best_order.resize(n);
+  std::iota(result.best_order.begin(), result.best_order.end(), 0);
+
+  if (n < 2) {
+    result.wall_millis = timer.elapsed_millis();
+    return result;
+  }
+
+  std::vector<std::size_t> current = result.best_order;
+  Amount current_value = result.baseline;
+
+  // tabu_until[i][j] (i < j): iteration index until which swapping (i, j)
+  // is forbidden. Dense triangular table — the solver's working set.
+  std::vector<std::size_t> tabu_until(n * n, 0);
+  meter.add(tabu_until.size() * sizeof(std::size_t) +
+            2 * n * sizeof(std::size_t));
+
+  std::size_t stall = 0;
+  for (std::size_t iter = 1;
+       iter <= config_.max_iterations && stall < config_.stall_limit;
+       ++iter) {
+    std::size_t best_i = n, best_j = n;
+    Amount best_move_value = 0;
+    bool have_move = false;
+
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        std::swap(current[i], current[j]);
+        const auto value = problem.evaluate(current);
+        std::swap(current[i], current[j]);
+        if (!value) continue;
+
+        const bool tabu = tabu_until[i * n + j] >= iter;
+        // Aspiration: tabu moves are admissible when they beat the best.
+        if (tabu && *value <= result.best_value) continue;
+
+        if (!have_move || *value > best_move_value) {
+          have_move = true;
+          best_move_value = *value;
+          best_i = i;
+          best_j = j;
+        }
+      }
+    }
+
+    if (!have_move) break;  // every admissible move is invalid or tabu
+
+    std::swap(current[best_i], current[best_j]);
+    current_value = best_move_value;
+    tabu_until[best_i * n + best_j] = iter + config_.tenure;
+
+    if (current_value > result.best_value) {
+      result.best_value = current_value;
+      result.best_order = current;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+  }
+
+  result.improved = result.best_value > result.baseline;
+  result.evaluations = problem.evaluations() - evals_before;
+  result.wall_millis = timer.elapsed_millis();
+  result.peak_bytes = meter.peak();
+  return result;
+}
+
+}  // namespace parole::solvers

@@ -1,0 +1,36 @@
+// Tabu search over the swap neighbourhood.
+//
+// A further metaheuristic baseline (not one of the paper's three NLP
+// comparators; used by the ablation bench and as a cross-check on the
+// annealing results): best-admissible-move local search where recently
+// applied swaps are tabu for a fixed tenure, with the standard aspiration
+// criterion (a tabu move is allowed when it beats the global best). Escapes
+// the local optima that trap plain hill climbing without annealing's
+// randomness, at the cost of scanning the full O(N^2) neighbourhood per
+// iteration.
+#pragma once
+
+#include "parole/solvers/problem.hpp"
+
+namespace parole::solvers {
+
+struct TabuConfig {
+  std::size_t max_iterations = 60;
+  // Iterations a reversed swap stays forbidden.
+  std::size_t tenure = 12;
+  // Stop after this many consecutive non-improving iterations.
+  std::size_t stall_limit = 25;
+};
+
+class TabuSolver final : public Solver {
+ public:
+  explicit TabuSolver(TabuConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "TabuSearch"; }
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+
+ private:
+  TabuConfig config_;
+};
+
+}  // namespace parole::solvers

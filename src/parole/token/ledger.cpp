@@ -1,0 +1,50 @@
+#include "parole/token/ledger.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parole::token {
+
+void BalanceLedger::credit(UserId user, Amount amount) {
+  assert(amount >= 0);
+  balances_[user] += amount;
+}
+
+Status BalanceLedger::debit(UserId user, Amount amount) {
+  assert(amount >= 0);
+  const auto it = balances_.find(user);
+  const Amount current = it == balances_.end() ? 0 : it->second;
+  if (current < amount) {
+    return Error{"insufficient_balance",
+                 "user " + std::to_string(user.value()) + " has " +
+                     to_eth_string(current) + " ETH, needs " +
+                     to_eth_string(amount) + " ETH"};
+  }
+  balances_[user] = current - amount;
+  return ok_status();
+}
+
+Amount BalanceLedger::balance(UserId user) const {
+  const auto it = balances_.find(user);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+bool BalanceLedger::has_account(UserId user) const {
+  return balances_.contains(user);
+}
+
+Amount BalanceLedger::total_supply() const {
+  Amount total = 0;
+  for (const auto& [user, amount] : balances_) total += amount;
+  return total;
+}
+
+std::vector<std::pair<UserId, Amount>> BalanceLedger::sorted_entries() const {
+  std::vector<std::pair<UserId, Amount>> out(balances_.begin(),
+                                             balances_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace parole::token

@@ -1,0 +1,41 @@
+// L2 balance ledger: the fungible (ETH-denominated L2 token) side of every
+// user's holdings. B_k^t in the paper's notation. Pure bookkeeping — the
+// execution engine decides *whether* a debit is allowed; the ledger enforces
+// only the hard invariant that balances never go negative.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/common/result.hpp"
+
+namespace parole::token {
+
+class BalanceLedger {
+ public:
+  BalanceLedger() = default;
+
+  // Credit `amount` (>= 0) to `user`, creating the account if needed.
+  void credit(UserId user, Amount amount);
+
+  // Debit `amount` (>= 0); fails without mutation if the balance is too low.
+  Status debit(UserId user, Amount amount);
+
+  [[nodiscard]] Amount balance(UserId user) const;
+  [[nodiscard]] bool has_account(UserId user) const;
+  [[nodiscard]] std::size_t account_count() const { return balances_.size(); }
+
+  // Sum of all balances (conservation checks in tests).
+  [[nodiscard]] Amount total_supply() const;
+
+  // Deterministic snapshot sorted by user id, for state-root hashing.
+  [[nodiscard]] std::vector<std::pair<UserId, Amount>> sorted_entries() const;
+
+ private:
+  std::unordered_map<UserId, Amount> balances_;
+};
+
+}  // namespace parole::token

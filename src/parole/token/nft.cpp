@@ -1,0 +1,135 @@
+#include "parole/token/nft.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parole::token {
+
+LimitedEditionNft::LimitedEditionNft(std::uint32_t max_supply,
+                                     Amount initial_price)
+    : curve_(max_supply, initial_price), remaining_(max_supply) {}
+
+Amount LimitedEditionNft::current_price() const {
+  return curve_.price(remaining_);
+}
+
+std::uint32_t LimitedEditionNft::live_count() const {
+  return static_cast<std::uint32_t>(owners_.size());
+}
+
+std::optional<UserId> LimitedEditionNft::owner_of(TokenId token) const {
+  const auto it = owners_.find(token);
+  if (it == owners_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool LimitedEditionNft::owns(UserId user, TokenId token) const {
+  const auto it = owners_.find(token);
+  return it != owners_.end() && it->second == user;
+}
+
+std::uint32_t LimitedEditionNft::balance_of(UserId user) const {
+  std::uint32_t count = 0;
+  for (const auto& [token, owner] : owners_) {
+    if (owner == user) ++count;
+  }
+  return count;
+}
+
+std::vector<TokenId> LimitedEditionNft::tokens_of(UserId user) const {
+  std::vector<TokenId> out;
+  for (const auto& [token, owner] : owners_) {
+    if (owner == user) out.push_back(token);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Result<TokenId> LimitedEditionNft::mint(UserId to,
+                                        std::optional<TokenId> desired) {
+  if (remaining_ < 1) {
+    return Error{"supply_exhausted", "no tokens remain to be minted"};
+  }
+  TokenId id{next_auto_id_};
+  if (desired.has_value()) {
+    if (ever_minted_.contains(*desired)) {
+      return Error{"token_id_taken",
+                   "token " + std::to_string(desired->value()) +
+                       " already minted"};
+    }
+    id = *desired;
+  } else {
+    // The next auto id must be fresh; explicit mints may have used it.
+    while (ever_minted_.contains(id)) id = TokenId{id.value() + 1};
+  }
+  owners_.emplace(id, to);
+  ever_minted_.insert(id);
+  next_auto_id_ = std::max(next_auto_id_, id.value() + 1);
+  --remaining_;
+  return id;
+}
+
+Status LimitedEditionNft::transfer(UserId from, UserId to, TokenId token) {
+  const auto it = owners_.find(token);
+  if (it == owners_.end()) {
+    return Error{"unknown_token",
+                 "token " + std::to_string(token.value()) + " does not exist"};
+  }
+  if (it->second != from) {
+    return Error{"not_owner", "user " + std::to_string(from.value()) +
+                                  " does not own token " +
+                                  std::to_string(token.value())};
+  }
+  it->second = to;
+  return ok_status();
+}
+
+Status LimitedEditionNft::burn(UserId user, TokenId token) {
+  const auto it = owners_.find(token);
+  if (it == owners_.end()) {
+    return Error{"unknown_token",
+                 "token " + std::to_string(token.value()) + " does not exist"};
+  }
+  if (it->second != user) {
+    return Error{"not_owner", "user " + std::to_string(user.value()) +
+                                  " does not own token " +
+                                  std::to_string(token.value())};
+  }
+  owners_.erase(it);
+  assert(remaining_ < curve_.max_supply());
+  ++remaining_;
+  return ok_status();
+}
+
+Result<std::vector<TokenId>> LimitedEditionNft::seed_mint(UserId to,
+                                                          std::uint32_t count) {
+  if (count > remaining_) {
+    return Error{"supply_exhausted",
+                 "cannot seed-mint " + std::to_string(count) + " tokens, only " +
+                     std::to_string(remaining_) + " remain"};
+  }
+  std::vector<TokenId> ids;
+  ids.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    auto minted = mint(to);
+    assert(minted.ok());
+    ids.push_back(minted.value());
+  }
+  return ids;
+}
+
+std::vector<TokenId> LimitedEditionNft::ever_minted_ids() const {
+  std::vector<TokenId> out(ever_minted_.begin(), ever_minted_.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<TokenId, UserId>> LimitedEditionNft::sorted_owners()
+    const {
+  std::vector<std::pair<TokenId, UserId>> out(owners_.begin(), owners_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+}  // namespace parole::token

@@ -1,0 +1,86 @@
+// Limited-edition ERC-721 collection ("ParoleToken") state machine.
+//
+// Tracks ownership (O_k^{i,t}), remaining mintable supply (S^t) and the
+// scarcity price via PriceCurve. This class is the *pure* token machine —
+// payment constraints (Eqs. 1 and 3 involve balances) are enforced by the
+// execution engine, which composes the NFT machine with a BalanceLedger.
+//
+// Supply semantics follow Eqs. (2) and (6): mint consumes one unit of the
+// remaining supply, burn returns one unit (so a collection can mint more than
+// max_supply tokens over its lifetime, but never holds more than max_supply
+// live tokens at once). Token ids are never reused.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/common/result.hpp"
+#include "parole/token/price_curve.hpp"
+
+namespace parole::token {
+
+class LimitedEditionNft {
+ public:
+  LimitedEditionNft(std::uint32_t max_supply, Amount initial_price);
+
+  // --- queries -------------------------------------------------------------
+
+  // Current per-unit price P^t (Eq. 10).
+  [[nodiscard]] Amount current_price() const;
+  // Remaining mintable supply S^t.
+  [[nodiscard]] std::uint32_t remaining_supply() const { return remaining_; }
+  // Number of live (minted, un-burnt) tokens.
+  [[nodiscard]] std::uint32_t live_count() const;
+  [[nodiscard]] std::optional<UserId> owner_of(TokenId token) const;
+  [[nodiscard]] bool owns(UserId user, TokenId token) const;
+  [[nodiscard]] std::uint32_t balance_of(UserId user) const;
+  // Live tokens of a user, ascending by id.
+  [[nodiscard]] std::vector<TokenId> tokens_of(UserId user) const;
+  [[nodiscard]] const PriceCurve& curve() const { return curve_; }
+  // Total number of mints ever performed (ids are never reused).
+  [[nodiscard]] std::uint32_t minted_total() const {
+    return static_cast<std::uint32_t>(ever_minted_.size());
+  }
+  [[nodiscard]] bool ever_minted(TokenId token) const {
+    return ever_minted_.contains(token);
+  }
+  // Every id ever minted (live or burnt), ascending — the witness builder
+  // needs burnt ids to place tombstones in the SMT commitment.
+  [[nodiscard]] std::vector<TokenId> ever_minted_ids() const;
+
+  // --- mutations (ownership/supply legs only) -------------------------------
+
+  // Mint a token to `to` if S^t >= 1 (the supply leg of Eq. 1). `desired`
+  // picks the token id explicitly (ERC-721's _mint(to, tokenId) style; fails
+  // if that id ever existed); nullopt auto-assigns the next sequential id.
+  Result<TokenId> mint(UserId to, std::optional<TokenId> desired = {});
+
+  // Move token ownership `from` -> `to`; fails unless `from` owns it
+  // (the ownership leg of Eq. 3).
+  Status transfer(UserId from, UserId to, TokenId token);
+
+  // Burn `token` owned by `user` (Eq. 5); frees one unit of supply (Eq. 6).
+  Status burn(UserId user, TokenId token);
+
+  // Pre-mint `count` tokens to `to` without supply-price bookkeeping beyond
+  // the normal mint path; used to set up scenarios such as Sec. VI ("5 PAROLE
+  // tokens are already minted"). Returns the minted ids.
+  Result<std::vector<TokenId>> seed_mint(UserId to, std::uint32_t count);
+
+  // Deterministic snapshot of live tokens sorted by id, for state hashing.
+  [[nodiscard]] std::vector<std::pair<TokenId, UserId>> sorted_owners() const;
+
+ private:
+  PriceCurve curve_;
+  std::uint32_t remaining_;
+  std::uint32_t next_auto_id_{0};
+  std::unordered_map<TokenId, UserId> owners_;
+  std::unordered_set<TokenId> ever_minted_;
+};
+
+}  // namespace parole::token

@@ -1,0 +1,22 @@
+#include "parole/token/price_curve.hpp"
+
+#include <cassert>
+
+namespace parole::token {
+
+PriceCurve::PriceCurve(std::uint32_t max_supply, Amount initial_price)
+    : max_supply_(max_supply), initial_price_(initial_price) {
+  assert(max_supply_ >= 1);
+  assert(initial_price_ >= 0);
+}
+
+Amount PriceCurve::price(std::uint32_t remaining) const {
+  assert(remaining <= max_supply_);
+  const std::uint32_t denom = remaining == 0 ? 1 : remaining;
+  // S0 * P0 can exceed 63 bits for large collections; widen the product.
+  const __int128 numer =
+      static_cast<__int128>(max_supply_) * static_cast<__int128>(initial_price_);
+  return static_cast<Amount>(numer / denom);
+}
+
+}  // namespace parole::token

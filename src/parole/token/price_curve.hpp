@@ -1,0 +1,36 @@
+// Scarcity price curve of the limited-edition ParoleToken (Eq. 10):
+//
+//     P^t = (S^0 / S^t) * P^0
+//
+// where S^0 is the collection's maximum supply, S^t the number of tokens that
+// can still be minted after the t-th transaction, and P^0 the initial price.
+// Only mint and burn change S^t (and therefore the price); transfers do not.
+//
+// The paper leaves P undefined at S^t = 0 (everything minted); we saturate the
+// denominator at 1, i.e. the price stays at its S^t = 1 value. This choice is
+// called out in DESIGN.md and pinned by tests.
+#pragma once
+
+#include <cstdint>
+
+#include "parole/common/amount.hpp"
+
+namespace parole::token {
+
+class PriceCurve {
+ public:
+  // max_supply >= 1, initial_price >= 0.
+  PriceCurve(std::uint32_t max_supply, Amount initial_price);
+
+  // Price per unit when `remaining` tokens can still be minted.
+  [[nodiscard]] Amount price(std::uint32_t remaining) const;
+
+  [[nodiscard]] std::uint32_t max_supply() const { return max_supply_; }
+  [[nodiscard]] Amount initial_price() const { return initial_price_; }
+
+ private:
+  std::uint32_t max_supply_;
+  Amount initial_price_;
+};
+
+}  // namespace parole::token

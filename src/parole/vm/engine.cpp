@@ -1,0 +1,156 @@
+#include "parole/vm/engine.hpp"
+
+#include <cassert>
+
+namespace parole::vm {
+
+std::size_t ExecutionResult::executed_count() const {
+  std::size_t count = 0;
+  for (const auto& r : receipts) {
+    if (r.status == TxStatus::kExecuted) ++count;
+  }
+  return count;
+}
+
+Receipt ExecutionEngine::execute_tx(L2State& state, const Tx& tx) const {
+  Receipt receipt;
+  receipt.id = tx.id;
+  receipt.kind = tx.kind;
+  receipt.price_before = state.nft().current_price();
+  receipt.price_after = receipt.price_before;
+
+  auto fail = [&receipt](std::string reason) {
+    receipt.status = TxStatus::kConstraintViolated;
+    receipt.failure_reason = std::move(reason);
+    return receipt;
+  };
+
+  const Amount price = receipt.price_before;
+  const Amount fee = config_.charge_fees ? tx.total_fee() : 0;
+
+  switch (tx.kind) {
+    case TxKind::kMint: {
+      // Eq. 1: B_k >= P (plus fee when metering) and S >= 1.
+      if (state.nft().remaining_supply() < 1) {
+        return fail("supply exhausted");
+      }
+      if (state.ledger().balance(tx.sender) < price + fee) {
+        return fail("minter balance below price");
+      }
+      if (tx.token.has_value() && state.nft().ever_minted(*tx.token)) {
+        return fail("desired token id already minted");
+      }
+      const Status debited = state.ledger().debit(tx.sender, price + fee);
+      assert(debited.ok());
+      (void)debited;
+      auto minted = state.nft().mint(tx.sender, tx.token);
+      assert(minted.ok());
+      receipt.minted_token = minted.value();
+      break;
+    }
+    case TxKind::kTransfer: {
+      // Eq. 3: B_j >= P (buyer can pay, plus nothing — the *seller* pays the
+      // tx fee as the submitting party) and O_k^i (seller owns the token).
+      if (!tx.token.has_value()) {
+        return fail("transfer without token id");
+      }
+      if (!state.nft().owns(tx.sender, *tx.token)) {
+        return fail("seller does not own token");
+      }
+      if (state.ledger().balance(tx.recipient) < price) {
+        return fail("buyer balance below price");
+      }
+      if (config_.charge_fees &&
+          state.ledger().balance(tx.sender) + price < fee) {
+        return fail("seller cannot cover fee");
+      }
+      const Status debited = state.ledger().debit(tx.recipient, price);
+      assert(debited.ok());
+      (void)debited;
+      state.ledger().credit(tx.sender, price);
+      if (fee > 0) {
+        const Status fee_debit = state.ledger().debit(tx.sender, fee);
+        assert(fee_debit.ok());
+        (void)fee_debit;
+      }
+      const Status moved = state.nft().transfer(tx.sender, tx.recipient,
+                                                *tx.token);
+      assert(moved.ok());
+      (void)moved;
+      break;
+    }
+    case TxKind::kBurn: {
+      // Eq. 5: O_k^i.
+      if (!tx.token.has_value()) {
+        return fail("burn without token id");
+      }
+      if (!state.nft().owns(tx.sender, *tx.token)) {
+        return fail("burner does not own token");
+      }
+      if (config_.charge_fees && state.ledger().balance(tx.sender) < fee) {
+        return fail("burner cannot cover fee");
+      }
+      if (fee > 0) {
+        const Status fee_debit = state.ledger().debit(tx.sender, fee);
+        assert(fee_debit.ok());
+        (void)fee_debit;
+      }
+      const Status burned = state.nft().burn(tx.sender, *tx.token);
+      assert(burned.ok());
+      (void)burned;
+      break;
+    }
+  }
+
+  if (fee > 0) state.add_fees(fee);
+  receipt.status = TxStatus::kExecuted;
+  receipt.price_after = state.nft().current_price();
+  receipt.gas_used = config_.gas.gas_for(tx.kind);
+  receipt.fee_paid = fee;
+  return receipt;
+}
+
+ExecutionResult ExecutionEngine::execute(L2State& state,
+                                         std::span<const Tx> txs) const {
+  ExecutionResult result;
+  result.receipts.reserve(txs.size());
+  bool aborted = false;
+  for (const Tx& tx : txs) {
+    if (aborted) {
+      Receipt skipped;
+      skipped.id = tx.id;
+      skipped.kind = tx.kind;
+      skipped.status = TxStatus::kNotAttempted;
+      result.receipts.push_back(std::move(skipped));
+      continue;
+    }
+    Receipt receipt = execute_tx(state, tx);
+    if (receipt.status != TxStatus::kExecuted) {
+      result.all_executed = false;
+      if (config_.policy == InvalidTxPolicy::kStrict) aborted = true;
+    } else {
+      result.total_gas += receipt.gas_used;
+      result.total_fees += receipt.fee_paid;
+    }
+    result.receipts.push_back(std::move(receipt));
+  }
+  return result;
+}
+
+ExecutionResult ExecutionEngine::execute_with_roots(
+    L2State& state, std::span<const Tx> txs) const {
+  const crypto::Hash256 pre = state.state_root();
+  ExecutionResult result = execute(state, txs);
+  result.pre_root = pre;
+  result.post_root = state.state_root();
+  return result;
+}
+
+std::pair<ExecutionResult, L2State> ExecutionEngine::simulate(
+    const L2State& state, std::span<const Tx> txs) const {
+  L2State copy = state;
+  ExecutionResult result = execute(copy, txs);
+  return {std::move(result), std::move(copy)};
+}
+
+}  // namespace parole::vm

@@ -1,0 +1,102 @@
+// OVM-style deterministic execution engine.
+//
+// Applies transaction sequences to an L2State under the paper's constraints:
+//
+//   Mint  (Eq. 1): B_k >= P  and  S >= 1;   effects (Eq. 2)
+//   Transfer (Eq. 3): B_j >= P and O_k^i;   effects (Eq. 4)
+//   Burn  (Eq. 5): O_k^i;                   effects (Eq. 6)
+//
+// Sec. V-B: "specific transactions can only be executed when positioned at a
+// particular point in the sequence ... it is crucial to verify the execution
+// of specific transactions". In kStrict mode (default, what GENTRANSEQ uses),
+// a sequence in which any transaction's constraints fail is *invalid*: the
+// engine stops and flags it. kSkipInvalid executes what it can, recording a
+// per-tx failure — useful for honest-chain simulation where a stale tx
+// simply reverts.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/vm/gas.hpp"
+#include "parole/vm/state.hpp"
+#include "parole/vm/tx.hpp"
+
+namespace parole::vm {
+
+enum class TxStatus : std::uint8_t {
+  kExecuted,
+  kConstraintViolated,
+  kNotAttempted,  // later txs after a strict-mode abort
+};
+
+enum class InvalidTxPolicy : std::uint8_t { kStrict, kSkipInvalid };
+
+struct ExecConfig {
+  InvalidTxPolicy policy = InvalidTxPolicy::kStrict;
+  // When true, the sender additionally pays base+priority fees into the fee
+  // pool on execution (and the fee counts against the balance constraint).
+  // The attack analysis (Sec. V) models Eqs. 1-6 without fees, so the default
+  // is off; the chain-level pipeline turns it on.
+  bool charge_fees = false;
+  GasSchedule gas;
+};
+
+struct Receipt {
+  TxId id{};
+  TxKind kind{TxKind::kMint};
+  TxStatus status{TxStatus::kNotAttempted};
+  std::string failure_reason;
+  // Price of one token before/after this tx (after == before for transfers).
+  Amount price_before{0};
+  Amount price_after{0};
+  // For mints: the freshly assigned token id.
+  std::optional<TokenId> minted_token;
+  std::uint64_t gas_used{0};
+  Amount fee_paid{0};
+};
+
+struct ExecutionResult {
+  std::vector<Receipt> receipts;
+  // True iff every transaction executed (the paper's validity condition for a
+  // re-ordered sequence).
+  bool all_executed{true};
+  crypto::Hash256 pre_root;
+  crypto::Hash256 post_root;
+  std::uint64_t total_gas{0};
+  Amount total_fees{0};
+
+  [[nodiscard]] std::size_t executed_count() const;
+};
+
+class ExecutionEngine {
+ public:
+  explicit ExecutionEngine(ExecConfig config = {}) : config_(config) {}
+
+  // Execute one transaction in place. Returns the receipt; on constraint
+  // violation the state is untouched.
+  Receipt execute_tx(L2State& state, const Tx& tx) const;
+
+  // Execute a sequence in place, honouring the invalid-tx policy. Does not
+  // compute state roots (hot path for the DRL environment).
+  ExecutionResult execute(L2State& state, std::span<const Tx> txs) const;
+
+  // Execute a sequence in place and include pre/post Merkle state roots
+  // (used by aggregators when committing batches).
+  ExecutionResult execute_with_roots(L2State& state,
+                                     std::span<const Tx> txs) const;
+
+  // Execute on a copy, leaving `state` untouched; returns the result and the
+  // final state. This is what GENTRANSEQ calls per candidate order.
+  [[nodiscard]] std::pair<ExecutionResult, L2State> simulate(
+      const L2State& state, std::span<const Tx> txs) const;
+
+  [[nodiscard]] const ExecConfig& config() const { return config_; }
+
+ private:
+  ExecConfig config_;
+};
+
+}  // namespace parole::vm

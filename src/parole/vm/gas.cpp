@@ -1,0 +1,29 @@
+#include "parole/vm/gas.hpp"
+
+namespace parole::vm {
+
+std::uint64_t GasSchedule::gas_for(TxKind kind) const {
+  switch (kind) {
+    case TxKind::kMint:
+      return mint_gas;
+    case TxKind::kTransfer:
+      return transfer_gas;
+    case TxKind::kBurn:
+      return burn_gas;
+  }
+  return 0;
+}
+
+double GasSchedule::usage_percent(TxKind kind) const {
+  return 100.0 * static_cast<double>(gas_for(kind)) /
+         static_cast<double>(tx_gas_limit);
+}
+
+Amount GasSchedule::fee_for(TxKind kind, std::uint64_t gas_price_wei) const {
+  // gas * wei-per-gas, then wei -> gwei (1 gwei = 1e9 wei). Round to nearest.
+  const __int128 wei = static_cast<__int128>(gas_for(kind)) *
+                       static_cast<__int128>(gas_price_wei);
+  return static_cast<Amount>((wei + 500'000'000) / 1'000'000'000);
+}
+
+}  // namespace parole::vm

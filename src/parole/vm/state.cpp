@@ -1,0 +1,50 @@
+#include "parole/vm/state.hpp"
+
+#include "parole/crypto/merkle.hpp"
+#include "parole/crypto/sha256.hpp"
+
+namespace parole::vm {
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+crypto::Hash256 leaf(std::string_view domain, std::uint64_t a,
+                     std::uint64_t b) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(domain.size() + 16);
+  bytes.insert(bytes.end(), domain.begin(), domain.end());
+  put_u64(bytes, a);
+  put_u64(bytes, b);
+  return crypto::Sha256::hash(bytes);
+}
+
+}  // namespace
+
+L2State::L2State(std::uint32_t max_supply, Amount initial_price)
+    : nft_(max_supply, initial_price) {}
+
+Amount L2State::total_balance(UserId user) const {
+  const Amount holdings = static_cast<Amount>(nft_.balance_of(user)) *
+                          nft_.current_price();
+  return ledger_.balance(user) + holdings;
+}
+
+crypto::Hash256 L2State::state_root() const {
+  std::vector<crypto::Hash256> leaves;
+  for (const auto& [user, balance] : ledger_.sorted_entries()) {
+    leaves.push_back(leaf("acct", user.value(),
+                          static_cast<std::uint64_t>(balance)));
+  }
+  for (const auto& [tok, owner] : nft_.sorted_owners()) {
+    leaves.push_back(leaf("nft", tok.value(), owner.value()));
+  }
+  leaves.push_back(leaf("supply", nft_.remaining_supply(),
+                        static_cast<std::uint64_t>(fee_pool_)));
+  return crypto::MerkleTree(std::move(leaves)).root();
+}
+
+}  // namespace parole::vm

@@ -1,0 +1,46 @@
+// The L2 world state: fungible balances + the limited-edition NFT collection.
+//
+// This is what the OVM executes against. It is cheap to copy (the GENTRANSEQ
+// environment simulates thousands of candidate orders on copies) and hashes
+// to a deterministic Merkle state root, which is what aggregators commit to
+// and verifiers re-derive during disputes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/crypto/hash.hpp"
+#include "parole/token/ledger.hpp"
+#include "parole/token/nft.hpp"
+
+namespace parole::vm {
+
+class L2State {
+ public:
+  // A state hosting one limited-edition collection with the given parameters.
+  L2State(std::uint32_t max_supply, Amount initial_price);
+
+  [[nodiscard]] token::BalanceLedger& ledger() { return ledger_; }
+  [[nodiscard]] const token::BalanceLedger& ledger() const { return ledger_; }
+  [[nodiscard]] token::LimitedEditionNft& nft() { return nft_; }
+  [[nodiscard]] const token::LimitedEditionNft& nft() const { return nft_; }
+
+  // Total balance as defined in Sec. VI: L2 balance + (tokens owned) * price.
+  [[nodiscard]] Amount total_balance(UserId user) const;
+
+  // Fees collected from executed transactions (aggregator revenue pool).
+  [[nodiscard]] Amount fee_pool() const { return fee_pool_; }
+  void add_fees(Amount fees) { fee_pool_ += fees; }
+
+  // Merkle root over (sorted balances, sorted token owners, remaining supply).
+  [[nodiscard]] crypto::Hash256 state_root() const;
+
+ private:
+  token::BalanceLedger ledger_;
+  token::LimitedEditionNft nft_;
+  Amount fee_pool_{0};
+};
+
+}  // namespace parole::vm

@@ -1,0 +1,107 @@
+#include "parole/vm/tx.hpp"
+
+#include <sstream>
+
+#include "parole/crypto/keccak256.hpp"
+
+namespace parole::vm {
+namespace {
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(TxKind kind) {
+  switch (kind) {
+    case TxKind::kMint:
+      return "mint";
+    case TxKind::kTransfer:
+      return "transfer";
+    case TxKind::kBurn:
+      return "burn";
+  }
+  return "unknown";
+}
+
+bool Tx::involves(UserId user) const {
+  if (sender == user) return true;
+  return kind == TxKind::kTransfer && recipient == user;
+}
+
+std::vector<std::uint8_t> Tx::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  put_u64(out, id.value());
+  out.push_back(static_cast<std::uint8_t>(kind));
+  put_u64(out, sender.value());
+  put_u64(out, recipient.value());
+  out.push_back(token.has_value() ? 1 : 0);
+  put_u64(out, token.has_value() ? token->value() : 0);
+  put_u64(out, static_cast<std::uint64_t>(base_fee));
+  put_u64(out, static_cast<std::uint64_t>(priority_fee));
+  put_u64(out, arrival);
+  return out;
+}
+
+crypto::Hash256 Tx::hash() const { return crypto::Keccak256::hash(encode()); }
+
+std::string Tx::describe() const {
+  std::ostringstream os;
+  switch (kind) {
+    case TxKind::kMint:
+      os << "Mint PT: U" << sender;
+      break;
+    case TxKind::kTransfer:
+      os << "Transfer PT: U" << sender << " -> U" << recipient;
+      if (token) os << " (token " << *token << ")";
+      break;
+    case TxKind::kBurn:
+      os << "Burn PT: U" << sender;
+      if (token) os << " (token " << *token << ")";
+      break;
+  }
+  return os.str();
+}
+
+Tx Tx::make_mint(TxId id, UserId minter, Amount base_fee, Amount priority_fee,
+                 std::optional<TokenId> token) {
+  Tx tx;
+  tx.id = id;
+  tx.kind = TxKind::kMint;
+  tx.sender = minter;
+  tx.token = token;
+  tx.base_fee = base_fee;
+  tx.priority_fee = priority_fee;
+  return tx;
+}
+
+Tx Tx::make_transfer(TxId id, UserId seller, UserId buyer, TokenId token,
+                     Amount base_fee, Amount priority_fee) {
+  Tx tx;
+  tx.id = id;
+  tx.kind = TxKind::kTransfer;
+  tx.sender = seller;
+  tx.recipient = buyer;
+  tx.token = token;
+  tx.base_fee = base_fee;
+  tx.priority_fee = priority_fee;
+  return tx;
+}
+
+Tx Tx::make_burn(TxId id, UserId owner, TokenId token, Amount base_fee,
+                 Amount priority_fee) {
+  Tx tx;
+  tx.id = id;
+  tx.kind = TxKind::kBurn;
+  tx.sender = owner;
+  tx.token = token;
+  tx.base_fee = base_fee;
+  tx.priority_fee = priority_fee;
+  return tx;
+}
+
+}  // namespace parole::vm

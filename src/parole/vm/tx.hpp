@@ -1,0 +1,68 @@
+// NFT transaction representation.
+//
+// The paper's three transaction kinds (Table I):
+//   M_k^{i,t}  mint   — user k mints a fresh token
+//   T_{k,j}^{i,t} transfer — token i is *sold* by user k to user j at the
+//                current price (Eq. 4 moves P from buyer j to seller k)
+//   D_k^{i,t}  burn   — user k destroys token i
+//
+// Each transaction carries base/priority fees, which is all the honest
+// Bedrock-style ordering looks at (Sec. IV-A).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/crypto/hash.hpp"
+
+namespace parole::vm {
+
+enum class TxKind : std::uint8_t { kMint = 0, kTransfer = 1, kBurn = 2 };
+
+[[nodiscard]] std::string_view to_string(TxKind kind);
+
+struct Tx {
+  TxId id{};
+  TxKind kind{TxKind::kMint};
+  // Mint: the minter. Transfer: the seller (current owner). Burn: the owner.
+  UserId sender{};
+  // Transfer only: the buyer who pays the current price and receives the
+  // token. Ignored for mint/burn.
+  UserId recipient{};
+  // Transfer/burn: the token acted on. Mint: the explicit token id to create
+  // (nullopt = auto-assign the next fresh id at execution).
+  std::optional<TokenId> token;
+  Amount base_fee{0};
+  Amount priority_fee{0};
+  // Arrival sequence number at Bedrock's mempool (FIFO tie-break).
+  std::uint64_t arrival{0};
+
+  [[nodiscard]] Amount total_fee() const { return base_fee + priority_fee; }
+
+  // Does this transaction touch `user`'s balance or holdings? Transfers
+  // involve both the seller and the buyer.
+  [[nodiscard]] bool involves(UserId user) const;
+
+  // Content hash (keccak over the canonical encoding), Ethereum-flavoured.
+  [[nodiscard]] crypto::Hash256 hash() const;
+
+  // Canonical byte encoding used for hashing and batch commitments.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  [[nodiscard]] std::string describe() const;
+
+  static Tx make_mint(TxId id, UserId minter, Amount base_fee = 0,
+                      Amount priority_fee = 0,
+                      std::optional<TokenId> token = {});
+  static Tx make_transfer(TxId id, UserId seller, UserId buyer, TokenId token,
+                          Amount base_fee = 0, Amount priority_fee = 0);
+  static Tx make_burn(TxId id, UserId owner, TokenId token,
+                      Amount base_fee = 0, Amount priority_fee = 0);
+
+  friend bool operator==(const Tx&, const Tx&) = default;
+};
+
+}  // namespace parole::vm

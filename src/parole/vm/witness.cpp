@@ -1,0 +1,240 @@
+#include "parole/vm/witness.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "parole/crypto/keccak256.hpp"
+#include "parole/token/price_curve.hpp"
+
+namespace parole::vm {
+namespace {
+
+crypto::Hash256 domain_key(std::string_view domain, std::uint64_t id) {
+  crypto::Keccak256 k;
+  k.update(domain);
+  std::uint8_t raw[8];
+  for (int i = 0; i < 8; ++i) raw[i] = static_cast<std::uint8_t>(id >> (8 * i));
+  k.update(std::span<const std::uint8_t>(raw, sizeof(raw)));
+  return k.finalize();
+}
+
+// Values pack a one-byte tag plus little-endian payload into 32 bytes.
+constexpr std::uint8_t kTagAmount = 1;
+constexpr std::uint8_t kTagOwner = 2;
+constexpr std::uint8_t kTagTombstone = 3;
+constexpr std::uint8_t kTagMeta = 4;
+
+crypto::Hash256 packed(std::uint8_t tag, std::uint64_t a, std::uint64_t b) {
+  std::array<std::uint8_t, crypto::Hash256::kSize> bytes{};
+  bytes[0] = tag;
+  for (int i = 0; i < 8; ++i) {
+    bytes[1 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(a >> (8 * i));
+    bytes[9 + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(b >> (8 * i));
+  }
+  return crypto::Hash256(bytes);
+}
+
+std::uint64_t unpack_a(const crypto::Hash256& value) {
+  std::uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) {
+    out = (out << 8) | value.bytes()[1 + static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+std::uint64_t unpack_b(const crypto::Hash256& value) {
+  std::uint64_t out = 0;
+  for (int i = 7; i >= 0; --i) {
+    out = (out << 8) | value.bytes()[9 + static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+}  // namespace
+
+crypto::Hash256 account_key(UserId user) {
+  return domain_key("acct", user.value());
+}
+
+crypto::Hash256 token_key(TokenId token) {
+  return domain_key("nft", token.value());
+}
+
+crypto::Hash256 meta_key() { return domain_key("meta", 0); }
+
+crypto::Hash256 amount_value(Amount amount) {
+  assert(amount >= 0);
+  return packed(kTagAmount, static_cast<std::uint64_t>(amount), 0);
+}
+
+Amount decode_amount(const crypto::Hash256& value) {
+  return static_cast<Amount>(unpack_a(value));
+}
+
+crypto::Hash256 owner_value(UserId owner) {
+  return packed(kTagOwner, owner.value(), 0);
+}
+
+crypto::Hash256 tombstone_value() { return packed(kTagTombstone, 0, 0); }
+
+bool is_tombstone(const crypto::Hash256& value) {
+  return value.bytes()[0] == kTagTombstone;
+}
+
+UserId decode_owner(const crypto::Hash256& value) {
+  return UserId{static_cast<std::uint32_t>(unpack_a(value))};
+}
+
+crypto::Hash256 meta_value(std::uint32_t remaining_supply, Amount fee_pool) {
+  return packed(kTagMeta, remaining_supply,
+                static_cast<std::uint64_t>(fee_pool));
+}
+
+std::uint32_t decode_remaining(const crypto::Hash256& value) {
+  return static_cast<std::uint32_t>(unpack_a(value));
+}
+
+Amount decode_fee_pool(const crypto::Hash256& value) {
+  return static_cast<Amount>(unpack_b(value));
+}
+
+crypto::SparseMerkleTree build_state_smt(const L2State& state) {
+  crypto::SparseMerkleTree smt;
+  for (const auto& [user, balance] : state.ledger().sorted_entries()) {
+    smt.set(account_key(user), amount_value(balance));
+  }
+  // Live tokens carry their owner; burnt ids carry tombstones so "ever
+  // minted" is provable from the commitment.
+  for (const TokenId token : state.nft().ever_minted_ids()) {
+    const auto owner = state.nft().owner_of(token);
+    smt.set(token_key(token),
+            owner.has_value() ? owner_value(*owner) : tombstone_value());
+  }
+  smt.set(meta_key(),
+          meta_value(state.nft().remaining_supply(), state.fee_pool()));
+  return smt;
+}
+
+crypto::Hash256 smt_state_root(const L2State& state) {
+  return build_state_smt(state).root();
+}
+
+TxWitness build_witness(const L2State& state, const Tx& tx) {
+  const crypto::SparseMerkleTree smt = build_state_smt(state);
+
+  TxWitness witness;
+  witness.pre_root = smt.root();
+  auto add = [&witness, &smt](const crypto::Hash256& key) {
+    witness.items.push_back({key, smt.prove(key)});
+  };
+
+  add(meta_key());
+  add(account_key(tx.sender));
+  if (tx.kind == TxKind::kTransfer) add(account_key(tx.recipient));
+  if (tx.token.has_value()) add(token_key(*tx.token));
+  return witness;
+}
+
+Result<StatelessOutcome> stateless_execute(const TxWitness& witness,
+                                           const Tx& tx,
+                                           const StatelessConfig& config) {
+  crypto::PartialSmt partial(witness.pre_root);
+  for (const auto& item : witness.items) {
+    const Status added = partial.add_proof(item.key, item.proof);
+    if (!added.ok()) return added.error();
+  }
+
+  StatelessOutcome outcome;
+  outcome.post_root = witness.pre_root;
+
+  auto fail = [&outcome](std::string reason) {
+    outcome.executed = false;
+    outcome.failure_reason = std::move(reason);
+    return outcome;
+  };
+
+  const auto meta = partial.get(meta_key());
+  if (!meta.has_value()) {
+    return Error{"missing_meta", "witness lacks the meta leaf"};
+  }
+  const std::uint32_t remaining = decode_remaining(*meta);
+  const Amount fee_pool = decode_fee_pool(*meta);
+  const token::PriceCurve curve(config.max_supply, config.initial_price);
+  const Amount price = curve.price(remaining);
+
+  auto balance_of = [&partial](UserId user) {
+    const auto value = partial.get(account_key(user));
+    return value.has_value() ? decode_amount(*value) : 0;
+  };
+
+  switch (tx.kind) {
+    case TxKind::kMint: {
+      if (!tx.token.has_value()) {
+        return Error{"auto_mint_unwitnessable",
+                     "witnessed mints need explicit token ids"};
+      }
+      if (!partial.covers(token_key(*tx.token))) {
+        return Error{"missing_key", "witness lacks the minted token leaf"};
+      }
+      if (partial.get(token_key(*tx.token)).has_value()) {
+        return fail("desired token id already minted");
+      }
+      if (remaining < 1) return fail("supply exhausted");
+      const Amount balance = balance_of(tx.sender);
+      if (balance < price) return fail("minter balance below price");
+      (void)partial.set(account_key(tx.sender),
+                        amount_value(balance - price));
+      (void)partial.set(token_key(*tx.token), owner_value(tx.sender));
+      (void)partial.set(meta_key(), meta_value(remaining - 1, fee_pool));
+      break;
+    }
+    case TxKind::kTransfer: {
+      if (!tx.token.has_value()) return fail("transfer without token id");
+      if (!partial.covers(token_key(*tx.token))) {
+        return Error{"missing_key", "witness lacks the transferred token"};
+      }
+      const auto owner = partial.get(token_key(*tx.token));
+      if (!owner.has_value() || is_tombstone(*owner)) {
+        return fail("token does not exist");
+      }
+      if (decode_owner(*owner) != tx.sender) {
+        return fail("seller does not own token");
+      }
+      const Amount buyer_balance = balance_of(tx.recipient);
+      if (buyer_balance < price) return fail("buyer balance below price");
+      if (tx.sender != tx.recipient) {
+        const Amount seller_balance = balance_of(tx.sender);
+        (void)partial.set(account_key(tx.recipient),
+                          amount_value(buyer_balance - price));
+        (void)partial.set(account_key(tx.sender),
+                          amount_value(seller_balance + price));
+      }  // self-transfer: price paid to oneself, net zero (as the engine)
+      (void)partial.set(token_key(*tx.token), owner_value(tx.recipient));
+      break;
+    }
+    case TxKind::kBurn: {
+      if (!tx.token.has_value()) return fail("burn without token id");
+      if (!partial.covers(token_key(*tx.token))) {
+        return Error{"missing_key", "witness lacks the burnt token"};
+      }
+      const auto owner = partial.get(token_key(*tx.token));
+      if (!owner.has_value() || is_tombstone(*owner)) {
+        return fail("token does not exist");
+      }
+      if (decode_owner(*owner) != tx.sender) {
+        return fail("burner does not own token");
+      }
+      (void)partial.set(token_key(*tx.token), tombstone_value());
+      (void)partial.set(meta_key(), meta_value(remaining + 1, fee_pool));
+      break;
+    }
+  }
+
+  outcome.executed = true;
+  outcome.post_root = partial.root();
+  return outcome;
+}
+
+}  // namespace parole::vm

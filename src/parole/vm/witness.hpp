@@ -1,0 +1,95 @@
+// Stateless single-step execution with state witnesses.
+//
+// The dispute game ends with L1 re-executing one disputed transaction. A
+// production L1 never holds the L2 state; the asserter supplies a *witness*:
+// SMT proofs (crypto/smt.*) of exactly the entries the transaction touches
+// against the committed pre-state root. stateless_execute() then re-derives
+// the post-state root from the witness alone — the "one honest machine"
+// primitive of optimistic rollups.
+//
+// Commitment layout (the SMT over which witnesses are proven):
+//   key keccak("acct" | user)  -> balance (B_k)
+//   key keccak("nft"  | token) -> owner, with a tombstone value for burnt
+//                                 ids (so "ever minted" is provable — a
+//                                 plain deletion could not distinguish
+//                                 burnt from never-minted)
+//   key keccak("meta")         -> remaining supply S^t and the fee pool
+//
+// The collection constants (S^0, P^0) are contract parameters known to L1,
+// passed via StatelessConfig rather than proven. Witnessed execution models
+// the fee-less Eqs. 1-6 (the dispute semantics GENTRANSEQ also uses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/common/result.hpp"
+#include "parole/crypto/smt.hpp"
+#include "parole/vm/state.hpp"
+#include "parole/vm/tx.hpp"
+
+namespace parole::vm {
+
+// --- commitment keys and value encodings -------------------------------------------
+
+[[nodiscard]] crypto::Hash256 account_key(UserId user);
+[[nodiscard]] crypto::Hash256 token_key(TokenId token);
+[[nodiscard]] crypto::Hash256 meta_key();
+
+[[nodiscard]] crypto::Hash256 amount_value(Amount amount);
+[[nodiscard]] Amount decode_amount(const crypto::Hash256& value);
+
+[[nodiscard]] crypto::Hash256 owner_value(UserId owner);
+[[nodiscard]] crypto::Hash256 tombstone_value();  // burnt token
+[[nodiscard]] bool is_tombstone(const crypto::Hash256& value);
+[[nodiscard]] UserId decode_owner(const crypto::Hash256& value);
+
+[[nodiscard]] crypto::Hash256 meta_value(std::uint32_t remaining_supply,
+                                         Amount fee_pool);
+[[nodiscard]] std::uint32_t decode_remaining(const crypto::Hash256& value);
+[[nodiscard]] Amount decode_fee_pool(const crypto::Hash256& value);
+
+// --- full-state commitment ------------------------------------------------------------
+
+// Build the SMT commitment of a state (accounts, live tokens, tombstones,
+// meta leaf). The witness-friendly counterpart of L2State::state_root().
+[[nodiscard]] crypto::SparseMerkleTree build_state_smt(const L2State& state);
+[[nodiscard]] crypto::Hash256 smt_state_root(const L2State& state);
+
+// --- witnesses --------------------------------------------------------------------------
+
+struct TxWitness {
+  crypto::Hash256 pre_root;
+  struct Item {
+    crypto::Hash256 key;
+    crypto::SparseMerkleTree::Proof proof;
+  };
+  std::vector<Item> items;
+};
+
+// Build the witness for executing `tx` against `state` (which must be the
+// exact pre-state): proofs for the sender/recipient accounts, the touched
+// token and the meta leaf.
+[[nodiscard]] TxWitness build_witness(const L2State& state, const Tx& tx);
+
+struct StatelessConfig {
+  std::uint32_t max_supply{0};
+  Amount initial_price{0};
+};
+
+struct StatelessOutcome {
+  bool executed{false};       // constraints held and effects were applied
+  std::string failure_reason; // set when !executed
+  crypto::Hash256 post_root;  // == pre_root when !executed
+};
+
+// Verify the witness against its pre-root and execute the transaction using
+// only witness data. Errors (as opposed to !executed outcomes) mean the
+// witness itself is unusable: bad proofs, missing keys, or an auto-assign
+// mint (witnessed mints must carry explicit token ids).
+[[nodiscard]] Result<StatelessOutcome> stateless_execute(
+    const TxWitness& witness, const Tx& tx, const StatelessConfig& config);
+
+}  // namespace parole::vm

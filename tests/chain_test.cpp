@@ -1,0 +1,302 @@
+// Tests for the L1 substrate: blocks and hash links, the ORSC contract's
+// deposits / bonds / batch lifecycle / slashing, and the bridge.
+#include <gtest/gtest.h>
+
+#include "parole/chain/bridge.hpp"
+#include "parole/chain/l1_chain.hpp"
+#include "parole/chain/orsc.hpp"
+
+namespace parole::chain {
+namespace {
+
+// --- blocks & chain -------------------------------------------------------------
+
+TEST(L1Chain, StartsEmpty) {
+  L1Chain chain;
+  EXPECT_EQ(chain.height(), 0u);
+  EXPECT_EQ(chain.now(), 0u);
+  EXPECT_TRUE(chain.head_hash().is_zero());
+}
+
+TEST(L1Chain, SealAdvancesTime) {
+  L1Chain chain(12);
+  chain.seal_block();
+  chain.seal_block();
+  EXPECT_EQ(chain.height(), 2u);
+  EXPECT_EQ(chain.now(), 24u);
+  EXPECT_EQ(chain.block(0).timestamp, 12u);
+  EXPECT_EQ(chain.block(1).timestamp, 24u);
+}
+
+TEST(L1Chain, BlocksAreHashLinked) {
+  L1Chain chain;
+  chain.stage_deposit({UserId{1}, eth(1)});
+  chain.seal_block();
+  chain.seal_block();
+  chain.seal_block();
+  EXPECT_TRUE(chain.verify_links());
+  EXPECT_EQ(chain.block(1).parent_hash, chain.block(0).hash());
+}
+
+TEST(L1Chain, StagedContentLandsInNextBlockOnly) {
+  L1Chain chain;
+  chain.stage_deposit({UserId{1}, eth(1)});
+  const L1Block& b0 = chain.seal_block();
+  EXPECT_EQ(b0.deposits.size(), 1u);
+  const L1Block& b1 = chain.seal_block();
+  EXPECT_TRUE(b1.deposits.empty());
+}
+
+TEST(L1Chain, ContentChangesBlockHash) {
+  L1Chain chain;
+  chain.seal_block();
+  L1Chain other;
+  other.stage_deposit({UserId{9}, eth(9)});
+  other.seal_block();
+  EXPECT_NE(other.block(0).hash(), chain.block(0).hash());
+}
+
+TEST(BatchHeaderTest, HashCoversFields) {
+  BatchHeader a;
+  a.batch_id = 1;
+  a.tx_count = 5;
+  BatchHeader b = a;
+  EXPECT_EQ(a.hash(), b.hash());
+  b.tx_count = 6;
+  EXPECT_NE(a.hash(), b.hash());
+}
+
+// --- ORSC: funds & deposits ---------------------------------------------------------
+
+TEST(Orsc, FundAndDeposit) {
+  OrscContract orsc;
+  orsc.fund_l1(UserId{1}, eth(5));
+  EXPECT_EQ(orsc.l1_balance(UserId{1}), eth(5));
+  EXPECT_TRUE(orsc.deposit(UserId{1}, eth(2)).ok());
+  EXPECT_EQ(orsc.l1_balance(UserId{1}), eth(3));
+  const auto pending = orsc.drain_pending_deposits();
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0].user, UserId{1});
+  EXPECT_EQ(pending[0].amount, eth(2));
+  EXPECT_TRUE(orsc.drain_pending_deposits().empty());  // drained
+}
+
+TEST(Orsc, DepositRejectsOverdraw) {
+  OrscContract orsc;
+  orsc.fund_l1(UserId{1}, eth(1));
+  EXPECT_FALSE(orsc.deposit(UserId{1}, eth(2)).ok());
+  EXPECT_EQ(orsc.l1_balance(UserId{1}), eth(1));
+}
+
+TEST(Orsc, DepositRejectsNonPositive) {
+  OrscContract orsc;
+  orsc.fund_l1(UserId{1}, eth(1));
+  EXPECT_FALSE(orsc.deposit(UserId{1}, 0).ok());
+  EXPECT_FALSE(orsc.deposit(UserId{1}, -5).ok());
+}
+
+// --- ORSC: participants ---------------------------------------------------------------
+
+TEST(Orsc, RegistrationPostsBonds) {
+  OrscConfig config;
+  config.aggregator_bond = eth(5);
+  config.verifier_bond = eth(2);
+  OrscContract orsc(config);
+  ASSERT_TRUE(orsc.register_aggregator(AggregatorId{1}).ok());
+  ASSERT_TRUE(orsc.register_verifier(VerifierId{1}).ok());
+  EXPECT_EQ(orsc.aggregator_bond(AggregatorId{1}), eth(5));
+  EXPECT_EQ(orsc.verifier_bond(VerifierId{1}), eth(2));
+  EXPECT_TRUE(orsc.aggregator_registered(AggregatorId{1}));
+  EXPECT_FALSE(orsc.aggregator_registered(AggregatorId{2}));
+}
+
+TEST(Orsc, DoubleRegistrationRejected) {
+  OrscContract orsc;
+  ASSERT_TRUE(orsc.register_aggregator(AggregatorId{1}).ok());
+  EXPECT_FALSE(orsc.register_aggregator(AggregatorId{1}).ok());
+}
+
+// --- ORSC: batch lifecycle --------------------------------------------------------------
+
+BatchHeader header_for(AggregatorId aggregator) {
+  BatchHeader h;
+  h.aggregator = aggregator;
+  h.tx_count = 3;
+  return h;
+}
+
+TEST(Orsc, SubmitRequiresBondedAggregator) {
+  OrscContract orsc;
+  EXPECT_FALSE(orsc.submit_batch(header_for(AggregatorId{1}), 0).ok());
+  ASSERT_TRUE(orsc.register_aggregator(AggregatorId{1}).ok());
+  const auto id = orsc.submit_batch(header_for(AggregatorId{1}), 10);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(id.value(), 0u);
+  const BatchRecord* record = orsc.batch(0);
+  ASSERT_NE(record, nullptr);
+  EXPECT_EQ(record->status, BatchStatus::kPending);
+  EXPECT_EQ(record->header.submitted_at, 10u);
+}
+
+TEST(Orsc, FinalizesAfterChallengePeriod) {
+  OrscConfig config;
+  config.challenge_period = 100;
+  OrscContract orsc(config);
+  ASSERT_TRUE(orsc.register_aggregator(AggregatorId{1}).ok());
+  ASSERT_TRUE(orsc.submit_batch(header_for(AggregatorId{1}), 0).ok());
+
+  EXPECT_TRUE(orsc.finalize_due(50).empty());   // inside the period
+  EXPECT_TRUE(orsc.finalize_due(100).empty());  // deadline not yet passed
+  const auto finalized = orsc.finalize_due(101);
+  ASSERT_EQ(finalized.size(), 1u);
+  EXPECT_EQ(orsc.batch(0)->status, BatchStatus::kFinalized);
+}
+
+TEST(Orsc, ChallengeOnlyInsidePeriod) {
+  OrscConfig config;
+  config.challenge_period = 100;
+  OrscContract orsc(config);
+  ASSERT_TRUE(orsc.register_aggregator(AggregatorId{1}).ok());
+  ASSERT_TRUE(orsc.register_verifier(VerifierId{1}).ok());
+  ASSERT_TRUE(orsc.submit_batch(header_for(AggregatorId{1}), 0).ok());
+
+  EXPECT_FALSE(orsc.open_challenge(0, VerifierId{1}, 200).ok());
+  EXPECT_TRUE(orsc.open_challenge(0, VerifierId{1}, 50).ok());
+  EXPECT_EQ(orsc.batch(0)->status, BatchStatus::kDisputed);
+  // A disputed batch cannot be challenged again.
+  EXPECT_FALSE(orsc.open_challenge(0, VerifierId{1}, 60).ok());
+}
+
+TEST(Orsc, ChallengeRequiresBondedVerifier) {
+  OrscContract orsc;
+  ASSERT_TRUE(orsc.register_aggregator(AggregatorId{1}).ok());
+  ASSERT_TRUE(orsc.submit_batch(header_for(AggregatorId{1}), 0).ok());
+  EXPECT_FALSE(orsc.open_challenge(0, VerifierId{9}, 1).ok());
+}
+
+TEST(Orsc, FraudProvenSlashesAggregator) {
+  OrscConfig config;
+  config.aggregator_bond = eth(10);
+  config.verifier_bond = eth(2);
+  config.slash_reward_percent = 50;
+  OrscContract orsc(config);
+  ASSERT_TRUE(orsc.register_aggregator(AggregatorId{1}).ok());
+  ASSERT_TRUE(orsc.register_verifier(VerifierId{1}).ok());
+  ASSERT_TRUE(orsc.submit_batch(header_for(AggregatorId{1}), 0).ok());
+  ASSERT_TRUE(orsc.open_challenge(0, VerifierId{1}, 1).ok());
+
+  ASSERT_TRUE(orsc.resolve_challenge(0, /*fraud_proven=*/true).ok());
+  EXPECT_EQ(orsc.aggregator_bond(AggregatorId{1}), 0);
+  EXPECT_EQ(orsc.verifier_bond(VerifierId{1}), eth(2) + eth(5));  // reward
+  EXPECT_EQ(orsc.burnt_total(), eth(5));
+  EXPECT_EQ(orsc.batch(0)->status, BatchStatus::kReverted);
+  // A slashed aggregator can no longer submit.
+  EXPECT_FALSE(orsc.submit_batch(header_for(AggregatorId{1}), 2).ok());
+}
+
+TEST(Orsc, FrivolousChallengeSlashesVerifier) {
+  OrscConfig config;
+  config.aggregator_bond = eth(10);
+  config.verifier_bond = eth(2);
+  config.slash_reward_percent = 50;
+  OrscContract orsc(config);
+  ASSERT_TRUE(orsc.register_aggregator(AggregatorId{1}).ok());
+  ASSERT_TRUE(orsc.register_verifier(VerifierId{1}).ok());
+  ASSERT_TRUE(orsc.submit_batch(header_for(AggregatorId{1}), 0).ok());
+  ASSERT_TRUE(orsc.open_challenge(0, VerifierId{1}, 1).ok());
+
+  ASSERT_TRUE(orsc.resolve_challenge(0, /*fraud_proven=*/false).ok());
+  EXPECT_EQ(orsc.verifier_bond(VerifierId{1}), 0);
+  EXPECT_EQ(orsc.aggregator_bond(AggregatorId{1}), eth(10) + eth(1));
+  EXPECT_EQ(orsc.batch(0)->status, BatchStatus::kFinalized);
+}
+
+TEST(Orsc, ResolveWithoutChallengeFails) {
+  OrscContract orsc;
+  ASSERT_TRUE(orsc.register_aggregator(AggregatorId{1}).ok());
+  ASSERT_TRUE(orsc.submit_batch(header_for(AggregatorId{1}), 0).ok());
+  EXPECT_FALSE(orsc.resolve_challenge(0, true).ok());
+  EXPECT_FALSE(orsc.resolve_challenge(7, true).ok());
+}
+
+TEST(Orsc, BatchIdsAreSequential) {
+  OrscContract orsc;
+  ASSERT_TRUE(orsc.register_aggregator(AggregatorId{1}).ok());
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    const auto id = orsc.submit_batch(header_for(AggregatorId{1}), i);
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(id.value(), i);
+  }
+  EXPECT_EQ(orsc.batch_count(), 3u);
+}
+
+// --- bridge -------------------------------------------------------------------------------
+
+TEST(BridgeTest, DepositFlowsToL2) {
+  OrscContract orsc;
+  token::BalanceLedger l2;
+  Bridge bridge(orsc, l2);
+
+  orsc.fund_l1(UserId{1}, eth(5));
+  ASSERT_TRUE(bridge.deposit_to_l2(UserId{1}, eth(3)).ok());
+  EXPECT_EQ(bridge.process_deposits(), 1u);
+  EXPECT_EQ(l2.balance(UserId{1}), eth(3));
+  EXPECT_EQ(orsc.l1_balance(UserId{1}), eth(2));
+  EXPECT_EQ(bridge.locked(), eth(3));
+}
+
+TEST(BridgeTest, WithdrawalWaitsForChallengePeriod) {
+  OrscConfig config;
+  config.challenge_period = 100;
+  OrscContract orsc(config);
+  token::BalanceLedger l2;
+  Bridge bridge(orsc, l2);
+
+  orsc.fund_l1(UserId{1}, eth(5));
+  ASSERT_TRUE(bridge.deposit_to_l2(UserId{1}, eth(3)).ok());
+  bridge.process_deposits();
+
+  ASSERT_TRUE(bridge.request_withdrawal(UserId{1}, eth(2), /*now=*/10).ok());
+  EXPECT_EQ(l2.balance(UserId{1}), eth(1));  // burnt immediately
+  EXPECT_EQ(bridge.process_withdrawals(50), 0u);   // too early
+  EXPECT_EQ(bridge.process_withdrawals(110), 0u);  // 10+100 not yet passed
+  EXPECT_EQ(bridge.process_withdrawals(111), 1u);
+  EXPECT_EQ(orsc.l1_balance(UserId{1}), eth(2) + eth(2));
+  EXPECT_EQ(bridge.locked(), eth(1));
+  // No double release.
+  EXPECT_EQ(bridge.process_withdrawals(200), 0u);
+}
+
+TEST(BridgeTest, WithdrawalRejectsOverdraw) {
+  OrscContract orsc;
+  token::BalanceLedger l2;
+  Bridge bridge(orsc, l2);
+  l2.credit(UserId{1}, eth(1));
+  EXPECT_FALSE(bridge.request_withdrawal(UserId{1}, eth(2), 0).ok());
+  EXPECT_FALSE(bridge.request_withdrawal(UserId{1}, 0, 0).ok());
+  EXPECT_EQ(l2.balance(UserId{1}), eth(1));
+}
+
+TEST(BridgeTest, ConservationAcrossManyOps) {
+  OrscConfig config;
+  config.challenge_period = 10;
+  OrscContract orsc(config);
+  token::BalanceLedger l2;
+  Bridge bridge(orsc, l2);
+
+  for (std::uint32_t u = 0; u < 5; ++u) {
+    orsc.fund_l1(UserId{u}, eth(10));
+    ASSERT_TRUE(bridge.deposit_to_l2(UserId{u}, eth(4)).ok());
+  }
+  bridge.process_deposits();
+  ASSERT_TRUE(bridge.request_withdrawal(UserId{0}, eth(1), 0).ok());
+  ASSERT_TRUE(bridge.request_withdrawal(UserId{1}, eth(2), 0).ok());
+  bridge.process_withdrawals(100);
+
+  // L2 total supply must equal locked funds at all times.
+  EXPECT_EQ(l2.total_supply(), bridge.locked());
+  EXPECT_EQ(bridge.locked(), eth(20) - eth(3));
+}
+
+}  // namespace
+}  // namespace parole::chain

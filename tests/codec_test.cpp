@@ -1,0 +1,213 @@
+// Tests for the batch calldata codec (round trips, fuzz, corruption) and
+// the L1 economics model built on it.
+#include <gtest/gtest.h>
+
+#include "parole/data/case_study.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/rollup/codec.hpp"
+#include "parole/rollup/fraud_proof.hpp"
+#include "parole/rollup/economics.hpp"
+
+namespace parole::rollup {
+namespace {
+
+namespace cs = data::case_study;
+
+// --- varint / zigzag primitives ---------------------------------------------------
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  for (std::uint64_t value :
+       {0ull, 1ull, 127ull, 128ull, 16'383ull, 16'384ull,
+        0xffffffffull, ~0ull}) {
+    std::vector<std::uint8_t> bytes;
+    put_varint(bytes, value);
+    std::size_t pos = 0;
+    std::uint64_t decoded = 0;
+    ASSERT_TRUE(get_varint(bytes, pos, decoded));
+    EXPECT_EQ(decoded, value);
+    EXPECT_EQ(pos, bytes.size());
+  }
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  std::vector<std::uint8_t> bytes;
+  put_varint(bytes, 42);
+  EXPECT_EQ(bytes.size(), 1u);
+}
+
+TEST(Varint, TruncationDetected) {
+  std::vector<std::uint8_t> bytes;
+  put_varint(bytes, 1'000'000);
+  bytes.pop_back();
+  std::size_t pos = 0;
+  std::uint64_t decoded = 0;
+  EXPECT_FALSE(get_varint(bytes, pos, decoded));
+}
+
+TEST(ZigZag, RoundTripsSignedValues) {
+  for (std::int64_t value : {0ll, 1ll, -1ll, 63ll, -64ll, 1'000'000ll,
+                             -1'000'000ll}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(value)), value);
+  }
+  // Small magnitudes map to small codes (the point of zigzag).
+  EXPECT_LE(zigzag_encode(-1), 2u);
+  EXPECT_LE(zigzag_encode(1), 2u);
+}
+
+// --- batch round trips --------------------------------------------------------------
+
+TEST(Codec, CaseStudyRoundTrip) {
+  const auto txs = cs::original_txs();
+  const auto bytes = encode_batch(txs);
+  const auto decoded = decode_batch(bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i], txs[i]) << "tx " << i;
+  }
+}
+
+TEST(Codec, EmptyBatch) {
+  const auto bytes = encode_batch({});
+  const auto decoded = decode_batch(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded.value().empty());
+}
+
+class CodecFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CodecFuzz, RandomWorkloadRoundTrips) {
+  data::WorkloadConfig config;
+  config.num_users = 20;
+  config.max_supply = 50;
+  config.premint = 15;
+  data::WorkloadGenerator generator(config, GetParam());
+  Rng rng(GetParam() ^ 0xc0dec);
+  auto txs = generator.generate(
+      static_cast<std::size_t>(rng.uniform_int(1, 120)));
+  // Arrival stamps as the mempool would set them.
+  for (std::size_t i = 0; i < txs.size(); ++i) txs[i].arrival = i;
+
+  const auto bytes = encode_batch(txs);
+  const auto decoded = decode_batch(bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i], txs[i]);
+  }
+  // The decoded batch hashes to the same commitment.
+  EXPECT_EQ(Batch::tx_root_of(decoded.value()),
+            Batch::tx_root_of(txs));
+}
+
+TEST_P(CodecFuzz, TruncationAlwaysRejected) {
+  data::WorkloadConfig config;
+  config.num_users = 10;
+  config.max_supply = 30;
+  config.premint = 10;
+  data::WorkloadGenerator generator(config, GetParam() ^ 0x7);
+  auto txs = generator.generate(20);
+  auto bytes = encode_batch(txs);
+  Rng rng(GetParam());
+  const auto cut = static_cast<std::size_t>(
+      rng.uniform_int(1, static_cast<std::int64_t>(bytes.size()) - 1));
+  bytes.resize(cut);
+  EXPECT_FALSE(decode_batch(bytes).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(Codec, BadVersionRejected) {
+  auto bytes = encode_batch(cs::original_txs());
+  bytes[0] = 0xee;
+  const auto decoded = decode_batch(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "bad_version");
+}
+
+TEST(Codec, TrailingBytesRejected) {
+  auto bytes = encode_batch(cs::original_txs());
+  bytes.push_back(0x00);
+  const auto decoded = decode_batch(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, "trailing_bytes");
+}
+
+TEST(Codec, CompressesWellBelowNaive) {
+  data::WorkloadConfig config;
+  config.num_users = 20;
+  config.max_supply = 50;
+  config.premint = 15;
+  data::WorkloadGenerator generator(config, 99);
+  auto txs = generator.generate(100);
+  for (std::size_t i = 0; i < txs.size(); ++i) txs[i].arrival = i;
+  const auto bytes = encode_batch(txs);
+  // Sequential ids/arrivals and small field values should compress the
+  // ~58-byte naive records to well under half.
+  EXPECT_LT(bytes.size() * 2, naive_encoded_size(txs));
+}
+
+// --- economics -------------------------------------------------------------------------
+
+TEST(Economics, AnalyzeAccountsConsistently) {
+  auto txs = cs::original_txs();
+  for (auto& tx : txs) {
+    tx.base_fee = gwei(100'000);
+    tx.priority_fee = gwei(50'000);
+  }
+  const EconomicsModel model;
+  const BatchEconomics econ = model.analyze(txs);
+  EXPECT_EQ(econ.tx_count, 8u);
+  EXPECT_GT(econ.encoded_bytes, 0u);
+  EXPECT_GT(econ.compression_ratio, 1.0);
+  EXPECT_EQ(econ.fee_revenue, 8 * gwei(150'000));
+  EXPECT_EQ(econ.aggregator_net, econ.fee_revenue - econ.l1_cost);
+}
+
+TEST(Economics, BiggerBatchesAmortizeOverhead) {
+  data::WorkloadConfig config;
+  config.num_users = 20;
+  config.max_supply = 100;
+  config.premint = 30;
+  data::WorkloadGenerator generator(config, 7);
+  auto txs = generator.generate(100);
+  const EconomicsModel model;
+
+  const BatchEconomics small = model.analyze(std::span(txs).subspan(0, 5));
+  const BatchEconomics large = model.analyze(txs);
+  const double small_cost_per_tx =
+      static_cast<double>(small.l1_cost) / static_cast<double>(small.tx_count);
+  const double large_cost_per_tx =
+      static_cast<double>(large.l1_cost) / static_cast<double>(large.tx_count);
+  EXPECT_LT(large_cost_per_tx, small_cost_per_tx);
+}
+
+TEST(Economics, BreakEvenBehaviour) {
+  const EconomicsModel model;
+  // Overhead: 60k gas at 20 gwei/gas = 1.2M gwei. 20 bytes/tx costs
+  // 320 gas = 6,400 gwei per tx.
+  EXPECT_EQ(model.break_even_size(gwei(6'400), 20),
+            std::numeric_limits<std::size_t>::max());
+  const std::size_t n = model.break_even_size(gwei(30'000), 20);
+  // margin = 23,600 gwei; overhead 1.2M -> ~51 txs.
+  EXPECT_GE(n, 40u);
+  EXPECT_LE(n, 60u);
+  // A batch of that size with those fees is indeed net-positive.
+  std::vector<vm::Tx> txs;
+  for (std::size_t i = 0; i < n + 5; ++i) {
+    txs.push_back(
+        vm::Tx::make_mint(TxId{i}, UserId{1}, gwei(30'000), 0));
+  }
+  EXPECT_TRUE(model.analyze(txs).profitable());
+}
+
+TEST(Economics, UnprofitableTinyBatch) {
+  std::vector<vm::Tx> txs = {
+      vm::Tx::make_mint(TxId{1}, UserId{1}, gwei(100), 0)};
+  const EconomicsModel model;
+  EXPECT_FALSE(model.analyze(txs).profitable());
+}
+
+}  // namespace
+}  // namespace parole::rollup

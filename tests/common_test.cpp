@@ -1,0 +1,390 @@
+// Tests for the common substrate: ids, amounts, Result, RNG, stats, tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <unordered_set>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/env.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/common/result.hpp"
+#include "parole/common/rng.hpp"
+#include "parole/common/stats.hpp"
+#include "parole/common/table.hpp"
+
+namespace parole {
+namespace {
+
+// --- TaggedId ----------------------------------------------------------------
+
+TEST(TaggedId, DistinctTypesDoNotMix) {
+  static_assert(!std::is_convertible_v<UserId, TokenId>);
+  static_assert(!std::is_convertible_v<TokenId, UserId>);
+  static_assert(!std::is_convertible_v<std::uint32_t, UserId>);
+}
+
+TEST(TaggedId, ComparesByValue) {
+  EXPECT_EQ(UserId{3}, UserId{3});
+  EXPECT_NE(UserId{3}, UserId{4});
+  EXPECT_LT(UserId{3}, UserId{4});
+  EXPECT_GE(UserId{4}, UserId{4});
+}
+
+TEST(TaggedId, Hashable) {
+  std::unordered_set<UserId> set;
+  set.insert(UserId{1});
+  set.insert(UserId{1});
+  set.insert(UserId{2});
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(TaggedId, DefaultIsZero) { EXPECT_EQ(UserId{}.value(), 0u); }
+
+// --- Amount -------------------------------------------------------------------
+
+TEST(Amount, EthConstructors) {
+  EXPECT_EQ(eth(1), 1'000'000'000);
+  EXPECT_EQ(eth(0, 200), 200'000'000);  // 0.2 ETH
+  EXPECT_EQ(eth(2, 300), 2'300'000'000);
+  EXPECT_EQ(eth(0, 400), 400'000'000);
+  EXPECT_EQ(gwei(42), 42);
+}
+
+TEST(Amount, ToEthStringWholeValues) {
+  EXPECT_EQ(to_eth_string(eth(1)), "1");
+  EXPECT_EQ(to_eth_string(eth(25)), "25");
+  EXPECT_EQ(to_eth_string(0), "0");
+}
+
+TEST(Amount, ToEthStringFractions) {
+  EXPECT_EQ(to_eth_string(eth(0, 400)), "0.4");
+  EXPECT_EQ(to_eth_string(eth(2, 500)), "2.5");
+  EXPECT_EQ(to_eth_string(333'333'333), "0.333333333");
+  EXPECT_EQ(to_eth_string(2'733'333'334), "2.733333334");
+}
+
+TEST(Amount, ToEthStringNegative) {
+  EXPECT_EQ(to_eth_string(-eth(0, 500)), "-0.5");
+  EXPECT_EQ(to_eth_string(-1), "-0.000000001");
+}
+
+TEST(Amount, ToGweiStringGroupsThousands) {
+  EXPECT_EQ(to_gwei_string(1'234'567), "1,234,567 gwei");
+  EXPECT_EQ(to_gwei_string(12), "12 gwei");
+  EXPECT_EQ(to_gwei_string(-4'000), "-4,000 gwei");
+}
+
+TEST(Amount, ToEthDouble) {
+  EXPECT_DOUBLE_EQ(to_eth_double(eth(2, 500)), 2.5);
+}
+
+// --- Result -------------------------------------------------------------------
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Error{"nope", "details"};
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "nope");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, StatusHelpers) {
+  Status s = ok_status();
+  EXPECT_TRUE(s.ok());
+  Status bad = Error{"x", "y"};
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(Result, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  auto ptr = std::move(r).value();
+  EXPECT_EQ(*ptr, 7);
+}
+
+// --- Rng ----------------------------------------------------------------------
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2'000; ++i) {
+    const auto v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 9u);  // all 9 values hit
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatesHalf) {
+  Rng rng(13);
+  RunningStats stats;
+  for (int i = 0; i < 20'000; ++i) stats.add(rng.uniform());
+  EXPECT_NEAR(stats.mean(), 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(17);
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(rng.normal());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.03);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParameters) {
+  Rng rng(19);
+  RunningStats stats;
+  for (int i = 0; i < 50'000; ++i) stats.add(rng.normal(10.0, 2.0));
+  EXPECT_NEAR(stats.mean(), 10.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng rng(29);
+  int hits = 0;
+  for (int i = 0; i < 20'000; ++i) hits += rng.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / 20'000.0, 0.3, 0.02);
+}
+
+TEST(Rng, ZipfUniformWhenExponentZero) {
+  Rng rng(31);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40'000; ++i) ++counts[rng.zipf(4, 0.0)];
+  for (int c : counts) EXPECT_NEAR(c, 10'000, 600);
+}
+
+TEST(Rng, ZipfSkewsTowardLowRanks) {
+  Rng rng(37);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20'000; ++i) ++counts[rng.zipf(10, 1.2)];
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[0], counts[9]);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng rng(43);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  const auto before = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, before);  // 1/20! chance of flake — effectively impossible
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng a(47);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, IndexWithinBounds) {
+  Rng rng(53);
+  for (int i = 0; i < 1'000; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+// --- stats ---------------------------------------------------------------------
+
+TEST(RunningStats, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.sum(), 40.0);
+}
+
+TEST(MovingAverage, WindowOneIsIdentity) {
+  const std::vector<double> xs{1, 5, 3, 8};
+  EXPECT_EQ(moving_average(xs, 1), xs);
+}
+
+TEST(MovingAverage, KnownWindow) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const auto ma = moving_average(xs, 3);
+  ASSERT_EQ(ma.size(), 5u);
+  EXPECT_DOUBLE_EQ(ma[0], 1.0);
+  EXPECT_DOUBLE_EQ(ma[1], 1.5);
+  EXPECT_DOUBLE_EQ(ma[2], 2.0);
+  EXPECT_DOUBLE_EQ(ma[3], 3.0);
+  EXPECT_DOUBLE_EQ(ma[4], 4.0);
+}
+
+TEST(MovingAverage, EmptyInput) {
+  EXPECT_TRUE(moving_average({}, 9).empty());
+}
+
+TEST(Percentile, Median) {
+  EXPECT_DOUBLE_EQ(percentile({3, 1, 2}, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(percentile({4, 1, 2, 3}, 50.0), 2.5);
+}
+
+TEST(Percentile, Extremes) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 9}, 100.0), 9.0);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 37.0), 7.0);
+}
+
+TEST(MeanStddevOf, Basics) {
+  EXPECT_DOUBLE_EQ(mean_of({1, 2, 3}), 2.0);
+  EXPECT_NEAR(stddev_of({2, 4, 4, 4, 5, 5, 7, 9}), std::sqrt(32.0 / 7.0),
+              1e-12);
+}
+
+TEST(Bootstrap, CiBracketsTheMean) {
+  Rng rng(59);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(10.0, 2.0));
+  const BootstrapCi ci = bootstrap_mean_ci(xs, rng);
+  EXPECT_LE(ci.lower, ci.mean);
+  EXPECT_GE(ci.upper, ci.mean);
+  EXPECT_NEAR(ci.mean, 10.0, 0.5);
+  // 95% CI width for n=200, sigma=2: ~2 * 1.96 * 2/sqrt(200) ~ 0.55.
+  EXPECT_LT(ci.upper - ci.lower, 1.2);
+  EXPECT_GT(ci.upper - ci.lower, 0.2);
+}
+
+TEST(Bootstrap, DegenerateSampleHasZeroWidth) {
+  Rng rng(61);
+  const BootstrapCi ci = bootstrap_mean_ci({7.0, 7.0, 7.0}, rng);
+  EXPECT_DOUBLE_EQ(ci.mean, 7.0);
+  EXPECT_DOUBLE_EQ(ci.lower, 7.0);
+  EXPECT_DOUBLE_EQ(ci.upper, 7.0);
+}
+
+TEST(Bootstrap, WiderAlphaNarrowsInterval) {
+  Rng rng(67);
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  Rng rng_a(1), rng_b(1);
+  const BootstrapCi wide = bootstrap_mean_ci(xs, rng_a, 0.05);
+  const BootstrapCi narrow = bootstrap_mean_ci(xs, rng_b, 0.5);
+  EXPECT_LT(narrow.upper - narrow.lower, wide.upper - wide.lower);
+}
+
+// --- TablePrinter ----------------------------------------------------------------
+
+TEST(TablePrinter, RendersHeadersAndRows) {
+  TablePrinter t("demo");
+  t.columns({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"beta", "22"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TablePrinter, CsvEscapesCommas) {
+  TablePrinter t("csv");
+  t.columns({"a", "b"});
+  t.row({"x,y", "plain"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"x,y\""), std::string::npos);
+}
+
+TEST(TablePrinter, NumFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::integer(-42), "-42");
+}
+
+// --- env -------------------------------------------------------------------------
+
+TEST(Env, FallbacksWhenUnset) {
+  unsetenv("PAROLE_TEST_UNSET_VAR");
+  EXPECT_DOUBLE_EQ(env_double("PAROLE_TEST_UNSET_VAR", 1.5), 1.5);
+  EXPECT_EQ(env_int("PAROLE_TEST_UNSET_VAR", 9), 9);
+}
+
+TEST(Env, ParsesSetValues) {
+  setenv("PAROLE_TEST_VAR", "2.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("PAROLE_TEST_VAR", 0.0), 2.5);
+  setenv("PAROLE_TEST_VAR", "37", 1);
+  EXPECT_EQ(env_int("PAROLE_TEST_VAR", 0), 37);
+  unsetenv("PAROLE_TEST_VAR");
+}
+
+TEST(Env, ScaledHasFloor) {
+  setenv("PAROLE_BENCH_SCALE", "0.001", 1);
+  EXPECT_EQ(scaled(100, 5), 5);
+  setenv("PAROLE_BENCH_SCALE", "1.0", 1);
+  EXPECT_EQ(scaled(100, 5), 100);
+  unsetenv("PAROLE_BENCH_SCALE");
+}
+
+TEST(Env, BenchScaleClamped) {
+  setenv("PAROLE_BENCH_SCALE", "50", 1);
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+  unsetenv("PAROLE_BENCH_SCALE");
+}
+
+}  // namespace
+}  // namespace parole

@@ -1,0 +1,382 @@
+// Tests for the PAROLE core: arbitrage assessment, the sequence encoder, the
+// re-ordering MDP (action codec, rewards, validity handling), GENTRANSEQ
+// training/inference, and the Algorithm 1 wrapper.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "parole/core/arbitrage.hpp"
+#include "parole/core/encoding.hpp"
+#include "parole/core/gentranseq.hpp"
+#include "parole/core/parole_attack.hpp"
+#include "parole/core/reorder_env.hpp"
+#include "parole/data/case_study.hpp"
+
+namespace parole::core {
+namespace {
+
+namespace cs = data::case_study;
+
+// Fast DQN settings for tests: same algorithm, smaller net and fewer
+// episodes than Table II.
+GenTranSeqConfig test_gts_config() {
+  GenTranSeqConfig config;
+  config.dqn.hidden = {32};
+  config.dqn.episodes = 30;
+  config.dqn.steps_per_episode = 60;
+  config.dqn.minibatch = 16;
+  return config;
+}
+
+// --- arbitrage assessment ------------------------------------------------------
+
+TEST(Arbitrage, CaseStudyIsAnOpportunity) {
+  const auto txs = cs::original_txs();
+  const auto a = assess_arbitrage(txs, std::vector<UserId>{cs::kIfu});
+  EXPECT_TRUE(a.opportunity);
+  EXPECT_EQ(a.ifu_tx_count, 3u);  // TX3, TX5, TX8
+  EXPECT_TRUE(a.ifu_has_mint);
+  EXPECT_TRUE(a.ifu_has_transfer);
+  EXPECT_EQ(a.price_moving_txs, 3u);  // TX2, TX5, TX7
+  EXPECT_GT(a.score, 50);
+}
+
+TEST(Arbitrage, NoOpportunityWithoutIfuInvolvement) {
+  const auto txs = cs::original_txs();
+  const auto a = assess_arbitrage(txs, std::vector<UserId>{UserId{999}});
+  EXPECT_FALSE(a.opportunity);
+  EXPECT_EQ(a.ifu_tx_count, 0u);
+  EXPECT_EQ(a.score, 0);
+}
+
+TEST(Arbitrage, SingleInvolvementIsNotEnough) {
+  std::vector<vm::Tx> txs = {
+      vm::Tx::make_mint(TxId{1}, UserId{1}),
+      vm::Tx::make_mint(TxId{2}, UserId{2}),
+  };
+  const auto a = assess_arbitrage(txs, std::vector<UserId>{UserId{1}});
+  EXPECT_FALSE(a.opportunity);
+  EXPECT_EQ(a.ifu_tx_count, 1u);
+}
+
+TEST(Arbitrage, TransfersAloneCannotMoveThePrice) {
+  std::vector<vm::Tx> txs = {
+      vm::Tx::make_transfer(TxId{1}, UserId{1}, UserId{2}, TokenId{0}),
+      vm::Tx::make_transfer(TxId{2}, UserId{2}, UserId{1}, TokenId{1}),
+  };
+  const auto a = assess_arbitrage(txs, std::vector<UserId>{UserId{1}});
+  EXPECT_FALSE(a.opportunity);  // involved twice, but no price movers
+  EXPECT_EQ(a.price_moving_txs, 0u);
+}
+
+TEST(Arbitrage, BuyerSideInvolvementCounts) {
+  std::vector<vm::Tx> txs = {
+      vm::Tx::make_transfer(TxId{1}, UserId{2}, UserId{1}, TokenId{0}),
+      vm::Tx::make_burn(TxId{2}, UserId{3}, TokenId{1}),
+      vm::Tx::make_transfer(TxId{3}, UserId{1}, UserId{4}, TokenId{2}),
+  };
+  const auto a = assess_arbitrage(txs, std::vector<UserId>{UserId{1}});
+  EXPECT_TRUE(a.opportunity);
+  EXPECT_EQ(a.ifu_tx_count, 2u);
+}
+
+TEST(Arbitrage, MultipleIfusAggregate) {
+  const auto txs = cs::original_txs();
+  const auto a =
+      assess_arbitrage(txs, std::vector<UserId>{cs::kIfu, cs::kU19});
+  EXPECT_TRUE(a.opportunity);
+  EXPECT_EQ(a.ifu_tx_count, 5u);  // TX3, TX5, TX8 + TX2, TX4
+}
+
+// --- sequence encoder ----------------------------------------------------------------
+
+TEST(Encoder, ShapeIsEightPerTx) {
+  SequenceEncoder encoder(cs::initial_state(), {cs::kIfu});
+  const auto txs = cs::original_txs();
+  const auto features = encoder.encode(txs);
+  EXPECT_EQ(features.size(), kFeaturesPerTx * txs.size());
+  EXPECT_EQ(encoder.state_dim(txs.size()), 64u);
+}
+
+TEST(Encoder, FlagsMatchTransactions) {
+  SequenceEncoder encoder(cs::initial_state(), {cs::kIfu});
+  const auto f = encoder.encode(cs::original_txs());
+
+  // TX1 (index 0): transfer, no IFU.
+  EXPECT_DOUBLE_EQ(f[0], 0.0);  // ifu involved
+  EXPECT_DOUBLE_EQ(f[1], 0.0);  // mint
+  EXPECT_DOUBLE_EQ(f[2], 1.0);  // transfer
+  EXPECT_DOUBLE_EQ(f[3], 0.0);  // burn
+
+  // TX3 (index 2): IFU sells.
+  const std::size_t o3 = 2 * kFeaturesPerTx;
+  EXPECT_DOUBLE_EQ(f[o3 + 0], 1.0);
+  EXPECT_DOUBLE_EQ(f[o3 + 2], 1.0);
+  EXPECT_DOUBLE_EQ(f[o3 + 7], -1.0);  // direction: IFU gives a token up
+
+  // TX5 (index 4): IFU mints.
+  const std::size_t o5 = 4 * kFeaturesPerTx;
+  EXPECT_DOUBLE_EQ(f[o5 + 0], 1.0);
+  EXPECT_DOUBLE_EQ(f[o5 + 1], 1.0);
+  EXPECT_DOUBLE_EQ(f[o5 + 7], 1.0);  // direction: IFU gains a token
+
+  // TX7 (index 6): burn by U2.
+  const std::size_t o7 = 6 * kFeaturesPerTx;
+  EXPECT_DOUBLE_EQ(f[o7 + 0], 0.0);
+  EXPECT_DOUBLE_EQ(f[o7 + 3], 1.0);
+}
+
+TEST(Encoder, PriceFeatureTracksPosition) {
+  SequenceEncoder encoder(cs::initial_state(), {cs::kIfu});
+  const auto f = encoder.encode(cs::original_txs());
+  // Price scale = S0 * P0 = 2 ETH. At TX1 the price is 0.4 -> 0.2.
+  EXPECT_NEAR(f[4], 0.2, 1e-9);
+  // TX3 executes after TX2's mint: price 0.5 -> 0.25.
+  EXPECT_NEAR(f[2 * kFeaturesPerTx + 4], 0.25, 1e-9);
+  // Supply feature at TX1: 5/10.
+  EXPECT_NEAR(f[5], 0.5, 1e-9);
+}
+
+TEST(Encoder, DifferentOrdersEncodeDifferently) {
+  SequenceEncoder encoder(cs::initial_state(), {cs::kIfu});
+  auto problem = cs::make_problem();
+  const auto a = encoder.encode(problem.materialize(cs::case1_order()));
+  const auto b = encoder.encode(problem.materialize(cs::case3_order()));
+  EXPECT_NE(a, b);
+}
+
+// --- action codec ---------------------------------------------------------------------
+
+TEST(ActionCodec, RoundTripsAllPairs) {
+  for (std::size_t n : {std::size_t{2}, std::size_t{3}, std::size_t{5},
+                        std::size_t{8}, std::size_t{20}}) {
+    std::size_t index = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        EXPECT_EQ(ReorderEnv::encode_action(i, j, n), index);
+        const auto [di, dj] = ReorderEnv::decode_action(index, n);
+        EXPECT_EQ(di, i);
+        EXPECT_EQ(dj, j);
+        ++index;
+      }
+    }
+    EXPECT_EQ(index, n * (n - 1) / 2);
+  }
+}
+
+// --- reorder environment ------------------------------------------------------------------
+
+TEST(ReorderEnvTest, DimensionsMatchPaper) {
+  auto problem = cs::make_problem();
+  ReorderEnv env(problem, {});
+  EXPECT_EQ(env.tx_count(), 8u);
+  EXPECT_EQ(env.state_dim(), 8u * 8u);  // 8N input PEs (Fig. 4)
+  EXPECT_EQ(env.action_count(), 28u);   // C(8,2) output PEs
+}
+
+TEST(ReorderEnvTest, ResetRestoresOriginalOrder) {
+  auto problem = cs::make_problem();
+  ReorderEnv env(problem, {});
+  (void)env.step(ReorderEnv::encode_action(1, 6, 8));
+  (void)env.reset();
+  std::vector<std::size_t> identity(8);
+  std::iota(identity.begin(), identity.end(), 0);
+  EXPECT_EQ(env.order(), identity);
+  EXPECT_EQ(env.current_balance(), cs::kCase1Final);
+  EXPECT_EQ(env.swaps_applied(), 0u);
+}
+
+TEST(ReorderEnvTest, RewardIsEqEightDelta) {
+  auto problem = cs::make_problem();
+  RewardConfig reward;
+  reward.penalty_weight = 10.0;
+  reward.no_progress_penalty = 0.0;  // isolate the Eq. 8 term
+  ReorderEnv env(problem, reward);
+
+  // Swap TX5 <-> TX7 (indices 4 and 6): the burn moves before the IFU's
+  // mint — a valid single-swap alteration.
+  const std::size_t action = ReorderEnv::encode_action(4, 6, 8);
+  const EnvStep step = env.step(action);
+  ASSERT_TRUE(step.applied);
+  const double delta_milli =
+      static_cast<double>(step.balance - cs::kCase1Final) / 1e6;
+  const double expected = (delta_milli < 0 ? 10.0 : 1.0) * delta_milli;
+  EXPECT_NEAR(step.reward, expected, 1e-9);
+  EXPECT_EQ(step.profit, step.balance > cs::kCase1Final);
+}
+
+TEST(ReorderEnvTest, InvalidSwapIsRejectedAndPenalized) {
+  auto problem = cs::make_problem();
+  ReorderEnv env(problem, {});
+  // Swapping TX1 (index 0) and TX7 (index 6) puts U2's burn before U2 owns
+  // anything: invalid.
+  const std::size_t action = ReorderEnv::encode_action(0, 6, 8);
+  const auto order_before = env.order();
+  const EnvStep step = env.step(action);
+  EXPECT_FALSE(step.applied);
+  EXPECT_LT(step.reward, 0.0);
+  EXPECT_EQ(env.order(), order_before);  // state unchanged
+  EXPECT_EQ(env.swaps_applied(), 0u);
+}
+
+TEST(ReorderEnvTest, BalanceBookkeepingMatchesEvaluation) {
+  auto problem = cs::make_problem();
+  ReorderEnv env(problem, {});
+  Rng rng(77);
+  for (int i = 0; i < 40; ++i) {
+    (void)env.step(rng.index(env.action_count()));
+  }
+  const auto value = problem.evaluate(env.order());
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(env.current_balance(), *value);
+}
+
+TEST(ReorderEnvTest, StateEncodingChangesWithAppliedSwap) {
+  auto problem = cs::make_problem();
+  ReorderEnv env(problem, {});
+  const auto before = env.reset();
+  const EnvStep step = env.step(ReorderEnv::encode_action(4, 6, 8));
+  ASSERT_TRUE(step.applied);
+  EXPECT_NE(step.state, before);
+}
+
+// --- GENTRANSEQ -----------------------------------------------------------------------------
+
+TEST(GenTranSeqTest, TrainingFindsProfitOnCaseStudy) {
+  auto problem = cs::make_problem();
+  GenTranSeq gts(problem, test_gts_config(), /*seed=*/1234);
+  const TrainResult result = gts.train();
+
+  EXPECT_EQ(result.baseline, cs::kCase1Final);
+  EXPECT_TRUE(result.found_profit);
+  EXPECT_GT(result.best_balance, cs::kCase1Final);
+  EXPECT_LE(result.best_balance, cs::kOptimalFinal);
+  EXPECT_EQ(result.episode_rewards.size(), 30u);
+  // The best order must be valid and evaluate to the claimed balance.
+  EXPECT_EQ(problem.evaluate(result.best_order).value_or(0),
+            result.best_balance);
+  EXPECT_FALSE(result.swaps_to_first_candidate.empty());
+}
+
+TEST(GenTranSeqTest, InferenceProducesValidOrder) {
+  auto problem = cs::make_problem();
+  GenTranSeq gts(problem, test_gts_config(), /*seed=*/1234);
+  (void)gts.train();
+  const InferenceResult inferred = gts.infer();
+  EXPECT_TRUE(problem.evaluate(inferred.order).has_value());
+  EXPECT_GE(inferred.balance, inferred.baseline);
+  if (inferred.improved) {
+    EXPECT_GT(inferred.swaps_to_first_candidate, 0u);
+    EXPECT_LE(inferred.swaps_to_first_candidate, inferred.swaps_applied);
+  }
+}
+
+TEST(GenTranSeqTest, ExplorationBeatsPureExploitation) {
+  // The Fig. 8 observation: epsilon = 0 tends to get stuck in a local
+  // optimum while epsilon = 1 explores the solution space.
+  auto problem = cs::make_problem();
+  GenTranSeqConfig greedy_config = test_gts_config();
+  greedy_config.epsilon_override = 0.0;
+  greedy_config.dqn.epsilon_min = 0.0;
+  GenTranSeq greedy_only(problem, greedy_config, /*seed=*/5);
+  const TrainResult greedy_result = greedy_only.train();
+
+  GenTranSeqConfig explore_config = test_gts_config();
+  explore_config.epsilon_override = 1.0;
+  GenTranSeq explorer(problem, explore_config, /*seed=*/5);
+  const TrainResult explore_result = explorer.train();
+
+  EXPECT_GE(explore_result.best_balance, greedy_result.best_balance);
+}
+
+// --- Algorithm 1 wrapper -----------------------------------------------------------------------
+
+TEST(ParoleAttack, EndToEndOnCaseStudyWithDqn) {
+  ParoleConfig config;
+  config.kind = ReordererKind::kDqn;
+  config.gentranseq = test_gts_config();
+  Parole parole(config);
+
+  AttackOutcome outcome =
+      parole.run(cs::initial_state(), cs::original_txs(), {cs::kIfu});
+  EXPECT_TRUE(outcome.assessment.opportunity);
+  EXPECT_TRUE(outcome.reordered);
+  EXPECT_EQ(outcome.baseline, cs::kCase1Final);
+  EXPECT_GT(outcome.achieved, outcome.baseline);
+  EXPECT_GT(outcome.profit(), 0);
+  EXPECT_EQ(outcome.final_sequence.size(), 8u);
+}
+
+TEST(ParoleAttack, HeuristicReordererReachesOptimum) {
+  ParoleConfig config;
+  config.kind = ReordererKind::kAnnealing;
+  Parole parole(config);
+  AttackOutcome outcome =
+      parole.run(cs::initial_state(), cs::original_txs(), {cs::kIfu});
+  EXPECT_TRUE(outcome.reordered);
+  EXPECT_EQ(outcome.achieved, cs::kOptimalFinal);
+}
+
+TEST(ParoleAttack, NoOpportunityReturnsOriginalSequence) {
+  Parole parole({ReordererKind::kAnnealing, {}, solvers::Objective::kSumBalance, 1});
+  const auto txs = cs::original_txs();
+  AttackOutcome outcome = parole.run(cs::initial_state(), txs, {UserId{777}});
+  EXPECT_FALSE(outcome.assessment.opportunity);
+  EXPECT_FALSE(outcome.reordered);
+  EXPECT_EQ(outcome.profit(), 0);
+  ASSERT_EQ(outcome.final_sequence.size(), txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_EQ(outcome.final_sequence[i].id, txs[i].id);
+  }
+}
+
+TEST(ParoleAttack, ReordererClosureAccumulatesProfit) {
+  ParoleConfig config;
+  config.kind = ReordererKind::kHillClimb;
+  Parole parole(config);
+  Amount profit = 0;
+  auto reorderer = parole.as_reorderer({cs::kIfu}, &profit);
+
+  const auto out = reorderer(cs::initial_state(), cs::original_txs());
+  EXPECT_EQ(out.size(), 8u);
+  EXPECT_EQ(profit, cs::kOptimalFinal - cs::kCase1Final);
+}
+
+TEST(ParoleAttack, GreedyKindRunsAndNeverLoses) {
+  ParoleConfig config;
+  config.kind = ReordererKind::kGreedy;
+  Parole parole(config);
+  AttackOutcome outcome =
+      parole.run(cs::initial_state(), cs::original_txs(), {cs::kIfu});
+  EXPECT_GE(outcome.achieved, outcome.baseline);
+}
+
+TEST(ParoleAttack, TinyBatchIsANoop) {
+  Parole parole({ReordererKind::kAnnealing, {}, solvers::Objective::kSumBalance, 1});
+  std::vector<vm::Tx> one = {vm::Tx::make_mint(TxId{1}, cs::kIfu)};
+  AttackOutcome outcome = parole.run(cs::initial_state(), one, {cs::kIfu});
+  EXPECT_FALSE(outcome.reordered);
+  EXPECT_EQ(outcome.final_sequence.size(), 1u);
+}
+
+TEST(ParoleAttack, FinalSequenceAlwaysPermutesTheInput) {
+  ParoleConfig config;
+  config.kind = ReordererKind::kAnnealing;
+  Parole parole(config);
+  const auto txs = cs::original_txs();
+  AttackOutcome outcome = parole.run(cs::initial_state(), txs, {cs::kIfu});
+  // Same multiset of tx ids in and out — the attack re-orders, never drops
+  // or duplicates.
+  std::vector<std::uint64_t> in_ids, out_ids;
+  for (const auto& tx : txs) in_ids.push_back(tx.id.value());
+  for (const auto& tx : outcome.final_sequence) {
+    out_ids.push_back(tx.id.value());
+  }
+  std::sort(in_ids.begin(), in_ids.end());
+  std::sort(out_ids.begin(), out_ids.end());
+  EXPECT_EQ(in_ids, out_ids);
+}
+
+}  // namespace
+}  // namespace parole::core

@@ -1,0 +1,242 @@
+// Tests for the crypto substrate: SHA-256 and Keccak-256 against published
+// vectors, addresses, and Merkle tree proofs.
+#include <gtest/gtest.h>
+
+#include "parole/crypto/hash.hpp"
+#include "parole/crypto/keccak256.hpp"
+#include "parole/crypto/merkle.hpp"
+#include "parole/crypto/sha256.hpp"
+
+namespace parole::crypto {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 / NIST vectors) ---------------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(Sha256::hash("").hex(),
+            "0xe3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(Sha256::hash("abc").hex(),
+            "0xba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(Sha256::hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")
+                .hex(),
+            "0x248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, ExactlyOneBlock) {
+  // 64 bytes: forces the padding into a second block.
+  const std::string msg(64, 'a');
+  EXPECT_EQ(Sha256::hash(msg).hex(),
+            "0xffe054fe7ae0cb6dc65c3af9b61d5209f439851db43d0ba5997337df154668eb");
+}
+
+TEST(Sha256, FiftySixBytes) {
+  // 56 bytes: the padding boundary corner case.
+  const std::string msg(56, 'b');
+  const Hash256 once = Sha256::hash(msg);
+  Sha256 streaming;
+  streaming.update(msg.substr(0, 13));
+  streaming.update(msg.substr(13));
+  EXPECT_EQ(streaming.finalize(), once);
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1'000, 'a');
+  for (int i = 0; i < 1'000; ++i) h.update(chunk);
+  EXPECT_EQ(h.finalize().hex(),
+            "0xcdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, StreamingMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog";
+  Sha256 h;
+  for (char c : msg) h.update(std::string_view(&c, 1));
+  EXPECT_EQ(h.finalize(), Sha256::hash(msg));
+}
+
+TEST(Sha256, ResetAllowsReuse) {
+  Sha256 h;
+  h.update("first");
+  (void)h.finalize();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.finalize(), Sha256::hash("abc"));
+}
+
+TEST(Sha256, DistinctInputsDistinctDigests) {
+  EXPECT_NE(Sha256::hash("a"), Sha256::hash("b"));
+}
+
+// --- Keccak-256 (Ethereum variant) -----------------------------------------------
+
+TEST(Keccak256, EmptyString) {
+  // The famous Ethereum empty-string hash (not the SHA3-256 value).
+  EXPECT_EQ(Keccak256::hash("").hex(),
+            "0xc5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470");
+}
+
+TEST(Keccak256, Abc) {
+  EXPECT_EQ(Keccak256::hash("abc").hex(),
+            "0x4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45");
+}
+
+TEST(Keccak256, Testing) {
+  EXPECT_EQ(Keccak256::hash("testing").hex(),
+            "0x5f16f4c7f149ac4f9510d9cf8cf384038ad348b3bcdc01915f95de12df9d1b02");
+}
+
+TEST(Keccak256, LongerThanRate) {
+  // > 136 bytes exercises multi-block absorption.
+  const std::string msg(300, 'x');
+  Keccak256 a;
+  a.update(msg);
+  Keccak256 b;
+  b.update(msg.substr(0, 100));
+  b.update(msg.substr(100));
+  EXPECT_EQ(a.finalize(), b.finalize());
+}
+
+TEST(Keccak256, ExactlyRateSized) {
+  const std::string msg(136, 'r');
+  const Hash256 h = Keccak256::hash(msg);
+  EXPECT_FALSE(h.is_zero());
+  EXPECT_NE(h, Keccak256::hash(std::string(135, 'r')));
+}
+
+// --- Hash256 / Address -------------------------------------------------------------
+
+TEST(Hash256, DefaultIsZero) {
+  EXPECT_TRUE(Hash256{}.is_zero());
+  EXPECT_FALSE(Sha256::hash("x").is_zero());
+}
+
+TEST(Hash256, ShortHexShape) {
+  const std::string s = Sha256::hash("x").short_hex();
+  EXPECT_EQ(s.size(), 2u + 4u + 2u + 2u);  // 0x + 4 + .. + 2
+  EXPECT_EQ(s.substr(0, 2), "0x");
+  EXPECT_NE(s.find(".."), std::string::npos);
+}
+
+TEST(Address, DeterministicFromId) {
+  const Address a = Address::from_id("user", 7);
+  const Address b = Address::from_id("user", 7);
+  const Address c = Address::from_id("user", 8);
+  const Address d = Address::from_id("aggregator", 7);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);  // domain separation
+}
+
+TEST(Address, HexShapes) {
+  const Address a = Address::from_id("user", 1);
+  EXPECT_EQ(a.hex().size(), 2u + 40u);
+  const std::string s = a.short_hex();
+  EXPECT_EQ(s.substr(0, 2), "0x");
+  EXPECT_NE(s.find(".."), std::string::npos);
+}
+
+TEST(ToHex, KnownBytes) {
+  const std::uint8_t bytes[] = {0x00, 0xff, 0x10};
+  EXPECT_EQ(to_hex(std::span<const std::uint8_t>(bytes, 3)), "00ff10");
+}
+
+// --- Merkle tree ----------------------------------------------------------------------
+
+std::vector<Hash256> make_leaves(std::size_t n) {
+  std::vector<Hash256> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::hash("leaf" + std::to_string(i)));
+  }
+  return leaves;
+}
+
+TEST(MerkleTree, EmptyTreeHasZeroRoot) {
+  EXPECT_TRUE(MerkleTree({}).root().is_zero());
+}
+
+TEST(MerkleTree, SingleLeaf) {
+  const auto leaves = make_leaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), MerkleTree::hash_leaf(leaves[0]));
+  EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[0], tree.prove(0)));
+}
+
+TEST(MerkleTree, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  const Hash256 root1 = MerkleTree(leaves).root();
+  std::swap(leaves[0], leaves[1]);
+  EXPECT_NE(MerkleTree(leaves).root(), root1);
+}
+
+TEST(MerkleTree, RootDependsOnContent) {
+  auto leaves = make_leaves(4);
+  const Hash256 root1 = MerkleTree(leaves).root();
+  leaves[2] = Sha256::hash("tampered");
+  EXPECT_NE(MerkleTree(leaves).root(), root1);
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, EveryLeafProvable) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const MerkleProof proof = tree.prove(i);
+    EXPECT_TRUE(MerkleTree::verify(tree.root(), leaves[i], proof))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleProofTest, WrongLeafFailsProof) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  MerkleTree tree(leaves);
+  const Hash256 bogus = Sha256::hash("bogus");
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_FALSE(MerkleTree::verify(tree.root(), bogus, tree.prove(i)));
+  }
+}
+
+// Odd sizes exercise the duplicated-tail path; powers of two the clean path.
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 33));
+
+TEST(MerkleTree, ProofAgainstWrongRootFails) {
+  const auto leaves = make_leaves(8);
+  MerkleTree tree(leaves);
+  const Hash256 other_root = MerkleTree(make_leaves(7)).root();
+  EXPECT_FALSE(MerkleTree::verify(other_root, leaves[0], tree.prove(0)));
+}
+
+TEST(MerkleTree, DomainSeparationLeafVsNode) {
+  // hash_leaf(x) must differ from hash_node-built values so a leaf can't be
+  // reinterpreted as an interior node.
+  const Hash256 x = Sha256::hash("x");
+  EXPECT_NE(MerkleTree::hash_leaf(x), MerkleTree::hash_node(x, x));
+}
+
+TEST(MerkleTree, RootOfByteItems) {
+  std::vector<std::vector<std::uint8_t>> items = {{1, 2, 3}, {4, 5}};
+  const Hash256 root = MerkleTree::root_of(items);
+  EXPECT_FALSE(root.is_zero());
+  items[1].push_back(6);
+  EXPECT_NE(MerkleTree::root_of(items), root);
+}
+
+TEST(MerkleTree, ProofLengthIsLogarithmic) {
+  MerkleTree tree(make_leaves(16));
+  EXPECT_EQ(tree.prove(0).steps.size(), 4u);
+  MerkleTree tree33(make_leaves(33));
+  EXPECT_EQ(tree33.prove(0).steps.size(), 6u);
+}
+
+}  // namespace
+}  // namespace parole::crypto

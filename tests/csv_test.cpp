@@ -1,0 +1,137 @@
+// Tests for snapshot CSV import/export: exact round trips, validation with
+// row context, and scanner-equivalence after a round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "parole/data/csv.hpp"
+#include "parole/data/scanner.hpp"
+
+namespace parole::data {
+namespace {
+
+std::vector<CollectionSnapshot> small_corpus(std::uint64_t seed) {
+  SnapshotConfig config;
+  config.lft_min = 10;
+  config.lft_max = 30;
+  config.mft_min = 40;
+  config.mft_max = 60;
+  config.hft_min = 70;
+  config.hft_max = 90;
+  SnapshotGenerator generator(config, seed);
+  return generator.generate_corpus(2);
+}
+
+bool snapshots_equal(const CollectionSnapshot& a,
+                     const CollectionSnapshot& b) {
+  if (a.id != b.id || a.chain != b.chain || a.band != b.band ||
+      a.max_supply != b.max_supply || a.initial_price != b.initial_price ||
+      a.events.size() != b.events.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    const auto& x = a.events[i];
+    const auto& y = b.events[i];
+    if (x.time != y.time || x.kind != y.kind || x.price != y.price ||
+        x.from != y.from || x.to != y.to || x.token != y.token) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(SnapshotCsv, RoundTripsExactly) {
+  const auto corpus = small_corpus(1);
+  const std::string text = to_csv(corpus);
+  const auto parsed = from_csv(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().detail;
+  ASSERT_EQ(parsed.value().size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_TRUE(snapshots_equal(parsed.value()[i], corpus[i]))
+        << "collection " << i;
+  }
+}
+
+TEST(SnapshotCsv, HeaderIsFirstLine) {
+  const std::string text = to_csv(small_corpus(2));
+  EXPECT_EQ(text.rfind(snapshot_csv_header(), 0), 0u);
+}
+
+TEST(SnapshotCsv, HeaderlessInputAccepted) {
+  const auto corpus = small_corpus(3);
+  std::string text = to_csv(corpus);
+  text.erase(0, text.find('\n') + 1);  // drop the header row
+  const auto parsed = from_csv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().size(), corpus.size());
+}
+
+TEST(SnapshotCsv, RejectsWrongColumnCount) {
+  const auto parsed = from_csv("1,Optimism,LFT,10,100\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "bad_row");
+  EXPECT_NE(parsed.error().detail.find("line 1"), std::string::npos);
+}
+
+TEST(SnapshotCsv, RejectsBadEnumsWithRowContext) {
+  const std::string row = "1,Solana,LFT,10,100,5,mint,100,0,1,0\n";
+  const auto parsed = from_csv(row);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "bad_chain");
+
+  const std::string row2 = "1,Optimism,LFT,10,100,5,stake,100,0,1,0\n";
+  EXPECT_EQ(from_csv(row2).error().code, "bad_kind");
+
+  const std::string row3 = "1,Optimism,XFT,10,100,5,mint,100,0,1,0\n";
+  EXPECT_EQ(from_csv(row3).error().code, "bad_band");
+}
+
+TEST(SnapshotCsv, RejectsNonNumericFields) {
+  const std::string row = "1,Optimism,LFT,ten,100,5,mint,100,0,1,0\n";
+  const auto parsed = from_csv(row);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.error().code, "bad_number");
+}
+
+TEST(SnapshotCsv, EmptyInputYieldsEmptyCorpus) {
+  const auto parsed = from_csv("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed.value().empty());
+}
+
+TEST(SnapshotCsv, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "parole_snapshots.csv";
+  const auto corpus = small_corpus(4);
+  ASSERT_TRUE(save_csv(corpus, path).ok());
+  const auto loaded = load_csv(path);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded.value().size(), corpus.size());
+  for (std::size_t i = 0; i < corpus.size(); ++i) {
+    EXPECT_TRUE(snapshots_equal(loaded.value()[i], corpus[i]));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotCsv, MissingFileFails) {
+  EXPECT_FALSE(load_csv("/nonexistent/dir/snaps.csv").ok());
+}
+
+TEST(SnapshotCsv, ScannerResultsSurviveRoundTrip) {
+  // The Fig. 10 analysis must not change across export/import.
+  const auto corpus = small_corpus(5);
+  const auto parsed = from_csv(to_csv(corpus));
+  ASSERT_TRUE(parsed.ok());
+
+  const SnapshotScanner scanner;
+  const auto before = scanner.summarize(corpus);
+  const auto after = scanner.summarize(parsed.value());
+  ASSERT_EQ(before.size(), after.size());
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_EQ(before[i].total_profit, after[i].total_profit);
+    EXPECT_EQ(before[i].collections, after[i].collections);
+    EXPECT_DOUBLE_EQ(before[i].opportunity_rate, after[i].opportunity_rate);
+  }
+}
+
+}  // namespace
+}  // namespace parole::data

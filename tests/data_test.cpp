@@ -1,0 +1,335 @@
+// Tests for the data substrate: workload generation, snapshot synthesis,
+// the arbitrage scanner, and the KDE estimator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "parole/data/kde.hpp"
+#include "parole/data/scanner.hpp"
+#include "parole/data/snapshot.hpp"
+#include "parole/data/workload.hpp"
+
+namespace parole::data {
+namespace {
+
+// --- WorkloadGenerator --------------------------------------------------------
+
+WorkloadConfig small_workload() {
+  WorkloadConfig config;
+  config.num_users = 10;
+  config.max_supply = 20;
+  config.premint = 6;
+  return config;
+}
+
+TEST(Workload, InitialStateFundsEveryUser) {
+  const WorkloadConfig config = small_workload();
+  WorkloadGenerator generator(config, 1);
+  const vm::L2State& state = generator.initial_state();
+  for (UserId user : generator.users()) {
+    EXPECT_GE(state.ledger().balance(user), config.min_funding);
+    EXPECT_LE(state.ledger().balance(user), config.max_funding);
+  }
+  EXPECT_EQ(state.nft().live_count(), 6u);
+  EXPECT_EQ(state.nft().remaining_supply(), 14u);
+}
+
+TEST(Workload, GeneratesRequestedCount) {
+  WorkloadGenerator generator(small_workload(), 2);
+  EXPECT_EQ(generator.generate(50).size(), 50u);
+}
+
+TEST(Workload, TxIdsAreUniqueAndSequential) {
+  WorkloadGenerator generator(small_workload(), 3);
+  const auto txs = generator.generate(40);
+  std::set<std::uint64_t> ids;
+  for (const auto& tx : txs) ids.insert(tx.id.value());
+  EXPECT_EQ(ids.size(), 40u);
+}
+
+TEST(Workload, GenerationOrderIsCausallyValid) {
+  // Txs must execute cleanly in generation order from the genesis state.
+  WorkloadGenerator generator(small_workload(), 4);
+  vm::L2State genesis = generator.initial_state();
+  const auto txs = generator.generate(80);
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kStrict, false, {}});
+  const auto result = engine.execute(genesis, txs);
+  EXPECT_TRUE(result.all_executed);
+}
+
+TEST(Workload, MintsCarryExplicitTokenIds) {
+  WorkloadGenerator generator(small_workload(), 5);
+  const auto txs = generator.generate(60);
+  for (const auto& tx : txs) {
+    if (tx.kind == vm::TxKind::kMint) {
+      EXPECT_TRUE(tx.token.has_value());
+    }
+  }
+}
+
+TEST(Workload, MixContainsAllKinds) {
+  WorkloadGenerator generator(small_workload(), 6);
+  const auto txs = generator.generate(120);
+  int mints = 0, transfers = 0, burns = 0;
+  for (const auto& tx : txs) {
+    switch (tx.kind) {
+      case vm::TxKind::kMint: ++mints; break;
+      case vm::TxKind::kTransfer: ++transfers; break;
+      case vm::TxKind::kBurn: ++burns; break;
+    }
+  }
+  EXPECT_GT(mints, 0);
+  EXPECT_GT(transfers, 0);
+  EXPECT_GT(burns, 0);
+  EXPECT_GT(transfers, burns);  // 0.5 vs 0.2 weights
+}
+
+TEST(Workload, FeesWithinConfiguredRanges) {
+  const WorkloadConfig config = small_workload();
+  WorkloadGenerator generator(config, 7);
+  for (const auto& tx : generator.generate(60)) {
+    EXPECT_GE(tx.base_fee, config.base_fee_min);
+    EXPECT_LE(tx.base_fee, config.base_fee_max);
+    EXPECT_GE(tx.priority_fee, config.priority_fee_min);
+    EXPECT_LE(tx.priority_fee, config.priority_fee_max);
+  }
+}
+
+TEST(Workload, DeterministicFromSeed) {
+  WorkloadGenerator a(small_workload(), 42);
+  WorkloadGenerator b(small_workload(), 42);
+  const auto ta = a.generate(30);
+  const auto tb = b.generate(30);
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) EXPECT_EQ(ta[i], tb[i]);
+}
+
+TEST(Workload, PickIfusPrefersHolders) {
+  WorkloadGenerator generator(small_workload(), 8);
+  (void)generator.generate(50);
+  const auto ifus = generator.pick_ifus(2);
+  ASSERT_EQ(ifus.size(), 2u);
+  EXPECT_NE(ifus[0], ifus[1]);
+  // The top pick must hold at least as many tokens as the second.
+  const auto& state = generator.initial_state();
+  EXPECT_GE(state.nft().balance_of(ifus[0]),
+            state.nft().balance_of(ifus[1]));
+}
+
+// --- SnapshotGenerator ------------------------------------------------------------
+
+TEST(Snapshot, BandsHaveExpectedEventCounts) {
+  SnapshotGenerator generator({}, 11);
+  const auto lft = generator.generate(RollupChain::kOptimism, FtBand::kLft);
+  const auto mft = generator.generate(RollupChain::kOptimism, FtBand::kMft);
+  const auto hft = generator.generate(RollupChain::kOptimism, FtBand::kHft);
+  EXPECT_LT(lft.events.size(), 100u);
+  EXPECT_GT(mft.events.size(), 100u);
+  EXPECT_LE(mft.events.size(), 3'000u);
+  EXPECT_GT(hft.events.size(), 3'000u);
+}
+
+TEST(Snapshot, OwnershipCountCountsTransfersOnly) {
+  SnapshotGenerator generator({}, 12);
+  const auto snap = generator.generate(RollupChain::kArbitrum, FtBand::kLft);
+  std::size_t transfers = 0;
+  for (const auto& e : snap.events) {
+    if (e.kind == vm::TxKind::kTransfer) ++transfers;
+  }
+  EXPECT_EQ(snap.ownership_count(), transfers);
+}
+
+TEST(Snapshot, TimesAreMonotone) {
+  SnapshotGenerator generator({}, 13);
+  const auto snap = generator.generate(RollupChain::kOptimism, FtBand::kMft);
+  for (std::size_t i = 1; i < snap.events.size(); ++i) {
+    EXPECT_GT(snap.events[i].time, snap.events[i - 1].time);
+  }
+}
+
+TEST(Snapshot, PricesArePositive) {
+  SnapshotGenerator generator({}, 14);
+  const auto snap = generator.generate(RollupChain::kArbitrum, FtBand::kMft);
+  for (const auto& e : snap.events) EXPECT_GT(e.price, 0);
+}
+
+TEST(Snapshot, ArbitrumIsMoreVolatileThanOptimism) {
+  SnapshotGenerator generator({}, 15);
+  auto relative_spread = [&](RollupChain chain) {
+    double total = 0.0;
+    int count = 0;
+    for (int i = 0; i < 6; ++i) {
+      const auto snap = generator.generate(chain, FtBand::kMft);
+      Amount lo = snap.events.front().price, hi = lo;
+      for (const auto& e : snap.events) {
+        lo = std::min(lo, e.price);
+        hi = std::max(hi, e.price);
+      }
+      const double mid = to_eth_double(lo + hi) / 2.0;
+      if (mid > 0) {
+        total += to_eth_double(hi - lo) / mid;
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  EXPECT_GT(relative_spread(RollupChain::kArbitrum),
+            relative_spread(RollupChain::kOptimism) * 0.9);
+}
+
+TEST(Snapshot, CorpusCoversEveryCell) {
+  SnapshotGenerator generator({}, 16);
+  const auto corpus = generator.generate_corpus(2);
+  EXPECT_EQ(corpus.size(), 12u);  // 2 chains x 3 bands x 2
+  std::set<std::pair<int, int>> cells;
+  for (const auto& snap : corpus) {
+    cells.insert({static_cast<int>(snap.chain), static_cast<int>(snap.band)});
+  }
+  EXPECT_EQ(cells.size(), 6u);
+}
+
+TEST(Snapshot, DistinctContractAddresses) {
+  SnapshotGenerator generator({}, 17);
+  const auto a = generator.generate(RollupChain::kOptimism, FtBand::kLft);
+  const auto b = generator.generate(RollupChain::kOptimism, FtBand::kLft);
+  EXPECT_NE(a.contract, b.contract);
+  EXPECT_NE(a.id, b.id);
+}
+
+TEST(Snapshot, EnumNames) {
+  EXPECT_EQ(to_string(RollupChain::kOptimism), "Optimism");
+  EXPECT_EQ(to_string(RollupChain::kArbitrum), "Arbitrum");
+  EXPECT_EQ(to_string(FtBand::kLft), "LFT");
+  EXPECT_EQ(to_string(FtBand::kMft), "MFT");
+  EXPECT_EQ(to_string(FtBand::kHft), "HFT");
+}
+
+// --- SnapshotScanner ----------------------------------------------------------------
+
+TEST(Scanner, FindsNoOpportunityInFlatMarket) {
+  CollectionSnapshot snap;
+  snap.band = FtBand::kLft;
+  for (int i = 0; i < 40; ++i) {
+    snap.events.push_back({static_cast<std::uint64_t>(i),
+                           vm::TxKind::kTransfer, eth(1), UserId{1},
+                           UserId{2}, TokenId{0}});
+  }
+  const SnapshotScanner scanner;
+  const CollectionReport report = scanner.scan(snap);
+  EXPECT_GT(report.windows_scanned, 0u);
+  EXPECT_EQ(report.windows_with_opportunity, 0u);
+  EXPECT_EQ(report.total_profit, 0);
+}
+
+TEST(Scanner, PricesSpreadCreatesOpportunity) {
+  CollectionSnapshot snap;
+  for (int i = 0; i < 20; ++i) {
+    snap.events.push_back({static_cast<std::uint64_t>(i),
+                           vm::TxKind::kTransfer,
+                           i % 2 == 0 ? eth(1) : eth(2), UserId{1}, UserId{2},
+                           TokenId{static_cast<std::uint32_t>(i % 3)}});
+  }
+  const SnapshotScanner scanner({10, 0.5});
+  const CollectionReport report = scanner.scan(snap);
+  EXPECT_EQ(report.windows_scanned, 2u);
+  EXPECT_EQ(report.windows_with_opportunity, 2u);
+  // Each window: spread 1 ETH * 3 tokens * 0.5 capture.
+  EXPECT_EQ(report.total_profit, 2 * eth(1) * 3 / 2);
+}
+
+TEST(Scanner, ShortHistoryYieldsNothing) {
+  CollectionSnapshot snap;
+  snap.events.push_back(
+      {0, vm::TxKind::kTransfer, eth(1), UserId{1}, UserId{2}, TokenId{0}});
+  const SnapshotScanner scanner({10, 0.5});
+  EXPECT_EQ(scanner.scan(snap).windows_scanned, 0u);
+}
+
+TEST(Scanner, SummaryAggregatesPerCell) {
+  SnapshotGenerator generator({}, 18);
+  const auto corpus = generator.generate_corpus(2);
+  const SnapshotScanner scanner;
+  const auto cells = scanner.summarize(corpus);
+  ASSERT_EQ(cells.size(), 6u);
+  for (const auto& cell : cells) {
+    EXPECT_EQ(cell.collections, 2u);
+    EXPECT_GE(cell.total_profit, 0);
+    EXPECT_GE(cell.opportunity_rate, 0.0);
+    EXPECT_LE(cell.opportunity_rate, 1.0);
+  }
+}
+
+TEST(Scanner, HigherBandsCarryMoreTotalProfit) {
+  // More events -> more scanned windows -> more aggregate opportunity.
+  SnapshotGenerator generator({}, 19);
+  const auto corpus = generator.generate_corpus(3);
+  const SnapshotScanner scanner;
+  const auto cells = scanner.summarize(corpus);
+  auto profit_of = [&](RollupChain chain, FtBand band) {
+    for (const auto& cell : cells) {
+      if (cell.chain == chain && cell.band == band) return cell.total_profit;
+    }
+    return Amount{0};
+  };
+  EXPECT_GT(profit_of(RollupChain::kArbitrum, FtBand::kHft),
+            profit_of(RollupChain::kArbitrum, FtBand::kLft));
+  EXPECT_GT(profit_of(RollupChain::kOptimism, FtBand::kHft),
+            profit_of(RollupChain::kOptimism, FtBand::kLft));
+}
+
+// --- KDE ---------------------------------------------------------------------------------
+
+TEST(KdeTest, DensityIsNonNegativeAndPeaksNearData) {
+  const Kde kde({5.0, 5.2, 4.8, 5.1, 4.9});
+  EXPECT_GT(kde.density(5.0), kde.density(10.0));
+  EXPECT_GE(kde.density(100.0), 0.0);
+  EXPECT_NEAR(kde.mode(0.0, 10.0), 5.0, 0.3);
+}
+
+TEST(KdeTest, IntegratesToApproximatelyOne) {
+  const Kde kde({1.0, 2.0, 3.0, 2.5, 1.5, 2.2});
+  double integral = 0.0;
+  const double lo = -5.0, hi = 10.0, step = 0.01;
+  for (double x = lo; x < hi; x += step) integral += kde.density(x) * step;
+  EXPECT_NEAR(integral, 1.0, 0.01);
+}
+
+TEST(KdeTest, ExplicitBandwidthIsUsed) {
+  const Kde narrow({0.0, 10.0}, 0.1);
+  const Kde wide({0.0, 10.0}, 5.0);
+  EXPECT_DOUBLE_EQ(narrow.bandwidth(), 0.1);
+  // Narrow bandwidth: deep valley between the two points; wide: filled in.
+  EXPECT_LT(narrow.density(5.0), wide.density(5.0));
+}
+
+TEST(KdeTest, SilvermanHandlesDegenerateSample) {
+  const Kde kde({3.0, 3.0, 3.0});
+  EXPECT_GT(kde.bandwidth(), 0.0);
+  EXPECT_GT(kde.density(3.0), 0.0);
+}
+
+TEST(KdeTest, BimodalSampleHasTwoBumps) {
+  std::vector<double> samples;
+  for (int i = 0; i < 30; ++i) {
+    samples.push_back(2.0 + 0.1 * (i % 5));
+    samples.push_back(8.0 + 0.1 * (i % 5));
+  }
+  const Kde kde(samples);
+  const double valley = kde.density(5.0);
+  EXPECT_GT(kde.density(2.2), valley * 1.5);
+  EXPECT_GT(kde.density(8.2), valley * 1.5);
+}
+
+TEST(KdeTest, GridShape) {
+  const Kde kde({1.0, 2.0});
+  const auto grid = kde.grid(0.0, 4.0, 5);
+  ASSERT_EQ(grid.size(), 5u);
+  EXPECT_DOUBLE_EQ(grid.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(grid.back().first, 4.0);
+  EXPECT_DOUBLE_EQ(grid[1].first, 1.0);
+}
+
+}  // namespace
+}  // namespace parole::data

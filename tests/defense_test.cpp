@@ -1,0 +1,117 @@
+// Tests for the Sec. VIII defense: worst-case estimation, threshold gating,
+// and minimal deferral.
+#include <gtest/gtest.h>
+
+#include "parole/core/defense.hpp"
+#include "parole/data/case_study.hpp"
+
+namespace parole::core {
+namespace {
+
+namespace cs = data::case_study;
+
+DefenseConfig fast_defense() {
+  DefenseConfig config;
+  config.search = ReordererKind::kHillClimb;  // deterministic, fast
+  return config;
+}
+
+TEST(Defense, WorstCaseFindsTheCaseStudyArbitrage) {
+  MempoolDefense defense(fast_defense());
+  const Amount worst =
+      defense.worst_case(cs::initial_state(), cs::original_txs());
+  // The best any involved user can extract is the IFU's optimum profit.
+  EXPECT_EQ(worst, cs::kOptimalFinal - cs::kCase1Final);
+}
+
+TEST(Defense, WorstCaseOfTinyBatchIsZero) {
+  MempoolDefense defense(fast_defense());
+  std::vector<vm::Tx> one = {vm::Tx::make_mint(TxId{1}, cs::kIfu)};
+  EXPECT_EQ(defense.worst_case(cs::initial_state(), one), 0);
+}
+
+TEST(Defense, HighThresholdAdmitsEverything) {
+  DefenseConfig config = fast_defense();
+  config.threshold_floor = eth(100);  // absurdly generous
+  MempoolDefense defense(config);
+  const DefenseReport report =
+      defense.screen(cs::initial_state(), cs::original_txs());
+  EXPECT_FALSE(report.triggered);
+  EXPECT_EQ(report.admitted.size(), 8u);
+  EXPECT_TRUE(report.deferred.empty());
+  EXPECT_EQ(report.worst_case_after, report.worst_case_before);
+}
+
+TEST(Defense, LowThresholdTriggersDeferral) {
+  DefenseConfig config = fast_defense();
+  config.threshold_floor = gwei(1'000);  // far below the 0.33 ETH arbitrage
+  config.threshold_fee_multiplier = 0.0;
+  MempoolDefense defense(config);
+  const DefenseReport report =
+      defense.screen(cs::initial_state(), cs::original_txs());
+  EXPECT_TRUE(report.triggered);
+  EXPECT_FALSE(report.deferred.empty());
+  EXPECT_LT(report.worst_case_after, report.worst_case_before);
+  EXPECT_EQ(report.admitted.size() + report.deferred.size(), 8u);
+}
+
+TEST(Defense, DeferralIsMinimalOnCaseStudy) {
+  // Removing the burn TX7 alone kills the post-burn price trough, which is
+  // most of the arbitrage; a competent greedy deferral needs only a few txs.
+  DefenseConfig config = fast_defense();
+  config.threshold_floor = eth(0, 50);  // 0.05 ETH tolerance
+  config.threshold_fee_multiplier = 0.0;
+  MempoolDefense defense(config);
+  const DefenseReport report =
+      defense.screen(cs::initial_state(), cs::original_txs());
+  EXPECT_TRUE(report.triggered);
+  EXPECT_LE(report.deferred.size(), 3u);
+  EXPECT_LE(report.worst_case_after, report.threshold);
+}
+
+TEST(Defense, ThresholdScalesWithPriorityFees) {
+  DefenseConfig config = fast_defense();
+  config.threshold_fee_multiplier = 2.0;
+  config.threshold_floor = gwei(1);
+  MempoolDefense defense(config);
+
+  auto txs = cs::original_txs();
+  for (auto& tx : txs) tx.priority_fee = gwei(1'000);
+  const DefenseReport report = defense.screen(cs::initial_state(), txs);
+  EXPECT_EQ(report.threshold, 2 * 8 * gwei(1'000));
+}
+
+TEST(Defense, AdmittedBatchStillExecutes) {
+  DefenseConfig config = fast_defense();
+  config.threshold_floor = eth(0, 50);
+  config.threshold_fee_multiplier = 0.0;
+  MempoolDefense defense(config);
+  const DefenseReport report =
+      defense.screen(cs::initial_state(), cs::original_txs());
+
+  vm::L2State state = cs::initial_state();
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+  const auto result = engine.execute(state, report.admitted);
+  // The admitted set keeps relative order, so at most the txs depending on
+  // deferred ones revert; most of the batch must go through.
+  EXPECT_GE(result.executed_count(), report.admitted.size() - 2);
+}
+
+TEST(Defense, ScreeningDefeatsTheAttackEndToEnd) {
+  // Attack the admitted set: profit must be within the defense threshold.
+  DefenseConfig config = fast_defense();
+  config.threshold_floor = eth(0, 50);
+  config.threshold_fee_multiplier = 0.0;
+  MempoolDefense defense(config);
+  const DefenseReport report =
+      defense.screen(cs::initial_state(), cs::original_txs());
+
+  Parole attacker({ReordererKind::kAnnealing, {}, solvers::Objective::kSumBalance, 9});
+  AttackOutcome outcome =
+      attacker.run(cs::initial_state(), report.admitted, {cs::kIfu});
+  EXPECT_LE(outcome.profit(), report.threshold);
+}
+
+}  // namespace
+}  // namespace parole::core

@@ -1,0 +1,192 @@
+// Tests for the DQN extensions beyond the paper's vanilla agent: Double DQN
+// target decoupling and prioritized experience replay — plus their effect on
+// GENTRANSEQ (they must not hurt the attack's ability to find the case-study
+// profit).
+#include <gtest/gtest.h>
+
+#include "parole/core/gentranseq.hpp"
+#include "parole/data/case_study.hpp"
+#include "parole/ml/dqn.hpp"
+#include "parole/ml/replay_buffer.hpp"
+
+namespace parole::ml {
+namespace {
+
+namespace cs = parole::data::case_study;
+
+// --- prioritized replay buffer mechanics ---------------------------------------
+
+Transition tagged(double tag) { return {{tag}, 0, tag, {tag}, true}; }
+
+TEST(PrioritizedReplay, NewEntriesGetMaxPriority) {
+  ReplayBuffer buffer(10);
+  buffer.push(tagged(0));
+  EXPECT_DOUBLE_EQ(buffer.priority_of(0), 1.0);
+  buffer.update_priority(0, 5.0);
+  // The raised ceiling applies to subsequent pushes.
+  buffer.push(tagged(1));
+  EXPECT_GE(buffer.priority_of(1), 5.0);
+}
+
+TEST(PrioritizedReplay, HighPriorityDominatesSampling) {
+  ReplayBuffer buffer(8);
+  for (int i = 0; i < 8; ++i) buffer.push(tagged(static_cast<double>(i)));
+  for (std::size_t i = 0; i < 8; ++i) buffer.update_priority(i, 0.01);
+  buffer.update_priority(3, 100.0);
+
+  Rng rng(7);
+  std::size_t hits = 0, total = 0;
+  for (int round = 0; round < 100; ++round) {
+    for (std::size_t index : buffer.sample_prioritized(4, 1.0, rng)) {
+      ++total;
+      if (index == 3) ++hits;
+    }
+  }
+  // Entry 3 holds ~99.9% of the priority mass.
+  EXPECT_GT(static_cast<double>(hits) / static_cast<double>(total), 0.9);
+}
+
+TEST(PrioritizedReplay, AlphaZeroIsUniform) {
+  ReplayBuffer buffer(4);
+  for (int i = 0; i < 4; ++i) buffer.push(tagged(static_cast<double>(i)));
+  buffer.update_priority(0, 1000.0);
+
+  Rng rng(11);
+  std::vector<int> counts(4, 0);
+  for (int round = 0; round < 2'000; ++round) {
+    for (std::size_t index : buffer.sample_prioritized(1, 0.0, rng)) {
+      ++counts[index];
+    }
+  }
+  for (int c : counts) EXPECT_GT(c, 300);  // roughly uniform despite spike
+}
+
+TEST(PrioritizedReplay, IndicesAlwaysInRange) {
+  ReplayBuffer buffer(16);
+  Rng rng(13);
+  for (int i = 0; i < 16; ++i) buffer.push(tagged(static_cast<double>(i)));
+  for (int round = 0; round < 50; ++round) {
+    for (std::size_t index : buffer.sample_prioritized(8, 0.6, rng)) {
+      EXPECT_LT(index, buffer.size());
+    }
+  }
+}
+
+TEST(PrioritizedReplay, WrapAroundResetsPriority) {
+  ReplayBuffer buffer(2);
+  buffer.push(tagged(0));
+  buffer.push(tagged(1));
+  buffer.update_priority(0, 0.0001);
+  buffer.push(tagged(2));  // overwrites slot 0
+  EXPECT_GE(buffer.priority_of(0), 1.0);  // fresh entry, fresh priority
+}
+
+// --- Double DQN -------------------------------------------------------------------
+
+DqnConfig bandit_config() {
+  DqnConfig config;
+  config.hidden = {16};
+  config.minibatch = 16;
+  config.learning_rate = 5.0;
+  return config;
+}
+
+void train_bandit(DqnAgent& agent, std::uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<std::vector<double>> states = {{1, 0}, {0, 1}};
+  for (int step = 0; step < 600; ++step) {
+    const auto& s = states[rng.index(2)];
+    const std::size_t a = agent.select_action(s, 0.3);
+    agent.remember({s, a, a == 1 ? 1.0 : -1.0, states[rng.index(2)], true});
+    (void)agent.train_step();
+    if (step % 25 == 0) agent.sync_target();
+  }
+}
+
+TEST(DoubleDqn, StillLearnsTheBandit) {
+  DqnConfig config = bandit_config();
+  config.use_double_dqn = true;
+  DqnAgent agent(2, 2, config, 42);
+  train_bandit(agent, 100);
+  EXPECT_EQ(agent.greedy_action(std::vector<double>{1, 0}), 1u);
+  EXPECT_EQ(agent.greedy_action(std::vector<double>{0, 1}), 1u);
+}
+
+TEST(PrioritizedDqn, StillLearnsTheBandit) {
+  DqnConfig config = bandit_config();
+  config.prioritized_replay = true;
+  DqnAgent agent(2, 2, config, 43);
+  train_bandit(agent, 101);
+  EXPECT_EQ(agent.greedy_action(std::vector<double>{1, 0}), 1u);
+  EXPECT_EQ(agent.greedy_action(std::vector<double>{0, 1}), 1u);
+}
+
+TEST(DoubleDqn, ReducesValueOverestimationOnNoisyBandit) {
+  // Both actions pay 0 in expectation but with +-1 noise; the vanilla max
+  // backup systematically overestimates state value, Double DQN less so.
+  auto train_and_peak = [](bool use_double, std::uint64_t seed) {
+    DqnConfig config;
+    config.hidden = {16};
+    config.minibatch = 16;
+    config.gamma = 0.9;
+    config.learning_rate = 5.0;
+    config.use_double_dqn = use_double;
+    DqnAgent agent(2, 4, config, seed);
+    Rng rng(seed ^ 0xff);
+    const std::vector<double> state = {1, 0};
+    for (int step = 0; step < 800; ++step) {
+      const std::size_t a = agent.select_action(state, 0.5);
+      const double reward = rng.chance(0.5) ? 1.0 : -1.0;  // mean 0
+      agent.remember({state, a, reward, state, false});
+      (void)agent.train_step();
+      if (step % 25 == 0) agent.sync_target();
+    }
+    const Matrix q = agent.q_values(state);
+    double peak = q.at(0, 0);
+    for (std::size_t c = 1; c < q.cols(); ++c) {
+      peak = std::max(peak, q.at(0, c));
+    }
+    return peak;  // true value is 0; positive peak = overestimation
+  };
+
+  double vanilla = 0.0, doubled = 0.0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    vanilla += train_and_peak(false, seed);
+    doubled += train_and_peak(true, seed);
+  }
+  EXPECT_LT(doubled, vanilla + 1e-9);
+}
+
+// --- extensions through GENTRANSEQ ---------------------------------------------------
+
+core::GenTranSeqConfig fast_gts() {
+  core::GenTranSeqConfig config;
+  config.dqn.hidden = {32};
+  config.dqn.episodes = 25;
+  config.dqn.steps_per_episode = 60;
+  config.dqn.minibatch = 16;
+  return config;
+}
+
+TEST(GentranseqExtensions, DoubleDqnFindsCaseStudyProfit) {
+  auto problem = cs::make_problem();
+  core::GenTranSeqConfig config = fast_gts();
+  config.dqn.use_double_dqn = true;
+  core::GenTranSeq gts(problem, config, 777);
+  const core::TrainResult result = gts.train();
+  EXPECT_TRUE(result.found_profit);
+  EXPECT_GT(result.best_balance, cs::kCase1Final);
+}
+
+TEST(GentranseqExtensions, PrioritizedReplayFindsCaseStudyProfit) {
+  auto problem = cs::make_problem();
+  core::GenTranSeqConfig config = fast_gts();
+  config.dqn.prioritized_replay = true;
+  core::GenTranSeq gts(problem, config, 778);
+  const core::TrainResult result = gts.train();
+  EXPECT_TRUE(result.found_profit);
+  EXPECT_GT(result.best_balance, cs::kCase1Final);
+}
+
+}  // namespace
+}  // namespace parole::ml

@@ -1,0 +1,585 @@
+// Tests for the ML substrate: matrix algebra, layer backward passes against
+// numerical gradients, the sequential network, optimizers, losses, the replay
+// buffer, the Eq. 9 epsilon schedule, and DQN learning on a toy MDP.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "parole/ml/dqn.hpp"
+#include "parole/ml/epsilon.hpp"
+#include "parole/ml/layers.hpp"
+#include "parole/ml/loss.hpp"
+#include "parole/ml/network.hpp"
+#include "parole/ml/optimizer.hpp"
+#include "parole/ml/replay_buffer.hpp"
+#include "parole/ml/tensor.hpp"
+
+namespace parole::ml {
+namespace {
+
+// --- Matrix -----------------------------------------------------------------------
+
+TEST(MatrixTest, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 1.5);
+  m.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 7.0);
+}
+
+TEST(MatrixTest, MatmulKnownValues) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(MatrixTest, MatmulRectangular) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}});      // 1x3
+  const Matrix b = Matrix::from_rows({{1}, {2}, {3}});  // 3x1
+  EXPECT_DOUBLE_EQ(a.matmul(b).at(0, 0), 14);
+}
+
+TEST(MatrixTest, TransposedMatmulMatchesExplicit) {
+  Rng rng(5);
+  const Matrix a = Matrix::kaiming_uniform(4, 3, rng);
+  const Matrix b = Matrix::kaiming_uniform(4, 5, rng);
+  const Matrix fused = a.transposed_matmul(b);  // A^T B : 3x5
+  const Matrix explicit_form = a.transpose().matmul(b);
+  ASSERT_EQ(fused.rows(), 3u);
+  ASSERT_EQ(fused.cols(), 5u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(fused.at(r, c), explicit_form.at(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, MatmulTransposedMatchesExplicit) {
+  Rng rng(6);
+  const Matrix a = Matrix::kaiming_uniform(4, 3, rng);
+  const Matrix b = Matrix::kaiming_uniform(5, 3, rng);
+  const Matrix fused = a.matmul_transposed(b);  // A B^T : 4x5
+  const Matrix explicit_form = a.matmul(b.transpose());
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 5; ++c) {
+      EXPECT_NEAR(fused.at(r, c), explicit_form.at(r, c), 1e-12);
+    }
+  }
+}
+
+TEST(MatrixTest, BroadcastAndRowSum) {
+  Matrix m = Matrix::from_rows({{1, 2}, {3, 4}});
+  m.add_row_broadcast(Matrix::from_rows({{10, 20}}));
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 11);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 24);
+  const Matrix sums = m.row_sum();
+  EXPECT_DOUBLE_EQ(sums.at(0, 0), 11 + 13);
+  EXPECT_DOUBLE_EQ(sums.at(0, 1), 22 + 24);
+}
+
+TEST(MatrixTest, ElementwiseOps) {
+  Matrix m = Matrix::from_rows({{1, -2}});
+  m.scale_in_place(2.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -4.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.sum(), -2.0);
+  EXPECT_DOUBLE_EQ(m.map([](double v) { return v * v; }).at(0, 1), 16.0);
+}
+
+TEST(MatrixTest, KaimingInitWithinLimit) {
+  Rng rng(1);
+  const Matrix m = Matrix::kaiming_uniform(100, 10, rng);
+  EXPECT_LE(m.max_abs(), std::sqrt(6.0 / 100.0));
+  EXPECT_GT(m.max_abs(), 0.0);
+}
+
+// --- numerical gradient checks -----------------------------------------------------------
+
+// Scalar loss L = sum of squares of the layer output; checks dL/d(input) and
+// dL/d(params) against central finite differences.
+void check_layer_gradients(Layer& layer, Matrix input, double tolerance) {
+  auto loss_of_output = [](const Matrix& out) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < out.rows(); ++r) {
+      for (std::size_t c = 0; c < out.cols(); ++c) {
+        total += out.at(r, c) * out.at(r, c);
+      }
+    }
+    return total;
+  };
+
+  const Matrix out = layer.forward(input);
+  Matrix grad_out = out;
+  grad_out.scale_in_place(2.0);
+  layer.zero_grads();
+  const Matrix grad_in = layer.backward(grad_out);
+
+  const double eps = 1e-6;
+  for (std::size_t r = 0; r < input.rows(); ++r) {
+    for (std::size_t c = 0; c < input.cols(); ++c) {
+      Matrix plus = input, minus = input;
+      plus.at(r, c) += eps;
+      minus.at(r, c) -= eps;
+      const double numeric = (loss_of_output(layer.forward(plus)) -
+                              loss_of_output(layer.forward(minus))) /
+                             (2 * eps);
+      EXPECT_NEAR(grad_in.at(r, c), numeric, tolerance)
+          << "input grad at (" << r << "," << c << ")";
+    }
+  }
+
+  (void)layer.forward(input);  // restore cache
+  layer.zero_grads();
+  (void)layer.backward(grad_out);
+  const auto params = layer.params();
+  const auto grads = layer.grads();
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (std::size_t i = 0; i < params[p]->size(); ++i) {
+      const double saved = params[p]->data()[i];
+      params[p]->data()[i] = saved + eps;
+      const double up = loss_of_output(layer.forward(input));
+      params[p]->data()[i] = saved - eps;
+      const double down = loss_of_output(layer.forward(input));
+      params[p]->data()[i] = saved;
+      EXPECT_NEAR(grads[p]->data()[i], (up - down) / (2 * eps), tolerance)
+          << "param " << p << " element " << i;
+    }
+  }
+}
+
+TEST(GradCheck, DenseLayer) {
+  Rng rng(3);
+  Dense dense(4, 3, rng);
+  check_layer_gradients(dense, Matrix::kaiming_uniform(2, 4, rng), 1e-4);
+}
+
+TEST(GradCheck, DenseSingleRow) {
+  Rng rng(4);
+  Dense dense(6, 2, rng);
+  check_layer_gradients(dense, Matrix::kaiming_uniform(1, 6, rng), 1e-4);
+}
+
+TEST(GradCheck, ReluLayer) {
+  Rng rng(5);
+  Relu relu;
+  Matrix input = Matrix::kaiming_uniform(3, 4, rng);
+  // Push values away from the kink at 0 so finite differences are clean.
+  input.apply([](double v) { return v + (v >= 0 ? 0.5 : -0.5); });
+  check_layer_gradients(relu, input, 1e-5);
+}
+
+TEST(GradCheck, FlattenLayer) {
+  Rng rng(6);
+  Flatten flatten;
+  check_layer_gradients(flatten, Matrix::kaiming_uniform(3, 4, rng), 1e-5);
+}
+
+TEST(GradCheck, WholeNetworkThroughMse) {
+  Rng rng(7);
+  Network net = Network::mlp(5, {8}, 3, rng);
+  const Matrix input = Matrix::kaiming_uniform(4, 5, rng);
+  const Matrix target = Matrix::kaiming_uniform(4, 3, rng);
+
+  const Matrix out = net.forward(input);
+  const LossResult loss = mse_loss(out, target);
+  net.zero_grads();
+  net.backward(loss.grad);
+  const auto params = net.params();
+  const auto grads = net.grads();
+
+  const double eps = 1e-6;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (std::size_t i = 0; i < params[p]->size(); i += 7) {
+      const double saved = params[p]->data()[i];
+      params[p]->data()[i] = saved + eps;
+      const double up = mse_loss(net.forward(input), target).value;
+      params[p]->data()[i] = saved - eps;
+      const double down = mse_loss(net.forward(input), target).value;
+      params[p]->data()[i] = saved;
+      EXPECT_NEAR(grads[p]->data()[i], (up - down) / (2 * eps), 1e-4);
+    }
+  }
+}
+
+// --- layers / network behaviour -----------------------------------------------------------
+
+TEST(Layers, ReluClampsNegatives) {
+  Relu relu;
+  const Matrix out = relu.forward(Matrix::from_rows({{-1, 0, 2}}));
+  EXPECT_DOUBLE_EQ(out.at(0, 0), 0);
+  EXPECT_DOUBLE_EQ(out.at(0, 1), 0);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 2);
+}
+
+TEST(Layers, FlattenReshapes) {
+  Flatten flatten;
+  const Matrix out = flatten.forward(Matrix::from_rows({{1, 2}, {3, 4}}));
+  EXPECT_EQ(out.rows(), 1u);
+  EXPECT_EQ(out.cols(), 4u);
+  EXPECT_DOUBLE_EQ(out.at(0, 2), 3);
+}
+
+TEST(NetworkTest, MlpShape) {
+  Rng rng(8);
+  Network net = Network::mlp(8, {16, 16}, 4, rng);
+  EXPECT_EQ(net.layer_count(), 5u);  // Dense ReLU Dense ReLU Dense
+  const Matrix out = net.forward(Matrix::kaiming_uniform(3, 8, rng));
+  EXPECT_EQ(out.rows(), 3u);
+  EXPECT_EQ(out.cols(), 4u);
+  EXPECT_EQ(net.parameter_count(), 484u);  // 8*16+16 + 16*16+16 + 16*4+4
+}
+
+TEST(NetworkTest, CopySemanticsAreDeep) {
+  Rng rng(9);
+  Network a = Network::mlp(3, {4}, 2, rng);
+  Network b = a;
+  const Matrix input = Matrix::kaiming_uniform(1, 3, rng);
+  const Matrix before = b.forward(input);
+  a.params()[0]->fill(0.0);  // mutate a; b must not change
+  const Matrix after = b.forward(input);
+  for (std::size_t c = 0; c < before.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(before.at(0, c), after.at(0, c));
+  }
+}
+
+TEST(NetworkTest, CopyWeightsMakesOutputsEqual) {
+  Rng rng(10);
+  Network a = Network::mlp(3, {4}, 2, rng);
+  Network b = Network::mlp(3, {4}, 2, rng);  // different init
+  b.copy_weights_from(a);
+  const Matrix input = Matrix::kaiming_uniform(1, 3, rng);
+  const Matrix oa = a.forward(input);
+  const Matrix ob = b.forward(input);
+  for (std::size_t c = 0; c < oa.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(oa.at(0, c), ob.at(0, c));
+  }
+}
+
+TEST(NetworkTest, ExportImportRoundTrip) {
+  Rng rng(11);
+  Network a = Network::mlp(3, {4}, 2, rng);
+  const auto flat = a.export_weights();
+  EXPECT_EQ(flat.size(), a.parameter_count());
+  Network b = Network::mlp(3, {4}, 2, rng);
+  b.import_weights(flat);
+  const Matrix input = Matrix::kaiming_uniform(1, 3, rng);
+  const Matrix oa = a.forward(input);
+  const Matrix ob = b.forward(input);
+  for (std::size_t c = 0; c < oa.cols(); ++c) {
+    EXPECT_DOUBLE_EQ(oa.at(0, c), ob.at(0, c));
+  }
+}
+
+// --- losses ------------------------------------------------------------------------------------
+
+TEST(Loss, MseKnownValue) {
+  const LossResult r = mse_loss(Matrix::from_rows({{1, 2}}),
+                                Matrix::from_rows({{0, 4}}));
+  EXPECT_DOUBLE_EQ(r.value, (1.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 0), 2.0 * 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 1), 2.0 * -2.0 / 2.0);
+}
+
+TEST(Loss, MaskedMseTouchesOnlyChosenActions) {
+  const Matrix pred = Matrix::from_rows({{1, 5, 9}, {2, 4, 6}});
+  const LossResult r = masked_mse_loss(pred, {1, 2}, {4.0, 10.0});
+  EXPECT_DOUBLE_EQ(r.value, (1.0 + 16.0) / 2.0);
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 1), 2.0 * 1.0 / 2.0);
+  EXPECT_DOUBLE_EQ(r.grad.at(1, 2), 2.0 * -4.0 / 2.0);
+  EXPECT_DOUBLE_EQ(r.grad.at(1, 0), 0.0);
+}
+
+TEST(Loss, HuberQuadraticInsideDelta) {
+  const LossResult r =
+      masked_huber_loss(Matrix::from_rows({{1.5}}), {0}, {1.0}, 1.0);
+  EXPECT_DOUBLE_EQ(r.value, 0.5 * 0.25);
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 0), 0.5);
+}
+
+TEST(Loss, HuberLinearOutsideDelta) {
+  const LossResult r =
+      masked_huber_loss(Matrix::from_rows({{10.0}}), {0}, {0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(r.value, 10.0 - 0.5);
+  EXPECT_DOUBLE_EQ(r.grad.at(0, 0), 1.0);  // clipped gradient
+  const LossResult neg =
+      masked_huber_loss(Matrix::from_rows({{-10.0}}), {0}, {0.0}, 1.0);
+  EXPECT_DOUBLE_EQ(neg.grad.at(0, 0), -1.0);
+}
+
+// --- optimizers -----------------------------------------------------------------------------------
+
+double fit_step(Network& net, Optimizer& opt, const Matrix& input,
+                const Matrix& target) {
+  const Matrix out = net.forward(input);
+  const LossResult loss = mse_loss(out, target);
+  net.zero_grads();
+  net.backward(loss.grad);
+  opt.step(net);
+  return loss.value;
+}
+
+TEST(Optimizers, SgdReducesLoss) {
+  Rng rng(12);
+  Network net = Network::mlp(4, {8}, 2, rng);
+  Sgd sgd(0.02);
+  const Matrix input = Matrix::kaiming_uniform(8, 4, rng);
+  const Matrix target = Matrix::kaiming_uniform(8, 2, rng);
+  const double first = fit_step(net, sgd, input, target);
+  double last = first;
+  for (int i = 0; i < 500; ++i) last = fit_step(net, sgd, input, target);
+  EXPECT_LT(last, first * 0.2);
+}
+
+TEST(Optimizers, AdamReducesLoss) {
+  Rng rng(13);
+  Network net = Network::mlp(4, {8}, 2, rng);
+  Adam adam(0.01);
+  const Matrix input = Matrix::kaiming_uniform(8, 4, rng);
+  const Matrix target = Matrix::kaiming_uniform(8, 2, rng);
+  const double first = fit_step(net, adam, input, target);
+  double last = first;
+  for (int i = 0; i < 300; ++i) last = fit_step(net, adam, input, target);
+  EXPECT_LT(last, first * 0.1);
+}
+
+TEST(Optimizers, SgdGradClipBoundsStep) {
+  Rng rng(14);
+  Network net = Network::mlp(2, {}, 1, rng);
+  const auto before = net.export_weights();
+  net.grads()[0]->fill(1e9);  // inject a huge gradient
+  Sgd sgd(1.0, /*grad_clip=*/1.0);
+  sgd.step(net);
+  const auto after = net.export_weights();
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    EXPECT_LE(std::fabs(after[i] - before[i]), 1.0 + 1e-9);
+  }
+}
+
+TEST(Optimizers, StepZeroesGradients) {
+  Rng rng(15);
+  Network net = Network::mlp(2, {}, 1, rng);
+  net.grads()[0]->fill(1.0);
+  Sgd sgd(0.1);
+  sgd.step(net);
+  EXPECT_DOUBLE_EQ(net.grads()[0]->max_abs(), 0.0);
+}
+
+// --- replay buffer ------------------------------------------------------------------------------------
+
+Transition make_transition(double tag) {
+  return {{tag, tag}, 0, tag, {tag, tag}, false};
+}
+
+TEST(ReplayBufferTest, FillsThenWraps) {
+  ReplayBuffer buffer(3);
+  for (int i = 0; i < 5; ++i) {
+    buffer.push(make_transition(static_cast<double>(i)));
+  }
+  EXPECT_EQ(buffer.size(), 3u);
+  std::vector<double> rewards;
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    rewards.push_back(buffer.at(i).reward);
+  }
+  std::sort(rewards.begin(), rewards.end());
+  EXPECT_EQ(rewards, (std::vector<double>{2, 3, 4}));
+}
+
+TEST(ReplayBufferTest, SamplingRespectsBatchSize) {
+  ReplayBuffer buffer(100);
+  Rng rng(16);
+  EXPECT_FALSE(buffer.can_sample(1));
+  for (int i = 0; i < 10; ++i) {
+    buffer.push(make_transition(static_cast<double>(i)));
+  }
+  EXPECT_TRUE(buffer.can_sample(10));
+  EXPECT_FALSE(buffer.can_sample(11));
+  const auto batch = buffer.sample(6, rng);
+  EXPECT_EQ(batch.size(), 6u);
+  for (const Transition* t : batch) {
+    EXPECT_GE(t->reward, 0.0);
+    EXPECT_LT(t->reward, 10.0);
+  }
+}
+
+TEST(ReplayBufferTest, SampleEventuallyCoversBuffer) {
+  ReplayBuffer buffer(8);
+  Rng rng(17);
+  for (int i = 0; i < 8; ++i) {
+    buffer.push(make_transition(static_cast<double>(i)));
+  }
+  std::set<double> seen;
+  for (int i = 0; i < 200; ++i) {
+    for (const Transition* t : buffer.sample(4, rng)) seen.insert(t->reward);
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+// --- epsilon schedule (Eq. 9) ----------------------------------------------------------------------------
+
+TEST(Epsilon, StartsAtMaxDecaysToMin) {
+  const EpsilonSchedule s(0.95, 0.01, 0.05);
+  EXPECT_NEAR(s.at(0), 0.95, 1e-12);
+  EXPECT_LT(s.at(10), s.at(0));
+  EXPECT_LT(s.at(50), s.at(10));
+  EXPECT_NEAR(s.at(100'000), 0.01, 1e-9);
+}
+
+TEST(Epsilon, MonotoneNonIncreasing) {
+  const EpsilonSchedule s(0.95, 0.01, 0.05);
+  for (std::size_t i = 0; i + 1 < 200; ++i) {
+    EXPECT_GE(s.at(i), s.at(i + 1));
+  }
+}
+
+TEST(Epsilon, SurplusHalvesEveryFourteenEpisodes) {
+  // With d = 0.05 the exploration surplus halves every ln(2)/0.05 ~ 14 eps.
+  const EpsilonSchedule s(0.95, 0.01, 0.05);
+  const double ratio = (s.at(14) - 0.01) / (s.at(0) - 0.01);
+  EXPECT_NEAR(ratio, 0.5, 0.02);
+}
+
+TEST(Epsilon, LiteralEq9IsNotADecay) {
+  // Documents the paper's printed-formula anomaly: taken literally, Eq. 9
+  // *grows* with the episode index (clamped to eps_max here); the text
+  // around it describes a decay, which at() implements.
+  const EpsilonSchedule s(0.95, 0.05, 0.05);
+  EXPECT_GE(s.literal_eq9(50), s.literal_eq9(1));
+  EXPECT_LE(s.literal_eq9(1'000), 0.95);
+  EXPECT_GE(s.literal_eq9(0), 0.05);
+}
+
+TEST(Epsilon, ZeroDecayStaysAtMax) {
+  const EpsilonSchedule s(0.8, 0.1, 0.0);
+  EXPECT_DOUBLE_EQ(s.at(0), 0.8);
+  EXPECT_DOUBLE_EQ(s.at(500), 0.8);
+}
+
+// --- DQN on toy MDPs ---------------------------------------------------------------------------------------
+
+// Contextual bandit: action 1 is always right (+1), action 0 always wrong
+// (-1). A DQN that learns anything must prefer action 1 in both states.
+TEST(DqnAgentTest, LearnsTrivialBandit) {
+  DqnConfig config;
+  config.hidden = {16};
+  config.minibatch = 16;
+  config.learning_rate = 5.0;  // Adam divides by 1000 internally
+  config.use_adam = true;
+  DqnAgent agent(2, 2, config, /*seed=*/42);
+
+  Rng rng(100);
+  const std::vector<std::vector<double>> states = {{1, 0}, {0, 1}};
+  for (int step = 0; step < 600; ++step) {
+    const auto& s = states[rng.index(2)];
+    const std::size_t a = agent.select_action(s, /*epsilon=*/0.3);
+    const double reward = a == 1 ? 1.0 : -1.0;
+    agent.remember({s, a, reward, states[rng.index(2)], true});
+    (void)agent.train_step();
+    if (step % 25 == 0) agent.sync_target();
+  }
+
+  EXPECT_EQ(agent.greedy_action(states[0]), 1u);
+  EXPECT_EQ(agent.greedy_action(states[1]), 1u);
+}
+
+// Two-step credit assignment: from state A only action 0 leads to state B
+// (no immediate reward), from B only action 1 pays +1 and terminates. The
+// Bellman backup through the target network must propagate value to (A, 0).
+TEST(DqnAgentTest, PropagatesValueThroughBellmanBackup) {
+  DqnConfig config;
+  config.hidden = {16};
+  config.minibatch = 16;
+  config.gamma = 0.9;
+  config.learning_rate = 5.0;
+  DqnAgent agent(2, 2, config, 43);
+
+  const std::vector<double> state_a = {1, 0};
+  const std::vector<double> state_b = {0, 1};
+  Rng rng(200);
+  for (int episode = 0; episode < 400; ++episode) {
+    const std::size_t a0 = agent.select_action(state_a, 0.3);
+    if (a0 == 0) {
+      agent.remember({state_a, 0, 0.0, state_b, false});
+      const std::size_t a1 = agent.select_action(state_b, 0.3);
+      agent.remember({state_b, a1, a1 == 1 ? 1.0 : -1.0, state_a, true});
+    } else {
+      agent.remember({state_a, 1, -0.2, state_a, true});
+    }
+    (void)agent.train_step();
+    if (episode % 20 == 0) agent.sync_target();
+  }
+
+  EXPECT_EQ(agent.greedy_action(state_b), 1u);
+  EXPECT_EQ(agent.greedy_action(state_a), 0u);
+}
+
+TEST(DqnAgentTest, QValuesShapeAndDeterminism) {
+  DqnConfig config;
+  config.hidden = {8};
+  DqnAgent agent(3, 5, config, 7);
+  const std::vector<double> state = {0.1, 0.2, 0.3};
+  const Matrix q1 = agent.q_values(state);
+  const Matrix q2 = agent.q_values(state);
+  ASSERT_EQ(q1.cols(), 5u);
+  for (std::size_t c = 0; c < 5; ++c) {
+    EXPECT_DOUBLE_EQ(q1.at(0, c), q2.at(0, c));
+  }
+}
+
+TEST(DqnAgentTest, EpsilonOneIsUniformRandom) {
+  DqnConfig config;
+  config.hidden = {8};
+  DqnAgent agent(2, 4, config, 11);
+  std::vector<int> counts(4, 0);
+  const std::vector<double> state = {0.5, 0.5};
+  for (int i = 0; i < 4'000; ++i) {
+    ++counts[agent.select_action(state, 1.0)];
+  }
+  for (int c : counts) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(DqnAgentTest, EpsilonZeroIsGreedy) {
+  DqnConfig config;
+  config.hidden = {8};
+  DqnAgent agent(2, 4, config, 13);
+  const std::vector<double> state = {0.5, 0.5};
+  const std::size_t greedy = agent.greedy_action(state);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(agent.select_action(state, 0.0), greedy);
+  }
+}
+
+TEST(DqnAgentTest, TrainStepRequiresFullMinibatch) {
+  DqnConfig config;
+  config.hidden = {8};
+  config.minibatch = 32;
+  DqnAgent agent(2, 2, config, 17);
+  EXPECT_LT(agent.train_step(), 0.0);  // buffer too small
+  for (int i = 0; i < 32; ++i) {
+    agent.remember({{0.0, 1.0}, 0, 0.5, {1.0, 0.0}, false});
+  }
+  EXPECT_GE(agent.train_step(), 0.0);
+}
+
+TEST(DqnAgentTest, TableTwoDefaults) {
+  const DqnConfig config;
+  EXPECT_DOUBLE_EQ(config.epsilon_max, 0.95);
+  EXPECT_DOUBLE_EQ(config.epsilon_decay, 0.05);
+  EXPECT_DOUBLE_EQ(config.gamma, 0.618);
+  EXPECT_EQ(config.episodes, 100u);
+  EXPECT_EQ(config.steps_per_episode, 200u);
+  EXPECT_DOUBLE_EQ(config.learning_rate, 0.7);
+  EXPECT_EQ(config.replay_capacity, 5'000u);
+  EXPECT_EQ(config.qnet_update_every, 5u);
+  EXPECT_EQ(config.target_update_every, 30u);
+}
+
+}  // namespace
+}  // namespace parole::ml

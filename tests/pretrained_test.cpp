@@ -1,0 +1,136 @@
+// Tests for the offline-trained (kDqnPretrained) attack flow: the IFU trains
+// GENTRANSEQ once, the aggregator runs inference-only reordering per batch —
+// the paper's actual threat model ("the IFU trains the model offline",
+// Sec. VII-F).
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "parole/core/parole_attack.hpp"
+#include "parole/data/case_study.hpp"
+#include "parole/data/workload.hpp"
+
+namespace parole::core {
+namespace {
+
+namespace cs = data::case_study;
+
+ParoleConfig pretrained_config() {
+  ParoleConfig config;
+  config.kind = ReordererKind::kDqnPretrained;
+  config.gentranseq.dqn.hidden = {32};
+  config.gentranseq.dqn.episodes = 30;
+  config.gentranseq.dqn.steps_per_episode = 60;
+  config.gentranseq.dqn.minibatch = 16;
+  config.seed = 90210;
+  return config;
+}
+
+TEST(Pretrained, OfflineTrainThenInferenceOnlyAttack) {
+  Parole parole(pretrained_config());
+  EXPECT_FALSE(parole.pretrained());
+
+  const TrainResult trained =
+      parole.pretrain(cs::initial_state(), cs::original_txs(), {cs::kIfu});
+  EXPECT_TRUE(parole.pretrained());
+  EXPECT_TRUE(trained.found_profit);
+
+  // Attack the same batch shape with inference only.
+  const AttackOutcome outcome =
+      parole.run(cs::initial_state(), cs::original_txs(), {cs::kIfu});
+  EXPECT_GE(outcome.achieved, outcome.baseline);
+  if (outcome.reordered) {
+    EXPECT_GT(outcome.profit(), 0);
+  }
+}
+
+TEST(Pretrained, WithoutModelShipsOriginalOrder) {
+  Parole parole(pretrained_config());
+  const auto txs = cs::original_txs();
+  const AttackOutcome outcome =
+      parole.run(cs::initial_state(), txs, {cs::kIfu});
+  EXPECT_FALSE(outcome.reordered);
+  EXPECT_EQ(outcome.profit(), 0);
+  ASSERT_EQ(outcome.final_sequence.size(), txs.size());
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    EXPECT_EQ(outcome.final_sequence[i].id, txs[i].id);
+  }
+}
+
+TEST(Pretrained, BatchSizeMismatchDegradesGracefully) {
+  Parole parole(pretrained_config());
+  (void)parole.pretrain(cs::initial_state(), cs::original_txs(), {cs::kIfu});
+
+  // A 3-tx batch does not fit the 8-tx network: no reorder, no crash.
+  std::vector<vm::Tx> small = {cs::original_txs()[0], cs::original_txs()[4],
+                               cs::original_txs()[6]};
+  const AttackOutcome outcome =
+      parole.run(cs::initial_state(), small, {cs::kIfu});
+  EXPECT_FALSE(outcome.reordered);
+}
+
+TEST(Pretrained, CheckpointHandOffBetweenParoleInstances) {
+  Parole trainer(pretrained_config());
+  (void)trainer.pretrain(cs::initial_state(), cs::original_txs(), {cs::kIfu});
+  const auto checkpoint = trainer.export_pretrained();
+  ASSERT_FALSE(checkpoint.empty());
+
+  ParoleConfig receiver_config = pretrained_config();
+  receiver_config.seed = 1;  // different aggregator
+  Parole receiver(receiver_config);
+  ASSERT_TRUE(receiver.load_pretrained(checkpoint, 8).ok());
+  EXPECT_TRUE(receiver.pretrained());
+
+  const AttackOutcome a =
+      trainer.run(cs::initial_state(), cs::original_txs(), {cs::kIfu});
+  const AttackOutcome b =
+      receiver.run(cs::initial_state(), cs::original_txs(), {cs::kIfu});
+  // Same weights, greedy inference: identical outcome.
+  EXPECT_EQ(a.achieved, b.achieved);
+}
+
+TEST(Pretrained, LoadRejectsEmptyCheckpoint) {
+  Parole parole(pretrained_config());
+  EXPECT_FALSE(parole.load_pretrained({}, 8).ok());
+}
+
+TEST(Pretrained, InferenceIsMuchCheaperThanTraining) {
+  // The Fig. 11 rationale, measured: per-batch attack cost collapses once
+  // training is amortized offline.
+  data::WorkloadConfig config;
+  config.num_users = 16;
+  config.max_supply = 40;
+  config.premint = 12;
+  data::WorkloadGenerator generator(config, 5);
+  const vm::L2State genesis = generator.initial_state();
+  const auto train_batch = generator.generate(10);
+  const auto ifus = generator.pick_ifus(1);
+
+  Parole parole(pretrained_config());
+  (void)parole.pretrain(genesis, train_batch, ifus);
+
+  const auto eng = vm::ExecutionEngine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+  vm::L2State state = genesis;
+  (void)eng.execute(state, train_batch);
+
+  // Measure 5 inference-only attacks on fresh 10-tx batches.
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t evaluations = 0;
+  for (int round = 0; round < 5; ++round) {
+    auto batch = generator.generate(10);
+    const AttackOutcome outcome = parole.run(state, batch, ifus);
+    evaluations += outcome.final_sequence.size();
+    (void)eng.execute(state, batch);
+  }
+  const double millis =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  EXPECT_GT(evaluations, 0u);
+  // Inference-only attacks on 10-tx batches are interactive-speed.
+  EXPECT_LT(millis / 5.0, 250.0);
+}
+
+}  // namespace
+}  // namespace parole::core

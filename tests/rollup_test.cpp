@@ -1,0 +1,423 @@
+// Tests for the rollup operator layer: Bedrock mempool ordering, aggregator
+// batch construction (honest, reordering, fraudulent), verifier checking,
+// the bisection dispute game, and the RollupNode end to end.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "parole/rollup/aggregator.hpp"
+#include "parole/rollup/dispute.hpp"
+#include "parole/rollup/mempool.hpp"
+#include "parole/rollup/node.hpp"
+#include "parole/rollup/verifier.hpp"
+
+namespace parole::rollup {
+namespace {
+
+vm::L2State small_state() {
+  vm::L2State state(10, eth(0, 200));
+  state.ledger().credit(UserId{1}, eth(3));
+  state.ledger().credit(UserId{2}, eth(3));
+  state.ledger().credit(UserId{3}, eth(3));
+  EXPECT_TRUE(state.nft().seed_mint(UserId{1}, 3).ok());
+  return state;
+}
+
+std::vector<vm::Tx> small_batch() {
+  return {
+      vm::Tx::make_mint(TxId{1}, UserId{2}),
+      vm::Tx::make_transfer(TxId{2}, UserId{1}, UserId{3}, TokenId{0}),
+      vm::Tx::make_burn(TxId{3}, UserId{1}, TokenId{1}),
+      vm::Tx::make_mint(TxId{4}, UserId{3}),
+  };
+}
+
+vm::ExecutionEngine engine() {
+  return vm::ExecutionEngine({vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+}
+
+// --- BedrockMempool --------------------------------------------------------------
+
+TEST(Mempool, CollectsByTotalFeeDescending) {
+  BedrockMempool pool;
+  pool.submit(vm::Tx::make_mint(TxId{1}, UserId{1}, gwei(10), gwei(0)));
+  pool.submit(vm::Tx::make_mint(TxId{2}, UserId{2}, gwei(50), gwei(0)));
+  pool.submit(vm::Tx::make_mint(TxId{3}, UserId{3}, gwei(20), gwei(40)));
+
+  const auto batch = pool.collect(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, TxId{3});  // 60
+  EXPECT_EQ(batch[1].id, TxId{2});  // 50
+  EXPECT_EQ(batch[2].id, TxId{1});  // 10
+}
+
+TEST(Mempool, FifoOnFeeTies) {
+  BedrockMempool pool;
+  pool.submit(vm::Tx::make_mint(TxId{1}, UserId{1}, gwei(10), gwei(0)));
+  pool.submit(vm::Tx::make_mint(TxId{2}, UserId{2}, gwei(10), gwei(0)));
+  pool.submit(vm::Tx::make_mint(TxId{3}, UserId{3}, gwei(10), gwei(0)));
+  const auto batch = pool.collect(3);
+  EXPECT_EQ(batch[0].id, TxId{1});
+  EXPECT_EQ(batch[1].id, TxId{2});
+  EXPECT_EQ(batch[2].id, TxId{3});
+}
+
+TEST(Mempool, CollectRespectsCountAndDrains) {
+  BedrockMempool pool;
+  for (int i = 0; i < 5; ++i) {
+    pool.submit(vm::Tx::make_mint(TxId{static_cast<std::uint64_t>(i)},
+                                  UserId{1}));
+  }
+  EXPECT_EQ(pool.size(), 5u);
+  EXPECT_EQ(pool.collect(2).size(), 2u);
+  EXPECT_EQ(pool.size(), 3u);
+  EXPECT_EQ(pool.collect(10).size(), 3u);
+  EXPECT_TRUE(pool.empty());
+  EXPECT_TRUE(pool.collect(1).empty());
+}
+
+TEST(Mempool, DeferredTxSortsBehindEverything) {
+  BedrockMempool pool;
+  pool.submit(vm::Tx::make_mint(TxId{1}, UserId{1}, gwei(5), gwei(0)));
+  // The deferred tx has a much higher fee but must still come out last.
+  pool.defer(vm::Tx::make_mint(TxId{9}, UserId{9}, gwei(1'000), gwei(0)));
+  pool.submit(vm::Tx::make_mint(TxId{2}, UserId{2}, gwei(1), gwei(0)));
+
+  const auto batch = pool.collect(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, TxId{1});
+  EXPECT_EQ(batch[1].id, TxId{2});
+  EXPECT_EQ(batch[2].id, TxId{9});
+}
+
+TEST(Mempool, ArrivalStampsAreAssigned) {
+  BedrockMempool pool;
+  pool.submit(vm::Tx::make_mint(TxId{1}, UserId{1}));
+  pool.submit(vm::Tx::make_mint(TxId{2}, UserId{1}));
+  EXPECT_EQ(pool.submitted_total(), 2u);
+  const auto batch = pool.collect(2);
+  EXPECT_EQ(batch[0].arrival, 0u);
+  EXPECT_EQ(batch[1].arrival, 1u);
+}
+
+// --- Aggregator ------------------------------------------------------------------------
+
+TEST(AggregatorTest, HonestBatchHasConsistentTrace) {
+  vm::L2State state = small_state();
+  const auto pre_root = state.state_root();
+  Aggregator agg({AggregatorId{1}, 10, std::nullopt, std::nullopt});
+  const Batch batch = agg.build_batch(state, small_batch(), engine());
+
+  EXPECT_EQ(batch.header.pre_state_root, pre_root);
+  EXPECT_EQ(batch.header.post_state_root, state.state_root());
+  EXPECT_EQ(batch.header.tx_count, 4u);
+  EXPECT_EQ(batch.intermediate_roots.size(), 4u);
+  EXPECT_TRUE(batch.trace_consistent());
+  EXPECT_EQ(batch.header.tx_root, Batch::tx_root_of(batch.txs));
+  EXPECT_FALSE(agg.adversarial());
+}
+
+TEST(AggregatorTest, ReordererIsApplied) {
+  vm::L2State state = small_state();
+  auto reverse = [](const vm::L2State&, std::vector<vm::Tx> txs) {
+    std::reverse(txs.begin(), txs.end());
+    return txs;
+  };
+  Aggregator agg({AggregatorId{1}, 10, reverse, std::nullopt});
+  EXPECT_TRUE(agg.adversarial());
+  const Batch batch = agg.build_batch(state, small_batch(), engine());
+  EXPECT_EQ(batch.txs.front().id, TxId{4});
+  EXPECT_EQ(batch.txs.back().id, TxId{1});
+  // Reordered but honestly executed: trace still consistent.
+  EXPECT_TRUE(batch.trace_consistent());
+}
+
+TEST(AggregatorTest, CorruptionFlagForgesTrace) {
+  vm::L2State state = small_state();
+  Aggregator agg({AggregatorId{1}, 10, std::nullopt, 2});
+  const Batch batch = agg.build_batch(state, small_batch(), engine());
+  // Header matches the (forged) trace, but disagrees with honest execution.
+  EXPECT_TRUE(batch.trace_consistent());
+  EXPECT_NE(batch.header.post_state_root, state.state_root());
+}
+
+TEST(AggregatorTest, EmptyBatch) {
+  vm::L2State state = small_state();
+  Aggregator agg({AggregatorId{1}, 10, std::nullopt, std::nullopt});
+  const Batch batch = agg.build_batch(state, {}, engine());
+  EXPECT_EQ(batch.header.pre_state_root, batch.header.post_state_root);
+  EXPECT_TRUE(batch.trace_consistent());
+}
+
+// --- Verifier -------------------------------------------------------------------------------
+
+TEST(VerifierTest, AcceptsHonestBatch) {
+  vm::L2State state = small_state();
+  const vm::L2State pre = state;
+  Aggregator agg({AggregatorId{1}, 10, std::nullopt, std::nullopt});
+  const Batch batch = agg.build_batch(state, small_batch(), engine());
+
+  const Verifier verifier(VerifierId{1});
+  const VerificationOutcome outcome = verifier.check(batch, pre, engine());
+  EXPECT_TRUE(outcome.valid);
+  EXPECT_FALSE(outcome.first_bad_step.has_value());
+  EXPECT_EQ(outcome.honest_post_root, batch.header.post_state_root);
+}
+
+TEST(VerifierTest, AcceptsReorderedButHonestBatch) {
+  // The PAROLE property: re-ordering alone gives the verifier nothing to
+  // challenge.
+  vm::L2State state = small_state();
+  const vm::L2State pre = state;
+  auto reverse = [](const vm::L2State&, std::vector<vm::Tx> txs) {
+    std::reverse(txs.begin(), txs.end());
+    return txs;
+  };
+  Aggregator agg({AggregatorId{1}, 10, reverse, std::nullopt});
+  const Batch batch = agg.build_batch(state, small_batch(), engine());
+  EXPECT_TRUE(Verifier(VerifierId{1}).check(batch, pre, engine()).valid);
+}
+
+class VerifierCorruptionTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VerifierCorruptionTest, DetectsCorruptionAtEveryStep) {
+  const std::size_t step = GetParam();
+  vm::L2State state = small_state();
+  const vm::L2State pre = state;
+  Aggregator agg({AggregatorId{1}, 10, std::nullopt, step});
+  const Batch batch = agg.build_batch(state, small_batch(), engine());
+
+  const VerificationOutcome outcome =
+      Verifier(VerifierId{1}).check(batch, pre, engine());
+  EXPECT_FALSE(outcome.valid);
+  ASSERT_TRUE(outcome.first_bad_step.has_value());
+  EXPECT_EQ(*outcome.first_bad_step, step);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, VerifierCorruptionTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(VerifierTest, DetectsWrongPreRoot) {
+  vm::L2State state = small_state();
+  Aggregator agg({AggregatorId{1}, 10, std::nullopt, std::nullopt});
+  const Batch batch = agg.build_batch(state, small_batch(), engine());
+  // Hand the verifier a different pre-state than the one committed.
+  vm::L2State other = small_state();
+  other.ledger().credit(UserId{1}, 1);
+  EXPECT_FALSE(Verifier(VerifierId{1}).check(batch, other, engine()).valid);
+}
+
+// --- DisputeGame ------------------------------------------------------------------------------
+
+std::vector<crypto::Hash256> honest_trace(const Batch& batch,
+                                          const vm::L2State& pre) {
+  std::vector<crypto::Hash256> roots;
+  vm::L2State replay = pre;
+  const auto eng = engine();
+  for (const vm::Tx& tx : batch.txs) {
+    (void)eng.execute_tx(replay, tx);
+    roots.push_back(replay.state_root());
+  }
+  return roots;
+}
+
+class DisputeStepTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DisputeStepTest, BisectionLocalizesExactStep) {
+  const std::size_t step = GetParam();
+  vm::L2State state = small_state();
+  const vm::L2State pre = state;
+  Aggregator agg({AggregatorId{1}, 10, std::nullopt, step});
+  const Batch batch = agg.build_batch(state, small_batch(), engine());
+
+  const DisputeVerdict verdict =
+      DisputeGame::run(batch, pre, honest_trace(batch, pre), engine());
+  EXPECT_TRUE(verdict.fraud_proven);
+  EXPECT_EQ(verdict.disputed_step, step);
+  EXPECT_EQ(verdict.proof.step, step);
+  EXPECT_EQ(verdict.proof.claimed_post_root, batch.intermediate_roots[step]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, DisputeStepTest,
+                         ::testing::Values(0, 1, 2, 3));
+
+TEST(DisputeGameTest, FrivolousChallengeFails) {
+  vm::L2State state = small_state();
+  const vm::L2State pre = state;
+  Aggregator agg({AggregatorId{1}, 10, std::nullopt, std::nullopt});
+  const Batch batch = agg.build_batch(state, small_batch(), engine());
+  // Challenger whose trace agrees everywhere loses.
+  const DisputeVerdict verdict =
+      DisputeGame::run(batch, pre, batch.intermediate_roots, engine());
+  EXPECT_FALSE(verdict.fraud_proven);
+}
+
+TEST(DisputeGameTest, RoundsAreLogarithmic) {
+  // A 16-tx batch corrupted at the last step needs about log2(16) rounds.
+  vm::L2State state(50, eth(0, 100));
+  state.ledger().credit(UserId{1}, eth(40));
+  std::vector<vm::Tx> txs;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    txs.push_back(vm::Tx::make_mint(TxId{i}, UserId{1}));
+  }
+  const vm::L2State pre = state;
+  Aggregator agg({AggregatorId{1}, 16, std::nullopt, 15});
+  const Batch batch = agg.build_batch(state, txs, engine());
+  const DisputeVerdict verdict =
+      DisputeGame::run(batch, pre, honest_trace(batch, pre), engine());
+  EXPECT_TRUE(verdict.fraud_proven);
+  EXPECT_EQ(verdict.disputed_step, 15u);
+  EXPECT_LE(verdict.rounds, 5u);
+  EXPECT_GE(verdict.rounds, 3u);
+}
+
+// --- RollupNode -----------------------------------------------------------------------------------
+
+NodeConfig fast_node_config() {
+  NodeConfig config;
+  config.orsc.challenge_period = 20;  // ~2 blocks
+  config.max_supply = 20;
+  return config;
+}
+
+TEST(RollupNodeTest, DepositThenTradeEndToEnd) {
+  RollupNode node(fast_node_config());
+  node.add_aggregator({AggregatorId{0}, 4, std::nullopt, std::nullopt});
+  node.add_verifier(VerifierId{0});
+
+  node.fund_l1(UserId{1}, eth(5));
+  ASSERT_TRUE(node.deposit(UserId{1}, eth(3)).ok());
+  node.submit_tx(vm::Tx::make_mint(TxId{0}, UserId{1}));
+
+  const StepOutcome outcome = node.step();
+  ASSERT_TRUE(outcome.produced_batch);
+  EXPECT_EQ(outcome.tx_count, 1u);
+  EXPECT_FALSE(outcome.challenged);
+  EXPECT_EQ(node.state().nft().balance_of(UserId{1}), 1u);
+  EXPECT_EQ(node.state().ledger().balance(UserId{1}),
+            eth(3) - eth(0, 200));  // minted at P0 (untouched collection)
+}
+
+TEST(RollupNodeTest, BatchesFinalizeAfterPeriod) {
+  RollupNode node(fast_node_config());
+  node.add_aggregator({AggregatorId{0}, 2, std::nullopt, std::nullopt});
+  node.fund_l1(UserId{1}, eth(5));
+  ASSERT_TRUE(node.deposit(UserId{1}, eth(3)).ok());
+  node.submit_tx(vm::Tx::make_mint(TxId{0}, UserId{1}));
+  (void)node.step();
+
+  bool finalized = false;
+  for (int i = 0; i < 5 && !finalized; ++i) {
+    finalized = !node.step().finalized_batches.empty();
+  }
+  EXPECT_TRUE(finalized);
+  EXPECT_EQ(node.orsc().batch(0)->status, chain::BatchStatus::kFinalized);
+}
+
+TEST(RollupNodeTest, FraudulentAggregatorIsSlashedAndStateRollsBack) {
+  RollupNode node(fast_node_config());
+  node.add_aggregator({AggregatorId{0}, 4, std::nullopt, /*corrupt=*/1});
+  node.add_aggregator({AggregatorId{1}, 4, std::nullopt, std::nullopt});
+  node.add_verifier(VerifierId{0});
+
+  node.fund_l1(UserId{1}, eth(5));
+  ASSERT_TRUE(node.deposit(UserId{1}, eth(4)).ok());
+  node.submit_tx(vm::Tx::make_mint(TxId{0}, UserId{1}));
+  node.submit_tx(vm::Tx::make_mint(TxId{1}, UserId{1}));
+
+  const StepOutcome first = node.step();
+  ASSERT_TRUE(first.produced_batch);
+  EXPECT_TRUE(first.challenged);
+  EXPECT_TRUE(first.fraud_proven);
+  EXPECT_EQ(node.orsc().aggregator_bond(AggregatorId{0}), 0);
+  // State rolled back: the mints did not stick...
+  EXPECT_EQ(node.state().nft().live_count(), 0u);
+  // ...and the txs returned to the mempool for the honest aggregator.
+  const StepOutcome second = node.step();
+  ASSERT_TRUE(second.produced_batch);
+  EXPECT_EQ(second.aggregator, AggregatorId{1});
+  EXPECT_FALSE(second.fraud_proven);
+  EXPECT_EQ(node.state().nft().live_count(), 2u);
+}
+
+TEST(RollupNodeTest, SlashedAggregatorIsSkippedInRotation) {
+  RollupNode node(fast_node_config());
+  node.add_aggregator({AggregatorId{0}, 2, std::nullopt, /*corrupt=*/0});
+  node.add_aggregator({AggregatorId{1}, 2, std::nullopt, std::nullopt});
+  node.add_verifier(VerifierId{0});
+
+  node.fund_l1(UserId{1}, eth(9));
+  ASSERT_TRUE(node.deposit(UserId{1}, eth(9)).ok());
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    node.submit_tx(vm::Tx::make_mint(TxId{i}, UserId{1}));
+  }
+
+  const StepOutcome first = node.step();  // fraud, slash aggregator 0
+  ASSERT_TRUE(first.fraud_proven);
+  ASSERT_EQ(node.orsc().aggregator_bond(AggregatorId{0}), 0);
+
+  // Every subsequent batch must come from the surviving honest aggregator.
+  while (!node.mempool().empty()) {
+    const StepOutcome outcome = node.step();
+    if (outcome.produced_batch) {
+      EXPECT_EQ(outcome.aggregator, AggregatorId{1});
+      EXPECT_FALSE(outcome.fraud_proven);
+    }
+  }
+  EXPECT_EQ(node.state().nft().live_count(), 6u);
+}
+
+TEST(RollupNodeTest, AllAggregatorsSlashedHaltsBatching) {
+  RollupNode node(fast_node_config());
+  node.add_aggregator({AggregatorId{0}, 2, std::nullopt, /*corrupt=*/0});
+  node.add_verifier(VerifierId{0});
+  node.fund_l1(UserId{1}, eth(9));
+  ASSERT_TRUE(node.deposit(UserId{1}, eth(9)).ok());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    node.submit_tx(vm::Tx::make_mint(TxId{i}, UserId{1}));
+  }
+  ASSERT_TRUE(node.step().fraud_proven);
+  // No operators left: steps still seal L1 blocks but ship no batches.
+  const StepOutcome outcome = node.step();
+  EXPECT_FALSE(outcome.produced_batch);
+  EXPECT_FALSE(node.mempool().empty());
+}
+
+TEST(RollupNodeTest, RoundRobinAcrossAggregators) {
+  RollupNode node(fast_node_config());
+  node.add_aggregator({AggregatorId{0}, 1, std::nullopt, std::nullopt});
+  node.add_aggregator({AggregatorId{1}, 1, std::nullopt, std::nullopt});
+  node.fund_l1(UserId{1}, eth(9));
+  ASSERT_TRUE(node.deposit(UserId{1}, eth(9)).ok());
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    node.submit_tx(vm::Tx::make_mint(TxId{i}, UserId{1}));
+  }
+  EXPECT_EQ(node.step().aggregator, AggregatorId{0});
+  EXPECT_EQ(node.step().aggregator, AggregatorId{1});
+  EXPECT_EQ(node.step().aggregator, AggregatorId{0});
+}
+
+TEST(RollupNodeTest, RunUntilDrained) {
+  RollupNode node(fast_node_config());
+  node.add_aggregator({AggregatorId{0}, 3, std::nullopt, std::nullopt});
+  node.fund_l1(UserId{1}, eth(9));
+  ASSERT_TRUE(node.deposit(UserId{1}, eth(9)).ok());
+  for (std::uint64_t i = 0; i < 7; ++i) {
+    node.submit_tx(vm::Tx::make_mint(TxId{i}, UserId{1}));
+  }
+  const auto outcomes = node.run_until_drained();
+  EXPECT_EQ(outcomes.size(), 3u);  // 3 + 3 + 1
+  EXPECT_TRUE(node.mempool().empty());
+  EXPECT_EQ(node.l1().height(), 3u);
+  EXPECT_TRUE(node.l1().verify_links());
+}
+
+TEST(RollupNodeTest, EmptyStepStillSealsBlocks) {
+  RollupNode node(fast_node_config());
+  const StepOutcome outcome = node.step();
+  EXPECT_FALSE(outcome.produced_batch);
+  EXPECT_EQ(node.l1().height(), 1u);
+}
+
+}  // namespace
+}  // namespace parole::rollup

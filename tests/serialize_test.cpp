@@ -1,0 +1,119 @@
+// Tests for network checkpointing: byte-level round trips, corruption
+// rejection, file I/O, and end-to-end reuse of a trained GENTRANSEQ model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "parole/core/gentranseq.hpp"
+#include "parole/data/case_study.hpp"
+#include "parole/ml/serialize.hpp"
+
+namespace parole::ml {
+namespace {
+
+namespace cs = parole::data::case_study;
+
+Network make_net(std::uint64_t seed) {
+  Rng rng(seed);
+  return Network::mlp(6, {8, 8}, 4, rng);
+}
+
+bool same_outputs(Network& a, Network& b) {
+  Rng rng(99);
+  const Matrix input = Matrix::kaiming_uniform(3, 6, rng);
+  const Matrix oa = a.forward(input);
+  const Matrix ob = b.forward(input);
+  for (std::size_t r = 0; r < oa.rows(); ++r) {
+    for (std::size_t c = 0; c < oa.cols(); ++c) {
+      if (oa.at(r, c) != ob.at(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+TEST(Serialize, RoundTripRestoresExactWeights) {
+  Network original = make_net(1);
+  const auto bytes = serialize_network(original);
+  Network restored = make_net(2);  // different init
+  ASSERT_FALSE(same_outputs(original, restored));
+  ASSERT_TRUE(deserialize_network(restored, bytes).ok());
+  EXPECT_TRUE(same_outputs(original, restored));
+  EXPECT_EQ(original.export_weights(), restored.export_weights());
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  Network net = make_net(1);
+  auto bytes = serialize_network(net);
+  bytes[0] ^= 0xff;
+  Network target = make_net(2);
+  const auto before = target.export_weights();
+  const Status s = deserialize_network(target, bytes);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "bad_magic");
+  EXPECT_EQ(target.export_weights(), before);  // untouched on failure
+}
+
+TEST(Serialize, RejectsShapeMismatch) {
+  Network small = make_net(1);
+  const auto bytes = serialize_network(small);
+  Rng rng(3);
+  Network bigger = Network::mlp(6, {16}, 4, rng);
+  const Status s = deserialize_network(bigger, bytes);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "shape_mismatch");
+}
+
+TEST(Serialize, RejectsTruncatedPayload) {
+  Network net = make_net(1);
+  auto bytes = serialize_network(net);
+  bytes.resize(bytes.size() - 16);
+  Network target = make_net(2);
+  const Status s = deserialize_network(target, bytes);
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "truncated");
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "parole_ckpt_test.bin";
+  Network original = make_net(7);
+  ASSERT_TRUE(save_checkpoint(original, path).ok());
+  Network restored = make_net(8);
+  ASSERT_TRUE(load_checkpoint(restored, path).ok());
+  EXPECT_TRUE(same_outputs(original, restored));
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileFails) {
+  Network net = make_net(1);
+  EXPECT_FALSE(load_checkpoint(net, "/nonexistent/dir/ckpt.bin").ok());
+}
+
+TEST(Serialize, TrainedGentranseqSurvivesHandOff) {
+  // The threat-model flow: the IFU trains offline, ships the checkpoint, the
+  // aggregator restores it and runs inference only.
+  auto problem = cs::make_problem();
+  core::GenTranSeqConfig config;
+  config.dqn.hidden = {32};
+  config.dqn.episodes = 25;
+  config.dqn.steps_per_episode = 60;
+  config.dqn.minibatch = 16;
+
+  core::GenTranSeq trainer(problem, config, 4242);
+  (void)trainer.train();
+  const core::InferenceResult trained_inference = trainer.infer();
+  const auto checkpoint = serialize_network(trainer.agent().q_network());
+
+  // A fresh (differently seeded) module restored from the checkpoint must
+  // behave identically at inference time.
+  auto problem2 = cs::make_problem();
+  core::GenTranSeq receiver(problem2, config, 1111);
+  ASSERT_TRUE(
+      deserialize_network(receiver.agent().q_network(), checkpoint).ok());
+  const core::InferenceResult restored_inference = receiver.infer();
+
+  EXPECT_EQ(restored_inference.order, trained_inference.order);
+  EXPECT_EQ(restored_inference.balance, trained_inference.balance);
+}
+
+}  // namespace
+}  // namespace parole::ml

@@ -1,0 +1,341 @@
+// Tests for the sparse Merkle tree (membership/non-membership proofs,
+// PartialSmt updates) and the stateless witness executor, including the
+// engine-equivalence property: witnessed execution derives exactly the
+// post-root of full-state execution.
+#include <gtest/gtest.h>
+
+#include "parole/crypto/sha256.hpp"
+#include "parole/crypto/smt.hpp"
+#include "parole/data/case_study.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/vm/witness.hpp"
+
+namespace parole {
+namespace {
+
+namespace cs = data::case_study;
+using crypto::Hash256;
+using crypto::PartialSmt;
+using crypto::SparseMerkleTree;
+
+Hash256 h(const std::string& s) { return crypto::Sha256::hash(s); }
+
+// --- SparseMerkleTree basics -----------------------------------------------------
+
+TEST(Smt, EmptyTreeHasCanonicalRoot) {
+  SparseMerkleTree a, b;
+  EXPECT_EQ(a.root(), b.root());
+  EXPECT_EQ(a.root(), SparseMerkleTree::empty_hash(SparseMerkleTree::kDepth));
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(Smt, SetGetEraseRoundTrip) {
+  SparseMerkleTree smt;
+  EXPECT_FALSE(smt.set(h("k1"), h("v1")).has_value());
+  EXPECT_EQ(smt.get(h("k1")), h("v1"));
+  EXPECT_EQ(smt.size(), 1u);
+  // Update returns the previous value.
+  EXPECT_EQ(smt.set(h("k1"), h("v2")), h("v1"));
+  EXPECT_EQ(smt.get(h("k1")), h("v2"));
+  EXPECT_EQ(smt.size(), 1u);
+  EXPECT_TRUE(smt.erase(h("k1")));
+  EXPECT_FALSE(smt.erase(h("k1")));
+  EXPECT_FALSE(smt.get(h("k1")).has_value());
+}
+
+TEST(Smt, RootIsOrderIndependent) {
+  SparseMerkleTree a, b;
+  for (int i = 0; i < 20; ++i) {
+    a.set(h("key" + std::to_string(i)), h("val" + std::to_string(i)));
+  }
+  for (int i = 19; i >= 0; --i) {
+    b.set(h("key" + std::to_string(i)), h("val" + std::to_string(i)));
+  }
+  EXPECT_EQ(a.root(), b.root());
+}
+
+TEST(Smt, RootSensitiveToValues) {
+  SparseMerkleTree a, b;
+  a.set(h("k"), h("v1"));
+  b.set(h("k"), h("v2"));
+  EXPECT_NE(a.root(), b.root());
+}
+
+TEST(Smt, EraseRestoresPriorRoot) {
+  SparseMerkleTree smt;
+  smt.set(h("a"), h("1"));
+  const Hash256 before = smt.root();
+  smt.set(h("b"), h("2"));
+  EXPECT_NE(smt.root(), before);
+  smt.erase(h("b"));
+  EXPECT_EQ(smt.root(), before);
+}
+
+// --- proofs ----------------------------------------------------------------------------
+
+TEST(Smt, MembershipProofVerifies) {
+  SparseMerkleTree smt;
+  for (int i = 0; i < 15; ++i) {
+    smt.set(h("key" + std::to_string(i)), h("val" + std::to_string(i)));
+  }
+  for (int i = 0; i < 15; ++i) {
+    const Hash256 key = h("key" + std::to_string(i));
+    const auto proof = smt.prove(key);
+    const auto result = SparseMerkleTree::verify(smt.root(), key, proof);
+    EXPECT_TRUE(result.valid);
+    ASSERT_TRUE(result.value.has_value());
+    EXPECT_EQ(*result.value, h("val" + std::to_string(i)));
+  }
+}
+
+TEST(Smt, NonMembershipProofVerifies) {
+  SparseMerkleTree smt;
+  for (int i = 0; i < 15; ++i) {
+    smt.set(h("key" + std::to_string(i)), h("val" + std::to_string(i)));
+  }
+  const Hash256 absent = h("not-a-key");
+  const auto proof = smt.prove(absent);
+  const auto result = SparseMerkleTree::verify(smt.root(), absent, proof);
+  EXPECT_TRUE(result.valid);
+  EXPECT_FALSE(result.value.has_value());  // proven absent
+}
+
+TEST(Smt, ProofAgainstWrongRootFails) {
+  SparseMerkleTree smt;
+  smt.set(h("k"), h("v"));
+  const auto proof = smt.prove(h("k"));
+  SparseMerkleTree other;
+  other.set(h("k"), h("other"));
+  EXPECT_FALSE(SparseMerkleTree::verify(other.root(), h("k"), proof).valid);
+}
+
+TEST(Smt, TamperedProofFails) {
+  SparseMerkleTree smt;
+  for (int i = 0; i < 8; ++i) {
+    smt.set(h("key" + std::to_string(i)), h("v" + std::to_string(i)));
+  }
+  auto proof = smt.prove(h("key3"));
+  // Claim a different value for the key.
+  for (auto& entry : proof.slot_entries) {
+    if (entry.key == h("key3")) entry.value = h("forged");
+  }
+  EXPECT_FALSE(SparseMerkleTree::verify(smt.root(), h("key3"), proof).valid);
+}
+
+TEST(Smt, ProofFuzzOverManyKeys) {
+  Rng rng(42);
+  SparseMerkleTree smt;
+  std::vector<Hash256> keys;
+  for (int i = 0; i < 200; ++i) {
+    keys.push_back(h("fuzz" + std::to_string(i)));
+    smt.set(keys.back(), h("value" + std::to_string(i)));
+  }
+  const Hash256 root = smt.root();
+  for (int trial = 0; trial < 50; ++trial) {
+    const Hash256& key = keys[rng.index(keys.size())];
+    const auto result = SparseMerkleTree::verify(root, key, smt.prove(key));
+    ASSERT_TRUE(result.valid);
+    ASSERT_TRUE(result.value.has_value());
+  }
+  // Absent keys stay provably absent.
+  for (int trial = 0; trial < 20; ++trial) {
+    const Hash256 key = h("absent" + std::to_string(trial));
+    if (smt.get(key).has_value()) continue;  // (hash collision, impossible)
+    const auto result = SparseMerkleTree::verify(root, key, smt.prove(key));
+    ASSERT_TRUE(result.valid);
+    EXPECT_FALSE(result.value.has_value());
+  }
+}
+
+// --- PartialSmt ---------------------------------------------------------------------------
+
+TEST(PartialSmtTest, UpdateMatchesFullTree) {
+  SparseMerkleTree full;
+  for (int i = 0; i < 30; ++i) {
+    full.set(h("key" + std::to_string(i)), h("val" + std::to_string(i)));
+  }
+
+  PartialSmt partial(full.root());
+  ASSERT_TRUE(partial.add_proof(h("key3"), full.prove(h("key3"))).ok());
+  ASSERT_TRUE(partial.add_proof(h("key17"), full.prove(h("key17"))).ok());
+  ASSERT_TRUE(partial.add_proof(h("fresh"), full.prove(h("fresh"))).ok());
+
+  // Apply the same updates to both.
+  ASSERT_TRUE(partial.set(h("key3"), h("updated3")).ok());
+  ASSERT_TRUE(partial.set(h("fresh"), h("inserted")).ok());
+  ASSERT_TRUE(partial.erase(h("key17")).ok());
+  full.set(h("key3"), h("updated3"));
+  full.set(h("fresh"), h("inserted"));
+  full.erase(h("key17"));
+
+  EXPECT_EQ(partial.root(), full.root());
+}
+
+TEST(PartialSmtTest, NoUpdatesKeepsRoot) {
+  SparseMerkleTree full;
+  full.set(h("a"), h("1"));
+  PartialSmt partial(full.root());
+  ASSERT_TRUE(partial.add_proof(h("a"), full.prove(h("a"))).ok());
+  EXPECT_EQ(partial.root(), full.root());
+}
+
+TEST(PartialSmtTest, RejectsBadProof) {
+  SparseMerkleTree full;
+  full.set(h("a"), h("1"));
+  SparseMerkleTree other;
+  other.set(h("a"), h("2"));
+  PartialSmt partial(full.root());
+  EXPECT_FALSE(partial.add_proof(h("a"), other.prove(h("a"))).ok());
+}
+
+TEST(PartialSmtTest, RejectsUncoveredUpdates) {
+  SparseMerkleTree full;
+  full.set(h("a"), h("1"));
+  PartialSmt partial(full.root());
+  EXPECT_FALSE(partial.set(h("a"), h("x")).ok());  // no proof registered
+  EXPECT_FALSE(partial.covers(h("a")));
+}
+
+TEST(PartialSmtTest, ManyTouchedKeysWithSharedPaths) {
+  // Enough keys that proof paths certainly share interior nodes.
+  SparseMerkleTree full;
+  for (int i = 0; i < 60; ++i) {
+    full.set(h("key" + std::to_string(i)), h("val" + std::to_string(i)));
+  }
+  PartialSmt partial(full.root());
+  for (int i = 0; i < 12; ++i) {
+    const Hash256 key = h("key" + std::to_string(i));
+    ASSERT_TRUE(partial.add_proof(key, full.prove(key)).ok());
+  }
+  for (int i = 0; i < 12; ++i) {
+    const Hash256 key = h("key" + std::to_string(i));
+    ASSERT_TRUE(partial.set(key, h("new" + std::to_string(i))).ok());
+    full.set(key, h("new" + std::to_string(i)));
+  }
+  EXPECT_EQ(partial.root(), full.root());
+}
+
+// --- witness executor ----------------------------------------------------------------------
+
+vm::StatelessConfig case_config() { return {10, eth(0, 200)}; }
+
+TEST(Witness, CommitmentCoversStateDimensions) {
+  const vm::L2State state = cs::initial_state();
+  const Hash256 root = vm::smt_state_root(state);
+
+  vm::L2State other = cs::initial_state();
+  other.ledger().credit(cs::kU1, 1);
+  EXPECT_NE(vm::smt_state_root(other), root);
+
+  vm::L2State burnt = cs::initial_state();
+  ASSERT_TRUE(burnt.nft().burn(cs::kIfu, TokenId{0}).ok());
+  EXPECT_NE(vm::smt_state_root(burnt), root);
+}
+
+TEST(Witness, TombstoneDistinguishesBurntFromFresh) {
+  vm::L2State state = cs::initial_state();
+  ASSERT_TRUE(state.nft().burn(cs::kIfu, TokenId{0}).ok());
+  const auto smt = vm::build_state_smt(state);
+  const auto value = smt.get(vm::token_key(TokenId{0}));
+  ASSERT_TRUE(value.has_value());
+  EXPECT_TRUE(vm::is_tombstone(*value));
+  EXPECT_FALSE(smt.get(vm::token_key(TokenId{9})).has_value());  // never minted
+}
+
+TEST(Witness, StatelessMatchesEngineOnCaseStudyTxs) {
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+  vm::L2State state = cs::initial_state();
+  for (const vm::Tx& tx : cs::original_txs()) {
+    const vm::TxWitness witness = vm::build_witness(state, tx);
+    EXPECT_EQ(witness.pre_root, vm::smt_state_root(state));
+
+    const auto stateless =
+        vm::stateless_execute(witness, tx, case_config());
+    ASSERT_TRUE(stateless.ok()) << stateless.error().detail;
+
+    const vm::Receipt receipt = engine.execute_tx(state, tx);
+    EXPECT_EQ(stateless.value().executed,
+              receipt.status == vm::TxStatus::kExecuted);
+    EXPECT_EQ(stateless.value().post_root, vm::smt_state_root(state))
+        << "tx " << tx.id.value();
+  }
+}
+
+TEST(Witness, FailedTxLeavesRootUnchanged) {
+  const vm::L2State state = cs::initial_state();
+  // U2 burning a token it does not own.
+  const vm::Tx bad = vm::Tx::make_burn(TxId{99}, cs::kU2, TokenId{0});
+  const auto witness = vm::build_witness(state, bad);
+  const auto outcome = vm::stateless_execute(witness, bad, case_config());
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome.value().executed);
+  EXPECT_EQ(outcome.value().failure_reason, "burner does not own token");
+  EXPECT_EQ(outcome.value().post_root, witness.pre_root);
+}
+
+TEST(Witness, ForgedWitnessIsRejected) {
+  const vm::L2State state = cs::initial_state();
+  const vm::Tx tx = vm::Tx::make_mint(TxId{1}, cs::kU19, 0, 0, TokenId{5});
+  vm::TxWitness witness = vm::build_witness(state, tx);
+  // Inflate the minter's balance in the witness.
+  for (auto& item : witness.items) {
+    if (item.key == vm::account_key(cs::kU19)) {
+      for (auto& entry : item.proof.slot_entries) {
+        if (entry.key == item.key) entry.value = vm::amount_value(eth(50));
+      }
+    }
+  }
+  const auto outcome = vm::stateless_execute(witness, tx, case_config());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, "bad_proof");
+}
+
+TEST(Witness, AutoAssignMintIsUnwitnessable) {
+  const vm::L2State state = cs::initial_state();
+  const vm::Tx tx = vm::Tx::make_mint(TxId{1}, cs::kU19);  // no explicit id
+  const auto witness = vm::build_witness(state, tx);
+  const auto outcome = vm::stateless_execute(witness, tx, case_config());
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.error().code, "auto_mint_unwitnessable");
+}
+
+class WitnessEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WitnessEquivalence, RandomWorkloadsMatchEngineExactly) {
+  data::WorkloadConfig config;
+  config.num_users = 10;
+  config.max_supply = 24;
+  config.premint = 8;
+  data::WorkloadGenerator generator(config, GetParam());
+  vm::L2State state = generator.initial_state();
+  const vm::StatelessConfig stateless_config{24, config.initial_price};
+  const vm::ExecutionEngine engine(
+      {vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+
+  // Shuffle so a healthy share of txs *fail* (stale orders) — the stateless
+  // executor must agree on failures too.
+  auto txs = generator.generate(60);
+  Rng rng(GetParam() ^ 0xf00d);
+  rng.shuffle(txs);
+
+  for (const vm::Tx& tx : txs) {
+    const auto witness = vm::build_witness(state, tx);
+    const auto stateless =
+        vm::stateless_execute(witness, tx, stateless_config);
+    ASSERT_TRUE(stateless.ok()) << stateless.error().detail;
+    const vm::Receipt receipt = engine.execute_tx(state, tx);
+    ASSERT_EQ(stateless.value().executed,
+              receipt.status == vm::TxStatus::kExecuted)
+        << tx.describe() << " engine=" << receipt.failure_reason
+        << " witness=" << stateless.value().failure_reason;
+    ASSERT_EQ(stateless.value().post_root, vm::smt_state_root(state))
+        << tx.describe();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessEquivalence,
+                         ::testing::Values(21, 42, 63, 84, 105));
+
+}  // namespace
+}  // namespace parole

@@ -1,0 +1,259 @@
+// Tests for the baseline solvers: the ReorderingProblem objective and
+// validity rule, and every solver strategy against the Sec. VI case study
+// (whose true optimum is known) plus randomized instances.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "parole/data/case_study.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/solvers/annealing.hpp"
+#include "parole/solvers/branch_bound.hpp"
+#include "parole/solvers/exhaustive.hpp"
+#include "parole/solvers/greedy.hpp"
+#include "parole/solvers/hill_climb.hpp"
+#include "parole/solvers/instrument.hpp"
+#include "parole/solvers/random_search.hpp"
+
+namespace parole::solvers {
+namespace {
+
+namespace cs = data::case_study;
+
+// --- ReorderingProblem ---------------------------------------------------------
+
+TEST(Problem, BaselineMatchesCaseStudy) {
+  auto problem = cs::make_problem();
+  EXPECT_EQ(problem.baseline(), cs::kCase1Final);
+  EXPECT_EQ(problem.size(), 8u);
+  EXPECT_TRUE(problem.fully_valid_baseline());
+}
+
+TEST(Problem, EvaluateCountsEvaluations) {
+  auto problem = cs::make_problem();
+  problem.reset_evaluations();
+  (void)problem.evaluate(cs::case1_order());
+  (void)problem.evaluate(cs::case2_order());
+  EXPECT_EQ(problem.evaluations(), 2u);
+}
+
+TEST(Problem, InvalidOrderReturnsNullopt) {
+  auto problem = cs::make_problem();
+  // Paper's literal case-2 order puts TX4 (U19 sells) before TX2 (U19
+  // mints) — infeasible under Eq. 3.
+  EXPECT_FALSE(problem.evaluate(cs::paper_case2_order()).has_value());
+  EXPECT_FALSE(problem.evaluate(cs::paper_case3_order()).has_value());
+}
+
+TEST(Problem, KnownOrdersEvaluateToPinnedBalances) {
+  auto problem = cs::make_problem();
+  EXPECT_EQ(problem.evaluate(cs::case2_order()).value_or(0), cs::kCase2Final);
+  EXPECT_EQ(problem.evaluate(cs::case3_order()).value_or(0), cs::kCase3Final);
+  EXPECT_EQ(problem.evaluate(cs::optimal_order()).value_or(0),
+            cs::kOptimalFinal);
+}
+
+TEST(Problem, MaterializeBuildsPermutedSequence) {
+  auto problem = cs::make_problem();
+  const auto txs = problem.materialize(cs::case3_order());
+  ASSERT_EQ(txs.size(), 8u);
+  EXPECT_EQ(txs[0].id, TxId{1});  // TX1 first
+  EXPECT_EQ(txs[1].id, TxId{7});  // then TX7 (burn)
+}
+
+TEST(Problem, StaleTxMayKeepFailing) {
+  // A batch whose collected order already contains a failing tx: validity
+  // only protects the originally executed set.
+  vm::L2State state(10, eth(0, 200));
+  state.ledger().credit(UserId{1}, eth(1));
+  ASSERT_TRUE(state.nft().seed_mint(UserId{2}, 1).ok());
+
+  std::vector<vm::Tx> txs = {
+      // Stale: U1 does not own token 0.
+      vm::Tx::make_burn(TxId{1}, UserId{1}, TokenId{0}),
+      vm::Tx::make_mint(TxId{2}, UserId{1}),
+  };
+  ReorderingProblem problem(state, txs, {UserId{1}});
+  EXPECT_FALSE(problem.fully_valid_baseline());
+  // Both orders are acceptable: the stale burn fails either way.
+  std::vector<std::size_t> swapped = {1, 0};
+  EXPECT_TRUE(problem.evaluate(swapped).has_value());
+}
+
+// --- solver correctness on the case study -----------------------------------------
+
+TEST(Exhaustive, FindsTrueOptimum) {
+  auto problem = cs::make_problem();
+  ExhaustiveSolver solver;
+  Rng rng(1);
+  const SolveResult result = solver.solve(problem, rng);
+  EXPECT_EQ(result.best_value, cs::kOptimalFinal);
+  EXPECT_TRUE(result.improved);
+  EXPECT_EQ(result.baseline, cs::kCase1Final);
+  EXPECT_EQ(result.profit(), cs::kOptimalFinal - cs::kCase1Final);
+  // The found order must itself evaluate to the reported value.
+  EXPECT_EQ(problem.evaluate(result.best_order).value_or(0),
+            result.best_value);
+}
+
+TEST(Exhaustive, EvaluatesEveryPermutation) {
+  auto problem = cs::make_problem();
+  ExhaustiveSolver solver;
+  Rng rng(1);
+  const SolveResult result = solver.solve(problem, rng);
+  EXPECT_EQ(result.evaluations, 40'320u);  // 8!
+}
+
+TEST(BranchBound, MatchesExhaustiveOptimum) {
+  auto problem = cs::make_problem();
+  BranchBoundSolver solver;
+  Rng rng(1);
+  const SolveResult result = solver.solve(problem, rng);
+  EXPECT_EQ(result.best_value, cs::kOptimalFinal);
+  EXPECT_TRUE(solver.last_run_complete());
+  EXPECT_EQ(problem.evaluate(result.best_order).value_or(0),
+            cs::kOptimalFinal);
+}
+
+TEST(BranchBound, PrunesAgainstExhaustive) {
+  auto problem = cs::make_problem();
+  BranchBoundSolver solver;
+  Rng rng(1);
+  const SolveResult result = solver.solve(problem, rng);
+  // Node expansions must be well below the 8-level full tree
+  // (sum_k 8!/(8-k)! ~ 1.1e5) for the bound to be doing anything.
+  EXPECT_LT(result.evaluations, 80'000u);
+}
+
+TEST(HillClimb, FindsTrueOptimumOnCaseStudy) {
+  auto problem = cs::make_problem();
+  HillClimbSolver solver;
+  Rng rng(1);
+  const SolveResult result = solver.solve(problem, rng);
+  EXPECT_EQ(result.best_value, cs::kOptimalFinal);
+}
+
+TEST(Annealing, ReachesOptimumOnCaseStudy) {
+  auto problem = cs::make_problem();
+  AnnealingSolver solver;
+  Rng rng(7);
+  const SolveResult result = solver.solve(problem, rng);
+  // Annealing is stochastic; on this 8-tx instance it reliably reaches the
+  // optimum with the default schedule and this seed.
+  EXPECT_EQ(result.best_value, cs::kOptimalFinal);
+}
+
+TEST(Greedy, ImprovesOverBaseline) {
+  auto problem = cs::make_problem();
+  GreedyInsertionSolver solver;
+  Rng rng(1);
+  const SolveResult result = solver.solve(problem, rng);
+  EXPECT_GE(result.best_value, cs::kCase1Final);
+  EXPECT_TRUE(result.improved);
+  // Greedy's result must be a valid order.
+  EXPECT_TRUE(problem.evaluate(result.best_order).has_value());
+}
+
+TEST(RandomSearch, NeverWorseThanBaseline) {
+  auto problem = cs::make_problem();
+  RandomSearchSolver solver({500});
+  Rng rng(3);
+  const SolveResult result = solver.solve(problem, rng);
+  EXPECT_GE(result.best_value, result.baseline);
+  EXPECT_TRUE(problem.evaluate(result.best_order).has_value());
+}
+
+// --- cross-solver properties on random instances ----------------------------------------
+
+ReorderingProblem random_instance(std::uint64_t seed, std::size_t n) {
+  data::WorkloadConfig config;
+  config.num_users = 8;
+  config.max_supply = 12;
+  config.premint = 4;
+  data::WorkloadGenerator generator(config, seed);
+  const vm::L2State genesis = generator.initial_state();
+  auto txs = generator.generate(n);
+  auto ifus = generator.pick_ifus(1);
+  return ReorderingProblem(genesis, std::move(txs), std::move(ifus));
+}
+
+class SolverAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SolverAgreementTest, HeuristicsNeverBeatExhaustive) {
+  auto problem = random_instance(GetParam(), 6);
+  Rng rng(GetParam());
+
+  ExhaustiveSolver exhaustive;
+  const Amount optimum = exhaustive.solve(problem, rng).best_value;
+
+  HillClimbSolver hill;
+  AnnealingSolver anneal;
+  GreedyInsertionSolver greedy;
+  RandomSearchSolver random({300});
+  for (Solver* solver :
+       std::initializer_list<Solver*>{&hill, &anneal, &greedy, &random}) {
+    const SolveResult result = solver->solve(problem, rng);
+    EXPECT_LE(result.best_value, optimum) << solver->name();
+    EXPECT_GE(result.best_value, problem.baseline()) << solver->name();
+    if (!result.best_order.empty()) {
+      EXPECT_TRUE(problem.evaluate(result.best_order).has_value())
+          << solver->name() << " returned an invalid order";
+    }
+  }
+}
+
+TEST_P(SolverAgreementTest, BranchBoundMatchesExhaustive) {
+  auto problem = random_instance(GetParam() ^ 0xbb, 6);
+  Rng rng(GetParam());
+  ExhaustiveSolver exhaustive;
+  const Amount optimum = exhaustive.solve(problem, rng).best_value;
+  BranchBoundSolver bnb;
+  const SolveResult result = bnb.solve(problem, rng);
+  if (problem.fully_valid_baseline()) {
+    ASSERT_TRUE(bnb.last_run_complete());
+    EXPECT_EQ(result.best_value, optimum);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverAgreementTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- instrumentation ----------------------------------------------------------------------
+
+TEST(Instrument, TimerMeasuresElapsed) {
+  Timer timer;
+  volatile double sink = 0;
+  for (int i = 0; i < 100'000; ++i) sink = sink + 1.0;
+  EXPECT_GE(timer.elapsed_millis(), 0.0);
+}
+
+TEST(Instrument, MemoryMeterTracksPeak) {
+  MemoryMeter meter;
+  meter.add(100);
+  meter.add(50);
+  meter.release(120);
+  EXPECT_EQ(meter.current(), 30u);
+  EXPECT_EQ(meter.peak(), 150u);
+  meter.set_current(500);
+  EXPECT_EQ(meter.peak(), 500u);
+  meter.release(1'000);  // saturates at zero
+  EXPECT_EQ(meter.current(), 0u);
+}
+
+TEST(Instrument, RssIsPositiveOnLinux) {
+  EXPECT_GT(process_rss_bytes(), 0u);
+}
+
+TEST(Instrument, SolversReportInstrumentation) {
+  auto problem = cs::make_problem();
+  HillClimbSolver solver;
+  Rng rng(1);
+  const SolveResult result = solver.solve(problem, rng);
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_GT(result.peak_bytes, 0u);
+  EXPECT_GE(result.wall_millis, 0.0);
+  EXPECT_EQ(result.solver, "HillClimb-SQP");
+}
+
+}  // namespace
+}  // namespace parole::solvers

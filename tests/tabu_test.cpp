@@ -1,0 +1,201 @@
+// Tests for the tabu-search solver plus the defended-node integration (the
+// Sec. VIII screen installed into the rollup pipeline via as_screen()).
+#include <gtest/gtest.h>
+
+#include "parole/core/defense.hpp"
+#include "parole/data/case_study.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/rollup/node.hpp"
+#include "parole/solvers/exhaustive.hpp"
+#include "parole/solvers/hill_climb.hpp"
+#include "parole/solvers/tabu.hpp"
+
+namespace parole {
+namespace {
+
+namespace cs = data::case_study;
+
+// --- TabuSolver -------------------------------------------------------------------
+
+TEST(Tabu, FindsTrueOptimumOnCaseStudy) {
+  auto problem = cs::make_problem();
+  solvers::TabuSolver solver;
+  Rng rng(1);
+  const auto result = solver.solve(problem, rng);
+  EXPECT_EQ(result.best_value, cs::kOptimalFinal);
+  EXPECT_TRUE(result.improved);
+  EXPECT_EQ(problem.evaluate(result.best_order).value_or(0),
+            result.best_value);
+}
+
+TEST(Tabu, NeverWorseThanBaseline) {
+  auto problem = cs::make_problem();
+  solvers::TabuSolver solver({/*max_iterations=*/5, 3, 5});
+  Rng rng(2);
+  const auto result = solver.solve(problem, rng);
+  EXPECT_GE(result.best_value, result.baseline);
+}
+
+TEST(Tabu, EscapesHillClimbLocalOptima) {
+  // Tabu's defining property: after reaching a local optimum it keeps
+  // moving (the reversing swap is tabu) instead of terminating. On random
+  // instances it must match or beat a single-descent hill climb.
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    data::WorkloadConfig config;
+    config.num_users = 8;
+    config.max_supply = 12;
+    config.premint = 4;
+    data::WorkloadGenerator generator(config, seed);
+    const vm::L2State genesis = generator.initial_state();
+    auto txs = generator.generate(7);
+    solvers::ReorderingProblem problem(genesis, std::move(txs),
+                                       generator.pick_ifus(1));
+    Rng rng(seed);
+
+    solvers::TabuSolver tabu;
+    solvers::HillClimbSolver single_descent({/*max_iterations=*/200,
+                                             /*restarts=*/0});
+    const Amount tabu_value = tabu.solve(problem, rng).best_value;
+    const Amount hill_value = single_descent.solve(problem, rng).best_value;
+    EXPECT_GE(tabu_value, hill_value) << "seed " << seed;
+  }
+}
+
+TEST(Tabu, NeverBeatsExhaustive) {
+  for (std::uint64_t seed : {11u, 12u}) {
+    data::WorkloadConfig config;
+    config.num_users = 8;
+    config.max_supply = 12;
+    config.premint = 4;
+    data::WorkloadGenerator generator(config, seed);
+    const vm::L2State genesis = generator.initial_state();
+    auto txs = generator.generate(6);
+    solvers::ReorderingProblem problem(genesis, std::move(txs),
+                                       generator.pick_ifus(1));
+    Rng rng(seed);
+    solvers::ExhaustiveSolver exhaustive;
+    solvers::TabuSolver tabu;
+    const Amount optimum = exhaustive.solve(problem, rng).best_value;
+    EXPECT_LE(tabu.solve(problem, rng).best_value, optimum);
+  }
+}
+
+TEST(Tabu, ReportsInstrumentation) {
+  auto problem = cs::make_problem();
+  solvers::TabuSolver solver;
+  Rng rng(1);
+  const auto result = solver.solve(problem, rng);
+  EXPECT_GT(result.evaluations, 0u);
+  EXPECT_GT(result.peak_bytes, 0u);
+  EXPECT_EQ(result.solver, "TabuSearch");
+}
+
+TEST(Tabu, TinyProblemIsANoop) {
+  vm::L2State state(10, eth(0, 100));
+  state.ledger().credit(UserId{1}, eth(1));
+  std::vector<vm::Tx> one = {vm::Tx::make_mint(TxId{1}, UserId{1})};
+  solvers::ReorderingProblem problem(state, one, {UserId{1}});
+  solvers::TabuSolver solver;
+  Rng rng(1);
+  const auto result = solver.solve(problem, rng);
+  EXPECT_FALSE(result.improved);
+}
+
+// --- defended node (screen installed into the pipeline) ------------------------------
+
+class DefendedNode : public ::testing::Test {
+ protected:
+  rollup::RollupNode make_node() {
+    rollup::NodeConfig config;
+    config.max_supply = 10;
+    config.initial_price = eth(0, 200);
+    config.orsc.challenge_period = 20;
+    rollup::RollupNode node(config);
+    node.state() = cs::initial_state();
+    return node;
+  }
+
+  void submit_case_study(rollup::RollupNode& node) {
+    auto txs = cs::original_txs();
+    Amount fee = gwei(800);
+    for (auto& tx : txs) {
+      tx.base_fee = fee;
+      fee -= gwei(50);
+      node.submit_tx(tx);
+    }
+  }
+};
+
+TEST_F(DefendedNode, ScreenNeutralizesAdversarialAggregator) {
+  core::ParoleConfig attack_config;
+  attack_config.kind = core::ReordererKind::kAnnealing;
+  core::Parole attacker(attack_config);
+  Amount profit = 0;
+
+  auto node = make_node();
+  node.add_aggregator({AggregatorId{0}, 8,
+                       attacker.as_reorderer({cs::kIfu}, &profit),
+                       std::nullopt});
+  node.add_verifier(VerifierId{0});
+
+  core::DefenseConfig defense_config;
+  defense_config.search = core::ReordererKind::kHillClimb;
+  defense_config.threshold_floor = eth(0, 50);
+  defense_config.threshold_fee_multiplier = 0.0;
+  core::MempoolDefense defense(defense_config);
+  std::vector<core::DefenseReport> reports;
+  node.set_batch_screen(defense.as_screen(&reports));
+
+  submit_case_study(node);
+  const auto outcome = node.step();
+  ASSERT_TRUE(outcome.produced_batch);
+  EXPECT_GT(outcome.screened_out, 0u);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_TRUE(reports[0].triggered);
+  // The attack on the screened batch stays within the defense threshold.
+  EXPECT_LE(profit, reports[0].threshold);
+}
+
+TEST_F(DefendedNode, ScreenedTxsReturnInLaterBatches) {
+  auto node = make_node();
+  node.add_aggregator({AggregatorId{0}, 8, std::nullopt, std::nullopt});
+
+  core::DefenseConfig defense_config;
+  defense_config.search = core::ReordererKind::kHillClimb;
+  defense_config.threshold_floor = eth(0, 50);
+  defense_config.threshold_fee_multiplier = 0.0;
+  core::MempoolDefense defense(defense_config);
+  node.set_batch_screen(defense.as_screen());
+
+  submit_case_study(node);
+  const auto first = node.step();
+  ASSERT_TRUE(first.produced_batch);
+  ASSERT_GT(first.screened_out, 0u);
+  // Deferred txs sit in the mempool and ship in the following block(s).
+  std::size_t shipped = first.tx_count;
+  for (int i = 0; i < 5 && !node.mempool().empty(); ++i) {
+    shipped += node.step().tx_count;
+  }
+  EXPECT_EQ(shipped, 8u);
+}
+
+TEST_F(DefendedNode, BenignBatchesPassUnscreened) {
+  auto node = make_node();
+  node.add_aggregator({AggregatorId{0}, 8, std::nullopt, std::nullopt});
+
+  core::DefenseConfig defense_config;
+  defense_config.search = core::ReordererKind::kHillClimb;
+  defense_config.threshold_floor = eth(100);  // everything is negligible
+  core::MempoolDefense defense(defense_config);
+  node.set_batch_screen(defense.as_screen());
+
+  submit_case_study(node);
+  const auto outcome = node.step();
+  ASSERT_TRUE(outcome.produced_batch);
+  EXPECT_EQ(outcome.screened_out, 0u);
+  EXPECT_EQ(outcome.tx_count, 8u);
+  EXPECT_EQ(node.state().total_balance(cs::kIfu), cs::kCase1Final);
+}
+
+}  // namespace
+}  // namespace parole

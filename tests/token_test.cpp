@@ -1,0 +1,292 @@
+// Tests for the token substrate: the Eq. 10 price curve, the limited-edition
+// ERC-721 state machine and the balance ledger, including property sweeps.
+#include <gtest/gtest.h>
+
+#include "parole/common/rng.hpp"
+#include "parole/token/ledger.hpp"
+#include "parole/token/nft.hpp"
+#include "parole/token/price_curve.hpp"
+
+namespace parole::token {
+namespace {
+
+// --- PriceCurve (Eq. 10) ---------------------------------------------------------
+
+TEST(PriceCurve, PaperValues) {
+  // Sec. VI: S0 = 10, P0 = 0.2 ETH.
+  const PriceCurve curve(10, eth(0, 200));
+  EXPECT_EQ(curve.price(10), eth(0, 200));  // untouched collection
+  EXPECT_EQ(curve.price(5), eth(0, 400));   // the case-study starting price
+  EXPECT_EQ(curve.price(4), eth(0, 500));
+  EXPECT_EQ(curve.price(3), 666'666'666);   // the "0.66" cells
+  EXPECT_EQ(curve.price(6), 333'333'333);   // the "0.33" cells
+}
+
+TEST(PriceCurve, SaturatesAtZeroRemaining) {
+  const PriceCurve curve(10, eth(0, 200));
+  EXPECT_EQ(curve.price(0), curve.price(1));
+  EXPECT_EQ(curve.price(1), eth(2));  // 10/1 * 0.2
+}
+
+TEST(PriceCurve, MonotoneInScarcity) {
+  const PriceCurve curve(100, eth(0, 100));
+  for (std::uint32_t r = 1; r < 100; ++r) {
+    EXPECT_GE(curve.price(r), curve.price(r + 1))
+        << "price must not drop as supply shrinks, r=" << r;
+  }
+}
+
+TEST(PriceCurve, LargeCollectionNoOverflow) {
+  // S0 * P0 beyond 32-bit: 1e6 tokens at 10 ETH each.
+  const PriceCurve curve(1'000'000, eth(10));
+  EXPECT_EQ(curve.price(1'000'000), eth(10));
+  EXPECT_EQ(curve.price(1), static_cast<Amount>(1'000'000) * eth(10));
+}
+
+TEST(PriceCurve, ZeroInitialPrice) {
+  const PriceCurve curve(10, 0);
+  EXPECT_EQ(curve.price(5), 0);
+}
+
+// --- BalanceLedger ------------------------------------------------------------------
+
+TEST(Ledger, CreditAndBalance) {
+  BalanceLedger ledger;
+  EXPECT_EQ(ledger.balance(UserId{1}), 0);
+  EXPECT_FALSE(ledger.has_account(UserId{1}));
+  ledger.credit(UserId{1}, eth(2));
+  EXPECT_EQ(ledger.balance(UserId{1}), eth(2));
+  EXPECT_TRUE(ledger.has_account(UserId{1}));
+}
+
+TEST(Ledger, DebitSucceedsWithinBalance) {
+  BalanceLedger ledger;
+  ledger.credit(UserId{1}, eth(1));
+  EXPECT_TRUE(ledger.debit(UserId{1}, eth(0, 400)).ok());
+  EXPECT_EQ(ledger.balance(UserId{1}), eth(0, 600));
+}
+
+TEST(Ledger, DebitFailsBeyondBalanceWithoutMutation) {
+  BalanceLedger ledger;
+  ledger.credit(UserId{1}, eth(1));
+  const Status s = ledger.debit(UserId{1}, eth(2));
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "insufficient_balance");
+  EXPECT_EQ(ledger.balance(UserId{1}), eth(1));
+}
+
+TEST(Ledger, DebitUnknownAccountFails) {
+  BalanceLedger ledger;
+  EXPECT_FALSE(ledger.debit(UserId{9}, 1).ok());
+}
+
+TEST(Ledger, DebitExactBalanceToZero) {
+  BalanceLedger ledger;
+  ledger.credit(UserId{1}, eth(1));
+  EXPECT_TRUE(ledger.debit(UserId{1}, eth(1)).ok());
+  EXPECT_EQ(ledger.balance(UserId{1}), 0);
+}
+
+TEST(Ledger, TotalSupplyAggregates) {
+  BalanceLedger ledger;
+  ledger.credit(UserId{1}, eth(1));
+  ledger.credit(UserId{2}, eth(2));
+  EXPECT_EQ(ledger.total_supply(), eth(3));
+}
+
+TEST(Ledger, SortedEntriesOrdered) {
+  BalanceLedger ledger;
+  ledger.credit(UserId{5}, 5);
+  ledger.credit(UserId{1}, 1);
+  ledger.credit(UserId{3}, 3);
+  const auto entries = ledger.sorted_entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].first, UserId{1});
+  EXPECT_EQ(entries[1].first, UserId{3});
+  EXPECT_EQ(entries[2].first, UserId{5});
+}
+
+// --- LimitedEditionNft -----------------------------------------------------------------
+
+TEST(Nft, MintAssignsSequentialIds) {
+  LimitedEditionNft nft(5, eth(0, 100));
+  const auto a = nft.mint(UserId{1});
+  const auto b = nft.mint(UserId{1});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a.value(), TokenId{0});
+  EXPECT_EQ(b.value(), TokenId{1});
+  EXPECT_EQ(nft.remaining_supply(), 3u);
+  EXPECT_EQ(nft.live_count(), 2u);
+}
+
+TEST(Nft, MintExplicitId) {
+  LimitedEditionNft nft(5, eth(0, 100));
+  const auto a = nft.mint(UserId{1}, TokenId{7});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.value(), TokenId{7});
+  // Auto mint continues past the explicit id.
+  const auto b = nft.mint(UserId{1});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), TokenId{8});
+}
+
+TEST(Nft, MintDuplicateExplicitIdFails) {
+  LimitedEditionNft nft(5, eth(0, 100));
+  ASSERT_TRUE(nft.mint(UserId{1}, TokenId{3}).ok());
+  const auto dup = nft.mint(UserId{2}, TokenId{3});
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.error().code, "token_id_taken");
+}
+
+TEST(Nft, BurnedIdNeverReused) {
+  LimitedEditionNft nft(5, eth(0, 100));
+  ASSERT_TRUE(nft.mint(UserId{1}, TokenId{0}).ok());
+  ASSERT_TRUE(nft.burn(UserId{1}, TokenId{0}).ok());
+  EXPECT_FALSE(nft.mint(UserId{2}, TokenId{0}).ok());
+  EXPECT_TRUE(nft.ever_minted(TokenId{0}));
+}
+
+TEST(Nft, MintFailsWhenExhausted) {
+  LimitedEditionNft nft(2, eth(0, 100));
+  ASSERT_TRUE(nft.mint(UserId{1}).ok());
+  ASSERT_TRUE(nft.mint(UserId{1}).ok());
+  const auto third = nft.mint(UserId{1});
+  EXPECT_FALSE(third.ok());
+  EXPECT_EQ(third.error().code, "supply_exhausted");
+}
+
+TEST(Nft, BurnFreesSupplyForNewMint) {
+  LimitedEditionNft nft(1, eth(0, 100));
+  const auto a = nft.mint(UserId{1});
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(nft.mint(UserId{2}).ok());
+  ASSERT_TRUE(nft.burn(UserId{1}, a.value()).ok());
+  EXPECT_EQ(nft.remaining_supply(), 1u);
+  const auto b = nft.mint(UserId{2});
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(b.value(), a.value());  // id not recycled
+  EXPECT_EQ(nft.minted_total(), 2u);
+}
+
+TEST(Nft, TransferMovesOwnership) {
+  LimitedEditionNft nft(5, eth(0, 100));
+  const auto t = nft.mint(UserId{1});
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(nft.transfer(UserId{1}, UserId{2}, t.value()).ok());
+  EXPECT_TRUE(nft.owns(UserId{2}, t.value()));
+  EXPECT_FALSE(nft.owns(UserId{1}, t.value()));
+  EXPECT_EQ(nft.owner_of(t.value()), UserId{2});
+}
+
+TEST(Nft, TransferByNonOwnerFails) {
+  LimitedEditionNft nft(5, eth(0, 100));
+  const auto t = nft.mint(UserId{1});
+  ASSERT_TRUE(t.ok());
+  const Status s = nft.transfer(UserId{3}, UserId{2}, t.value());
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "not_owner");
+  EXPECT_TRUE(nft.owns(UserId{1}, t.value()));
+}
+
+TEST(Nft, TransferUnknownTokenFails) {
+  LimitedEditionNft nft(5, eth(0, 100));
+  EXPECT_EQ(nft.transfer(UserId{1}, UserId{2}, TokenId{42}).error().code,
+            "unknown_token");
+}
+
+TEST(Nft, BurnByNonOwnerFails) {
+  LimitedEditionNft nft(5, eth(0, 100));
+  const auto t = nft.mint(UserId{1});
+  ASSERT_TRUE(t.ok());
+  EXPECT_FALSE(nft.burn(UserId{2}, t.value()).ok());
+  EXPECT_EQ(nft.live_count(), 1u);
+}
+
+TEST(Nft, BurnUnknownTokenFails) {
+  LimitedEditionNft nft(5, eth(0, 100));
+  EXPECT_FALSE(nft.burn(UserId{1}, TokenId{9}).ok());
+}
+
+TEST(Nft, PriceTracksSupply) {
+  LimitedEditionNft nft(10, eth(0, 200));
+  EXPECT_EQ(nft.current_price(), eth(0, 200));
+  ASSERT_TRUE(nft.seed_mint(UserId{1}, 5).ok());
+  EXPECT_EQ(nft.current_price(), eth(0, 400));  // the Sec. VI status
+  ASSERT_TRUE(nft.burn(UserId{1}, TokenId{0}).ok());
+  EXPECT_EQ(nft.current_price(), 333'333'333);
+}
+
+TEST(Nft, BalanceOfAndTokensOf) {
+  LimitedEditionNft nft(10, eth(0, 100));
+  ASSERT_TRUE(nft.seed_mint(UserId{1}, 3).ok());
+  ASSERT_TRUE(nft.seed_mint(UserId{2}, 1).ok());
+  EXPECT_EQ(nft.balance_of(UserId{1}), 3u);
+  EXPECT_EQ(nft.balance_of(UserId{2}), 1u);
+  EXPECT_EQ(nft.balance_of(UserId{3}), 0u);
+  const auto tokens = nft.tokens_of(UserId{1});
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_LT(tokens[0], tokens[1]);
+  EXPECT_LT(tokens[1], tokens[2]);
+}
+
+TEST(Nft, SeedMintRejectsOversize) {
+  LimitedEditionNft nft(3, eth(0, 100));
+  EXPECT_FALSE(nft.seed_mint(UserId{1}, 4).ok());
+  EXPECT_EQ(nft.live_count(), 0u);  // nothing partially applied
+}
+
+TEST(Nft, SortedOwnersDeterministic) {
+  LimitedEditionNft nft(10, eth(0, 100));
+  ASSERT_TRUE(nft.mint(UserId{2}, TokenId{5}).ok());
+  ASSERT_TRUE(nft.mint(UserId{1}, TokenId{1}).ok());
+  const auto owners = nft.sorted_owners();
+  ASSERT_EQ(owners.size(), 2u);
+  EXPECT_EQ(owners[0].first, TokenId{1});
+  EXPECT_EQ(owners[1].first, TokenId{5});
+}
+
+// --- property sweep: supply invariants under random operations -------------------------
+
+class NftPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(NftPropertyTest, SupplyInvariantsHoldUnderRandomOps) {
+  Rng rng(GetParam());
+  const std::uint32_t max_supply = 8;
+  LimitedEditionNft nft(max_supply, eth(0, 100));
+
+  for (int step = 0; step < 400; ++step) {
+    const auto owners = nft.sorted_owners();
+    const double roll = rng.uniform();
+    if (roll < 0.4) {
+      const bool mintable = nft.remaining_supply() > 0;
+      const auto minted = nft.mint(UserId{static_cast<std::uint32_t>(
+          rng.uniform_int(0, 4))});
+      EXPECT_EQ(minted.ok(), mintable);
+    } else if (roll < 0.7 && !owners.empty()) {
+      const auto& [token, owner] = owners[rng.index(owners.size())];
+      EXPECT_TRUE(nft.transfer(owner, UserId{static_cast<std::uint32_t>(
+                                          rng.uniform_int(0, 4))},
+                               token)
+                      .ok());
+    } else if (!owners.empty()) {
+      const auto& [token, owner] = owners[rng.index(owners.size())];
+      EXPECT_TRUE(nft.burn(owner, token).ok());
+    }
+
+    // Invariant: live + remaining == max supply, always.
+    EXPECT_EQ(nft.live_count() + nft.remaining_supply(), max_supply);
+    // Invariant: price is the curve of the current remaining supply.
+    EXPECT_EQ(nft.current_price(), nft.curve().price(nft.remaining_supply()));
+    // Invariant: per-user balances sum to the live count.
+    std::uint32_t total = 0;
+    for (std::uint32_t u = 0; u <= 4; ++u) total += nft.balance_of(UserId{u});
+    EXPECT_EQ(total, nft.live_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NftPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace parole::token

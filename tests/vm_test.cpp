@@ -1,0 +1,369 @@
+// Tests for the OVM execution engine: Eqs. (1)-(6) semantics, invalid-tx
+// policies, fee metering, gas, state roots.
+#include <gtest/gtest.h>
+
+#include "parole/vm/engine.hpp"
+#include "parole/vm/gas.hpp"
+#include "parole/vm/state.hpp"
+
+namespace parole::vm {
+namespace {
+
+L2State case_state() {
+  // S0 = 10, P0 = 0.2 (price 0.4 after 5 mints), like Sec. VI.
+  L2State state(10, eth(0, 200));
+  state.ledger().credit(UserId{1}, eth(2));
+  state.ledger().credit(UserId{2}, eth(1));
+  auto seeded = state.nft().seed_mint(UserId{1}, 5);
+  EXPECT_TRUE(seeded.ok());
+  return state;
+}
+
+ExecutionEngine strict_engine() {
+  return ExecutionEngine({InvalidTxPolicy::kStrict, false, {}});
+}
+
+ExecutionEngine skip_engine() {
+  return ExecutionEngine({InvalidTxPolicy::kSkipInvalid, false, {}});
+}
+
+// --- mint (Eqs. 1-2) ----------------------------------------------------------
+
+TEST(EngineMint, HappyPathAppliesAllEffects) {
+  L2State state = case_state();
+  const Amount price_before = state.nft().current_price();
+  ASSERT_EQ(price_before, eth(0, 400));
+
+  const Receipt r = strict_engine().execute_tx(
+      state, Tx::make_mint(TxId{1}, UserId{2}));
+  EXPECT_EQ(r.status, TxStatus::kExecuted);
+  ASSERT_TRUE(r.minted_token.has_value());
+  // Eq. 2: O = true, B -= P, S -= 1.
+  EXPECT_TRUE(state.nft().owns(UserId{2}, *r.minted_token));
+  EXPECT_EQ(state.ledger().balance(UserId{2}), eth(1) - eth(0, 400));
+  EXPECT_EQ(state.nft().remaining_supply(), 4u);
+  // Price re-derives from the new supply.
+  EXPECT_EQ(r.price_before, eth(0, 400));
+  EXPECT_EQ(r.price_after, eth(0, 500));
+}
+
+TEST(EngineMint, FailsWhenBalanceBelowPrice) {
+  L2State state = case_state();
+  state.ledger().credit(UserId{7}, eth(0, 300));  // price is 0.4
+  const Receipt r = strict_engine().execute_tx(
+      state, Tx::make_mint(TxId{1}, UserId{7}));
+  EXPECT_EQ(r.status, TxStatus::kConstraintViolated);
+  EXPECT_EQ(state.ledger().balance(UserId{7}), eth(0, 300));  // untouched
+  EXPECT_EQ(state.nft().remaining_supply(), 5u);
+}
+
+TEST(EngineMint, FailsWhenSupplyExhausted) {
+  L2State state(1, eth(0, 100));
+  state.ledger().credit(UserId{1}, eth(5));
+  ASSERT_EQ(strict_engine()
+                .execute_tx(state, Tx::make_mint(TxId{1}, UserId{1}))
+                .status,
+            TxStatus::kExecuted);
+  const Receipt r = strict_engine().execute_tx(
+      state, Tx::make_mint(TxId{2}, UserId{1}));
+  EXPECT_EQ(r.status, TxStatus::kConstraintViolated);
+  EXPECT_EQ(r.failure_reason, "supply exhausted");
+}
+
+TEST(EngineMint, ExplicitDuplicateIdRejected) {
+  L2State state = case_state();
+  const Receipt r = strict_engine().execute_tx(
+      state, Tx::make_mint(TxId{1}, UserId{1}, 0, 0, TokenId{0}));
+  EXPECT_EQ(r.status, TxStatus::kConstraintViolated);
+  // Balance untouched despite the check ordering.
+  EXPECT_EQ(state.ledger().balance(UserId{1}), eth(2));
+}
+
+TEST(EngineMint, BalanceExactlyPriceSucceeds) {
+  L2State state = case_state();
+  state.ledger().credit(UserId{8}, eth(0, 400));
+  const Receipt r = strict_engine().execute_tx(
+      state, Tx::make_mint(TxId{1}, UserId{8}));
+  EXPECT_EQ(r.status, TxStatus::kExecuted);
+  EXPECT_EQ(state.ledger().balance(UserId{8}), 0);
+}
+
+// --- transfer (Eqs. 3-4) -----------------------------------------------------------
+
+TEST(EngineTransfer, HappyPathMovesTokenAndMoney) {
+  L2State state = case_state();
+  const Receipt r = strict_engine().execute_tx(
+      state, Tx::make_transfer(TxId{1}, UserId{1}, UserId{2}, TokenId{0}));
+  EXPECT_EQ(r.status, TxStatus::kExecuted);
+  // Eq. 4: buyer pays, seller receives, ownership moves; price unchanged.
+  EXPECT_EQ(state.ledger().balance(UserId{2}), eth(1) - eth(0, 400));
+  EXPECT_EQ(state.ledger().balance(UserId{1}), eth(2) + eth(0, 400));
+  EXPECT_TRUE(state.nft().owns(UserId{2}, TokenId{0}));
+  EXPECT_EQ(r.price_before, r.price_after);
+  EXPECT_EQ(state.nft().remaining_supply(), 5u);
+}
+
+TEST(EngineTransfer, FailsWhenBuyerCannotPay) {
+  L2State state = case_state();
+  const Receipt r = strict_engine().execute_tx(
+      state, Tx::make_transfer(TxId{1}, UserId{1}, UserId{9}, TokenId{0}));
+  EXPECT_EQ(r.status, TxStatus::kConstraintViolated);
+  EXPECT_TRUE(state.nft().owns(UserId{1}, TokenId{0}));
+}
+
+TEST(EngineTransfer, FailsWhenSellerNotOwner) {
+  L2State state = case_state();
+  const Receipt r = strict_engine().execute_tx(
+      state, Tx::make_transfer(TxId{1}, UserId{2}, UserId{1}, TokenId{0}));
+  EXPECT_EQ(r.status, TxStatus::kConstraintViolated);
+  EXPECT_EQ(r.failure_reason, "seller does not own token");
+}
+
+TEST(EngineTransfer, FailsWithoutTokenId) {
+  L2State state = case_state();
+  Tx tx = Tx::make_transfer(TxId{1}, UserId{1}, UserId{2}, TokenId{0});
+  tx.token.reset();
+  EXPECT_EQ(strict_engine().execute_tx(state, tx).status,
+            TxStatus::kConstraintViolated);
+}
+
+// --- burn (Eqs. 5-6) ------------------------------------------------------------------
+
+TEST(EngineBurn, HappyPathRestoresSupplyAndDropsPrice) {
+  L2State state = case_state();
+  const Receipt r = strict_engine().execute_tx(
+      state, Tx::make_burn(TxId{1}, UserId{1}, TokenId{0}));
+  EXPECT_EQ(r.status, TxStatus::kExecuted);
+  EXPECT_EQ(state.nft().remaining_supply(), 6u);
+  EXPECT_FALSE(state.nft().owner_of(TokenId{0}).has_value());
+  EXPECT_EQ(r.price_before, eth(0, 400));
+  EXPECT_EQ(r.price_after, 333'333'333);
+  // Burning pays nothing and earns nothing.
+  EXPECT_EQ(state.ledger().balance(UserId{1}), eth(2));
+}
+
+TEST(EngineBurn, FailsWhenNotOwner) {
+  L2State state = case_state();
+  EXPECT_EQ(strict_engine()
+                .execute_tx(state, Tx::make_burn(TxId{1}, UserId{2},
+                                                 TokenId{0}))
+                .status,
+            TxStatus::kConstraintViolated);
+  EXPECT_EQ(state.nft().remaining_supply(), 5u);
+}
+
+// --- sequence execution & policies -------------------------------------------------------
+
+TEST(EngineSequence, StrictAbortsOnFirstViolation) {
+  L2State state = case_state();
+  std::vector<Tx> txs = {
+      Tx::make_transfer(TxId{1}, UserId{1}, UserId{2}, TokenId{0}),
+      Tx::make_burn(TxId{2}, UserId{2}, TokenId{4}),  // not U2's token
+      Tx::make_mint(TxId{3}, UserId{1}),
+  };
+  const ExecutionResult result = strict_engine().execute(state, txs);
+  EXPECT_FALSE(result.all_executed);
+  ASSERT_EQ(result.receipts.size(), 3u);
+  EXPECT_EQ(result.receipts[0].status, TxStatus::kExecuted);
+  EXPECT_EQ(result.receipts[1].status, TxStatus::kConstraintViolated);
+  EXPECT_EQ(result.receipts[2].status, TxStatus::kNotAttempted);
+  EXPECT_EQ(result.executed_count(), 1u);
+}
+
+TEST(EngineSequence, SkipInvalidContinues) {
+  L2State state = case_state();
+  std::vector<Tx> txs = {
+      Tx::make_transfer(TxId{1}, UserId{1}, UserId{2}, TokenId{0}),
+      Tx::make_burn(TxId{2}, UserId{2}, TokenId{4}),  // fails
+      Tx::make_mint(TxId{3}, UserId{1}),              // still runs
+  };
+  const ExecutionResult result = skip_engine().execute(state, txs);
+  EXPECT_FALSE(result.all_executed);
+  EXPECT_EQ(result.receipts[2].status, TxStatus::kExecuted);
+  EXPECT_EQ(result.executed_count(), 2u);
+}
+
+TEST(EngineSequence, OrderChangesOutcome) {
+  // The heart of the attack: the same txs, different final states.
+  L2State a = case_state();
+  L2State b = case_state();
+  std::vector<Tx> txs = {
+      Tx::make_mint(TxId{1}, UserId{2}),               // price 0.4 -> 0.5
+      Tx::make_burn(TxId{2}, UserId{1}, TokenId{0}),   // price back down
+  };
+  std::vector<Tx> reversed = {txs[1], txs[0]};
+  (void)strict_engine().execute(a, txs);
+  (void)strict_engine().execute(b, reversed);
+  // Minting first costs 0.4; minting after the burn costs 0.333...
+  EXPECT_EQ(a.ledger().balance(UserId{2}), eth(1) - eth(0, 400));
+  EXPECT_EQ(b.ledger().balance(UserId{2}), eth(1) - 333'333'333);
+}
+
+TEST(EngineSequence, SimulateLeavesOriginalUntouched) {
+  const L2State state = case_state();
+  const auto root_before = state.state_root();
+  std::vector<Tx> txs = {Tx::make_mint(TxId{1}, UserId{2})};
+  const auto [result, after] = strict_engine().simulate(state, txs);
+  EXPECT_TRUE(result.all_executed);
+  EXPECT_EQ(state.state_root(), root_before);
+  EXPECT_NE(after.state_root(), root_before);
+}
+
+TEST(EngineSequence, ExecuteWithRootsTracksTransition) {
+  L2State state = case_state();
+  const auto pre = state.state_root();
+  std::vector<Tx> txs = {Tx::make_mint(TxId{1}, UserId{2})};
+  const ExecutionResult result =
+      strict_engine().execute_with_roots(state, txs);
+  EXPECT_EQ(result.pre_root, pre);
+  EXPECT_EQ(result.post_root, state.state_root());
+  EXPECT_NE(result.pre_root, result.post_root);
+}
+
+// --- fees & gas ---------------------------------------------------------------------------
+
+TEST(EngineFees, ChargedWhenEnabled) {
+  ExecutionEngine engine({InvalidTxPolicy::kStrict, true, {}});
+  L2State state = case_state();
+  Tx tx = Tx::make_mint(TxId{1}, UserId{2}, gwei(100), gwei(50));
+  const Receipt r = engine.execute_tx(state, tx);
+  EXPECT_EQ(r.status, TxStatus::kExecuted);
+  EXPECT_EQ(r.fee_paid, gwei(150));
+  EXPECT_EQ(state.fee_pool(), gwei(150));
+  EXPECT_EQ(state.ledger().balance(UserId{2}),
+            eth(1) - eth(0, 400) - gwei(150));
+}
+
+TEST(EngineFees, MintFailsIfFeePushesBelowPrice) {
+  ExecutionEngine engine({InvalidTxPolicy::kStrict, true, {}});
+  L2State state(10, eth(0, 200));
+  ASSERT_TRUE(state.nft().seed_mint(UserId{1}, 5).ok());
+  state.ledger().credit(UserId{2}, eth(0, 400));  // exactly the price
+  Tx tx = Tx::make_mint(TxId{1}, UserId{2}, gwei(1), 0);
+  EXPECT_EQ(engine.execute_tx(state, tx).status,
+            TxStatus::kConstraintViolated);
+}
+
+TEST(EngineFees, TransferSellerPaysFeeFromProceeds) {
+  ExecutionEngine engine({InvalidTxPolicy::kStrict, true, {}});
+  L2State state = case_state();
+  // U1 sells token 0; seller pays the fee out of the sale proceeds.
+  Tx tx = Tx::make_transfer(TxId{1}, UserId{1}, UserId{2}, TokenId{0},
+                            gwei(100), gwei(0));
+  const Receipt r = engine.execute_tx(state, tx);
+  EXPECT_EQ(r.status, TxStatus::kExecuted);
+  EXPECT_EQ(state.ledger().balance(UserId{1}),
+            eth(2) + eth(0, 400) - gwei(100));
+}
+
+TEST(EngineFees, NotChargedWhenDisabled) {
+  L2State state = case_state();
+  Tx tx = Tx::make_mint(TxId{1}, UserId{2}, gwei(100), gwei(50));
+  const Receipt r = strict_engine().execute_tx(state, tx);
+  EXPECT_EQ(r.fee_paid, 0);
+  EXPECT_EQ(state.fee_pool(), 0);
+}
+
+TEST(Gas, ScheduleMatchesTableThreeShape) {
+  const GasSchedule gas;
+  // Table III: mint 90.91%, transfer 69.84%, burn 69.82% of the limit.
+  EXPECT_NEAR(gas.usage_percent(TxKind::kMint), 90.91, 0.01);
+  EXPECT_NEAR(gas.usage_percent(TxKind::kTransfer), 69.84, 0.01);
+  EXPECT_NEAR(gas.usage_percent(TxKind::kBurn), 69.82, 0.01);
+  EXPECT_GT(gas.gas_for(TxKind::kMint), gas.gas_for(TxKind::kTransfer));
+  EXPECT_GT(gas.gas_for(TxKind::kTransfer), gas.gas_for(TxKind::kBurn));
+}
+
+TEST(Gas, FeeScalesWithGasPrice) {
+  const GasSchedule gas;
+  const Amount cheap = gas.fee_for(TxKind::kMint, 1'000'000);
+  const Amount dear = gas.fee_for(TxKind::kMint, 2'000'000);
+  EXPECT_GT(cheap, 0);
+  EXPECT_NEAR(static_cast<double>(dear), 2.0 * static_cast<double>(cheap),
+              1.0);  // +-1 gwei from round-to-nearest
+}
+
+TEST(Gas, FeeRoundsToNearestGwei) {
+  const GasSchedule gas;
+  // 136,365 gas * 1,000 wei = 0.136365 gwei -> rounds to 0.
+  EXPECT_EQ(gas.fee_for(TxKind::kMint, 1'000), 0);
+  // * 10,000 wei = 1.36 gwei -> rounds to 1.
+  EXPECT_EQ(gas.fee_for(TxKind::kMint, 10'000), 1);
+}
+
+TEST(Gas, SequenceAccumulatesGas) {
+  L2State state = case_state();
+  std::vector<Tx> txs = {
+      Tx::make_mint(TxId{1}, UserId{2}),
+      Tx::make_transfer(TxId{2}, UserId{1}, UserId{2}, TokenId{0}),
+  };
+  const ExecutionResult result = strict_engine().execute(state, txs);
+  const GasSchedule gas;
+  EXPECT_EQ(result.total_gas,
+            gas.gas_for(TxKind::kMint) + gas.gas_for(TxKind::kTransfer));
+}
+
+// --- state & roots ---------------------------------------------------------------------------
+
+TEST(L2StateTest, TotalBalanceIncludesHoldingsAtCurrentPrice) {
+  L2State state = case_state();
+  // U1: 2 ETH + 5 tokens * 0.4.
+  EXPECT_EQ(state.total_balance(UserId{1}), eth(2) + 5 * eth(0, 400));
+  EXPECT_EQ(state.total_balance(UserId{2}), eth(1));
+  EXPECT_EQ(state.total_balance(UserId{42}), 0);
+}
+
+TEST(L2StateTest, StateRootDeterministic) {
+  EXPECT_EQ(case_state().state_root(), case_state().state_root());
+}
+
+TEST(L2StateTest, StateRootSensitiveToBalances) {
+  L2State a = case_state();
+  L2State b = case_state();
+  b.ledger().credit(UserId{2}, 1);
+  EXPECT_NE(a.state_root(), b.state_root());
+}
+
+TEST(L2StateTest, StateRootSensitiveToOwnership) {
+  L2State a = case_state();
+  L2State b = case_state();
+  ASSERT_TRUE(b.nft().transfer(UserId{1}, UserId{2}, TokenId{0}).ok());
+  EXPECT_NE(a.state_root(), b.state_root());
+}
+
+TEST(L2StateTest, StateRootSensitiveToSupply) {
+  L2State a = case_state();
+  L2State b = case_state();
+  ASSERT_TRUE(b.nft().burn(UserId{1}, TokenId{0}).ok());
+  EXPECT_NE(a.state_root(), b.state_root());
+}
+
+TEST(TxTest, InvolvesChecksBothSides) {
+  const Tx t = Tx::make_transfer(TxId{1}, UserId{1}, UserId{2}, TokenId{0});
+  EXPECT_TRUE(t.involves(UserId{1}));
+  EXPECT_TRUE(t.involves(UserId{2}));
+  EXPECT_FALSE(t.involves(UserId{3}));
+  const Tx m = Tx::make_mint(TxId{2}, UserId{5});
+  EXPECT_TRUE(m.involves(UserId{5}));
+  EXPECT_FALSE(m.involves(UserId{2}));  // recipient field ignored for mints
+}
+
+TEST(TxTest, HashDiffersAcrossContent) {
+  const Tx a = Tx::make_mint(TxId{1}, UserId{1});
+  Tx b = a;
+  b.sender = UserId{2};
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), Tx::make_mint(TxId{1}, UserId{1}).hash());
+}
+
+TEST(TxTest, DescribeMentionsKind) {
+  EXPECT_NE(Tx::make_mint(TxId{1}, UserId{1}).describe().find("Mint"),
+            std::string::npos);
+  EXPECT_NE(Tx::make_burn(TxId{1}, UserId{1}, TokenId{0})
+                .describe()
+                .find("Burn"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace parole::vm

@@ -1,0 +1,147 @@
+// Tests for the witnessed dispute game: end-to-end fraud proofs where the
+// referee adjudicates with SMT roots + one witness only.
+#include <gtest/gtest.h>
+
+#include "parole/data/case_study.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/rollup/witnessed_dispute.hpp"
+
+namespace parole::rollup {
+namespace {
+
+namespace cs = data::case_study;
+
+vm::ExecutionEngine engine() {
+  return vm::ExecutionEngine({vm::InvalidTxPolicy::kSkipInvalid, false, {}});
+}
+
+// Standard challenger-side witness provider: replays the honest state up to
+// (not including) the disputed step and builds the witness there.
+WitnessProvider honest_provider(const vm::L2State& pre_state,
+                                std::vector<vm::Tx> txs) {
+  return [pre_state, txs = std::move(txs)](std::size_t step) {
+    vm::L2State state = pre_state;
+    const auto eng = engine();
+    for (std::size_t i = 0; i < step; ++i) {
+      (void)eng.execute_tx(state, txs[i]);
+    }
+    return vm::build_witness(state, txs[step]);
+  };
+}
+
+SmtTrace corrupt_from(SmtTrace trace, std::size_t step) {
+  for (std::size_t i = step; i < trace.roots.size(); ++i) {
+    auto bytes = trace.roots[i].bytes();
+    bytes[0] ^= 0xff;
+    trace.roots[i] = crypto::Hash256(bytes);
+  }
+  return trace;
+}
+
+TEST(WitnessedDispute, HonestTraceSurvivesChallenge) {
+  const vm::L2State pre = cs::initial_state();
+  const auto txs = cs::original_txs();
+  const auto eng = engine();
+  const SmtTrace trace = build_smt_trace(pre, txs, eng);
+  EXPECT_EQ(trace.roots.size(), 8u);
+  EXPECT_EQ(trace.pre_root, vm::smt_state_root(pre));
+
+  const auto verdict = WitnessedDisputeGame::run(
+      txs, trace, trace, honest_provider(pre, txs), {10, eth(0, 200)});
+  EXPECT_FALSE(verdict.fraud_proven);
+  EXPECT_FALSE(verdict.witness_rejected);
+}
+
+class WitnessedDisputeStep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WitnessedDisputeStep, FraudLocalizedAndProvenStatelessly) {
+  const std::size_t step = GetParam();
+  const vm::L2State pre = cs::initial_state();
+  const auto txs = cs::original_txs();
+  const auto eng = engine();
+  const SmtTrace honest = build_smt_trace(pre, txs, eng);
+  const SmtTrace committed = corrupt_from(honest, step);
+
+  const auto verdict = WitnessedDisputeGame::run(
+      txs, committed, honest, honest_provider(pre, txs), {10, eth(0, 200)});
+  EXPECT_TRUE(verdict.fraud_proven);
+  EXPECT_FALSE(verdict.witness_rejected);
+  EXPECT_EQ(verdict.disputed_step, step);
+  // The adjudicated truth is the honest root at that step.
+  EXPECT_EQ(verdict.adjudicated_root, honest.roots[step]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Steps, WitnessedDisputeStep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7));
+
+TEST(WitnessedDispute, BogusWitnessCollapsesTheChallenge) {
+  const vm::L2State pre = cs::initial_state();
+  const auto txs = cs::original_txs();
+  const auto eng = engine();
+  const SmtTrace honest = build_smt_trace(pre, txs, eng);
+  const SmtTrace committed = corrupt_from(honest, 3);
+
+  // A provider handing a witness built against the WRONG state: rejected,
+  // the challenge fails, the (fraudulent) asserter survives this round.
+  auto bogus_provider = [&](std::size_t step) {
+    vm::L2State wrong = cs::initial_state();
+    wrong.ledger().credit(cs::kU1, eth(5));  // not the agreed state
+    return vm::build_witness(wrong, txs[step]);
+  };
+  const auto verdict = WitnessedDisputeGame::run(
+      txs, committed, honest, bogus_provider, {10, eth(0, 200)});
+  EXPECT_FALSE(verdict.fraud_proven);
+  EXPECT_TRUE(verdict.witness_rejected);
+}
+
+TEST(WitnessedDispute, ParoleReorderedBatchIsNotFraud) {
+  // The paper's crux, witnessed edition: a reordered-but-honestly-committed
+  // batch gives a challenger nothing — its honest trace over the *shipped*
+  // order matches the commitment exactly.
+  const vm::L2State pre = cs::initial_state();
+  auto problem = cs::make_problem();
+  const auto reordered = problem.materialize(cs::optimal_order());
+  const auto eng = engine();
+  const SmtTrace committed = build_smt_trace(pre, reordered, eng);
+  const SmtTrace challenger = build_smt_trace(pre, reordered, eng);
+
+  const auto verdict =
+      WitnessedDisputeGame::run(reordered, committed, challenger,
+                                honest_provider(pre, reordered),
+                                {10, eth(0, 200)});
+  EXPECT_FALSE(verdict.fraud_proven);
+}
+
+class WitnessedDisputeFuzz : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(WitnessedDisputeFuzz, RandomBatchesRandomCorruption) {
+  data::WorkloadConfig config;
+  config.num_users = 10;
+  config.max_supply = 24;
+  config.premint = 8;
+  data::WorkloadGenerator generator(config, GetParam());
+  const vm::L2State pre = generator.initial_state();
+  Rng rng(GetParam() ^ 0x33);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 16));
+  const auto txs = generator.generate(n);
+  const auto step = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+
+  const auto eng = engine();
+  const SmtTrace honest = build_smt_trace(pre, txs, eng);
+  const SmtTrace committed = corrupt_from(honest, step);
+
+  const auto verdict = WitnessedDisputeGame::run(
+      txs, committed, honest, honest_provider(pre, txs),
+      {24, config.initial_price});
+  EXPECT_TRUE(verdict.fraud_proven) << "n=" << n << " step=" << step;
+  EXPECT_EQ(verdict.disputed_step, step);
+  EXPECT_LE(verdict.rounds, 5u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WitnessedDisputeFuzz,
+                         ::testing::Values(31, 32, 33, 34, 35, 36));
+
+}  // namespace
+}  // namespace parole::rollup
