@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_nft_snapshots.dir/fig10_nft_snapshots.cpp.o"
+  "CMakeFiles/fig10_nft_snapshots.dir/fig10_nft_snapshots.cpp.o.d"
+  "fig10_nft_snapshots"
+  "fig10_nft_snapshots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_nft_snapshots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_solver_comparison.dir/fig11_solver_comparison.cpp.o"
+  "CMakeFiles/fig11_solver_comparison.dir/fig11_solver_comparison.cpp.o.d"
+  "fig11_solver_comparison"
+  "fig11_solver_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_solver_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

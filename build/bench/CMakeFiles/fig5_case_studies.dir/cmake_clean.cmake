@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_case_studies.dir/fig5_case_studies.cpp.o"
+  "CMakeFiles/fig5_case_studies.dir/fig5_case_studies.cpp.o.d"
+  "fig5_case_studies"
+  "fig5_case_studies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_case_studies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_profit_vs_ifus.dir/fig6_profit_vs_ifus.cpp.o"
+  "CMakeFiles/fig6_profit_vs_ifus.dir/fig6_profit_vs_ifus.cpp.o.d"
+  "fig6_profit_vs_ifus"
+  "fig6_profit_vs_ifus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_profit_vs_ifus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_profit_vs_adversarial.dir/fig7_profit_vs_adversarial.cpp.o"
+  "CMakeFiles/fig7_profit_vs_adversarial.dir/fig7_profit_vs_adversarial.cpp.o.d"
+  "fig7_profit_vs_adversarial"
+  "fig7_profit_vs_adversarial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_profit_vs_adversarial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

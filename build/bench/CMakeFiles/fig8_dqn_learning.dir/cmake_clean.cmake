@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_dqn_learning.dir/fig8_dqn_learning.cpp.o"
+  "CMakeFiles/fig8_dqn_learning.dir/fig8_dqn_learning.cpp.o.d"
+  "fig8_dqn_learning"
+  "fig8_dqn_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_dqn_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

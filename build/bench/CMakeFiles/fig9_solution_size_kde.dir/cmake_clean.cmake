@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_solution_size_kde.dir/fig9_solution_size_kde.cpp.o"
+  "CMakeFiles/fig9_solution_size_kde.dir/fig9_solution_size_kde.cpp.o.d"
+  "fig9_solution_size_kde"
+  "fig9_solution_size_kde.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_solution_size_kde.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_solution_size_kde.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_token_behavior.dir/table3_token_behavior.cpp.o"
+  "CMakeFiles/table3_token_behavior.dir/table3_token_behavior.cpp.o.d"
+  "table3_token_behavior"
+  "table3_token_behavior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_token_behavior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

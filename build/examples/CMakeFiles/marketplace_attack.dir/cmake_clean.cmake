@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/marketplace_attack.dir/marketplace_attack.cpp.o"
+  "CMakeFiles/marketplace_attack.dir/marketplace_attack.cpp.o.d"
+  "marketplace_attack"
+  "marketplace_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/marketplace_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

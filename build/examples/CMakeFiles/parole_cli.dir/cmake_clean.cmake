@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parole_cli.dir/parole_cli.cpp.o"
+  "CMakeFiles/parole_cli.dir/parole_cli.cpp.o.d"
+  "parole_cli"
+  "parole_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parole_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

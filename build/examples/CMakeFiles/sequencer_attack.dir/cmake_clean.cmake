@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequencer_attack.dir/sequencer_attack.cpp.o"
+  "CMakeFiles/sequencer_attack.dir/sequencer_attack.cpp.o.d"
+  "sequencer_attack"
+  "sequencer_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequencer_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

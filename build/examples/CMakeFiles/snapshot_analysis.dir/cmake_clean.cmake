@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snapshot_analysis.dir/snapshot_analysis.cpp.o"
+  "CMakeFiles/snapshot_analysis.dir/snapshot_analysis.cpp.o.d"
+  "snapshot_analysis"
+  "snapshot_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snapshot_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parole/chain/block.cpp" "src/CMakeFiles/parole.dir/parole/chain/block.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/chain/block.cpp.o.d"
+  "/root/repo/src/parole/chain/bridge.cpp" "src/CMakeFiles/parole.dir/parole/chain/bridge.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/chain/bridge.cpp.o.d"
+  "/root/repo/src/parole/chain/l1_chain.cpp" "src/CMakeFiles/parole.dir/parole/chain/l1_chain.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/chain/l1_chain.cpp.o.d"
+  "/root/repo/src/parole/chain/orsc.cpp" "src/CMakeFiles/parole.dir/parole/chain/orsc.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/chain/orsc.cpp.o.d"
+  "/root/repo/src/parole/common/amount.cpp" "src/CMakeFiles/parole.dir/parole/common/amount.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/common/amount.cpp.o.d"
+  "/root/repo/src/parole/common/env.cpp" "src/CMakeFiles/parole.dir/parole/common/env.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/common/env.cpp.o.d"
+  "/root/repo/src/parole/common/rng.cpp" "src/CMakeFiles/parole.dir/parole/common/rng.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/common/rng.cpp.o.d"
+  "/root/repo/src/parole/common/stats.cpp" "src/CMakeFiles/parole.dir/parole/common/stats.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/common/stats.cpp.o.d"
+  "/root/repo/src/parole/common/table.cpp" "src/CMakeFiles/parole.dir/parole/common/table.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/common/table.cpp.o.d"
+  "/root/repo/src/parole/core/arbitrage.cpp" "src/CMakeFiles/parole.dir/parole/core/arbitrage.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/core/arbitrage.cpp.o.d"
+  "/root/repo/src/parole/core/campaign.cpp" "src/CMakeFiles/parole.dir/parole/core/campaign.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/core/campaign.cpp.o.d"
+  "/root/repo/src/parole/core/defense.cpp" "src/CMakeFiles/parole.dir/parole/core/defense.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/core/defense.cpp.o.d"
+  "/root/repo/src/parole/core/encoding.cpp" "src/CMakeFiles/parole.dir/parole/core/encoding.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/core/encoding.cpp.o.d"
+  "/root/repo/src/parole/core/forensics.cpp" "src/CMakeFiles/parole.dir/parole/core/forensics.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/core/forensics.cpp.o.d"
+  "/root/repo/src/parole/core/gentranseq.cpp" "src/CMakeFiles/parole.dir/parole/core/gentranseq.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/core/gentranseq.cpp.o.d"
+  "/root/repo/src/parole/core/parole_attack.cpp" "src/CMakeFiles/parole.dir/parole/core/parole_attack.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/core/parole_attack.cpp.o.d"
+  "/root/repo/src/parole/core/reorder_env.cpp" "src/CMakeFiles/parole.dir/parole/core/reorder_env.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/core/reorder_env.cpp.o.d"
+  "/root/repo/src/parole/crypto/hash.cpp" "src/CMakeFiles/parole.dir/parole/crypto/hash.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/crypto/hash.cpp.o.d"
+  "/root/repo/src/parole/crypto/keccak256.cpp" "src/CMakeFiles/parole.dir/parole/crypto/keccak256.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/crypto/keccak256.cpp.o.d"
+  "/root/repo/src/parole/crypto/merkle.cpp" "src/CMakeFiles/parole.dir/parole/crypto/merkle.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/crypto/merkle.cpp.o.d"
+  "/root/repo/src/parole/crypto/sha256.cpp" "src/CMakeFiles/parole.dir/parole/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/crypto/sha256.cpp.o.d"
+  "/root/repo/src/parole/crypto/smt.cpp" "src/CMakeFiles/parole.dir/parole/crypto/smt.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/crypto/smt.cpp.o.d"
+  "/root/repo/src/parole/data/case_study.cpp" "src/CMakeFiles/parole.dir/parole/data/case_study.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/data/case_study.cpp.o.d"
+  "/root/repo/src/parole/data/csv.cpp" "src/CMakeFiles/parole.dir/parole/data/csv.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/data/csv.cpp.o.d"
+  "/root/repo/src/parole/data/kde.cpp" "src/CMakeFiles/parole.dir/parole/data/kde.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/data/kde.cpp.o.d"
+  "/root/repo/src/parole/data/scanner.cpp" "src/CMakeFiles/parole.dir/parole/data/scanner.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/data/scanner.cpp.o.d"
+  "/root/repo/src/parole/data/snapshot.cpp" "src/CMakeFiles/parole.dir/parole/data/snapshot.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/data/snapshot.cpp.o.d"
+  "/root/repo/src/parole/data/workload.cpp" "src/CMakeFiles/parole.dir/parole/data/workload.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/data/workload.cpp.o.d"
+  "/root/repo/src/parole/ml/dqn.cpp" "src/CMakeFiles/parole.dir/parole/ml/dqn.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/ml/dqn.cpp.o.d"
+  "/root/repo/src/parole/ml/epsilon.cpp" "src/CMakeFiles/parole.dir/parole/ml/epsilon.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/ml/epsilon.cpp.o.d"
+  "/root/repo/src/parole/ml/layers.cpp" "src/CMakeFiles/parole.dir/parole/ml/layers.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/ml/layers.cpp.o.d"
+  "/root/repo/src/parole/ml/loss.cpp" "src/CMakeFiles/parole.dir/parole/ml/loss.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/ml/loss.cpp.o.d"
+  "/root/repo/src/parole/ml/network.cpp" "src/CMakeFiles/parole.dir/parole/ml/network.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/ml/network.cpp.o.d"
+  "/root/repo/src/parole/ml/optimizer.cpp" "src/CMakeFiles/parole.dir/parole/ml/optimizer.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/ml/optimizer.cpp.o.d"
+  "/root/repo/src/parole/ml/replay_buffer.cpp" "src/CMakeFiles/parole.dir/parole/ml/replay_buffer.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/ml/replay_buffer.cpp.o.d"
+  "/root/repo/src/parole/ml/serialize.cpp" "src/CMakeFiles/parole.dir/parole/ml/serialize.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/ml/serialize.cpp.o.d"
+  "/root/repo/src/parole/ml/tensor.cpp" "src/CMakeFiles/parole.dir/parole/ml/tensor.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/ml/tensor.cpp.o.d"
+  "/root/repo/src/parole/rollup/aggregator.cpp" "src/CMakeFiles/parole.dir/parole/rollup/aggregator.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/rollup/aggregator.cpp.o.d"
+  "/root/repo/src/parole/rollup/codec.cpp" "src/CMakeFiles/parole.dir/parole/rollup/codec.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/rollup/codec.cpp.o.d"
+  "/root/repo/src/parole/rollup/dispute.cpp" "src/CMakeFiles/parole.dir/parole/rollup/dispute.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/rollup/dispute.cpp.o.d"
+  "/root/repo/src/parole/rollup/economics.cpp" "src/CMakeFiles/parole.dir/parole/rollup/economics.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/rollup/economics.cpp.o.d"
+  "/root/repo/src/parole/rollup/fraud_proof.cpp" "src/CMakeFiles/parole.dir/parole/rollup/fraud_proof.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/rollup/fraud_proof.cpp.o.d"
+  "/root/repo/src/parole/rollup/mempool.cpp" "src/CMakeFiles/parole.dir/parole/rollup/mempool.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/rollup/mempool.cpp.o.d"
+  "/root/repo/src/parole/rollup/node.cpp" "src/CMakeFiles/parole.dir/parole/rollup/node.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/rollup/node.cpp.o.d"
+  "/root/repo/src/parole/rollup/sequencer.cpp" "src/CMakeFiles/parole.dir/parole/rollup/sequencer.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/rollup/sequencer.cpp.o.d"
+  "/root/repo/src/parole/rollup/verifier.cpp" "src/CMakeFiles/parole.dir/parole/rollup/verifier.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/rollup/verifier.cpp.o.d"
+  "/root/repo/src/parole/rollup/witnessed_dispute.cpp" "src/CMakeFiles/parole.dir/parole/rollup/witnessed_dispute.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/rollup/witnessed_dispute.cpp.o.d"
+  "/root/repo/src/parole/solvers/annealing.cpp" "src/CMakeFiles/parole.dir/parole/solvers/annealing.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/solvers/annealing.cpp.o.d"
+  "/root/repo/src/parole/solvers/branch_bound.cpp" "src/CMakeFiles/parole.dir/parole/solvers/branch_bound.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/solvers/branch_bound.cpp.o.d"
+  "/root/repo/src/parole/solvers/exhaustive.cpp" "src/CMakeFiles/parole.dir/parole/solvers/exhaustive.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/solvers/exhaustive.cpp.o.d"
+  "/root/repo/src/parole/solvers/greedy.cpp" "src/CMakeFiles/parole.dir/parole/solvers/greedy.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/solvers/greedy.cpp.o.d"
+  "/root/repo/src/parole/solvers/hill_climb.cpp" "src/CMakeFiles/parole.dir/parole/solvers/hill_climb.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/solvers/hill_climb.cpp.o.d"
+  "/root/repo/src/parole/solvers/instrument.cpp" "src/CMakeFiles/parole.dir/parole/solvers/instrument.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/solvers/instrument.cpp.o.d"
+  "/root/repo/src/parole/solvers/problem.cpp" "src/CMakeFiles/parole.dir/parole/solvers/problem.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/solvers/problem.cpp.o.d"
+  "/root/repo/src/parole/solvers/random_search.cpp" "src/CMakeFiles/parole.dir/parole/solvers/random_search.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/solvers/random_search.cpp.o.d"
+  "/root/repo/src/parole/solvers/tabu.cpp" "src/CMakeFiles/parole.dir/parole/solvers/tabu.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/solvers/tabu.cpp.o.d"
+  "/root/repo/src/parole/token/ledger.cpp" "src/CMakeFiles/parole.dir/parole/token/ledger.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/token/ledger.cpp.o.d"
+  "/root/repo/src/parole/token/nft.cpp" "src/CMakeFiles/parole.dir/parole/token/nft.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/token/nft.cpp.o.d"
+  "/root/repo/src/parole/token/price_curve.cpp" "src/CMakeFiles/parole.dir/parole/token/price_curve.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/token/price_curve.cpp.o.d"
+  "/root/repo/src/parole/vm/engine.cpp" "src/CMakeFiles/parole.dir/parole/vm/engine.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/vm/engine.cpp.o.d"
+  "/root/repo/src/parole/vm/gas.cpp" "src/CMakeFiles/parole.dir/parole/vm/gas.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/vm/gas.cpp.o.d"
+  "/root/repo/src/parole/vm/state.cpp" "src/CMakeFiles/parole.dir/parole/vm/state.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/vm/state.cpp.o.d"
+  "/root/repo/src/parole/vm/tx.cpp" "src/CMakeFiles/parole.dir/parole/vm/tx.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/vm/tx.cpp.o.d"
+  "/root/repo/src/parole/vm/witness.cpp" "src/CMakeFiles/parole.dir/parole/vm/witness.cpp.o" "gcc" "src/CMakeFiles/parole.dir/parole/vm/witness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

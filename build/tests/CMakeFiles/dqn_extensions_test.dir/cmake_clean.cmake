@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dqn_extensions_test.dir/dqn_extensions_test.cpp.o"
+  "CMakeFiles/dqn_extensions_test.dir/dqn_extensions_test.cpp.o.d"
+  "dqn_extensions_test"
+  "dqn_extensions_test.pdb"
+  "dqn_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dqn_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

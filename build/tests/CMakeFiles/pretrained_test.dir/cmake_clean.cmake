@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pretrained_test.dir/pretrained_test.cpp.o"
+  "CMakeFiles/pretrained_test.dir/pretrained_test.cpp.o.d"
+  "pretrained_test"
+  "pretrained_test.pdb"
+  "pretrained_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pretrained_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

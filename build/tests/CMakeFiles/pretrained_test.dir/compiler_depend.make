@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pretrained_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequencer_test.dir/sequencer_test.cpp.o"
+  "CMakeFiles/sequencer_test.dir/sequencer_test.cpp.o.d"
+  "sequencer_test"
+  "sequencer_test.pdb"
+  "sequencer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequencer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

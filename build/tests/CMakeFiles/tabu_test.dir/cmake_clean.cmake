@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabu_test.dir/tabu_test.cpp.o"
+  "CMakeFiles/tabu_test.dir/tabu_test.cpp.o.d"
+  "tabu_test"
+  "tabu_test.pdb"
+  "tabu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witnessed_dispute_test.dir/witnessed_dispute_test.cpp.o"
+  "CMakeFiles/witnessed_dispute_test.dir/witnessed_dispute_test.cpp.o.d"
+  "witnessed_dispute_test"
+  "witnessed_dispute_test.pdb"
+  "witnessed_dispute_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witnessed_dispute_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
