@@ -1,0 +1,231 @@
+// Evaluator throughput: full batch re-execution vs the incremental
+// prefix-state checkpoint cache (DESIGN.md §7).
+//
+// For each batch size N and move kind, the same seed drives the same probe
+// sequence through both paths — evaluate_full() (deep state copy +
+// materialize + execute all N) and evaluate_swap() (checkpoint restore +
+// suffix re-execution + reconvergence shortcut) — with the same deterministic
+// accept rule, and every returned value is cross-checked for bit-identical
+// results before the rates are reported.
+//
+//   swap-local    j = i + 1: the adjacent-transposition neighbourhood local
+//                 search spends most of its probes in.
+//   swap-uniform  i, j uniform: worst case for the cache (expected
+//                 divergence point ~N/3).
+//
+// Prints the table + CSV like every other harness bench and writes
+// BENCH_evaluator.json for tooling. PAROLE_BENCH_SCALE scales the probe
+// count; PAROLE_SEED overrides the seed.
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parole/common/env.hpp"
+#include "parole/common/table.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/solvers/instrument.hpp"
+#include "parole/solvers/problem.hpp"
+
+using namespace parole;
+
+namespace {
+
+solvers::ReorderingProblem make_instance(std::size_t n, std::uint64_t seed) {
+  data::WorkloadConfig config;
+  config.num_users = 24;
+  config.max_supply = static_cast<std::uint32_t>(n + 40);
+  config.premint = 24;
+  data::WorkloadGenerator generator(config, seed);
+  const vm::L2State genesis = generator.initial_state();
+  auto txs = generator.generate(n);
+  return solvers::ReorderingProblem(genesis, std::move(txs),
+                                    generator.pick_ifus(1));
+}
+
+enum class MoveKind { kLocal, kUniform };
+
+struct ProbeSeq {
+  std::vector<std::pair<std::size_t, std::size_t>> swaps;
+};
+
+ProbeSeq make_probes(std::size_t n, std::size_t count, MoveKind kind,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  ProbeSeq seq;
+  seq.swaps.reserve(count);
+  for (std::size_t p = 0; p < count; ++p) {
+    if (kind == MoveKind::kLocal) {
+      const std::size_t i = rng.index(n - 1);
+      seq.swaps.emplace_back(i, i + 1);
+    } else {
+      const std::size_t i = rng.index(n);
+      std::size_t j = rng.index(n);
+      if (i == j) j = (j + 1) % n;
+      seq.swaps.emplace_back(std::min(i, j), std::max(i, j));
+    }
+  }
+  return seq;
+}
+
+struct PathResult {
+  std::vector<std::optional<Amount>> values;
+  double millis{0.0};
+};
+
+// Full-re-execution path: greedy walk applying each improving probe.
+PathResult run_full(const solvers::ReorderingProblem& problem,
+                    const ProbeSeq& seq) {
+  const std::size_t n = problem.size();
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::vector<std::size_t> probed(n);
+  Amount current = problem.baseline();
+
+  PathResult out;
+  out.values.reserve(seq.swaps.size());
+  solvers::Timer timer;
+  for (const auto& [i, j] : seq.swaps) {
+    probed = order;
+    std::swap(probed[i], probed[j]);
+    const auto value = problem.evaluate_full(probed);
+    out.values.push_back(value);
+    if (value && *value > current) {
+      order.swap(probed);
+      current = *value;
+    }
+  }
+  out.millis = timer.elapsed_millis();
+  return out;
+}
+
+// Incremental path: identical walk through the checkpoint cache.
+PathResult run_incremental(const solvers::ReorderingProblem& problem,
+                           const ProbeSeq& seq) {
+  std::vector<std::size_t> identity(problem.size());
+  for (std::size_t i = 0; i < identity.size(); ++i) identity[i] = i;
+  problem.commit_order(identity);
+  Amount current = problem.baseline();
+
+  PathResult out;
+  out.values.reserve(seq.swaps.size());
+  solvers::Timer timer;
+  for (const auto& [i, j] : seq.swaps) {
+    const auto value = problem.evaluate_swap(i, j);
+    out.values.push_back(value);
+    if (value && *value > current) {
+      problem.commit();
+      current = *value;
+    } else {
+      problem.revert();
+    }
+  }
+  out.millis = timer.elapsed_millis();
+  return out;
+}
+
+struct Row {
+  std::size_t n{0};
+  const char* move{""};
+  std::size_t probes{0};
+  double full_eps{0.0};
+  double inc_eps{0.0};
+  double speedup{0.0};
+  bool identical{false};
+  solvers::EvalStats stats;
+};
+
+double evals_per_sec(std::size_t probes, double millis) {
+  return millis <= 0.0 ? 0.0
+                       : static_cast<double>(probes) / (millis / 1000.0);
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = experiment_seed(20240917);
+  const auto probes = static_cast<std::size_t>(scaled(2000, 100));
+
+  std::vector<Row> rows;
+  for (const std::size_t n : {std::size_t{16}, std::size_t{64},
+                              std::size_t{256}}) {
+    for (const MoveKind kind : {MoveKind::kLocal, MoveKind::kUniform}) {
+      const solvers::ReorderingProblem problem = make_instance(n, seed + n);
+      const ProbeSeq seq = make_probes(
+          n, probes, kind, seed ^ (n * 31 + (kind == MoveKind::kLocal)));
+
+      const PathResult full = run_full(problem, seq);
+      const solvers::EvalStats before = problem.eval_stats();
+      const PathResult inc = run_incremental(problem, seq);
+      const solvers::EvalStats stats = problem.eval_stats() - before;
+
+      Row row;
+      row.n = n;
+      row.move = kind == MoveKind::kLocal ? "swap-local" : "swap-uniform";
+      row.probes = probes;
+      row.full_eps = evals_per_sec(probes, full.millis);
+      row.inc_eps = evals_per_sec(probes, inc.millis);
+      row.speedup = full.millis <= 0.0 ? 0.0 : full.millis / inc.millis;
+      row.identical = full.values == inc.values;
+      row.stats = stats;
+      rows.push_back(row);
+
+      if (!row.identical) {
+        std::fprintf(stderr,
+                     "MISMATCH: incremental != full at n=%zu move=%s\n", n,
+                     row.move);
+        return 1;
+      }
+    }
+  }
+
+  TablePrinter table("Evaluator throughput: full vs incremental");
+  table.columns({"n", "move", "probes", "full evals/s", "incr evals/s",
+                 "speedup", "cache hits", "reconv", "txs saved"});
+  for (const Row& row : rows) {
+    table.row({TablePrinter::integer(static_cast<long long>(row.n)),
+               row.move,
+               TablePrinter::integer(static_cast<long long>(row.probes)),
+               TablePrinter::num(row.full_eps, 0),
+               TablePrinter::num(row.inc_eps, 0),
+               TablePrinter::num(row.speedup, 2),
+               TablePrinter::integer(
+                   static_cast<long long>(row.stats.cache_hits)),
+               TablePrinter::integer(
+                   static_cast<long long>(row.stats.reconvergences)),
+               TablePrinter::integer(
+                   static_cast<long long>(row.stats.txs_saved))});
+  }
+  table.print();
+
+  std::FILE* out = std::fopen("BENCH_evaluator.json", "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_evaluator.json\n");
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"evaluator_throughput\",\n"
+               "  \"scale\": %.3f,\n  \"seed\": %llu,\n  \"results\": [\n",
+               bench_scale(), static_cast<unsigned long long>(seed));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const Row& row = rows[r];
+    std::fprintf(
+        out,
+        "    {\"n\": %zu, \"move\": \"%s\", \"probes\": %zu,"
+        " \"full_evals_per_sec\": %.1f, \"incremental_evals_per_sec\": %.1f,"
+        " \"speedup\": %.2f, \"identical\": %s,"
+        " \"cache_hits\": %llu, \"reconvergences\": %llu,"
+        " \"txs_executed\": %llu, \"txs_saved\": %llu}%s\n",
+        row.n, row.move, row.probes, row.full_eps, row.inc_eps, row.speedup,
+        row.identical ? "true" : "false",
+        static_cast<unsigned long long>(row.stats.cache_hits),
+        static_cast<unsigned long long>(row.stats.reconvergences),
+        static_cast<unsigned long long>(row.stats.txs_executed),
+        static_cast<unsigned long long>(row.stats.txs_saved),
+        r + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_evaluator.json\n");
+  return 0;
+}

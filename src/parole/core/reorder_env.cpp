@@ -25,9 +25,12 @@ ReorderEnv::ReorderEnv(const solvers::ReorderingProblem& problem,
 std::vector<double> ReorderEnv::reset() {
   order_.resize(n_);
   std::iota(order_.begin(), order_.end(), 0);
+  problem_->commit_order(order_);  // swap probes run against the incumbent
+  txs_ = problem_->materialize(order_);
   current_balance_ = baseline_;
   swaps_applied_ = 0;
-  return encode_current();
+  encode_current();
+  return encoding_;
 }
 
 EnvStep ReorderEnv::step(std::size_t action) {
@@ -37,16 +40,24 @@ EnvStep ReorderEnv::step(std::size_t action) {
   EnvStep out;
   const Amount previous_balance = current_balance_;
 
-  std::swap(order_[i], order_[j]);
-  const std::optional<Amount> value = problem_->evaluate(order_);
+  // Resync the shared problem's incumbent with this env's order: a no-op
+  // vector compare when we were the last committer, a trail rebuild when
+  // another env (or solver) moved it in between.
+  problem_->commit_order(order_);
+  const std::optional<Amount> value = problem_->evaluate_swap(i, j);
 
   if (!value) {
-    // Constraint-breaking order: reject the swap, penalize the action.
-    std::swap(order_[i], order_[j]);
+    // Constraint-breaking order: reject the swap, penalize the action. The
+    // order is unchanged, so the cached encoding is still current.
+    problem_->revert();
     out.applied = false;
     out.balance = current_balance_;
     out.reward = -reward_.invalid_action_penalty * reward_.penalty_weight;
   } else {
+    std::swap(order_[i], order_[j]);
+    std::swap(txs_[i], txs_[j]);
+    problem_->commit();
+    encode_current();
     out.applied = true;
     ++swaps_applied_;
     current_balance_ = *value;
@@ -64,13 +75,11 @@ EnvStep ReorderEnv::step(std::size_t action) {
   }
 
   out.profit = current_balance_ > baseline_;
-  out.state = encode_current();
+  out.state = encoding_;
   return out;
 }
 
-std::vector<double> ReorderEnv::encode_current() const {
-  return encoder_.encode(problem_->materialize(order_));
-}
+void ReorderEnv::encode_current() { encoding_ = encoder_.encode(txs_); }
 
 std::pair<std::size_t, std::size_t> ReorderEnv::decode_action(
     std::size_t action, std::size_t n) {

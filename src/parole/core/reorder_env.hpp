@@ -82,7 +82,7 @@ class ReorderEnv {
                                    std::size_t n);
 
  private:
-  [[nodiscard]] std::vector<double> encode_current() const;
+  void encode_current();
 
   const solvers::ReorderingProblem* problem_;
   RewardConfig reward_;
@@ -90,6 +90,12 @@ class ReorderEnv {
   std::size_t n_;
   Amount baseline_{0};
   std::vector<std::size_t> order_;
+  // The materialized batch under order_, kept in sync by element swaps so
+  // step() never re-materializes the whole sequence.
+  std::vector<vm::Tx> txs_;
+  // Encoding of txs_, refreshed only when a swap is applied; rejected swaps
+  // return this cached copy.
+  std::vector<double> encoding_;
   Amount current_balance_{0};
   std::size_t swaps_applied_{0};
 };

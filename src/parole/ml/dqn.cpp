@@ -40,7 +40,7 @@ DqnAgent::DqnAgent(std::size_t state_dim, std::size_t action_count,
   q_net_ = Network::mlp(state_dim_, config_.hidden, action_count_, rng_);
   target_net_ = q_net_;
   if (config_.use_adam) {
-    optimizer_ = std::make_unique<Adam>(config_.learning_rate / 1000.0);
+    optimizer_ = std::make_unique<Adam>(config_.adam_learning_rate);
   } else {
     optimizer_ = std::make_unique<Sgd>(config_.learning_rate,
                                        config_.grad_clip);

@@ -11,7 +11,7 @@ SolveResult AnnealingSolver::solve(const ReorderingProblem& problem,
                                    Rng& rng) {
   Timer timer;
   MemoryMeter meter;
-  const std::uint64_t evals_before = problem.evaluations();
+  const EvalStats stats_before = problem.eval_stats();
   const std::size_t n = problem.size();
 
   SolveResult result;
@@ -28,6 +28,7 @@ SolveResult AnnealingSolver::solve(const ReorderingProblem& problem,
 
   std::vector<std::size_t> current = result.best_order;
   Amount current_value = result.baseline;
+  problem.commit_order(current);  // probes track the accepted state
 
   // The retained in-core history: every accepted state's order + value.
   std::vector<std::pair<std::vector<std::size_t>, Amount>> history;
@@ -43,8 +44,7 @@ SolveResult AnnealingSolver::solve(const ReorderingProblem& problem,
     std::size_t j = rng.index(n);
     if (i == j) j = (j + 1) % n;
 
-    std::swap(current[i], current[j]);
-    const auto value = problem.evaluate(current);
+    const auto value = problem.evaluate_swap(i, j);
 
     bool accept = false;
     if (value) {
@@ -54,6 +54,8 @@ SolveResult AnnealingSolver::solve(const ReorderingProblem& problem,
     }
 
     if (accept) {
+      std::swap(current[i], current[j]);
+      problem.commit();  // apply the probed swap to the incumbent
       current_value = *value;
       if (history.size() < config_.history_cap) {
         history.emplace_back(current, current_value);
@@ -65,7 +67,7 @@ SolveResult AnnealingSolver::solve(const ReorderingProblem& problem,
         result.best_order = current;
       }
     } else {
-      std::swap(current[i], current[j]);  // revert
+      problem.revert();  // drop the probe; the incumbent never moved
     }
 
     temperature *= config_.cooling;
@@ -77,11 +79,15 @@ SolveResult AnnealingSolver::solve(const ReorderingProblem& problem,
                     static_cast<double>(kGweiPerEth) * 0.25;
       current = result.best_order;
       current_value = result.best_value;
+      problem.commit_order(current);
     }
   }
 
   result.improved = result.best_value > result.baseline;
-  result.evaluations = problem.evaluations() - evals_before;
+  const EvalStats delta = problem.eval_stats() - stats_before;
+  result.evaluations = delta.evaluations;
+  result.cache_hits = delta.cache_hits;
+  result.txs_reexecuted = delta.txs_executed;
   result.wall_millis = timer.elapsed_millis();
   result.peak_bytes = meter.peak();
   return result;

@@ -12,7 +12,7 @@ SolveResult GreedyInsertionSolver::solve(const ReorderingProblem& problem,
 
   Timer timer;
   MemoryMeter meter;
-  const std::uint64_t evals_before = problem.evaluations();
+  const EvalStats stats_before = problem.eval_stats();
   const std::size_t n = problem.size();
 
   SolveResult result;
@@ -25,7 +25,17 @@ SolveResult GreedyInsertionSolver::solve(const ReorderingProblem& problem,
   std::vector<std::size_t> remaining(n);
   std::iota(remaining.begin(), remaining.end(), 0);
   std::vector<std::size_t> candidate(n);
+  std::vector<std::size_t> best_candidate;
   meter.add((2 * n + n) * sizeof(std::size_t));
+
+  const auto build_candidate = [&](std::size_t pick) {
+    candidate.clear();
+    candidate.insert(candidate.end(), chosen.begin(), chosen.end());
+    candidate.push_back(remaining[pick]);
+    for (std::size_t i = 0; i < remaining.size(); ++i) {
+      if (i != pick) candidate.push_back(remaining[i]);
+    }
+  };
 
   for (std::size_t slot = 0; slot < n; ++slot) {
     std::size_t best_pick = remaining.size();  // sentinel: keep original head
@@ -33,23 +43,26 @@ SolveResult GreedyInsertionSolver::solve(const ReorderingProblem& problem,
     bool have_valid = false;
 
     for (std::size_t pick = 0; pick < remaining.size(); ++pick) {
-      candidate.clear();
-      candidate.insert(candidate.end(), chosen.begin(), chosen.end());
-      candidate.push_back(remaining[pick]);
-      for (std::size_t i = 0; i < remaining.size(); ++i) {
-        if (i != pick) candidate.push_back(remaining[i]);
-      }
+      build_candidate(pick);
       const auto value = problem.evaluate(candidate);
       if (value && (!have_valid || *value > best_value)) {
         have_valid = true;
         best_value = *value;
         best_pick = pick;
+        best_candidate = candidate;
       }
     }
 
     // If no placement is valid (cannot happen for the original order's head,
     // but keep the loop robust), fall back to the original-relative head.
-    if (best_pick == remaining.size()) best_pick = 0;
+    if (best_pick == remaining.size()) {
+      best_pick = 0;
+      build_candidate(best_pick);
+      best_candidate = candidate;
+    }
+    // Commit the winner so the next slot's probes share its prefix
+    // checkpoints — they diverge from it no earlier than position `slot`.
+    problem.commit_order(best_candidate);
     chosen.push_back(remaining[best_pick]);
     remaining.erase(remaining.begin() +
                     static_cast<std::ptrdiff_t>(best_pick));
@@ -67,7 +80,10 @@ SolveResult GreedyInsertionSolver::solve(const ReorderingProblem& problem,
   }
 
   result.improved = result.best_value > result.baseline;
-  result.evaluations = problem.evaluations() - evals_before;
+  const EvalStats delta = problem.eval_stats() - stats_before;
+  result.evaluations = delta.evaluations;
+  result.cache_hits = delta.cache_hits;
+  result.txs_reexecuted = delta.txs_executed;
   result.wall_millis = timer.elapsed_millis();
   result.peak_bytes = meter.peak();
   return result;

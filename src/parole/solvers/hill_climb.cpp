@@ -20,7 +20,7 @@ SolveResult HillClimbSolver::solve(const ReorderingProblem& problem,
                                    Rng& rng) {
   Timer timer;
   MemoryMeter meter;
-  const std::uint64_t evals_before = problem.evaluations();
+  const EvalStats stats_before = problem.eval_stats();
   const std::size_t n = problem.size();
 
   SolveResult result;
@@ -39,6 +39,9 @@ SolveResult HillClimbSolver::solve(const ReorderingProblem& problem,
     std::iota(current.begin(), current.end(), 0);
     if (restart > 0) rng.shuffle(current);
 
+    // Commit the restart point so every swap probe below re-executes only
+    // the suffix past its first swapped position.
+    problem.commit_order(current);
     auto current_value = problem.evaluate(current);
     if (!current_value) continue;  // shuffled start can be invalid
 
@@ -47,11 +50,9 @@ SolveResult HillClimbSolver::solve(const ReorderingProblem& problem,
       neighbourhood.clear();
       for (std::size_t i = 0; i + 1 < n; ++i) {
         for (std::size_t j = i + 1; j < n; ++j) {
-          std::swap(current[i], current[j]);
-          const auto value = problem.evaluate(current);
+          const auto value = problem.evaluate_swap(i, j);
           neighbourhood.push_back(
               {i, j, value.value_or(0), value.has_value()});
-          std::swap(current[i], current[j]);
         }
       }
       meter.set_current(neighbourhood.capacity() * sizeof(NeighbourEntry) +
@@ -62,9 +63,13 @@ SolveResult HillClimbSolver::solve(const ReorderingProblem& problem,
         if (!entry.valid) continue;
         if (best == nullptr || entry.value > best->value) best = &entry;
       }
-      if (best == nullptr || best->value <= *current_value) break;
+      if (best == nullptr || best->value <= *current_value) {
+        problem.revert();
+        break;
+      }
 
       std::swap(current[best->i], current[best->j]);
+      problem.commit_swap(best->i, best->j);
       current_value = best->value;
     }
 
@@ -75,7 +80,10 @@ SolveResult HillClimbSolver::solve(const ReorderingProblem& problem,
   }
 
   result.improved = result.best_value > result.baseline;
-  result.evaluations = problem.evaluations() - evals_before;
+  const EvalStats delta = problem.eval_stats() - stats_before;
+  result.evaluations = delta.evaluations;
+  result.cache_hits = delta.cache_hits;
+  result.txs_reexecuted = delta.txs_executed;
   result.wall_millis = timer.elapsed_millis();
   result.peak_bytes = meter.peak();
   return result;

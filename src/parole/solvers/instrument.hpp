@@ -4,9 +4,33 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace parole::solvers {
+
+// Counters the incremental evaluation engine (ReorderingProblem's prefix-
+// state checkpoint cache) threads through every solver run. Solvers snapshot
+// the problem's stats before/after a solve and report the delta in
+// SolveResult, so Fig. 11-style comparisons can attribute wall time to
+// transactions actually re-executed.
+struct EvalStats {
+  std::uint64_t evaluations{0};     // evaluate()/evaluate_swap() calls
+  std::uint64_t cache_hits{0};      // calls that restored a checkpoint > 0
+  std::uint64_t reconvergences{0};  // probes that matched the incumbent tail
+  std::uint64_t txs_executed{0};    // transactions actually (re-)executed
+  std::uint64_t txs_saved{0};       // transactions skipped (prefix + tail)
+  std::uint64_t commits{0};         // incumbent updates
+
+  EvalStats operator-(const EvalStats& other) const {
+    return {evaluations - other.evaluations,
+            cache_hits - other.cache_hits,
+            reconvergences - other.reconvergences,
+            txs_executed - other.txs_executed,
+            txs_saved - other.txs_saved,
+            commits - other.commits};
+  }
+};
 
 class Timer {
  public:

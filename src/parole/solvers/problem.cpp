@@ -6,6 +6,18 @@
 #include <numeric>
 
 namespace parole::solvers {
+namespace {
+
+// Auto checkpoint stride ~ sqrt(n): with s = sqrt(n) snapshots of stride s,
+// a probe overshoots its divergence point by at most s transactions while
+// the trail holds only s state copies (DESIGN.md §7).
+std::size_t auto_stride(std::size_t n) {
+  std::size_t k = 1;
+  while (k * k < n) ++k;
+  return k;
+}
+
+}  // namespace
 
 ReorderingProblem::ReorderingProblem(vm::L2State initial_state,
                                      std::vector<vm::Tx> original,
@@ -18,31 +30,57 @@ ReorderingProblem::ReorderingProblem(vm::L2State initial_state,
       engine_(vm::ExecConfig{vm::InvalidTxPolicy::kSkipInvalid,
                              /*charge_fees=*/false, vm::GasSchedule{}}) {}
 
-const std::vector<bool>& ReorderingProblem::originally_executed() const {
-  if (!originally_executed_) {
-    vm::L2State state = state_;
-    const vm::ExecutionResult result = engine_.execute(state, original_);
-    std::vector<bool> executed(original_.size(), false);
-    for (std::size_t i = 0; i < result.receipts.size(); ++i) {
-      executed[i] = result.receipts[i].status == vm::TxStatus::kExecuted;
-    }
-    baseline_balances_.clear();
-    Amount total = 0;
-    for (UserId ifu : ifus_) {
-      const Amount balance = state.total_balance(ifu);
-      baseline_balances_.push_back(balance);
-      total += balance;
-    }
-    // Objective score of the identity order: the summed balance, or a zero
-    // minimum gain (the original order improves nobody over itself).
-    baseline_ = objective_ == Objective::kSumBalance ? total : 0;
-    originally_executed_ = std::move(executed);
+std::vector<Amount> ReorderingProblem::collect_balances(
+    const vm::L2State& state) const {
+  std::vector<Amount> balances;
+  balances.reserve(ifus_.size());
+  for (UserId ifu : ifus_) balances.push_back(state.total_balance(ifu));
+  return balances;
+}
+
+void ReorderingProblem::ensure_incremental() const {
+  if (!checkpoints_.empty()) return;
+  const std::size_t n = original_.size();
+  if (stride_ == 0) stride_ = auto_stride(n);
+
+  inc_order_.resize(n);
+  std::iota(inc_order_.begin(), inc_order_.end(), 0);
+
+  // One identity-order execution builds everything at once: the executed set
+  // (the paper's validity constraint), the baseline objective, and the
+  // incumbent's checkpoint trail. The identity order violates nothing by
+  // definition, so every trail prefix carries zero violations.
+  std::vector<bool> executed(n, false);
+  must_bytes_.assign(n, 0);
+  vm::L2State state = state_;
+  checkpoints_.reserve(n / stride_ + 1);
+  for (std::size_t pos = 0; pos < n; ++pos) {
+    if (pos % stride_ == 0) checkpoints_.push_back({state, pos, 0});
+    const bool ok = engine_.apply_tx(state, original_[pos]);
+    executed[pos] = ok;
+    must_bytes_[pos] = ok ? 1 : 0;
   }
+  if (checkpoints_.empty()) checkpoints_.push_back({state, 0, 0});
+
+  inc_balances_ = collect_balances(state);
+  inc_viols_ = 0;
+  baseline_balances_ = inc_balances_;
+  Amount total = 0;
+  for (Amount b : inc_balances_) total += b;
+  // Objective score of the identity order: the summed balance, or a zero
+  // minimum gain (the original order improves nobody over itself).
+  baseline_ = objective_ == Objective::kSumBalance ? total : 0;
+  originally_executed_ = std::move(executed);
+  if (!scratch_) scratch_.emplace(state_);
+}
+
+const std::vector<bool>& ReorderingProblem::originally_executed() const {
+  ensure_incremental();
   return *originally_executed_;
 }
 
 const std::vector<Amount>& ReorderingProblem::baseline_balances() const {
-  (void)originally_executed();
+  ensure_incremental();
   return baseline_balances_;
 }
 
@@ -53,34 +91,13 @@ bool ReorderingProblem::fully_valid_baseline() const {
   return true;
 }
 
-std::optional<std::vector<Amount>> ReorderingProblem::ifu_balances(
-    std::span<const std::size_t> order) const {
-  assert(order.size() == original_.size());
-  const std::vector<bool>& must_execute = originally_executed();
-  ++evaluations_;
-
-  vm::L2State state = state_;
-  const std::vector<vm::Tx> txs = materialize(order);
-  const vm::ExecutionResult result = engine_.execute(state, txs);
-
-  // Validity: every originally executed tx must execute here too.
-  for (std::size_t pos = 0; pos < order.size(); ++pos) {
-    const std::size_t original_index = order[pos];
-    if (must_execute[original_index] &&
-        result.receipts[pos].status != vm::TxStatus::kExecuted) {
-      return std::nullopt;
-    }
-  }
-
-  std::vector<Amount> balances;
-  balances.reserve(ifus_.size());
-  for (UserId ifu : ifus_) balances.push_back(state.total_balance(ifu));
-  return balances;
+Amount ReorderingProblem::baseline() const {
+  ensure_incremental();
+  return *baseline_;
 }
 
-std::optional<Amount> ReorderingProblem::evaluate(
-    std::span<const std::size_t> order) const {
-  const auto balances = ifu_balances(order);
+std::optional<Amount> ReorderingProblem::value_from(
+    const std::optional<std::vector<Amount>>& balances) const {
   if (!balances) return std::nullopt;
 
   if (objective_ == Objective::kSumBalance) {
@@ -98,9 +115,276 @@ std::optional<Amount> ReorderingProblem::evaluate(
   return min_gain;
 }
 
-Amount ReorderingProblem::baseline() const {
-  (void)originally_executed();  // computes and caches
-  return *baseline_;
+// --- reference (full re-execution) path ------------------------------------
+
+std::optional<std::vector<Amount>> ReorderingProblem::ifu_balances_full(
+    std::span<const std::size_t> order) const {
+  assert(order.size() == original_.size());
+  const std::vector<bool>& must_execute = originally_executed();
+  ++stats_.evaluations;
+  stats_.txs_executed += order.size();
+
+  vm::L2State state = state_;
+  const std::vector<vm::Tx> txs = materialize(order);
+  const vm::ExecutionResult result = engine_.execute(state, txs);
+
+  // Validity: every originally executed tx must execute here too.
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    const std::size_t original_index = order[pos];
+    if (must_execute[original_index] &&
+        result.receipts[pos].status != vm::TxStatus::kExecuted) {
+      return std::nullopt;
+    }
+  }
+
+  return collect_balances(state);
+}
+
+std::optional<Amount> ReorderingProblem::evaluate_full(
+    std::span<const std::size_t> order) const {
+  return value_from(ifu_balances_full(order));
+}
+
+// --- incremental path -------------------------------------------------------
+
+std::optional<std::vector<Amount>> ReorderingProblem::eval_balances(
+    std::span<const std::size_t> order, std::size_t first_change,
+    std::size_t last_change) const {
+  const std::size_t n = original_.size();
+  ++stats_.evaluations;
+
+  if (first_change >= n) {
+    // Bit-identical to the incumbent: serve its cached result.
+    ++stats_.cache_hits;
+    stats_.txs_saved += n;
+    if (inc_viols_ > 0) return std::nullopt;
+    return inc_balances_;
+  }
+
+  const std::size_t ci =
+      std::min(first_change / stride_, checkpoints_.size() - 1);
+  const Checkpoint& cp = checkpoints_[ci];
+  if (cp.pos > 0) ++stats_.cache_hits;
+  if (cp.viols_before > 0) {
+    // The shared prefix already breaks a must-execute tx; no execution can
+    // rescue the order.
+    stats_.txs_saved += n;
+    return std::nullopt;
+  }
+  stats_.txs_saved += cp.pos;
+
+  if (!scratch_) {
+    scratch_.emplace(cp.state);
+  } else {
+    *scratch_ = cp.state;  // copy-assign reuses bucket capacity
+  }
+
+  // Execute segment by segment so a checkpoint boundary just past the last
+  // changed position can try the reconvergence shortcut: when the probe
+  // state there equals the incumbent's snapshot, the identical tail must
+  // evolve identically, so the incumbent's final balances are the answer.
+  std::size_t pos = cp.pos;
+  bool tried_reconverge = false;
+  while (pos < n) {
+    const std::size_t boundary = std::min(n, (pos / stride_ + 1) * stride_);
+    const vm::SpanExecResult res = engine_.execute_indexed(
+        *scratch_, original_, order, pos, boundary, must_bytes_,
+        /*stop_at_must_violation=*/true);
+    stats_.txs_executed += res.attempted;
+    if (res.first_must_violation != vm::kNoViolation) return std::nullopt;
+    pos = boundary;
+    if (pos >= n) break;
+    if (pos > last_change && !tried_reconverge) {
+      tried_reconverge = true;
+      const std::size_t bi = pos / stride_;
+      if (bi < checkpoints_.size() && checkpoints_[bi].pos == pos &&
+          *scratch_ == checkpoints_[bi].state) {
+        ++stats_.reconvergences;
+        stats_.txs_saved += n - pos;
+        if (inc_viols_ - checkpoints_[bi].viols_before > 0) {
+          return std::nullopt;
+        }
+        return inc_balances_;
+      }
+    }
+  }
+  return collect_balances(*scratch_);
+}
+
+std::optional<std::vector<Amount>> ReorderingProblem::ifu_balances(
+    std::span<const std::size_t> order) const {
+  assert(order.size() == original_.size());
+  ensure_incremental();
+  const std::size_t n = original_.size();
+
+  std::size_t first = 0;
+  while (first < n && order[first] == inc_order_[first]) ++first;
+  std::size_t last = 0;
+  if (first < n) {
+    last = n - 1;
+    while (last > first && order[last] == inc_order_[last]) --last;
+  }
+  return eval_balances(order, first, last);
+}
+
+std::optional<Amount> ReorderingProblem::evaluate(
+    std::span<const std::size_t> order) const {
+  return value_from(ifu_balances(order));
+}
+
+// --- incumbent management ---------------------------------------------------
+
+const std::vector<std::size_t>& ReorderingProblem::committed_order() const {
+  ensure_incremental();
+  return inc_order_;
+}
+
+std::optional<Amount> ReorderingProblem::committed_value() const {
+  ensure_incremental();
+  if (inc_viols_ > 0) return std::nullopt;
+  return value_from(inc_balances_);
+}
+
+std::optional<Amount> ReorderingProblem::evaluate_swap(std::size_t i,
+                                                       std::size_t j) const {
+  ensure_incremental();
+  assert(i != j && i < original_.size() && j < original_.size());
+  if (i > j) std::swap(i, j);
+  pending_swap_ = {i, j};
+
+  // Between commits the probe is a pure function of (i, j): serve repeats
+  // from the memo (cleared whenever the incumbent moves).
+  const std::uint64_t key = (static_cast<std::uint64_t>(i) << 32) | j;
+  if (const auto it = swap_memo_.find(key); it != swap_memo_.end()) {
+    ++stats_.evaluations;
+    ++stats_.cache_hits;
+    stats_.txs_saved += original_.size();
+    return it->second;
+  }
+
+  probe_order_ = inc_order_;
+  std::swap(probe_order_[i], probe_order_[j]);
+  const std::optional<Amount> value =
+      value_from(eval_balances(probe_order_, i, j));
+  swap_memo_.emplace(key, value);
+  return value;
+}
+
+void ReorderingProblem::commit_swap(std::size_t i, std::size_t j) const {
+  ensure_incremental();
+  assert(i != j && i < original_.size() && j < original_.size());
+  if (i > j) std::swap(i, j);
+  ++stats_.commits;
+  std::swap(inc_order_[i], inc_order_[j]);
+  rebuild_trail(i, j);
+  swap_memo_.clear();
+  pending_swap_.reset();
+}
+
+bool ReorderingProblem::commit() const {
+  if (!pending_swap_) return false;
+  const auto [i, j] = *pending_swap_;
+  commit_swap(i, j);
+  return true;
+}
+
+void ReorderingProblem::revert() const { pending_swap_.reset(); }
+
+void ReorderingProblem::commit_order(
+    std::span<const std::size_t> order) const {
+  ensure_incremental();
+  const std::size_t n = original_.size();
+  assert(order.size() == n);
+
+  std::size_t first = 0;
+  while (first < n && order[first] == inc_order_[first]) ++first;
+  if (first >= n) {
+    pending_swap_.reset();
+    return;  // already the incumbent
+  }
+  std::size_t last = n - 1;
+  while (last > first && order[last] == inc_order_[last]) --last;
+
+  ++stats_.commits;
+  inc_order_.assign(order.begin(), order.end());
+  rebuild_trail(first, last);
+  swap_memo_.clear();
+  pending_swap_.reset();
+}
+
+void ReorderingProblem::rebuild_trail(std::size_t from_pos,
+                                      std::size_t last_change) const {
+  const std::size_t n = original_.size();
+  const std::size_t ci = std::min(from_pos / stride_, checkpoints_.size() - 1);
+  if (!scratch_) {
+    scratch_.emplace(checkpoints_[ci].state);
+  } else {
+    *scratch_ = checkpoints_[ci].state;
+  }
+  std::size_t viols = checkpoints_[ci].viols_before;
+  std::size_t pos = checkpoints_[ci].pos;
+  bool adopted = false;
+
+  while (pos < n) {
+    if (pos % stride_ == 0) {
+      const std::size_t bi = pos / stride_;
+      if (bi >= checkpoints_.size()) {
+        checkpoints_.push_back({*scratch_, pos, viols});
+      } else if (bi > ci) {
+        Checkpoint& old = checkpoints_[bi];
+        if (pos > last_change && old.pos == pos && *scratch_ == old.state) {
+          // The tail is untouched and its entry state is unchanged, so the
+          // rest of the trail (and the final balances) still hold; only the
+          // cumulative violation counts shift.
+          const auto delta = static_cast<std::int64_t>(viols) -
+                             static_cast<std::int64_t>(old.viols_before);
+          if (delta != 0) {
+            for (std::size_t k = bi; k < checkpoints_.size(); ++k) {
+              checkpoints_[k].viols_before = static_cast<std::size_t>(
+                  static_cast<std::int64_t>(checkpoints_[k].viols_before) +
+                  delta);
+            }
+            inc_viols_ = static_cast<std::size_t>(
+                static_cast<std::int64_t>(inc_viols_) + delta);
+          }
+          adopted = true;
+          break;
+        }
+        old.state = *scratch_;
+        old.pos = pos;
+        old.viols_before = viols;
+      }
+    }
+    const std::size_t idx = inc_order_[pos];
+    const bool ok = engine_.apply_tx(*scratch_, original_[idx]);
+    ++stats_.txs_executed;
+    if (!ok && must_bytes_[idx] != 0) ++viols;
+    ++pos;
+  }
+
+  if (!adopted) {
+    inc_balances_ = collect_balances(*scratch_);
+    inc_viols_ = viols;
+  }
+}
+
+void ReorderingProblem::set_checkpoint_stride(std::size_t stride) const {
+  const std::size_t n = original_.size();
+  const std::size_t resolved = stride == 0 ? auto_stride(n) : stride;
+  if (checkpoints_.empty()) {
+    stride_ = resolved;
+    return;  // applied when the trail is first built
+  }
+  if (resolved == stride_) return;
+  stride_ = resolved;
+  checkpoints_.clear();
+  checkpoints_.push_back({state_, 0, 0});
+  if (n > 0) rebuild_trail(0, n - 1);
+}
+
+std::size_t ReorderingProblem::checkpoint_stride() const {
+  ensure_incremental();
+  return stride_;
 }
 
 std::vector<vm::Tx> ReorderingProblem::materialize(

@@ -13,17 +13,34 @@
 //
 // All solvers (and the DQN, via core::ReorderEnv) evaluate candidates through
 // evaluate(), so Fig. 11's comparisons count identical work units.
+//
+// Incremental evaluation (see DESIGN.md §7): the problem keeps a committed
+// incumbent order plus prefix-state checkpoints of the L2 state every
+// `stride` positions along it. evaluate(order) restores the deepest
+// checkpoint consistent with the first position where `order` diverges from
+// the incumbent and re-executes only the suffix via
+// vm::ExecutionEngine::execute_indexed (no per-call tx materialization).
+// evaluate_swap(i, j) probes the incumbent with positions i/j swapped and
+// additionally short-circuits when the probe state reconverges with the
+// incumbent's checkpointed state past max(i, j) — commuting swaps then cost
+// O(stride) transaction executions regardless of batch size. Repeated probes
+// of the same pair between commits are served from a per-incumbent memo in
+// O(1). Results are bit-identical to full re-execution (evaluate_full keeps
+// the reference path, pinned by tests/incremental_eval_test.cpp).
 #pragma once
 
 #include <cstdint>
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "parole/common/amount.hpp"
 #include "parole/common/ids.hpp"
 #include "parole/common/rng.hpp"
+#include "parole/solvers/instrument.hpp"
 #include "parole/vm/engine.hpp"
 
 namespace parole::solvers {
@@ -58,12 +75,66 @@ class ReorderingProblem {
   // original_order()): the summed final balance (kSumBalance) or the minimum
   // per-IFU gain (kMinGain); nullopt when the order is invalid (a tx that
   // executed in the original order fails here). Increments the counter.
+  // Served incrementally from the checkpoint cache; bit-identical to
+  // evaluate_full.
   [[nodiscard]] std::optional<Amount> evaluate(
       std::span<const std::size_t> order) const;
 
   // Per-IFU final total balances under `order` (same validity rule).
   [[nodiscard]] std::optional<std::vector<Amount>> ifu_balances(
       std::span<const std::size_t> order) const;
+
+  // Reference implementations: deep-copy the state, materialize the batch
+  // and re-execute all n transactions from scratch. Kept as the baseline the
+  // property tests and bench/evaluator_throughput compare against.
+  [[nodiscard]] std::optional<Amount> evaluate_full(
+      std::span<const std::size_t> order) const;
+  [[nodiscard]] std::optional<std::vector<Amount>> ifu_balances_full(
+      std::span<const std::size_t> order) const;
+
+  // --- incremental swap-probe API -----------------------------------------
+  //
+  // The hot path for swap-neighbourhood search. The problem keeps a
+  // *committed incumbent* order (initially the identity) with prefix-state
+  // checkpoints along it. Probes never move the incumbent; commits do.
+  // Typical solver loop:
+  //
+  //   problem.commit_order(current);                  // sync incumbent
+  //   auto value = problem.evaluate_swap(i, j);       // probe a move
+  //   if (accept) { std::swap(current[i], current[j]);
+  //                 problem.commit_swap(i, j); }      // or: commit()
+  //   else        { problem.revert(); }               // drop the probe
+
+  // The committed incumbent order (identity until the first commit).
+  [[nodiscard]] const std::vector<std::size_t>& committed_order() const;
+
+  // Objective of the incumbent (nullopt when it is invalid). Cached; does
+  // not count as an evaluation.
+  [[nodiscard]] std::optional<Amount> committed_value() const;
+
+  // Make `order` the incumbent and rebuild the checkpoint trail from the
+  // first position where it diverges from the previous incumbent. No-op
+  // when `order` already is the incumbent.
+  void commit_order(std::span<const std::size_t> order) const;
+
+  // Evaluate the incumbent with positions i and j swapped (i != j), without
+  // committing. Equivalent to evaluate() on that order, including the
+  // evaluation count. The probed swap is remembered for commit()/revert().
+  [[nodiscard]] std::optional<Amount> evaluate_swap(std::size_t i,
+                                                    std::size_t j) const;
+
+  // Apply a swap to the incumbent and refresh the checkpoint trail from
+  // position min(i, j). commit() applies the last probed swap (returns false
+  // when there is none); revert() discards it.
+  void commit_swap(std::size_t i, std::size_t j) const;
+  bool commit() const;
+  void revert() const;
+
+  // Checkpoint stride (positions between prefix-state snapshots). 0 = auto
+  // (~sqrt(n), the balance point between snapshot-copy cost and suffix
+  // overshoot — see DESIGN.md §7). Changing it rebuilds the trail.
+  void set_checkpoint_stride(std::size_t stride) const;
+  [[nodiscard]] std::size_t checkpoint_stride() const;
 
   // Per-IFU final balances under the original order.
   [[nodiscard]] const std::vector<Amount>& baseline_balances() const;
@@ -82,10 +153,33 @@ class ReorderingProblem {
   [[nodiscard]] std::vector<vm::Tx> materialize(
       std::span<const std::size_t> order) const;
 
-  [[nodiscard]] std::uint64_t evaluations() const { return evaluations_; }
-  void reset_evaluations() { evaluations_ = 0; }
+  [[nodiscard]] std::uint64_t evaluations() const {
+    return stats_.evaluations;
+  }
+  void reset_evaluations() { stats_ = EvalStats{}; }
+
+  // Incremental-engine counters (cache hits, txs re-executed, ...).
+  [[nodiscard]] const EvalStats& eval_stats() const { return stats_; }
 
  private:
+  // A snapshot of the L2 state after executing the incumbent's first `pos`
+  // positions, plus how many must-execute violations that prefix contains.
+  struct Checkpoint {
+    vm::L2State state;
+    std::size_t pos{0};
+    std::size_t viols_before{0};
+  };
+
+  void ensure_incremental() const;
+  void rebuild_trail(std::size_t from_pos, std::size_t last_change) const;
+  [[nodiscard]] std::optional<std::vector<Amount>> eval_balances(
+      std::span<const std::size_t> order, std::size_t first_change,
+      std::size_t last_change) const;
+  [[nodiscard]] std::optional<Amount> value_from(
+      const std::optional<std::vector<Amount>>& balances) const;
+  [[nodiscard]] std::vector<Amount> collect_balances(
+      const vm::L2State& state) const;
+
   vm::L2State state_;
   std::vector<vm::Tx> original_;
   std::vector<UserId> ifus_;
@@ -93,10 +187,24 @@ class ReorderingProblem {
   // Skip-invalid execution + the executed-set check implements the paper's
   // validity rule; fees off: the attack models Eqs. 1-6.
   vm::ExecutionEngine engine_;
-  mutable std::uint64_t evaluations_{0};
+  mutable EvalStats stats_;
   mutable std::optional<Amount> baseline_;
   mutable std::optional<std::vector<bool>> originally_executed_;
   mutable std::vector<Amount> baseline_balances_;
+  // --- incremental evaluation state (lazily built) ------------------------
+  mutable std::size_t stride_{0};  // 0 = auto (~sqrt(n))
+  mutable std::vector<std::size_t> inc_order_;    // committed incumbent
+  mutable std::vector<Checkpoint> checkpoints_;   // trail along inc_order_
+  mutable std::vector<Amount> inc_balances_;      // incumbent final balances
+  mutable std::size_t inc_viols_{0};              // incumbent violations
+  mutable std::optional<vm::L2State> scratch_;    // reusable probe state
+  mutable std::vector<std::uint8_t> must_bytes_;  // originally_executed()
+  mutable std::vector<std::size_t> probe_order_;  // evaluate_swap workspace
+  mutable std::optional<std::pair<std::size_t, std::size_t>> pending_swap_;
+  // Memo of swap probes against the *current* incumbent (key (i << 32) | j,
+  // i < j): between commits evaluate_swap is a pure function of (i, j), and
+  // local search re-probes the same pairs constantly. Cleared on any commit.
+  mutable std::unordered_map<std::uint64_t, std::optional<Amount>> swap_memo_;
 };
 
 // Uniform result record for every solver (and the DQN wrapper in bench).
@@ -112,6 +220,10 @@ struct SolveResult {
   // the solver self-reports via instrument.hpp so Fig. 11(b) is allocation-
   // accurate rather than RSS-noisy.
   std::size_t peak_bytes{0};
+  // Incremental-evaluator counters for this solve (EvalStats delta): probes
+  // served from a prefix checkpoint, and transactions actually re-executed.
+  std::uint64_t cache_hits{0};
+  std::uint64_t txs_reexecuted{0};
 
   [[nodiscard]] Amount profit() const { return best_value - baseline; }
 };

@@ -11,7 +11,7 @@ SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng) {
 
   Timer timer;
   MemoryMeter meter;
-  const std::uint64_t evals_before = problem.evaluations();
+  const EvalStats stats_before = problem.eval_stats();
   const std::size_t n = problem.size();
 
   SolveResult result;
@@ -28,6 +28,7 @@ SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng) {
 
   std::vector<std::size_t> current = result.best_order;
   Amount current_value = result.baseline;
+  problem.commit_order(current);  // swap probes run against the incumbent
 
   // tabu_until[i][j] (i < j): iteration index until which swapping (i, j)
   // is forbidden. Dense triangular table — the solver's working set.
@@ -45,9 +46,7 @@ SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng) {
 
     for (std::size_t i = 0; i + 1 < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
-        std::swap(current[i], current[j]);
-        const auto value = problem.evaluate(current);
-        std::swap(current[i], current[j]);
+        const auto value = problem.evaluate_swap(i, j);
         if (!value) continue;
 
         const bool tabu = tabu_until[i * n + j] >= iter;
@@ -63,9 +62,13 @@ SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng) {
       }
     }
 
-    if (!have_move) break;  // every admissible move is invalid or tabu
+    if (!have_move) {
+      problem.revert();
+      break;  // every admissible move is invalid or tabu
+    }
 
     std::swap(current[best_i], current[best_j]);
+    problem.commit_swap(best_i, best_j);
     current_value = best_move_value;
     tabu_until[best_i * n + best_j] = iter + config_.tenure;
 
@@ -79,7 +82,10 @@ SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng) {
   }
 
   result.improved = result.best_value > result.baseline;
-  result.evaluations = problem.evaluations() - evals_before;
+  const EvalStats delta = problem.eval_stats() - stats_before;
+  result.evaluations = delta.evaluations;
+  result.cache_hits = delta.cache_hits;
+  result.txs_reexecuted = delta.txs_executed;
   result.wall_millis = timer.elapsed_millis();
   result.peak_bytes = meter.peak();
   return result;

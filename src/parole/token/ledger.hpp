@@ -34,6 +34,11 @@ class BalanceLedger {
   // Deterministic snapshot sorted by user id, for state-root hashing.
   [[nodiscard]] std::vector<std::pair<UserId, Amount>> sorted_entries() const;
 
+  // Exact-entry equality (an explicit zero-balance account differs from a
+  // missing one); used by the incremental evaluator's reconvergence check,
+  // where a false negative only costs speed, never correctness.
+  friend bool operator==(const BalanceLedger&, const BalanceLedger&) = default;
+
  private:
   std::unordered_map<UserId, Amount> balances_;
 };

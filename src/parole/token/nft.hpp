@@ -75,6 +75,12 @@ class LimitedEditionNft {
   // Deterministic snapshot of live tokens sorted by id, for state hashing.
   [[nodiscard]] std::vector<std::pair<TokenId, UserId>> sorted_owners() const;
 
+  // Full-machine equality (including next_auto_id_ and the ever-minted set,
+  // both of which steer future mints); two equal machines evolve identically
+  // under the same transaction suffix.
+  friend bool operator==(const LimitedEditionNft&,
+                         const LimitedEditionNft&) = default;
+
  private:
   PriceCurve curve_;
   std::uint32_t remaining_;

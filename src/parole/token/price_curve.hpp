@@ -28,6 +28,8 @@ class PriceCurve {
   [[nodiscard]] std::uint32_t max_supply() const { return max_supply_; }
   [[nodiscard]] Amount initial_price() const { return initial_price_; }
 
+  friend bool operator==(const PriceCurve&, const PriceCurve&) = default;
+
  private:
   std::uint32_t max_supply_;
   Amount initial_price_;

@@ -12,58 +12,75 @@ std::size_t ExecutionResult::executed_count() const {
   return count;
 }
 
-Receipt ExecutionEngine::execute_tx(L2State& state, const Tx& tx) const {
-  Receipt receipt;
-  receipt.id = tx.id;
-  receipt.kind = tx.kind;
-  receipt.price_before = state.nft().current_price();
-  receipt.price_after = receipt.price_before;
-
-  auto fail = [&receipt](std::string reason) {
-    receipt.status = TxStatus::kConstraintViolated;
-    receipt.failure_reason = std::move(reason);
-    return receipt;
-  };
-
-  const Amount price = receipt.price_before;
+const char* ExecutionEngine::check_tx(const L2State& state,
+                                      const Tx& tx) const {
+  const Amount price = state.nft().current_price();
   const Amount fee = config_.charge_fees ? tx.total_fee() : 0;
 
   switch (tx.kind) {
-    case TxKind::kMint: {
+    case TxKind::kMint:
       // Eq. 1: B_k >= P (plus fee when metering) and S >= 1.
       if (state.nft().remaining_supply() < 1) {
-        return fail("supply exhausted");
+        return "supply exhausted";
       }
       if (state.ledger().balance(tx.sender) < price + fee) {
-        return fail("minter balance below price");
+        return "minter balance below price";
       }
       if (tx.token.has_value() && state.nft().ever_minted(*tx.token)) {
-        return fail("desired token id already minted");
+        return "desired token id already minted";
       }
+      break;
+    case TxKind::kTransfer:
+      // Eq. 3: B_j >= P (buyer can pay, plus nothing — the *seller* pays the
+      // tx fee as the submitting party) and O_k^i (seller owns the token).
+      if (!tx.token.has_value()) {
+        return "transfer without token id";
+      }
+      if (!state.nft().owns(tx.sender, *tx.token)) {
+        return "seller does not own token";
+      }
+      if (state.ledger().balance(tx.recipient) < price) {
+        return "buyer balance below price";
+      }
+      if (config_.charge_fees &&
+          state.ledger().balance(tx.sender) + price < fee) {
+        return "seller cannot cover fee";
+      }
+      break;
+    case TxKind::kBurn:
+      // Eq. 5: O_k^i.
+      if (!tx.token.has_value()) {
+        return "burn without token id";
+      }
+      if (!state.nft().owns(tx.sender, *tx.token)) {
+        return "burner does not own token";
+      }
+      if (config_.charge_fees && state.ledger().balance(tx.sender) < fee) {
+        return "burner cannot cover fee";
+      }
+      break;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Effects legs (Eqs. 2/4/6), assuming check_tx passed. Returns the minted
+// token id for mints.
+std::optional<TokenId> apply_effects(L2State& state, const Tx& tx,
+                                     Amount price, Amount fee) {
+  std::optional<TokenId> minted_token;
+  switch (tx.kind) {
+    case TxKind::kMint: {
       const Status debited = state.ledger().debit(tx.sender, price + fee);
       assert(debited.ok());
       (void)debited;
       auto minted = state.nft().mint(tx.sender, tx.token);
       assert(minted.ok());
-      receipt.minted_token = minted.value();
+      minted_token = minted.value();
       break;
     }
     case TxKind::kTransfer: {
-      // Eq. 3: B_j >= P (buyer can pay, plus nothing — the *seller* pays the
-      // tx fee as the submitting party) and O_k^i (seller owns the token).
-      if (!tx.token.has_value()) {
-        return fail("transfer without token id");
-      }
-      if (!state.nft().owns(tx.sender, *tx.token)) {
-        return fail("seller does not own token");
-      }
-      if (state.ledger().balance(tx.recipient) < price) {
-        return fail("buyer balance below price");
-      }
-      if (config_.charge_fees &&
-          state.ledger().balance(tx.sender) + price < fee) {
-        return fail("seller cannot cover fee");
-      }
       const Status debited = state.ledger().debit(tx.recipient, price);
       assert(debited.ok());
       (void)debited;
@@ -80,16 +97,6 @@ Receipt ExecutionEngine::execute_tx(L2State& state, const Tx& tx) const {
       break;
     }
     case TxKind::kBurn: {
-      // Eq. 5: O_k^i.
-      if (!tx.token.has_value()) {
-        return fail("burn without token id");
-      }
-      if (!state.nft().owns(tx.sender, *tx.token)) {
-        return fail("burner does not own token");
-      }
-      if (config_.charge_fees && state.ledger().balance(tx.sender) < fee) {
-        return fail("burner cannot cover fee");
-      }
       if (fee > 0) {
         const Status fee_debit = state.ledger().debit(tx.sender, fee);
         assert(fee_debit.ok());
@@ -101,13 +108,67 @@ Receipt ExecutionEngine::execute_tx(L2State& state, const Tx& tx) const {
       break;
     }
   }
-
   if (fee > 0) state.add_fees(fee);
+  return minted_token;
+}
+
+}  // namespace
+
+bool ExecutionEngine::apply_tx(L2State& state, const Tx& tx) const {
+  if (check_tx(state, tx) != nullptr) return false;
+  const Amount price = state.nft().current_price();
+  const Amount fee = config_.charge_fees ? tx.total_fee() : 0;
+  (void)apply_effects(state, tx, price, fee);
+  return true;
+}
+
+Receipt ExecutionEngine::execute_tx(L2State& state, const Tx& tx) const {
+  Receipt receipt;
+  receipt.id = tx.id;
+  receipt.kind = tx.kind;
+  receipt.price_before = state.nft().current_price();
+  receipt.price_after = receipt.price_before;
+
+  if (const char* reason = check_tx(state, tx)) {
+    receipt.status = TxStatus::kConstraintViolated;
+    receipt.failure_reason = reason;
+    return receipt;
+  }
+
+  const Amount price = receipt.price_before;
+  const Amount fee = config_.charge_fees ? tx.total_fee() : 0;
+  receipt.minted_token = apply_effects(state, tx, price, fee);
   receipt.status = TxStatus::kExecuted;
   receipt.price_after = state.nft().current_price();
   receipt.gas_used = config_.gas.gas_for(tx.kind);
   receipt.fee_paid = fee;
   return receipt;
+}
+
+SpanExecResult ExecutionEngine::execute_indexed(
+    L2State& state, std::span<const Tx> original,
+    std::span<const std::size_t> order, std::size_t from, std::size_t to,
+    std::span<const std::uint8_t> must_execute,
+    bool stop_at_must_violation) const {
+  assert(to <= order.size());
+  SpanExecResult result;
+  for (std::size_t pos = from; pos < to; ++pos) {
+    const std::size_t idx = order[pos];
+    assert(idx < original.size());
+    ++result.attempted;
+    if (apply_tx(state, original[idx])) {
+      ++result.executed;
+      continue;
+    }
+    if (!must_execute.empty() && must_execute[idx] != 0) {
+      ++result.must_violations;
+      if (result.first_must_violation == kNoViolation) {
+        result.first_must_violation = pos;
+      }
+      if (stop_at_must_violation) break;
+    }
+  }
+  return result;
 }
 
 ExecutionResult ExecutionEngine::execute(L2State& state,

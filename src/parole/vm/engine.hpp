@@ -71,6 +71,21 @@ struct ExecutionResult {
   [[nodiscard]] std::size_t executed_count() const;
 };
 
+// Lightweight outcome of an index-span execution (execute_indexed): counts
+// only, no per-transaction receipts are allocated. This is the hot path the
+// reordering evaluator re-executes suffixes through.
+inline constexpr std::size_t kNoViolation = static_cast<std::size_t>(-1);
+
+struct SpanExecResult {
+  std::size_t attempted{0};  // transactions whose constraints were checked
+  std::size_t executed{0};   // transactions that passed and mutated state
+  // Number of attempted txs flagged in `must_execute` whose constraints
+  // failed, and the first order-position where that happened (kNoViolation
+  // when none did).
+  std::size_t must_violations{0};
+  std::size_t first_must_violation{kNoViolation};
+};
+
 class ExecutionEngine {
  public:
   explicit ExecutionEngine(ExecConfig config = {}) : config_(config) {}
@@ -78,6 +93,30 @@ class ExecutionEngine {
   // Execute one transaction in place. Returns the receipt; on constraint
   // violation the state is untouched.
   Receipt execute_tx(L2State& state, const Tx& tx) const;
+
+  // Constraint check only (Eqs. 1/3/5 plus fee coverage when metering):
+  // nullptr when the transaction can execute against `state`, otherwise the
+  // same failure-reason literal execute_tx would record. Never mutates.
+  [[nodiscard]] const char* check_tx(const L2State& state, const Tx& tx) const;
+
+  // check_tx + effects without building a Receipt. Returns true when the
+  // transaction executed; on violation the state is untouched.
+  bool apply_tx(L2State& state, const Tx& tx) const;
+
+  // Execute the order positions [from, to) of a permuted batch directly from
+  // the original transaction array — `order[pos]` indexes into `original` —
+  // so no per-call std::vector<Tx> is ever materialized. Always uses
+  // skip-invalid semantics (a failing tx reverts and execution continues),
+  // which is the reordering evaluator's mode; strict-policy callers need
+  // receipts and should use execute(). `must_execute` (indexed by *original*
+  // position, empty = none) marks the paper's validity set; when
+  // `stop_at_must_violation` is set, execution aborts at the first violated
+  // must-execute tx — the caller is about to discard the order anyway.
+  SpanExecResult execute_indexed(L2State& state, std::span<const Tx> original,
+                                 std::span<const std::size_t> order,
+                                 std::size_t from, std::size_t to,
+                                 std::span<const std::uint8_t> must_execute = {},
+                                 bool stop_at_must_violation = false) const;
 
   // Execute a sequence in place, honouring the invalid-tx policy. Does not
   // compute state roots (hot path for the DRL environment).

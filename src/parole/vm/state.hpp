@@ -37,6 +37,11 @@ class L2State {
   // Merkle root over (sorted balances, sorted token owners, remaining supply).
   [[nodiscard]] crypto::Hash256 state_root() const;
 
+  // Exact structural equality over every execution-relevant field. Two equal
+  // states evolve identically under the same transaction suffix, which is
+  // what the incremental evaluator's reconvergence shortcut relies on.
+  friend bool operator==(const L2State&, const L2State&) = default;
+
  private:
   token::BalanceLedger ledger_;
   token::LimitedEditionNft nft_;

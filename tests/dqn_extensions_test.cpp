@@ -87,7 +87,7 @@ DqnConfig bandit_config() {
   DqnConfig config;
   config.hidden = {16};
   config.minibatch = 16;
-  config.learning_rate = 5.0;
+  config.adam_learning_rate = 5.0 / 1000.0;
   return config;
 }
 
@@ -129,7 +129,7 @@ TEST(DoubleDqn, ReducesValueOverestimationOnNoisyBandit) {
     config.hidden = {16};
     config.minibatch = 16;
     config.gamma = 0.9;
-    config.learning_rate = 5.0;
+    config.adam_learning_rate = 5.0 / 1000.0;
     config.use_double_dqn = use_double;
     DqnAgent agent(2, 4, config, seed);
     Rng rng(seed ^ 0xff);

@@ -470,7 +470,7 @@ TEST(DqnAgentTest, LearnsTrivialBandit) {
   DqnConfig config;
   config.hidden = {16};
   config.minibatch = 16;
-  config.learning_rate = 5.0;  // Adam divides by 1000 internally
+  config.adam_learning_rate = 5.0 / 1000.0;
   config.use_adam = true;
   DqnAgent agent(2, 2, config, /*seed=*/42);
 
@@ -497,7 +497,7 @@ TEST(DqnAgentTest, PropagatesValueThroughBellmanBackup) {
   config.hidden = {16};
   config.minibatch = 16;
   config.gamma = 0.9;
-  config.learning_rate = 5.0;
+  config.adam_learning_rate = 5.0 / 1000.0;
   DqnAgent agent(2, 2, config, 43);
 
   const std::vector<double> state_a = {1, 0};
@@ -576,6 +576,9 @@ TEST(DqnAgentTest, TableTwoDefaults) {
   EXPECT_EQ(config.episodes, 100u);
   EXPECT_EQ(config.steps_per_episode, 200u);
   EXPECT_DOUBLE_EQ(config.learning_rate, 0.7);
+  // Not a Table II value: the Adam step size defaults to the historical
+  // alpha/1000 scaling it replaced.
+  EXPECT_DOUBLE_EQ(config.adam_learning_rate, 0.7 / 1000.0);
   EXPECT_EQ(config.replay_capacity, 5'000u);
   EXPECT_EQ(config.qnet_update_every, 5u);
   EXPECT_EQ(config.target_update_every, 30u);
