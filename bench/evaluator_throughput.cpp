@@ -14,8 +14,9 @@
 //                 divergence point ~N/3).
 //
 // Prints the table + CSV like every other harness bench and writes
-// BENCH_evaluator.json for tooling. PAROLE_BENCH_SCALE scales the probe
-// count; PAROLE_SEED overrides the seed.
+// BENCH_evaluator.json — RunReport JSONL (DESIGN.md §8), one "result" line
+// per (n, move) cell with the historical key names. PAROLE_BENCH_SCALE scales
+// the probe count; PAROLE_SEED overrides the seed.
 #include <cstdio>
 #include <optional>
 #include <string>
@@ -24,6 +25,7 @@
 #include "parole/common/env.hpp"
 #include "parole/common/table.hpp"
 #include "parole/data/workload.hpp"
+#include "parole/obs/report.hpp"
 #include "parole/solvers/instrument.hpp"
 #include "parole/solvers/problem.hpp"
 
@@ -198,34 +200,33 @@ int main() {
   }
   table.print();
 
-  std::FILE* out = std::fopen("BENCH_evaluator.json", "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "cannot write BENCH_evaluator.json\n");
+  obs::RunReport report("evaluator_throughput");
+  report.set_meta("bench", obs::JsonValue("evaluator_throughput"));
+  report.set_meta("scale", obs::JsonValue(bench_scale()));
+  report.set_meta("seed", obs::JsonValue(seed));
+  for (const Row& row : rows) {
+    obs::JsonObject result;
+    result["n"] = obs::JsonValue(static_cast<std::uint64_t>(row.n));
+    result["move"] = obs::JsonValue(row.move);
+    result["probes"] = obs::JsonValue(static_cast<std::uint64_t>(row.probes));
+    result["full_evals_per_sec"] = obs::JsonValue(row.full_eps);
+    result["incremental_evals_per_sec"] = obs::JsonValue(row.inc_eps);
+    result["speedup"] = obs::JsonValue(row.speedup);
+    result["identical"] = obs::JsonValue(row.identical);
+    result["cache_hits"] = obs::JsonValue(row.stats.cache_hits);
+    result["reconvergences"] = obs::JsonValue(row.stats.reconvergences);
+    result["txs_executed"] = obs::JsonValue(row.stats.txs_executed);
+    result["txs_saved"] = obs::JsonValue(row.stats.txs_saved);
+    report.add_result(std::move(result));
+  }
+  report.capture_metrics();
+  const Status written = report.write("BENCH_evaluator.json");
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write BENCH_evaluator.json: %s\n",
+                 written.error().detail.c_str());
     return 1;
   }
-  std::fprintf(out,
-               "{\n  \"bench\": \"evaluator_throughput\",\n"
-               "  \"scale\": %.3f,\n  \"seed\": %llu,\n  \"results\": [\n",
-               bench_scale(), static_cast<unsigned long long>(seed));
-  for (std::size_t r = 0; r < rows.size(); ++r) {
-    const Row& row = rows[r];
-    std::fprintf(
-        out,
-        "    {\"n\": %zu, \"move\": \"%s\", \"probes\": %zu,"
-        " \"full_evals_per_sec\": %.1f, \"incremental_evals_per_sec\": %.1f,"
-        " \"speedup\": %.2f, \"identical\": %s,"
-        " \"cache_hits\": %llu, \"reconvergences\": %llu,"
-        " \"txs_executed\": %llu, \"txs_saved\": %llu}%s\n",
-        row.n, row.move, row.probes, row.full_eps, row.inc_eps, row.speedup,
-        row.identical ? "true" : "false",
-        static_cast<unsigned long long>(row.stats.cache_hits),
-        static_cast<unsigned long long>(row.stats.reconvergences),
-        static_cast<unsigned long long>(row.stats.txs_executed),
-        static_cast<unsigned long long>(row.stats.txs_saved),
-        r + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(out, "  ]\n}\n");
-  std::fclose(out);
-  std::printf("\nwrote BENCH_evaluator.json\n");
+  std::printf("\nwrote BENCH_evaluator.json (%zu JSONL lines)\n",
+              report.line_count());
   return 0;
 }

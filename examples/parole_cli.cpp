@@ -6,19 +6,29 @@
 //   parole_cli scan <snapshots.csv>      Fig. 10-style scan of a CSV corpus
 //   parole_cli gen <snapshots.csv> [n]   generate a synthetic corpus to CSV
 //   parole_cli defend                    screen the case study (Sec. VIII)
+//   parole_cli quickstart                solver + DQN + rollup smoke scenario
+//   parole_cli validate <report.jsonl>   schema-check a telemetry report
+//
+// Global flags (any command):
+//   --metrics <path>   write a RunReport JSONL metrics snapshot on exit
+//   --trace <path>     arm the span recorder; write the trace JSONL on exit
 //
 // Exit code 0 on success, 1 on usage/errors.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
+#include "parole/core/campaign.hpp"
 #include "parole/core/defense.hpp"
+#include "parole/core/gentranseq.hpp"
 #include "parole/core/parole_attack.hpp"
 #include "parole/data/case_study.hpp"
 #include "parole/data/csv.hpp"
 #include "parole/data/scanner.hpp"
 #include "parole/data/snapshot.hpp"
+#include "parole/obs/report.hpp"
 
 using namespace parole;
 namespace cs = data::case_study;
@@ -27,10 +37,14 @@ namespace {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: parole_cli attack [snapshots.csv]\n"
+               "usage: parole_cli [--metrics <path>] [--trace <path>] "
+               "<command>\n"
+               "       parole_cli attack [snapshots.csv]\n"
                "       parole_cli scan <snapshots.csv>\n"
                "       parole_cli gen <snapshots.csv> [collections-per-cell]\n"
-               "       parole_cli defend\n");
+               "       parole_cli defend\n"
+               "       parole_cli quickstart\n"
+               "       parole_cli validate <report.jsonl>\n");
   return 1;
 }
 
@@ -126,20 +140,136 @@ int cmd_defend() {
   return 0;
 }
 
+// One small pass through each instrumented pipeline — solver search, DQN
+// training, rollup campaign — so a single run populates counters from every
+// module. Sized to finish in seconds; pair with --metrics/--trace to get the
+// telemetry files the docs and CI consume.
+int cmd_quickstart() {
+  core::ParoleConfig attack_config;
+  attack_config.kind = core::ReordererKind::kAnnealing;
+  core::Parole parole(attack_config);
+  const core::AttackOutcome outcome =
+      parole.run(cs::initial_state(), cs::original_txs(), {cs::kIfu});
+  std::printf("[solvers] case-study profit %s ETH (annealing)\n",
+              to_eth_string(outcome.profit()).c_str());
+
+  const solvers::ReorderingProblem problem = cs::make_problem();
+  core::GenTranSeqConfig gen_config;
+  gen_config.dqn.episodes = 4;
+  gen_config.dqn.steps_per_episode = 25;
+  gen_config.dqn.hidden = {16, 16};
+  gen_config.dqn.minibatch = 8;
+  gen_config.dqn.replay_capacity = 256;
+  core::GenTranSeq gentranseq(problem, gen_config, 0x9a601eULL);
+  const core::TrainResult train = gentranseq.train();
+  std::printf("[ml] DQN trained %zu episodes, best balance %s ETH%s\n",
+              train.episode_rewards.size(),
+              to_eth_string(train.best_balance).c_str(),
+              train.found_profit ? " (profit found)" : "");
+
+  core::CampaignConfig campaign_config;
+  campaign_config.num_aggregators = 3;
+  campaign_config.adversarial_fraction = 0.34;
+  campaign_config.mempool_size = 12;
+  campaign_config.rounds = 6;
+  campaign_config.audit = true;
+  core::AttackCampaign campaign(campaign_config);
+  const core::CampaignResult campaign_result = campaign.run();
+  std::printf(
+      "[rollup] campaign: %zu adversarial batches, %zu reordered, total "
+      "profit %s ETH\n",
+      campaign_result.adversarial_batches, campaign_result.reordered_batches,
+      to_eth_string(campaign_result.total_profit).c_str());
+
+  if (!obs::MetricsRegistry::instance().snapshot().empty()) {
+    std::printf("\n%s", obs::metrics_table().c_str());
+  }
+  return 0;
+}
+
+int cmd_validate(const std::string& path) {
+  const Status status = obs::RunReport::validate_file(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "invalid telemetry: %s\n",
+                 status.error().detail.c_str());
+    return 1;
+  }
+  std::printf("%s: valid schema-v%llu telemetry\n", path.c_str(),
+              static_cast<unsigned long long>(obs::kReportSchemaVersion));
+  return 0;
+}
+
+// Writes the metrics and/or trace RunReports requested via --metrics/--trace.
+int write_reports(const std::string& command, const std::string& metrics_path,
+                  const std::string& trace_path) {
+  if (!metrics_path.empty()) {
+    obs::RunReport report("parole_cli." + command);
+    report.set_meta("command", obs::JsonValue(command));
+    report.capture_metrics();
+    const Status written = report.write(metrics_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.error().detail.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s (%zu lines)\n", metrics_path.c_str(),
+                report.line_count());
+  }
+  if (!trace_path.empty()) {
+    obs::RunReport report("parole_cli." + command + ".trace");
+    report.set_meta("command", obs::JsonValue(command));
+    report.capture_trace();
+    const Status written = report.write(trace_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "error: %s\n", written.error().detail.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s (%zu lines)\n", trace_path.c_str(),
+                report.line_count());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string command = argv[1];
-
-  if (command == "attack" && argc == 2) return cmd_attack_case_study();
-  if (command == "attack" && argc == 3) return cmd_attack_csv(argv[2]);
-  if (command == "scan" && argc == 3) return cmd_scan(argv[2]);
-  if (command == "gen" && (argc == 3 || argc == 4)) {
-    const std::size_t per_cell =
-        argc == 4 ? static_cast<std::size_t>(std::atoi(argv[3])) : 3;
-    return cmd_gen(argv[2], per_cell == 0 ? 3 : per_cell);
+  std::string metrics_path;
+  std::string trace_path;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics" || arg == "--trace") {
+      if (i + 1 >= argc) return usage();
+      (arg == "--metrics" ? metrics_path : trace_path) = argv[++i];
+      continue;
+    }
+    args.push_back(arg);
   }
-  if (command == "defend" && argc == 2) return cmd_defend();
-  return usage();
+  if (args.empty()) return usage();
+  if (!trace_path.empty()) obs::TraceRecorder::instance().set_enabled(true);
+
+  const std::string& command = args[0];
+  int rc = 1;
+  if (command == "attack" && args.size() == 1) {
+    rc = cmd_attack_case_study();
+  } else if (command == "attack" && args.size() == 2) {
+    rc = cmd_attack_csv(args[1]);
+  } else if (command == "scan" && args.size() == 2) {
+    rc = cmd_scan(args[1]);
+  } else if (command == "gen" && (args.size() == 2 || args.size() == 3)) {
+    const std::size_t per_cell =
+        args.size() == 3 ? static_cast<std::size_t>(std::atoi(args[2].c_str()))
+                         : 3;
+    rc = cmd_gen(args[1], per_cell == 0 ? 3 : per_cell);
+  } else if (command == "defend" && args.size() == 1) {
+    rc = cmd_defend();
+  } else if (command == "quickstart" && args.size() == 1) {
+    rc = cmd_quickstart();
+  } else if (command == "validate" && args.size() == 2) {
+    rc = cmd_validate(args[1]);
+  } else {
+    return usage();
+  }
+
+  const int report_rc = write_reports(command, metrics_path, trace_path);
+  return rc != 0 ? rc : report_rc;
 }

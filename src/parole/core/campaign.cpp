@@ -5,6 +5,9 @@
 #include <cmath>
 #include <memory>
 
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+
 namespace parole::core {
 
 AttackCampaign::AttackCampaign(CampaignConfig config)
@@ -15,6 +18,9 @@ AttackCampaign::AttackCampaign(CampaignConfig config)
 }
 
 CampaignResult AttackCampaign::run() {
+  // Timed even when the recorder is off: campaign wall time is the shared
+  // clock every per-module span nests under.
+  obs::Span campaign_span("core.campaign", obs::Span::Timing::kAlways);
   CampaignResult result;
 
   // --- workload -------------------------------------------------------------
@@ -59,6 +65,8 @@ CampaignResult AttackCampaign::run() {
       [&parole, &profit_sink, &reordered, &result, &auditor, audit,
        ifus = result.ifus](const vm::L2State& state,
                            std::vector<vm::Tx> batch) -> std::vector<vm::Tx> {
+    PAROLE_OBS_SPAN("core.reorder");
+    PAROLE_OBS_COUNT("parole.core.reorder_calls", 1);
     AttackOutcome outcome = parole->run(state, std::move(batch), ifus);
     profit_sink += outcome.profit();
     if (outcome.reordered) ++reordered;

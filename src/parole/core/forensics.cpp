@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+
 namespace parole::core {
 namespace {
 
@@ -58,6 +61,8 @@ double fee_order_deviation(std::span<const vm::Tx> executed) {
 ForensicReport BatchForensics::analyze(const vm::L2State& pre_state,
                                        std::span<const vm::Tx> executed)
     const {
+  PAROLE_OBS_SPAN("core.forensics");
+  PAROLE_OBS_COUNT("parole.core.audits", 1);
   ForensicReport report;
   report.ordering_deviation = fee_order_deviation(executed);
 
@@ -91,6 +96,7 @@ ForensicReport BatchForensics::analyze(const vm::L2State& pre_state,
   }
   report.suspicion = report.ordering_deviation * report.concentration;
   report.flagged = report.suspicion > config_.suspicion_threshold;
+  if (report.flagged) PAROLE_OBS_COUNT("parole.core.flagged_batches", 1);
   return report;
 }
 

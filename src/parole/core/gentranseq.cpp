@@ -3,6 +3,8 @@
 #include <cassert>
 
 #include "parole/ml/epsilon.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
 
 namespace parole::core {
 
@@ -17,6 +19,8 @@ GenTranSeq::GenTranSeq(const solvers::ReorderingProblem& problem,
 }
 
 TrainResult GenTranSeq::train() {
+  PAROLE_OBS_SPAN("ml.train");
+  const solvers::EvalStats stats_before = problem_->eval_stats();
   TrainResult result;
   result.baseline = env_.baseline_balance();
   result.best_balance = result.baseline;
@@ -28,12 +32,16 @@ TrainResult GenTranSeq::train() {
                                      config_.dqn.epsilon_decay);
 
   for (std::size_t ep = 0; ep < config_.dqn.episodes; ++ep) {
+    PAROLE_OBS_SPAN("ml.episode");
+    PAROLE_OBS_COUNT("parole.ml.episodes", 1);
     std::vector<double> state = env_.reset();
     const double epsilon = schedule.at(ep);
+    PAROLE_OBS_GAUGE("parole.ml.epsilon", epsilon);
     double episode_reward = 0.0;
     bool episode_found_profit = false;
 
     for (std::size_t sp = 0; sp < config_.dqn.steps_per_episode; ++sp) {
+      PAROLE_OBS_SPAN("ml.step");
       const std::size_t action = agent_.select_action(state, epsilon);
       EnvStep step = env_.step(action);
       episode_reward += step.reward;
@@ -64,8 +72,10 @@ TrainResult GenTranSeq::train() {
         agent_.sync_target();
       }
     }
+    PAROLE_OBS_OBSERVE("parole.ml.episode_reward", episode_reward);
     result.episode_rewards.push_back(episode_reward);
   }
+  solvers::publish_eval_stats(problem_->eval_stats() - stats_before);
 
   if (result.best_order.empty()) {
     // Never improved: the final sequence is the original one.

@@ -5,6 +5,8 @@
 #include <optional>
 
 #include "parole/ml/loss.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
 
 namespace parole::ml {
 namespace {
@@ -75,17 +77,23 @@ void DqnAgent::remember(Transition transition) {
 
 double DqnAgent::train_step() {
   if (!buffer_.can_sample(config_.minibatch)) return -1.0;
+  PAROLE_OBS_COUNT("parole.ml.train_steps", 1);
+  PAROLE_OBS_GAUGE("parole.ml.replay_occupancy",
+                   static_cast<double>(buffer_.size()));
 
   // Select the minibatch: uniform, or priority-proportional when enabled.
   std::vector<std::size_t> indices;
   std::vector<const Transition*> batch;
-  if (config_.prioritized_replay) {
-    indices = buffer_.sample_prioritized(config_.minibatch,
-                                         config_.priority_alpha, rng_);
-    batch.reserve(indices.size());
-    for (std::size_t index : indices) batch.push_back(&buffer_.at(index));
-  } else {
-    batch = buffer_.sample(config_.minibatch, rng_);
+  {
+    PAROLE_OBS_SPAN("ml.replay-sample");
+    if (config_.prioritized_replay) {
+      indices = buffer_.sample_prioritized(config_.minibatch,
+                                           config_.priority_alpha, rng_);
+      batch.reserve(indices.size());
+      for (std::size_t index : indices) batch.push_back(&buffer_.at(index));
+    } else {
+      batch = buffer_.sample(config_.minibatch, rng_);
+    }
   }
 
   Matrix states(batch.size(), state_dim_);
@@ -130,12 +138,19 @@ double DqnAgent::train_step() {
     }
   }
 
-  q_net_.zero_grads();
-  q_net_.backward(loss.grad);
-  optimizer_->step(q_net_);
+  {
+    PAROLE_OBS_SPAN("ml.adam-step");
+    q_net_.zero_grads();
+    q_net_.backward(loss.grad);
+    optimizer_->step(q_net_);
+  }
+  PAROLE_OBS_OBSERVE("parole.ml.loss", loss.value);
   return loss.value;
 }
 
-void DqnAgent::sync_target() { target_net_.copy_weights_from(q_net_); }
+void DqnAgent::sync_target() {
+  PAROLE_OBS_COUNT("parole.ml.target_syncs", 1);
+  target_net_.copy_weights_from(q_net_);
+}
 
 }  // namespace parole::ml

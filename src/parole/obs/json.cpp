@@ -1,0 +1,366 @@
+#include "parole/obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace parole::obs {
+namespace {
+
+std::string format_double(double v) {
+  // Shortest round-trippable form; %.17g always round-trips IEEE doubles and
+  // %g trims trailing noise for the common "1.5"-style values.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  if (parsed == v) {
+    char shorter[64];
+    for (int prec = 1; prec < 17; ++prec) {
+      std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+      std::sscanf(shorter, "%lf", &parsed);
+      if (parsed == v) return shorter;
+    }
+  }
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> parse() {
+    skip_ws();
+    auto value = parse_value();
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Result<JsonValue> fail(const std::string& what) {
+    return Error{"json_parse",
+                 what + " at offset " + std::to_string(pos_)};
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(const char* literal) {
+    const std::size_t len = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, len, literal) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  Result<JsonValue> parse_value() {
+    if (++depth_ > kMaxDepth) return fail("nesting too deep");
+    struct DepthGuard {
+      std::size_t& d;
+      ~DepthGuard() { --d; }
+    } guard{depth_};
+
+    if (eof()) return fail("unexpected end of input");
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.ok()) return s.error();
+      return JsonValue(std::move(s.value()));
+    }
+    if (consume("true")) return JsonValue(true);
+    if (consume("false")) return JsonValue(false);
+    if (consume("null")) return JsonValue(nullptr);
+    return parse_number();
+  }
+
+  Result<std::string> parse_string() {
+    if (eof() || peek() != '"') {
+      return Error{"json_parse",
+                   "expected string at offset " + std::to_string(pos_)};
+    }
+    ++pos_;
+    std::string out;
+    while (!eof()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (eof()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Error{"json_parse", "truncated \\u escape"};
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error{"json_parse", "bad \\u escape"};
+          }
+          // Telemetry strings are ASCII; encode the BMP code point as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xc0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          } else {
+            out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return Error{"json_parse", "unknown escape character"};
+      }
+    }
+    return Error{"json_parse", "unterminated string"};
+  }
+
+  Result<JsonValue> parse_number() {
+    const std::size_t start = pos_;
+    if (!eof() && peek() == '-') ++pos_;
+    bool is_double = false;
+    while (!eof() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                      peek() == '.' || peek() == 'e' || peek() == 'E' ||
+                      peek() == '+' || peek() == '-')) {
+      if (peek() == '.' || peek() == 'e' || peek() == 'E') is_double = true;
+      ++pos_;
+    }
+    if (pos_ == start) return fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    if (!is_double) {
+      if (token[0] == '-') {
+        std::int64_t v = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        if (ec == std::errc() && ptr == token.data() + token.size()) {
+          return JsonValue(v);
+        }
+      } else {
+        std::uint64_t v = 0;
+        const auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        if (ec == std::errc() && ptr == token.data() + token.size()) {
+          return JsonValue(v);
+        }
+      }
+    }
+    double v = 0.0;
+    if (std::sscanf(token.c_str(), "%lf", &v) != 1 || !std::isfinite(v)) {
+      return fail("malformed number '" + token + "'");
+    }
+    return JsonValue(v);
+  }
+
+  Result<JsonValue> parse_array() {
+    ++pos_;  // '['
+    JsonArray out;
+    skip_ws();
+    if (!eof() && peek() == ']') {
+      ++pos_;
+      return JsonValue(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      out.push_back(std::move(value.value()));
+      skip_ws();
+      if (eof()) return fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == ']') {
+        ++pos_;
+        return JsonValue(std::move(out));
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  Result<JsonValue> parse_object() {
+    ++pos_;  // '{'
+    JsonObject out;
+    skip_ws();
+    if (!eof() && peek() == '}') {
+      ++pos_;
+      return JsonValue(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.ok()) return key.error();
+      skip_ws();
+      if (eof() || peek() != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      out.emplace(std::move(key.value()), std::move(value.value()));
+      skip_ws();
+      if (eof()) return fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (peek() == '}') {
+        ++pos_;
+        return JsonValue(std::move(out));
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  static constexpr std::size_t kMaxDepth = 64;
+  const std::string& text_;
+  std::size_t pos_{0};
+  std::size_t depth_{0};
+};
+
+void dump_into(const JsonValue& value, std::string& out);
+
+void dump_object(const JsonObject& object, std::string& out) {
+  out.push_back('{');
+  bool first = true;
+  for (const auto& [key, member] : object) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out += json_escape(key);
+    out += "\":";
+    dump_into(member, out);
+  }
+  out.push_back('}');
+}
+
+void dump_array(const JsonArray& array, std::string& out) {
+  out.push_back('[');
+  for (std::size_t i = 0; i < array.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    dump_into(array[i], out);
+  }
+  out.push_back(']');
+}
+
+void dump_into(const JsonValue& value, std::string& out) {
+  if (value.is_null()) {
+    out += "null";
+  } else if (value.is_bool()) {
+    out += value.as_bool() ? "true" : "false";
+  } else if (value.is_string()) {
+    out.push_back('"');
+    out += json_escape(value.as_string());
+    out.push_back('"');
+  } else if (value.is_array()) {
+    dump_array(value.as_array(), out);
+  } else if (value.is_object()) {
+    dump_object(value.as_object(), out);
+  } else if (value.holds_signed()) {
+    out += std::to_string(value.as_int());
+  } else if (!value.holds_double()) {
+    out += std::to_string(value.as_uint());
+  } else {
+    out += format_double(value.as_double());
+  }
+}
+
+}  // namespace
+
+double JsonValue::as_double() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<double>(*i);
+  }
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    return static_cast<double>(*u);
+  }
+  return std::get<double>(value_);
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) return *i;
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    return static_cast<std::int64_t>(*u);
+  }
+  return static_cast<std::int64_t>(std::get<double>(value_));
+}
+
+std::uint64_t JsonValue::as_uint() const {
+  if (const auto* u = std::get_if<std::uint64_t>(&value_)) return *u;
+  if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    return static_cast<std::uint64_t>(*i);
+  }
+  return static_cast<std::uint64_t>(std::get<double>(value_));
+}
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  const auto* object = std::get_if<JsonObject>(&value_);
+  if (object == nullptr) return nullptr;
+  const auto it = object->find(key);
+  return it == object->end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::dump() const {
+  std::string out;
+  dump_into(*this, out);
+  return out;
+}
+
+Result<JsonValue> json_parse(const std::string& text) {
+  return Parser(text).parse();
+}
+
+std::string json_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace parole::obs

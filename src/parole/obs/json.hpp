@@ -1,0 +1,106 @@
+// Minimal JSON object model for the telemetry layer.
+//
+// RunReport emits JSONL (one JSON object per line) and the CLI / CI validator
+// parses those lines back; both sides go through this model so the writer and
+// the parser can never drift apart. It is deliberately small: no comments, no
+// NaN/Inf (rejected on write and read — telemetry with non-finite numbers is
+// a bug upstream), UTF-8 passed through verbatim.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "parole/common/result.hpp"
+
+namespace parole::obs {
+
+class JsonValue;
+
+using JsonArray = std::vector<JsonValue>;
+// std::map keeps member order deterministic for stable golden files.
+using JsonObject = std::map<std::string, JsonValue>;
+
+class JsonValue {
+ public:
+  using Storage = std::variant<std::nullptr_t, bool, std::int64_t,
+                               std::uint64_t, double, std::string, JsonArray,
+                               JsonObject>;
+
+  JsonValue() : value_(nullptr) {}
+  JsonValue(std::nullptr_t) : value_(nullptr) {}
+  JsonValue(bool b) : value_(b) {}
+  JsonValue(int v) : value_(static_cast<std::int64_t>(v)) {}
+  JsonValue(long v) : value_(static_cast<std::int64_t>(v)) {}
+  JsonValue(long long v) : value_(static_cast<std::int64_t>(v)) {}
+  JsonValue(unsigned v) : value_(static_cast<std::uint64_t>(v)) {}
+  JsonValue(unsigned long v) : value_(static_cast<std::uint64_t>(v)) {}
+  JsonValue(unsigned long long v) : value_(static_cast<std::uint64_t>(v)) {}
+  JsonValue(double v) : value_(v) {}
+  JsonValue(const char* s) : value_(std::string(s)) {}
+  JsonValue(std::string s) : value_(std::move(s)) {}
+  JsonValue(JsonArray a) : value_(std::move(a)) {}
+  JsonValue(JsonObject o) : value_(std::move(o)) {}
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(value_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(value_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<std::int64_t>(value_) ||
+           std::holds_alternative<std::uint64_t>(value_) ||
+           std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(value_);
+  }
+  [[nodiscard]] bool holds_double() const {
+    return std::holds_alternative<double>(value_);
+  }
+  [[nodiscard]] bool holds_signed() const {
+    return std::holds_alternative<std::int64_t>(value_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<JsonArray>(value_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<JsonObject>(value_);
+  }
+
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(value_); }
+  // Numbers collapse to double for consumers that only compare magnitudes.
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] std::int64_t as_int() const;
+  [[nodiscard]] std::uint64_t as_uint() const;
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(value_);
+  }
+  [[nodiscard]] const JsonArray& as_array() const {
+    return std::get<JsonArray>(value_);
+  }
+  [[nodiscard]] const JsonObject& as_object() const {
+    return std::get<JsonObject>(value_);
+  }
+
+  // Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+
+  // Compact single-line rendering (JSONL-safe: no raw newlines).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  Storage value_;
+};
+
+// Parse one JSON document. Trailing non-whitespace is an error (JSONL lines
+// hold exactly one object).
+Result<JsonValue> json_parse(const std::string& text);
+
+// Escape a string for embedding in JSON output.
+std::string json_escape(const std::string& raw);
+
+}  // namespace parole::obs

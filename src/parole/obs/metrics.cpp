@@ -1,0 +1,136 @@
+#include "parole/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parole::obs {
+namespace {
+
+// Default decade buckets cover everything the pipelines observe today:
+// batch sizes, bisection rounds, losses, rewards in gwei.
+std::vector<double> default_bounds() {
+  return {1,       5,       10,      50,       100,      500,     1'000,
+          5'000,   10'000,  50'000,  100'000,  500'000,  1e6,     5e6};
+}
+
+template <typename T>
+T* find_entry(std::vector<std::pair<std::string, std::unique_ptr<T>>>& entries,
+              std::string_view name) {
+  for (auto& [key, value] : entries) {
+    if (key == name) return value.get();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  if (bounds_.empty()) bounds_ = default_bounds();
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto index = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> is C++20; relaxed CAS keeps us portable to
+  // libstdc++ versions that lack the member.
+  double expected = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(expected, expected + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::reset() noexcept {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  if (Counter* existing = find_entry(counters_, name)) return *existing;
+  counters_.emplace_back(std::string(name), std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard lock(mutex_);
+  if (Gauge* existing = find_entry(gauges_, name)) return *existing;
+  gauges_.emplace_back(std::string(name), std::make_unique<Gauge>());
+  return *gauges_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      std::vector<double> upper_bounds) {
+  std::lock_guard lock(mutex_);
+  if (Histogram* existing = find_entry(histograms_, name)) return *existing;
+  histograms_.emplace_back(std::string(name),
+                           std::make_unique<Histogram>(std::move(upper_bounds)));
+  return *histograms_.back().second;
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::vector<MetricSample> out;
+  {
+    std::lock_guard lock(mutex_);
+    out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+    for (const auto& [name, counter] : counters_) {
+      MetricSample sample;
+      sample.kind = MetricSample::Kind::kCounter;
+      sample.name = name;
+      sample.value = static_cast<double>(counter->value());
+      out.push_back(std::move(sample));
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      MetricSample sample;
+      sample.kind = MetricSample::Kind::kGauge;
+      sample.name = name;
+      sample.value = gauge->value();
+      out.push_back(std::move(sample));
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      MetricSample sample;
+      sample.kind = MetricSample::Kind::kHistogram;
+      sample.name = name;
+      sample.value = static_cast<double>(histogram->count());
+      sample.bounds = histogram->bounds();
+      sample.bucket_counts = histogram->counts();
+      sample.sum = histogram->sum();
+      out.push_back(std::move(sample));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->reset();
+  for (auto& [name, gauge] : gauges_) gauge->reset();
+  for (auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+}  // namespace parole::obs

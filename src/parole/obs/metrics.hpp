@@ -1,0 +1,184 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms (DESIGN.md §8).
+//
+// Naming convention: `parole.<module>.<name>` (e.g. parole.solvers.cache_hits,
+// parole.rollup.batch_size). Handles returned by the registry are stable for
+// the life of the process — components resolve them once (constructor or
+// function-local static) and then increment through the pointer, so the hot
+// path is a single relaxed atomic add.
+//
+// Cost model:
+//   * compile-time off  — build with PAROLE_OBS_DISABLED (CMake
+//     -DPAROLE_OBS=OFF): the PAROLE_OBS_* macros expand to nothing, call
+//     sites vanish entirely;
+//   * runtime off       — MetricsRegistry::set_enabled(false) (the default is
+//     ON for metrics): macro call sites check one relaxed atomic bool;
+//   * runtime on        — relaxed atomic increments, no locks, no allocation.
+// Registration (name lookup) takes a mutex but only runs once per call site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parole::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: bucket i counts observations <= bounds[i]; one
+// implicit overflow bucket counts the rest. Lock-free observes.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  // counts() has bounds().size() + 1 entries; the last is the overflow.
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+// A point-in-time view of one metric, for sinks (table dump, RunReport).
+struct MetricSample {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  Kind kind{Kind::kCounter};
+  std::string name;
+  // Counter/gauge value (count for histograms).
+  double value{0.0};
+  // Histogram detail (empty otherwise).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  double sum{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  // The process-wide registry every PAROLE_OBS_* macro talks to.
+  static MetricsRegistry& instance();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name. References stay valid for the registry's life
+  // (values live behind unique_ptr; reset_values() zeroes, never deletes).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  // `upper_bounds` is used on first registration only and must be ascending;
+  // pass {} to get the default decade buckets.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds = {});
+
+  // Runtime switch read by the hot-path macros. Metrics default ON.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Sorted-by-name snapshot of every registered metric.
+  [[nodiscard]] std::vector<MetricSample> snapshot() const;
+
+  // Zero every value (handles stay valid). Tests and per-run sinks use this.
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Gauge>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  std::atomic<bool> enabled_{true};
+};
+
+}  // namespace parole::obs
+
+// --- hot-path macros ----------------------------------------------------------
+//
+// PAROLE_OBS_COUNT(name, n)    add n to counter `name`
+// PAROLE_OBS_GAUGE(name, v)    set gauge `name` to v
+// PAROLE_OBS_OBSERVE(name, v)  record v into histogram `name`
+//
+// Each call site resolves its handle once (function-local static) and then
+// pays one enabled() load + one relaxed atomic op. With PAROLE_OBS_DISABLED
+// the macros expand to a void no-op and the handle is never created.
+#if defined(PAROLE_OBS_DISABLED)
+
+#define PAROLE_OBS_COUNT(name, n) ((void)0)
+#define PAROLE_OBS_GAUGE(name, v) ((void)0)
+#define PAROLE_OBS_OBSERVE(name, v) ((void)0)
+
+#else
+
+#define PAROLE_OBS_COUNT(name, n)                                           \
+  do {                                                                      \
+    auto& parole_obs_reg = ::parole::obs::MetricsRegistry::instance();      \
+    if (parole_obs_reg.enabled()) {                                         \
+      static ::parole::obs::Counter& parole_obs_handle =                    \
+          parole_obs_reg.counter(name);                                     \
+      parole_obs_handle.add(n);                                             \
+    }                                                                       \
+  } while (0)
+
+#define PAROLE_OBS_GAUGE(name, v)                                           \
+  do {                                                                      \
+    auto& parole_obs_reg = ::parole::obs::MetricsRegistry::instance();      \
+    if (parole_obs_reg.enabled()) {                                         \
+      static ::parole::obs::Gauge& parole_obs_handle =                      \
+          parole_obs_reg.gauge(name);                                       \
+      parole_obs_handle.set(v);                                             \
+    }                                                                       \
+  } while (0)
+
+#define PAROLE_OBS_OBSERVE(name, v)                                         \
+  do {                                                                      \
+    auto& parole_obs_reg = ::parole::obs::MetricsRegistry::instance();      \
+    if (parole_obs_reg.enabled()) {                                         \
+      static ::parole::obs::Histogram& parole_obs_handle =                  \
+          parole_obs_reg.histogram(name);                                   \
+      parole_obs_handle.observe(static_cast<double>(v));                    \
+    }                                                                       \
+  } while (0)
+
+#endif  // PAROLE_OBS_DISABLED

@@ -1,0 +1,212 @@
+#include "parole/obs/report.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "parole/common/table.hpp"
+
+namespace parole::obs {
+namespace {
+
+JsonObject sample_to_object(const MetricSample& sample) {
+  JsonObject line;
+  line["name"] = sample.name;
+  switch (sample.kind) {
+    case MetricSample::Kind::kCounter:
+      line["type"] = "counter";
+      line["value"] = static_cast<std::uint64_t>(sample.value);
+      break;
+    case MetricSample::Kind::kGauge:
+      line["type"] = "gauge";
+      line["value"] = sample.value;
+      break;
+    case MetricSample::Kind::kHistogram: {
+      line["type"] = "histogram";
+      line["count"] = static_cast<std::uint64_t>(sample.value);
+      line["sum"] = sample.sum;
+      JsonArray bounds;
+      for (const double b : sample.bounds) bounds.emplace_back(b);
+      JsonArray counts;
+      for (const std::uint64_t c : sample.bucket_counts) counts.emplace_back(c);
+      line["bounds"] = std::move(bounds);
+      line["counts"] = std::move(counts);
+      break;
+    }
+  }
+  return line;
+}
+
+Status check(bool ok, const std::string& what) {
+  if (ok) return ok_status();
+  return Error{"report_schema", what};
+}
+
+Status require_number(const JsonValue& object, const char* key) {
+  const JsonValue* member = object.find(key);
+  return check(member != nullptr && member->is_number(),
+               std::string("missing or non-numeric '") + key + "'");
+}
+
+Status require_string(const JsonValue& object, const char* key) {
+  const JsonValue* member = object.find(key);
+  return check(member != nullptr && member->is_string() &&
+                   !member->as_string().empty(),
+               std::string("missing or empty '") + key + "'");
+}
+
+}  // namespace
+
+void RunReport::set_meta(const std::string& key, JsonValue value) {
+  meta_[key] = std::move(value);
+}
+
+void RunReport::add_result(JsonObject row) {
+  row["type"] = "result";
+  lines_.push_back(std::move(row));
+}
+
+void RunReport::capture_metrics(const MetricsRegistry& registry) {
+  for (const MetricSample& sample : registry.snapshot()) {
+    lines_.push_back(sample_to_object(sample));
+  }
+}
+
+void RunReport::capture_trace(const TraceRecorder& recorder) {
+  for (const SpanRecord& span : recorder.snapshot()) {
+    JsonObject line;
+    line["type"] = "span";
+    line["name"] = span.name;
+    line["id"] = span.id;
+    line["parent"] = span.parent;
+    line["depth"] = static_cast<std::uint64_t>(span.depth);
+    line["start_ns"] = span.start_ns;
+    line["dur_ns"] = span.duration_ns;
+    lines_.push_back(std::move(line));
+  }
+}
+
+std::string RunReport::to_jsonl() const {
+  JsonObject meta = meta_;
+  meta["type"] = "meta";
+  meta["report"] = name_;
+  meta["schema"] = kReportSchemaVersion;
+
+  std::string out = JsonValue(std::move(meta)).dump();
+  out.push_back('\n');
+  for (const JsonObject& line : lines_) {
+    out += JsonValue(line).dump();
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status RunReport::write(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Error{"report_io", "cannot open '" + path + "' for writing"};
+  }
+  const std::string body = to_jsonl();
+  const std::size_t written = std::fwrite(body.data(), 1, body.size(), file);
+  std::fclose(file);
+  if (written != body.size()) {
+    return Error{"report_io", "short write to '" + path + "'"};
+  }
+  return ok_status();
+}
+
+Status RunReport::validate_line(const std::string& line) {
+  auto parsed = json_parse(line);
+  if (!parsed.ok()) return parsed.error();
+  const JsonValue& value = parsed.value();
+  if (!value.is_object()) return check(false, "line is not a JSON object");
+
+  const JsonValue* type = value.find("type");
+  if (type == nullptr || !type->is_string()) {
+    return check(false, "missing 'type' discriminator");
+  }
+  const std::string& kind = type->as_string();
+
+  if (kind == "meta") {
+    if (Status s = require_string(value, "report"); !s.ok()) return s;
+    const JsonValue* schema = value.find("schema");
+    return check(schema != nullptr && schema->is_number() &&
+                     schema->as_uint() == kReportSchemaVersion,
+                 "meta line missing schema version " +
+                     std::to_string(kReportSchemaVersion));
+  }
+  if (kind == "result") {
+    return check(value.as_object().size() > 1, "empty result row");
+  }
+  if (kind == "counter" || kind == "gauge") {
+    if (Status s = require_string(value, "name"); !s.ok()) return s;
+    return require_number(value, "value");
+  }
+  if (kind == "histogram") {
+    if (Status s = require_string(value, "name"); !s.ok()) return s;
+    for (const char* key : {"count", "sum"}) {
+      if (Status s = require_number(value, key); !s.ok()) return s;
+    }
+    const JsonValue* bounds = value.find("bounds");
+    const JsonValue* counts = value.find("counts");
+    if (bounds == nullptr || !bounds->is_array() || counts == nullptr ||
+        !counts->is_array()) {
+      return check(false, "histogram missing bounds/counts arrays");
+    }
+    return check(counts->as_array().size() == bounds->as_array().size() + 1,
+                 "histogram counts must have bounds+1 entries");
+  }
+  if (kind == "span") {
+    if (Status s = require_string(value, "name"); !s.ok()) return s;
+    for (const char* key : {"id", "parent", "depth", "start_ns", "dur_ns"}) {
+      if (Status s = require_number(value, key); !s.ok()) return s;
+    }
+    return check(value.find("id")->as_uint() > 0, "span id must be positive");
+  }
+  return check(false, "unknown line type '" + kind + "'");
+}
+
+Status RunReport::validate_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{"report_io", "cannot open '" + path + "'"};
+
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_meta = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (Status s = validate_line(line); !s.ok()) {
+      return Error{"report_schema", path + ":" + std::to_string(line_no) +
+                                        ": " + s.error().detail};
+    }
+    // The first non-empty line must be the meta header.
+    auto parsed = json_parse(line);
+    const std::string& kind = parsed.value().find("type")->as_string();
+    if (!saw_meta) {
+      if (kind != "meta") {
+        return Error{"report_schema", path + ": first line must be meta"};
+      }
+      saw_meta = true;
+    }
+  }
+  if (!saw_meta) return Error{"report_schema", path + ": empty report"};
+  return ok_status();
+}
+
+std::string metrics_table(const MetricsRegistry& registry) {
+  TablePrinter table("telemetry: metrics");
+  table.columns({"metric", "kind", "value", "sum"});
+  for (const MetricSample& sample : registry.snapshot()) {
+    const char* kind = sample.kind == MetricSample::Kind::kCounter ? "counter"
+                       : sample.kind == MetricSample::Kind::kGauge
+                           ? "gauge"
+                           : "histogram";
+    table.row({sample.name, kind, TablePrinter::num(sample.value, 3),
+               sample.kind == MetricSample::Kind::kHistogram
+                   ? TablePrinter::num(sample.sum, 3)
+                   : ""});
+  }
+  return table.to_string();
+}
+
+}  // namespace parole::obs

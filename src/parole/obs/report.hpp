@@ -1,0 +1,74 @@
+// RunReport: the machine-readable sink of a run (DESIGN.md §8).
+//
+// One JSONL file per run, one JSON object per line, every line carrying a
+// "type" discriminator. Schema version 1:
+//
+//   {"type":"meta","report":<name>,"schema":1, ...free-form meta...}
+//   {"type":"result", ...one free-form row per bench/table result...}
+//   {"type":"counter","name":...,"value":...}
+//   {"type":"gauge","name":...,"value":...}
+//   {"type":"histogram","name":...,"count":...,"sum":...,
+//    "bounds":[...],"counts":[...]}            # counts has bounds+1 entries
+//   {"type":"span","name":...,"id":...,"parent":...,"depth":...,
+//    "start_ns":...,"dur_ns":...}              # parent 0 = root
+//
+// The meta line always comes first. validate_file()/validate_line() are the
+// single source of truth for the schema — tests, `parole_cli validate` and CI
+// all go through them. The human-readable counterpart is metrics_table()
+// (the common/table printer over the same registry snapshot).
+#pragma once
+
+#include <string>
+
+#include "parole/common/result.hpp"
+#include "parole/obs/json.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+
+namespace parole::obs {
+
+inline constexpr std::uint64_t kReportSchemaVersion = 1;
+
+class RunReport {
+ public:
+  explicit RunReport(std::string name) : name_(std::move(name)) {}
+
+  // Extra key/values for the meta line (seed, scale, scenario, ...).
+  void set_meta(const std::string& key, JsonValue value);
+
+  // One free-form result row (a bench table row, a campaign summary, ...).
+  void add_result(JsonObject row);
+
+  // Append a metrics snapshot: every registered counter/gauge/histogram.
+  void capture_metrics(const MetricsRegistry& registry =
+                           MetricsRegistry::instance());
+  // Append every completed span currently in the trace ring.
+  void capture_trace(const TraceRecorder& recorder =
+                         TraceRecorder::instance());
+
+  [[nodiscard]] std::size_t line_count() const {
+    return 1 + lines_.size();  // meta + body
+  }
+
+  // Serialize to JSONL (meta line first). write() creates/truncates `path`.
+  [[nodiscard]] std::string to_jsonl() const;
+  Status write(const std::string& path) const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  // Schema validation; error detail names the offending line.
+  static Status validate_line(const std::string& line);
+  static Status validate_file(const std::string& path);
+
+ private:
+  std::string name_;
+  JsonObject meta_;
+  std::vector<JsonObject> lines_;
+};
+
+// Human-readable dump of a registry snapshot via common/table (one row per
+// metric; histograms show count/sum).
+std::string metrics_table(const MetricsRegistry& registry =
+                              MetricsRegistry::instance());
+
+}  // namespace parole::obs

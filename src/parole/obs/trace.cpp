@@ -1,0 +1,113 @@
+#include "parole/obs/trace.hpp"
+
+#include <chrono>
+
+namespace parole::obs {
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Innermost live span on this thread; 0 when none. Spans restore the previous
+// value on destruction, which gives correct nesting for strictly scoped
+// (RAII) spans without a stack allocation.
+thread_local std::uint64_t tls_current_span = 0;
+thread_local std::uint32_t tls_depth = 0;
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::instance() {
+  static TraceRecorder recorder;
+  return recorder;
+}
+
+TraceRecorder::TraceRecorder() : epoch_ns_(steady_ns()) {
+  ring_.resize(capacity_);
+}
+
+void TraceRecorder::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  ring_.assign(capacity_, SpanRecord{});
+  write_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::size_t TraceRecorder::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+void TraceRecorder::record(SpanRecord record) {
+  std::lock_guard lock(mutex_);
+  if (size_ == capacity_) ++dropped_;
+  ring_[write_] = std::move(record);
+  write_ = (write_ + 1) % capacity_;
+  if (size_ < capacity_) ++size_;
+}
+
+std::vector<SpanRecord> TraceRecorder::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<SpanRecord> out;
+  out.reserve(size_);
+  // Oldest record sits at write_ once the ring has wrapped, at 0 before.
+  const std::size_t begin = size_ == capacity_ ? write_ : 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(begin + i) % capacity_]);
+  }
+  return out;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void TraceRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  write_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+std::uint64_t TraceRecorder::now_ns() const { return steady_ns() - epoch_ns_; }
+
+void Span::start(Timing timing) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  armed_ = TraceRecorder::enabled();
+  timed_ = armed_ || timing == Timing::kAlways;
+  if (!timed_) return;
+  start_ns_ = recorder.now_ns();
+  if (!armed_) return;
+  id_ = recorder.next_id();
+  parent_ = tls_current_span;
+  depth_ = tls_depth;
+  tls_current_span = id_;
+  ++tls_depth;
+}
+
+void Span::finish() {
+  tls_current_span = parent_;
+  --tls_depth;
+  TraceRecorder& recorder = TraceRecorder::instance();
+  SpanRecord record;
+  record.id = id_;
+  record.parent = parent_;
+  record.depth = depth_;
+  record.name = std::string(name_);
+  record.start_ns = start_ns_;
+  record.duration_ns = recorder.now_ns() - start_ns_;
+  recorder.record(std::move(record));
+}
+
+std::uint64_t Span::elapsed_ns() const {
+  if (!timed_) return 0;
+  return TraceRecorder::instance().now_ns() - start_ns_;
+}
+
+}  // namespace parole::obs

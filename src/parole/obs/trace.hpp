@@ -1,0 +1,145 @@
+// Hierarchical span tracing (DESIGN.md §8).
+//
+// A Span is an RAII timer: construction captures a start timestamp and links
+// to the innermost live span on the same thread (parent/child nesting via a
+// thread-local cursor); destruction records a SpanRecord into the process
+// TraceRecorder ring buffer. The recorder is OFF by default — an unarmed Span
+// costs one relaxed atomic load and never touches the clock — and bounded
+// when on: the ring overwrites the oldest records and counts drops.
+//
+// Span taxonomy (names are `<module>.<stage>`, see DESIGN.md §8):
+//   solvers:  solvers.solve > solvers.evaluate > vm.execute_indexed
+//   ml:       ml.episode > ml.step,  ml.replay-sample / ml.adam-step
+//   rollup:   rollup.batch > rollup.sequence / rollup.execute /
+//             rollup.commit-root / rollup.verify / rollup.dispute
+//   core:     core.campaign > core.reorder / core.forensics
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parole::obs {
+
+struct SpanRecord {
+  std::uint64_t id{0};      // unique per process, 1-based
+  std::uint64_t parent{0};  // 0 = root span
+  std::uint32_t depth{0};   // 0 = root
+  std::string name;
+  std::uint64_t start_ns{0};  // steady-clock, relative to the recorder epoch
+  std::uint64_t duration_ns{0};
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& instance();
+
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // Runtime switch; tracing is OFF by default (hot paths then skip even the
+  // clock reads). The flag is process-wide — a plain static atomic, not a
+  // magic-static — so the unarmed Span fast path inlines to one relaxed load
+  // with no init-guard check.
+  static void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Ring capacity in records (default 8192). Resizing clears the buffer.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+
+  void record(SpanRecord record);
+
+  // Records currently held, oldest first (by completion order).
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+  // Completed spans that fell off the ring.
+  [[nodiscard]] std::uint64_t dropped() const;
+  void clear();
+
+  // Nanoseconds since the recorder epoch, on the same steady clock every
+  // span uses — exposed so ad-hoc timing can share the span clock.
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+  [[nodiscard]] std::uint64_t next_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<SpanRecord> ring_;
+  std::size_t capacity_{8192};
+  std::size_t write_{0};  // next slot
+  std::size_t size_{0};
+  std::uint64_t dropped_{0};
+  inline static std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::uint64_t epoch_ns_{0};  // steady-clock origin
+};
+
+class Span {
+ public:
+  enum class Timing : std::uint8_t {
+    kIfEnabled,  // time + record only while the recorder is enabled
+    kAlways,     // always time (elapsed_ns usable), record only when enabled
+  };
+
+  // The common case — tracing off, Timing::kIfEnabled — must cost one
+  // inlined relaxed load and nothing else: these spans sit inside the
+  // evaluator/VM hot loops.
+  explicit Span(std::string_view name, Timing timing = Timing::kIfEnabled)
+      : name_(name) {
+    if (timing == Timing::kIfEnabled && !TraceRecorder::enabled()) return;
+    start(timing);
+  }
+  ~Span() {
+    if (armed_) finish();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // Wall time since construction on the recorder clock. Valid when armed or
+  // constructed with Timing::kAlways; 0 otherwise.
+  [[nodiscard]] std::uint64_t elapsed_ns() const;
+  [[nodiscard]] double elapsed_millis() const {
+    return static_cast<double>(elapsed_ns()) / 1e6;
+  }
+
+  [[nodiscard]] bool armed() const { return armed_; }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  // Cold paths (tracing on, or Timing::kAlways), out of line.
+  void start(Timing timing);
+  void finish();
+
+  std::string_view name_;
+  std::uint64_t id_{0};
+  std::uint64_t parent_{0};
+  std::uint32_t depth_{0};
+  std::uint64_t start_ns_{0};
+  bool armed_{false};  // will record into the ring on destruction
+  bool timed_{false};
+};
+
+}  // namespace parole::obs
+
+// PAROLE_OBS_SPAN(name): drop an RAII span into the current scope. Compiles
+// to nothing with PAROLE_OBS_DISABLED; otherwise an unarmed span is one
+// atomic load at construction.
+#if defined(PAROLE_OBS_DISABLED)
+#define PAROLE_OBS_SPAN(name) ((void)0)
+#else
+#define PAROLE_OBS_SPAN_CONCAT2(a, b) a##b
+#define PAROLE_OBS_SPAN_CONCAT(a, b) PAROLE_OBS_SPAN_CONCAT2(a, b)
+#define PAROLE_OBS_SPAN(name) \
+  ::parole::obs::Span PAROLE_OBS_SPAN_CONCAT(parole_obs_span_, __LINE__){name}
+#endif

@@ -2,13 +2,19 @@
 
 #include <utility>
 
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+
 namespace parole::rollup {
 
 Aggregator::Aggregator(AggregatorConfig config) : config_(std::move(config)) {}
 
 Batch Aggregator::build_batch(vm::L2State& state, std::vector<vm::Tx> txs,
                               const vm::ExecutionEngine& engine) {
+  PAROLE_OBS_COUNT("parole.rollup.batches_built", 1);
+  PAROLE_OBS_OBSERVE("parole.rollup.batch_size", txs.size());
   if (config_.reorderer) {
+    PAROLE_OBS_SPAN("rollup.sequence");
     txs = (*config_.reorderer)(state, std::move(txs));
   }
 
@@ -17,21 +23,27 @@ Batch Aggregator::build_batch(vm::L2State& state, std::vector<vm::Tx> txs,
   batch.header.pre_state_root = state.state_root();
   batch.header.tx_count = txs.size();
 
-  batch.intermediate_roots.reserve(txs.size());
-  for (const vm::Tx& tx : txs) {
-    // Per-tx execution so the trace carries every intermediate root. A tx
-    // whose constraints fail in the committed order simply reverts on chain
-    // (skip-invalid view at the batch level); GENTRANSEQ's own search uses
-    // strict mode internally before the order ever reaches this point.
-    (void)engine.execute_tx(state, tx);
-    batch.intermediate_roots.push_back(state.state_root());
+  {
+    PAROLE_OBS_SPAN("rollup.execute");
+    batch.intermediate_roots.reserve(txs.size());
+    for (const vm::Tx& tx : txs) {
+      // Per-tx execution so the trace carries every intermediate root. A tx
+      // whose constraints fail in the committed order simply reverts on chain
+      // (skip-invalid view at the batch level); GENTRANSEQ's own search uses
+      // strict mode internally before the order ever reaches this point.
+      (void)engine.execute_tx(state, tx);
+      batch.intermediate_roots.push_back(state.state_root());
+    }
   }
 
-  batch.txs = std::move(txs);
-  batch.header.tx_root = Batch::tx_root_of(batch.txs);
-  batch.header.post_state_root = batch.txs.empty()
-                                     ? batch.header.pre_state_root
-                                     : batch.intermediate_roots.back();
+  {
+    PAROLE_OBS_SPAN("rollup.commit-root");
+    batch.txs = std::move(txs);
+    batch.header.tx_root = Batch::tx_root_of(batch.txs);
+    batch.header.post_state_root = batch.txs.empty()
+                                       ? batch.header.pre_state_root
+                                       : batch.intermediate_roots.back();
+  }
 
   if (config_.corrupt_at_step && *config_.corrupt_at_step < batch.txs.size()) {
     // Fault injection: flip a byte in the committed root at the chosen step

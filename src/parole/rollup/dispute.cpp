@@ -2,13 +2,33 @@
 
 #include <cassert>
 
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+
 namespace parole::rollup {
+namespace {
+
+// Publish the verdict's counters once, on every return path.
+struct DisputeTelemetry {
+  const DisputeVerdict& verdict;
+  ~DisputeTelemetry() {
+    PAROLE_OBS_COUNT("parole.rollup.disputes", 1);
+    PAROLE_OBS_OBSERVE("parole.rollup.bisection_rounds", verdict.rounds);
+    if (verdict.fraud_proven) {
+      PAROLE_OBS_COUNT("parole.rollup.fraud_proven", 1);
+    }
+  }
+};
+
+}  // namespace
 
 DisputeVerdict DisputeGame::run(
     const Batch& batch, const vm::L2State& pre_state,
     const std::vector<crypto::Hash256>& honest_roots,
     const vm::ExecutionEngine& engine) {
+  PAROLE_OBS_SPAN("rollup.dispute");
   DisputeVerdict verdict;
+  const DisputeTelemetry telemetry{verdict};
   const std::size_t n = batch.txs.size();
   assert(honest_roots.size() == n);
 

@@ -1,8 +1,11 @@
 #include "parole/rollup/mempool.hpp"
 
+#include "parole/obs/metrics.hpp"
+
 namespace parole::rollup {
 
 void BedrockMempool::submit(vm::Tx tx) {
+  PAROLE_OBS_COUNT("parole.rollup.txs_ingested", 1);
   tx.arrival = arrival_seq_++;
   queue_.push(Entry{std::move(tx), /*defer_round=*/0});
 }
@@ -18,6 +21,7 @@ std::vector<vm::Tx> BedrockMempool::collect(std::size_t n) {
 }
 
 void BedrockMempool::defer(vm::Tx tx) {
+  PAROLE_OBS_COUNT("parole.rollup.txs_deferred", 1);
   ++defer_round_;
   tx.arrival = arrival_seq_++;
   queue_.push(Entry{std::move(tx), defer_round_});

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+
 namespace parole::rollup {
 
 RollupNode::RollupNode(NodeConfig config)
@@ -40,6 +43,8 @@ void RollupNode::submit_tx(vm::Tx tx) {
 }
 
 StepOutcome RollupNode::step() {
+  PAROLE_OBS_SPAN("rollup.batch");
+  PAROLE_OBS_COUNT("parole.rollup.steps", 1);
   StepOutcome outcome;
 
   bridge_.process_deposits();
@@ -109,6 +114,7 @@ StepOutcome RollupNode::step() {
     const VerificationOutcome check =
         verifier.check(batch, pre_state, engine_);
     if (check.valid) continue;
+    PAROLE_OBS_COUNT("parole.rollup.fraud_detected", 1);
 
     const Status opened =
         orsc_.open_challenge(batch.header.batch_id, verifier.id(), l1_.now());

@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+
 namespace parole::rollup {
 
 CentralSequencer::CentralSequencer(SequencerConfig config)
@@ -10,6 +13,7 @@ CentralSequencer::CentralSequencer(SequencerConfig config)
 void CentralSequencer::submit(vm::Tx tx) {
   if (config_.censor && config_.censor(tx)) {
     ++stats_.txs_censored;
+    PAROLE_OBS_COUNT("parole.rollup.txs_censored", 1);
     return;
   }
   pending_.push_back(std::move(tx));
@@ -22,6 +26,7 @@ std::optional<Batch> CentralSequencer::produce_block(
     return std::nullopt;
   }
   if (pending_.empty()) return std::nullopt;
+  PAROLE_OBS_SPAN("rollup.sequence");
 
   std::vector<vm::Tx> txs;
   while (txs.size() < config_.max_block_txs && !pending_.empty()) {
@@ -49,6 +54,8 @@ std::optional<Batch> CentralSequencer::produce_block(
 
   ++stats_.blocks_produced;
   stats_.txs_sequenced += batch.txs.size();
+  PAROLE_OBS_COUNT("parole.rollup.blocks_produced", 1);
+  PAROLE_OBS_COUNT("parole.rollup.txs_sequenced", batch.txs.size());
   return batch;
 }
 

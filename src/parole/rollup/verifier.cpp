@@ -1,10 +1,15 @@
 #include "parole/rollup/verifier.hpp"
 
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+
 namespace parole::rollup {
 
 VerificationOutcome Verifier::check(const Batch& batch,
                                     const vm::L2State& pre_state,
                                     const vm::ExecutionEngine& engine) const {
+  PAROLE_OBS_SPAN("rollup.verify");
+  PAROLE_OBS_COUNT("parole.rollup.batches_verified", 1);
   VerificationOutcome outcome;
 
   vm::L2State replay = pre_state;

@@ -169,7 +169,9 @@ SolveResult BranchBoundSolver::solve(const ReorderingProblem& problem,
   (void)rng;  // deterministic
 
   Timer timer;
+  PAROLE_OBS_SPAN("solvers.solve");
   MemoryMeter meter;
+  const EvalStats stats_before = problem.eval_stats();
 
   SolveResult result;
   result.solver = name();
@@ -194,6 +196,7 @@ SolveResult BranchBoundSolver::solve(const ReorderingProblem& problem,
   last_run_complete_ = complete;
 
   result.improved = result.best_value > result.baseline;
+  publish_eval_stats(problem.eval_stats() - stats_before);
   // Node expansions are the work unit here (each checks one tx, vs the
   // full-sequence executions problem.evaluate() counts). Subtree prunes are
   // this solver's analogue of cache hits: work the bound avoided.

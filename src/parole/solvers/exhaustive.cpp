@@ -14,7 +14,9 @@ SolveResult ExhaustiveSolver::solve(const ReorderingProblem& problem,
   assert(problem.size() <= kMaxSize);
 
   Timer timer;
+  PAROLE_OBS_SPAN("solvers.solve");
   MemoryMeter meter;
+  const EvalStats stats_before = problem.eval_stats();
   const std::uint64_t evals_before = problem.evaluations();
 
   std::vector<std::size_t> order(problem.size());
@@ -36,6 +38,7 @@ SolveResult ExhaustiveSolver::solve(const ReorderingProblem& problem,
   } while (std::next_permutation(order.begin(), order.end()));
 
   result.improved = result.best_value > result.baseline;
+  publish_eval_stats(problem.eval_stats() - stats_before);
   result.evaluations = problem.evaluations() - evals_before;
   result.wall_millis = timer.elapsed_millis();
   result.peak_bytes = meter.peak();

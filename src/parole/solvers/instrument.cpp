@@ -5,6 +5,19 @@
 
 namespace parole::solvers {
 
+void publish_eval_stats(const EvalStats& delta) {
+  PAROLE_OBS_COUNT("parole.solvers.solves", 1);
+  PAROLE_OBS_COUNT("parole.solvers.evaluations", delta.evaluations);
+  PAROLE_OBS_COUNT("parole.solvers.cache_hits", delta.cache_hits);
+  PAROLE_OBS_COUNT("parole.solvers.reconvergences", delta.reconvergences);
+  PAROLE_OBS_COUNT("parole.solvers.txs_executed", delta.txs_executed);
+  PAROLE_OBS_COUNT("parole.solvers.txs_saved", delta.txs_saved);
+  PAROLE_OBS_COUNT("parole.solvers.commits", delta.commits);
+#if defined(PAROLE_OBS_DISABLED)
+  (void)delta;
+#endif
+}
+
 std::size_t process_rss_bytes() {
   std::FILE* file = std::fopen("/proc/self/status", "r");
   if (file == nullptr) return 0;

@@ -1,11 +1,21 @@
 // Instrumentation shared by the solver implementations: wall-clock timing
 // and solver-owned memory accounting for Fig. 11.
+//
+// Since the obs/ telemetry subsystem landed, these structs are *views* over
+// the process-wide metrics registry: solvers keep filling SolveResult fields
+// exactly as before (so Fig. 11 consumers and tests are unchanged) and
+// additionally publish each solve's EvalStats delta to the
+// `parole.solvers.*` counters via publish_eval_stats().
 #pragma once
 
+#include <cassert>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
+
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
 
 namespace parole::solvers {
 
@@ -32,6 +42,12 @@ struct EvalStats {
   }
 };
 
+// Publish one solve's EvalStats delta onto the metrics registry
+// (`parole.solvers.evaluations`, `.cache_hits`, `.reconvergences`,
+// `.txs_executed`, `.txs_saved`, `.commits`, plus one `.solves` tick).
+// Called once per solve — the per-probe hot path never touches the registry.
+void publish_eval_stats(const EvalStats& delta);
+
 class Timer {
  public:
   Timer() : start_(std::chrono::steady_clock::now()) {}
@@ -55,8 +71,19 @@ class MemoryMeter {
     current_ += bytes;
     if (current_ > peak_) peak_ = current_;
   }
+  // Releasing more than is held is an accounting bug in the caller: debug
+  // builds assert, release builds clamp to zero but count the underflow (both
+  // locally and as `parole.solvers.meter_underflows`) so it surfaces in
+  // telemetry instead of silently deflating peak figures.
   void release(std::size_t bytes) {
-    current_ = bytes > current_ ? 0 : current_ - bytes;
+    if (bytes > current_) {
+      assert(bytes <= current_ && "MemoryMeter::release underflow");
+      ++underflows_;
+      PAROLE_OBS_COUNT("parole.solvers.meter_underflows", 1);
+      current_ = 0;
+      return;
+    }
+    current_ -= bytes;
   }
   // Set the current figure directly (for container-capacity snapshots).
   void set_current(std::size_t bytes) {
@@ -66,10 +93,12 @@ class MemoryMeter {
 
   [[nodiscard]] std::size_t peak() const { return peak_; }
   [[nodiscard]] std::size_t current() const { return current_; }
+  [[nodiscard]] std::size_t underflows() const { return underflows_; }
 
  private:
   std::size_t current_{0};
   std::size_t peak_{0};
+  std::size_t underflows_{0};
 };
 
 // Resident-set size of the process in bytes (Linux, /proc/self/status);

@@ -142,6 +142,7 @@ std::optional<std::vector<Amount>> ReorderingProblem::ifu_balances_full(
 
 std::optional<Amount> ReorderingProblem::evaluate_full(
     std::span<const std::size_t> order) const {
+  PAROLE_OBS_SPAN("solvers.evaluate");
   return value_from(ifu_balances_full(order));
 }
 
@@ -229,6 +230,7 @@ std::optional<std::vector<Amount>> ReorderingProblem::ifu_balances(
 
 std::optional<Amount> ReorderingProblem::evaluate(
     std::span<const std::size_t> order) const {
+  PAROLE_OBS_SPAN("solvers.evaluate");
   return value_from(ifu_balances(order));
 }
 
@@ -247,6 +249,7 @@ std::optional<Amount> ReorderingProblem::committed_value() const {
 
 std::optional<Amount> ReorderingProblem::evaluate_swap(std::size_t i,
                                                        std::size_t j) const {
+  PAROLE_OBS_SPAN("solvers.evaluate");
   ensure_incremental();
   assert(i != j && i < original_.size() && j < original_.size());
   if (i > j) std::swap(i, j);

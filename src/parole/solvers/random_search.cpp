@@ -9,7 +9,9 @@ namespace parole::solvers {
 SolveResult RandomSearchSolver::solve(const ReorderingProblem& problem,
                                       Rng& rng) {
   Timer timer;
+  PAROLE_OBS_SPAN("solvers.solve");
   MemoryMeter meter;
+  const EvalStats stats_before = problem.eval_stats();
   const std::uint64_t evals_before = problem.evaluations();
   const std::size_t n = problem.size();
 
@@ -33,6 +35,7 @@ SolveResult RandomSearchSolver::solve(const ReorderingProblem& problem,
   }
 
   result.improved = result.best_value > result.baseline;
+  publish_eval_stats(problem.eval_stats() - stats_before);
   result.evaluations = problem.evaluations() - evals_before;
   result.wall_millis = timer.elapsed_millis();
   result.peak_bytes = meter.peak();

@@ -10,6 +10,7 @@ SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng) {
   (void)rng;  // deterministic given the problem
 
   Timer timer;
+  PAROLE_OBS_SPAN("solvers.solve");
   MemoryMeter meter;
   const EvalStats stats_before = problem.eval_stats();
   const std::size_t n = problem.size();
@@ -83,6 +84,7 @@ SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng) {
 
   result.improved = result.best_value > result.baseline;
   const EvalStats delta = problem.eval_stats() - stats_before;
+  publish_eval_stats(delta);
   result.evaluations = delta.evaluations;
   result.cache_hits = delta.cache_hits;
   result.txs_reexecuted = delta.txs_executed;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "parole/obs/trace.hpp"
+
 namespace parole::vm {
 
 std::size_t ExecutionResult::executed_count() const {
@@ -151,6 +153,7 @@ SpanExecResult ExecutionEngine::execute_indexed(
     std::span<const std::uint8_t> must_execute,
     bool stop_at_must_violation) const {
   assert(to <= order.size());
+  PAROLE_OBS_SPAN("vm.execute_indexed");
   SpanExecResult result;
   for (std::size_t pos = from; pos < to; ++pos) {
     const std::size_t idx = order[pos];

@@ -1,0 +1,56 @@
+// Guard: with PAROLE_OBS_DISABLED the hot-path macros must compile to
+// no-ops — no registry lookups, no handle registration, no span objects.
+// This TU forces the flag regardless of how the library was built; the
+// macros expand at the call site, so this is exactly what a -DPAROLE_OBS=OFF
+// build sees everywhere.
+#define PAROLE_OBS_DISABLED 1
+
+#include <gtest/gtest.h>
+
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+
+using namespace parole::obs;
+
+namespace {
+
+// A macro that expands to a plain statement must survive every statement
+// context, including unbraced control flow.
+int exercise_macros(int x) {
+  PAROLE_OBS_COUNT("parole.test.disabled_counter", 1);
+  PAROLE_OBS_GAUGE("parole.test.disabled_gauge", 1.0);
+  PAROLE_OBS_OBSERVE("parole.test.disabled_hist", 2.0);
+  PAROLE_OBS_SPAN("test.disabled_span");
+  if (x > 0) PAROLE_OBS_COUNT("parole.test.disabled_counter", 1);
+  for (int i = 0; i < x; ++i) PAROLE_OBS_SPAN("test.disabled_loop");
+  return x + 1;
+}
+
+}  // namespace
+
+TEST(ObsDisabled, MacrosRegisterNothing) {
+  const std::size_t metrics_before =
+      MetricsRegistry::instance().snapshot().size();
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.set_enabled(true);
+  recorder.clear();
+
+  EXPECT_EQ(exercise_macros(3), 4);
+
+  // No metric names appeared and no spans were recorded: the macros were
+  // compiled out entirely.
+  EXPECT_EQ(MetricsRegistry::instance().snapshot().size(), metrics_before);
+  for (const MetricSample& sample : MetricsRegistry::instance().snapshot()) {
+    EXPECT_EQ(sample.name.find("disabled"), std::string::npos) << sample.name;
+  }
+  EXPECT_TRUE(recorder.snapshot().empty());
+  recorder.set_enabled(false);
+}
+
+TEST(ObsDisabled, RegistryApiStillUsableDirectly) {
+  // Compiling the macros out must not hide the library API: sinks and tests
+  // that talk to the registry directly keep working.
+  MetricsRegistry registry;
+  registry.counter("parole.test.direct").add(2);
+  EXPECT_EQ(registry.counter("parole.test.direct").value(), 2u);
+}

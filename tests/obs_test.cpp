@@ -1,0 +1,361 @@
+// Telemetry subsystem (src/parole/obs): registry semantics, span nesting,
+// JSONL round-trips and schema validation.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "parole/obs/json.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/report.hpp"
+#include "parole/obs/trace.hpp"
+#include "parole/solvers/instrument.hpp"
+
+using namespace parole;
+using namespace parole::obs;
+
+// --- JSON model ---------------------------------------------------------------------
+
+TEST(Json, RoundTripsScalars) {
+  EXPECT_EQ(JsonValue(true).dump(), "true");
+  EXPECT_EQ(JsonValue(nullptr).dump(), "null");
+  EXPECT_EQ(JsonValue(-42).dump(), "-42");
+  EXPECT_EQ(JsonValue(std::uint64_t{18446744073709551615ULL}).dump(),
+            "18446744073709551615");
+  EXPECT_EQ(JsonValue("hi \"there\"\n").dump(), "\"hi \\\"there\\\"\\n\"");
+
+  const auto parsed = json_parse("1.5");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_DOUBLE_EQ(parsed.value().as_double(), 1.5);
+}
+
+TEST(Json, RoundTripsNestedDocument) {
+  JsonObject inner;
+  inner["k"] = JsonValue(7);
+  JsonArray array;
+  array.emplace_back(JsonValue(1));
+  array.emplace_back(JsonValue("two"));
+  array.emplace_back(JsonValue(std::move(inner)));
+  JsonObject root;
+  root["list"] = JsonValue(std::move(array));
+  root["pi"] = JsonValue(3.25);
+
+  const std::string text = JsonValue(root).dump();
+  const auto parsed = json_parse(text);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed.value().is_object());
+  const JsonValue* list = parsed.value().find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_TRUE(list->is_array());
+  ASSERT_EQ(list->as_array().size(), 3u);
+  EXPECT_EQ(list->as_array()[2].find("k")->as_int(), 7);
+  EXPECT_DOUBLE_EQ(parsed.value().find("pi")->as_double(), 3.25);
+  // Dumping the reparsed value reproduces the original text (stable key
+  // order via std::map).
+  EXPECT_EQ(parsed.value().dump(), text);
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_FALSE(json_parse("").ok());
+  EXPECT_FALSE(json_parse("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(json_parse("{\"a\":}").ok());
+  EXPECT_FALSE(json_parse("[1,").ok());
+  EXPECT_FALSE(json_parse("nan").ok());
+}
+
+// --- metrics registry ---------------------------------------------------------------
+
+TEST(Metrics, CounterHandlesAreStableAndAccumulate) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("parole.test.hits");
+  Counter& b = registry.counter("parole.test.hits");
+  EXPECT_EQ(&a, &b);
+  a.add();
+  b.add(4);
+  EXPECT_EQ(a.value(), 5u);
+
+  registry.reset_values();
+  EXPECT_EQ(a.value(), 0u);  // handle survives the reset
+  a.add(2);
+  EXPECT_EQ(registry.counter("parole.test.hits").value(), 2u);
+}
+
+TEST(Metrics, GaugeHoldsLastValue) {
+  MetricsRegistry registry;
+  Gauge& gauge = registry.gauge("parole.test.epsilon");
+  gauge.set(0.95);
+  gauge.set(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 0.5);
+}
+
+TEST(Metrics, HistogramBucketsObservations) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("parole.test.sizes", {1.0, 10.0, 100.0});
+  histogram.observe(0.5);   // <= 1
+  histogram.observe(10.0);  // <= 10 (upper bound inclusive)
+  histogram.observe(50.0);  // <= 100
+  histogram.observe(1e9);   // overflow
+  ASSERT_EQ(histogram.bounds().size(), 3u);
+  const std::vector<std::uint64_t> counts = histogram.counts();
+  ASSERT_EQ(counts.size(), 4u);  // bounds + overflow
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 4u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 10.0 + 50.0 + 1e9);
+}
+
+TEST(Metrics, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.counter("parole.z.last").add(1);
+  registry.gauge("parole.a.first").set(2.0);
+  registry.histogram("parole.m.mid").observe(3.0);
+  const std::vector<MetricSample> snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].name, "parole.a.first");
+  EXPECT_EQ(snapshot[1].name, "parole.m.mid");
+  EXPECT_EQ(snapshot[2].name, "parole.z.last");
+}
+
+#if !defined(PAROLE_OBS_DISABLED)
+TEST(Metrics, RuntimeDisableSkipsMacroUpdates) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  const bool was_enabled = registry.enabled();
+  registry.counter("parole.test.macro_counter").reset();
+
+  registry.set_enabled(true);
+  PAROLE_OBS_COUNT("parole.test.macro_counter", 3);
+  registry.set_enabled(false);
+  PAROLE_OBS_COUNT("parole.test.macro_counter", 100);
+  registry.set_enabled(was_enabled);
+
+  EXPECT_EQ(registry.counter("parole.test.macro_counter").value(), 3u);
+}
+#endif  // !PAROLE_OBS_DISABLED
+
+// --- span tracing -------------------------------------------------------------------
+
+TEST(Trace, UnarmedSpanRecordsNothing) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.set_enabled(false);
+  recorder.clear();
+  {
+    Span span("test.unarmed");
+    EXPECT_FALSE(span.armed());
+    EXPECT_EQ(span.elapsed_ns(), 0u);
+  }
+  EXPECT_TRUE(recorder.snapshot().empty());
+}
+
+TEST(Trace, AlwaysTimedSpanMeasuresWithoutRecording) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.set_enabled(false);
+  recorder.clear();
+  Span span("test.always", Span::Timing::kAlways);
+  volatile double sink = 0;
+  for (int i = 0; i < 10'000; ++i) sink = sink + 1.0;
+  EXPECT_GT(span.elapsed_ns(), 0u);
+  EXPECT_FALSE(span.armed());
+}
+
+TEST(Trace, NestedSpansLinkParentAndBoundChildren) {
+  TraceRecorder& recorder = TraceRecorder::instance();
+  recorder.set_enabled(true);
+  recorder.clear();
+  {
+    Span parent("test.parent");
+    {
+      Span child_a("test.child");
+      volatile double sink = 0;
+      for (int i = 0; i < 1'000; ++i) sink = sink + 1.0;
+    }
+    { Span child_b("test.child"); }
+  }
+  recorder.set_enabled(false);
+
+  const std::vector<SpanRecord> spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // Completion order: children first, the parent last.
+  EXPECT_EQ(spans[0].name, "test.child");
+  EXPECT_EQ(spans[1].name, "test.child");
+  EXPECT_EQ(spans[2].name, "test.parent");
+
+  const SpanRecord& parent = spans[2];
+  EXPECT_EQ(parent.parent, 0u);
+  EXPECT_EQ(parent.depth, 0u);
+  std::uint64_t child_sum = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(spans[i].parent, parent.id);
+    EXPECT_EQ(spans[i].depth, 1u);
+    EXPECT_GE(spans[i].start_ns, parent.start_ns);
+    child_sum += spans[i].duration_ns;
+  }
+  // Children run strictly inside the parent: summed child time fits.
+  EXPECT_LE(child_sum, parent.duration_ns);
+}
+
+TEST(Trace, RingBufferKeepsNewestAndCountsDrops) {
+  TraceRecorder recorder;
+  recorder.set_capacity(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    recorder.record({i, 0, 0, "test.ring", i * 10, 1});
+  }
+  const std::vector<SpanRecord> spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().id, 3u);  // oldest survivor
+  EXPECT_EQ(spans.back().id, 6u);
+  EXPECT_EQ(recorder.dropped(), 2u);
+}
+
+// --- RunReport ----------------------------------------------------------------------
+
+namespace {
+
+// Build a report over a registry holding one metric of each kind.
+RunReport make_report() {
+  MetricsRegistry registry;
+  registry.counter("parole.test.count").add(3);
+  registry.gauge("parole.test.gauge").set(0.25);
+  registry.histogram("parole.test.hist", {1.0, 2.0}).observe(1.5);
+
+  RunReport report("obs_test");
+  report.set_meta("seed", JsonValue(7));
+  JsonObject row;
+  row["speedup"] = JsonValue(2.5);
+  report.add_result(std::move(row));
+  report.capture_metrics(registry);
+  return report;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    lines.push_back(text.substr(start, end - start));
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return lines;
+}
+
+}  // namespace
+
+TEST(RunReportTest, JsonlRoundTripsThroughValidator) {
+  const RunReport report = make_report();
+  const std::vector<std::string> lines = split_lines(report.to_jsonl());
+  ASSERT_EQ(lines.size(), report.line_count());
+  ASSERT_EQ(lines.size(), 5u);  // meta + result + counter + gauge + histogram
+
+  for (const std::string& line : lines) {
+    const Status valid = RunReport::validate_line(line);
+    EXPECT_TRUE(valid.ok()) << line << ": " << valid.error().detail;
+  }
+
+  const auto meta = json_parse(lines[0]);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value().find("type")->as_string(), "meta");
+  EXPECT_EQ(meta.value().find("report")->as_string(), "obs_test");
+  EXPECT_EQ(meta.value().find("schema")->as_uint(), kReportSchemaVersion);
+  EXPECT_EQ(meta.value().find("seed")->as_int(), 7);
+
+  // The counter snapshot survives the text round-trip bit-exactly.
+  bool saw_counter = false;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto parsed = json_parse(lines[i]);
+    ASSERT_TRUE(parsed.ok());
+    if (parsed.value().find("type")->as_string() != "counter") continue;
+    saw_counter = true;
+    EXPECT_EQ(parsed.value().find("name")->as_string(), "parole.test.count");
+    EXPECT_EQ(parsed.value().find("value")->as_uint(), 3u);
+  }
+  EXPECT_TRUE(saw_counter);
+}
+
+TEST(RunReportTest, CapturesTraceSpans) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.record({1, 0, 0, "test.span", 10, 5});
+
+  RunReport report("obs_test.trace");
+  report.capture_trace(recorder);
+  const std::vector<std::string> lines = split_lines(report.to_jsonl());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(RunReport::validate_line(lines[1]).ok());
+  const auto parsed = json_parse(lines[1]);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().find("type")->as_string(), "span");
+  EXPECT_EQ(parsed.value().find("name")->as_string(), "test.span");
+  EXPECT_EQ(parsed.value().find("dur_ns")->as_uint(), 5u);
+}
+
+TEST(RunReportTest, ValidateFileAcceptsWrittenReport) {
+  const std::string path = "obs_test_report.jsonl";
+  const RunReport report = make_report();
+  ASSERT_TRUE(report.write(path).ok());
+  EXPECT_TRUE(RunReport::validate_file(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(RunReportTest, ValidateFileRejectsBadTelemetry) {
+  const std::string path = "obs_test_bad.jsonl";
+
+  // Body before the meta header.
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  std::fputs("{\"type\":\"counter\",\"name\":\"x\",\"value\":1}\n", out);
+  std::fclose(out);
+  EXPECT_FALSE(RunReport::validate_file(path).ok());
+
+  // Malformed JSON.
+  out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  std::fputs("{\"type\":\"meta\",\"report\":\"x\",\"schema\":1}\n", out);
+  std::fputs("{not json}\n", out);
+  std::fclose(out);
+  EXPECT_FALSE(RunReport::validate_file(path).ok());
+
+  // Wrong schema version.
+  out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  std::fputs("{\"type\":\"meta\",\"report\":\"x\",\"schema\":999}\n", out);
+  std::fclose(out);
+  EXPECT_FALSE(RunReport::validate_file(path).ok());
+
+  std::remove(path.c_str());
+  EXPECT_FALSE(RunReport::validate_file("does_not_exist.jsonl").ok());
+}
+
+TEST(RunReportTest, MetricsTableRendersEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("parole.test.count").add(3);
+  registry.histogram("parole.test.hist").observe(2.0);
+  const std::string table = metrics_table(registry);
+  EXPECT_NE(table.find("parole.test.count"), std::string::npos);
+  EXPECT_NE(table.find("parole.test.hist"), std::string::npos);
+  EXPECT_NE(table.find("histogram"), std::string::npos);
+}
+
+// --- instrument.hpp bridge ----------------------------------------------------------
+
+#if !defined(PAROLE_OBS_DISABLED)
+TEST(ObsBridge, SolveStatsReachTheRegistry) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  const bool was_enabled = registry.enabled();
+  registry.set_enabled(true);
+  registry.counter("parole.solvers.evaluations").reset();
+  registry.counter("parole.solvers.solves").reset();
+
+  solvers::EvalStats delta;
+  delta.evaluations = 17;
+  delta.cache_hits = 5;
+  solvers::publish_eval_stats(delta);
+
+  EXPECT_EQ(registry.counter("parole.solvers.solves").value(), 1u);
+  EXPECT_EQ(registry.counter("parole.solvers.evaluations").value(), 17u);
+  registry.set_enabled(was_enabled);
+}
+#endif  // !PAROLE_OBS_DISABLED

@@ -236,8 +236,27 @@ TEST(Instrument, MemoryMeterTracksPeak) {
   EXPECT_EQ(meter.peak(), 150u);
   meter.set_current(500);
   EXPECT_EQ(meter.peak(), 500u);
-  meter.release(1'000);  // saturates at zero
+  EXPECT_EQ(meter.underflows(), 0u);
+}
+
+TEST(Instrument, MemoryMeterCountsUnderflow) {
+  // Releasing more than is held is an accounting bug: debug builds assert,
+  // release builds clamp to zero and count the underflow.
+#if defined(NDEBUG)
+  MemoryMeter meter;
+  meter.set_current(500);
+  meter.release(1'000);
   EXPECT_EQ(meter.current(), 0u);
+  EXPECT_EQ(meter.underflows(), 1u);
+#else
+  EXPECT_DEATH(
+      {
+        MemoryMeter meter;
+        meter.set_current(500);
+        meter.release(1'000);
+      },
+      "underflow");
+#endif
 }
 
 TEST(Instrument, RssIsPositiveOnLinux) {
