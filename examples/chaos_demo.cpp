@@ -1,0 +1,140 @@
+// chaos_demo — the two headline degradations the chaos harness exists to
+// expose, scripted deterministically with forced faults (DESIGN.md §9):
+//
+//   1. Reorderer failure: the adversarial reorderer times out mid-slot and
+//      the batch ships in honest collection order — graceful degradation,
+//      not a stall.
+//   2. Verifier downtime vs the challenge window: a forged state commitment
+//      finalizes if and only if EVERY verifier sleeps through the WHOLE
+//      challenge window; one verifier waking a single step earlier catches
+//      the fraud and cascades the revert.
+//
+// Both runs finish with the invariant checker's verdict: even finalized
+// fraud leaves value conservation, supply caps, and L1 link integrity
+// intact — it is a liveness failure of verification, not an accounting hole.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "parole/rollup/chaos.hpp"
+#include "parole/rollup/node.hpp"
+
+using namespace parole;
+using namespace parole::rollup;
+
+namespace {
+
+NodeConfig demo_config() {
+  NodeConfig config;
+  config.orsc.challenge_period = 20;  // window = batch step + one more step
+  config.max_supply = 200;
+  return config;
+}
+
+void submit_mints(RollupNode& node, std::uint64_t count) {
+  // Descending fees, so honest (fee-priority) order is detectable.
+  for (std::uint64_t i = 0; i < count; ++i) {
+    node.submit_tx(vm::Tx::make_mint(TxId{i}, UserId{1},
+                                     gwei(10 + 10 * (count - i)), gwei(0)));
+  }
+}
+
+void print_verdict(const RollupNode& node) {
+  const auto& checker = node.chaos()->checker;
+  std::printf("  fault log: %zu events\n%s", node.chaos()->log.size(),
+              node.chaos()->log.to_string().c_str());
+  if (checker.clean()) {
+    std::printf("  invariants: all clean\n");
+  } else {
+    for (const auto& v : checker.violations()) {
+      std::printf("  INVARIANT VIOLATION step %llu %s: %s\n",
+                  static_cast<unsigned long long>(v.step),
+                  std::string(to_string(v.kind)).c_str(), v.detail.c_str());
+    }
+  }
+}
+
+void scenario_reorderer_failure() {
+  std::printf("=== 1. reorderer failure: graceful degradation ===\n");
+  RollupNode node(demo_config());
+  auto reverse = [](const vm::L2State&, std::vector<vm::Tx> txs) {
+    std::reverse(txs.begin(), txs.end());
+    return txs;
+  };
+  node.add_aggregator({AggregatorId{0}, 4, reverse, std::nullopt});
+  node.fund_l1(UserId{1}, eth(90));
+  (void)node.deposit(UserId{1}, eth(90));
+
+  ChaosConfig chaos;
+  chaos.forced.push_back({0, FaultKind::kReordererFailure, 0, 0});
+  node.arm_chaos(chaos);
+  submit_mints(node, 8);
+
+  for (int step = 0; step < 2; ++step) {
+    const StepOutcome outcome = node.step();
+    const auto& txs = node.batches().back().txs;
+    std::printf("  step %d: %s, fees [", step,
+                outcome.reorderer_degraded ? "reorderer TIMED OUT, honest order"
+                                           : "reorderer live, attack order");
+    for (std::size_t i = 0; i < txs.size(); ++i) {
+      std::printf("%s%llu", i ? " " : "",
+                  static_cast<unsigned long long>(txs[i].total_fee()));
+    }
+    std::printf("]\n");
+  }
+  const DrainResult rest = node.run_until_drained();
+  std::printf("  drained=%s, %llu NFTs live\n",
+              rest.drained ? "yes" : "no",
+              static_cast<unsigned long long>(node.state().nft().live_count()));
+  print_verdict(node);
+}
+
+// One corrupt-aggregator run with both verifiers down for `down0`/`down1`
+// steps from step 0; reports whether the forged batch finalized.
+void run_downtime(std::uint64_t down0, std::uint64_t down1) {
+  RollupNode node(demo_config());
+  node.add_aggregator({AggregatorId{0}, 2, std::nullopt, /*corrupt=*/0});
+  node.add_verifier(VerifierId{0});
+  node.add_verifier(VerifierId{1});
+  node.fund_l1(UserId{1}, eth(90));
+  (void)node.deposit(UserId{1}, eth(90));
+
+  ChaosConfig chaos;
+  chaos.forced.push_back({0, FaultKind::kVerifierDown, 0, down0});
+  chaos.forced.push_back({0, FaultKind::kVerifierDown, 1, down1});
+  node.arm_chaos(chaos);
+  submit_mints(node, 2);
+
+  (void)node.step();
+  (void)node.step();
+
+  const auto* record = node.orsc().batch(0);
+  std::printf(
+      "  verifier 0 down %llu steps, verifier 1 down %llu steps -> batch 0 "
+      "%s, aggregator bond %s\n",
+      static_cast<unsigned long long>(down0),
+      static_cast<unsigned long long>(down1),
+      record->status == chain::BatchStatus::kFinalized ? "FINALIZED (forged "
+                                                         "root stood)"
+      : record->status == chain::BatchStatus::kReverted
+          ? "REVERTED (fraud proven)"
+          : "pending",
+      node.orsc().aggregator_bond(AggregatorId{0}) > 0 ? "intact" : "slashed");
+  print_verdict(node);
+}
+
+void scenario_verifier_downtime() {
+  std::printf(
+      "\n=== 2. forged commitment vs verifier downtime ===\n"
+      "challenge window covers the batch's step plus one more\n");
+  run_downtime(2, 2);  // everyone sleeps the whole window: fraud finalizes
+  run_downtime(2, 1);  // one verifier wakes inside the window: fraud caught
+}
+
+}  // namespace
+
+int main() {
+  scenario_reorderer_failure();
+  scenario_verifier_downtime();
+  return 0;
+}

@@ -7,6 +7,8 @@
 //   parole_cli gen <snapshots.csv> [n]   generate a synthetic corpus to CSV
 //   parole_cli defend                    screen the case study (Sec. VIII)
 //   parole_cli quickstart                solver + DQN + rollup smoke scenario
+//   parole_cli chaos [seed] [steps]      seeded chaos run with all fault
+//                                        families armed + invariant checker
 //   parole_cli validate <report.jsonl>   schema-check a telemetry report
 //
 // Global flags (any command):
@@ -29,6 +31,8 @@
 #include "parole/data/scanner.hpp"
 #include "parole/data/snapshot.hpp"
 #include "parole/obs/report.hpp"
+#include "parole/rollup/chaos.hpp"
+#include "parole/rollup/node.hpp"
 
 using namespace parole;
 namespace cs = data::case_study;
@@ -44,6 +48,7 @@ int usage() {
                "       parole_cli gen <snapshots.csv> [collections-per-cell]\n"
                "       parole_cli defend\n"
                "       parole_cli quickstart\n"
+               "       parole_cli chaos [seed] [steps]\n"
                "       parole_cli validate <report.jsonl>\n");
   return 1;
 }
@@ -187,6 +192,94 @@ int cmd_quickstart() {
   return 0;
 }
 
+// Fault log of the last `chaos` run; write_reports serializes it into the
+// --metrics report so the JSONL artifact carries the reproducibility record.
+FaultLog g_chaos_log;
+
+// A fully armed chaos run: mixed honest/corrupt aggregator fleet, two
+// verifiers, every fault family at a nonzero rate, invariant checker on.
+// The same seed always yields the same batches, faults, and verdict.
+int cmd_chaos(std::uint64_t seed, std::uint64_t steps) {
+  rollup::NodeConfig node_config;
+  node_config.orsc.challenge_period = 20;
+  node_config.max_supply = 4096;
+  rollup::RollupNode node(node_config);
+  // Aggregator 0 runs an (artless) adversarial reorderer so the
+  // reorderer-failure fault family has something to degrade.
+  auto reverse = [](const vm::L2State&, std::vector<vm::Tx> txs) {
+    std::reverse(txs.begin(), txs.end());
+    return txs;
+  };
+  node.add_aggregator({AggregatorId{0}, 4, reverse, std::nullopt});
+  node.add_aggregator({AggregatorId{1}, 4, std::nullopt, std::nullopt});
+  node.add_aggregator({AggregatorId{2}, 4, std::nullopt, /*corrupt=*/1});
+  node.add_verifier(VerifierId{0});
+  node.add_verifier(VerifierId{1});
+  node.fund_l1(UserId{1}, eth(500));
+  node.fund_l1(UserId{2}, eth(500));
+  if (!node.deposit(UserId{1}, eth(500)).ok() ||
+      !node.deposit(UserId{2}, eth(500)).ok()) {
+    std::fprintf(stderr, "error: seeding deposits failed\n");
+    return 1;
+  }
+
+  rollup::ChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.p_aggregator_crash = 0.08;
+  chaos.p_reorderer_failure = 0.1;
+  chaos.p_verifier_down = 0.2;
+  chaos.p_tx_drop = 0.05;
+  chaos.p_tx_duplicate = 0.05;
+  chaos.p_tx_delay = 0.08;
+  chaos.p_l1_reorg = 0.04;
+  node.arm_chaos(chaos);
+
+  std::uint64_t tx_id = 0;
+  std::size_t challenges = 0, frauds = 0;
+  for (std::uint64_t step = 0; step < steps; ++step) {
+    node.submit_tx(vm::Tx::make_mint(
+        TxId{tx_id++}, UserId{1 + static_cast<std::uint32_t>(step % 2)},
+        gwei(25), gwei(step % 11)));
+    const rollup::StepOutcome outcome = node.step();
+    challenges += outcome.challenged;
+    frauds += outcome.fraud_proven;
+  }
+  const rollup::DrainResult drained = node.run_until_drained(4 * steps);
+
+  const auto& runtime = *node.chaos();
+  g_chaos_log = runtime.log;
+  std::printf("chaos seed 0x%llx: %llu steps + %zu drain steps%s\n",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(steps), drained.steps(),
+              drained.drained ? "" : " (drain truncated)");
+  std::printf(
+      "  batches %zu, challenges %zu (%zu fraud), crashes %zu, reorderer "
+      "failures %zu, verifier-down steps %zu\n",
+      node.batches().size(), challenges, frauds,
+      runtime.log.count(FaultKind::kAggregatorCrash),
+      runtime.log.count(FaultKind::kReordererFailure),
+      runtime.log.count(FaultKind::kVerifierDown));
+  std::printf(
+      "  tx faults: %zu dropped, %zu duplicated, %zu delayed; L1 reorgs %zu\n",
+      runtime.log.count(FaultKind::kTxDrop),
+      runtime.log.count(FaultKind::kTxDuplicate),
+      runtime.log.count(FaultKind::kTxDelay),
+      runtime.log.count(FaultKind::kL1Reorg));
+  if (runtime.checker.clean()) {
+    std::printf("  invariants: all clean over %llu checked steps\n",
+                static_cast<unsigned long long>(steps) +
+                    static_cast<unsigned long long>(drained.steps()));
+    return 0;
+  }
+  for (const auto& v : runtime.checker.violations()) {
+    std::printf("  INVARIANT VIOLATION step %llu %s: %s\n",
+                static_cast<unsigned long long>(v.step),
+                std::string(rollup::to_string(v.kind)).c_str(),
+                v.detail.c_str());
+  }
+  return 1;
+}
+
 int cmd_validate(const std::string& path) {
   const Status status = obs::RunReport::validate_file(path);
   if (!status.ok()) {
@@ -206,6 +299,10 @@ int write_reports(const std::string& command, const std::string& metrics_path,
     obs::RunReport report("parole_cli." + command);
     report.set_meta("command", obs::JsonValue(command));
     report.capture_metrics();
+    for (const FaultEvent& event : g_chaos_log.events()) {
+      report.add_fault(event.step, std::string(to_string(event.kind)),
+                       event.subject, event.detail);
+    }
     const Status written = report.write(metrics_path);
     if (!written.ok()) {
       std::fprintf(stderr, "error: %s\n", written.error().detail.c_str());
@@ -264,6 +361,13 @@ int main(int argc, char** argv) {
     rc = cmd_defend();
   } else if (command == "quickstart" && args.size() == 1) {
     rc = cmd_quickstart();
+  } else if (command == "chaos" && args.size() <= 3) {
+    const std::uint64_t seed =
+        args.size() >= 2 ? std::strtoull(args[1].c_str(), nullptr, 0)
+                         : 0xc4a05c4a05ULL;
+    const std::uint64_t steps =
+        args.size() == 3 ? std::strtoull(args[2].c_str(), nullptr, 0) : 96;
+    rc = cmd_chaos(seed, steps == 0 ? 96 : steps);
   } else if (command == "validate" && args.size() == 2) {
     rc = cmd_validate(args[1]);
   } else {

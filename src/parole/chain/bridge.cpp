@@ -2,13 +2,13 @@
 
 namespace parole::chain {
 
-std::size_t Bridge::process_deposits() {
-  const std::vector<Deposit> deposits = orsc_->drain_pending_deposits();
+std::vector<Deposit> Bridge::process_deposits() {
+  std::vector<Deposit> deposits = orsc_->drain_pending_deposits();
   for (const Deposit& d : deposits) {
     l2_->credit(d.user, d.amount);
     locked_ += d.amount;
   }
-  return deposits.size();
+  return deposits;
 }
 
 Status Bridge::request_withdrawal(UserId user, Amount amount,

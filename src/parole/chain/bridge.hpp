@@ -33,8 +33,10 @@ class Bridge {
     return orsc_->deposit(user, amount);
   }
 
-  // Drain the ORSC deposit queue into the L2 ledger. Returns count credited.
-  std::size_t process_deposits();
+  // Drain the ORSC deposit queue into the L2 ledger. Returns the credited
+  // deposits (the rollup node logs them so a fraud rollback to an older state
+  // snapshot can replay bridged value instead of losing it).
+  std::vector<Deposit> process_deposits();
 
   // Burn L2 balance now; L1 funds release after the challenge period.
   Status request_withdrawal(UserId user, Amount amount, std::uint64_t now);

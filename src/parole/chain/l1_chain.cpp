@@ -1,5 +1,6 @@
 #include "parole/chain/l1_chain.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace parole::chain {
@@ -29,6 +30,15 @@ const L1Block& L1Chain::seal_block() {
   pending_batches_.clear();
   blocks_.push_back(std::move(block));
   return blocks_.back();
+}
+
+std::vector<L1Block> L1Chain::rollback(std::uint64_t depth) {
+  const std::uint64_t drop = std::min<std::uint64_t>(depth, blocks_.size());
+  std::vector<L1Block> dropped(blocks_.end() - static_cast<std::ptrdiff_t>(drop),
+                               blocks_.end());
+  blocks_.resize(blocks_.size() - drop);
+  timestamp_ -= drop * block_time_;
+  return dropped;
 }
 
 const L1Block& L1Chain::block(std::uint64_t number) const {

@@ -21,6 +21,13 @@ class L1Chain {
   // Seal the staged content into a new block; advances the timestamp.
   const L1Block& seal_block();
 
+  // Shallow reorg: drop up to `depth` blocks from the head and rewind the
+  // timestamp accordingly (staged-but-unsealed content is untouched). Returns
+  // the dropped blocks, oldest first, so the caller can recommit their batch
+  // contents; a production client would receive the same set from its
+  // reorg-aware head tracker.
+  std::vector<L1Block> rollback(std::uint64_t depth);
+
   [[nodiscard]] std::uint64_t height() const { return blocks_.size(); }
   [[nodiscard]] std::uint64_t now() const { return timestamp_; }
   [[nodiscard]] const L1Block& block(std::uint64_t number) const;

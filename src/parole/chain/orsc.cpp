@@ -156,6 +156,33 @@ std::vector<std::uint64_t> OrscContract::finalize_due(std::uint64_t now) {
   return finalized;
 }
 
+std::vector<BatchHeader> OrscContract::pop_pending_tail(std::size_t max_count) {
+  std::size_t pop = 0;
+  while (pop < max_count && pop < batches_.size() &&
+         batches_[batches_.size() - 1 - pop].status == BatchStatus::kPending) {
+    ++pop;
+  }
+  std::vector<BatchHeader> headers;
+  headers.reserve(pop);
+  for (std::size_t i = batches_.size() - pop; i < batches_.size(); ++i) {
+    headers.push_back(batches_[i].header);
+  }
+  batches_.resize(batches_.size() - pop);
+  return headers;
+}
+
+Status OrscContract::revert_pending(std::uint64_t batch_id) {
+  if (batch_id >= batches_.size()) {
+    return Error{"unknown_batch", "no such batch"};
+  }
+  BatchRecord& record = batches_[batch_id];
+  if (record.status != BatchStatus::kPending) {
+    return Error{"not_pending", "only pending batches can be reverted"};
+  }
+  record.status = BatchStatus::kReverted;
+  return ok_status();
+}
+
 const BatchRecord* OrscContract::batch(std::uint64_t batch_id) const {
   if (batch_id >= batches_.size()) return nullptr;
   return &batches_[batch_id];

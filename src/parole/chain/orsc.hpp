@@ -93,6 +93,19 @@ class OrscContract {
   // Finalize every unchallenged batch whose deadline passed; returns their ids.
   std::vector<std::uint64_t> finalize_due(std::uint64_t now);
 
+  // Shallow-L1-reorg support: pop up to `max_count` records off the batch
+  // tail as long as they are still kPending (a finalized or disputed batch
+  // anchors the tail — a shallow reorg must not cross it). Returns the popped
+  // headers oldest-first so the caller can recommit them; because ids are
+  // assigned positionally, recommitting the same headers in the same order
+  // reassigns the same batch ids.
+  std::vector<BatchHeader> pop_pending_tail(std::size_t max_count);
+
+  // Mark a pending batch reverted without touching bonds: used when a proven
+  // fraud invalidates descendant batches that were honestly built on the
+  // fraudulent state. Only kPending batches can be reverted this way.
+  Status revert_pending(std::uint64_t batch_id);
+
   [[nodiscard]] const BatchRecord* batch(std::uint64_t batch_id) const;
   [[nodiscard]] std::size_t batch_count() const { return batches_.size(); }
   [[nodiscard]] Amount burnt_total() const { return burnt_; }

@@ -1,0 +1,72 @@
+#include "parole/common/fault.hpp"
+
+namespace parole {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kAggregatorCrash:
+      return "aggregator_crash";
+    case FaultKind::kReordererFailure:
+      return "reorderer_failure";
+    case FaultKind::kVerifierDown:
+      return "verifier_down";
+    case FaultKind::kTxDrop:
+      return "tx_drop";
+    case FaultKind::kTxDuplicate:
+      return "tx_duplicate";
+    case FaultKind::kTxDelay:
+      return "tx_delay";
+    case FaultKind::kL1Reorg:
+      return "l1_reorg";
+  }
+  return "unknown";
+}
+
+void FaultLog::record(FaultEvent event) { events_.push_back(std::move(event)); }
+
+std::size_t FaultLog::count(FaultKind kind) const {
+  std::size_t n = 0;
+  for (const FaultEvent& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+std::string FaultLog::to_string() const {
+  std::string out;
+  for (const FaultEvent& e : events_) {
+    out += "step " + std::to_string(e.step) + ": " +
+           std::string(parole::to_string(e.kind));
+    out += " [subject " + std::to_string(e.subject) + "]";
+    if (!e.detail.empty()) {
+      out += " — " + e.detail;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::uint64_t fault_mix(std::uint64_t seed, std::uint64_t stream,
+                        std::uint64_t subject, std::uint64_t step) {
+  // Each input is spread by a distinct odd constant before the SplitMix64
+  // finalizer so (stream=1, step=0) and (stream=0, step=1) land in unrelated
+  // streams.
+  const std::uint64_t mixed = seed ^ (stream * 0x9e3779b97f4a7c15ULL) ^
+                              (subject * 0xbf58476d1ce4e5b9ULL) ^
+                              (step * 0x94d049bb133111ebULL);
+  return SplitMix64(mixed).next();
+}
+
+Rng fault_rng(std::uint64_t seed, std::uint64_t stream, std::uint64_t subject,
+              std::uint64_t step) {
+  return Rng(fault_mix(seed, stream, subject, step));
+}
+
+bool fault_roll(std::uint64_t seed, std::uint64_t stream, std::uint64_t subject,
+                std::uint64_t step, double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return fault_rng(seed, stream, subject, step).uniform() < p;
+}
+
+}  // namespace parole

@@ -1,0 +1,87 @@
+// Deterministic fault-injection primitives (DESIGN.md §9).
+//
+// Chaos testing only pays off when a failing run can be replayed: every fault
+// decision here is a pure function of (seed, fault family, subject, step), so
+// a schedule never depends on how many random draws other components made and
+// two runs with the same seed inject byte-identical fault sequences. The
+// rollup-specific schedule (which faults exist and what they mean) lives in
+// rollup/chaos.*; this header owns the vocabulary shared across layers: the
+// fault taxonomy, the per-event record, the append-only log, and the
+// order-independent derivation of per-decision random streams.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parole/common/rng.hpp"
+
+namespace parole {
+
+// The fault taxonomy (DESIGN.md §9). Values are stable identifiers — they are
+// serialized into RunReport fault lines — so only append, never renumber.
+enum class FaultKind : std::uint8_t {
+  kAggregatorCrash,   // scheduled aggregator misses its slot mid-round
+  kReordererFailure,  // adversarial reorderer times out; identity order ships
+  kVerifierDown,      // verifier asleep for a step (downtime window member)
+  kTxDrop,            // collected transaction silently vanishes
+  kTxDuplicate,       // collected transaction re-gossiped into the pool
+  kTxDelay,           // collected transaction withheld for k rounds
+  kL1Reorg,           // shallow L1 reorg; unfinalized commitments roll back
+};
+
+[[nodiscard]] std::string_view to_string(FaultKind kind);
+
+// One injected fault. `subject` identifies the entity hit (aggregator index,
+// verifier index, tx id, reorg depth — per-kind, documented in detail).
+struct FaultEvent {
+  std::uint64_t step{0};
+  FaultKind kind{FaultKind::kAggregatorCrash};
+  std::uint64_t subject{0};
+  std::string detail;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+// Append-only record of every fault a run injected; the reproducibility
+// artifact the acceptance tests diff and RunReport serializes.
+class FaultLog {
+ public:
+  void record(FaultEvent event);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t count(FaultKind kind) const;
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  // Human-readable one-line-per-event dump (demo/CLI output).
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const FaultLog&, const FaultLog&) = default;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+// Order-independent stream derivation: a 64-bit value that depends only on
+// (seed, stream, subject, step). SplitMix64 finalization keeps avalanche
+// quality even though the inputs are tiny counters.
+[[nodiscard]] std::uint64_t fault_mix(std::uint64_t seed, std::uint64_t stream,
+                                      std::uint64_t subject,
+                                      std::uint64_t step);
+
+// A full Rng over that derived stream, for decisions that need several draws
+// (e.g. "which index" after "does it fire").
+[[nodiscard]] Rng fault_rng(std::uint64_t seed, std::uint64_t stream,
+                            std::uint64_t subject, std::uint64_t step);
+
+// Bernoulli over the derived stream: fires with probability `p`.
+[[nodiscard]] bool fault_roll(std::uint64_t seed, std::uint64_t stream,
+                              std::uint64_t subject, std::uint64_t step,
+                              double p);
+
+}  // namespace parole

@@ -15,6 +15,20 @@ Amount sum_of(const std::vector<Amount>& balances) {
   return std::accumulate(balances.begin(), balances.end(), Amount{0});
 }
 
+// A solver's order is only usable if it is a true permutation of 0..n-1: a
+// buggy order that drops or duplicates an index would silently drop or
+// duplicate *transactions* in the committed batch (the chaos harness's
+// conservation invariant exists to catch exactly that downstream).
+bool is_permutation_of(const std::vector<std::size_t>& order, std::size_t n) {
+  if (order.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (const std::size_t index : order) {
+    if (index >= n || seen[index]) return false;
+    seen[index] = true;
+  }
+  return true;
+}
+
 }  // namespace
 
 Parole::Parole(ParoleConfig config) : config_(std::move(config)) {}
@@ -131,8 +145,11 @@ AttackOutcome Parole::run(const vm::L2State& chain_state,
     }
   }
 
-  if (best_score > baseline_score && !best_order.empty()) {
-    // Only hand over orders that improve the objective *and* are valid.
+  if (best_score > baseline_score &&
+      is_permutation_of(best_order, problem.size())) {
+    // Only hand over orders that improve the objective *and* are valid; a
+    // malformed order degrades to the identity sequence below instead of
+    // corrupting the batch.
     const auto balances = problem.ifu_balances(best_order);
     assert(balances.has_value());
     outcome.achieved = sum_of(*balances);

@@ -85,6 +85,17 @@ void RunReport::capture_trace(const TraceRecorder& recorder) {
   }
 }
 
+void RunReport::add_fault(std::uint64_t step, const std::string& kind,
+                          std::uint64_t subject, const std::string& detail) {
+  JsonObject line;
+  line["type"] = "fault";
+  line["kind"] = kind;
+  line["step"] = step;
+  line["subject"] = subject;
+  if (!detail.empty()) line["detail"] = detail;
+  lines_.push_back(std::move(line));
+}
+
 std::string RunReport::to_jsonl() const {
   JsonObject meta = meta_;
   meta["type"] = "meta";
@@ -154,6 +165,10 @@ Status RunReport::validate_line(const std::string& line) {
     }
     return check(counts->as_array().size() == bounds->as_array().size() + 1,
                  "histogram counts must have bounds+1 entries");
+  }
+  if (kind == "fault") {
+    if (Status s = require_string(value, "kind"); !s.ok()) return s;
+    return require_number(value, "step");
   }
   if (kind == "span") {
     if (Status s = require_string(value, "name"); !s.ok()) return s;

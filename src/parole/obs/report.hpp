@@ -11,6 +11,8 @@
 //    "bounds":[...],"counts":[...]}            # counts has bounds+1 entries
 //   {"type":"span","name":...,"id":...,"parent":...,"depth":...,
 //    "start_ns":...,"dur_ns":...}              # parent 0 = root
+//   {"type":"fault","kind":...,"step":...,"subject":...,"detail":...}
+//                                              # one injected chaos fault
 //
 // The meta line always comes first. validate_file()/validate_line() are the
 // single source of truth for the schema — tests, `parole_cli validate` and CI
@@ -45,6 +47,10 @@ class RunReport {
   // Append every completed span currently in the trace ring.
   void capture_trace(const TraceRecorder& recorder =
                          TraceRecorder::instance());
+  // One injected chaos fault (rollup/chaos FaultLog entries go through here;
+  // the seeded fault log is part of the reproducibility artifact).
+  void add_fault(std::uint64_t step, const std::string& kind,
+                 std::uint64_t subject, const std::string& detail);
 
   [[nodiscard]] std::size_t line_count() const {
     return 1 + lines_.size();  // meta + body

@@ -10,10 +10,11 @@ namespace parole::rollup {
 Aggregator::Aggregator(AggregatorConfig config) : config_(std::move(config)) {}
 
 Batch Aggregator::build_batch(vm::L2State& state, std::vector<vm::Tx> txs,
-                              const vm::ExecutionEngine& engine) {
+                              const vm::ExecutionEngine& engine,
+                              bool suppress_reorderer) {
   PAROLE_OBS_COUNT("parole.rollup.batches_built", 1);
   PAROLE_OBS_OBSERVE("parole.rollup.batch_size", txs.size());
-  if (config_.reorderer) {
+  if (config_.reorderer && !suppress_reorderer) {
     PAROLE_OBS_SPAN("rollup.sequence");
     txs = (*config_.reorderer)(state, std::move(txs));
   }

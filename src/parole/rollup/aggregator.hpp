@@ -45,8 +45,12 @@ class Aggregator {
 
   // Execute `txs` on `state` (in place) and build the batch + trace that
   // would be committed on L1. Applies the reorderer first when adversarial.
+  // `suppress_reorderer` models a reorderer failure/timeout (chaos fault):
+  // the batch ships in collection order — the attack silently loses its slot
+  // instead of stalling the chain.
   Batch build_batch(vm::L2State& state, std::vector<vm::Tx> txs,
-                    const vm::ExecutionEngine& engine);
+                    const vm::ExecutionEngine& engine,
+                    bool suppress_reorderer = false);
 
   [[nodiscard]] AggregatorId id() const { return config_.id; }
   [[nodiscard]] bool adversarial() const {

@@ -1,0 +1,279 @@
+#include "parole/rollup/chaos.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "parole/rollup/node.hpp"
+
+namespace parole::rollup {
+namespace {
+
+// Stream tags keep the fault families independent draws of the same seed
+// (common/fault mixes the tag into the SplitMix64 preimage). Stable values:
+// changing one reshuffles every seeded schedule.
+enum Stream : std::uint64_t {
+  kStreamCrash = 1,
+  kStreamReorderer = 2,
+  kStreamVerifier = 3,
+  kStreamDrop = 4,
+  kStreamDuplicate = 5,
+  kStreamDelay = 6,
+  kStreamReorg = 7,
+};
+
+// "Does it fire, and at which index" as one decision: the same Rng answers
+// both questions so the index pick never perturbs another family's stream.
+std::optional<std::size_t> roll_index(std::uint64_t seed, std::uint64_t stream,
+                                      std::uint64_t step, double p,
+                                      std::size_t size) {
+  if (size == 0 || p <= 0.0) return std::nullopt;
+  Rng rng = fault_rng(seed, stream, /*subject=*/0, step);
+  if (!(p >= 1.0) && rng.uniform() >= p) return std::nullopt;
+  return static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+std::size_t clamp_index(std::uint64_t wanted, std::size_t size) {
+  return std::min<std::size_t>(static_cast<std::size_t>(wanted), size - 1);
+}
+
+}  // namespace
+
+const ChaosConfig::ForcedFault* FaultPlan::forced(std::uint64_t step,
+                                                 FaultKind kind) const {
+  for (const ChaosConfig::ForcedFault& f : config_.forced) {
+    if (f.step == step && f.kind == kind) return &f;
+  }
+  return nullptr;
+}
+
+bool FaultPlan::aggregator_crashes(std::uint64_t step) const {
+  if (forced(step, FaultKind::kAggregatorCrash) != nullptr) return true;
+  return fault_roll(config_.seed, kStreamCrash, 0, step,
+                    config_.p_aggregator_crash);
+}
+
+bool FaultPlan::reorderer_fails(std::uint64_t step) const {
+  if (forced(step, FaultKind::kReordererFailure) != nullptr) return true;
+  return fault_roll(config_.seed, kStreamReorderer, 0, step,
+                    config_.p_reorderer_failure);
+}
+
+bool FaultPlan::verifier_down(std::uint64_t step, std::size_t verifier) const {
+  // Forced downtime is an interval [f.step, f.step + f.param) for the exact
+  // verifier named by `subject` — tests script "all verifiers sleep through
+  // the whole challenge window" this way.
+  for (const ChaosConfig::ForcedFault& f : config_.forced) {
+    if (f.kind != FaultKind::kVerifierDown) continue;
+    if (f.subject != verifier) continue;
+    if (step >= f.step && step < f.step + std::max<std::uint64_t>(f.param, 1)) {
+      return true;
+    }
+  }
+  // Probabilistic downtime is drawn once per (verifier, window) so it comes
+  // in contiguous outages, which is what makes late-wakeup challenges and
+  // challenge-window expiry reachable at all.
+  const std::uint64_t window_steps =
+      std::max<std::uint64_t>(config_.verifier_window_steps, 1);
+  return fault_roll(config_.seed, kStreamVerifier, verifier,
+                    step / window_steps, config_.p_verifier_down);
+}
+
+std::optional<std::size_t> FaultPlan::tx_drop(std::uint64_t step,
+                                              std::size_t collected_size) const {
+  if (collected_size == 0) return std::nullopt;
+  if (const auto* f = forced(step, FaultKind::kTxDrop)) {
+    return clamp_index(f->subject, collected_size);
+  }
+  return roll_index(config_.seed, kStreamDrop, step, config_.p_tx_drop,
+                    collected_size);
+}
+
+std::optional<std::size_t> FaultPlan::tx_duplicate(
+    std::uint64_t step, std::size_t collected_size) const {
+  if (collected_size == 0) return std::nullopt;
+  if (const auto* f = forced(step, FaultKind::kTxDuplicate)) {
+    return clamp_index(f->subject, collected_size);
+  }
+  return roll_index(config_.seed, kStreamDuplicate, step,
+                    config_.p_tx_duplicate, collected_size);
+}
+
+std::optional<std::pair<std::size_t, std::uint64_t>> FaultPlan::tx_delay(
+    std::uint64_t step, std::size_t collected_size) const {
+  if (collected_size == 0) return std::nullopt;
+  if (const auto* f = forced(step, FaultKind::kTxDelay)) {
+    return std::make_pair(clamp_index(f->subject, collected_size),
+                          std::max<std::uint64_t>(f->param, 1));
+  }
+  const auto index = roll_index(config_.seed, kStreamDelay, step,
+                                config_.p_tx_delay, collected_size);
+  if (!index) return std::nullopt;
+  return std::make_pair(*index,
+                        std::max<std::uint64_t>(config_.tx_delay_steps, 1));
+}
+
+std::uint64_t FaultPlan::l1_reorg_depth(std::uint64_t step) const {
+  if (const auto* f = forced(step, FaultKind::kL1Reorg)) {
+    return std::max<std::uint64_t>(f->param, 1);
+  }
+  if (config_.max_reorg_depth == 0) return 0;
+  Rng rng = fault_rng(config_.seed, kStreamReorg, 0, step);
+  if (config_.p_l1_reorg <= 0.0) return 0;
+  if (!(config_.p_l1_reorg >= 1.0) && rng.uniform() >= config_.p_l1_reorg) {
+    return 0;
+  }
+  return 1 + static_cast<std::uint64_t>(rng.uniform_int(
+                 0, static_cast<std::int64_t>(config_.max_reorg_depth) - 1));
+}
+
+std::string_view to_string(InvariantKind kind) {
+  switch (kind) {
+    case InvariantKind::kValueConservation:
+      return "value_conservation";
+    case InvariantKind::kSupplyCap:
+      return "supply_cap";
+    case InvariantKind::kMonotoneFinalization:
+      return "monotone_finalization";
+    case InvariantKind::kTraceConsistency:
+      return "trace_consistency";
+    case InvariantKind::kL1Integrity:
+      return "l1_integrity";
+    case InvariantKind::kBondSolvency:
+      return "bond_solvency";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Forward-only status lattice. kPending may finalize, enter dispute, or be
+// reverted (directly by a fraud proof, or as a descendant of one); kDisputed
+// resolves to kFinalized or kReverted; terminal states never move again.
+bool legal_transition(chain::BatchStatus from, chain::BatchStatus to) {
+  using chain::BatchStatus;
+  if (from == to) return true;
+  switch (from) {
+    case BatchStatus::kPending:
+      return to == BatchStatus::kDisputed || to == BatchStatus::kFinalized ||
+             to == BatchStatus::kReverted;
+    case BatchStatus::kDisputed:
+      return to == BatchStatus::kFinalized || to == BatchStatus::kReverted;
+    case BatchStatus::kFinalized:
+    case BatchStatus::kReverted:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::size_t InvariantChecker::check(const RollupNode& node,
+                                    std::uint64_t step) {
+  const std::size_t before = violations_.size();
+  const auto violate = [&](InvariantKind kind, std::string detail) {
+    violations_.push_back({step, kind, std::move(detail)});
+  };
+
+  // --- value conservation ---------------------------------------------------
+  // Every wei on L2 came over the bridge: ledger supply + collected fees +
+  // mint burns must track bridge.locked() up to a constant baseline (campaign
+  // runs seed the genesis ledger directly, so the baseline is taken on the
+  // first check rather than assumed zero).
+  const vm::L2State& state = node.state();
+  const std::int64_t tracked = state.ledger().total_supply() +
+                               state.fee_pool() + state.value_burned();
+  const std::int64_t drift = tracked - node.bridge().locked();
+  if (!baselined_) {
+    baselined_ = true;
+    conservation_base_ = drift;
+  } else if (drift != conservation_base_) {
+    violate(InvariantKind::kValueConservation,
+            "supply+fees+burned - locked = " + std::to_string(drift) +
+                ", baseline " + std::to_string(conservation_base_));
+  }
+
+  // --- supply cap -------------------------------------------------------------
+  const std::uint64_t live = state.nft().live_count();
+  const std::uint64_t remaining = state.nft().remaining_supply();
+  const std::uint64_t cap = node.config().max_supply;
+  if (live > cap || live + remaining != cap) {
+    violate(InvariantKind::kSupplyCap,
+            "live " + std::to_string(live) + " + remaining " +
+                std::to_string(remaining) + " != max_supply " +
+                std::to_string(cap));
+  }
+
+  // --- monotone finalization --------------------------------------------------
+  // Statuses only move forward along the lattice. A shallow L1 reorg may pop
+  // still-pending tail records (count shrinks within a step before the
+  // recommit lands), so a shorter tail is tolerated, never a status regress.
+  const chain::OrscContract& orsc = node.orsc();
+  const std::size_t batch_count = orsc.batch_count();
+  if (batch_count < last_statuses_.size()) {
+    last_statuses_.resize(batch_count);
+  }
+  for (std::uint64_t id = 0; id < batch_count; ++id) {
+    const chain::BatchRecord* record = orsc.batch(id);
+    const auto status = static_cast<std::uint8_t>(record->status);
+    if (id < last_statuses_.size() &&
+        !legal_transition(static_cast<chain::BatchStatus>(last_statuses_[id]),
+                          record->status)) {
+      violate(InvariantKind::kMonotoneFinalization,
+              "batch " + std::to_string(id) + " moved " +
+                  std::to_string(last_statuses_[id]) + " -> " +
+                  std::to_string(status));
+    }
+    if (id < last_statuses_.size()) {
+      last_statuses_[id] = status;
+    } else {
+      last_statuses_.push_back(status);
+    }
+  }
+
+  // --- committed-root / trace consistency -------------------------------------
+  // Every batch body the node retains must agree with itself (each root the
+  // header commits to is the one its trace ends in) and with the ORSC record
+  // it was committed under.
+  for (const Batch& batch : node.batches()) {
+    if (!batch.trace_consistent() ||
+        batch.header.tx_root != Batch::tx_root_of(batch.txs) ||
+        batch.header.tx_count != batch.txs.size()) {
+      violate(InvariantKind::kTraceConsistency,
+              "batch " + std::to_string(batch.header.batch_id) +
+                  " header/trace mismatch");
+      continue;
+    }
+    const chain::BatchRecord* record = orsc.batch(batch.header.batch_id);
+    if (record == nullptr ||
+        record->header.post_state_root != batch.header.post_state_root) {
+      violate(InvariantKind::kTraceConsistency,
+              "batch " + std::to_string(batch.header.batch_id) +
+                  " diverges from its ORSC record");
+    }
+  }
+
+  // --- L1 link integrity ------------------------------------------------------
+  if (!node.l1().verify_links()) {
+    violate(InvariantKind::kL1Integrity, "parent-hash links broken");
+  }
+
+  // --- bond solvency ----------------------------------------------------------
+  for (const AggregatorId id : node.aggregator_ids()) {
+    if (orsc.aggregator_bond(id) < 0) {
+      violate(InvariantKind::kBondSolvency,
+              "aggregator " + std::to_string(id.value()) + " bond negative");
+    }
+  }
+  for (const Verifier& verifier : node.verifiers()) {
+    if (orsc.verifier_bond(verifier.id()) < 0) {
+      violate(InvariantKind::kBondSolvency,
+              "verifier " + std::to_string(verifier.id().value()) +
+                  " bond negative");
+    }
+  }
+
+  return violations_.size() - before;
+}
+
+}  // namespace parole::rollup

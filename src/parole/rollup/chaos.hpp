@@ -1,0 +1,197 @@
+// Chaos harness for the rollup pipeline (DESIGN.md §9).
+//
+// The paper's threat model assumes a live pipeline: aggregators always show
+// up, verifiers always re-execute inside the challenge window, the reorderer
+// always returns. Real optimistic rollups degrade exactly there, and
+// fraud-proof safety under absent challengers is itself an attack surface.
+// This module makes those degradations first-class and *deterministic*:
+//
+//   FaultPlan         seed-driven schedule the RollupNode consults per step.
+//                     Every decision is a pure function of
+//                     (seed, fault family, subject, step) — see common/fault —
+//                     so a chaos run is bit-reproducible from its seed.
+//   ChaosRuntime      per-run mutable state: the fault log, delayed txs,
+//                     per-aggregator crash/backoff accounting, the armed
+//                     invariant checker.
+//   InvariantChecker  safety conditions that must hold under ANY fault
+//                     schedule (value conservation, supply cap, monotone
+//                     finalization, trace consistency, L1 link integrity,
+//                     bond non-negativity). A corrupt batch *finalizing*
+//                     while every verifier sleeps is NOT an invariant
+//                     violation — it is the (reportable) outcome the harness
+//                     exists to expose.
+//
+// Fault semantics implemented by RollupNode::step():
+//   kAggregatorCrash   the scheduled aggregator crashes mid-slot: its
+//                      collected txs return to the pool, the next live
+//                      aggregator takes the slot (round-robin failover), and
+//                      the crashed one sits out an exponentially growing
+//                      backoff before re-entering rotation.
+//   kReordererFailure  adversarial reorderer times out; the batch ships in
+//                      honest collection order (graceful degradation).
+//   kVerifierDown      the verifier misses this step's verification pass;
+//                      a pending batch is only challenged if some verifier
+//                      wakes before its challenge window closes — so
+//                      corrupt_at_step fraud can finalize.
+//   kTxDrop/:Duplicate/:Delay
+//                      mempool faults applied to the collected set.
+//   kL1Reorg           shallow reorg: drop head blocks, roll back still-
+//                      pending batch commitments in the ORSC and recommit
+//                      them (challenge clocks restart).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parole/common/fault.hpp"
+#include "parole/vm/tx.hpp"
+
+namespace parole::rollup {
+
+class RollupNode;  // chaos.cpp sees the full definition
+
+// Probabilities are per step (per verifier-window for p_verifier_down); 0
+// disables a family. `forced` entries fire unconditionally at their step and
+// compose with the probabilistic draws — tests and demos use them to script
+// exact scenarios against the same machinery.
+struct ChaosConfig {
+  std::uint64_t seed = 0xc4a05c4a05ULL;
+
+  double p_aggregator_crash = 0.0;
+  // Base sit-out after a crash, in steps; doubles per consecutive crash of
+  // the same aggregator (capped) and resets on a served slot.
+  std::uint64_t crash_backoff_steps = 2;
+
+  double p_reorderer_failure = 0.0;
+
+  // Verifier downtime is drawn per (verifier, window): with probability
+  // p_verifier_down the verifier sleeps for that whole window of
+  // `verifier_window_steps` steps — contiguous downtime, not per-step noise.
+  double p_verifier_down = 0.0;
+  std::uint64_t verifier_window_steps = 4;
+
+  double p_tx_drop = 0.0;
+  double p_tx_duplicate = 0.0;
+  double p_tx_delay = 0.0;
+  std::uint64_t tx_delay_steps = 3;
+
+  double p_l1_reorg = 0.0;
+  std::uint64_t max_reorg_depth = 2;
+
+  // Scripted faults. `subject`/`param` per kind:
+  //   kAggregatorCrash   subject/param unused (hits the scheduled aggregator)
+  //   kReordererFailure  subject/param unused
+  //   kVerifierDown      subject = verifier index, down for [step, step+param)
+  //   kTxDrop/kTxDuplicate  subject = index into the collected set (clamped)
+  //   kTxDelay           subject = collected index, param = delay in steps
+  //   kL1Reorg           param = reorg depth
+  struct ForcedFault {
+    std::uint64_t step{0};
+    FaultKind kind{FaultKind::kAggregatorCrash};
+    std::uint64_t subject{0};
+    std::uint64_t param{0};
+  };
+  std::vector<ForcedFault> forced;
+};
+
+// Deterministic schedule. Stateless beyond its config: any query may be
+// asked in any order, any number of times, with identical answers.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(ChaosConfig config) : config_(std::move(config)) {}
+
+  [[nodiscard]] bool aggregator_crashes(std::uint64_t step) const;
+  [[nodiscard]] bool reorderer_fails(std::uint64_t step) const;
+  [[nodiscard]] bool verifier_down(std::uint64_t step,
+                                   std::size_t verifier) const;
+
+  // Mempool faults for this step's collected set (empty optional = none).
+  // The index is resolved against `collected_size` deterministically.
+  [[nodiscard]] std::optional<std::size_t> tx_drop(
+      std::uint64_t step, std::size_t collected_size) const;
+  [[nodiscard]] std::optional<std::size_t> tx_duplicate(
+      std::uint64_t step, std::size_t collected_size) const;
+  // Returns (index, release delay in steps).
+  [[nodiscard]] std::optional<std::pair<std::size_t, std::uint64_t>> tx_delay(
+      std::uint64_t step, std::size_t collected_size) const;
+
+  // 0 = no reorg this step.
+  [[nodiscard]] std::uint64_t l1_reorg_depth(std::uint64_t step) const;
+
+  [[nodiscard]] const ChaosConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] const ChaosConfig::ForcedFault* forced(std::uint64_t step,
+                                                       FaultKind kind) const;
+
+  ChaosConfig config_;
+};
+
+enum class InvariantKind : std::uint8_t {
+  kValueConservation,     // bridge.locked == L2 supply + fees + burned + base
+  kSupplyCap,             // live NFTs + remaining supply == max_supply
+  kMonotoneFinalization,  // batch statuses only move forward
+  kTraceConsistency,      // stored batches: trace ends in committed post-root
+  kL1Integrity,           // parent-hash links verify
+  kBondSolvency,          // no negative bonds
+};
+
+[[nodiscard]] std::string_view to_string(InvariantKind kind);
+
+struct InvariantViolation {
+  std::uint64_t step{0};
+  InvariantKind kind{InvariantKind::kValueConservation};
+  std::string detail;
+
+  friend bool operator==(const InvariantViolation&,
+                         const InvariantViolation&) = default;
+};
+
+// Runs after every step under chaos. Stateful: it baselines conservation on
+// the first check (tolerating externally seeded ledgers, e.g. campaign
+// genesis states) and tracks per-batch statuses across calls to verify
+// monotone finalization.
+class InvariantChecker {
+ public:
+  // Checks every invariant against `node` and appends violations found at
+  // `step` to the running list. Returns the number of NEW violations.
+  std::size_t check(const RollupNode& node, std::uint64_t step);
+
+  [[nodiscard]] const std::vector<InvariantViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] bool clean() const { return violations_.empty(); }
+
+ private:
+  std::vector<InvariantViolation> violations_;
+  bool baselined_{false};
+  // Conservation baseline: (supply + fees + burned) − locked at arm time.
+  std::int64_t conservation_base_{0};
+  std::vector<std::uint8_t> last_statuses_;  // chain::BatchStatus values
+};
+
+// Everything a chaos-armed RollupNode keeps between steps.
+struct ChaosRuntime {
+  explicit ChaosRuntime(ChaosConfig config) : plan(std::move(config)) {}
+
+  FaultPlan plan;
+  FaultLog log;
+  InvariantChecker checker;
+
+  struct DelayedTx {
+    vm::Tx tx;
+    std::uint64_t release_step{0};
+  };
+  std::vector<DelayedTx> delayed;
+
+  struct CrashState {
+    std::uint64_t backoff_until{0};  // first step it may serve again
+    std::uint32_t consecutive_crashes{0};
+  };
+  std::vector<CrashState> crash;  // indexed like RollupNode's aggregators
+};
+
+}  // namespace parole::rollup

@@ -17,14 +17,19 @@ std::vector<vm::Tx> BedrockMempool::collect(std::size_t n) {
     out.push_back(queue_.top().tx);
     queue_.pop();
   }
+  ++defer_round_;  // close the current defer round, even on empty collects
   return out;
 }
 
 void BedrockMempool::defer(vm::Tx tx) {
   PAROLE_OBS_COUNT("parole.rollup.txs_deferred", 1);
-  ++defer_round_;
   tx.arrival = arrival_seq_++;
-  queue_.push(Entry{std::move(tx), defer_round_});
+  queue_.push(Entry{std::move(tx), defer_round_ + 1});
+}
+
+void BedrockMempool::restore(vm::Tx tx) {
+  PAROLE_OBS_COUNT("parole.rollup.txs_restored", 1);
+  queue_.push(Entry{std::move(tx), /*defer_round=*/0});
 }
 
 }  // namespace parole::rollup

@@ -28,7 +28,9 @@ class BedrockMempool {
   // Collect up to `n` transactions in priority order (highest total fee
   // first, earliest arrival on ties; deferred txs always last). The returned
   // transactions leave the pool. This models one aggregator's collection —
-  // its "Mempool size" N in the paper's evaluation.
+  // its "Mempool size" N in the paper's evaluation. Every collect() call —
+  // including collect(0) and collects from an empty pool — also closes the
+  // current defer round (see defer()).
   std::vector<vm::Tx> collect(std::size_t n);
 
   [[nodiscard]] std::size_t size() const { return queue_.size(); }
@@ -37,9 +39,26 @@ class BedrockMempool {
   // Push a transaction back with *lowest* effective priority ("send the
   // transactions with the lowest fees to the block behind", Sec. VIII): the
   // tx keeps its fees but sorts behind every non-deferred transaction.
+  //
+  // Round semantics, explicitly: all transactions deferred between two
+  // collect() calls belong to one round and keep their fee/arrival order
+  // relative to each other; a later round sorts strictly behind an earlier
+  // one (a twice-deferred tx keeps falling back). Rounds are closed by
+  // collect(), not by defer(), so one batch screen's rejects re-enter as a
+  // block, not as a chain of individually-demoted stragglers.
   void defer(vm::Tx tx);
 
+  // Re-insert a transaction that was collected but never made it on chain
+  // (aggregator crashed mid-slot, chaos delay released). Keeps the original
+  // arrival stamp so the tx re-enters at its old priority; a previously
+  // deferred tx has served its deferral and re-enters undemoted.
+  void restore(vm::Tx tx);
+
   [[nodiscard]] std::uint64_t submitted_total() const { return arrival_seq_; }
+  // Defer rounds closed so far (diagnostics/tests).
+  [[nodiscard]] std::uint32_t defer_rounds_closed() const {
+    return defer_round_;
+  }
 
  private:
   struct Entry {

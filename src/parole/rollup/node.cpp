@@ -1,6 +1,8 @@
 #include "parole/rollup/node.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <utility>
 
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
@@ -20,6 +22,7 @@ void RollupNode::add_aggregator(AggregatorConfig config) {
   assert(registered.ok());
   (void)registered;
   aggregators_.emplace_back(std::move(config));
+  if (chaos_) chaos_->crash.resize(aggregators_.size());
 }
 
 void RollupNode::add_verifier(VerifierId id) {
@@ -27,6 +30,11 @@ void RollupNode::add_verifier(VerifierId id) {
   assert(registered.ok());
   (void)registered;
   verifiers_.emplace_back(id);
+}
+
+void RollupNode::arm_chaos(ChaosConfig config) {
+  chaos_ = std::make_unique<ChaosRuntime>(std::move(config));
+  chaos_->crash.resize(aggregators_.size());
 }
 
 void RollupNode::fund_l1(UserId user, Amount amount) {
@@ -42,42 +50,189 @@ void RollupNode::submit_tx(vm::Tx tx) {
   mempool_.submit(std::move(tx));
 }
 
+std::vector<AggregatorId> RollupNode::aggregator_ids() const {
+  std::vector<AggregatorId> ids;
+  ids.reserve(aggregators_.size());
+  for (const Aggregator& aggregator : aggregators_) {
+    ids.push_back(aggregator.id());
+  }
+  return ids;
+}
+
+void RollupNode::record_fault(std::uint64_t step, FaultKind kind,
+                              std::uint64_t subject, std::string detail) {
+  PAROLE_OBS_COUNT("parole.chaos.faults", 1);
+  chaos_->log.record({step, kind, subject, std::move(detail)});
+}
+
+ChaosRuntime::CrashState& RollupNode::crash_state(std::size_t index) {
+  if (chaos_->crash.size() <= index) {
+    chaos_->crash.resize(aggregators_.size());
+  }
+  return chaos_->crash[index];
+}
+
+std::size_t RollupNode::pending_work() const {
+  return mempool_.size() + (chaos_ ? chaos_->delayed.size() : 0);
+}
+
 StepOutcome RollupNode::step() {
   PAROLE_OBS_SPAN("rollup.batch");
   PAROLE_OBS_COUNT("parole.rollup.steps", 1);
   StepOutcome outcome;
+  const std::uint64_t step = step_index_++;
 
-  bridge_.process_deposits();
+  // A reorg "arrives" between slots: the head blocks vanish before this
+  // round's work begins.
+  if (chaos_) apply_l1_reorg(step, outcome);
 
-  if (aggregators_.empty() || mempool_.empty()) {
-    l1_.seal_block();
-    outcome.finalized_batches = orsc_.finalize_due(l1_.now());
-    return outcome;
+  for (const chain::Deposit& deposit : bridge_.process_deposits()) {
+    deposit_log_.emplace_back(step, deposit);
   }
 
-  // Round-robin over aggregators that still hold a live bond — a slashed
-  // aggregator's submissions would be rejected by the ORSC.
-  std::size_t probes = 0;
-  while (probes < aggregators_.size() &&
-         orsc_.aggregator_bond(aggregators_[next_aggregator_].id()) <= 0) {
-    next_aggregator_ = (next_aggregator_ + 1) % aggregators_.size();
-    ++probes;
+  if (chaos_) {
+    release_delayed(step, outcome);
+    // Account verifier downtime once per step; the verification pass
+    // re-derives the same answers from the (stateless) plan.
+    for (std::size_t v = 0; v < verifiers_.size(); ++v) {
+      if (chaos_->plan.verifier_down(step, v)) {
+        ++outcome.verifiers_down;
+        PAROLE_OBS_COUNT("parole.chaos.verifier_down_steps", 1);
+        record_fault(step, FaultKind::kVerifierDown, v, "");
+      }
+    }
   }
-  if (probes == aggregators_.size()) {
-    // Everyone slashed: the rollup has no operators left.
-    l1_.seal_block();
-    outcome.finalized_batches = orsc_.finalize_due(l1_.now());
-    return outcome;
+
+  produce_batch(step, outcome);
+  run_verification_pass(step, outcome);
+
+  l1_.seal_block();
+  outcome.finalized_batches = orsc_.finalize_due(l1_.now());
+  prune_pending();
+
+  if (chaos_) {
+    PAROLE_OBS_SPAN("chaos.invariants");
+    const std::size_t fresh = chaos_->checker.check(*this, step);
+    if (fresh > 0) {
+      PAROLE_OBS_COUNT("parole.chaos.invariant_violations",
+                       static_cast<std::int64_t>(fresh));
+    }
   }
-  Aggregator& aggregator = aggregators_[next_aggregator_];
-  next_aggregator_ = (next_aggregator_ + 1) % aggregators_.size();
+  return outcome;
+}
+
+void RollupNode::apply_l1_reorg(std::uint64_t step, StepOutcome& outcome) {
+  std::uint64_t depth = chaos_->plan.l1_reorg_depth(step);
+  depth = std::min<std::uint64_t>(depth, l1_.height());
+  if (depth == 0) return;
+
+  const std::vector<chain::L1Block> dropped = l1_.rollback(depth);
+  std::size_t dropped_batches = 0;
+  for (const chain::L1Block& block : dropped) {
+    dropped_batches += block.batches.size();
+  }
+  // Only the still-pending commitment tail moves with the reorg; the ORSC's
+  // resolved records are treated as finality-protected (a shallow reorg never
+  // reaches a real finalized batch — pop_pending_tail enforces the analogue).
+  std::vector<chain::BatchHeader> popped =
+      orsc_.pop_pending_tail(dropped_batches);
+
+  std::size_t recommitted = 0;
+  for (std::size_t i = 0; i < popped.size(); ++i) {
+    auto resubmitted = orsc_.submit_batch(popped[i], l1_.now());
+    if (!resubmitted.ok()) {
+      // The committing aggregator was slashed since (fraud proven on a later
+      // batch of theirs): the orphaned commitment cannot re-enter L1. Treat
+      // it like a reverted ancestor — roll state back to its pre-state and
+      // return its and its descendants' txs to the pool. The descendant
+      // records were popped above and are simply not recommitted.
+      for (std::size_t p = 0; p < pending_checks_.size(); ++p) {
+        if (pending_checks_[p].batch.header.batch_id == popped[i].batch_id) {
+          rollback_from(p, /*revert_records=*/false, outcome);
+          break;
+        }
+      }
+      break;
+    }
+    // Positional id assignment: recommitting the same headers in the same
+    // order reassigns the same batch ids, so every id-keyed structure in the
+    // node stays valid; only the challenge clock restarts.
+    assert(resubmitted.value() == popped[i].batch_id);
+    l1_.stage_batch(popped[i]);
+    ++recommitted;
+  }
+
+  outcome.l1_reorg_depth = depth;
+  PAROLE_OBS_COUNT("parole.chaos.l1_reorgs", 1);
+  PAROLE_OBS_COUNT("parole.chaos.reorged_batches",
+                   static_cast<std::int64_t>(popped.size()));
+  record_fault(step, FaultKind::kL1Reorg, depth,
+               "depth " + std::to_string(depth) + ", recommitted " +
+                   std::to_string(recommitted) + "/" +
+                   std::to_string(popped.size()) + " batches");
+}
+
+void RollupNode::release_delayed(std::uint64_t step, StepOutcome& outcome) {
+  (void)outcome;
+  auto& delayed = chaos_->delayed;
+  for (auto it = delayed.begin(); it != delayed.end();) {
+    if (it->release_step <= step) {
+      PAROLE_OBS_COUNT("parole.chaos.txs_released", 1);
+      mempool_.restore(std::move(it->tx));
+      it = delayed.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void RollupNode::produce_batch(std::uint64_t step, StepOutcome& outcome) {
+  if (aggregators_.empty() || mempool_.empty()) return;
+
+  // Round-robin over aggregators that still hold a live bond (a slashed
+  // aggregator's submissions would be rejected by the ORSC) and are not
+  // sitting out a post-crash backoff. A scheduled crash burns the slot of the
+  // aggregator it hits, returns its collected txs to the pool, and fails the
+  // round over to the next live operator — still within this step.
+  const std::size_t count = aggregators_.size();
+  bool crash_pending = chaos_ && chaos_->plan.aggregator_crashes(step);
+  std::size_t chosen = count;
+  for (std::size_t probes = 0; probes < count; ++probes) {
+    const std::size_t index = next_aggregator_;
+    next_aggregator_ = (next_aggregator_ + 1) % count;
+    Aggregator& candidate = aggregators_[index];
+    if (orsc_.aggregator_bond(candidate.id()) <= 0) continue;
+    if (chaos_ && crash_state(index).backoff_until > step) continue;
+    if (crash_pending) {
+      crash_pending = false;  // the fault hits the scheduled operator once
+      std::vector<vm::Tx> lost = mempool_.collect(candidate.mempool_size());
+      const std::size_t lost_count = lost.size();
+      for (vm::Tx& tx : lost) mempool_.restore(std::move(tx));
+      ChaosRuntime::CrashState& crash = crash_state(index);
+      ++crash.consecutive_crashes;
+      const std::uint64_t backoff =
+          chaos_->plan.config().crash_backoff_steps
+          << std::min<std::uint32_t>(crash.consecutive_crashes - 1, 6);
+      crash.backoff_until = step + 1 + backoff;
+      outcome.aggregator_crashed = true;
+      PAROLE_OBS_COUNT("parole.chaos.aggregator_crashes", 1);
+      record_fault(step, FaultKind::kAggregatorCrash, index,
+                   "dropped slot holding " + std::to_string(lost_count) +
+                       " txs; backoff until step " +
+                       std::to_string(crash.backoff_until));
+      continue;
+    }
+    chosen = index;
+    break;
+  }
+  if (chosen == count) return;  // no live operator this slot
+
+  Aggregator& aggregator = aggregators_[chosen];
+  if (chaos_) crash_state(chosen).consecutive_crashes = 0;  // served a slot
 
   std::vector<vm::Tx> collected = mempool_.collect(aggregator.mempool_size());
-  if (collected.empty()) {
-    l1_.seal_block();
-    outcome.finalized_batches = orsc_.finalize_due(l1_.now());
-    return outcome;
-  }
+  if (chaos_) apply_mempool_faults(step, collected, outcome);
+  if (collected.empty()) return;
 
   // Mempool-side screening (Sec. VIII defense) runs before the aggregator —
   // and therefore before any adversarial reordering — and pushes high-
@@ -87,18 +242,27 @@ StepOutcome RollupNode::step() {
     collected = std::move(screened.admitted);
     outcome.screened_out = screened.deferred.size();
     for (vm::Tx& tx : screened.deferred) mempool_.defer(std::move(tx));
-    if (collected.empty()) {
-      l1_.seal_block();
-      outcome.finalized_batches = orsc_.finalize_due(l1_.now());
-      return outcome;
-    }
+    if (collected.empty()) return;
   }
 
-  // Keep the pre-batch state so verifiers can re-execute and, if fraud is
-  // proven, the canonical state can roll back.
-  const vm::L2State pre_state = state_;
+  // Keep the pre-batch state so verifiers can re-execute (possibly steps
+  // later) and, if fraud is proven, the canonical state can roll back.
+  vm::L2State pre_state = state_;
 
-  Batch batch = aggregator.build_batch(state_, std::move(collected), engine_);
+  bool suppress_reorderer = false;
+  if (chaos_ && aggregator.adversarial() &&
+      chaos_->plan.reorderer_fails(step)) {
+    // The attack module timed out: the batch ships in honest collection
+    // order. The chain keeps draining — degradation, not an outage.
+    suppress_reorderer = true;
+    outcome.reorderer_degraded = true;
+    PAROLE_OBS_COUNT("parole.chaos.reorderer_failures", 1);
+    record_fault(step, FaultKind::kReordererFailure, chosen,
+                 "identity order shipped");
+  }
+
+  Batch batch = aggregator.build_batch(state_, std::move(collected), engine_,
+                                       suppress_reorderer);
   auto submitted = orsc_.submit_batch(batch.header, l1_.now());
   assert(submitted.ok());
   batch.header.batch_id = submitted.value();
@@ -108,61 +272,198 @@ StepOutcome RollupNode::step() {
   outcome.aggregator = aggregator.id();
   outcome.tx_count = batch.txs.size();
 
-  // Every verifier independently checks the batch; the first one that finds
-  // fraud opens the (single) challenge.
-  for (const Verifier& verifier : verifiers_) {
-    const VerificationOutcome check =
-        verifier.check(batch, pre_state, engine_);
-    if (check.valid) continue;
-    PAROLE_OBS_COUNT("parole.rollup.fraud_detected", 1);
-
-    const Status opened =
-        orsc_.open_challenge(batch.header.batch_id, verifier.id(), l1_.now());
-    if (!opened.ok()) continue;  // someone else already disputed
-    outcome.challenged = true;
-
-    // The challenger's honest trace for the bisection game.
-    std::vector<crypto::Hash256> honest_roots;
-    honest_roots.reserve(batch.txs.size());
-    vm::L2State replay = pre_state;
-    for (const vm::Tx& tx : batch.txs) {
-      (void)engine_.execute_tx(replay, tx);
-      honest_roots.push_back(replay.state_root());
-    }
-
-    const DisputeVerdict verdict =
-        DisputeGame::run(batch, pre_state, honest_roots, engine_);
-    const Status resolved =
-        orsc_.resolve_challenge(batch.header.batch_id, verdict.fraud_proven);
-    assert(resolved.ok());
-    (void)resolved;
-
-    if (verdict.fraud_proven) {
-      outcome.fraud_proven = true;
-      // The fraudulent batch is reverted: canonical state rolls back and the
-      // transactions return to the mempool for an honest aggregator.
-      state_ = pre_state;
-      for (vm::Tx& tx : batch.txs) mempool_.defer(std::move(tx));
-    }
-    break;
-  }
-
-  // The commitment hit L1 regardless of how the dispute ended.
   l1_.stage_batch(batch.header);
-  if (!outcome.fraud_proven) {
-    batches_.push_back(std::move(batch));
-  }
-  l1_.seal_block();
-  outcome.finalized_batches = orsc_.finalize_due(l1_.now());
-  return outcome;
+  pending_checks_.push_back(
+      PendingVerification{batch, std::move(pre_state), step,
+                          std::vector<std::uint8_t>(verifiers_.size(), 0)});
+  batches_.push_back(std::move(batch));
 }
 
-std::vector<StepOutcome> RollupNode::run_until_drained(std::size_t max_steps) {
-  std::vector<StepOutcome> outcomes;
-  for (std::size_t i = 0; i < max_steps && !mempool_.empty(); ++i) {
-    outcomes.push_back(step());
+void RollupNode::apply_mempool_faults(std::uint64_t step,
+                                      std::vector<vm::Tx>& collected,
+                                      StepOutcome& outcome) {
+  const FaultPlan& plan = chaos_->plan;
+  if (const auto index = plan.tx_drop(step, collected.size())) {
+    record_fault(step, FaultKind::kTxDrop, collected[*index].id.value(),
+                 "dropped from collected set");
+    collected.erase(collected.begin() + static_cast<std::ptrdiff_t>(*index));
+    ++outcome.txs_dropped;
+    PAROLE_OBS_COUNT("parole.chaos.txs_dropped", 1);
   }
-  return outcomes;
+  if (const auto index = plan.tx_duplicate(step, collected.size())) {
+    // Re-gossip: a copy (same tx id) re-enters the pool and will ride a later
+    // batch — the replayed execution usually reverts, but value conservation
+    // and the supply cap must hold either way.
+    record_fault(step, FaultKind::kTxDuplicate, collected[*index].id.value(),
+                 "re-gossiped into the pool");
+    mempool_.submit(collected[*index]);
+    ++outcome.txs_duplicated;
+    PAROLE_OBS_COUNT("parole.chaos.txs_duplicated", 1);
+  }
+  if (const auto delay = plan.tx_delay(step, collected.size())) {
+    const auto [index, steps] = *delay;
+    record_fault(step, FaultKind::kTxDelay, collected[index].id.value(),
+                 "withheld for " + std::to_string(steps) + " steps");
+    chaos_->delayed.push_back({std::move(collected[index]), step + steps});
+    collected.erase(collected.begin() + static_cast<std::ptrdiff_t>(index));
+    ++outcome.txs_delayed;
+    PAROLE_OBS_COUNT("parole.chaos.txs_delayed", 1);
+  }
+}
+
+void RollupNode::run_verification_pass(std::uint64_t step,
+                                       StepOutcome& outcome) {
+  if (verifiers_.empty() || pending_checks_.empty()) return;
+  PAROLE_OBS_SPAN("rollup.verify");
+  const std::uint64_t now = l1_.now();
+
+  for (std::size_t p = 0; p < pending_checks_.size(); ++p) {
+    PendingVerification& pending = pending_checks_[p];
+    const std::uint64_t batch_id = pending.batch.header.batch_id;
+    const chain::BatchRecord* record = orsc_.batch(batch_id);
+    if (record == nullptr || record->status != chain::BatchStatus::kPending) {
+      continue;  // resolved already; pruned after finalize
+    }
+    if (now > record->challenge_deadline) {
+      continue;  // window closed — nothing a waking verifier can do
+    }
+    pending.checked.resize(verifiers_.size(), 0);
+
+    for (std::size_t v = 0; v < verifiers_.size(); ++v) {
+      if (pending.checked[v]) continue;
+      if (chaos_ && chaos_->plan.verifier_down(step, v)) continue;
+      pending.checked[v] = 1;
+
+      const VerificationOutcome check =
+          verifiers_[v].check(pending.batch, pending.pre_state, engine_);
+      if (check.valid) continue;
+      PAROLE_OBS_COUNT("parole.rollup.fraud_detected", 1);
+
+      const Status opened =
+          orsc_.open_challenge(batch_id, verifiers_[v].id(), now);
+      if (!opened.ok()) continue;  // someone else already disputed
+      outcome.challenged = true;
+      outcome.challenged_batch_id = batch_id;
+
+      // The challenger's honest trace for the bisection game.
+      std::vector<crypto::Hash256> honest_roots;
+      honest_roots.reserve(pending.batch.txs.size());
+      vm::L2State replay = pending.pre_state;
+      for (const vm::Tx& tx : pending.batch.txs) {
+        (void)engine_.execute_tx(replay, tx);
+        honest_roots.push_back(replay.state_root());
+      }
+
+      const DisputeVerdict verdict = DisputeGame::run(
+          pending.batch, pending.pre_state, honest_roots, engine_);
+      const Status resolved =
+          orsc_.resolve_challenge(batch_id, verdict.fraud_proven);
+      assert(resolved.ok());
+      (void)resolved;
+
+      if (verdict.fraud_proven) {
+        outcome.fraud_proven = true;
+        // The fraudulent batch — and every batch built on top of it — is
+        // reverted; the canonical state rolls back and the transactions
+        // return to the mempool for an honest aggregator.
+        rollback_from(p, /*revert_records=*/true, outcome);
+        return;  // one resolved dispute per step; `pending` is gone
+      }
+      break;  // challenge failed; the batch finalized, stop checking it
+    }
+  }
+}
+
+void RollupNode::rollback_from(std::size_t index, bool revert_records,
+                               StepOutcome& outcome) {
+  PendingVerification& pending = pending_checks_[index];
+  const std::uint64_t first_reverted = pending.batch.header.batch_id;
+
+  state_ = pending.pre_state;
+  // Deposits bridged after the snapshot are L1 facts — replay them into the
+  // restored state so no locked value vanishes from the L2 ledger.
+  for (const auto& [deposit_step, deposit] : deposit_log_) {
+    if (deposit_step > pending.snapshot_step) {
+      state_.ledger().credit(deposit.user, deposit.amount);
+    }
+  }
+
+  std::size_t reverted_txs = 0;
+  for (vm::Tx& tx : pending.batch.txs) {
+    ++reverted_txs;
+    mempool_.defer(std::move(tx));
+  }
+  for (std::size_t q = index + 1; q < pending_checks_.size(); ++q) {
+    PendingVerification& descendant = pending_checks_[q];
+    if (revert_records) {
+      const Status reverted =
+          orsc_.revert_pending(descendant.batch.header.batch_id);
+      assert(reverted.ok());
+      (void)reverted;
+    }
+    for (vm::Tx& tx : descendant.batch.txs) {
+      ++reverted_txs;
+      mempool_.defer(std::move(tx));
+    }
+    ++outcome.reverted_batches;
+  }
+  PAROLE_OBS_COUNT("parole.rollup.batches_reverted",
+                   static_cast<std::int64_t>(pending_checks_.size() - index));
+  PAROLE_OBS_COUNT("parole.rollup.txs_reverted",
+                   static_cast<std::int64_t>(reverted_txs));
+
+  batches_.erase(std::remove_if(batches_.begin(), batches_.end(),
+                                [&](const Batch& batch) {
+                                  return batch.header.batch_id >=
+                                         first_reverted;
+                                }),
+                 batches_.end());
+  pending_checks_.erase(
+      pending_checks_.begin() + static_cast<std::ptrdiff_t>(index),
+      pending_checks_.end());
+}
+
+void RollupNode::prune_pending() {
+  pending_checks_.erase(
+      std::remove_if(pending_checks_.begin(), pending_checks_.end(),
+                     [&](const PendingVerification& pending) {
+                       const chain::BatchRecord* record =
+                           orsc_.batch(pending.batch.header.batch_id);
+                       return record == nullptr ||
+                              record->status != chain::BatchStatus::kPending;
+                     }),
+      pending_checks_.end());
+
+  // The deposit log only needs to cover the oldest surviving snapshot.
+  if (pending_checks_.empty()) {
+    deposit_log_.clear();
+    return;
+  }
+  std::uint64_t oldest = pending_checks_.front().snapshot_step;
+  for (const PendingVerification& pending : pending_checks_) {
+    oldest = std::min(oldest, pending.snapshot_step);
+  }
+  deposit_log_.erase(
+      std::remove_if(deposit_log_.begin(), deposit_log_.end(),
+                     [oldest](const auto& entry) {
+                       return entry.first <= oldest;
+                     }),
+      deposit_log_.end());
+}
+
+DrainResult RollupNode::run_until_drained(std::size_t max_steps) {
+  DrainResult result;
+  for (std::size_t i = 0; i < max_steps && pending_work() > 0; ++i) {
+    result.outcomes.push_back(step());
+  }
+  result.drained = pending_work() == 0;
+  result.remaining_txs = pending_work();
+  if (!result.drained) {
+    // Surfaced instead of silently truncating: the caller sees the flag, the
+    // telemetry stream sees the counter.
+    PAROLE_OBS_COUNT("parole.rollup.drain_truncated", 1);
+  }
+  return result;
 }
 
 }  // namespace parole::rollup

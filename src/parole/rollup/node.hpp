@@ -5,18 +5,33 @@
 //   aggregator --batch+roots--> ORSC --challenge period--> finalized on L1
 //   verifiers --re-execute--> challenge --bisection--> slash / finalize
 //
-// One step() = one aggregation round: the next aggregator (round-robin)
-// collects its N transactions, builds and commits a batch, every verifier
-// checks it, disputes resolve, an L1 block seals, and due batches finalize.
+// One step() = one aggregation round: the next live aggregator (round-robin)
+// collects its N transactions, builds and commits a batch, awake verifiers
+// work through the still-pending commitments, disputes resolve, an L1 block
+// seals, and due batches finalize.
+//
+// Verification is *delayed-capable*: each committed batch stays on a pending
+// list (with its pre-state snapshot) until it leaves kPending, and every
+// (batch, verifier) pair is checked at most once. With all verifiers awake
+// that reduces exactly to the old check-immediately behaviour; under chaos
+// verifier downtime it yields the two outcomes the harness exists to expose —
+// a verifier waking late inside the challenge window still lands its
+// challenge (cascading a rollback over descendant batches), and fraud
+// finalizes iff every verifier sleeps through the entire window.
+//
+// Arm chaos with arm_chaos(); the node then consults the FaultPlan each step
+// and checks the invariant suite after each step (see rollup/chaos.hpp).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "parole/chain/bridge.hpp"
 #include "parole/chain/l1_chain.hpp"
 #include "parole/chain/orsc.hpp"
 #include "parole/rollup/aggregator.hpp"
+#include "parole/rollup/chaos.hpp"
 #include "parole/rollup/dispute.hpp"
 #include "parole/rollup/mempool.hpp"
 #include "parole/rollup/verifier.hpp"
@@ -38,9 +53,37 @@ struct StepOutcome {
   AggregatorId aggregator{};
   std::size_t tx_count{0};
   bool challenged{false};
+  // The batch the challenge targeted — under delayed verification it is not
+  // necessarily the batch produced this step.
+  std::uint64_t challenged_batch_id{0};
   bool fraud_proven{false};
   std::size_t screened_out{0};  // txs deferred by the batch screen
+  // Descendant batches reverted because they were built on proven fraud.
+  std::size_t reverted_batches{0};
   std::vector<std::uint64_t> finalized_batches;
+
+  // Chaos observability — all zero on fault-free steps.
+  bool aggregator_crashed{false};
+  bool reorderer_degraded{false};
+  std::uint32_t verifiers_down{0};
+  std::uint32_t txs_dropped{0};
+  std::uint32_t txs_duplicated{0};
+  std::uint32_t txs_delayed{0};
+  std::uint64_t l1_reorg_depth{0};
+
+  // Exact equality — the chaos acceptance test diffs whole outcome sequences
+  // across same-seed runs.
+  friend bool operator==(const StepOutcome&, const StepOutcome&) = default;
+};
+
+// What run_until_drained() actually achieved. The old vector-only return
+// silently truncated at max_steps; callers now see whether the pool drained
+// and how much work was left behind.
+struct DrainResult {
+  std::vector<StepOutcome> outcomes;
+  bool drained{false};          // no pending work left when the loop exited
+  std::size_t remaining_txs{0};  // mempool + chaos-delayed txs still queued
+  [[nodiscard]] std::size_t steps() const { return outcomes.size(); }
 };
 
 // Mempool-side batch screening hook (the Sec. VIII defense plugs in here):
@@ -66,6 +109,11 @@ class RollupNode {
     batch_screen_ = std::move(screen);
   }
 
+  // Arm the chaos harness: step() consults the plan for faults and runs the
+  // invariant checker after every step. Arm before the first step().
+  void arm_chaos(ChaosConfig config);
+  [[nodiscard]] const ChaosRuntime* chaos() const { return chaos_.get(); }
+
   // --- user actions ----------------------------------------------------------
   void fund_l1(UserId user, Amount amount);
   Status deposit(UserId user, Amount amount);
@@ -73,8 +121,9 @@ class RollupNode {
 
   // --- simulation ------------------------------------------------------------
   StepOutcome step();
-  // Run steps until the mempool is drained (or `max_steps`).
-  std::vector<StepOutcome> run_until_drained(std::size_t max_steps = 10'000);
+  // Run steps until the pending work (mempool + chaos-delayed txs) drains or
+  // `max_steps` elapse; DrainResult says which of the two happened.
+  DrainResult run_until_drained(std::size_t max_steps = 10'000);
 
   // --- inspection ------------------------------------------------------------
   [[nodiscard]] const vm::L2State& state() const { return state_; }
@@ -82,14 +131,55 @@ class RollupNode {
   [[nodiscard]] BedrockMempool& mempool() { return mempool_; }
   [[nodiscard]] const chain::L1Chain& l1() const { return l1_; }
   [[nodiscard]] chain::OrscContract& orsc() { return orsc_; }
+  [[nodiscard]] const chain::OrscContract& orsc() const { return orsc_; }
   [[nodiscard]] chain::Bridge& bridge() { return bridge_; }
+  [[nodiscard]] const chain::Bridge& bridge() const { return bridge_; }
   [[nodiscard]] const vm::ExecutionEngine& engine() const { return engine_; }
   [[nodiscard]] const std::vector<Batch>& batches() const { return batches_; }
+  [[nodiscard]] const NodeConfig& config() const { return config_; }
   [[nodiscard]] std::size_t aggregator_count() const {
     return aggregators_.size();
   }
+  [[nodiscard]] std::vector<AggregatorId> aggregator_ids() const;
+  [[nodiscard]] const std::vector<Verifier>& verifiers() const {
+    return verifiers_;
+  }
+  // Batches committed but not yet finalized/reverted (awaiting verification
+  // or challenge-window expiry).
+  [[nodiscard]] std::size_t pending_verification_count() const {
+    return pending_checks_.size();
+  }
 
  private:
+  // A committed batch awaiting resolution: the body and pre-state snapshot a
+  // late-waking verifier needs to re-execute it, plus per-verifier "already
+  // checked" flags so no (batch, verifier) pair is examined twice.
+  struct PendingVerification {
+    Batch batch;
+    vm::L2State pre_state;
+    std::uint64_t snapshot_step{0};
+    std::vector<std::uint8_t> checked;
+  };
+
+  void apply_l1_reorg(std::uint64_t step, StepOutcome& outcome);
+  void release_delayed(std::uint64_t step, StepOutcome& outcome);
+  void produce_batch(std::uint64_t step, StepOutcome& outcome);
+  void apply_mempool_faults(std::uint64_t step, std::vector<vm::Tx>& collected,
+                            StepOutcome& outcome);
+  void run_verification_pass(std::uint64_t step, StepOutcome& outcome);
+  // Cascade rollback from pending_checks_[index]: restore that batch's
+  // pre-state (replaying deposits credited after the snapshot), return its
+  // and every descendant's txs to the mempool, revert descendant records
+  // (when `revert_records`; an L1 reorg has already popped them) and drop the
+  // bodies. Invalidates pending_checks_ references at >= index.
+  void rollback_from(std::size_t index, bool revert_records,
+                     StepOutcome& outcome);
+  void prune_pending();
+  void record_fault(std::uint64_t step, FaultKind kind, std::uint64_t subject,
+                    std::string detail);
+  ChaosRuntime::CrashState& crash_state(std::size_t aggregator_index);
+  [[nodiscard]] std::size_t pending_work() const;
+
   NodeConfig config_;
   vm::L2State state_;
   vm::ExecutionEngine engine_;
@@ -101,8 +191,15 @@ class RollupNode {
   std::vector<Verifier> verifiers_;
   BatchScreen batch_screen_;
   std::vector<Batch> batches_;
+  std::vector<PendingVerification> pending_checks_;
+  // Deposits credited per step, kept while any pending snapshot predates
+  // them: a cascade rollback restores an old state copy and must not lose
+  // bridged value that arrived after the snapshot.
+  std::vector<std::pair<std::uint64_t, chain::Deposit>> deposit_log_;
+  std::unique_ptr<ChaosRuntime> chaos_;
   std::size_t next_aggregator_{0};
   std::uint64_t next_tx_id_{0};
+  std::uint64_t step_index_{0};
 };
 
 }  // namespace parole::rollup

@@ -77,6 +77,7 @@ std::optional<TokenId> apply_effects(L2State& state, const Tx& tx,
       const Status debited = state.ledger().debit(tx.sender, price + fee);
       assert(debited.ok());
       (void)debited;
+      state.add_burned(price);
       auto minted = state.nft().mint(tx.sender, tx.token);
       assert(minted.ok());
       minted_token = minted.value();

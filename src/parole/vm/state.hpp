@@ -34,6 +34,17 @@ class L2State {
   [[nodiscard]] Amount fee_pool() const { return fee_pool_; }
   void add_fees(Amount fees) { fee_pool_ += fees; }
 
+  // Cumulative mint payments: mints debit the buyer's balance by the scarcity
+  // price without crediting anyone, so that value leaves the fungible ledger
+  // ("burns" into token value). Tracking it in-state makes the chaos
+  // harness's conservation invariant exact —
+  //   bridge.locked == ledger supply + fee pool + value_burned + const
+  // — and lets fraud rollbacks restore it for free (it rides along with every
+  // state copy). Not part of the Merkle state root: it is derived bookkeeping
+  // over executed history, not consensus state.
+  [[nodiscard]] Amount value_burned() const { return burned_; }
+  void add_burned(Amount amount) { burned_ += amount; }
+
   // Merkle root over (sorted balances, sorted token owners, remaining supply).
   [[nodiscard]] crypto::Hash256 state_root() const;
 
@@ -46,6 +57,7 @@ class L2State {
   token::BalanceLedger ledger_;
   token::LimitedEditionNft nft_;
   Amount fee_pool_{0};
+  Amount burned_{0};
 };
 
 }  // namespace parole::vm

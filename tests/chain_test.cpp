@@ -239,7 +239,7 @@ TEST(BridgeTest, DepositFlowsToL2) {
 
   orsc.fund_l1(UserId{1}, eth(5));
   ASSERT_TRUE(bridge.deposit_to_l2(UserId{1}, eth(3)).ok());
-  EXPECT_EQ(bridge.process_deposits(), 1u);
+  EXPECT_EQ(bridge.process_deposits().size(), 1u);
   EXPECT_EQ(l2.balance(UserId{1}), eth(3));
   EXPECT_EQ(orsc.l1_balance(UserId{1}), eth(2));
   EXPECT_EQ(bridge.locked(), eth(3));

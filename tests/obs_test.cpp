@@ -292,6 +292,35 @@ TEST(RunReportTest, CapturesTraceSpans) {
   EXPECT_EQ(parsed.value().find("dur_ns")->as_uint(), 5u);
 }
 
+TEST(RunReportTest, FaultLinesRoundTripThroughValidator) {
+  RunReport report("obs_test.fault");
+  report.add_fault(12, "aggregator_crash", 0, "dropped slot holding 3 txs");
+  report.add_fault(13, "verifier_down", 2, "");
+
+  const std::vector<std::string> lines = split_lines(report.to_jsonl());
+  ASSERT_EQ(lines.size(), 3u);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const Status valid = RunReport::validate_line(lines[i]);
+    EXPECT_TRUE(valid.ok()) << lines[i] << ": " << valid.error().detail;
+  }
+
+  const auto parsed = json_parse(lines[1]);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().find("type")->as_string(), "fault");
+  EXPECT_EQ(parsed.value().find("kind")->as_string(), "aggregator_crash");
+  EXPECT_EQ(parsed.value().find("step")->as_uint(), 12u);
+  EXPECT_EQ(parsed.value().find("subject")->as_uint(), 0u);
+  // The empty detail is omitted, not serialized as "".
+  EXPECT_EQ(json_parse(lines[2]).value().find("detail"), nullptr);
+
+  // Malformed fault lines are rejected: kind and step are mandatory.
+  EXPECT_FALSE(
+      RunReport::validate_line("{\"type\":\"fault\",\"step\":1}").ok());
+  EXPECT_FALSE(
+      RunReport::validate_line("{\"type\":\"fault\",\"kind\":\"tx_drop\"}")
+          .ok());
+}
+
 TEST(RunReportTest, ValidateFileAcceptsWrittenReport) {
   const std::string path = "obs_test_report.jsonl";
   const RunReport report = make_report();

@@ -100,6 +100,82 @@ TEST(Mempool, ArrivalStampsAreAssigned) {
   EXPECT_EQ(batch[1].arrival, 1u);
 }
 
+TEST(Mempool, CollectZeroAndEmptyCollectsStillCloseRounds) {
+  BedrockMempool pool;
+  EXPECT_TRUE(pool.collect(0).empty());   // zero-sized collect, empty pool
+  EXPECT_TRUE(pool.collect(5).empty());   // empty pool
+  pool.submit(vm::Tx::make_mint(TxId{1}, UserId{1}));
+  EXPECT_TRUE(pool.collect(0).empty());   // zero-sized collect, non-empty pool
+  EXPECT_EQ(pool.size(), 1u);             // nothing leaked out
+  EXPECT_EQ(pool.defer_rounds_closed(), 3u);
+}
+
+TEST(Mempool, DefersWithinOneRoundKeepFeeOrder) {
+  // Everything deferred between two collects is ONE round: the rejects of one
+  // batch screen re-enter as a block in fee order, not as a chain of
+  // individually-demoted stragglers.
+  BedrockMempool pool;
+  pool.defer(vm::Tx::make_mint(TxId{1}, UserId{1}, gwei(10), gwei(0)));
+  pool.defer(vm::Tx::make_mint(TxId{2}, UserId{2}, gwei(90), gwei(0)));
+  pool.defer(vm::Tx::make_mint(TxId{3}, UserId{3}, gwei(50), gwei(0)));
+  const auto batch = pool.collect(3);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].id, TxId{2});  // 90
+  EXPECT_EQ(batch[1].id, TxId{3});  // 50
+  EXPECT_EQ(batch[2].id, TxId{1});  // 10
+}
+
+TEST(Mempool, LaterDeferRoundSortsBehindEarlierOne) {
+  BedrockMempool pool;
+  pool.defer(vm::Tx::make_mint(TxId{1}, UserId{1}, gwei(1), gwei(0)));
+  (void)pool.collect(0);  // close the round without removing anything
+  pool.defer(vm::Tx::make_mint(TxId{2}, UserId{2}, gwei(1'000), gwei(0)));
+  const auto batch = pool.collect(2);
+  ASSERT_EQ(batch.size(), 2u);
+  // Round 1's low-fee tx still beats round 2's high-fee tx.
+  EXPECT_EQ(batch[0].id, TxId{1});
+  EXPECT_EQ(batch[1].id, TxId{2});
+}
+
+TEST(Mempool, DeferCollectInterleavingDemotesProgressively) {
+  BedrockMempool pool;
+  pool.submit(vm::Tx::make_mint(TxId{1}, UserId{1}, gwei(5), gwei(0)));
+  pool.defer(vm::Tx::make_mint(TxId{9}, UserId{9}, gwei(500), gwei(0)));
+
+  auto first = pool.collect(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].id, TxId{1});  // fresh beats deferred
+  EXPECT_EQ(first[1].id, TxId{9});
+
+  // Re-defer the straggler: it lands in a later round and keeps falling back
+  // behind anything submitted in the meantime.
+  pool.defer(std::move(first[1]));
+  pool.submit(vm::Tx::make_mint(TxId{2}, UserId{2}, gwei(1), gwei(0)));
+  const auto rest = pool.collect(2);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0].id, TxId{2});
+  EXPECT_EQ(rest[1].id, TxId{9});
+}
+
+TEST(Mempool, RestoreReentersAtOriginalPriority) {
+  BedrockMempool pool;
+  pool.submit(vm::Tx::make_mint(TxId{1}, UserId{1}, gwei(10), gwei(0)));
+  pool.submit(vm::Tx::make_mint(TxId{2}, UserId{2}, gwei(50), gwei(0)));
+
+  auto collected = pool.collect(2);
+  ASSERT_EQ(collected.size(), 2u);
+  // The slot's aggregator crashed: both txs go back, keeping their stamps.
+  pool.restore(std::move(collected[1]));
+  pool.restore(std::move(collected[0]));
+
+  const auto again = pool.collect(2);
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(again[0].id, TxId{2});       // fee order unchanged
+  EXPECT_EQ(again[1].id, TxId{1});
+  EXPECT_EQ(again[0].arrival, 1u);       // original arrival stamps survive
+  EXPECT_EQ(pool.submitted_total(), 2u);  // restore is not a new submission
+}
+
 // --- Aggregator ------------------------------------------------------------------------
 
 TEST(AggregatorTest, HonestBatchHasConsistentTrace) {
@@ -405,11 +481,29 @@ TEST(RollupNodeTest, RunUntilDrained) {
   for (std::uint64_t i = 0; i < 7; ++i) {
     node.submit_tx(vm::Tx::make_mint(TxId{i}, UserId{1}));
   }
-  const auto outcomes = node.run_until_drained();
-  EXPECT_EQ(outcomes.size(), 3u);  // 3 + 3 + 1
+  const DrainResult result = node.run_until_drained();
+  EXPECT_EQ(result.steps(), 3u);  // 3 + 3 + 1
+  EXPECT_TRUE(result.drained);
+  EXPECT_EQ(result.remaining_txs, 0u);
   EXPECT_TRUE(node.mempool().empty());
   EXPECT_EQ(node.l1().height(), 3u);
   EXPECT_TRUE(node.l1().verify_links());
+}
+
+TEST(RollupNodeTest, RunUntilDrainedSurfacesTruncation) {
+  RollupNode node(fast_node_config());
+  node.add_aggregator({AggregatorId{0}, 1, std::nullopt, std::nullopt});
+  node.fund_l1(UserId{1}, eth(9));
+  ASSERT_TRUE(node.deposit(UserId{1}, eth(9)).ok());
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    node.submit_tx(vm::Tx::make_mint(TxId{i}, UserId{1}));
+  }
+  // One tx per batch, five txs, two allowed steps: the run must say it did
+  // NOT drain instead of silently handing back a short outcome vector.
+  const DrainResult result = node.run_until_drained(/*max_steps=*/2);
+  EXPECT_EQ(result.steps(), 2u);
+  EXPECT_FALSE(result.drained);
+  EXPECT_EQ(result.remaining_txs, 3u);
 }
 
 TEST(RollupNodeTest, EmptyStepStillSealsBlocks) {
