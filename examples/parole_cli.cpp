@@ -9,16 +9,29 @@
 //   parole_cli quickstart                solver + DQN + rollup smoke scenario
 //   parole_cli chaos [seed] [steps]      seeded chaos run with all fault
 //                                        families armed + invariant checker
+//   parole_cli campaign                  Fig. 6/7-style attack campaign
+//   parole_cli train                     DQN training on the case study
+//   parole_cli resume <dir>              resume a checkpointed run
 //   parole_cli validate <report.jsonl>   schema-check a telemetry report
 //
 // Global flags (any command):
 //   --metrics <path>   write a RunReport JSONL metrics snapshot on exit
 //   --trace <path>     arm the span recorder; write the trace JSONL on exit
 //
+// Checkpointing (DESIGN.md §10): `campaign`, `train` and `chaos` accept
+// `--checkpoint <dir>` (cut rolling generations there), `--every <n>`
+// (cadence in rounds/episodes/steps) and a `--kill-after-*` crash drill that
+// SIGKILLs the process mid-run. `resume <dir>` reads the manifest, rebuilds
+// the run from the checkpoint META, and continues to completion — the
+// resumed output is identical to an uninterrupted run's.
+//
 // Exit code 0 on success, 1 on usage/errors.
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,10 +39,13 @@
 #include "parole/core/defense.hpp"
 #include "parole/core/gentranseq.hpp"
 #include "parole/core/parole_attack.hpp"
+#include "parole/crypto/sha256.hpp"
 #include "parole/data/case_study.hpp"
 #include "parole/data/csv.hpp"
 #include "parole/data/scanner.hpp"
 #include "parole/data/snapshot.hpp"
+#include "parole/io/manifest.hpp"
+#include "parole/ml/serialize.hpp"
 #include "parole/obs/report.hpp"
 #include "parole/rollup/chaos.hpp"
 #include "parole/rollup/node.hpp"
@@ -40,16 +56,76 @@ namespace cs = data::case_study;
 namespace {
 
 int usage() {
-  std::fprintf(stderr,
-               "usage: parole_cli [--metrics <path>] [--trace <path>] "
-               "<command>\n"
-               "       parole_cli attack [snapshots.csv]\n"
-               "       parole_cli scan <snapshots.csv>\n"
-               "       parole_cli gen <snapshots.csv> [collections-per-cell]\n"
-               "       parole_cli defend\n"
-               "       parole_cli quickstart\n"
-               "       parole_cli chaos [seed] [steps]\n"
-               "       parole_cli validate <report.jsonl>\n");
+  std::fprintf(
+      stderr,
+      "usage: parole_cli [--metrics <path>] [--trace <path>] "
+      "<command>\n"
+      "       parole_cli attack [snapshots.csv]\n"
+      "       parole_cli scan <snapshots.csv>\n"
+      "       parole_cli gen <snapshots.csv> [collections-per-cell]\n"
+      "       parole_cli defend\n"
+      "       parole_cli quickstart\n"
+      "       parole_cli chaos [seed] [steps] [--checkpoint <dir>]\n"
+      "                  [--every <steps>] [--kill-after-step <n>]\n"
+      "       parole_cli campaign [--aggregators <n>] [--fraction <f>]\n"
+      "                  [--mempool <n>] [--rounds <n>] [--ifus <n>]\n"
+      "                  [--seed <n>] [--checkpoint <dir>] [--every <rounds>]\n"
+      "                  [--kill-after-round <n>]\n"
+      "       parole_cli train [--episodes <n>] [--seed <n>]\n"
+      "                  [--checkpoint <dir>] [--every <episodes>]\n"
+      "                  [--kill-after-episode <n>]\n"
+      "       parole_cli resume <dir>\n"
+      "       parole_cli validate <report.jsonl>\n");
+  return 1;
+}
+
+// "--name value" pairs plus positional leftovers; a trailing --flag with no
+// value is a usage error surfaced by the caller via the `bad` flag.
+struct Flags {
+  std::map<std::string, std::string> named;
+  std::vector<std::string> positional;
+  bool bad{false};
+};
+
+Flags parse_flags(const std::vector<std::string>& args, std::size_t begin) {
+  Flags flags;
+  for (std::size_t i = begin; i < args.size(); ++i) {
+    if (args[i].rfind("--", 0) == 0) {
+      if (i + 1 >= args.size()) {
+        flags.bad = true;
+        return flags;
+      }
+      const std::string name = args[i].substr(2);
+      flags.named[name] = args[++i];
+    } else {
+      flags.positional.push_back(args[i]);
+    }
+  }
+  return flags;
+}
+
+std::uint64_t flag_u64(const Flags& flags, const std::string& name,
+                       std::uint64_t fallback) {
+  const auto it = flags.named.find(name);
+  if (it == flags.named.end()) return fallback;
+  return std::strtoull(it->second.c_str(), nullptr, 0);
+}
+
+double flag_f64(const Flags& flags, const std::string& name, double fallback) {
+  const auto it = flags.named.find(name);
+  if (it == flags.named.end()) return fallback;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string flag_str(const Flags& flags, const std::string& name,
+                     std::string fallback) {
+  const auto it = flags.named.find(name);
+  return it == flags.named.end() ? fallback : it->second;
+}
+
+int fail(const Error& error) {
+  std::fprintf(stderr, "error: %s: %s\n", error.code.c_str(),
+               error.detail.c_str());
   return 1;
 }
 
@@ -196,10 +272,21 @@ int cmd_quickstart() {
 // --metrics report so the JSONL artifact carries the reproducibility record.
 FaultLog g_chaos_log;
 
+// Checkpoint knobs shared by the long-running commands.
+struct CheckpointCliOptions {
+  std::string dir;            // empty = checkpointing off
+  std::uint64_t every{10};    // cadence (rounds / episodes / steps)
+  std::uint64_t kill_after{0};  // crash drill: SIGKILL after N units (0 = off)
+};
+
+constexpr std::uint32_t kChaosExtraTag = io::section_tag("CHEX");
+
 // A fully armed chaos run: mixed honest/corrupt aggregator fleet, two
 // verifiers, every fault family at a nonzero rate, invariant checker on.
-// The same seed always yields the same batches, faults, and verdict.
-int cmd_chaos(std::uint64_t seed, std::uint64_t steps) {
+// The same seed always yields the same batches, faults, and verdict — and a
+// run killed between checkpoints resumes to the same verdict.
+int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
+              const CheckpointCliOptions& ckpt) {
   rollup::NodeConfig node_config;
   node_config.orsc.challenge_period = 20;
   node_config.max_supply = 4096;
@@ -235,14 +322,81 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps) {
   node.arm_chaos(chaos);
 
   std::uint64_t tx_id = 0;
+  std::uint64_t start_step = 0;
   std::size_t challenges = 0, frauds = 0;
-  for (std::uint64_t step = 0; step < steps; ++step) {
+
+  std::optional<io::CheckpointManager> manager;
+  if (!ckpt.dir.empty()) {
+    manager.emplace(ckpt.dir, "chaos", 3);
+    if (manager->has_checkpoint()) {
+      auto loaded = manager->load_latest();
+      if (!loaded.ok()) return fail(loaded.error());
+      const io::Checkpoint& cp = loaded.value().checkpoint;
+      auto meta = cp.meta();
+      if (!meta.ok()) return fail(meta.error());
+      const auto kind = meta.value().find("kind");
+      if (kind == meta.value().end() || !kind->second.is_string() ||
+          kind->second.as_string() != "chaos-soak") {
+        return fail(Error{"config_mismatch",
+                          "checkpoint is not a chaos-soak checkpoint"});
+      }
+      auto extra = cp.reader(kChaosExtraTag);
+      if (!extra.ok()) return fail(extra.error());
+      io::ByteReader& r = extra.value();
+      std::uint64_t saved_seed = 0, saved_steps = 0;
+      std::uint64_t saved_challenges = 0, saved_frauds = 0;
+      if (!r.u64(saved_seed) || !r.u64(saved_steps) || !r.u64(start_step) ||
+          !r.u64(tx_id) || !r.u64(saved_challenges) || !r.u64(saved_frauds) ||
+          !r.finish("CHEX section").ok()) {
+        return fail(Error{"corrupt_checkpoint", "bad CHEX section"});
+      }
+      if (saved_seed != seed || saved_steps != steps) {
+        return fail(Error{"config_mismatch",
+                          "checkpoint was cut under a different seed/steps"});
+      }
+      if (Status s = node.restore_snapshot(cp); !s.ok()) {
+        return fail(s.error());
+      }
+      challenges = static_cast<std::size_t>(saved_challenges);
+      frauds = static_cast<std::size_t>(saved_frauds);
+    }
+  }
+
+  for (std::uint64_t step = start_step; step < steps; ++step) {
     node.submit_tx(vm::Tx::make_mint(
         TxId{tx_id++}, UserId{1 + static_cast<std::uint32_t>(step % 2)},
         gwei(25), gwei(step % 11)));
     const rollup::StepOutcome outcome = node.step();
     challenges += outcome.challenged;
     frauds += outcome.fraud_proven;
+
+    if (manager.has_value() &&
+        ((ckpt.every != 0 && (step + 1) % ckpt.every == 0) ||
+         step + 1 == steps)) {
+      io::CheckpointBuilder builder;
+      obs::JsonObject meta;
+      meta["kind"] = "chaos-soak";
+      meta["seed"] = seed;
+      meta["steps"] = steps;
+      meta["next_step"] = step + 1;
+      builder.set_meta(meta);
+      node.save_snapshot(builder);
+      io::ByteWriter& w = builder.section(kChaosExtraTag);
+      w.u64(seed);
+      w.u64(steps);
+      w.u64(step + 1);
+      w.u64(tx_id);
+      w.u64(challenges);
+      w.u64(frauds);
+      auto generation = manager->save(builder);
+      if (!generation.ok()) return fail(generation.error());
+    }
+    if (ckpt.kill_after != 0 && step + 1 - start_step >= ckpt.kill_after &&
+        step + 1 < steps) {
+      // Crash drill: die hard, exactly as the CI kill-and-resume job does.
+      std::fflush(stdout);
+      raise(SIGKILL);
+    }
   }
   const rollup::DrainResult drained = node.run_until_drained(4 * steps);
 
@@ -278,6 +432,148 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps) {
                 v.detail.c_str());
   }
   return 1;
+}
+
+// Fig. 6/7-style campaign with optional crash-safe checkpointing. The
+// summary line is deterministic in the config, so CI can diff a resumed
+// run's output against an uninterrupted golden run's.
+int cmd_campaign(const Flags& flags, const CheckpointCliOptions& ckpt) {
+  core::CampaignConfig config;
+  config.num_aggregators =
+      static_cast<std::size_t>(flag_u64(flags, "aggregators", 6));
+  config.adversarial_fraction = flag_f64(flags, "fraction", 0.34);
+  config.mempool_size = static_cast<std::size_t>(flag_u64(flags, "mempool", 12));
+  config.rounds = static_cast<std::size_t>(flag_u64(flags, "rounds", 12));
+  config.num_ifus = static_cast<std::size_t>(flag_u64(flags, "ifus", 1));
+  config.seed = flag_u64(flags, "seed", 0xca59a16eULL);
+  config.checkpoint_dir = ckpt.dir;
+  config.checkpoint_every_rounds = static_cast<std::size_t>(ckpt.every);
+  config.halt_after_rounds = static_cast<std::size_t>(ckpt.kill_after);
+
+  core::AttackCampaign campaign(config);
+  auto result = campaign.run_resumable();
+  if (!result.ok()) return fail(result.error());
+  if (!result.value().completed) {
+    // Crash drill: the run halted after the configured round; die the way a
+    // real crash would so the next invocation exercises resume.
+    std::fflush(stdout);
+    raise(SIGKILL);
+  }
+  const core::CampaignResult& r = result.value();
+  std::printf(
+      "campaign: %zu rounds, %zu adversarial batches, %zu reordered, total "
+      "profit %s ETH\n",
+      r.rounds_run, r.adversarial_batches, r.reordered_batches,
+      to_eth_string(r.total_profit).c_str());
+  return 0;
+}
+
+// DQN training over the case-study batch with optional checkpointing. The
+// weight digest makes bit-identical resume externally checkable: a resumed
+// run must print the same digest as an uninterrupted one.
+int cmd_train(const Flags& flags, const CheckpointCliOptions& ckpt) {
+  const solvers::ReorderingProblem problem = cs::make_problem();
+  core::GenTranSeqConfig config;
+  config.dqn.episodes =
+      static_cast<std::size_t>(flag_u64(flags, "episodes", 12));
+  config.dqn.steps_per_episode = 25;
+  config.dqn.hidden = {16, 16};
+  config.dqn.minibatch = 8;
+  config.dqn.replay_capacity = 256;
+  const std::uint64_t seed = flag_u64(flags, "seed", 0x9a601eULL);
+  core::GenTranSeq gentranseq(problem, config, seed);
+
+  std::optional<io::CheckpointManager> manager;
+  core::TrainCheckpointing train_ckpt;
+  if (!ckpt.dir.empty()) {
+    manager.emplace(ckpt.dir, "train", 3);
+    train_ckpt.manager = &*manager;
+    train_ckpt.every_episodes = static_cast<std::size_t>(ckpt.every);
+    train_ckpt.halt_after_episodes = static_cast<std::size_t>(ckpt.kill_after);
+  }
+  auto result = gentranseq.train_resumable(train_ckpt);
+  if (!result.ok()) return fail(result.error());
+  if (!result.value().completed) {
+    std::fflush(stdout);
+    raise(SIGKILL);
+  }
+  const core::TrainResult& r = result.value();
+  const std::vector<std::uint8_t> weights =
+      ml::serialize_network(gentranseq.agent().q_network());
+  const crypto::Hash256 digest = crypto::Sha256::hash(weights);
+  std::printf(
+      "train: %zu episodes, best balance %s ETH%s, weights %s\n",
+      r.episodes_run, to_eth_string(r.best_balance).c_str(),
+      r.found_profit ? " (profit found)" : "", digest.hex().c_str());
+  return 0;
+}
+
+// Resume a checkpointed run from its directory: the manifest names the
+// basename, the newest good generation's META names the kind and the launch
+// parameters, and the matching command re-enters its resume path.
+int cmd_resume(const std::string& dir) {
+  auto manifest_bytes = io::read_file(dir + "/MANIFEST.json");
+  if (!manifest_bytes.ok()) return fail(manifest_bytes.error());
+  auto manifest = obs::json_parse(std::string(manifest_bytes.value().begin(),
+                                              manifest_bytes.value().end()));
+  if (!manifest.ok()) return fail(manifest.error());
+  if (!manifest.value().is_object()) {
+    return fail(Error{"corrupt_manifest", "manifest is not a JSON object"});
+  }
+  const obs::JsonObject& root = manifest.value().as_object();
+  const auto basename = root.find("basename");
+  if (basename == root.end() || !basename->second.is_string()) {
+    return fail(Error{"corrupt_manifest", "manifest names no basename"});
+  }
+
+  io::CheckpointManager manager(dir, basename->second.as_string());
+  auto loaded = manager.load_latest();
+  if (!loaded.ok()) return fail(loaded.error());
+  auto meta = loaded.value().checkpoint.meta();
+  if (!meta.ok()) return fail(meta.error());
+  const obs::JsonObject& m = meta.value();
+  const auto kind_it = m.find("kind");
+  if (kind_it == m.end() || !kind_it->second.is_string()) {
+    return fail(Error{"corrupt_checkpoint", "checkpoint META names no kind"});
+  }
+  const std::string& kind = kind_it->second.as_string();
+
+  const auto meta_u64 = [&m](const char* key, std::uint64_t fallback) {
+    const auto it = m.find(key);
+    return it != m.end() && it->second.is_number() ? it->second.as_uint()
+                                                   : fallback;
+  };
+  const auto meta_f64 = [&m](const char* key, double fallback) {
+    const auto it = m.find(key);
+    return it != m.end() && it->second.is_number() ? it->second.as_double()
+                                                   : fallback;
+  };
+
+  CheckpointCliOptions ckpt;
+  ckpt.dir = dir;
+  if (kind == "campaign") {
+    Flags flags;
+    flags.named["aggregators"] = std::to_string(meta_u64("aggregators", 6));
+    flags.named["fraction"] =
+        std::to_string(meta_f64("adversarial_fraction", 0.34));
+    flags.named["mempool"] = std::to_string(meta_u64("mempool_size", 12));
+    flags.named["rounds"] = std::to_string(meta_u64("rounds", 12));
+    flags.named["ifus"] = std::to_string(meta_u64("ifus", 1));
+    flags.named["seed"] = std::to_string(meta_u64("seed", 0xca59a16eULL));
+    return cmd_campaign(flags, ckpt);
+  }
+  if (kind == "gentranseq-training") {
+    Flags flags;
+    flags.named["episodes"] = std::to_string(meta_u64("episodes", 12));
+    flags.named["seed"] = std::to_string(meta_u64("seed", 0x9a601eULL));
+    return cmd_train(flags, ckpt);
+  }
+  if (kind == "chaos-soak") {
+    return cmd_chaos(meta_u64("seed", 0xc4a05c4a05ULL),
+                     meta_u64("steps", 96), ckpt);
+  }
+  return fail(Error{"config_mismatch", "unknown checkpoint kind '" + kind +
+                                           "'"});
 }
 
 int cmd_validate(const std::string& path) {
@@ -361,13 +657,40 @@ int main(int argc, char** argv) {
     rc = cmd_defend();
   } else if (command == "quickstart" && args.size() == 1) {
     rc = cmd_quickstart();
-  } else if (command == "chaos" && args.size() <= 3) {
+  } else if (command == "chaos") {
+    const Flags flags = parse_flags(args, 1);
+    if (flags.bad || flags.positional.size() > 2) return usage();
     const std::uint64_t seed =
-        args.size() >= 2 ? std::strtoull(args[1].c_str(), nullptr, 0)
-                         : 0xc4a05c4a05ULL;
-    const std::uint64_t steps =
-        args.size() == 3 ? std::strtoull(args[2].c_str(), nullptr, 0) : 96;
-    rc = cmd_chaos(seed, steps == 0 ? 96 : steps);
+        !flags.positional.empty()
+            ? std::strtoull(flags.positional[0].c_str(), nullptr, 0)
+            : 0xc4a05c4a05ULL;
+    std::uint64_t steps =
+        flags.positional.size() == 2
+            ? std::strtoull(flags.positional[1].c_str(), nullptr, 0)
+            : 96;
+    CheckpointCliOptions ckpt;
+    ckpt.dir = flag_str(flags, "checkpoint", "");
+    ckpt.every = flag_u64(flags, "every", 10);
+    ckpt.kill_after = flag_u64(flags, "kill-after-step", 0);
+    rc = cmd_chaos(seed, steps == 0 ? 96 : steps, ckpt);
+  } else if (command == "campaign") {
+    const Flags flags = parse_flags(args, 1);
+    if (flags.bad || !flags.positional.empty()) return usage();
+    CheckpointCliOptions ckpt;
+    ckpt.dir = flag_str(flags, "checkpoint", "");
+    ckpt.every = flag_u64(flags, "every", 10);
+    ckpt.kill_after = flag_u64(flags, "kill-after-round", 0);
+    rc = cmd_campaign(flags, ckpt);
+  } else if (command == "train") {
+    const Flags flags = parse_flags(args, 1);
+    if (flags.bad || !flags.positional.empty()) return usage();
+    CheckpointCliOptions ckpt;
+    ckpt.dir = flag_str(flags, "checkpoint", "");
+    ckpt.every = flag_u64(flags, "every", 4);
+    ckpt.kill_after = flag_u64(flags, "kill-after-episode", 0);
+    rc = cmd_train(flags, ckpt);
+  } else if (command == "resume" && args.size() == 2) {
+    rc = cmd_resume(args[1]);
   } else if (command == "validate" && args.size() == 2) {
     rc = cmd_validate(args[1]);
   } else {

@@ -1,6 +1,7 @@
 #include "parole/chain/block.hpp"
 
 #include "parole/crypto/sha256.hpp"
+#include "parole/io/codec.hpp"
 
 namespace parole::chain {
 namespace {
@@ -45,6 +46,82 @@ crypto::Hash256 L1Block::hash() const {
   }
   for (const auto& b : batches) put_hash(bytes, b.hash());
   return crypto::Sha256::hash(bytes);
+}
+
+void BatchHeader::save(io::ByteWriter& w) const {
+  w.u64(batch_id);
+  w.u32(aggregator.value());
+  io::save_hash(w, tx_root);
+  io::save_hash(w, pre_state_root);
+  io::save_hash(w, post_state_root);
+  w.u64(tx_count);
+  w.u64(submitted_at);
+}
+
+Status BatchHeader::load(io::ByteReader& r) {
+  BatchHeader loaded;
+  std::uint32_t aggregator_rep = 0;
+  PAROLE_IO_READ(r.u64(loaded.batch_id), "batch id");
+  PAROLE_IO_READ(r.u32(aggregator_rep), "batch aggregator");
+  PAROLE_IO_READ(io::load_hash(r, loaded.tx_root), "batch tx root");
+  PAROLE_IO_READ(io::load_hash(r, loaded.pre_state_root), "batch pre root");
+  PAROLE_IO_READ(io::load_hash(r, loaded.post_state_root), "batch post root");
+  PAROLE_IO_READ(r.u64(loaded.tx_count), "batch tx count");
+  PAROLE_IO_READ(r.u64(loaded.submitted_at), "batch submit time");
+  loaded.aggregator = AggregatorId{aggregator_rep};
+  *this = loaded;
+  return ok_status();
+}
+
+void Deposit::save(io::ByteWriter& w) const {
+  w.u32(user.value());
+  w.i64(amount);
+}
+
+Status Deposit::load(io::ByteReader& r) {
+  Deposit loaded;
+  std::uint32_t user_rep = 0;
+  PAROLE_IO_READ(r.u32(user_rep), "deposit user");
+  PAROLE_IO_READ(r.i64(loaded.amount), "deposit amount");
+  if (loaded.amount < 0) {
+    return Error{"corrupt_checkpoint", "negative deposit amount"};
+  }
+  loaded.user = UserId{user_rep};
+  *this = loaded;
+  return ok_status();
+}
+
+void L1Block::save(io::ByteWriter& w) const {
+  w.u64(number);
+  w.u64(timestamp);
+  io::save_hash(w, parent_hash);
+  w.u64(deposits.size());
+  for (const Deposit& d : deposits) d.save(w);
+  w.u64(batches.size());
+  for (const BatchHeader& b : batches) b.save(w);
+}
+
+Status L1Block::load(io::ByteReader& r) {
+  L1Block loaded;
+  PAROLE_IO_READ(r.u64(loaded.number), "block number");
+  PAROLE_IO_READ(r.u64(loaded.timestamp), "block timestamp");
+  PAROLE_IO_READ(io::load_hash(r, loaded.parent_hash), "block parent hash");
+  std::uint64_t deposit_count = 0;
+  PAROLE_IO_READ(r.length(deposit_count, 12), "block deposit count");
+  loaded.deposits.resize(static_cast<std::size_t>(deposit_count));
+  for (Deposit& d : loaded.deposits) {
+    if (Status s = d.load(r); !s.ok()) return s;
+  }
+  std::uint64_t batch_count = 0;
+  // BatchHeader serializes to 124 bytes; any fixed lower bound works for the
+  // pre-allocation sanity check.
+  PAROLE_IO_READ(r.length(batch_count, 124), "block batch count");
+  loaded.batches.resize(static_cast<std::size_t>(batch_count));
+  for (BatchHeader& b : loaded.batches) {
+    if (Status s = b.load(r); !s.ok()) return s;
+  }
+  *this = std::move(loaded);
+  return ok_status();
 }
 
 }  // namespace parole::chain

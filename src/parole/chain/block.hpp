@@ -11,7 +11,9 @@
 
 #include "parole/common/amount.hpp"
 #include "parole/common/ids.hpp"
+#include "parole/common/result.hpp"
 #include "parole/crypto/hash.hpp"
+#include "parole/io/bytes.hpp"
 
 namespace parole::chain {
 
@@ -28,11 +30,18 @@ struct BatchHeader {
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   [[nodiscard]] crypto::Hash256 hash() const;
+
+  // Checkpointing (DESIGN.md §10).
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 };
 
 struct Deposit {
   UserId user{};
   Amount amount{0};
+
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 };
 
 struct L1Block {
@@ -43,6 +52,9 @@ struct L1Block {
   std::vector<BatchHeader> batches;
 
   [[nodiscard]] crypto::Hash256 hash() const;
+
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 };
 
 }  // namespace parole::chain

@@ -36,4 +36,40 @@ std::size_t Bridge::process_withdrawals(std::uint64_t now) {
   return released;
 }
 
+void Bridge::save(io::ByteWriter& w) const {
+  w.u64(withdrawals_.size());
+  for (const PendingWithdrawal& pw : withdrawals_) {
+    w.u32(pw.user.value());
+    w.i64(pw.amount);
+    w.u64(pw.unlock_time);
+    w.boolean(pw.released);
+  }
+  w.i64(locked_);
+}
+
+Status Bridge::load(io::ByteReader& r) {
+  std::uint64_t count = 0;
+  PAROLE_IO_READ(r.length(count, 21), "bridge withdrawal count");
+  std::vector<PendingWithdrawal> withdrawals(static_cast<std::size_t>(count));
+  for (PendingWithdrawal& pw : withdrawals) {
+    std::uint32_t user = 0;
+    PAROLE_IO_READ(r.u32(user), "withdrawal user");
+    PAROLE_IO_READ(r.i64(pw.amount), "withdrawal amount");
+    PAROLE_IO_READ(r.u64(pw.unlock_time), "withdrawal unlock time");
+    PAROLE_IO_READ(r.boolean(pw.released), "withdrawal released flag");
+    if (pw.amount <= 0) {
+      return Error{"corrupt_checkpoint", "non-positive withdrawal amount"};
+    }
+    pw.user = UserId{user};
+  }
+  Amount locked = 0;
+  PAROLE_IO_READ(r.i64(locked), "bridge locked total");
+  if (locked < 0) {
+    return Error{"corrupt_checkpoint", "negative locked total"};
+  }
+  withdrawals_ = std::move(withdrawals);
+  locked_ = locked;
+  return ok_status();
+}
+
 }  // namespace parole::chain

@@ -12,6 +12,7 @@
 
 #include "parole/chain/orsc.hpp"
 #include "parole/common/result.hpp"
+#include "parole/io/bytes.hpp"
 #include "parole/token/ledger.hpp"
 
 namespace parole::chain {
@@ -52,6 +53,12 @@ class Bridge {
   // Funds locked in the bridge: total deposited minus total released back.
   // L2 ledger supply should always equal this (conservation invariant).
   [[nodiscard]] Amount locked() const { return locked_; }
+
+  // Checkpointing (DESIGN.md §10): the withdrawal queue and the locked
+  // counter. The orsc_/l2_ wiring is topology, re-established by whoever
+  // constructs the restored node, so it is deliberately not serialized.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 
  private:
   OrscContract* orsc_;

@@ -59,4 +59,50 @@ bool L1Chain::verify_links() const {
   return true;
 }
 
+void L1Chain::save(io::ByteWriter& w) const {
+  w.u64(block_time_);
+  w.u64(timestamp_);
+  w.u64(blocks_.size());
+  for (const L1Block& b : blocks_) b.save(w);
+  w.u64(pending_deposits_.size());
+  for (const Deposit& d : pending_deposits_) d.save(w);
+  w.u64(pending_batches_.size());
+  for (const BatchHeader& b : pending_batches_) b.save(w);
+}
+
+Status L1Chain::load(io::ByteReader& r) {
+  L1Chain loaded(1);
+  PAROLE_IO_READ(r.u64(loaded.block_time_), "chain block time");
+  PAROLE_IO_READ(r.u64(loaded.timestamp_), "chain timestamp");
+  if (loaded.block_time_ == 0) {
+    return Error{"corrupt_checkpoint", "zero block time"};
+  }
+  std::uint64_t block_count = 0;
+  PAROLE_IO_READ(r.length(block_count, 56), "chain block count");
+  loaded.blocks_.resize(static_cast<std::size_t>(block_count));
+  for (L1Block& b : loaded.blocks_) {
+    if (Status s = b.load(r); !s.ok()) return s;
+  }
+  std::uint64_t deposit_count = 0;
+  PAROLE_IO_READ(r.length(deposit_count, 12), "chain staged deposit count");
+  loaded.pending_deposits_.resize(static_cast<std::size_t>(deposit_count));
+  for (Deposit& d : loaded.pending_deposits_) {
+    if (Status s = d.load(r); !s.ok()) return s;
+  }
+  std::uint64_t batch_count = 0;
+  PAROLE_IO_READ(r.length(batch_count, 124), "chain staged batch count");
+  loaded.pending_batches_.resize(static_cast<std::size_t>(batch_count));
+  for (BatchHeader& b : loaded.pending_batches_) {
+    if (Status s = b.load(r); !s.ok()) return s;
+  }
+  // A restored chain must still be a chain: re-derive the hash links rather
+  // than trusting 32-byte fields that a bit flip could have rewritten without
+  // tripping a length check.
+  if (!loaded.verify_links()) {
+    return Error{"corrupt_checkpoint", "restored chain fails link check"};
+  }
+  *this = std::move(loaded);
+  return ok_status();
+}
+
 }  // namespace parole::chain

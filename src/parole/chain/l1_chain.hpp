@@ -37,6 +37,11 @@ class L1Chain {
   // Verify the parent-hash links of the whole chain (test invariant).
   [[nodiscard]] bool verify_links() const;
 
+  // Checkpointing (DESIGN.md §10): full chain including staged-but-unsealed
+  // content. load() re-verifies the hash links before mutating.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
+
  private:
   std::uint64_t block_time_;
   std::uint64_t timestamp_{0};

@@ -1,5 +1,6 @@
 #include "parole/chain/orsc.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 namespace parole::chain {
@@ -186,6 +187,129 @@ Status OrscContract::revert_pending(std::uint64_t batch_id) {
 const BatchRecord* OrscContract::batch(std::uint64_t batch_id) const {
   if (batch_id >= batches_.size()) return nullptr;
   return &batches_[batch_id];
+}
+
+namespace {
+
+template <typename Id>
+void save_bond_map(io::ByteWriter& w,
+                   const std::unordered_map<Id, Amount>& bonds) {
+  std::vector<std::pair<Id, Amount>> sorted(bonds.begin(), bonds.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  w.u64(sorted.size());
+  for (const auto& [id, amount] : sorted) {
+    w.u32(id.value());
+    w.i64(amount);
+  }
+}
+
+template <typename Id>
+Status load_bond_map(io::ByteReader& r, const char* what,
+                     std::unordered_map<Id, Amount>& out) {
+  std::uint64_t count = 0;
+  PAROLE_IO_READ(r.length(count, 12), what);
+  std::unordered_map<Id, Amount> loaded;
+  loaded.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t id = 0;
+    Amount amount = 0;
+    PAROLE_IO_READ(r.u32(id), what);
+    PAROLE_IO_READ(r.i64(amount), what);
+    if (amount < 0) {
+      return Error{"corrupt_checkpoint", std::string(what) + ": negative"};
+    }
+    if (!loaded.emplace(Id{id}, amount).second) {
+      return Error{"corrupt_checkpoint", std::string(what) + ": duplicate"};
+    }
+  }
+  out = std::move(loaded);
+  return ok_status();
+}
+
+}  // namespace
+
+void OrscContract::save(io::ByteWriter& w) const {
+  w.u64(config_.challenge_period);
+  w.i64(config_.aggregator_bond);
+  w.i64(config_.verifier_bond);
+  w.u32(static_cast<std::uint32_t>(config_.slash_reward_percent));
+  save_bond_map(w, l1_balances_);
+  w.u64(pending_deposits_.size());
+  for (const Deposit& d : pending_deposits_) d.save(w);
+  save_bond_map(w, aggregator_bonds_);
+  save_bond_map(w, verifier_bonds_);
+  w.u64(batches_.size());
+  for (const BatchRecord& record : batches_) {
+    record.header.save(w);
+    w.u8(static_cast<std::uint8_t>(record.status));
+    w.u64(record.challenge_deadline);
+    w.boolean(record.challenger.has_value());
+    w.u32(record.challenger.has_value() ? record.challenger->value() : 0);
+  }
+  w.i64(burnt_);
+}
+
+Status OrscContract::load(io::ByteReader& r) {
+  OrscConfig config;
+  std::uint32_t slash_percent = 0;
+  PAROLE_IO_READ(r.u64(config.challenge_period), "orsc challenge period");
+  PAROLE_IO_READ(r.i64(config.aggregator_bond), "orsc aggregator bond");
+  PAROLE_IO_READ(r.i64(config.verifier_bond), "orsc verifier bond");
+  PAROLE_IO_READ(r.u32(slash_percent), "orsc slash percent");
+  config.slash_reward_percent = static_cast<int>(slash_percent);
+  if (config.challenge_period != config_.challenge_period ||
+      config.aggregator_bond != config_.aggregator_bond ||
+      config.verifier_bond != config_.verifier_bond ||
+      config.slash_reward_percent != config_.slash_reward_percent) {
+    return Error{"config_mismatch",
+                 "checkpoint ORSC config differs from this contract's"};
+  }
+
+  OrscContract loaded(config_);
+  if (Status s = load_bond_map(r, "orsc l1 balances", loaded.l1_balances_);
+      !s.ok()) {
+    return s;
+  }
+  std::uint64_t deposit_count = 0;
+  PAROLE_IO_READ(r.length(deposit_count, 12), "orsc deposit count");
+  loaded.pending_deposits_.resize(static_cast<std::size_t>(deposit_count));
+  for (Deposit& d : loaded.pending_deposits_) {
+    if (Status s = d.load(r); !s.ok()) return s;
+  }
+  if (Status s =
+          load_bond_map(r, "orsc aggregator bonds", loaded.aggregator_bonds_);
+      !s.ok()) {
+    return s;
+  }
+  if (Status s = load_bond_map(r, "orsc verifier bonds", loaded.verifier_bonds_);
+      !s.ok()) {
+    return s;
+  }
+  std::uint64_t batch_count = 0;
+  PAROLE_IO_READ(r.length(batch_count, 138), "orsc batch count");
+  loaded.batches_.resize(static_cast<std::size_t>(batch_count));
+  for (BatchRecord& record : loaded.batches_) {
+    if (Status s = record.header.load(r); !s.ok()) return s;
+    std::uint8_t status = 0;
+    bool has_challenger = false;
+    std::uint32_t challenger = 0;
+    PAROLE_IO_READ(r.u8(status), "orsc batch status");
+    if (status > static_cast<std::uint8_t>(BatchStatus::kReverted)) {
+      return Error{"corrupt_checkpoint", "unknown batch status"};
+    }
+    record.status = static_cast<BatchStatus>(status);
+    PAROLE_IO_READ(r.u64(record.challenge_deadline), "orsc batch deadline");
+    PAROLE_IO_READ(r.boolean(has_challenger), "orsc challenger flag");
+    PAROLE_IO_READ(r.u32(challenger), "orsc challenger id");
+    if (has_challenger) record.challenger = VerifierId{challenger};
+  }
+  PAROLE_IO_READ(r.i64(loaded.burnt_), "orsc burnt total");
+  if (loaded.burnt_ < 0) {
+    return Error{"corrupt_checkpoint", "negative burnt total"};
+  }
+  *this = std::move(loaded);
+  return ok_status();
 }
 
 }  // namespace parole::chain

@@ -21,6 +21,7 @@
 #include "parole/common/amount.hpp"
 #include "parole/common/ids.hpp"
 #include "parole/common/result.hpp"
+#include "parole/io/bytes.hpp"
 
 namespace parole::chain {
 
@@ -110,6 +111,14 @@ class OrscContract {
   [[nodiscard]] std::size_t batch_count() const { return batches_.size(); }
   [[nodiscard]] Amount burnt_total() const { return burnt_; }
   [[nodiscard]] const OrscConfig& config() const { return config_; }
+
+  // Checkpointing (DESIGN.md §10): balances, bonds, deposit queue, batch
+  // records and the burn counter. The config rides along and load() rejects a
+  // checkpoint whose config differs from this contract's ("config_mismatch")
+  // — resuming a soak under different economic rules is operator error, not
+  // something to paper over silently.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 
  private:
   OrscConfig config_;

@@ -28,6 +28,18 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+// Complete serializable snapshot of an Rng: the xoshiro256** words plus the
+// Box-Muller cache (without it a restored stream would skip or repeat one
+// normal draw). common/ stays independent of the io module, so this is a
+// plain struct; io-layer code owns the byte encoding.
+struct RngState {
+  std::array<std::uint64_t, 4> words{};
+  bool have_cached_normal{false};
+  double cached_normal{0.0};
+
+  friend bool operator==(const RngState&, const RngState&) = default;
+};
+
 // xoshiro256** with convenience distributions. Satisfies
 // UniformRandomBitGenerator so it also plugs into <random> if needed.
 class Rng {
@@ -82,6 +94,17 @@ class Rng {
 
   // Derive an independent child stream (for per-aggregator randomness).
   Rng fork();
+
+  // Checkpointing: a restored stream continues bit-identically from where the
+  // captured one stopped.
+  [[nodiscard]] RngState checkpoint_state() const {
+    return RngState{state_, have_cached_normal_, cached_normal_};
+  }
+  void restore_state(const RngState& s) {
+    state_ = s.words;
+    have_cached_normal_ = s.have_cached_normal;
+    cached_normal_ = s.cached_normal;
+  }
 
  private:
   std::array<std::uint64_t, 4> state_{};

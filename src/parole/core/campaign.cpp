@@ -4,11 +4,19 @@
 #include <cassert>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
 
 namespace parole::core {
+namespace {
+
+// Campaign accumulators section; the rollup node contributes its own
+// snapshot sections (NODE/L2ST/MEMP/...) to the same container.
+constexpr std::uint32_t kCampaignTag = io::section_tag("CAMP");
+
+}  // namespace
 
 AttackCampaign::AttackCampaign(CampaignConfig config)
     : config_(std::move(config)) {
@@ -18,12 +26,24 @@ AttackCampaign::AttackCampaign(CampaignConfig config)
 }
 
 CampaignResult AttackCampaign::run() {
+  // Without a checkpoint directory the resumable path has no store I/O and
+  // cannot fail.
+  assert(config_.checkpoint_dir.empty());
+  return run_resumable().value();
+}
+
+Result<CampaignResult> AttackCampaign::run_resumable() {
   // Timed even when the recorder is off: campaign wall time is the shared
   // clock every per-module span nests under.
   obs::Span campaign_span("core.campaign", obs::Span::Timing::kAlways);
   CampaignResult result;
 
   // --- workload -------------------------------------------------------------
+  // Recomputed from the config every invocation (including resume): the
+  // generator is deterministic in `seed`, so a resumed campaign sees the
+  // same genesis and IFU set, and the checkpoint only has to carry dynamic
+  // state. Resuming under a different workload config trips the snapshot's
+  // config validation instead of silently diverging.
   data::WorkloadGenerator workload(config_.workload, config_.seed);
   const vm::L2State genesis = workload.initial_state();  // pre-generation copy
   const std::size_t total_txs = config_.rounds * config_.mempool_size;
@@ -98,11 +118,153 @@ CampaignResult AttackCampaign::run() {
     node.set_batch_screen(defense->as_screen());
   }
 
-  // --- run --------------------------------------------------------------------
-  for (vm::Tx& tx : txs) node.submit_tx(std::move(tx));
-
+  // --- resume ---------------------------------------------------------------
+  std::optional<io::CheckpointManager> manager;
+  std::size_t start_round = 0;
   Amount profit_before = 0;
-  for (std::size_t round = 0; round < config_.rounds; ++round) {
+  bool resumed = false;
+  if (!config_.checkpoint_dir.empty()) {
+    manager.emplace(config_.checkpoint_dir, "campaign", config_.checkpoint_keep);
+    if (manager->has_checkpoint()) {
+      auto loaded = manager->load_latest();
+      if (!loaded.ok()) return loaded.error();
+      const io::Checkpoint& cp = loaded.value().checkpoint;
+
+      auto meta = cp.meta();
+      if (!meta.ok()) return meta.error();
+      const auto kind = meta.value().find("kind");
+      if (kind == meta.value().end() || !kind->second.is_string() ||
+          kind->second.as_string() != "campaign") {
+        return Error{"config_mismatch",
+                     "checkpoint is not a campaign checkpoint"};
+      }
+
+      auto camp_reader = cp.reader(kCampaignTag);
+      if (!camp_reader.ok()) return camp_reader.error();
+      io::ByteReader& r = camp_reader.value();
+
+      std::uint64_t next_round = 0, reordered_saved = 0;
+      std::uint64_t parole_invocations = 0, defense_invocations = 0;
+      std::uint64_t adversarial_batches = 0, screened = 0, flagged = 0;
+      std::int64_t sink = 0, before = 0;
+      PAROLE_IO_READ(r.u64(next_round), "campaign round cursor");
+      PAROLE_IO_READ(r.i64(sink), "campaign profit sink");
+      PAROLE_IO_READ(r.i64(before), "campaign profit watermark");
+      PAROLE_IO_READ(r.u64(reordered_saved), "campaign reordered count");
+      PAROLE_IO_READ(r.u64(parole_invocations), "parole invocation counter");
+      PAROLE_IO_READ(r.u64(defense_invocations), "defense invocation counter");
+      PAROLE_IO_READ(r.u64(adversarial_batches), "adversarial batch count");
+      PAROLE_IO_READ(r.u64(screened), "screened tx count");
+      PAROLE_IO_READ(r.u64(flagged), "flagged batch count");
+      std::uint64_t profit_count = 0;
+      PAROLE_IO_READ(r.length(profit_count, 8), "per-batch profit count");
+      std::vector<Amount> per_batch(static_cast<std::size_t>(profit_count));
+      for (Amount& p : per_batch) {
+        std::int64_t raw = 0;
+        PAROLE_IO_READ(r.i64(raw), "per-batch profit");
+        p = static_cast<Amount>(raw);
+      }
+      std::uint64_t suspicion_count = 0;
+      PAROLE_IO_READ(r.length(suspicion_count, 8), "suspicion score count");
+      std::vector<double> suspicion(static_cast<std::size_t>(suspicion_count));
+      PAROLE_IO_READ(
+          r.raw({reinterpret_cast<std::uint8_t*>(suspicion.data()),
+                 suspicion.size() * sizeof(double)}),
+          "suspicion scores");
+      std::uint64_t ifu_count = 0;
+      PAROLE_IO_READ(r.length(ifu_count, 4), "ifu count");
+      std::vector<UserId> ifus(static_cast<std::size_t>(ifu_count));
+      for (UserId& u : ifus) {
+        std::uint32_t raw = 0;
+        PAROLE_IO_READ(r.u32(raw), "ifu id");
+        u = UserId{raw};
+      }
+      if (Status s = r.finish("CAMP section"); !s.ok()) return s.error();
+
+      if (next_round > config_.rounds) {
+        return Error{"config_mismatch",
+                     "checkpoint ran more rounds than this config allows"};
+      }
+      if (ifus != result.ifus) {
+        return Error{"config_mismatch",
+                     "checkpoint IFU set differs from this workload"};
+      }
+      if (adversarial_batches != per_batch.size()) {
+        return Error{"corrupt_checkpoint",
+                     "per-batch profit series inconsistent"};
+      }
+      if (defense == nullptr && defense_invocations != 0) {
+        return Error{"config_mismatch",
+                     "checkpoint was taken with the defense installed"};
+      }
+
+      // The node snapshot validates topology and economic config itself.
+      if (Status s = node.restore_snapshot(cp); !s.ok()) return s.error();
+
+      profit_sink = static_cast<Amount>(sink);
+      profit_before = static_cast<Amount>(before);
+      reordered = static_cast<std::size_t>(reordered_saved);
+      parole->set_invocations(parole_invocations);
+      if (defense != nullptr) defense->set_invocations(defense_invocations);
+      result.adversarial_batches =
+          static_cast<std::size_t>(adversarial_batches);
+      result.screened_txs = static_cast<std::size_t>(screened);
+      result.flagged_batches = static_cast<std::size_t>(flagged);
+      result.per_batch_profit = std::move(per_batch);
+      result.suspicion_scores = std::move(suspicion);
+      start_round = static_cast<std::size_t>(next_round);
+      resumed = true;
+    }
+  }
+
+  auto cut_generation = [&](std::size_t next_round) -> Status {
+    io::CheckpointBuilder builder;
+    obs::JsonObject meta;
+    meta["kind"] = "campaign";
+    meta["next_round"] = next_round;
+    meta["rounds"] = config_.rounds;
+    // Enough of the launch config for `parole_cli resume` to rebuild the
+    // campaign without the original command line. The snapshot's own config
+    // validation remains the source of truth; this is convenience, not trust.
+    meta["seed"] = config_.seed;
+    meta["aggregators"] = config_.num_aggregators;
+    meta["adversarial_fraction"] = config_.adversarial_fraction;
+    meta["mempool_size"] = config_.mempool_size;
+    meta["ifus"] = config_.num_ifus;
+    builder.set_meta(meta);
+    node.save_snapshot(builder);
+    io::ByteWriter& w = builder.section(kCampaignTag);
+    w.u64(next_round);
+    w.i64(profit_sink);
+    w.i64(profit_before);
+    w.u64(reordered);
+    w.u64(parole->invocations());
+    w.u64(defense != nullptr ? defense->invocations() : 0);
+    w.u64(result.adversarial_batches);
+    w.u64(result.screened_txs);
+    w.u64(result.flagged_batches);
+    w.u64(result.per_batch_profit.size());
+    for (const Amount p : result.per_batch_profit) w.i64(p);
+    w.u64(result.suspicion_scores.size());
+    w.raw({reinterpret_cast<const std::uint8_t*>(
+               result.suspicion_scores.data()),
+           result.suspicion_scores.size() * sizeof(double)});
+    w.u64(result.ifus.size());
+    for (const UserId u : result.ifus) w.u32(u.value());
+    auto generation = manager->save(builder);
+    if (!generation.ok()) return generation.error();
+    return ok_status();
+  };
+
+  // --- run --------------------------------------------------------------------
+  if (!resumed) {
+    // On resume the not-yet-aggregated transactions live inside the node
+    // snapshot's mempool; submitting them again would double-spend them.
+    for (vm::Tx& tx : txs) node.submit_tx(std::move(tx));
+  }
+
+  std::size_t ran_this_invocation = 0;
+  for (std::size_t round = start_round; round < config_.rounds; ++round) {
     const rollup::StepOutcome outcome = node.step();
     // PAROLE batches are honestly committed; none may be challenged.
     assert(!outcome.fraud_proven);
@@ -113,7 +275,28 @@ CampaignResult AttackCampaign::run() {
       result.per_batch_profit.push_back(profit_sink - profit_before);
       profit_before = profit_sink;
     }
+    result.rounds_run = round + 1;
+    ++ran_this_invocation;
+
+    if (manager.has_value()) {
+      const bool cadence = config_.checkpoint_every_rounds != 0 &&
+                           (round + 1) % config_.checkpoint_every_rounds == 0;
+      if (cadence || round + 1 == config_.rounds) {
+        if (Status s = cut_generation(round + 1); !s.ok()) return s.error();
+      }
+    }
+    if (config_.halt_after_rounds != 0 &&
+        ran_this_invocation >= config_.halt_after_rounds &&
+        round + 1 < config_.rounds) {
+      // Simulated crash: whatever ran past the last generation is re-run
+      // identically on resume.
+      result.completed = false;
+      result.total_profit = profit_sink;
+      result.reordered_batches = reordered;
+      return result;
+    }
   }
+  result.rounds_run = config_.rounds;
 
   result.total_profit = profit_sink;
   result.reordered_batches = reordered;

@@ -16,10 +16,13 @@
 #include <cstdint>
 #include <vector>
 
+#include <string>
+
 #include "parole/core/defense.hpp"
 #include "parole/core/forensics.hpp"
 #include "parole/core/parole_attack.hpp"
 #include "parole/data/workload.hpp"
+#include "parole/io/manifest.hpp"
 #include "parole/rollup/node.hpp"
 
 namespace parole::core {
@@ -47,6 +50,20 @@ struct CampaignConfig {
   bool audit = false;
   ForensicsConfig forensics;
   std::uint64_t seed = 0xca59a16eULL;  // "campaign"
+
+  // Crash-safe execution (DESIGN.md §10). When `checkpoint_dir` is set, the
+  // campaign cuts a rolling-generation checkpoint every
+  // `checkpoint_every_rounds` completed rounds (full rollup-node snapshot +
+  // campaign accumulators) and run_resumable() resumes from the newest good
+  // generation instead of starting over. The workload, topology and IFUs are
+  // recomputed from this config on resume — only dynamic state is persisted —
+  // so resuming under a different config is rejected, not silently honored.
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every_rounds = 10;
+  std::size_t checkpoint_keep = 3;
+  // Test/crash-drill hook: stop after this many rounds in this invocation
+  // without a final save (in-process SIGKILL equivalent). 0 = run to the end.
+  std::size_t halt_after_rounds = 0;
 };
 
 struct CampaignResult {
@@ -62,6 +79,10 @@ struct CampaignResult {
   std::size_t flagged_batches{0};
   std::vector<Amount> per_batch_profit;
   std::vector<UserId> ifus;
+  // False when halted early (CampaignConfig::halt_after_rounds); call
+  // run_resumable() again with the same config to continue.
+  bool completed{true};
+  std::size_t rounds_run{0};
 };
 
 class AttackCampaign {
@@ -69,6 +90,12 @@ class AttackCampaign {
   explicit AttackCampaign(CampaignConfig config);
 
   CampaignResult run();
+
+  // As run(), but checkpoint-aware: resumes from `config.checkpoint_dir`
+  // when it holds a generation, cuts generations on the configured cadence,
+  // and surfaces store/config failures as typed errors. A resumed campaign
+  // produces results identical to an uninterrupted one.
+  [[nodiscard]] Result<CampaignResult> run_resumable();
 
   [[nodiscard]] const CampaignConfig& config() const { return config_; }
 

@@ -71,6 +71,11 @@ class MempoolDefense {
   [[nodiscard]] rollup::BatchScreen as_screen(
       std::vector<DefenseReport>* reports = nullptr);
 
+  // Checkpointing hook: the per-screen search seed is a function of this
+  // counter (see Parole::invocations for the rationale).
+  [[nodiscard]] std::uint64_t invocations() const { return invocation_; }
+  void set_invocations(std::uint64_t n) { invocation_ = n; }
+
  private:
   DefenseConfig config_;
   std::uint64_t invocation_{0};

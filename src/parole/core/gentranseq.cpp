@@ -2,11 +2,55 @@
 
 #include <cassert>
 
+#include "parole/io/codec.hpp"
 #include "parole/ml/epsilon.hpp"
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
 
 namespace parole::core {
+namespace {
+
+// Checkpoint sections: the agent image and the training-loop cursor/results.
+constexpr std::uint32_t kAgentTag = io::section_tag("AGNT");
+constexpr std::uint32_t kTrainTag = io::section_tag("GTSQ");
+
+void save_f64s(io::ByteWriter& w, const std::vector<double>& v) {
+  w.u64(v.size());
+  w.raw({reinterpret_cast<const std::uint8_t*>(v.data()),
+         v.size() * sizeof(double)});
+}
+
+[[nodiscard]] bool load_f64s(io::ByteReader& r, std::vector<double>& v) {
+  std::uint64_t count = 0;
+  if (!r.length(count, sizeof(double))) return false;
+  std::vector<double> out(static_cast<std::size_t>(count));
+  if (!r.raw({reinterpret_cast<std::uint8_t*>(out.data()),
+              out.size() * sizeof(double)})) {
+    return false;
+  }
+  v = std::move(out);
+  return true;
+}
+
+void save_u64s(io::ByteWriter& w, const std::vector<std::size_t>& v) {
+  w.u64(v.size());
+  for (const std::size_t x : v) w.u64(x);
+}
+
+[[nodiscard]] bool load_u64s(io::ByteReader& r, std::vector<std::size_t>& v) {
+  std::uint64_t count = 0;
+  if (!r.length(count, 8)) return false;
+  std::vector<std::size_t> out(static_cast<std::size_t>(count));
+  for (std::size_t& x : out) {
+    std::uint64_t raw = 0;
+    if (!r.u64(raw)) return false;
+    x = static_cast<std::size_t>(raw);
+  }
+  v = std::move(out);
+  return true;
+}
+
+}  // namespace
 
 GenTranSeq::GenTranSeq(const solvers::ReorderingProblem& problem,
                        GenTranSeqConfig config, std::uint64_t seed)
@@ -14,16 +58,33 @@ GenTranSeq::GenTranSeq(const solvers::ReorderingProblem& problem,
       config_(std::move(config)),
       env_(problem, config_.reward),
       agent_(env_.state_dim(), env_.action_count(), config_.dqn, seed),
-      rng_(seed ^ 0xa77acc5eedULL) {
+      rng_(seed ^ 0xa77acc5eedULL),
+      seed_(seed) {
   assert(problem.size() >= 2);
 }
 
 TrainResult GenTranSeq::train() {
+  // Without a manager the resumable path has no store I/O and cannot fail.
+  return train_resumable(TrainCheckpointing{}).value();
+}
+
+Result<TrainResult> GenTranSeq::train_resumable(const TrainCheckpointing& ckpt) {
   PAROLE_OBS_SPAN("ml.train");
   const solvers::EvalStats stats_before = problem_->eval_stats();
   TrainResult result;
   result.baseline = env_.baseline_balance();
   result.best_balance = result.baseline;
+  std::size_t start_episode = 0;
+
+  if (ckpt.manager != nullptr && ckpt.manager->has_checkpoint()) {
+    auto loaded = ckpt.manager->load_latest();
+    if (!loaded.ok()) return loaded.error();
+    if (Status s = restore_train_state(loaded.value().checkpoint, result,
+                                       start_episode);
+        !s.ok()) {
+      return s.error();
+    }
+  }
 
   const double eps_max = config_.epsilon_override >= 0.0
                              ? config_.epsilon_override
@@ -31,7 +92,8 @@ TrainResult GenTranSeq::train() {
   const ml::EpsilonSchedule schedule(eps_max, config_.dqn.epsilon_min,
                                      config_.dqn.epsilon_decay);
 
-  for (std::size_t ep = 0; ep < config_.dqn.episodes; ++ep) {
+  std::size_t ran_this_invocation = 0;
+  for (std::size_t ep = start_episode; ep < config_.dqn.episodes; ++ep) {
     PAROLE_OBS_SPAN("ml.episode");
     PAROLE_OBS_COUNT("parole.ml.episodes", 1);
     std::vector<double> state = env_.reset();
@@ -74,7 +136,30 @@ TrainResult GenTranSeq::train() {
     }
     PAROLE_OBS_OBSERVE("parole.ml.episode_reward", episode_reward);
     result.episode_rewards.push_back(episode_reward);
+    result.episodes_run = ep + 1;
+    ++ran_this_invocation;
+
+    if (ckpt.manager != nullptr) {
+      const bool cadence = ckpt.every_episodes != 0 &&
+                           (ep + 1) % ckpt.every_episodes == 0;
+      if (cadence || ep + 1 == config_.dqn.episodes) {
+        if (Status s = save_train_state(*ckpt.manager, ep + 1, result);
+            !s.ok()) {
+          return s.error();
+        }
+      }
+    }
+    if (ckpt.halt_after_episodes != 0 &&
+        ran_this_invocation >= ckpt.halt_after_episodes &&
+        ep + 1 < config_.dqn.episodes) {
+      // Simulated crash: stop without a final save. Whatever ran past the
+      // last generation is re-run identically on resume.
+      result.completed = false;
+      solvers::publish_eval_stats(problem_->eval_stats() - stats_before);
+      return result;
+    }
   }
+  result.episodes_run = config_.dqn.episodes;
   solvers::publish_eval_stats(problem_->eval_stats() - stats_before);
 
   if (result.best_order.empty()) {
@@ -85,6 +170,125 @@ TrainResult GenTranSeq::train() {
     }
   }
   return result;
+}
+
+Status GenTranSeq::save_train_state(io::CheckpointManager& manager,
+                                    std::size_t next_episode,
+                                    const TrainResult& result) const {
+  io::CheckpointBuilder builder;
+  obs::JsonObject meta;
+  meta["kind"] = "gentranseq-training";
+  meta["next_episode"] = next_episode;
+  meta["episodes"] = config_.dqn.episodes;
+  meta["seed"] = seed_;  // lets `parole_cli resume` rebuild the trainer
+  builder.set_meta(meta);
+  agent_.save(builder.section(kAgentTag));
+  io::ByteWriter& w = builder.section(kTrainTag);
+  w.u64(next_episode);
+  io::save_rng(w, rng_.checkpoint_state());
+  save_f64s(w, result.episode_rewards);
+  save_u64s(w, result.swaps_to_first_candidate);
+  save_u64s(w, result.first_candidate_episode);
+  save_u64s(w, result.best_order);
+  w.i64(result.best_balance);
+  w.i64(result.baseline);
+  w.boolean(result.found_profit);
+  auto generation = manager.save(builder);
+  if (!generation.ok()) return generation.error();
+  return ok_status();
+}
+
+Status GenTranSeq::restore_train_state(const io::Checkpoint& checkpoint,
+                                       TrainResult& result,
+                                       std::size_t& start_episode) {
+  auto meta = checkpoint.meta();
+  if (!meta.ok()) return meta.error();
+  const auto kind = meta.value().find("kind");
+  if (kind == meta.value().end() || !kind->second.is_string() ||
+      kind->second.as_string() != "gentranseq-training") {
+    return Error{"config_mismatch",
+                 "checkpoint is not a GENTRANSEQ training checkpoint"};
+  }
+
+  auto train_reader = checkpoint.reader(kTrainTag);
+  if (!train_reader.ok()) return train_reader.error();
+  io::ByteReader& r = train_reader.value();
+
+  std::uint64_t next_episode = 0;
+  PAROLE_IO_READ(r.u64(next_episode), "training episode cursor");
+  if (next_episode > config_.dqn.episodes) {
+    return Error{"config_mismatch",
+                 "checkpoint ran more episodes than this config allows"};
+  }
+  RngState rng_state;
+  PAROLE_IO_READ(io::load_rng(r, rng_state), "training rng state");
+
+  TrainResult loaded;
+  PAROLE_IO_READ(load_f64s(r, loaded.episode_rewards), "episode rewards");
+  PAROLE_IO_READ(load_u64s(r, loaded.swaps_to_first_candidate),
+                 "swaps to first candidate");
+  PAROLE_IO_READ(load_u64s(r, loaded.first_candidate_episode),
+                 "first candidate episodes");
+  PAROLE_IO_READ(load_u64s(r, loaded.best_order), "best order");
+  std::int64_t best_balance = 0, baseline = 0;
+  PAROLE_IO_READ(r.i64(best_balance), "best balance");
+  PAROLE_IO_READ(r.i64(baseline), "baseline balance");
+  PAROLE_IO_READ(r.boolean(loaded.found_profit), "found-profit flag");
+  if (Status s = r.finish("GTSQ section"); !s.ok()) return s;
+  loaded.best_balance = static_cast<Amount>(best_balance);
+  loaded.baseline = static_cast<Amount>(baseline);
+
+  // Cross-field validation: a CRC-clean image can still be inconsistent, and
+  // a consistent image can still belong to a different batch.
+  if (loaded.episode_rewards.size() != next_episode) {
+    return Error{"corrupt_checkpoint",
+                 "episode rewards inconsistent with the cursor"};
+  }
+  if (loaded.swaps_to_first_candidate.size() !=
+      loaded.first_candidate_episode.size()) {
+    return Error{"corrupt_checkpoint", "candidate series length mismatch"};
+  }
+  for (std::size_t i = 0; i < loaded.first_candidate_episode.size(); ++i) {
+    const std::size_t ep = loaded.first_candidate_episode[i];
+    if (ep >= next_episode ||
+        (i > 0 && ep <= loaded.first_candidate_episode[i - 1])) {
+      return Error{"corrupt_checkpoint", "candidate episodes out of order"};
+    }
+  }
+  if (!loaded.best_order.empty()) {
+    if (loaded.best_order.size() != problem_->size()) {
+      return Error{"config_mismatch",
+                   "checkpoint order length differs from this batch"};
+    }
+    std::vector<bool> seen(loaded.best_order.size(), false);
+    for (const std::size_t idx : loaded.best_order) {
+      if (idx >= seen.size() || seen[idx]) {
+        return Error{"corrupt_checkpoint", "best order is not a permutation"};
+      }
+      seen[idx] = true;
+    }
+  }
+  if (loaded.baseline != env_.baseline_balance()) {
+    return Error{"config_mismatch",
+                 "checkpoint baseline differs from this batch"};
+  }
+  if (loaded.best_balance < loaded.baseline ||
+      loaded.found_profit != (loaded.best_balance > loaded.baseline)) {
+    return Error{"corrupt_checkpoint", "best balance inconsistent"};
+  }
+
+  auto agent_reader = checkpoint.reader(kAgentTag);
+  if (!agent_reader.ok()) return agent_reader.error();
+  if (Status s = agent_.load(agent_reader.value()); !s.ok()) return s;
+  if (Status s = agent_reader.value().finish("AGNT section"); !s.ok()) {
+    return s;
+  }
+
+  loaded.episodes_run = static_cast<std::size_t>(next_episode);
+  result = std::move(loaded);
+  rng_.restore_state(rng_state);
+  start_episode = static_cast<std::size_t>(next_episode);
+  return ok_status();
 }
 
 InferenceResult GenTranSeq::infer(std::size_t max_steps) {

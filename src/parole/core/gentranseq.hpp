@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "parole/core/reorder_env.hpp"
+#include "parole/io/manifest.hpp"
 #include "parole/ml/dqn.hpp"
 
 namespace parole::core {
@@ -23,6 +24,24 @@ struct GenTranSeqConfig {
   bool sync_target_on_profit = true;
   // Override epsilon_max for the Fig. 8 epsilon sweep (<0 keeps dqn value).
   double epsilon_override = -1.0;
+};
+
+// Crash-safe training (DESIGN.md §10). Checkpoints are cut at episode
+// boundaries: an episode is a pure function of the agent state at its start
+// (env.reset() is deterministic, epsilon is a function of the episode index),
+// so re-running the episodes after the last durable generation reproduces the
+// uninterrupted run bit for bit.
+struct TrainCheckpointing {
+  // Rolling-generation store; nullptr trains without checkpointing. When the
+  // manager already holds a checkpoint, train() resumes from it instead of
+  // starting over.
+  io::CheckpointManager* manager = nullptr;
+  // Cut a generation every N completed episodes (and at completion).
+  std::size_t every_episodes = 10;
+  // Test/crash-drill hook: stop after running this many episodes in this
+  // invocation without a final save — the in-process equivalent of SIGKILL
+  // between checkpoints. 0 runs to completion.
+  std::size_t halt_after_episodes = 0;
 };
 
 struct TrainResult {
@@ -40,6 +59,13 @@ struct TrainResult {
   Amount best_balance{0};
   Amount baseline{0};
   bool found_profit{false};
+  // False when the run was halted early (TrainCheckpointing::
+  // halt_after_episodes); resume by calling train() again with the same
+  // manager.
+  bool completed{true};
+  // Episodes finished across all invocations (== dqn.episodes when
+  // completed).
+  std::size_t episodes_run{0};
 };
 
 struct InferenceResult {
@@ -61,6 +87,16 @@ class GenTranSeq {
   // Run the Algorithm 1 training loop.
   TrainResult train();
 
+  // Training with durable checkpoints: resumes from `ckpt.manager` when it
+  // holds a generation, otherwise starts fresh; cuts a new generation every
+  // `every_episodes` completed episodes and at completion. A resumed
+  // trajectory is bit-identical to an uninterrupted run. Store failures
+  // (unwritable directory, checkpoint from a different problem/config, all
+  // generations corrupt) surface as typed errors; a merely *missing*
+  // checkpoint is a fresh start, not an error.
+  [[nodiscard]] Result<TrainResult> train_resumable(
+      const TrainCheckpointing& ckpt);
+
   // Greedy policy rollout from the original order (inference path used once
   // the model is trained; also what Fig. 11 times). max_steps = 0 means
   // 2 * N steps.
@@ -71,11 +107,19 @@ class GenTranSeq {
   [[nodiscard]] const GenTranSeqConfig& config() const { return config_; }
 
  private:
+  [[nodiscard]] Status save_train_state(io::CheckpointManager& manager,
+                                        std::size_t next_episode,
+                                        const TrainResult& result) const;
+  [[nodiscard]] Status restore_train_state(const io::Checkpoint& checkpoint,
+                                           TrainResult& result,
+                                           std::size_t& start_episode);
+
   const solvers::ReorderingProblem* problem_;
   GenTranSeqConfig config_;
   ReorderEnv env_;
   ml::DqnAgent agent_;
   Rng rng_;
+  std::uint64_t seed_;  // construction seed, echoed into checkpoint META
 };
 
 }  // namespace parole::core

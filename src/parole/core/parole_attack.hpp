@@ -84,6 +84,12 @@ class Parole {
 
   [[nodiscard]] const ParoleConfig& config() const { return config_; }
 
+  // Checkpointing hook (DESIGN.md §10): each run() derives its seed from the
+  // invocation counter, so restoring the counter is what makes a resumed
+  // campaign replay the same reordering searches an uninterrupted one runs.
+  [[nodiscard]] std::uint64_t invocations() const { return invocation_; }
+  void set_invocations(std::uint64_t n) { invocation_ = n; }
+
  private:
   ParoleConfig config_;
   std::uint64_t invocation_{0};

@@ -5,6 +5,7 @@
 
 #include "parole/crypto/keccak256.hpp"
 #include "parole/crypto/sha256.hpp"
+#include "parole/io/codec.hpp"
 
 namespace parole::crypto {
 namespace {
@@ -294,6 +295,57 @@ Hash256 PartialSmt::root() const {
     level = std::move(next);
   }
   return level.begin()->second;
+}
+
+void SparseMerkleTree::save(io::ByteWriter& w) const {
+  w.u64(slots_.size());
+  for (const auto& [slot, entries] : slots_) {  // std::map: ascending order
+    w.u32(slot);
+    w.u64(entries.size());
+    for (const Entry& e : entries) {
+      io::save_hash(w, e.key);
+      io::save_hash(w, e.value);
+    }
+  }
+}
+
+Status SparseMerkleTree::load(io::ByteReader& r) {
+  std::uint64_t slot_count = 0;
+  // Minimal slot image: u32 slot id + u64 entry count + one 64-byte entry.
+  PAROLE_IO_READ(r.length(slot_count, 76), "smt slot count");
+  std::map<std::uint32_t, std::vector<Entry>> slots;
+  std::int64_t previous_slot = -1;
+  for (std::uint64_t i = 0; i < slot_count; ++i) {
+    std::uint32_t slot = 0;
+    PAROLE_IO_READ(r.u32(slot), "smt slot id");
+    if (slot >= (1u << kDepth) || static_cast<std::int64_t>(slot) <= previous_slot) {
+      return Error{"corrupt_checkpoint", "smt slot ids out of range or order"};
+    }
+    previous_slot = static_cast<std::int64_t>(slot);
+    std::uint64_t entry_count = 0;
+    PAROLE_IO_READ(r.length(entry_count, 64), "smt entry count");
+    if (entry_count == 0) {
+      // erase() removes emptied slots; an empty slot in the image would make
+      // the restored root disagree with the live tree's canonical form.
+      return Error{"corrupt_checkpoint", "smt slot with no entries"};
+    }
+    std::vector<Entry> entries(static_cast<std::size_t>(entry_count));
+    for (Entry& e : entries) {
+      PAROLE_IO_READ(io::load_hash(r, e.key), "smt entry key");
+      PAROLE_IO_READ(io::load_hash(r, e.value), "smt entry value");
+      if (slot_of(e.key) != slot) {
+        return Error{"corrupt_checkpoint", "smt entry hashed to another slot"};
+      }
+    }
+    for (std::size_t j = 1; j < entries.size(); ++j) {
+      if (!(entries[j - 1].key < entries[j].key)) {
+        return Error{"corrupt_checkpoint", "smt slot entries not key-sorted"};
+      }
+    }
+    slots.emplace(slot, std::move(entries));
+  }
+  slots_ = std::move(slots);
+  return ok_status();
 }
 
 }  // namespace parole::crypto

@@ -27,6 +27,7 @@
 
 #include "parole/common/result.hpp"
 #include "parole/crypto/hash.hpp"
+#include "parole/io/bytes.hpp"
 
 namespace parole::crypto {
 
@@ -69,6 +70,15 @@ class SparseMerkleTree {
 
   [[nodiscard]] Hash256 root() const;
   [[nodiscard]] Proof prove(const Hash256& key) const;
+
+  // Checkpointing (DESIGN.md §10). Slots are written in ascending slot order
+  // with key-sorted entries, so equal trees serialize to equal bytes. load()
+  // re-validates the structural invariants (slot ids in range and strictly
+  // ascending, entries key-sorted, every key hashing into its slot) before
+  // mutating, so a bit-flipped image cannot smuggle in a tree whose proofs
+  // disagree with its root.
+  void save(io::ByteWriter& w) const;
+  [[nodiscard]] Status load(io::ByteReader& r);
 
   static VerifyResult verify(const Hash256& root, const Hash256& key,
                              const Proof& proof);

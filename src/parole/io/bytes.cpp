@@ -1,0 +1,161 @@
+#include "parole/io/bytes.hpp"
+
+#include <cstring>
+
+namespace parole::io {
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::raw(std::span<const std::uint8_t> bytes) {
+  out_.insert(out_.end(), bytes.begin(), bytes.end());
+}
+
+void ByteWriter::blob(std::span<const std::uint8_t> bytes) {
+  u64(bytes.size());
+  raw(bytes);
+}
+
+void ByteWriter::str(const std::string& s) {
+  u64(s.size());
+  out_.insert(out_.end(), s.begin(), s.end());
+}
+
+bool ByteReader::u8(std::uint8_t& v) {
+  if (failed_ || pos_ + 1 > in_.size()) {
+    failed_ = true;
+    return false;
+  }
+  v = in_[pos_++];
+  return true;
+}
+
+bool ByteReader::u32(std::uint32_t& v) {
+  if (failed_ || in_.size() - pos_ < 4) {
+    failed_ = true;
+    return false;
+  }
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(in_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  v = out;
+  return true;
+}
+
+bool ByteReader::u64(std::uint64_t& v) {
+  if (failed_ || in_.size() - pos_ < 8) {
+    failed_ = true;
+    return false;
+  }
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(in_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  v = out;
+  return true;
+}
+
+bool ByteReader::i64(std::int64_t& v) {
+  std::uint64_t raw = 0;
+  if (!u64(raw)) return false;
+  v = static_cast<std::int64_t>(raw);
+  return true;
+}
+
+bool ByteReader::f64(double& v) {
+  std::uint64_t bits = 0;
+  if (!u64(bits)) return false;
+  std::memcpy(&v, &bits, sizeof(v));
+  return true;
+}
+
+bool ByteReader::boolean(bool& v) {
+  std::uint8_t raw = 0;
+  if (!u8(raw)) return false;
+  // Anything but 0/1 is corruption, not a bool.
+  if (raw > 1) {
+    failed_ = true;
+    return false;
+  }
+  v = raw == 1;
+  return true;
+}
+
+bool ByteReader::raw(std::span<std::uint8_t> out) {
+  if (failed_ || in_.size() - pos_ < out.size()) {
+    failed_ = true;
+    return false;
+  }
+  std::memcpy(out.data(), in_.data() + pos_, out.size());
+  pos_ += out.size();
+  return true;
+}
+
+bool ByteReader::blob(std::vector<std::uint8_t>& out) {
+  std::uint64_t len = 0;
+  if (!length(len, 1)) return false;
+  out.assign(in_.begin() + static_cast<std::ptrdiff_t>(pos_),
+             in_.begin() + static_cast<std::ptrdiff_t>(pos_ + len));
+  pos_ += len;
+  return true;
+}
+
+bool ByteReader::str(std::string& out) {
+  std::uint64_t len = 0;
+  if (!length(len, 1)) return false;
+  out.assign(reinterpret_cast<const char*>(in_.data() + pos_),
+             static_cast<std::size_t>(len));
+  pos_ += len;
+  return true;
+}
+
+bool ByteReader::length(std::uint64_t& count, std::size_t element_size) {
+  std::uint64_t declared = 0;
+  if (!u64(declared)) return false;
+  // Overflow-checked: a declared count that could not possibly fit in the
+  // remaining bytes is rejected before anyone allocates for it.
+  const std::uint64_t left = remaining();
+  if (element_size == 0 || declared > left / element_size) {
+    failed_ = true;
+    return false;
+  }
+  count = declared;
+  return true;
+}
+
+Status ByteReader::finish(const std::string& what) const {
+  if (failed_) {
+    return Error{"corrupt_checkpoint", what + ": truncated or malformed"};
+  }
+  if (!exhausted()) {
+    return Error{"corrupt_checkpoint",
+                 what + ": " + std::to_string(remaining()) +
+                     " trailing bytes"};
+  }
+  return ok_status();
+}
+
+Error read_error(const std::string& what) {
+  return Error{"corrupt_checkpoint", what + ": truncated or malformed"};
+}
+
+}  // namespace parole::io

@@ -1,0 +1,98 @@
+// Bounds-checked binary codec for durable state (DESIGN.md §10).
+//
+// Every persistent structure in the repo serializes through this pair. The
+// writer is append-only little-endian; the reader treats its input as hostile
+// bytes: every primitive read is bounds-checked against the buffer, every
+// length prefix is validated against the *remaining* bytes before anything is
+// allocated, and a failed read poisons the reader so later reads cannot
+// silently consume garbage after a short field. Loaders built on top can
+// therefore follow one rule — validate everything, then mutate — and a
+// truncated or bit-flipped checkpoint always surfaces as a typed Status
+// error, never as a crash or a partially mutated object.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "parole/common/result.hpp"
+
+namespace parole::io {
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void f64(double v);
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  // Raw bytes, no length prefix.
+  void raw(std::span<const std::uint8_t> bytes);
+  // u64 length prefix + bytes.
+  void blob(std::span<const std::uint8_t> bytes);
+  void str(const std::string& s);
+
+  [[nodiscard]] const std::vector<std::uint8_t>& buffer() const {
+    return out_;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(out_); }
+  [[nodiscard]] std::size_t size() const { return out_.size(); }
+
+ private:
+  std::vector<std::uint8_t> out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : in_(bytes) {}
+
+  // Each read returns false (and sets the failed flag) when the buffer is
+  // exhausted; the value is untouched on failure.
+  [[nodiscard]] bool u8(std::uint8_t& v);
+  [[nodiscard]] bool u32(std::uint32_t& v);
+  [[nodiscard]] bool u64(std::uint64_t& v);
+  [[nodiscard]] bool i64(std::int64_t& v);
+  [[nodiscard]] bool f64(double& v);
+  [[nodiscard]] bool boolean(bool& v);
+
+  // Raw bytes, no length prefix.
+  [[nodiscard]] bool raw(std::span<std::uint8_t> out);
+  // u64 length prefix + bytes; the declared length is checked against the
+  // remaining input *before* any allocation, so a hostile 2^60 prefix fails
+  // cleanly instead of driving a giant resize.
+  [[nodiscard]] bool blob(std::vector<std::uint8_t>& out);
+  [[nodiscard]] bool str(std::string& out);
+
+  // Length prefix for a sequence of fixed-size elements: validates
+  // `count * element_size <= remaining` (overflow-checked) before returning.
+  [[nodiscard]] bool length(std::uint64_t& count, std::size_t element_size);
+
+  [[nodiscard]] std::size_t remaining() const { return in_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return pos_ == in_.size(); }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  // Standard epilogue for loaders: ok iff no read failed and the payload was
+  // consumed exactly (trailing garbage is as suspicious as truncation).
+  [[nodiscard]] Status finish(const std::string& what) const;
+
+ private:
+  std::span<const std::uint8_t> in_;
+  std::size_t pos_{0};
+  bool failed_{false};
+};
+
+// One-line guard used by loaders: `if (Status s = ...; !s.ok()) return s;`
+// reads better as PAROLE_IO_READ(reader.u64(x), "field") when chained a dozen
+// times. Returns a plain Error so the macro works in any function returning
+// Status or Result<T>.
+[[nodiscard]] Error read_error(const std::string& what);
+
+}  // namespace parole::io
+
+#define PAROLE_IO_READ(expr, what)                         \
+  do {                                                     \
+    if (!(expr)) return ::parole::io::read_error(what);    \
+  } while (0)

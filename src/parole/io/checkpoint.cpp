@@ -1,0 +1,194 @@
+#include "parole/io/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "parole/io/crc32.hpp"
+
+namespace parole::io {
+namespace {
+
+Error io_error(const std::string& what) {
+  return Error{"io_error", what + ": " + std::strerror(errno)};
+}
+
+}  // namespace
+
+ByteWriter& CheckpointBuilder::section(std::uint32_t tag) {
+  sections_.push_back(std::make_unique<Section>(Section{tag, ByteWriter{}}));
+  return sections_.back()->writer;
+}
+
+void CheckpointBuilder::set_meta(const obs::JsonObject& meta) {
+  const std::string text = obs::JsonValue{meta}.dump();
+  section(kMetaTag).str(text);
+}
+
+std::vector<std::uint8_t> CheckpointBuilder::finish() const {
+  ByteWriter out;
+  out.u32(kCheckpointMagic);
+  out.u32(kCheckpointFormatVersion);
+  out.u32(static_cast<std::uint32_t>(sections_.size()));
+  out.u32(crc32(out.buffer()));
+  for (const auto& section : sections_) {
+    const auto& payload = section->writer.buffer();
+    out.u32(section->tag);
+    out.u64(payload.size());
+    out.u32(crc32(payload));
+    out.raw(payload);
+  }
+  out.u32(crc32(out.buffer()));
+  return out.take();
+}
+
+Result<Checkpoint> Checkpoint::parse(std::span<const std::uint8_t> bytes) {
+  // The trailing file CRC covers everything before it; check it first so a
+  // torn tail is caught even when the damage is inside a payload we would
+  // otherwise accept (CRC32 can collide per-section in a long sweep, the
+  // double cover makes that astronomically unlikely).
+  if (bytes.size() < 20) {
+    return Error{"corrupt_checkpoint", "container shorter than header"};
+  }
+  ByteReader trailer(bytes.subspan(bytes.size() - 4));
+  std::uint32_t file_crc = 0;
+  PAROLE_IO_READ(trailer.u32(file_crc), "file crc");
+  if (crc32(bytes.first(bytes.size() - 4)) != file_crc) {
+    return Error{"corrupt_checkpoint", "file checksum mismatch"};
+  }
+
+  ByteReader in(bytes.first(bytes.size() - 4));
+  std::uint32_t magic = 0, version = 0, count = 0, header_crc = 0;
+  PAROLE_IO_READ(in.u32(magic), "magic");
+  PAROLE_IO_READ(in.u32(version), "version");
+  PAROLE_IO_READ(in.u32(count), "section count");
+  PAROLE_IO_READ(in.u32(header_crc), "header crc");
+  if (magic != kCheckpointMagic) {
+    return Error{"corrupt_checkpoint", "bad container magic"};
+  }
+  if (version != kCheckpointFormatVersion) {
+    return Error{"corrupt_checkpoint",
+                 "unsupported container version " + std::to_string(version)};
+  }
+  if (crc32(bytes.first(12)) != header_crc) {
+    return Error{"corrupt_checkpoint", "header checksum mismatch"};
+  }
+
+  Checkpoint cp;
+  cp.sections_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Section section;
+    std::uint32_t payload_crc = 0;
+    std::uint64_t payload_len = 0;
+    PAROLE_IO_READ(in.u32(section.tag), "section tag");
+    PAROLE_IO_READ(in.u64(payload_len), "section length");
+    PAROLE_IO_READ(in.u32(payload_crc), "section crc");
+    if (payload_len > in.remaining()) {
+      return Error{"corrupt_checkpoint", "section overruns container"};
+    }
+    section.payload.resize(static_cast<std::size_t>(payload_len));
+    PAROLE_IO_READ(in.raw(section.payload), "section payload");
+    if (crc32(section.payload) != payload_crc) {
+      return Error{"corrupt_checkpoint", "section checksum mismatch"};
+    }
+    cp.sections_.push_back(std::move(section));
+  }
+  if (Status s = in.finish("container"); !s.ok()) return s.error();
+  return cp;
+}
+
+const Checkpoint::Section* Checkpoint::find(std::uint32_t tag) const {
+  for (const auto& section : sections_) {
+    if (section.tag == tag) return &section;
+  }
+  return nullptr;
+}
+
+Result<ByteReader> Checkpoint::reader(std::uint32_t tag) const {
+  const Section* section = find(tag);
+  if (section == nullptr) {
+    const char fourcc[5] = {static_cast<char>(tag & 0xff),
+                            static_cast<char>(tag >> 8 & 0xff),
+                            static_cast<char>(tag >> 16 & 0xff),
+                            static_cast<char>(tag >> 24 & 0xff), '\0'};
+    return Error{"missing_section",
+                 std::string("checkpoint lacks section '") + fourcc + "'"};
+  }
+  return ByteReader(section->payload);
+}
+
+Result<obs::JsonObject> Checkpoint::meta() const {
+  auto in = reader(kMetaTag);
+  if (!in.ok()) return in.error();
+  std::string text;
+  PAROLE_IO_READ(in.value().str(text), "meta payload");
+  if (Status s = in.value().finish("meta section"); !s.ok()) {
+    return s.error();
+  }
+  auto parsed = obs::json_parse(text);
+  if (!parsed.ok()) {
+    return Error{"corrupt_checkpoint",
+                 "meta section is not valid JSON: " + parsed.error().detail};
+  }
+  if (!parsed.value().is_object()) {
+    return Error{"corrupt_checkpoint", "meta section is not a JSON object"};
+  }
+  return parsed.value().as_object();
+}
+
+Status write_file_atomic(const std::string& path,
+                         std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return io_error("open " + tmp);
+  if (!bytes.empty() &&
+      std::fwrite(bytes.data(), 1, bytes.size(), f) != bytes.size()) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return io_error("write " + tmp);
+  }
+  if (std::fflush(f) != 0 || ::fsync(::fileno(f)) != 0) {
+    std::fclose(f);
+    std::remove(tmp.c_str());
+    return io_error("flush " + tmp);
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(tmp.c_str());
+    return io_error("close " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return io_error("rename " + tmp);
+  }
+  // fsync the parent directory so the rename itself is durable.
+  const std::string dir =
+      std::filesystem::path(path).parent_path().string();
+  const int dirfd = ::open(dir.empty() ? "." : dir.c_str(),
+                           O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return ok_status();
+}
+
+Result<std::vector<std::uint8_t>> read_file(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return io_error("open " + path);
+  std::vector<std::uint8_t> bytes;
+  std::uint8_t chunk[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  const bool bad = std::ferror(f) != 0;
+  std::fclose(f);
+  if (bad) return io_error("read " + path);
+  return bytes;
+}
+
+}  // namespace parole::io

@@ -1,0 +1,102 @@
+// Versioned, CRC-checked checkpoint container (DESIGN.md §10).
+//
+// One checkpoint file is a sequence of typed sections so heterogeneous state
+// composes into a single artifact: a DQN training checkpoint carries network,
+// optimizer, replay-buffer and RNG sections; a rollup soak checkpoint carries
+// L1-chain, ORSC, mempool, ledger and chaos sections. Layout (v1, all
+// little-endian):
+//
+//   u32 magic "PRCK"   u32 version   u32 section_count   u32 header_crc
+//   per section:  u32 tag   u64 payload_len   u32 payload_crc   payload
+//   u32 file_crc       (over every preceding byte)
+//
+// Every length is validated against the remaining bytes before allocation and
+// every CRC is verified before a payload is handed out, so truncation and bit
+// flips surface as typed errors at parse time. Writing goes through
+// write_file_atomic(): write to a temp sibling, fsync, rename over the target,
+// fsync the directory — a crash mid-write leaves either the old file or the
+// new one, never a torn hybrid.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "parole/common/result.hpp"
+#include "parole/io/bytes.hpp"
+#include "parole/obs/json.hpp"
+
+namespace parole::io {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x4b435250;  // "PRCK"
+inline constexpr std::uint32_t kCheckpointFormatVersion = 1;
+
+// Four-character section tag, e.g. section_tag("L1CH").
+constexpr std::uint32_t section_tag(const char (&s)[5]) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(s[0])) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(s[3])) << 24;
+}
+
+// Conventional tags shared across producers. Anything may add its own.
+inline constexpr std::uint32_t kMetaTag = section_tag("META");
+
+class CheckpointBuilder {
+ public:
+  // Open a new section; the returned writer is valid until finish(). Sections
+  // are emitted in open order; duplicate tags are allowed but find() returns
+  // the first, so producers keep tags unique.
+  ByteWriter& section(std::uint32_t tag);
+
+  // JSON "META" section: free-form run description plus the "kind"
+  // discriminator `parole_cli resume` dispatches on.
+  void set_meta(const obs::JsonObject& meta);
+
+  // Serialize the container (header + sections + trailing file CRC).
+  [[nodiscard]] std::vector<std::uint8_t> finish() const;
+
+ private:
+  struct Section {
+    std::uint32_t tag;
+    ByteWriter writer;
+  };
+  std::vector<std::unique_ptr<Section>> sections_;
+};
+
+// A parsed, CRC-verified container.
+class Checkpoint {
+ public:
+  struct Section {
+    std::uint32_t tag{0};
+    std::vector<std::uint8_t> payload;
+  };
+
+  // Full validation: magic, version, bounds of every section, every CRC.
+  static Result<Checkpoint> parse(std::span<const std::uint8_t> bytes);
+
+  // First section with `tag`, or nullptr.
+  [[nodiscard]] const Section* find(std::uint32_t tag) const;
+  // Reader over a required section's payload; typed error when missing.
+  [[nodiscard]] Result<ByteReader> reader(std::uint32_t tag) const;
+  // Parsed META section ("missing_section" error when absent).
+  [[nodiscard]] Result<obs::JsonObject> meta() const;
+
+  [[nodiscard]] const std::vector<Section>& sections() const {
+    return sections_;
+  }
+
+ private:
+  std::vector<Section> sections_;
+};
+
+// Atomic durable write: temp sibling + fsync + rename + directory fsync.
+Status write_file_atomic(const std::string& path,
+                         std::span<const std::uint8_t> bytes);
+
+// Whole-file read ("io_error" when unreadable).
+Result<std::vector<std::uint8_t>> read_file(const std::string& path);
+
+}  // namespace parole::io

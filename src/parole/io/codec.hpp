@@ -1,0 +1,51 @@
+// Shared field codecs for checkpoint serializers: types from common/ and
+// crypto/ that many modules persist but that must not themselves depend on
+// the io layer.
+#pragma once
+
+#include "parole/common/rng.hpp"
+#include "parole/crypto/hash.hpp"
+#include "parole/io/bytes.hpp"
+
+namespace parole::io {
+
+inline void save_rng(ByteWriter& w, const RngState& s) {
+  for (const std::uint64_t word : s.words) w.u64(word);
+  w.boolean(s.have_cached_normal);
+  w.f64(s.cached_normal);
+}
+
+[[nodiscard]] inline bool load_rng(ByteReader& r, RngState& s) {
+  RngState tmp;
+  for (std::uint64_t& word : tmp.words) {
+    if (!r.u64(word)) return false;
+  }
+  if (!r.boolean(tmp.have_cached_normal)) return false;
+  if (!r.f64(tmp.cached_normal)) return false;
+  s = tmp;
+  return true;
+}
+
+inline void save_hash(ByteWriter& w, const crypto::Hash256& h) {
+  w.raw(h.bytes());
+}
+
+[[nodiscard]] inline bool load_hash(ByteReader& r, crypto::Hash256& h) {
+  std::array<std::uint8_t, 32> bytes{};
+  if (!r.raw(bytes)) return false;
+  h = crypto::Hash256(bytes);
+  return true;
+}
+
+inline void save_address(ByteWriter& w, const crypto::Address& a) {
+  w.raw(a.bytes());
+}
+
+[[nodiscard]] inline bool load_address(ByteReader& r, crypto::Address& a) {
+  std::array<std::uint8_t, 20> bytes{};
+  if (!r.raw(bytes)) return false;
+  a = crypto::Address(bytes);
+  return true;
+}
+
+}  // namespace parole::io

@@ -1,0 +1,32 @@
+#include "parole/io/crc32.hpp"
+
+#include <array>
+
+namespace parole::io {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[n] = c;
+  }
+  return table;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes, std::uint32_t seed) {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (const std::uint8_t byte : bytes) {
+    c = kTable[(c ^ byte) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace parole::io

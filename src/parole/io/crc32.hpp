@@ -1,0 +1,16 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) over byte spans. Every checkpoint
+// section and file carries one so torn writes and bit flips are detected at
+// load time instead of surfacing as absurd state downstream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace parole::io {
+
+// Incremental: feed the previous return value back in as `seed` to extend a
+// running checksum; the default seed starts a fresh one.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                                  std::uint32_t seed = 0);
+
+}  // namespace parole::io

@@ -1,0 +1,170 @@
+#include "parole/io/manifest.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#include "parole/obs/json.hpp"
+#include "parole/obs/metrics.hpp"
+
+namespace parole::io {
+namespace {
+
+constexpr std::uint32_t kManifestVersion = 1;
+
+}  // namespace
+
+CheckpointManager::CheckpointManager(std::string dir, std::string basename,
+                                     std::size_t keep_generations)
+    : dir_(std::move(dir)),
+      basename_(std::move(basename)),
+      keep_generations_(std::max<std::size_t>(1, keep_generations)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+std::string CheckpointManager::manifest_path() const {
+  return dir_ + "/MANIFEST.json";
+}
+
+std::string CheckpointManager::generation_path(
+    std::uint64_t generation) const {
+  return dir_ + "/" + basename_ + "." + std::to_string(generation) + ".prck";
+}
+
+Result<CheckpointManager::ManifestState> CheckpointManager::read_manifest()
+    const {
+  auto bytes = read_file(manifest_path());
+  if (!bytes.ok()) return bytes.error();
+  const std::string text(bytes.value().begin(), bytes.value().end());
+  auto parsed = obs::json_parse(text);
+  if (!parsed.ok()) {
+    return Error{"corrupt_manifest",
+                 "MANIFEST.json: " + parsed.error().detail};
+  }
+  if (!parsed.value().is_object()) {
+    return Error{"corrupt_manifest", "MANIFEST.json is not an object"};
+  }
+  ManifestState state;
+  const obs::JsonValue* version = parsed.value().find("version");
+  const obs::JsonValue* next = parsed.value().find("next_generation");
+  const obs::JsonValue* gens = parsed.value().find("generations");
+  if (version == nullptr || !version->is_number() ||
+      version->as_uint() != kManifestVersion) {
+    return Error{"corrupt_manifest", "MANIFEST.json: bad or missing version"};
+  }
+  if (next == nullptr || !next->is_number()) {
+    return Error{"corrupt_manifest",
+                 "MANIFEST.json: bad or missing next_generation"};
+  }
+  if (gens == nullptr || !gens->is_array()) {
+    return Error{"corrupt_manifest",
+                 "MANIFEST.json: bad or missing generations"};
+  }
+  state.next_generation = next->as_uint();
+  for (const auto& g : gens->as_array()) {
+    if (!g.is_number()) {
+      return Error{"corrupt_manifest",
+                   "MANIFEST.json: non-numeric generation entry"};
+    }
+    state.generations.push_back(g.as_uint());
+  }
+  std::sort(state.generations.begin(), state.generations.end());
+  return state;
+}
+
+Status CheckpointManager::write_manifest(const ManifestState& state) const {
+  obs::JsonArray gens;
+  for (const std::uint64_t g : state.generations) gens.emplace_back(g);
+  obs::JsonObject root{
+      {"version", obs::JsonValue{kManifestVersion}},
+      {"basename", obs::JsonValue{basename_}},
+      {"next_generation", obs::JsonValue{state.next_generation}},
+      {"generations", obs::JsonValue{std::move(gens)}},
+  };
+  const std::string text = obs::JsonValue{std::move(root)}.dump() + "\n";
+  const std::span<const std::uint8_t> bytes{
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()};
+  return write_file_atomic(manifest_path(), bytes);
+}
+
+Result<std::uint64_t> CheckpointManager::save(
+    const CheckpointBuilder& builder) {
+  ManifestState state;
+  if (std::filesystem::exists(manifest_path())) {
+    auto existing = read_manifest();
+    // An unreadable manifest is treated as a fresh start for writing: the
+    // save still succeeds and re-establishes a valid index.
+    if (existing.ok()) state = existing.value();
+  }
+
+  const std::uint64_t generation = state.next_generation;
+  const std::vector<std::uint8_t> bytes = builder.finish();
+  if (Status s = write_file_atomic(generation_path(generation), bytes);
+      !s.ok()) {
+    return s.error();
+  }
+  PAROLE_OBS_COUNT("parole.io.checkpoints_written", 1);
+  PAROLE_OBS_COUNT("parole.io.checkpoint_bytes_written", bytes.size());
+
+  state.generations.push_back(generation);
+  state.next_generation = generation + 1;
+  // Prune beyond the keep window only after the manifest stops referencing
+  // the pruned files, so a crash between the two steps leaves stale files,
+  // never dangling manifest entries.
+  std::vector<std::uint64_t> pruned;
+  while (state.generations.size() > keep_generations_) {
+    pruned.push_back(state.generations.front());
+    state.generations.erase(state.generations.begin());
+  }
+  if (Status s = write_manifest(state); !s.ok()) return s.error();
+  for (const std::uint64_t old : pruned) {
+    std::remove(generation_path(old).c_str());
+    PAROLE_OBS_COUNT("parole.io.generations_pruned", 1);
+  }
+  return generation;
+}
+
+bool CheckpointManager::has_checkpoint() const {
+  if (!std::filesystem::exists(manifest_path())) return false;
+  auto state = read_manifest();
+  return state.ok() && !state.value().generations.empty();
+}
+
+Result<CheckpointManager::Loaded> CheckpointManager::load_latest() {
+  if (!std::filesystem::exists(manifest_path())) {
+    return Error{"no_checkpoint", "no manifest in " + dir_};
+  }
+  auto state = read_manifest();
+  if (!state.ok()) return state.error();
+  if (state.value().generations.empty()) {
+    return Error{"no_checkpoint", "manifest lists no generations"};
+  }
+
+  std::size_t fallbacks = 0;
+  std::string last_error;
+  const auto& generations = state.value().generations;
+  for (auto it = generations.rbegin(); it != generations.rend(); ++it) {
+    const std::string path = generation_path(*it);
+    auto bytes = read_file(path);
+    Result<Checkpoint> parsed =
+        bytes.ok() ? Checkpoint::parse(bytes.value())
+                   : Result<Checkpoint>(bytes.error());
+    if (parsed.ok()) {
+      PAROLE_OBS_COUNT("parole.io.checkpoints_loaded", 1);
+      if (fallbacks > 0) PAROLE_OBS_COUNT("parole.io.fallbacks", 1);
+      return Loaded{std::move(parsed).value(), *it, fallbacks};
+    }
+    // Quarantine the bad file so the next load does not re-pay the parse and
+    // an operator can inspect what went wrong.
+    last_error = parsed.error().code + ": " + parsed.error().detail;
+    std::rename(path.c_str(), (path + ".quarantined").c_str());
+    PAROLE_OBS_COUNT("parole.io.crc_failures", 1);
+    ++fallbacks;
+  }
+  return Error{"corrupt_checkpoint",
+               "all " + std::to_string(generations.size()) +
+                   " generations corrupt; newest error: " + last_error};
+}
+
+}  // namespace parole::io

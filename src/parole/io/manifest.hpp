@@ -1,0 +1,68 @@
+// Rolling-generation checkpoint manager (DESIGN.md §10).
+//
+// A CheckpointManager owns one directory and writes numbered generations
+// (`<basename>.<generation>.prck`) plus a MANIFEST.json index, keeping the
+// newest `keep_generations` files and pruning older ones. Loading walks the
+// manifest newest-first: a generation that fails CRC/parse validation is
+// quarantined on disk (renamed to `<file>.quarantined`), counted in
+// `parole.io.crc_failures`, and the previous good generation is returned
+// instead (`parole.io.fallbacks`). Only when every generation is bad does the
+// caller see an error — a half-written or bit-flipped newest checkpoint can
+// cost at most one generation of progress, never the run.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parole/common/result.hpp"
+#include "parole/io/checkpoint.hpp"
+
+namespace parole::io {
+
+class CheckpointManager {
+ public:
+  // `dir` is created if missing. keep_generations must be >= 1.
+  CheckpointManager(std::string dir, std::string basename,
+                    std::size_t keep_generations = 3);
+
+  // Serialize the builder as the next generation (atomic write), update the
+  // manifest atomically, then prune generations beyond the keep window.
+  // Returns the generation number written.
+  Result<std::uint64_t> save(const CheckpointBuilder& builder);
+
+  struct Loaded {
+    Checkpoint checkpoint;
+    std::uint64_t generation{0};
+    // How many newer generations were quarantined before this one parsed.
+    std::size_t fallbacks{0};
+  };
+
+  // Newest good generation, quarantining corrupt ones along the way.
+  // "no_checkpoint" when the manifest lists nothing (fresh start);
+  // "corrupt_checkpoint" when every listed generation is bad.
+  Result<Loaded> load_latest();
+
+  // True when the manifest exists and lists at least one generation.
+  [[nodiscard]] bool has_checkpoint() const;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+  [[nodiscard]] std::string manifest_path() const;
+  [[nodiscard]] std::string generation_path(std::uint64_t generation) const;
+
+ private:
+  struct ManifestState {
+    std::uint64_t next_generation{1};
+    std::vector<std::uint64_t> generations;  // ascending
+  };
+
+  Result<ManifestState> read_manifest() const;
+  Status write_manifest(const ManifestState& state) const;
+
+  std::string dir_;
+  std::string basename_;
+  std::size_t keep_generations_;
+};
+
+}  // namespace parole::io

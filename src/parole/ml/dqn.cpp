@@ -4,6 +4,7 @@
 #include <cassert>
 #include <optional>
 
+#include "parole/io/codec.hpp"
 #include "parole/ml/loss.hpp"
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
@@ -151,6 +152,95 @@ double DqnAgent::train_step() {
 void DqnAgent::sync_target() {
   PAROLE_OBS_COUNT("parole.ml.target_syncs", 1);
   target_net_.copy_weights_from(q_net_);
+}
+
+namespace {
+
+void save_weights(io::ByteWriter& w, const Network& net) {
+  const std::vector<double> flat = net.export_weights();
+  w.u64(flat.size());
+  w.raw({reinterpret_cast<const std::uint8_t*>(flat.data()),
+         flat.size() * sizeof(double)});
+}
+
+// A short/overlong read is corruption; a well-formed image whose parameter
+// count differs from the live network is a config mismatch. Callers need to
+// tell the two apart, so this returns a typed Status rather than bool.
+[[nodiscard]] Status load_weights(io::ByteReader& r, std::size_t expected,
+                                  std::vector<double>& flat,
+                                  const char* what) {
+  std::uint64_t count = 0;
+  if (!r.length(count, sizeof(double))) return io::read_error(what);
+  if (count != expected) {
+    return Error{"config_mismatch",
+                 std::string(what) + ": parameter count differs from this "
+                                     "agent's network shape"};
+  }
+  std::vector<double> out(static_cast<std::size_t>(count));
+  if (!r.raw({reinterpret_cast<std::uint8_t*>(out.data()),
+              out.size() * sizeof(double)})) {
+    return io::read_error(what);
+  }
+  flat = std::move(out);
+  return ok_status();
+}
+
+}  // namespace
+
+void DqnAgent::save(io::ByteWriter& w) const {
+  w.u64(state_dim_);
+  w.u64(action_count_);
+  save_weights(w, q_net_);
+  save_weights(w, target_net_);
+  buffer_.save(w);
+  io::save_rng(w, rng_.checkpoint_state());
+  // Optimizer last: its load() mutates in place (internally atomic), so
+  // keeping it as the final field lets the agent validate everything else
+  // into temporaries first and stay whole-object atomic.
+  optimizer_->save(w);
+}
+
+Status DqnAgent::load(io::ByteReader& r) {
+  std::uint64_t state_dim = 0, action_count = 0;
+  PAROLE_IO_READ(r.u64(state_dim), "agent state dim");
+  PAROLE_IO_READ(r.u64(action_count), "agent action count");
+  if (state_dim != state_dim_ || action_count != action_count_) {
+    return Error{"config_mismatch",
+                 "checkpoint agent dimensions differ from this agent"};
+  }
+  const std::size_t expected = q_net_.parameter_count();
+  std::vector<double> q_flat, target_flat;
+  if (Status s = load_weights(r, expected, q_flat, "q-network weights");
+      !s.ok()) {
+    return s;
+  }
+  if (Status s =
+          load_weights(r, expected, target_flat, "target-network weights");
+      !s.ok()) {
+    return s;
+  }
+  ReplayBuffer buffer(1);
+  if (Status s = buffer.load(r); !s.ok()) return s;
+  if (buffer.capacity() != config_.replay_capacity) {
+    return Error{"config_mismatch",
+                 "checkpoint replay capacity differs from this agent"};
+  }
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    const Transition& t = buffer.at(i);
+    if (t.state.size() != state_dim_ || t.next_state.size() != state_dim_ ||
+        t.action >= action_count_) {
+      return Error{"corrupt_checkpoint",
+                   "replay transition inconsistent with agent dimensions"};
+    }
+  }
+  RngState rng_state;
+  PAROLE_IO_READ(io::load_rng(r, rng_state), "agent rng state");
+  if (Status s = optimizer_->load(r); !s.ok()) return s;
+  q_net_.import_weights(q_flat);
+  target_net_.import_weights(target_flat);
+  buffer_ = std::move(buffer);
+  rng_.restore_state(rng_state);
+  return ok_status();
 }
 
 }  // namespace parole::ml

@@ -81,6 +81,14 @@ class DqnAgent {
 
   void sync_target();
 
+  // Checkpointing (DESIGN.md §10): online + target weights, optimizer state,
+  // replay buffer, and the exploration/sampling RNG — the full set needed for
+  // a resumed run to be bit-identical to an uninterrupted one. load() expects
+  // an agent constructed with the same dimensions and config; anything else
+  // is rejected before mutation.
+  void save(io::ByteWriter& w) const;
+  [[nodiscard]] Status load(io::ByteReader& r);
+
   [[nodiscard]] const DqnConfig& config() const { return config_; }
   [[nodiscard]] std::size_t state_dim() const { return state_dim_; }
   [[nodiscard]] std::size_t action_count() const { return action_count_; }

@@ -59,4 +59,92 @@ void Adam::step(Network& net) {
   net.zero_grads();
 }
 
+namespace {
+
+// Discriminator so a checkpoint written under SGD cannot be fed to Adam (or
+// vice versa) without a typed error.
+constexpr std::uint8_t kSgdMarker = 1;
+constexpr std::uint8_t kAdamMarker = 2;
+
+void save_matrix(io::ByteWriter& w, const Matrix& m) {
+  w.u64(m.rows());
+  w.u64(m.cols());
+  w.raw({reinterpret_cast<const std::uint8_t*>(m.data()),
+         m.size() * sizeof(double)});
+}
+
+[[nodiscard]] bool load_matrix(io::ByteReader& r, Matrix& out) {
+  std::uint64_t rows = 0, cols = 0;
+  if (!r.u64(rows) || !r.u64(cols)) return false;
+  // Bound the allocation by the remaining payload before constructing.
+  if (cols != 0 && rows > r.remaining() / (cols * sizeof(double))) {
+    return false;
+  }
+  Matrix m(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  if (!r.raw({reinterpret_cast<std::uint8_t*>(m.data()),
+              m.size() * sizeof(double)})) {
+    return false;
+  }
+  out = std::move(m);
+  return true;
+}
+
+}  // namespace
+
+void Sgd::save(io::ByteWriter& w) const { w.u8(kSgdMarker); }
+
+Status Sgd::load(io::ByteReader& r) {
+  std::uint8_t marker = 0;
+  PAROLE_IO_READ(r.u8(marker), "optimizer marker");
+  if (marker != kSgdMarker) {
+    return Error{"corrupt_checkpoint",
+                 "checkpoint optimizer is not SGD"};
+  }
+  return ok_status();
+}
+
+void Adam::save(io::ByteWriter& w) const {
+  w.u8(kAdamMarker);
+  w.u64(t_);
+  w.u64(m_.size());
+  for (const Matrix& m : m_) save_matrix(w, m);
+  w.u64(v_.size());
+  for (const Matrix& v : v_) save_matrix(w, v);
+}
+
+Status Adam::load(io::ByteReader& r) {
+  std::uint8_t marker = 0;
+  PAROLE_IO_READ(r.u8(marker), "optimizer marker");
+  if (marker != kAdamMarker) {
+    return Error{"corrupt_checkpoint",
+                 "checkpoint optimizer is not Adam"};
+  }
+  std::uint64_t t = 0;
+  PAROLE_IO_READ(r.u64(t), "adam step count");
+  std::uint64_t m_count = 0;
+  PAROLE_IO_READ(r.length(m_count, 16), "adam first-moment count");
+  std::vector<Matrix> m(static_cast<std::size_t>(m_count));
+  for (Matrix& mat : m) {
+    PAROLE_IO_READ(load_matrix(r, mat), "adam first moment");
+  }
+  std::uint64_t v_count = 0;
+  PAROLE_IO_READ(r.length(v_count, 16), "adam second-moment count");
+  std::vector<Matrix> v(static_cast<std::size_t>(v_count));
+  for (Matrix& mat : v) {
+    PAROLE_IO_READ(load_matrix(r, mat), "adam second moment");
+  }
+  if (m.size() != v.size()) {
+    return Error{"corrupt_checkpoint", "adam moment vectors differ in size"};
+  }
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i].rows() != v[i].rows() || m[i].cols() != v[i].cols()) {
+      return Error{"corrupt_checkpoint", "adam moment shapes differ"};
+    }
+  }
+  t_ = static_cast<std::size_t>(t);
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return ok_status();
+}
+
 }  // namespace parole::ml

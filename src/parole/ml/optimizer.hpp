@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "parole/io/bytes.hpp"
 #include "parole/ml/network.hpp"
 
 namespace parole::ml {
@@ -16,6 +17,13 @@ class Optimizer {
   virtual ~Optimizer() = default;
   // Apply one update from the accumulated gradients, then zero them.
   virtual void step(Network& net) = 0;
+
+  // Checkpointing (DESIGN.md §10). Stateless optimizers write a marker only;
+  // Adam also writes its step count and moment estimates — without them a
+  // resumed run re-warms the moments and the weight trajectory diverges from
+  // the uninterrupted one. load() validates then mutates.
+  virtual void save(io::ByteWriter& w) const = 0;
+  virtual Status load(io::ByteReader& r) = 0;
 };
 
 class Sgd final : public Optimizer {
@@ -24,6 +32,8 @@ class Sgd final : public Optimizer {
       : lr_(learning_rate), clip_(grad_clip) {}
 
   void step(Network& net) override;
+  void save(io::ByteWriter& w) const override;
+  Status load(io::ByteReader& r) override;
 
  private:
   double lr_;
@@ -37,6 +47,8 @@ class Adam final : public Optimizer {
       : lr_(learning_rate), beta1_(beta1), beta2_(beta2), eps_(epsilon) {}
 
   void step(Network& net) override;
+  void save(io::ByteWriter& w) const override;
+  Status load(io::ByteReader& r) override;
 
  private:
   double lr_;

@@ -67,4 +67,96 @@ void ReplayBuffer::update_priority(std::size_t index, double td_error) {
   max_priority_ = std::max(max_priority_, priority);
 }
 
+namespace {
+
+void save_f64_vector(io::ByteWriter& w, const std::vector<double>& v) {
+  w.u64(v.size());
+  w.raw({reinterpret_cast<const std::uint8_t*>(v.data()),
+         v.size() * sizeof(double)});
+}
+
+[[nodiscard]] bool load_f64_vector(io::ByteReader& r, std::vector<double>& v) {
+  std::uint64_t count = 0;
+  if (!r.length(count, sizeof(double))) return false;
+  std::vector<double> out(static_cast<std::size_t>(count));
+  if (!r.raw({reinterpret_cast<std::uint8_t*>(out.data()),
+              out.size() * sizeof(double)})) {
+    return false;
+  }
+  v = std::move(out);
+  return true;
+}
+
+}  // namespace
+
+void ReplayBuffer::save(io::ByteWriter& w) const {
+  w.u64(capacity_);
+  w.u64(write_pos_);
+  w.u64(entries_.size());
+  for (const Transition& t : entries_) {
+    save_f64_vector(w, t.state);
+    w.u64(t.action);
+    w.f64(t.reward);
+    save_f64_vector(w, t.next_state);
+    w.boolean(t.done);
+  }
+  // priorities_ always has one slot per entry; the count is implied.
+  w.raw({reinterpret_cast<const std::uint8_t*>(priorities_.data()),
+         priorities_.size() * sizeof(double)});
+  w.f64(max_priority_);
+}
+
+Status ReplayBuffer::load(io::ByteReader& r) {
+  std::uint64_t capacity = 0, write_pos = 0, count = 0;
+  PAROLE_IO_READ(r.u64(capacity), "replay capacity");
+  PAROLE_IO_READ(r.u64(write_pos), "replay write cursor");
+  if (capacity == 0) {
+    return Error{"corrupt_checkpoint", "replay buffer capacity is zero"};
+  }
+  // Minimal transition image: two vector length prefixes, action, reward,
+  // done flag = 33 bytes.
+  PAROLE_IO_READ(r.length(count, 33), "replay entry count");
+  if (count > capacity) {
+    return Error{"corrupt_checkpoint",
+                 "replay occupancy exceeds declared capacity"};
+  }
+  // While the ring is filling the cursor tracks the occupancy exactly; once
+  // full it may point anywhere inside the ring.
+  if (count < capacity ? write_pos != count : write_pos >= capacity) {
+    return Error{"corrupt_checkpoint",
+                 "replay write cursor inconsistent with occupancy"};
+  }
+  std::vector<Transition> entries(static_cast<std::size_t>(count));
+  for (Transition& t : entries) {
+    PAROLE_IO_READ(load_f64_vector(r, t.state), "transition state");
+    std::uint64_t action = 0;
+    PAROLE_IO_READ(r.u64(action), "transition action");
+    t.action = static_cast<std::size_t>(action);
+    PAROLE_IO_READ(r.f64(t.reward), "transition reward");
+    PAROLE_IO_READ(load_f64_vector(r, t.next_state), "transition next state");
+    PAROLE_IO_READ(r.boolean(t.done), "transition done flag");
+  }
+  std::vector<double> priorities(entries.size());
+  PAROLE_IO_READ(
+      r.raw({reinterpret_cast<std::uint8_t*>(priorities.data()),
+             priorities.size() * sizeof(double)}),
+      "replay priorities");
+  double max_priority = 0.0;
+  PAROLE_IO_READ(r.f64(max_priority), "replay max priority");
+  for (double p : priorities) {
+    if (!std::isfinite(p) || p <= 0.0) {
+      return Error{"corrupt_checkpoint", "non-positive replay priority"};
+    }
+  }
+  if (!std::isfinite(max_priority) || max_priority <= 0.0) {
+    return Error{"corrupt_checkpoint", "non-positive replay max priority"};
+  }
+  capacity_ = static_cast<std::size_t>(capacity);
+  write_pos_ = static_cast<std::size_t>(write_pos);
+  entries_ = std::move(entries);
+  priorities_ = std::move(priorities);
+  max_priority_ = max_priority;
+  return ok_status();
+}
+
 }  // namespace parole::ml

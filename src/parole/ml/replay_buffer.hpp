@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "parole/common/rng.hpp"
+#include "parole/io/bytes.hpp"
 
 namespace parole::ml {
 
@@ -49,6 +50,13 @@ class ReplayBuffer {
   [[nodiscard]] double priority_of(std::size_t index) const {
     return priorities_[index];
   }
+
+  // Checkpointing (DESIGN.md §10). The buffer is part of the agent's training
+  // state: dropping it on resume would replay a different transition mix and
+  // diverge from the uninterrupted run. load() validates the ring invariants
+  // (occupancy <= capacity, cursor consistent with occupancy) before mutating.
+  void save(io::ByteWriter& w) const;
+  [[nodiscard]] Status load(io::ByteReader& r);
 
  private:
   std::size_t capacity_;

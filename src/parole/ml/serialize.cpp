@@ -1,131 +1,84 @@
 #include "parole/ml/serialize.hpp"
 
-#include <cstdio>
 #include <cstring>
 
+#include "parole/io/bytes.hpp"
+#include "parole/io/checkpoint.hpp"
+
 namespace parole::ml {
-namespace {
-
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-  }
-}
-
-bool get_u32(const std::vector<std::uint8_t>& in, std::size_t& pos,
-             std::uint32_t& out) {
-  if (pos + 4 > in.size()) return false;
-  out = 0;
-  for (int i = 0; i < 4; ++i) {
-    out |= static_cast<std::uint32_t>(in[pos + i]) << (8 * i);
-  }
-  pos += 4;
-  return true;
-}
-
-bool get_u64(const std::vector<std::uint8_t>& in, std::size_t& pos,
-             std::uint64_t& out) {
-  if (pos + 8 > in.size()) return false;
-  out = 0;
-  for (int i = 0; i < 8; ++i) {
-    out |= static_cast<std::uint64_t>(in[pos + i]) << (8 * i);
-  }
-  pos += 8;
-  return true;
-}
-
-}  // namespace
 
 std::vector<std::uint8_t> serialize_network(const Network& net) {
   // params() is non-const by interface; serialization does not mutate.
   auto& mutable_net = const_cast<Network&>(net);
   const auto params = mutable_net.params();
 
-  std::vector<std::uint8_t> out;
-  put_u32(out, kCheckpointMagic);
-  put_u32(out, kCheckpointVersion);
-  put_u32(out, static_cast<std::uint32_t>(params.size()));
+  io::ByteWriter out;
+  out.u32(kCheckpointMagic);
+  out.u32(kCheckpointVersion);
+  out.u32(static_cast<std::uint32_t>(params.size()));
   for (const Matrix* p : params) {
-    put_u64(out, p->rows());
-    put_u64(out, p->cols());
+    out.u64(p->rows());
+    out.u64(p->cols());
   }
   for (const Matrix* p : params) {
-    const auto* raw = reinterpret_cast<const std::uint8_t*>(p->data());
-    out.insert(out.end(), raw, raw + p->size() * sizeof(double));
+    out.raw({reinterpret_cast<const std::uint8_t*>(p->data()),
+             p->size() * sizeof(double)});
   }
-  return out;
+  return out.take();
 }
 
 Status deserialize_network(Network& net,
                            const std::vector<std::uint8_t>& bytes) {
-  std::size_t pos = 0;
+  // Hostile-bytes discipline (DESIGN.md §10): every read is bounds-checked
+  // through ByteReader, every declared shape is compared against the live
+  // network, and the full payload size is verified before the first byte of
+  // `net` is overwritten — a corrupted checkpoint yields a typed error and an
+  // untouched network, never a crash or a half-written one.
+  io::ByteReader in(bytes);
   std::uint32_t magic = 0, version = 0, tensor_count = 0;
-  if (!get_u32(bytes, pos, magic) || magic != kCheckpointMagic) {
+  if (!in.u32(magic) || magic != kCheckpointMagic) {
     return Error{"bad_magic", "not a PAROLE checkpoint"};
   }
-  if (!get_u32(bytes, pos, version) || version != kCheckpointVersion) {
+  if (!in.u32(version) || version != kCheckpointVersion) {
     return Error{"bad_version", "unsupported checkpoint version"};
   }
   const auto params = net.params();
-  if (!get_u32(bytes, pos, tensor_count) || tensor_count != params.size()) {
+  if (!in.u32(tensor_count) || tensor_count != params.size()) {
     return Error{"shape_mismatch", "tensor count differs from the network"};
   }
+  std::size_t payload = 0;
   for (const Matrix* p : params) {
     std::uint64_t rows = 0, cols = 0;
-    if (!get_u64(bytes, pos, rows) || !get_u64(bytes, pos, cols) ||
-        rows != p->rows() || cols != p->cols()) {
+    if (!in.u64(rows) || !in.u64(cols) || rows != p->rows() ||
+        cols != p->cols()) {
       return Error{"shape_mismatch",
                    "tensor shape differs from the network"};
     }
+    payload += p->size() * sizeof(double);
   }
-  // Validate total size before mutating anything.
-  std::size_t expected = pos;
-  for (const Matrix* p : params) expected += p->size() * sizeof(double);
-  if (bytes.size() != expected) {
+  // Exact-size check before mutating anything: short payloads are truncation,
+  // trailing bytes are corruption.
+  if (in.remaining() != payload) {
     return Error{"truncated", "checkpoint payload size mismatch"};
   }
   for (Matrix* p : params) {
-    std::memcpy(p->data(), bytes.data() + pos, p->size() * sizeof(double));
-    pos += p->size() * sizeof(double);
+    if (!in.raw({reinterpret_cast<std::uint8_t*>(p->data()),
+                 p->size() * sizeof(double)})) {
+      return Error{"truncated", "checkpoint payload size mismatch"};
+    }
   }
   return ok_status();
 }
 
 Status save_checkpoint(const Network& net, const std::string& path) {
-  const std::vector<std::uint8_t> bytes = serialize_network(net);
-  std::FILE* file = std::fopen(path.c_str(), "wb");
-  if (file == nullptr) {
-    return Error{"io_error", "cannot open " + path + " for writing"};
-  }
-  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
-  std::fclose(file);
-  if (written != bytes.size()) {
-    return Error{"io_error", "short write to " + path};
-  }
-  return ok_status();
+  // Atomic + durable: a crash mid-save leaves the previous checkpoint intact.
+  return io::write_file_atomic(path, serialize_network(net));
 }
 
 Status load_checkpoint(Network& net, const std::string& path) {
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Error{"io_error", "cannot open " + path + " for reading"};
-  }
-  std::fseek(file, 0, SEEK_END);
-  const long size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
-  const std::size_t read = std::fread(bytes.data(), 1, bytes.size(), file);
-  std::fclose(file);
-  if (read != bytes.size()) {
-    return Error{"io_error", "short read from " + path};
-  }
-  return deserialize_network(net, bytes);
+  auto bytes = io::read_file(path);
+  if (!bytes.ok()) return bytes.error();
+  return deserialize_network(net, bytes.value());
 }
 
 }  // namespace parole::ml

@@ -2,6 +2,10 @@
 
 #include <cstdio>
 #include <fstream>
+#include <sstream>
+#include <utility>
+
+#include <unistd.h>
 
 #include "parole/common/table.hpp"
 
@@ -181,20 +185,45 @@ Status RunReport::validate_line(const std::string& line) {
 }
 
 Status RunReport::validate_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Error{"report_io", "cannot open '" + path + "'"};
+  // Strict mode: a torn tail is as fatal as any other schema violation.
+  auto validation = validate_file_tolerant(path);
+  if (!validation.ok()) return validation.error();
+  if (validation.value().torn_tail) {
+    return Error{"report_schema", path + ": torn final line"};
+  }
+  return ok_status();
+}
 
-  std::string line;
-  std::size_t line_no = 0;
+Result<RunReport::FileValidation> RunReport::validate_file_tolerant(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{"report_io", "cannot open '" + path + "'"};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string body = buffer.str();
+
+  FileValidation validation;
   bool saw_meta = false;
-  while (std::getline(in, line)) {
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos < body.size()) {
+    const std::size_t newline = body.find('\n', pos);
+    if (newline == std::string::npos) {
+      // Bytes after the last newline: the process died mid-append. Only this
+      // final fragment is forgiven — and it is dropped, not counted, even
+      // when it happens to parse (there is no way to know it was complete).
+      validation.torn_tail = true;
+      break;
+    }
+    const std::string line = body.substr(pos, newline - pos);
+    pos = newline + 1;
     ++line_no;
     if (line.empty()) continue;
     if (Status s = validate_line(line); !s.ok()) {
       return Error{"report_schema", path + ":" + std::to_string(line_no) +
                                         ": " + s.error().detail};
     }
-    // The first non-empty line must be the meta header.
+    // The first complete line must be the meta header.
     auto parsed = json_parse(line);
     const std::string& kind = parsed.value().find("type")->as_string();
     if (!saw_meta) {
@@ -203,9 +232,80 @@ Status RunReport::validate_file(const std::string& path) {
       }
       saw_meta = true;
     }
+    ++validation.lines;
   }
   if (!saw_meta) return Error{"report_schema", path + ": empty report"};
+  return validation;
+}
+
+Result<StreamingReport> StreamingReport::open(const std::string& path,
+                                              const std::string& name,
+                                              JsonObject meta) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Error{"report_io", "cannot open '" + path + "' for writing"};
+  }
+  StreamingReport report(file, path);
+  meta["type"] = "meta";
+  meta["report"] = name;
+  meta["schema"] = kReportSchemaVersion;
+  if (Status s = report.append(meta); !s.ok()) return s.error();
+  return report;
+}
+
+StreamingReport::StreamingReport(StreamingReport&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      path_(std::move(other.path_)),
+      lines_written_(other.lines_written_) {}
+
+StreamingReport& StreamingReport::operator=(StreamingReport&& other) noexcept {
+  if (this != &other) {
+    close();
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+    lines_written_ = other.lines_written_;
+  }
+  return *this;
+}
+
+StreamingReport::~StreamingReport() { close(); }
+
+Status StreamingReport::append(const JsonObject& line) {
+  if (file_ == nullptr) {
+    return Error{"report_io", "streaming report is closed"};
+  }
+  std::string out = JsonValue(line).dump();
+  out.push_back('\n');
+  if (std::fwrite(out.data(), 1, out.size(), file_) != out.size() ||
+      std::fflush(file_) != 0 || fsync(fileno(file_)) != 0) {
+    return Error{"report_io", "short write to '" + path_ + "'"};
+  }
+  ++lines_written_;
   return ok_status();
+}
+
+Status StreamingReport::add_result(JsonObject row) {
+  row["type"] = "result";
+  return append(row);
+}
+
+Status StreamingReport::add_fault(std::uint64_t step, const std::string& kind,
+                                  std::uint64_t subject,
+                                  const std::string& detail) {
+  JsonObject line;
+  line["type"] = "fault";
+  line["kind"] = kind;
+  line["step"] = step;
+  line["subject"] = subject;
+  if (!detail.empty()) line["detail"] = detail;
+  return append(line);
+}
+
+void StreamingReport::close() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
 }
 
 std::string metrics_table(const MetricsRegistry& registry) {

@@ -20,6 +20,7 @@
 // (the common/table printer over the same registry snapshot).
 #pragma once
 
+#include <cstdio>
 #include <string>
 
 #include "parole/common/result.hpp"
@@ -66,10 +67,62 @@ class RunReport {
   static Status validate_line(const std::string& line);
   static Status validate_file(const std::string& path);
 
+  // Crash-tolerant validation (DESIGN.md §10). A process killed mid-append
+  // can leave one torn fragment after the last newline; that — and only
+  // that — is tolerated and reported instead of failing. Invalid
+  // newline-terminated lines anywhere are still hard errors, as is a report
+  // whose first complete line is not the meta header.
+  struct FileValidation {
+    std::size_t lines{0};   // complete, schema-valid lines (meta included)
+    bool torn_tail{false};  // a partial final line was dropped
+  };
+  static Result<FileValidation> validate_file_tolerant(
+      const std::string& path);
+
  private:
   std::string name_;
   JsonObject meta_;
   std::vector<JsonObject> lines_;
+};
+
+// Streaming, crash-durable run report (DESIGN.md §10). Where RunReport
+// buffers in memory and writes once at the end — losing everything on a
+// crash — StreamingReport appends each line to disk as it happens, flushing
+// and fsync'ing per line, so a SIGKILL costs at most the line being written.
+// The file stays a valid schema-1 JSONL report (meta line first) modulo a
+// possible torn tail, which RunReport::validate_file_tolerant() accepts.
+class StreamingReport {
+ public:
+  // Creates/truncates `path` and durably writes the meta line.
+  static Result<StreamingReport> open(const std::string& path,
+                                      const std::string& name,
+                                      JsonObject meta = {});
+
+  StreamingReport(StreamingReport&& other) noexcept;
+  StreamingReport& operator=(StreamingReport&& other) noexcept;
+  StreamingReport(const StreamingReport&) = delete;
+  StreamingReport& operator=(const StreamingReport&) = delete;
+  ~StreamingReport();
+
+  // Append one schema line durably (fwrite + fflush + fsync).
+  Status append(const JsonObject& line);
+  // Convenience wrappers mirroring RunReport.
+  Status add_result(JsonObject row);
+  Status add_fault(std::uint64_t step, const std::string& kind,
+                   std::uint64_t subject, const std::string& detail);
+
+  [[nodiscard]] std::size_t lines_written() const { return lines_written_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  void close();
+
+ private:
+  StreamingReport(std::FILE* file, std::string path)
+      : file_(file), path_(std::move(path)) {}
+
+  std::FILE* file_{nullptr};
+  std::string path_;
+  std::size_t lines_written_{0};
 };
 
 // Human-readable dump of a registry snapshot via common/table (one row per

@@ -59,6 +59,7 @@ class Aggregator {
   [[nodiscard]] std::size_t mempool_size() const {
     return config_.mempool_size;
   }
+  [[nodiscard]] const AggregatorConfig& config() const { return config_; }
 
  private:
   AggregatorConfig config_;

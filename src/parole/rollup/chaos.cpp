@@ -276,4 +276,113 @@ std::size_t InvariantChecker::check(const RollupNode& node,
   return violations_.size() - before;
 }
 
+void InvariantChecker::save(io::ByteWriter& w) const {
+  w.u64(violations_.size());
+  for (const InvariantViolation& v : violations_) {
+    w.u64(v.step);
+    w.u8(static_cast<std::uint8_t>(v.kind));
+    w.str(v.detail);
+  }
+  w.boolean(baselined_);
+  w.i64(conservation_base_);
+  w.blob(last_statuses_);
+}
+
+Status InvariantChecker::load(io::ByteReader& r) {
+  InvariantChecker loaded;
+  std::uint64_t violation_count = 0;
+  PAROLE_IO_READ(r.length(violation_count, 17), "checker violation count");
+  loaded.violations_.resize(static_cast<std::size_t>(violation_count));
+  for (InvariantViolation& v : loaded.violations_) {
+    std::uint8_t kind = 0;
+    PAROLE_IO_READ(r.u64(v.step), "violation step");
+    PAROLE_IO_READ(r.u8(kind), "violation kind");
+    if (kind > static_cast<std::uint8_t>(InvariantKind::kBondSolvency)) {
+      return Error{"corrupt_checkpoint", "unknown invariant kind"};
+    }
+    v.kind = static_cast<InvariantKind>(kind);
+    PAROLE_IO_READ(r.str(v.detail), "violation detail");
+  }
+  PAROLE_IO_READ(r.boolean(loaded.baselined_), "checker baselined flag");
+  PAROLE_IO_READ(r.i64(loaded.conservation_base_), "checker baseline");
+  PAROLE_IO_READ(r.blob(loaded.last_statuses_), "checker batch statuses");
+  *this = std::move(loaded);
+  return ok_status();
+}
+
+void ChaosRuntime::save(io::ByteWriter& w) const {
+  w.u64(plan.config().seed);
+  w.u64(log.size());
+  for (const FaultEvent& event : log.events()) {
+    w.u64(event.step);
+    w.u8(static_cast<std::uint8_t>(event.kind));
+    w.u64(event.subject);
+    w.str(event.detail);
+  }
+  checker.save(w);
+  w.u64(delayed.size());
+  for (const DelayedTx& d : delayed) {
+    d.tx.save(w);
+    w.u64(d.release_step);
+  }
+  w.u64(crash.size());
+  for (const CrashState& c : crash) {
+    w.u64(c.backoff_until);
+    w.u32(c.consecutive_crashes);
+  }
+}
+
+Status ChaosRuntime::load(io::ByteReader& r) {
+  std::uint64_t seed = 0;
+  PAROLE_IO_READ(r.u64(seed), "chaos seed");
+  if (seed != plan.config().seed) {
+    return Error{"config_mismatch",
+                 "checkpoint chaos seed differs from the armed config; "
+                 "resuming under a different fault schedule is not resuming"};
+  }
+
+  FaultLog loaded_log;
+  std::uint64_t event_count = 0;
+  PAROLE_IO_READ(r.length(event_count, 25), "fault event count");
+  for (std::uint64_t i = 0; i < event_count; ++i) {
+    FaultEvent event;
+    std::uint8_t kind = 0;
+    PAROLE_IO_READ(r.u64(event.step), "fault step");
+    PAROLE_IO_READ(r.u8(kind), "fault kind");
+    if (kind > static_cast<std::uint8_t>(FaultKind::kL1Reorg)) {
+      return Error{"corrupt_checkpoint", "unknown fault kind"};
+    }
+    event.kind = static_cast<FaultKind>(kind);
+    PAROLE_IO_READ(r.u64(event.subject), "fault subject");
+    PAROLE_IO_READ(r.str(event.detail), "fault detail");
+    loaded_log.record(std::move(event));
+  }
+
+  InvariantChecker loaded_checker;
+  if (Status s = loaded_checker.load(r); !s.ok()) return s;
+
+  std::uint64_t delayed_count = 0;
+  PAROLE_IO_READ(r.length(delayed_count, 42), "delayed tx count");
+  std::vector<DelayedTx> loaded_delayed(
+      static_cast<std::size_t>(delayed_count));
+  for (DelayedTx& d : loaded_delayed) {
+    if (Status s = d.tx.load(r); !s.ok()) return s;
+    PAROLE_IO_READ(r.u64(d.release_step), "delayed release step");
+  }
+
+  std::uint64_t crash_count = 0;
+  PAROLE_IO_READ(r.length(crash_count, 12), "crash state count");
+  std::vector<CrashState> loaded_crash(static_cast<std::size_t>(crash_count));
+  for (CrashState& c : loaded_crash) {
+    PAROLE_IO_READ(r.u64(c.backoff_until), "crash backoff");
+    PAROLE_IO_READ(r.u32(c.consecutive_crashes), "crash count");
+  }
+
+  log = std::move(loaded_log);
+  checker = std::move(loaded_checker);
+  delayed = std::move(loaded_delayed);
+  crash = std::move(loaded_crash);
+  return ok_status();
+}
+
 }  // namespace parole::rollup

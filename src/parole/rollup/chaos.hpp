@@ -46,6 +46,7 @@
 #include <vector>
 
 #include "parole/common/fault.hpp"
+#include "parole/io/bytes.hpp"
 #include "parole/vm/tx.hpp"
 
 namespace parole::rollup {
@@ -165,6 +166,12 @@ class InvariantChecker {
   }
   [[nodiscard]] bool clean() const { return violations_.empty(); }
 
+  // Checkpointing (DESIGN.md §10): the conservation baseline and per-batch
+  // status memory must survive a resume, or the restored checker would
+  // re-baseline against mid-run totals and miss (or invent) violations.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
+
  private:
   std::vector<InvariantViolation> violations_;
   bool baselined_{false};
@@ -192,6 +199,13 @@ struct ChaosRuntime {
     std::uint32_t consecutive_crashes{0};
   };
   std::vector<CrashState> crash;  // indexed like RollupNode's aggregators
+
+  // Checkpointing (DESIGN.md §10): everything mutable — log, checker,
+  // delayed txs, crash accounting. The plan is a pure function of its config
+  // and is NOT serialized; restore_snapshot validates the armed config
+  // matches the checkpoint's seed instead.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 };
 
 }  // namespace parole::rollup

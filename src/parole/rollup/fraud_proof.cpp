@@ -1,5 +1,7 @@
 #include "parole/rollup/fraud_proof.hpp"
 
+#include "parole/io/codec.hpp"
+
 namespace parole::rollup {
 
 crypto::Hash256 Batch::tx_root_of(const std::vector<vm::Tx>& txs) {
@@ -15,6 +17,44 @@ bool Batch::trace_consistent() const {
     return header.pre_state_root == header.post_state_root;
   }
   return intermediate_roots.back() == header.post_state_root;
+}
+
+void Batch::save(io::ByteWriter& w) const {
+  header.save(w);
+  w.u64(txs.size());
+  for (const vm::Tx& tx : txs) tx.save(w);
+  w.u64(intermediate_roots.size());
+  for (const crypto::Hash256& root : intermediate_roots) {
+    io::save_hash(w, root);
+  }
+}
+
+Status Batch::load(io::ByteReader& r) {
+  Batch loaded;
+  if (Status s = loaded.header.load(r); !s.ok()) return s;
+  std::uint64_t tx_count = 0;
+  PAROLE_IO_READ(r.length(tx_count, 34), "batch tx count");
+  loaded.txs.resize(static_cast<std::size_t>(tx_count));
+  for (vm::Tx& tx : loaded.txs) {
+    if (Status s = tx.load(r); !s.ok()) return s;
+  }
+  std::uint64_t root_count = 0;
+  PAROLE_IO_READ(r.length(root_count, 32), "batch root count");
+  loaded.intermediate_roots.resize(static_cast<std::size_t>(root_count));
+  for (crypto::Hash256& root : loaded.intermediate_roots) {
+    PAROLE_IO_READ(io::load_hash(r, root), "batch intermediate root");
+  }
+  if (loaded.intermediate_roots.size() != loaded.txs.size()) {
+    return Error{"corrupt_checkpoint", "batch trace length != tx count"};
+  }
+  // The tx root is recomputable — do so, and reject a body that no longer
+  // matches its committed header.
+  if (Batch::tx_root_of(loaded.txs) != loaded.header.tx_root ||
+      loaded.header.tx_count != loaded.txs.size()) {
+    return Error{"corrupt_checkpoint", "batch body does not match header"};
+  }
+  *this = std::move(loaded);
+  return ok_status();
 }
 
 }  // namespace parole::rollup

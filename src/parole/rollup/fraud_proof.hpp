@@ -13,6 +13,7 @@
 
 #include "parole/chain/block.hpp"
 #include "parole/crypto/merkle.hpp"
+#include "parole/io/bytes.hpp"
 #include "parole/vm/engine.hpp"
 #include "parole/vm/tx.hpp"
 
@@ -32,6 +33,11 @@ struct Batch {
 
   // Does the carried trace terminate in the claimed post-state root?
   [[nodiscard]] bool trace_consistent() const;
+
+  // Checkpointing (DESIGN.md §10). load() re-derives the tx root and rejects
+  // a batch whose transactions no longer hash to the committed header.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 };
 
 // A single-step fraud proof: "executing txs[step] from the state committed at

@@ -32,4 +32,37 @@ void BedrockMempool::restore(vm::Tx tx) {
   queue_.push(Entry{std::move(tx), /*defer_round=*/0});
 }
 
+void BedrockMempool::save(io::ByteWriter& w) const {
+  auto copy = queue_;  // priority_queue has no iteration; drain a copy
+  w.u64(copy.size());
+  while (!copy.empty()) {
+    copy.top().tx.save(w);
+    w.u32(copy.top().defer_round);
+    copy.pop();
+  }
+  w.u64(arrival_seq_);
+  w.u32(defer_round_);
+}
+
+Status BedrockMempool::load(io::ByteReader& r) {
+  std::uint64_t count = 0;
+  // Each entry is a 34-byte tx image plus a 4-byte defer round.
+  PAROLE_IO_READ(r.length(count, 38), "mempool entry count");
+  std::vector<Entry> entries(static_cast<std::size_t>(count));
+  for (Entry& entry : entries) {
+    if (Status s = entry.tx.load(r); !s.ok()) return s;
+    PAROLE_IO_READ(r.u32(entry.defer_round), "mempool defer round");
+  }
+  std::uint64_t arrival_seq = 0;
+  std::uint32_t defer_round = 0;
+  PAROLE_IO_READ(r.u64(arrival_seq), "mempool arrival seq");
+  PAROLE_IO_READ(r.u32(defer_round), "mempool defer round counter");
+  decltype(queue_) queue;
+  for (Entry& entry : entries) queue.push(std::move(entry));
+  queue_ = std::move(queue);
+  arrival_seq_ = arrival_seq;
+  defer_round_ = defer_round;
+  return ok_status();
+}
+
 }  // namespace parole::rollup

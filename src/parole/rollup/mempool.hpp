@@ -14,6 +14,7 @@
 #include <queue>
 #include <vector>
 
+#include "parole/io/bytes.hpp"
 #include "parole/vm/tx.hpp"
 
 namespace parole::rollup {
@@ -59,6 +60,12 @@ class BedrockMempool {
   [[nodiscard]] std::uint32_t defer_rounds_closed() const {
     return defer_round_;
   }
+
+  // Checkpointing (DESIGN.md §10): entries are emitted in pop order (a
+  // deterministic total order) and re-pushed on load, so a restored pool
+  // collects the exact same sequence. Validate-then-mutate.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 
  private:
   struct Entry {

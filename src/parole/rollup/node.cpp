@@ -466,4 +466,247 @@ DrainResult RollupNode::run_until_drained(std::size_t max_steps) {
   return result;
 }
 
+namespace {
+
+// Section tags for RollupNode snapshots.
+constexpr std::uint32_t kNodeTag = io::section_tag("NODE");
+constexpr std::uint32_t kStateTag = io::section_tag("L2ST");
+constexpr std::uint32_t kMempoolTag = io::section_tag("MEMP");
+constexpr std::uint32_t kL1Tag = io::section_tag("L1CH");
+constexpr std::uint32_t kOrscTag = io::section_tag("ORSC");
+constexpr std::uint32_t kBridgeTag = io::section_tag("BRDG");
+constexpr std::uint32_t kBatchesTag = io::section_tag("BTCH");
+constexpr std::uint32_t kPendingTag = io::section_tag("PEND");
+constexpr std::uint32_t kChaosTag = io::section_tag("CHAO");
+
+Error config_mismatch(const std::string& what) {
+  return Error{"config_mismatch",
+               "checkpoint topology differs from this node: " + what};
+}
+
+}  // namespace
+
+void RollupNode::save_snapshot(io::CheckpointBuilder& builder) const {
+  io::ByteWriter& node = builder.section(kNodeTag);
+  node.u32(config_.max_supply);
+  node.i64(config_.initial_price);
+  node.u64(config_.l1_block_time);
+  node.u8(static_cast<std::uint8_t>(config_.exec.policy));
+  node.boolean(config_.exec.charge_fees);
+  node.u64(aggregators_.size());
+  for (const Aggregator& agg : aggregators_) {
+    const AggregatorConfig& cfg = agg.config();
+    node.u32(cfg.id.value());
+    node.u64(cfg.mempool_size);
+    node.boolean(cfg.reorderer.has_value());
+    node.boolean(cfg.corrupt_at_step.has_value());
+    node.u64(cfg.corrupt_at_step.value_or(0));
+  }
+  node.u64(verifiers_.size());
+  for (const Verifier& v : verifiers_) node.u32(v.id().value());
+  node.u64(next_aggregator_);
+  node.u64(next_tx_id_);
+  node.u64(step_index_);
+  node.boolean(chaos_ != nullptr);
+
+  state_.save(builder.section(kStateTag));
+  mempool_.save(builder.section(kMempoolTag));
+  l1_.save(builder.section(kL1Tag));
+  orsc_.save(builder.section(kOrscTag));
+  bridge_.save(builder.section(kBridgeTag));
+
+  io::ByteWriter& batches = builder.section(kBatchesTag);
+  batches.u64(batches_.size());
+  for (const Batch& b : batches_) b.save(batches);
+
+  io::ByteWriter& pending = builder.section(kPendingTag);
+  pending.u64(pending_checks_.size());
+  for (const PendingVerification& pv : pending_checks_) {
+    pv.batch.save(pending);
+    pv.pre_state.save(pending);
+    pending.u64(pv.snapshot_step);
+    pending.blob(pv.checked);
+  }
+  pending.u64(deposit_log_.size());
+  for (const auto& [step, deposit] : deposit_log_) {
+    pending.u64(step);
+    deposit.save(pending);
+  }
+
+  if (chaos_) chaos_->save(builder.section(kChaosTag));
+}
+
+Status RollupNode::restore_snapshot(const io::Checkpoint& checkpoint) {
+  // --- NODE section: topology validation, no mutation ------------------------
+  auto node_r = checkpoint.reader(kNodeTag);
+  if (!node_r.ok()) return node_r.error();
+  io::ByteReader& node = node_r.value();
+  std::uint32_t max_supply = 0;
+  Amount initial_price = 0;
+  std::uint64_t l1_block_time = 0;
+  std::uint8_t exec_policy = 0;
+  bool charge_fees = false;
+  PAROLE_IO_READ(node.u32(max_supply), "node max supply");
+  PAROLE_IO_READ(node.i64(initial_price), "node initial price");
+  PAROLE_IO_READ(node.u64(l1_block_time), "node l1 block time");
+  PAROLE_IO_READ(node.u8(exec_policy), "node exec policy");
+  PAROLE_IO_READ(node.boolean(charge_fees), "node charge fees");
+  if (max_supply != config_.max_supply ||
+      initial_price != config_.initial_price ||
+      l1_block_time != config_.l1_block_time ||
+      exec_policy != static_cast<std::uint8_t>(config_.exec.policy) ||
+      charge_fees != config_.exec.charge_fees) {
+    return config_mismatch("node config");
+  }
+  std::uint64_t aggregator_count = 0;
+  PAROLE_IO_READ(node.length(aggregator_count, 23), "aggregator count");
+  if (aggregator_count != aggregators_.size()) {
+    return config_mismatch("aggregator count");
+  }
+  for (const Aggregator& agg : aggregators_) {
+    const AggregatorConfig& cfg = agg.config();
+    std::uint32_t id = 0;
+    std::uint64_t mempool_size = 0, corrupt_step = 0;
+    bool adversarial = false, has_corrupt = false;
+    PAROLE_IO_READ(node.u32(id), "aggregator id");
+    PAROLE_IO_READ(node.u64(mempool_size), "aggregator mempool size");
+    PAROLE_IO_READ(node.boolean(adversarial), "aggregator adversarial flag");
+    PAROLE_IO_READ(node.boolean(has_corrupt), "aggregator corrupt flag");
+    PAROLE_IO_READ(node.u64(corrupt_step), "aggregator corrupt step");
+    if (id != cfg.id.value() || mempool_size != cfg.mempool_size ||
+        adversarial != cfg.reorderer.has_value() ||
+        has_corrupt != cfg.corrupt_at_step.has_value() ||
+        (has_corrupt && corrupt_step != cfg.corrupt_at_step.value_or(0))) {
+      return config_mismatch("aggregator " + std::to_string(id));
+    }
+  }
+  std::uint64_t verifier_count = 0;
+  PAROLE_IO_READ(node.length(verifier_count, 4), "verifier count");
+  if (verifier_count != verifiers_.size()) {
+    return config_mismatch("verifier count");
+  }
+  for (const Verifier& v : verifiers_) {
+    std::uint32_t id = 0;
+    PAROLE_IO_READ(node.u32(id), "verifier id");
+    if (id != v.id().value()) return config_mismatch("verifier ids");
+  }
+  std::uint64_t next_aggregator = 0, next_tx_id = 0, step_index = 0;
+  bool chaos_armed = false;
+  PAROLE_IO_READ(node.u64(next_aggregator), "node next aggregator");
+  PAROLE_IO_READ(node.u64(next_tx_id), "node next tx id");
+  PAROLE_IO_READ(node.u64(step_index), "node step index");
+  PAROLE_IO_READ(node.boolean(chaos_armed), "node chaos flag");
+  if (chaos_armed != (chaos_ != nullptr)) {
+    return config_mismatch("chaos armed state");
+  }
+  if (!aggregators_.empty() && next_aggregator >= aggregators_.size()) {
+    return Error{"corrupt_checkpoint", "next aggregator out of range"};
+  }
+  if (Status s = node.finish("NODE section"); !s.ok()) return s;
+
+  // --- remaining sections: load everything into temporaries ------------------
+  vm::L2State state(config_.max_supply, config_.initial_price);
+  auto state_r = checkpoint.reader(kStateTag);
+  if (!state_r.ok()) return state_r.error();
+  if (Status s = state.load(state_r.value()); !s.ok()) return s;
+  if (Status s = state_r.value().finish("L2ST section"); !s.ok()) return s;
+
+  BedrockMempool mempool;
+  auto mempool_r = checkpoint.reader(kMempoolTag);
+  if (!mempool_r.ok()) return mempool_r.error();
+  if (Status s = mempool.load(mempool_r.value()); !s.ok()) return s;
+  if (Status s = mempool_r.value().finish("MEMP section"); !s.ok()) return s;
+
+  chain::L1Chain l1(config_.l1_block_time);
+  auto l1_r = checkpoint.reader(kL1Tag);
+  if (!l1_r.ok()) return l1_r.error();
+  if (Status s = l1.load(l1_r.value()); !s.ok()) return s;
+  if (Status s = l1_r.value().finish("L1CH section"); !s.ok()) return s;
+
+  chain::OrscContract orsc(config_.orsc);
+  auto orsc_r = checkpoint.reader(kOrscTag);
+  if (!orsc_r.ok()) return orsc_r.error();
+  if (Status s = orsc.load(orsc_r.value()); !s.ok()) return s;
+  if (Status s = orsc_r.value().finish("ORSC section"); !s.ok()) return s;
+
+  // The bridge temp only carries withdrawals_/locked_; its orsc/ledger wiring
+  // is irrelevant here and bridge_'s own pointers (into this node's members)
+  // survive the assignment below.
+  chain::Bridge bridge(orsc_, state_.ledger());
+  auto bridge_r = checkpoint.reader(kBridgeTag);
+  if (!bridge_r.ok()) return bridge_r.error();
+  if (Status s = bridge.load(bridge_r.value()); !s.ok()) return s;
+  if (Status s = bridge_r.value().finish("BRDG section"); !s.ok()) return s;
+
+  auto batches_r = checkpoint.reader(kBatchesTag);
+  if (!batches_r.ok()) return batches_r.error();
+  io::ByteReader& br = batches_r.value();
+  std::uint64_t batch_count = 0;
+  PAROLE_IO_READ(br.length(batch_count, 138), "sealed batch count");
+  std::vector<Batch> batches(static_cast<std::size_t>(batch_count));
+  for (Batch& b : batches) {
+    if (Status s = b.load(br); !s.ok()) return s;
+  }
+  if (Status s = br.finish("BTCH section"); !s.ok()) return s;
+
+  auto pending_r = checkpoint.reader(kPendingTag);
+  if (!pending_r.ok()) return pending_r.error();
+  io::ByteReader& pr = pending_r.value();
+  std::uint64_t pending_count = 0;
+  PAROLE_IO_READ(pr.length(pending_count, 138), "pending check count");
+  std::vector<PendingVerification> pending;
+  pending.reserve(static_cast<std::size_t>(pending_count));
+  for (std::uint64_t i = 0; i < pending_count; ++i) {
+    PendingVerification pv{Batch{},
+                           vm::L2State(config_.max_supply,
+                                       config_.initial_price),
+                           0,
+                           {}};
+    if (Status s = pv.batch.load(pr); !s.ok()) return s;
+    if (Status s = pv.pre_state.load(pr); !s.ok()) return s;
+    PAROLE_IO_READ(pr.u64(pv.snapshot_step), "pending snapshot step");
+    PAROLE_IO_READ(pr.blob(pv.checked), "pending checked flags");
+    if (pv.checked.size() != verifiers_.size()) {
+      return config_mismatch("pending checked-flag width");
+    }
+    pending.push_back(std::move(pv));
+  }
+  std::uint64_t deposit_count = 0;
+  PAROLE_IO_READ(pr.length(deposit_count, 20), "deposit log count");
+  std::vector<std::pair<std::uint64_t, chain::Deposit>> deposit_log(
+      static_cast<std::size_t>(deposit_count));
+  for (auto& [step, deposit] : deposit_log) {
+    PAROLE_IO_READ(pr.u64(step), "deposit log step");
+    if (Status s = deposit.load(pr); !s.ok()) return s;
+  }
+  if (Status s = pr.finish("PEND section"); !s.ok()) return s;
+
+  std::unique_ptr<ChaosRuntime> chaos;
+  if (chaos_) {
+    chaos = std::make_unique<ChaosRuntime>(chaos_->plan.config());
+    auto chaos_r = checkpoint.reader(kChaosTag);
+    if (!chaos_r.ok()) return chaos_r.error();
+    if (Status s = chaos->load(chaos_r.value()); !s.ok()) return s;
+    if (Status s = chaos_r.value().finish("CHAO section"); !s.ok()) return s;
+    if (chaos->crash.size() != aggregators_.size()) {
+      return config_mismatch("chaos crash-state width");
+    }
+  }
+
+  // --- commit: everything validated, overwrite the dynamic state -------------
+  state_ = std::move(state);
+  mempool_ = std::move(mempool);
+  l1_ = std::move(l1);
+  orsc_ = std::move(orsc);
+  bridge_ = std::move(bridge);
+  batches_ = std::move(batches);
+  pending_checks_ = std::move(pending);
+  deposit_log_ = std::move(deposit_log);
+  if (chaos_) chaos_ = std::move(chaos);
+  next_aggregator_ = static_cast<std::size_t>(next_aggregator);
+  next_tx_id_ = next_tx_id;
+  step_index_ = step_index;
+  return ok_status();
+}
+
 }  // namespace parole::rollup

@@ -30,6 +30,7 @@
 #include "parole/chain/bridge.hpp"
 #include "parole/chain/l1_chain.hpp"
 #include "parole/chain/orsc.hpp"
+#include "parole/io/checkpoint.hpp"
 #include "parole/rollup/aggregator.hpp"
 #include "parole/rollup/chaos.hpp"
 #include "parole/rollup/dispute.hpp"
@@ -149,6 +150,24 @@ class RollupNode {
   [[nodiscard]] std::size_t pending_verification_count() const {
     return pending_checks_.size();
   }
+  [[nodiscard]] std::uint64_t step_index() const { return step_index_; }
+
+  // --- checkpointing (DESIGN.md §10) ----------------------------------------
+  // Serialize all dynamic state into typed sections of `builder`: L2 state,
+  // mempool, L1 chain, ORSC, bridge, sealed batch bodies, the pending-
+  // verification list and, when armed, the chaos runtime. NOT captured:
+  // topology (aggregator reorderer callbacks, the batch screen) — those are
+  // std::function values the caller must re-install by reconstructing the
+  // node the same way before calling restore_snapshot().
+  void save_snapshot(io::CheckpointBuilder& builder) const;
+
+  // Overwrite this node's dynamic state from a parsed checkpoint. The node
+  // must already carry the same topology (aggregator/verifier sets, node
+  // config, chaos armed with the same seed) — mismatches are rejected with
+  // "config_mismatch" before anything is mutated. A chaos soak restored this
+  // way continues bit-identically: step() consumes step_index_ and the
+  // stateless FaultPlan yields the same schedule.
+  Status restore_snapshot(const io::Checkpoint& checkpoint);
 
  private:
   // A committed batch awaiting resolution: the body and pre-state snapshot a

@@ -47,4 +47,34 @@ std::vector<std::pair<UserId, Amount>> BalanceLedger::sorted_entries() const {
   return out;
 }
 
+void BalanceLedger::save(io::ByteWriter& w) const {
+  const auto entries = sorted_entries();
+  w.u64(entries.size());
+  for (const auto& [user, amount] : entries) {
+    w.u32(user.value());
+    w.i64(amount);
+  }
+}
+
+Status BalanceLedger::load(io::ByteReader& r) {
+  std::uint64_t count = 0;
+  PAROLE_IO_READ(r.length(count, 12), "ledger entry count");
+  std::unordered_map<UserId, Amount> balances;
+  balances.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint32_t user = 0;
+    Amount amount = 0;
+    PAROLE_IO_READ(r.u32(user), "ledger user id");
+    PAROLE_IO_READ(r.i64(amount), "ledger balance");
+    if (amount < 0) {
+      return Error{"corrupt_checkpoint", "negative ledger balance"};
+    }
+    if (!balances.emplace(UserId{user}, amount).second) {
+      return Error{"corrupt_checkpoint", "duplicate ledger account"};
+    }
+  }
+  balances_ = std::move(balances);
+  return ok_status();
+}
+
 }  // namespace parole::token

@@ -11,6 +11,7 @@
 #include "parole/common/amount.hpp"
 #include "parole/common/ids.hpp"
 #include "parole/common/result.hpp"
+#include "parole/io/bytes.hpp"
 
 namespace parole::token {
 
@@ -38,6 +39,11 @@ class BalanceLedger {
   // missing one); used by the incremental evaluator's reconvergence check,
   // where a false negative only costs speed, never correctness.
   friend bool operator==(const BalanceLedger&, const BalanceLedger&) = default;
+
+  // Checkpointing (DESIGN.md §10): deterministic byte image sorted by user.
+  void save(io::ByteWriter& w) const;
+  // Validate-then-mutate: on any error *this is untouched.
+  Status load(io::ByteReader& r);
 
  private:
   std::unordered_map<UserId, Amount> balances_;

@@ -132,4 +132,81 @@ std::vector<std::pair<TokenId, UserId>> LimitedEditionNft::sorted_owners()
   return out;
 }
 
+void LimitedEditionNft::save(io::ByteWriter& w) const {
+  w.u32(curve_.max_supply());
+  w.i64(curve_.initial_price());
+  w.u32(remaining_);
+  w.u32(next_auto_id_);
+  const auto owners = sorted_owners();
+  w.u64(owners.size());
+  for (const auto& [token, owner] : owners) {
+    w.u32(token.value());
+    w.u32(owner.value());
+  }
+  const auto minted = ever_minted_ids();
+  w.u64(minted.size());
+  for (const TokenId token : minted) w.u32(token.value());
+}
+
+Status LimitedEditionNft::load(io::ByteReader& r) {
+  std::uint32_t max_supply = 0;
+  Amount initial_price = 0;
+  std::uint32_t remaining = 0;
+  std::uint32_t next_auto_id = 0;
+  PAROLE_IO_READ(r.u32(max_supply), "nft max supply");
+  PAROLE_IO_READ(r.i64(initial_price), "nft initial price");
+  PAROLE_IO_READ(r.u32(remaining), "nft remaining supply");
+  PAROLE_IO_READ(r.u32(next_auto_id), "nft next auto id");
+  if (max_supply < 1 || initial_price < 0) {
+    return Error{"corrupt_checkpoint", "invalid price curve parameters"};
+  }
+  if (remaining > max_supply) {
+    return Error{"corrupt_checkpoint", "remaining supply exceeds max supply"};
+  }
+
+  std::uint64_t owner_count = 0;
+  PAROLE_IO_READ(r.length(owner_count, 8), "nft owner count");
+  std::unordered_map<TokenId, UserId> owners;
+  owners.reserve(static_cast<std::size_t>(owner_count));
+  for (std::uint64_t i = 0; i < owner_count; ++i) {
+    std::uint32_t token = 0, owner = 0;
+    PAROLE_IO_READ(r.u32(token), "nft token id");
+    PAROLE_IO_READ(r.u32(owner), "nft owner id");
+    if (!owners.emplace(TokenId{token}, UserId{owner}).second) {
+      return Error{"corrupt_checkpoint", "duplicate token owner entry"};
+    }
+  }
+
+  std::uint64_t minted_count = 0;
+  PAROLE_IO_READ(r.length(minted_count, 4), "nft minted count");
+  std::unordered_set<TokenId> ever_minted;
+  ever_minted.reserve(static_cast<std::size_t>(minted_count));
+  for (std::uint64_t i = 0; i < minted_count; ++i) {
+    std::uint32_t token = 0;
+    PAROLE_IO_READ(r.u32(token), "nft minted id");
+    if (!ever_minted.insert(TokenId{token}).second) {
+      return Error{"corrupt_checkpoint", "duplicate ever-minted id"};
+    }
+  }
+
+  // Structural invariants the mutation API maintains; reject state that the
+  // machine could never have reached.
+  for (const auto& [token, owner] : owners) {
+    if (!ever_minted.contains(token)) {
+      return Error{"corrupt_checkpoint", "live token missing from mint log"};
+    }
+  }
+  if (remaining + owners.size() != max_supply) {
+    return Error{"corrupt_checkpoint",
+                 "remaining + live tokens != max supply"};
+  }
+
+  curve_ = PriceCurve(max_supply, initial_price);
+  remaining_ = remaining;
+  next_auto_id_ = next_auto_id;
+  owners_ = std::move(owners);
+  ever_minted_ = std::move(ever_minted);
+  return ok_status();
+}
+
 }  // namespace parole::token

@@ -20,6 +20,7 @@
 #include "parole/common/amount.hpp"
 #include "parole/common/ids.hpp"
 #include "parole/common/result.hpp"
+#include "parole/io/bytes.hpp"
 #include "parole/token/price_curve.hpp"
 
 namespace parole::token {
@@ -80,6 +81,13 @@ class LimitedEditionNft {
   // under the same transaction suffix.
   friend bool operator==(const LimitedEditionNft&,
                          const LimitedEditionNft&) = default;
+
+  // Checkpointing (DESIGN.md §10): deterministic byte image (sorted owners /
+  // ever-minted ids). load() validates curve parameters and the structural
+  // invariants (owners ⊆ ever-minted, remaining + live == max_supply) before
+  // mutating; on any error *this is untouched.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 
  private:
   PriceCurve curve_;

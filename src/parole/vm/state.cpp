@@ -47,4 +47,24 @@ crypto::Hash256 L2State::state_root() const {
   return crypto::MerkleTree(std::move(leaves)).root();
 }
 
+void L2State::save(io::ByteWriter& w) const {
+  ledger_.save(w);
+  nft_.save(w);
+  w.i64(fee_pool_);
+  w.i64(burned_);
+}
+
+Status L2State::load(io::ByteReader& r) {
+  L2State loaded(nft_.curve().max_supply(), nft_.curve().initial_price());
+  if (Status s = loaded.ledger_.load(r); !s.ok()) return s;
+  if (Status s = loaded.nft_.load(r); !s.ok()) return s;
+  PAROLE_IO_READ(r.i64(loaded.fee_pool_), "state fee pool");
+  PAROLE_IO_READ(r.i64(loaded.burned_), "state burned value");
+  if (loaded.fee_pool_ < 0 || loaded.burned_ < 0) {
+    return Error{"corrupt_checkpoint", "negative fee pool or burn total"};
+  }
+  *this = std::move(loaded);
+  return ok_status();
+}
+
 }  // namespace parole::vm

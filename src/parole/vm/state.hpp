@@ -12,6 +12,7 @@
 #include "parole/common/amount.hpp"
 #include "parole/common/ids.hpp"
 #include "parole/crypto/hash.hpp"
+#include "parole/io/bytes.hpp"
 #include "parole/token/ledger.hpp"
 #include "parole/token/nft.hpp"
 
@@ -52,6 +53,11 @@ class L2State {
   // states evolve identically under the same transaction suffix, which is
   // what the incremental evaluator's reconvergence shortcut relies on.
   friend bool operator==(const L2State&, const L2State&) = default;
+
+  // Checkpointing (DESIGN.md §10): composes ledger + NFT machine + fee/burn
+  // accumulators. load() validates then mutates; untouched on error.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 
  private:
   token::BalanceLedger ledger_;

@@ -104,4 +104,43 @@ Tx Tx::make_burn(TxId id, UserId owner, TokenId token, Amount base_fee,
   return tx;
 }
 
+void Tx::save(io::ByteWriter& w) const {
+  w.u64(id.value());
+  w.u8(static_cast<std::uint8_t>(kind));
+  w.u32(sender.value());
+  w.u32(recipient.value());
+  w.boolean(token.has_value());
+  w.u32(token.has_value() ? token->value() : 0);
+  w.i64(base_fee);
+  w.i64(priority_fee);
+  w.u64(arrival);
+}
+
+Status Tx::load(io::ByteReader& r) {
+  Tx loaded;
+  std::uint64_t id_rep = 0;
+  std::uint8_t kind_rep = 0;
+  std::uint32_t sender_rep = 0, recipient_rep = 0, token_rep = 0;
+  bool has_token = false;
+  PAROLE_IO_READ(r.u64(id_rep), "tx id");
+  PAROLE_IO_READ(r.u8(kind_rep), "tx kind");
+  if (kind_rep > static_cast<std::uint8_t>(TxKind::kBurn)) {
+    return Error{"corrupt_checkpoint", "unknown tx kind"};
+  }
+  PAROLE_IO_READ(r.u32(sender_rep), "tx sender");
+  PAROLE_IO_READ(r.u32(recipient_rep), "tx recipient");
+  PAROLE_IO_READ(r.boolean(has_token), "tx token flag");
+  PAROLE_IO_READ(r.u32(token_rep), "tx token id");
+  PAROLE_IO_READ(r.i64(loaded.base_fee), "tx base fee");
+  PAROLE_IO_READ(r.i64(loaded.priority_fee), "tx priority fee");
+  PAROLE_IO_READ(r.u64(loaded.arrival), "tx arrival");
+  loaded.id = TxId{id_rep};
+  loaded.kind = static_cast<TxKind>(kind_rep);
+  loaded.sender = UserId{sender_rep};
+  loaded.recipient = UserId{recipient_rep};
+  if (has_token) loaded.token = TokenId{token_rep};
+  *this = loaded;
+  return ok_status();
+}
+
 }  // namespace parole::vm

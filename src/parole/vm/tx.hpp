@@ -17,6 +17,7 @@
 #include "parole/common/amount.hpp"
 #include "parole/common/ids.hpp"
 #include "parole/crypto/hash.hpp"
+#include "parole/io/bytes.hpp"
 
 namespace parole::vm {
 
@@ -51,6 +52,12 @@ struct Tx {
 
   // Canonical byte encoding used for hashing and batch commitments.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  // Checkpointing (DESIGN.md §10). Unlike encode() — which is the
+  // hash-canonical form and deliberately excludes `arrival` — this is a
+  // full-fidelity image: load(save(tx)) == tx including mempool metadata.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
 
   [[nodiscard]] std::string describe() const;
 

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "parole/common/fault.hpp"
+#include "parole/io/checkpoint.hpp"
 #include "parole/rollup/chaos.hpp"
 #include "parole/rollup/node.hpp"
 
@@ -491,6 +492,97 @@ TEST(ChaosSoak, AllFaultFamiliesZeroInvariantViolations) {
   EXPECT_GT(node.chaos()->log.size(), 20u);
   EXPECT_GT(node.orsc().batch_count(), 10u);
   EXPECT_TRUE(node.l1().verify_links());
+}
+
+// The same soak, killed and resumed (DESIGN.md §10): snapshot mid-run,
+// rebuild the node from scratch as a restarted process would, restore, run to
+// the end. The resumed half must replay the golden fault schedule exactly and
+// the invariant checker — whose conservation baseline and batch-status memory
+// travel in the snapshot — must stay clean across the seam.
+TEST(ChaosSoak, KilledAndResumedSoakMatchesUninterrupted) {
+  const auto build_node = [](RollupNode& node) {
+    node.add_aggregator({AggregatorId{0}, 3, std::nullopt, std::nullopt});
+    node.add_aggregator({AggregatorId{1}, 3, std::nullopt, std::nullopt});
+    node.add_aggregator({AggregatorId{2}, 3, std::nullopt, /*corrupt=*/0});
+    node.add_verifier(VerifierId{0});
+    node.add_verifier(VerifierId{1});
+    node.fund_l1(UserId{1}, eth(400));
+    node.fund_l1(UserId{2}, eth(400));
+    ASSERT_TRUE(node.deposit(UserId{1}, eth(400)).ok());
+    ASSERT_TRUE(node.deposit(UserId{2}, eth(400)).ok());
+  };
+  ChaosConfig chaos;
+  chaos.seed = 0xc4a05;
+  chaos.p_aggregator_crash = 0.2;
+  chaos.p_reorderer_failure = 0.2;
+  chaos.p_verifier_down = 0.35;
+  chaos.p_tx_drop = 0.05;
+  chaos.p_tx_duplicate = 0.05;
+  chaos.p_tx_delay = 0.1;
+  chaos.p_l1_reorg = 0.1;
+  const auto drive = [](RollupNode& node, int from, int to,
+                        std::uint64_t& tx_id,
+                        std::vector<StepOutcome>* outcomes) {
+    for (int step = from; step < to; ++step) {
+      if (step < 80) {
+        node.submit_tx(vm::Tx::make_mint(
+            TxId{tx_id++}, UserId{static_cast<std::uint32_t>(1 + (step % 2))},
+            gwei(20), gwei(step % 7)));
+      }
+      const StepOutcome outcome = node.step();
+      if (outcomes != nullptr) outcomes->push_back(outcome);
+    }
+  };
+
+  // Golden: 120 steps straight through, then drain.
+  RollupNode golden(fast_node_config());
+  build_node(golden);
+  golden.arm_chaos(chaos);
+  std::uint64_t golden_tx = 0;
+  std::vector<StepOutcome> golden_tail;
+  drive(golden, 0, 60, golden_tx, nullptr);
+  drive(golden, 60, 120, golden_tx, &golden_tail);
+  (void)golden.run_until_drained(400);
+
+  // Interrupted twin: snapshot at step 60 and throw the process away.
+  std::vector<std::uint8_t> snapshot;
+  std::uint64_t tx_id = 0;
+  {
+    RollupNode doomed(fast_node_config());
+    build_node(doomed);
+    doomed.arm_chaos(chaos);
+    drive(doomed, 0, 60, tx_id, nullptr);
+    io::CheckpointBuilder builder;
+    doomed.save_snapshot(builder);
+    snapshot = builder.finish();
+  }
+
+  auto parsed = io::Checkpoint::parse(snapshot);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().detail;
+  RollupNode resumed(fast_node_config());
+  build_node(resumed);
+  resumed.arm_chaos(chaos);
+  ASSERT_TRUE(resumed.restore_snapshot(parsed.value()).ok());
+  ASSERT_EQ(resumed.step_index(), 60u);
+
+  std::vector<StepOutcome> resumed_tail;
+  drive(resumed, 60, 120, tx_id, &resumed_tail);
+  (void)resumed.run_until_drained(400);
+
+  EXPECT_EQ(resumed_tail, golden_tail);
+  EXPECT_EQ(resumed.chaos()->log.events(), golden.chaos()->log.events());
+  EXPECT_TRUE(resumed.chaos()->checker.clean())
+      << "invariant violations after resume:\n"
+      << [&] {
+           std::string out;
+           for (const auto& v : resumed.chaos()->checker.violations()) {
+             out += "step " + std::to_string(v.step) + " " +
+                    std::string(to_string(v.kind)) + ": " + v.detail + "\n";
+           }
+           return out;
+         }();
+  EXPECT_EQ(resumed.orsc().batch_count(), golden.orsc().batch_count());
+  EXPECT_TRUE(resumed.l1().verify_links());
 }
 
 }  // namespace

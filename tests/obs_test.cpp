@@ -358,6 +358,73 @@ TEST(RunReportTest, ValidateFileRejectsBadTelemetry) {
   EXPECT_FALSE(RunReport::validate_file("does_not_exist.jsonl").ok());
 }
 
+// --- streaming reports and torn tails (DESIGN.md §10) -------------------------------
+
+TEST(StreamingReportTest, WritesAValidatableReportLineByLine) {
+  const std::string path = "obs_test_streaming.jsonl";
+  auto report = StreamingReport::open(path, "soak", {{"seed", std::uint64_t{7}}});
+  ASSERT_TRUE(report.ok()) << report.error().detail;
+
+  JsonObject row;
+  row["round"] = std::uint64_t{1};
+  ASSERT_TRUE(report.value().add_result(row).ok());
+  ASSERT_TRUE(report.value().add_fault(3, "tx_drop", 9, "").ok());
+  EXPECT_EQ(report.value().lines_written(), 3u);  // meta + result + fault
+
+  // Every append is flushed+fsynced: the file is complete and valid *before*
+  // close, which is the whole point for a process that may be SIGKILLed.
+  EXPECT_TRUE(RunReport::validate_file(path).ok());
+  auto validation = RunReport::validate_file_tolerant(path);
+  ASSERT_TRUE(validation.ok());
+  EXPECT_EQ(validation.value().lines, 3u);
+  EXPECT_FALSE(validation.value().torn_tail);
+
+  report.value().close();
+  EXPECT_FALSE(report.value().add_fault(4, "tx_drop", 1, "").ok());
+  std::remove(path.c_str());
+}
+
+TEST(StreamingReportTest, TornTailToleratedByTolerantValidatorOnly) {
+  const std::string path = "obs_test_torn.jsonl";
+  {
+    auto report = StreamingReport::open(path, "soak", {});
+    ASSERT_TRUE(report.ok());
+    ASSERT_TRUE(report.value().add_fault(1, "l1_reorg", 2, "").ok());
+  }
+  // Simulate a crash mid-append: a final fragment with no newline. Even a
+  // fragment that *parses* is dropped — completeness cannot be proven.
+  std::FILE* out = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(out, nullptr);
+  std::fputs("{\"type\":\"fault\",\"kind\":\"tx_drop\",\"st", out);
+  std::fclose(out);
+
+  auto validation = RunReport::validate_file_tolerant(path);
+  ASSERT_TRUE(validation.ok()) << validation.error().detail;
+  EXPECT_TRUE(validation.value().torn_tail);
+  EXPECT_EQ(validation.value().lines, 2u);  // meta + fault; fragment dropped
+
+  // The strict validator treats the same file as damaged.
+  const Status strict = RunReport::validate_file(path);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_NE(strict.error().detail.find("torn"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(StreamingReportTest, MidFileCorruptionStaysFatalEvenInTolerantMode) {
+  const std::string path = "obs_test_midfile.jsonl";
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  ASSERT_NE(out, nullptr);
+  std::fputs("{\"type\":\"meta\",\"report\":\"x\",\"schema\":1}\n", out);
+  std::fputs("not json at all\n", out);  // newline-terminated: not a torn tail
+  std::fputs("{\"type\":\"fault\",\"kind\":\"tx_drop\",\"step\":1}\n", out);
+  std::fclose(out);
+  // A complete-but-invalid line means real corruption (or a writer bug), not
+  // a crash artifact: both validators reject it.
+  EXPECT_FALSE(RunReport::validate_file_tolerant(path).ok());
+  EXPECT_FALSE(RunReport::validate_file(path).ok());
+  std::remove(path.c_str());
+}
+
 TEST(RunReportTest, MetricsTableRendersEveryMetric) {
   MetricsRegistry registry;
   registry.counter("parole.test.count").add(3);

@@ -1,0 +1,507 @@
+// Deterministic-resume tests (DESIGN.md §10): a run that is interrupted at a
+// checkpoint boundary and resumed must be bit-identical to one that never
+// stopped. Covered end to end for the three long-running workloads — DQN
+// training (GenTranSeq), attack campaigns, and chaos-armed rollup soaks — plus
+// the component-level DqnAgent round-trip and config-mismatch rejections.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "parole/core/campaign.hpp"
+#include "parole/core/gentranseq.hpp"
+#include "parole/data/case_study.hpp"
+#include "parole/io/checkpoint.hpp"
+#include "parole/io/manifest.hpp"
+#include "parole/ml/dqn.hpp"
+#include "parole/rollup/chaos.hpp"
+#include "parole/rollup/node.hpp"
+
+namespace parole {
+namespace {
+
+namespace cs = data::case_study;
+namespace fs = std::filesystem;
+using core::AttackCampaign;
+using core::CampaignConfig;
+using core::CampaignResult;
+using core::GenTranSeq;
+using core::GenTranSeqConfig;
+using core::TrainCheckpointing;
+using core::TrainResult;
+using rollup::ChaosConfig;
+using rollup::NodeConfig;
+using rollup::RollupNode;
+using rollup::StepOutcome;
+
+class ScratchDir {
+ public:
+  explicit ScratchDir(const std::string& name)
+      : path_(fs::temp_directory_path() / ("parole_resume_test_" + name)) {
+    fs::remove_all(path_);
+  }
+  ~ScratchDir() { fs::remove_all(path_); }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+// --- GenTranSeq training ----------------------------------------------------------
+
+GenTranSeqConfig small_training() {
+  GenTranSeqConfig config;
+  config.dqn.episodes = 6;
+  config.dqn.steps_per_episode = 10;
+  config.dqn.hidden = {8};
+  config.dqn.minibatch = 4;
+  config.dqn.replay_capacity = 64;
+  return config;
+}
+
+constexpr std::uint64_t kTrainSeed = 0x7e57;
+
+void expect_identical(const TrainResult& a, const TrainResult& b) {
+  // Element-wise exact equality: resume means the same floating-point
+  // trajectory, not a statistically similar one.
+  EXPECT_EQ(a.episode_rewards, b.episode_rewards);
+  EXPECT_EQ(a.swaps_to_first_candidate, b.swaps_to_first_candidate);
+  EXPECT_EQ(a.first_candidate_episode, b.first_candidate_episode);
+  EXPECT_EQ(a.best_order, b.best_order);
+  EXPECT_EQ(a.best_balance, b.best_balance);
+  EXPECT_EQ(a.baseline, b.baseline);
+  EXPECT_EQ(a.found_profit, b.found_profit);
+  EXPECT_EQ(a.episodes_run, b.episodes_run);
+}
+
+TEST(TrainResume, InterruptedRunIsBitIdenticalToUninterrupted) {
+  auto problem = cs::make_problem();
+
+  // Golden: train straight through, no checkpointing.
+  GenTranSeq golden(problem, small_training(), kTrainSeed);
+  const TrainResult golden_result = golden.train();
+  ASSERT_TRUE(golden_result.completed);
+  ASSERT_EQ(golden_result.episodes_run, 6u);
+
+  // Interrupted: checkpoint every 2 episodes, die after 3 (so one episode of
+  // progress past the last durable generation is lost and re-run on resume).
+  ScratchDir dir("train");
+  io::CheckpointManager manager(dir.str(), "train");
+  TrainCheckpointing ckpt;
+  ckpt.manager = &manager;
+  ckpt.every_episodes = 2;
+  ckpt.halt_after_episodes = 3;
+
+  GenTranSeq interrupted(problem, small_training(), kTrainSeed);
+  auto partial = interrupted.train_resumable(ckpt);
+  ASSERT_TRUE(partial.ok()) << partial.error().detail;
+  EXPECT_FALSE(partial.value().completed);
+  EXPECT_EQ(partial.value().episodes_run, 3u);
+  ASSERT_TRUE(manager.has_checkpoint());
+
+  // Resume in a *fresh* object, as a restarted process would.
+  ckpt.halt_after_episodes = 0;
+  GenTranSeq resumed(problem, small_training(), kTrainSeed);
+  auto finished = resumed.train_resumable(ckpt);
+  ASSERT_TRUE(finished.ok()) << finished.error().detail;
+  EXPECT_TRUE(finished.value().completed);
+  expect_identical(golden_result, finished.value());
+
+  // The agents themselves ended in the same state, weight for weight.
+  EXPECT_EQ(golden.agent().q_network().export_weights(),
+            resumed.agent().q_network().export_weights());
+  EXPECT_EQ(golden.agent().buffer().size(), resumed.agent().buffer().size());
+  EXPECT_EQ(golden.agent().rng().checkpoint_state(),
+            resumed.agent().rng().checkpoint_state());
+
+  // And inference from the restored agent matches the golden one.
+  const auto golden_infer = golden.infer();
+  const auto resumed_infer = resumed.infer();
+  EXPECT_EQ(golden_infer.order, resumed_infer.order);
+  EXPECT_EQ(golden_infer.balance, resumed_infer.balance);
+}
+
+TEST(TrainResume, CompletedCheckpointShortCircuits) {
+  auto problem = cs::make_problem();
+  ScratchDir dir("train_done");
+  io::CheckpointManager manager(dir.str(), "train");
+  TrainCheckpointing ckpt;
+  ckpt.manager = &manager;
+  ckpt.every_episodes = 2;
+
+  GenTranSeq first(problem, small_training(), kTrainSeed);
+  auto done = first.train_resumable(ckpt);
+  ASSERT_TRUE(done.ok());
+  ASSERT_TRUE(done.value().completed);
+
+  // A second invocation resumes at next_episode == episodes: no training
+  // happens, the stored result comes back verbatim.
+  GenTranSeq again(problem, small_training(), kTrainSeed);
+  auto replay = again.train_resumable(ckpt);
+  ASSERT_TRUE(replay.ok()) << replay.error().detail;
+  EXPECT_TRUE(replay.value().completed);
+  expect_identical(done.value(), replay.value());
+}
+
+TEST(TrainResume, CheckpointFromDifferentConfigRejected) {
+  auto problem = cs::make_problem();
+  ScratchDir dir("train_mismatch");
+  io::CheckpointManager manager(dir.str(), "train");
+  TrainCheckpointing ckpt;
+  ckpt.manager = &manager;
+  ckpt.every_episodes = 2;
+  ckpt.halt_after_episodes = 3;
+
+  GenTranSeq first(problem, small_training(), kTrainSeed);
+  ASSERT_TRUE(first.train_resumable(ckpt).ok());
+
+  // The stored cursor sits past a 1-episode run: resuming under a config
+  // that allows fewer episodes than already ran is rejected, not clamped.
+  GenTranSeqConfig shorter = small_training();
+  shorter.dqn.episodes = 1;
+  ckpt.halt_after_episodes = 0;
+  GenTranSeq other(problem, shorter, kTrainSeed);
+  auto resumed = other.train_resumable(ckpt);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.error().code, "config_mismatch");
+
+  // A structurally different network cannot absorb the stored weights
+  // either ("config_mismatch" from the agent loader, not a crash).
+  GenTranSeqConfig wider = small_training();
+  wider.dqn.hidden = {12};
+  GenTranSeq mismatched(problem, wider, kTrainSeed);
+  auto widened = mismatched.train_resumable(ckpt);
+  ASSERT_FALSE(widened.ok());
+  EXPECT_EQ(widened.error().code, "config_mismatch");
+}
+
+TEST(TrainResume, CorruptOnlyGenerationSurfacesTypedError) {
+  auto problem = cs::make_problem();
+  ScratchDir dir("train_corrupt");
+  io::CheckpointManager manager(dir.str(), "train");
+  TrainCheckpointing ckpt;
+  ckpt.manager = &manager;
+  ckpt.every_episodes = 2;
+  ckpt.halt_after_episodes = 3;
+
+  GenTranSeq first(problem, small_training(), kTrainSeed);
+  ASSERT_TRUE(first.train_resumable(ckpt).ok());
+
+  // Truncate every on-disk generation to simulate total store loss.
+  for (const auto& entry : fs::directory_iterator(dir.str())) {
+    if (entry.path().extension() == ".prck") {
+      fs::resize_file(entry.path(), 10);
+    }
+  }
+  ckpt.halt_after_episodes = 0;
+  GenTranSeq resumed(problem, small_training(), kTrainSeed);
+  auto result = resumed.train_resumable(ckpt);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "corrupt_checkpoint");
+}
+
+// --- DqnAgent component round-trip ------------------------------------------------
+
+ml::DqnConfig agent_config() {
+  ml::DqnConfig config;
+  config.hidden = {8};
+  config.minibatch = 4;
+  config.replay_capacity = 32;
+  return config;
+}
+
+ml::Transition make_transition(std::size_t dim, std::size_t action,
+                               double reward) {
+  ml::Transition t;
+  t.state.assign(dim, 0.25 * static_cast<double>(action + 1));
+  t.action = action;
+  t.reward = reward;
+  t.next_state.assign(dim, 0.5 * static_cast<double>(action + 1));
+  t.done = action % 2 == 0;
+  return t;
+}
+
+TEST(DqnAgentCheckpoint, RoundTripRestoresTheExactAgent) {
+  ml::DqnAgent agent(6, 4, agent_config(), 0xd47);
+  for (std::size_t i = 0; i < 12; ++i) {
+    agent.remember(make_transition(6, i % 4, 0.1 * static_cast<double>(i)));
+    (void)agent.train_step();
+  }
+  io::ByteWriter writer;
+  agent.save(writer);
+  const auto bytes = writer.take();
+
+  ml::DqnAgent restored(6, 4, agent_config(), 0x999);  // different seed
+  io::ByteReader reader(bytes);
+  ASSERT_TRUE(restored.load(reader).ok());
+  EXPECT_TRUE(reader.finish("agent").ok());
+
+  EXPECT_EQ(agent.q_network().export_weights(),
+            restored.q_network().export_weights());
+  EXPECT_EQ(agent.buffer().size(), restored.buffer().size());
+  EXPECT_EQ(agent.rng().checkpoint_state(),
+            restored.rng().checkpoint_state());
+
+  // Both agents now evolve identically: further training steps stay in
+  // lockstep (optimizer moments and replay contents round-tripped too).
+  for (std::size_t i = 0; i < 6; ++i) {
+    agent.remember(make_transition(6, (i + 1) % 4, 0.3));
+    restored.remember(make_transition(6, (i + 1) % 4, 0.3));
+    EXPECT_EQ(agent.train_step(), restored.train_step());
+  }
+  EXPECT_EQ(agent.q_network().export_weights(),
+            restored.q_network().export_weights());
+}
+
+TEST(DqnAgentCheckpoint, DimensionMismatchRejectedBeforeMutation) {
+  ml::DqnAgent agent(6, 4, agent_config(), 0xd47);
+  io::ByteWriter writer;
+  agent.save(writer);
+  const auto bytes = writer.take();
+
+  ml::DqnAgent wrong_dims(7, 4, agent_config(), 0xd47);
+  const auto before = wrong_dims.q_network().export_weights();
+  io::ByteReader reader(bytes);
+  const Status s = wrong_dims.load(reader);
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "config_mismatch");
+  EXPECT_EQ(wrong_dims.q_network().export_weights(), before);
+
+  ml::DqnConfig smaller = agent_config();
+  smaller.replay_capacity = 16;
+  ml::DqnAgent wrong_capacity(6, 4, smaller, 0xd47);
+  io::ByteReader reader2(bytes);
+  const Status s2 = wrong_capacity.load(reader2);
+  ASSERT_FALSE(s2.ok());
+  EXPECT_EQ(s2.error().code, "config_mismatch");
+}
+
+TEST(DqnAgentCheckpoint, TruncatedImageNeverMutates) {
+  ml::DqnAgent agent(6, 4, agent_config(), 0xd47);
+  for (std::size_t i = 0; i < 8; ++i) {
+    agent.remember(make_transition(6, i % 4, 1.0));
+    (void)agent.train_step();
+  }
+  io::ByteWriter writer;
+  agent.save(writer);
+  const auto bytes = writer.take();
+
+  // Sweep a sample of truncation points (the image is large; every 97th
+  // length plus the endpoints keeps the sweep fast and representative).
+  for (std::size_t len = 0; len < bytes.size();
+       len += (len < 64 ? 1 : 97)) {
+    ml::DqnAgent victim(6, 4, agent_config(), 0x1);
+    const auto before = victim.q_network().export_weights();
+    const auto rng_before = victim.rng().checkpoint_state();
+    io::ByteReader reader(std::span(bytes.data(), len));
+    const Status s = victim.load(reader);
+    ASSERT_FALSE(s.ok()) << "truncation to " << len << " bytes accepted";
+    EXPECT_EQ(victim.q_network().export_weights(), before);
+    EXPECT_EQ(victim.rng().checkpoint_state(), rng_before);
+  }
+}
+
+// --- campaign ---------------------------------------------------------------------
+
+CampaignConfig small_campaign() {
+  CampaignConfig config;
+  config.num_aggregators = 5;
+  config.adversarial_fraction = 0.2;
+  config.mempool_size = 8;
+  config.num_ifus = 1;
+  config.rounds = 8;
+  config.workload.num_users = 12;
+  config.workload.max_supply = 30;
+  config.workload.premint = 8;
+  config.seed = 7;
+  return config;
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.total_profit, b.total_profit);
+  EXPECT_EQ(a.avg_profit_per_ifu, b.avg_profit_per_ifu);
+  EXPECT_EQ(a.adversarial_aggregators, b.adversarial_aggregators);
+  EXPECT_EQ(a.adversarial_batches, b.adversarial_batches);
+  EXPECT_EQ(a.reordered_batches, b.reordered_batches);
+  EXPECT_EQ(a.screened_txs, b.screened_txs);
+  EXPECT_EQ(a.suspicion_scores, b.suspicion_scores);
+  EXPECT_EQ(a.flagged_batches, b.flagged_batches);
+  EXPECT_EQ(a.per_batch_profit, b.per_batch_profit);
+  EXPECT_EQ(a.ifus, b.ifus);
+  EXPECT_EQ(a.rounds_run, b.rounds_run);
+}
+
+TEST(CampaignResume, InterruptedCampaignIsBitIdenticalToUninterrupted) {
+  const CampaignResult golden = AttackCampaign(small_campaign()).run();
+  ASSERT_EQ(golden.rounds_run, 8u);
+
+  ScratchDir dir("campaign");
+  CampaignConfig interrupted = small_campaign();
+  interrupted.checkpoint_dir = dir.str();
+  interrupted.checkpoint_every_rounds = 3;
+  interrupted.halt_after_rounds = 5;  // dies 2 rounds past generation 1
+  auto partial = AttackCampaign(interrupted).run_resumable();
+  ASSERT_TRUE(partial.ok()) << partial.error().detail;
+  EXPECT_FALSE(partial.value().completed);
+  EXPECT_EQ(partial.value().rounds_run, 5u);
+
+  CampaignConfig resume = interrupted;
+  resume.halt_after_rounds = 0;
+  auto finished = AttackCampaign(resume).run_resumable();
+  ASSERT_TRUE(finished.ok()) << finished.error().detail;
+  EXPECT_TRUE(finished.value().completed);
+  expect_identical(golden, finished.value());
+}
+
+TEST(CampaignResume, DefendedAndAuditedCampaignAlsoResumesExactly) {
+  CampaignConfig config = small_campaign();
+  config.defended = true;
+  config.audit = true;
+  const CampaignResult golden = AttackCampaign(config).run();
+
+  ScratchDir dir("campaign_def");
+  CampaignConfig interrupted = config;
+  interrupted.checkpoint_dir = dir.str();
+  interrupted.checkpoint_every_rounds = 2;
+  interrupted.halt_after_rounds = 3;
+  ASSERT_TRUE(AttackCampaign(interrupted).run_resumable().ok());
+
+  CampaignConfig resume = interrupted;
+  resume.halt_after_rounds = 0;
+  auto finished = AttackCampaign(resume).run_resumable();
+  ASSERT_TRUE(finished.ok()) << finished.error().detail;
+  expect_identical(golden, finished.value());
+}
+
+TEST(CampaignResume, DifferentConfigRejectedNotSilentlyHonored) {
+  ScratchDir dir("campaign_mismatch");
+  CampaignConfig first = small_campaign();
+  first.checkpoint_dir = dir.str();
+  first.checkpoint_every_rounds = 2;
+  first.halt_after_rounds = 3;
+  ASSERT_TRUE(AttackCampaign(first).run_resumable().ok());
+
+  // A different topology (one aggregator fewer) cannot host the snapshot:
+  // the checkpoint must be rejected, not applied to the wrong campaign.
+  CampaignConfig other = first;
+  other.halt_after_rounds = 0;
+  other.num_aggregators = 4;
+  auto resumed = AttackCampaign(other).run_resumable();
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.error().code, "config_mismatch");
+}
+
+// --- rollup node snapshots --------------------------------------------------------
+
+NodeConfig soak_node_config() {
+  NodeConfig config;
+  config.orsc.challenge_period = 20;
+  config.max_supply = 200;
+  return config;
+}
+
+void build_soak_topology(RollupNode& node) {
+  node.add_aggregator({AggregatorId{0}, 3, std::nullopt, std::nullopt});
+  node.add_aggregator({AggregatorId{1}, 3, std::nullopt, std::nullopt});
+  node.add_verifier(VerifierId{0});
+  node.fund_l1(UserId{1}, eth(90));
+  ASSERT_TRUE(node.deposit(UserId{1}, eth(90)).ok());
+}
+
+ChaosConfig soak_chaos(std::uint64_t seed) {
+  ChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.p_aggregator_crash = 0.25;
+  chaos.p_verifier_down = 0.3;
+  chaos.p_tx_drop = 0.1;
+  chaos.p_tx_duplicate = 0.1;
+  chaos.p_tx_delay = 0.15;
+  chaos.p_l1_reorg = 0.1;
+  return chaos;
+}
+
+void submit_mints(RollupNode& node, std::uint64_t count,
+                  std::uint64_t first_id) {
+  for (std::uint64_t i = 0; i < count; ++i) {
+    node.submit_tx(vm::Tx::make_mint(TxId{first_id + i}, UserId{1},
+                                     gwei(10 + 10 * (count - i)), gwei(0)));
+  }
+}
+
+TEST(NodeSnapshot, RestoredChaosSoakContinuesBitIdentically) {
+  // Golden: 40 chaos steps straight through.
+  RollupNode golden(soak_node_config());
+  build_soak_topology(golden);
+  golden.arm_chaos(soak_chaos(0xfeed));
+  submit_mints(golden, 24, 0);
+  std::vector<StepOutcome> golden_tail;
+  for (int i = 0; i < 20; ++i) (void)golden.step();
+  for (int i = 0; i < 20; ++i) golden_tail.push_back(golden.step());
+
+  // Snapshot a twin at step 20, "restart the process", restore, continue.
+  RollupNode original(soak_node_config());
+  build_soak_topology(original);
+  original.arm_chaos(soak_chaos(0xfeed));
+  submit_mints(original, 24, 0);
+  for (int i = 0; i < 20; ++i) (void)original.step();
+
+  io::CheckpointBuilder builder;
+  original.save_snapshot(builder);
+  const auto bytes = builder.finish();
+  auto parsed = io::Checkpoint::parse(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().detail;
+
+  RollupNode restored(soak_node_config());
+  build_soak_topology(restored);
+  restored.arm_chaos(soak_chaos(0xfeed));
+  // NOTE: no submit_mints — the mempool content is inside the snapshot.
+  ASSERT_TRUE(restored.restore_snapshot(parsed.value()).ok());
+  EXPECT_EQ(restored.step_index(), original.step_index());
+
+  std::vector<StepOutcome> restored_tail;
+  for (int i = 0; i < 20; ++i) restored_tail.push_back(restored.step());
+  EXPECT_EQ(restored_tail, golden_tail);
+  // Fault logs agree over the shared suffix, and no invariant broke on
+  // either side.
+  ASSERT_NE(restored.chaos(), nullptr);
+  EXPECT_TRUE(restored.chaos()->checker.clean());
+  EXPECT_EQ(restored.chaos()->log.events(), golden.chaos()->log.events());
+}
+
+TEST(NodeSnapshot, TopologyMismatchRejectedBeforeMutation) {
+  RollupNode original(soak_node_config());
+  build_soak_topology(original);
+  original.arm_chaos(soak_chaos(0xfeed));
+  for (int i = 0; i < 5; ++i) (void)original.step();
+  io::CheckpointBuilder builder;
+  original.save_snapshot(builder);
+  auto parsed = io::Checkpoint::parse(builder.finish());
+  ASSERT_TRUE(parsed.ok());
+
+  // One aggregator short: the reorderer callbacks cannot be re-installed
+  // for a topology the checkpoint does not describe.
+  RollupNode wrong(soak_node_config());
+  wrong.add_aggregator({AggregatorId{0}, 3, std::nullopt, std::nullopt});
+  wrong.add_verifier(VerifierId{0});
+  wrong.fund_l1(UserId{1}, eth(90));
+  ASSERT_TRUE(wrong.deposit(UserId{1}, eth(90)).ok());
+  wrong.arm_chaos(soak_chaos(0xfeed));
+  const Status s = wrong.restore_snapshot(parsed.value());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.error().code, "config_mismatch");
+
+  // Different chaos seed: the stateless FaultPlan would diverge from the
+  // logged schedule, so the restore is refused.
+  RollupNode wrong_seed(soak_node_config());
+  build_soak_topology(wrong_seed);
+  wrong_seed.arm_chaos(soak_chaos(0xbeef));
+  const Status s2 = wrong_seed.restore_snapshot(parsed.value());
+  ASSERT_FALSE(s2.ok());
+  EXPECT_EQ(s2.error().code, "config_mismatch");
+}
+
+}  // namespace
+}  // namespace parole

@@ -4,6 +4,9 @@
 // post-root of full-state execution.
 #include <gtest/gtest.h>
 
+#include <span>
+#include <string>
+
 #include "parole/crypto/sha256.hpp"
 #include "parole/crypto/smt.hpp"
 #include "parole/data/case_study.hpp"
@@ -336,6 +339,110 @@ TEST_P(WitnessEquivalence, RandomWorkloadsMatchEngineExactly) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, WitnessEquivalence,
                          ::testing::Values(21, 42, 63, 84, 105));
+
+// --- tree serialization (DESIGN.md §10) ---------------------------------------------
+
+TEST(SmtCheckpoint, SaveLoadRoundTripPreservesRootAndEntries) {
+  SparseMerkleTree tree;
+  for (int i = 0; i < 40; ++i) {
+    (void)tree.set(h("key" + std::to_string(i)),
+                   h("value" + std::to_string(i)));
+  }
+  // Mix in an update and an erase so the canonical form (not just insertion
+  // history) is what round-trips.
+  (void)tree.set(h("key7"), h("updated"));
+  (void)tree.erase(h("key13"));
+
+  io::ByteWriter writer;
+  tree.save(writer);
+  const auto bytes = writer.take();
+
+  SparseMerkleTree restored;
+  (void)restored.set(h("stale"), h("state"));  // must be fully replaced
+  io::ByteReader reader(bytes);
+  ASSERT_TRUE(restored.load(reader).ok());
+  EXPECT_TRUE(reader.finish("smt").ok());
+
+  EXPECT_EQ(restored.root(), tree.root());
+  EXPECT_EQ(restored.size(), tree.size());
+  EXPECT_EQ(restored.get(h("key7")), h("updated"));
+  EXPECT_FALSE(restored.get(h("key13")).has_value());
+  EXPECT_FALSE(restored.get(h("stale")).has_value());
+
+  // And the restored tree keeps behaving like the original under mutation.
+  (void)restored.set(h("after"), h("resume"));
+  (void)tree.set(h("after"), h("resume"));
+  EXPECT_EQ(restored.root(), tree.root());
+}
+
+TEST(SmtCheckpoint, EmptyTreeRoundTrips) {
+  SparseMerkleTree tree;
+  io::ByteWriter writer;
+  tree.save(writer);
+  SparseMerkleTree restored;
+  (void)restored.set(h("x"), h("y"));
+  io::ByteReader reader(writer.buffer());
+  ASSERT_TRUE(restored.load(reader).ok());
+  EXPECT_EQ(restored.size(), 0u);
+  EXPECT_EQ(restored.root(),
+            SparseMerkleTree::empty_hash(SparseMerkleTree::kDepth));
+}
+
+TEST(SmtCheckpoint, TruncatedImageRejectedWithoutMutation) {
+  SparseMerkleTree tree;
+  for (int i = 0; i < 10; ++i) {
+    (void)tree.set(h("k" + std::to_string(i)), h("v" + std::to_string(i)));
+  }
+  io::ByteWriter writer;
+  tree.save(writer);
+  const auto bytes = writer.take();
+
+  for (std::size_t len = 0; len < bytes.size(); len += 7) {
+    SparseMerkleTree victim;
+    (void)victim.set(h("keep"), h("me"));
+    const auto root_before = victim.root();
+    io::ByteReader reader(std::span(bytes.data(), len));
+    EXPECT_FALSE(victim.load(reader).ok())
+        << "truncation to " << len << " bytes accepted";
+    EXPECT_EQ(victim.root(), root_before);
+  }
+}
+
+TEST(SmtCheckpoint, StructurallyInvalidImagesRejected) {
+  // A slot claiming zero entries: canonical trees erase empty slots.
+  {
+    io::ByteWriter w;
+    w.u64(1);  // slot count
+    w.u32(0);  // slot id
+    w.u64(0);  // entry count
+    SparseMerkleTree victim;
+    io::ByteReader r(w.buffer());
+    EXPECT_FALSE(victim.load(r).ok());
+  }
+  // An entry filed under the wrong slot (key's keccak prefix disagrees).
+  {
+    SparseMerkleTree tree;
+    (void)tree.set(h("a"), h("b"));
+    io::ByteWriter w;
+    tree.save(w);
+    auto bytes = w.take();
+    // The slot id is the u32 right after the u64 slot count; XOR guarantees
+    // it no longer matches slot_of(key).
+    bytes[8] ^= 0x01;
+    SparseMerkleTree victim;
+    io::ByteReader r(bytes);
+    EXPECT_FALSE(victim.load(r).ok());
+  }
+  // A hostile slot count far beyond the payload fails the length check
+  // before any allocation.
+  {
+    io::ByteWriter w;
+    w.u64(0xffffffffffffULL);
+    SparseMerkleTree victim;
+    io::ByteReader r(w.buffer());
+    EXPECT_FALSE(victim.load(r).ok());
+  }
+}
 
 }  // namespace
 }  // namespace parole
