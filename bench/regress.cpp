@@ -1,0 +1,95 @@
+// Benchmark regression gate CLI (DESIGN.md §11).
+//
+//   bench_regress <baseline.json> <current.json> [current2.json ...] [options]
+//     --metric NAME       gated metric (repeatable; default: speedup)
+//     --min-ratio F       fail when current/baseline < F (default: 0.85,
+//                         i.e. a >15% regression fails)
+//     --max-ratio F       fail when current/baseline > F (default: off)
+//     --key NAME          row identity key (repeatable; default: n, move)
+//     --inject-slowdown F scale the current report's gated metrics by 1-F —
+//                         CI's self-test that the gate actually fires
+//
+// Exit code 0 = within tolerance, 1 = regression (or missing rows/metrics),
+// 2 = usage/IO error. Gates on dimensionless metrics (the evaluator's
+// speedup) so a baseline recorded on one machine holds on another.
+//
+// With more than one current report the gate takes the best ratio per
+// (row, metric) across runs: timing noise on shared runners is per-run
+// independent, while a real regression depresses every run.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "parole/obs/regress.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  parole::obs::RegressOptions options;
+  std::vector<std::string> metrics;
+  std::vector<std::string> keys;
+  double min_ratio = 0.85;
+  double max_ratio = 0.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--metric") {
+      metrics.emplace_back(value());
+    } else if (arg == "--min-ratio") {
+      min_ratio = std::atof(value());
+    } else if (arg == "--max-ratio") {
+      max_ratio = std::atof(value());
+    } else if (arg == "--key") {
+      keys.emplace_back(value());
+    } else if (arg == "--inject-slowdown") {
+      options.scale = 1.0 - std::atof(value());
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: bench_regress <baseline.json> <current.json> "
+                 "[current2.json ...] [--metric NAME] [--min-ratio F] "
+                 "[--max-ratio F] [--key NAME] [--inject-slowdown F]\n");
+    return 2;
+  }
+  if (!keys.empty()) options.keys = keys;
+  if (metrics.empty()) metrics.emplace_back("speedup");
+  options.rules.clear();
+  for (const std::string& metric : metrics) {
+    options.rules.push_back({metric, min_ratio, max_ratio});
+  }
+
+  std::vector<parole::obs::RegressReport> runs;
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    auto compared = parole::obs::compare_reports(paths[0], paths[i], options);
+    if (!compared.ok()) {
+      std::fprintf(stderr, "bench_regress: %s\n",
+                   compared.error().detail.c_str());
+      return 2;
+    }
+    runs.push_back(std::move(compared).value());
+  }
+  const parole::obs::RegressReport report =
+      runs.size() == 1 ? runs.front() : parole::obs::merge_best(runs);
+  std::fputs(report.to_string().c_str(), stdout);
+  if (runs.size() > 1) {
+    std::printf("(best of %zu runs)\n", runs.size());
+  }
+  if (options.scale != 1.0) {
+    std::printf("(current metrics scaled by %.3f via --inject-slowdown)\n",
+                options.scale);
+  }
+  return report.ok ? 0 : 1;
+}

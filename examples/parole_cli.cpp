@@ -13,10 +13,19 @@
 //   parole_cli train                     DQN training on the case study
 //   parole_cli resume <dir>              resume a checkpointed run
 //   parole_cli validate <report.jsonl>   schema-check a telemetry report
+//   parole_cli profile <report.jsonl>    fold a trace report's spans into a
+//                                        call-tree profile (hot-path table;
+//                                        --collapsed <path> writes
+//                                        flamegraph.pl/speedscope input)
+//   parole_cli journal <report.jsonl> <txid>
+//                                        print one transaction's lifecycle
+//                                        timeline from a journaled report
 //
 // Global flags (any command):
 //   --metrics <path>   write a RunReport JSONL metrics snapshot on exit
 //   --trace <path>     arm the span recorder; write the trace JSONL on exit
+//   --journal <path>   arm the tx lifecycle journal; node-running commands
+//                      (quickstart, chaos) export it as JSONL txevent lines
 //
 // Checkpointing (DESIGN.md §10): `campaign`, `train` and `chaos` accept
 // `--checkpoint <dir>` (cut rolling generations there), `--every <n>`
@@ -30,6 +39,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -46,6 +56,8 @@
 #include "parole/data/snapshot.hpp"
 #include "parole/io/manifest.hpp"
 #include "parole/ml/serialize.hpp"
+#include "parole/obs/journal.hpp"
+#include "parole/obs/profile.hpp"
 #include "parole/obs/report.hpp"
 #include "parole/rollup/chaos.hpp"
 #include "parole/rollup/node.hpp"
@@ -59,7 +71,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: parole_cli [--metrics <path>] [--trace <path>] "
-      "<command>\n"
+      "[--journal <path>] <command>\n"
       "       parole_cli attack [snapshots.csv]\n"
       "       parole_cli scan <snapshots.csv>\n"
       "       parole_cli gen <snapshots.csv> [collections-per-cell]\n"
@@ -75,7 +87,9 @@ int usage() {
       "                  [--checkpoint <dir>] [--every <episodes>]\n"
       "                  [--kill-after-episode <n>]\n"
       "       parole_cli resume <dir>\n"
-      "       parole_cli validate <report.jsonl>\n");
+      "       parole_cli validate <report.jsonl>\n"
+      "       parole_cli profile <report.jsonl> [--collapsed <path>]\n"
+      "       parole_cli journal <report.jsonl> <txid>\n");
   return 1;
 }
 
@@ -127,6 +141,65 @@ int fail(const Error& error) {
   std::fprintf(stderr, "error: %s: %s\n", error.code.c_str(),
                error.detail.c_str());
   return 1;
+}
+
+// --journal destination; empty = journaling off. Node-running commands export
+// the journal themselves (the node — and with it the journal — is gone by the
+// time the shared write_reports() runs).
+std::string g_journal_path;
+bool g_journal_written = false;
+
+int write_journal_report(const std::string& command,
+                         const rollup::RollupNode& node) {
+  if (g_journal_path.empty()) return 0;
+  obs::RunReport report("parole_cli." + command + ".journal");
+  report.set_meta("command", obs::JsonValue(command));
+  report.capture_journal(node.journal());
+  const Status written = report.write(g_journal_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "error: %s\n", written.error().detail.c_str());
+    return 1;
+  }
+  g_journal_written = true;
+  std::printf("journal written to %s (%zu lines)\n", g_journal_path.c_str(),
+              report.line_count());
+  return 0;
+}
+
+// Causal-chain audit summary plus the first open-chain issues, if any. A
+// non-clean audit at quiescence means a lifecycle emission site is missing —
+// the chaos soak test asserts the same property mechanically.
+void print_journal_audit(const rollup::RollupNode& node) {
+  const obs::TxJournal::Audit audit = node.journal().audit();
+  std::printf(
+      "  journal: %zu events (%llu evicted), %zu txs collected, %zu complete "
+      "chains -> %s%s\n",
+      node.journal().size(),
+      static_cast<unsigned long long>(node.journal().evicted()),
+      audit.txs_collected, audit.txs_complete, audit.ok ? "clean" : "BROKEN",
+      audit.truncated ? " (truncated)" : "");
+  for (std::size_t i = 0; i < audit.issues.size() && i < 4; ++i) {
+    std::printf("    issue: %s\n", audit.issues[i].c_str());
+  }
+}
+
+void print_tx_timeline(const rollup::RollupNode& node, std::uint64_t tx) {
+  std::printf("  timeline of tx %llu:\n",
+              static_cast<unsigned long long>(tx));
+  for (const obs::TxEvent& event : node.journal().events_for_tx(tx)) {
+    std::printf("    step %3llu  %-14s",
+                static_cast<unsigned long long>(event.step),
+                std::string(obs::to_string(event.kind)).c_str());
+    if (event.batch != obs::kNoBatch) {
+      std::printf("  batch %llu",
+                  static_cast<unsigned long long>(event.batch));
+    }
+    if (event.kind == obs::TxEventKind::kReordered) {
+      std::printf("  %llu -> %llu", static_cast<unsigned long long>(event.a),
+                  static_cast<unsigned long long>(event.b));
+    }
+    std::printf("\n");
+  }
 }
 
 int cmd_attack_case_study() {
@@ -261,6 +334,43 @@ int cmd_quickstart() {
       "profit %s ETH\n",
       campaign_result.adversarial_batches, campaign_result.reordered_batches,
       to_eth_string(campaign_result.total_profit).c_str());
+
+  // A small honest/adversarial node run to quiescence — with --journal armed
+  // this is the walkthrough the README traces: every submitted transaction's
+  // chain closes with exactly one terminal event.
+  rollup::NodeConfig node_config;
+  node_config.orsc.challenge_period = 8;
+  node_config.max_supply = 64;
+  rollup::RollupNode node(node_config);
+  auto reverse = [](const vm::L2State&, std::vector<vm::Tx> txs) {
+    std::reverse(txs.begin(), txs.end());
+    return txs;
+  };
+  node.add_aggregator({AggregatorId{0}, 4, reverse, std::nullopt});
+  node.add_aggregator({AggregatorId{1}, 4, std::nullopt, std::nullopt});
+  node.add_verifier(VerifierId{0});
+  node.fund_l1(UserId{1}, eth(100));
+  node.fund_l1(UserId{2}, eth(100));
+  if (!node.deposit(UserId{1}, eth(100)).ok() ||
+      !node.deposit(UserId{2}, eth(100)).ok()) {
+    std::fprintf(stderr, "error: seeding deposits failed\n");
+    return 1;
+  }
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    node.submit_tx(
+        vm::Tx::make_mint(TxId{0}, UserId{1 + i % 2}, gwei(25), gwei(i)));
+  }
+  const rollup::DrainResult drained = node.run_to_quiescence();
+  std::printf("[lifecycle] 10 txs -> %zu batches over %zu steps%s\n",
+              node.batches().size(), drained.steps(),
+              drained.drained ? "" : " (truncated)");
+  if (obs::TxJournal::enabled()) {
+    print_journal_audit(node);
+    print_tx_timeline(node, 1);  // first assigned tx id (0 is the sentinel)
+  }
+  if (const int rc = write_journal_report("quickstart", node); rc != 0) {
+    return rc;
+  }
 
   if (!obs::MetricsRegistry::instance().snapshot().empty()) {
     std::printf("\n%s", obs::metrics_table().c_str());
@@ -398,7 +508,9 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
       raise(SIGKILL);
     }
   }
-  const rollup::DrainResult drained = node.run_until_drained(4 * steps);
+  // Quiescence (not just a mempool drain): committed batches must finalize
+  // or revert before the run ends, so every journaled chain can close.
+  const rollup::DrainResult drained = node.run_to_quiescence(4 * steps);
 
   const auto& runtime = *node.chaos();
   g_chaos_log = runtime.log;
@@ -419,6 +531,11 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
       runtime.log.count(FaultKind::kTxDuplicate),
       runtime.log.count(FaultKind::kTxDelay),
       runtime.log.count(FaultKind::kL1Reorg));
+  if (obs::TxJournal::enabled()) print_journal_audit(node);
+  if (const int journal_rc = write_journal_report("chaos", node);
+      journal_rc != 0) {
+    return journal_rc;
+  }
   if (runtime.checker.clean()) {
     std::printf("  invariants: all clean over %llu checked steps\n",
                 static_cast<unsigned long long>(steps) +
@@ -576,6 +693,95 @@ int cmd_resume(const std::string& dir) {
                                            "'"});
 }
 
+int cmd_profile(const std::string& path, const Flags& flags) {
+  auto spans = obs::spans_from_report(path);
+  if (!spans.ok()) return fail(spans.error());
+  if (spans.value().empty()) {
+    std::printf("%s: no span lines (run with --trace to record spans)\n",
+                path.c_str());
+    return 0;
+  }
+  const obs::Profile profile = obs::build_profile(spans.value());
+  std::printf("%s", obs::profile_table(profile).c_str());
+  if (profile.orphans > 0) {
+    std::printf(
+        "note: %llu spans lost their parent to the trace ring; their time is "
+        "attributed to the root\n",
+        static_cast<unsigned long long>(profile.orphans));
+  }
+  const std::string collapsed_path = flag_str(flags, "collapsed", "");
+  if (!collapsed_path.empty()) {
+    std::ofstream out(collapsed_path, std::ios::trunc);
+    if (!out) {
+      return fail(Error{"io_error", "cannot open " + collapsed_path});
+    }
+    out << profile.collapsed();
+    std::printf("collapsed stacks written to %s (feed to flamegraph.pl or "
+                "speedscope)\n",
+                collapsed_path.c_str());
+  }
+  return 0;
+}
+
+// Render one transaction's lifecycle timeline out of a journaled report's
+// txevent lines. Unparseable lines are skipped (a live report may have a torn
+// tail); `validate` is the strict checker.
+int cmd_journal_query(const std::string& path, std::uint64_t tx) {
+  std::ifstream in(path);
+  if (!in) return fail(Error{"io_error", "cannot open " + path});
+  std::printf("tx %llu timeline from %s:\n",
+              static_cast<unsigned long long>(tx), path.c_str());
+  std::string line;
+  std::size_t shown = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = obs::json_parse(line);
+    if (!parsed.ok() || !parsed.value().is_object()) continue;
+    const obs::JsonObject& object = parsed.value().as_object();
+    const auto type = object.find("type");
+    if (type == object.end() || !type->second.is_string() ||
+        type->second.as_string() != "txevent") {
+      continue;
+    }
+    const auto tx_it = object.find("tx");
+    if (tx_it == object.end() || !tx_it->second.is_number() ||
+        tx_it->second.as_uint() != tx) {
+      continue;
+    }
+    const auto field_u64 = [&object](const char* key) -> std::uint64_t {
+      const auto it = object.find(key);
+      return it != object.end() && it->second.is_number() ? it->second.as_uint()
+                                                          : 0;
+    };
+    const auto event = object.find("event");
+    std::printf("  step %3llu  %-14s",
+                static_cast<unsigned long long>(field_u64("step")),
+                event != object.end() && event->second.is_string()
+                    ? event->second.as_string().c_str()
+                    : "?");
+    // "batch" is simply absent for non-batch events (batch 0 is real).
+    if (const auto batch = object.find("batch");
+        batch != object.end() && batch->second.is_number()) {
+      std::printf("  batch %llu",
+                  static_cast<unsigned long long>(batch->second.as_uint()));
+    }
+    if (event != object.end() && event->second.is_string() &&
+        event->second.as_string() == "reordered") {
+      std::printf("  %llu -> %llu",
+                  static_cast<unsigned long long>(field_u64("a")),
+                  static_cast<unsigned long long>(field_u64("b")));
+    }
+    std::printf("\n");
+    ++shown;
+  }
+  if (shown == 0) {
+    std::printf("  (no events — is this a --journal report and the id "
+                "right?)\n");
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_validate(const std::string& path) {
   const Status status = obs::RunReport::validate_file(path);
   if (!status.ok()) {
@@ -630,15 +836,18 @@ int main(int argc, char** argv) {
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--metrics" || arg == "--trace") {
+    if (arg == "--metrics" || arg == "--trace" || arg == "--journal") {
       if (i + 1 >= argc) return usage();
-      (arg == "--metrics" ? metrics_path : trace_path) = argv[++i];
+      (arg == "--metrics"  ? metrics_path
+       : arg == "--trace" ? trace_path
+                          : g_journal_path) = argv[++i];
       continue;
     }
     args.push_back(arg);
   }
   if (args.empty()) return usage();
   if (!trace_path.empty()) obs::TraceRecorder::instance().set_enabled(true);
+  if (!g_journal_path.empty()) obs::TxJournal::set_enabled(true);
 
   const std::string& command = args[0];
   int rc = 1;
@@ -693,10 +902,22 @@ int main(int argc, char** argv) {
     rc = cmd_resume(args[1]);
   } else if (command == "validate" && args.size() == 2) {
     rc = cmd_validate(args[1]);
+  } else if (command == "profile" && args.size() >= 2) {
+    const Flags flags = parse_flags(args, 2);
+    if (flags.bad || !flags.positional.empty()) return usage();
+    rc = cmd_profile(args[1], flags);
+  } else if (command == "journal" && args.size() == 3) {
+    rc = cmd_journal_query(args[1],
+                           std::strtoull(args[2].c_str(), nullptr, 0));
   } else {
     return usage();
   }
 
+  if (!g_journal_path.empty() && !g_journal_written && rc == 0) {
+    std::fprintf(stderr,
+                 "note: --journal had no effect; '%s' runs no rollup node\n",
+                 command.c_str());
+  }
   const int report_rc = write_reports(command, metrics_path, trace_path);
   return rc != 0 ? rc : report_rc;
 }

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "parole/ml/serialize.hpp"
+#include "parole/obs/journal.hpp"
 #include "parole/solvers/annealing.hpp"
 #include "parole/solvers/greedy.hpp"
 #include "parole/solvers/hill_climb.hpp"
@@ -85,6 +86,12 @@ AttackOutcome Parole::run(const vm::L2State& chain_state,
   outcome.baseline = sum_of(problem.baseline_balances());
   outcome.achieved = outcome.baseline;
 
+  // The solver search re-executes thousands of probe orders; none of those
+  // are lifecycle events. Suppress journaling for the whole search and emit
+  // only the committed permutation delta afterwards.
+  obs::TxJournal* journal = obs::TxJournal::current();
+  const obs::TxJournal::Scope suppress(nullptr);
+
   std::vector<std::size_t> best_order;
   Amount best_score = baseline_score;
   switch (config_.kind) {
@@ -155,6 +162,17 @@ AttackOutcome Parole::run(const vm::L2State& chain_state,
     outcome.achieved = sum_of(*balances);
     outcome.reordered = true;
     outcome.final_sequence = problem.materialize(best_order);
+    if (journal != nullptr) {
+      // The committed permutation delta: best_order[j] = i means the tx that
+      // arrived at collection position i ships at position j (a = from,
+      // b = to). Only displaced transactions get an event.
+      for (std::size_t j = 0; j < best_order.size(); ++j) {
+        if (best_order[j] == j) continue;
+        journal->record({outcome.final_sequence[j].id.value(),
+                         obs::TxEventKind::kReordered, 0, 0, obs::kNoBatch,
+                         best_order[j], j});
+      }
+    }
   } else {
     std::vector<std::size_t> identity(problem.size());
     std::iota(identity.begin(), identity.end(), 0);

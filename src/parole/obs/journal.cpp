@@ -1,0 +1,336 @@
+#include "parole/obs/journal.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+
+namespace parole::obs {
+namespace {
+
+thread_local TxJournal* tls_current_journal = nullptr;
+
+// Rare paths (evictions) resolve the counter by name instead of caching a
+// handle: the cost is irrelevant there and it keeps the journal usable in
+// -DPAROLE_OBS=OFF builds where the macros compile out.
+void bump_counter(const char* name) {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  if (registry.enabled()) registry.counter(name).add(1);
+}
+
+}  // namespace
+
+std::string_view to_string(TxEventKind kind) {
+  switch (kind) {
+    case TxEventKind::kDeposited: return "deposited";
+    case TxEventKind::kSubmitted: return "submitted";
+    case TxEventKind::kCollected: return "collected";
+    case TxEventKind::kDeferred: return "deferred";
+    case TxEventKind::kReordered: return "reordered";
+    case TxEventKind::kExecuted: return "executed";
+    case TxEventKind::kRejected: return "rejected";
+    case TxEventKind::kRootCommitted: return "root-committed";
+    case TxEventKind::kVerified: return "verified";
+    case TxEventKind::kFinalized: return "finalized";
+    case TxEventKind::kReverted: return "reverted";
+    case TxEventKind::kDropped: return "dropped";
+    case TxEventKind::kDelayed: return "delayed";
+    case TxEventKind::kReplayed: return "replayed";
+    case TxEventKind::kRestored: return "restored";
+    case TxEventKind::kFraudProven: return "fraud-proven";
+  }
+  return "unknown";
+}
+
+bool is_terminal(TxEventKind kind) {
+  return kind == TxEventKind::kFinalized || kind == TxEventKind::kDropped ||
+         kind == TxEventKind::kReverted;
+}
+
+TxJournal::TxJournal(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+TxJournal::TxJournal(TxJournal&& other) noexcept {
+  std::lock_guard lock(other.mutex_);
+  events_ = std::move(other.events_);
+  capacity_ = other.capacity_;
+  evicted_ = other.evicted_;
+  step_ = other.step_;
+}
+
+TxJournal& TxJournal::operator=(TxJournal&& other) noexcept {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mutex_, other.mutex_);
+  events_ = std::move(other.events_);
+  capacity_ = other.capacity_;
+  evicted_ = other.evicted_;
+  step_ = other.step_;
+  return *this;
+}
+
+TxJournal* TxJournal::current() noexcept { return tls_current_journal; }
+
+TxJournal::Scope::Scope(TxJournal* journal) noexcept
+    : previous_(tls_current_journal) {
+  tls_current_journal = journal;
+}
+
+TxJournal::Scope::~Scope() { tls_current_journal = previous_; }
+
+void TxJournal::record(TxEvent event) {
+  if (!enabled()) return;
+  if (event.t_ns == 0) event.t_ns = TraceRecorder::instance().now_ns();
+  std::lock_guard lock(mutex_);
+  if (event.step == 0) event.step = step_;
+  events_.push_back(event);
+  if (events_.size() > capacity_) evict_locked();
+}
+
+void TxJournal::set_step(std::uint64_t step) {
+  std::lock_guard lock(mutex_);
+  step_ = step;
+}
+
+std::uint64_t TxJournal::current_step() const {
+  std::lock_guard lock(mutex_);
+  return step_;
+}
+
+void TxJournal::evict_locked() {
+  while (events_.size() > capacity_) {
+    events_.pop_front();
+    ++evicted_;
+    bump_counter("parole.obs.journal_evictions");
+  }
+}
+
+void TxJournal::set_capacity(std::size_t capacity) {
+  std::lock_guard lock(mutex_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  events_.clear();
+  evicted_ = 0;
+}
+
+std::size_t TxJournal::capacity() const {
+  std::lock_guard lock(mutex_);
+  return capacity_;
+}
+
+std::size_t TxJournal::size() const {
+  std::lock_guard lock(mutex_);
+  return events_.size();
+}
+
+std::uint64_t TxJournal::evicted() const {
+  std::lock_guard lock(mutex_);
+  return evicted_;
+}
+
+void TxJournal::clear() {
+  std::lock_guard lock(mutex_);
+  events_.clear();
+  evicted_ = 0;
+}
+
+std::vector<TxEvent> TxJournal::snapshot() const {
+  std::lock_guard lock(mutex_);
+  return {events_.begin(), events_.end()};
+}
+
+std::vector<TxEvent> TxJournal::events_for_tx(std::uint64_t tx) const {
+  std::lock_guard lock(mutex_);
+  std::vector<TxEvent> out;
+  for (const TxEvent& event : events_) {
+    if (event.tx == tx) out.push_back(event);
+  }
+  return out;
+}
+
+std::vector<TxEvent> TxJournal::events_for_batch(std::uint64_t batch) const {
+  if (batch == kNoBatch) return {};
+  std::lock_guard lock(mutex_);
+  std::vector<TxEvent> out;
+  for (const TxEvent& event : events_) {
+    if (event.batch == batch) out.push_back(event);
+  }
+  return out;
+}
+
+TxJournal::Audit TxJournal::audit() const {
+  const std::vector<TxEvent> events = snapshot();
+  Audit audit;
+  audit.truncated = evicted() > 0;
+
+  // Group per tx, preserving order. std::map keeps the issue list stable.
+  std::map<std::uint64_t, std::vector<TxEvent>> per_tx;
+  for (const TxEvent& event : events) {
+    if (event.tx == 0) continue;  // pipeline-level events carry no chain
+    per_tx[event.tx].push_back(event);
+  }
+  audit.txs_seen = per_tx.size();
+
+  const auto issue = [&audit](std::uint64_t tx, const std::string& what) {
+    audit.ok = false;
+    if (audit.issues.size() < 32) {
+      audit.issues.push_back("tx " + std::to_string(tx) + ": " + what);
+    }
+  };
+
+  for (const auto& [tx, chain] : per_tx) {
+    // Evictions can behead an old transaction's chain; those are skipped
+    // (and flagged as truncation) rather than reported as broken.
+    if (audit.truncated && chain.front().kind != TxEventKind::kSubmitted) {
+      continue;
+    }
+    std::size_t opens = 0, collects = 0, finals = 0;
+    for (const TxEvent& event : chain) {
+      switch (event.kind) {
+        case TxEventKind::kSubmitted: ++opens; break;
+        case TxEventKind::kCollected: ++collects; break;
+        case TxEventKind::kFinalized:
+        case TxEventKind::kDropped: ++finals; break;
+        default: break;
+      }
+    }
+    if (collects == 0) continue;  // never entered a batch — nothing to close
+    ++audit.txs_collected;
+
+    // A trailing revert is the one place kReverted is terminal: nothing
+    // re-collected the transaction, so the revert closed its chain.
+    const TxEventKind last = chain.back().kind;
+    if (last == TxEventKind::kReverted) ++finals;
+
+    if (opens == 0) {
+      issue(tx, "collected without a mempool admission");
+      continue;
+    }
+    if (!is_terminal(last)) {
+      issue(tx, "chain ends in non-terminal '" +
+                    std::string(to_string(last)) + "'");
+      continue;
+    }
+    if (finals != opens) {
+      issue(tx, std::to_string(opens) + " admission(s) vs " +
+                    std::to_string(finals) + " terminal event(s)");
+      continue;
+    }
+    ++audit.txs_complete;
+  }
+  return audit;
+}
+
+TxJournal::LatencySummary TxJournal::latencies() const {
+  const std::vector<TxEvent> events = snapshot();
+  LatencySummary summary;
+
+  struct TxTrack {
+    std::vector<std::uint64_t> admissions;  // t_ns of each kSubmitted
+    std::size_t matched{0};                 // admissions already finalized
+  };
+  std::map<std::uint64_t, TxTrack> tracks;
+  struct BatchTrack {
+    std::uint64_t finalize_t{0};
+    std::uint64_t min_admission{0};
+    bool seen{false};
+  };
+  std::map<std::uint64_t, BatchTrack> batches;
+
+  const auto clamped = [](std::uint64_t end, std::uint64_t begin) {
+    return end > begin ? end - begin : std::uint64_t{0};
+  };
+
+  for (const TxEvent& event : events) {
+    if (event.tx == 0) continue;
+    TxTrack& track = tracks[event.tx];
+    if (event.kind == TxEventKind::kSubmitted) {
+      track.admissions.push_back(event.t_ns);
+    } else if (event.kind == TxEventKind::kFinalized) {
+      // Pair the i-th finalization with the i-th admission (a re-gossiped
+      // duplicate opens a second chain and gets its own pairing).
+      if (track.matched < track.admissions.size()) {
+        const std::uint64_t admitted = track.admissions[track.matched++];
+        summary.tx_latency_ns.push_back(clamped(event.t_ns, admitted));
+        if (event.batch != kNoBatch) {
+          BatchTrack& batch = batches[event.batch];
+          if (!batch.seen || admitted < batch.min_admission) {
+            batch.min_admission = admitted;
+          }
+          batch.finalize_t = std::max(batch.finalize_t, event.t_ns);
+          batch.seen = true;
+        }
+      }
+    }
+  }
+  for (const auto& [id, batch] : batches) {
+    summary.batch_e2e_ns.push_back(
+        clamped(batch.finalize_t, batch.min_admission));
+  }
+  std::sort(summary.tx_latency_ns.begin(), summary.tx_latency_ns.end());
+  std::sort(summary.batch_e2e_ns.begin(), summary.batch_e2e_ns.end());
+  return summary;
+}
+
+void TxJournal::save(io::ByteWriter& w) const {
+  std::lock_guard lock(mutex_);
+  w.u64(capacity_);
+  w.u64(evicted_);
+  w.u64(events_.size());
+  for (const TxEvent& event : events_) {
+    w.u64(event.tx);
+    w.u8(static_cast<std::uint8_t>(event.kind));
+    w.u64(event.step);
+    w.u64(event.t_ns);
+    w.u64(event.batch);
+    w.u64(event.a);
+    w.u64(event.b);
+  }
+}
+
+Status TxJournal::load(io::ByteReader& r) {
+  std::uint64_t capacity = 0, evicted = 0, count = 0;
+  PAROLE_IO_READ(r.u64(capacity), "journal capacity");
+  PAROLE_IO_READ(r.u64(evicted), "journal evictions");
+  // Each event is 6 u64 fields plus one kind byte.
+  PAROLE_IO_READ(r.length(count, 49), "journal event count");
+  if (capacity == 0 || count > capacity) {
+    return Error{"corrupt_checkpoint", "journal count exceeds capacity"};
+  }
+  std::deque<TxEvent> events;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TxEvent event;
+    std::uint8_t kind = 0;
+    PAROLE_IO_READ(r.u64(event.tx), "journal event tx");
+    PAROLE_IO_READ(r.u8(kind), "journal event kind");
+    if (kind >= kTxEventKindCount) {
+      return Error{"corrupt_checkpoint", "journal event kind out of range"};
+    }
+    event.kind = static_cast<TxEventKind>(kind);
+    PAROLE_IO_READ(r.u64(event.step), "journal event step");
+    PAROLE_IO_READ(r.u64(event.t_ns), "journal event t_ns");
+    PAROLE_IO_READ(r.u64(event.batch), "journal event batch");
+    PAROLE_IO_READ(r.u64(event.a), "journal event a");
+    PAROLE_IO_READ(r.u64(event.b), "journal event b");
+    events.push_back(event);
+  }
+  std::lock_guard lock(mutex_);
+  capacity_ = static_cast<std::size_t>(capacity);
+  evicted_ = evicted;
+  events_ = std::move(events);
+  return ok_status();
+}
+
+double sample_quantile(const std::vector<std::uint64_t>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (sorted.size() == 1) return static_cast<double>(sorted.front());
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const double rank = clamped * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return static_cast<double>(sorted[lo]) +
+         frac * (static_cast<double>(sorted[hi]) -
+                 static_cast<double>(sorted[lo]));
+}
+
+}  // namespace parole::obs

@@ -1,0 +1,208 @@
+// Per-transaction lifecycle journal (DESIGN.md §11).
+//
+// PAROLE's attack is a story about where individual transactions go: the
+// adversarial aggregator pulls them from the private Bedrock mempool,
+// permutes them, and the victim only ever sees the finalized order. The
+// TxJournal closes that visibility gap: every stage of the rollup pipeline
+// appends a causal TxEvent — deposited, submitted, collected, reordered
+// i→j, executed/rejected, root-committed, verified, finalized, reverted,
+// chaos-dropped/delayed/replayed — keyed by tx id, so "what happened to
+// tx 4711?" has a queryable answer.
+//
+// Cost model mirrors the TraceRecorder: journaling is OFF by default and an
+// unarmed emission site costs one relaxed atomic load (plus, for free
+// functions, one thread-local read). When armed, events go through a mutex
+// into a bounded ring — the journal overwrites its oldest events and counts
+// evictions into parole.obs.journal_evictions rather than growing without
+// bound.
+//
+// Ownership: each RollupNode owns one TxJournal (tx ids are unique per node,
+// not per process, so a process-global journal would conflate campaigns that
+// run several nodes). Pipeline stages that have no node pointer — the
+// mempool, the VM engine, the PAROLE reorderer, the dispute game — emit
+// through a thread-local *current* journal the node installs for the
+// duration of a step via TxJournal::Scope. A Scope installing nullptr
+// suppresses emission, which is how re-execution paths (solver search,
+// verifier replay, bisection) keep probe executions out of the lifecycle
+// record.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parole/io/bytes.hpp"
+
+namespace parole::obs {
+
+enum class TxEventKind : std::uint8_t {
+  kDeposited,      // L1 deposit credited on L2 (tx = 0; a = user, b = amount)
+  kSubmitted,      // admitted to the Bedrock mempool — opens a chain
+  kCollected,      // pulled into an aggregator's collection
+  kDeferred,       // pushed to the block behind (screen / revert return)
+  kReordered,      // moved by the adversarial reorderer (a = from, b = to)
+  kExecuted,       // applied by the VM inside a batch build
+  kRejected,       // constraints failed inside a batch build (reverts on chain)
+  kRootCommitted,  // its batch's header + roots committed on L1
+  kVerified,       // a verifier re-executed its batch and found it valid
+  kFinalized,      // its batch finalized on L1 — terminal
+  kReverted,       // its batch was rolled back (fraud/orphan); re-enters pool
+  kDropped,        // chaos: dropped from a collected set — terminal
+  kDelayed,        // chaos: withheld; will re-enter the pool later
+  kReplayed,       // chaos: duplicate re-gossiped (a second chain opens)
+  kRestored,       // returned to the pool (crash restore / delay release)
+  kFraudProven,    // dispute game verdict against its batch (tx = 0)
+};
+inline constexpr std::size_t kTxEventKindCount = 16;
+
+[[nodiscard]] std::string_view to_string(TxEventKind kind);
+
+// A terminal event ends a transaction's causal chain: it either made it onto
+// the finalized L1 order, was rolled back with nothing re-collecting it, or
+// was dropped by a fault. kReverted is terminal only as a *last* event — a
+// reverted tx normally re-enters the pool and continues its chain.
+[[nodiscard]] bool is_terminal(TxEventKind kind);
+
+// "No batch" sentinel for TxEvent::batch. L1 batch ids are 0-based (the
+// first committed batch IS batch 0), so 0 cannot double as the absence
+// marker — it would make the first batch of every run invisible to batch
+// queries and e2e latency.
+inline constexpr std::uint64_t kNoBatch = ~std::uint64_t{0};
+
+struct TxEvent {
+  std::uint64_t tx{0};  // 0 = pipeline-level event (deposit, dispute verdict)
+  TxEventKind kind{TxEventKind::kSubmitted};
+  std::uint64_t step{0};  // rollup step index when emitted
+  std::uint64_t t_ns{0};  // TraceRecorder clock (shared with spans)
+  std::uint64_t batch{kNoBatch};  // kNoBatch = not yet batch-associated
+  std::uint64_t a{0};             // kind-specific (reordered: from-position)
+  std::uint64_t b{0};             // kind-specific (reordered: to-position)
+
+  friend bool operator==(const TxEvent&, const TxEvent&) = default;
+};
+
+class TxJournal {
+ public:
+  explicit TxJournal(std::size_t capacity = 1 << 16);
+
+  TxJournal(const TxJournal&) = delete;
+  TxJournal& operator=(const TxJournal&) = delete;
+  // Movable so RollupNode stays movable. Moving a journal that is installed
+  // as a thread's *current* would leave that thread pointing at the husk —
+  // move nodes before stepping them, as the tests do.
+  TxJournal(TxJournal&& other) noexcept;
+  TxJournal& operator=(TxJournal&& other) noexcept;
+
+  // Process-wide arm switch (mirrors TraceRecorder::set_enabled): a plain
+  // static atomic so the unarmed emission fast path is one relaxed load.
+  static void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // The journal installed on this thread (nullptr = none/suppressed).
+  [[nodiscard]] static TxJournal* current() noexcept;
+
+  // RAII installer. RollupNode::step() installs its own journal; replay and
+  // search paths install nullptr to keep probe executions out of the record.
+  class Scope {
+   public:
+    explicit Scope(TxJournal* journal) noexcept;
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    TxJournal* previous_;
+  };
+
+  // Emit through the thread-local current journal; no-op when journaling is
+  // off or no journal is installed. This is the free-function entry point
+  // for stages without a node pointer (mempool, engine, reorderer, dispute).
+  static void emit(TxEvent event) {
+    if (!enabled()) return;
+    if (TxJournal* journal = current()) journal->record(event);
+  }
+
+  // Append one event (stamps t_ns and step when the caller left them 0).
+  // No-op unless journaling is enabled.
+  void record(TxEvent event);
+
+  // The rollup step stamped onto events whose step is 0 — the node updates
+  // this at the top of each step() so free-function emitters (mempool, VM)
+  // need no step plumbing of their own.
+  void set_step(std::uint64_t step);
+  [[nodiscard]] std::uint64_t current_step() const;
+
+  // Ring capacity in events; resizing clears the journal.
+  void set_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t capacity() const;
+  [[nodiscard]] std::size_t size() const;
+  // Events that fell off the ring (also counted process-wide into the
+  // parole.obs.journal_evictions counter).
+  [[nodiscard]] std::uint64_t evicted() const;
+  void clear();
+
+  // All events, oldest first.
+  [[nodiscard]] std::vector<TxEvent> snapshot() const;
+  // Events for one transaction / one batch, oldest first.
+  [[nodiscard]] std::vector<TxEvent> events_for_tx(std::uint64_t tx) const;
+  [[nodiscard]] std::vector<TxEvent> events_for_batch(
+      std::uint64_t batch) const;
+
+  // Causal-chain audit: every collected transaction must own a complete
+  // chain ending in exactly one terminal event per admission (a re-gossiped
+  // duplicate opens a second chain that must also terminate). Run this at
+  // quiescence — a transaction still sitting in the mempool legitimately has
+  // an open chain and is reported as incomplete.
+  struct Audit {
+    bool ok{true};
+    std::size_t txs_seen{0};       // distinct tx ids with events
+    std::size_t txs_collected{0};  // ids that entered at least one batch
+    std::size_t txs_complete{0};   // collected ids whose chains all closed
+    bool truncated{false};         // evictions occurred; old chains skipped
+    std::vector<std::string> issues;  // capped at 32 entries
+  };
+  [[nodiscard]] Audit audit() const;
+
+  // Derived latency distributions, exact over the journaled events:
+  //   tx_latency     admission (first kSubmitted) → that chain's kFinalized
+  //   batch_e2e      earliest admission of a batch's txs → batch finalized
+  // Durations are on the TraceRecorder clock; a resumed run's restored
+  // events may predate the new process epoch, so negative spans clamp to 0.
+  struct LatencySummary {
+    std::vector<std::uint64_t> tx_latency_ns;   // sorted ascending
+    std::vector<std::uint64_t> batch_e2e_ns;    // sorted ascending
+  };
+  [[nodiscard]] LatencySummary latencies() const;
+
+  // Checkpointing (DESIGN.md §10): the full ring, so a killed-and-resumed
+  // run's journal still carries every pre-crash event and the audit holds
+  // across the SIGKILL boundary.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
+
+ private:
+  void evict_locked();
+
+  mutable std::mutex mutex_;
+  std::deque<TxEvent> events_;
+  std::size_t capacity_;
+  std::uint64_t evicted_{0};
+  std::uint64_t step_{0};
+  inline static std::atomic<bool> enabled_{false};
+};
+
+// Exact quantile of a sorted duration sample (linear interpolation between
+// order statistics); 0 on an empty sample. Shared by the journal exporter
+// and tests.
+[[nodiscard]] double sample_quantile(const std::vector<std::uint64_t>& sorted,
+                                     double q);
+
+}  // namespace parole::obs

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace parole::obs {
 namespace {
@@ -30,6 +31,47 @@ Histogram::Histogram(std::vector<double> upper_bounds)
   assert(std::is_sorted(bounds_.begin(), bounds_.end()));
   buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
   for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i] = 0;
+}
+
+std::vector<double> Histogram::log_bounds(double lo, double hi,
+                                          int per_decade) {
+  std::vector<double> out;
+  if (!(lo > 0.0) || !(hi > lo) || per_decade < 1) return out;
+  const double decades = std::log10(hi / lo);
+  const auto steps =
+      static_cast<std::size_t>(std::ceil(per_decade * decades - 1e-9));
+  out.reserve(steps + 1);
+  for (std::size_t i = 0; i < steps; ++i) {
+    out.push_back(lo * std::pow(10.0, static_cast<double>(i) / per_decade));
+  }
+  // Rounding can land the last computed bound on (or past) hi; hi itself is
+  // always the final bound so the range is covered exactly once.
+  while (!out.empty() && out.back() >= hi) out.pop_back();
+  out.push_back(hi);
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  const double clamped = std::min(1.0, std::max(0.0, q));
+  const double target = clamped * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  double lower = 0.0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket > 0 &&
+        static_cast<double>(cumulative + in_bucket) >= target) {
+      const double fraction =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lower + fraction * (bounds_[i] - lower);
+    }
+    cumulative += in_bucket;
+    lower = bounds_[i];
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();  // overflow: clamp
 }
 
 void Histogram::observe(double v) noexcept {
@@ -116,6 +158,9 @@ std::vector<MetricSample> MetricsRegistry::snapshot() const {
       sample.bounds = histogram->bounds();
       sample.bucket_counts = histogram->counts();
       sample.sum = histogram->sum();
+      sample.p50 = histogram->quantile(0.50);
+      sample.p95 = histogram->quantile(0.95);
+      sample.p99 = histogram->quantile(0.99);
       out.push_back(std::move(sample));
     }
   }

@@ -59,7 +59,21 @@ class Histogram {
  public:
   explicit Histogram(std::vector<double> upper_bounds);
 
+  // Log-spaced bounds: `per_decade` geometrically spaced buckets per power
+  // of ten covering [lo, hi] (hi is always the last bound). The right shape
+  // for latency-style metrics whose tails span orders of magnitude — decade
+  // buckets put p99 in the overflow bucket, log buckets keep it resolvable.
+  // Returns {} (→ default decade buckets) on a degenerate range.
+  [[nodiscard]] static std::vector<double> log_bounds(double lo, double hi,
+                                                      int per_decade = 3);
+
   void observe(double v) noexcept;
+
+  // Bucket-interpolated quantile estimate (q in [0,1]): finds the bucket
+  // holding the q-th observation and interpolates linearly inside it.
+  // Observations in the overflow bucket clamp to the last bound; exact only
+  // up to bucket resolution. 0 on an empty histogram.
+  [[nodiscard]] double quantile(double q) const;
 
   [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
   // counts() has bounds().size() + 1 entries; the last is the overflow.
@@ -90,6 +104,10 @@ struct MetricSample {
   std::vector<double> bounds;
   std::vector<std::uint64_t> bucket_counts;
   double sum{0.0};
+  // Bucket-interpolated quantile estimates (0 when the histogram is empty).
+  double p50{0.0};
+  double p95{0.0};
+  double p99{0.0};
 };
 
 class MetricsRegistry {

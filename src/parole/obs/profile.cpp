@@ -1,0 +1,175 @@
+#include "parole/obs/profile.hpp"
+
+#include <fstream>
+#include <functional>
+#include <unordered_map>
+
+#include "parole/common/table.hpp"
+#include "parole/obs/json.hpp"
+
+namespace parole::obs {
+
+Profile build_profile(const std::vector<SpanRecord>& records) {
+  Profile profile;
+  profile.nodes.push_back(ProfileNode{});  // synthetic root
+  profile.spans = records.size();
+
+  std::unordered_map<std::uint64_t, std::size_t> record_by_id;
+  record_by_id.reserve(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (records[i].id != 0) record_by_id[records[i].id] = i;
+  }
+
+  // Direct-children time per span id, for self = total - children.
+  std::unordered_map<std::uint64_t, std::uint64_t> child_ns;
+  for (const SpanRecord& record : records) {
+    if (record.parent != 0 && record_by_id.count(record.parent) != 0) {
+      child_ns[record.parent] += record.duration_ns;
+    }
+  }
+
+  // Resolve each span to its name-path node, memoized per span id. The ring
+  // is completion-ordered (parents complete after children), so resolution
+  // recurses upward; depth is bounded by span nesting, not ring size.
+  std::unordered_map<std::uint64_t, std::size_t> node_of_span;
+  node_of_span.reserve(records.size());
+  const std::function<std::size_t(std::size_t)> resolve =
+      [&](std::size_t index) -> std::size_t {
+    const SpanRecord& record = records[index];
+    if (const auto it = node_of_span.find(record.id);
+        it != node_of_span.end()) {
+      return it->second;
+    }
+    std::size_t parent_node = 0;
+    if (record.parent != 0) {
+      const auto parent = record_by_id.find(record.parent);
+      if (parent != record_by_id.end()) {
+        parent_node = resolve(parent->second);
+      } else {
+        ++profile.orphans;  // ancestor fell off the ring; graft onto root
+      }
+    }
+    auto [child, inserted] =
+        profile.nodes[parent_node].children.try_emplace(record.name, 0);
+    if (inserted) {
+      child->second = profile.nodes.size();
+      ProfileNode node;
+      node.name = record.name;
+      node.depth = profile.nodes[parent_node].depth + 1;
+      profile.nodes.push_back(std::move(node));
+    }
+    const std::size_t node_index = child->second;
+    node_of_span.emplace(record.id, node_index);
+    return node_index;
+  };
+
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& record = records[i];
+    ProfileNode& node = profile.nodes[resolve(i)];
+    ++node.count;
+    node.total_ns += record.duration_ns;
+    const auto children = child_ns.find(record.id);
+    const std::uint64_t nested =
+        children == child_ns.end() ? 0 : children->second;
+    node.self_ns +=
+        record.duration_ns > nested ? record.duration_ns - nested : 0;
+  }
+
+  // Root totals: the sum over its direct children, i.e. all root-span time.
+  ProfileNode& root = profile.nodes[0];
+  for (const auto& [name, index] : root.children) {
+    root.count += profile.nodes[index].count;
+    root.total_ns += profile.nodes[index].total_ns;
+  }
+  return profile;
+}
+
+std::string Profile::collapsed() const {
+  std::string out;
+  const std::function<void(std::size_t, const std::string&)> dfs =
+      [&](std::size_t index, const std::string& prefix) {
+        const ProfileNode& node = nodes[index];
+        const std::string path =
+            prefix.empty() ? node.name : prefix + ";" + node.name;
+        if (index != 0 && node.self_ns > 0) {
+          out += path;
+          out.push_back(' ');
+          out += std::to_string(node.self_ns);
+          out.push_back('\n');
+        }
+        for (const auto& [name, child] : node.children) dfs(child, path);
+      };
+  dfs(0, "");
+  return out;
+}
+
+std::string profile_table(const Profile& profile) {
+  TablePrinter table("telemetry: profile");
+  table.columns({"span", "count", "total_ms", "self_ms", "self_%"});
+  const double root_ns =
+      static_cast<double>(profile.nodes.empty() ? 0 : profile.nodes[0].total_ns);
+  const std::function<void(std::size_t)> dfs = [&](std::size_t index) {
+    const ProfileNode& node = profile.nodes[index];
+    if (index != 0) {
+      const std::string indent((node.depth - 1) * 2, ' ');
+      const double share =
+          root_ns > 0.0
+              ? 100.0 * static_cast<double>(node.self_ns) / root_ns
+              : 0.0;
+      table.row({indent + node.name,
+                 TablePrinter::integer(static_cast<long long>(node.count)),
+                 TablePrinter::num(static_cast<double>(node.total_ns) / 1e6, 3),
+                 TablePrinter::num(static_cast<double>(node.self_ns) / 1e6, 3),
+                 TablePrinter::num(share, 1)});
+    }
+    for (const auto& [name, child] : profile.nodes[index].children) dfs(child);
+  };
+  dfs(0);
+  return table.to_string();
+}
+
+Result<std::vector<SpanRecord>> spans_from_report(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{"report_io", "cannot open '" + path + "'"};
+  std::vector<SpanRecord> spans;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = json_parse(line);
+    if (!parsed.ok()) {
+      return Error{"report_schema",
+                   path + ":" + std::to_string(line_no) + ": " +
+                       parsed.error().detail};
+    }
+    const JsonValue& value = parsed.value();
+    if (!value.is_object()) continue;
+    const JsonValue* type = value.find("type");
+    if (type == nullptr || !type->is_string() ||
+        type->as_string() != "span") {
+      continue;
+    }
+    const auto number = [&](const char* key) -> std::uint64_t {
+      const JsonValue* member = value.find(key);
+      return member != nullptr && member->is_number() ? member->as_uint() : 0;
+    };
+    const JsonValue* name = value.find("name");
+    if (name == nullptr || !name->is_string() || number("id") == 0) {
+      return Error{"report_schema", path + ":" + std::to_string(line_no) +
+                                        ": malformed span line"};
+    }
+    SpanRecord record;
+    record.id = number("id");
+    record.parent = number("parent");
+    record.depth = static_cast<std::uint32_t>(number("depth"));
+    record.thread_id = static_cast<std::uint32_t>(number("tid"));
+    record.name = name->as_string();
+    record.start_ns = number("start_ns");
+    record.duration_ns = number("dur_ns");
+    spans.push_back(std::move(record));
+  }
+  return spans;
+}
+
+}  // namespace parole::obs

@@ -1,0 +1,68 @@
+// Span-profile aggregation (DESIGN.md §11).
+//
+// A TraceRecorder snapshot is a flat ring of completed spans with
+// parent-id links. build_profile() folds it into a call-tree profile: one
+// node per distinct *name path* (root > solvers.solve > solvers.evaluate),
+// carrying invocation count, total (inclusive) time and self (exclusive)
+// time. Two export surfaces:
+//
+//   * profile_table()  — human-readable hot-path table via common/table,
+//     rows in depth-first order, names indented by depth;
+//   * Profile::collapsed() — the collapsed-stack format flamegraph.pl and
+//     speedscope consume: one `frame;frame;frame <self_ns>` line per node
+//     with nonzero self time. Because self times partition each root span's
+//     duration, the collapsed values sum to the root spans' total durations
+//     (exactly, modulo clamping of clock jitter).
+//
+// The ring is bounded, so a snapshot can be missing ancestors (dropped
+// records). Spans whose parent id is absent are grafted onto the synthetic
+// root and counted in Profile::orphans — the profile stays a tree and the
+// sum property degrades gracefully instead of crashing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "parole/common/result.hpp"
+#include "parole/obs/trace.hpp"
+
+namespace parole::obs {
+
+struct ProfileNode {
+  std::string name;          // frame name ("" for the synthetic root)
+  std::uint32_t depth{0};    // 0 = root; children of root are depth 1
+  std::uint64_t count{0};    // completed spans aggregated into this node
+  std::uint64_t total_ns{0};  // inclusive time
+  std::uint64_t self_ns{0};   // exclusive time (total minus direct children)
+  std::map<std::string, std::size_t> children;  // name -> index in nodes
+};
+
+struct Profile {
+  // nodes[0] is the synthetic root; its total_ns is the sum of root-span
+  // durations and its self_ns is always 0.
+  std::vector<ProfileNode> nodes;
+  std::uint64_t spans{0};    // records aggregated
+  std::uint64_t orphans{0};  // records whose parent fell off the ring
+
+  // Collapsed-stack export: `a;b;c <self_ns>` lines, depth-first, children
+  // in name order (deterministic). Nodes with zero self time are omitted.
+  [[nodiscard]] std::string collapsed() const;
+};
+
+// Fold a span snapshot into a call-tree profile. Handles any record order
+// (the ring is completion-ordered, so parents complete after children).
+[[nodiscard]] Profile build_profile(const std::vector<SpanRecord>& records);
+
+// Hot-path table: name (indented by depth), count, total/self ms, and self
+// as a share of all root time. Depth-first, children in name order.
+[[nodiscard]] std::string profile_table(const Profile& profile);
+
+// Re-hydrate span records from a schema-1 JSONL report ("span" lines; all
+// other line types are skipped). This is what `parole_cli profile` feeds
+// build_profile with.
+[[nodiscard]] Result<std::vector<SpanRecord>> spans_from_report(
+    const std::string& path);
+
+}  // namespace parole::obs

@@ -1,0 +1,190 @@
+#include "parole/obs/regress.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "parole/common/table.hpp"
+#include "parole/obs/json.hpp"
+
+namespace parole::obs {
+namespace {
+
+// All "result" rows of a schema-1 JSONL report, in file order.
+Result<std::vector<JsonObject>> result_rows(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{"report_io", "cannot open '" + path + "'"};
+  std::vector<JsonObject> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto parsed = json_parse(line);
+    if (!parsed.ok()) {
+      return Error{"report_schema", path + ":" + std::to_string(line_no) +
+                                        ": " + parsed.error().detail};
+    }
+    const JsonValue& value = parsed.value();
+    if (!value.is_object()) continue;
+    const JsonValue* type = value.find("type");
+    if (type != nullptr && type->is_string() &&
+        type->as_string() == "result") {
+      rows.push_back(value.as_object());
+    }
+  }
+  return rows;
+}
+
+// Identity of a row under the configured keys, e.g. "n=64 move=swap-local".
+// Missing keys render as "?" so near-matches stay distinguishable.
+std::string row_identity(const JsonObject& row,
+                         const std::vector<std::string>& keys) {
+  std::string identity;
+  for (const std::string& key : keys) {
+    if (!identity.empty()) identity.push_back(' ');
+    identity += key;
+    identity.push_back('=');
+    const auto member = row.find(key);
+    identity += member == row.end() ? "?" : member->second.dump();
+  }
+  return identity;
+}
+
+}  // namespace
+
+Result<RegressReport> compare_reports(const std::string& baseline_path,
+                                      const std::string& current_path,
+                                      const RegressOptions& options) {
+  auto baseline = result_rows(baseline_path);
+  if (!baseline.ok()) return baseline.error();
+  auto current = result_rows(current_path);
+  if (!current.ok()) return current.error();
+
+  RegressReport report;
+  report.baseline_rows = baseline.value().size();
+  report.current_rows = current.value().size();
+
+  const auto problem = [&report](std::string what) {
+    report.ok = false;
+    report.problems.push_back(std::move(what));
+  };
+
+  if (baseline.value().empty()) {
+    problem("baseline '" + baseline_path + "' has no result rows");
+    return report;
+  }
+
+  std::map<std::string, const JsonObject*> current_by_identity;
+  for (const JsonObject& row : current.value()) {
+    current_by_identity[row_identity(row, options.keys)] = &row;
+  }
+
+  for (const JsonObject& baseline_row : baseline.value()) {
+    const std::string identity = row_identity(baseline_row, options.keys);
+    const auto match = current_by_identity.find(identity);
+    if (match == current_by_identity.end()) {
+      problem("row [" + identity + "] missing from current report");
+      continue;
+    }
+    for (const RegressRule& rule : options.rules) {
+      const auto base_member = baseline_row.find(rule.metric);
+      const auto cur_member = match->second->find(rule.metric);
+      if (base_member == baseline_row.end() ||
+          !base_member->second.is_number()) {
+        problem("row [" + identity + "] baseline lacks numeric '" +
+                rule.metric + "'");
+        continue;
+      }
+      if (cur_member == match->second->end() ||
+          !cur_member->second.is_number()) {
+        problem("row [" + identity + "] current lacks numeric '" +
+                rule.metric + "'");
+        continue;
+      }
+      const double base_value = base_member->second.as_double();
+      if (!(base_value > 0.0)) {
+        problem("row [" + identity + "] baseline '" + rule.metric +
+                "' is not positive; cannot gate on a ratio");
+        continue;
+      }
+      RegressCheck check;
+      check.row = identity;
+      check.metric = rule.metric;
+      check.baseline = base_value;
+      check.current = cur_member->second.as_double() * options.scale;
+      check.ratio = check.current / check.baseline;
+      check.ok = (rule.min_ratio <= 0.0 || check.ratio >= rule.min_ratio) &&
+                 (rule.max_ratio <= 0.0 || check.ratio <= rule.max_ratio);
+      if (!check.ok) report.ok = false;
+      report.checks.push_back(std::move(check));
+    }
+  }
+  return report;
+}
+
+RegressReport merge_best(const std::vector<RegressReport>& runs) {
+  RegressReport merged;
+  if (runs.empty()) {
+    merged.ok = false;
+    merged.problems.emplace_back("no runs to merge");
+    return merged;
+  }
+  merged.baseline_rows = runs.front().baseline_rows;
+
+  // Per (row, metric): the check with the best ratio across runs, in first
+  // appearance order so the verdict table stays stable.
+  std::vector<const RegressCheck*> best;
+  std::map<std::string, std::size_t> index;
+  for (const RegressReport& run : runs) {
+    merged.current_rows = std::max(merged.current_rows, run.current_rows);
+    for (const RegressCheck& check : run.checks) {
+      const std::string key = check.row + "\n" + check.metric;
+      const auto slot = index.find(key);
+      if (slot == index.end()) {
+        index.emplace(key, best.size());
+        best.push_back(&check);
+      } else if (check.ratio > best[slot->second]->ratio) {
+        best[slot->second] = &check;
+      }
+    }
+  }
+  merged.ok = true;
+  for (const RegressCheck* check : best) {
+    if (!check->ok) merged.ok = false;
+    merged.checks.push_back(*check);
+  }
+
+  // A problem survives only when every run reports it.
+  for (const std::string& problem : runs.front().problems) {
+    const bool everywhere = std::all_of(
+        runs.begin() + 1, runs.end(), [&problem](const RegressReport& run) {
+          return std::find(run.problems.begin(), run.problems.end(),
+                           problem) != run.problems.end();
+        });
+    if (everywhere) {
+      merged.ok = false;
+      merged.problems.push_back(problem);
+    }
+  }
+  return merged;
+}
+
+std::string RegressReport::to_string() const {
+  TablePrinter table("bench: regression gate");
+  table.columns({"row", "metric", "baseline", "current", "ratio", "status"});
+  for (const RegressCheck& check : checks) {
+    table.row({check.row, check.metric, TablePrinter::num(check.baseline, 3),
+               TablePrinter::num(check.current, 3),
+               TablePrinter::num(check.ratio, 3),
+               check.ok ? "ok" : "FAIL"});
+  }
+  std::string out = table.to_string();
+  for (const std::string& what : problems) {
+    out += "problem: " + what + "\n";
+  }
+  out += std::string("verdict: ") + (ok ? "PASS" : "FAIL") + "\n";
+  return out;
+}
+
+}  // namespace parole::obs

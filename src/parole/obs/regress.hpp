@@ -1,0 +1,75 @@
+// Benchmark regression gate (DESIGN.md §11).
+//
+// compare_reports() diffs two BENCH_*.json RunReports (schema-1 JSONL):
+// result rows are matched by an identity key tuple (for the evaluator bench:
+// n + move), then per-metric ratio rules are applied — fail when
+// current/baseline drops below min_ratio or rises above max_ratio. A row
+// present in the baseline but missing from the current report is a failure
+// (a silently vanished configuration must not turn the gate green).
+//
+// CI gates on *dimensionless* metrics only (the evaluator's `speedup` —
+// incremental vs full evaluation throughput on the same machine in the same
+// process). Raw evals/sec vary with runner hardware; a ratio of two numbers
+// measured side by side does not, so a checked-in baseline stays meaningful
+// across machines. The default rule (speedup, min_ratio 0.85) is the ">15%
+// regression fails the build" acceptance gate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "parole/common/result.hpp"
+
+namespace parole::obs {
+
+struct RegressRule {
+  std::string metric;     // numeric key inside matched result rows
+  double min_ratio{0.0};  // fail when current/baseline < min_ratio (0 = off)
+  double max_ratio{0.0};  // fail when current/baseline > max_ratio (0 = off)
+};
+
+struct RegressOptions {
+  // Result-row identity: rows agree when every key dumps to the same value.
+  std::vector<std::string> keys{"n", "move"};
+  std::vector<RegressRule> rules{{"speedup", 0.85, 0.0}};
+  // Multiplier applied to the current report's gated metrics before the
+  // ratio check. CI's self-test injects an artificial slowdown this way to
+  // prove the gate actually fires (scale 0.82 ≈ an 18% regression).
+  double scale{1.0};
+};
+
+struct RegressCheck {
+  std::string row;     // rendered identity, e.g. "n=64 move=swap-local"
+  std::string metric;
+  double baseline{0.0};
+  double current{0.0};  // after options.scale
+  double ratio{0.0};    // current/baseline
+  bool ok{false};
+};
+
+struct RegressReport {
+  bool ok{true};
+  std::vector<RegressCheck> checks;
+  std::vector<std::string> problems;  // missing rows/metrics, bad baselines
+  std::size_t baseline_rows{0};
+  std::size_t current_rows{0};
+
+  // Human-readable verdict table (one row per check, problems appended).
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Diff two reports. Returns an error only when a file cannot be read or
+// parsed; gate verdicts (including missing rows) land in RegressReport.
+[[nodiscard]] Result<RegressReport> compare_reports(
+    const std::string& baseline_path, const std::string& current_path,
+    const RegressOptions& options = {});
+
+// Best-of-N merge across repeated comparisons of the same baseline.
+// Micro-bench timing windows are noisy on shared runners, and the noise is
+// per-run independent while a real regression depresses every run — so the
+// gate takes, per (row, metric), the check with the best ratio across runs,
+// and keeps only problems that occur in *every* run (a row missing from one
+// run but present in another is a flake, not a vanished configuration).
+[[nodiscard]] RegressReport merge_best(const std::vector<RegressReport>& runs);
+
+}  // namespace parole::obs

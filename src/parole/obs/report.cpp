@@ -34,9 +34,55 @@ JsonObject sample_to_object(const MetricSample& sample) {
       for (const std::uint64_t c : sample.bucket_counts) counts.emplace_back(c);
       line["bounds"] = std::move(bounds);
       line["counts"] = std::move(counts);
+      line["p50"] = sample.p50;
+      line["p95"] = sample.p95;
+      line["p99"] = sample.p99;
       break;
     }
   }
+  return line;
+}
+
+JsonObject txevent_to_object(const TxEvent& event) {
+  JsonObject line;
+  line["type"] = "txevent";
+  line["tx"] = event.tx;
+  line["event"] = std::string(to_string(event.kind));
+  line["step"] = event.step;
+  line["t_ns"] = event.t_ns;
+  if (event.batch != kNoBatch) line["batch"] = event.batch;
+  // Reorder deltas always carry both positions — 0 is a legal position.
+  const bool reordered = event.kind == TxEventKind::kReordered;
+  if (reordered || event.a != 0) line["a"] = event.a;
+  if (reordered || event.b != 0) line["b"] = event.b;
+  return line;
+}
+
+// Derived latency distribution as a histogram line: log-spaced buckets from
+// 1µs to 10s (latencies are on the ns span clock) with *exact* quantiles
+// computed from the sample rather than bucket-interpolated.
+JsonObject latency_histogram_line(const std::string& name,
+                                  const std::vector<std::uint64_t>& sorted) {
+  Histogram hist(Histogram::log_bounds(1e3, 1e10, 2));
+  double sum = 0.0;
+  for (const std::uint64_t v : sorted) {
+    hist.observe(static_cast<double>(v));
+    sum += static_cast<double>(v);
+  }
+  JsonObject line;
+  line["type"] = "histogram";
+  line["name"] = name;
+  line["count"] = static_cast<std::uint64_t>(sorted.size());
+  line["sum"] = sum;
+  JsonArray bounds;
+  for (const double b : hist.bounds()) bounds.emplace_back(b);
+  JsonArray counts;
+  for (const std::uint64_t c : hist.counts()) counts.emplace_back(c);
+  line["bounds"] = std::move(bounds);
+  line["counts"] = std::move(counts);
+  line["p50"] = sample_quantile(sorted, 0.50);
+  line["p95"] = sample_quantile(sorted, 0.95);
+  line["p99"] = sample_quantile(sorted, 0.99);
   return line;
 }
 
@@ -83,6 +129,7 @@ void RunReport::capture_trace(const TraceRecorder& recorder) {
     line["id"] = span.id;
     line["parent"] = span.parent;
     line["depth"] = static_cast<std::uint64_t>(span.depth);
+    line["tid"] = static_cast<std::uint64_t>(span.thread_id);
     line["start_ns"] = span.start_ns;
     line["dur_ns"] = span.duration_ns;
     lines_.push_back(std::move(line));
@@ -98,6 +145,17 @@ void RunReport::add_fault(std::uint64_t step, const std::string& kind,
   line["subject"] = subject;
   if (!detail.empty()) line["detail"] = detail;
   lines_.push_back(std::move(line));
+}
+
+void RunReport::capture_journal(const TxJournal& journal) {
+  for (const TxEvent& event : journal.snapshot()) {
+    lines_.push_back(txevent_to_object(event));
+  }
+  const TxJournal::LatencySummary latencies = journal.latencies();
+  lines_.push_back(latency_histogram_line("parole.journal.tx_latency_ns",
+                                          latencies.tx_latency_ns));
+  lines_.push_back(latency_histogram_line("parole.journal.batch_e2e_ns",
+                                          latencies.batch_e2e_ns));
 }
 
 std::string RunReport::to_jsonl() const {
@@ -176,10 +234,23 @@ Status RunReport::validate_line(const std::string& line) {
   }
   if (kind == "span") {
     if (Status s = require_string(value, "name"); !s.ok()) return s;
-    for (const char* key : {"id", "parent", "depth", "start_ns", "dur_ns"}) {
+    for (const char* key :
+         {"id", "parent", "depth", "tid", "start_ns", "dur_ns"}) {
       if (Status s = require_number(value, key); !s.ok()) return s;
     }
     return check(value.find("id")->as_uint() > 0, "span id must be positive");
+  }
+  if (kind == "txevent") {
+    if (Status s = require_string(value, "event"); !s.ok()) return s;
+    for (const char* key : {"tx", "step", "t_ns"}) {
+      if (Status s = require_number(value, key); !s.ok()) return s;
+    }
+    // The event name must belong to the lifecycle taxonomy.
+    const std::string& event = value.find("event")->as_string();
+    for (std::size_t i = 0; i < kTxEventKindCount; ++i) {
+      if (event == to_string(static_cast<TxEventKind>(i))) return ok_status();
+    }
+    return check(false, "unknown lifecycle event '" + event + "'");
   }
   return check(false, "unknown line type '" + kind + "'");
 }
@@ -301,6 +372,10 @@ Status StreamingReport::add_fault(std::uint64_t step, const std::string& kind,
   return append(line);
 }
 
+Status StreamingReport::add_txevent(const TxEvent& event) {
+  return append(txevent_to_object(event));
+}
+
 void StreamingReport::close() {
   if (file_ != nullptr) {
     std::fclose(file_);
@@ -310,16 +385,18 @@ void StreamingReport::close() {
 
 std::string metrics_table(const MetricsRegistry& registry) {
   TablePrinter table("telemetry: metrics");
-  table.columns({"metric", "kind", "value", "sum"});
+  table.columns({"metric", "kind", "value", "sum", "p50", "p95", "p99"});
   for (const MetricSample& sample : registry.snapshot()) {
+    const bool histogram = sample.kind == MetricSample::Kind::kHistogram;
     const char* kind = sample.kind == MetricSample::Kind::kCounter ? "counter"
                        : sample.kind == MetricSample::Kind::kGauge
                            ? "gauge"
                            : "histogram";
     table.row({sample.name, kind, TablePrinter::num(sample.value, 3),
-               sample.kind == MetricSample::Kind::kHistogram
-                   ? TablePrinter::num(sample.sum, 3)
-                   : ""});
+               histogram ? TablePrinter::num(sample.sum, 3) : "",
+               histogram ? TablePrinter::num(sample.p50, 3) : "",
+               histogram ? TablePrinter::num(sample.p95, 3) : "",
+               histogram ? TablePrinter::num(sample.p99, 3) : ""});
   }
   return table.to_string();
 }

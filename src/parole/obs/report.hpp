@@ -8,11 +8,15 @@
 //   {"type":"counter","name":...,"value":...}
 //   {"type":"gauge","name":...,"value":...}
 //   {"type":"histogram","name":...,"count":...,"sum":...,
-//    "bounds":[...],"counts":[...]}            # counts has bounds+1 entries
-//   {"type":"span","name":...,"id":...,"parent":...,"depth":...,
+//    "bounds":[...],"counts":[...],            # counts has bounds+1 entries
+//    "p50":...,"p95":...,"p99":...}            # quantile estimates
+//   {"type":"span","name":...,"id":...,"parent":...,"depth":...,"tid":...,
 //    "start_ns":...,"dur_ns":...}              # parent 0 = root
 //   {"type":"fault","kind":...,"step":...,"subject":...,"detail":...}
 //                                              # one injected chaos fault
+//   {"type":"txevent","tx":...,"event":...,"step":...,"t_ns":...,
+//    "batch":...,"a":...,"b":...}              # one lifecycle event; batch/
+//                                              # a/b present when nonzero
 //
 // The meta line always comes first. validate_file()/validate_line() are the
 // single source of truth for the schema — tests, `parole_cli validate` and CI
@@ -25,6 +29,7 @@
 
 #include "parole/common/result.hpp"
 #include "parole/obs/json.hpp"
+#include "parole/obs/journal.hpp"
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
 
@@ -52,6 +57,11 @@ class RunReport {
   // the seeded fault log is part of the reproducibility artifact).
   void add_fault(std::uint64_t step, const std::string& kind,
                  std::uint64_t subject, const std::string& detail);
+  // Append every lifecycle event in the journal as a txevent line, followed
+  // by two derived latency histograms (parole.journal.tx_latency_ns,
+  // parole.journal.batch_e2e_ns) with exact p50/p95/p99 over the journaled
+  // durations and log-spaced buckets.
+  void capture_journal(const TxJournal& journal);
 
   [[nodiscard]] std::size_t line_count() const {
     return 1 + lines_.size();  // meta + body
@@ -110,6 +120,7 @@ class StreamingReport {
   Status add_result(JsonObject row);
   Status add_fault(std::uint64_t step, const std::string& kind,
                    std::uint64_t subject, const std::string& detail);
+  Status add_txevent(const TxEvent& event);
 
   [[nodiscard]] std::size_t lines_written() const { return lines_written_; }
   [[nodiscard]] const std::string& path() const { return path_; }

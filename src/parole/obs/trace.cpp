@@ -2,6 +2,8 @@
 
 #include <chrono>
 
+#include "parole/obs/metrics.hpp"
+
 namespace parole::obs {
 namespace {
 
@@ -17,6 +19,17 @@ std::uint64_t steady_ns() {
 // (RAII) spans without a stack allocation.
 thread_local std::uint64_t tls_current_span = 0;
 thread_local std::uint32_t tls_depth = 0;
+
+// Drops are rare but can run hot once the ring saturates; cache the handle
+// the way the PAROLE_OBS_COUNT macro does (handles are stable for the
+// registry's life). Called under the trace mutex — safe, the registry never
+// locks back into the recorder.
+void count_dropped_record() {
+  MetricsRegistry& registry = MetricsRegistry::instance();
+  if (!registry.enabled()) return;
+  static Counter& counter = registry.counter("parole.obs.trace_dropped");
+  counter.add(1);
+}
 
 }  // namespace
 
@@ -45,7 +58,10 @@ std::size_t TraceRecorder::capacity() const {
 
 void TraceRecorder::record(SpanRecord record) {
   std::lock_guard lock(mutex_);
-  if (size_ == capacity_) ++dropped_;
+  if (size_ == capacity_) {
+    ++dropped_;
+    count_dropped_record();
+  }
   ring_[write_] = std::move(record);
   write_ = (write_ + 1) % capacity_;
   if (size_ < capacity_) ++size_;
@@ -77,6 +93,13 @@ void TraceRecorder::clear() {
 
 std::uint64_t TraceRecorder::now_ns() const { return steady_ns() - epoch_ns_; }
 
+std::uint32_t TraceRecorder::current_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next_thread{1};
+  thread_local const std::uint32_t id =
+      next_thread.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 void Span::start(Timing timing) {
   TraceRecorder& recorder = TraceRecorder::instance();
   armed_ = TraceRecorder::enabled();
@@ -99,6 +122,7 @@ void Span::finish() {
   record.id = id_;
   record.parent = parent_;
   record.depth = depth_;
+  record.thread_id = TraceRecorder::current_thread_id();
   record.name = std::string(name_);
   record.start_ns = start_ns_;
   record.duration_ns = recorder.now_ns() - start_ns_;

@@ -28,6 +28,7 @@ struct SpanRecord {
   std::uint64_t id{0};      // unique per process, 1-based
   std::uint64_t parent{0};  // 0 = root span
   std::uint32_t depth{0};   // 0 = root
+  std::uint32_t thread_id{0};  // dense per-thread index, 1-based
   std::string name;
   std::uint64_t start_ns{0};  // steady-clock, relative to the recorder epoch
   std::uint64_t duration_ns{0};
@@ -67,6 +68,12 @@ class TraceRecorder {
   // Nanoseconds since the recorder epoch, on the same steady clock every
   // span uses — exposed so ad-hoc timing can share the span clock.
   [[nodiscard]] std::uint64_t now_ns() const;
+
+  // Dense 1-based id of the calling thread (assigned on first use). Spans
+  // stamp it into SpanRecord::thread_id; the parent/depth cursor is itself
+  // thread-local, so a worker thread's spans never adopt a parent from
+  // another thread.
+  [[nodiscard]] static std::uint32_t current_thread_id() noexcept;
 
   [[nodiscard]] std::uint64_t next_id() noexcept {
     return next_id_.fetch_add(1, std::memory_order_relaxed);

@@ -2,20 +2,28 @@
 
 #include <cassert>
 
+#include "parole/obs/journal.hpp"
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
 
 namespace parole::rollup {
 namespace {
 
-// Publish the verdict's counters once, on every return path.
+// Publish the verdict's counters — and, when fraud is proven, the lifecycle
+// verdict event — once, on every return path.
 struct DisputeTelemetry {
   const DisputeVerdict& verdict;
+  obs::TxJournal* journal;
+  std::uint64_t batch_id;
   ~DisputeTelemetry() {
     PAROLE_OBS_COUNT("parole.rollup.disputes", 1);
     PAROLE_OBS_OBSERVE("parole.rollup.bisection_rounds", verdict.rounds);
     if (verdict.fraud_proven) {
       PAROLE_OBS_COUNT("parole.rollup.fraud_proven", 1);
+      if (journal != nullptr) {
+        journal->record({0, obs::TxEventKind::kFraudProven, 0, 0, batch_id,
+                         verdict.disputed_step, 0});
+      }
     }
   }
 };
@@ -28,7 +36,11 @@ DisputeVerdict DisputeGame::run(
     const vm::ExecutionEngine& engine) {
   PAROLE_OBS_SPAN("rollup.dispute");
   DisputeVerdict verdict;
-  const DisputeTelemetry telemetry{verdict};
+  const DisputeTelemetry telemetry{verdict, obs::TxJournal::current(),
+                                   batch.header.batch_id};
+  // Bisection replays are probes, not lifecycle events — suppress journaling
+  // for the game's own engine calls (the verdict still lands via telemetry).
+  const obs::TxJournal::Scope suppress(nullptr);
   const std::size_t n = batch.txs.size();
   assert(honest_roots.size() == n);
 

@@ -1,11 +1,16 @@
 #include "parole/rollup/mempool.hpp"
 
+#include "parole/obs/journal.hpp"
 #include "parole/obs/metrics.hpp"
 
 namespace parole::rollup {
 
 void BedrockMempool::submit(vm::Tx tx) {
   PAROLE_OBS_COUNT("parole.rollup.txs_ingested", 1);
+  // An admission opens the transaction's lifecycle chain (a chaos re-gossip
+  // resubmits the same id and opens a second chain — see TxJournal::audit).
+  obs::TxJournal::emit(
+      {tx.id.value(), obs::TxEventKind::kSubmitted, 0, 0, obs::kNoBatch, 0, 0});
   tx.arrival = arrival_seq_++;
   queue_.push(Entry{std::move(tx), /*defer_round=*/0});
 }
@@ -14,6 +19,8 @@ std::vector<vm::Tx> BedrockMempool::collect(std::size_t n) {
   std::vector<vm::Tx> out;
   out.reserve(std::min(n, queue_.size()));
   while (out.size() < n && !queue_.empty()) {
+    obs::TxJournal::emit({queue_.top().tx.id.value(), obs::TxEventKind::kCollected,
+                          0, 0, obs::kNoBatch, 0, 0});
     out.push_back(queue_.top().tx);
     queue_.pop();
   }
@@ -23,12 +30,16 @@ std::vector<vm::Tx> BedrockMempool::collect(std::size_t n) {
 
 void BedrockMempool::defer(vm::Tx tx) {
   PAROLE_OBS_COUNT("parole.rollup.txs_deferred", 1);
+  obs::TxJournal::emit(
+      {tx.id.value(), obs::TxEventKind::kDeferred, 0, 0, obs::kNoBatch, 0, 0});
   tx.arrival = arrival_seq_++;
   queue_.push(Entry{std::move(tx), defer_round_ + 1});
 }
 
 void BedrockMempool::restore(vm::Tx tx) {
   PAROLE_OBS_COUNT("parole.rollup.txs_restored", 1);
+  obs::TxJournal::emit(
+      {tx.id.value(), obs::TxEventKind::kRestored, 0, 0, obs::kNoBatch, 0, 0});
   queue_.push(Entry{std::move(tx), /*defer_round=*/0});
 }
 

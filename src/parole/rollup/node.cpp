@@ -47,6 +47,9 @@ Status RollupNode::deposit(UserId user, Amount amount) {
 
 void RollupNode::submit_tx(vm::Tx tx) {
   tx.id = TxId{next_tx_id_++};
+  // Route the mempool's kSubmitted emission into this node's journal — user
+  // submissions arrive outside step(), where no scope is installed.
+  const obs::TxJournal::Scope scope(&journal_);
   mempool_.submit(std::move(tx));
 }
 
@@ -82,12 +85,25 @@ StepOutcome RollupNode::step() {
   StepOutcome outcome;
   const std::uint64_t step = step_index_++;
 
+  // Every pipeline stage below runs with this node's journal as the
+  // thread-local current, so stages without a node pointer (mempool, VM,
+  // reorderer, dispute) land their lifecycle events here. Unstamped events
+  // recorded during the scope pick up this step index.
+  const obs::TxJournal::Scope journal_scope(&journal_);
+  journal_.set_step(step);
+
   // A reorg "arrives" between slots: the head blocks vanish before this
   // round's work begins.
   if (chaos_) apply_l1_reorg(step, outcome);
 
   for (const chain::Deposit& deposit : bridge_.process_deposits()) {
     deposit_log_.emplace_back(step, deposit);
+    if (obs::TxJournal::enabled()) {
+      // Deposits have no tx id; a/b carry the (user, amount) pair instead.
+      journal_.record({0, obs::TxEventKind::kDeposited, 0, 0, obs::kNoBatch,
+                       deposit.user.value(),
+                       static_cast<std::uint64_t>(deposit.amount)});
+    }
   }
 
   if (chaos_) {
@@ -108,6 +124,20 @@ StepOutcome RollupNode::step() {
 
   l1_.seal_block();
   outcome.finalized_batches = orsc_.finalize_due(l1_.now());
+  if (obs::TxJournal::enabled()) {
+    // kFinalized is the happy-path terminal event: it closes the lifecycle
+    // chain the tx's admission opened.
+    for (const std::uint64_t finalized_id : outcome.finalized_batches) {
+      for (const Batch& batch : batches_) {
+        if (batch.header.batch_id != finalized_id) continue;
+        for (const vm::Tx& tx : batch.txs) {
+          journal_.record({tx.id.value(), obs::TxEventKind::kFinalized, 0, 0,
+                           finalized_id, 0, 0});
+        }
+        break;
+      }
+    }
+  }
   prune_pending();
 
   if (chaos_) {
@@ -266,6 +296,12 @@ void RollupNode::produce_batch(std::uint64_t step, StepOutcome& outcome) {
   auto submitted = orsc_.submit_batch(batch.header, l1_.now());
   assert(submitted.ok());
   batch.header.batch_id = submitted.value();
+  if (obs::TxJournal::enabled()) {
+    for (const vm::Tx& tx : batch.txs) {
+      journal_.record({tx.id.value(), obs::TxEventKind::kRootCommitted, 0, 0,
+                       batch.header.batch_id, 0, 0});
+    }
+  }
 
   outcome.produced_batch = true;
   outcome.batch_id = batch.header.batch_id;
@@ -286,6 +322,10 @@ void RollupNode::apply_mempool_faults(std::uint64_t step,
   if (const auto index = plan.tx_drop(step, collected.size())) {
     record_fault(step, FaultKind::kTxDrop, collected[*index].id.value(),
                  "dropped from collected set");
+    // kDropped is terminal: the tx vanishes from the pipeline for good.
+    obs::TxJournal::emit({collected[*index].id.value(),
+                          obs::TxEventKind::kDropped, 0, 0, obs::kNoBatch, 0,
+                          0});
     collected.erase(collected.begin() + static_cast<std::ptrdiff_t>(*index));
     ++outcome.txs_dropped;
     PAROLE_OBS_COUNT("parole.chaos.txs_dropped", 1);
@@ -296,6 +336,11 @@ void RollupNode::apply_mempool_faults(std::uint64_t step,
     // and the supply cap must hold either way.
     record_fault(step, FaultKind::kTxDuplicate, collected[*index].id.value(),
                  "re-gossiped into the pool");
+    // kReplayed marks the duplication; the mempool's kSubmitted right after
+    // it opens the copy's own lifecycle chain (same tx id, second chain).
+    obs::TxJournal::emit({collected[*index].id.value(),
+                          obs::TxEventKind::kReplayed, 0, 0, obs::kNoBatch, 0,
+                          0});
     mempool_.submit(collected[*index]);
     ++outcome.txs_duplicated;
     PAROLE_OBS_COUNT("parole.chaos.txs_duplicated", 1);
@@ -304,6 +349,10 @@ void RollupNode::apply_mempool_faults(std::uint64_t step,
     const auto [index, steps] = *delay;
     record_fault(step, FaultKind::kTxDelay, collected[index].id.value(),
                  "withheld for " + std::to_string(steps) + " steps");
+    // a = the step the withheld tx re-enters the pool (as kRestored).
+    obs::TxJournal::emit({collected[index].id.value(),
+                          obs::TxEventKind::kDelayed, 0, 0, obs::kNoBatch,
+                          step + steps, 0});
     chaos_->delayed.push_back({std::move(collected[index]), step + steps});
     collected.erase(collected.begin() + static_cast<std::ptrdiff_t>(index));
     ++outcome.txs_delayed;
@@ -334,9 +383,21 @@ void RollupNode::run_verification_pass(std::uint64_t step,
       if (chaos_ && chaos_->plan.verifier_down(step, v)) continue;
       pending.checked[v] = 1;
 
-      const VerificationOutcome check =
-          verifiers_[v].check(pending.batch, pending.pre_state, engine_);
-      if (check.valid) continue;
+      const VerificationOutcome check = [&] {
+        // The verifier's re-execution is a probe, not a lifecycle event;
+        // only its verdict is.
+        const obs::TxJournal::Scope suppress(nullptr);
+        return verifiers_[v].check(pending.batch, pending.pre_state, engine_);
+      }();
+      if (check.valid) {
+        if (obs::TxJournal::enabled()) {
+          for (const vm::Tx& tx : pending.batch.txs) {
+            journal_.record({tx.id.value(), obs::TxEventKind::kVerified, 0, 0,
+                             batch_id, verifiers_[v].id().value(), 0});
+          }
+        }
+        continue;
+      }
       PAROLE_OBS_COUNT("parole.rollup.fraud_detected", 1);
 
       const Status opened =
@@ -345,13 +406,17 @@ void RollupNode::run_verification_pass(std::uint64_t step,
       outcome.challenged = true;
       outcome.challenged_batch_id = batch_id;
 
-      // The challenger's honest trace for the bisection game.
+      // The challenger's honest trace for the bisection game — replays, not
+      // lifecycle events, so they run journal-suppressed.
       std::vector<crypto::Hash256> honest_roots;
       honest_roots.reserve(pending.batch.txs.size());
-      vm::L2State replay = pending.pre_state;
-      for (const vm::Tx& tx : pending.batch.txs) {
-        (void)engine_.execute_tx(replay, tx);
-        honest_roots.push_back(replay.state_root());
+      {
+        const obs::TxJournal::Scope suppress(nullptr);
+        vm::L2State replay = pending.pre_state;
+        for (const vm::Tx& tx : pending.batch.txs) {
+          (void)engine_.execute_tx(replay, tx);
+          honest_roots.push_back(replay.state_root());
+        }
       }
 
       const DisputeVerdict verdict = DisputeGame::run(
@@ -391,18 +456,25 @@ void RollupNode::rollback_from(std::size_t index, bool revert_records,
   std::size_t reverted_txs = 0;
   for (vm::Tx& tx : pending.batch.txs) {
     ++reverted_txs;
+    // kReverted closes the current chain; the defer below re-queues the tx
+    // and a later collect/execute opens no new chain (the audit treats a
+    // trailing kReverted as terminal only when nothing follows it).
+    obs::TxJournal::emit({tx.id.value(), obs::TxEventKind::kReverted, 0, 0,
+                          first_reverted, 0, 0});
     mempool_.defer(std::move(tx));
   }
   for (std::size_t q = index + 1; q < pending_checks_.size(); ++q) {
     PendingVerification& descendant = pending_checks_[q];
+    const std::uint64_t descendant_id = descendant.batch.header.batch_id;
     if (revert_records) {
-      const Status reverted =
-          orsc_.revert_pending(descendant.batch.header.batch_id);
+      const Status reverted = orsc_.revert_pending(descendant_id);
       assert(reverted.ok());
       (void)reverted;
     }
     for (vm::Tx& tx : descendant.batch.txs) {
       ++reverted_txs;
+      obs::TxJournal::emit({tx.id.value(), obs::TxEventKind::kReverted, 0, 0,
+                            descendant_id, 0, 0});
       mempool_.defer(std::move(tx));
     }
     ++outcome.reverted_batches;
@@ -466,6 +538,21 @@ DrainResult RollupNode::run_until_drained(std::size_t max_steps) {
   return result;
 }
 
+DrainResult RollupNode::run_to_quiescence(std::size_t max_steps) {
+  DrainResult result;
+  for (std::size_t i = 0;
+       i < max_steps && (pending_work() > 0 || !pending_checks_.empty());
+       ++i) {
+    result.outcomes.push_back(step());
+  }
+  result.drained = pending_work() == 0 && pending_checks_.empty();
+  result.remaining_txs = pending_work();
+  if (!result.drained) {
+    PAROLE_OBS_COUNT("parole.rollup.drain_truncated", 1);
+  }
+  return result;
+}
+
 namespace {
 
 // Section tags for RollupNode snapshots.
@@ -478,6 +565,7 @@ constexpr std::uint32_t kBridgeTag = io::section_tag("BRDG");
 constexpr std::uint32_t kBatchesTag = io::section_tag("BTCH");
 constexpr std::uint32_t kPendingTag = io::section_tag("PEND");
 constexpr std::uint32_t kChaosTag = io::section_tag("CHAO");
+constexpr std::uint32_t kJournalTag = io::section_tag("JRNL");
 
 Error config_mismatch(const std::string& what) {
   return Error{"config_mismatch",
@@ -534,6 +622,7 @@ void RollupNode::save_snapshot(io::CheckpointBuilder& builder) const {
   }
 
   if (chaos_) chaos_->save(builder.section(kChaosTag));
+  journal_.save(builder.section(kJournalTag));
 }
 
 Status RollupNode::restore_snapshot(const io::Checkpoint& checkpoint) {
@@ -692,6 +781,14 @@ Status RollupNode::restore_snapshot(const io::Checkpoint& checkpoint) {
       return config_mismatch("chaos crash-state width");
     }
   }
+
+  // The journal validates and commits internally (its deque is built from the
+  // section before any member is touched), so a corrupt JRNL section rejects
+  // the whole restore with the journal unchanged — same contract as the rest.
+  auto journal_r = checkpoint.reader(kJournalTag);
+  if (!journal_r.ok()) return journal_r.error();
+  if (Status s = journal_.load(journal_r.value()); !s.ok()) return s;
+  if (Status s = journal_r.value().finish("JRNL section"); !s.ok()) return s;
 
   // --- commit: everything validated, overwrite the dynamic state -------------
   state_ = std::move(state);

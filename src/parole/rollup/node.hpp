@@ -31,6 +31,7 @@
 #include "parole/chain/l1_chain.hpp"
 #include "parole/chain/orsc.hpp"
 #include "parole/io/checkpoint.hpp"
+#include "parole/obs/journal.hpp"
 #include "parole/rollup/aggregator.hpp"
 #include "parole/rollup/chaos.hpp"
 #include "parole/rollup/dispute.hpp"
@@ -125,6 +126,11 @@ class RollupNode {
   // Run steps until the pending work (mempool + chaos-delayed txs) drains or
   // `max_steps` elapse; DrainResult says which of the two happened.
   DrainResult run_until_drained(std::size_t max_steps = 10'000);
+  // Like run_until_drained, but also waits for every committed batch to
+  // resolve (finalize or revert): at quiescence no transaction has an open
+  // lifecycle chain, so TxJournal::audit() must come back clean. Drained
+  // batches still inside their challenge window keep the loop stepping.
+  DrainResult run_to_quiescence(std::size_t max_steps = 10'000);
 
   // --- inspection ------------------------------------------------------------
   [[nodiscard]] const vm::L2State& state() const { return state_; }
@@ -151,6 +157,12 @@ class RollupNode {
     return pending_checks_.size();
   }
   [[nodiscard]] std::uint64_t step_index() const { return step_index_; }
+  // This node's lifecycle journal (DESIGN.md §11). Arm process-wide with
+  // obs::TxJournal::set_enabled(true); step() installs the journal as the
+  // thread-local current for its duration, so pipeline stages without a node
+  // pointer (mempool, VM, reorderer, dispute) emit into it.
+  [[nodiscard]] obs::TxJournal& journal() { return journal_; }
+  [[nodiscard]] const obs::TxJournal& journal() const { return journal_; }
 
   // --- checkpointing (DESIGN.md §10) ----------------------------------------
   // Serialize all dynamic state into typed sections of `builder`: L2 state,
@@ -215,9 +227,12 @@ class RollupNode {
   // them: a cascade rollback restores an old state copy and must not lose
   // bridged value that arrived after the snapshot.
   std::vector<std::pair<std::uint64_t, chain::Deposit>> deposit_log_;
+  obs::TxJournal journal_;
   std::unique_ptr<ChaosRuntime> chaos_;
   std::size_t next_aggregator_{0};
-  std::uint64_t next_tx_id_{0};
+  // Starts at 1: tx id 0 is the journal's pipeline-event sentinel (deposits,
+  // dispute verdicts), so a real transaction must never carry it.
+  std::uint64_t next_tx_id_{1};
   std::uint64_t step_index_{0};
 };
 

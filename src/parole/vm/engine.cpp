@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "parole/obs/journal.hpp"
 #include "parole/obs/trace.hpp"
 
 namespace parole::vm {
@@ -135,6 +136,11 @@ Receipt ExecutionEngine::execute_tx(L2State& state, const Tx& tx) const {
   if (const char* reason = check_tx(state, tx)) {
     receipt.status = TxStatus::kConstraintViolated;
     receipt.failure_reason = reason;
+    // Receipted executions are lifecycle events (batch builds run through
+    // here); probe executions go through apply_tx/execute_indexed or run
+    // under a suppressing journal scope and stay out of the record.
+    obs::TxJournal::emit(
+        {tx.id.value(), obs::TxEventKind::kRejected, 0, 0, obs::kNoBatch, 0, 0});
     return receipt;
   }
 
@@ -145,6 +151,8 @@ Receipt ExecutionEngine::execute_tx(L2State& state, const Tx& tx) const {
   receipt.price_after = state.nft().current_price();
   receipt.gas_used = config_.gas.gas_for(tx.kind);
   receipt.fee_paid = fee;
+  obs::TxJournal::emit(
+      {tx.id.value(), obs::TxEventKind::kExecuted, 0, 0, obs::kNoBatch, 0, 0});
   return receipt;
 }
 

@@ -281,8 +281,11 @@ TEST(CheckpointManager, CorruptNewestQuarantinedThenFallsBack) {
   // The bad generation was quarantined, not deleted (post-mortem evidence).
   EXPECT_FALSE(fs::exists(manager.generation_path(2)));
   EXPECT_TRUE(fs::exists(manager.generation_path(2) + ".quarantined"));
+#if !defined(PAROLE_OBS_DISABLED)
+  // Counter hooks compile out entirely under -DPAROLE_OBS=OFF.
   EXPECT_EQ(registry.counter("parole.io.crc_failures").value(), 1u);
   EXPECT_EQ(registry.counter("parole.io.fallbacks").value(), 1u);
+#endif
   registry.set_enabled(was_enabled);
 }
 

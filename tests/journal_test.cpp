@@ -1,0 +1,342 @@
+// TxJournal tests (DESIGN.md §11): ring mechanics, scope suppression and the
+// causal-chain audit over real RollupNode runs — fault-free, fraudulent and
+// chaos-soaked. The load-bearing property mirrors the CI acceptance gate:
+// at quiescence every collected transaction's chain ends in exactly one
+// terminal event per admission, with clean chaos invariants on top.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "parole/core/parole_attack.hpp"
+#include "parole/data/case_study.hpp"
+#include "parole/io/bytes.hpp"
+#include "parole/io/checkpoint.hpp"
+#include "parole/obs/journal.hpp"
+#include "parole/rollup/chaos.hpp"
+#include "parole/rollup/node.hpp"
+
+namespace parole::obs {
+namespace {
+
+// Journaling is a process-global switch; keep it scoped so test order never
+// matters.
+class JournalArmed {
+ public:
+  JournalArmed() { TxJournal::set_enabled(true); }
+  ~JournalArmed() { TxJournal::set_enabled(false); }
+};
+
+rollup::RollupNode make_node(bool with_corrupt_aggregator = false) {
+  rollup::NodeConfig config;
+  config.orsc.challenge_period = 8;
+  config.max_supply = 4096;
+  rollup::RollupNode node(config);
+  auto reverse = [](const vm::L2State&, std::vector<vm::Tx> txs) {
+    std::reverse(txs.begin(), txs.end());
+    return txs;
+  };
+  node.add_aggregator({AggregatorId{0}, 4, reverse, std::nullopt});
+  node.add_aggregator({AggregatorId{1}, 4, std::nullopt, std::nullopt});
+  if (with_corrupt_aggregator) {
+    node.add_aggregator({AggregatorId{2}, 4, std::nullopt, /*corrupt=*/1});
+  }
+  node.add_verifier(VerifierId{0});
+  node.add_verifier(VerifierId{1});
+  node.fund_l1(UserId{1}, eth(500));
+  node.fund_l1(UserId{2}, eth(500));
+  EXPECT_TRUE(node.deposit(UserId{1}, eth(500)).ok());
+  EXPECT_TRUE(node.deposit(UserId{2}, eth(500)).ok());
+  return node;
+}
+
+void submit_mints(rollup::RollupNode& node, std::uint32_t count) {
+  for (std::uint32_t i = 0; i < count; ++i) {
+    node.submit_tx(
+        vm::Tx::make_mint(TxId{0}, UserId{1 + i % 2}, gwei(25), gwei(i)));
+  }
+}
+
+std::size_t count_kind(const std::vector<TxEvent>& events, TxEventKind kind) {
+  return static_cast<std::size_t>(
+      std::count_if(events.begin(), events.end(),
+                    [kind](const TxEvent& e) { return e.kind == kind; }));
+}
+
+// --- ring mechanics ---------------------------------------------------------------
+
+TEST(TxJournal, DisabledRecordIsANoOp) {
+  TxJournal journal;
+  journal.record({1, TxEventKind::kSubmitted, 0, 0, kNoBatch, 0, 0});
+  EXPECT_EQ(journal.size(), 0u);
+}
+
+TEST(TxJournal, RecordStampsStepAndClock) {
+  const JournalArmed armed;
+  TxJournal journal;
+  journal.set_step(7);
+  journal.record({1, TxEventKind::kSubmitted, 0, 0, kNoBatch, 0, 0});
+  journal.record({1, TxEventKind::kCollected, 9, 42, kNoBatch, 0, 0});
+  const std::vector<TxEvent> events = journal.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].step, 7u);   // stamped from set_step
+  EXPECT_GT(events[0].t_ns, 0u);   // stamped from the trace clock
+  EXPECT_EQ(events[1].step, 9u);   // caller-provided values survive
+  EXPECT_EQ(events[1].t_ns, 42u);
+}
+
+TEST(TxJournal, BoundedRingEvictsOldestAndCounts) {
+  const JournalArmed armed;
+  TxJournal journal(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    journal.record({i, TxEventKind::kSubmitted, 0, 0, kNoBatch, 0, 0});
+  }
+  EXPECT_EQ(journal.size(), 4u);
+  EXPECT_EQ(journal.evicted(), 2u);
+  const std::vector<TxEvent> events = journal.snapshot();
+  EXPECT_EQ(events.front().tx, 3u);  // oldest survivor
+  EXPECT_EQ(events.back().tx, 6u);
+  EXPECT_TRUE(journal.audit().truncated);
+}
+
+TEST(TxJournal, ScopeInstallsAndSuppresses) {
+  const JournalArmed armed;
+  TxJournal journal;
+  TxJournal::emit({1, TxEventKind::kSubmitted, 0, 0, kNoBatch, 0, 0});
+  EXPECT_EQ(journal.size(), 0u);  // no scope installed
+  {
+    const TxJournal::Scope scope(&journal);
+    TxJournal::emit({1, TxEventKind::kSubmitted, 0, 0, kNoBatch, 0, 0});
+    {
+      const TxJournal::Scope suppress(nullptr);
+      TxJournal::emit({1, TxEventKind::kExecuted, 0, 0, 0, 0, 0});
+    }
+    TxJournal::emit({1, TxEventKind::kCollected, 0, 0, 0, 0, 0});
+  }
+  TxJournal::emit({1, TxEventKind::kFinalized, 0, 0, 0, 0, 0});
+  const std::vector<TxEvent> events = journal.snapshot();
+  ASSERT_EQ(events.size(), 2u);  // suppressed + out-of-scope events dropped
+  EXPECT_EQ(events[0].kind, TxEventKind::kSubmitted);
+  EXPECT_EQ(events[1].kind, TxEventKind::kCollected);
+}
+
+TEST(TxJournal, QueriesFilterByTxAndBatch) {
+  const JournalArmed armed;
+  TxJournal journal;
+  journal.record({1, TxEventKind::kSubmitted, 0, 0, kNoBatch, 0, 0});
+  journal.record({2, TxEventKind::kSubmitted, 0, 0, kNoBatch, 0, 0});
+  journal.record({1, TxEventKind::kRootCommitted, 0, 0, 5, 0, 0});
+  EXPECT_EQ(journal.events_for_tx(1).size(), 2u);
+  EXPECT_EQ(journal.events_for_tx(2).size(), 1u);
+  ASSERT_EQ(journal.events_for_batch(5).size(), 1u);
+  EXPECT_EQ(journal.events_for_batch(5)[0].tx, 1u);
+}
+
+// --- checkpoint round-trip --------------------------------------------------------
+
+TEST(TxJournal, SaveLoadRoundTripsRingAndEvictions) {
+  const JournalArmed armed;
+  TxJournal journal(4);
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    journal.record({i, TxEventKind::kSubmitted, i, i * 10, kNoBatch, 0, 0});
+  }
+  io::ByteWriter writer;
+  journal.save(writer);
+
+  TxJournal restored;
+  io::ByteReader reader(writer.buffer());
+  ASSERT_TRUE(restored.load(reader).ok());
+  EXPECT_EQ(restored.capacity(), 4u);
+  EXPECT_EQ(restored.evicted(), 2u);
+  EXPECT_EQ(restored.snapshot(), journal.snapshot());
+}
+
+TEST(TxJournal, LoadRejectsCorruptBytesWithoutMutating) {
+  const JournalArmed armed;
+  TxJournal journal(4);
+  journal.record({1, TxEventKind::kSubmitted, 0, 0, kNoBatch, 0, 0});
+  io::ByteWriter writer;
+  journal.save(writer);
+
+  TxJournal victim;
+  victim.record({9, TxEventKind::kCollected, 0, 0, kNoBatch, 0, 0});
+  const std::vector<TxEvent> before = victim.snapshot();
+
+  // Truncation: chop the serialized tail.
+  std::vector<std::uint8_t> truncated = writer.buffer();
+  truncated.resize(truncated.size() / 2);
+  io::ByteReader short_reader(truncated);
+  EXPECT_FALSE(victim.load(short_reader).ok());
+  EXPECT_EQ(victim.snapshot(), before);
+
+  // Out-of-range event kind.
+  std::vector<std::uint8_t> bad_kind = writer.buffer();
+  bad_kind[3 * 8 + 8] = 0xff;  // first event's kind byte (after 3 u64 + tx)
+  io::ByteReader bad_reader(bad_kind);
+  EXPECT_FALSE(victim.load(bad_reader).ok());
+  EXPECT_EQ(victim.snapshot(), before);
+}
+
+// --- reorderer integration --------------------------------------------------------
+
+TEST(TxJournal, ParoleEmitsReorderDeltasAndSuppressesProbes) {
+  const JournalArmed armed;
+  TxJournal journal;
+  const TxJournal::Scope scope(&journal);
+
+  core::ParoleConfig config;
+  config.kind = core::ReordererKind::kAnnealing;
+  core::Parole parole(config);
+  const core::AttackOutcome outcome =
+      parole.run(data::case_study::initial_state(),
+                 data::case_study::original_txs(), {data::case_study::kIfu});
+  ASSERT_TRUE(outcome.reordered);
+
+  const std::vector<TxEvent> events = journal.snapshot();
+  ASSERT_FALSE(events.empty());
+  // Thousands of solver probe executions ran; none may leak into the record.
+  EXPECT_EQ(count_kind(events, TxEventKind::kExecuted), 0u);
+  for (const TxEvent& event : events) {
+    EXPECT_EQ(event.kind, TxEventKind::kReordered);
+    EXPECT_NE(event.a, event.b);  // only displaced txs get a delta
+    // The tx shipped at position b really is the one collected at a.
+    EXPECT_EQ(outcome.final_sequence[event.b].id.value(), event.tx);
+  }
+}
+
+// --- node lifecycle ---------------------------------------------------------------
+
+TEST(TxJournal, FaultFreeRunClosesEveryChain) {
+  const JournalArmed armed;
+  rollup::RollupNode node = make_node();
+  submit_mints(node, 12);
+  const rollup::DrainResult drained = node.run_to_quiescence();
+  ASSERT_TRUE(drained.drained);
+
+  const TxJournal::Audit audit = node.journal().audit();
+  EXPECT_TRUE(audit.ok) << (audit.issues.empty() ? "" : audit.issues[0]);
+  EXPECT_EQ(audit.txs_collected, 12u);
+  EXPECT_EQ(audit.txs_complete, 12u);
+  EXPECT_FALSE(audit.truncated);
+
+  // Fault-free happy path: all terminals are finalizations, one per tx.
+  const std::vector<TxEvent> events = node.journal().snapshot();
+  EXPECT_EQ(count_kind(events, TxEventKind::kFinalized), 12u);
+  EXPECT_EQ(count_kind(events, TxEventKind::kDropped), 0u);
+
+  // One latency pair per finalized chain; one e2e sample per batch that
+  // carried transactions (an aggregator may commit an empty batch).
+  const TxJournal::LatencySummary latencies = node.journal().latencies();
+  EXPECT_EQ(latencies.tx_latency_ns.size(), 12u);
+  std::size_t non_empty = 0;
+  for (const auto& batch : node.batches()) {
+    if (!batch.txs.empty()) ++non_empty;
+  }
+  EXPECT_EQ(latencies.batch_e2e_ns.size(), non_empty);
+}
+
+TEST(TxJournal, FraudRevertShowsInChainsAndStillCloses) {
+  const JournalArmed armed;
+  rollup::RollupNode node = make_node(/*with_corrupt_aggregator=*/true);
+  submit_mints(node, 12);
+  const rollup::DrainResult drained = node.run_to_quiescence();
+  ASSERT_TRUE(drained.drained);
+
+  const std::vector<TxEvent> events = node.journal().snapshot();
+  // The corrupt aggregator's batch was disputed and rolled back...
+  EXPECT_GE(count_kind(events, TxEventKind::kFraudProven), 1u);
+  EXPECT_GE(count_kind(events, TxEventKind::kReverted), 1u);
+  // ...and its transactions still finalized via an honest aggregator later.
+  const TxJournal::Audit audit = node.journal().audit();
+  EXPECT_TRUE(audit.ok) << (audit.issues.empty() ? "" : audit.issues[0]);
+  EXPECT_EQ(audit.txs_complete, audit.txs_collected);
+}
+
+TEST(TxJournal, ChaosSoakEveryCollectedTxExactlyOneTerminal) {
+  const JournalArmed armed;
+  for (const std::uint64_t seed : {0xc4a05c4a05ULL, 0x5eedULL, 0xfeedULL}) {
+    rollup::RollupNode node = make_node(/*with_corrupt_aggregator=*/true);
+    rollup::ChaosConfig chaos;
+    chaos.seed = seed;
+    chaos.p_aggregator_crash = 0.08;
+    chaos.p_reorderer_failure = 0.1;
+    chaos.p_verifier_down = 0.2;
+    chaos.p_tx_drop = 0.05;
+    chaos.p_tx_duplicate = 0.05;
+    chaos.p_tx_delay = 0.08;
+    chaos.p_l1_reorg = 0.04;
+    node.arm_chaos(chaos);
+
+    for (std::uint64_t step = 0; step < 48; ++step) {
+      node.submit_tx(vm::Tx::make_mint(
+          TxId{0}, UserId{1 + static_cast<std::uint32_t>(step % 2)}, gwei(25),
+          gwei(step % 11)));
+      node.step();
+    }
+    const rollup::DrainResult drained = node.run_to_quiescence(4 * 48);
+    ASSERT_TRUE(drained.drained) << "seed " << seed;
+    ASSERT_TRUE(node.chaos()->checker.clean()) << "seed " << seed;
+
+    const TxJournal::Audit audit = node.journal().audit();
+    EXPECT_TRUE(audit.ok) << "seed " << seed << ": "
+                          << (audit.issues.empty() ? "" : audit.issues[0]);
+    EXPECT_GT(audit.txs_collected, 0u) << "seed " << seed;
+    EXPECT_EQ(audit.txs_complete, audit.txs_collected) << "seed " << seed;
+  }
+}
+
+TEST(TxJournal, NodeSnapshotRoundTripsJournal) {
+  const JournalArmed armed;
+  rollup::RollupNode node = make_node();
+  submit_mints(node, 8);
+  node.step();
+  node.step();
+
+  io::CheckpointBuilder builder;
+  builder.set_meta({{"kind", "journal-test"}});
+  node.save_snapshot(builder);
+  const std::vector<std::uint8_t> bytes = builder.finish();
+  auto checkpoint = io::Checkpoint::parse(bytes);
+  ASSERT_TRUE(checkpoint.ok());
+
+  rollup::RollupNode restored = make_node();
+  ASSERT_TRUE(restored.restore_snapshot(checkpoint.value()).ok());
+  EXPECT_EQ(restored.journal().snapshot(), node.journal().snapshot());
+
+  // The restored run continues and the stitched-together journal still
+  // audits clean — chains opened before the "crash" close after it.
+  const rollup::DrainResult drained = restored.run_to_quiescence();
+  ASSERT_TRUE(drained.drained);
+  const TxJournal::Audit audit = restored.journal().audit();
+  EXPECT_TRUE(audit.ok) << (audit.issues.empty() ? "" : audit.issues[0]);
+  EXPECT_EQ(audit.txs_complete, audit.txs_collected);
+}
+
+TEST(TxJournal, TinyCapacityTruncatesButNeverBreaksAudit) {
+  const JournalArmed armed;
+  rollup::RollupNode node = make_node();
+  node.journal().set_capacity(16);  // far below the run's event volume
+  submit_mints(node, 12);
+  const rollup::DrainResult drained = node.run_to_quiescence();
+  ASSERT_TRUE(drained.drained);
+  EXPECT_GT(node.journal().evicted(), 0u);
+  const TxJournal::Audit audit = node.journal().audit();
+  EXPECT_TRUE(audit.truncated);
+  // Beheaded chains are skipped, not reported broken.
+  EXPECT_TRUE(audit.ok) << (audit.issues.empty() ? "" : audit.issues[0]);
+}
+
+// --- quantile helper --------------------------------------------------------------
+
+TEST(SampleQuantile, InterpolatesBetweenOrderStatistics) {
+  EXPECT_EQ(sample_quantile({}, 0.5), 0.0);
+  EXPECT_EQ(sample_quantile({42}, 0.99), 42.0);
+  const std::vector<std::uint64_t> sorted{10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(sample_quantile(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(sample_quantile(sorted, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(sample_quantile(sorted, 0.5), 25.0);
+  EXPECT_DOUBLE_EQ(sample_quantile(sorted, 2.0), 40.0);  // clamped
+}
+
+}  // namespace
+}  // namespace parole::obs

@@ -108,6 +108,63 @@ TEST(Metrics, HistogramBucketsObservations) {
   EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 10.0 + 50.0 + 1e9);
 }
 
+TEST(Metrics, LogBoundsAreGeometricAndEndAtHi) {
+  const std::vector<double> bounds = Histogram::log_bounds(1.0, 1000.0, 1);
+  ASSERT_EQ(bounds.size(), 4u);  // 1, 10, 100, 1000
+  EXPECT_DOUBLE_EQ(bounds[0], 1.0);
+  EXPECT_DOUBLE_EQ(bounds[1], 10.0);
+  EXPECT_DOUBLE_EQ(bounds[2], 100.0);
+  EXPECT_DOUBLE_EQ(bounds.back(), 1000.0);
+
+  // Denser spacing stays strictly ascending and still covers [lo, hi].
+  const std::vector<double> dense = Histogram::log_bounds(1e3, 1e10, 2);
+  ASSERT_GE(dense.size(), 2u);
+  EXPECT_DOUBLE_EQ(dense.front(), 1e3);
+  EXPECT_DOUBLE_EQ(dense.back(), 1e10);
+  for (std::size_t i = 1; i < dense.size(); ++i) {
+    EXPECT_GT(dense[i], dense[i - 1]);
+  }
+
+  // Degenerate ranges yield {} (callers fall back to default buckets).
+  EXPECT_TRUE(Histogram::log_bounds(0.0, 100.0).empty());
+  EXPECT_TRUE(Histogram::log_bounds(100.0, 100.0).empty());
+  EXPECT_TRUE(Histogram::log_bounds(100.0, 1.0).empty());
+  EXPECT_TRUE(Histogram::log_bounds(1.0, 10.0, 0).empty());
+}
+
+TEST(Metrics, HistogramQuantileInterpolatesWithinBuckets) {
+  Histogram histogram({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);  // empty
+  // 10 observations in (10, 20]: the whole distribution sits in bucket 1.
+  for (int i = 0; i < 10; ++i) histogram.observe(15.0);
+  const double p50 = histogram.quantile(0.5);
+  EXPECT_GT(p50, 10.0);
+  EXPECT_LE(p50, 20.0);
+  // All mass in one bucket: p95 is in the same bucket, above p50.
+  EXPECT_GE(histogram.quantile(0.95), p50);
+  EXPECT_LE(histogram.quantile(1.0), 20.0);
+
+  // Overflow observations clamp to the last bound.
+  Histogram overflow({10.0});
+  for (int i = 0; i < 4; ++i) overflow.observe(1e6);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.99), 10.0);
+}
+
+TEST(Metrics, SnapshotCarriesHistogramQuantiles) {
+  MetricsRegistry registry;
+  Histogram& histogram =
+      registry.histogram("parole.test.lat", {1.0, 10.0, 100.0});
+  for (int i = 0; i < 100; ++i) histogram.observe(5.0);
+  const std::vector<MetricSample> snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.size(), 1u);
+  const MetricSample& sample = snapshot[0];
+  EXPECT_EQ(sample.kind, MetricSample::Kind::kHistogram);
+  EXPECT_GT(sample.p50, 1.0);
+  EXPECT_LE(sample.p50, 10.0);
+  EXPECT_LE(sample.p50, sample.p95);
+  EXPECT_LE(sample.p95, sample.p99);
+}
+
 TEST(Metrics, SnapshotIsSortedByName) {
   MetricsRegistry registry;
   registry.counter("parole.z.last").add(1);
@@ -201,7 +258,7 @@ TEST(Trace, RingBufferKeepsNewestAndCountsDrops) {
   TraceRecorder recorder;
   recorder.set_capacity(4);
   for (std::uint64_t i = 1; i <= 6; ++i) {
-    recorder.record({i, 0, 0, "test.ring", i * 10, 1});
+    recorder.record({i, 0, 0, 1, "test.ring", i * 10, 1});
   }
   const std::vector<SpanRecord> spans = recorder.snapshot();
   ASSERT_EQ(spans.size(), 4u);
@@ -278,7 +335,7 @@ TEST(RunReportTest, JsonlRoundTripsThroughValidator) {
 TEST(RunReportTest, CapturesTraceSpans) {
   TraceRecorder recorder;
   recorder.set_enabled(true);
-  recorder.record({1, 0, 0, "test.span", 10, 5});
+  recorder.record({1, 0, 0, 1, "test.span", 10, 5});
 
   RunReport report("obs_test.trace");
   report.capture_trace(recorder);
@@ -290,6 +347,96 @@ TEST(RunReportTest, CapturesTraceSpans) {
   EXPECT_EQ(parsed.value().find("type")->as_string(), "span");
   EXPECT_EQ(parsed.value().find("name")->as_string(), "test.span");
   EXPECT_EQ(parsed.value().find("dur_ns")->as_uint(), 5u);
+}
+
+TEST(RunReportTest, SpanLinesCarryAndRequireThreadId) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  recorder.record({1, 0, 0, 3, "test.tid", 10, 5});
+
+  RunReport report("obs_test.tid");
+  report.capture_trace(recorder);
+  const std::vector<std::string> lines = split_lines(report.to_jsonl());
+  ASSERT_EQ(lines.size(), 2u);
+  const auto parsed = json_parse(lines[1]);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed.value().find("tid"), nullptr);
+  EXPECT_EQ(parsed.value().find("tid")->as_uint(), 3u);
+
+  // A span line without a tid is not schema-valid.
+  EXPECT_FALSE(RunReport::validate_line(
+                   "{\"type\":\"span\",\"name\":\"x\",\"id\":1,\"parent\":0,"
+                   "\"depth\":0,\"start_ns\":1,\"dur_ns\":1}")
+                   .ok());
+}
+
+TEST(RunReportTest, HistogramLinesCarryQuantiles) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("parole.test.q", {1.0, 10.0});
+  for (int i = 0; i < 10; ++i) histogram.observe(5.0);
+
+  RunReport report("obs_test.quantiles");
+  report.capture_metrics(registry);
+  const std::vector<std::string> lines = split_lines(report.to_jsonl());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(RunReport::validate_line(lines[1]).ok());
+  const auto parsed = json_parse(lines[1]);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_NE(parsed.value().find("p50"), nullptr);
+  ASSERT_NE(parsed.value().find("p95"), nullptr);
+  ASSERT_NE(parsed.value().find("p99"), nullptr);
+  EXPECT_LE(parsed.value().find("p50")->as_double(),
+            parsed.value().find("p99")->as_double());
+}
+
+TEST(RunReportTest, TxEventLinesValidate) {
+  // Accept: minimal txevent (batch/a/b optional) and full form.
+  EXPECT_TRUE(RunReport::validate_line(
+                  "{\"type\":\"txevent\",\"tx\":7,\"event\":\"submitted\","
+                  "\"step\":3,\"t_ns\":120}")
+                  .ok());
+  EXPECT_TRUE(RunReport::validate_line(
+                  "{\"type\":\"txevent\",\"tx\":7,\"event\":\"reordered\","
+                  "\"step\":3,\"t_ns\":120,\"batch\":2,\"a\":0,\"b\":4}")
+                  .ok());
+  // Reject: missing tx / missing event / non-string event.
+  EXPECT_FALSE(RunReport::validate_line(
+                   "{\"type\":\"txevent\",\"event\":\"submitted\","
+                   "\"step\":3,\"t_ns\":120}")
+                   .ok());
+  EXPECT_FALSE(RunReport::validate_line(
+                   "{\"type\":\"txevent\",\"tx\":7,\"step\":3,\"t_ns\":120}")
+                   .ok());
+  EXPECT_FALSE(RunReport::validate_line(
+                   "{\"type\":\"txevent\",\"tx\":7,\"event\":9,\"step\":3,"
+                   "\"t_ns\":120}")
+                   .ok());
+}
+
+TEST(RunReportTest, CaptureJournalEmitsEventsAndLatencyHistograms) {
+  TxJournal journal;
+  TxJournal::set_enabled(true);
+  journal.record({1, TxEventKind::kSubmitted, 1, 100, kNoBatch, 0, 0});
+  journal.record({1, TxEventKind::kCollected, 2, 150, 1, 0, 0});
+  journal.record({1, TxEventKind::kFinalized, 9, 1100, 1, 0, 0});
+  TxJournal::set_enabled(false);
+
+  RunReport report("obs_test.journal");
+  report.capture_journal(journal);
+  const std::vector<std::string> lines = split_lines(report.to_jsonl());
+  // meta + 3 txevents + 2 latency histograms
+  ASSERT_EQ(lines.size(), 6u);
+  std::size_t txevents = 0, histograms = 0;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const Status valid = RunReport::validate_line(lines[i]);
+    EXPECT_TRUE(valid.ok()) << lines[i] << ": " << valid.error().detail;
+    const auto parsed = json_parse(lines[i]);
+    const std::string type = parsed.value().find("type")->as_string();
+    if (type == "txevent") ++txevents;
+    if (type == "histogram") ++histograms;
+  }
+  EXPECT_EQ(txevents, 3u);
+  EXPECT_EQ(histograms, 2u);  // tx_latency_ns + batch_e2e_ns
 }
 
 TEST(RunReportTest, FaultLinesRoundTripThroughValidator) {
@@ -433,6 +580,9 @@ TEST(RunReportTest, MetricsTableRendersEveryMetric) {
   EXPECT_NE(table.find("parole.test.count"), std::string::npos);
   EXPECT_NE(table.find("parole.test.hist"), std::string::npos);
   EXPECT_NE(table.find("histogram"), std::string::npos);
+  // Histogram rows render quantile columns.
+  EXPECT_NE(table.find("p50"), std::string::npos);
+  EXPECT_NE(table.find("p99"), std::string::npos);
 }
 
 // --- instrument.hpp bridge ----------------------------------------------------------

@@ -1,0 +1,225 @@
+// Span-profile tests (DESIGN.md §11): folding a trace ring into a call-tree
+// profile, the collapsed-stack export (golden output + the self-times-sum-to-
+// root-durations property flamegraphs depend on), orphan grafting, and the
+// thread-correctness satellites — SpanRecord::thread_id stamping and the
+// guarantee that spans on a worker thread never adopt a parent from another
+// thread.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <numeric>
+#include <thread>
+
+#include "parole/obs/profile.hpp"
+#include "parole/obs/report.hpp"
+#include "parole/obs/trace.hpp"
+
+namespace parole::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+// A deterministic synthetic tree:
+//   root(100) ├─ a(30) ─ c(10)
+//             └─ b(20)
+// Self times: root 50, a 20, c 10, b 20.
+std::vector<SpanRecord> synthetic_tree() {
+  return {
+      {4, 2, 2, 1, "c", 15, 10},
+      {2, 1, 1, 1, "a", 10, 30},
+      {3, 1, 1, 1, "b", 50, 20},
+      {1, 0, 0, 1, "root", 0, 100},
+  };
+}
+
+std::uint64_t collapsed_total(const std::string& collapsed) {
+  std::uint64_t total = 0;
+  std::size_t start = 0;
+  while (start < collapsed.size()) {
+    const std::size_t end = collapsed.find('\n', start);
+    const std::string line = collapsed.substr(start, end - start);
+    const std::size_t space = line.rfind(' ');
+    if (space != std::string::npos) {
+      total += std::strtoull(line.c_str() + space + 1, nullptr, 10);
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
+  return total;
+}
+
+TEST(Profile, FoldsTreeByNamePath) {
+  const Profile profile = build_profile(synthetic_tree());
+  ASSERT_EQ(profile.nodes.size(), 5u);  // synthetic root + 4 frames
+  EXPECT_EQ(profile.spans, 4u);
+  EXPECT_EQ(profile.orphans, 0u);
+
+  const ProfileNode& root = profile.nodes[0];
+  EXPECT_EQ(root.total_ns, 100u);
+  EXPECT_EQ(root.self_ns, 0u);
+
+  ASSERT_EQ(root.children.size(), 1u);
+  const ProfileNode& named_root = profile.nodes[root.children.at("root")];
+  EXPECT_EQ(named_root.count, 1u);
+  EXPECT_EQ(named_root.total_ns, 100u);
+  EXPECT_EQ(named_root.self_ns, 50u);  // 100 - (30 + 20)
+  const ProfileNode& a = profile.nodes[named_root.children.at("a")];
+  EXPECT_EQ(a.self_ns, 20u);  // 30 - 10
+  const ProfileNode& c = profile.nodes[a.children.at("c")];
+  EXPECT_EQ(c.self_ns, 10u);
+}
+
+TEST(Profile, CollapsedGoldenOutput) {
+  const Profile profile = build_profile(synthetic_tree());
+  EXPECT_EQ(profile.collapsed(),
+            "root 50\n"
+            "root;a 20\n"
+            "root;a;c 10\n"
+            "root;b 20\n");
+}
+
+// The acceptance property: collapsed self times partition root time, so they
+// sum (exactly, on clean input) to the root spans' total durations.
+TEST(Profile, CollapsedValuesSumToRootDurations) {
+  const Profile profile = build_profile(synthetic_tree());
+  EXPECT_EQ(collapsed_total(profile.collapsed()), 100u);
+  EXPECT_EQ(collapsed_total(profile.collapsed()), profile.nodes[0].total_ns);
+}
+
+TEST(Profile, RepeatedFramesAggregateByPath) {
+  // Two invocations of the same root > leaf path plus a distinct root.
+  const std::vector<SpanRecord> records = {
+      {2, 1, 1, 1, "leaf", 5, 10},
+      {1, 0, 0, 1, "root", 0, 40},
+      {4, 3, 1, 1, "leaf", 55, 20},
+      {3, 0, 0, 1, "root", 50, 40},
+      {5, 0, 0, 1, "other", 100, 15},
+  };
+  const Profile profile = build_profile(records);
+  const ProfileNode& root = profile.nodes[profile.nodes[0].children.at("root")];
+  EXPECT_EQ(root.count, 2u);
+  EXPECT_EQ(root.total_ns, 80u);
+  EXPECT_EQ(root.self_ns, 50u);
+  const ProfileNode& leaf = profile.nodes[root.children.at("leaf")];
+  EXPECT_EQ(leaf.count, 2u);
+  EXPECT_EQ(leaf.total_ns, 30u);
+  EXPECT_EQ(collapsed_total(profile.collapsed()), 95u);
+}
+
+TEST(Profile, OrphansGraftToRootAndKeepSumProperty) {
+  // The parent (id 9) fell off the ring: the child grafts onto the synthetic
+  // root and is counted, and the sum property degrades gracefully (the
+  // orphan's duration joins the root total).
+  const std::vector<SpanRecord> records = {
+      {2, 9, 3, 1, "stranded", 5, 25},
+      {1, 0, 0, 1, "root", 0, 100},
+  };
+  const Profile profile = build_profile(records);
+  EXPECT_EQ(profile.orphans, 1u);
+  EXPECT_EQ(profile.nodes[0].total_ns, 125u);
+  EXPECT_EQ(collapsed_total(profile.collapsed()), 125u);
+  // The stranded frame sits directly under the synthetic root.
+  EXPECT_TRUE(profile.nodes[0].children.count("stranded"));
+}
+
+TEST(Profile, TableListsHotPaths) {
+  const std::string table = profile_table(build_profile(synthetic_tree()));
+  EXPECT_NE(table.find("root"), std::string::npos);
+  EXPECT_NE(table.find("self_%"), std::string::npos);
+  // Children are indented under their parent.
+  EXPECT_NE(table.find("  a"), std::string::npos);
+}
+
+// --- spans_from_report round trip -------------------------------------------------
+
+TEST(Profile, SpansRoundTripThroughReport) {
+  TraceRecorder recorder;
+  recorder.set_enabled(true);
+  for (const SpanRecord& record : synthetic_tree()) recorder.record(record);
+
+  RunReport report("profile_test");
+  report.capture_trace(recorder);
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("parole_profile_test_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+       ".jsonl");
+  ASSERT_TRUE(report.write(path.string()).ok());
+
+  auto spans = spans_from_report(path.string());
+  ASSERT_TRUE(spans.ok()) << spans.error().detail;
+  ASSERT_EQ(spans.value().size(), 4u);
+  const Profile profile = build_profile(spans.value());
+  EXPECT_EQ(profile.collapsed(),
+            build_profile(synthetic_tree()).collapsed());
+  fs::remove(path);
+  recorder.set_enabled(false);
+}
+
+TEST(Profile, SpansFromReportRejectsMalformedSpanLines) {
+  const fs::path path =
+      fs::temp_directory_path() /
+      ("parole_profile_bad_" +
+       std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+       ".jsonl");
+  std::ofstream out(path);
+  out << "{\"type\":\"span\",\"name\":\"x\"}\n";  // missing required keys
+  out.close();
+  EXPECT_FALSE(spans_from_report(path.string()).ok());
+  fs::remove(path);
+}
+
+// --- thread correctness (satellite) -----------------------------------------------
+
+TEST(TraceThreads, SpansStampDenseThreadIds) {
+  TraceRecorder::instance().clear();
+  TraceRecorder::set_enabled(true);
+  { Span span("threads.main"); }
+  std::thread worker([] { Span span("threads.worker"); });
+  worker.join();
+  TraceRecorder::set_enabled(false);
+
+  const std::vector<SpanRecord> spans = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_GT(spans[0].thread_id, 0u);
+  EXPECT_GT(spans[1].thread_id, 0u);
+  EXPECT_NE(spans[0].thread_id, spans[1].thread_id);
+}
+
+TEST(TraceThreads, WorkerSpansNeverAdoptAnotherThreadsParent) {
+  TraceRecorder::instance().clear();
+  TraceRecorder::set_enabled(true);
+  {
+    Span outer("threads.outer");
+    // While `outer` is live on this thread, a worker opens its own span: it
+    // must be a root (parent 0, depth 0) on its own thread, not a child of
+    // `outer`.
+    std::thread worker([] { Span inner("threads.inner"); });
+    worker.join();
+    Span nested("threads.nested");  // sanity: same-thread nesting still works
+  }
+  TraceRecorder::set_enabled(false);
+
+  const std::vector<SpanRecord> spans = TraceRecorder::instance().snapshot();
+  ASSERT_EQ(spans.size(), 3u);  // inner, nested, outer (completion order)
+  const auto find = [&spans](const std::string& name) {
+    for (const SpanRecord& span : spans) {
+      if (span.name == name) return span;
+    }
+    ADD_FAILURE() << "span " << name << " not recorded";
+    return SpanRecord{};
+  };
+  const SpanRecord outer = find("threads.outer");
+  const SpanRecord inner = find("threads.inner");
+  const SpanRecord nested = find("threads.nested");
+  EXPECT_EQ(inner.parent, 0u);
+  EXPECT_EQ(inner.depth, 0u);
+  EXPECT_NE(inner.thread_id, outer.thread_id);
+  EXPECT_EQ(nested.parent, outer.id);
+  EXPECT_EQ(nested.depth, 1u);
+  EXPECT_EQ(nested.thread_id, outer.thread_id);
+}
+
+}  // namespace
+}  // namespace parole::obs

@@ -1,0 +1,308 @@
+// Regression-gate tests (DESIGN.md §11): compare_reports() must pass a report
+// against itself, fail on a >15% throughput drop (the CI acceptance gate),
+// and fail loudly — not silently pass — when rows or metrics go missing.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "parole/obs/regress.hpp"
+#include "parole/obs/report.hpp"
+
+namespace parole::obs {
+namespace {
+
+namespace fs = std::filesystem;
+
+class ScratchDir {
+ public:
+  ScratchDir() {
+    path_ = fs::temp_directory_path() /
+            ("parole_regress_test_" +
+             std::to_string(
+                 ::testing::UnitTest::GetInstance()->random_seed()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+JsonObject bench_row(std::uint64_t n, const std::string& move,
+                     double speedup) {
+  JsonObject row;
+  row["n"] = JsonValue(n);
+  row["move"] = JsonValue(move);
+  row["speedup"] = JsonValue(speedup);
+  return row;
+}
+
+// A miniature BENCH_evaluator.json: two sizes x two move kinds.
+std::string write_bench(const ScratchDir& dir, const std::string& name,
+                        double scale = 1.0,
+                        bool drop_last_row = false,
+                        bool drop_metric = false) {
+  RunReport report("bench.evaluator_throughput");
+  report.add_result(bench_row(16, "swap-local", 20.0 * scale));
+  report.add_result(bench_row(16, "swap-uniform", 1.5 * scale));
+  report.add_result(bench_row(64, "swap-local", 4.0 * scale));
+  if (!drop_last_row) {
+    JsonObject row = bench_row(64, "swap-uniform", 3.5 * scale);
+    if (drop_metric) row.erase("speedup");
+    report.add_result(row);
+  }
+  const std::string path = dir.file(name);
+  EXPECT_TRUE(report.write(path).ok());
+  return path;
+}
+
+TEST(Regress, IdenticalReportsPass) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string current = write_bench(dir, "current.jsonl");
+
+  auto result = compare_reports(baseline, current);
+  ASSERT_TRUE(result.ok()) << result.error().detail;
+  const RegressReport& report = result.value();
+  EXPECT_TRUE(report.ok);
+  EXPECT_TRUE(report.problems.empty());
+  EXPECT_EQ(report.baseline_rows, 4u);
+  EXPECT_EQ(report.current_rows, 4u);
+  ASSERT_EQ(report.checks.size(), 4u);  // one speedup rule per row
+  for (const RegressCheck& check : report.checks) {
+    EXPECT_TRUE(check.ok) << check.row;
+    EXPECT_DOUBLE_EQ(check.ratio, 1.0);
+  }
+}
+
+// The acceptance gate: an injected 18% slowdown (scale 0.82) must turn the
+// default speedup/min_ratio-0.85 rule red.
+TEST(Regress, InjectedSlowdownFailsTheGate) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string current = write_bench(dir, "current.jsonl");
+
+  RegressOptions options;
+  options.scale = 0.82;
+  auto result = compare_reports(baseline, current, options);
+  ASSERT_TRUE(result.ok()) << result.error().detail;
+  EXPECT_FALSE(result.value().ok);
+  for (const RegressCheck& check : result.value().checks) {
+    EXPECT_FALSE(check.ok);
+    EXPECT_NEAR(check.ratio, 0.82, 1e-9);
+  }
+  // And a merely-10% wobble stays green under the 0.85 floor.
+  options.scale = 0.90;
+  auto wobble = compare_reports(baseline, current, options);
+  ASSERT_TRUE(wobble.ok());
+  EXPECT_TRUE(wobble.value().ok);
+}
+
+TEST(Regress, GenuinelySlowerCurrentReportFails) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string current = write_bench(dir, "current.jsonl", 0.5);
+
+  auto result = compare_reports(baseline, current);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok);
+}
+
+TEST(Regress, MissingRowIsAFailureNotASilentPass) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string current =
+      write_bench(dir, "current.jsonl", 1.0, /*drop_last_row=*/true);
+
+  auto result = compare_reports(baseline, current);
+  ASSERT_TRUE(result.ok());
+  const RegressReport& report = result.value();
+  EXPECT_FALSE(report.ok);
+  ASSERT_EQ(report.problems.size(), 1u);
+  EXPECT_NE(report.problems[0].find("missing from current"),
+            std::string::npos);
+  EXPECT_EQ(report.checks.size(), 3u);  // surviving rows still checked
+}
+
+TEST(Regress, MissingMetricIsAFailure) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string current = write_bench(dir, "current.jsonl", 1.0, false,
+                                          /*drop_metric=*/true);
+
+  auto result = compare_reports(baseline, current);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok);
+  ASSERT_EQ(result.value().problems.size(), 1u);
+  EXPECT_NE(result.value().problems[0].find("lacks numeric 'speedup'"),
+            std::string::npos);
+}
+
+TEST(Regress, EmptyBaselineIsAFailure) {
+  const ScratchDir dir;
+  RunReport empty("bench.evaluator_throughput");
+  const std::string baseline = dir.file("baseline.jsonl");
+  ASSERT_TRUE(empty.write(baseline).ok());
+  const std::string current = write_bench(dir, "current.jsonl");
+
+  auto result = compare_reports(baseline, current);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok);
+  ASSERT_EQ(result.value().problems.size(), 1u);
+  EXPECT_NE(result.value().problems[0].find("no result rows"),
+            std::string::npos);
+}
+
+TEST(Regress, NonPositiveBaselineCannotGate) {
+  const ScratchDir dir;
+  RunReport bad("bench.evaluator_throughput");
+  bad.add_result(bench_row(16, "swap-local", 0.0));
+  const std::string baseline = dir.file("baseline.jsonl");
+  ASSERT_TRUE(bad.write(baseline).ok());
+  const std::string current = write_bench(dir, "current.jsonl");
+
+  auto result = compare_reports(baseline, current);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok);
+  ASSERT_EQ(result.value().problems.size(), 1u);
+  EXPECT_NE(result.value().problems[0].find("not positive"),
+            std::string::npos);
+}
+
+TEST(Regress, MaxRatioRuleCatchesSuspiciousSpeedups) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string current = write_bench(dir, "current.jsonl", 3.0);
+
+  RegressOptions options;
+  options.rules = {{"speedup", 0.85, 2.0}};
+  auto result = compare_reports(baseline, current, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok);
+  for (const RegressCheck& check : result.value().checks) {
+    EXPECT_FALSE(check.ok);
+    EXPECT_NEAR(check.ratio, 3.0, 1e-9);
+  }
+}
+
+TEST(Regress, UnreadableFileIsAnError) {
+  const ScratchDir dir;
+  auto result =
+      compare_reports(dir.file("absent.jsonl"), dir.file("absent2.jsonl"));
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(Regress, MalformedJsonlIsAnError) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string bad = dir.file("bad.jsonl");
+  std::ofstream out(bad);
+  out << "{\"type\":\"meta\",\"report\":\"x\",\"schema\":1}\n";
+  out << "this is not json\n";
+  out.close();
+
+  EXPECT_FALSE(compare_reports(baseline, bad).ok());
+}
+
+// Best-of-N: one noisy run (0.5x on every row) must not fail the gate as
+// long as another run of the same build is clean.
+TEST(Regress, MergeBestForgivesASingleNoisyRun) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string clean = write_bench(dir, "clean.jsonl");
+  const std::string noisy = write_bench(dir, "noisy.jsonl", 0.5);
+
+  auto run1 = compare_reports(baseline, noisy);
+  auto run2 = compare_reports(baseline, clean);
+  ASSERT_TRUE(run1.ok() && run2.ok());
+  EXPECT_FALSE(run1.value().ok);
+
+  const RegressReport merged = merge_best({run1.value(), run2.value()});
+  EXPECT_TRUE(merged.ok);
+  ASSERT_EQ(merged.checks.size(), 4u);  // one check per (row, metric)
+  for (const RegressCheck& check : merged.checks) {
+    EXPECT_TRUE(check.ok) << check.row;
+    EXPECT_DOUBLE_EQ(check.ratio, 1.0);  // best ratio wins, not first
+  }
+}
+
+// A real regression depresses every run, so best-of-N must still fail.
+TEST(Regress, MergeBestStillFailsWhenEveryRunIsSlow) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string slow1 = write_bench(dir, "slow1.jsonl", 0.6);
+  const std::string slow2 = write_bench(dir, "slow2.jsonl", 0.7);
+
+  auto run1 = compare_reports(baseline, slow1);
+  auto run2 = compare_reports(baseline, slow2);
+  ASSERT_TRUE(run1.ok() && run2.ok());
+
+  const RegressReport merged = merge_best({run1.value(), run2.value()});
+  EXPECT_FALSE(merged.ok);
+  for (const RegressCheck& check : merged.checks) {
+    EXPECT_NEAR(check.ratio, 0.7, 1e-9);  // the better of the two runs
+  }
+}
+
+// A row missing from one run but present in another is a flake; missing from
+// every run it stays a failure.
+TEST(Regress, MergeBestDropsProblemsAbsentFromAnyRun) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string full = write_bench(dir, "full.jsonl");
+  const std::string truncated =
+      write_bench(dir, "truncated.jsonl", 1.0, /*drop_last_row=*/true);
+
+  auto flaky = compare_reports(baseline, truncated);
+  auto complete = compare_reports(baseline, full);
+  ASSERT_TRUE(flaky.ok() && complete.ok());
+
+  const RegressReport forgiven =
+      merge_best({flaky.value(), complete.value()});
+  EXPECT_TRUE(forgiven.ok);
+  EXPECT_TRUE(forgiven.problems.empty());
+  EXPECT_EQ(forgiven.checks.size(), 4u);  // dropped row recovered
+
+  auto flaky_again = compare_reports(baseline, truncated);
+  ASSERT_TRUE(flaky_again.ok());
+  const RegressReport persistent =
+      merge_best({flaky.value(), flaky_again.value()});
+  EXPECT_FALSE(persistent.ok);
+  ASSERT_EQ(persistent.problems.size(), 1u);
+  EXPECT_NE(persistent.problems[0].find("missing from current"),
+            std::string::npos);
+}
+
+TEST(Regress, MergeBestOfNothingFails) {
+  const RegressReport merged = merge_best({});
+  EXPECT_FALSE(merged.ok);
+  ASSERT_EQ(merged.problems.size(), 1u);
+}
+
+TEST(Regress, VerdictTableRendersChecksAndProblems) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string current =
+      write_bench(dir, "current.jsonl", 1.0, /*drop_last_row=*/true);
+
+  RegressOptions options;
+  options.scale = 0.5;
+  auto result = compare_reports(baseline, current, options);
+  ASSERT_TRUE(result.ok());
+  const std::string rendered = result.value().to_string();
+  EXPECT_NE(rendered.find("verdict: FAIL"), std::string::npos);
+  EXPECT_NE(rendered.find("FAIL"), std::string::npos);
+  EXPECT_NE(rendered.find("problem:"), std::string::npos);
+  EXPECT_NE(rendered.find("n=16 move=\"swap-local\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace parole::obs
