@@ -34,6 +34,7 @@
 #include "parole/data/workload.hpp"
 #include "parole/obs/report.hpp"
 #include "parole/solvers/instrument.hpp"
+#include "parole/solvers/portfolio.hpp"
 #include "parole/solvers/problem.hpp"
 
 using namespace parole;
@@ -187,11 +188,16 @@ int main() {
 
   std::vector<Row> rows;
   for (const std::size_t n : {std::size_t{16}, std::size_t{64},
-                              std::size_t{256}}) {
+                              std::size_t{256}, std::size_t{1024}}) {
+    // The full path is O(probes * n); a quarter of the probe budget keeps
+    // the n=1024 cells inside the bench time box without starving the
+    // incremental path of samples.
+    const std::size_t cell_probes =
+        n >= 1024 ? std::max<std::size_t>(50, probes / 4) : probes;
     for (const MoveKind kind : {MoveKind::kLocal, MoveKind::kUniform}) {
       const solvers::ReorderingProblem problem = make_instance(n, seed + n);
       const ProbeSeq seq = make_probes(
-          n, probes, kind, seed ^ (n * 31 + (kind == MoveKind::kLocal)));
+          n, cell_probes, kind, seed ^ (n * 31 + (kind == MoveKind::kLocal)));
 
       // Calibration pass: sizes the timing windows and provides the
       // cross-check values + single-walk eval stats.
@@ -219,7 +225,7 @@ int main() {
       Row row;
       row.n = n;
       row.move = kind == MoveKind::kLocal ? "swap-local" : "swap-uniform";
-      row.probes = probes;
+      row.probes = cell_probes;
       row.full_eps = evals_per_sec(probes, full_millis);
       row.inc_eps = evals_per_sec(probes, inc_millis);
       row.speedup = full_millis <= 0.0 ? 0.0 : full_millis / inc_millis;
@@ -234,6 +240,62 @@ int main() {
         return 1;
       }
     }
+  }
+
+  // --- portfolio thread-scaling (DESIGN.md §12) -----------------------------------
+  // 8 logical workers (two diversified replicas of each roster member) on
+  // T OS threads at n=256. Deterministic mode makes the result invariant in
+  // T, so every cell races identical work and `speedup` is the pure
+  // wall-clock ratio wall(t1)/wall(tT): ~1.0 on a single core, rising toward
+  // the worker-level parallelism on multicore runners. The invariance is
+  // cross-checked like the evaluator's bit-identity.
+  struct PortfolioRow {
+    std::size_t threads{0};
+    double wall_millis{0.0};
+    double speedup{0.0};
+    Amount best_value{0};
+    std::uint64_t evaluations{0};
+  };
+  constexpr std::size_t kPortfolioN = 256;
+  const solvers::ReorderingProblem portfolio_problem =
+      make_instance(kPortfolioN, seed + kPortfolioN);
+  solvers::PortfolioConfig portfolio_config;
+  portfolio_config.workers = 8;
+  portfolio_config.hill_climb = {/*max_iterations=*/4, /*restarts=*/0};
+  portfolio_config.annealing.iteration_factor = 0.25;
+  portfolio_config.tabu.max_iterations = 6;
+  portfolio_config.random_search.samples = 48;
+
+  std::vector<PortfolioRow> portfolio_rows;
+  for (const std::size_t threads :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{8}}) {
+    portfolio_config.threads = threads;
+    solvers::PortfolioSolver solver(portfolio_config);
+    std::vector<double> samples;
+    solvers::SolveResult solved;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      solved = solver.run(portfolio_problem, seed);
+      samples.push_back(solved.wall_millis);
+    }
+    PortfolioRow row;
+    row.threads = threads;
+    row.wall_millis = median(std::move(samples));
+    row.best_value = solved.best_value;
+    row.evaluations = solved.evaluations;
+    portfolio_rows.push_back(row);
+
+    if (row.best_value != portfolio_rows.front().best_value ||
+        row.evaluations != portfolio_rows.front().evaluations) {
+      std::fprintf(stderr,
+                   "MISMATCH: portfolio result changed with threads=%zu\n",
+                   threads);
+      return 1;
+    }
+  }
+  for (PortfolioRow& row : portfolio_rows) {
+    row.speedup = row.wall_millis <= 0.0
+                      ? 0.0
+                      : portfolio_rows.front().wall_millis / row.wall_millis;
   }
 
   TablePrinter table("Evaluator throughput: full vs incremental");
@@ -255,6 +317,17 @@ int main() {
   }
   table.print();
 
+  TablePrinter scaling("Portfolio scaling: 8 workers at n=256");
+  scaling.columns({"threads", "wall ms", "speedup", "evaluations"});
+  for (const PortfolioRow& row : portfolio_rows) {
+    scaling.row({TablePrinter::integer(static_cast<long long>(row.threads)),
+                 TablePrinter::num(row.wall_millis, 2),
+                 TablePrinter::num(row.speedup, 2),
+                 TablePrinter::integer(
+                     static_cast<long long>(row.evaluations))});
+  }
+  scaling.print();
+
   obs::RunReport report("evaluator_throughput");
   report.set_meta("bench", obs::JsonValue("evaluator_throughput"));
   report.set_meta("scale", obs::JsonValue(bench_scale()));
@@ -273,6 +346,23 @@ int main() {
     result["reconvergences"] = obs::JsonValue(row.stats.reconvergences);
     result["txs_executed"] = obs::JsonValue(row.stats.txs_executed);
     result["txs_saved"] = obs::JsonValue(row.stats.txs_saved);
+    report.add_result(std::move(result));
+  }
+  for (const PortfolioRow& row : portfolio_rows) {
+    obs::JsonObject result;
+    result["n"] = obs::JsonValue(static_cast<std::uint64_t>(kPortfolioN));
+    result["move"] =
+        obs::JsonValue("portfolio-t" + std::to_string(row.threads));
+    result["threads"] =
+        obs::JsonValue(static_cast<std::uint64_t>(row.threads));
+    result["workers"] = obs::JsonValue(
+        static_cast<std::uint64_t>(portfolio_config.workers));
+    result["wall_millis"] = obs::JsonValue(row.wall_millis);
+    result["speedup"] = obs::JsonValue(row.speedup);
+    result["best_value"] =
+        obs::JsonValue(static_cast<double>(row.best_value));
+    result["evaluations"] = obs::JsonValue(row.evaluations);
+    result["identical"] = obs::JsonValue(true);
     report.add_result(std::move(result));
   }
   report.capture_metrics();

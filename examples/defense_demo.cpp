@@ -54,7 +54,7 @@ int main() {
               to_eth_string(report.worst_case_after).c_str());
 
   // Prove it: attack the admitted batch.
-  core::Parole attacker({core::ReordererKind::kAnnealing, {}, solvers::Objective::kSumBalance, 99});
+  core::Parole attacker({core::ReordererKind::kAnnealing, {}, solvers::Objective::kSumBalance, 99, {}});
   const core::AttackOutcome outcome =
       attacker.run(state, report.admitted, {cs::kIfu});
   std::printf(
@@ -65,7 +65,7 @@ int main() {
   // Post-hoc audit: what the unscreened attack would have looked like to a
   // forensics pass over public batch data.
   core::Parole unscreened({core::ReordererKind::kAnnealing, {},
-                           solvers::Objective::kSumBalance, 99});
+                           solvers::Objective::kSumBalance, 99, {}});
   auto stamped = cs::original_txs();
   Amount fee = gwei(800'000);
   for (auto& tx : stamped) {

@@ -81,8 +81,8 @@ int usage() {
       "                  [--every <steps>] [--kill-after-step <n>]\n"
       "       parole_cli campaign [--aggregators <n>] [--fraction <f>]\n"
       "                  [--mempool <n>] [--rounds <n>] [--ifus <n>]\n"
-      "                  [--seed <n>] [--checkpoint <dir>] [--every <rounds>]\n"
-      "                  [--kill-after-round <n>]\n"
+      "                  [--seed <n>] [--threads <n>] [--checkpoint <dir>]\n"
+      "                  [--every <rounds>] [--kill-after-round <n>]\n"
       "       parole_cli train [--episodes <n>] [--seed <n>]\n"
       "                  [--checkpoint <dir>] [--every <episodes>]\n"
       "                  [--kill-after-episode <n>]\n"
@@ -563,6 +563,14 @@ int cmd_campaign(const Flags& flags, const CheckpointCliOptions& ckpt) {
   config.rounds = static_cast<std::size_t>(flag_u64(flags, "rounds", 12));
   config.num_ifus = static_cast<std::size_t>(flag_u64(flags, "ifus", 1));
   config.seed = flag_u64(flags, "seed", 0xca59a16eULL);
+  // --threads N (N > 0) swaps the annealing reorderer for the parallel
+  // portfolio racing its roster on N threads. Deterministic mode is on, so
+  // the campaign result is a pure function of the seed at any N.
+  const std::uint64_t threads = flag_u64(flags, "threads", 0);
+  if (threads > 0) {
+    config.parole.kind = core::ReordererKind::kPortfolio;
+    config.parole.portfolio.threads = static_cast<std::size_t>(threads);
+  }
   config.checkpoint_dir = ckpt.dir;
   config.checkpoint_every_rounds = static_cast<std::size_t>(ckpt.every);
   config.halt_after_rounds = static_cast<std::size_t>(ckpt.kill_after);
@@ -677,6 +685,13 @@ int cmd_resume(const std::string& dir) {
     flags.named["rounds"] = std::to_string(meta_u64("rounds", 12));
     flags.named["ifus"] = std::to_string(meta_u64("ifus", 1));
     flags.named["seed"] = std::to_string(meta_u64("seed", 0xca59a16eULL));
+    // Rebuild the portfolio reorderer exactly as launched: the checkpoint's
+    // parallel-solver fingerprint rejects any drift, so resume must hand
+    // cmd_campaign the same --threads the original run used.
+    if (meta_u64("reorderer", 0) ==
+        static_cast<std::uint64_t>(core::ReordererKind::kPortfolio)) {
+      flags.named["threads"] = std::to_string(meta_u64("threads", 1));
+    }
     return cmd_campaign(flags, ckpt);
   }
   if (kind == "gentranseq-training") {

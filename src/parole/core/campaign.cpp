@@ -56,6 +56,7 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
   node_config.initial_price = config_.workload.initial_price;
   rollup::RollupNode node(node_config);
   node.state() = genesis;
+  if (config_.chaos.has_value()) node.arm_chaos(*config_.chaos);
 
   std::size_t adversarial = config_.adversarial_fraction <= 0.0
                                 ? 0
@@ -179,7 +180,31 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
         PAROLE_IO_READ(r.u32(raw), "ifu id");
         u = UserId{raw};
       }
+      std::uint64_t reorderer_kind = 0, portfolio_workers = 0;
+      std::uint64_t portfolio_threads = 0, portfolio_substream = 0;
+      bool portfolio_deterministic = false;
+      PAROLE_IO_READ(r.u64(reorderer_kind), "reorderer kind");
+      PAROLE_IO_READ(r.u64(portfolio_workers), "portfolio worker count");
+      PAROLE_IO_READ(r.u64(portfolio_threads), "portfolio thread count");
+      PAROLE_IO_READ(r.u64(portfolio_substream), "portfolio substream base");
+      PAROLE_IO_READ(r.boolean(portfolio_deterministic),
+                     "portfolio determinism flag");
       if (Status s = r.finish("CAMP section"); !s.ok()) return s.error();
+
+      // Parallel-solver fingerprint: the reorderer kind and the portfolio's
+      // parallelism shape which searches each round replays, so a resumed
+      // campaign under a different configuration would silently diverge
+      // from the uninterrupted run. Reject it instead.
+      if (reorderer_kind !=
+              static_cast<std::uint64_t>(config_.parole.kind) ||
+          portfolio_workers != config_.parole.portfolio.workers ||
+          portfolio_threads != config_.parole.portfolio.threads ||
+          portfolio_substream != config_.parole.portfolio.substream_base ||
+          portfolio_deterministic != config_.parole.portfolio.deterministic) {
+        return Error{"config_mismatch",
+                     "checkpoint was taken under a different parallel-solver "
+                     "configuration (reorderer/threads/substreams)"};
+      }
 
       if (next_round > config_.rounds) {
         return Error{"config_mismatch",
@@ -231,6 +256,8 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
     meta["adversarial_fraction"] = config_.adversarial_fraction;
     meta["mempool_size"] = config_.mempool_size;
     meta["ifus"] = config_.num_ifus;
+    meta["reorderer"] = static_cast<std::size_t>(config_.parole.kind);
+    meta["threads"] = config_.parole.portfolio.threads;
     builder.set_meta(meta);
     node.save_snapshot(builder);
     io::ByteWriter& w = builder.section(kCampaignTag);
@@ -251,6 +278,12 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
            result.suspicion_scores.size() * sizeof(double)});
     w.u64(result.ifus.size());
     for (const UserId u : result.ifus) w.u32(u.value());
+    // Parallel-solver fingerprint (validated on resume, see above).
+    w.u64(static_cast<std::uint64_t>(config_.parole.kind));
+    w.u64(config_.parole.portfolio.workers);
+    w.u64(config_.parole.portfolio.threads);
+    w.u64(config_.parole.portfolio.substream_base);
+    w.boolean(config_.parole.portfolio.deterministic);
     auto generation = manager->save(builder);
     if (!generation.ok()) return generation.error();
     return ok_status();

@@ -14,9 +14,9 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
-
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "parole/core/defense.hpp"
 #include "parole/core/forensics.hpp"
@@ -39,7 +39,7 @@ struct CampaignConfig {
   std::size_t rounds = 30;
   data::WorkloadConfig workload;
   ParoleConfig parole{ReordererKind::kAnnealing, {},
-                      solvers::Objective::kSumBalance, 0x9a601eULL};
+                      solvers::Objective::kSumBalance, 0x9a601eULL, {}};
   std::size_t num_verifiers = 2;
   // Install the Sec. VIII mempool defense in front of every aggregator
   // (defense-vs-attack ablation).
@@ -50,6 +50,11 @@ struct CampaignConfig {
   bool audit = false;
   ForensicsConfig forensics;
   std::uint64_t seed = 0xca59a16eULL;  // "campaign"
+  // Arm the chaos harness on the simulated node (deterministic fault plan).
+  // Campaigns under chaos stay bit-reproducible; with kind = kPortfolio the
+  // portfolio's deterministic mode guarantees the reordering side of that
+  // even when faults perturb which batches reach the reorderer.
+  std::optional<rollup::ChaosConfig> chaos;
 
   // Crash-safe execution (DESIGN.md §10). When `checkpoint_dir` is set, the
   // campaign cuts a rolling-generation checkpoint every

@@ -1,6 +1,9 @@
 #include "parole/core/gentranseq.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <numeric>
+#include <optional>
 
 #include "parole/io/codec.hpp"
 #include "parole/ml/epsilon.hpp"
@@ -181,6 +184,8 @@ Status GenTranSeq::save_train_state(io::CheckpointManager& manager,
   meta["next_episode"] = next_episode;
   meta["episodes"] = config_.dqn.episodes;
   meta["seed"] = seed_;  // lets `parole_cli resume` rebuild the trainer
+  meta["eval_candidates"] = config_.eval_candidates;
+  meta["substream_base"] = config_.substream_base;
   builder.set_meta(meta);
   agent_.save(builder.section(kAgentTag));
   io::ByteWriter& w = builder.section(kTrainTag);
@@ -193,6 +198,11 @@ Status GenTranSeq::save_train_state(io::CheckpointManager& manager,
   w.i64(result.best_balance);
   w.i64(result.baseline);
   w.boolean(result.found_profit);
+  // Parallel fingerprint (DESIGN.md §12): the beam width and substream base
+  // shape which searches a resumed run replays, so a mismatch must be
+  // rejected rather than silently honored.
+  w.u64(config_.eval_candidates);
+  w.u64(config_.substream_base);
   auto generation = manager.save(builder);
   if (!generation.ok()) return generation.error();
   return ok_status();
@@ -234,7 +244,16 @@ Status GenTranSeq::restore_train_state(const io::Checkpoint& checkpoint,
   PAROLE_IO_READ(r.i64(best_balance), "best balance");
   PAROLE_IO_READ(r.i64(baseline), "baseline balance");
   PAROLE_IO_READ(r.boolean(loaded.found_profit), "found-profit flag");
+  std::uint64_t eval_candidates = 0, substream_base = 0;
+  PAROLE_IO_READ(r.u64(eval_candidates), "inference beam width");
+  PAROLE_IO_READ(r.u64(substream_base), "rng substream base");
   if (Status s = r.finish("GTSQ section"); !s.ok()) return s;
+  if (eval_candidates != config_.eval_candidates ||
+      substream_base != config_.substream_base) {
+    return Error{"config_mismatch",
+                 "checkpoint was taken under a different parallel "
+                 "configuration (eval_candidates/substream_base)"};
+  }
   loaded.best_balance = static_cast<Amount>(best_balance);
   loaded.baseline = static_cast<Amount>(baseline);
 
@@ -301,11 +320,40 @@ InferenceResult GenTranSeq::infer(std::size_t max_steps) {
   result.order = env_.order();
   result.balance = result.baseline;
 
+  const std::size_t beam =
+      std::min(std::max<std::size_t>(1, config_.eval_candidates),
+               env_.action_count());
   std::size_t last_action = env_.action_count();  // sentinel
   for (std::size_t sp = 0; sp < max_steps; ++sp) {
-    const std::size_t action = agent_.greedy_action(state);
-    // A greedy policy that keeps picking the same swap is oscillating
-    // (swap + swap back) or stuck on a rejected action; stop early.
+    std::size_t action;
+    if (beam == 1) {
+      action = agent_.greedy_action(state);
+    } else {
+      // Beam inference: take the top-`beam` Q actions and let one batched
+      // environment probe arbitrate among them — the Q-ranking proposes,
+      // the true objective disposes. Falls back to the argmax action when
+      // every candidate swap is constraint-breaking.
+      const ml::Matrix q = agent_.q_values(state);
+      std::vector<std::size_t> candidates(env_.action_count());
+      std::iota(candidates.begin(), candidates.end(), 0);
+      std::partial_sort(candidates.begin(), candidates.begin() + beam,
+                        candidates.end(),
+                        [&q](std::size_t a, std::size_t b) {
+                          return q.at(0, a) > q.at(0, b);
+                        });
+      candidates.resize(beam);
+      const auto balances = env_.peek_actions(candidates);
+      action = candidates[0];
+      std::optional<Amount> best;
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        if (balances[c].has_value() && (!best || *balances[c] > *best)) {
+          best = balances[c];
+          action = candidates[c];
+        }
+      }
+    }
+    // A policy that keeps picking the same swap is oscillating (swap + swap
+    // back) or stuck on a rejected action; stop early.
     if (action == last_action) break;
     last_action = action;
 

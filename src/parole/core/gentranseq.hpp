@@ -24,6 +24,15 @@ struct GenTranSeqConfig {
   bool sync_target_on_profit = true;
   // Override epsilon_max for the Fig. 8 epsilon sweep (<0 keeps dqn value).
   double epsilon_override = -1.0;
+  // Inference beam width: each greedy rollout step scores this many top-Q
+  // actions against the environment in one batched probe
+  // (ReorderEnv::peek_actions) and applies the one with the best resulting
+  // balance. 1 = the paper's plain argmax rollout (unchanged behavior).
+  std::size_t eval_candidates = 1;
+  // Offset into the Rng substream space (matches PortfolioConfig's field).
+  // Recorded with eval_candidates in training checkpoints as the parallel
+  // fingerprint: resuming under different parallelism is rejected.
+  std::uint64_t substream_base = 0;
 };
 
 // Crash-safe training (DESIGN.md §10). Checkpoints are cut at episode

@@ -150,6 +150,16 @@ AttackOutcome Parole::run(const vm::L2State& chain_state,
       best_score = solved.best_value;
       break;
     }
+    case ReordererKind::kPortfolio: {
+      // run() takes the per-invocation seed directly: worker substreams are
+      // a pure function of it, so campaigns stay reproducible at any
+      // --threads value (deterministic mode, the default).
+      solvers::PortfolioSolver solver(config_.portfolio);
+      const solvers::SolveResult solved = solver.run(problem, seed);
+      best_order = solved.best_order;
+      best_score = solved.best_value;
+      break;
+    }
   }
 
   if (best_score > baseline_score &&

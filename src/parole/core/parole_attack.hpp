@@ -22,6 +22,7 @@
 #include "parole/core/arbitrage.hpp"
 #include "parole/core/gentranseq.hpp"
 #include "parole/rollup/aggregator.hpp"
+#include "parole/solvers/portfolio.hpp"
 #include "parole/solvers/problem.hpp"
 
 namespace parole::core {
@@ -34,6 +35,7 @@ enum class ReordererKind : std::uint8_t {
   kAnnealing,      // heuristic stand-in (fast campaigns)
   kHillClimb,      // heuristic stand-in
   kGreedy,         // heuristic stand-in
+  kPortfolio,      // multi-threaded solver portfolio (DESIGN.md §12)
 };
 
 struct ParoleConfig {
@@ -43,6 +45,8 @@ struct ParoleConfig {
   // identical rankings for a single IFU.
   solvers::Objective objective = solvers::Objective::kSumBalance;
   std::uint64_t seed = 0x9a601eULL;
+  // kPortfolio member/threading configuration; ignored by the other kinds.
+  solvers::PortfolioConfig portfolio;
 };
 
 struct AttackOutcome {

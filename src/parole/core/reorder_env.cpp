@@ -79,6 +79,22 @@ EnvStep ReorderEnv::step(std::size_t action) {
   return out;
 }
 
+std::vector<std::optional<Amount>> ReorderEnv::peek_actions(
+    std::span<const std::size_t> actions) const {
+  // One resync for the whole batch; each probe is evaluate + revert, so the
+  // incumbent (and this env's order) is untouched on return.
+  problem_->commit_order(order_);
+  std::vector<std::optional<Amount>> balances;
+  balances.reserve(actions.size());
+  for (const std::size_t action : actions) {
+    assert(action < action_count());
+    const auto [i, j] = decode_action(action, n_);
+    balances.push_back(problem_->evaluate_swap(i, j));
+    problem_->revert();
+  }
+  return balances;
+}
+
 void ReorderEnv::encode_current() { encoding_ = encoder_.encode(txs_); }
 
 std::pair<std::size_t, std::size_t> ReorderEnv::decode_action(

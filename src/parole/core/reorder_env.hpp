@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "parole/core/encoding.hpp"
@@ -65,6 +66,14 @@ class ReorderEnv {
   // Apply action (a swap). Invalid-resulting swaps are rejected with a
   // penalty; valid swaps move the state.
   EnvStep step(std::size_t action);
+
+  // Batched candidate scoring: the IFU balance each action would reach from
+  // the current order, nullopt where the swap breaks a constraint. The state
+  // does not move, and the incumbent resync that step() pays per call is
+  // amortized over the whole candidate set — this is the fast path behind
+  // GenTranSeqConfig::eval_candidates.
+  [[nodiscard]] std::vector<std::optional<Amount>> peek_actions(
+      std::span<const std::size_t> actions) const;
 
   // Current order (indices into the problem's original sequence).
   [[nodiscard]] const std::vector<std::size_t>& order() const {

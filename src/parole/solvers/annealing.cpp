@@ -9,6 +9,11 @@ namespace parole::solvers {
 
 SolveResult AnnealingSolver::solve(const ReorderingProblem& problem,
                                    Rng& rng) {
+  return solve(problem, rng, SolveControl{});
+}
+
+SolveResult AnnealingSolver::solve(const ReorderingProblem& problem, Rng& rng,
+                                   const SolveControl& control) {
   Timer timer;
   PAROLE_OBS_SPAN("solvers.solve");
   MemoryMeter meter;
@@ -41,6 +46,7 @@ SolveResult AnnealingSolver::solve(const ReorderingProblem& problem,
       config_.initial_temperature * static_cast<double>(kGweiPerEth);
 
   for (std::size_t iter = 0; iter < iterations; ++iter) {
+    if (control.interrupted(result.best_value)) break;
     const std::size_t i = rng.index(n);
     std::size_t j = rng.index(n);
     if (i == j) j = (j + 1) % n;

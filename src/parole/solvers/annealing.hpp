@@ -30,6 +30,8 @@ class AnnealingSolver final : public Solver {
 
   [[nodiscard]] std::string name() const override { return "Annealing-MINOS"; }
   SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng,
+                    const SolveControl& control) override;
 
  private:
   AnnealingConfig config_;

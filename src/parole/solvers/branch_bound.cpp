@@ -25,10 +25,11 @@ struct SuffixStats {
 class BnbSearch {
  public:
   BnbSearch(const ReorderingProblem& problem, std::size_t node_budget,
-            MemoryMeter& meter)
+            MemoryMeter& meter, const SolveControl& control)
       : problem_(problem),
         node_budget_(node_budget),
         meter_(meter),
+        control_(control),
         engine_(vm::ExecConfig{vm::InvalidTxPolicy::kStrict, false, {}}) {}
 
   void run(std::vector<std::size_t>& best_order, Amount& best_value,
@@ -104,6 +105,13 @@ class BnbSearch {
 
   void descend(const vm::L2State& state, std::size_t depth) {
     if (nodes_ >= node_budget_) return;
+    // Cooperative early-stop, polled once per few hundred nodes so the
+    // atomic loads stay off the per-node hot path. A stop drains the budget,
+    // which also marks the run incomplete.
+    if ((nodes_ & 0xFF) == 0 && control_.interrupted(best_value_)) {
+      nodes_ = node_budget_;
+      return;
+    }
     const std::size_t n = problem_.size();
 
     if (depth == n) {
@@ -152,6 +160,7 @@ class BnbSearch {
   const ReorderingProblem& problem_;
   std::size_t node_budget_;
   MemoryMeter& meter_;
+  const SolveControl& control_;
   vm::ExecutionEngine engine_;
   std::vector<std::size_t> chosen_;
   std::vector<bool> used_;
@@ -166,6 +175,11 @@ class BnbSearch {
 
 SolveResult BranchBoundSolver::solve(const ReorderingProblem& problem,
                                      Rng& rng) {
+  return solve(problem, rng, SolveControl{});
+}
+
+SolveResult BranchBoundSolver::solve(const ReorderingProblem& problem,
+                                     Rng& rng, const SolveControl& control) {
   (void)rng;  // deterministic
 
   Timer timer;
@@ -190,7 +204,7 @@ SolveResult BranchBoundSolver::solve(const ReorderingProblem& problem,
     return result;
   }
 
-  BnbSearch search(problem, config_.node_budget, meter);
+  BnbSearch search(problem, config_.node_budget, meter, control);
   bool complete = false;
   search.run(result.best_order, result.best_value, complete);
   last_run_complete_ = complete;

@@ -29,6 +29,8 @@ class BranchBoundSolver final : public Solver {
 
   [[nodiscard]] std::string name() const override { return "BnB-APOPT"; }
   SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng,
+                    const SolveControl& control) override;
 
   // Exposed for tests: was the last solve exhaustive (budget not exhausted)?
   [[nodiscard]] bool last_run_complete() const { return last_run_complete_; }

@@ -13,6 +13,8 @@ class ExhaustiveSolver final : public Solver {
  public:
   static constexpr std::size_t kMaxSize = 10;
 
+  using Solver::solve;  // not control-plumbed; keep the 3-arg default visible
+
   [[nodiscard]] std::string name() const override { return "Exhaustive"; }
   SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
 };

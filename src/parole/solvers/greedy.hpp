@@ -15,6 +15,8 @@ namespace parole::solvers {
 
 class GreedyInsertionSolver final : public Solver {
  public:
+  using Solver::solve;  // not control-plumbed; keep the 3-arg default visible
+
   [[nodiscard]] std::string name() const override { return "GreedyInsertion"; }
   SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
 };

@@ -18,6 +18,11 @@ struct NeighbourEntry {
 
 SolveResult HillClimbSolver::solve(const ReorderingProblem& problem,
                                    Rng& rng) {
+  return solve(problem, rng, SolveControl{});
+}
+
+SolveResult HillClimbSolver::solve(const ReorderingProblem& problem, Rng& rng,
+                                   const SolveControl& control) {
   Timer timer;
   PAROLE_OBS_SPAN("solvers.solve");
   MemoryMeter meter;
@@ -35,7 +40,9 @@ SolveResult HillClimbSolver::solve(const ReorderingProblem& problem,
   neighbourhood.reserve(n * (n - 1) / 2);
   meter.add(neighbourhood.capacity() * sizeof(NeighbourEntry));
 
-  for (std::size_t restart = 0; restart <= config_.restarts; ++restart) {
+  bool stopped = false;
+  for (std::size_t restart = 0; restart <= config_.restarts && !stopped;
+       ++restart) {
     std::vector<std::size_t> current(n);
     std::iota(current.begin(), current.end(), 0);
     if (restart > 0) rng.shuffle(current);
@@ -47,9 +54,15 @@ SolveResult HillClimbSolver::solve(const ReorderingProblem& problem,
     if (!current_value) continue;  // shuffled start can be invalid
 
     for (std::size_t iter = 0; iter < config_.max_iterations; ++iter) {
+      if (control.interrupted(result.best_value)) {
+        stopped = true;
+        problem.revert();
+        break;
+      }
       // Scan the full swap neighbourhood, retaining the dense table.
       neighbourhood.clear();
-      for (std::size_t i = 0; i + 1 < n; ++i) {
+      for (std::size_t i = 0; i + 1 < n && !stopped; ++i) {
+        if (control.stop_requested()) stopped = true;
         for (std::size_t j = i + 1; j < n; ++j) {
           const auto value = problem.evaluate_swap(i, j);
           neighbourhood.push_back(

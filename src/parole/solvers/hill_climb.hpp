@@ -31,6 +31,8 @@ class HillClimbSolver final : public Solver {
 
   [[nodiscard]] std::string name() const override { return "HillClimb-SQP"; }
   SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng,
+                    const SolveControl& control) override;
 
  private:
   HillClimbConfig config_;

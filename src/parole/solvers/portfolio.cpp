@@ -1,0 +1,152 @@
+#include "parole/solvers/portfolio.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "parole/common/fault.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/trace.hpp"
+#include "parole/solvers/instrument.hpp"
+
+namespace parole::solvers {
+namespace {
+
+// Substream family for worker Rngs; disjoint from the FaultKind streams used
+// by the chaos harness (those are small enum values).
+constexpr std::uint64_t kPortfolioStream = 0x504f'5254'464f'4c49ull;
+
+}  // namespace
+
+std::size_t PortfolioSolver::roster_size() const {
+  return config_.include_branch_bound ? 5 : 4;
+}
+
+std::size_t PortfolioSolver::worker_count() const {
+  return config_.workers == 0 ? roster_size() : config_.workers;
+}
+
+std::size_t PortfolioSolver::thread_count() const {
+  std::size_t threads = config_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  return std::min(threads, worker_count());
+}
+
+std::unique_ptr<Solver> PortfolioSolver::make_member(
+    std::size_t worker) const {
+  switch (worker % roster_size()) {
+    case 0:
+      return std::make_unique<HillClimbSolver>(config_.hill_climb);
+    case 1:
+      return std::make_unique<AnnealingSolver>(config_.annealing);
+    case 2:
+      return std::make_unique<TabuSolver>(config_.tabu);
+    case 3:
+      return std::make_unique<RandomSearchSolver>(config_.random_search);
+    default:
+      return std::make_unique<BranchBoundSolver>(config_.branch_bound);
+  }
+}
+
+SolveResult PortfolioSolver::solve(const ReorderingProblem& problem,
+                                   Rng& rng) {
+  return run(problem, rng.next(), SolveControl{});
+}
+
+SolveResult PortfolioSolver::solve(const ReorderingProblem& problem, Rng& rng,
+                                   const SolveControl& control) {
+  return run(problem, rng.next(), control);
+}
+
+SolveResult PortfolioSolver::run(const ReorderingProblem& problem,
+                                 std::uint64_t seed,
+                                 const SolveControl& external) {
+  Timer timer;
+  PAROLE_OBS_SPAN("portfolio.solve");
+  const std::size_t workers = worker_count();
+  const std::size_t threads = thread_count();
+  PAROLE_OBS_COUNT("parole.portfolio.solves", 1);
+  PAROLE_OBS_COUNT("parole.portfolio.workers", workers);
+
+  // Shared control plane. The internal announce flag implements racing-mode
+  // early stop; the external stop flag (if any) is honoured in every mode.
+  std::atomic<Amount> shared_best{std::numeric_limits<Amount>::min()};
+  std::atomic<bool> announce_stop{false};
+
+  // Preallocated result slots: worker w writes slot w and nothing else, so
+  // collection is race-free without locks.
+  last_worker_results_.assign(workers, SolveResult{});
+  std::vector<SolveResult>& results = last_worker_results_;
+
+  std::atomic<std::size_t> next_worker{0};
+  const auto drive = [&]() {
+    for (std::size_t w = next_worker.fetch_add(1); w < workers;
+         w = next_worker.fetch_add(1)) {
+      PAROLE_OBS_SPAN("portfolio.worker");
+      SolveControl control;
+      control.stop = external.stop;
+      if (!config_.deterministic) {
+        control.shared_best = &shared_best;
+        control.target = config_.target;
+        control.announce_stop = &announce_stop;
+      }
+      // Fixed worker→substream mapping: the Rng depends on (seed, w) only,
+      // never on which OS thread claimed the worker.
+      Rng rng = fault_rng(seed ^ config_.substream_base, kPortfolioStream,
+                          config_.substream_base + w, 0);
+      // A private problem instance: probe caches, checkpoint trails and
+      // EvalStats are all worker-local. The compiled FastLayout is rebuilt
+      // per worker (cheap, one identity execution) rather than shared, so
+      // no mutable state crosses threads.
+      ReorderingProblem local(problem.initial_state(),
+                              problem.original_order(), problem.ifus(),
+                              problem.objective());
+      results[w] = make_member(w)->solve(local, rng, control);
+    }
+  };
+
+  if (threads <= 1) {
+    drive();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(drive);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Deterministic reduction: argmax over worker results, lowest worker index
+  // wins ties — arrival order never matters.
+  const SolveResult* winner = &results[0];
+  for (const SolveResult& r : results) {
+    if (r.best_value > winner->best_value) winner = &r;
+  }
+
+  SolveResult combined;
+  combined.solver = "Portfolio[" + winner->solver + "]";
+  combined.best_order = winner->best_order;
+  combined.best_value = winner->best_value;
+  combined.baseline = winner->baseline;
+  combined.improved = combined.best_value > combined.baseline;
+  // Explicit aggregation: sum the per-worker counters. The members already
+  // published their own EvalStats deltas to the metrics registry, so the
+  // aggregate must NOT be re-published here (it would double-count).
+  for (const SolveResult& r : results) {
+    combined.evaluations += r.evaluations;
+    combined.cache_hits += r.cache_hits;
+    combined.txs_reexecuted += r.txs_reexecuted;
+    combined.peak_bytes += r.peak_bytes;
+  }
+  combined.wall_millis = timer.elapsed_millis();
+
+  last_early_stopped_ = announce_stop.load(std::memory_order_relaxed);
+  if (last_early_stopped_) PAROLE_OBS_COUNT("parole.portfolio.early_stops", 1);
+  return combined;
+}
+
+}  // namespace parole::solvers

@@ -1,0 +1,106 @@
+// Multi-threaded solver portfolio (DESIGN.md §12).
+//
+// Races the metaheuristic roster — hill climb, annealing, tabu, random
+// search, optionally branch & bound — on worker threads. Each logical worker
+// gets its own ReorderingProblem instance (rebuilt from the shared immutable
+// components, so probe state never crosses threads) and an independent Rng
+// substream derived with the fault-injection stream-splitting idiom:
+// substream w is a pure function of (seed, w), never of scheduling.
+//
+// Determinism contract: with `deterministic` set (the default), the result
+// is a pure function of (problem, seed, worker count) — workers never read
+// each other's progress, the winner is the argmax over per-worker results
+// with the lowest worker index breaking ties, and the OS thread count only
+// multiplexes logical workers onto cores. Same seed + same worker roster →
+// identical best permutation at any --threads value. With `deterministic`
+// off the portfolio truly races: the first worker to reach `target` (or just
+// any publish of a better best, for telemetry) raises a cooperative stop and
+// siblings wind down at their next poll — faster, scheduling-dependent.
+//
+// Stats aggregation is explicit: per-worker SolveResult counters are summed
+// into the portfolio's combined result (per-worker results are preserved for
+// the no-loss assertion in tests), and the members' own publish_eval_stats
+// calls are the only registry publication — the portfolio never re-publishes
+// the aggregate, which would double-count parole.solvers.* counters.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "parole/solvers/annealing.hpp"
+#include "parole/solvers/branch_bound.hpp"
+#include "parole/solvers/hill_climb.hpp"
+#include "parole/solvers/problem.hpp"
+#include "parole/solvers/random_search.hpp"
+#include "parole/solvers/tabu.hpp"
+
+namespace parole::solvers {
+
+struct PortfolioConfig {
+  // OS threads to run on; 0 = hardware concurrency. Purely a multiplexing
+  // knob in deterministic mode (never changes results).
+  std::size_t threads = 0;
+  // Logical workers; 0 = one per roster member. Worker w runs roster member
+  // w % roster_size with Rng substream w, so extra workers add diversified
+  // replicas of the same solvers.
+  std::size_t workers = 0;
+  // Include B&B in the roster (off by default: exact but budget-bound, only
+  // worth a slot on small instances).
+  bool include_branch_bound = false;
+  // See the determinism contract above.
+  bool deterministic = true;
+  // Racing mode: stop every worker once one reaches this objective value.
+  // Only honoured when deterministic is off.
+  std::optional<Amount> target;
+  // Offset into the substream space, recorded in checkpoint fingerprints so
+  // resumed runs can prove they search the same streams.
+  std::uint64_t substream_base = 0;
+
+  // Per-member solver configs.
+  HillClimbConfig hill_climb;
+  AnnealingConfig annealing;
+  TabuConfig tabu;
+  RandomSearchConfig random_search;
+  BranchBoundConfig branch_bound;
+};
+
+class PortfolioSolver final : public Solver {
+ public:
+  explicit PortfolioSolver(PortfolioConfig config = {}) : config_(config) {}
+
+  [[nodiscard]] std::string name() const override { return "Portfolio"; }
+  // The Solver-interface entry derives the portfolio seed from one rng draw
+  // (callers that hold a seed directly should prefer run()).
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng,
+                    const SolveControl& control) override;
+
+  // Deterministic entry point: worker substreams are derived from `seed`
+  // alone. `external` is the caller's control plane (its stop flag is
+  // honoured in every mode); pass {} when unused.
+  SolveResult run(const ReorderingProblem& problem, std::uint64_t seed,
+                  const SolveControl& external = {});
+
+  [[nodiscard]] const PortfolioConfig& config() const { return config_; }
+  // Resolved roster size (workers == 0 resolved against the roster).
+  [[nodiscard]] std::size_t worker_count() const;
+  [[nodiscard]] std::size_t thread_count() const;
+  // Per-worker results of the last run (for the stats no-loss assertion).
+  [[nodiscard]] const std::vector<SolveResult>& last_worker_results() const {
+    return last_worker_results_;
+  }
+  // Did the last run wind down early via target/announce?
+  [[nodiscard]] bool last_early_stopped() const { return last_early_stopped_; }
+
+ private:
+  [[nodiscard]] std::size_t roster_size() const;
+  [[nodiscard]] std::unique_ptr<Solver> make_member(std::size_t worker) const;
+
+  PortfolioConfig config_;
+  std::vector<SolveResult> last_worker_results_;
+  bool last_early_stopped_{false};
+};
+
+}  // namespace parole::solvers

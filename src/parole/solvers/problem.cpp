@@ -38,40 +38,68 @@ std::vector<Amount> ReorderingProblem::collect_balances(
   return balances;
 }
 
+std::vector<Amount> ReorderingProblem::collect_balances(
+    const vm::FastState& state) const {
+  std::vector<Amount> balances;
+  balances.reserve(ifus_.size());
+  for (std::uint32_t uid : layout_->ifu_uids) {
+    balances.push_back(state.total_balance(uid));
+  }
+  return balances;
+}
+
 void ReorderingProblem::ensure_incremental() const {
-  if (!checkpoints_.empty()) return;
+  if (built_) return;
+  built_ = true;
   const std::size_t n = original_.size();
   if (stride_ == 0) stride_ = auto_stride(n);
 
   inc_order_.resize(n);
   std::iota(inc_order_.begin(), inc_order_.end(), 0);
 
-  // One identity-order execution builds everything at once: the executed set
-  // (the paper's validity constraint), the baseline objective, and the
-  // incumbent's checkpoint trail. The identity order violates nothing by
-  // definition, so every trail prefix carries zero violations.
+  // Reference identity pass on the hash-map state: the executed set (the
+  // paper's validity constraint) and the baseline come from the L2State
+  // machine, which stays the oracle the fast path is measured against.
   std::vector<bool> executed(n, false);
   must_bytes_.assign(n, 0);
   vm::L2State state = state_;
-  checkpoints_.reserve(n / stride_ + 1);
   for (std::size_t pos = 0; pos < n; ++pos) {
-    if (pos % stride_ == 0) checkpoints_.push_back({state, pos, 0});
     const bool ok = engine_.apply_tx(state, original_[pos]);
     executed[pos] = ok;
     must_bytes_[pos] = ok ? 1 : 0;
   }
-  if (checkpoints_.empty()) checkpoints_.push_back({state, 0, 0});
-
-  inc_balances_ = collect_balances(state);
-  inc_viols_ = 0;
-  baseline_balances_ = inc_balances_;
+  baseline_balances_ = collect_balances(state);
   Amount total = 0;
-  for (Amount b : inc_balances_) total += b;
+  for (Amount b : baseline_balances_) total += b;
   // Objective score of the identity order: the summed balance, or a zero
   // minimum gain (the original order improves nobody over itself).
   baseline_ = objective_ == Objective::kSumBalance ? total : 0;
   originally_executed_ = std::move(executed);
-  if (!scratch_) scratch_.emplace(state_);
+
+  // Compile the dense universe and replay the identity order through it to
+  // lay down the incumbent's checkpoint trail. The identity order violates
+  // nothing by definition, so every trail prefix carries zero violations.
+  // Debug builds cross-check the replay against the oracle pass above.
+  layout_ = vm::FastLayout::build(state_, original_, ifus_);
+  if (layout_) {
+    vm::FastState fast(*layout_);
+    checkpoints_.reserve(n / stride_ + 1);
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      if (pos % stride_ == 0) checkpoints_.push_back({fast, pos, 0});
+      const bool ok = engine_.apply_tx(fast, layout_->txs[pos]);
+      assert(ok == (*originally_executed_)[pos]);
+      (void)ok;
+    }
+    if (checkpoints_.empty()) checkpoints_.push_back({fast, 0, 0});
+    assert(collect_balances(fast) == baseline_balances_);
+    if (!scratch_) {
+      scratch_.emplace(std::move(fast));
+    } else {
+      *scratch_ = std::move(fast);
+    }
+  }
+  inc_balances_ = baseline_balances_;
+  inc_viols_ = 0;
 }
 
 const std::vector<bool>& ReorderingProblem::originally_executed() const {
@@ -162,6 +190,18 @@ std::optional<std::vector<Amount>> ReorderingProblem::eval_balances(
     return inc_balances_;
   }
 
+  if (!layout_) {
+    // Fallback (dense universe refused to build): full re-execution on the
+    // hash-map state, still honouring the early-abort on a violation.
+    vm::L2State state = state_;
+    const vm::SpanExecResult res =
+        engine_.execute_indexed(state, original_, order, 0, n, must_bytes_,
+                                /*stop_at_must_violation=*/true);
+    stats_.txs_executed += res.attempted;
+    if (res.first_must_violation != vm::kNoViolation) return std::nullopt;
+    return collect_balances(state);
+  }
+
   const std::size_t ci =
       std::min(first_change / stride_, checkpoints_.size() - 1);
   const Checkpoint& cp = checkpoints_[ci];
@@ -177,7 +217,7 @@ std::optional<std::vector<Amount>> ReorderingProblem::eval_balances(
   if (!scratch_) {
     scratch_.emplace(cp.state);
   } else {
-    *scratch_ = cp.state;  // copy-assign reuses bucket capacity
+    *scratch_ = cp.state;  // copy-assign reuses vector capacity
   }
 
   // Execute segment by segment so a checkpoint boundary just past the last
@@ -189,7 +229,7 @@ std::optional<std::vector<Amount>> ReorderingProblem::eval_balances(
   while (pos < n) {
     const std::size_t boundary = std::min(n, (pos / stride_ + 1) * stride_);
     const vm::SpanExecResult res = engine_.execute_indexed(
-        *scratch_, original_, order, pos, boundary, must_bytes_,
+        *scratch_, layout_->txs, order, pos, boundary, must_bytes_,
         /*stop_at_must_violation=*/true);
     stats_.txs_executed += res.attempted;
     if (res.first_must_violation != vm::kNoViolation) return std::nullopt;
@@ -318,6 +358,22 @@ void ReorderingProblem::commit_order(
 void ReorderingProblem::rebuild_trail(std::size_t from_pos,
                                       std::size_t last_change) const {
   const std::size_t n = original_.size();
+
+  if (!layout_) {
+    // Fallback: no trail — refresh the incumbent's cached result in full.
+    vm::L2State state = state_;
+    std::size_t viols = 0;
+    for (std::size_t pos = 0; pos < n; ++pos) {
+      const std::size_t idx = inc_order_[pos];
+      const bool ok = engine_.apply_tx(state, original_[idx]);
+      ++stats_.txs_executed;
+      if (!ok && must_bytes_[idx] != 0) ++viols;
+    }
+    inc_balances_ = collect_balances(state);
+    inc_viols_ = viols;
+    return;
+  }
+
   const std::size_t ci = std::min(from_pos / stride_, checkpoints_.size() - 1);
   if (!scratch_) {
     scratch_.emplace(checkpoints_[ci].state);
@@ -359,7 +415,7 @@ void ReorderingProblem::rebuild_trail(std::size_t from_pos,
       }
     }
     const std::size_t idx = inc_order_[pos];
-    const bool ok = engine_.apply_tx(*scratch_, original_[idx]);
+    const bool ok = engine_.apply_tx(*scratch_, layout_->txs[idx]);
     ++stats_.txs_executed;
     if (!ok && must_bytes_[idx] != 0) ++viols;
     ++pos;
@@ -375,13 +431,14 @@ void ReorderingProblem::set_checkpoint_stride(std::size_t stride) const {
   const std::size_t n = original_.size();
   const std::size_t resolved = stride == 0 ? auto_stride(n) : stride;
   if (checkpoints_.empty()) {
+    // Not yet built, or running in fallback mode (no trail to re-lay).
     stride_ = resolved;
-    return;  // applied when the trail is first built
+    return;
   }
   if (resolved == stride_) return;
   stride_ = resolved;
   checkpoints_.clear();
-  checkpoints_.push_back({state_, 0, 0});
+  checkpoints_.push_back({vm::FastState(*layout_), 0, 0});
   if (n > 0) rebuild_trail(0, n - 1);
 }
 

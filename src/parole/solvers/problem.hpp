@@ -27,9 +27,18 @@
 // of the same pair between commits are served from a per-incumbent memo in
 // O(1). Results are bit-identical to full re-execution (evaluate_full keeps
 // the reference path, pinned by tests/incremental_eval_test.cpp).
+//
+// The incremental trail runs on the structure-of-arrays fast path
+// (vm::FastState over a vm::FastLayout compiled once per instance, DESIGN.md
+// §12): checkpoint snapshot/restore is then a capacity-reusing vector copy
+// instead of a hash-map rebuild. When the layout refuses to build
+// (adversarially sparse token ids) the problem falls back to full L2State
+// re-execution per probe — slower, never wrong.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -162,10 +171,11 @@ class ReorderingProblem {
   [[nodiscard]] const EvalStats& eval_stats() const { return stats_; }
 
  private:
-  // A snapshot of the L2 state after executing the incumbent's first `pos`
-  // positions, plus how many must-execute violations that prefix contains.
+  // A snapshot of the dense state after executing the incumbent's first
+  // `pos` positions, plus how many must-execute violations that prefix
+  // contains.
   struct Checkpoint {
-    vm::L2State state;
+    vm::FastState state;
     std::size_t pos{0};
     std::size_t viols_before{0};
   };
@@ -179,6 +189,8 @@ class ReorderingProblem {
       const std::optional<std::vector<Amount>>& balances) const;
   [[nodiscard]] std::vector<Amount> collect_balances(
       const vm::L2State& state) const;
+  [[nodiscard]] std::vector<Amount> collect_balances(
+      const vm::FastState& state) const;
 
   vm::L2State state_;
   std::vector<vm::Tx> original_;
@@ -192,12 +204,17 @@ class ReorderingProblem {
   mutable std::optional<std::vector<bool>> originally_executed_;
   mutable std::vector<Amount> baseline_balances_;
   // --- incremental evaluation state (lazily built) ------------------------
+  mutable bool built_{false};
+  // The compiled closed world; shared by copies of this problem (it is
+  // immutable), null when the dense universe refused to build — then the
+  // trail below stays empty and every probe re-executes in full on L2State.
+  mutable std::shared_ptr<const vm::FastLayout> layout_;
   mutable std::size_t stride_{0};  // 0 = auto (~sqrt(n))
   mutable std::vector<std::size_t> inc_order_;    // committed incumbent
   mutable std::vector<Checkpoint> checkpoints_;   // trail along inc_order_
   mutable std::vector<Amount> inc_balances_;      // incumbent final balances
   mutable std::size_t inc_viols_{0};              // incumbent violations
-  mutable std::optional<vm::L2State> scratch_;    // reusable probe state
+  mutable std::optional<vm::FastState> scratch_;  // reusable probe state
   mutable std::vector<std::uint8_t> must_bytes_;  // originally_executed()
   mutable std::vector<std::size_t> probe_order_;  // evaluate_swap workspace
   mutable std::optional<std::pair<std::size_t, std::size_t>> pending_swap_;
@@ -228,11 +245,59 @@ struct SolveResult {
   [[nodiscard]] Amount profit() const { return best_value - baseline; }
 };
 
+// Cooperative control plane between a portfolio and its workers (DESIGN.md
+// §12). All pointers are optional and owned by the caller; a default
+// SolveControl is inert. Solvers poll at iteration granularity — the hooks
+// are advisory, never preemptive, so a stopped solver still returns a
+// well-formed SolveResult with whatever it found.
+struct SolveControl {
+  // External kill switch (the portfolio's join path, a campaign timeout).
+  const std::atomic<bool>* stop = nullptr;
+  // Cross-worker best objective; workers publish improvements via a CAS-max
+  // so siblings can report honest "beaten by" telemetry. Publishing never
+  // steers a worker's own trajectory, which keeps deterministic mode exact.
+  std::atomic<Amount>* shared_best = nullptr;
+  // Racing mode: once any worker reaches `target`, it raises announce_stop
+  // and every sibling winds down at its next poll.
+  std::optional<Amount> target;
+  std::atomic<bool>* announce_stop = nullptr;
+
+  [[nodiscard]] bool stop_requested() const {
+    return (stop != nullptr && stop->load(std::memory_order_relaxed)) ||
+           (announce_stop != nullptr &&
+            announce_stop->load(std::memory_order_relaxed));
+  }
+
+  // Publish `best` and poll for shutdown; the one call solvers make per
+  // iteration. Returns true when the solver should wind down.
+  bool interrupted(Amount best) const {
+    if (shared_best != nullptr) {
+      Amount seen = shared_best->load(std::memory_order_relaxed);
+      while (best > seen &&
+             !shared_best->compare_exchange_weak(seen, best,
+                                                 std::memory_order_relaxed)) {
+      }
+    }
+    if (target.has_value() && best >= *target && announce_stop != nullptr) {
+      announce_stop->store(true, std::memory_order_relaxed);
+    }
+    return stop_requested();
+  }
+};
+
 class Solver {
  public:
   virtual ~Solver() = default;
   [[nodiscard]] virtual std::string name() const = 0;
   virtual SolveResult solve(const ReorderingProblem& problem, Rng& rng) = 0;
+  // Control-aware entry point (what portfolio workers call). The default
+  // ignores the control plane, so solvers opt in to cooperative early-stop;
+  // the four metaheuristics and B&B are plumbed, greedy/exhaustive are not.
+  virtual SolveResult solve(const ReorderingProblem& problem, Rng& rng,
+                            const SolveControl& control) {
+    (void)control;
+    return solve(problem, rng);
+  }
 };
 
 }  // namespace parole::solvers

@@ -8,6 +8,12 @@ namespace parole::solvers {
 
 SolveResult RandomSearchSolver::solve(const ReorderingProblem& problem,
                                       Rng& rng) {
+  return solve(problem, rng, SolveControl{});
+}
+
+SolveResult RandomSearchSolver::solve(const ReorderingProblem& problem,
+                                      Rng& rng,
+                                      const SolveControl& control) {
   Timer timer;
   PAROLE_OBS_SPAN("solvers.solve");
   MemoryMeter meter;
@@ -26,6 +32,7 @@ SolveResult RandomSearchSolver::solve(const ReorderingProblem& problem,
   meter.add(2 * n * sizeof(std::size_t));
 
   for (std::size_t s = 0; s < config_.samples; ++s) {
+    if (control.interrupted(result.best_value)) break;
     rng.shuffle(candidate);
     const auto value = problem.evaluate(candidate);
     if (value && *value > result.best_value) {

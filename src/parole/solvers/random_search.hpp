@@ -18,6 +18,8 @@ class RandomSearchSolver final : public Solver {
 
   [[nodiscard]] std::string name() const override { return "RandomSearch"; }
   SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng,
+                    const SolveControl& control) override;
 
  private:
   RandomSearchConfig config_;

@@ -7,6 +7,11 @@
 namespace parole::solvers {
 
 SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng) {
+  return solve(problem, rng, SolveControl{});
+}
+
+SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng,
+                              const SolveControl& control) {
   (void)rng;  // deterministic given the problem
 
   Timer timer;
@@ -41,6 +46,10 @@ SolveResult TabuSolver::solve(const ReorderingProblem& problem, Rng& rng) {
   for (std::size_t iter = 1;
        iter <= config_.max_iterations && stall < config_.stall_limit;
        ++iter) {
+    if (control.interrupted(result.best_value)) {
+      problem.revert();
+      break;
+    }
     std::size_t best_i = n, best_j = n;
     Amount best_move_value = 0;
     bool have_move = false;

@@ -28,6 +28,8 @@ class TabuSolver final : public Solver {
 
   [[nodiscard]] std::string name() const override { return "TabuSearch"; }
   SolveResult solve(const ReorderingProblem& problem, Rng& rng) override;
+  SolveResult solve(const ReorderingProblem& problem, Rng& rng,
+                    const SolveControl& control) override;
 
  private:
   TabuConfig config_;

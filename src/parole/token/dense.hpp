@@ -1,0 +1,173 @@
+// Dense structure-of-arrays views of the token machines, for the reordering
+// hot path (DESIGN.md §12).
+//
+// BalanceLedger and LimitedEditionNft are hash-map machines: flexible, but a
+// prefix-checkpoint copy (the incremental evaluator's unit of work) pays for
+// bucket allocation and rehashing on every snapshot/restore. A reordering
+// probe only ever touches a *closed* universe — the batch's senders and
+// recipients, the IFUs, and token ids bounded by the genesis collection plus
+// the batch's mints — so both machines flatten into plain vectors indexed by
+// a compact uid / raw token id. Copy-assignment then reuses capacity and
+// degenerates to a few memcpys.
+//
+// Semantics are bit-for-bit those of the map machines (engine parity is
+// pinned by tests/fast_state_test.cpp and tests/incremental_eval_test.cpp);
+// the mapping from the open world into the dense universe lives in
+// vm::FastLayout.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+
+namespace parole::token {
+
+// Token slot sentinels. Real uids are dense indices < num_users, so the top
+// two values can never collide with one.
+inline constexpr std::uint32_t kDenseNoOwner = 0xFFFF'FFFFu;
+// Owner outside the interned user set: such tokens can never move (every
+// transfer/burn sender in the batch is interned), so a sentinel that matches
+// no uid reproduces the "not owner" failure exactly.
+inline constexpr std::uint32_t kDenseForeignOwner = 0xFFFF'FFFEu;
+// mint() argument meaning "auto-assign the next sequential id".
+inline constexpr std::uint32_t kDenseAutoToken = 0xFFFF'FFFFu;
+
+// B_k^t as a flat array over interned users.
+class DenseLedger {
+ public:
+  DenseLedger() = default;
+  explicit DenseLedger(std::size_t num_users) : balances_(num_users, 0) {}
+
+  void credit(std::uint32_t uid, Amount amount) { balances_[uid] += amount; }
+  bool debit(std::uint32_t uid, Amount amount) {
+    if (balances_[uid] < amount) return false;
+    balances_[uid] -= amount;
+    return true;
+  }
+  [[nodiscard]] Amount balance(std::uint32_t uid) const {
+    return balances_[uid];
+  }
+  void set_balance(std::uint32_t uid, Amount amount) {
+    balances_[uid] = amount;
+  }
+  [[nodiscard]] std::size_t size() const { return balances_.size(); }
+
+  friend bool operator==(const DenseLedger&, const DenseLedger&) = default;
+
+ private:
+  std::vector<Amount> balances_;
+};
+
+// O_k^{i,t} / S^t as flat arrays over a bounded token universe [0, token_hi).
+// Mutators assume the engine's constraint checks already passed, exactly like
+// LimitedEditionNft's callers do.
+class DenseNft {
+ public:
+  DenseNft() = default;
+  DenseNft(std::uint32_t max_supply, Amount initial_price,
+           std::uint32_t token_hi, std::size_t num_users)
+      : owner_(token_hi, kDenseNoOwner),
+        minted_(token_hi, 0),
+        holdings_(num_users, 0),
+        remaining_(max_supply),
+        max_supply_(max_supply),
+        initial_price_(initial_price) {}
+
+  // Bit-identical to PriceCurve::price(remaining_) (Eq. 10 with the S^t = 0
+  // denominator saturated at 1).
+  [[nodiscard]] Amount current_price() const {
+    const std::uint32_t denom = remaining_ == 0 ? 1 : remaining_;
+    const __int128 numer = static_cast<__int128>(max_supply_) *
+                           static_cast<__int128>(initial_price_);
+    return static_cast<Amount>(numer / denom);
+  }
+  [[nodiscard]] std::uint32_t remaining_supply() const { return remaining_; }
+  [[nodiscard]] std::uint32_t next_auto_id() const { return next_auto_; }
+  [[nodiscard]] std::uint32_t token_hi() const {
+    return static_cast<std::uint32_t>(owner_.size());
+  }
+  [[nodiscard]] bool ever_minted(std::uint32_t token) const {
+    return minted_[token] != 0;
+  }
+  [[nodiscard]] bool owns(std::uint32_t uid, std::uint32_t token) const {
+    return owner_[token] == uid;
+  }
+  // Live tokens held by an interned user (total_balance's holdings term).
+  [[nodiscard]] std::uint32_t holdings(std::uint32_t uid) const {
+    return holdings_[uid];
+  }
+
+  // --- genesis seeding (FastLayout::build only) ----------------------------
+
+  // Mark an id as ever-minted with no live owner (a burnt token steers the
+  // auto-id cursor even though it no longer exists).
+  void seed_burnt(std::uint32_t token) { minted_[token] = 1; }
+  // Place a live genesis token; owners outside the interned set pass
+  // kDenseForeignOwner.
+  void seed_token(std::uint32_t owner, std::uint32_t token) {
+    minted_[token] = 1;
+    owner_[token] = owner;
+    if (owner < holdings_.size()) ++holdings_[owner];
+  }
+  void set_supply(std::uint32_t remaining, std::uint32_t next_auto) {
+    remaining_ = remaining;
+    next_auto_ = next_auto;
+  }
+
+  // --- mutations (checks already passed) -----------------------------------
+
+  // Mirrors LimitedEditionNft::mint: kDenseAutoToken scans from next_auto_
+  // for the first never-minted id (FastLayout sizes the universe so the scan
+  // cannot run off the end).
+  std::uint32_t mint(std::uint32_t uid, std::uint32_t token) {
+    std::uint32_t id = token;
+    if (token == kDenseAutoToken) {
+      id = next_auto_;
+      while (minted_[id]) ++id;
+    }
+    assert(id < owner_.size() && minted_[id] == 0);
+    owner_[id] = uid;
+    minted_[id] = 1;
+    ++holdings_[uid];
+    next_auto_ = std::max(next_auto_, id + 1);
+    --remaining_;
+    return id;
+  }
+
+  void transfer(std::uint32_t from, std::uint32_t to, std::uint32_t token) {
+    assert(owner_[token] == from);
+    owner_[token] = to;
+    --holdings_[from];
+    ++holdings_[to];
+  }
+
+  void burn(std::uint32_t uid, std::uint32_t token) {
+    assert(owner_[token] == uid);
+    owner_[token] = kDenseNoOwner;
+    --holdings_[uid];
+    assert(remaining_ < max_supply_);
+    ++remaining_;
+  }
+
+  // Execution-relevant fields only: owner_ determines holdings_, so the
+  // derived per-user counts are skipped. Equal machines evolve identically
+  // under the same transaction suffix and report identical balances, which is
+  // all the reconvergence shortcut needs.
+  friend bool operator==(const DenseNft& a, const DenseNft& b) {
+    return a.remaining_ == b.remaining_ && a.next_auto_ == b.next_auto_ &&
+           a.owner_ == b.owner_ && a.minted_ == b.minted_;
+  }
+
+ private:
+  std::vector<std::uint32_t> owner_;   // token -> uid / sentinel
+  std::vector<std::uint8_t> minted_;   // token -> ever minted?
+  std::vector<std::uint32_t> holdings_;  // uid -> live token count
+  std::uint32_t remaining_{0};
+  std::uint32_t next_auto_{0};
+  std::uint32_t max_supply_{1};
+  Amount initial_price_{0};
+};
+
+}  // namespace parole::token

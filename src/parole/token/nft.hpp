@@ -50,6 +50,8 @@ class LimitedEditionNft {
   [[nodiscard]] bool ever_minted(TokenId token) const {
     return ever_minted_.contains(token);
   }
+  // Cursor for auto-assigned ids (vm::FastLayout replays it in dense form).
+  [[nodiscard]] std::uint32_t next_auto_id() const { return next_auto_id_; }
   // Every id ever minted (live or burnt), ascending — the witness builder
   // needs burnt ids to place tombstones in the SMT commitment.
   [[nodiscard]] std::vector<TokenId> ever_minted_ids() const;

@@ -183,6 +183,127 @@ SpanExecResult ExecutionEngine::execute_indexed(
   return result;
 }
 
+// --- structure-of-arrays fast path ------------------------------------------
+//
+// Mirrors check_tx / apply_effects over dense state. Check order, arithmetic
+// and failure literals are kept line-for-line with the L2State path above so
+// the two stay trivially diffable.
+
+const char* ExecutionEngine::check_tx(const FastState& state,
+                                      const FastTx& tx) const {
+  const Amount price = state.nft().current_price();
+  const Amount fee = config_.charge_fees ? tx.fee : 0;
+
+  switch (tx.kind) {
+    case TxKind::kMint:
+      if (state.nft().remaining_supply() < 1) {
+        return "supply exhausted";
+      }
+      if (state.ledger().balance(tx.sender) < price + fee) {
+        return "minter balance below price";
+      }
+      if (tx.token != kFastAutoToken && state.nft().ever_minted(tx.token)) {
+        return "desired token id already minted";
+      }
+      break;
+    case TxKind::kTransfer:
+      if (tx.always_invalid) {
+        return "transfer without token id";
+      }
+      if (!state.nft().owns(tx.sender, tx.token)) {
+        return "seller does not own token";
+      }
+      if (state.ledger().balance(tx.recipient) < price) {
+        return "buyer balance below price";
+      }
+      if (config_.charge_fees &&
+          state.ledger().balance(tx.sender) + price < fee) {
+        return "seller cannot cover fee";
+      }
+      break;
+    case TxKind::kBurn:
+      if (tx.always_invalid) {
+        return "burn without token id";
+      }
+      if (!state.nft().owns(tx.sender, tx.token)) {
+        return "burner does not own token";
+      }
+      if (config_.charge_fees && state.ledger().balance(tx.sender) < fee) {
+        return "burner cannot cover fee";
+      }
+      break;
+  }
+  return nullptr;
+}
+
+bool ExecutionEngine::apply_tx(FastState& state, const FastTx& tx) const {
+  if (check_tx(state, tx) != nullptr) return false;
+  const Amount price = state.nft().current_price();
+  const Amount fee = config_.charge_fees ? tx.fee : 0;
+
+  switch (tx.kind) {
+    case TxKind::kMint: {
+      const bool debited = state.ledger().debit(tx.sender, price + fee);
+      assert(debited);
+      (void)debited;
+      state.add_burned(price);
+      (void)state.nft().mint(tx.sender, tx.token);
+      break;
+    }
+    case TxKind::kTransfer: {
+      const bool debited = state.ledger().debit(tx.recipient, price);
+      assert(debited);
+      (void)debited;
+      state.ledger().credit(tx.sender, price);
+      if (fee > 0) {
+        const bool fee_debit = state.ledger().debit(tx.sender, fee);
+        assert(fee_debit);
+        (void)fee_debit;
+      }
+      state.nft().transfer(tx.sender, tx.recipient, tx.token);
+      break;
+    }
+    case TxKind::kBurn: {
+      if (fee > 0) {
+        const bool fee_debit = state.ledger().debit(tx.sender, fee);
+        assert(fee_debit);
+        (void)fee_debit;
+      }
+      state.nft().burn(tx.sender, tx.token);
+      break;
+    }
+  }
+  if (fee > 0) state.add_fees(fee);
+  return true;
+}
+
+SpanExecResult ExecutionEngine::execute_indexed(
+    FastState& state, std::span<const FastTx> original,
+    std::span<const std::size_t> order, std::size_t from, std::size_t to,
+    std::span<const std::uint8_t> must_execute,
+    bool stop_at_must_violation) const {
+  assert(to <= order.size());
+  PAROLE_OBS_SPAN("vm.execute_indexed");
+  SpanExecResult result;
+  for (std::size_t pos = from; pos < to; ++pos) {
+    const std::size_t idx = order[pos];
+    assert(idx < original.size());
+    ++result.attempted;
+    if (apply_tx(state, original[idx])) {
+      ++result.executed;
+      continue;
+    }
+    if (!must_execute.empty() && must_execute[idx] != 0) {
+      ++result.must_violations;
+      if (result.first_must_violation == kNoViolation) {
+        result.first_must_violation = pos;
+      }
+      if (stop_at_must_violation) break;
+    }
+  }
+  return result;
+}
+
 ExecutionResult ExecutionEngine::execute(L2State& state,
                                          std::span<const Tx> txs) const {
   ExecutionResult result;

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "parole/common/amount.hpp"
+#include "parole/vm/fast_state.hpp"
 #include "parole/vm/gas.hpp"
 #include "parole/vm/state.hpp"
 #include "parole/vm/tx.hpp"
@@ -113,6 +114,20 @@ class ExecutionEngine {
   // `stop_at_must_violation` is set, execution aborts at the first violated
   // must-execute tx — the caller is about to discard the order anyway.
   SpanExecResult execute_indexed(L2State& state, std::span<const Tx> original,
+                                 std::span<const std::size_t> order,
+                                 std::size_t from, std::size_t to,
+                                 std::span<const std::uint8_t> must_execute = {},
+                                 bool stop_at_must_violation = false) const;
+
+  // Structure-of-arrays overloads (DESIGN.md §12): same checks, same effects,
+  // same failure-reason literals as the L2State path, over a FastState and
+  // the batch pre-compiled by FastLayout::build. Parity is pinned by
+  // tests/fast_state_test.cpp.
+  [[nodiscard]] const char* check_tx(const FastState& state,
+                                     const FastTx& tx) const;
+  bool apply_tx(FastState& state, const FastTx& tx) const;
+  SpanExecResult execute_indexed(FastState& state,
+                                 std::span<const FastTx> original,
                                  std::span<const std::size_t> order,
                                  std::size_t from, std::size_t to,
                                  std::span<const std::uint8_t> must_execute = {},

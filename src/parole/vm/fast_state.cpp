@@ -1,0 +1,114 @@
+#include "parole/vm/fast_state.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace parole::vm {
+
+std::shared_ptr<const FastLayout> FastLayout::build(
+    const L2State& genesis, std::span<const Tx> batch,
+    std::span<const UserId> ifus) {
+  auto layout = std::make_shared<FastLayout>();
+
+  // Intern every user whose balance or holdings can change or be read:
+  // tx senders (all kinds), transfer recipients, and the IFUs the objective
+  // reads. Genesis accounts outside this set can neither move nor be
+  // observed, so they need no dense slot.
+  std::unordered_map<UserId, std::uint32_t> uid_of;
+  const auto intern = [&](UserId user) {
+    const auto [it, inserted] =
+        uid_of.emplace(user, static_cast<std::uint32_t>(layout->users.size()));
+    if (inserted) layout->users.push_back(user);
+    return it->second;
+  };
+  for (const Tx& tx : batch) {
+    intern(tx.sender);
+    if (tx.kind == TxKind::kTransfer) intern(tx.recipient);
+  }
+  layout->ifu_uids.reserve(ifus.size());
+  for (UserId ifu : ifus) layout->ifu_uids.push_back(intern(ifu));
+
+  // Token universe bound. Let base exceed every id the genesis collection or
+  // the batch names explicitly: existing ever-minted ids, the auto cursor,
+  // desired mint ids, and transfer/burn references. Auto-assigned ids then
+  // stay below base + (#mints): the cursor starts below base and each auto
+  // mint advances it past one fresh id, skipping only over already-minted
+  // ids — all of which lie below base or were auto-minted earlier. With M
+  // mints in the batch, no execution can name an id >= base + M.
+  const token::LimitedEditionNft& nft = genesis.nft();
+  std::uint64_t base = nft.next_auto_id();
+  for (TokenId token : nft.ever_minted_ids()) {
+    base = std::max<std::uint64_t>(base, token.value() + 1);
+  }
+  std::uint64_t mint_count = 0;
+  for (const Tx& tx : batch) {
+    if (tx.kind == TxKind::kMint) ++mint_count;
+    if (tx.token.has_value()) {
+      base = std::max<std::uint64_t>(base, tx.token->value() + 1);
+    }
+  }
+  const std::uint64_t hi = base + mint_count + 1;
+  // Dense arrays are O(hi); refuse adversarially sparse ids (a desired mint
+  // of token 2^31 would otherwise allocate gigabytes for a toy batch).
+  const std::uint64_t cap =
+      4096 + 4 * (batch.size() + nft.curve().max_supply() +
+                  nft.minted_total());
+  if (hi > cap) return nullptr;
+  layout->token_hi = static_cast<std::uint32_t>(hi);
+
+  // Genesis image.
+  layout->genesis_ledger = token::DenseLedger(layout->users.size());
+  for (std::uint32_t uid = 0; uid < layout->users.size(); ++uid) {
+    layout->genesis_ledger.set_balance(
+        uid, genesis.ledger().balance(layout->users[uid]));
+  }
+  layout->genesis_nft =
+      token::DenseNft(nft.curve().max_supply(), nft.curve().initial_price(),
+                      layout->token_hi, layout->users.size());
+  for (TokenId token : nft.ever_minted_ids()) {
+    layout->genesis_nft.seed_burnt(token.value());
+  }
+  for (const auto& [token, owner] : nft.sorted_owners()) {
+    const auto it = uid_of.find(owner);
+    layout->genesis_nft.seed_token(
+        it == uid_of.end() ? token::kDenseForeignOwner : it->second,
+        token.value());
+  }
+  layout->genesis_nft.set_supply(nft.remaining_supply(), nft.next_auto_id());
+  layout->genesis_fee_pool = genesis.fee_pool();
+  layout->genesis_burned = genesis.value_burned();
+
+  // Compile the batch.
+  layout->txs.reserve(batch.size());
+  for (const Tx& tx : batch) {
+    FastTx fast;
+    fast.kind = tx.kind;
+    fast.sender = uid_of.at(tx.sender);
+    fast.fee = tx.total_fee();
+    switch (tx.kind) {
+      case TxKind::kMint:
+        fast.token = tx.token.has_value() ? tx.token->value() : kFastAutoToken;
+        break;
+      case TxKind::kTransfer:
+        fast.recipient = uid_of.at(tx.recipient);
+        if (tx.token.has_value()) {
+          fast.token = tx.token->value();
+        } else {
+          fast.always_invalid = true;
+        }
+        break;
+      case TxKind::kBurn:
+        if (tx.token.has_value()) {
+          fast.token = tx.token->value();
+        } else {
+          fast.always_invalid = true;
+        }
+        break;
+    }
+    layout->txs.push_back(fast);
+  }
+
+  return layout;
+}
+
+}  // namespace parole::vm

@@ -1,0 +1,110 @@
+// Structure-of-arrays fast path for the reordering evaluator (DESIGN.md §12).
+//
+// A reordering instance executes one fixed batch against one fixed genesis
+// state millions of times. FastLayout::build compiles that closed world once:
+// it interns every user the batch can touch into a compact uid, bounds the
+// reachable token-id universe, pre-resolves each Tx into a FastTx (raw
+// indices, no hashing, no optionals on the hot path), and snapshots the
+// genesis as dense arrays. FastState is then a POD-ish bundle of vectors the
+// engine executes against via the apply_tx / execute_indexed overloads —
+// checkpoint copies degenerate to memcpys instead of hash-map rebuilds.
+//
+// Identity obligations (property-tested against the L2State reference path):
+//   * check parity — every FastTx passes/fails exactly where the Tx does;
+//   * effect parity — balances, ownership, supply, price, fee pool and burn
+//     accounting move bit-identically;
+//   * universe soundness — no reachable execution mints, moves or burns a
+//     token id >= token_hi (see the bound argument in build()).
+// build() returns nullptr when the bound would be pathologically large
+// (sparse desired ids); callers fall back to the L2State path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/token/dense.hpp"
+#include "parole/vm/state.hpp"
+#include "parole/vm/tx.hpp"
+
+namespace parole::vm {
+
+// Mint with no desired id (LimitedEditionNft auto-assignment).
+inline constexpr std::uint32_t kFastAutoToken = token::kDenseAutoToken;
+
+// A Tx resolved against a FastLayout: ids are dense indices, the fee is
+// pre-summed, and statically-doomed references (transfer/burn with no token
+// id) are flagged instead of re-discovered per probe.
+struct FastTx {
+  TxKind kind{TxKind::kMint};
+  bool always_invalid{false};
+  std::uint32_t sender{0};
+  std::uint32_t recipient{0};  // transfers only
+  std::uint32_t token{kFastAutoToken};
+  Amount fee{0};
+};
+
+// The immutable compilation of (genesis, batch, ifus). Shared by every
+// FastState snapshot of one ReorderingProblem (and its copies).
+struct FastLayout {
+  std::vector<UserId> users;            // uid -> original id
+  std::vector<std::uint32_t> ifu_uids;  // aligned with the problem's ifus
+  std::uint32_t token_hi{0};            // token universe is [0, token_hi)
+  std::vector<FastTx> txs;              // aligned with the original batch
+
+  // Genesis image restored into every fresh FastState.
+  token::DenseLedger genesis_ledger;
+  token::DenseNft genesis_nft;
+  Amount genesis_fee_pool{0};
+  Amount genesis_burned{0};
+
+  // Compile the closed world. Returns nullptr when the token universe bound
+  // exceeds a sanity cap (adversarially sparse desired ids) — the caller
+  // keeps the hash-map path and loses only speed.
+  static std::shared_ptr<const FastLayout> build(const L2State& genesis,
+                                                 std::span<const Tx> batch,
+                                                 std::span<const UserId> ifus);
+};
+
+// Dense counterpart of L2State for one compiled layout. Cheap to copy-assign
+// (vector assignments reuse capacity); equality covers exactly the fields
+// that steer execution, so equal states evolve identically under the same
+// FastTx suffix.
+class FastState {
+ public:
+  explicit FastState(const FastLayout& layout)
+      : ledger_(layout.genesis_ledger),
+        nft_(layout.genesis_nft),
+        fee_pool_(layout.genesis_fee_pool),
+        burned_(layout.genesis_burned) {}
+
+  [[nodiscard]] token::DenseLedger& ledger() { return ledger_; }
+  [[nodiscard]] const token::DenseLedger& ledger() const { return ledger_; }
+  [[nodiscard]] token::DenseNft& nft() { return nft_; }
+  [[nodiscard]] const token::DenseNft& nft() const { return nft_; }
+
+  [[nodiscard]] Amount fee_pool() const { return fee_pool_; }
+  void add_fees(Amount fees) { fee_pool_ += fees; }
+  [[nodiscard]] Amount value_burned() const { return burned_; }
+  void add_burned(Amount amount) { burned_ += amount; }
+
+  // Bit-identical to L2State::total_balance for interned users.
+  [[nodiscard]] Amount total_balance(std::uint32_t uid) const {
+    const Amount holdings =
+        static_cast<Amount>(nft_.holdings(uid)) * nft_.current_price();
+    return ledger_.balance(uid) + holdings;
+  }
+
+  friend bool operator==(const FastState&, const FastState&) = default;
+
+ private:
+  token::DenseLedger ledger_;
+  token::DenseNft nft_;
+  Amount fee_pool_{0};
+  Amount burned_{0};
+};
+
+}  // namespace parole::vm

@@ -2,6 +2,8 @@
 // correctness plus the paper's qualitative trends on small configurations.
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "parole/core/campaign.hpp"
 
 namespace parole::core {
@@ -154,6 +156,68 @@ TEST(Campaign, AdversarialBatchesAreNeverChallenged) {
   config.num_verifiers = 3;
   const CampaignResult result = AttackCampaign(config).run();
   EXPECT_GE(result.adversarial_batches, 1u);
+}
+
+// Scaled-down portfolio roster so the per-batch race fits in test time.
+CampaignConfig portfolio_campaign() {
+  CampaignConfig config = small_campaign();
+  config.parole.kind = ReordererKind::kPortfolio;
+  config.parole.portfolio.threads = 2;
+  config.parole.portfolio.hill_climb = {/*max_iterations=*/30, /*restarts=*/0};
+  config.parole.portfolio.annealing.iteration_factor = 0.5;
+  config.parole.portfolio.tabu.max_iterations = 15;
+  config.parole.portfolio.random_search.samples = 150;
+  return config;
+}
+
+rollup::ChaosConfig campaign_chaos() {
+  rollup::ChaosConfig chaos;
+  chaos.seed = 0xc0ffee;
+  chaos.p_aggregator_crash = 0.2;
+  chaos.p_tx_drop = 0.05;
+  chaos.p_tx_delay = 0.1;
+  return chaos;
+}
+
+TEST(Campaign, PortfolioReordererAccountsLikeAnySolver) {
+  const CampaignResult result = AttackCampaign(portfolio_campaign()).run();
+  EXPECT_GE(result.adversarial_batches, 1u);
+  Amount sum = 0;
+  for (Amount p : result.per_batch_profit) sum += p;
+  EXPECT_EQ(sum, result.total_profit);
+  EXPECT_GE(result.total_profit, 0);
+}
+
+TEST(Campaign, PortfolioUnderChaosIsDeterministic) {
+  // The portfolio's deterministic mode keeps a chaos-armed campaign a pure
+  // function of the seeds even though faults perturb which batches reach
+  // the reorderer and OS threads race inside every solve.
+  CampaignConfig config = portfolio_campaign();
+  config.chaos = campaign_chaos();
+  const CampaignResult a = AttackCampaign(config).run();
+  const CampaignResult b = AttackCampaign(config).run();
+  EXPECT_EQ(a.total_profit, b.total_profit);
+  EXPECT_EQ(a.per_batch_profit, b.per_batch_profit);
+  EXPECT_EQ(a.reordered_batches, b.reordered_batches);
+  EXPECT_EQ(a.adversarial_batches, b.adversarial_batches);
+}
+
+TEST(Campaign, PortfolioRacingEarlyStopUnderChaosStaysSound) {
+  // Racing mode with a trivially reachable target: every solve winds down at
+  // the first poll, under chaos faults. Early stop must never corrupt the
+  // accounting — every worker still returns a well-formed result and the
+  // campaign books a (possibly zero) profit per adversarial batch.
+  CampaignConfig config = portfolio_campaign();
+  config.chaos = campaign_chaos();
+  config.parole.portfolio.deterministic = false;
+  config.parole.portfolio.target = std::numeric_limits<Amount>::min();
+  const CampaignResult result = AttackCampaign(config).run();
+  EXPECT_GE(result.adversarial_batches, 1u);
+  EXPECT_EQ(result.per_batch_profit.size(), result.adversarial_batches);
+  Amount sum = 0;
+  for (Amount p : result.per_batch_profit) sum += p;
+  EXPECT_EQ(sum, result.total_profit);
+  EXPECT_GE(result.total_profit, 0);
 }
 
 }  // namespace

@@ -1,0 +1,206 @@
+// Parity tests for the structure-of-arrays fast path (DESIGN.md §12): a
+// FastState driven through the FastTx batch compiled by FastLayout::build
+// must evolve bit-identically to the L2State reference machine — same
+// per-transaction pass/fail decisions (and failure literals), same balances,
+// holdings, price, supply, fee pool and burn accounting — with and without
+// fee metering, across random workloads and hand-crafted edge cases.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+#include <optional>
+#include <vector>
+
+#include "parole/common/rng.hpp"
+#include "parole/data/workload.hpp"
+#include "parole/solvers/problem.hpp"
+#include "parole/vm/engine.hpp"
+#include "parole/vm/fast_state.hpp"
+
+namespace parole::vm {
+namespace {
+
+// Execute `order` through both machines step by step, asserting parity at
+// every position (gtest ASSERTs require a void function).
+void run_parity(const L2State& genesis, const std::vector<Tx>& batch,
+                const std::vector<UserId>& ifus,
+                std::span<const std::size_t> order, bool charge_fees) {
+  const auto layout = FastLayout::build(genesis, batch, ifus);
+  ASSERT_NE(layout, nullptr) << "layout refused a benign batch";
+
+  const ExecutionEngine engine(
+      ExecConfig{InvalidTxPolicy::kSkipInvalid, charge_fees, GasSchedule{}});
+  L2State slow = genesis;
+  FastState fast(*layout);
+
+  for (std::size_t step = 0; step < order.size(); ++step) {
+    const std::size_t idx = order[step];
+    const Tx& tx = batch[idx];
+    const FastTx& ftx = layout->txs[idx];
+
+    const char* slow_reason = engine.check_tx(slow, tx);
+    const char* fast_reason = engine.check_tx(fast, ftx);
+    ASSERT_TRUE((slow_reason == nullptr) == (fast_reason == nullptr))
+        << "step " << step << ": slow="
+        << (slow_reason ? slow_reason : "ok")
+        << " fast=" << (fast_reason ? fast_reason : "ok");
+    if (slow_reason != nullptr) {
+      ASSERT_STREQ(slow_reason, fast_reason) << "step " << step;
+    }
+
+    const bool slow_ok = engine.apply_tx(slow, tx);
+    const bool fast_ok = engine.apply_tx(fast, ftx);
+    ASSERT_EQ(slow_ok, fast_ok) << "step " << step;
+
+    // Full observable-state parity after every transaction.
+    ASSERT_EQ(slow.nft().current_price(), fast.nft().current_price())
+        << "step " << step;
+    ASSERT_EQ(slow.nft().remaining_supply(), fast.nft().remaining_supply())
+        << "step " << step;
+    ASSERT_EQ(slow.nft().next_auto_id(), fast.nft().next_auto_id())
+        << "step " << step;
+    ASSERT_EQ(slow.fee_pool(), fast.fee_pool()) << "step " << step;
+    ASSERT_EQ(slow.value_burned(), fast.value_burned()) << "step " << step;
+    for (std::uint32_t uid = 0; uid < layout->users.size(); ++uid) {
+      const UserId user = layout->users[uid];
+      ASSERT_EQ(slow.ledger().balance(user), fast.ledger().balance(uid))
+          << "step " << step << " user " << user;
+      ASSERT_EQ(slow.nft().balance_of(user), fast.nft().holdings(uid))
+          << "step " << step << " user " << user;
+      ASSERT_EQ(slow.total_balance(user), fast.total_balance(uid))
+          << "step " << step << " user " << user;
+    }
+  }
+}
+
+TEST(FastStateTest, RandomWorkloadParityAcrossOrdersAndFees) {
+  for (const std::uint64_t seed : {11u, 47u, 90u}) {
+    data::WorkloadConfig config;
+    config.num_users = 12;
+    config.max_supply = 72;
+    config.premint = 6;
+    data::WorkloadGenerator generator(config, seed);
+    const L2State genesis = generator.initial_state();
+    const std::vector<Tx> batch = generator.generate(64);
+    const std::vector<UserId> ifus = generator.pick_ifus(2);
+
+    Rng rng(seed * 77 + 1);
+    std::vector<std::size_t> order(batch.size());
+    std::iota(order.begin(), order.end(), 0);
+    for (int trial = 0; trial < 4; ++trial) {
+      for (const bool charge_fees : {false, true}) {
+        run_parity(genesis, batch, ifus, order, charge_fees);
+        if (HasFatalFailure()) return;
+      }
+      rng.shuffle(order);
+    }
+  }
+}
+
+TEST(FastStateTest, HandCraftedEdgeCases) {
+  // Tiny collection so supply exhausts; one genesis token owned by a user
+  // the batch never names (foreign owner); desired-id mints, duplicate
+  // desired ids, burns that reopen supply, and a transfer missing its token.
+  L2State genesis(/*max_supply=*/3, /*initial_price=*/100);
+  const UserId alice{1}, bob{2}, carol{3}, outsider{9};
+  genesis.ledger().credit(alice, 10'000);
+  genesis.ledger().credit(bob, 10'000);
+  genesis.ledger().credit(carol, 30);  // can mint nothing at current prices
+  auto seeded = genesis.nft().mint(outsider);  // token 0, foreign owner
+  ASSERT_TRUE(seeded.ok());
+
+  std::vector<Tx> batch;
+  std::uint64_t id = 0;
+  // Desired-id mint far from the auto cursor (but within the dense cap).
+  batch.push_back(Tx::make_mint(TxId{id++}, alice, 2, 1, TokenId{7}));
+  // Duplicate desired id: always fails.
+  batch.push_back(Tx::make_mint(TxId{id++}, bob, 2, 1, TokenId{7}));
+  // Auto mint: must skip nothing, then land past the desired id once the
+  // cursor catches up.
+  batch.push_back(Tx::make_mint(TxId{id++}, bob, 2, 1));
+  batch.push_back(Tx::make_mint(TxId{id++}, alice, 2, 1));  // supply exhausted
+  // Foreign-owned token: bob does not own it, parity on the failure.
+  batch.push_back(Tx::make_transfer(TxId{id++}, bob, alice, TokenId{0}, 1, 0));
+  // Legitimate sale and burn (burn reopens one unit of supply).
+  batch.push_back(Tx::make_transfer(TxId{id++}, alice, bob, TokenId{7}, 1, 0));
+  batch.push_back(Tx::make_burn(TxId{id++}, bob, TokenId{7}, 1, 0));
+  batch.push_back(Tx::make_mint(TxId{id++}, alice, 2, 1));  // reopened slot
+  // Never-minted token reference.
+  batch.push_back(Tx::make_transfer(TxId{id++}, bob, alice, TokenId{2}, 1, 0));
+  // Transfer with no token id: statically invalid, must still count a probe.
+  Tx no_token = Tx::make_transfer(TxId{id++}, bob, alice, TokenId{0}, 1, 0);
+  no_token.token.reset();
+  batch.push_back(no_token);
+  // Carol cannot afford the price: balance-failure parity.
+  batch.push_back(Tx::make_mint(TxId{id++}, carol, 2, 1));
+
+  const std::vector<UserId> ifus{alice, bob};
+  std::vector<std::size_t> order(batch.size());
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(5);
+  for (int trial = 0; trial < 24; ++trial) {
+    for (const bool charge_fees : {false, true}) {
+      run_parity(genesis, batch, ifus, order, charge_fees);
+      if (HasFatalFailure()) return;
+    }
+    rng.shuffle(order);
+  }
+}
+
+TEST(FastStateTest, SparseDesiredIdRefusesToBuild) {
+  L2State genesis(/*max_supply=*/4, /*initial_price=*/10);
+  const UserId alice{1};
+  genesis.ledger().credit(alice, 1'000'000);
+  std::vector<Tx> batch;
+  batch.push_back(Tx::make_mint(TxId{0}, alice, 0, 0, TokenId{1u << 30}));
+  EXPECT_EQ(FastLayout::build(genesis, batch, std::vector<UserId>{alice}),
+            nullptr);
+}
+
+// The fallback mode (no dense layout) must stay bit-identical to the
+// reference path through the full ReorderingProblem probe API.
+TEST(FastStateTest, ProblemFallbackMatchesReference) {
+  L2State genesis(/*max_supply=*/8, /*initial_price=*/50);
+  const UserId alice{1}, bob{2};
+  genesis.ledger().credit(alice, 5'000);
+  genesis.ledger().credit(bob, 5'000);
+
+  std::vector<Tx> batch;
+  std::uint64_t id = 0;
+  batch.push_back(Tx::make_mint(TxId{id++}, alice, 0, 0, TokenId{1u << 30}));
+  for (int i = 0; i < 11; ++i) {
+    batch.push_back(Tx::make_mint(TxId{id++}, i % 2 == 0 ? alice : bob));
+  }
+  batch.push_back(Tx::make_transfer(TxId{id++}, alice, bob, TokenId{0}));
+  batch.push_back(Tx::make_burn(TxId{id++}, bob, TokenId{1}));
+
+  solvers::ReorderingProblem problem(genesis, batch, {alice, bob},
+                                     solvers::Objective::kSumBalance);
+  Rng rng(3);
+  std::vector<std::size_t> order(problem.size());
+  std::iota(order.begin(), order.end(), 0);
+  for (int trial = 0; trial < 60; ++trial) {
+    const std::size_t i = rng.index(problem.size());
+    std::size_t j = rng.index(problem.size());
+    if (i == j) j = (j + 1) % problem.size();
+    const auto probe = problem.evaluate_swap(i, j);
+    std::vector<std::size_t> probed = order;
+    std::swap(probed[i], probed[j]);
+    ASSERT_EQ(probe, problem.evaluate_full(probed)) << "trial " << trial;
+    if (rng.chance(0.5)) {
+      problem.commit_swap(i, j);
+      order = probed;
+      ASSERT_EQ(problem.committed_value(), problem.evaluate_full(order));
+    } else {
+      problem.revert();
+    }
+    if (trial % 17 == 16) {
+      rng.shuffle(order);
+      problem.commit_order(order);
+      ASSERT_EQ(problem.committed_value(), problem.evaluate_full(order));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace parole::vm

@@ -1,0 +1,217 @@
+// Portfolio solver tests (DESIGN.md §12): the deterministic-mode contract
+// (same seed → identical best permutation, thread count a pure multiplexing
+// knob), explicit per-worker stats aggregation with no loss, registry
+// publication exactly once per member (never re-published as an aggregate),
+// and cooperative early stop via the external flag and the racing target.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "parole/data/workload.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/solvers/portfolio.hpp"
+
+namespace parole::solvers {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x5eedull;
+
+ReorderingProblem make_problem(std::size_t n, std::uint64_t seed,
+                               Objective objective = Objective::kSumBalance) {
+  data::WorkloadConfig config;
+  config.num_users = 10;
+  config.max_supply = static_cast<std::uint32_t>(n + 8);
+  config.premint = 4;
+  data::WorkloadGenerator generator(config, seed);
+  const vm::L2State genesis = generator.initial_state();
+  auto txs = generator.generate(n);
+  return ReorderingProblem(genesis, std::move(txs), generator.pick_ifus(2),
+                           objective);
+}
+
+// Scaled-down member configs so the full roster races in test time.
+PortfolioConfig small_config(std::size_t threads) {
+  PortfolioConfig config;
+  config.threads = threads;
+  config.hill_climb = {/*max_iterations=*/40, /*restarts=*/1};
+  config.annealing.iteration_factor = 0.5;
+  config.tabu.max_iterations = 20;
+  config.random_search.samples = 200;
+  return config;
+}
+
+TEST(PortfolioTest, SameSeedSameThreadsIsBitReproducible) {
+  const ReorderingProblem problem = make_problem(20, 7);
+
+  PortfolioSolver first(small_config(2));
+  const SolveResult a = first.run(problem, kSeed);
+  PortfolioSolver second(small_config(2));
+  const SolveResult b = second.run(problem, kSeed);
+
+  EXPECT_EQ(a.best_order, b.best_order);
+  EXPECT_EQ(a.best_value, b.best_value);
+  EXPECT_EQ(a.baseline, b.baseline);
+  EXPECT_EQ(a.solver, b.solver);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  ASSERT_EQ(first.last_worker_results().size(),
+            second.last_worker_results().size());
+  for (std::size_t w = 0; w < first.last_worker_results().size(); ++w) {
+    EXPECT_EQ(first.last_worker_results()[w].best_order,
+              second.last_worker_results()[w].best_order)
+        << "worker " << w;
+    EXPECT_EQ(first.last_worker_results()[w].evaluations,
+              second.last_worker_results()[w].evaluations)
+        << "worker " << w;
+  }
+}
+
+TEST(PortfolioTest, ThreadCountNeverChangesDeterministicResult) {
+  const ReorderingProblem problem = make_problem(20, 11);
+
+  SolveResult reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}, std::size_t{8}}) {
+    PortfolioSolver solver(small_config(threads));
+    const SolveResult result = solver.run(problem, kSeed);
+    if (threads == 1) {
+      reference = result;
+      EXPECT_TRUE(result.best_value >= result.baseline);
+      continue;
+    }
+    // Not just the objective: the winning permutation, winner identity, and
+    // aggregated counters are all invariant under the multiplexing knob.
+    EXPECT_EQ(result.best_order, reference.best_order) << threads;
+    EXPECT_EQ(result.best_value, reference.best_value) << threads;
+    EXPECT_EQ(result.solver, reference.solver) << threads;
+    EXPECT_EQ(result.evaluations, reference.evaluations) << threads;
+    EXPECT_EQ(result.cache_hits, reference.cache_hits) << threads;
+    EXPECT_EQ(result.txs_reexecuted, reference.txs_reexecuted) << threads;
+  }
+}
+
+TEST(PortfolioTest, ExtraWorkersAddDiversifiedReplicasDeterministically) {
+  const ReorderingProblem problem = make_problem(16, 3);
+
+  PortfolioConfig config = small_config(4);
+  config.workers = 6;  // roster of 4 + two substream replicas
+  PortfolioSolver solver(config);
+  const SolveResult a = solver.run(problem, kSeed);
+  ASSERT_EQ(solver.last_worker_results().size(), 6u);
+  // Worker 4 replays the hill climb with a different substream than worker 0.
+  EXPECT_EQ(solver.last_worker_results()[0].solver,
+            solver.last_worker_results()[4].solver);
+
+  PortfolioSolver again(config);
+  const SolveResult b = again.run(problem, kSeed);
+  EXPECT_EQ(a.best_order, b.best_order);
+  EXPECT_EQ(a.best_value, b.best_value);
+}
+
+TEST(PortfolioTest, AggregatedStatsLoseNothing) {
+  const ReorderingProblem problem = make_problem(20, 5);
+
+  PortfolioSolver solver(small_config(2));
+  const SolveResult combined = solver.run(problem, kSeed);
+
+  std::uint64_t evaluations = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t txs_reexecuted = 0;
+  std::size_t peak_bytes = 0;
+  for (const SolveResult& r : solver.last_worker_results()) {
+    EXPECT_GT(r.evaluations, 0u) << "worker did not run";
+    evaluations += r.evaluations;
+    cache_hits += r.cache_hits;
+    txs_reexecuted += r.txs_reexecuted;
+    peak_bytes += r.peak_bytes;
+  }
+  EXPECT_EQ(combined.evaluations, evaluations);
+  EXPECT_EQ(combined.cache_hits, cache_hits);
+  EXPECT_EQ(combined.txs_reexecuted, txs_reexecuted);
+  EXPECT_EQ(combined.peak_bytes, peak_bytes);
+
+  // The winner's solution is reported verbatim, and ties break toward the
+  // lowest worker index so arrival order never leaks into the result.
+  const SolveResult* expected_winner = nullptr;
+  for (const SolveResult& r : solver.last_worker_results()) {
+    EXPECT_LE(r.best_value, combined.best_value);
+    if (expected_winner == nullptr && r.best_value == combined.best_value) {
+      expected_winner = &r;
+    }
+  }
+  ASSERT_NE(expected_winner, nullptr);
+  EXPECT_EQ(combined.best_order, expected_winner->best_order);
+  EXPECT_EQ(combined.solver, "Portfolio[" + expected_winner->solver + "]");
+}
+
+TEST(PortfolioTest, RegistryCountersPublishedExactlyOncePerMember) {
+  const ReorderingProblem problem = make_problem(20, 5);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.reset_values();
+
+  PortfolioSolver solver(small_config(1));
+  const SolveResult combined = solver.run(problem, kSeed);
+
+  // Each member published its own EvalStats delta; the portfolio must not
+  // re-publish the aggregate, so the registry total equals the combined
+  // counter exactly (double-publication would read 2x here).
+  EXPECT_EQ(registry.counter("parole.solvers.solves").value(),
+            solver.worker_count());
+  EXPECT_EQ(registry.counter("parole.solvers.evaluations").value(),
+            combined.evaluations);
+  EXPECT_EQ(registry.counter("parole.portfolio.solves").value(), 1u);
+  EXPECT_EQ(registry.counter("parole.portfolio.workers").value(),
+            solver.worker_count());
+  registry.reset_values();
+}
+
+TEST(PortfolioTest, ExternalStopWindsDownImmediately) {
+  const ReorderingProblem problem = make_problem(20, 9);
+
+  std::atomic<bool> stop{true};  // raised before the solve even starts
+  SolveControl external;
+  external.stop = &stop;
+
+  PortfolioSolver solver(small_config(2));
+  const SolveResult result = solver.run(problem, kSeed, external);
+
+  // Every worker returns its well-formed baseline result at the first poll.
+  EXPECT_EQ(result.best_value, result.baseline);
+  EXPECT_FALSE(result.improved);
+  for (const SolveResult& r : solver.last_worker_results()) {
+    EXPECT_EQ(r.best_value, r.baseline);
+  }
+}
+
+TEST(PortfolioTest, RacingModeTargetRaisesEarlyStop) {
+  const ReorderingProblem problem = make_problem(20, 13);
+
+  PortfolioConfig config = small_config(2);
+  config.deterministic = false;
+  config.target = problem.baseline();  // trivially reached: stop on arrival
+  PortfolioSolver solver(config);
+  const SolveResult result = solver.run(problem, kSeed);
+
+  EXPECT_TRUE(solver.last_early_stopped());
+  EXPECT_GE(result.best_value, problem.baseline());
+}
+
+TEST(PortfolioTest, DeterministicModeIgnoresTarget) {
+  const ReorderingProblem problem = make_problem(16, 13);
+
+  PortfolioConfig config = small_config(2);
+  config.target = problem.baseline();  // would fire instantly when racing
+  PortfolioSolver solver(config);
+  const SolveResult with_target = solver.run(problem, kSeed);
+  EXPECT_FALSE(solver.last_early_stopped());
+
+  config.target.reset();
+  PortfolioSolver plain(config);
+  const SolveResult without = plain.run(problem, kSeed);
+  EXPECT_EQ(with_target.best_order, without.best_order);
+  EXPECT_EQ(with_target.evaluations, without.evaluations);
+}
+
+}  // namespace
+}  // namespace parole::solvers

@@ -132,6 +132,36 @@ TEST(Regress, MissingRowIsAFailureNotASilentPass) {
   EXPECT_EQ(report.checks.size(), 3u);  // surviving rows still checked
 }
 
+TEST(Regress, MissingPortfolioRowIsAFailureNotASilentPass) {
+  // The portfolio thread-scaling rows ride in the same report keyed
+  // (n, move); a refactor that stops emitting one of them (say
+  // portfolio-t8) must fire the missing-row rule exactly like a dropped
+  // evaluator row would.
+  const ScratchDir dir;
+  RunReport base_report("bench.evaluator_throughput");
+  base_report.add_result(bench_row(256, "swap-local", 12.0));
+  base_report.add_result(bench_row(256, "portfolio-t1", 1.0));
+  base_report.add_result(bench_row(256, "portfolio-t8", 3.4));
+  const std::string baseline = dir.file("baseline.jsonl");
+  ASSERT_TRUE(base_report.write(baseline).ok());
+
+  RunReport cur_report("bench.evaluator_throughput");
+  cur_report.add_result(bench_row(256, "swap-local", 12.0));
+  cur_report.add_result(bench_row(256, "portfolio-t1", 1.0));
+  const std::string current = dir.file("current.jsonl");
+  ASSERT_TRUE(cur_report.write(current).ok());
+
+  auto result = compare_reports(baseline, current);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok);
+  ASSERT_EQ(result.value().problems.size(), 1u);
+  EXPECT_NE(result.value().problems[0].find("portfolio-t8"),
+            std::string::npos);
+  EXPECT_NE(result.value().problems[0].find("missing from current"),
+            std::string::npos);
+  EXPECT_EQ(result.value().checks.size(), 2u);
+}
+
 TEST(Regress, MissingMetricIsAFailure) {
   const ScratchDir dir;
   const std::string baseline = write_bench(dir, "baseline.jsonl");

@@ -178,6 +178,43 @@ TEST(TrainResume, CheckpointFromDifferentConfigRejected) {
   EXPECT_EQ(widened.error().code, "config_mismatch");
 }
 
+TEST(TrainResume, MismatchedParallelConfigRejected) {
+  // The training checkpoint fingerprints the parallel configuration
+  // (inference beam width, Rng substream base); a resumed trainer under a
+  // different one must be rejected rather than silently diverge.
+  auto problem = cs::make_problem();
+  ScratchDir dir("train_parallel_mismatch");
+  io::CheckpointManager manager(dir.str(), "train");
+  TrainCheckpointing ckpt;
+  ckpt.manager = &manager;
+  ckpt.every_episodes = 2;
+  ckpt.halt_after_episodes = 3;
+
+  GenTranSeq first(problem, small_training(), kTrainSeed);
+  ASSERT_TRUE(first.train_resumable(ckpt).ok());
+  ckpt.halt_after_episodes = 0;
+
+  GenTranSeqConfig beamier = small_training();
+  beamier.eval_candidates = 4;
+  GenTranSeq beamed(problem, beamier, kTrainSeed);
+  auto resumed = beamed.train_resumable(ckpt);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.error().code, "config_mismatch");
+
+  GenTranSeqConfig shifted = small_training();
+  shifted.substream_base = 1;
+  GenTranSeq other_stream(problem, shifted, kTrainSeed);
+  resumed = other_stream.train_resumable(ckpt);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.error().code, "config_mismatch");
+
+  // The unchanged config still resumes to completion.
+  GenTranSeq same(problem, small_training(), kTrainSeed);
+  auto finished = same.train_resumable(ckpt);
+  ASSERT_TRUE(finished.ok()) << finished.error().detail;
+  EXPECT_TRUE(finished.value().completed);
+}
+
 TEST(TrainResume, CorruptOnlyGenerationSurfacesTypedError) {
   auto problem = cs::make_problem();
   ScratchDir dir("train_corrupt");
@@ -392,6 +429,50 @@ TEST(CampaignResume, DifferentConfigRejectedNotSilentlyHonored) {
   auto resumed = AttackCampaign(other).run_resumable();
   ASSERT_FALSE(resumed.ok());
   EXPECT_EQ(resumed.error().code, "config_mismatch");
+}
+
+TEST(CampaignResume, MismatchedParallelismRejectedNotSilentlyHonored) {
+  // The checkpoint records the parallel-solver fingerprint (reorderer kind,
+  // portfolio workers/threads/substream base/determinism). Any drift means a
+  // resumed campaign would replay different searches than the uninterrupted
+  // run, so each mismatch must surface as config_mismatch.
+  ScratchDir dir("campaign_parallel_mismatch");
+  CampaignConfig first = small_campaign();
+  first.parole.kind = core::ReordererKind::kPortfolio;
+  first.parole.portfolio.threads = 2;
+  first.parole.portfolio.hill_climb = {/*max_iterations=*/20, /*restarts=*/0};
+  first.parole.portfolio.annealing.iteration_factor = 0.5;
+  first.parole.portfolio.random_search.samples = 100;
+  first.checkpoint_dir = dir.str();
+  first.checkpoint_every_rounds = 2;
+  first.halt_after_rounds = 3;
+  ASSERT_TRUE(AttackCampaign(first).run_resumable().ok());
+
+  CampaignConfig resumable = first;
+  resumable.halt_after_rounds = 0;
+
+  CampaignConfig other_substream = resumable;
+  other_substream.parole.portfolio.substream_base = 7;
+  auto resumed = AttackCampaign(other_substream).run_resumable();
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.error().code, "config_mismatch");
+
+  CampaignConfig other_threads = resumable;
+  other_threads.parole.portfolio.threads = 4;
+  resumed = AttackCampaign(other_threads).run_resumable();
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.error().code, "config_mismatch");
+
+  CampaignConfig other_kind = resumable;
+  other_kind.parole.kind = core::ReordererKind::kAnnealing;
+  resumed = AttackCampaign(other_kind).run_resumable();
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.error().code, "config_mismatch");
+
+  // The unchanged config still resumes and completes.
+  auto finished = AttackCampaign(resumable).run_resumable();
+  ASSERT_TRUE(finished.ok()) << finished.error().detail;
+  EXPECT_TRUE(finished.value().completed);
 }
 
 // --- rollup node snapshots --------------------------------------------------------
