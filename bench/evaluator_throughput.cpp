@@ -33,6 +33,7 @@
 #include "parole/common/table.hpp"
 #include "parole/data/workload.hpp"
 #include "parole/obs/report.hpp"
+#include "parole/obs/sampler.hpp"
 #include "parole/solvers/instrument.hpp"
 #include "parole/solvers/portfolio.hpp"
 #include "parole/solvers/problem.hpp"
@@ -242,6 +243,53 @@ int main() {
     }
   }
 
+  // --- sampler-armed parity (DESIGN.md §13) --------------------------------
+  // Arming the live MetricsSampler must not perturb the workload: the
+  // sampler reads registry snapshots under its own lock and never touches
+  // hot-path atomics. Re-time the n=256 swap-uniform incremental walk with a
+  // fast-ticking sampler armed, interleaved rep by rep with the unarmed
+  // walk so machine drift hits both sides equally. CI gates the ratio at
+  // ±5% (--rule parity:0.95:1.05:sampler-armed) and the returned values
+  // must stay bit-identical — a sampler that changes results is a bug
+  // before it is a slowdown.
+  constexpr std::size_t kParityN = 256;
+  const solvers::ReorderingProblem parity_problem =
+      make_instance(kParityN, seed + kParityN);
+  const ProbeSeq parity_seq =
+      make_probes(kParityN, probes, MoveKind::kUniform, seed ^ (kParityN * 31));
+  const PathResult parity_probe = run_incremental(parity_problem, parity_seq, 1);
+  const std::size_t parity_passes = calibrate_passes(parity_probe.millis);
+  std::vector<double> unarmed_samples;
+  std::vector<double> armed_samples;
+  bool parity_identical = true;
+  {
+    obs::SamplerConfig sampler_config;
+    sampler_config.interval_ms = 20;  // ~12x the default scrape cadence
+    obs::MetricsSampler sampler(sampler_config);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const PathResult unarmed =
+          run_incremental(parity_problem, parity_seq, parity_passes);
+      sampler.start();
+      const PathResult armed =
+          run_incremental(parity_problem, parity_seq, parity_passes);
+      sampler.stop();
+      parity_identical = parity_identical &&
+                         unarmed.values == parity_probe.values &&
+                         armed.values == parity_probe.values;
+      unarmed_samples.push_back(unarmed.millis);
+      armed_samples.push_back(armed.millis);
+    }
+  }
+  const double unarmed_millis = median(std::move(unarmed_samples));
+  const double armed_millis = median(std::move(armed_samples));
+  const double parity =
+      armed_millis <= 0.0 ? 0.0 : unarmed_millis / armed_millis;
+  if (!parity_identical) {
+    std::fprintf(stderr, "MISMATCH: sampler-armed results differ at n=%zu\n",
+                 kParityN);
+    return 1;
+  }
+
   // --- portfolio thread-scaling (DESIGN.md §12) -----------------------------------
   // 8 logical workers (two diversified replicas of each roster member) on
   // T OS threads at n=256. Deterministic mode makes the result invariant in
@@ -317,6 +365,14 @@ int main() {
   }
   table.print();
 
+  TablePrinter parity_table("Sampler overhead parity at n=256 swap-uniform");
+  parity_table.columns({"unarmed ms", "armed ms", "parity", "identical"});
+  parity_table.row({TablePrinter::num(unarmed_millis, 3),
+                    TablePrinter::num(armed_millis, 3),
+                    TablePrinter::num(parity, 3),
+                    parity_identical ? "yes" : "NO"});
+  parity_table.print();
+
   TablePrinter scaling("Portfolio scaling: 8 workers at n=256");
   scaling.columns({"threads", "wall ms", "speedup", "evaluations"});
   for (const PortfolioRow& row : portfolio_rows) {
@@ -346,6 +402,21 @@ int main() {
     result["reconvergences"] = obs::JsonValue(row.stats.reconvergences);
     result["txs_executed"] = obs::JsonValue(row.stats.txs_executed);
     result["txs_saved"] = obs::JsonValue(row.stats.txs_saved);
+    report.add_result(std::move(result));
+  }
+  {
+    // The sampler-armed row carries `parity` for the ±5% two-sided band and
+    // mirrors it into `speedup` so the default one-sided gate (min_ratio
+    // 0.85) holds the same row without a special case.
+    obs::JsonObject result;
+    result["n"] = obs::JsonValue(static_cast<std::uint64_t>(kParityN));
+    result["move"] = obs::JsonValue("sampler-armed");
+    result["probes"] = obs::JsonValue(static_cast<std::uint64_t>(probes));
+    result["unarmed_millis"] = obs::JsonValue(unarmed_millis);
+    result["armed_millis"] = obs::JsonValue(armed_millis);
+    result["parity"] = obs::JsonValue(parity);
+    result["speedup"] = obs::JsonValue(parity);
+    result["identical"] = obs::JsonValue(parity_identical);
     report.add_result(std::move(result));
   }
   for (const PortfolioRow& row : portfolio_rows) {

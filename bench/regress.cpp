@@ -6,6 +6,13 @@
 //                         i.e. a >15% regression fails)
 //     --max-ratio F       fail when current/baseline > F (default: off)
 //     --key NAME          row identity key (repeatable; default: n, move)
+//     --rule M:MIN:MAX[:SUBSTR]
+//                         fully-specified rule (repeatable): gate metric M
+//                         between MIN and MAX (0 = side off), optionally only
+//                         on rows whose identity contains SUBSTR — e.g.
+//                         parity:0.95:1.05:sampler-armed is the ±5% sampler
+//                         overhead band. When --rule is given and --metric is
+//                         not, the default speedup rule is dropped.
 //     --inject-slowdown F scale the current report's gated metrics by 1-F —
 //                         CI's self-test that the gate actually fires
 //
@@ -28,8 +35,34 @@ int main(int argc, char** argv) {
   parole::obs::RegressOptions options;
   std::vector<std::string> metrics;
   std::vector<std::string> keys;
+  std::vector<parole::obs::RegressRule> explicit_rules;
   double min_ratio = 0.85;
   double max_ratio = 0.0;
+
+  // "metric:min:max[:row-substring]" -> RegressRule.
+  const auto parse_rule =
+      [](const std::string& spec) -> parole::obs::RegressRule {
+    parole::obs::RegressRule rule;
+    std::size_t start = 0;
+    std::vector<std::string> parts;
+    while (parts.size() < 3) {
+      const std::size_t colon = spec.find(':', start);
+      if (colon == std::string::npos) break;
+      parts.push_back(spec.substr(start, colon - start));
+      start = colon + 1;
+    }
+    parts.push_back(spec.substr(start));
+    if (parts.size() < 3 || parts[0].empty()) {
+      std::fprintf(stderr, "bad --rule '%s' (want METRIC:MIN:MAX[:SUBSTR])\n",
+                   spec.c_str());
+      std::exit(2);
+    }
+    rule.metric = parts[0];
+    rule.min_ratio = std::atof(parts[1].c_str());
+    rule.max_ratio = std::atof(parts[2].c_str());
+    if (parts.size() > 3) rule.row_contains = parts[3];
+    return rule;
+  };
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -48,6 +81,8 @@ int main(int argc, char** argv) {
       max_ratio = std::atof(value());
     } else if (arg == "--key") {
       keys.emplace_back(value());
+    } else if (arg == "--rule") {
+      explicit_rules.push_back(parse_rule(value()));
     } else if (arg == "--inject-slowdown") {
       options.scale = 1.0 - std::atof(value());
     } else if (!arg.empty() && arg[0] == '-') {
@@ -61,14 +96,20 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: bench_regress <baseline.json> <current.json> "
                  "[current2.json ...] [--metric NAME] [--min-ratio F] "
-                 "[--max-ratio F] [--key NAME] [--inject-slowdown F]\n");
+                 "[--max-ratio F] [--key NAME] "
+                 "[--rule M:MIN:MAX[:SUBSTR]] [--inject-slowdown F]\n");
     return 2;
   }
   if (!keys.empty()) options.keys = keys;
-  if (metrics.empty()) metrics.emplace_back("speedup");
+  if (metrics.empty() && explicit_rules.empty()) {
+    metrics.emplace_back("speedup");
+  }
   options.rules.clear();
   for (const std::string& metric : metrics) {
-    options.rules.push_back({metric, min_ratio, max_ratio});
+    options.rules.push_back({metric, min_ratio, max_ratio, ""});
+  }
+  for (parole::obs::RegressRule& rule : explicit_rules) {
+    options.rules.push_back(std::move(rule));
   }
 
   std::vector<parole::obs::RegressReport> runs;

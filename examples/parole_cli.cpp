@@ -20,12 +20,33 @@
 //   parole_cli journal <report.jsonl> <txid>
 //                                        print one transaction's lifecycle
 //                                        timeline from a journaled report
+//   parole_cli top <host:port>           refreshing terminal view of a live
+//                                        run's /metrics + /healthz endpoint
 //
 // Global flags (any command):
 //   --metrics <path>   write a RunReport JSONL metrics snapshot on exit
 //   --trace <path>     arm the span recorder; write the trace JSONL on exit
 //   --journal <path>   arm the tx lifecycle journal; node-running commands
 //                      (quickstart, chaos) export it as JSONL txevent lines
+//
+// Live telemetry (DESIGN.md §13), any command:
+//   --listen <port>         start the telemetry endpoint (0 = ephemeral; the
+//                           bound port is printed as "telemetry: listening
+//                           on 127.0.0.1:<port>")
+//   --linger <ms>           keep serving for <ms> after the command finishes
+//                           (the watchdog is disarmed first — a finished run
+//                           is not a stalled one)
+//   --watchdog-ms <ms>      arm the stall watchdog: no heartbeat from any
+//                           stage for <ms> dumps the flight recorder and
+//                           exits 3
+//   --flight-recorder <p>   flight-bundle destination; also installs fatal-
+//                           signal handlers that dump the bundle before dying
+//   --pace-ms <ms>          chaos: sleep <ms> per step so a scrape sees a
+//                           genuinely live workload
+//   --inject-stall <ms>     chaos: sleep <ms> once, heartbeat-free, after the
+//                           first step (watchdog self-test)
+//   --inject-abort <step>   chaos: raise SIGABRT after <step> steps (flight-
+//                           recorder crash drill)
 //
 // Checkpointing (DESIGN.md §10): `campaign`, `train` and `chaos` accept
 // `--checkpoint <dir>` (cut rolling generations there), `--every <n>`
@@ -36,14 +57,20 @@
 //
 // Exit code 0 on success, 1 on usage/errors.
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include <unistd.h>
 
 #include "parole/core/campaign.hpp"
 #include "parole/core/defense.hpp"
@@ -56,9 +83,12 @@
 #include "parole/data/snapshot.hpp"
 #include "parole/io/manifest.hpp"
 #include "parole/ml/serialize.hpp"
+#include "parole/obs/expose.hpp"
 #include "parole/obs/journal.hpp"
 #include "parole/obs/profile.hpp"
 #include "parole/obs/report.hpp"
+#include "parole/obs/sampler.hpp"
+#include "parole/obs/watchdog.hpp"
 #include "parole/rollup/chaos.hpp"
 #include "parole/rollup/node.hpp"
 
@@ -71,7 +101,10 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: parole_cli [--metrics <path>] [--trace <path>] "
-      "[--journal <path>] <command>\n"
+      "[--journal <path>]\n"
+      "                  [--listen <port>] [--linger <ms>] "
+      "[--watchdog-ms <ms>]\n"
+      "                  [--flight-recorder <path>] <command>\n"
       "       parole_cli attack [snapshots.csv]\n"
       "       parole_cli scan <snapshots.csv>\n"
       "       parole_cli gen <snapshots.csv> [collections-per-cell]\n"
@@ -79,6 +112,8 @@ int usage() {
       "       parole_cli quickstart\n"
       "       parole_cli chaos [seed] [steps] [--checkpoint <dir>]\n"
       "                  [--every <steps>] [--kill-after-step <n>]\n"
+      "                  [--pace-ms <ms>] [--inject-stall <ms>]\n"
+      "                  [--inject-abort <step>]\n"
       "       parole_cli campaign [--aggregators <n>] [--fraction <f>]\n"
       "                  [--mempool <n>] [--rounds <n>] [--ifus <n>]\n"
       "                  [--seed <n>] [--threads <n>] [--checkpoint <dir>]\n"
@@ -89,7 +124,9 @@ int usage() {
       "       parole_cli resume <dir>\n"
       "       parole_cli validate <report.jsonl>\n"
       "       parole_cli profile <report.jsonl> [--collapsed <path>]\n"
-      "       parole_cli journal <report.jsonl> <txid>\n");
+      "       parole_cli journal <report.jsonl> <txid>\n"
+      "       parole_cli top <host:port> [--interval-ms <n>] "
+      "[--iterations <n>]\n");
   return 1;
 }
 
@@ -143,25 +180,155 @@ int fail(const Error& error) {
   return 1;
 }
 
-// --journal destination; empty = journaling off. Node-running commands export
-// the journal themselves (the node — and with it the journal — is gone by the
-// time the shared write_reports() runs).
-std::string g_journal_path;
+// Telemetry wiring shared by every subcommand — the exit-report sinks
+// (--metrics/--trace/--journal) and the live layer (--listen/--watchdog-ms/
+// --flight-recorder/--linger), parsed once by parse_telemetry_flag() in
+// main()'s pre-pass so every command accepts them uniformly.
+struct TelemetryOptions {
+  std::string metrics_path;   // RunReport metrics snapshot on exit
+  std::string trace_path;     // span trace JSONL on exit
+  std::string journal_path;   // tx lifecycle journal JSONL on exit
+  bool listen{false};         // --listen given (port 0 = ephemeral)
+  std::uint16_t listen_port{0};
+  std::uint64_t linger_ms{0};    // keep serving after the command finishes
+  std::uint64_t watchdog_ms{0};  // stall deadline; 0 = watchdog off
+  std::string flight_path;       // flight bundle destination
+  std::uint64_t pace_ms{0};      // chaos: per-step sleep for live scrapes
+  std::uint64_t inject_stall_ms{0};  // chaos: heartbeat-free sleep (self-test)
+  std::uint64_t inject_abort_step{0};  // chaos: SIGABRT after N steps (drill)
+};
+
+TelemetryOptions g_telemetry;
 bool g_journal_written = false;
+
+// Live endpoint state: the sampler feeds the server; both outlive every
+// command and are torn down (after an optional linger) by
+// finish_live_telemetry().
+std::unique_ptr<obs::MetricsSampler> g_sampler;
+std::unique_ptr<obs::TelemetryServer> g_server;
+
+// Consume one "--flag value" telemetry pair at argv[i]; returns false when
+// argv[i] is not a telemetry flag, sets `bad` when the value is missing.
+bool parse_telemetry_flag(int argc, char** argv, int& i,
+                          TelemetryOptions& options, bool& bad) {
+  const std::string arg = argv[i];
+  std::string* string_slot = nullptr;
+  std::uint64_t* u64_slot = nullptr;
+  if (arg == "--metrics") {
+    string_slot = &options.metrics_path;
+  } else if (arg == "--trace") {
+    string_slot = &options.trace_path;
+  } else if (arg == "--journal") {
+    string_slot = &options.journal_path;
+  } else if (arg == "--flight-recorder") {
+    string_slot = &options.flight_path;
+  } else if (arg == "--linger") {
+    u64_slot = &options.linger_ms;
+  } else if (arg == "--watchdog-ms") {
+    u64_slot = &options.watchdog_ms;
+  } else if (arg == "--pace-ms") {
+    u64_slot = &options.pace_ms;
+  } else if (arg == "--inject-stall") {
+    u64_slot = &options.inject_stall_ms;
+  } else if (arg == "--inject-abort") {
+    u64_slot = &options.inject_abort_step;
+  } else if (arg == "--listen") {
+    if (i + 1 >= argc) {
+      bad = true;
+      return true;
+    }
+    options.listen = true;
+    options.listen_port =
+        static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 0));
+    return true;
+  } else {
+    return false;
+  }
+  if (i + 1 >= argc) {
+    bad = true;
+    return true;
+  }
+  if (string_slot != nullptr) *string_slot = argv[++i];
+  if (u64_slot != nullptr) *u64_slot = std::strtoull(argv[++i], nullptr, 0);
+  return true;
+}
+
+// Arm the live layer per g_telemetry: sampler + endpoint (--listen), stall
+// watchdog (--watchdog-ms) and fatal-signal flight dumps (--flight-recorder).
+// The "telemetry: listening on" line is a contract — CI starts runs with
+// --listen 0 and greps the bound port out of the log.
+int start_live_telemetry() {
+  if (g_telemetry.listen) {
+    g_sampler = std::make_unique<obs::MetricsSampler>();
+    g_sampler->start();
+    g_server = std::make_unique<obs::TelemetryServer>(*g_sampler);
+    obs::ServerConfig server_config;
+    server_config.port = g_telemetry.listen_port;
+    if (const Status started = g_server->start(server_config); !started.ok()) {
+      return fail(started.error());
+    }
+    std::printf("telemetry: listening on 127.0.0.1:%u\n", g_server->port());
+    std::fflush(stdout);
+  }
+  if (g_telemetry.watchdog_ms != 0) {
+    obs::WatchdogConfig config;
+    config.deadline_ms = g_telemetry.watchdog_ms;
+    config.flight_path = g_telemetry.flight_path;
+    obs::StallWatchdog::instance().arm(config);
+  }
+  if (!g_telemetry.flight_path.empty()) {
+    obs::StallWatchdog::instance().install_signal_handlers(
+        g_telemetry.flight_path);
+  }
+  return 0;
+}
+
+// Optional linger (so a scraper can read the final state of a short run),
+// then teardown. The watchdog is disarmed *before* the linger: a finished
+// run going all-quiet is not a stall.
+void finish_live_telemetry() {
+  obs::StallWatchdog::instance().disarm();
+  if (g_server && g_telemetry.linger_ms != 0) {
+    std::printf("telemetry: lingering %llu ms\n",
+                static_cast<unsigned long long>(g_telemetry.linger_ms));
+    std::fflush(stdout);
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(g_telemetry.linger_ms));
+  }
+  if (g_server) g_server->stop();
+  g_server.reset();
+  g_sampler.reset();
+}
+
+// Points /journal/tail and the flight bundle at the active node's journal
+// for the node's lifetime; both references are cleared before the node dies.
+struct NodeTelemetryScope {
+  explicit NodeTelemetryScope(const rollup::RollupNode& node) {
+    if (g_server) g_server->set_journal(&node.journal());
+    obs::StallWatchdog::instance().set_journal(&node.journal());
+  }
+  ~NodeTelemetryScope() {
+    if (g_server) g_server->set_journal(nullptr);
+    obs::StallWatchdog::instance().set_journal(nullptr);
+  }
+};
 
 int write_journal_report(const std::string& command,
                          const rollup::RollupNode& node) {
-  if (g_journal_path.empty()) return 0;
+  // Node-running commands export the journal themselves (the node — and with
+  // it the journal — is gone by the time the shared write_reports() runs).
+  const std::string& journal_path = g_telemetry.journal_path;
+  if (journal_path.empty()) return 0;
   obs::RunReport report("parole_cli." + command + ".journal");
   report.set_meta("command", obs::JsonValue(command));
   report.capture_journal(node.journal());
-  const Status written = report.write(g_journal_path);
+  const Status written = report.write(journal_path);
   if (!written.ok()) {
     std::fprintf(stderr, "error: %s\n", written.error().detail.c_str());
     return 1;
   }
   g_journal_written = true;
-  std::printf("journal written to %s (%zu lines)\n", g_journal_path.c_str(),
+  std::printf("journal written to %s (%zu lines)\n", journal_path.c_str(),
               report.line_count());
   return 0;
 }
@@ -342,6 +509,7 @@ int cmd_quickstart() {
   node_config.orsc.challenge_period = 8;
   node_config.max_supply = 64;
   rollup::RollupNode node(node_config);
+  NodeTelemetryScope telemetry_scope(node);
   auto reverse = [](const vm::L2State&, std::vector<vm::Tx> txs) {
     std::reverse(txs.begin(), txs.end());
     return txs;
@@ -401,6 +569,7 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
   node_config.orsc.challenge_period = 20;
   node_config.max_supply = 4096;
   rollup::RollupNode node(node_config);
+  NodeTelemetryScope telemetry_scope(node);
   // Aggregator 0 runs an (artless) adversarial reorderer so the
   // reorderer-failure fault family has something to degrade.
   auto reverse = [](const vm::L2State&, std::vector<vm::Tx> txs) {
@@ -479,6 +648,29 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
     const rollup::StepOutcome outcome = node.step();
     challenges += outcome.challenged;
     frauds += outcome.fraud_proven;
+
+    // Live-telemetry knobs: --pace-ms keeps the workload alive long enough
+    // for a scraper to watch it; the two --inject-* drills are CI's watchdog
+    // self-test (all-quiet sleep -> stall -> exit 3) and flight-recorder
+    // crash drill (SIGABRT -> signal handler dumps the bundle -> exit 134).
+    if (g_telemetry.pace_ms != 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(g_telemetry.pace_ms));
+    }
+    if (g_telemetry.inject_stall_ms != 0 && step == start_step) {
+      std::printf("chaos: injecting %llu ms heartbeat-free stall\n",
+                  static_cast<unsigned long long>(g_telemetry.inject_stall_ms));
+      std::fflush(stdout);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(g_telemetry.inject_stall_ms));
+    }
+    if (g_telemetry.inject_abort_step != 0 &&
+        step + 1 - start_step >= g_telemetry.inject_abort_step) {
+      std::printf("chaos: injecting SIGABRT after step %llu\n",
+                  static_cast<unsigned long long>(step + 1));
+      std::fflush(stdout);
+      std::abort();
+    }
 
     if (manager.has_value() &&
         ((ckpt.every != 0 && (step + 1) % ckpt.every == 0) ||
@@ -809,6 +1001,121 @@ int cmd_validate(const std::string& path) {
   return 0;
 }
 
+// `top` for a live run: poll /metrics + /healthz on another parole_cli's
+// --listen endpoint and render a compact refreshing view — rolling rates,
+// window latency quantiles and per-stage heartbeat ages. It reads exactly
+// what a Prometheus scrape would, so it doubles as an endpoint smoke check
+// (--iterations 1 in CI).
+int cmd_top(const std::string& endpoint, const Flags& flags) {
+  const auto colon = endpoint.rfind(':');
+  if (colon == std::string::npos) {
+    return fail(Error{"usage", "expected host:port, got '" + endpoint + "'"});
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const auto port = static_cast<std::uint16_t>(
+      std::strtoul(endpoint.c_str() + colon + 1, nullptr, 0));
+  const std::uint64_t interval_ms = flag_u64(flags, "interval-ms", 1000);
+  const std::uint64_t iterations = flag_u64(flags, "iterations", 0);
+  const bool tty = isatty(fileno(stdout)) != 0;
+
+  for (std::uint64_t frame = 0; iterations == 0 || frame < iterations;
+       ++frame) {
+    if (frame != 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    }
+    auto metrics = obs::http_get(host, port, "/metrics");
+    if (!metrics.ok()) return fail(metrics.error());
+    auto health = obs::http_get(host, port, "/healthz");
+    if (!health.ok()) return fail(health.error());
+
+    // Plain "name value" sample lines; bucket series and comments skipped.
+    std::map<std::string, double> values;
+    std::istringstream in(metrics.value());
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      const auto space = line.find(' ');
+      if (space == std::string::npos || line.find('{') != std::string::npos) {
+        continue;
+      }
+      values[line.substr(0, space)] =
+          std::strtod(line.c_str() + space + 1, nullptr);
+    }
+
+    if (tty && frame != 0) std::printf("\x1b[2J\x1b[H");
+    std::printf("parole top — %s:%u\n", host.c_str(), port);
+
+    auto health_doc = obs::json_parse(health.value());
+    if (health_doc.ok() && health_doc.value().is_object()) {
+      const obs::JsonObject& doc = health_doc.value().as_object();
+      const auto str = [&doc](const char* key) -> std::string {
+        const auto it = doc.find(key);
+        return it != doc.end() && it->second.is_string()
+                   ? it->second.as_string()
+                   : "?";
+      };
+      const auto num = [&doc](const char* key) -> double {
+        const auto it = doc.find(key);
+        return it != doc.end() && it->second.is_number()
+                   ? it->second.as_double()
+                   : 0.0;
+      };
+      std::printf("health: %s, %.0f samples, %.2fs window\n",
+                  str("status").c_str(), num("samples"),
+                  num("window_seconds"));
+      if (const auto stages = doc.find("stages");
+          stages != doc.end() && stages->second.is_array()) {
+        for (const obs::JsonValue& stage : stages->second.as_array()) {
+          if (!stage.is_object()) continue;
+          const obs::JsonObject& s = stage.as_object();
+          const auto field = [&s](const char* key) -> double {
+            const auto it = s.find(key);
+            return it != s.end() && it->second.is_number()
+                       ? it->second.as_double()
+                       : 0.0;
+          };
+          const auto name = s.find("name");
+          std::printf("  stage %-20s %8.0f beats  quiet %6.0f ms\n",
+                      name != s.end() && name->second.is_string()
+                          ? name->second.as_string().c_str()
+                          : "?",
+                      field("beats"), field("age_ms"));
+        }
+      }
+    }
+
+    std::printf("rates (per second over the window):\n");
+    for (const auto& [name, value] : values) {
+      const std::string suffix = "_per_second";
+      if (name.size() <= suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+      std::printf("  %-44s %14.2f\n",
+                  name.substr(0, name.size() - suffix.size()).c_str(), value);
+    }
+    std::printf("window quantiles:\n");
+    for (const auto& [name, value] : values) {
+      const std::string suffix = "_p50";
+      if (name.size() <= suffix.size() ||
+          name.compare(name.size() - suffix.size(), suffix.size(), suffix) !=
+              0) {
+        continue;
+      }
+      const std::string base = name.substr(0, name.size() - suffix.size());
+      const auto p95 = values.find(base + "_p95");
+      const auto p99 = values.find(base + "_p99");
+      std::printf("  %-32s p50 %11.0f  p95 %11.0f  p99 %11.0f\n",
+                  base.c_str(), value,
+                  p95 != values.end() ? p95->second : 0.0,
+                  p99 != values.end() ? p99->second : 0.0);
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 // Writes the metrics and/or trace RunReports requested via --metrics/--trace.
 int write_reports(const std::string& command, const std::string& metrics_path,
                   const std::string& trace_path) {
@@ -846,23 +1153,23 @@ int write_reports(const std::string& command, const std::string& metrics_path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string metrics_path;
-  std::string trace_path;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--metrics" || arg == "--trace" || arg == "--journal") {
-      if (i + 1 >= argc) return usage();
-      (arg == "--metrics"  ? metrics_path
-       : arg == "--trace" ? trace_path
-                          : g_journal_path) = argv[++i];
+    bool bad = false;
+    if (parse_telemetry_flag(argc, argv, i, g_telemetry, bad)) {
+      if (bad) return usage();
       continue;
     }
-    args.push_back(arg);
+    args.push_back(argv[i]);
   }
   if (args.empty()) return usage();
-  if (!trace_path.empty()) obs::TraceRecorder::instance().set_enabled(true);
-  if (!g_journal_path.empty()) obs::TxJournal::set_enabled(true);
+  if (!g_telemetry.trace_path.empty()) {
+    obs::TraceRecorder::instance().set_enabled(true);
+  }
+  if (!g_telemetry.journal_path.empty()) obs::TxJournal::set_enabled(true);
+  if (const int live_rc = start_live_telemetry(); live_rc != 0) {
+    return live_rc;
+  }
 
   const std::string& command = args[0];
   int rc = 1;
@@ -924,15 +1231,21 @@ int main(int argc, char** argv) {
   } else if (command == "journal" && args.size() == 3) {
     rc = cmd_journal_query(args[1],
                            std::strtoull(args[2].c_str(), nullptr, 0));
+  } else if (command == "top" && args.size() >= 2) {
+    const Flags flags = parse_flags(args, 2);
+    if (flags.bad || !flags.positional.empty()) return usage();
+    rc = cmd_top(args[1], flags);
   } else {
     return usage();
   }
 
-  if (!g_journal_path.empty() && !g_journal_written && rc == 0) {
+  finish_live_telemetry();
+  if (!g_telemetry.journal_path.empty() && !g_journal_written && rc == 0) {
     std::fprintf(stderr,
                  "note: --journal had no effect; '%s' runs no rollup node\n",
                  command.c_str());
   }
-  const int report_rc = write_reports(command, metrics_path, trace_path);
+  const int report_rc = write_reports(command, g_telemetry.metrics_path,
+                                      g_telemetry.trace_path);
   return rc != 0 ? rc : report_rc;
 }

@@ -8,6 +8,7 @@
 
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
+#include "parole/obs/watchdog.hpp"
 
 namespace parole::core {
 namespace {
@@ -298,6 +299,7 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
 
   std::size_t ran_this_invocation = 0;
   for (std::size_t round = start_round; round < config_.rounds; ++round) {
+    PAROLE_OBS_HEARTBEAT("core.campaign");
     const rollup::StepOutcome outcome = node.step();
     // PAROLE batches are honestly committed; none may be challenged.
     assert(!outcome.fraud_proven);

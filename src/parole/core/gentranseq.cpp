@@ -9,6 +9,7 @@
 #include "parole/ml/epsilon.hpp"
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
+#include "parole/obs/watchdog.hpp"
 
 namespace parole::core {
 namespace {
@@ -99,6 +100,7 @@ Result<TrainResult> GenTranSeq::train_resumable(const TrainCheckpointing& ckpt) 
   for (std::size_t ep = start_episode; ep < config_.dqn.episodes; ++ep) {
     PAROLE_OBS_SPAN("ml.episode");
     PAROLE_OBS_COUNT("parole.ml.episodes", 1);
+    PAROLE_OBS_HEARTBEAT("ml.train");
     std::vector<double> state = env_.reset();
     const double epsilon = schedule.at(ep);
     PAROLE_OBS_GAUGE("parole.ml.epsilon", epsilon);

@@ -1,0 +1,367 @@
+#include "parole/obs/expose.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "parole/obs/json.hpp"
+#include "parole/obs/report.hpp"
+#include "parole/obs/watchdog.hpp"
+
+namespace parole::obs {
+namespace {
+
+// Prometheus accepts any float syntax; %.10g keeps integers clean (counter
+// values print as "12345", not "12345.000000") without truncating rates.
+std::string format_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+void append_metric(std::string& out, const std::string& name,
+                   const char* type, double value) {
+  out += "# TYPE " + name + " " + type + "\n";
+  out += name + " " + format_number(value) + "\n";
+}
+
+std::string query_param(const std::string& target, const std::string& key) {
+  const std::size_t question = target.find('?');
+  if (question == std::string::npos) return {};
+  std::string_view query(target);
+  query.remove_prefix(question + 1);
+  while (!query.empty()) {
+    const std::size_t amp = query.find('&');
+    const std::string_view pair = query.substr(0, amp);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      return std::string(pair.substr(eq + 1));
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return {};
+}
+
+std::string target_path(const std::string& target) {
+  const std::size_t question = target.find('?');
+  return question == std::string::npos ? target : target.substr(0, question);
+}
+
+// Read until the request-line terminator (we only need "GET <target>");
+// bounded so a garbage client cannot make us buffer forever.
+std::string read_request_target(int fd) {
+  std::string request;
+  char buffer[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n") == std::string::npos &&
+         request.find('\n') == std::string::npos) {
+    const ssize_t got = recv(fd, buffer, sizeof(buffer), 0);
+    if (got <= 0) break;
+    request.append(buffer, static_cast<std::size_t>(got));
+  }
+  // "GET /metrics HTTP/1.1" → "/metrics".
+  if (request.rfind("GET ", 0) != 0) return {};
+  const std::size_t start = 4;
+  const std::size_t end = request.find(' ', start);
+  if (end == std::string::npos) return {};
+  return request.substr(start, end - start);
+}
+
+void send_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t sent = send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (sent <= 0) return;
+    data.remove_prefix(static_cast<std::size_t>(sent));
+  }
+}
+
+const char* status_text(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 404:
+      return "Not Found";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+std::string render_prometheus(const SamplerView& view) {
+  std::string out;
+  out.reserve(4096);
+  append_metric(out, "parole_sampler_samples_total", "counter",
+                static_cast<double>(view.samples_taken));
+  append_metric(out, "parole_sampler_window_seconds", "gauge",
+                view.window_seconds);
+  for (const WindowStat& stat : view.stats) {
+    const std::string name = prometheus_name(stat.name);
+    switch (stat.kind) {
+      case MetricSample::Kind::kCounter:
+        append_metric(out, name, "counter", stat.value);
+        append_metric(out, name + "_per_second", "gauge", stat.rate);
+        break;
+      case MetricSample::Kind::kGauge:
+        append_metric(out, name, "gauge", stat.value);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        out += "# TYPE " + name + " histogram\n";
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < stat.bucket_counts.size(); ++i) {
+          cumulative += stat.bucket_counts[i];
+          const std::string le = i < stat.bounds.size()
+                                     ? format_number(stat.bounds[i])
+                                     : std::string("+Inf");
+          out += name + "_bucket{le=\"" + le + "\"} " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += name + "_sum " + format_number(stat.sum) + "\n";
+        out += name + "_count " + format_number(stat.value) + "\n";
+        append_metric(out, name + "_per_second", "gauge", stat.rate);
+        append_metric(out, name + "_p50", "gauge", stat.window_p50);
+        append_metric(out, name + "_p95", "gauge", stat.window_p95);
+        append_metric(out, name + "_p99", "gauge", stat.window_p99);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_healthz(const SamplerView& view) {
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  JsonObject doc;
+  doc["status"] = watchdog.stalled() ? "stalled" : "ok";
+  doc["t_ns"] = view.t_ns;
+  doc["samples"] = view.samples_taken;
+  doc["window_seconds"] = view.window_seconds;
+  doc["metrics"] = static_cast<std::uint64_t>(view.stats.size());
+  doc["watchdog_armed"] = watchdog.armed();
+  JsonArray stages;
+  for (const StageStatus& stage : watchdog.status()) {
+    JsonObject entry;
+    entry["name"] = stage.name;
+    entry["beats"] = stage.beats;
+    entry["age_ms"] = stage.age_ms;
+    stages.push_back(JsonValue(std::move(entry)));
+  }
+  doc["stages"] = std::move(stages);
+  return JsonValue(std::move(doc)).dump() + "\n";
+}
+
+std::string render_journal_tail(const TxJournal& journal, std::size_t n) {
+  const std::vector<TxEvent> events = journal.snapshot();
+  const std::size_t begin =
+      n != 0 && events.size() > n ? events.size() - n : 0;
+  std::string out;
+  out.reserve((events.size() - begin) * 96);
+  for (std::size_t i = begin; i < events.size(); ++i) {
+    out += JsonValue(txevent_to_object(events[i])).dump();
+    out += '\n';
+  }
+  return out;
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+Status TelemetryServer::start(const ServerConfig& config) {
+  if (running_.load(std::memory_order_relaxed)) {
+    return Error{"telemetry_server", "already running"};
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Error{"telemetry_server", "socket() failed"};
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(config.port);
+  if (inet_pton(AF_INET, config.host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Error{"telemetry_server", "bad host '" + config.host + "'"};
+  }
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return Error{"telemetry_server",
+                 "bind failed for " + config.host + ":" +
+                     std::to_string(config.port) + " (" +
+                     std::strerror(errno) + ")"};
+  }
+  if (listen(fd, 16) != 0) {
+    close(fd);
+    return Error{"telemetry_server", "listen() failed"};
+  }
+  sockaddr_in bound = {};
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) != 0) {
+    close(fd);
+    return Error{"telemetry_server", "getsockname() failed"};
+  }
+  port_ = ntohs(bound.sin_port);
+  listen_fd_ = fd;
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { serve(); });
+  return ok_status();
+}
+
+void TelemetryServer::stop() {
+  if (!running_.exchange(false, std::memory_order_relaxed)) return;
+  // The accept loop polls with a timeout and re-checks running_, so closing
+  // after the flag flip is enough to unstick it.
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  port_ = 0;
+}
+
+void TelemetryServer::set_journal(const TxJournal* journal) {
+  std::lock_guard lock(journal_mutex_);
+  journal_ = journal;
+}
+
+TelemetryServer::Response TelemetryServer::handle(const std::string& target) {
+  const std::string path = target_path(target);
+  if (path == "/metrics") {
+    // A synchronous tick first: a scrape always sees data no older than the
+    // request, even between background ticks (or with the thread stopped).
+    sampler_.sample_now();
+    Response response;
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = render_prometheus(sampler_.view());
+    return response;
+  }
+  if (path == "/healthz") {
+    Response response;
+    response.content_type = "application/json; charset=utf-8";
+    response.body = render_healthz(sampler_.view());
+    return response;
+  }
+  if (path == "/journal/tail") {
+    std::size_t n = 256;
+    if (const std::string raw = query_param(target, "n"); !raw.empty()) {
+      n = static_cast<std::size_t>(std::strtoull(raw.c_str(), nullptr, 10));
+    }
+    Response response;
+    response.content_type = "application/jsonl; charset=utf-8";
+    std::lock_guard lock(journal_mutex_);
+    if (journal_ == nullptr) {
+      response.status = 404;
+      response.body = "no journal attached\n";
+      return response;
+    }
+    response.body = render_journal_tail(*journal_, n);
+    return response;
+  }
+  Response response;
+  response.status = 404;
+  response.body =
+      "not found; endpoints: /metrics /healthz /journal/tail?n=N\n";
+  return response;
+}
+
+void TelemetryServer::serve() {
+  while (running_.load(std::memory_order_relaxed)) {
+    pollfd pfd = {};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = poll(&pfd, 1, 200);
+    if (!running_.load(std::memory_order_relaxed)) break;
+    if (ready <= 0) continue;
+    const int client = accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    const std::string target = read_request_target(client);
+    if (!target.empty()) {
+      const Response response = handle(target);
+      std::string head = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                         status_text(response.status) + "\r\n";
+      head += "Content-Type: " + response.content_type + "\r\n";
+      head += "Content-Length: " + std::to_string(response.body.size()) +
+              "\r\n";
+      head += "Connection: close\r\n\r\n";
+      send_all(client, head);
+      send_all(client, response.body);
+    }
+    close(client);
+  }
+}
+
+Result<std::string> http_get(const std::string& host, std::uint16_t port,
+                             const std::string& target, int timeout_ms) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Error{"http_get", "socket() failed"};
+  timeval tv = {};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Error{"http_get", "bad host '" + host + "'"};
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    close(fd);
+    return Error{"http_get", "connect to " + host + ":" +
+                                 std::to_string(port) + " failed (" +
+                                 std::strerror(errno) + ")"};
+  }
+  const std::string request =
+      "GET " + target + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+  send_all(fd, request);
+
+  std::string reply;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t got = recv(fd, buffer, sizeof(buffer), 0);
+    if (got <= 0) break;
+    reply.append(buffer, static_cast<std::size_t>(got));
+  }
+  close(fd);
+
+  const std::size_t header_end = reply.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Error{"http_get", "malformed response (no header terminator)"};
+  }
+  // "HTTP/1.0 200 OK" — accept any 2xx.
+  if (reply.rfind("HTTP/", 0) != 0 || reply.size() < 12 ||
+      reply[9] != '2') {
+    return Error{"http_get",
+                 "non-2xx status: " + reply.substr(0, reply.find("\r\n"))};
+  }
+  return reply.substr(header_end + 4);
+}
+
+}  // namespace parole::obs

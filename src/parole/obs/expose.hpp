@@ -1,0 +1,105 @@
+// Telemetry exposition endpoint (DESIGN.md §13).
+//
+// A run that only reports at exit is a black box while it is alive. The
+// TelemetryServer closes that gap with a deliberately tiny embedded HTTP
+// server (blocking sockets, one connection at a time, GET only — a scrape
+// target, not a web framework) over the MetricsSampler's sliding window:
+//
+//   /metrics        Prometheus text format v0.0.4. Counters come with a
+//                   derived <name>_per_second gauge over the sampler window
+//                   (rolling tx/s is first-class, not a PromQL exercise);
+//                   histograms expose cumulative le-buckets plus rolling
+//                   window p50/p95/p99 gauges.
+//   /healthz        JSON: sampler stats, watchdog armed/stalled and
+//                   per-stage heartbeat ages, stalest first.
+//   /journal/tail   JSONL of the newest journal events (schema-1 txevent
+//                   lines, same builder as RunReport), ?n= caps the tail.
+//
+// The server reads sampler views and journal snapshots; it never touches
+// hot-path atomics, so a scrape cannot perturb the workload. Like the rest
+// of obs, the code builds under PAROLE_OBS_DISABLED (the CLI flags keep
+// working; the registry is simply quiet).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "parole/common/result.hpp"
+#include "parole/obs/journal.hpp"
+#include "parole/obs/sampler.hpp"
+
+namespace parole::obs {
+
+// Prometheus metric-name sanitization: [a-zA-Z0-9_:] pass through, anything
+// else (the registry's dots) becomes '_'; a leading digit gets a '_' prefix.
+[[nodiscard]] std::string prometheus_name(const std::string& name);
+
+// Render a sampler view as Prometheus text exposition format v0.0.4.
+[[nodiscard]] std::string render_prometheus(const SamplerView& view);
+
+// JSON health document over the sampler view + watchdog stage table.
+[[nodiscard]] std::string render_healthz(const SamplerView& view);
+
+// JSONL tail: the newest `n` journal events (0 = all) as txevent lines.
+[[nodiscard]] std::string render_journal_tail(const TxJournal& journal,
+                                              std::size_t n);
+
+struct ServerConfig {
+  std::string host{"127.0.0.1"};
+  std::uint16_t port{0};  // 0 = kernel-assigned; port() reports the binding
+};
+
+class TelemetryServer {
+ public:
+  explicit TelemetryServer(MetricsSampler& sampler) : sampler_(sampler) {}
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  // Bind + listen + spawn the accept loop. Error code "telemetry_server"
+  // when the bind fails (port taken, bad host).
+  Status start(const ServerConfig& config = {});
+  void stop();
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+  // The bound port (after a successful start); 0 before.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // Journal backing /journal/tail (nullptr = endpoint reports none). Clear
+  // before the journal dies.
+  void set_journal(const TxJournal* journal);
+
+  // Route one request target to a response — the accept loop and tests
+  // share this, so routing is testable without sockets.
+  struct Response {
+    int status{200};
+    std::string content_type{"text/plain; charset=utf-8"};
+    std::string body;
+  };
+  [[nodiscard]] Response handle(const std::string& target);
+
+ private:
+  void serve();
+
+  MetricsSampler& sampler_;
+  mutable std::mutex journal_mutex_;
+  const TxJournal* journal_{nullptr};
+
+  int listen_fd_{-1};
+  std::uint16_t port_{0};
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+// Minimal blocking HTTP/1.0 GET against a local endpoint; returns the body
+// on a 2xx status. Used by `parole_cli top` and the endpoint tests — not a
+// general client.
+Result<std::string> http_get(const std::string& host, std::uint16_t port,
+                             const std::string& target, int timeout_ms = 2000);
+
+}  // namespace parole::obs

@@ -51,27 +51,32 @@ std::vector<double> Histogram::log_bounds(double lo, double hi,
   return out;
 }
 
-double Histogram::quantile(double q) const {
-  const std::uint64_t total = count();
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts, double q) {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
   if (total == 0) return 0.0;
   const double clamped = std::min(1.0, std::max(0.0, q));
   const double target = clamped * static_cast<double>(total);
   std::uint64_t cumulative = 0;
   double lower = 0.0;
-  for (std::size_t i = 0; i < bounds_.size(); ++i) {
-    const std::uint64_t in_bucket =
-        buckets_[i].load(std::memory_order_relaxed);
+  for (std::size_t i = 0; i < bounds.size() && i < counts.size(); ++i) {
+    const std::uint64_t in_bucket = counts[i];
     if (in_bucket > 0 &&
         static_cast<double>(cumulative + in_bucket) >= target) {
       const double fraction =
           (target - static_cast<double>(cumulative)) /
           static_cast<double>(in_bucket);
-      return lower + fraction * (bounds_[i] - lower);
+      return lower + fraction * (bounds[i] - lower);
     }
     cumulative += in_bucket;
-    lower = bounds_[i];
+    lower = bounds[i];
   }
-  return bounds_.empty() ? 0.0 : bounds_.back();  // overflow: clamp
+  return bounds.empty() ? 0.0 : bounds.back();  // overflow: clamp
+}
+
+double Histogram::quantile(double q) const {
+  return bucket_quantile(bounds_, counts(), q);
 }
 
 void Histogram::observe(double v) noexcept {

@@ -110,6 +110,16 @@ struct MetricSample {
   double p99{0.0};
 };
 
+// Bucket-interpolated quantile over (bounds, per-bucket counts): finds the
+// bucket holding the q-th observation and interpolates linearly inside it.
+// `counts` has bounds.size() + 1 entries (last = overflow, clamped to the
+// final bound). Histogram::quantile and the MetricsSampler's sliding-window
+// quantiles are both this computation — one over cumulative counts, one over
+// per-window deltas.
+[[nodiscard]] double bucket_quantile(const std::vector<double>& bounds,
+                                     const std::vector<std::uint64_t>& counts,
+                                     double q);
+
 class MetricsRegistry {
  public:
   // The process-wide registry every PAROLE_OBS_* macro talks to.

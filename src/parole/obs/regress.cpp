@@ -88,6 +88,10 @@ Result<RegressReport> compare_reports(const std::string& baseline_path,
       continue;
     }
     for (const RegressRule& rule : options.rules) {
+      if (!rule.row_contains.empty() &&
+          identity.find(rule.row_contains) == std::string::npos) {
+        continue;
+      }
       const auto base_member = baseline_row.find(rule.metric);
       const auto cur_member = match->second->find(rule.metric);
       if (base_member == baseline_row.end() ||
@@ -144,8 +148,15 @@ RegressReport merge_best(const std::vector<RegressReport>& runs) {
       if (slot == index.end()) {
         index.emplace(key, best.size());
         best.push_back(&check);
-      } else if (check.ratio > best[slot->second]->ratio) {
-        best[slot->second] = &check;
+      } else {
+        // "Best" must be verdict-aware: under a max_ratio rule a higher
+        // ratio is the *failing* direction, so a passing check always beats
+        // a failing one, and ratio only breaks ties within the same verdict.
+        const RegressCheck& incumbent = *best[slot->second];
+        if ((check.ok && !incumbent.ok) ||
+            (check.ok == incumbent.ok && check.ratio > incumbent.ratio)) {
+          best[slot->second] = &check;
+        }
       }
     }
   }

@@ -26,12 +26,17 @@ struct RegressRule {
   std::string metric;     // numeric key inside matched result rows
   double min_ratio{0.0};  // fail when current/baseline < min_ratio (0 = off)
   double max_ratio{0.0};  // fail when current/baseline > max_ratio (0 = off)
+  // Apply the rule only to rows whose rendered identity contains this
+  // substring (empty = every row). Lets one invocation hold different rows
+  // to different tolerances — e.g. the sampler-armed parity row is a ±5%
+  // two-sided band while the speedup rows keep the one-sided floor.
+  std::string row_contains;
 };
 
 struct RegressOptions {
   // Result-row identity: rows agree when every key dumps to the same value.
   std::vector<std::string> keys{"n", "move"};
-  std::vector<RegressRule> rules{{"speedup", 0.85, 0.0}};
+  std::vector<RegressRule> rules{{"speedup", 0.85, 0.0, ""}};
   // Multiplier applied to the current report's gated metrics before the
   // ratio check. CI's self-test injects an artificial slowdown this way to
   // prove the gate actually fires (scale 0.82 ≈ an 18% regression).

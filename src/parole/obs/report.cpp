@@ -43,21 +43,6 @@ JsonObject sample_to_object(const MetricSample& sample) {
   return line;
 }
 
-JsonObject txevent_to_object(const TxEvent& event) {
-  JsonObject line;
-  line["type"] = "txevent";
-  line["tx"] = event.tx;
-  line["event"] = std::string(to_string(event.kind));
-  line["step"] = event.step;
-  line["t_ns"] = event.t_ns;
-  if (event.batch != kNoBatch) line["batch"] = event.batch;
-  // Reorder deltas always carry both positions — 0 is a legal position.
-  const bool reordered = event.kind == TxEventKind::kReordered;
-  if (reordered || event.a != 0) line["a"] = event.a;
-  if (reordered || event.b != 0) line["b"] = event.b;
-  return line;
-}
-
 // Derived latency distribution as a histogram line: log-spaced buckets from
 // 1µs to 10s (latencies are on the ns span clock) with *exact* quantiles
 // computed from the sample rather than bucket-interpolated.
@@ -106,6 +91,21 @@ Status require_string(const JsonValue& object, const char* key) {
 
 }  // namespace
 
+JsonObject txevent_to_object(const TxEvent& event) {
+  JsonObject line;
+  line["type"] = "txevent";
+  line["tx"] = event.tx;
+  line["event"] = std::string(to_string(event.kind));
+  line["step"] = event.step;
+  line["t_ns"] = event.t_ns;
+  if (event.batch != kNoBatch) line["batch"] = event.batch;
+  // Reorder deltas always carry both positions — 0 is a legal position.
+  const bool reordered = event.kind == TxEventKind::kReordered;
+  if (reordered || event.a != 0) line["a"] = event.a;
+  if (reordered || event.b != 0) line["b"] = event.b;
+  return line;
+}
+
 void RunReport::set_meta(const std::string& key, JsonValue value) {
   meta_[key] = std::move(value);
 }
@@ -121,8 +121,13 @@ void RunReport::capture_metrics(const MetricsRegistry& registry) {
   }
 }
 
-void RunReport::capture_trace(const TraceRecorder& recorder) {
-  for (const SpanRecord& span : recorder.snapshot()) {
+void RunReport::capture_trace(const TraceRecorder& recorder,
+                              std::size_t tail) {
+  std::vector<SpanRecord> spans = recorder.snapshot();
+  const std::size_t begin =
+      tail != 0 && spans.size() > tail ? spans.size() - tail : 0;
+  for (std::size_t i = begin; i < spans.size(); ++i) {
+    const SpanRecord& span = spans[i];
     JsonObject line;
     line["type"] = "span";
     line["name"] = span.name;
@@ -148,8 +153,16 @@ void RunReport::add_fault(std::uint64_t step, const std::string& kind,
 }
 
 void RunReport::capture_journal(const TxJournal& journal) {
-  for (const TxEvent& event : journal.snapshot()) {
-    lines_.push_back(txevent_to_object(event));
+  capture_journal_tail(journal, 0);
+}
+
+void RunReport::capture_journal_tail(const TxJournal& journal,
+                                     std::size_t tail) {
+  const std::vector<TxEvent> events = journal.snapshot();
+  const std::size_t begin =
+      tail != 0 && events.size() > tail ? events.size() - tail : 0;
+  for (std::size_t i = begin; i < events.size(); ++i) {
+    lines_.push_back(txevent_to_object(events[i]));
   }
   const TxJournal::LatencySummary latencies = journal.latencies();
   lines_.push_back(latency_histogram_line("parole.journal.tx_latency_ns",

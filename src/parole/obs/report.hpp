@@ -50,9 +50,11 @@ class RunReport {
   // Append a metrics snapshot: every registered counter/gauge/histogram.
   void capture_metrics(const MetricsRegistry& registry =
                            MetricsRegistry::instance());
-  // Append every completed span currently in the trace ring.
-  void capture_trace(const TraceRecorder& recorder =
-                         TraceRecorder::instance());
+  // Append every completed span currently in the trace ring — or, with a
+  // nonzero `tail`, only the newest `tail` of them (the flight recorder caps
+  // its bundle this way).
+  void capture_trace(const TraceRecorder& recorder = TraceRecorder::instance(),
+                     std::size_t tail = 0);
   // One injected chaos fault (rollup/chaos FaultLog entries go through here;
   // the seeded fault log is part of the reproducibility artifact).
   void add_fault(std::uint64_t step, const std::string& kind,
@@ -62,6 +64,9 @@ class RunReport {
   // parole.journal.batch_e2e_ns) with exact p50/p95/p99 over the journaled
   // durations and log-spaced buckets.
   void capture_journal(const TxJournal& journal);
+  // Like capture_journal but keeping only the newest `tail` events (0 = all);
+  // the latency histograms still cover every journaled event.
+  void capture_journal_tail(const TxJournal& journal, std::size_t tail);
 
   [[nodiscard]] std::size_t line_count() const {
     return 1 + lines_.size();  // meta + body
@@ -135,6 +140,11 @@ class StreamingReport {
   std::string path_;
   std::size_t lines_written_{0};
 };
+
+// One lifecycle event as a schema-1 txevent line. RunReport's journal
+// captures and the telemetry server's /journal/tail both emit through this
+// so the endpoint can never drift from the file schema.
+JsonObject txevent_to_object(const TxEvent& event);
 
 // Human-readable dump of a registry snapshot via common/table (one row per
 // metric; histograms show count/sum).

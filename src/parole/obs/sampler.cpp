@@ -1,0 +1,129 @@
+#include "parole/obs/sampler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "parole/obs/trace.hpp"
+
+namespace parole::obs {
+
+MetricsSampler::MetricsSampler(SamplerConfig config, MetricsRegistry& registry)
+    : config_(config), registry_(registry) {
+  if (config_.window < 2) config_.window = 2;  // a window needs two endpoints
+  if (config_.interval_ms == 0) config_.interval_ms = 1;
+}
+
+MetricsSampler::~MetricsSampler() { stop(); }
+
+void MetricsSampler::start() {
+  if (running_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  running_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { run(); });
+}
+
+void MetricsSampler::stop() {
+  if (!running_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard lock(wake_mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false, std::memory_order_relaxed);
+}
+
+void MetricsSampler::run() {
+  // Tick immediately so a short-lived run still gets a first sample, then on
+  // the configured cadence until stop() wakes us.
+  sample_now();
+  std::unique_lock lock(wake_mutex_);
+  while (!stop_requested_) {
+    wake_.wait_for(lock, std::chrono::milliseconds(config_.interval_ms));
+    if (stop_requested_) break;
+    lock.unlock();
+    sample_now();
+    lock.lock();
+  }
+}
+
+void MetricsSampler::sample_now() {
+  Snap snap;
+  snap.t_ns = TraceRecorder::instance().now_ns();
+  snap.metrics = registry_.snapshot();
+  std::lock_guard lock(mutex_);
+  ring_.push_back(std::move(snap));
+  while (ring_.size() > config_.window) ring_.pop_front();
+  ++samples_taken_;
+}
+
+SamplerView MetricsSampler::view() const {
+  std::lock_guard lock(mutex_);
+  SamplerView out;
+  out.samples_taken = samples_taken_;
+  if (ring_.empty()) return out;
+
+  const Snap& newest = ring_.back();
+  const Snap& oldest = ring_.front();
+  out.t_ns = newest.t_ns;
+  const double dt =
+      static_cast<double>(newest.t_ns - oldest.t_ns) / 1e9;  // 0 if one snap
+  out.window_seconds = dt;
+
+  // Both snapshots are sorted by name; walk them in lockstep. A metric that
+  // appeared mid-window has no old entry — its whole value is the delta.
+  std::size_t old_index = 0;
+  out.stats.reserve(newest.metrics.size());
+  for (const MetricSample& cur : newest.metrics) {
+    while (old_index < oldest.metrics.size() &&
+           oldest.metrics[old_index].name < cur.name) {
+      ++old_index;
+    }
+    const MetricSample* old =
+        (old_index < oldest.metrics.size() &&
+         oldest.metrics[old_index].name == cur.name &&
+         oldest.metrics[old_index].kind == cur.kind)
+            ? &oldest.metrics[old_index]
+            : nullptr;
+
+    WindowStat stat;
+    stat.kind = cur.kind;
+    stat.name = cur.name;
+    stat.value = cur.value;
+    stat.delta = cur.value - (old != nullptr ? old->value : 0.0);
+    stat.rate = dt > 0.0 ? stat.delta / dt : 0.0;
+    if (cur.kind == MetricSample::Kind::kHistogram) {
+      stat.sum = cur.sum;
+      stat.bounds = cur.bounds;
+      stat.bucket_counts = cur.bucket_counts;
+      // Window bucket deltas. Counter-like bucket counts only grow; a
+      // registry reset mid-window would make them shrink, in which case the
+      // window falls back to the cumulative distribution.
+      std::vector<std::uint64_t> window_counts = cur.bucket_counts;
+      if (old != nullptr && old->bucket_counts.size() == window_counts.size()) {
+        bool monotone = true;
+        for (std::size_t i = 0; i < window_counts.size(); ++i) {
+          if (old->bucket_counts[i] > window_counts[i]) {
+            monotone = false;
+            break;
+          }
+        }
+        if (monotone) {
+          for (std::size_t i = 0; i < window_counts.size(); ++i) {
+            window_counts[i] -= old->bucket_counts[i];
+          }
+        }
+      }
+      stat.window_p50 = bucket_quantile(cur.bounds, window_counts, 0.50);
+      stat.window_p95 = bucket_quantile(cur.bounds, window_counts, 0.95);
+      stat.window_p99 = bucket_quantile(cur.bounds, window_counts, 0.99);
+    }
+    out.stats.push_back(std::move(stat));
+  }
+  return out;
+}
+
+}  // namespace parole::obs

@@ -1,0 +1,114 @@
+// MetricsSampler: periodic registry snapshots with sliding-window rates and
+// quantiles (DESIGN.md §13).
+//
+// The MetricsRegistry holds cumulative values — good for end-of-run reports,
+// useless for "what is the pipeline doing *now*". The sampler closes that
+// gap: a background thread snapshots the registry on a fixed cadence into a
+// bounded ring, and view() derives per-window values from the ring:
+//
+//   counters    window rate (delta / window seconds) — tx/s, evals/s
+//   gauges      latest value plus the per-window delta
+//   histograms  window rate of observations plus rolling p50/p95/p99 over
+//               the *window's* bucket deltas (newest ring entry minus
+//               oldest), so the quantiles track the last few seconds of
+//               traffic, not the whole run
+//
+// The sampler is read-only over the registry: it takes the registry snapshot
+// mutex briefly per tick and never touches hot-path atomics, so arming it
+// must not perturb the workload (bench/evaluator_throughput carries a
+// sampler-armed parity row gated at ±5%, and deterministic-mode results are
+// clock-independent by construction). sample_now() takes one tick
+// synchronously — tests and the exposition endpoint use it to get fresh data
+// without depending on thread timing.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "parole/obs/metrics.hpp"
+
+namespace parole::obs {
+
+struct SamplerConfig {
+  std::uint64_t interval_ms{250};  // tick cadence of the background thread
+  std::size_t window{16};          // ring depth; window = oldest..newest span
+};
+
+// One metric's view over the current window.
+struct WindowStat {
+  MetricSample::Kind kind{MetricSample::Kind::kCounter};
+  std::string name;
+  double value{0.0};   // cumulative (counter), current (gauge), count (hist)
+  double delta{0.0};   // change across the window
+  double rate{0.0};    // delta per second (0 when the window is a point)
+  // Histogram-only: cumulative detail for exposition plus rolling quantiles
+  // over the window's bucket deltas.
+  double sum{0.0};
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;  // cumulative, bounds+1 entries
+  double window_p50{0.0};
+  double window_p95{0.0};
+  double window_p99{0.0};
+};
+
+struct SamplerView {
+  std::uint64_t t_ns{0};           // newest sample's timestamp
+  std::uint64_t samples_taken{0};  // ticks since construction
+  double window_seconds{0.0};      // oldest..newest span covered by the ring
+  std::vector<WindowStat> stats;   // sorted by name (registry order)
+};
+
+class MetricsSampler {
+ public:
+  explicit MetricsSampler(SamplerConfig config = {},
+                          MetricsRegistry& registry =
+                              MetricsRegistry::instance());
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  // Start/stop the background tick thread. start() on a running sampler and
+  // stop() on a stopped one are no-ops; the destructor stops.
+  void start();
+  void stop();
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_relaxed);
+  }
+
+  // Take one tick synchronously (also what the thread calls).
+  void sample_now();
+
+  // Derive the current window view from the ring. Empty stats before the
+  // first tick.
+  [[nodiscard]] SamplerView view() const;
+
+  [[nodiscard]] const SamplerConfig& config() const { return config_; }
+
+ private:
+  struct Snap {
+    std::uint64_t t_ns{0};
+    std::vector<MetricSample> metrics;  // sorted by name
+  };
+
+  void run();
+
+  SamplerConfig config_;
+  MetricsRegistry& registry_;
+  mutable std::mutex mutex_;  // guards ring_ and samples_taken_
+  std::deque<Snap> ring_;
+  std::uint64_t samples_taken_{0};
+
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::atomic<bool> running_{false};
+  bool stop_requested_{false};  // guarded by wake_mutex_
+};
+
+}  // namespace parole::obs

@@ -1,0 +1,230 @@
+#include "parole/obs/watchdog.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "parole/io/checkpoint.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/report.hpp"
+#include "parole/obs/trace.hpp"
+
+namespace parole::obs {
+namespace {
+
+// Signal-handler state: plain statics set once by install_signal_handlers().
+// A fatal signal can arrive on any thread; the handler does the (formally
+// unsafe, practically fine) bundle dump and then re-raises with the default
+// disposition so the exit status still names the signal.
+std::atomic<bool> g_signal_handlers_installed{false};
+char g_signal_flight_path[4096] = {0};
+
+constexpr int kFatalSignals[] = {SIGABRT, SIGSEGV, SIGBUS, SIGFPE, SIGILL};
+
+void fatal_signal_handler(int signum) {
+  // One dump only — a crash inside the dump must not recurse.
+  static std::atomic<bool> dumping{false};
+  if (!dumping.exchange(true)) {
+    const char* name = strsignal(signum);
+    std::string reason = "signal:";
+    reason += name != nullptr ? name : std::to_string(signum);
+    (void)StallWatchdog::instance().dump_flight_recorder(
+        reason, g_signal_flight_path);
+    std::fprintf(stderr,
+                 "flight recorder: fatal signal %d, bundle written to %s\n",
+                 signum, g_signal_flight_path);
+  }
+  std::signal(signum, SIG_DFL);
+  raise(signum);
+}
+
+}  // namespace
+
+StallWatchdog& StallWatchdog::instance() {
+  static StallWatchdog watchdog;
+  return watchdog;
+}
+
+StallWatchdog::Stage& StallWatchdog::stage(std::string_view name) {
+  std::lock_guard lock(stages_mutex_);
+  for (const auto& stage : stages_) {
+    if (stage->name == name) return *stage;
+  }
+  stages_.push_back(std::make_unique<Stage>());
+  stages_.back()->name = std::string(name);
+  return *stages_.back();
+}
+
+void StallWatchdog::beat(Stage& stage) {
+  if (!enabled()) return;
+  stage.last_beat_ns.store(TraceRecorder::instance().now_ns(),
+                           std::memory_order_relaxed);
+  stage.beats.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StallWatchdog::arm(WatchdogConfig config) {
+  disarm();
+  config_ = std::move(config);
+  if (config_.poll_ms == 0) config_.poll_ms = 1;
+  stalled_.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard lock(wake_mutex_);
+    stop_requested_ = false;
+  }
+  armed_.store(true, std::memory_order_relaxed);
+  thread_ = std::thread([this] { monitor(); });
+}
+
+void StallWatchdog::disarm() {
+  if (!armed_.load(std::memory_order_relaxed)) return;
+  {
+    std::lock_guard lock(wake_mutex_);
+    stop_requested_ = true;
+  }
+  wake_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+std::vector<StageStatus> StallWatchdog::status() const {
+  const std::uint64_t now = TraceRecorder::instance().now_ns();
+  std::vector<StageStatus> out;
+  {
+    std::lock_guard lock(stages_mutex_);
+    out.reserve(stages_.size());
+    for (const auto& stage : stages_) {
+      StageStatus status;
+      status.name = stage->name;
+      status.beats = stage->beats.load(std::memory_order_relaxed);
+      status.last_beat_ns = stage->last_beat_ns.load(std::memory_order_relaxed);
+      status.age_ms = status.last_beat_ns <= now
+                          ? (now - status.last_beat_ns) / 1'000'000
+                          : 0;
+      out.push_back(std::move(status));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const StageStatus& a, const StageStatus& b) {
+              return a.age_ms > b.age_ms;
+            });
+  return out;
+}
+
+void StallWatchdog::set_journal(const TxJournal* journal) {
+  std::lock_guard lock(journal_mutex_);
+  journal_ = journal;
+}
+
+void StallWatchdog::monitor() {
+  std::unique_lock lock(wake_mutex_);
+  while (!stop_requested_) {
+    wake_.wait_for(lock, std::chrono::milliseconds(config_.poll_ms));
+    if (stop_requested_) break;
+    lock.unlock();
+
+    // Stall = every stage that ever beat has been quiet past the deadline.
+    // A single stuck stage blocks the step loop, so everything goes quiet
+    // together; stages that legitimately finished cannot false-alarm while
+    // any other stage still makes progress.
+    const std::uint64_t now = TraceRecorder::instance().now_ns();
+    std::uint64_t newest_beat = 0;
+    bool any = false;
+    {
+      std::lock_guard stages_lock(stages_mutex_);
+      for (const auto& stage : stages_) {
+        if (stage->beats.load(std::memory_order_relaxed) == 0) continue;
+        any = true;
+        newest_beat = std::max(
+            newest_beat, stage->last_beat_ns.load(std::memory_order_relaxed));
+      }
+    }
+    const bool stalled =
+        any && now > newest_beat &&
+        (now - newest_beat) / 1'000'000 >= config_.deadline_ms;
+    if (stalled) {
+      stalled_.store(true, std::memory_order_relaxed);
+      PAROLE_OBS_COUNT("parole.obs.watchdog_stalls", 1);
+      std::string stalest = "?";
+      if (const auto statuses = status(); !statuses.empty()) {
+        stalest = statuses.front().name;
+      }
+      std::fprintf(stderr,
+                   "watchdog: stall detected — no heartbeat for %llu ms "
+                   "(stalest stage: %s)\n",
+                   static_cast<unsigned long long>(
+                       (now - newest_beat) / 1'000'000),
+                   stalest.c_str());
+      if (!config_.flight_path.empty()) {
+        const Status dumped =
+            dump_flight_recorder("stall", config_.flight_path);
+        std::fprintf(stderr, "watchdog: flight recorder bundle %s (%s)\n",
+                     dumped.ok() ? "written to" : "FAILED for",
+                     dumped.ok() ? config_.flight_path.c_str()
+                                 : dumped.error().detail.c_str());
+      }
+      if (config_.exit_on_stall) {
+        std::fflush(nullptr);
+        _exit(config_.exit_code);
+      }
+      lock.lock();
+      continue;
+    }
+    lock.lock();
+  }
+}
+
+Status StallWatchdog::dump_flight_recorder(const std::string& reason,
+                                           const std::string& path) {
+  if (path.empty()) {
+    return Error{"flight_recorder", "no flight-recorder path configured"};
+  }
+  RunReport report("flight_recorder");
+  report.set_meta("reason", JsonValue(reason));
+  JsonArray stages;
+  for (const StageStatus& stage : status()) {
+    JsonObject entry;
+    entry["name"] = stage.name;
+    entry["beats"] = stage.beats;
+    entry["age_ms"] = stage.age_ms;
+    stages.push_back(JsonValue(std::move(entry)));
+  }
+  report.set_meta("stages", JsonValue(std::move(stages)));
+
+  report.capture_trace(TraceRecorder::instance(), config_.span_tail);
+  {
+    std::lock_guard lock(journal_mutex_);
+    if (journal_ != nullptr) {
+      report.capture_journal_tail(*journal_, config_.journal_tail);
+    }
+  }
+  report.capture_metrics();
+
+  // Atomic write: the bundle is either complete and schema-valid or absent —
+  // a crash mid-dump must not leave a torn file that masquerades as the
+  // flight record.
+  const std::string body = report.to_jsonl();
+  return io::write_file_atomic(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(body.data()),
+                body.size()));
+}
+
+void StallWatchdog::install_signal_handlers(std::string flight_path) {
+  std::snprintf(g_signal_flight_path, sizeof(g_signal_flight_path), "%s",
+                flight_path.c_str());
+  if (g_signal_handlers_installed.exchange(true)) return;
+  struct sigaction action = {};
+  action.sa_handler = fatal_signal_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  for (const int signum : kFatalSignals) {
+    sigaction(signum, &action, nullptr);
+  }
+}
+
+}  // namespace parole::obs

@@ -1,0 +1,162 @@
+// Stall watchdog + flight recorder (DESIGN.md §13).
+//
+// Long adversarial campaigns fail quietly: a deadlocked pipeline stage or a
+// wedged training loop burns hours before anyone looks. Every pipeline stage
+// (mempool collect, aggregator build, verifier pass, node step, sequencer,
+// campaign rounds, DQN episodes) stamps a named heartbeat via
+// PAROLE_OBS_HEARTBEAT; the watchdog's monitor thread declares a stall when
+// *no* stage has beaten within the deadline — per-stage ages tell the
+// operator (via /healthz and the flight bundle) which stage went quiet
+// first, while the all-quiet trigger keeps stages that legitimately finished
+// (the solver phase of a quickstart) from tripping false alarms.
+//
+// On stall — or on a fatal signal when handlers are installed — the watchdog
+// dumps a flight-recorder bundle: a schema-1 RunReport JSONL carrying the
+// last-N spans from the TraceRecorder ring, the TxJournal tail, a full
+// metrics snapshot and the per-stage heartbeat ages, written through
+// io::write_file_atomic so a bundle is either complete and valid or absent.
+//
+// Cost model: a heartbeat is one relaxed enabled-load, one steady-clock read
+// and two relaxed stores (beat sites are per-step, not per-probe). With
+// PAROLE_OBS_DISABLED the macro compiles out; the watchdog itself stays
+// built (like the rest of obs) so the CLI flags keep working, it just sees
+// no stages.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "parole/common/result.hpp"
+#include "parole/obs/journal.hpp"
+
+namespace parole::obs {
+
+struct WatchdogConfig {
+  std::uint64_t deadline_ms{5000};  // all-quiet for this long = stall
+  std::uint64_t poll_ms{100};       // monitor wake cadence
+  std::string flight_path;          // bundle destination; empty = no bundle
+  // On stall: dump (if flight_path set), report, then _exit(exit_code).
+  // Tests set exit_on_stall=false and poll stalled() instead.
+  bool exit_on_stall{true};
+  int exit_code{3};
+  std::size_t span_tail{2048};    // last-N spans captured into the bundle
+  std::size_t journal_tail{4096};  // last-N journal events captured
+};
+
+struct StageStatus {
+  std::string name;
+  std::uint64_t beats{0};
+  std::uint64_t last_beat_ns{0};  // TraceRecorder clock
+  std::uint64_t age_ms{0};        // now - last beat
+};
+
+class StallWatchdog {
+ public:
+  static StallWatchdog& instance();
+
+  StallWatchdog() = default;
+  StallWatchdog(const StallWatchdog&) = delete;
+  StallWatchdog& operator=(const StallWatchdog&) = delete;
+
+  // One named heartbeat slot. References stay valid for the process's life;
+  // the PAROLE_OBS_HEARTBEAT macro resolves its slot once per call site.
+  struct Stage {
+    std::string name;
+    std::atomic<std::uint64_t> beats{0};
+    std::atomic<std::uint64_t> last_beat_ns{0};
+  };
+  [[nodiscard]] Stage& stage(std::string_view name);
+
+  // Stamp a beat. The macro-facing fast path: when heartbeats are disabled
+  // this is one relaxed load.
+  static void beat(Stage& stage);
+
+  // Process-wide heartbeat switch (default ON — beats are per-step cheap and
+  // /healthz wants ages even without an armed monitor).
+  static void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] static bool enabled() noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Start the deadline monitor. arm() on an armed watchdog re-arms with the
+  // new config (the previous monitor is stopped first).
+  void arm(WatchdogConfig config);
+  void disarm();
+  [[nodiscard]] bool armed() const {
+    return armed_.load(std::memory_order_relaxed);
+  }
+  // Set once the monitor declared a stall (sticky until re-armed).
+  [[nodiscard]] bool stalled() const {
+    return stalled_.load(std::memory_order_relaxed);
+  }
+
+  // Per-stage ages for /healthz and the bundle, stalest first.
+  [[nodiscard]] std::vector<StageStatus> status() const;
+
+  // The journal whose tail rides the flight bundle (nullptr = none). The CLI
+  // points this at the active node's journal and clears it before the node
+  // dies.
+  void set_journal(const TxJournal* journal);
+
+  // Write a flight-recorder bundle to `path` now: meta (reason, stage ages),
+  // span tail, journal tail, metrics snapshot — atomically. Usable directly;
+  // the monitor and the signal handlers call it with their reason.
+  Status dump_flight_recorder(const std::string& reason,
+                              const std::string& path);
+
+  // Install fatal-signal handlers (SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL)
+  // that dump a bundle to `flight_path` and then re-raise with the default
+  // disposition, so the process still dies by the original signal. Dumping
+  // from a signal handler is not strictly async-signal-safe; this is a
+  // best-effort last gasp, which is exactly what a flight recorder is for.
+  void install_signal_handlers(std::string flight_path);
+
+ private:
+  void monitor();
+
+  mutable std::mutex stages_mutex_;
+  std::vector<std::unique_ptr<Stage>> stages_;
+
+  mutable std::mutex journal_mutex_;
+  const TxJournal* journal_{nullptr};
+
+  WatchdogConfig config_;
+  std::thread thread_;
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_requested_{false};  // guarded by wake_mutex_
+  std::atomic<bool> armed_{false};
+  std::atomic<bool> stalled_{false};
+  inline static std::atomic<bool> enabled_{true};
+};
+
+}  // namespace parole::obs
+
+// PAROLE_OBS_HEARTBEAT(name): stamp the named stage's heartbeat. Compiles
+// out under PAROLE_OBS_DISABLED; otherwise the slot resolves once per call
+// site and a beat is an enabled-check + clock read + two relaxed stores.
+#if defined(PAROLE_OBS_DISABLED)
+
+#define PAROLE_OBS_HEARTBEAT(name) ((void)0)
+
+#else
+
+#define PAROLE_OBS_HEARTBEAT(name)                                          \
+  do {                                                                      \
+    if (::parole::obs::StallWatchdog::enabled()) {                          \
+      static ::parole::obs::StallWatchdog::Stage& parole_obs_stage =        \
+          ::parole::obs::StallWatchdog::instance().stage(name);             \
+      ::parole::obs::StallWatchdog::beat(parole_obs_stage);                 \
+    }                                                                       \
+  } while (0)
+
+#endif  // PAROLE_OBS_DISABLED

@@ -4,6 +4,7 @@
 
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
+#include "parole/obs/watchdog.hpp"
 
 namespace parole::rollup {
 
@@ -13,6 +14,7 @@ Batch Aggregator::build_batch(vm::L2State& state, std::vector<vm::Tx> txs,
                               const vm::ExecutionEngine& engine,
                               bool suppress_reorderer) {
   PAROLE_OBS_COUNT("parole.rollup.batches_built", 1);
+  PAROLE_OBS_HEARTBEAT("rollup.aggregator");
   PAROLE_OBS_OBSERVE("parole.rollup.batch_size", txs.size());
   if (config_.reorderer && !suppress_reorderer) {
     PAROLE_OBS_SPAN("rollup.sequence");

@@ -2,11 +2,13 @@
 
 #include "parole/obs/journal.hpp"
 #include "parole/obs/metrics.hpp"
+#include "parole/obs/watchdog.hpp"
 
 namespace parole::rollup {
 
 void BedrockMempool::submit(vm::Tx tx) {
   PAROLE_OBS_COUNT("parole.rollup.txs_ingested", 1);
+  PAROLE_OBS_HEARTBEAT("rollup.mempool");
   // An admission opens the transaction's lifecycle chain (a chaos re-gossip
   // resubmits the same id and opens a second chain — see TxJournal::audit).
   obs::TxJournal::emit(
@@ -16,6 +18,7 @@ void BedrockMempool::submit(vm::Tx tx) {
 }
 
 std::vector<vm::Tx> BedrockMempool::collect(std::size_t n) {
+  PAROLE_OBS_HEARTBEAT("rollup.mempool");
   std::vector<vm::Tx> out;
   out.reserve(std::min(n, queue_.size()));
   while (out.size() < n && !queue_.empty()) {

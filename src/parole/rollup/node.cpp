@@ -6,8 +6,23 @@
 
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
+#include "parole/obs/watchdog.hpp"
 
 namespace parole::rollup {
+
+#if !defined(PAROLE_OBS_DISABLED)
+namespace {
+
+// Admission→finalization latency on the span clock, log-spaced like the
+// journal's derived histograms so quantiles stay comparable across both.
+obs::Histogram& tx_latency_histogram() {
+  static obs::Histogram& hist = obs::MetricsRegistry::instance().histogram(
+      "parole.rollup.tx_latency_ns", obs::Histogram::log_bounds(1e3, 1e10, 2));
+  return hist;
+}
+
+}  // namespace
+#endif  // !PAROLE_OBS_DISABLED
 
 RollupNode::RollupNode(NodeConfig config)
     : config_(config),
@@ -47,6 +62,11 @@ Status RollupNode::deposit(UserId user, Amount amount) {
 
 void RollupNode::submit_tx(vm::Tx tx) {
   tx.id = TxId{next_tx_id_++};
+#if !defined(PAROLE_OBS_DISABLED)
+  if (obs::MetricsRegistry::instance().enabled()) {
+    submit_t_ns_[tx.id.value()] = obs::TraceRecorder::instance().now_ns();
+  }
+#endif
   // Route the mempool's kSubmitted emission into this node's journal — user
   // submissions arrive outside step(), where no scope is installed.
   const obs::TxJournal::Scope scope(&journal_);
@@ -82,6 +102,7 @@ std::size_t RollupNode::pending_work() const {
 StepOutcome RollupNode::step() {
   PAROLE_OBS_SPAN("rollup.batch");
   PAROLE_OBS_COUNT("parole.rollup.steps", 1);
+  PAROLE_OBS_HEARTBEAT("rollup.node");
   StepOutcome outcome;
   const std::uint64_t step = step_index_++;
 
@@ -124,21 +145,45 @@ StepOutcome RollupNode::step() {
 
   l1_.seal_block();
   outcome.finalized_batches = orsc_.finalize_due(l1_.now());
-  if (obs::TxJournal::enabled()) {
-    // kFinalized is the happy-path terminal event: it closes the lifecycle
-    // chain the tx's admission opened.
+#if defined(PAROLE_OBS_DISABLED)
+  const bool track_finalized = obs::TxJournal::enabled();
+#else
+  // The latency histogram works with the journal unarmed: a /metrics scrape
+  // must show rolling p99 admission→finalization without lifecycle logging.
+  const bool track_finalized = true;
+#endif
+  if (track_finalized) {
     for (const std::uint64_t finalized_id : outcome.finalized_batches) {
       for (const Batch& batch : batches_) {
         if (batch.header.batch_id != finalized_id) continue;
         for (const vm::Tx& tx : batch.txs) {
-          journal_.record({tx.id.value(), obs::TxEventKind::kFinalized, 0, 0,
-                           finalized_id, 0, 0});
+          if (obs::TxJournal::enabled()) {
+            // kFinalized is the happy-path terminal event: it closes the
+            // lifecycle chain the tx's admission opened.
+            journal_.record({tx.id.value(), obs::TxEventKind::kFinalized, 0, 0,
+                             finalized_id, 0, 0});
+          }
+#if !defined(PAROLE_OBS_DISABLED)
+          if (const auto it = submit_t_ns_.find(tx.id.value());
+              it != submit_t_ns_.end()) {
+            const std::uint64_t now = obs::TraceRecorder::instance().now_ns();
+            if (obs::MetricsRegistry::instance().enabled()) {
+              tx_latency_histogram().observe(static_cast<double>(
+                  now >= it->second ? now - it->second : 0));
+            }
+            submit_t_ns_.erase(it);
+          }
+#endif
         }
         break;
       }
     }
   }
   prune_pending();
+  PAROLE_OBS_GAUGE("parole.rollup.mempool_depth",
+                   static_cast<double>(mempool_.size()));
+  PAROLE_OBS_GAUGE("parole.rollup.pending_batches",
+                   static_cast<double>(pending_checks_.size()));
 
   if (chaos_) {
     PAROLE_OBS_SPAN("chaos.invariants");
@@ -326,6 +371,9 @@ void RollupNode::apply_mempool_faults(std::uint64_t step,
     obs::TxJournal::emit({collected[*index].id.value(),
                           obs::TxEventKind::kDropped, 0, 0, obs::kNoBatch, 0,
                           0});
+    // kDropped is terminal for the latency map too — the stamp would
+    // otherwise leak for the rest of the run.
+    submit_t_ns_.erase(collected[*index].id.value());
     collected.erase(collected.begin() + static_cast<std::ptrdiff_t>(*index));
     ++outcome.txs_dropped;
     PAROLE_OBS_COUNT("parole.chaos.txs_dropped", 1);
@@ -803,6 +851,9 @@ Status RollupNode::restore_snapshot(const io::Checkpoint& checkpoint) {
   next_aggregator_ = static_cast<std::size_t>(next_aggregator);
   next_tx_id_ = next_tx_id;
   step_index_ = step_index;
+  // Submit stamps predate the restored process and would produce garbage
+  // latencies; measurement restarts with the next submission.
+  submit_t_ns_.clear();
   return ok_status();
 }
 

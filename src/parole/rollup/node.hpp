@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "parole/chain/bridge.hpp"
@@ -228,6 +229,13 @@ class RollupNode {
   // bridged value that arrived after the snapshot.
   std::vector<std::pair<std::uint64_t, chain::Deposit>> deposit_log_;
   obs::TxJournal journal_;
+  // Live admission→finalization latency (DESIGN.md §13): submit-time stamps
+  // on the span clock keyed by tx id, observed into the
+  // parole.rollup.tx_latency_ns histogram when the tx's batch finalizes (or
+  // erased when a chaos drop ends the tx). Works with the journal unarmed —
+  // the sampler's rolling p99 must not require lifecycle journaling. Not
+  // checkpointed: latency measurement restarts across a resume.
+  std::unordered_map<std::uint64_t, std::uint64_t> submit_t_ns_;
   std::unique_ptr<ChaosRuntime> chaos_;
   std::size_t next_aggregator_{0};
   // Starts at 1: tx id 0 is the journal's pipeline-event sentinel (deposits,

@@ -4,6 +4,7 @@
 
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
+#include "parole/obs/watchdog.hpp"
 
 namespace parole::rollup {
 
@@ -27,6 +28,7 @@ std::optional<Batch> CentralSequencer::produce_block(
   }
   if (pending_.empty()) return std::nullopt;
   PAROLE_OBS_SPAN("rollup.sequence");
+  PAROLE_OBS_HEARTBEAT("rollup.sequencer");
 
   std::vector<vm::Tx> txs;
   while (txs.size() < config_.max_block_txs && !pending_.empty()) {

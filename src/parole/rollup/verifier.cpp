@@ -2,6 +2,7 @@
 
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
+#include "parole/obs/watchdog.hpp"
 
 namespace parole::rollup {
 
@@ -10,6 +11,7 @@ VerificationOutcome Verifier::check(const Batch& batch,
                                     const vm::ExecutionEngine& engine) const {
   PAROLE_OBS_SPAN("rollup.verify");
   PAROLE_OBS_COUNT("parole.rollup.batches_verified", 1);
+  PAROLE_OBS_HEARTBEAT("rollup.verifier");
   VerificationOutcome outcome;
 
   vm::L2State replay = pre_state;

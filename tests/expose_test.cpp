@@ -1,0 +1,223 @@
+// Telemetry exposition endpoint (DESIGN.md §13): Prometheus rendering,
+// healthz, journal tail, request routing (socket-free via handle()) and one
+// real HTTP round-trip through TelemetryServer + http_get. The renderers are
+// pure functions of a SamplerView built from a private registry, so nothing
+// here depends on the process-wide registry's contents.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "parole/obs/expose.hpp"
+#include "parole/obs/journal.hpp"
+#include "parole/obs/json.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/sampler.hpp"
+
+using namespace parole;
+using namespace parole::obs;
+
+namespace {
+
+TEST(PrometheusName, SanitizesRegistryNames) {
+  EXPECT_EQ(prometheus_name("parole.rollup.txs_ingested"),
+            "parole_rollup_txs_ingested");
+  EXPECT_EQ(prometheus_name("already_fine:name"), "already_fine:name");
+  EXPECT_EQ(prometheus_name("weird name/with-stuff"), "weird_name_with_stuff");
+  EXPECT_EQ(prometheus_name("7starts.with.digit"), "_7starts_with_digit");
+  EXPECT_EQ(prometheus_name(""), "");
+}
+
+// One registry + sampler with a counter, a gauge and a histogram, sampled
+// twice so window rates are well-defined.
+class RenderedView : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry_.counter("parole.t.txs").add(100);
+    registry_.gauge("parole.t.depth").set(4.0);
+    Histogram& hist = registry_.histogram("parole.t.lat", {1.0, 10.0, 100.0});
+    for (int i = 0; i < 100; ++i) hist.observe(5.0);
+    sampler_.sample_now();
+    registry_.counter("parole.t.txs").add(50);
+    sampler_.sample_now();
+  }
+
+  MetricsRegistry registry_;
+  MetricsSampler sampler_{{}, registry_};
+};
+
+TEST_F(RenderedView, PrometheusExpositionCarriesEverySeries) {
+  const std::string text = render_prometheus(sampler_.view());
+
+  // Sampler self-metrics head the exposition.
+  EXPECT_NE(text.find("# TYPE parole_sampler_samples_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("parole_sampler_samples_total 2"), std::string::npos);
+  EXPECT_NE(text.find("parole_sampler_window_seconds"), std::string::npos);
+
+  // Counter: cumulative value + derived per-second gauge.
+  EXPECT_NE(text.find("# TYPE parole_t_txs counter"), std::string::npos);
+  EXPECT_NE(text.find("parole_t_txs 150"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE parole_t_txs_per_second gauge"),
+            std::string::npos);
+
+  // Gauge: plain value.
+  EXPECT_NE(text.find("# TYPE parole_t_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("parole_t_depth 4"), std::string::npos);
+
+  // Histogram: cumulative le-buckets with +Inf, sum, count, and the rolling
+  // window quantile gauges.
+  EXPECT_NE(text.find("# TYPE parole_t_lat histogram"), std::string::npos);
+  EXPECT_NE(text.find("parole_t_lat_bucket{le=\"10\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("parole_t_lat_bucket{le=\"+Inf\"} 100"),
+            std::string::npos);
+  EXPECT_NE(text.find("parole_t_lat_sum 500"), std::string::npos);
+  EXPECT_NE(text.find("parole_t_lat_count 100"), std::string::npos);
+  EXPECT_NE(text.find("parole_t_lat_p50"), std::string::npos);
+  EXPECT_NE(text.find("parole_t_lat_p99"), std::string::npos);
+
+  // Prometheus text format: every non-comment line is "name[{labels}] value".
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* parse_end = nullptr;
+    std::strtod(line.c_str() + space + 1, &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << line;
+  }
+}
+
+TEST_F(RenderedView, HealthzIsWellFormedJson) {
+  const std::string body = render_healthz(sampler_.view());
+  auto parsed = json_parse(body);
+  ASSERT_TRUE(parsed.ok()) << parsed.error().detail;
+  ASSERT_TRUE(parsed.value().is_object());
+  const JsonObject& doc = parsed.value().as_object();
+  ASSERT_NE(doc.find("status"), doc.end());
+  const std::string& status = doc.at("status").as_string();
+  EXPECT_TRUE(status == "ok" || status == "stalled");
+  EXPECT_NE(doc.find("samples"), doc.end());
+  EXPECT_NE(doc.find("window_seconds"), doc.end());
+  EXPECT_NE(doc.find("watchdog_armed"), doc.end());
+  EXPECT_NE(doc.find("stages"), doc.end());
+  EXPECT_TRUE(doc.at("stages").is_array());
+}
+
+TEST(JournalTail, RendersNewestEventsAsTxeventLines) {
+  TxJournal journal;
+  const bool was_enabled = TxJournal::enabled();
+  TxJournal::set_enabled(true);
+  for (std::uint64_t i = 1; i <= 5; ++i) {
+    TxEvent event;
+    event.tx = i;
+    event.kind = TxEventKind::kSubmitted;
+    event.step = i;
+    journal.record(event);
+  }
+  TxJournal::set_enabled(was_enabled);
+
+  const std::string tail = render_journal_tail(journal, 2);
+  // Newest two only, one JSON object per line, schema-1 txevent shape.
+  EXPECT_EQ(tail.find("\"tx\":3"), std::string::npos);
+  EXPECT_NE(tail.find("\"tx\":4"), std::string::npos);
+  EXPECT_NE(tail.find("\"tx\":5"), std::string::npos);
+  std::size_t lines = 0;
+  std::size_t start = 0;
+  while (start < tail.size()) {
+    std::size_t end = tail.find('\n', start);
+    if (end == std::string::npos) end = tail.size();
+    const std::string line = tail.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    ++lines;
+    auto parsed = json_parse(line);
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.value().as_object().at("type").as_string(), "txevent");
+  }
+  EXPECT_EQ(lines, 2u);
+
+  // n = 0 means the whole journal.
+  const std::string all = render_journal_tail(journal, 0);
+  EXPECT_NE(all.find("\"tx\":1"), std::string::npos);
+}
+
+TEST(TelemetryServer, HandleRoutesWithoutSockets) {
+  MetricsRegistry registry;
+  registry.counter("parole.t.txs").add(1);
+  MetricsSampler sampler({}, registry);
+  TelemetryServer server(sampler);
+
+  // /metrics takes a synchronous sample first, so even an unstarted sampler
+  // serves fresh data.
+  const auto metrics = server.handle("/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.content_type.find("version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.body.find("parole_t_txs"), std::string::npos);
+
+  const auto health = server.handle("/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_NE(health.content_type.find("application/json"), std::string::npos);
+  EXPECT_TRUE(json_parse(health.body).ok());
+
+  // No journal attached: the endpoint exists but reports the gap.
+  const auto no_journal = server.handle("/journal/tail");
+  EXPECT_EQ(no_journal.status, 404);
+
+  TxJournal journal;
+  const bool was_enabled = TxJournal::enabled();
+  TxJournal::set_enabled(true);
+  TxEvent event;
+  event.tx = 9;
+  journal.record(event);
+  TxJournal::set_enabled(was_enabled);
+  server.set_journal(&journal);
+  const auto tail = server.handle("/journal/tail?n=1");
+  EXPECT_EQ(tail.status, 200);
+  EXPECT_NE(tail.body.find("\"tx\":9"), std::string::npos);
+  server.set_journal(nullptr);
+
+  const auto missing = server.handle("/nope");
+  EXPECT_EQ(missing.status, 404);
+}
+
+TEST(TelemetryServer, ServesOverRealSockets) {
+  MetricsRegistry registry;
+  registry.counter("parole.t.txs").add(123);
+  MetricsSampler sampler({}, registry);
+  TelemetryServer server(sampler);
+
+  ServerConfig config;  // port 0 = kernel-assigned
+  ASSERT_TRUE(server.start(config).ok());
+  ASSERT_TRUE(server.running());
+  ASSERT_NE(server.port(), 0);
+
+  auto metrics = http_get("127.0.0.1", server.port(), "/metrics");
+  ASSERT_TRUE(metrics.ok()) << metrics.error().detail;
+  EXPECT_NE(metrics.value().find("parole_t_txs 123"), std::string::npos);
+
+  auto health = http_get("127.0.0.1", server.port(), "/healthz");
+  ASSERT_TRUE(health.ok());
+  EXPECT_TRUE(json_parse(health.value()).ok());
+
+  // Counters scraped twice never run backwards.
+  registry.counter("parole.t.txs").add(1);
+  auto again = http_get("127.0.0.1", server.port(), "/metrics");
+  ASSERT_TRUE(again.ok());
+  EXPECT_NE(again.value().find("parole_t_txs 124"), std::string::npos);
+
+  // A 404 target surfaces as an error from the client helper.
+  EXPECT_FALSE(http_get("127.0.0.1", server.port(), "/absent").ok());
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // A stopped server refuses connections.
+  EXPECT_FALSE(http_get("127.0.0.1", server.port(), "/metrics", 200).ok());
+}
+
+}  // namespace

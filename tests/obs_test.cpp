@@ -2,8 +2,10 @@
 // JSONL round-trips and schema validation.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "parole/obs/json.hpp"
@@ -570,6 +572,90 @@ TEST(StreamingReportTest, MidFileCorruptionStaysFatalEvenInTolerantMode) {
   EXPECT_FALSE(RunReport::validate_file_tolerant(path).ok());
   EXPECT_FALSE(RunReport::validate_file(path).ok());
   std::remove(path.c_str());
+}
+
+// snapshot() while writers hammer the registry — the exact interleaving the
+// live MetricsSampler produces every tick. Writers race find-or-create
+// (forcing the map to grow under the snapshot walk) and relaxed value ops;
+// the reader asserts counters never run backwards between snapshots and the
+// final snapshot sees every write. Under TSan this is the sampler's
+// data-race gate.
+TEST(MetricsRegistry, SnapshotIsConsistentUnderConcurrentWriters) {
+  MetricsRegistry registry;
+  constexpr std::size_t kWriters = 4;
+  constexpr std::uint64_t kIncrements = 20000;
+
+  std::atomic<bool> go{false};
+  std::atomic<std::size_t> done{0};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, &go, &done, w] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      Counter& shared = registry.counter("parole.stress.shared");
+      Gauge& gauge = registry.gauge("parole.stress.gauge");
+      Histogram& hist = registry.histogram("parole.stress.hist");
+      for (std::uint64_t i = 0; i < kIncrements; ++i) {
+        shared.add(1);
+        gauge.set(static_cast<double>(i));
+        hist.observe(static_cast<double>(i % 97));
+        if (i % 1024 == 0) {
+          // Late registrations force registry growth mid-run.
+          registry
+              .counter("parole.stress.writer_" + std::to_string(w) + "_" +
+                       std::to_string(i / 1024))
+              .add(1);
+        }
+      }
+      done.fetch_add(1, std::memory_order_release);
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  double last_shared = 0.0;
+  double last_hist_count = 0.0;
+  std::size_t snapshots = 0;
+  while (done.load(std::memory_order_acquire) < kWriters) {
+    ++snapshots;
+    for (const MetricSample& sample : registry.snapshot()) {
+      if (sample.name == "parole.stress.shared") {
+        EXPECT_GE(sample.value, last_shared);
+        last_shared = sample.value;
+      } else if (sample.name == "parole.stress.hist") {
+        EXPECT_GE(sample.value, last_hist_count);
+        last_hist_count = sample.value;
+      }
+    }
+  }
+  for (std::thread& writer : writers) writer.join();
+  EXPECT_GT(snapshots, 0u);
+
+  const std::vector<MetricSample> final_snapshot = registry.snapshot();
+  bool found_shared = false;
+  bool found_hist = false;
+  for (const MetricSample& sample : final_snapshot) {
+    if (sample.name == "parole.stress.shared") {
+      found_shared = true;
+      EXPECT_EQ(sample.value,
+                static_cast<double>(kWriters * kIncrements));
+    } else if (sample.name == "parole.stress.hist") {
+      found_hist = true;
+      EXPECT_EQ(sample.value,
+                static_cast<double>(kWriters * kIncrements));
+      std::uint64_t bucket_total = 0;
+      for (const std::uint64_t c : sample.bucket_counts) bucket_total += c;
+      EXPECT_EQ(bucket_total, kWriters * kIncrements);
+    }
+  }
+  EXPECT_TRUE(found_shared);
+  EXPECT_TRUE(found_hist);
+  // Every late registration arrived: kWriters * ceil(kIncrements/1024) rows.
+  std::size_t writer_rows = 0;
+  for (const MetricSample& sample : final_snapshot) {
+    if (sample.name.rfind("parole.stress.writer_", 0) == 0) ++writer_rows;
+  }
+  EXPECT_EQ(writer_rows, kWriters * ((kIncrements + 1023) / 1024));
 }
 
 TEST(RunReportTest, MetricsTableRendersEveryMetric) {

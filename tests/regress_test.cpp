@@ -213,7 +213,7 @@ TEST(Regress, MaxRatioRuleCatchesSuspiciousSpeedups) {
   const std::string current = write_bench(dir, "current.jsonl", 3.0);
 
   RegressOptions options;
-  options.rules = {{"speedup", 0.85, 2.0}};
+  options.rules = {{"speedup", 0.85, 2.0, ""}};
   auto result = compare_reports(baseline, current, options);
   ASSERT_TRUE(result.ok());
   EXPECT_FALSE(result.value().ok);
@@ -309,6 +309,75 @@ TEST(Regress, MergeBestDropsProblemsAbsentFromAnyRun) {
   ASSERT_EQ(persistent.problems.size(), 1u);
   EXPECT_NE(persistent.problems[0].find("missing from current"),
             std::string::npos);
+}
+
+// row_contains scopes a rule to matching rows only: the sampler-armed parity
+// band must not demand a `parity` key from the ordinary evaluator rows.
+TEST(Regress, RowContainsScopesARuleToMatchingRows) {
+  const ScratchDir dir;
+  RunReport base_report("bench.evaluator_throughput");
+  base_report.add_result(bench_row(64, "swap-local", 4.0));
+  JsonObject base_parity = bench_row(256, "sampler-armed", 1.0);
+  base_parity["parity"] = JsonValue(1.0);
+  base_report.add_result(base_parity);
+  const std::string baseline = dir.file("baseline.jsonl");
+  ASSERT_TRUE(base_report.write(baseline).ok());
+
+  RunReport cur_report("bench.evaluator_throughput");
+  cur_report.add_result(bench_row(64, "swap-local", 4.0));
+  JsonObject cur_parity = bench_row(256, "sampler-armed", 1.02);
+  cur_parity["parity"] = JsonValue(1.02);
+  cur_report.add_result(cur_parity);
+  const std::string current = dir.file("current.jsonl");
+  ASSERT_TRUE(cur_report.write(current).ok());
+
+  RegressOptions options;
+  options.rules = {{"parity", 0.95, 1.05, "sampler-armed"}};
+  auto result = compare_reports(baseline, current, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok);
+  EXPECT_TRUE(result.value().problems.empty());  // swap-local row untouched
+  ASSERT_EQ(result.value().checks.size(), 1u);
+  EXPECT_NE(result.value().checks[0].row.find("sampler-armed"),
+            std::string::npos);
+
+  // Drift past the two-sided band fails, in the direction min_ratio alone
+  // would wave through.
+  options.rules = {{"parity", 0.95, 1.05, "sampler-armed"}};
+  options.scale = 1.10;
+  auto drifted = compare_reports(baseline, current, options);
+  ASSERT_TRUE(drifted.ok());
+  EXPECT_FALSE(drifted.value().ok);
+}
+
+// Under a two-sided rule "highest ratio" is not "best": a passing check must
+// beat a failing one even when the failing ratio is larger.
+TEST(Regress, MergeBestPrefersPassingCheckUnderMaxRatio) {
+  const ScratchDir dir;
+  const std::string baseline = write_bench(dir, "baseline.jsonl");
+  const std::string clean = write_bench(dir, "clean.jsonl");
+  const std::string fast = write_bench(dir, "fast.jsonl", 1.5);
+
+  RegressOptions options;
+  options.rules = {{"speedup", 0.85, 1.05, ""}};
+  auto run_fast = compare_reports(baseline, fast, options);
+  auto run_clean = compare_reports(baseline, clean, options);
+  ASSERT_TRUE(run_fast.ok() && run_clean.ok());
+  EXPECT_FALSE(run_fast.value().ok);
+  EXPECT_TRUE(run_clean.value().ok);
+
+  // Order must not matter: the ok check at ratio 1.0 wins over the failing
+  // 1.5 in both merge directions.
+  for (const auto& runs :
+       {std::vector<RegressReport>{run_fast.value(), run_clean.value()},
+        std::vector<RegressReport>{run_clean.value(), run_fast.value()}}) {
+    const RegressReport merged = merge_best(runs);
+    EXPECT_TRUE(merged.ok);
+    for (const RegressCheck& check : merged.checks) {
+      EXPECT_TRUE(check.ok) << check.row;
+      EXPECT_DOUBLE_EQ(check.ratio, 1.0);
+    }
+  }
 }
 
 TEST(Regress, MergeBestOfNothingFails) {

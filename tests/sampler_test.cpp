@@ -1,0 +1,176 @@
+// MetricsSampler (DESIGN.md §13): sliding-window deltas, rates, rolling
+// histogram quantiles, ring eviction, and the background tick thread's
+// lifecycle. Uses a private registry throughout so process-wide metrics from
+// other code paths cannot leak into the assertions; every test drives
+// sample_now() directly except the thread-lifecycle one, so nothing here
+// depends on scheduler timing for correctness.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/sampler.hpp"
+
+using namespace parole;
+using namespace parole::obs;
+
+namespace {
+
+const WindowStat* find_stat(const SamplerView& view, const std::string& name) {
+  for (const WindowStat& stat : view.stats) {
+    if (stat.name == name) return &stat;
+  }
+  return nullptr;
+}
+
+TEST(Sampler, ViewBeforeFirstTickIsEmpty) {
+  MetricsRegistry registry;
+  registry.counter("parole.t.count").add(5);
+  MetricsSampler sampler({}, registry);
+  const SamplerView view = sampler.view();
+  EXPECT_EQ(view.samples_taken, 0u);
+  EXPECT_TRUE(view.stats.empty());
+  EXPECT_DOUBLE_EQ(view.window_seconds, 0.0);
+}
+
+TEST(Sampler, ViewComputesWindowDeltasAndRates) {
+  MetricsRegistry registry;
+  Counter& count = registry.counter("parole.t.count");
+  Gauge& gauge = registry.gauge("parole.t.gauge");
+  MetricsSampler sampler({}, registry);
+
+  count.add(100);
+  gauge.set(7.0);
+  sampler.sample_now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  count.add(300);
+  gauge.set(11.0);
+  sampler.sample_now();
+
+  const SamplerView view = sampler.view();
+  EXPECT_EQ(view.samples_taken, 2u);
+  EXPECT_GT(view.window_seconds, 0.0);
+
+  const WindowStat* counter_stat = find_stat(view, "parole.t.count");
+  ASSERT_NE(counter_stat, nullptr);
+  EXPECT_EQ(counter_stat->kind, MetricSample::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(counter_stat->value, 400.0);  // cumulative
+  EXPECT_DOUBLE_EQ(counter_stat->delta, 300.0);  // window
+  EXPECT_GT(counter_stat->rate, 0.0);
+  EXPECT_NEAR(counter_stat->rate,
+              counter_stat->delta / view.window_seconds, 1e-6);
+
+  const WindowStat* gauge_stat = find_stat(view, "parole.t.gauge");
+  ASSERT_NE(gauge_stat, nullptr);
+  EXPECT_DOUBLE_EQ(gauge_stat->value, 11.0);  // current
+  EXPECT_DOUBLE_EQ(gauge_stat->delta, 4.0);   // change over the window
+}
+
+TEST(Sampler, RingEvictionKeepsTheWindowSliding) {
+  MetricsRegistry registry;
+  Counter& count = registry.counter("parole.t.count");
+  SamplerConfig config;
+  config.window = 2;
+  MetricsSampler sampler(config, registry);
+
+  count.add(1);
+  sampler.sample_now();  // evicted once the third tick lands
+  count.add(10);
+  sampler.sample_now();
+  count.add(100);
+  sampler.sample_now();
+
+  const SamplerView view = sampler.view();
+  EXPECT_EQ(view.samples_taken, 3u);
+  const WindowStat* stat = find_stat(view, "parole.t.count");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_DOUBLE_EQ(stat->value, 111.0);
+  // Window = newest(111) - oldest-still-in-ring(11), not the full history.
+  EXPECT_DOUBLE_EQ(stat->delta, 100.0);
+}
+
+TEST(Sampler, MetricAppearingMidWindowCountsItsFullValue) {
+  MetricsRegistry registry;
+  registry.counter("parole.t.old").add(1);
+  MetricsSampler sampler({}, registry);
+  sampler.sample_now();
+  registry.counter("parole.t.nu").add(42);
+  sampler.sample_now();
+
+  const SamplerView view = sampler.view();
+  const WindowStat* stat = find_stat(view, "parole.t.nu");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_DOUBLE_EQ(stat->delta, 42.0);
+}
+
+TEST(Sampler, HistogramWindowQuantilesTrackRecentTrafficOnly) {
+  MetricsRegistry registry;
+  Histogram& hist =
+      registry.histogram("parole.t.hist", {1.0, 10.0, 100.0, 1000.0});
+  MetricsSampler sampler({}, registry);
+
+  // Old traffic: small values, all inside the first bucket.
+  for (int i = 0; i < 1000; ++i) hist.observe(0.5);
+  sampler.sample_now();
+  // Recent traffic: two decades up.
+  for (int i = 0; i < 1000; ++i) hist.observe(50.0);
+  sampler.sample_now();
+
+  const SamplerView view = sampler.view();
+  const WindowStat* stat = find_stat(view, "parole.t.hist");
+  ASSERT_NE(stat, nullptr);
+  EXPECT_EQ(stat->kind, MetricSample::Kind::kHistogram);
+  EXPECT_DOUBLE_EQ(stat->value, 2000.0);  // cumulative count
+  EXPECT_DOUBLE_EQ(stat->delta, 1000.0);  // window count
+  // The window's quantiles see only the 50s; the cumulative distribution
+  // would put p50 at the old/new boundary instead.
+  EXPECT_GT(stat->window_p50, 10.0);
+  EXPECT_LE(stat->window_p50, 100.0);
+  EXPECT_GT(stat->window_p99, 10.0);
+  // Cumulative bucket detail still rides along for the /metrics exposition.
+  EXPECT_EQ(stat->bounds.size(), 4u);
+  EXPECT_EQ(stat->bucket_counts.size(), 5u);
+}
+
+TEST(Sampler, BackgroundThreadTicksAndStopsCleanly) {
+  MetricsRegistry registry;
+  registry.counter("parole.t.count").add(1);
+  SamplerConfig config;
+  config.interval_ms = 5;
+  MetricsSampler sampler(config, registry);
+
+  sampler.start();
+  sampler.start();  // idempotent
+  EXPECT_TRUE(sampler.running());
+  // First tick is immediate; poll briefly for a few more.
+  for (int i = 0; i < 200 && sampler.view().samples_taken < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(sampler.view().samples_taken, 3u);
+  sampler.stop();
+  sampler.stop();  // idempotent
+  EXPECT_FALSE(sampler.running());
+
+  // Restartable after stop.
+  const std::uint64_t before = sampler.view().samples_taken;
+  sampler.start();
+  for (int i = 0; i < 200 && sampler.view().samples_taken <= before; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(sampler.view().samples_taken, before);
+}
+
+TEST(Sampler, DegenerateConfigIsClamped) {
+  MetricsRegistry registry;
+  SamplerConfig config;
+  config.window = 0;
+  config.interval_ms = 0;
+  MetricsSampler sampler(config, registry);
+  EXPECT_GE(sampler.config().window, 2u);
+  EXPECT_GE(sampler.config().interval_ms, 1u);
+}
+
+}  // namespace

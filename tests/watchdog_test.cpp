@@ -1,0 +1,192 @@
+// Stall watchdog + flight recorder (DESIGN.md §13): heartbeat slots and
+// status ages, the all-quiet stall rule (beats keep the monitor quiet, quiet
+// trips it), re-arm/disarm idempotence, and the flight-recorder bundle's
+// schema. The watchdog is a process-wide singleton, so stage names here are
+// namespaced "wdtest." and every armed monitor is disarmed before the test
+// returns; all stall tests run with exit_on_stall=false and poll stalled().
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "parole/obs/journal.hpp"
+#include "parole/obs/json.hpp"
+#include "parole/obs/report.hpp"
+#include "parole/obs/watchdog.hpp"
+
+using namespace parole;
+using namespace parole::obs;
+
+namespace {
+
+// Poll until the predicate holds or ~3s pass.
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 300; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return pred();
+}
+
+std::string scratch_path(const std::string& name) {
+  return (std::string("/tmp/parole_watchdog_test_") +
+          std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+          "_" + name);
+}
+
+TEST(Watchdog, StageBeatsShowUpInStatus) {
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  StallWatchdog::Stage& stage = watchdog.stage("wdtest.status");
+  // Same name resolves to the same slot.
+  EXPECT_EQ(&watchdog.stage("wdtest.status"), &stage);
+
+  StallWatchdog::beat(stage);
+  StallWatchdog::beat(stage);
+
+  bool found = false;
+  for (const StageStatus& status : watchdog.status()) {
+    if (status.name != "wdtest.status") continue;
+    found = true;
+    EXPECT_GE(status.beats, 2u);
+    EXPECT_GT(status.last_beat_ns, 0u);
+    EXPECT_LT(status.age_ms, 60000u);  // beaten moments ago
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Watchdog, AllQuietTripsTheMonitor) {
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  StallWatchdog::beat(watchdog.stage("wdtest.quiet"));
+
+  WatchdogConfig config;
+  config.deadline_ms = 60;
+  config.poll_ms = 10;
+  config.exit_on_stall = false;
+  watchdog.arm(config);
+  EXPECT_TRUE(watchdog.armed());
+
+  EXPECT_TRUE(eventually([&watchdog] { return watchdog.stalled(); }));
+  watchdog.disarm();
+  EXPECT_FALSE(watchdog.armed());
+}
+
+TEST(Watchdog, AnyBeatingStageKeepsTheMonitorQuiet) {
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  StallWatchdog::Stage& alive = watchdog.stage("wdtest.alive");
+  // A second stage that never beats during the armed window must not trip
+  // the all-quiet rule on its own: liveness is global, so stages that
+  // legitimately finished do not false-alarm.
+  StallWatchdog::beat(watchdog.stage("wdtest.finished"));
+
+  WatchdogConfig config;
+  config.deadline_ms = 150;
+  config.poll_ms = 10;
+  config.exit_on_stall = false;
+  watchdog.arm(config);
+
+  for (int i = 0; i < 20; ++i) {
+    StallWatchdog::beat(alive);
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_FALSE(watchdog.stalled()) << "false stall after " << i << " beats";
+  }
+  watchdog.disarm();
+}
+
+TEST(Watchdog, RearmResetsTheStallLatch) {
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  StallWatchdog::beat(watchdog.stage("wdtest.latch"));
+
+  WatchdogConfig config;
+  config.deadline_ms = 50;
+  config.poll_ms = 10;
+  config.exit_on_stall = false;
+  watchdog.arm(config);
+  ASSERT_TRUE(eventually([&watchdog] { return watchdog.stalled(); }));
+
+  // Re-arm clears the sticky flag; a fresh beat keeps it clear for a while.
+  StallWatchdog::beat(watchdog.stage("wdtest.latch"));
+  config.deadline_ms = 10000;
+  watchdog.arm(config);
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(watchdog.stalled());
+  watchdog.disarm();
+  watchdog.disarm();  // idempotent
+}
+
+TEST(Watchdog, FlightRecorderBundleIsSchemaValid) {
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  StallWatchdog::beat(watchdog.stage("wdtest.bundle"));
+
+  TxJournal journal;
+  const bool was_enabled = TxJournal::enabled();
+  TxJournal::set_enabled(true);
+  for (std::uint64_t i = 1; i <= 3; ++i) {
+    TxEvent event;
+    event.tx = i;
+    event.kind = TxEventKind::kSubmitted;
+    journal.record(event);
+  }
+  TxJournal::set_enabled(was_enabled);
+  watchdog.set_journal(&journal);
+
+  const std::string path = scratch_path("bundle.jsonl");
+  const Status dumped = watchdog.dump_flight_recorder("unit-test", path);
+  watchdog.set_journal(nullptr);
+  ASSERT_TRUE(dumped.ok()) << dumped.error().detail;
+
+  // The bundle is a complete schema-1 report the stock validator accepts.
+  EXPECT_TRUE(RunReport::validate_file(path).ok());
+
+  // Meta line carries the reason and the per-stage heartbeat table; the
+  // journal tail rides as txevent lines.
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  std::string contents;
+  char buffer[4096];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof buffer, file)) > 0) {
+    contents.append(buffer, got);
+  }
+  std::fclose(file);
+  EXPECT_NE(contents.find("\"reason\":\"unit-test\""), std::string::npos);
+  EXPECT_NE(contents.find("wdtest.bundle"), std::string::npos);
+  EXPECT_NE(contents.find("\"type\":\"txevent\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Watchdog, StallDumpsTheBundle) {
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  StallWatchdog::beat(watchdog.stage("wdtest.stalldump"));
+
+  const std::string path = scratch_path("stall_bundle.jsonl");
+  WatchdogConfig config;
+  config.deadline_ms = 60;
+  config.poll_ms = 10;
+  config.exit_on_stall = false;
+  config.flight_path = path;
+  watchdog.arm(config);
+  ASSERT_TRUE(eventually([&watchdog] { return watchdog.stalled(); }));
+  watchdog.disarm();
+
+  EXPECT_TRUE(RunReport::validate_file(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(Watchdog, HeartbeatSwitchGatesBeats) {
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  StallWatchdog::Stage& stage = watchdog.stage("wdtest.gate");
+  const std::uint64_t before = stage.beats.load();
+
+  StallWatchdog::set_enabled(false);
+  StallWatchdog::beat(stage);
+  EXPECT_EQ(stage.beats.load(), before);  // gated
+
+  StallWatchdog::set_enabled(true);
+  StallWatchdog::beat(stage);
+  EXPECT_EQ(stage.beats.load(), before + 1);
+}
+
+}  // namespace
