@@ -1,0 +1,198 @@
+// Serve pipeline throughput: sustained tx/s and admission->finalization
+// latency tails for the supervised streaming daemon (DESIGN.md §14).
+//
+// The same seeded, chaos-armed serve schedule runs through both execution
+// modes — run() (concurrent stages over bounded queues) and run_inline()
+// (the batch-stepped determinism oracle) — with the journal armed so every
+// run reports finalized-tx throughput and p99/p99.9 latency straight from
+// its TxJournal. Fingerprints are cross-checked across every rep of both
+// modes before anything is reported: a serve bench that measured two
+// different computations would be meaningless.
+//
+// Prints the table + CSV-style rows like every other harness bench and
+// writes BENCH_serve.json — RunReport JSONL (DESIGN.md §8), one "result"
+// line per mode plus a `throughput-parity` row. Raw tx/s is machine-bound,
+// so the CI gate (bench_regress, see .github/workflows/ci.yml perf-regress)
+// holds the dimensionless columns instead: `speedup` carries the
+// deterministic correctness verdict (accounting closed, fingerprints
+// bit-identical — exactly 1.0 on a healthy build, 0.0 on a broken one) and
+// `parity` carries threaded/inline sustained tx/s, banded wide because
+// queue-hop overhead is machine-dependent. PAROLE_BENCH_SCALE scales the
+// step count; PAROLE_SEED overrides the seed; PAROLE_BENCH_REPS (default 5)
+// sets the rep count, with the median rep reported.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "parole/common/env.hpp"
+#include "parole/common/table.hpp"
+#include "parole/obs/journal.hpp"
+#include "parole/obs/report.hpp"
+#include "parole/serve/pipeline.hpp"
+
+using namespace parole;
+
+namespace {
+
+double median(std::vector<double> samples) {
+  std::sort(samples.begin(), samples.end());
+  const std::size_t mid = samples.size() / 2;
+  return samples.size() % 2 == 1
+             ? samples[mid]
+             : (samples[mid - 1] + samples[mid]) / 2.0;
+}
+
+struct ModeResult {
+  const char* mode{""};
+  serve::ServeStats stats;   // from the first rep (counters are rep-invariant)
+  double tps{0.0};           // median sustained tx/s across reps
+  double p99_ms{0.0};        // median across reps
+  double p999_ms{0.0};
+  bool clean{true};          // accounting + invariants + audit, every rep
+};
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = experiment_seed(0x5e12e5e12eULL);
+  const auto steps = static_cast<std::uint64_t>(scaled(240, 40));
+  const auto reps = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_int("PAROLE_BENCH_REPS", 5)));
+
+  // The journal is the latency instrument: p99/p99.9 and finalized tx/s in
+  // ServeStats are derived from its admission->finalization chains.
+  obs::TxJournal::set_enabled(true);
+
+  serve::ServeConfig config;
+  config.seed = seed;
+  config.steps = steps;
+  config.chaos = true;  // the bench measures the soak, not a quiet run
+
+  std::vector<ModeResult> modes;
+  std::string reference_fingerprint;
+  for (const bool threaded : {false, true}) {
+    ModeResult result;
+    result.mode = threaded ? "serve-threaded" : "serve-inline";
+    std::vector<double> tps_samples;
+    std::vector<double> p99_samples;
+    std::vector<double> p999_samples;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      serve::ServePipeline pipeline(config);  // one run per pipeline object
+      auto run = threaded ? pipeline.run() : pipeline.run_inline();
+      if (!run.ok()) {
+        std::fprintf(stderr, "%s rep %zu failed: %s\n", result.mode, rep,
+                     run.error().detail.c_str());
+        return 1;
+      }
+      const serve::ServeStats& stats = run.value();
+      if (rep == 0 && !threaded) reference_fingerprint = stats.fingerprint;
+      if (stats.fingerprint != reference_fingerprint) {
+        std::fprintf(stderr, "MISMATCH: %s rep %zu fingerprint %s != %s\n",
+                     result.mode, rep, stats.fingerprint.c_str(),
+                     reference_fingerprint.c_str());
+        return 1;
+      }
+      result.clean = result.clean && stats.invariants_clean &&
+                     stats.journal_audit_ok &&
+                     stats.txs_generated ==
+                         stats.txs_admitted + stats.txs_shed;
+      if (rep == 0) result.stats = stats;
+      tps_samples.push_back(stats.sustained_tps);
+      p99_samples.push_back(stats.p99_latency_ms);
+      p999_samples.push_back(stats.p999_latency_ms);
+    }
+    result.tps = median(std::move(tps_samples));
+    result.p99_ms = median(std::move(p99_samples));
+    result.p999_ms = median(std::move(p999_samples));
+    modes.push_back(std::move(result));
+
+    if (!modes.back().clean) {
+      std::fprintf(stderr, "DIRTY RUN: %s broke accounting or invariants\n",
+                   modes.back().mode);
+      return 1;
+    }
+  }
+
+  const ModeResult& inline_mode = modes[0];
+  const ModeResult& threaded_mode = modes[1];
+  const double parity =
+      inline_mode.tps <= 0.0 ? 0.0 : threaded_mode.tps / inline_mode.tps;
+  const bool all_clean = inline_mode.clean && threaded_mode.clean;
+
+  TablePrinter table("Serve pipeline: sustained throughput + latency tails");
+  table.columns({"mode", "steps", "generated", "admitted", "shed", "final",
+                 "tx/s", "p99 ms", "p99.9 ms"});
+  for (const ModeResult& mode : modes) {
+    table.row(
+        {mode.mode,
+         TablePrinter::integer(static_cast<long long>(steps)),
+         TablePrinter::integer(
+             static_cast<long long>(mode.stats.txs_generated)),
+         TablePrinter::integer(
+             static_cast<long long>(mode.stats.txs_admitted)),
+         TablePrinter::integer(static_cast<long long>(mode.stats.txs_shed)),
+         TablePrinter::integer(
+             static_cast<long long>(mode.stats.finalized_txs)),
+         TablePrinter::num(mode.tps, 1), TablePrinter::num(mode.p99_ms, 3),
+         TablePrinter::num(mode.p999_ms, 3)});
+  }
+  table.print();
+
+  TablePrinter parity_table("Threaded vs inline parity");
+  parity_table.columns(
+      {"inline tx/s", "threaded tx/s", "parity", "identical"});
+  parity_table.row({TablePrinter::num(inline_mode.tps, 1),
+                    TablePrinter::num(threaded_mode.tps, 1),
+                    TablePrinter::num(parity, 3), all_clean ? "yes" : "NO"});
+  parity_table.print();
+
+  obs::RunReport report("serve_throughput");
+  report.set_meta("bench", obs::JsonValue("serve_throughput"));
+  report.set_meta("scale", obs::JsonValue(bench_scale()));
+  report.set_meta("reps", obs::JsonValue(static_cast<std::uint64_t>(reps)));
+  report.set_meta("seed", obs::JsonValue(seed));
+  report.set_meta("steps", obs::JsonValue(steps));
+  for (const ModeResult& mode : modes) {
+    obs::JsonObject result;
+    result["n"] = obs::JsonValue(steps);
+    result["move"] = obs::JsonValue(mode.mode);
+    result["sustained_tps"] = obs::JsonValue(mode.tps);
+    result["p99_ms"] = obs::JsonValue(mode.p99_ms);
+    result["p999_ms"] = obs::JsonValue(mode.p999_ms);
+    result["txs_generated"] = obs::JsonValue(mode.stats.txs_generated);
+    result["txs_admitted"] = obs::JsonValue(mode.stats.txs_admitted);
+    result["txs_shed"] = obs::JsonValue(mode.stats.txs_shed);
+    result["finalized"] = obs::JsonValue(mode.stats.finalized_txs);
+    result["degraded_batches"] =
+        obs::JsonValue(mode.stats.degraded_batches);
+    result["queue_full_waits"] =
+        obs::JsonValue(mode.stats.queue_full_waits);
+    result["identical"] = obs::JsonValue(mode.clean);
+    // The gated column: deterministic 1.0/0.0 correctness verdict, so the
+    // default bench_regress speedup rule holds machine-independently.
+    result["speedup"] = obs::JsonValue(mode.clean ? 1.0 : 0.0);
+    report.add_result(std::move(result));
+  }
+  {
+    obs::JsonObject result;
+    result["n"] = obs::JsonValue(steps);
+    result["move"] = obs::JsonValue("throughput-parity");
+    result["inline_tps"] = obs::JsonValue(inline_mode.tps);
+    result["threaded_tps"] = obs::JsonValue(threaded_mode.tps);
+    result["parity"] = obs::JsonValue(parity);
+    result["identical"] = obs::JsonValue(all_clean);
+    result["speedup"] = obs::JsonValue(all_clean ? 1.0 : 0.0);
+    report.add_result(std::move(result));
+  }
+  report.capture_metrics();
+  const Status written = report.write("BENCH_serve.json");
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write BENCH_serve.json: %s\n",
+                 written.error().detail.c_str());
+    return 1;
+  }
+  std::printf("\nwrote BENCH_serve.json (%zu JSONL lines)\n",
+              report.line_count());
+  return 0;
+}

@@ -9,6 +9,12 @@
 //   parole_cli quickstart                solver + DQN + rollup smoke scenario
 //   parole_cli chaos [seed] [steps]      seeded chaos run with all fault
 //                                        families armed + invariant checker
+//   parole_cli serve                     long-lived streaming daemon: heavy-
+//                                        tailed tx ingest through supervised
+//                                        pipeline stages with backpressure
+//                                        and shedding; SIGTERM/SIGINT drain
+//                                        gracefully (--inline 1 replays the
+//                                        same schedule with no threads)
 //   parole_cli campaign                  Fig. 6/7-style attack campaign
 //   parole_cli train                     DQN training on the case study
 //   parole_cli resume <dir>              resume a checkpointed run
@@ -57,6 +63,7 @@
 //
 // Exit code 0 on success, 1 on usage/errors.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -91,6 +98,7 @@
 #include "parole/obs/watchdog.hpp"
 #include "parole/rollup/chaos.hpp"
 #include "parole/rollup/node.hpp"
+#include "parole/serve/pipeline.hpp"
 
 using namespace parole;
 namespace cs = data::case_study;
@@ -114,6 +122,12 @@ int usage() {
       "                  [--every <steps>] [--kill-after-step <n>]\n"
       "                  [--pace-ms <ms>] [--inject-stall <ms>]\n"
       "                  [--inject-abort <step>]\n"
+      "       parole_cli serve [--seed <n>] [--steps <n>] [--users <n>]\n"
+      "                  [--batch <n>] [--depth <n>] [--rate <f>]\n"
+      "                  [--shape <f>] [--queue <n>] [--chaos 0|1]\n"
+      "                  [--p-stage-fault <f>] [--inline 1]\n"
+      "                  [--checkpoint <dir>] [--every <steps>]\n"
+      "                  [--kill-after-step <n>] [--pace-ms <ms>]\n"
       "       parole_cli campaign [--aggregators <n>] [--fraction <f>]\n"
       "                  [--mempool <n>] [--rounds <n>] [--ifus <n>]\n"
       "                  [--seed <n>] [--threads <n>] [--checkpoint <dir>]\n"
@@ -743,6 +757,127 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
   return 1;
 }
 
+// The serve daemon (DESIGN.md §14): the rollup node behind a supervised
+// streaming pipeline — continuous heavy-tailed ingest through bounded queues
+// with blocking backpressure, admission-control shedding at the mempool edge,
+// per-stage retry/degrade supervision, rolling checkpoints, and a graceful
+// drain on SIGTERM/SIGINT (flush in-flight work, run to quiescence, roll the
+// final checkpoint, exit 0). `--inline 1` runs the identical schedule batch-
+// stepped with no threads: the determinism oracle whose "state fingerprint"
+// line must match the threaded daemon's bit for bit — CI diffs the two, and
+// diffs a SIGKILLed+resumed run against an uninterrupted one the same way.
+std::atomic<bool> g_serve_stop{false};
+
+void serve_stop_handler(int) { g_serve_stop.store(true); }
+
+int cmd_serve(const Flags& flags, const CheckpointCliOptions& ckpt) {
+  serve::ServeConfig config;
+  config.seed = flag_u64(flags, "seed", config.seed);
+  config.steps = flag_u64(flags, "steps", config.steps);
+  config.workload.num_users = static_cast<std::size_t>(
+      flag_u64(flags, "users", config.workload.num_users));
+  config.batch_size =
+      static_cast<std::size_t>(flag_u64(flags, "batch", config.batch_size));
+  config.max_mempool_depth = static_cast<std::size_t>(
+      flag_u64(flags, "depth", config.max_mempool_depth));
+  config.arrival_rate = flag_f64(flags, "rate", config.arrival_rate);
+  config.arrival_shape = flag_f64(flags, "shape", config.arrival_shape);
+  config.queue_capacity =
+      static_cast<std::size_t>(flag_u64(flags, "queue", config.queue_capacity));
+  config.chaos = flag_u64(flags, "chaos", 1) != 0;
+  config.supervisor.p_stage_fault = flag_f64(flags, "p-stage-fault", 0.02);
+  config.checkpoint_dir = ckpt.dir;
+  config.checkpoint_every = ckpt.every;
+  config.kill_after = ckpt.kill_after;
+  config.pace_ms = g_telemetry.pace_ms;
+  const bool inline_mode = flag_u64(flags, "inline", 0) != 0;
+
+  // The node is built inside run(); attach the live layer the moment it
+  // exists so a mid-run scrape sees /journal/tail and flight dumps carry the
+  // journal. Cleared below before the pipeline (and node) dies.
+  config.node_observer = [](rollup::RollupNode& node) {
+    if (g_server) g_server->set_journal(&node.journal());
+    obs::StallWatchdog::instance().set_journal(&node.journal());
+  };
+
+  serve::ServePipeline pipeline(std::move(config));
+
+  g_serve_stop.store(false);
+  auto* prev_term = std::signal(SIGTERM, serve_stop_handler);
+  auto* prev_int = std::signal(SIGINT, serve_stop_handler);
+  auto result = inline_mode ? pipeline.run_inline(&g_serve_stop)
+                            : pipeline.run(&g_serve_stop);
+  std::signal(SIGTERM, prev_term);
+  std::signal(SIGINT, prev_int);
+
+  struct DetachJournal {
+    ~DetachJournal() {
+      if (g_server) g_server->set_journal(nullptr);
+      obs::StallWatchdog::instance().set_journal(nullptr);
+    }
+  } detach_journal;
+
+  if (!result.ok()) return fail(result.error());
+  const serve::ServeStats& stats = result.value();
+  const auto u64 = [](std::uint64_t v) {
+    return static_cast<unsigned long long>(v);
+  };
+
+  std::printf("serve seed 0x%llx (%s): %llu steps served%s%s%s\n",
+              u64(pipeline.config().seed),
+              inline_mode ? "inline" : "threaded", u64(stats.steps_run),
+              stats.start_step > 0 ? " (resumed)" : "",
+              stats.stopped ? ", stop requested -> drain" : "",
+              stats.drained ? "" : " (drain truncated)");
+  std::printf("  txs: %llu generated, %llu admitted, %llu shed\n",
+              u64(stats.txs_generated), u64(stats.txs_admitted),
+              u64(stats.txs_shed));
+  std::printf("  batches %llu (%llu degraded), challenges %llu (%llu fraud)\n",
+              u64(stats.batches), u64(stats.degraded_batches),
+              u64(stats.challenges), u64(stats.frauds));
+  std::printf("  backpressure: %llu queue-full waits\n",
+              u64(stats.queue_full_waits));
+  for (const serve::StageReport* report :
+       {&stats.ingest, &stats.reorder, &stats.checkpoint}) {
+    std::printf("  stage %-16s faults %llu, retries %llu", report->name.c_str(),
+                u64(report->faults), u64(report->retries));
+    if (report->degraded) {
+      std::printf(", DEGRADED at step %llu", u64(report->degraded_at_step));
+    }
+    std::printf("\n");
+  }
+  // CI contract lines: the soak job greps the sustained rate and asserts the
+  // fingerprint of a resumed / inline run matches the reference run's.
+  std::printf(
+      "serve: sustained %.1f tx/s over %.1f s, p99 %.3f ms, p99.9 %.3f ms "
+      "(%llu finalized)\n",
+      stats.sustained_tps, stats.wall_seconds, stats.p99_latency_ms,
+      stats.p999_latency_ms, u64(stats.finalized_txs));
+  std::printf("serve: state fingerprint %s\n", stats.fingerprint.c_str());
+
+  if (const rollup::ChaosRuntime* runtime = pipeline.node().chaos()) {
+    g_chaos_log = runtime->log;
+  }
+  if (obs::TxJournal::enabled()) print_journal_audit(pipeline.node());
+  if (const int journal_rc = write_journal_report("serve", pipeline.node());
+      journal_rc != 0) {
+    return journal_rc;
+  }
+
+  bool ok = stats.invariants_clean;
+  if (obs::TxJournal::enabled() && !stats.journal_audit_ok) ok = false;
+  if (stats.invariants_clean) {
+    std::printf("  invariants: all clean\n");
+  } else if (const rollup::ChaosRuntime* runtime = pipeline.node().chaos()) {
+    for (const auto& v : runtime->checker.violations()) {
+      std::printf("  INVARIANT VIOLATION step %llu %s: %s\n", u64(v.step),
+                  std::string(rollup::to_string(v.kind)).c_str(),
+                  v.detail.c_str());
+    }
+  }
+  return ok ? 0 : 1;
+}
+
 // Fig. 6/7-style campaign with optional crash-safe checkpointing. The
 // summary line is deterministic in the config, so CI can diff a resumed
 // run's output against an uninterrupted golden run's.
@@ -895,6 +1030,24 @@ int cmd_resume(const std::string& dir) {
   if (kind == "chaos-soak") {
     return cmd_chaos(meta_u64("seed", 0xc4a05c4a05ULL),
                      meta_u64("steps", 96), ckpt);
+  }
+  if (kind == "serve") {
+    // Rebuild the launch config from META; the SRVE section hard-rejects a
+    // seed/steps drift, the rest must reconstruct the same workload.
+    Flags flags;
+    flags.named["seed"] = std::to_string(meta_u64("seed", 0x5e12e5e12eULL));
+    flags.named["steps"] = std::to_string(meta_u64("steps", 240));
+    flags.named["users"] = std::to_string(meta_u64("users", 20));
+    flags.named["batch"] = std::to_string(meta_u64("batch", 6));
+    flags.named["depth"] = std::to_string(meta_u64("depth", 48));
+    flags.named["rate"] = std::to_string(meta_f64("rate", 5.0));
+    flags.named["shape"] = std::to_string(meta_f64("shape", 1.6));
+    flags.named["queue"] = std::to_string(meta_u64("queue", 8));
+    flags.named["chaos"] = std::to_string(meta_u64("chaos", 1));
+    flags.named["p-stage-fault"] =
+        std::to_string(meta_f64("p_stage_fault", 0.02));
+    ckpt.every = 32;
+    return cmd_serve(flags, ckpt);
   }
   return fail(Error{"config_mismatch", "unknown checkpoint kind '" + kind +
                                            "'"});
@@ -1204,6 +1357,14 @@ int main(int argc, char** argv) {
     ckpt.every = flag_u64(flags, "every", 10);
     ckpt.kill_after = flag_u64(flags, "kill-after-step", 0);
     rc = cmd_chaos(seed, steps == 0 ? 96 : steps, ckpt);
+  } else if (command == "serve") {
+    const Flags flags = parse_flags(args, 1);
+    if (flags.bad || !flags.positional.empty()) return usage();
+    CheckpointCliOptions ckpt;
+    ckpt.dir = flag_str(flags, "checkpoint", "");
+    ckpt.every = flag_u64(flags, "every", 32);
+    ckpt.kill_after = flag_u64(flags, "kill-after-step", 0);
+    rc = cmd_serve(flags, ckpt);
   } else if (command == "campaign") {
     const Flags flags = parse_flags(args, 1);
     if (flags.bad || !flags.positional.empty()) return usage();

@@ -39,13 +39,14 @@ std::string_view to_string(TxEventKind kind) {
     case TxEventKind::kReplayed: return "replayed";
     case TxEventKind::kRestored: return "restored";
     case TxEventKind::kFraudProven: return "fraud-proven";
+    case TxEventKind::kShed: return "shed";
   }
   return "unknown";
 }
 
 bool is_terminal(TxEventKind kind) {
   return kind == TxEventKind::kFinalized || kind == TxEventKind::kDropped ||
-         kind == TxEventKind::kReverted;
+         kind == TxEventKind::kReverted || kind == TxEventKind::kShed;
 }
 
 TxJournal::TxJournal(std::size_t capacity)
@@ -183,15 +184,25 @@ TxJournal::Audit TxJournal::audit() const {
     if (audit.truncated && chain.front().kind != TxEventKind::kSubmitted) {
       continue;
     }
-    std::size_t opens = 0, collects = 0, finals = 0;
+    std::size_t opens = 0, collects = 0, finals = 0, sheds = 0;
     for (const TxEvent& event : chain) {
       switch (event.kind) {
         case TxEventKind::kSubmitted: ++opens; break;
         case TxEventKind::kCollected: ++collects; break;
         case TxEventKind::kFinalized:
         case TxEventKind::kDropped: ++finals; break;
+        case TxEventKind::kShed: ++sheds; break;
         default: break;
       }
+    }
+    if (sheds > 0) {
+      // A shed transaction never reached the mempool: its whole chain is the
+      // terminal kShed. Anything else alongside it is a bookkeeping bug.
+      ++audit.txs_shed;
+      if (opens != 0 || collects != 0 || chain.size() != sheds) {
+        issue(tx, "shed transaction carries non-shed events");
+      }
+      continue;
     }
     if (collects == 0) continue;  // never entered a batch — nothing to close
     ++audit.txs_collected;

@@ -56,8 +56,9 @@ enum class TxEventKind : std::uint8_t {
   kReplayed,       // chaos: duplicate re-gossiped (a second chain opens)
   kRestored,       // returned to the pool (crash restore / delay release)
   kFraudProven,    // dispute game verdict against its batch (tx = 0)
+  kShed,           // admission control refused it at the ingest edge — terminal
 };
-inline constexpr std::size_t kTxEventKindCount = 16;
+inline constexpr std::size_t kTxEventKindCount = 17;
 
 [[nodiscard]] std::string_view to_string(TxEventKind kind);
 
@@ -166,6 +167,7 @@ class TxJournal {
     std::size_t txs_seen{0};       // distinct tx ids with events
     std::size_t txs_collected{0};  // ids that entered at least one batch
     std::size_t txs_complete{0};   // collected ids whose chains all closed
+    std::size_t txs_shed{0};       // ids refused at the admission edge
     bool truncated{false};         // evictions occurred; old chains skipped
     std::vector<std::string> issues;  // capped at 32 entries
   };

@@ -102,7 +102,10 @@ std::vector<StageStatus> StallWatchdog::status() const {
       status.name = stage->name;
       status.beats = stage->beats.load(std::memory_order_relaxed);
       status.last_beat_ns = stage->last_beat_ns.load(std::memory_order_relaxed);
-      status.age_ms = status.last_beat_ns <= now
+      // A pre-registered slot that never beat has last_beat_ns == 0; its
+      // "age" would be the process uptime, which reads as an instant stall
+      // on /healthz. Report 0 — the monitor ignores beat-less stages too.
+      status.age_ms = status.beats > 0 && status.last_beat_ns <= now
                           ? (now - status.last_beat_ns) / 1'000'000
                           : 0;
       out.push_back(std::move(status));
@@ -113,6 +116,15 @@ std::vector<StageStatus> StallWatchdog::status() const {
               return a.age_ms > b.age_ms;
             });
   return out;
+}
+
+void StallWatchdog::stage_relaunched(std::string_view name) {
+  Stage& slot = stage(name);
+  slot.last_beat_ns.store(TraceRecorder::instance().now_ns(),
+                          std::memory_order_relaxed);
+  slot.beats.fetch_add(1, std::memory_order_relaxed);
+  stalled_.store(false, std::memory_order_relaxed);
+  PAROLE_OBS_COUNT("parole.obs.watchdog_relaunches", 1);
 }
 
 void StallWatchdog::set_journal(const TxJournal* journal) {

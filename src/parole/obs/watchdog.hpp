@@ -94,10 +94,19 @@ class StallWatchdog {
   [[nodiscard]] bool armed() const {
     return armed_.load(std::memory_order_relaxed);
   }
-  // Set once the monitor declared a stall (sticky until re-armed).
+  // Set once the monitor declared a stall (sticky until re-armed or a
+  // supervised stage is relaunched — see stage_relaunched()).
   [[nodiscard]] bool stalled() const {
     return stalled_.load(std::memory_order_relaxed);
   }
+
+  // A supervisor relaunched the named stage after a fault. Stamps a fresh
+  // beat on its slot (a relaunch IS liveness — without it the monitor would
+  // re-declare the same stall on its next poll) and clears the sticky
+  // stalled latch so /healthz and tests see the recovery, not the history.
+  // Creates the slot when the stage never registered (a restart may race the
+  // stage's first beat).
+  void stage_relaunched(std::string_view name);
 
   // Per-stage ages for /healthz and the bundle, stalest first.
   [[nodiscard]] std::vector<StageStatus> status() const;

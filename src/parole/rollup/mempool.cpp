@@ -17,6 +17,17 @@ void BedrockMempool::submit(vm::Tx tx) {
   queue_.push(Entry{std::move(tx), /*defer_round=*/0});
 }
 
+bool BedrockMempool::submit_bounded(vm::Tx tx, std::size_t max_depth) {
+  if (queue_.size() >= max_depth) {
+    PAROLE_OBS_COUNT("parole.rollup.shed_txs", 1);
+    obs::TxJournal::emit(
+        {tx.id.value(), obs::TxEventKind::kShed, 0, 0, obs::kNoBatch, 0, 0});
+    return false;
+  }
+  submit(std::move(tx));
+  return true;
+}
+
 std::vector<vm::Tx> BedrockMempool::collect(std::size_t n) {
   PAROLE_OBS_HEARTBEAT("rollup.mempool");
   std::vector<vm::Tx> out;

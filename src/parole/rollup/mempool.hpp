@@ -26,6 +26,14 @@ class BedrockMempool {
   // Submit a pending transaction; stamps its arrival sequence number.
   void submit(vm::Tx tx);
 
+  // Admission-controlled submit (the serve ingest edge): refuse the
+  // transaction when the pool already holds `max_depth` entries. A shed is
+  // counted (parole.rollup.shed_txs) and journaled (terminal kShed) but
+  // consumes NO arrival stamp and touches NO defer round — the overload path
+  // must leave the priority bookkeeping of surviving transactions exactly as
+  // if the shed tx had never arrived. Returns true when admitted.
+  bool submit_bounded(vm::Tx tx, std::size_t max_depth);
+
   // Collect up to `n` transactions in priority order (highest total fee
   // first, earliest arrival on ties; deferred txs always last). The returned
   // transactions leave the pool. This models one aggregator's collection —

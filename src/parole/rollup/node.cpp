@@ -73,6 +73,21 @@ void RollupNode::submit_tx(vm::Tx tx) {
   mempool_.submit(std::move(tx));
 }
 
+bool RollupNode::try_submit_tx(vm::Tx tx, std::size_t max_mempool_depth) {
+  tx.id = TxId{next_tx_id_++};
+  const std::uint64_t tx_id = tx.id.value();
+  const obs::TxJournal::Scope scope(&journal_);
+  if (!mempool_.submit_bounded(std::move(tx), max_mempool_depth)) {
+    return false;
+  }
+#if !defined(PAROLE_OBS_DISABLED)
+  if (obs::MetricsRegistry::instance().enabled()) {
+    submit_t_ns_[tx_id] = obs::TraceRecorder::instance().now_ns();
+  }
+#endif
+  return true;
+}
+
 std::vector<AggregatorId> RollupNode::aggregator_ids() const {
   std::vector<AggregatorId> ids;
   ids.reserve(aggregators_.size());
@@ -325,6 +340,13 @@ void RollupNode::produce_batch(std::uint64_t step, StepOutcome& outcome) {
   vm::L2State pre_state = state_;
 
   bool suppress_reorderer = false;
+  if (reorder_passthrough_ && aggregator.adversarial()) {
+    // Supervision degrade: the reorder stage blew its crash-loop budget, so
+    // the attack stands down and batches ship in honest collection order.
+    suppress_reorderer = true;
+    outcome.reorderer_degraded = true;
+    PAROLE_OBS_COUNT("parole.serve.passthrough_batches", 1);
+  }
   if (chaos_ && aggregator.adversarial() &&
       chaos_->plan.reorderer_fails(step)) {
     // The attack module timed out: the batch ships in honest collection

@@ -122,6 +122,24 @@ class RollupNode {
   Status deposit(UserId user, Amount amount);
   void submit_tx(vm::Tx tx);
 
+  // Admission-controlled submit (the serve ingest edge): assigns the node tx
+  // id first — a shed transaction is attributable in the journal — then asks
+  // the mempool's bounded path. Returns true when admitted; a refusal emits
+  // the terminal kShed event and leaves no latency stamp behind. The shed
+  // decision depends only on mempool depth, so a batch-stepped replay sheds
+  // the exact same ids as the concurrent pipeline.
+  bool try_submit_tx(vm::Tx tx, std::size_t max_mempool_depth);
+
+  // Supervision degrade hook: while set, every adversarial aggregator ships
+  // honest collection order (the serve supervisor flips this when the
+  // reorder stage exhausts its crash-loop budget). Not part of the node
+  // snapshot — the serve checkpoint carries supervision state and re-applies
+  // it on resume.
+  void set_reorder_passthrough(bool on) { reorder_passthrough_ = on; }
+  [[nodiscard]] bool reorder_passthrough() const {
+    return reorder_passthrough_;
+  }
+
   // --- simulation ------------------------------------------------------------
   StepOutcome step();
   // Run steps until the pending work (mempool + chaos-delayed txs) drains or
@@ -237,6 +255,7 @@ class RollupNode {
   // checkpointed: latency measurement restarts across a resume.
   std::unordered_map<std::uint64_t, std::uint64_t> submit_t_ns_;
   std::unique_ptr<ChaosRuntime> chaos_;
+  bool reorder_passthrough_{false};
   std::size_t next_aggregator_{0};
   // Starts at 1: tx id 0 is the journal's pipeline-event sentinel (deposits,
   // dispute verdicts), so a real transaction must never carry it.

@@ -1,0 +1,590 @@
+#include "parole/serve/pipeline.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdio>
+#include <utility>
+
+#include "parole/common/fault.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/watchdog.hpp"
+
+namespace parole::serve {
+namespace {
+
+// Serve-local fault stream for the arrival process. Chaos owns 1..7 and the
+// stage supervisors own 101..103 (supervisor.hpp); arrivals live at 100.
+constexpr std::uint64_t kArrivalStream = 100;
+
+// SRVE section: serve-loop progress the node snapshot cannot carry.
+constexpr std::uint32_t kServeTag = io::section_tag("SRVE");
+
+void sleep_ms(std::uint64_t ms) {
+  if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+}  // namespace
+
+ServePipeline::ServePipeline(ServeConfig config)
+    : config_([&config] {
+        // Genesis arrives through the bridge (deposits), which cannot carry
+        // pre-owned tokens — and the generator's shadow state must equal the
+        // node's L2 state at step 0.
+        config.workload.premint = 0;
+        if (config.supervisor.seed == 0) config.supervisor.seed = config.seed;
+        return std::move(config);
+      }()),
+      ingest_sup_(config_.supervisor, "serve.ingest", ServeStage::kIngest),
+      reorder_sup_(config_.supervisor, "serve.reorder", ServeStage::kReorder),
+      checkpoint_sup_(config_.supervisor, "serve.checkpoint",
+                      ServeStage::kCheckpoint) {}
+
+ServePipeline::~ServePipeline() {
+  if (reorder_requests_) reorder_requests_->close();
+  if (reorder_responses_) reorder_responses_->close();
+  if (checkpoint_jobs_) checkpoint_jobs_->close();
+  if (reorder_thread_.joinable()) reorder_thread_.join();
+  if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+}
+
+rollup::ChaosConfig ServePipeline::default_chaos(std::uint64_t seed) {
+  rollup::ChaosConfig chaos;
+  chaos.seed = seed;
+  chaos.p_aggregator_crash = 0.08;
+  chaos.crash_backoff_steps = 2;
+  chaos.p_reorderer_failure = 0.10;
+  chaos.p_verifier_down = 0.20;
+  chaos.verifier_window_steps = 4;
+  chaos.p_tx_drop = 0.05;
+  chaos.p_tx_duplicate = 0.05;
+  chaos.p_tx_delay = 0.08;
+  chaos.tx_delay_steps = 3;
+  chaos.p_l1_reorg = 0.04;
+  chaos.max_reorg_depth = 2;
+  return chaos;
+}
+
+std::size_t ServePipeline::arrivals_for_step(std::uint64_t step) const {
+  Rng rng = fault_rng(config_.seed, kArrivalStream, /*subject=*/0, step);
+  const double u = std::max(rng.uniform(), 1e-12);
+  const double alpha = std::max(config_.arrival_shape, 1.05);
+  // Pareto multiplier with unit mean: scale (alpha-1)/alpha, tail u^(-1/a) —
+  // most steps run just below `arrival_rate`, the tail bursts far above it.
+  const double multiplier = ((alpha - 1.0) / alpha) * std::pow(u, -1.0 / alpha);
+  const auto count = static_cast<std::size_t>(config_.arrival_rate * multiplier);
+  return std::min(count, config_.max_arrivals_per_step);
+}
+
+std::vector<vm::Tx> ServePipeline::permute(std::vector<vm::Tx> txs) {
+  // The stand-in adversarial reorder used across the repo's pipelines:
+  // artless (reverse of collection order) but order-sensitive, so reordering
+  // visibly changes execution without dragging the solver into the daemon.
+  std::reverse(txs.begin(), txs.end());
+  return txs;
+}
+
+void ServePipeline::build_node(bool threaded) {
+  rollup::NodeConfig node_config;
+  node_config.max_supply = config_.workload.max_supply;
+  node_config.initial_price = config_.workload.initial_price;
+  node_ = std::make_unique<rollup::RollupNode>(node_config);
+  node_->journal().set_capacity(config_.journal_capacity);
+
+  rollup::Reorderer reorderer =
+      threaded ? rollup::Reorderer([this](const vm::L2State&,
+                                          std::vector<vm::Tx> txs) {
+        return supervised_reorder_threaded(std::move(txs));
+      })
+               : rollup::Reorderer([this](const vm::L2State&,
+                                          std::vector<vm::Tx> txs) {
+                   return supervised_reorder_inline(std::move(txs));
+                 });
+  node_->add_aggregator({AggregatorId{0}, config_.batch_size,
+                         std::move(reorderer), std::nullopt});
+  node_->add_aggregator(
+      {AggregatorId{1}, config_.batch_size, std::nullopt, std::nullopt});
+  if (config_.chaos && config_.corrupt_aggregator) {
+    node_->add_aggregator({AggregatorId{2}, config_.batch_size,
+                           std::nullopt, std::size_t{1}});
+  }
+  node_->add_verifier(VerifierId{0});
+  node_->add_verifier(VerifierId{1});
+
+  generator_ =
+      std::make_unique<data::WorkloadGenerator>(config_.workload, config_.seed);
+  for (const UserId user : generator_->users()) {
+    const Amount balance = generator_->initial_state().ledger().balance(user);
+    node_->fund_l1(user, balance);
+    (void)node_->deposit(user, balance);
+  }
+
+  if (config_.chaos) node_->arm_chaos(default_chaos(config_.seed));
+}
+
+std::size_t ServePipeline::planned_arrivals(std::uint64_t step) {
+  if (!ingest_sup_.degraded() && ingest_sup_.plan_faults(step)) {
+    (void)ingest_sup_.on_fault(step);
+  } else {
+    ingest_sup_.on_success();
+  }
+  std::size_t count = arrivals_for_step(step);
+  // Reduced mode for a crash-looping ingest stage: serve at half rate instead
+  // of dying — still a pure function of (seed, step), so replays agree.
+  if (ingest_sup_.degraded()) count /= 2;
+  return count;
+}
+
+ServePipeline::StepInput ServePipeline::ingest_step(std::uint64_t step,
+                                                    bool threaded) {
+  PAROLE_OBS_HEARTBEAT("serve.ingest");
+  const std::uint64_t faults_before = ingest_sup_.report().faults;
+  const std::size_t count = planned_arrivals(step);
+  if (threaded && ingest_sup_.report().faults > faults_before) {
+    sleep_ms(ingest_sup_.backoff_ms());
+  }
+  StepInput input;
+  input.step = step;
+  input.txs = generator_->generate(count);
+  txs_generated_ += input.txs.size();
+  return input;
+}
+
+ServePipeline::StepRecord ServePipeline::execute_step(StepInput input) {
+  PAROLE_OBS_HEARTBEAT("serve.execute");
+  StepRecord record;
+  record.step = input.step;
+  for (vm::Tx& tx : input.txs) {
+    if (node_->try_submit_tx(std::move(tx), config_.max_mempool_depth)) {
+      ++record.admitted;
+    } else {
+      ++record.shed;
+    }
+  }
+  txs_admitted_ += record.admitted;
+  txs_shed_ += record.shed;
+  record.outcome = node_->step();
+  next_ingest_step_ = input.step + 1;
+  return record;
+}
+
+std::vector<vm::Tx> ServePipeline::supervised_reorder_inline(
+    std::vector<vm::Tx> txs) {
+  const std::uint64_t step = node_->step_index();
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (reorder_sup_.degraded()) return txs;
+    const bool faulted = attempt == 0 && reorder_sup_.plan_faults(step);
+    if (!faulted) {
+      reorder_sup_.on_success();
+      return permute(std::move(txs));
+    }
+    if (reorder_sup_.on_fault(step) == StageSupervisor::Action::kDegrade) {
+      node_->set_reorder_passthrough(true);
+      return txs;  // this batch ships honest; passthrough covers the rest
+    }
+  }
+}
+
+std::vector<vm::Tx> ServePipeline::supervised_reorder_threaded(
+    std::vector<vm::Tx> txs) {
+  const std::uint64_t step = node_->step_index();
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    if (reorder_sup_.degraded()) return txs;
+    ReorderRequest request;
+    request.step = step;
+    request.attempt = attempt;
+    request.txs = txs;  // keep the original for retry / honest fallback
+    if (!reorder_requests_->push(std::move(request))) return txs;
+    bool faulted = false;
+    for (;;) {
+      auto response = reorder_responses_->pop_for(config_.reorder_deadline_ms);
+      if (!response) {
+        faulted = true;  // stage deadline blown (or worker gone)
+        break;
+      }
+      // A deadline-abandoned attempt's late response may still arrive; only
+      // the (step, attempt) pair we are waiting on counts.
+      if (response->step != step || response->attempt != attempt) continue;
+      faulted = response->faulted;
+      if (!faulted) {
+        reorder_sup_.on_success();
+        return std::move(response->txs);
+      }
+      break;
+    }
+    if (reorder_sup_.on_fault(step) == StageSupervisor::Action::kDegrade) {
+      node_->set_reorder_passthrough(true);
+      return txs;
+    }
+    sleep_ms(reorder_sup_.backoff_ms());
+  }
+}
+
+void ServePipeline::reorder_worker() {
+  while (auto request = reorder_requests_->pop()) {
+    PAROLE_OBS_HEARTBEAT("serve.reorder");
+    ReorderResponse response;
+    response.step = request->step;
+    response.attempt = request->attempt;
+    // The worker faults on the first attempt of a planned-fault step and
+    // serves the retry — the same transient the inline oracle models.
+    if (request->attempt == 0 && reorder_sup_.plan_faults(request->step)) {
+      response.faulted = true;
+    } else {
+      response.txs = permute(std::move(request->txs));
+    }
+    if (!reorder_responses_->push(std::move(response))) return;
+  }
+}
+
+void ServePipeline::checkpoint_worker() {
+  while (auto job = checkpoint_jobs_->pop()) {
+    PAROLE_OBS_HEARTBEAT("serve.checkpoint");
+    if (!manager_->save(*job->builder).ok()) {
+      checkpoint_write_failed_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ServePipeline::fill_checkpoint(io::CheckpointBuilder& builder,
+                                    std::uint64_t next_step) const {
+  obs::JsonObject meta;
+  meta["kind"] = "serve";
+  meta["seed"] = config_.seed;
+  meta["steps"] = config_.steps;
+  meta["next_step"] = next_step;
+  // Launch parameters `resume` needs to rebuild the exact workload; the SRVE
+  // section hard-checks seed/steps, these reconstruct the rest.
+  meta["users"] = static_cast<std::uint64_t>(config_.workload.num_users);
+  meta["batch"] = static_cast<std::uint64_t>(config_.batch_size);
+  meta["depth"] = static_cast<std::uint64_t>(config_.max_mempool_depth);
+  meta["rate"] = config_.arrival_rate;
+  meta["shape"] = config_.arrival_shape;
+  meta["queue"] = static_cast<std::uint64_t>(config_.queue_capacity);
+  meta["chaos"] = static_cast<std::uint64_t>(config_.chaos ? 1 : 0);
+  meta["p_stage_fault"] = config_.supervisor.p_stage_fault;
+  builder.set_meta(meta);
+  node_->save_snapshot(builder);
+  io::ByteWriter& w = builder.section(kServeTag);
+  w.u64(config_.seed);
+  w.u64(config_.steps);
+  w.u64(next_step);
+  w.u64(txs_admitted_);
+  w.u64(txs_shed_);
+  reorder_sup_.save(w);
+  checkpoint_sup_.save(w);
+}
+
+Status ServePipeline::save_checkpoint_now(std::uint64_t next_step) {
+  io::CheckpointBuilder builder;
+  fill_checkpoint(builder, next_step);
+  if (auto written = manager_->save(builder); !written.ok()) {
+    return written.error();
+  }
+  return ok_status();
+}
+
+Status ServePipeline::maybe_checkpoint(std::uint64_t step, bool threaded) {
+  if (!manager_) return ok_status();
+  const std::uint64_t next = step + 1;
+  const bool kill_here = config_.kill_after > 0 && next == config_.kill_after;
+  const bool cadence =
+      config_.checkpoint_every > 0 && next % config_.checkpoint_every == 0;
+  if (!kill_here && !cadence) return ok_status();
+
+  if (!checkpoint_sup_.degraded() && checkpoint_sup_.plan_faults(step)) {
+    if (checkpoint_sup_.on_fault(step) == StageSupervisor::Action::kRetry &&
+        threaded) {
+      sleep_ms(checkpoint_sup_.backoff_ms());
+    }
+  } else {
+    checkpoint_sup_.on_success();
+  }
+  // A degraded checkpoint stage stops writing — counted in its StageReport
+  // and surfaced in the final stats, never a silent data loss: the run keeps
+  // its last good generation.
+  if (checkpoint_sup_.degraded()) return ok_status();
+
+  if (threaded) {
+    CheckpointJob job;
+    job.builder = std::make_shared<io::CheckpointBuilder>();
+    job.next_step = next;
+    fill_checkpoint(*job.builder, next);
+    (void)checkpoint_jobs_->push(std::move(job));
+    if (kill_here) {
+      // The crash drill must not outrun the writer: make the generation
+      // durable, then die without any cleanup — that is the point.
+      checkpoint_jobs_->close();
+      if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+      std::fflush(nullptr);
+      (void)std::raise(SIGKILL);
+    }
+  } else {
+    if (Status s = save_checkpoint_now(next); !s.ok()) return s;
+    if (kill_here) {
+      std::fflush(nullptr);
+      (void)std::raise(SIGKILL);
+    }
+  }
+  return ok_status();
+}
+
+Status ServePipeline::try_resume(std::uint64_t& start_step) {
+  if (!manager_->has_checkpoint()) return ok_status();
+  auto loaded = manager_->load_latest();
+  if (!loaded.ok()) return loaded.error();
+  const io::Checkpoint& checkpoint = loaded.value().checkpoint;
+
+  auto meta = checkpoint.meta();
+  if (!meta.ok()) return meta.error();
+  const auto kind = meta.value().find("kind");
+  if (kind == meta.value().end() || !kind->second.is_string() ||
+      kind->second.as_string() != "serve") {
+    return Error{"config_mismatch",
+                 "checkpoint in --checkpoint-dir is not a serve checkpoint"};
+  }
+
+  auto section = checkpoint.reader(kServeTag);
+  if (!section.ok()) return section.error();
+  io::ByteReader& r = section.value();
+  std::uint64_t seed = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t next_step = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  PAROLE_IO_READ(r.u64(seed), "serve seed");
+  PAROLE_IO_READ(r.u64(steps), "serve steps");
+  PAROLE_IO_READ(r.u64(next_step), "serve next step");
+  PAROLE_IO_READ(r.u64(admitted), "serve admitted");
+  PAROLE_IO_READ(r.u64(shed), "serve shed");
+  if (Status s = reorder_sup_.load(r); !s.ok()) return s;
+  if (Status s = checkpoint_sup_.load(r); !s.ok()) return s;
+  if (Status s = r.finish("SRVE section"); !s.ok()) return s;
+
+  if (seed != config_.seed || steps != config_.steps) {
+    return Error{"config_mismatch",
+                 "serve checkpoint was cut with a different seed/steps config"};
+  }
+
+  if (Status s = node_->restore_snapshot(checkpoint); !s.ok()) return s;
+
+  // Fast-forward the workload generator and the ingest supervisor by
+  // replaying the served prefix's (pure) arrival schedule — the shadow state
+  // re-derives exactly; nothing of either is serialized.
+  for (std::uint64_t step = 0; step < next_step; ++step) {
+    const std::vector<vm::Tx> replayed =
+        generator_->generate(planned_arrivals(step));
+    txs_generated_ += replayed.size();
+  }
+
+  node_->set_reorder_passthrough(reorder_sup_.degraded());
+  txs_admitted_ = admitted;
+  txs_shed_ = shed;
+  next_ingest_step_ = next_step;
+  start_step = next_step;
+  return ok_status();
+}
+
+void ServePipeline::absorb_record(const StepRecord& record, ServeStats& stats) {
+  ++stats.steps_run;
+  const rollup::StepOutcome& outcome = record.outcome;
+  if (outcome.produced_batch) ++stats.batches;
+  if (outcome.challenged) ++stats.challenges;
+  if (outcome.fraud_proven) ++stats.frauds;
+  if (outcome.reorderer_degraded) ++stats.degraded_batches;
+}
+
+ServeStats ServePipeline::finish(ServeStats stats, bool drained, bool stopped,
+                                 double wall_seconds) {
+  stats.txs_generated = txs_generated_;
+  stats.txs_admitted = txs_admitted_;
+  stats.txs_shed = txs_shed_;
+  stats.ingest = ingest_sup_.report();
+  stats.reorder = reorder_sup_.report();
+  stats.checkpoint = checkpoint_sup_.report();
+  stats.stopped = stopped;
+  stats.drained = drained;
+  if (in_queue_) {
+    stats.queue_full_waits =
+        in_queue_->full_waits() + out_queue_->full_waits() +
+        reorder_requests_->full_waits() + reorder_responses_->full_waits() +
+        (checkpoint_jobs_ ? checkpoint_jobs_->full_waits() : 0);
+  }
+  if (const rollup::ChaosRuntime* chaos = node_->chaos()) {
+    stats.invariant_violations = chaos->checker.violations().size();
+    stats.invariants_clean = chaos->checker.clean();
+  }
+  const obs::TxJournal::Audit audit = node_->journal().audit();
+  stats.journal_audit_ok = audit.ok;
+  stats.journal_shed = audit.txs_shed;
+  const obs::TxJournal::LatencySummary latencies = node_->journal().latencies();
+  stats.finalized_txs = latencies.tx_latency_ns.size();
+  stats.p99_latency_ms =
+      obs::sample_quantile(latencies.tx_latency_ns, 0.99) / 1e6;
+  stats.p999_latency_ms =
+      obs::sample_quantile(latencies.tx_latency_ns, 0.999) / 1e6;
+  stats.wall_seconds = wall_seconds;
+  const double throughput_base = static_cast<double>(
+      stats.finalized_txs > 0 ? stats.finalized_txs : stats.txs_admitted);
+  stats.sustained_tps =
+      wall_seconds > 0.0 ? throughput_base / wall_seconds : 0.0;
+  stats.fingerprint = node_->state().state_root().hex();
+  return stats;
+}
+
+Result<ServeStats> ServePipeline::run(const std::atomic<bool>* stop) {
+  return run_impl(stop, /*threaded=*/true);
+}
+
+Result<ServeStats> ServePipeline::run_inline(const std::atomic<bool>* stop) {
+  return run_impl(stop, /*threaded=*/false);
+}
+
+Result<ServeStats> ServePipeline::run_impl(const std::atomic<bool>* stop,
+                                           bool threaded) {
+  if (ran_) {
+    return Error{"serve_reused",
+                 "a ServePipeline runs once; construct a fresh one"};
+  }
+  ran_ = true;
+  threaded_ = threaded;
+
+  build_node(threaded);
+
+  std::uint64_t start_step = 0;
+  if (!config_.checkpoint_dir.empty()) {
+    manager_ = std::make_unique<io::CheckpointManager>(config_.checkpoint_dir,
+                                                       "serve", 3);
+    if (Status s = try_resume(start_step); !s.ok()) return s.error();
+  }
+  if (config_.node_observer) config_.node_observer(*node_);
+
+  // Register every serve stage's heartbeat slot *before* its first beat: a
+  // stage that wedges before ever beating must show up in /healthz as silent
+  // (age 0, beats 0), not be invisible to the monitor.
+  auto& watchdog = obs::StallWatchdog::instance();
+  (void)watchdog.stage("serve.ingest");
+  (void)watchdog.stage("serve.execute");
+  (void)watchdog.stage("serve.reorder");
+  (void)watchdog.stage("serve.checkpoint");
+  (void)watchdog.stage("serve.outcome");
+
+  ServeStats stats;
+  stats.start_step = start_step;
+  bool stopped = false;
+  const auto wall_start = std::chrono::steady_clock::now();
+
+  auto stop_requested = [stop] {
+    return stop != nullptr && stop->load(std::memory_order_relaxed);
+  };
+  auto want_step = [&](std::uint64_t step) {
+    if (stop_requested()) return false;
+    return config_.steps == 0 || step < config_.steps;
+  };
+
+  if (!threaded) {
+    for (std::uint64_t step = start_step; want_step(step); ++step) {
+      StepInput input = ingest_step(step, /*threaded=*/false);
+      const StepRecord record = execute_step(std::move(input));
+      absorb_record(record, stats);
+      if (Status s = maybe_checkpoint(step, /*threaded=*/false); !s.ok()) {
+        return s.error();
+      }
+    }
+    stopped = stop_requested();
+  } else {
+    in_queue_ = std::make_unique<BoundedQueue<StepInput>>(config_.queue_capacity);
+    out_queue_ =
+        std::make_unique<BoundedQueue<StepRecord>>(config_.queue_capacity);
+    reorder_requests_ = std::make_unique<BoundedQueue<ReorderRequest>>(1);
+    reorder_responses_ = std::make_unique<BoundedQueue<ReorderResponse>>(1);
+    reorder_thread_ = std::thread(&ServePipeline::reorder_worker, this);
+    if (manager_) {
+      checkpoint_jobs_ = std::make_unique<BoundedQueue<CheckpointJob>>(2);
+      checkpoint_thread_ = std::thread(&ServePipeline::checkpoint_worker, this);
+    }
+
+    std::thread ingest([&] {
+      for (std::uint64_t step = start_step; want_step(step); ++step) {
+        StepInput input = ingest_step(step, /*threaded=*/true);
+        if (!in_queue_->push(std::move(input))) break;
+        sleep_ms(config_.pace_ms);
+      }
+      // Graceful drain handshake: close the inlet; execute flushes what is
+      // already queued, then closes its own outlet.
+      in_queue_->close();
+    });
+
+    std::thread execute([&] {
+      while (auto input = in_queue_->pop()) {
+        StepRecord record = execute_step(std::move(*input));
+        const std::uint64_t step = record.step;
+        if (!out_queue_->push(std::move(record))) break;
+        (void)maybe_checkpoint(step, /*threaded=*/true);
+      }
+      out_queue_->close();
+    });
+
+    // The caller's thread is the outcome-export stage.
+    while (auto record = out_queue_->pop()) {
+      PAROLE_OBS_HEARTBEAT("serve.outcome");
+      absorb_record(*record, stats);
+    }
+    ingest.join();
+    execute.join();
+    stopped = stop_requested();
+  }
+
+  // Roll the final checkpoint at the serve-step boundary *before* the drain:
+  // checkpoints always describe pre-drain state, so a resumed run re-enters
+  // the ingest schedule exactly where the interrupted one left it and
+  // converges to the uninterrupted run's fingerprint. (The drain itself is a
+  // pure function of the restored state — chaos and supervision key off the
+  // node's step index — so it simply re-runs on resume.)
+  Status final_save = ok_status();
+  if (manager_ && !checkpoint_sup_.degraded()) {
+    if (threaded) {
+      CheckpointJob job;
+      job.builder = std::make_shared<io::CheckpointBuilder>();
+      job.next_step = next_ingest_step_;
+      fill_checkpoint(*job.builder, next_ingest_step_);
+      (void)checkpoint_jobs_->push(std::move(job));
+    } else {
+      final_save = save_checkpoint_now(next_ingest_step_);
+    }
+  }
+
+  // Drain: every admitted transaction resolves and every committed batch
+  // leaves its challenge window before we take the final fingerprint. The
+  // reorder worker stays alive through this — quiescence steps still hit the
+  // adversarial aggregator.
+  const rollup::DrainResult drain =
+      node_->run_to_quiescence(config_.quiescence_steps);
+  for (const rollup::StepOutcome& outcome : drain.outcomes) {
+    if (outcome.produced_batch) ++stats.batches;
+    if (outcome.challenged) ++stats.challenges;
+    if (outcome.fraud_proven) ++stats.frauds;
+    if (outcome.reorderer_degraded) ++stats.degraded_batches;
+  }
+
+  if (threaded) {
+    reorder_requests_->close();
+    reorder_responses_->close();
+    if (reorder_thread_.joinable()) reorder_thread_.join();
+    if (checkpoint_jobs_) checkpoint_jobs_->close();
+    if (checkpoint_thread_.joinable()) checkpoint_thread_.join();
+  }
+  if (!final_save.ok()) return final_save.error();
+  if (checkpoint_write_failed_.load(std::memory_order_relaxed)) {
+    return Error{"io_error", "a rolling checkpoint write failed mid-run"};
+  }
+
+  const double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  return finish(std::move(stats), drain.drained, stopped, wall_seconds);
+}
+
+}  // namespace parole::serve

@@ -1,0 +1,248 @@
+// The serve daemon: RollupNode as a long-lived streaming service
+// (DESIGN.md §14, ROADMAP item 4).
+//
+// A continuous synthetic tx stream (heavy-tailed arrivals over src/data's
+// workload generator) flows through concurrent pipeline stages joined by
+// bounded queues:
+//
+//   [ingest] --Q(in)--> [execute] --Q(out)--> [outcome export]
+//                         |    |
+//                         |    +--Q(req)/Q(resp)--> [reorder worker]
+//                         +--Q(ckpt)--> [checkpoint writer]
+//
+// The execute stage owns the RollupNode and runs collect -> reorder ->
+// execute/commit -> verify exactly as a batch-stepped run would — the
+// concurrency lives *around* the state owner (generation, the adversarial
+// reorder search, checkpoint serialization, outcome export), never inside
+// it. Combined with deterministic admission (shed on mempool depth, not on
+// wall-clock queue pressure) and deterministic stage faults (serve/
+// supervisor.hpp), that yields the property the acceptance test checks:
+// same seed + same fault script => bit-identical finalized state whether the
+// schedule runs through run() (threaded) or run_inline() (no threads).
+//
+// Robustness features, per the supervision layer:
+//   - bounded queues apply blocking backpressure (counted, never dropping);
+//   - admission control sheds at the ingest edge when the mempool saturates
+//     (parole.rollup.shed_txs + terminal kShed journal events);
+//   - per-stage deadlines with retry/backoff on transient faults; the
+//     reorder stage degrades to honest-order passthrough when it crash-loops;
+//   - graceful drain on request (SIGTERM/SIGINT in the CLI): in-flight
+//     batches flush, the node runs to quiescence, a final checkpoint rolls;
+//   - rolling checkpoints (PR 4 CheckpointManager) cut off the hot path by a
+//     dedicated writer thread; a SIGKILLed serve resumes bit-identically.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parole/data/workload.hpp"
+#include "parole/io/manifest.hpp"
+#include "parole/rollup/node.hpp"
+#include "parole/serve/queue.hpp"
+#include "parole/serve/supervisor.hpp"
+
+namespace parole::serve {
+
+struct ServeConfig {
+  std::uint64_t seed{0x5e12e5e12eULL};
+  // Aggregation rounds to serve; 0 = run until a stop is requested (daemon
+  // mode — pair with the CLI's SIGTERM handler).
+  std::uint64_t steps{240};
+
+  // Workload population + tx mix. premint is forced to 0: the node's genesis
+  // arrives through the bridge (deposits), which cannot carry pre-owned
+  // tokens, and generator/node state must agree at step 0.
+  data::WorkloadConfig workload;
+
+  // Aggregator collection size N and the admission cap: a submission is shed
+  // when the mempool already holds `max_mempool_depth` transactions.
+  std::size_t batch_size{6};
+  std::size_t max_mempool_depth{48};
+
+  // Heavy-tailed arrival process: per-step counts are rate * a Pareto(shape)
+  // multiplier with unit mean — bursty enough to exercise shedding, pure in
+  // (seed, step) so replays see identical traffic.
+  double arrival_rate{5.0};
+  double arrival_shape{1.6};
+  std::size_t max_arrivals_per_step{64};
+
+  // Chaos (PR 3) armed for the whole run; the corrupt aggregator gives the
+  // dispute game real fraud to catch.
+  bool chaos{true};
+  bool corrupt_aggregator{true};
+
+  // Supervision (serve/supervisor.hpp). seed 0 = inherit the serve seed.
+  SupervisorConfig supervisor;
+
+  // Inter-stage queue capacity (backpressure depth).
+  std::size_t queue_capacity{8};
+
+  // Rolling checkpoints; empty dir = checkpointing off. kill_after N > 0 is
+  // the crash drill: SIGKILL after the Nth served step's checkpoint lands.
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_every{32};
+  std::uint64_t kill_after{0};
+
+  // Wall-clock knobs (threaded mode only; inline replay ignores them).
+  std::uint64_t pace_ms{0};              // per-step sleep for live scrapes
+  std::uint64_t reorder_deadline_ms{5000};  // stage deadline on the worker
+
+  // Journal ring size for the node (a soak outlives the default ring).
+  std::size_t journal_capacity{1u << 20};
+
+  // Step budget for the post-drain quiescence loop.
+  std::size_t quiescence_steps{20'000};
+
+  // Invoked once the node exists (after a possible resume, before the first
+  // step). The CLI attaches live telemetry (/journal/tail, flight recorder)
+  // here; not part of the determinism surface.
+  std::function<void(rollup::RollupNode&)> node_observer;
+};
+
+struct ServeStats {
+  std::uint64_t start_step{0};  // > 0 when resumed from a checkpoint
+  std::uint64_t steps_run{0};   // steps served this process (excl. drain)
+  std::uint64_t txs_generated{0};
+  std::uint64_t txs_admitted{0};
+  std::uint64_t txs_shed{0};
+  std::uint64_t batches{0};
+  std::uint64_t challenges{0};
+  std::uint64_t frauds{0};
+  std::uint64_t degraded_batches{0};  // shipped with the reorderer suppressed
+  std::uint64_t queue_full_waits{0};  // backpressure events across all queues
+  StageReport ingest;
+  StageReport reorder;
+  StageReport checkpoint;
+  bool stopped{false};   // a stop request triggered the drain
+  bool drained{false};   // quiescence reached inside the step budget
+  bool invariants_clean{true};
+  std::size_t invariant_violations{0};
+  // Journal-derived (empty/zero when the journal is unarmed):
+  std::uint64_t finalized_txs{0};
+  double p99_latency_ms{0.0};
+  double p999_latency_ms{0.0};
+  bool journal_audit_ok{true};
+  std::uint64_t journal_shed{0};  // kShed chains seen by the audit
+  // Throughput over the serve phase (admission -> quiescence).
+  double wall_seconds{0.0};
+  double sustained_tps{0.0};  // finalized tx/s (admitted tx/s if no journal)
+  // state_root() hex at quiescence — the bit-identity witness.
+  std::string fingerprint;
+};
+
+class ServePipeline {
+ public:
+  explicit ServePipeline(ServeConfig config);
+  ~ServePipeline();
+
+  ServePipeline(const ServePipeline&) = delete;
+  ServePipeline& operator=(const ServePipeline&) = delete;
+
+  // Threaded daemon run. `stop` (nullable) is polled once per ingest step;
+  // setting it requests the graceful drain. One run per pipeline object.
+  Result<ServeStats> run(const std::atomic<bool>* stop = nullptr);
+
+  // The same schedule with no threads, queues, or sleeps — the determinism
+  // oracle the equivalence test diffs run() against.
+  Result<ServeStats> run_inline(const std::atomic<bool>* stop = nullptr);
+
+  // Deterministic heavy-tailed arrival count for `step` (pure in seed/step).
+  [[nodiscard]] std::size_t arrivals_for_step(std::uint64_t step) const;
+
+  // The chaos mix a serve soak arms by default (all families, same shape as
+  // the `chaos` command's).
+  [[nodiscard]] static rollup::ChaosConfig default_chaos(std::uint64_t seed);
+
+  [[nodiscard]] rollup::RollupNode& node() { return *node_; }
+  [[nodiscard]] const ServeConfig& config() const { return config_; }
+
+ private:
+  struct StepInput {
+    std::uint64_t step{0};
+    std::vector<vm::Tx> txs;
+  };
+  struct StepRecord {
+    std::uint64_t step{0};
+    std::uint64_t admitted{0};
+    std::uint64_t shed{0};
+    rollup::StepOutcome outcome;
+  };
+  struct ReorderRequest {
+    std::uint64_t step{0};
+    std::uint32_t attempt{0};
+    std::vector<vm::Tx> txs;
+  };
+  struct ReorderResponse {
+    std::uint64_t step{0};
+    std::uint32_t attempt{0};
+    bool faulted{false};
+    std::vector<vm::Tx> txs;
+  };
+  struct CheckpointJob {
+    std::shared_ptr<io::CheckpointBuilder> builder;
+    std::uint64_t next_step{0};
+  };
+
+  Result<ServeStats> run_impl(const std::atomic<bool>* stop, bool threaded);
+  void build_node(bool threaded);
+  // Loads the newest checkpoint generation when the dir holds one; fast-
+  // forwards the workload generator and supervision state. Sets start_step.
+  Status try_resume(std::uint64_t& start_step);
+  Status maybe_checkpoint(std::uint64_t step, bool threaded);
+  Status save_checkpoint_now(std::uint64_t next_step);
+  void fill_checkpoint(io::CheckpointBuilder& builder,
+                       std::uint64_t next_step) const;
+  // Supervised arrival count for `step`: advances the ingest supervisor and
+  // applies its degraded half-rate. Resume replays this over the served
+  // prefix, so the supervisor's state is recomputed, never serialized.
+  std::size_t planned_arrivals(std::uint64_t step);
+  // Ingest one step's arrivals (supervised).
+  StepInput ingest_step(std::uint64_t step, bool threaded);
+  // Admit + step the node for one StepInput (supervised reorder via the
+  // callback); updates counters and returns the record.
+  StepRecord execute_step(StepInput input);
+  // The reorder permutation both modes apply (the "attack": reverse order).
+  static std::vector<vm::Tx> permute(std::vector<vm::Tx> txs);
+  std::vector<vm::Tx> supervised_reorder_inline(std::vector<vm::Tx> txs);
+  std::vector<vm::Tx> supervised_reorder_threaded(std::vector<vm::Tx> txs);
+  void reorder_worker();
+  void checkpoint_worker();
+  void absorb_record(const StepRecord& record, ServeStats& stats);
+  ServeStats finish(ServeStats stats, bool drained, bool stopped,
+                    double wall_seconds);
+
+  ServeConfig config_;
+  std::unique_ptr<data::WorkloadGenerator> generator_;
+  std::unique_ptr<rollup::RollupNode> node_;
+  std::unique_ptr<io::CheckpointManager> manager_;
+  StageSupervisor ingest_sup_;
+  StageSupervisor reorder_sup_;
+  StageSupervisor checkpoint_sup_;
+
+  // Threaded-mode plumbing. The reorder callback runs on the execute thread
+  // and reads the current step straight from the node.
+  std::unique_ptr<BoundedQueue<StepInput>> in_queue_;
+  std::unique_ptr<BoundedQueue<StepRecord>> out_queue_;
+  std::unique_ptr<BoundedQueue<ReorderRequest>> reorder_requests_;
+  std::unique_ptr<BoundedQueue<ReorderResponse>> reorder_responses_;
+  std::unique_ptr<BoundedQueue<CheckpointJob>> checkpoint_jobs_;
+  std::thread reorder_thread_;
+  std::thread checkpoint_thread_;
+  bool threaded_{false};
+  std::atomic<bool> checkpoint_write_failed_{false};
+
+  // Running totals (serve phase; admitted/shed ride the SRVE section, the
+  // rest is recomputed on resume by replaying the ingest schedule).
+  std::uint64_t txs_generated_{0};
+  std::uint64_t txs_admitted_{0};
+  std::uint64_t txs_shed_{0};
+  std::uint64_t next_ingest_step_{0};
+  bool ran_{false};
+};
+
+}  // namespace parole::serve

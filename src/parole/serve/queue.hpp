@@ -1,0 +1,131 @@
+// Bounded blocking queues connecting serve pipeline stages (DESIGN.md §14).
+//
+// The serve daemon's stages are joined by single-producer/single-consumer
+// channels with *blocking* backpressure: a push against a full queue waits
+// (counted into parole.serve.queue_full, never silent) instead of dropping —
+// load is only ever refused at the admission edge, where the shed is a
+// deterministic, journaled decision. That split is what keeps the concurrent
+// pipeline bit-identical to a batch-stepped replay: wall-clock pressure can
+// slow a run down but can never change which transactions it processes.
+//
+// close() wakes every waiter; producers see push() == false, consumers drain
+// the remaining entries and then get nullopt — the graceful-drain handshake
+// SIGTERM rides (flush in-flight work, then let each stage run dry).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "parole/obs/metrics.hpp"
+
+namespace parole::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while the queue is full (backpressure). Returns false — and drops
+  // `value` — only when the queue was closed; a false return during drain
+  // means the consumer has already gone away.
+  bool push(T value) {
+    std::unique_lock lock(mutex_);
+    if (items_.size() >= capacity_ && !closed_) {
+      // One count per blocked push, not per wakeup: the counter measures how
+      // often the downstream stage applied backpressure, not lock churn.
+      ++full_waits_;
+      PAROLE_OBS_COUNT("parole.serve.queue_full", 1);
+      not_full_.wait(lock,
+                     [this] { return items_.size() < capacity_ || closed_; });
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while the queue is empty; nullopt once closed AND drained, so a
+  // consumer loop `while (auto item = q.pop())` exits exactly when no more
+  // work can ever arrive.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  // Blocking pop with a deadline — the per-stage deadline primitive. nullopt
+  // means timeout OR closed-and-drained; the caller treats either as a stage
+  // fault and goes through its supervisor.
+  std::optional<T> pop_for(std::uint64_t timeout_ms) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                        [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  // Non-blocking pop for drain loops that must keep heartbeating.
+  std::optional<T> try_pop() {
+    std::unique_lock lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    T out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard lock(mutex_);
+    return closed_;
+  }
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  // Pushes that had to wait on a full queue (backpressure events).
+  [[nodiscard]] std::uint64_t full_waits() const {
+    std::lock_guard lock(mutex_);
+    return full_waits_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::uint64_t full_waits_{0};
+  bool closed_{false};
+};
+
+}  // namespace parole::serve

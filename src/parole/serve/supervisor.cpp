@@ -1,0 +1,112 @@
+#include "parole/serve/supervisor.hpp"
+
+#include <algorithm>
+
+#include "parole/common/fault.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/watchdog.hpp"
+
+namespace parole::serve {
+namespace {
+
+const std::vector<std::uint64_t>& forced_for(const SupervisorConfig& config,
+                                             ServeStage stage) {
+  switch (stage) {
+    case ServeStage::kIngest: return config.forced_ingest_faults;
+    case ServeStage::kReorder: return config.forced_reorder_faults;
+    case ServeStage::kCheckpoint: return config.forced_checkpoint_faults;
+  }
+  return config.forced_ingest_faults;
+}
+
+}  // namespace
+
+StageSupervisor::StageSupervisor(const SupervisorConfig& config,
+                                 std::string name, ServeStage stage)
+    : config_(config), stage_(stage) {
+  report_.name = std::move(name);
+}
+
+bool StageSupervisor::plan_faults(std::uint64_t step) const {
+  const auto& forced = forced_for(config_, stage_);
+  if (std::find(forced.begin(), forced.end(), step) != forced.end()) {
+    return true;
+  }
+  if (config_.p_stage_fault <= 0.0) return false;
+  return fault_roll(config_.seed, static_cast<std::uint64_t>(stage_),
+                    /*subject=*/0, step, config_.p_stage_fault);
+}
+
+StageSupervisor::Action StageSupervisor::on_fault(std::uint64_t step) {
+  if (report_.degraded) return Action::kDegrade;
+  ++report_.faults;
+  ++consecutive_;
+  PAROLE_OBS_COUNT("parole.serve.stage_faults", 1);
+
+  window_.push_back(step);
+  while (!window_.empty() &&
+         step - window_.front() >= config_.crash_loop_window) {
+    window_.pop_front();
+  }
+  if (window_.size() > config_.crash_loop_budget) {
+    report_.degraded = true;
+    report_.degraded_at_step = step;
+    PAROLE_OBS_COUNT("parole.serve.stage_degrades", 1);
+    // Degrading IS the relaunch — the stage re-enters service in its reduced
+    // mode, so the sticky stall latch must clear here too.
+    obs::StallWatchdog::instance().stage_relaunched(report_.name);
+    return Action::kDegrade;
+  }
+
+  ++report_.retries;
+  PAROLE_OBS_COUNT("parole.serve.stage_retries", 1);
+  obs::StallWatchdog::instance().stage_relaunched(report_.name);
+  return Action::kRetry;
+}
+
+void StageSupervisor::on_success() { consecutive_ = 0; }
+
+void StageSupervisor::save(io::ByteWriter& w) const {
+  w.u64(report_.faults);
+  w.u64(report_.retries);
+  w.boolean(report_.degraded);
+  w.u64(report_.degraded_at_step);
+  w.u64(consecutive_);
+  w.u64(window_.size());
+  for (const std::uint64_t step : window_) w.u64(step);
+}
+
+Status StageSupervisor::load(io::ByteReader& r) {
+  StageReport loaded;
+  loaded.name = report_.name;
+  std::uint64_t consecutive = 0;
+  std::uint64_t count = 0;
+  PAROLE_IO_READ(r.u64(loaded.faults), "supervisor faults");
+  PAROLE_IO_READ(r.u64(loaded.retries), "supervisor retries");
+  PAROLE_IO_READ(r.boolean(loaded.degraded), "supervisor degraded");
+  PAROLE_IO_READ(r.u64(loaded.degraded_at_step), "supervisor degrade step");
+  PAROLE_IO_READ(r.u64(consecutive), "supervisor consecutive");
+  PAROLE_IO_READ(r.length(count, sizeof(std::uint64_t)), "supervisor window");
+  std::deque<std::uint64_t> window;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t step = 0;
+    PAROLE_IO_READ(r.u64(step), "supervisor window entry");
+    window.push_back(step);
+  }
+  report_ = std::move(loaded);
+  consecutive_ = static_cast<std::uint32_t>(consecutive);
+  window_ = std::move(window);
+  return ok_status();
+}
+
+std::uint64_t StageSupervisor::backoff_ms() const {
+  if (consecutive_ == 0) return 0;
+  std::uint64_t backoff = config_.backoff_base_ms;
+  for (std::uint32_t i = 1; i < consecutive_ && backoff < config_.backoff_max_ms;
+       ++i) {
+    backoff *= 2;
+  }
+  return std::min(backoff, config_.backoff_max_ms);
+}
+
+}  // namespace parole::serve

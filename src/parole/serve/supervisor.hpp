@@ -1,0 +1,119 @@
+// Stage supervision for the serve pipeline (DESIGN.md §14).
+//
+// Every pipeline stage runs under a StageSupervisor implementing a small
+// state machine:
+//
+//     RUNNING --fault--> BACKOFF --retry--> RUNNING
+//        |                                     |
+//        +--- budget blown inside window ------+--> DEGRADED (sticky)
+//
+// Transient stage faults are *deterministic*: whether the stage faults at a
+// given (stage, step) is a pure draw from the common/fault streams (plus an
+// optional forced script), exactly like the chaos FaultPlan — so a threaded
+// serve run and its batch-stepped inline replay fault, retry, and degrade at
+// identical steps, and the finalized state stays bit-identical. Only the
+// *waiting* is wall-clock: retry backoff sleeps happen in threaded mode and
+// are skipped inline, which cannot change state.
+//
+// A fault fires on the first attempt of its step and clears on retry — the
+// "transient" in transient fault. What escalates is *frequency*: when more
+// than `crash_loop_budget` faulted steps land inside a sliding window of
+// `crash_loop_window` steps, the stage is crash-looping and the supervisor
+// degrades it instead of stalling the pipeline. For the reorder stage that
+// means honest-order passthrough (RollupNode::set_reorder_passthrough) — the
+// attack loses its slots, the chain keeps draining. Every relaunch clears
+// the watchdog's sticky stall latch via StallWatchdog::stage_relaunched.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "parole/io/bytes.hpp"
+
+namespace parole::serve {
+
+struct SupervisorConfig {
+  std::uint64_t seed{0};
+  // Per (stage, step) transient-fault probability; 0 disables random faults.
+  double p_stage_fault{0.0};
+  // Exponential retry backoff: base * 2^(consecutive-1), capped. Milliseconds
+  // of real sleep in threaded mode; pure bookkeeping inline.
+  std::uint64_t backoff_base_ms{1};
+  std::uint64_t backoff_max_ms{32};
+  // More than `crash_loop_budget` faulted steps inside any window of
+  // `crash_loop_window` steps = crash loop -> degrade.
+  std::uint32_t crash_loop_budget{3};
+  std::uint64_t crash_loop_window{32};
+  // Scripted faults per stage stream (step numbers); tests use these to
+  // drive the degrade transition deterministically regardless of p.
+  std::vector<std::uint64_t> forced_ingest_faults;
+  std::vector<std::uint64_t> forced_reorder_faults;
+  std::vector<std::uint64_t> forced_checkpoint_faults;
+};
+
+// Stable fault-stream identifiers for the serve stages. The chaos FaultPlan
+// owns streams 1..7 (rollup/chaos.cpp); serve stages live far away so the
+// two schedules can share one seed without correlating.
+enum class ServeStage : std::uint64_t {
+  kIngest = 101,
+  kReorder = 102,
+  kCheckpoint = 103,
+};
+
+struct StageReport {
+  std::string name;
+  std::uint64_t faults{0};      // faulted steps
+  std::uint64_t retries{0};     // relaunches after a fault
+  bool degraded{false};
+  std::uint64_t degraded_at_step{0};  // meaningful when degraded
+
+  friend bool operator==(const StageReport&, const StageReport&) = default;
+};
+
+class StageSupervisor {
+ public:
+  StageSupervisor(const SupervisorConfig& config, std::string name,
+                  ServeStage stage);
+
+  // Pure: does the deterministic plan fault this stage at `step`? Identical
+  // answers in any order, any number of times — the property the inline /
+  // threaded equivalence test leans on.
+  [[nodiscard]] bool plan_faults(std::uint64_t step) const;
+
+  enum class Action { kRetry, kDegrade };
+
+  // Record a fault at `step`: updates the sliding crash-loop window, clears
+  // the watchdog's sticky stall latch for this stage (the relaunch is
+  // liveness), and decides retry vs degrade. Degrade is sticky; further
+  // faults on a degraded stage keep returning kDegrade without re-counting.
+  Action on_fault(std::uint64_t step);
+
+  // The stage completed a step cleanly; resets the consecutive-fault counter
+  // that drives backoff (NOT the crash-loop window, which is step-based).
+  void on_success();
+
+  // Backoff before the next retry, from the consecutive-fault counter.
+  [[nodiscard]] std::uint64_t backoff_ms() const;
+
+  [[nodiscard]] bool degraded() const { return report_.degraded; }
+  [[nodiscard]] const StageReport& report() const { return report_; }
+  [[nodiscard]] const std::string& name() const { return report_.name; }
+
+  // Checkpointing (DESIGN.md §10): counters, the degrade latch and the
+  // crash-loop window — a resumed serve must keep degrading at the same step
+  // it would have without the SIGKILL. The config is not serialized; the
+  // caller reconstructs the supervisor the same way before load().
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
+
+ private:
+  SupervisorConfig config_;
+  ServeStage stage_;
+  StageReport report_;
+  std::uint32_t consecutive_{0};
+  std::deque<std::uint64_t> window_;  // faulted steps inside the window
+};
+
+}  // namespace parole::serve

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 
+#include "parole/obs/metrics.hpp"
 #include "parole/rollup/aggregator.hpp"
 #include "parole/rollup/dispute.hpp"
 #include "parole/rollup/mempool.hpp"
@@ -156,6 +157,62 @@ TEST(Mempool, DeferCollectInterleavingDemotesProgressively) {
   EXPECT_EQ(rest[0].id, TxId{2});
   EXPECT_EQ(rest[1].id, TxId{9});
 }
+
+TEST(Mempool, ShedConsumesNoArrivalStamp) {
+  // The overload path must leave the surviving txs' priority bookkeeping
+  // exactly as if the shed tx had never arrived: a refused submission burns
+  // no arrival stamp, so FIFO tie-breaks across a shed are unchanged.
+  BedrockMempool pool;
+  EXPECT_TRUE(pool.submit_bounded(
+      vm::Tx::make_mint(TxId{1}, UserId{1}, gwei(5), gwei(0)), 2));
+  EXPECT_TRUE(pool.submit_bounded(
+      vm::Tx::make_mint(TxId{2}, UserId{2}, gwei(5), gwei(0)), 2));
+  // Pool at depth: shed, regardless of how well the tx pays.
+  EXPECT_FALSE(pool.submit_bounded(
+      vm::Tx::make_mint(TxId{9}, UserId{9}, gwei(500), gwei(0)), 2));
+  EXPECT_EQ(pool.submitted_total(), 2u);
+  EXPECT_EQ(pool.size(), 2u);
+
+  (void)pool.collect(2);
+  // Room again: the next admit takes stamp 2, contiguous with the survivors.
+  EXPECT_TRUE(pool.submit_bounded(
+      vm::Tx::make_mint(TxId{3}, UserId{3}, gwei(5), gwei(0)), 2));
+  const auto rest = pool.collect(1);
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].arrival, 2u);
+}
+
+TEST(Mempool, ShedLeavesDeferRoundsUntouched) {
+  // Defer-round semantics extended to the overload path: a shed is not a
+  // collect (closes no round) and not a defer (joins no round), so the
+  // deferred block's ordering is identical with sheds interleaved.
+  BedrockMempool pool;
+  pool.defer(vm::Tx::make_mint(TxId{1}, UserId{1}, gwei(10), gwei(0)));
+  EXPECT_FALSE(pool.submit_bounded(
+      vm::Tx::make_mint(TxId{7}, UserId{7}, gwei(900), gwei(0)), 1));
+  pool.defer(vm::Tx::make_mint(TxId{2}, UserId{2}, gwei(90), gwei(0)));
+  EXPECT_FALSE(pool.submit_bounded(
+      vm::Tx::make_mint(TxId{8}, UserId{8}, gwei(900), gwei(0)), 1));
+
+  EXPECT_EQ(pool.defer_rounds_closed(), 0u);  // sheds closed no round
+  const auto batch = pool.collect(2);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].id, TxId{2});  // one round, fee order — as with no sheds
+  EXPECT_EQ(batch[1].id, TxId{1});
+  EXPECT_EQ(pool.defer_rounds_closed(), 1u);
+}
+
+#if !defined(PAROLE_OBS_DISABLED)
+TEST(Mempool, ShedsAreCountedNeverSilent) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::instance();
+  registry.counter("parole.rollup.shed_txs").reset();
+  BedrockMempool pool;
+  ASSERT_TRUE(pool.submit_bounded(vm::Tx::make_mint(TxId{1}, UserId{1}), 1));
+  EXPECT_FALSE(pool.submit_bounded(vm::Tx::make_mint(TxId{2}, UserId{2}), 1));
+  EXPECT_FALSE(pool.submit_bounded(vm::Tx::make_mint(TxId{3}, UserId{3}), 1));
+  EXPECT_EQ(registry.counter("parole.rollup.shed_txs").value(), 2u);
+}
+#endif  // !PAROLE_OBS_DISABLED
 
 TEST(Mempool, RestoreReentersAtOriginalPriority) {
   BedrockMempool pool;

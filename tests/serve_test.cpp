@@ -1,0 +1,305 @@
+// The serve daemon (DESIGN.md §14): supervised streaming pipeline over the
+// rollup node. The properties under test are the PR's acceptance criteria:
+//
+//   - determinism: the threaded pipeline and its batch-stepped inline replay
+//     produce bit-identical finalized state for the same seed + fault script;
+//   - shedding is accounted, never silent: every refused admission shows up
+//     in the stats, the journal (terminal kShed), and the counters;
+//   - graceful stop: a stop request drains in-flight work to quiescence,
+//     rolls a final checkpoint, and loses no transaction;
+//   - crash-loop degrade: a crash-looping reorder stage falls back to honest
+//     passthrough instead of stalling the pipeline;
+//   - resume: a run continued from a checkpoint converges to the same
+//     fingerprint as an uninterrupted run.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "parole/io/checkpoint.hpp"
+#include "parole/io/manifest.hpp"
+#include "parole/obs/journal.hpp"
+#include "parole/serve/pipeline.hpp"
+#include "parole/serve/queue.hpp"
+#include "parole/serve/supervisor.hpp"
+
+namespace parole::serve {
+namespace {
+
+std::string scratch_dir(const std::string& name) {
+  const std::string path =
+      std::string("/tmp/parole_serve_test_") +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed()) + "_" +
+      name;
+  std::filesystem::remove_all(path);
+  return path;
+}
+
+ServeConfig small_config() {
+  ServeConfig config;
+  config.seed = 0x7e57'5e12eULL;
+  config.steps = 24;
+  config.batch_size = 4;
+  config.arrival_rate = 4.0;
+  config.workload.num_users = 8;
+  config.quiescence_steps = 4000;
+  return config;
+}
+
+// Journal arming is a process-global switch; scope it per test.
+struct JournalScope {
+  bool was{obs::TxJournal::enabled()};
+  JournalScope() { obs::TxJournal::set_enabled(true); }
+  ~JournalScope() { obs::TxJournal::set_enabled(was); }
+};
+
+TEST(ServePipeline, ThreadedAndInlineRunsAreBitIdentical) {
+  ServeConfig config = small_config();
+  config.chaos = true;
+  config.supervisor.p_stage_fault = 0.2;  // plenty of transient stage faults
+
+  ServePipeline threaded(config);
+  auto threaded_run = threaded.run();
+  ASSERT_TRUE(threaded_run.ok()) << threaded_run.error().detail;
+
+  ServePipeline batch_stepped(config);
+  auto inline_run = batch_stepped.run_inline();
+  ASSERT_TRUE(inline_run.ok()) << inline_run.error().detail;
+
+  const ServeStats& a = threaded_run.value();
+  const ServeStats& b = inline_run.value();
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.steps_run, b.steps_run);
+  EXPECT_EQ(a.txs_generated, b.txs_generated);
+  EXPECT_EQ(a.txs_admitted, b.txs_admitted);
+  EXPECT_EQ(a.txs_shed, b.txs_shed);
+  EXPECT_EQ(a.batches, b.batches);
+  EXPECT_EQ(a.challenges, b.challenges);
+  EXPECT_EQ(a.frauds, b.frauds);
+  EXPECT_EQ(a.degraded_batches, b.degraded_batches);
+  // Whole stage reports agree: same faults, same retries, same degrade step.
+  EXPECT_EQ(a.ingest, b.ingest);
+  EXPECT_EQ(a.reorder, b.reorder);
+  EXPECT_EQ(a.checkpoint, b.checkpoint);
+  EXPECT_TRUE(a.invariants_clean);
+  EXPECT_TRUE(b.invariants_clean);
+}
+
+TEST(ServePipeline, SheddingIsFullyAccounted) {
+  JournalScope journal;
+  ServeConfig config = small_config();
+  config.chaos = false;  // crisp accounting: no chaos drops/duplicates
+  config.arrival_rate = 12.0;
+  config.max_mempool_depth = 4;  // saturate: bursts must shed
+
+  ServePipeline pipeline(config);
+  auto result = pipeline.run_inline();
+  ASSERT_TRUE(result.ok()) << result.error().detail;
+  const ServeStats& stats = result.value();
+
+  EXPECT_GT(stats.txs_shed, 0u) << "config failed to saturate the mempool";
+  EXPECT_EQ(stats.txs_generated, stats.txs_admitted + stats.txs_shed);
+  // Every shed is journaled as a terminal kShed chain — counted, never
+  // silent — and the audit still closes every admitted chain.
+  EXPECT_TRUE(stats.journal_audit_ok);
+  EXPECT_EQ(stats.journal_shed, stats.txs_shed);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_TRUE(stats.invariants_clean);
+}
+
+TEST(ServePipeline, GracefulStopDrainsAndRollsFinalCheckpoint) {
+  JournalScope journal;
+  const std::string dir = scratch_dir("drain");
+  ServeConfig config = small_config();
+  config.steps = 0;  // daemon mode: only a stop request ends the run
+  config.checkpoint_dir = dir;
+  config.checkpoint_every = 4;
+  config.pace_ms = 1;
+
+  ServePipeline pipeline(config);
+  std::atomic<bool> stop{false};
+  std::thread stopper([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    stop.store(true);
+  });
+  auto result = pipeline.run(&stop);
+  stopper.join();
+  ASSERT_TRUE(result.ok()) << result.error().detail;
+  const ServeStats& stats = result.value();
+
+  EXPECT_TRUE(stats.stopped);
+  EXPECT_TRUE(stats.drained) << "stop must flush in-flight work to quiescence";
+  EXPECT_TRUE(stats.journal_audit_ok) << "no transaction may be lost in drain";
+  EXPECT_TRUE(stats.invariants_clean);
+
+  // The final checkpoint rolled and is loadable; a fresh pipeline resuming
+  // from it (and told to stop immediately) lands on the same fingerprint.
+  io::CheckpointManager manager(dir, "serve", 3);
+  ASSERT_TRUE(manager.has_checkpoint());
+  auto loaded = manager.load_latest();
+  ASSERT_TRUE(loaded.ok()) << loaded.error().detail;
+  auto meta = loaded.value().checkpoint.meta();
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta.value().at("kind").as_string(), "serve");
+
+  ServePipeline resumed(config);
+  std::atomic<bool> already_stopped{true};
+  auto resumed_run = resumed.run_inline(&already_stopped);
+  ASSERT_TRUE(resumed_run.ok()) << resumed_run.error().detail;
+  EXPECT_GT(resumed_run.value().start_step, 0u);
+  EXPECT_EQ(resumed_run.value().fingerprint, stats.fingerprint);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServePipeline, CrashLoopingReorderStageDegradesToPassthrough) {
+  ServeConfig config = small_config();
+  config.chaos = false;
+  config.steps = 32;
+  config.supervisor.crash_loop_budget = 2;
+  config.supervisor.crash_loop_window = 32;
+  // Fault every early step: the first two faulted steps retry (transient),
+  // the third blows the budget and degrades the stage for good.
+  config.supervisor.forced_reorder_faults = {0, 1, 2,  3,  4,  5,  6,  7,
+                                             8, 9, 10, 11, 12, 13, 14, 15};
+
+  ServePipeline threaded(config);
+  auto threaded_run = threaded.run();
+  ASSERT_TRUE(threaded_run.ok()) << threaded_run.error().detail;
+  const ServeStats& stats = threaded_run.value();
+
+  EXPECT_TRUE(stats.reorder.degraded);
+  EXPECT_EQ(stats.reorder.retries, 2u);  // budget's worth of retries
+  EXPECT_GT(stats.degraded_batches, 0u)
+      << "post-degrade batches must ship honest-order passthrough";
+  EXPECT_TRUE(stats.invariants_clean);
+
+  // The degrade schedule is part of the determinism surface.
+  ServePipeline batch_stepped(config);
+  auto inline_run = batch_stepped.run_inline();
+  ASSERT_TRUE(inline_run.ok());
+  EXPECT_EQ(inline_run.value().fingerprint, stats.fingerprint);
+  EXPECT_EQ(inline_run.value().reorder, stats.reorder);
+}
+
+TEST(ServePipeline, ResumeFromMidRunCheckpointIsBitIdentical) {
+  const std::string dir = scratch_dir("resume");
+  ServeConfig config = small_config();
+  config.steps = 32;
+  config.chaos = true;
+  config.supervisor.p_stage_fault = 0.1;
+
+  // Reference: one uninterrupted run, no checkpointing.
+  ServePipeline reference(config);
+  auto reference_run = reference.run_inline();
+  ASSERT_TRUE(reference_run.ok());
+
+  // Interrupted: stop partway through (any prefix must resume correctly),
+  // then resume from the rolled checkpoint and finish.
+  ServeConfig ckpt_config = config;
+  ckpt_config.checkpoint_dir = dir;
+  ckpt_config.checkpoint_every = 4;
+  ckpt_config.pace_ms = 1;
+  ServePipeline interrupted(ckpt_config);
+  std::atomic<bool> stop{false};
+  std::thread stopper([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    stop.store(true);
+  });
+  auto first_leg = interrupted.run(&stop);
+  stopper.join();
+  ASSERT_TRUE(first_leg.ok()) << first_leg.error().detail;
+
+  ServePipeline resumed(ckpt_config);
+  auto second_leg = resumed.run();
+  ASSERT_TRUE(second_leg.ok()) << second_leg.error().detail;
+  EXPECT_EQ(second_leg.value().steps_run + second_leg.value().start_step,
+            config.steps);
+  EXPECT_EQ(second_leg.value().fingerprint, reference_run.value().fingerprint);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServePipeline, ConfigMismatchRejectsForeignCheckpoint) {
+  const std::string dir = scratch_dir("mismatch");
+  ServeConfig config = small_config();
+  config.steps = 8;
+  config.checkpoint_dir = dir;
+  config.checkpoint_every = 4;
+  ServePipeline first(config);
+  ASSERT_TRUE(first.run_inline().ok());
+
+  ServeConfig other = config;
+  other.seed ^= 1;
+  ServePipeline second(other);
+  auto result = second.run_inline();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, "config_mismatch");
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServePipeline, PipelineObjectRunsExactlyOnce) {
+  ServeConfig config = small_config();
+  config.steps = 4;
+  ServePipeline pipeline(config);
+  ASSERT_TRUE(pipeline.run_inline().ok());
+  auto again = pipeline.run_inline();
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.error().code, "serve_reused");
+}
+
+TEST(ServePipeline, ArrivalProcessIsPureAndHeavyTailed) {
+  ServeConfig config = small_config();
+  config.arrival_rate = 5.0;
+  config.arrival_shape = 1.3;
+  config.max_arrivals_per_step = 64;
+  ServePipeline pipeline(config);
+
+  bool burst = false;
+  for (std::uint64_t step = 0; step < 400; ++step) {
+    const std::size_t count = pipeline.arrivals_for_step(step);
+    EXPECT_EQ(count, pipeline.arrivals_for_step(step));  // pure in (seed,step)
+    EXPECT_LE(count, config.max_arrivals_per_step);
+    if (count >= 3 * static_cast<std::size_t>(config.arrival_rate)) {
+      burst = true;
+    }
+  }
+  EXPECT_TRUE(burst) << "heavy tail produced no burst in 400 steps";
+}
+
+TEST(BoundedQueue, BackpressureBlocksAndCountsFullWaits) {
+  BoundedQueue<int> queue(2);
+  ASSERT_TRUE(queue.push(1));
+  ASSERT_TRUE(queue.push(2));
+
+  std::thread producer([&queue] { ASSERT_TRUE(queue.push(3)); });
+  // Give the producer time to hit the full queue, then drain one slot.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(queue.pop().value(), 1);
+  producer.join();
+  EXPECT_GE(queue.full_waits(), 1u);
+
+  queue.close();
+  EXPECT_EQ(queue.pop().value(), 2);  // close drains before returning empty
+  EXPECT_EQ(queue.pop().value(), 3);
+  EXPECT_FALSE(queue.pop().has_value());
+}
+
+TEST(BoundedQueue, PopForTimesOutOnEmptyQueue) {
+  BoundedQueue<int> queue(2);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(queue.pop_for(20).has_value());
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            15);
+  ASSERT_TRUE(queue.push(7));
+  EXPECT_EQ(queue.pop_for(1000).value(), 7);
+}
+
+}  // namespace
+}  // namespace parole::serve

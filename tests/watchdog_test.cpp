@@ -175,6 +175,67 @@ TEST(Watchdog, StallDumpsTheBundle) {
   std::remove(path.c_str());
 }
 
+TEST(Watchdog, StageRelaunchClearsTheStallLatch) {
+  // Regression for the serve supervisor's restart path: a stage relaunch must
+  // clear the sticky stalled() verdict *without* a full re-arm. Before
+  // stage_relaunched existed, the latch survived the restart and a recovered
+  // pipeline kept reporting the historical stall forever.
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  StallWatchdog::beat(watchdog.stage("wdtest.relaunch"));
+
+  WatchdogConfig config;
+  config.deadline_ms = 50;
+  config.poll_ms = 10;
+  config.exit_on_stall = false;
+  watchdog.arm(config);
+  ASSERT_TRUE(eventually([&watchdog] { return watchdog.stalled(); }));
+
+  watchdog.stage_relaunched("wdtest.relaunch");
+  EXPECT_FALSE(watchdog.stalled());
+
+  // The relaunch IS liveness: it stamps a fresh beat on the slot, so the
+  // monitor does not re-declare the same stall on its very next poll.
+  bool found = false;
+  for (const StageStatus& status : watchdog.status()) {
+    if (status.name != "wdtest.relaunch") continue;
+    found = true;
+    EXPECT_GE(status.beats, 2u);
+    EXPECT_LT(status.age_ms, 60000u);
+  }
+  EXPECT_TRUE(found);
+  watchdog.disarm();
+}
+
+TEST(Watchdog, RelaunchCreatesTheSlotWhenRacingFirstBeat) {
+  // A supervisor restart may land before the stage's first heartbeat; the
+  // relaunch must create the slot rather than drop the liveness signal.
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  watchdog.stage_relaunched("wdtest.neverbeat");
+  bool found = false;
+  for (const StageStatus& status : watchdog.status()) {
+    if (status.name != "wdtest.neverbeat") continue;
+    found = true;
+    EXPECT_GE(status.beats, 1u);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Watchdog, PreRegisteredSilentStageReportsAgeZero) {
+  // Serve registers every stage slot before its first beat so /healthz shows
+  // the stage as silent (beats 0) instead of invisible — and a never-beaten
+  // slot must read age 0, not process uptime (which looks like a stall).
+  StallWatchdog& watchdog = StallWatchdog::instance();
+  (void)watchdog.stage("wdtest.preregistered");
+  bool found = false;
+  for (const StageStatus& status : watchdog.status()) {
+    if (status.name != "wdtest.preregistered") continue;
+    found = true;
+    EXPECT_EQ(status.beats, 0u);
+    EXPECT_EQ(status.age_ms, 0u);
+  }
+  EXPECT_TRUE(found);
+}
+
 TEST(Watchdog, HeartbeatSwitchGatesBeats) {
   StallWatchdog& watchdog = StallWatchdog::instance();
   StallWatchdog::Stage& stage = watchdog.stage("wdtest.gate");
