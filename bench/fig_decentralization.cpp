@@ -1,0 +1,169 @@
+// Profit vs decentralization (DESIGN.md §15): how much of the PAROLE
+// adversary's reorder profit survives when the single sequencer becomes N
+// bonded seats under each election model.
+//
+// Sweep: election model {rr, stake, auction} x seat count {1, 2, 4, 8}, one
+// adversarial seat throughout, identical workload/rounds/seed per cell. The
+// 1-seat cell IS the paper's centralized baseline (the adversary owns every
+// slot); each wider roster dilutes its leadership share — rotation and stake
+// draws hand it ~1/N of the slots, and an auction makes it buy every slot it
+// wants at its own bid. Reported profit is NET of auction spend
+// (total_profit - auction_spend), which is the number the paper's economics
+// actually care about.
+//
+// Writes BENCH_decentralization.json — RunReport JSONL, one "result" row per
+// (model, seats) cell plus a `decentralization-verdict` row. Raw profit is
+// workload-bound, so the CI gate (bench_regress, perf-regress job) holds the
+// deterministic correctness verdict in `speedup`: 1.0 when every cell ran
+// clean AND net profit is monotonically non-increasing from the 1-seat
+// baseline within each model, 0.0 otherwise. PAROLE_BENCH_SCALE scales the
+// round count; PAROLE_SEED overrides the seed.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "parole/common/env.hpp"
+#include "parole/common/table.hpp"
+#include "parole/core/campaign.hpp"
+#include "parole/obs/report.hpp"
+
+using namespace parole;
+
+namespace {
+
+struct Cell {
+  rollup::ElectionModel model{rollup::ElectionModel::kRoundRobin};
+  std::size_t seats{1};
+  Amount total_profit{0};
+  Amount auction_spend{0};
+  Amount net_profit{0};
+  std::size_t adversarial_batches{0};
+  std::size_t view_changes{0};
+  bool clean{true};
+};
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = experiment_seed(0xdece47a112eULL);
+  const auto rounds = static_cast<std::size_t>(scaled(48, 16));
+  const std::vector<std::size_t> seat_counts = {1, 2, 4, 8};
+  const std::vector<rollup::ElectionModel> models = {
+      rollup::ElectionModel::kRoundRobin, rollup::ElectionModel::kStakeWeighted,
+      rollup::ElectionModel::kAuction};
+
+  std::vector<Cell> cells;
+  for (const rollup::ElectionModel model : models) {
+    for (const std::size_t seats : seat_counts) {
+      core::CampaignConfig config;
+      config.num_aggregators = seats;
+      // Exactly one adversarial seat at every roster size: the sweep varies
+      // decentralization, not adversary count.
+      config.adversarial_fraction = 1.0 / static_cast<double>(seats);
+      config.mempool_size = 12;
+      config.rounds = rounds;
+      config.num_ifus = 1;
+      config.seed = seed;
+      rollup::ConsensusConfig consensus;
+      consensus.model = model;
+      consensus.seed ^= seed;
+      config.consensus = consensus;
+
+      core::AttackCampaign campaign(config);
+      const core::CampaignResult result = campaign.run();
+
+      Cell cell;
+      cell.model = model;
+      cell.seats = seats;
+      cell.total_profit = result.total_profit;
+      cell.auction_spend = result.auction_spend;
+      cell.net_profit = result.total_profit - result.auction_spend;
+      cell.adversarial_batches = result.adversarial_batches;
+      cell.view_changes = result.view_changes;
+      cell.clean = result.completed && result.rounds_run == rounds;
+      cells.push_back(cell);
+    }
+  }
+
+  // Verdict: every cell clean, and within each model net profit never rises
+  // as the roster widens from the 1-seat baseline.
+  bool all_clean = true;
+  bool monotone = true;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    all_clean = all_clean && cells[i].clean;
+    if (i % seat_counts.size() != 0) {
+      monotone = monotone && cells[i].net_profit <= cells[i - 1].net_profit;
+    }
+  }
+  const bool verdict = all_clean && monotone;
+
+  TablePrinter table("Adversary profit vs sequencer decentralization");
+  table.columns({"election", "seats", "adv batches", "view chg", "profit ETH",
+                 "auction ETH", "net ETH"});
+  for (const Cell& cell : cells) {
+    table.row({std::string(rollup::to_string(cell.model)),
+               TablePrinter::integer(static_cast<long long>(cell.seats)),
+               TablePrinter::integer(
+                   static_cast<long long>(cell.adversarial_batches)),
+               TablePrinter::integer(
+                   static_cast<long long>(cell.view_changes)),
+               to_eth_string(cell.total_profit),
+               to_eth_string(cell.auction_spend),
+               to_eth_string(cell.net_profit)});
+  }
+  table.print();
+  std::printf("\nverdict: %s (clean %s, monotone from 1-seat baseline %s)\n",
+              verdict ? "PASS" : "FAIL", all_clean ? "yes" : "NO",
+              monotone ? "yes" : "NO");
+
+  obs::RunReport report("fig_decentralization");
+  report.set_meta("bench", obs::JsonValue("fig_decentralization"));
+  report.set_meta("scale", obs::JsonValue(bench_scale()));
+  report.set_meta("seed", obs::JsonValue(seed));
+  report.set_meta("rounds", obs::JsonValue(static_cast<std::uint64_t>(rounds)));
+  for (const Cell& cell : cells) {
+    obs::JsonObject result;
+    result["n"] = obs::JsonValue(static_cast<std::uint64_t>(cell.seats));
+    result["move"] = obs::JsonValue(std::string(rollup::to_string(cell.model)) +
+                                    "-" + std::to_string(cell.seats) +
+                                    "-seats");
+    result["seats"] = obs::JsonValue(static_cast<std::uint64_t>(cell.seats));
+    result["election"] =
+        obs::JsonValue(std::string(rollup::to_string(cell.model)));
+    result["profit_gwei"] =
+        obs::JsonValue(static_cast<std::int64_t>(cell.total_profit));
+    result["auction_spend_gwei"] =
+        obs::JsonValue(static_cast<std::int64_t>(cell.auction_spend));
+    result["net_profit_gwei"] =
+        obs::JsonValue(static_cast<std::int64_t>(cell.net_profit));
+    result["adversarial_batches"] = obs::JsonValue(
+        static_cast<std::uint64_t>(cell.adversarial_batches));
+    result["view_changes"] =
+        obs::JsonValue(static_cast<std::uint64_t>(cell.view_changes));
+    result["identical"] = obs::JsonValue(cell.clean);
+    // The gated column: per-cell clean-run verdict (the cross-cell curve
+    // shape is gated once, on the verdict row below).
+    result["speedup"] = obs::JsonValue(cell.clean ? 1.0 : 0.0);
+    report.add_result(std::move(result));
+  }
+  {
+    obs::JsonObject result;
+    result["n"] = obs::JsonValue(static_cast<std::uint64_t>(rounds));
+    result["move"] = obs::JsonValue("decentralization-verdict");
+    result["all_clean"] = obs::JsonValue(all_clean);
+    result["monotone"] = obs::JsonValue(monotone);
+    result["identical"] = obs::JsonValue(verdict);
+    result["speedup"] = obs::JsonValue(verdict ? 1.0 : 0.0);
+    report.add_result(std::move(result));
+  }
+  report.capture_metrics();
+  const Status written = report.write("BENCH_decentralization.json");
+  if (!written.ok()) {
+    std::fprintf(stderr, "cannot write BENCH_decentralization.json: %s\n",
+                 written.error().detail.c_str());
+    return 1;
+  }
+  std::printf("wrote BENCH_decentralization.json (%zu JSONL lines)\n",
+              report.line_count());
+  return verdict ? 0 : 1;
+}

@@ -108,39 +108,49 @@ namespace {
 int usage() {
   std::fprintf(
       stderr,
-      "usage: parole_cli [--metrics <path>] [--trace <path>] "
-      "[--journal <path>]\n"
-      "                  [--listen <port>] [--linger <ms>] "
-      "[--watchdog-ms <ms>]\n"
-      "                  [--flight-recorder <path>] <command>\n"
-      "       parole_cli attack [snapshots.csv]\n"
-      "       parole_cli scan <snapshots.csv>\n"
-      "       parole_cli gen <snapshots.csv> [collections-per-cell]\n"
-      "       parole_cli defend\n"
-      "       parole_cli quickstart\n"
-      "       parole_cli chaos [seed] [steps] [--checkpoint <dir>]\n"
-      "                  [--every <steps>] [--kill-after-step <n>]\n"
-      "                  [--pace-ms <ms>] [--inject-stall <ms>]\n"
-      "                  [--inject-abort <step>]\n"
-      "       parole_cli serve [--seed <n>] [--steps <n>] [--users <n>]\n"
-      "                  [--batch <n>] [--depth <n>] [--rate <f>]\n"
-      "                  [--shape <f>] [--queue <n>] [--chaos 0|1]\n"
-      "                  [--p-stage-fault <f>] [--inline 1]\n"
-      "                  [--checkpoint <dir>] [--every <steps>]\n"
-      "                  [--kill-after-step <n>] [--pace-ms <ms>]\n"
-      "       parole_cli campaign [--aggregators <n>] [--fraction <f>]\n"
-      "                  [--mempool <n>] [--rounds <n>] [--ifus <n>]\n"
-      "                  [--seed <n>] [--threads <n>] [--checkpoint <dir>]\n"
-      "                  [--every <rounds>] [--kill-after-round <n>]\n"
-      "       parole_cli train [--episodes <n>] [--seed <n>]\n"
-      "                  [--checkpoint <dir>] [--every <episodes>]\n"
-      "                  [--kill-after-episode <n>]\n"
-      "       parole_cli resume <dir>\n"
-      "       parole_cli validate <report.jsonl>\n"
-      "       parole_cli profile <report.jsonl> [--collapsed <path>]\n"
-      "       parole_cli journal <report.jsonl> <txid>\n"
-      "       parole_cli top <host:port> [--interval-ms <n>] "
-      "[--iterations <n>]\n");
+      "usage: parole_cli [telemetry flags] <command> [command flags]\n"
+      "\n"
+      "telemetry flags (every command accepts them, anywhere on the line):\n"
+      "  --metrics <path>        write a RunReport metrics snapshot on exit\n"
+      "  --trace <path>          write the span trace JSONL on exit\n"
+      "  --journal <path>        write the tx lifecycle journal JSONL on exit\n"
+      "  --listen <port>         live telemetry endpoint (0 = ephemeral)\n"
+      "  --linger <ms>           keep the endpoint up after the run finishes\n"
+      "  --watchdog-ms <ms>      stall watchdog deadline (exit 3 on stall)\n"
+      "  --flight-recorder <p>   flight-bundle path, dumped on stall/fatal "
+      "signal\n"
+      "\n"
+      "commands:\n"
+      "  attack [snapshots.csv]\n"
+      "  scan <snapshots.csv>\n"
+      "  gen <snapshots.csv> [collections-per-cell]\n"
+      "  defend\n"
+      "  quickstart\n"
+      "  chaos [seed] [steps] [--seats <n>] [--election rr|stake|auction]\n"
+      "        [--checkpoint <dir>] [--every <steps>] [--kill-after-step <n>]\n"
+      "        [--pace-ms <ms>] [--inject-stall <ms>] [--inject-abort <step>]\n"
+      "  serve [--seed <n>] [--steps <n>] [--users <n>] [--batch <n>]\n"
+      "        [--depth <n>] [--rate <f>] [--shape <f>] [--queue <n>]\n"
+      "        [--chaos 0|1] [--p-stage-fault <f>] [--inline 1]\n"
+      "        [--seats <n>] [--election rr|stake|auction]\n"
+      "        [--checkpoint <dir>] [--every <steps>] [--kill-after-step <n>]\n"
+      "        [--pace-ms <ms>]\n"
+      "  campaign [--aggregators <n>] [--fraction <f>] [--mempool <n>]\n"
+      "        [--rounds <n>] [--ifus <n>] [--seed <n>] [--threads <n>]\n"
+      "        [--seats <n>] [--election rr|stake|auction]\n"
+      "        [--checkpoint <dir>] [--every <rounds>] "
+      "[--kill-after-round <n>]\n"
+      "  train [--episodes <n>] [--seed <n>] [--checkpoint <dir>]\n"
+      "        [--every <episodes>] [--kill-after-episode <n>]\n"
+      "  resume <dir>\n"
+      "  validate <report.jsonl>\n"
+      "  profile <report.jsonl> [--collapsed <path>]\n"
+      "  journal <report.jsonl> <txid>\n"
+      "  top <host:port> [--interval-ms <n>] [--iterations <n>]\n"
+      "\n"
+      "--seats N arms decentralized sequencing with N bonded seats; "
+      "--election\n"
+      "picks the leader-election model (default rr).\n");
   return 1;
 }
 
@@ -192,6 +202,29 @@ int fail(const Error& error) {
   std::fprintf(stderr, "error: %s: %s\n", error.code.c_str(),
                error.detail.c_str());
   return 1;
+}
+
+// --seats / --election for the consensus-armed commands (chaos, serve,
+// campaign). `armed` is true when either flag appeared; an unknown model
+// name is a usage error (printed here, caller returns 1).
+bool parse_consensus_flags(const Flags& flags, std::size_t& seats,
+                           rollup::ElectionModel& model, bool& armed) {
+  seats = static_cast<std::size_t>(flag_u64(flags, "seats", 0));
+  const std::string election = flag_str(flags, "election", "");
+  armed = seats > 0 || !election.empty();
+  model = rollup::ElectionModel::kRoundRobin;
+  if (!election.empty()) {
+    const auto parsed = rollup::parse_election_model(election);
+    if (!parsed.has_value()) {
+      std::fprintf(stderr,
+                   "error: usage: unknown election model '%s' "
+                   "(want rr, stake, or auction)\n",
+                   election.c_str());
+      return false;
+    }
+    model = *parsed;
+  }
+  return true;
 }
 
 // Telemetry wiring shared by every subcommand — the exit-report sinks
@@ -577,8 +610,8 @@ constexpr std::uint32_t kChaosExtraTag = io::section_tag("CHEX");
 // verifiers, every fault family at a nonzero rate, invariant checker on.
 // The same seed always yields the same batches, faults, and verdict — and a
 // run killed between checkpoints resumes to the same verdict.
-int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
-              const CheckpointCliOptions& ckpt) {
+int cmd_chaos(std::uint64_t seed, std::uint64_t steps, std::size_t seats,
+              rollup::ElectionModel election, const CheckpointCliOptions& ckpt) {
   rollup::NodeConfig node_config;
   node_config.orsc.challenge_period = 20;
   node_config.max_supply = 4096;
@@ -595,6 +628,16 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
   node.add_aggregator({AggregatorId{2}, 4, std::nullopt, /*corrupt=*/1});
   node.add_verifier(VerifierId{0});
   node.add_verifier(VerifierId{1});
+  if (seats > 0) {
+    for (std::size_t s = node.aggregator_count(); s < seats; ++s) {
+      node.add_aggregator({AggregatorId{static_cast<std::uint32_t>(s)}, 4,
+                           std::nullopt, std::nullopt});
+    }
+    rollup::ConsensusConfig consensus;
+    consensus.model = election;
+    consensus.seed ^= seed;
+    node.arm_consensus(std::move(consensus));
+  }
   node.fund_l1(UserId{1}, eth(500));
   node.fund_l1(UserId{2}, eth(500));
   if (!node.deposit(UserId{1}, eth(500)).ok() ||
@@ -612,6 +655,15 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
   chaos.p_tx_duplicate = 0.05;
   chaos.p_tx_delay = 0.08;
   chaos.p_l1_reorg = 0.04;
+  if (seats > 0) {
+    // Leader-fault families only make sense with consensus armed: crash the
+    // slot leader mid-batch, drop/delay its election message, and replay a
+    // stale-view double-propose so equivocation slashing gets exercised.
+    chaos.p_leader_crash = 0.06;
+    chaos.p_election_msg_drop = 0.05;
+    chaos.p_election_msg_delay = 0.05;
+    chaos.p_stale_view_double_propose = 0.04;
+  }
   node.arm_chaos(chaos);
 
   std::uint64_t tx_id = 0;
@@ -695,6 +747,8 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
       meta["seed"] = seed;
       meta["steps"] = steps;
       meta["next_step"] = step + 1;
+      meta["seats"] = static_cast<std::uint64_t>(seats);
+      meta["election"] = std::string(rollup::to_string(election));
       builder.set_meta(meta);
       node.save_snapshot(builder);
       io::ByteWriter& w = builder.section(kChaosExtraTag);
@@ -737,6 +791,19 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps,
       runtime.log.count(FaultKind::kTxDuplicate),
       runtime.log.count(FaultKind::kTxDelay),
       runtime.log.count(FaultKind::kL1Reorg));
+  if (const rollup::ConsensusEngine* consensus = node.consensus()) {
+    std::printf(
+        "  consensus: %zu seats (%s), %zu view changes, %zu equivocations; "
+        "leader crashes %zu, msg drops %zu, msg delays %zu, stale proposes "
+        "%zu\n",
+        consensus->seat_count(),
+        std::string(rollup::to_string(consensus->config().model)).c_str(),
+        consensus->view_changes().size(), consensus->equivocations().size(),
+        runtime.log.count(FaultKind::kLeaderCrashMidBatch),
+        runtime.log.count(FaultKind::kElectionMsgDrop),
+        runtime.log.count(FaultKind::kElectionMsgDelay),
+        runtime.log.count(FaultKind::kStaleViewDoublePropose));
+  }
   if (obs::TxJournal::enabled()) print_journal_audit(node);
   if (const int journal_rc = write_journal_report("chaos", node);
       journal_rc != 0) {
@@ -786,6 +853,15 @@ int cmd_serve(const Flags& flags, const CheckpointCliOptions& ckpt) {
       static_cast<std::size_t>(flag_u64(flags, "queue", config.queue_capacity));
   config.chaos = flag_u64(flags, "chaos", 1) != 0;
   config.supervisor.p_stage_fault = flag_f64(flags, "p-stage-fault", 0.02);
+  {
+    std::size_t seats = 0;
+    rollup::ElectionModel model = rollup::ElectionModel::kRoundRobin;
+    bool armed = false;
+    if (!parse_consensus_flags(flags, seats, model, armed)) return 1;
+    // --election alone (no --seats) arms a minimal 4-seat roster.
+    config.seats = armed && seats == 0 ? 4 : seats;
+    config.consensus.model = model;
+  }
   config.checkpoint_dir = ckpt.dir;
   config.checkpoint_every = ckpt.every;
   config.kill_after = ckpt.kill_after;
@@ -835,6 +911,15 @@ int cmd_serve(const Flags& flags, const CheckpointCliOptions& ckpt) {
   std::printf("  batches %llu (%llu degraded), challenges %llu (%llu fraud)\n",
               u64(stats.batches), u64(stats.degraded_batches),
               u64(stats.challenges), u64(stats.frauds));
+  if (pipeline.config().seats > 0) {
+    std::printf(
+        "  consensus: %zu seats (%s), %llu leader handoffs, "
+        "%llu equivocations\n",
+        pipeline.config().seats,
+        std::string(rollup::to_string(pipeline.config().consensus.model))
+            .c_str(),
+        u64(stats.leader_handoffs), u64(stats.equivocations));
+  }
   std::printf("  backpressure: %llu queue-full waits\n",
               u64(stats.queue_full_waits));
   for (const serve::StageReport* report :
@@ -901,6 +986,22 @@ int cmd_campaign(const Flags& flags, const CheckpointCliOptions& ckpt) {
   config.checkpoint_dir = ckpt.dir;
   config.checkpoint_every_rounds = static_cast<std::size_t>(ckpt.every);
   config.halt_after_rounds = static_cast<std::size_t>(ckpt.kill_after);
+  {
+    std::size_t seats = 0;
+    rollup::ElectionModel model = rollup::ElectionModel::kRoundRobin;
+    bool armed = false;
+    if (!parse_consensus_flags(flags, seats, model, armed)) return 1;
+    if (armed) {
+      // Under consensus the aggregators ARE the seats: --seats overrides the
+      // roster size, and the consensus seed is mixed from the campaign seed
+      // so resume re-derives the same leadership schedule.
+      if (seats > 0) config.num_aggregators = seats;
+      rollup::ConsensusConfig consensus;
+      consensus.model = model;
+      consensus.seed ^= config.seed;
+      config.consensus = consensus;
+    }
+  }
 
   core::AttackCampaign campaign(config);
   auto result = campaign.run_resumable();
@@ -917,6 +1018,16 @@ int cmd_campaign(const Flags& flags, const CheckpointCliOptions& ckpt) {
       "profit %s ETH\n",
       r.rounds_run, r.adversarial_batches, r.reordered_batches,
       to_eth_string(r.total_profit).c_str());
+  if (config.consensus.has_value()) {
+    std::printf(
+        "  consensus: %zu seats (%s), %zu view changes, %zu equivocations, "
+        "auction spend %s ETH -> net profit %s ETH\n",
+        config.num_aggregators,
+        std::string(rollup::to_string(config.consensus->model)).c_str(),
+        r.view_changes, r.equivocations,
+        to_eth_string(r.auction_spend).c_str(),
+        to_eth_string(r.total_profit - r.auction_spend).c_str());
+  }
   return 0;
 }
 
@@ -1000,6 +1111,11 @@ int cmd_resume(const std::string& dir) {
     return it != m.end() && it->second.is_number() ? it->second.as_double()
                                                    : fallback;
   };
+  const auto meta_str = [&m](const char* key) -> std::string {
+    const auto it = m.find(key);
+    return it != m.end() && it->second.is_string() ? it->second.as_string()
+                                                   : std::string();
+  };
 
   CheckpointCliOptions ckpt;
   ckpt.dir = dir;
@@ -1019,6 +1135,12 @@ int cmd_resume(const std::string& dir) {
         static_cast<std::uint64_t>(core::ReordererKind::kPortfolio)) {
       flags.named["threads"] = std::to_string(meta_u64("threads", 1));
     }
+    // META carries seats/election only when the run was consensus-armed;
+    // re-arming identically is what makes the CAMP fingerprint check pass.
+    if (const std::string election = meta_str("election"); !election.empty()) {
+      flags.named["election"] = election;
+      flags.named["seats"] = std::to_string(meta_u64("seats", 6));
+    }
     return cmd_campaign(flags, ckpt);
   }
   if (kind == "gentranseq-training") {
@@ -1028,8 +1150,12 @@ int cmd_resume(const std::string& dir) {
     return cmd_train(flags, ckpt);
   }
   if (kind == "chaos-soak") {
-    return cmd_chaos(meta_u64("seed", 0xc4a05c4a05ULL),
-                     meta_u64("steps", 96), ckpt);
+    const rollup::ElectionModel election =
+        rollup::parse_election_model(meta_str("election"))
+            .value_or(rollup::ElectionModel::kRoundRobin);
+    return cmd_chaos(meta_u64("seed", 0xc4a05c4a05ULL), meta_u64("steps", 96),
+                     static_cast<std::size_t>(meta_u64("seats", 0)), election,
+                     ckpt);
   }
   if (kind == "serve") {
     // Rebuild the launch config from META; the SRVE section hard-rejects a
@@ -1046,6 +1172,10 @@ int cmd_resume(const std::string& dir) {
     flags.named["chaos"] = std::to_string(meta_u64("chaos", 1));
     flags.named["p-stage-fault"] =
         std::to_string(meta_f64("p_stage_fault", 0.02));
+    if (const std::uint64_t seats = meta_u64("seats", 0); seats > 0) {
+      flags.named["seats"] = std::to_string(seats);
+      flags.named["election"] = meta_str("election");
+    }
     ckpt.every = 32;
     return cmd_serve(flags, ckpt);
   }
@@ -1356,7 +1486,12 @@ int main(int argc, char** argv) {
     ckpt.dir = flag_str(flags, "checkpoint", "");
     ckpt.every = flag_u64(flags, "every", 10);
     ckpt.kill_after = flag_u64(flags, "kill-after-step", 0);
-    rc = cmd_chaos(seed, steps == 0 ? 96 : steps, ckpt);
+    std::size_t seats = 0;
+    rollup::ElectionModel model = rollup::ElectionModel::kRoundRobin;
+    bool armed = false;
+    if (!parse_consensus_flags(flags, seats, model, armed)) return 1;
+    if (armed && seats == 0) seats = 4;
+    rc = cmd_chaos(seed, steps == 0 ? 96 : steps, seats, model, ckpt);
   } else if (command == "serve") {
     const Flags flags = parse_flags(args, 1);
     if (flags.bad || !flags.positional.empty()) return usage();

@@ -18,6 +18,14 @@ std::string_view to_string(FaultKind kind) {
       return "tx_delay";
     case FaultKind::kL1Reorg:
       return "l1_reorg";
+    case FaultKind::kLeaderCrashMidBatch:
+      return "leader_crash_mid_batch";
+    case FaultKind::kElectionMsgDrop:
+      return "election_msg_drop";
+    case FaultKind::kElectionMsgDelay:
+      return "election_msg_delay";
+    case FaultKind::kStaleViewDoublePropose:
+      return "stale_view_double_propose";
   }
   return "unknown";
 }

@@ -29,6 +29,10 @@ enum class FaultKind : std::uint8_t {
   kTxDuplicate,       // collected transaction re-gossiped into the pool
   kTxDelay,           // collected transaction withheld for k rounds
   kL1Reorg,           // shallow L1 reorg; unfinalized commitments roll back
+  kLeaderCrashMidBatch,    // slot leader dies after collecting, before sealing
+  kElectionMsgDrop,        // leader's election/proposal message never arrives
+  kElectionMsgDelay,       // election message late past the slot deadline
+  kStaleViewDoublePropose, // recovered leader re-proposes under a stale view
 };
 
 [[nodiscard]] std::string_view to_string(FaultKind kind);

@@ -113,6 +113,9 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
   for (std::size_t v = 0; v < config_.num_verifiers; ++v) {
     node.add_verifier(VerifierId{static_cast<std::uint32_t>(v)});
   }
+  // Armed after the aggregator loop so every seat picks up its adversarial
+  // flag from the reorderer it carries.
+  if (config_.consensus.has_value()) node.arm_consensus(*config_.consensus);
 
   std::unique_ptr<MempoolDefense> defense;
   if (config_.defended) {
@@ -190,6 +193,15 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
       PAROLE_IO_READ(r.u64(portfolio_substream), "portfolio substream base");
       PAROLE_IO_READ(r.boolean(portfolio_deterministic),
                      "portfolio determinism flag");
+      bool consensus_armed = false;
+      std::uint8_t consensus_model = 0;
+      std::uint64_t consensus_seed = 0;
+      std::uint64_t view_changes_saved = 0, equivocations_saved = 0;
+      PAROLE_IO_READ(r.boolean(consensus_armed), "consensus armed flag");
+      PAROLE_IO_READ(r.u8(consensus_model), "consensus model");
+      PAROLE_IO_READ(r.u64(consensus_seed), "consensus seed");
+      PAROLE_IO_READ(r.u64(view_changes_saved), "campaign view changes");
+      PAROLE_IO_READ(r.u64(equivocations_saved), "campaign equivocations");
       if (Status s = r.finish("CAMP section"); !s.ok()) return s.error();
 
       // Parallel-solver fingerprint: the reorderer kind and the portfolio's
@@ -205,6 +217,19 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
         return Error{"config_mismatch",
                      "checkpoint was taken under a different parallel-solver "
                      "configuration (reorderer/threads/substreams)"};
+      }
+
+      // Consensus fingerprint: leadership schedules are derived from the
+      // election model and seed, so a checkpoint armed differently would
+      // replay different leaders per slot.
+      if (consensus_armed != config_.consensus.has_value() ||
+          (consensus_armed &&
+           (consensus_model !=
+                static_cast<std::uint8_t>(config_.consensus->model) ||
+            consensus_seed != config_.consensus->seed))) {
+        return Error{"config_mismatch",
+                     "checkpoint was taken under a different sequencing "
+                     "consensus (model/seed)"};
       }
 
       if (next_round > config_.rounds) {
@@ -238,6 +263,8 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
       result.flagged_batches = static_cast<std::size_t>(flagged);
       result.per_batch_profit = std::move(per_batch);
       result.suspicion_scores = std::move(suspicion);
+      result.view_changes = static_cast<std::size_t>(view_changes_saved);
+      result.equivocations = static_cast<std::size_t>(equivocations_saved);
       start_round = static_cast<std::size_t>(next_round);
       resumed = true;
     }
@@ -259,6 +286,10 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
     meta["ifus"] = config_.num_ifus;
     meta["reorderer"] = static_cast<std::size_t>(config_.parole.kind);
     meta["threads"] = config_.parole.portfolio.threads;
+    if (config_.consensus.has_value()) {
+      meta["seats"] = config_.num_aggregators;
+      meta["election"] = std::string(to_string(config_.consensus->model));
+    }
     builder.set_meta(meta);
     node.save_snapshot(builder);
     io::ByteWriter& w = builder.section(kCampaignTag);
@@ -285,6 +316,14 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
     w.u64(config_.parole.portfolio.threads);
     w.u64(config_.parole.portfolio.substream_base);
     w.boolean(config_.parole.portfolio.deterministic);
+    // Consensus fingerprint + accumulators (validated on resume, see above).
+    w.boolean(config_.consensus.has_value());
+    w.u8(config_.consensus.has_value()
+             ? static_cast<std::uint8_t>(config_.consensus->model)
+             : 0);
+    w.u64(config_.consensus.has_value() ? config_.consensus->seed : 0);
+    w.u64(result.view_changes);
+    w.u64(result.equivocations);
     auto generation = manager->save(builder);
     if (!generation.ok()) return generation.error();
     return ok_status();
@@ -304,6 +343,8 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
     // PAROLE batches are honestly committed; none may be challenged.
     assert(!outcome.fraud_proven);
     result.screened_txs += outcome.screened_out;
+    result.view_changes += outcome.view_changes;
+    result.equivocations += outcome.equivocations;
     if (outcome.produced_batch &&
         outcome.aggregator.value() < adversarial) {
       ++result.adversarial_batches;
@@ -335,6 +376,10 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
 
   result.total_profit = profit_sink;
   result.reordered_batches = reordered;
+  if (const rollup::ConsensusEngine* consensus = node.consensus()) {
+    result.auction_spend =
+        consensus->total_auction_spend(/*adversarial_only=*/true);
+  }
   if (config_.num_ifus > 0) {
     result.avg_profit_per_ifu = static_cast<double>(result.total_profit) /
                                 static_cast<double>(config_.num_ifus);

@@ -55,6 +55,11 @@ struct CampaignConfig {
   // portfolio's deterministic mode guarantees the reordering side of that
   // even when faults perturb which batches reach the reorderer.
   std::optional<rollup::ChaosConfig> chaos;
+  // Arm decentralized sequencing (DESIGN.md §15): the aggregators become
+  // bonded sequencer seats and slots go to elected leaders instead of
+  // round-robin. Under kAuction the adversary must buy its slots, which is
+  // what the profit-vs-decentralization bench measures.
+  std::optional<rollup::ConsensusConfig> consensus;
 
   // Crash-safe execution (DESIGN.md §10). When `checkpoint_dir` is set, the
   // campaign cuts a rolling-generation checkpoint every
@@ -84,6 +89,12 @@ struct CampaignResult {
   std::size_t flagged_batches{0};
   std::vector<Amount> per_batch_profit;
   std::vector<UserId> ifus;
+  // Consensus accounting (zero unless CampaignConfig::consensus is set).
+  // `auction_spend` is what adversarial seats paid for their slots — net
+  // attack profit under kAuction is total_profit − auction_spend.
+  Amount auction_spend{0};
+  std::size_t view_changes{0};
+  std::size_t equivocations{0};
   // False when halted early (CampaignConfig::halt_after_rounds); call
   // run_resumable() again with the same config to continue.
   bool completed{true};

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "parole/rollup/consensus.hpp"
 #include "parole/rollup/node.hpp"
 
 namespace parole::rollup {
@@ -19,6 +20,10 @@ enum Stream : std::uint64_t {
   kStreamDuplicate = 5,
   kStreamDelay = 6,
   kStreamReorg = 7,
+  kStreamLeaderCrash = 8,
+  kStreamElectionDrop = 9,
+  kStreamElectionDelay = 10,
+  kStreamStalePropose = 11,
 };
 
 // "Does it fire, and at which index" as one decision: the same Rng answers
@@ -127,6 +132,30 @@ std::uint64_t FaultPlan::l1_reorg_depth(std::uint64_t step) const {
                  0, static_cast<std::int64_t>(config_.max_reorg_depth) - 1));
 }
 
+bool FaultPlan::leader_crashes(std::uint64_t step) const {
+  if (forced(step, FaultKind::kLeaderCrashMidBatch) != nullptr) return true;
+  return fault_roll(config_.seed, kStreamLeaderCrash, 0, step,
+                    config_.p_leader_crash);
+}
+
+bool FaultPlan::election_msg_drop(std::uint64_t step) const {
+  if (forced(step, FaultKind::kElectionMsgDrop) != nullptr) return true;
+  return fault_roll(config_.seed, kStreamElectionDrop, 0, step,
+                    config_.p_election_msg_drop);
+}
+
+bool FaultPlan::election_msg_delay(std::uint64_t step) const {
+  if (forced(step, FaultKind::kElectionMsgDelay) != nullptr) return true;
+  return fault_roll(config_.seed, kStreamElectionDelay, 0, step,
+                    config_.p_election_msg_delay);
+}
+
+bool FaultPlan::stale_view_double_propose(std::uint64_t step) const {
+  if (forced(step, FaultKind::kStaleViewDoublePropose) != nullptr) return true;
+  return fault_roll(config_.seed, kStreamStalePropose, 0, step,
+                    config_.p_stale_view_double_propose);
+}
+
 std::string_view to_string(InvariantKind kind) {
   switch (kind) {
     case InvariantKind::kValueConservation:
@@ -141,6 +170,12 @@ std::string_view to_string(InvariantKind kind) {
       return "l1_integrity";
     case InvariantKind::kBondSolvency:
       return "bond_solvency";
+    case InvariantKind::kSlotUniqueFinalization:
+      return "slot_unique_finalization";
+    case InvariantKind::kSeatBondSolvency:
+      return "seat_bond_solvency";
+    case InvariantKind::kNoFinalizedEquivocation:
+      return "no_finalized_equivocation";
   }
   return "unknown";
 }
@@ -273,6 +308,40 @@ std::size_t InvariantChecker::check(const RollupNode& node,
     }
   }
 
+  // --- consensus invariants (armed nodes only) --------------------------------
+  // Every finalized batch must be the accepted proposal of exactly one slot:
+  // a finalized batch with no proposal is an equivocation that escaped the
+  // engine, and two finalized batches on one slot is a fork.
+  if (const ConsensusEngine* consensus = node.consensus()) {
+    for (std::size_t i = 0; i < consensus->seat_count(); ++i) {
+      if (consensus->seat(i).bond < 0) {
+        violate(InvariantKind::kSeatBondSolvency,
+                "seat " + std::to_string(i) + " bond negative");
+      }
+    }
+    std::vector<std::uint64_t> finalized_slots;
+    for (std::uint64_t id = 0; id < batch_count; ++id) {
+      if (orsc.batch(id)->status != chain::BatchStatus::kFinalized) continue;
+      const SlotProposal* owner = nullptr;
+      for (const SlotProposal& p : consensus->proposals()) {
+        if (p.batch_id == id) owner = &p;
+      }
+      if (owner == nullptr) {
+        violate(InvariantKind::kNoFinalizedEquivocation,
+                "finalized batch " + std::to_string(id) +
+                    " was never an accepted proposal");
+        continue;
+      }
+      if (std::find(finalized_slots.begin(), finalized_slots.end(),
+                    owner->slot) != finalized_slots.end()) {
+        violate(InvariantKind::kSlotUniqueFinalization,
+                "slot " + std::to_string(owner->slot) +
+                    " finalized more than one batch");
+      }
+      finalized_slots.push_back(owner->slot);
+    }
+  }
+
   return violations_.size() - before;
 }
 
@@ -297,7 +366,8 @@ Status InvariantChecker::load(io::ByteReader& r) {
     std::uint8_t kind = 0;
     PAROLE_IO_READ(r.u64(v.step), "violation step");
     PAROLE_IO_READ(r.u8(kind), "violation kind");
-    if (kind > static_cast<std::uint8_t>(InvariantKind::kBondSolvency)) {
+    if (kind >
+        static_cast<std::uint8_t>(InvariantKind::kNoFinalizedEquivocation)) {
       return Error{"corrupt_checkpoint", "unknown invariant kind"};
     }
     v.kind = static_cast<InvariantKind>(kind);
@@ -349,7 +419,8 @@ Status ChaosRuntime::load(io::ByteReader& r) {
     std::uint8_t kind = 0;
     PAROLE_IO_READ(r.u64(event.step), "fault step");
     PAROLE_IO_READ(r.u8(kind), "fault kind");
-    if (kind > static_cast<std::uint8_t>(FaultKind::kL1Reorg)) {
+    if (kind >
+        static_cast<std::uint8_t>(FaultKind::kStaleViewDoublePropose)) {
       return Error{"corrupt_checkpoint", "unknown fault kind"};
     }
     event.kind = static_cast<FaultKind>(kind);

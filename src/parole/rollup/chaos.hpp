@@ -38,6 +38,20 @@
 //   kL1Reorg           shallow reorg: drop head blocks, roll back still-
 //                      pending batch commitments in the ORSC and recommit
 //                      them (challenge clocks restart).
+//
+// Leader faults (consensus-armed nodes only, DESIGN.md §15):
+//   kLeaderCrashMidBatch     the slot leader dies after collecting but before
+//                            sealing; the partial batch is discarded or
+//                            inherited per PartialBatchPolicy and a view
+//                            change elects a successor.
+//   kElectionMsgDrop         the leader's proposal never arrives; the slot
+//                            re-elects under the next view.
+//   kElectionMsgDelay        the proposal arrives late — after the deadline
+//                            view change — and resurfaces as a stale-view
+//                            duplicate once the slot is decided.
+//   kStaleViewDoublePropose  a seat proposes a second batch for a decided
+//                            slot; equivocation is recorded and slashed,
+//                            never submitted.
 #pragma once
 
 #include <cstdint>
@@ -81,6 +95,12 @@ struct ChaosConfig {
   double p_l1_reorg = 0.0;
   std::uint64_t max_reorg_depth = 2;
 
+  // Leader faults: consulted only when the node has a ConsensusEngine armed.
+  double p_leader_crash = 0.0;
+  double p_election_msg_drop = 0.0;
+  double p_election_msg_delay = 0.0;
+  double p_stale_view_double_propose = 0.0;
+
   // Scripted faults. `subject`/`param` per kind:
   //   kAggregatorCrash   subject/param unused (hits the scheduled aggregator)
   //   kReordererFailure  subject/param unused
@@ -88,6 +108,9 @@ struct ChaosConfig {
   //   kTxDrop/kTxDuplicate  subject = index into the collected set (clamped)
   //   kTxDelay           subject = collected index, param = delay in steps
   //   kL1Reorg           param = reorg depth
+  //   kLeaderCrashMidBatch / kElectionMsgDrop / kElectionMsgDelay /
+  //   kStaleViewDoublePropose
+  //                      subject/param unused (hits the slot's elected leader)
   struct ForcedFault {
     std::uint64_t step{0};
     FaultKind kind{FaultKind::kAggregatorCrash};
@@ -122,6 +145,14 @@ class FaultPlan {
   // 0 = no reorg this step.
   [[nodiscard]] std::uint64_t l1_reorg_depth(std::uint64_t step) const;
 
+  // Leader faults (consensus-armed nodes only). Each hits the seat elected
+  // for this step's slot — the plan answers "does the fault fire", the
+  // consensus path resolves who it hits.
+  [[nodiscard]] bool leader_crashes(std::uint64_t step) const;
+  [[nodiscard]] bool election_msg_drop(std::uint64_t step) const;
+  [[nodiscard]] bool election_msg_delay(std::uint64_t step) const;
+  [[nodiscard]] bool stale_view_double_propose(std::uint64_t step) const;
+
   [[nodiscard]] const ChaosConfig& config() const { return config_; }
 
  private:
@@ -138,6 +169,10 @@ enum class InvariantKind : std::uint8_t {
   kTraceConsistency,      // stored batches: trace ends in committed post-root
   kL1Integrity,           // parent-hash links verify
   kBondSolvency,          // no negative bonds
+  // Consensus invariants (checked only when a ConsensusEngine is armed):
+  kSlotUniqueFinalization,     // at most one finalized batch per slot
+  kSeatBondSolvency,           // no negative seat bonds
+  kNoFinalizedEquivocation,    // every finalized batch is an accepted proposal
 };
 
 [[nodiscard]] std::string_view to_string(InvariantKind kind);

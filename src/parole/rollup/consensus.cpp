@@ -1,0 +1,286 @@
+#include "parole/rollup/consensus.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parole/rollup/economics.hpp"
+
+namespace parole::rollup {
+
+std::string_view to_string(ViewChangeReason reason) {
+  switch (reason) {
+    case ViewChangeReason::kLeaderCrash:
+      return "leader_crash";
+    case ViewChangeReason::kMsgDrop:
+      return "msg_drop";
+    case ViewChangeReason::kMsgDelay:
+      return "msg_delay";
+    case ViewChangeReason::kDeadSeat:
+      return "dead_seat";
+  }
+  return "unknown";
+}
+
+ConsensusEngine::ConsensusEngine(ConsensusConfig config, std::size_t seat_count)
+    : config_(std::move(config)) {
+  ensure_seats(seat_count);
+}
+
+void ConsensusEngine::ensure_seats(std::size_t seat_count) {
+  while (seats_.size() < seat_count) {
+    SeatState seat;
+    const std::size_t index = seats_.size();
+    seat.stake = index < config_.stakes.size() ? config_.stakes[index] : 1;
+    seat.bond = config_.seat_bond;
+    seats_.push_back(seat);
+  }
+}
+
+void ConsensusEngine::set_seat_adversarial(std::size_t seat, bool adversarial) {
+  ensure_seats(seat + 1);
+  seats_[seat].adversarial = adversarial;
+}
+
+std::vector<SeatProfile> ConsensusEngine::profiles() const {
+  std::vector<SeatProfile> out;
+  out.reserve(seats_.size());
+  for (const SeatState& seat : seats_) {
+    // An insolvent seat keeps its roster slot but carries zero stake, so the
+    // weighted draw can never hand it a slot it cannot bond.
+    out.push_back(SeatProfile{seat.bond > 0 ? seat.stake : 0,
+                              seat.adversarial});
+  }
+  return out;
+}
+
+std::size_t ConsensusEngine::leader(std::uint64_t slot) {
+  assert(!seats_.empty());
+  switch (config_.model) {
+    case ElectionModel::kRoundRobin:
+      return elect_round_robin(slot, view_, seats_.size());
+    case ElectionModel::kStakeWeighted: {
+      const std::vector<SeatProfile> seats = profiles();
+      return elect_stake_weighted(config_.seed, slot, view_, seats);
+    }
+    case ElectionModel::kAuction:
+      break;
+  }
+  // Sealed-bid round: recompute the book for (slot, view) and cache it so
+  // record_proposal charges exactly this price — and so a checkpoint cut
+  // between election and proposal resumes with the same bids on file.
+  const std::vector<SeatProfile> seats = profiles();
+  pending_bids_.clear();
+  pending_bids_.reserve(seats_.size());
+  for (std::size_t i = 0; i < seats_.size(); ++i) {
+    pending_bids_.push_back(AuctionBid{
+        static_cast<std::uint64_t>(i),
+        auction_bid(config_.seed, slot, view_, i, seats[i], config_.honest_bid,
+                    config_.adversary_bid, seats_[i].bond)});
+  }
+  return auction_winner(pending_bids_);
+}
+
+void ConsensusEngine::view_change(std::uint64_t slot, std::size_t seat,
+                                  ViewChangeReason reason) {
+  view_changes_.push_back(ViewChangeRecord{slot, view_,
+                                           static_cast<std::uint64_t>(seat),
+                                           reason});
+  if (seat < seats_.size()) ++seats_[seat].slots_missed;
+  ++view_;
+}
+
+bool ConsensusEngine::record_proposal(std::uint64_t slot, std::uint64_t view,
+                                      std::size_t seat,
+                                      std::uint64_t batch_id) {
+  if (accepted(slot) != nullptr) return false;  // slot already decided
+  if (config_.model == ElectionModel::kAuction && seat < seats_.size()) {
+    // First price, winner pays bid — out of the seat bond, clamped to what
+    // the bond can still cover.
+    Amount price = 0;
+    for (const AuctionBid& bid : pending_bids_) {
+      if (bid.seat == seat) price = bid.bid;
+    }
+    price = std::min(price, seats_[seat].bond);
+    seats_[seat].bond -= price;
+    seats_[seat].auction_spend += price;
+  }
+  proposals_.push_back(
+      SlotProposal{slot, view, static_cast<std::uint64_t>(seat), batch_id});
+  if (seat < seats_.size()) ++seats_[seat].slots_led;
+  return true;
+}
+
+EquivocationRecord ConsensusEngine::record_equivocation(std::uint64_t slot,
+                                                        std::uint64_t view,
+                                                        std::size_t seat) {
+  EquivocationRecord record{slot, view, static_cast<std::uint64_t>(seat), 0};
+  if (seat < seats_.size()) {
+    const SlashOutcome slash =
+        slash_seat_bond(seats_[seat].bond, config_.equivocation_slash_percent,
+                        config_.slash_reward_percent);
+    seats_[seat].bond -= slash.slashed;
+    seats_[seat].slashed += slash.slashed;
+    ++seats_[seat].equivocations;
+    record.slashed = slash.slashed;
+  }
+  equivocations_.push_back(record);
+  return record;
+}
+
+const SlotProposal* ConsensusEngine::accepted(std::uint64_t slot) const {
+  for (const SlotProposal& p : proposals_) {
+    if (p.slot == slot) return &p;
+  }
+  return nullptr;
+}
+
+bool ConsensusEngine::batch_accepted(std::uint64_t batch_id) const {
+  for (const SlotProposal& p : proposals_) {
+    if (p.batch_id == batch_id) return true;
+  }
+  return false;
+}
+
+Amount ConsensusEngine::total_auction_spend(bool adversarial_only) const {
+  Amount total = 0;
+  for (const SeatState& seat : seats_) {
+    if (adversarial_only && !seat.adversarial) continue;
+    total += seat.auction_spend;
+  }
+  return total;
+}
+
+void ConsensusEngine::save(io::ByteWriter& w) const {
+  // Fingerprint first: a checkpoint is only resumable under the exact
+  // election it was cut under.
+  w.u8(static_cast<std::uint8_t>(config_.model));
+  w.u64(config_.seed);
+  w.u64(seats_.size());
+  for (const SeatState& seat : seats_) {
+    w.u64(seat.stake);
+    w.boolean(seat.adversarial);
+    w.i64(seat.bond);
+    w.i64(seat.auction_spend);
+    w.i64(seat.slashed);
+    w.u64(seat.slots_led);
+    w.u64(seat.slots_missed);
+    w.u32(seat.equivocations);
+  }
+  w.u64(view_);
+  w.u64(proposals_.size());
+  for (const SlotProposal& p : proposals_) {
+    w.u64(p.slot);
+    w.u64(p.view);
+    w.u64(p.seat);
+    w.u64(p.batch_id);
+  }
+  w.u64(equivocations_.size());
+  for (const EquivocationRecord& e : equivocations_) {
+    w.u64(e.slot);
+    w.u64(e.view);
+    w.u64(e.seat);
+    w.i64(e.slashed);
+  }
+  w.u64(view_changes_.size());
+  for (const ViewChangeRecord& v : view_changes_) {
+    w.u64(v.slot);
+    w.u64(v.from_view);
+    w.u64(v.seat);
+    w.u8(static_cast<std::uint8_t>(v.reason));
+  }
+  w.u64(pending_bids_.size());
+  for (const AuctionBid& bid : pending_bids_) {
+    w.u64(bid.seat);
+    w.i64(bid.bid);
+  }
+}
+
+Status ConsensusEngine::load(io::ByteReader& r) {
+  std::uint8_t model = 0;
+  std::uint64_t seed = 0;
+  std::uint64_t seat_count = 0;
+  PAROLE_IO_READ(r.u8(model), "consensus model");
+  PAROLE_IO_READ(r.u64(seed), "consensus seed");
+  if (model != static_cast<std::uint8_t>(config_.model) ||
+      seed != config_.seed) {
+    return Error{"config_mismatch",
+                 "checkpoint consensus model/seed differs from the armed "
+                 "config; resuming under a different election is not resuming"};
+  }
+  PAROLE_IO_READ(r.length(seat_count, 44), "consensus seat count");
+  if (seat_count != seats_.size()) {
+    return Error{"config_mismatch",
+                 "checkpoint seat count differs from the armed topology"};
+  }
+
+  std::vector<SeatState> seats(static_cast<std::size_t>(seat_count));
+  for (SeatState& seat : seats) {
+    PAROLE_IO_READ(r.u64(seat.stake), "seat stake");
+    PAROLE_IO_READ(r.boolean(seat.adversarial), "seat adversarial flag");
+    PAROLE_IO_READ(r.i64(seat.bond), "seat bond");
+    PAROLE_IO_READ(r.i64(seat.auction_spend), "seat auction spend");
+    PAROLE_IO_READ(r.i64(seat.slashed), "seat slashed total");
+    PAROLE_IO_READ(r.u64(seat.slots_led), "seat slots led");
+    PAROLE_IO_READ(r.u64(seat.slots_missed), "seat slots missed");
+    PAROLE_IO_READ(r.u32(seat.equivocations), "seat equivocations");
+  }
+
+  std::uint64_t view = 0;
+  PAROLE_IO_READ(r.u64(view), "consensus view");
+
+  std::uint64_t proposal_count = 0;
+  PAROLE_IO_READ(r.length(proposal_count, 32), "proposal count");
+  std::vector<SlotProposal> proposals(
+      static_cast<std::size_t>(proposal_count));
+  for (SlotProposal& p : proposals) {
+    PAROLE_IO_READ(r.u64(p.slot), "proposal slot");
+    PAROLE_IO_READ(r.u64(p.view), "proposal view");
+    PAROLE_IO_READ(r.u64(p.seat), "proposal seat");
+    PAROLE_IO_READ(r.u64(p.batch_id), "proposal batch id");
+  }
+
+  std::uint64_t equivocation_count = 0;
+  PAROLE_IO_READ(r.length(equivocation_count, 32), "equivocation count");
+  std::vector<EquivocationRecord> equivocations(
+      static_cast<std::size_t>(equivocation_count));
+  for (EquivocationRecord& e : equivocations) {
+    PAROLE_IO_READ(r.u64(e.slot), "equivocation slot");
+    PAROLE_IO_READ(r.u64(e.view), "equivocation view");
+    PAROLE_IO_READ(r.u64(e.seat), "equivocation seat");
+    PAROLE_IO_READ(r.i64(e.slashed), "equivocation slash");
+  }
+
+  std::uint64_t view_change_count = 0;
+  PAROLE_IO_READ(r.length(view_change_count, 25), "view change count");
+  std::vector<ViewChangeRecord> view_changes(
+      static_cast<std::size_t>(view_change_count));
+  for (ViewChangeRecord& v : view_changes) {
+    std::uint8_t reason = 0;
+    PAROLE_IO_READ(r.u64(v.slot), "view change slot");
+    PAROLE_IO_READ(r.u64(v.from_view), "view change origin view");
+    PAROLE_IO_READ(r.u64(v.seat), "view change seat");
+    PAROLE_IO_READ(r.u8(reason), "view change reason");
+    if (reason > static_cast<std::uint8_t>(ViewChangeReason::kDeadSeat)) {
+      return Error{"corrupt_checkpoint", "unknown view change reason"};
+    }
+    v.reason = static_cast<ViewChangeReason>(reason);
+  }
+
+  std::uint64_t bid_count = 0;
+  PAROLE_IO_READ(r.length(bid_count, 16), "pending bid count");
+  std::vector<AuctionBid> bids(static_cast<std::size_t>(bid_count));
+  for (AuctionBid& bid : bids) {
+    PAROLE_IO_READ(r.u64(bid.seat), "pending bid seat");
+    PAROLE_IO_READ(r.i64(bid.bid), "pending bid amount");
+  }
+
+  seats_ = std::move(seats);
+  view_ = view;
+  proposals_ = std::move(proposals);
+  equivocations_ = std::move(equivocations);
+  view_changes_ = std::move(view_changes);
+  pending_bids_ = std::move(bids);
+  return ok_status();
+}
+
+}  // namespace parole::rollup

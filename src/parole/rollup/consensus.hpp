@@ -1,0 +1,216 @@
+// Decentralized sequencing layer (DESIGN.md §15, ROADMAP item 5).
+//
+// The paper's attack assumes one aggregator owns every slot. This module
+// replaces that assumption: the node's aggregators become N bonded sequencer
+// *seats* that take turns producing batches under a pluggable leadership
+// model (rollup/election.hpp), with a deterministic view-change protocol for
+// leader failure:
+//
+//   slot      = one aggregation round (the node's step index).
+//   view      = a global monotone counter; the leader of a slot is
+//               elect(slot, view). A leader that misses its deadline, loses
+//               its proposal message, or crashes mid-batch triggers
+//               view_change(): view increments and the *same slot* re-elects
+//               — every replica derives the same successor from (slot,
+//               view+1), no communication needed. The deterministic analogue
+//               of a PBFT/Tendermint view change.
+//   proposal  = the sealed batch a leader lands for its slot. The engine
+//               accepts exactly one per slot; a second proposal for a decided
+//               slot (a recovered leader re-proposing under a stale view) is
+//               *equivocation*: detected, recorded, slashed via
+//               economics::slash_seat_bond, and never submitted to L1 — the
+//               no-finalized-equivocation invariant checks that end to end.
+//
+// Per-seat bonded economics: each seat posts `seat_bond` at arm time.
+// Equivocation slashes it; under kAuction the winner also pays its bid out
+// of the bond (winner-pays-bid, first price). A seat whose bond hits zero is
+// skipped by the election loop (dead-seat view change) — misbehavior prices
+// a seat out of sequencing entirely.
+//
+// Everything here is deterministic and checkpointable: the CSNS snapshot
+// section carries view number, seat states (stake/bond/spend), accepted
+// proposals, equivocation records and pending auction bids, so a SIGKILLed
+// run resumes bit-identically (same contract as rollup/chaos.*).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/result.hpp"
+#include "parole/io/bytes.hpp"
+#include "parole/rollup/election.hpp"
+
+namespace parole::rollup {
+
+// What happens to the txs a leader had already collected when it crashes
+// mid-batch (FaultKind::kLeaderCrashMidBatch).
+enum class PartialBatchPolicy : std::uint8_t {
+  kDiscard,  // txs return to the mempool (arrival stamps intact); the
+             // successor re-collects under the normal priority order
+  kInherit,  // the successor takes over the crashed leader's collected set
+             // verbatim — including any adversarially useful ordering the
+             // dead leader's mempool view baked in ("poisoned handoff")
+};
+
+enum class ViewChangeReason : std::uint8_t {
+  kLeaderCrash,   // crashed mid-batch (chaos kLeaderCrashMidBatch)
+  kMsgDrop,       // proposal never arrived (chaos kElectionMsgDrop)
+  kMsgDelay,      // proposal late past the slot deadline (kElectionMsgDelay)
+  kDeadSeat,      // elected seat has no live bond; skipped deterministically
+};
+
+[[nodiscard]] std::string_view to_string(ViewChangeReason reason);
+
+struct ConsensusConfig {
+  ElectionModel model{ElectionModel::kRoundRobin};
+  // Election seed — independent of the chaos seed so fault schedules and
+  // leadership schedules decorrelate; mixed via common/fault streams.
+  std::uint64_t seed{0x5ea7c0de5ULL};
+  // Bond each seat posts at arm time (consensus-layer stake, separate from
+  // the ORSC aggregator bond that backs fraud proofs).
+  Amount seat_bond = eth(3);
+  // Per-seat stakes for kStakeWeighted (and tie context for auctions).
+  // Shorter than the seat count = missing entries default to 1.
+  std::vector<std::uint64_t> stakes;
+  // Auction bid schedule: honest seats bid around `honest_bid`; adversarial
+  // seats bid `adversary_bid` flat (they need the ordering, not a bargain).
+  Amount honest_bid = gwei(400'000);      // 0.0004 ETH
+  Amount adversary_bid = gwei(3'200'000);  // 8x the honest book
+  PartialBatchPolicy partial_batch{PartialBatchPolicy::kDiscard};
+  // Equivocation slash: percent of the live bond taken, and the prover's cut
+  // of the take (the rest burns) — economics::slash_seat_bond.
+  int equivocation_slash_percent = 50;
+  int slash_reward_percent = 50;
+  // View-change budget per slot; exhausting it forfeits the slot (no batch).
+  std::size_t max_view_changes_per_slot = 8;
+};
+
+struct SeatState {
+  std::uint64_t stake{1};
+  bool adversarial{false};
+  Amount bond{0};
+  Amount auction_spend{0};  // cumulative bids paid (kAuction)
+  Amount slashed{0};        // cumulative equivocation slashes
+  std::uint64_t slots_led{0};
+  std::uint64_t slots_missed{0};  // view changes charged to this seat
+  std::uint32_t equivocations{0};
+
+  friend bool operator==(const SeatState&, const SeatState&) = default;
+};
+
+// One accepted proposal: the batch that owns `slot`.
+struct SlotProposal {
+  std::uint64_t slot{0};
+  std::uint64_t view{0};
+  std::uint64_t seat{0};
+  std::uint64_t batch_id{0};
+
+  friend bool operator==(const SlotProposal&, const SlotProposal&) = default;
+};
+
+struct EquivocationRecord {
+  std::uint64_t slot{0};
+  std::uint64_t view{0};  // the stale view the duplicate arrived under
+  std::uint64_t seat{0};
+  Amount slashed{0};
+
+  friend bool operator==(const EquivocationRecord&,
+                         const EquivocationRecord&) = default;
+};
+
+struct ViewChangeRecord {
+  std::uint64_t slot{0};
+  std::uint64_t from_view{0};
+  std::uint64_t seat{0};  // the leader that failed
+  ViewChangeReason reason{ViewChangeReason::kLeaderCrash};
+
+  friend bool operator==(const ViewChangeRecord&,
+                         const ViewChangeRecord&) = default;
+};
+
+class ConsensusEngine {
+ public:
+  explicit ConsensusEngine(ConsensusConfig config, std::size_t seat_count = 0);
+
+  // Topology wiring (RollupNode::add_aggregator keeps seats 1:1 with
+  // aggregators; arm order does not matter). New seats post the configured
+  // bond and default to stake 1 / honest.
+  void ensure_seats(std::size_t seat_count);
+  void set_seat_adversarial(std::size_t seat, bool adversarial);
+
+  [[nodiscard]] std::size_t seat_count() const { return seats_.size(); }
+  [[nodiscard]] const SeatState& seat(std::size_t index) const {
+    return seats_[index];
+  }
+  [[nodiscard]] const ConsensusConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t view() const { return view_; }
+
+  // Leader of `slot` under the current view. Pure given the engine state;
+  // under kAuction this also (re)computes the slot's sealed bids into
+  // pending_bids() — the winner is charged only when its proposal lands.
+  [[nodiscard]] std::size_t leader(std::uint64_t slot);
+  [[nodiscard]] const std::vector<AuctionBid>& pending_bids() const {
+    return pending_bids_;
+  }
+
+  // The elected leader failed its slot: view increments, the failure is
+  // charged to `seat`, and the next leader() call re-elects.
+  void view_change(std::uint64_t slot, std::size_t seat,
+                   ViewChangeReason reason);
+
+  // The leader sealed a batch for `slot`. Exactly one proposal per slot is
+  // accepted; under kAuction the winner pays its pending bid here. Returns
+  // false when the slot is already decided — the caller must treat that as
+  // equivocation (record_equivocation) and never submit the batch.
+  [[nodiscard]] bool record_proposal(std::uint64_t slot, std::uint64_t view,
+                                     std::size_t seat, std::uint64_t batch_id);
+
+  // A second proposal arrived for a decided slot (stale-view double
+  // propose): slash the offending seat per economics::slash_seat_bond and
+  // keep the record for the invariant checker and the fault log.
+  EquivocationRecord record_equivocation(std::uint64_t slot,
+                                         std::uint64_t view,
+                                         std::size_t seat);
+
+  [[nodiscard]] const std::vector<SlotProposal>& proposals() const {
+    return proposals_;
+  }
+  [[nodiscard]] const std::vector<EquivocationRecord>& equivocations() const {
+    return equivocations_;
+  }
+  [[nodiscard]] const std::vector<ViewChangeRecord>& view_changes() const {
+    return view_changes_;
+  }
+  [[nodiscard]] const SlotProposal* accepted(std::uint64_t slot) const;
+  // True when `batch_id` belongs to an accepted proposal — the only batches
+  // allowed to exist on L1 when consensus is armed.
+  [[nodiscard]] bool batch_accepted(std::uint64_t batch_id) const;
+  // Total auction spend, optionally restricted to adversarial seats (the
+  // profit-vs-decentralization benches net this off the raw reorder profit).
+  [[nodiscard]] Amount total_auction_spend(bool adversarial_only) const;
+
+  // Checkpointing (DESIGN.md §10): the CSNS section payload — view, seats,
+  // proposals, equivocations, view changes, pending bids. The config is
+  // fingerprinted (model/seed/seat count) and load() rejects a checkpoint
+  // armed differently with "config_mismatch", like the chaos runtime.
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
+
+ private:
+  [[nodiscard]] std::vector<SeatProfile> profiles() const;
+
+  ConsensusConfig config_;
+  std::vector<SeatState> seats_;
+  std::uint64_t view_{0};
+  std::vector<SlotProposal> proposals_;
+  std::vector<EquivocationRecord> equivocations_;
+  std::vector<ViewChangeRecord> view_changes_;
+  // Sealed bids for the slot leader() last answered (kAuction only). Part of
+  // the checkpoint: a resume mid-slot must re-charge the same price.
+  std::vector<AuctionBid> pending_bids_;
+};
+
+}  // namespace parole::rollup

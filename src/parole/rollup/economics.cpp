@@ -1,5 +1,6 @@
 #include "parole/rollup/economics.hpp"
 
+#include <algorithm>
 #include <limits>
 
 namespace parole::rollup {
@@ -44,6 +45,18 @@ std::size_t EconomicsModel::break_even_size(Amount avg_fee_per_tx,
   // Smallest n with n * margin > overhead.
   const auto n = static_cast<std::size_t>(overhead / margin) + 1;
   return n;
+}
+
+SlashOutcome slash_seat_bond(Amount bond, int slash_percent,
+                             int reward_percent) {
+  SlashOutcome out;
+  if (bond <= 0) return out;  // nothing left to take
+  const int slash = std::clamp(slash_percent, 0, 100);
+  const int reward = std::clamp(reward_percent, 0, 100);
+  out.slashed = bond * slash / 100;
+  out.reward = out.slashed * reward / 100;
+  out.burnt = out.slashed - out.reward;
+  return out;
 }
 
 }  // namespace parole::rollup

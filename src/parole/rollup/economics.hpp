@@ -39,6 +39,20 @@ struct BatchEconomics {
   [[nodiscard]] bool profitable() const { return aggregator_net > 0; }
 };
 
+// Seat-bond slashing for consensus misbehavior (DESIGN.md §15). Mirrors the
+// ORSC's fraud-slash split: `slash_percent` of the seat's live bond is
+// confiscated, and of that, `reward_percent` pays the party that proved the
+// equivocation while the remainder burns. Clamps to the live bond so a slash
+// can never drive a seat negative (the seat-bond-solvency invariant).
+struct SlashOutcome {
+  Amount slashed{0};  // total taken from the bond
+  Amount reward{0};   // portion paid to the prover
+  Amount burnt{0};    // portion destroyed
+};
+
+[[nodiscard]] SlashOutcome slash_seat_bond(Amount bond, int slash_percent,
+                                           int reward_percent);
+
 class EconomicsModel {
  public:
   explicit EconomicsModel(EconomicsConfig config = {}) : config_(config) {}

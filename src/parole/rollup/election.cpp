@@ -1,0 +1,100 @@
+#include "parole/rollup/election.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "parole/common/fault.hpp"
+
+namespace parole::rollup {
+namespace {
+
+// Election draw streams, disjoint from rollup/chaos.cpp's fault streams by
+// construction (elections mix the *consensus* seed, not the chaos seed) but
+// kept in a distinct value range anyway so a shared seed in tests still
+// yields independent schedules. Stable values — changing one reshuffles
+// every seeded election.
+enum Stream : std::uint64_t {
+  kStreamStakeDraw = 21,
+  kStreamBidJitter = 22,
+};
+
+}  // namespace
+
+std::string_view to_string(ElectionModel model) {
+  switch (model) {
+    case ElectionModel::kRoundRobin:
+      return "rr";
+    case ElectionModel::kStakeWeighted:
+      return "stake";
+    case ElectionModel::kAuction:
+      return "auction";
+  }
+  return "unknown";
+}
+
+std::optional<ElectionModel> parse_election_model(std::string_view text) {
+  if (text == "rr" || text == "round-robin" || text == "roundrobin") {
+    return ElectionModel::kRoundRobin;
+  }
+  if (text == "stake" || text == "stake-weighted") {
+    return ElectionModel::kStakeWeighted;
+  }
+  if (text == "auction") return ElectionModel::kAuction;
+  return std::nullopt;
+}
+
+std::size_t elect_round_robin(std::uint64_t slot, std::uint64_t view,
+                              std::size_t seat_count) {
+  assert(seat_count > 0);
+  return static_cast<std::size_t>((slot + view) % seat_count);
+}
+
+std::size_t elect_stake_weighted(std::uint64_t seed, std::uint64_t slot,
+                                 std::uint64_t view,
+                                 std::span<const SeatProfile> seats) {
+  assert(!seats.empty());
+  std::uint64_t total = 0;
+  for (const SeatProfile& seat : seats) total += seat.stake;
+  if (total == 0) return elect_round_robin(slot, view, seats.size());
+  // One draw per (slot, view): the failover re-roll is a fresh, independent
+  // sample, so a crashed heavy seat can (with its own probability) win the
+  // very next view — stake weighting, not exclusion, is the policy.
+  std::uint64_t ticket = fault_mix(seed, kStreamStakeDraw, slot, view) % total;
+  for (std::size_t i = 0; i < seats.size(); ++i) {
+    if (ticket < seats[i].stake) return i;
+    ticket -= seats[i].stake;
+  }
+  return seats.size() - 1;  // unreachable; total covered the ticket range
+}
+
+Amount auction_bid(std::uint64_t seed, std::uint64_t slot, std::uint64_t view,
+                   std::size_t seat, const SeatProfile& profile,
+                   Amount honest_bid, Amount adversary_bid, Amount bond_cap) {
+  if (bond_cap <= 0) return 0;  // an insolvent seat sits the auction out
+  Amount bid;
+  if (profile.adversarial) {
+    bid = adversary_bid;
+  } else {
+    // Seeded jitter in [0, honest_bid/8]: deterministic, small enough never
+    // to rival the adversary's premium, large enough to break honest ties.
+    const Amount spread = honest_bid / 8 + 1;
+    bid = honest_bid +
+          static_cast<Amount>(fault_mix(seed, kStreamBidJitter, slot,
+                                        (view << 16) ^ seat) %
+                              static_cast<std::uint64_t>(spread));
+  }
+  return std::min(bid, bond_cap);
+}
+
+std::size_t auction_winner(std::span<const AuctionBid> bids) {
+  assert(!bids.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < bids.size(); ++i) {
+    // Strict > keeps ties on the lowest seat index, matching the sorted-seat
+    // layout every caller uses.
+    if (bids[i].bid > bids[best].bid) best = i;
+  }
+  return best;
+}
+
+}  // namespace parole::rollup

@@ -1,0 +1,85 @@
+// Leader election for decentralized sequencing (DESIGN.md §15, ROADMAP
+// item 5).
+//
+// "SoK: Decentralized Sequencers for Rollups" (PAPERS.md) taxonomizes how a
+// rollup hands out ordering power once the single sequencer goes away. Three
+// of those models are implemented here as *pure functions* — every election
+// answer depends only on (seed, slot, view, seat profiles), never on call
+// order or thread count — so the consensus layer built on top inherits the
+// same bit-reproducibility contract as the chaos harness:
+//
+//   kRoundRobin      seats take slots in fixed rotation; a view change shifts
+//                    the rotation by one, which is exactly the deterministic
+//                    failover rule (leader of (slot, view+1) succeeds the
+//                    leader of (slot, view)).
+//   kStakeWeighted   a seeded stake-proportional draw per (slot, view) —
+//                    heavier seats lead more slots in expectation, and the
+//                    draw re-rolls deterministically on view change.
+//   kAuction         a sealed-bid ordering auction per (slot, view): every
+//                    seat submits a deterministic bid, highest bid buys the
+//                    slot (first-price — the winner pays its own bid out of
+//                    its seat bond). The PAROLE adversary values ordering
+//                    power above fee income, so it outbids honest seats —
+//                    and the price it pays is exactly what bends the
+//                    profit-vs-decentralization curve down.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+
+namespace parole::rollup {
+
+enum class ElectionModel : std::uint8_t {
+  kRoundRobin,
+  kStakeWeighted,
+  kAuction,
+};
+
+[[nodiscard]] std::string_view to_string(ElectionModel model);
+
+// CLI spelling: "rr", "stake", "auction" (full names accepted too).
+[[nodiscard]] std::optional<ElectionModel> parse_election_model(
+    std::string_view text);
+
+// Per-seat inputs to an election. Stake weights the kStakeWeighted draw;
+// `adversarial` selects the bid schedule under kAuction.
+struct SeatProfile {
+  std::uint64_t stake{1};
+  bool adversarial{false};
+};
+
+struct AuctionBid {
+  std::uint64_t seat{0};
+  Amount bid{0};
+};
+
+// Rotation: seat (slot + view) mod n. The +view term IS the failover rule.
+[[nodiscard]] std::size_t elect_round_robin(std::uint64_t slot,
+                                            std::uint64_t view,
+                                            std::size_t seat_count);
+
+// Stake-proportional draw over fault_mix(seed, election stream, slot, view).
+// Zero-stake seats never win; an all-zero roster falls back to rotation.
+[[nodiscard]] std::size_t elect_stake_weighted(
+    std::uint64_t seed, std::uint64_t slot, std::uint64_t view,
+    std::span<const SeatProfile> seats);
+
+// One seat's sealed bid for (slot, view). Honest seats bid `honest_bid` plus
+// a small seeded jitter (breaks ties without coordination); adversarial
+// seats bid `adversary_bid` flat — the attack needs the slot, not a bargain.
+// Bids are clamped to `bond_cap` (a seat cannot bid bond it no longer has).
+[[nodiscard]] Amount auction_bid(std::uint64_t seed, std::uint64_t slot,
+                                 std::uint64_t view, std::size_t seat,
+                                 const SeatProfile& profile, Amount honest_bid,
+                                 Amount adversary_bid, Amount bond_cap);
+
+// Winner of a sealed-bid round: highest bid, ties to the lowest seat index.
+// Returns the index into `bids` (not the seat id); empty input is invalid.
+[[nodiscard]] std::size_t auction_winner(std::span<const AuctionBid> bids);
+
+}  // namespace parole::rollup

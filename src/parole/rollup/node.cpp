@@ -38,6 +38,11 @@ void RollupNode::add_aggregator(AggregatorConfig config) {
   (void)registered;
   aggregators_.emplace_back(std::move(config));
   if (chaos_) chaos_->crash.resize(aggregators_.size());
+  if (consensus_) {
+    consensus_->ensure_seats(aggregators_.size());
+    consensus_->set_seat_adversarial(aggregators_.size() - 1,
+                                     aggregators_.back().adversarial());
+  }
 }
 
 void RollupNode::add_verifier(VerifierId id) {
@@ -50,6 +55,14 @@ void RollupNode::add_verifier(VerifierId id) {
 void RollupNode::arm_chaos(ChaosConfig config) {
   chaos_ = std::make_unique<ChaosRuntime>(std::move(config));
   chaos_->crash.resize(aggregators_.size());
+}
+
+void RollupNode::arm_consensus(ConsensusConfig config) {
+  consensus_ =
+      std::make_unique<ConsensusEngine>(std::move(config), aggregators_.size());
+  for (std::size_t i = 0; i < aggregators_.size(); ++i) {
+    consensus_->set_seat_adversarial(i, aggregators_[i].adversarial());
+  }
 }
 
 void RollupNode::fund_l1(UserId user, Amount amount) {
@@ -278,6 +291,10 @@ void RollupNode::release_delayed(std::uint64_t step, StepOutcome& outcome) {
 
 void RollupNode::produce_batch(std::uint64_t step, StepOutcome& outcome) {
   if (aggregators_.empty() || mempool_.empty()) return;
+  if (consensus_) {
+    produce_batch_consensus(step, outcome);
+    return;
+  }
 
   // Round-robin over aggregators that still hold a live bond (a slashed
   // aggregator's submissions would be rejected by the ORSC) and are not
@@ -317,10 +334,131 @@ void RollupNode::produce_batch(std::uint64_t step, StepOutcome& outcome) {
   }
   if (chosen == count) return;  // no live operator this slot
 
-  Aggregator& aggregator = aggregators_[chosen];
   if (chaos_) crash_state(chosen).consecutive_crashes = 0;  // served a slot
+  commit_batch(step, chosen,
+               mempool_.collect(aggregators_[chosen].mempool_size()), outcome);
+}
 
-  std::vector<vm::Tx> collected = mempool_.collect(aggregator.mempool_size());
+void RollupNode::produce_batch_consensus(std::uint64_t step,
+                                         StepOutcome& outcome) {
+  consensus_->ensure_seats(aggregators_.size());
+  // One slot per step: the step index is the slot number, so the election is
+  // replayable from (seed, slot, view) alone — checkpoints restore the view.
+  const std::uint64_t slot = step;
+  const FaultPlan* plan = chaos_ ? &chaos_->plan : nullptr;
+
+  bool crash_pending = plan != nullptr && plan->leader_crashes(step);
+  bool drop_pending = plan != nullptr && plan->election_msg_drop(step);
+  bool delay_pending = plan != nullptr && plan->election_msg_delay(step);
+  const bool stale_forced =
+      plan != nullptr && plan->stale_view_double_propose(step);
+
+  const auto change_view = [&](std::size_t seat, ViewChangeReason reason) {
+    consensus_->view_change(slot, seat, reason);
+    ++outcome.view_changes;
+    PAROLE_OBS_COUNT("parole.consensus.view_changes", 1);
+  };
+
+  // The late proposal from a kMsgDelay leader: it resurfaces after the slot
+  // is decided as a stale-view duplicate from this (seat, view).
+  std::optional<std::pair<std::size_t, std::uint64_t>> stale;
+  // Partial batch carried across a kInherit failover — the successor takes
+  // over the crashed leader's collected set verbatim, poisoned order and all.
+  std::vector<vm::Tx> inherited;
+  std::size_t chosen = aggregators_.size();
+  std::uint64_t chosen_view = 0;
+
+  const std::size_t budget = consensus_->config().max_view_changes_per_slot;
+  for (std::size_t attempt = 0; attempt <= budget; ++attempt) {
+    const std::size_t seat = consensus_->leader(slot);
+    Aggregator& candidate = aggregators_[seat];
+    // Dead seat: no ORSC bond (slashed aggregator) or no seat bond (slashed
+    // or auctioned away) — skipped by a deterministic view change, so every
+    // replica agrees on the successor without seeing the failure itself.
+    if (orsc_.aggregator_bond(candidate.id()) <= 0 ||
+        consensus_->seat(seat).bond <= 0) {
+      change_view(seat, ViewChangeReason::kDeadSeat);
+      continue;
+    }
+    if (drop_pending) {
+      drop_pending = false;  // the fault hits the first live leader once
+      record_fault(step, FaultKind::kElectionMsgDrop, seat, "proposal lost");
+      change_view(seat, ViewChangeReason::kMsgDrop);
+      continue;
+    }
+    if (delay_pending) {
+      delay_pending = false;
+      stale = {{seat, consensus_->view()}};
+      record_fault(step, FaultKind::kElectionMsgDelay, seat,
+                   "proposal past the slot deadline");
+      change_view(seat, ViewChangeReason::kMsgDelay);
+      continue;
+    }
+    if (crash_pending) {
+      crash_pending = false;
+      std::vector<vm::Tx> lost = mempool_.collect(candidate.mempool_size());
+      const std::size_t lost_count = lost.size();
+      if (consensus_->config().partial_batch == PartialBatchPolicy::kInherit) {
+        inherited = std::move(lost);
+      } else {
+        // restore() keeps arrival stamps: the successor re-collects the same
+        // txs in the same priority order the dead leader saw.
+        for (vm::Tx& tx : lost) mempool_.restore(std::move(tx));
+      }
+      outcome.aggregator_crashed = true;
+      PAROLE_OBS_COUNT("parole.chaos.aggregator_crashes", 1);
+      record_fault(step, FaultKind::kLeaderCrashMidBatch, seat,
+                   "died holding " + std::to_string(lost_count) + " txs (" +
+                       (inherited.empty() ? "discarded" : "inherited") + ")");
+      change_view(seat, ViewChangeReason::kLeaderCrash);
+      continue;
+    }
+    chosen = seat;
+    chosen_view = consensus_->view();
+    break;
+  }
+
+  if (chosen == aggregators_.size()) {
+    // View-change budget exhausted: the slot is forfeited, but nothing may
+    // be lost with it — an inherited partial batch returns to the pool.
+    for (vm::Tx& tx : inherited) mempool_.restore(std::move(tx));
+    PAROLE_OBS_COUNT("parole.consensus.slots_forfeited", 1);
+    return;
+  }
+
+  outcome.leader_seat = chosen;
+  std::vector<vm::Tx> collected =
+      inherited.empty() ? mempool_.collect(aggregators_[chosen].mempool_size())
+                        : std::move(inherited);
+  commit_batch(step, chosen, std::move(collected), outcome);
+  if (outcome.produced_batch) {
+    const bool accepted = consensus_->record_proposal(slot, chosen_view, chosen,
+                                                      outcome.batch_id);
+    assert(accepted);  // first proposal for this slot by construction
+    (void)accepted;
+  }
+
+  // Equivocation needs a decided slot to equivocate against: a delayed
+  // proposal resurfacing, or a scripted stale-view double-propose by the
+  // winner itself. The duplicate is slashed and recorded — never submitted,
+  // which is exactly what kNoFinalizedEquivocation checks downstream.
+  if ((stale.has_value() || stale_forced) &&
+      consensus_->accepted(slot) != nullptr) {
+    const std::size_t offender = stale ? stale->first : chosen;
+    const std::uint64_t stale_view = stale ? stale->second : chosen_view;
+    const EquivocationRecord rec =
+        consensus_->record_equivocation(slot, stale_view, offender);
+    ++outcome.equivocations;
+    PAROLE_OBS_COUNT("parole.consensus.equivocations", 1);
+    record_fault(step, FaultKind::kStaleViewDoublePropose, offender,
+                 "slashed " + std::to_string(rec.slashed) + " gwei");
+  }
+}
+
+void RollupNode::commit_batch(std::uint64_t step, std::size_t chosen,
+                              std::vector<vm::Tx> collected,
+                              StepOutcome& outcome) {
+  Aggregator& aggregator = aggregators_[chosen];
   if (chaos_) apply_mempool_faults(step, collected, outcome);
   if (collected.empty()) return;
 
@@ -635,6 +773,7 @@ constexpr std::uint32_t kBridgeTag = io::section_tag("BRDG");
 constexpr std::uint32_t kBatchesTag = io::section_tag("BTCH");
 constexpr std::uint32_t kPendingTag = io::section_tag("PEND");
 constexpr std::uint32_t kChaosTag = io::section_tag("CHAO");
+constexpr std::uint32_t kConsensusTag = io::section_tag("CSNS");
 constexpr std::uint32_t kJournalTag = io::section_tag("JRNL");
 
 Error config_mismatch(const std::string& what) {
@@ -666,6 +805,7 @@ void RollupNode::save_snapshot(io::CheckpointBuilder& builder) const {
   node.u64(next_tx_id_);
   node.u64(step_index_);
   node.boolean(chaos_ != nullptr);
+  node.boolean(consensus_ != nullptr);
 
   state_.save(builder.section(kStateTag));
   mempool_.save(builder.section(kMempoolTag));
@@ -692,6 +832,7 @@ void RollupNode::save_snapshot(io::CheckpointBuilder& builder) const {
   }
 
   if (chaos_) chaos_->save(builder.section(kChaosTag));
+  if (consensus_) consensus_->save(builder.section(kConsensusTag));
   journal_.save(builder.section(kJournalTag));
 }
 
@@ -751,12 +892,17 @@ Status RollupNode::restore_snapshot(const io::Checkpoint& checkpoint) {
   }
   std::uint64_t next_aggregator = 0, next_tx_id = 0, step_index = 0;
   bool chaos_armed = false;
+  bool consensus_armed = false;
   PAROLE_IO_READ(node.u64(next_aggregator), "node next aggregator");
   PAROLE_IO_READ(node.u64(next_tx_id), "node next tx id");
   PAROLE_IO_READ(node.u64(step_index), "node step index");
   PAROLE_IO_READ(node.boolean(chaos_armed), "node chaos flag");
   if (chaos_armed != (chaos_ != nullptr)) {
     return config_mismatch("chaos armed state");
+  }
+  PAROLE_IO_READ(node.boolean(consensus_armed), "node consensus flag");
+  if (consensus_armed != (consensus_ != nullptr)) {
+    return config_mismatch("consensus armed state");
   }
   if (!aggregators_.empty() && next_aggregator >= aggregators_.size()) {
     return Error{"corrupt_checkpoint", "next aggregator out of range"};
@@ -852,6 +998,18 @@ Status RollupNode::restore_snapshot(const io::Checkpoint& checkpoint) {
     }
   }
 
+  std::unique_ptr<ConsensusEngine> consensus;
+  if (consensus_) {
+    consensus = std::make_unique<ConsensusEngine>(consensus_->config(),
+                                                  consensus_->seat_count());
+    auto consensus_r = checkpoint.reader(kConsensusTag);
+    if (!consensus_r.ok()) return consensus_r.error();
+    if (Status s = consensus->load(consensus_r.value()); !s.ok()) return s;
+    if (Status s = consensus_r.value().finish("CSNS section"); !s.ok()) {
+      return s;
+    }
+  }
+
   // The journal validates and commits internally (its deque is built from the
   // section before any member is touched), so a corrupt JRNL section rejects
   // the whole restore with the journal unchanged — same contract as the rest.
@@ -870,6 +1028,7 @@ Status RollupNode::restore_snapshot(const io::Checkpoint& checkpoint) {
   pending_checks_ = std::move(pending);
   deposit_log_ = std::move(deposit_log);
   if (chaos_) chaos_ = std::move(chaos);
+  if (consensus_) consensus_ = std::move(consensus);
   next_aggregator_ = static_cast<std::size_t>(next_aggregator);
   next_tx_id_ = next_tx_id;
   step_index_ = step_index;

@@ -35,6 +35,7 @@
 #include "parole/obs/journal.hpp"
 #include "parole/rollup/aggregator.hpp"
 #include "parole/rollup/chaos.hpp"
+#include "parole/rollup/consensus.hpp"
 #include "parole/rollup/dispute.hpp"
 #include "parole/rollup/mempool.hpp"
 #include "parole/rollup/verifier.hpp"
@@ -73,6 +74,11 @@ struct StepOutcome {
   std::uint32_t txs_duplicated{0};
   std::uint32_t txs_delayed{0};
   std::uint64_t l1_reorg_depth{0};
+
+  // Consensus observability (DESIGN.md §15) — all zero unless armed.
+  std::uint64_t leader_seat{0};
+  std::uint32_t view_changes{0};
+  std::uint32_t equivocations{0};
 
   // Exact equality — the chaos acceptance test diffs whole outcome sequences
   // across same-seed runs.
@@ -116,6 +122,17 @@ class RollupNode {
   // invariant checker after every step. Arm before the first step().
   void arm_chaos(ChaosConfig config);
   [[nodiscard]] const ChaosRuntime* chaos() const { return chaos_.get(); }
+
+  // Arm decentralized sequencing (DESIGN.md §15): aggregators become bonded
+  // sequencer seats and produce_batch runs the elected-leader slot protocol
+  // instead of round-robin. Seats are kept 1:1 with aggregators (adversarial
+  // iff the aggregator carries a reorderer); arm before or after topology —
+  // add_aggregator grows the roster either way. Composes with arm_chaos: the
+  // leader-fault families in the plan only fire on consensus-armed nodes.
+  void arm_consensus(ConsensusConfig config);
+  [[nodiscard]] const ConsensusEngine* consensus() const {
+    return consensus_.get();
+  }
 
   // --- user actions ----------------------------------------------------------
   void fund_l1(UserId user, Amount amount);
@@ -214,6 +231,14 @@ class RollupNode {
   void apply_l1_reorg(std::uint64_t step, StepOutcome& outcome);
   void release_delayed(std::uint64_t step, StepOutcome& outcome);
   void produce_batch(std::uint64_t step, StepOutcome& outcome);
+  // Consensus-armed slot protocol: elect a leader, run the view-change loop
+  // over leader faults and dead seats, build/commit the accepted proposal,
+  // then resolve any stale-view duplicate as slashed equivocation.
+  void produce_batch_consensus(std::uint64_t step, StepOutcome& outcome);
+  // Shared tail of both produce paths: screen, reorder (or suppress), build,
+  // submit, journal, stage on L1 and queue for verification.
+  void commit_batch(std::uint64_t step, std::size_t aggregator_index,
+                    std::vector<vm::Tx> collected, StepOutcome& outcome);
   void apply_mempool_faults(std::uint64_t step, std::vector<vm::Tx>& collected,
                             StepOutcome& outcome);
   void run_verification_pass(std::uint64_t step, StepOutcome& outcome);
@@ -255,6 +280,7 @@ class RollupNode {
   // checkpointed: latency measurement restarts across a resume.
   std::unordered_map<std::uint64_t, std::uint64_t> submit_t_ns_;
   std::unique_ptr<ChaosRuntime> chaos_;
+  std::unique_ptr<ConsensusEngine> consensus_;
   bool reorder_passthrough_{false};
   std::size_t next_aggregator_{0};
   // Starts at 1: tx id 0 is the journal's pipeline-event sentinel (deposits,

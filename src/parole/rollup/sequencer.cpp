@@ -15,6 +15,7 @@ void CentralSequencer::submit(vm::Tx tx) {
   if (config_.censor && config_.censor(tx)) {
     ++stats_.txs_censored;
     PAROLE_OBS_COUNT("parole.rollup.txs_censored", 1);
+    PAROLE_OBS_COUNT("parole.sequencer.txs_censored", 1);
     return;
   }
   pending_.push_back(std::move(tx));
@@ -22,13 +23,17 @@ void CentralSequencer::submit(vm::Tx tx) {
 
 std::optional<Batch> CentralSequencer::produce_block(
     vm::L2State& state, const vm::ExecutionEngine& engine) {
+  // The heartbeat fires on every tick, including halted ones: a halted
+  // sequencer is alive and refusing, which the watchdog must tell apart from
+  // a sequencer that stopped calling in.
+  PAROLE_OBS_HEARTBEAT("rollup.sequencer");
   if (halted_) {
     ++stats_.halted_ticks;
+    PAROLE_OBS_COUNT("parole.sequencer.halted_ticks", 1);
     return std::nullopt;
   }
   if (pending_.empty()) return std::nullopt;
   PAROLE_OBS_SPAN("rollup.sequence");
-  PAROLE_OBS_HEARTBEAT("rollup.sequencer");
 
   std::vector<vm::Tx> txs;
   while (txs.size() < config_.max_block_txs && !pending_.empty()) {
@@ -38,6 +43,8 @@ std::optional<Batch> CentralSequencer::produce_block(
 
   if (config_.reorderer) {
     txs = (*config_.reorderer)(state, std::move(txs));
+    ++stats_.mev_reorders;
+    PAROLE_OBS_COUNT("parole.sequencer.mev_reorders", 1);
   }
 
   Batch batch;
@@ -58,6 +65,8 @@ std::optional<Batch> CentralSequencer::produce_block(
   stats_.txs_sequenced += batch.txs.size();
   PAROLE_OBS_COUNT("parole.rollup.blocks_produced", 1);
   PAROLE_OBS_COUNT("parole.rollup.txs_sequenced", batch.txs.size());
+  PAROLE_OBS_COUNT("parole.sequencer.blocks_produced", 1);
+  PAROLE_OBS_COUNT("parole.sequencer.txs_sequenced", batch.txs.size());
   return batch;
 }
 

@@ -40,6 +40,8 @@ struct SequencerStats {
   std::uint64_t txs_sequenced{0};
   std::uint64_t txs_censored{0};
   std::uint64_t halted_ticks{0};
+  // Blocks that went through the MEV reorderer hook before sealing.
+  std::uint64_t mev_reorders{0};
 };
 
 class CentralSequencer {

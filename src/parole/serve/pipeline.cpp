@@ -112,6 +112,18 @@ void ServePipeline::build_node(bool threaded) {
   node_->add_verifier(VerifierId{0});
   node_->add_verifier(VerifierId{1});
 
+  if (config_.seats > 0) {
+    // Fill the roster with honest seats, then arm: every aggregator becomes
+    // a bonded seat, adversarial iff it carries the reorderer.
+    for (std::size_t s = node_->aggregator_count(); s < config_.seats; ++s) {
+      node_->add_aggregator({AggregatorId{static_cast<std::uint32_t>(s)},
+                             config_.batch_size, std::nullopt, std::nullopt});
+    }
+    rollup::ConsensusConfig consensus = config_.consensus;
+    consensus.seed ^= config_.seed;
+    node_->arm_consensus(std::move(consensus));
+  }
+
   generator_ =
       std::make_unique<data::WorkloadGenerator>(config_.workload, config_.seed);
   for (const UserId user : generator_->users()) {
@@ -120,7 +132,18 @@ void ServePipeline::build_node(bool threaded) {
     (void)node_->deposit(user, balance);
   }
 
-  if (config_.chaos) node_->arm_chaos(default_chaos(config_.seed));
+  if (config_.chaos) {
+    rollup::ChaosConfig chaos = default_chaos(config_.seed);
+    if (config_.seats > 0) {
+      // With consensus armed, turn on the leader-fault families so a soak
+      // exercises view changes, failover inheritance and equivocation.
+      chaos.p_leader_crash = 0.04;
+      chaos.p_election_msg_drop = 0.03;
+      chaos.p_election_msg_delay = 0.03;
+      chaos.p_stale_view_double_propose = 0.02;
+    }
+    node_->arm_chaos(chaos);
+  }
 }
 
 std::size_t ServePipeline::planned_arrivals(std::uint64_t step) {
@@ -264,6 +287,8 @@ void ServePipeline::fill_checkpoint(io::CheckpointBuilder& builder,
   meta["queue"] = static_cast<std::uint64_t>(config_.queue_capacity);
   meta["chaos"] = static_cast<std::uint64_t>(config_.chaos ? 1 : 0);
   meta["p_stage_fault"] = config_.supervisor.p_stage_fault;
+  meta["seats"] = static_cast<std::uint64_t>(config_.seats);
+  meta["election"] = std::string(rollup::to_string(config_.consensus.model));
   builder.set_meta(meta);
   node_->save_snapshot(builder);
   io::ByteWriter& w = builder.section(kServeTag);
@@ -393,6 +418,34 @@ void ServePipeline::absorb_record(const StepRecord& record, ServeStats& stats) {
   if (outcome.challenged) ++stats.challenges;
   if (outcome.fraud_proven) ++stats.frauds;
   if (outcome.reorderer_degraded) ++stats.degraded_batches;
+  absorb_consensus(outcome, stats);
+}
+
+void ServePipeline::absorb_consensus(const rollup::StepOutcome& outcome,
+                                     ServeStats& stats) {
+  if (node_->consensus() == nullptr) return;
+  if (outcome.view_changes > 0) {
+    stats.leader_handoffs += outcome.view_changes;
+    PAROLE_OBS_COUNT("parole.serve.leader_handoffs",
+                     static_cast<std::int64_t>(outcome.view_changes));
+    // A leader handoff is a supervised-stage event: the successor stamps a
+    // fresh beat and clears the sticky stall latch, exactly like a stage
+    // relaunch — a failed leader must not read as a wedged pipeline.
+    obs::StallWatchdog::instance().stage_relaunched("consensus.leader");
+  }
+  if (outcome.equivocations > 0) {
+    stats.equivocations += outcome.equivocations;
+    PAROLE_OBS_COUNT("parole.serve.equivocations",
+                     static_cast<std::int64_t>(outcome.equivocations));
+  }
+  if (outcome.produced_batch) {
+    // Per-seat heartbeat: seat names are dynamic, so this uses the direct
+    // watchdog API — the PAROLE_OBS_HEARTBEAT macro binds one static name
+    // per call site.
+    obs::StallWatchdog::Stage& stage = obs::StallWatchdog::instance().stage(
+        "consensus.seat." + std::to_string(outcome.leader_seat));
+    obs::StallWatchdog::beat(stage);
+  }
 }
 
 ServeStats ServePipeline::finish(ServeStats stats, bool drained, bool stopped,
@@ -566,6 +619,7 @@ Result<ServeStats> ServePipeline::run_impl(const std::atomic<bool>* stop,
     if (outcome.challenged) ++stats.challenges;
     if (outcome.fraud_proven) ++stats.frauds;
     if (outcome.reorderer_degraded) ++stats.degraded_batches;
+    absorb_consensus(outcome, stats);
   }
 
   if (threaded) {

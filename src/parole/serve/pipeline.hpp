@@ -76,6 +76,14 @@ struct ServeConfig {
   bool chaos{true};
   bool corrupt_aggregator{true};
 
+  // Decentralized sequencing (DESIGN.md §15): seats > 0 arms the consensus
+  // layer with that many bonded sequencer seats — the base topology grows
+  // with honest aggregators until the roster is full — electing leaders per
+  // `consensus.model`. The consensus seed is mixed from the serve seed, so a
+  // resume re-derives the same leadership schedule.
+  std::size_t seats{0};
+  rollup::ConsensusConfig consensus;
+
   // Supervision (serve/supervisor.hpp). seed 0 = inherit the serve seed.
   SupervisorConfig supervisor;
 
@@ -114,6 +122,8 @@ struct ServeStats {
   std::uint64_t challenges{0};
   std::uint64_t frauds{0};
   std::uint64_t degraded_batches{0};  // shipped with the reorderer suppressed
+  std::uint64_t leader_handoffs{0};   // consensus view changes across the run
+  std::uint64_t equivocations{0};     // stale-view duplicates slashed
   std::uint64_t queue_full_waits{0};  // backpressure events across all queues
   StageReport ingest;
   StageReport reorder;
@@ -213,6 +223,9 @@ class ServePipeline {
   void reorder_worker();
   void checkpoint_worker();
   void absorb_record(const StepRecord& record, ServeStats& stats);
+  // Consensus bookkeeping shared by the serve and drain loops: handoff
+  // counters, the watchdog relaunch event, the per-seat heartbeat.
+  void absorb_consensus(const rollup::StepOutcome& outcome, ServeStats& stats);
   ServeStats finish(ServeStats stats, bool drained, bool stopped,
                     double wall_seconds);
 

@@ -1,0 +1,402 @@
+// Decentralized sequencing tests (DESIGN.md §15): the ConsensusEngine's slot
+// protocol, the node's election loop under forced leader faults, failover
+// mempool inheritance with intact arrival stamps, equivocation slashing, the
+// consensus invariants, and bit-identical SIGKILL+resume through the CSNS
+// checkpoint section.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "parole/common/fault.hpp"
+#include "parole/io/checkpoint.hpp"
+#include "parole/obs/journal.hpp"
+#include "parole/rollup/chaos.hpp"
+#include "parole/rollup/consensus.hpp"
+#include "parole/rollup/node.hpp"
+
+namespace parole::rollup {
+namespace {
+
+NodeConfig fast_node_config() {
+  NodeConfig config;
+  config.orsc.challenge_period = 20;
+  config.max_supply = 200;
+  return config;
+}
+
+// N-seat topology: seat 0 carries the (artless) adversarial reorderer, the
+// rest are honest. Mirrors what `parole_cli chaos --seats N` builds.
+void build_topology(RollupNode& node, std::size_t seats) {
+  auto reverse = [](const vm::L2State&, std::vector<vm::Tx> txs) {
+    std::reverse(txs.begin(), txs.end());
+    return txs;
+  };
+  node.add_aggregator({AggregatorId{0}, 3, reverse, std::nullopt});
+  for (std::size_t s = 1; s < seats; ++s) {
+    node.add_aggregator({AggregatorId{static_cast<std::uint32_t>(s)}, 3,
+                         std::nullopt, std::nullopt});
+  }
+  node.add_verifier(VerifierId{0});
+  node.add_verifier(VerifierId{1});
+  node.fund_l1(UserId{1}, eth(400));
+  node.fund_l1(UserId{2}, eth(400));
+  ASSERT_TRUE(node.deposit(UserId{1}, eth(400)).ok());
+  ASSERT_TRUE(node.deposit(UserId{2}, eth(400)).ok());
+}
+
+ConsensusConfig consensus_config(ElectionModel model) {
+  ConsensusConfig config;
+  config.model = model;
+  config.seed = 0xdece47;
+  return config;
+}
+
+void drive(RollupNode& node, std::uint64_t from, std::uint64_t to,
+           std::uint64_t& tx_id, std::vector<StepOutcome>* outcomes) {
+  for (std::uint64_t step = from; step < to; ++step) {
+    node.submit_tx(vm::Tx::make_mint(
+        TxId{tx_id++}, UserId{static_cast<std::uint32_t>(1 + (step % 2))},
+        gwei(20), gwei(step % 7)));
+    const StepOutcome outcome = node.step();
+    if (outcomes != nullptr) outcomes->push_back(outcome);
+  }
+}
+
+// --- Engine slot protocol ----------------------------------------------------------
+
+TEST(ConsensusEngine, RoundRobinLeaderShiftsOnViewChange) {
+  ConsensusEngine engine(consensus_config(ElectionModel::kRoundRobin), 4);
+  EXPECT_EQ(engine.leader(6), 2u);
+  engine.view_change(6, 2, ViewChangeReason::kLeaderCrash);
+  EXPECT_EQ(engine.view(), 1u);
+  EXPECT_EQ(engine.leader(6), 3u);  // same slot, next seat
+  EXPECT_EQ(engine.seat(2).slots_missed, 1u);
+  ASSERT_EQ(engine.view_changes().size(), 1u);
+  EXPECT_EQ(engine.view_changes()[0].reason, ViewChangeReason::kLeaderCrash);
+}
+
+TEST(ConsensusEngine, OneProposalPerSlot) {
+  ConsensusEngine engine(consensus_config(ElectionModel::kRoundRobin), 3);
+  ASSERT_TRUE(engine.record_proposal(5, 0, 2, 900));
+  EXPECT_FALSE(engine.record_proposal(5, 0, 1, 901));  // decided: equivocation
+  ASSERT_NE(engine.accepted(5), nullptr);
+  EXPECT_EQ(engine.accepted(5)->batch_id, 900u);
+  EXPECT_TRUE(engine.batch_accepted(900));
+  EXPECT_FALSE(engine.batch_accepted(901));
+  EXPECT_EQ(engine.seat(2).slots_led, 1u);
+}
+
+TEST(ConsensusEngine, EquivocationSlashesBond) {
+  ConsensusConfig config = consensus_config(ElectionModel::kRoundRobin);
+  config.seat_bond = gwei(1000);
+  config.equivocation_slash_percent = 50;
+  ConsensusEngine engine(config, 3);
+  ASSERT_TRUE(engine.record_proposal(4, 0, 1, 40));
+  const EquivocationRecord record = engine.record_equivocation(4, 0, 1);
+  EXPECT_EQ(record.slashed, gwei(500));
+  EXPECT_EQ(engine.seat(1).bond, gwei(500));
+  EXPECT_EQ(engine.seat(1).slashed, gwei(500));
+  EXPECT_EQ(engine.seat(1).equivocations, 1u);
+  ASSERT_EQ(engine.equivocations().size(), 1u);
+  // Slashing again halves the remainder — the bond never goes negative.
+  (void)engine.record_equivocation(4, 0, 1);
+  EXPECT_EQ(engine.seat(1).bond, gwei(250));
+}
+
+TEST(ConsensusEngine, AuctionWinnerPaysBidFromBond) {
+  ConsensusConfig config = consensus_config(ElectionModel::kAuction);
+  config.seat_bond = gwei(10'000'000);
+  ConsensusEngine engine(config, 3);
+  engine.set_seat_adversarial(0, true);
+
+  const std::size_t winner = engine.leader(0);
+  EXPECT_EQ(winner, 0u);  // the adversary outbids the honest book
+  ASSERT_EQ(engine.pending_bids().size(), 3u);
+  const Amount price = engine.pending_bids()[winner].bid;
+  EXPECT_EQ(price, config.adversary_bid);
+
+  const Amount bond_before = engine.seat(winner).bond;
+  ASSERT_TRUE(engine.record_proposal(0, 0, winner, 1));
+  EXPECT_EQ(engine.seat(winner).bond, bond_before - price);
+  EXPECT_EQ(engine.seat(winner).auction_spend, price);
+  EXPECT_EQ(engine.total_auction_spend(/*adversarial_only=*/true), price);
+  EXPECT_EQ(engine.total_auction_spend(/*adversarial_only=*/false), price);
+}
+
+TEST(ConsensusEngine, AuctionSpendDrainsBondUntilSeatDies) {
+  ConsensusConfig config = consensus_config(ElectionModel::kAuction);
+  config.seat_bond = gwei(5'000'000);  // < 2 adversary bids
+  ConsensusEngine engine(config, 2);
+  engine.set_seat_adversarial(0, true);
+
+  std::uint64_t slot = 0;
+  while (engine.seat(0).bond > 0 && slot < 16) {
+    const std::size_t winner = engine.leader(slot);
+    ASSERT_TRUE(engine.record_proposal(slot, engine.view(), winner, slot + 1));
+    ++slot;
+  }
+  // The adversary's bond ran dry (bids clamp to the remaining bond), and a
+  // dead seat bids zero — the honest seat takes over.
+  EXPECT_EQ(engine.seat(0).bond, Amount{0});
+  EXPECT_EQ(engine.leader(slot), 1u);
+}
+
+// --- Node election loop under forced faults ----------------------------------------
+
+// Forced leader-crash-mid-batch must yield a deterministic view change under
+// every election model: same config twice => bit-identical outcome sequences,
+// with the crash step recording exactly one view change.
+TEST(ConsensusNode, ForcedLeaderCrashDeterministicPerModel) {
+  for (const ElectionModel model :
+       {ElectionModel::kRoundRobin, ElectionModel::kStakeWeighted,
+        ElectionModel::kAuction}) {
+    const auto run = [&](std::vector<StepOutcome>& outcomes) {
+      RollupNode node(fast_node_config());
+      build_topology(node, 4);
+      node.arm_consensus(consensus_config(model));
+      ChaosConfig chaos;
+      chaos.forced.push_back({12, FaultKind::kLeaderCrashMidBatch, 0, 0});
+      node.arm_chaos(chaos);
+      std::uint64_t tx_id = 0;
+      drive(node, 0, 30, tx_id, &outcomes);
+      (void)node.run_to_quiescence(300);
+      EXPECT_TRUE(node.chaos()->checker.clean());
+    };
+    std::vector<StepOutcome> first, second;
+    run(first);
+    run(second);
+    EXPECT_EQ(first, second) << "model " << to_string(model);
+    ASSERT_GT(first.size(), 12u);
+    EXPECT_EQ(first[12].view_changes, 1u) << "model " << to_string(model);
+    EXPECT_TRUE(first[12].aggregator_crashed);
+    EXPECT_TRUE(first[12].produced_batch);  // the successor still sealed it
+  }
+}
+
+// Failover inheritance (poisoned handoff): the successor takes the crashed
+// leader's collected set verbatim, arrival stamps intact — the batch at the
+// crash step is byte-for-byte the batch an uninterrupted run produces.
+TEST(ConsensusNode, FailoverInheritsMempoolWithArrivalStampsIntact) {
+  for (const PartialBatchPolicy policy :
+       {PartialBatchPolicy::kInherit, PartialBatchPolicy::kDiscard}) {
+    const auto run = [&](bool crash) {
+      RollupNode node(fast_node_config());
+      build_topology(node, 4);
+      ConsensusConfig consensus = consensus_config(ElectionModel::kRoundRobin);
+      consensus.partial_batch = policy;
+      node.arm_consensus(consensus);
+      if (crash) {
+        ChaosConfig chaos;
+        chaos.forced.push_back({8, FaultKind::kLeaderCrashMidBatch, 0, 0});
+        node.arm_chaos(chaos);
+      }
+      std::uint64_t tx_id = 0;
+      drive(node, 0, 16, tx_id, nullptr);
+      return node.batches();
+    };
+    const std::vector<Batch> golden = run(/*crash=*/false);
+    const std::vector<Batch> failed_over = run(/*crash=*/true);
+    ASSERT_EQ(golden.size(), failed_over.size());
+    for (std::size_t b = 0; b < golden.size(); ++b) {
+      ASSERT_EQ(golden[b].txs.size(), failed_over[b].txs.size());
+      for (std::size_t t = 0; t < golden[b].txs.size(); ++t) {
+        // Same tx in the same position with the same arrival stamp: the
+        // handoff neither re-stamped nor re-ordered the inherited view.
+        EXPECT_EQ(golden[b].txs[t].id, failed_over[b].txs[t].id);
+        EXPECT_EQ(golden[b].txs[t].arrival, failed_over[b].txs[t].arrival);
+      }
+    }
+  }
+}
+
+// Satellite: sheds counted exactly once and the tx journal audit stays clean
+// across a leader handoff — no lifecycle chain is dropped or double-opened
+// when the successor inherits the crashed leader's mempool view.
+TEST(ConsensusNode, JournalAuditCleanAcrossHandoff) {
+  obs::TxJournal::set_enabled(true);
+  std::uint64_t shed_refusals = 0;
+  {
+    RollupNode node(fast_node_config());
+    build_topology(node, 4);
+    ConsensusConfig consensus = consensus_config(ElectionModel::kStakeWeighted);
+    consensus.partial_batch = PartialBatchPolicy::kInherit;
+    node.arm_consensus(consensus);
+    ChaosConfig chaos;
+    chaos.forced.push_back({6, FaultKind::kLeaderCrashMidBatch, 0, 0});
+    chaos.forced.push_back({11, FaultKind::kLeaderCrashMidBatch, 0, 0});
+    node.arm_chaos(chaos);
+
+    std::uint64_t tx_id = 0;
+    for (std::uint64_t step = 0; step < 24; ++step) {
+      // Admission-controlled burst: 6 submissions against a depth cap of 4
+      // guarantees sheds every step, including at the handoff steps.
+      for (int burst = 0; burst < 6; ++burst) {
+        const bool admitted = node.try_submit_tx(
+            vm::Tx::make_mint(TxId{tx_id}, UserId{1 + (tx_id % 2)},
+                              gwei(20), gwei(tx_id % 5)),
+            /*max_mempool_depth=*/4);
+        ++tx_id;
+        if (!admitted) ++shed_refusals;
+      }
+      (void)node.step();
+    }
+    (void)node.run_to_quiescence(300);
+    EXPECT_TRUE(node.chaos()->checker.clean());
+    EXPECT_GT(node.consensus()->view_changes().size(), 0u);
+
+    const obs::TxJournal::Audit audit = node.journal().audit();
+    EXPECT_TRUE(audit.ok) << (audit.issues.empty() ? "" : audit.issues[0]);
+    EXPECT_GT(shed_refusals, 0u);
+    // Every refusal journaled exactly once, none resurrected by the handoff.
+    EXPECT_EQ(audit.txs_shed, shed_refusals);
+  }
+  obs::TxJournal::set_enabled(false);
+}
+
+// Equivocation end to end: stale-view double-proposes get slashed and the
+// duplicate batch never reaches L1 — the no-finalized-equivocation and
+// slot-unique-finalization invariants hold over a faulty soak.
+TEST(ConsensusNode, EquivocationSlashedAndNeverFinalized) {
+  RollupNode node(fast_node_config());
+  build_topology(node, 5);
+  node.arm_consensus(consensus_config(ElectionModel::kAuction));
+  ChaosConfig chaos;
+  chaos.seed = 0xe9c1;
+  chaos.p_leader_crash = 0.1;
+  chaos.p_election_msg_drop = 0.1;
+  chaos.p_election_msg_delay = 0.15;
+  chaos.p_stale_view_double_propose = 0.15;
+  node.arm_chaos(chaos);
+
+  std::uint64_t tx_id = 0;
+  drive(node, 0, 80, tx_id, nullptr);
+  (void)node.run_to_quiescence(600);
+
+  const ConsensusEngine& engine = *node.consensus();
+  ASSERT_GT(engine.equivocations().size(), 0u) << "soak produced no "
+                                                  "equivocations; raise the "
+                                                  "fault rates";
+  for (const EquivocationRecord& record : engine.equivocations()) {
+    EXPECT_GT(record.slashed, Amount{0});
+    // The slot the duplicate targeted is owned by an accepted proposal.
+    ASSERT_NE(engine.accepted(record.slot), nullptr);
+    EXPECT_GT(engine.seat(record.seat).slashed, Amount{0});
+  }
+  // Every batch that made it to L1 belongs to an accepted proposal, and the
+  // checker (slot uniqueness, bond solvency, no finalized equivocation)
+  // found nothing.
+  for (const Batch& batch : node.batches()) {
+    EXPECT_TRUE(engine.batch_accepted(batch.header.batch_id));
+  }
+  EXPECT_TRUE(node.chaos()->checker.clean()) << [&] {
+    std::string out;
+    for (const auto& v : node.chaos()->checker.violations()) {
+      out += "step " + std::to_string(v.step) + " " +
+             std::string(to_string(v.kind)) + ": " + v.detail + "\n";
+    }
+    return out;
+  }();
+}
+
+// SIGKILL at any step + resume => bit-identical continuation: snapshot at
+// every step of a faulty auction run (the model with the most checkpoint
+// state: pending sealed bids), restore into a fresh process-equivalent node,
+// and require the remaining outcome sequence and final state root to match
+// the uninterrupted run exactly.
+TEST(ConsensusNode, KillAtAnyStepResumesBitIdentically) {
+  constexpr std::uint64_t kSteps = 36;
+  const auto build = [](RollupNode& node) {
+    build_topology(node, 4);
+    node.arm_consensus(consensus_config(ElectionModel::kAuction));
+    ChaosConfig chaos;
+    chaos.seed = 0x6b11;
+    chaos.p_leader_crash = 0.12;
+    chaos.p_election_msg_drop = 0.08;
+    chaos.p_election_msg_delay = 0.1;
+    chaos.p_stale_view_double_propose = 0.1;
+    node.arm_chaos(chaos);
+  };
+
+  RollupNode golden(fast_node_config());
+  build(golden);
+  std::uint64_t golden_tx = 0;
+  std::vector<StepOutcome> golden_outcomes;
+  drive(golden, 0, kSteps, golden_tx, &golden_outcomes);
+  (void)golden.run_to_quiescence(400);
+  const std::string golden_root = golden.state().state_root().hex();
+
+  for (std::uint64_t kill_at = 1; kill_at < kSteps; ++kill_at) {
+    std::vector<std::uint8_t> snapshot;
+    std::uint64_t tx_id = 0;
+    {
+      RollupNode doomed(fast_node_config());
+      build(doomed);
+      drive(doomed, 0, kill_at, tx_id, nullptr);
+      io::CheckpointBuilder builder;
+      doomed.save_snapshot(builder);
+      snapshot = builder.finish();
+    }
+    auto parsed = io::Checkpoint::parse(snapshot);
+    ASSERT_TRUE(parsed.ok()) << parsed.error().detail;
+    RollupNode resumed(fast_node_config());
+    build(resumed);
+    ASSERT_TRUE(resumed.restore_snapshot(parsed.value()).ok());
+
+    std::vector<StepOutcome> tail;
+    drive(resumed, kill_at, kSteps, tx_id, &tail);
+    (void)resumed.run_to_quiescence(400);
+
+    const std::vector<StepOutcome> golden_tail(
+        golden_outcomes.begin() + static_cast<std::ptrdiff_t>(kill_at),
+        golden_outcomes.end());
+    EXPECT_EQ(tail, golden_tail) << "killed at step " << kill_at;
+    EXPECT_EQ(resumed.state().state_root().hex(), golden_root)
+        << "killed at step " << kill_at;
+    EXPECT_EQ(resumed.consensus()->view(), golden.consensus()->view());
+    EXPECT_EQ(resumed.consensus()->proposals(),
+              golden.consensus()->proposals());
+    EXPECT_EQ(resumed.consensus()->equivocations(),
+              golden.consensus()->equivocations());
+  }
+}
+
+// A checkpoint armed under a different consensus config (or none) must be
+// rejected with config_mismatch, never silently honored.
+TEST(ConsensusNode, RestoreRejectsConsensusConfigDrift) {
+  std::vector<std::uint8_t> snapshot;
+  {
+    RollupNode node(fast_node_config());
+    build_topology(node, 4);
+    node.arm_consensus(consensus_config(ElectionModel::kAuction));
+    std::uint64_t tx_id = 0;
+    drive(node, 0, 6, tx_id, nullptr);
+    io::CheckpointBuilder builder;
+    node.save_snapshot(builder);
+    snapshot = builder.finish();
+  }
+  auto parsed = io::Checkpoint::parse(snapshot);
+  ASSERT_TRUE(parsed.ok());
+
+  {
+    // Different election model.
+    RollupNode node(fast_node_config());
+    build_topology(node, 4);
+    node.arm_consensus(consensus_config(ElectionModel::kRoundRobin));
+    const Status restored = node.restore_snapshot(parsed.value());
+    ASSERT_FALSE(restored.ok());
+    EXPECT_EQ(restored.error().code, "config_mismatch");
+  }
+  {
+    // Consensus not armed at all.
+    RollupNode node(fast_node_config());
+    build_topology(node, 4);
+    const Status restored = node.restore_snapshot(parsed.value());
+    ASSERT_FALSE(restored.ok());
+    EXPECT_EQ(restored.error().code, "config_mismatch");
+  }
+}
+
+}  // namespace
+}  // namespace parole::rollup

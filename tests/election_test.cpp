@@ -1,0 +1,135 @@
+// Leader-election primitives (DESIGN.md §15): every elect_* function is a
+// pure function of (seed, slot, view, seat profiles), so the consensus layer
+// built on top inherits bit-reproducibility for free. These tests pin that
+// purity plus each model's defining property — rotation-with-failover,
+// stake-proportional draws, and first-price auctions the adversary wins.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <vector>
+
+#include "parole/rollup/election.hpp"
+
+namespace parole::rollup {
+namespace {
+
+std::vector<SeatProfile> uniform_seats(std::size_t n) {
+  return std::vector<SeatProfile>(n, SeatProfile{});
+}
+
+TEST(Election, RoundRobinRotatesAndViewShiftsByOne) {
+  for (std::uint64_t slot = 0; slot < 24; ++slot) {
+    EXPECT_EQ(elect_round_robin(slot, 0, 4), slot % 4);
+    // The +view term IS the failover rule: the leader of (slot, view+1)
+    // succeeds the leader of (slot, view).
+    EXPECT_EQ(elect_round_robin(slot, 1, 4), (slot + 1) % 4);
+    EXPECT_EQ(elect_round_robin(slot, 7, 4), (slot + 7) % 4);
+  }
+}
+
+TEST(Election, StakeWeightedIsDeterministic) {
+  const std::vector<SeatProfile> seats = {
+      {10, false}, {30, false}, {60, true}};
+  for (std::uint64_t slot = 0; slot < 64; ++slot) {
+    for (std::uint64_t view = 0; view < 3; ++view) {
+      const std::size_t a = elect_stake_weighted(0xabcd, slot, view, seats);
+      const std::size_t b = elect_stake_weighted(0xabcd, slot, view, seats);
+      EXPECT_EQ(a, b);
+      EXPECT_LT(a, seats.size());
+    }
+  }
+}
+
+TEST(Election, StakeWeightedNeverPicksZeroStake) {
+  const std::vector<SeatProfile> seats = {{0, false}, {5, false}, {0, false}};
+  for (std::uint64_t slot = 0; slot < 200; ++slot) {
+    EXPECT_EQ(elect_stake_weighted(7, slot, 0, seats), 1u);
+  }
+}
+
+TEST(Election, StakeWeightedAllZeroFallsBackToRotation) {
+  const std::vector<SeatProfile> seats = uniform_seats(3);
+  std::vector<SeatProfile> drained = seats;
+  for (SeatProfile& seat : drained) seat.stake = 0;
+  for (std::uint64_t slot = 0; slot < 12; ++slot) {
+    EXPECT_EQ(elect_stake_weighted(9, slot, 2, drained),
+              elect_round_robin(slot, 2, drained.size()));
+  }
+}
+
+TEST(Election, StakeWeightedIsRoughlyProportional) {
+  // 90/10 split over many slots: the heavy seat must dominate. Exact counts
+  // are pinned by the seed; this asserts the shape, not the constant.
+  const std::vector<SeatProfile> seats = {{90, false}, {10, false}};
+  std::array<int, 2> wins{0, 0};
+  for (std::uint64_t slot = 0; slot < 1000; ++slot) {
+    ++wins[elect_stake_weighted(0x57a4e, slot, 0, seats)];
+  }
+  EXPECT_GT(wins[0], 700);
+  EXPECT_GT(wins[1], 0);
+}
+
+TEST(Election, StakeWeightedRerollsOnViewChange) {
+  const std::vector<SeatProfile> seats = uniform_seats(5);
+  int differences = 0;
+  for (std::uint64_t slot = 0; slot < 100; ++slot) {
+    differences += elect_stake_weighted(3, slot, 0, seats) !=
+                   elect_stake_weighted(3, slot, 1, seats);
+  }
+  EXPECT_GT(differences, 0);
+}
+
+TEST(Election, AuctionAdversaryOutbidsHonestJitter) {
+  const SeatProfile honest{1, false};
+  const SeatProfile adversary{1, true};
+  const Amount honest_bid = gwei(400'000);
+  const Amount adversary_bid = gwei(3'200'000);
+  const Amount bond = eth(3);
+  for (std::uint64_t slot = 0; slot < 32; ++slot) {
+    const Amount h = auction_bid(1, slot, 0, 0, honest, honest_bid,
+                                 adversary_bid, bond);
+    const Amount a = auction_bid(1, slot, 0, 1, adversary, honest_bid,
+                                 adversary_bid, bond);
+    EXPECT_GE(h, honest_bid);
+    EXPECT_LT(h, honest_bid + honest_bid / 4);  // jitter stays small
+    EXPECT_EQ(a, adversary_bid);                 // flat, no jitter
+    EXPECT_GT(a, h);
+  }
+}
+
+TEST(Election, AuctionBidClampedToRemainingBond) {
+  const SeatProfile adversary{1, true};
+  const Amount bid = auction_bid(1, 5, 0, 0, adversary, gwei(100),
+                                 gwei(1'000'000), gwei(250));
+  EXPECT_EQ(bid, gwei(250));
+  EXPECT_EQ(auction_bid(1, 5, 0, 0, adversary, gwei(100), gwei(1'000'000),
+                        Amount{0}),
+            Amount{0});
+}
+
+TEST(Election, AuctionWinnerHighestBidTiesToLowestSeat) {
+  const std::vector<AuctionBid> bids = {
+      {0, gwei(10)}, {1, gwei(30)}, {2, gwei(30)}, {3, gwei(5)}};
+  EXPECT_EQ(auction_winner(bids), 1u);
+  const std::vector<AuctionBid> single = {{4, gwei(1)}};
+  EXPECT_EQ(auction_winner(single), 0u);
+}
+
+TEST(Election, ParseAndPrintModelNames) {
+  EXPECT_EQ(parse_election_model("rr"), ElectionModel::kRoundRobin);
+  EXPECT_EQ(parse_election_model("round-robin"), ElectionModel::kRoundRobin);
+  EXPECT_EQ(parse_election_model("stake"), ElectionModel::kStakeWeighted);
+  EXPECT_EQ(parse_election_model("stake-weighted"),
+            ElectionModel::kStakeWeighted);
+  EXPECT_EQ(parse_election_model("auction"), ElectionModel::kAuction);
+  EXPECT_FALSE(parse_election_model("dictator").has_value());
+  EXPECT_FALSE(parse_election_model("").has_value());
+  for (const ElectionModel model :
+       {ElectionModel::kRoundRobin, ElectionModel::kStakeWeighted,
+        ElectionModel::kAuction}) {
+    EXPECT_EQ(parse_election_model(to_string(model)), model);
+  }
+}
+
+}  // namespace
+}  // namespace parole::rollup
