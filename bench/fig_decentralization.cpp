@@ -7,9 +7,11 @@
 // 1-seat cell IS the paper's centralized baseline (the adversary owns every
 // slot); each wider roster dilutes its leadership share — rotation and stake
 // draws hand it ~1/N of the slots, and an auction makes it buy every slot it
-// wants at its own bid. Reported profit is NET of auction spend
-// (total_profit - auction_spend), which is the number the paper's economics
-// actually care about.
+// wants at its own bid. Reported profit is NET of the seat's operating costs
+// (gross reorder profit - auction spend - equivocation slash loss), which is
+// the number the paper's economics actually care about. Every cell also
+// carries the decomposition itself, with the accounting identity
+// gross - auction - slash == net folded into the gated verdict.
 //
 // Writes BENCH_decentralization.json — RunReport JSONL, one "result" row per
 // (model, seats) cell plus a `decentralization-verdict` row. Raw profit is
@@ -34,8 +36,9 @@ namespace {
 struct Cell {
   rollup::ElectionModel model{rollup::ElectionModel::kRoundRobin};
   std::size_t seats{1};
-  Amount total_profit{0};
+  Amount gross_profit{0};
   Amount auction_spend{0};
+  Amount slash_loss{0};
   Amount net_profit{0};
   std::size_t adversarial_batches{0};
   std::size_t view_changes{0};
@@ -75,12 +78,18 @@ int main() {
       Cell cell;
       cell.model = model;
       cell.seats = seats;
-      cell.total_profit = result.total_profit;
+      cell.gross_profit = result.total_profit;
       cell.auction_spend = result.auction_spend;
-      cell.net_profit = result.total_profit - result.auction_spend;
+      cell.slash_loss = result.slash_loss;
+      cell.net_profit =
+          result.total_profit - result.auction_spend - result.slash_loss;
       cell.adversarial_batches = result.adversarial_batches;
       cell.view_changes = result.view_changes;
-      cell.clean = result.completed && result.rounds_run == rounds;
+      // Clean requires the accounting identity to hold exactly: the three
+      // components must reassemble the net figure the curve is gated on.
+      cell.clean = result.completed && result.rounds_run == rounds &&
+                   cell.gross_profit - cell.auction_spend - cell.slash_loss ==
+                       cell.net_profit;
       cells.push_back(cell);
     }
   }
@@ -98,8 +107,8 @@ int main() {
   const bool verdict = all_clean && monotone;
 
   TablePrinter table("Adversary profit vs sequencer decentralization");
-  table.columns({"election", "seats", "adv batches", "view chg", "profit ETH",
-                 "auction ETH", "net ETH"});
+  table.columns({"election", "seats", "adv batches", "view chg", "gross ETH",
+                 "auction ETH", "slash ETH", "net ETH"});
   for (const Cell& cell : cells) {
     table.row({std::string(rollup::to_string(cell.model)),
                TablePrinter::integer(static_cast<long long>(cell.seats)),
@@ -107,8 +116,9 @@ int main() {
                    static_cast<long long>(cell.adversarial_batches)),
                TablePrinter::integer(
                    static_cast<long long>(cell.view_changes)),
-               to_eth_string(cell.total_profit),
+               to_eth_string(cell.gross_profit),
                to_eth_string(cell.auction_spend),
+               to_eth_string(cell.slash_loss),
                to_eth_string(cell.net_profit)});
   }
   table.print();
@@ -131,9 +141,13 @@ int main() {
     result["election"] =
         obs::JsonValue(std::string(rollup::to_string(cell.model)));
     result["profit_gwei"] =
-        obs::JsonValue(static_cast<std::int64_t>(cell.total_profit));
+        obs::JsonValue(static_cast<std::int64_t>(cell.gross_profit));
+    result["gross_profit_gwei"] =
+        obs::JsonValue(static_cast<std::int64_t>(cell.gross_profit));
     result["auction_spend_gwei"] =
         obs::JsonValue(static_cast<std::int64_t>(cell.auction_spend));
+    result["slash_loss_gwei"] =
+        obs::JsonValue(static_cast<std::int64_t>(cell.slash_loss));
     result["net_profit_gwei"] =
         obs::JsonValue(static_cast<std::int64_t>(cell.net_profit));
     result["adversarial_batches"] = obs::JsonValue(

@@ -26,6 +26,9 @@
 //   parole_cli journal <report.jsonl> <txid>
 //                                        print one transaction's lifecycle
 //                                        timeline from a journaled report
+//   parole_cli pnl <report.jsonl>        per-actor P&L table + collapsed
+//                                        reason waterfall from a report's
+//                                        value-flow lines (DESIGN.md §16)
 //   parole_cli top <host:port>           refreshing terminal view of a live
 //                                        run's /metrics + /healthz endpoint
 //
@@ -79,6 +82,7 @@
 
 #include <unistd.h>
 
+#include "parole/common/table.hpp"
 #include "parole/core/campaign.hpp"
 #include "parole/core/defense.hpp"
 #include "parole/core/gentranseq.hpp"
@@ -91,10 +95,12 @@
 #include "parole/io/manifest.hpp"
 #include "parole/ml/serialize.hpp"
 #include "parole/obs/expose.hpp"
+#include "parole/obs/flow.hpp"
 #include "parole/obs/journal.hpp"
 #include "parole/obs/profile.hpp"
 #include "parole/obs/report.hpp"
 #include "parole/obs/sampler.hpp"
+#include "parole/obs/usage.hpp"
 #include "parole/obs/watchdog.hpp"
 #include "parole/rollup/chaos.hpp"
 #include "parole/rollup/node.hpp"
@@ -106,19 +112,13 @@ namespace cs = data::case_study;
 namespace {
 
 int usage() {
+  // The telemetry block is the shared obs::kTelemetryFlagsUsage constant —
+  // the usage-audit test keeps it in lockstep with parse_telemetry_flag.
   std::fprintf(
       stderr,
       "usage: parole_cli [telemetry flags] <command> [command flags]\n"
       "\n"
-      "telemetry flags (every command accepts them, anywhere on the line):\n"
-      "  --metrics <path>        write a RunReport metrics snapshot on exit\n"
-      "  --trace <path>          write the span trace JSONL on exit\n"
-      "  --journal <path>        write the tx lifecycle journal JSONL on exit\n"
-      "  --listen <port>         live telemetry endpoint (0 = ephemeral)\n"
-      "  --linger <ms>           keep the endpoint up after the run finishes\n"
-      "  --watchdog-ms <ms>      stall watchdog deadline (exit 3 on stall)\n"
-      "  --flight-recorder <p>   flight-bundle path, dumped on stall/fatal "
-      "signal\n"
+      "%s"
       "\n"
       "commands:\n"
       "  attack [snapshots.csv]\n"
@@ -146,11 +146,13 @@ int usage() {
       "  validate <report.jsonl>\n"
       "  profile <report.jsonl> [--collapsed <path>]\n"
       "  journal <report.jsonl> <txid>\n"
+      "  pnl <report.jsonl>\n"
       "  top <host:port> [--interval-ms <n>] [--iterations <n>]\n"
       "\n"
       "--seats N arms decentralized sequencing with N bonded seats; "
       "--election\n"
-      "picks the leader-election model (default rr).\n");
+      "picks the leader-election model (default rr).\n",
+      obs::kTelemetryFlagsUsage);
   return 1;
 }
 
@@ -508,6 +510,11 @@ int cmd_defend() {
   return 0;
 }
 
+// Value-flow lines of the last node-running command (DESIGN.md §16),
+// snapshotted before the node dies so write_reports can emit them into the
+// --metrics report as schema "flow" lines (rendered by `parole_cli pnl`).
+std::vector<obs::JsonObject> g_flow_lines;
+
 // One small pass through each instrumented pipeline — solver search, DQN
 // training, rollup campaign — so a single run populates counters from every
 // module. Sized to finish in seconds; pair with --metrics/--trace to get the
@@ -576,6 +583,7 @@ int cmd_quickstart() {
         vm::Tx::make_mint(TxId{0}, UserId{1 + i % 2}, gwei(25), gwei(i)));
   }
   const rollup::DrainResult drained = node.run_to_quiescence();
+  g_flow_lines = node.flow().report_lines();
   std::printf("[lifecycle] 10 txs -> %zu batches over %zu steps%s\n",
               node.batches().size(), drained.steps(),
               drained.drained ? "" : " (truncated)");
@@ -774,6 +782,7 @@ int cmd_chaos(std::uint64_t seed, std::uint64_t steps, std::size_t seats,
 
   const auto& runtime = *node.chaos();
   g_chaos_log = runtime.log;
+  g_flow_lines = node.flow().report_lines();
   std::printf("chaos seed 0x%llx: %llu steps + %zu drain steps%s\n",
               static_cast<unsigned long long>(seed),
               static_cast<unsigned long long>(steps), drained.steps(),
@@ -943,6 +952,7 @@ int cmd_serve(const Flags& flags, const CheckpointCliOptions& ckpt) {
   if (const rollup::ChaosRuntime* runtime = pipeline.node().chaos()) {
     g_chaos_log = runtime->log;
   }
+  g_flow_lines = pipeline.node().flow().report_lines();
   if (obs::TxJournal::enabled()) print_journal_audit(pipeline.node());
   if (const int journal_rc = write_journal_report("serve", pipeline.node());
       journal_rc != 0) {
@@ -1020,13 +1030,19 @@ int cmd_campaign(const Flags& flags, const CheckpointCliOptions& ckpt) {
       to_eth_string(r.total_profit).c_str());
   if (config.consensus.has_value()) {
     std::printf(
-        "  consensus: %zu seats (%s), %zu view changes, %zu equivocations, "
-        "auction spend %s ETH -> net profit %s ETH\n",
+        "  consensus: %zu seats (%s), %zu view changes, %zu equivocations\n",
         config.num_aggregators,
         std::string(rollup::to_string(config.consensus->model)).c_str(),
-        r.view_changes, r.equivocations,
+        r.view_changes, r.equivocations);
+    // The net-profit decomposition (DESIGN.md §16): gross reorder profit
+    // minus what the adversarial seats paid for slots and lost to slashes.
+    std::printf(
+        "  P&L: gross %s ETH - auction %s ETH - slash %s ETH -> net %s ETH\n",
+        to_eth_string(r.total_profit).c_str(),
         to_eth_string(r.auction_spend).c_str(),
-        to_eth_string(r.total_profit - r.auction_spend).c_str());
+        to_eth_string(r.slash_loss).c_str(),
+        to_eth_string(r.total_profit - r.auction_spend - r.slash_loss)
+            .c_str());
   }
   return 0;
 }
@@ -1284,6 +1300,105 @@ int cmd_validate(const std::string& path) {
   return 0;
 }
 
+// Per-actor P&L table + collapsed reason waterfall out of a report's "flow"
+// lines (DESIGN.md §16). Reads what write_reports emitted for a node-running
+// command; amounts are gwei in the file and rendered as ETH. Unparseable
+// lines are skipped (a live report may have a torn tail).
+int cmd_pnl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return fail(Error{"io_error", "cannot open " + path});
+
+  std::vector<std::pair<std::string, std::int64_t>> actors;
+  std::vector<std::pair<std::string, std::int64_t>> reasons;
+  std::size_t epoch_lines = 0;
+  std::uint64_t last_epoch = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto parsed = obs::json_parse(line);
+    if (!parsed.ok() || !parsed.value().is_object()) continue;
+    const obs::JsonObject& object = parsed.value().as_object();
+    const auto type = object.find("type");
+    if (type == object.end() || !type->second.is_string() ||
+        type->second.as_string() != "flow") {
+      continue;
+    }
+    const auto scope = object.find("scope");
+    const auto amount = object.find("amount_gwei");
+    if (scope == object.end() || !scope->second.is_string() ||
+        amount == object.end() || !amount->second.is_number()) {
+      continue;
+    }
+    const std::int64_t gwei_amount = amount->second.as_int();
+    const auto str_field = [&object](const char* key) -> std::string {
+      const auto it = object.find(key);
+      return it != object.end() && it->second.is_string()
+                 ? it->second.as_string()
+                 : std::string("?");
+    };
+    if (scope->second.as_string() == "actor") {
+      actors.emplace_back(str_field("actor"), gwei_amount);
+    } else if (scope->second.as_string() == "reason") {
+      reasons.emplace_back(str_field("reason"), gwei_amount);
+    } else if (scope->second.as_string() == "epoch") {
+      ++epoch_lines;
+      if (const auto epoch = object.find("epoch");
+          epoch != object.end() && epoch->second.is_number()) {
+        last_epoch = std::max(last_epoch, epoch->second.as_uint());
+      }
+    }
+  }
+  if (actors.empty() && reasons.empty()) {
+    std::printf("%s: no flow lines (run a node command with --metrics to "
+                "record value flows)\n",
+                path.c_str());
+    return 1;
+  }
+
+  // Per-actor table: who ended up holding what, winners first.
+  std::sort(actors.begin(), actors.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  TablePrinter table("Per-actor P&L (net position)");
+  table.columns({"actor", "net ETH", "net gwei"});
+  std::int64_t residual = 0;
+  for (const auto& [label, amount_gwei] : actors) {
+    residual += amount_gwei;
+    table.row({label, to_eth_string(amount_gwei),
+               TablePrinter::integer(static_cast<long long>(amount_gwei))});
+  }
+  table.print();
+  // Double-entry check inline: every flow debits one actor and credits
+  // another, so the column must sum to zero (the chaos soak gates the same
+  // identity per batch).
+  std::printf("position sum: %lld gwei (%s)\n",
+              static_cast<long long>(residual),
+              residual == 0 ? "balanced" : "IMBALANCED");
+
+  // Collapsed waterfall: gross value moved per reason, largest first, with a
+  // running cumulative so the shape reads top to bottom.
+  std::sort(reasons.begin(), reasons.end(), [](const auto& a, const auto& b) {
+    const std::int64_t lhs = a.second < 0 ? -a.second : a.second;
+    const std::int64_t rhs = b.second < 0 ? -b.second : b.second;
+    return lhs > rhs;
+  });
+  if (!reasons.empty()) {
+    std::printf("\nvalue-flow waterfall (gross per reason):\n");
+    std::int64_t cumulative = 0;
+    for (const auto& [reason, amount_gwei] : reasons) {
+      cumulative += amount_gwei;
+      std::printf("  %-14s %14s ETH   running %14s ETH\n", reason.c_str(),
+                  to_eth_string(amount_gwei).c_str(),
+                  to_eth_string(cumulative).c_str());
+    }
+  }
+  if (epoch_lines > 0) {
+    std::printf("\n%zu per-epoch breakdown lines over %llu epochs (see the "
+                "raw report for the time axis)\n",
+                epoch_lines, static_cast<unsigned long long>(last_epoch + 1));
+  }
+  return 0;
+}
+
 // `top` for a live run: poll /metrics + /healthz on another parole_cli's
 // --listen endpoint and render a compact refreshing view — rolling rates,
 // window latency quantiles and per-stage heartbeat ages. It reads exactly
@@ -1378,6 +1493,19 @@ int cmd_top(const std::string& endpoint, const Flags& flags) {
       std::printf("  %-44s %14.2f\n",
                   name.substr(0, name.size() - suffix.size()).c_str(), value);
     }
+    // Per-actor P&L gauges (parole.flow.position.*): live profit attribution
+    // published by the node every step, rendered in gwei -> ETH.
+    bool pnl_header = false;
+    for (const auto& [name, value] : values) {
+      const std::string prefix = "parole_flow_position_";
+      if (name.rfind(prefix, 0) != 0) continue;
+      if (!pnl_header) {
+        std::printf("profit attribution (net position, ETH):\n");
+        pnl_header = true;
+      }
+      std::printf("  %-44s %14s\n", name.substr(prefix.size()).c_str(),
+                  to_eth_string(static_cast<Amount>(value)).c_str());
+    }
     std::printf("window quantiles:\n");
     for (const auto& [name, value] : values) {
       const std::string suffix = "_p50";
@@ -1409,6 +1537,9 @@ int write_reports(const std::string& command, const std::string& metrics_path,
     for (const FaultEvent& event : g_chaos_log.events()) {
       report.add_fault(event.step, std::string(to_string(event.kind)),
                        event.subject, event.detail);
+    }
+    for (const obs::JsonObject& line : g_flow_lines) {
+      report.add_flow(line);
     }
     const Status written = report.write(metrics_path);
     if (!written.ok()) {
@@ -1527,6 +1658,8 @@ int main(int argc, char** argv) {
   } else if (command == "journal" && args.size() == 3) {
     rc = cmd_journal_query(args[1],
                            std::strtoull(args[2].c_str(), nullptr, 0));
+  } else if (command == "pnl" && args.size() == 2) {
+    rc = cmd_pnl(args[1]);
   } else if (command == "top" && args.size() >= 2) {
     const Flags flags = parse_flags(args, 2);
     if (flags.bad || !flags.positional.empty()) return usage();

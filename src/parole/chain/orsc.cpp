@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "parole/obs/flow.hpp"
+
 namespace parole::chain {
 
 OrscContract::OrscContract(OrscConfig config) : config_(config) {
@@ -44,6 +46,7 @@ std::vector<Deposit> OrscContract::drain_pending_deposits() {
 void OrscContract::release_withdrawal(UserId user, Amount amount) {
   assert(amount >= 0);
   l1_balances_[user] += amount;
+  if (flow_ != nullptr) flow_->record_withdraw(user, amount);
 }
 
 Status OrscContract::register_aggregator(AggregatorId id) {
@@ -51,6 +54,10 @@ Status OrscContract::register_aggregator(AggregatorId id) {
     return Error{"already_registered", "aggregator already bonded"};
   }
   aggregator_bonds_[id] = config_.aggregator_bond;
+  if (flow_ != nullptr) {
+    flow_->record_bond_post(obs::FlowActor::seat(id.value()),
+                            config_.aggregator_bond);
+  }
   return ok_status();
 }
 
@@ -59,6 +66,10 @@ Status OrscContract::register_verifier(VerifierId id) {
     return Error{"already_registered", "verifier already bonded"};
   }
   verifier_bonds_[id] = config_.verifier_bond;
+  if (flow_ != nullptr) {
+    flow_->record_bond_post(obs::FlowActor::verifier(id.value()),
+                            config_.verifier_bond);
+  }
   return ok_status();
 }
 
@@ -132,6 +143,11 @@ Status OrscContract::resolve_challenge(std::uint64_t batch_id,
     const Amount reward = bond * config_.slash_reward_percent / 100;
     verifier_bonds_[challenger] += reward;
     burnt_ += bond - reward;
+    if (flow_ != nullptr) {
+      flow_->record_slash(
+          obs::FlowActor::seat(record.header.aggregator.value()),
+          obs::FlowActor::verifier(challenger.value()), bond, reward);
+    }
     bond = 0;
     record.status = BatchStatus::kReverted;
   } else {
@@ -139,6 +155,12 @@ Status OrscContract::resolve_challenge(std::uint64_t batch_id,
     const Amount reward = bond * config_.slash_reward_percent / 100;
     aggregator_bonds_[record.header.aggregator] += reward;
     burnt_ += bond - reward;
+    if (flow_ != nullptr) {
+      flow_->record_slash(
+          obs::FlowActor::verifier(challenger.value()),
+          obs::FlowActor::seat(record.header.aggregator.value()), bond,
+          reward);
+    }
     bond = 0;
     record.status = BatchStatus::kFinalized;
   }
@@ -308,6 +330,8 @@ Status OrscContract::load(io::ByteReader& r) {
   if (loaded.burnt_ < 0) {
     return Error{"corrupt_checkpoint", "negative burnt total"};
   }
+  // The flow sink is wiring, not contract state: it survives the image swap.
+  loaded.flow_ = flow_;
   *this = std::move(loaded);
   return ok_status();
 }

@@ -23,6 +23,10 @@
 #include "parole/common/result.hpp"
 #include "parole/io/bytes.hpp"
 
+namespace parole::obs {
+class ValueFlowTracker;
+}  // namespace parole::obs
+
 namespace parole::chain {
 
 enum class BatchStatus : std::uint8_t {
@@ -120,6 +124,12 @@ class OrscContract {
   void save(io::ByteWriter& w) const;
   Status load(io::ByteReader& r);
 
+  // Value-flow sink (DESIGN.md §16): bond posts, slash settlements and
+  // withdrawal releases report here when set. Observability wiring, not
+  // contract state — never checkpointed; load() wipes it (whole-object
+  // move-assign), so the owning node re-wires it after a restore.
+  void set_flow_sink(obs::ValueFlowTracker* sink) { flow_ = sink; }
+
  private:
   OrscConfig config_;
   std::unordered_map<UserId, Amount> l1_balances_;
@@ -128,6 +138,7 @@ class OrscContract {
   std::unordered_map<VerifierId, Amount> verifier_bonds_;
   std::vector<BatchRecord> batches_;
   Amount burnt_{0};
+  obs::ValueFlowTracker* flow_{nullptr};
 };
 
 }  // namespace parole::chain

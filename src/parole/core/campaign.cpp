@@ -57,6 +57,10 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
   node_config.initial_price = config_.workload.initial_price;
   rollup::RollupNode node(node_config);
   node.state() = genesis;
+  // The IFU set is the attacker cohort for value-flow attribution: flows
+  // touching these users land on the "attacker" position, everyone else is
+  // "victims". Set before the first step so batch 0 is already attributed.
+  node.flow().set_attackers(result.ifus);
   if (config_.chaos.has_value()) node.arm_chaos(*config_.chaos);
 
   std::size_t adversarial = config_.adversarial_fraction <= 0.0
@@ -251,6 +255,10 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
 
       // The node snapshot validates topology and economic config itself.
       if (Status s = node.restore_snapshot(cp); !s.ok()) return s.error();
+      // Restore replaces the flow tracker wholesale; re-pin the attacker
+      // cohort for checkpoints cut before the FLOW section existed (the IFU
+      // set was validated identical above, so this is a no-op otherwise).
+      node.flow().set_attackers(result.ifus);
 
       profit_sink = static_cast<Amount>(sink);
       profit_before = static_cast<Amount>(before);
@@ -379,6 +387,7 @@ Result<CampaignResult> AttackCampaign::run_resumable() {
   if (const rollup::ConsensusEngine* consensus = node.consensus()) {
     result.auction_spend =
         consensus->total_auction_spend(/*adversarial_only=*/true);
+    result.slash_loss = consensus->total_slashed(/*adversarial_only=*/true);
   }
   if (config_.num_ifus > 0) {
     result.avg_profit_per_ifu = static_cast<double>(result.total_profit) /

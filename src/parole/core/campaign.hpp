@@ -90,9 +90,11 @@ struct CampaignResult {
   std::vector<Amount> per_batch_profit;
   std::vector<UserId> ifus;
   // Consensus accounting (zero unless CampaignConfig::consensus is set).
-  // `auction_spend` is what adversarial seats paid for their slots — net
-  // attack profit under kAuction is total_profit − auction_spend.
+  // `auction_spend` is what adversarial seats paid for their slots,
+  // `slash_loss` what equivocation slashes took from their bonds — net
+  // attack profit is total_profit − auction_spend − slash_loss.
   Amount auction_spend{0};
+  Amount slash_loss{0};
   std::size_t view_changes{0};
   std::size_t equivocations{0};
   // False when halted early (CampaignConfig::halt_after_rounds); call

@@ -107,7 +107,9 @@ std::string prometheus_name(const std::string& name) {
     out += ok ? c : '_';
   }
   if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
-    out.insert(out.begin(), '_');
+    // A '_' prefix alone would collide with Prometheus-reserved names; the
+    // exporter prefix keeps the series addressable and unambiguous.
+    out.insert(0, "parole_");
   }
   return out;
 }
@@ -115,6 +117,13 @@ std::string prometheus_name(const std::string& name) {
 std::string render_prometheus(const SamplerView& view) {
   std::string out;
   out.reserve(4096);
+  if (view.stats.empty() && view.samples_taken == 0) {
+    // Nothing registered and never sampled: a comment-only body is still a
+    // valid 0.0.4 exposition, so scrapers get a parseable 200 instead of an
+    // empty document or misleading zero-valued meta series.
+    out += "# parole: no metrics registered\n";
+    return out;
+  }
   append_metric(out, "parole_sampler_samples_total", "counter",
                 static_cast<double>(view.samples_taken));
   append_metric(out, "parole_sampler_window_seconds", "gauge",

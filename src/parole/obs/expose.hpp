@@ -34,10 +34,13 @@
 namespace parole::obs {
 
 // Prometheus metric-name sanitization: [a-zA-Z0-9_:] pass through, anything
-// else (the registry's dots) becomes '_'; a leading digit gets a '_' prefix.
+// else (the registry's dots) becomes '_'; a name sanitizing to a leading
+// digit gets a 'parole_' prefix (plain '_' would collide with the reserved
+// Prometheus namespace).
 [[nodiscard]] std::string prometheus_name(const std::string& name);
 
-// Render a sampler view as Prometheus text exposition format v0.0.4.
+// Render a sampler view as Prometheus text exposition format v0.0.4. An
+// empty, never-sampled view renders a comment-only (still valid) exposition.
 [[nodiscard]] std::string render_prometheus(const SamplerView& view);
 
 // JSON health document over the sampler view + watchdog stage table.

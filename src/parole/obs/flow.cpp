@@ -1,0 +1,503 @@
+#include "parole/obs/flow.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "parole/obs/metrics.hpp"
+
+namespace parole::obs {
+
+std::atomic<int> ValueFlowTracker::armed_{0};
+thread_local ValueFlowTracker* ValueFlowTracker::active_ = nullptr;
+
+std::string_view to_string(FlowActorKind kind) {
+  switch (kind) {
+    case FlowActorKind::kAttacker:
+      return "attacker";
+    case FlowActorKind::kVictim:
+      return "victims";
+    case FlowActorKind::kSeat:
+      return "seat";
+    case FlowActorKind::kVerifier:
+      return "verifier";
+    case FlowActorKind::kBridge:
+      return "bridge";
+    case FlowActorKind::kBondPool:
+      return "bond_pool";
+    case FlowActorKind::kFeePool:
+      return "fee_pool";
+    case FlowActorKind::kBurn:
+      return "burn";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(FlowReason reason) {
+  switch (reason) {
+    case FlowReason::kSwap:
+      return "swap";
+    case FlowReason::kFee:
+      return "fee";
+    case FlowReason::kDeposit:
+      return "deposit";
+    case FlowReason::kWithdraw:
+      return "withdraw";
+    case FlowReason::kAuctionSpend:
+      return "auction_spend";
+    case FlowReason::kSlash:
+      return "slash";
+    case FlowReason::kShed:
+      return "shed";
+    case FlowReason::kRevert:
+      return "revert";
+  }
+  return "unknown";
+}
+
+std::string FlowActor::label() const {
+  std::string out(to_string(kind));
+  // Indexed kinds carry which seat/verifier/attacker; singleton kinds don't.
+  if (kind == FlowActorKind::kAttacker || kind == FlowActorKind::kSeat ||
+      kind == FlowActorKind::kVerifier) {
+    out += ":" + std::to_string(index);
+  }
+  return out;
+}
+
+ValueFlowTracker::Scope::Scope(ValueFlowTracker* tracker)
+    : previous_(active_) {
+  active_ = tracker;
+  armed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+ValueFlowTracker::Scope::~Scope() {
+  armed_.fetch_sub(1, std::memory_order_relaxed);
+  active_ = previous_;
+}
+
+void ValueFlowTracker::set_attackers(const std::vector<UserId>& ifus) {
+  attackers_.clear();
+  attackers_.reserve(ifus.size());
+  for (const UserId u : ifus) attackers_.push_back(u.value());
+  std::sort(attackers_.begin(), attackers_.end());
+  attackers_.erase(std::unique(attackers_.begin(), attackers_.end()),
+                   attackers_.end());
+}
+
+BatchFlows& ValueFlowTracker::sink_record() {
+  return batch_open_ ? staging_ : chain_;
+}
+
+void ValueFlowTracker::record(FlowActor from, FlowActor to, FlowReason reason,
+                              Amount amount) {
+  if (amount == 0) return;
+  BatchFlows& rec = sink_record();
+  rec.positions[from.key()] -= amount;
+  rec.positions[to.key()] += amount;
+  rec.reason_totals[static_cast<std::size_t>(reason)] += amount;
+  positions_[from.key()] -= amount;
+  positions_[to.key()] += amount;
+  reason_totals_[static_cast<std::size_t>(reason)] += amount;
+  current_epoch().reason_totals[static_cast<std::size_t>(reason)] += amount;
+}
+
+void ValueFlowTracker::open_batch() {
+  staging_ = BatchFlows{};
+  batch_open_ = true;
+}
+
+void ValueFlowTracker::seal_batch(std::uint64_t batch_id) {
+  if (!batch_open_) return;
+  batch_open_ = false;
+  staging_.sealed = true;
+  batches_[batch_id] = std::move(staging_);
+  staging_ = BatchFlows{};
+}
+
+void ValueFlowTracker::finalize_batch(std::uint64_t batch_id) {
+  // Finalized batches can never revert; their flows are settled history and
+  // the per-batch record is pruned to bound memory over long soaks.
+  const auto it = batches_.find(batch_id);
+  if (it == batches_.end()) return;
+  batches_.erase(it);
+  ++finalized_batches_;
+}
+
+void ValueFlowTracker::revert_batch(std::uint64_t batch_id) {
+  const auto it = batches_.find(batch_id);
+  if (it == batches_.end()) return;
+  const BatchFlows& rec = it->second;
+  // Undo the batch's double entries and its component contributions; the
+  // rollback restored the pre-state, so the deltas must follow. The gross
+  // value undone is logged under kRevert in the current epoch (epochs are a
+  // log of what happened, including the undoing).
+  std::int64_t gross = 0;
+  for (const auto& [key, net] : rec.positions) {
+    positions_[key] -= net;
+    if (net > 0) gross += net;
+  }
+  for (std::size_t r = 0; r < kFlowReasonCount; ++r) {
+    reason_totals_[r] -= rec.reason_totals[r];
+  }
+  supply_delta_ -= rec.supply_delta;
+  fee_delta_ -= rec.fee_delta;
+  burned_delta_ -= rec.burned_delta;
+  locked_delta_ -= rec.locked_delta;
+  current_epoch()
+      .reason_totals[static_cast<std::size_t>(FlowReason::kRevert)] += gross;
+  batches_.erase(it);
+  ++reverted_batches_;
+}
+
+void ValueFlowTracker::record_tx(vm::TxKind kind, UserId sender,
+                                 UserId recipient, Amount price, Amount fee) {
+  // Mirrors vm::ExecutionEngine::apply_effects exactly — each debit/credit
+  // there has one double entry here, so the component deltas below track the
+  // real state mutation bit-for-bit.
+  const FlowActor from = classify(sender);
+  BatchFlows& rec = sink_record();
+  switch (kind) {
+    case vm::TxKind::kMint:
+      // Buyer pays the scarcity price into token value ("burn") + fees.
+      record(from, FlowActor::burn(), FlowReason::kSwap, price);
+      record(from, FlowActor::fee_pool(), FlowReason::kFee, fee);
+      rec.supply_delta -= price + fee;
+      supply_delta_ -= price + fee;
+      rec.burned_delta += price;
+      burned_delta_ += price;
+      break;
+    case vm::TxKind::kTransfer:
+      // Buyer pays the current price to the seller; seller pays the fee.
+      record(classify(recipient), from, FlowReason::kSwap, price);
+      record(from, FlowActor::fee_pool(), FlowReason::kFee, fee);
+      rec.supply_delta -= fee;
+      supply_delta_ -= fee;
+      break;
+    case vm::TxKind::kBurn:
+      record(from, FlowActor::fee_pool(), FlowReason::kFee, fee);
+      rec.supply_delta -= fee;
+      supply_delta_ -= fee;
+      break;
+  }
+  rec.fee_delta += fee;
+  fee_delta_ += fee;
+}
+
+void ValueFlowTracker::record_deposit(UserId user, Amount amount) {
+  // L1 escrow and L2 supply rise together; conservation drift is unchanged.
+  record(FlowActor::bridge(), classify(user), FlowReason::kDeposit, amount);
+  BatchFlows& rec = sink_record();
+  rec.supply_delta += amount;
+  supply_delta_ += amount;
+  rec.locked_delta += amount;
+  locked_delta_ += amount;
+}
+
+void ValueFlowTracker::record_withdraw(UserId user, Amount amount) {
+  record(classify(user), FlowActor::bridge(), FlowReason::kWithdraw, amount);
+  BatchFlows& rec = sink_record();
+  rec.supply_delta -= amount;
+  supply_delta_ -= amount;
+  rec.locked_delta -= amount;
+  locked_delta_ -= amount;
+}
+
+void ValueFlowTracker::record_bond_post(FlowActor who, Amount amount) {
+  // Capital committed into the dispute bond pool. L1-side bonds sit outside
+  // the L2 conservation identity: positions move, components don't.
+  record(who, FlowActor::bond_pool(), FlowReason::kDeposit, amount);
+}
+
+void ValueFlowTracker::record_auction_spend(std::uint32_t seat,
+                                            Amount amount) {
+  // Winner-pays-bid out of the seat bond, forfeited to the protocol.
+  record(FlowActor::seat(seat), FlowActor::burn(), FlowReason::kAuctionSpend,
+         amount);
+}
+
+void ValueFlowTracker::record_slash(FlowActor who, FlowActor winner,
+                                    Amount slashed, Amount reward) {
+  record(who, winner, FlowReason::kSlash, reward);
+  record(who, FlowActor::burn(), FlowReason::kSlash, slashed - reward);
+}
+
+void ValueFlowTracker::note_shed(Amount est_value) {
+  ++shed_count_;
+  shed_value_ += est_value;
+  EpochFlows& e = current_epoch();
+  ++e.shed_count;
+  e.shed_value += est_value;
+  e.reason_totals[static_cast<std::size_t>(FlowReason::kShed)] += est_value;
+}
+
+void ValueFlowTracker::note_degraded() {
+  ++degraded_windows_;
+  ++current_epoch().degraded_windows;
+}
+
+Amount ValueFlowTracker::position(FlowActor actor) const {
+  const auto it = positions_.find(actor.key());
+  return it == positions_.end() ? 0 : it->second;
+}
+
+Amount ValueFlowTracker::attacker_position() const {
+  Amount sum = 0;
+  for (const auto& [key, net] : positions_) {
+    if (FlowActor::from_key(key).kind == FlowActorKind::kAttacker) sum += net;
+  }
+  return sum;
+}
+
+std::int64_t ValueFlowTracker::worst_batch_imbalance(
+    std::uint64_t& bad_batch) const {
+  std::int64_t worst = 0;
+  bad_batch = 0;
+  const auto consider = [&](std::uint64_t id, const BatchFlows& rec) {
+    std::int64_t sum = 0;
+    for (const auto& [key, net] : rec.positions) {
+      (void)key;
+      sum += net;
+    }
+    if (std::llabs(sum) > std::llabs(worst)) {
+      worst = sum;
+      bad_batch = id;
+    }
+  };
+  for (const auto& [id, rec] : batches_) consider(id, rec);
+  consider(0, chain_);
+  return worst;
+}
+
+void ValueFlowTracker::publish_metrics() const {
+#if !defined(PAROLE_OBS_DISABLED)
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  if (!reg.enabled()) return;
+  reg.gauge("parole.flow.position.attacker")
+      .set(static_cast<double>(attacker_position()));
+  reg.gauge("parole.flow.position.victims")
+      .set(static_cast<double>(position(FlowActor::victims())));
+  reg.gauge("parole.flow.position.bridge")
+      .set(static_cast<double>(position(FlowActor::bridge())));
+  reg.gauge("parole.flow.position.bond_pool")
+      .set(static_cast<double>(position(FlowActor::bond_pool())));
+  reg.gauge("parole.flow.position.fee_pool")
+      .set(static_cast<double>(position(FlowActor::fee_pool())));
+  reg.gauge("parole.flow.position.burn")
+      .set(static_cast<double>(position(FlowActor::burn())));
+  for (const auto& [key, net] : positions_) {
+    const FlowActor actor = FlowActor::from_key(key);
+    if (actor.kind == FlowActorKind::kSeat) {
+      reg.gauge("parole.flow.position.seat_" + std::to_string(actor.index))
+          .set(static_cast<double>(net));
+    }
+  }
+  reg.gauge("parole.flow.shed_value")
+      .set(static_cast<double>(shed_value_));
+  reg.gauge("parole.flow.degraded_windows")
+      .set(static_cast<double>(degraded_windows_));
+#endif
+}
+
+std::vector<JsonObject> ValueFlowTracker::report_lines() const {
+  std::vector<JsonObject> lines;
+  for (const auto& [key, net] : positions_) {
+    if (net == 0) continue;
+    JsonObject line;
+    line["scope"] = JsonValue(std::string("actor"));
+    line["actor"] = JsonValue(FlowActor::from_key(key).label());
+    line["amount_gwei"] = JsonValue(static_cast<std::int64_t>(net));
+    lines.push_back(std::move(line));
+  }
+  for (std::size_t r = 0; r < kFlowReasonCount; ++r) {
+    if (reason_totals_[r] == 0) continue;
+    JsonObject line;
+    line["scope"] = JsonValue(std::string("reason"));
+    line["reason"] =
+        JsonValue(std::string(to_string(static_cast<FlowReason>(r))));
+    line["amount_gwei"] = JsonValue(static_cast<std::int64_t>(reason_totals_[r]));
+    lines.push_back(std::move(line));
+  }
+  for (const auto& [epoch, flows] : epochs_) {
+    for (std::size_t r = 0; r < kFlowReasonCount; ++r) {
+      if (flows.reason_totals[r] == 0) continue;
+      JsonObject line;
+      line["scope"] = JsonValue(std::string("epoch"));
+      line["epoch"] = JsonValue(static_cast<std::uint64_t>(epoch));
+      line["reason"] =
+          JsonValue(std::string(to_string(static_cast<FlowReason>(r))));
+      line["amount_gwei"] =
+          JsonValue(static_cast<std::int64_t>(flows.reason_totals[r]));
+      lines.push_back(std::move(line));
+    }
+  }
+  return lines;
+}
+
+namespace {
+
+void save_batch(io::ByteWriter& w, const BatchFlows& rec) {
+  w.u64(rec.positions.size());
+  for (const auto& [key, net] : rec.positions) {
+    w.u64(key);
+    w.i64(net);
+  }
+  for (std::size_t r = 0; r < kFlowReasonCount; ++r) w.i64(rec.reason_totals[r]);
+  w.i64(rec.supply_delta);
+  w.i64(rec.fee_delta);
+  w.i64(rec.burned_delta);
+  w.i64(rec.locked_delta);
+  w.boolean(rec.sealed);
+}
+
+Status load_batch(io::ByteReader& r, BatchFlows& rec) {
+  std::uint64_t n = 0;
+  PAROLE_IO_READ(r.length(n, 16), "flow batch position count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t key = 0;
+    std::int64_t net = 0;
+    PAROLE_IO_READ(r.u64(key), "flow position key");
+    PAROLE_IO_READ(r.i64(net), "flow position net");
+    rec.positions[key] = net;
+  }
+  for (std::size_t i = 0; i < kFlowReasonCount; ++i) {
+    PAROLE_IO_READ(r.i64(rec.reason_totals[i]), "flow batch reason total");
+  }
+  PAROLE_IO_READ(r.i64(rec.supply_delta), "flow batch supply delta");
+  PAROLE_IO_READ(r.i64(rec.fee_delta), "flow batch fee delta");
+  PAROLE_IO_READ(r.i64(rec.burned_delta), "flow batch burned delta");
+  PAROLE_IO_READ(r.i64(rec.locked_delta), "flow batch locked delta");
+  PAROLE_IO_READ(r.boolean(rec.sealed), "flow batch sealed flag");
+  return ok_status();
+}
+
+}  // namespace
+
+void ValueFlowTracker::save(io::ByteWriter& w) const {
+  // Every container below is a sorted std::map (or sorted vector), so the
+  // byte image — and therefore the checkpoint fingerprint — is deterministic.
+  w.u64(attackers_.size());
+  for (const std::uint32_t a : attackers_) w.u32(a);
+  w.u64(epoch_len_);
+  w.u64(step_);
+  w.u64(positions_.size());
+  for (const auto& [key, net] : positions_) {
+    w.u64(key);
+    w.i64(net);
+  }
+  for (std::size_t r = 0; r < kFlowReasonCount; ++r) w.i64(reason_totals_[r]);
+  w.i64(supply_delta_);
+  w.i64(fee_delta_);
+  w.i64(burned_delta_);
+  w.i64(locked_delta_);
+  save_batch(w, chain_);
+  // A snapshot is only ever cut between steps, never mid-build.
+  w.u64(batches_.size());
+  for (const auto& [id, rec] : batches_) {
+    w.u64(id);
+    save_batch(w, rec);
+  }
+  w.u64(epochs_.size());
+  for (const auto& [epoch, flows] : epochs_) {
+    w.u64(epoch);
+    for (std::size_t r = 0; r < kFlowReasonCount; ++r) {
+      w.i64(flows.reason_totals[r]);
+    }
+    w.u64(flows.shed_count);
+    w.i64(flows.shed_value);
+    w.u64(flows.degraded_windows);
+  }
+  w.u64(shed_count_);
+  w.i64(shed_value_);
+  w.u64(degraded_windows_);
+  w.u64(finalized_batches_);
+  w.u64(reverted_batches_);
+}
+
+Status ValueFlowTracker::load(io::ByteReader& r) {
+  // Validate everything into a fresh image, then commit (§10 discipline).
+  std::vector<std::uint32_t> attackers;
+  std::uint64_t n = 0;
+  PAROLE_IO_READ(r.length(n, 4), "flow attacker count");
+  attackers.resize(static_cast<std::size_t>(n));
+  for (std::uint32_t& a : attackers) PAROLE_IO_READ(r.u32(a), "flow attacker");
+  std::uint64_t epoch_len = 0, step = 0;
+  PAROLE_IO_READ(r.u64(epoch_len), "flow epoch length");
+  PAROLE_IO_READ(r.u64(step), "flow step cursor");
+  if (epoch_len == 0) return io::read_error("flow epoch length must be nonzero");
+  std::map<std::uint64_t, Amount> positions;
+  PAROLE_IO_READ(r.length(n, 16), "flow position count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t key = 0;
+    std::int64_t net = 0;
+    PAROLE_IO_READ(r.u64(key), "flow position key");
+    PAROLE_IO_READ(r.i64(net), "flow position net");
+    positions[key] = net;
+  }
+  std::int64_t reason_totals[kFlowReasonCount] = {};
+  for (std::size_t i = 0; i < kFlowReasonCount; ++i) {
+    PAROLE_IO_READ(r.i64(reason_totals[i]), "flow reason total");
+  }
+  std::int64_t supply = 0, fee = 0, burned = 0, locked = 0;
+  PAROLE_IO_READ(r.i64(supply), "flow supply delta");
+  PAROLE_IO_READ(r.i64(fee), "flow fee delta");
+  PAROLE_IO_READ(r.i64(burned), "flow burned delta");
+  PAROLE_IO_READ(r.i64(locked), "flow locked delta");
+  BatchFlows chain;
+  if (Status s = load_batch(r, chain); !s.ok()) return s;
+  std::map<std::uint64_t, BatchFlows> batches;
+  PAROLE_IO_READ(r.length(n, 8), "flow batch count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t id = 0;
+    PAROLE_IO_READ(r.u64(id), "flow batch id");
+    BatchFlows rec;
+    if (Status s = load_batch(r, rec); !s.ok()) return s;
+    batches[id] = std::move(rec);
+  }
+  std::map<std::uint64_t, EpochFlows> epochs;
+  PAROLE_IO_READ(r.length(n, 8), "flow epoch count");
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::uint64_t epoch = 0;
+    PAROLE_IO_READ(r.u64(epoch), "flow epoch index");
+    EpochFlows flows;
+    for (std::size_t j = 0; j < kFlowReasonCount; ++j) {
+      PAROLE_IO_READ(r.i64(flows.reason_totals[j]), "flow epoch reason total");
+    }
+    PAROLE_IO_READ(r.u64(flows.shed_count), "flow epoch shed count");
+    PAROLE_IO_READ(r.i64(flows.shed_value), "flow epoch shed value");
+    PAROLE_IO_READ(r.u64(flows.degraded_windows), "flow epoch degraded");
+    epochs[epoch] = flows;
+  }
+  std::uint64_t shed_count = 0, degraded = 0, finalized = 0, reverted = 0;
+  std::int64_t shed_value = 0;
+  PAROLE_IO_READ(r.u64(shed_count), "flow shed count");
+  PAROLE_IO_READ(r.i64(shed_value), "flow shed value");
+  PAROLE_IO_READ(r.u64(degraded), "flow degraded windows");
+  PAROLE_IO_READ(r.u64(finalized), "flow finalized batches");
+  PAROLE_IO_READ(r.u64(reverted), "flow reverted batches");
+  if (Status s = r.finish("FLOW section"); !s.ok()) return s;
+
+  attackers_ = std::move(attackers);
+  epoch_len_ = epoch_len;
+  step_ = step;
+  positions_ = std::move(positions);
+  for (std::size_t i = 0; i < kFlowReasonCount; ++i) {
+    reason_totals_[i] = reason_totals[i];
+  }
+  supply_delta_ = supply;
+  fee_delta_ = fee;
+  burned_delta_ = burned;
+  locked_delta_ = locked;
+  chain_ = std::move(chain);
+  staging_ = BatchFlows{};
+  batch_open_ = false;
+  batches_ = std::move(batches);
+  epochs_ = std::move(epochs);
+  shed_count_ = shed_count;
+  shed_value_ = shed_value;
+  degraded_windows_ = degraded;
+  finalized_batches_ = finalized;
+  reverted_batches_ = reverted;
+  return ok_status();
+}
+
+}  // namespace parole::obs

@@ -1,0 +1,332 @@
+// Value-flow attribution (DESIGN.md §16): double-entry provenance for every
+// gwei the simulator moves.
+//
+// The paper's headline quantity is attacker *profit*, but by now the system
+// moves value through many more mechanisms than reordered swaps: auction
+// spend and equivocation slashes (§15), dispute bonds and burns (§5),
+// admission sheds and degraded windows (§14), bridge deposits. The
+// ValueFlowTracker records each movement at the point it happens as a
+// (from-actor, to-actor, reason, amount) double entry, aggregates them into
+// per-batch and per-epoch waterfalls, and keeps four derived component
+// deltas (ledger supply, fee pool, mint burns, bridge escrow) that must
+// reconcile *bit-exactly* with the InvariantChecker's value-conservation
+// baseline — a tracker bug and a conservation bug cannot hide behind each
+// other.
+//
+// Recording discipline:
+//   * per-tx flows come from one hook in vm::ExecutionEngine::execute_tx,
+//     compiled out entirely under -DPAROLE_OBS=OFF (PAROLE_FLOW macro, same
+//     contract as the span/metric macros: unarmed cost is one relaxed load);
+//   * the hook only fires for *canonical* execution: the node installs a
+//     thread-local Scope around aggregator.build_batch, so solver probes,
+//     verifier replays and dispute re-executions record nothing;
+//   * economic events (bond posts, slashes, auction charges, deposits,
+//     sheds) are recorded by their owning module through a plain pointer
+//     sink — they are rare, not hot-path.
+//
+// Batches revert: a fraud rollback negates the batch's (and its
+// descendants') positions and component deltas, so the tracker tracks the
+// canonical chain, not everything ever executed. Finalized batches fold
+// into a compact aggregate and are pruned. The whole tracker state rides
+// RollupNode snapshots as a FLOW checkpoint section, so a SIGKILL'd run
+// resumes with an identical waterfall.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "parole/common/amount.hpp"
+#include "parole/common/ids.hpp"
+#include "parole/common/result.hpp"
+#include "parole/io/bytes.hpp"
+#include "parole/obs/json.hpp"
+#include "parole/vm/tx.hpp"
+
+namespace parole::obs {
+
+// Who holds the value. kSeat/kVerifier carry the seat/verifier index;
+// kAttacker carries the user id (each IFU gets its own position); the victim
+// cohort is aggregated into one actor.
+enum class FlowActorKind : std::uint8_t {
+  kAttacker = 0,
+  kVictim = 1,
+  kSeat = 2,
+  kVerifier = 3,
+  kBridge = 4,
+  kBondPool = 5,
+  kFeePool = 6,
+  kBurn = 7,
+};
+
+// Why the value moved.
+enum class FlowReason : std::uint8_t {
+  kSwap = 0,          // NFT price paid/received (token/price_curve impact)
+  kFee = 1,           // base + priority fees into the aggregator pool
+  kDeposit = 2,       // L1 -> L2 bridge deposit
+  kWithdraw = 3,      // L2 -> L1 bridge withdrawal
+  kAuctionSpend = 4,  // first-price leadership auction charge
+  kSlash = 5,         // bond slash / forfeiture (equivocation or dispute)
+  kShed = 6,          // admission-control shed (value turned away, not moved)
+  kRevert = 7,        // fraud rollback undoing a batch's flows
+};
+
+inline constexpr std::size_t kFlowReasonCount = 8;
+
+[[nodiscard]] std::string_view to_string(FlowActorKind kind);
+[[nodiscard]] std::string_view to_string(FlowReason reason);
+
+// A (kind, index) pair packed into one orderable key so positions live in
+// plain sorted maps (checkpoint determinism for free).
+struct FlowActor {
+  FlowActorKind kind{FlowActorKind::kVictim};
+  std::uint32_t index{0};
+
+  [[nodiscard]] std::uint64_t key() const {
+    return (static_cast<std::uint64_t>(kind) << 32) | index;
+  }
+  [[nodiscard]] static FlowActor from_key(std::uint64_t key) {
+    return {static_cast<FlowActorKind>(key >> 32),
+            static_cast<std::uint32_t>(key & 0xffffffffu)};
+  }
+  // Display name: "attacker:7", "victims", "seat:2", "bond_pool", ...
+  [[nodiscard]] std::string label() const;
+
+  static FlowActor attacker(UserId user) {
+    return {FlowActorKind::kAttacker, user.value()};
+  }
+  static FlowActor victims() { return {FlowActorKind::kVictim, 0}; }
+  static FlowActor seat(std::uint32_t i) { return {FlowActorKind::kSeat, i}; }
+  static FlowActor verifier(std::uint32_t i) {
+    return {FlowActorKind::kVerifier, i};
+  }
+  static FlowActor bridge() { return {FlowActorKind::kBridge, 0}; }
+  static FlowActor bond_pool() { return {FlowActorKind::kBondPool, 0}; }
+  static FlowActor fee_pool() { return {FlowActorKind::kFeePool, 0}; }
+  static FlowActor burn() { return {FlowActorKind::kBurn, 0}; }
+};
+
+// Per-batch double-entry record. Positions sum to zero by construction
+// (checked structurally by the flow_conservation invariant); the component
+// deltas are what a fraud rollback needs to subtract.
+struct BatchFlows {
+  std::map<std::uint64_t, Amount> positions;  // actor key -> net
+  std::int64_t reason_totals[kFlowReasonCount] = {};
+  std::int64_t supply_delta{0};
+  std::int64_t fee_delta{0};
+  std::int64_t burned_delta{0};
+  std::int64_t locked_delta{0};
+  bool sealed{false};
+};
+
+// Per-epoch waterfall: gross value moved per reason plus shed/degrade
+// side-channel counters. Epochs never revert (they are a log, not a chain).
+struct EpochFlows {
+  std::int64_t reason_totals[kFlowReasonCount] = {};
+  std::uint64_t shed_count{0};
+  std::int64_t shed_value{0};
+  std::uint64_t degraded_windows{0};
+};
+
+class ValueFlowTracker {
+ public:
+  ValueFlowTracker() = default;
+  ValueFlowTracker(const ValueFlowTracker&) = delete;
+  ValueFlowTracker& operator=(const ValueFlowTracker&) = delete;
+  // Movable so a restore can swap in a freshly loaded image (consumers hold
+  // the tracker by address, which move-assignment preserves).
+  ValueFlowTracker(ValueFlowTracker&&) = default;
+  ValueFlowTracker& operator=(ValueFlowTracker&&) = default;
+
+  // --- arming (hot-path contract) ------------------------------------------
+  // The engine's PAROLE_FLOW hook pays exactly one relaxed load while no
+  // Scope is live anywhere in the process. A Scope arms the global flag and
+  // publishes the tracker thread-locally, so concurrent probe threads (which
+  // never install a Scope) stay unhooked even mid-batch.
+  class Scope {
+   public:
+    explicit Scope(ValueFlowTracker* tracker);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    ValueFlowTracker* previous_;
+  };
+
+  [[nodiscard]] static bool armed() {
+    return armed_.load(std::memory_order_relaxed) != 0;
+  }
+  [[nodiscard]] static ValueFlowTracker* active() { return active_; }
+
+  // True when the per-tx engine hook is compiled in. The flow_conservation
+  // invariant is vacuous without it (state moves, deltas do not) and skips.
+  [[nodiscard]] static constexpr bool tx_hooks_compiled() {
+#if defined(PAROLE_OBS_DISABLED)
+    return false;
+#else
+    return true;
+#endif
+  }
+
+  // --- attribution config ---------------------------------------------------
+  // Users in the attacker set get individual kAttacker positions; everyone
+  // else aggregates into the victim cohort. Persisted in the FLOW section.
+  void set_attackers(const std::vector<UserId>& ifus);
+  [[nodiscard]] bool is_attacker(UserId user) const {
+    for (const std::uint32_t a : attackers_)
+      if (a == user.value()) return true;
+    return false;
+  }
+
+  // Epoch index = step / epoch_len. The node forwards its step cursor.
+  void set_step(std::uint64_t step) { step_ = step; }
+  [[nodiscard]] std::uint64_t epoch_len() const { return epoch_len_; }
+
+  // --- batch lifecycle ------------------------------------------------------
+  // open_batch stages flows under a provisional record; seal_batch moves it
+  // to its L1-assigned id once the ORSC accepts the header. Flows recorded
+  // outside any open batch (deposits, slashes, auction charges) land in a
+  // chain-level bucket that never reverts.
+  void open_batch();
+  void seal_batch(std::uint64_t batch_id);
+  void finalize_batch(std::uint64_t batch_id);
+  void revert_batch(std::uint64_t batch_id);
+
+  // --- recording ------------------------------------------------------------
+  // Canonical per-tx flows, called from the engine hook under a live Scope.
+  void record_tx(vm::TxKind kind, UserId sender, UserId recipient,
+                 Amount price, Amount fee);
+  // Bridge deposit credited on L2 (raises both escrow and supply).
+  void record_deposit(UserId user, Amount amount);
+  // Withdrawal released back to L1 (lowers both escrow and supply).
+  void record_withdraw(UserId user, Amount amount);
+  // L1 bond posted by a seat / verifier into the dispute bond pool.
+  void record_bond_post(FlowActor who, Amount amount);
+  // First-price auction charge against the winning seat's bond.
+  void record_auction_spend(std::uint32_t seat, Amount amount);
+  // Bond slash: `slashed` leaves `who`; `reward` of it goes to `winner`
+  // (bond pool when no challenger exists), the rest burns.
+  void record_slash(FlowActor who, FlowActor winner, Amount slashed,
+                    Amount reward);
+  // Admission-control shed: value turned away at the mempool edge. Counted
+  // per epoch, never part of the conservation sums (nothing moved).
+  void note_shed(Amount est_value);
+  // A supervised stage crash-looped into honest passthrough for this window.
+  void note_degraded();
+
+  // --- views ----------------------------------------------------------------
+  [[nodiscard]] const std::map<std::uint64_t, Amount>& positions() const {
+    return positions_;
+  }
+  [[nodiscard]] Amount position(FlowActor actor) const;
+  // Summed over every individual kAttacker position.
+  [[nodiscard]] Amount attacker_position() const;
+  [[nodiscard]] const std::map<std::uint64_t, BatchFlows>& batches() const {
+    return batches_;
+  }
+  [[nodiscard]] const std::map<std::uint64_t, EpochFlows>& epochs() const {
+    return epochs_;
+  }
+  [[nodiscard]] std::int64_t reason_total(FlowReason reason) const {
+    return reason_totals_[static_cast<std::size_t>(reason)];
+  }
+  [[nodiscard]] std::uint64_t shed_count() const { return shed_count_; }
+  [[nodiscard]] std::int64_t shed_value() const { return shed_value_; }
+  [[nodiscard]] std::uint64_t degraded_windows() const {
+    return degraded_windows_;
+  }
+  [[nodiscard]] std::uint64_t finalized_batches() const {
+    return finalized_batches_;
+  }
+  [[nodiscard]] std::uint64_t reverted_batches() const {
+    return reverted_batches_;
+  }
+
+  // Component running deltas (the reconciliation surface; see chaos.cpp):
+  //   ledger.total_supply() == base_supply + supply_delta()
+  //   fee_pool()            == base_fee    + fee_delta()
+  //   value_burned()        == base_burned + burned_delta()
+  //   bridge.locked()       == base_locked + locked_delta()
+  [[nodiscard]] std::int64_t supply_delta() const { return supply_delta_; }
+  [[nodiscard]] std::int64_t fee_delta() const { return fee_delta_; }
+  [[nodiscard]] std::int64_t burned_delta() const { return burned_delta_; }
+  [[nodiscard]] std::int64_t locked_delta() const { return locked_delta_; }
+
+  // Largest |position| imbalance across sealed batch records (all must be
+  // zero-sum); returns the offending batch id through `bad_batch`.
+  [[nodiscard]] std::int64_t worst_batch_imbalance(
+      std::uint64_t& bad_batch) const;
+
+  // --- sinks ----------------------------------------------------------------
+  // Fixed-name Prometheus gauges (parole.flow.position.*) on the process
+  // registry; no-op when metrics are disabled.
+  void publish_metrics() const;
+  // Schema-validated RunReport "flow" lines: per-actor positions, per-reason
+  // waterfall, per-epoch breakdown (see report.cpp validate_line).
+  [[nodiscard]] std::vector<JsonObject> report_lines() const;
+
+  // --- checkpointing (FLOW section, DESIGN.md §10/§16) ----------------------
+  void save(io::ByteWriter& w) const;
+  Status load(io::ByteReader& r);
+
+ private:
+  [[nodiscard]] FlowActor classify(UserId user) const {
+    return is_attacker(user) ? FlowActor::attacker(user)
+                             : FlowActor::victims();
+  }
+  BatchFlows& sink_record();
+  void record(FlowActor from, FlowActor to, FlowReason reason, Amount amount);
+  EpochFlows& current_epoch() { return epochs_[step_ / epoch_len_]; }
+
+  static std::atomic<int> armed_;
+  static thread_local ValueFlowTracker* active_;
+
+  std::vector<std::uint32_t> attackers_;  // sorted user ids
+  std::uint64_t epoch_len_{32};
+  std::uint64_t step_{0};
+
+  std::map<std::uint64_t, Amount> positions_;  // actor key -> global net
+  std::int64_t reason_totals_[kFlowReasonCount] = {};
+  std::int64_t supply_delta_{0};
+  std::int64_t fee_delta_{0};
+  std::int64_t burned_delta_{0};
+  std::int64_t locked_delta_{0};
+
+  // Chain-level bucket (never reverts), the staging record for the batch
+  // being built, and sealed batches awaiting finalization.
+  BatchFlows chain_;
+  BatchFlows staging_;
+  bool batch_open_{false};
+  std::map<std::uint64_t, BatchFlows> batches_;
+
+  std::map<std::uint64_t, EpochFlows> epochs_;
+  std::uint64_t shed_count_{0};
+  std::int64_t shed_value_{0};
+  std::uint64_t degraded_windows_{0};
+  std::uint64_t finalized_batches_{0};
+  std::uint64_t reverted_batches_{0};
+};
+
+}  // namespace parole::obs
+
+// Engine-side hook. Unarmed cost: one relaxed atomic load. Compiled out
+// entirely under PAROLE_OBS_DISABLED, like the span/metric macros.
+#if defined(PAROLE_OBS_DISABLED)
+
+#define PAROLE_FLOW(...) ((void)0)
+
+#else
+
+#define PAROLE_FLOW(...)                                                \
+  do {                                                                  \
+    if (::parole::obs::ValueFlowTracker::armed()) {                     \
+      if (auto* parole_flow_t = ::parole::obs::ValueFlowTracker::active()) \
+        parole_flow_t->__VA_ARGS__;                                     \
+    }                                                                   \
+  } while (0)
+
+#endif  // PAROLE_OBS_DISABLED

@@ -115,6 +115,11 @@ void RunReport::add_result(JsonObject row) {
   lines_.push_back(std::move(row));
 }
 
+void RunReport::add_flow(JsonObject row) {
+  row["type"] = "flow";
+  lines_.push_back(std::move(row));
+}
+
 void RunReport::capture_metrics(const MetricsRegistry& registry) {
   for (const MetricSample& sample : registry.snapshot()) {
     lines_.push_back(sample_to_object(sample));
@@ -264,6 +269,18 @@ Status RunReport::validate_line(const std::string& line) {
       if (event == to_string(static_cast<TxEventKind>(i))) return ok_status();
     }
     return check(false, "unknown lifecycle event '" + event + "'");
+  }
+  if (kind == "flow") {
+    if (Status s = require_string(value, "scope"); !s.ok()) return s;
+    if (Status s = require_number(value, "amount_gwei"); !s.ok()) return s;
+    const std::string& scope = value.find("scope")->as_string();
+    if (scope == "actor") return require_string(value, "actor");
+    if (scope == "reason") return require_string(value, "reason");
+    if (scope == "epoch") {
+      if (Status s = require_number(value, "epoch"); !s.ok()) return s;
+      return require_string(value, "reason");
+    }
+    return check(false, "unknown flow scope '" + scope + "'");
   }
   return check(false, "unknown line type '" + kind + "'");
 }

@@ -17,6 +17,12 @@
 //   {"type":"txevent","tx":...,"event":...,"step":...,"t_ns":...,
 //    "batch":...,"a":...,"b":...}              # one lifecycle event; batch/
 //                                              # a/b present when nonzero
+//   {"type":"flow","scope":"actor|reason|epoch","amount_gwei":...}
+//                                              # value-flow attribution
+//                                              # (DESIGN.md §16); actor scope
+//                                              # carries "actor", reason scope
+//                                              # "reason", epoch scope both
+//                                              # "epoch" and "reason"
 //
 // The meta line always comes first. validate_file()/validate_line() are the
 // single source of truth for the schema — tests, `parole_cli validate` and CI
@@ -46,6 +52,11 @@ class RunReport {
 
   // One free-form result row (a bench table row, a campaign summary, ...).
   void add_result(JsonObject row);
+
+  // One value-flow attribution line (ValueFlowTracker::report_lines rows go
+  // through here; the row carries scope/actor/reason/epoch/amount_gwei and
+  // this stamps the discriminator).
+  void add_flow(JsonObject row);
 
   // Append a metrics snapshot: every registered counter/gauge/histogram.
   void capture_metrics(const MetricsRegistry& registry =

@@ -1,0 +1,33 @@
+// Canonical telemetry-flag usage text (DESIGN.md §13/§16).
+//
+// Every parole_cli command accepts the same telemetry flags, parsed by one
+// pre-pass — so their help text must be ONE string, not N hand-kept copies
+// that drift. The CLI's usage() embeds this block verbatim, and a unit test
+// audits that every flag the parser consumes is documented here (and nothing
+// that isn't). Editing a flag means editing this file; the test makes a
+// forgotten doc line a build failure, not a stale help screen.
+#pragma once
+
+namespace parole::obs {
+
+// One "--flag" spelling per documented telemetry flag, in display order.
+// The parser (parole_cli parse_telemetry_flag) and this list must agree;
+// the usage-audit test cross-checks kTelemetryFlagsUsage against it.
+inline constexpr const char* kTelemetryFlagNames[] = {
+    "--metrics",         "--trace",        "--journal",
+    "--listen",          "--linger",       "--watchdog-ms",
+    "--flight-recorder",
+};
+
+inline constexpr const char kTelemetryFlagsUsage[] =
+    "telemetry flags (every command accepts them, anywhere on the line):\n"
+    "  --metrics <path>        write a RunReport metrics snapshot on exit\n"
+    "  --trace <path>          write the span trace JSONL on exit\n"
+    "  --journal <path>        write the tx lifecycle journal JSONL on exit\n"
+    "  --listen <port>         live telemetry endpoint (0 = ephemeral)\n"
+    "  --linger <ms>           keep the endpoint up after the run finishes\n"
+    "  --watchdog-ms <ms>      stall watchdog deadline (exit 3 on stall)\n"
+    "  --flight-recorder <p>   flight-bundle path, dumped on stall/fatal "
+    "signal\n";
+
+}  // namespace parole::obs

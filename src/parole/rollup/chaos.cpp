@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <string>
 
+#include "parole/obs/flow.hpp"
 #include "parole/rollup/consensus.hpp"
 #include "parole/rollup/node.hpp"
 
@@ -176,6 +177,8 @@ std::string_view to_string(InvariantKind kind) {
       return "seat_bond_solvency";
     case InvariantKind::kNoFinalizedEquivocation:
       return "no_finalized_equivocation";
+    case InvariantKind::kFlowConservation:
+      return "flow_conservation";
   }
   return "unknown";
 }
@@ -226,6 +229,48 @@ std::size_t InvariantChecker::check(const RollupNode& node,
     violate(InvariantKind::kValueConservation,
             "supply+fees+burned - locked = " + std::to_string(drift) +
                 ", baseline " + std::to_string(conservation_base_));
+  }
+
+  // --- flow conservation ------------------------------------------------------
+  // The value-flow tracker shadows the same four quantities the conservation
+  // check above watches. Its running deltas must reconcile bit-exactly with
+  // the actual component values (up to the arm-time baseline), and every
+  // sealed batch ledger must sum to zero — double-entry has no remainder.
+  // Skipped when the engine hook is compiled out (-DPAROLE_OBS=OFF): the
+  // tracker would miss every tx flow and false-violate.
+  if (obs::ValueFlowTracker::tx_hooks_compiled()) {
+    const obs::ValueFlowTracker& flow = node.flow();
+    if (!flow_baselined_) {
+      flow_baselined_ = true;
+      flow_base_supply_ = state.ledger().total_supply() - flow.supply_delta();
+      flow_base_fees_ = state.fee_pool() - flow.fee_delta();
+      flow_base_burned_ = state.value_burned() - flow.burned_delta();
+      flow_base_locked_ = node.bridge().locked() - flow.locked_delta();
+    } else {
+      const auto reconcile = [&](const char* what, std::int64_t actual,
+                                 std::int64_t base, std::int64_t delta) {
+        if (actual != base + delta) {
+          violate(InvariantKind::kFlowConservation,
+                  std::string(what) + " " + std::to_string(actual) +
+                      " != flow baseline " + std::to_string(base) +
+                      " + tracked delta " + std::to_string(delta));
+        }
+      };
+      reconcile("supply", state.ledger().total_supply(), flow_base_supply_,
+                flow.supply_delta());
+      reconcile("fees", state.fee_pool(), flow_base_fees_, flow.fee_delta());
+      reconcile("burned", state.value_burned(), flow_base_burned_,
+                flow.burned_delta());
+      reconcile("locked", node.bridge().locked(), flow_base_locked_,
+                flow.locked_delta());
+    }
+    std::uint64_t bad_batch = 0;
+    if (const Amount imbalance = flow.worst_batch_imbalance(bad_batch);
+        imbalance != 0) {
+      violate(InvariantKind::kFlowConservation,
+              "batch " + std::to_string(bad_batch) + " flows sum to " +
+                  std::to_string(imbalance) + ", expected 0");
+    }
   }
 
   // --- supply cap -------------------------------------------------------------
@@ -355,6 +400,11 @@ void InvariantChecker::save(io::ByteWriter& w) const {
   w.boolean(baselined_);
   w.i64(conservation_base_);
   w.blob(last_statuses_);
+  w.boolean(flow_baselined_);
+  w.i64(flow_base_supply_);
+  w.i64(flow_base_fees_);
+  w.i64(flow_base_burned_);
+  w.i64(flow_base_locked_);
 }
 
 Status InvariantChecker::load(io::ByteReader& r) {
@@ -366,8 +416,7 @@ Status InvariantChecker::load(io::ByteReader& r) {
     std::uint8_t kind = 0;
     PAROLE_IO_READ(r.u64(v.step), "violation step");
     PAROLE_IO_READ(r.u8(kind), "violation kind");
-    if (kind >
-        static_cast<std::uint8_t>(InvariantKind::kNoFinalizedEquivocation)) {
+    if (kind > static_cast<std::uint8_t>(InvariantKind::kFlowConservation)) {
       return Error{"corrupt_checkpoint", "unknown invariant kind"};
     }
     v.kind = static_cast<InvariantKind>(kind);
@@ -376,6 +425,11 @@ Status InvariantChecker::load(io::ByteReader& r) {
   PAROLE_IO_READ(r.boolean(loaded.baselined_), "checker baselined flag");
   PAROLE_IO_READ(r.i64(loaded.conservation_base_), "checker baseline");
   PAROLE_IO_READ(r.blob(loaded.last_statuses_), "checker batch statuses");
+  PAROLE_IO_READ(r.boolean(loaded.flow_baselined_), "checker flow flag");
+  PAROLE_IO_READ(r.i64(loaded.flow_base_supply_), "checker flow supply base");
+  PAROLE_IO_READ(r.i64(loaded.flow_base_fees_), "checker flow fee base");
+  PAROLE_IO_READ(r.i64(loaded.flow_base_burned_), "checker flow burned base");
+  PAROLE_IO_READ(r.i64(loaded.flow_base_locked_), "checker flow locked base");
   *this = std::move(loaded);
   return ok_status();
 }

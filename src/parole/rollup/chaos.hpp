@@ -173,6 +173,10 @@ enum class InvariantKind : std::uint8_t {
   kSlotUniqueFinalization,     // at most one finalized batch per slot
   kSeatBondSolvency,           // no negative seat bonds
   kNoFinalizedEquivocation,    // every finalized batch is an accepted proposal
+  // Value-flow attribution (DESIGN.md §16): the tracker's running component
+  // deltas reconcile bit-exactly with the conservation baseline quantities,
+  // and every sealed batch ledger sums to zero.
+  kFlowConservation,
 };
 
 [[nodiscard]] std::string_view to_string(InvariantKind kind);
@@ -213,6 +217,14 @@ class InvariantChecker {
   // Conservation baseline: (supply + fees + burned) − locked at arm time.
   std::int64_t conservation_base_{0};
   std::vector<std::uint8_t> last_statuses_;  // chain::BatchStatus values
+  // Flow-reconciliation baselines: actual component minus the tracker's
+  // running delta at arm time. Four separate bases so a drift pinpoints the
+  // component that diverged, not just that something did.
+  bool flow_baselined_{false};
+  std::int64_t flow_base_supply_{0};
+  std::int64_t flow_base_fees_{0};
+  std::int64_t flow_base_burned_{0};
+  std::int64_t flow_base_locked_{0};
 };
 
 // Everything a chaos-armed RollupNode keeps between steps.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "parole/obs/flow.hpp"
 #include "parole/rollup/economics.hpp"
 
 namespace parole::rollup {
@@ -103,6 +104,9 @@ bool ConsensusEngine::record_proposal(std::uint64_t slot, std::uint64_t view,
     price = std::min(price, seats_[seat].bond);
     seats_[seat].bond -= price;
     seats_[seat].auction_spend += price;
+    if (flow_ != nullptr) {
+      flow_->record_auction_spend(static_cast<std::uint32_t>(seat), price);
+    }
   }
   proposals_.push_back(
       SlotProposal{slot, view, static_cast<std::uint64_t>(seat), batch_id});
@@ -122,6 +126,13 @@ EquivocationRecord ConsensusEngine::record_equivocation(std::uint64_t slot,
     seats_[seat].slashed += slash.slashed;
     ++seats_[seat].equivocations;
     record.slashed = slash.slashed;
+    if (flow_ != nullptr) {
+      // No challenger in an equivocation slash: the prover's cut stays in
+      // the bond pool, the remainder burns.
+      flow_->record_slash(obs::FlowActor::seat(static_cast<std::uint32_t>(seat)),
+                          obs::FlowActor::bond_pool(), slash.slashed,
+                          slash.reward);
+    }
   }
   equivocations_.push_back(record);
   return record;
@@ -146,6 +157,15 @@ Amount ConsensusEngine::total_auction_spend(bool adversarial_only) const {
   for (const SeatState& seat : seats_) {
     if (adversarial_only && !seat.adversarial) continue;
     total += seat.auction_spend;
+  }
+  return total;
+}
+
+Amount ConsensusEngine::total_slashed(bool adversarial_only) const {
+  Amount total = 0;
+  for (const SeatState& seat : seats_) {
+    if (adversarial_only && !seat.adversarial) continue;
+    total += seat.slashed;
   }
   return total;
 }

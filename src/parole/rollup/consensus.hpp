@@ -43,6 +43,10 @@
 #include "parole/io/bytes.hpp"
 #include "parole/rollup/election.hpp"
 
+namespace parole::obs {
+class ValueFlowTracker;
+}  // namespace parole::obs
+
 namespace parole::rollup {
 
 // What happens to the txs a leader had already collected when it crashes
@@ -191,6 +195,16 @@ class ConsensusEngine {
   // Total auction spend, optionally restricted to adversarial seats (the
   // profit-vs-decentralization benches net this off the raw reorder profit).
   [[nodiscard]] Amount total_auction_spend(bool adversarial_only) const;
+  // Total equivocation slashes taken from seat bonds, same restriction —
+  // the third component of the bench's net-profit decomposition (net =
+  // gross − auction spend − slash loss). Pure sum over SeatState::slashed,
+  // which is already cumulative and checkpointed.
+  [[nodiscard]] Amount total_slashed(bool adversarial_only) const;
+
+  // Value-flow sink (DESIGN.md §16): auction charges and equivocation
+  // slashes report here when set. Observability wiring, never checkpointed;
+  // the owning node re-wires it after a restore.
+  void set_flow_sink(obs::ValueFlowTracker* sink) { flow_ = sink; }
 
   // Checkpointing (DESIGN.md §10): the CSNS section payload — view, seats,
   // proposals, equivocations, view changes, pending bids. The config is
@@ -211,6 +225,7 @@ class ConsensusEngine {
   // Sealed bids for the slot leader() last answered (kAuction only). Part of
   // the checkpoint: a resume mid-slot must re-charge the same price.
   std::vector<AuctionBid> pending_bids_;
+  obs::ValueFlowTracker* flow_{nullptr};
 };
 
 }  // namespace parole::rollup

@@ -30,7 +30,14 @@ RollupNode::RollupNode(NodeConfig config)
       engine_(config.exec),
       l1_(config.l1_block_time),
       orsc_(config.orsc),
-      bridge_(orsc_, state_.ledger()) {}
+      bridge_(orsc_, state_.ledger()) {
+  wire_flow_sinks();
+}
+
+void RollupNode::wire_flow_sinks() {
+  orsc_.set_flow_sink(&flow_);
+  if (consensus_) consensus_->set_flow_sink(&flow_);
+}
 
 void RollupNode::add_aggregator(AggregatorConfig config) {
   const Status registered = orsc_.register_aggregator(config.id);
@@ -63,6 +70,7 @@ void RollupNode::arm_consensus(ConsensusConfig config) {
   for (std::size_t i = 0; i < aggregators_.size(); ++i) {
     consensus_->set_seat_adversarial(i, aggregators_[i].adversarial());
   }
+  wire_flow_sinks();
 }
 
 void RollupNode::fund_l1(UserId user, Amount amount) {
@@ -89,8 +97,11 @@ void RollupNode::submit_tx(vm::Tx tx) {
 bool RollupNode::try_submit_tx(vm::Tx tx, std::size_t max_mempool_depth) {
   tx.id = TxId{next_tx_id_++};
   const std::uint64_t tx_id = tx.id.value();
+  // Fee value the admission edge would turn away — captured before the move.
+  const Amount shed_value = tx.total_fee();
   const obs::TxJournal::Scope scope(&journal_);
   if (!mempool_.submit_bounded(std::move(tx), max_mempool_depth)) {
+    flow_.note_shed(shed_value);
     return false;
   }
 #if !defined(PAROLE_OBS_DISABLED)
@@ -140,6 +151,7 @@ StepOutcome RollupNode::step() {
   // recorded during the scope pick up this step index.
   const obs::TxJournal::Scope journal_scope(&journal_);
   journal_.set_step(step);
+  flow_.set_step(step);
 
   // A reorg "arrives" between slots: the head blocks vanish before this
   // round's work begins.
@@ -147,6 +159,7 @@ StepOutcome RollupNode::step() {
 
   for (const chain::Deposit& deposit : bridge_.process_deposits()) {
     deposit_log_.emplace_back(step, deposit);
+    flow_.record_deposit(deposit.user, deposit.amount);
     if (obs::TxJournal::enabled()) {
       // Deposits have no tx id; a/b carry the (user, amount) pair instead.
       journal_.record({0, obs::TxEventKind::kDeposited, 0, 0, obs::kNoBatch,
@@ -173,6 +186,9 @@ StepOutcome RollupNode::step() {
 
   l1_.seal_block();
   outcome.finalized_batches = orsc_.finalize_due(l1_.now());
+  for (const std::uint64_t finalized_id : outcome.finalized_batches) {
+    flow_.finalize_batch(finalized_id);
+  }
 #if defined(PAROLE_OBS_DISABLED)
   const bool track_finalized = obs::TxJournal::enabled();
 #else
@@ -208,6 +224,7 @@ StepOutcome RollupNode::step() {
     }
   }
   prune_pending();
+  flow_.publish_metrics();
   PAROLE_OBS_GAUGE("parole.rollup.mempool_depth",
                    static_cast<double>(mempool_.size()));
   PAROLE_OBS_GAUGE("parole.rollup.pending_batches",
@@ -483,6 +500,7 @@ void RollupNode::commit_batch(std::uint64_t step, std::size_t chosen,
     // the attack stands down and batches ship in honest collection order.
     suppress_reorderer = true;
     outcome.reorderer_degraded = true;
+    flow_.note_degraded();
     PAROLE_OBS_COUNT("parole.serve.passthrough_batches", 1);
   }
   if (chaos_ && aggregator.adversarial() &&
@@ -491,16 +509,25 @@ void RollupNode::commit_batch(std::uint64_t step, std::size_t chosen,
     // order. The chain keeps draining — degradation, not an outage.
     suppress_reorderer = true;
     outcome.reorderer_degraded = true;
+    flow_.note_degraded();
     PAROLE_OBS_COUNT("parole.chaos.reorderer_failures", 1);
     record_fault(step, FaultKind::kReordererFailure, chosen,
                  "identity order shipped");
   }
 
-  Batch batch = aggregator.build_batch(state_, std::move(collected), engine_,
-                                       suppress_reorderer);
+  // Canonical execution runs inside this scope: the engine's PAROLE_FLOW
+  // hook records per-tx value deltas into flow_, while the solver's probe
+  // re-executions (no Scope on their threads) stay invisible.
+  flow_.open_batch();
+  Batch batch = [&] {
+    const obs::ValueFlowTracker::Scope flow_scope(&flow_);
+    return aggregator.build_batch(state_, std::move(collected), engine_,
+                                  suppress_reorderer);
+  }();
   auto submitted = orsc_.submit_batch(batch.header, l1_.now());
   assert(submitted.ok());
   batch.header.batch_id = submitted.value();
+  flow_.seal_batch(batch.header.batch_id);
   if (obs::TxJournal::enabled()) {
     for (const vm::Tx& tx : batch.txs) {
       journal_.record({tx.id.value(), obs::TxEventKind::kRootCommitted, 0, 0,
@@ -652,6 +679,11 @@ void RollupNode::rollback_from(std::size_t index, bool revert_records,
   PendingVerification& pending = pending_checks_[index];
   const std::uint64_t first_reverted = pending.batch.header.batch_id;
 
+  // The rollback below restores the pre-state; the flow ledger follows by
+  // negating the reverted batches' double entries (deposit replays need no
+  // flow adjustment — deposits were recorded once and remain in effect).
+  flow_.revert_batch(first_reverted);
+
   state_ = pending.pre_state;
   // Deposits bridged after the snapshot are L1 facts — replay them into the
   // restored state so no locked value vanishes from the L2 ledger.
@@ -674,6 +706,7 @@ void RollupNode::rollback_from(std::size_t index, bool revert_records,
   for (std::size_t q = index + 1; q < pending_checks_.size(); ++q) {
     PendingVerification& descendant = pending_checks_[q];
     const std::uint64_t descendant_id = descendant.batch.header.batch_id;
+    flow_.revert_batch(descendant_id);
     if (revert_records) {
       const Status reverted = orsc_.revert_pending(descendant_id);
       assert(reverted.ok());
@@ -775,6 +808,7 @@ constexpr std::uint32_t kPendingTag = io::section_tag("PEND");
 constexpr std::uint32_t kChaosTag = io::section_tag("CHAO");
 constexpr std::uint32_t kConsensusTag = io::section_tag("CSNS");
 constexpr std::uint32_t kJournalTag = io::section_tag("JRNL");
+constexpr std::uint32_t kFlowTag = io::section_tag("FLOW");
 
 Error config_mismatch(const std::string& what) {
   return Error{"config_mismatch",
@@ -834,6 +868,7 @@ void RollupNode::save_snapshot(io::CheckpointBuilder& builder) const {
   if (chaos_) chaos_->save(builder.section(kChaosTag));
   if (consensus_) consensus_->save(builder.section(kConsensusTag));
   journal_.save(builder.section(kJournalTag));
+  flow_.save(builder.section(kFlowTag));
 }
 
 Status RollupNode::restore_snapshot(const io::Checkpoint& checkpoint) {
@@ -1018,6 +1053,15 @@ Status RollupNode::restore_snapshot(const io::Checkpoint& checkpoint) {
   if (Status s = journal_.load(journal_r.value()); !s.ok()) return s;
   if (Status s = journal_r.value().finish("JRNL section"); !s.ok()) return s;
 
+  // FLOW section (DESIGN.md §16). Validated into a temporary like the rest;
+  // absent in pre-flow checkpoints, which restore with an empty ledger.
+  obs::ValueFlowTracker flow;
+  if (checkpoint.find(kFlowTag) != nullptr) {
+    auto flow_r = checkpoint.reader(kFlowTag);
+    if (!flow_r.ok()) return flow_r.error();
+    if (Status s = flow.load(flow_r.value()); !s.ok()) return s;
+  }
+
   // --- commit: everything validated, overwrite the dynamic state -------------
   state_ = std::move(state);
   mempool_ = std::move(mempool);
@@ -1032,6 +1076,10 @@ Status RollupNode::restore_snapshot(const io::Checkpoint& checkpoint) {
   next_aggregator_ = static_cast<std::size_t>(next_aggregator);
   next_tx_id_ = next_tx_id;
   step_index_ = step_index;
+  flow_ = std::move(flow);
+  // The commit above move-assigned orsc_ and replaced consensus_, wiping
+  // their (non-checkpointed) flow-sink pointers — re-point them at flow_.
+  wire_flow_sinks();
   // Submit stamps predate the restored process and would produce garbage
   // latencies; measurement restarts with the next submission.
   submit_t_ns_.clear();

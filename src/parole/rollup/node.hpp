@@ -32,6 +32,7 @@
 #include "parole/chain/l1_chain.hpp"
 #include "parole/chain/orsc.hpp"
 #include "parole/io/checkpoint.hpp"
+#include "parole/obs/flow.hpp"
 #include "parole/obs/journal.hpp"
 #include "parole/rollup/aggregator.hpp"
 #include "parole/rollup/chaos.hpp"
@@ -199,6 +200,12 @@ class RollupNode {
   // pointer (mempool, VM, reorderer, dispute) emit into it.
   [[nodiscard]] obs::TxJournal& journal() { return journal_; }
   [[nodiscard]] const obs::TxJournal& journal() const { return journal_; }
+  // Value-flow attribution ledger (DESIGN.md §16). Always on: recording only
+  // happens on canonical execution paths (one batch build per step plus rare
+  // economic events), so there is no hot-path cost to gate. The per-tx engine
+  // hook itself compiles out under -DPAROLE_OBS=OFF.
+  [[nodiscard]] obs::ValueFlowTracker& flow() { return flow_; }
+  [[nodiscard]] const obs::ValueFlowTracker& flow() const { return flow_; }
 
   // --- checkpointing (DESIGN.md §10) ----------------------------------------
   // Serialize all dynamic state into typed sections of `builder`: L2 state,
@@ -254,6 +261,11 @@ class RollupNode {
                     std::string detail);
   ChaosRuntime::CrashState& crash_state(std::size_t aggregator_index);
   [[nodiscard]] std::size_t pending_work() const;
+  // (Re-)point the ORSC's and consensus engine's flow sinks at flow_. Needed
+  // after construction, after arm_consensus, and after restore_snapshot's
+  // commit block (which move-assigns orsc_ and replaces consensus_, wiping
+  // the non-checkpointed sink pointers).
+  void wire_flow_sinks();
 
   NodeConfig config_;
   vm::L2State state_;
@@ -272,6 +284,7 @@ class RollupNode {
   // bridged value that arrived after the snapshot.
   std::vector<std::pair<std::uint64_t, chain::Deposit>> deposit_log_;
   obs::TxJournal journal_;
+  obs::ValueFlowTracker flow_;
   // Live admission→finalization latency (DESIGN.md §13): submit-time stamps
   // on the span clock keyed by tx id, observed into the
   // parole.rollup.tx_latency_ns histogram when the tx's batch finalizes (or

@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "parole/obs/flow.hpp"
 #include "parole/obs/journal.hpp"
 #include "parole/obs/trace.hpp"
 
@@ -148,6 +149,10 @@ Receipt ExecutionEngine::execute_tx(L2State& state, const Tx& tx) const {
   const Amount fee = config_.charge_fees ? tx.total_fee() : 0;
   receipt.minted_token = apply_effects(state, tx, price, fee);
   receipt.status = TxStatus::kExecuted;
+  // Value-flow attribution (DESIGN.md §16): armed only for canonical batch
+  // builds — the node installs a ValueFlowTracker::Scope around build_batch,
+  // so solver probes and verifier/dispute replays record nothing.
+  PAROLE_FLOW(record_tx(tx.kind, tx.sender, tx.recipient, price, fee));
   receipt.price_after = state.nft().current_price();
   receipt.gas_used = config_.gas.gas_for(tx.kind);
   receipt.fee_paid = fee;

@@ -24,8 +24,41 @@ TEST(PrometheusName, SanitizesRegistryNames) {
             "parole_rollup_txs_ingested");
   EXPECT_EQ(prometheus_name("already_fine:name"), "already_fine:name");
   EXPECT_EQ(prometheus_name("weird name/with-stuff"), "weird_name_with_stuff");
-  EXPECT_EQ(prometheus_name("7starts.with.digit"), "_7starts_with_digit");
+  EXPECT_EQ(prometheus_name("7starts.with.digit"),
+            "parole_7starts_with_digit");
+  // The prefix keys off the *sanitized* head: a punctuation head that
+  // sanitizes to '_' needs no prefix, a digit surviving sanitization does.
+  EXPECT_EQ(prometheus_name(".7leading.dot"), "_7leading_dot");
+  EXPECT_EQ(prometheus_name("42"), "parole_42");
   EXPECT_EQ(prometheus_name(""), "");
+}
+
+TEST(RenderPrometheus, EmptyRegistryIsCommentOnlyButValid) {
+  MetricsRegistry registry;
+  MetricsSampler sampler({}, registry);
+  const std::string text = render_prometheus(sampler.view());
+  ASSERT_FALSE(text.empty());
+  // Every line is a comment — no series invented for an empty registry —
+  // and the body still parses as text exposition format.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    EXPECT_EQ(line[0], '#') << line;
+  }
+}
+
+TEST(RenderPrometheus, EmptySampledViewStillCarriesSamplerMeta) {
+  MetricsRegistry registry;
+  MetricsSampler sampler({}, registry);
+  sampler.sample_now();
+  const std::string text = render_prometheus(sampler.view());
+  // Once the sampler has run, the meta series are real data even with no
+  // user metrics registered.
+  EXPECT_NE(text.find("parole_sampler_samples_total 1"), std::string::npos);
 }
 
 // One registry + sampler with a counter, a gauge and a histogram, sampled

@@ -1,0 +1,368 @@
+// ValueFlowTracker (DESIGN.md §16): double-entry attribution, batch
+// lifecycle (seal / finalize / revert), epoch waterfalls, the FLOW
+// checkpoint section, schema-validated report lines, and the shared
+// telemetry usage text the CLI commands embed. The end-to-end reconciliation
+// against a live RollupNode is covered by the flow_conservation invariant in
+// chaos_test / the soak; this file pins the tracker's own algebra.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "parole/io/bytes.hpp"
+#include "parole/obs/flow.hpp"
+#include "parole/obs/metrics.hpp"
+#include "parole/obs/report.hpp"
+#include "parole/obs/usage.hpp"
+
+using namespace parole;
+using namespace parole::obs;
+
+namespace {
+
+// Sum of every global position — double entry means this is always zero.
+[[nodiscard]] std::int64_t position_sum(const ValueFlowTracker& tracker) {
+  std::int64_t sum = 0;
+  for (const auto& [key, net] : tracker.positions()) {
+    (void)key;
+    sum += net;
+  }
+  return sum;
+}
+
+TEST(FlowActor, KeyRoundTripsAndLabelsAreStable) {
+  const FlowActor actors[] = {
+      FlowActor::attacker(UserId{7}), FlowActor::victims(),
+      FlowActor::seat(2),             FlowActor::verifier(1),
+      FlowActor::bridge(),            FlowActor::bond_pool(),
+      FlowActor::fee_pool(),          FlowActor::burn(),
+  };
+  for (const FlowActor& actor : actors) {
+    const FlowActor back = FlowActor::from_key(actor.key());
+    EXPECT_EQ(back.kind, actor.kind);
+    EXPECT_EQ(back.index, actor.index);
+  }
+  EXPECT_EQ(FlowActor::attacker(UserId{7}).label(), "attacker:7");
+  EXPECT_EQ(FlowActor::victims().label(), "victims");
+  EXPECT_EQ(FlowActor::seat(2).label(), "seat:2");
+  EXPECT_EQ(FlowActor::bond_pool().label(), "bond_pool");
+}
+
+TEST(FlowScope, ArmsGloballyPublishesThreadLocallyAndNests) {
+  ASSERT_FALSE(ValueFlowTracker::armed());
+  ASSERT_EQ(ValueFlowTracker::active(), nullptr);
+  ValueFlowTracker outer_tracker;
+  ValueFlowTracker inner_tracker;
+  {
+    ValueFlowTracker::Scope outer(&outer_tracker);
+    EXPECT_TRUE(ValueFlowTracker::armed());
+    EXPECT_EQ(ValueFlowTracker::active(), &outer_tracker);
+    {
+      ValueFlowTracker::Scope inner(&inner_tracker);
+      EXPECT_EQ(ValueFlowTracker::active(), &inner_tracker);
+    }
+    // Nested scope restores the previous tracker, not null.
+    EXPECT_TRUE(ValueFlowTracker::armed());
+    EXPECT_EQ(ValueFlowTracker::active(), &outer_tracker);
+  }
+  EXPECT_FALSE(ValueFlowTracker::armed());
+  EXPECT_EQ(ValueFlowTracker::active(), nullptr);
+  // tx_hooks_compiled() reports this build's mode (obs_disabled_test pins
+  // the OFF expansion regardless of how the library was configured).
+#if defined(PAROLE_OBS_DISABLED)
+  EXPECT_FALSE(ValueFlowTracker::tx_hooks_compiled());
+#else
+  EXPECT_TRUE(ValueFlowTracker::tx_hooks_compiled());
+#endif
+}
+
+TEST(FlowRecording, MintDoubleEntryMatchesEngineEffects) {
+  ValueFlowTracker tracker;
+  tracker.set_attackers({UserId{1}});
+  tracker.record_tx(vm::TxKind::kMint, UserId{1}, UserId{0}, gwei(100),
+                    gwei(7));
+  // Buyer pays price into token value and fee into the pool.
+  EXPECT_EQ(tracker.position(FlowActor::attacker(UserId{1})), -107);
+  EXPECT_EQ(tracker.position(FlowActor::burn()), 100);
+  EXPECT_EQ(tracker.position(FlowActor::fee_pool()), 7);
+  EXPECT_EQ(tracker.attacker_position(), -107);
+  EXPECT_EQ(tracker.reason_total(FlowReason::kSwap), 100);
+  EXPECT_EQ(tracker.reason_total(FlowReason::kFee), 7);
+  // Component deltas mirror apply_effects: balances down, burned + fees up.
+  EXPECT_EQ(tracker.supply_delta(), -107);
+  EXPECT_EQ(tracker.burned_delta(), 100);
+  EXPECT_EQ(tracker.fee_delta(), 7);
+  EXPECT_EQ(position_sum(tracker), 0);
+}
+
+TEST(FlowRecording, TransferMovesPriceBuyerToSeller) {
+  ValueFlowTracker tracker;
+  tracker.set_attackers({UserId{5}});
+  // Seller (sender) 5 is an attacker; buyer (recipient) 9 is a victim.
+  tracker.record_tx(vm::TxKind::kTransfer, UserId{5}, UserId{9}, gwei(40),
+                    gwei(3));
+  EXPECT_EQ(tracker.position(FlowActor::attacker(UserId{5})), 40 - 3);
+  EXPECT_EQ(tracker.position(FlowActor::victims()), -40);
+  EXPECT_EQ(tracker.position(FlowActor::fee_pool()), 3);
+  EXPECT_EQ(tracker.supply_delta(), -3);
+  EXPECT_EQ(tracker.fee_delta(), 3);
+  EXPECT_EQ(position_sum(tracker), 0);
+}
+
+TEST(FlowRecording, DepositAndWithdrawMoveEscrowWithSupply) {
+  ValueFlowTracker tracker;
+  tracker.record_deposit(UserId{3}, gwei(500));
+  EXPECT_EQ(tracker.position(FlowActor::bridge()), -500);
+  EXPECT_EQ(tracker.position(FlowActor::victims()), 500);
+  EXPECT_EQ(tracker.supply_delta(), 500);
+  EXPECT_EQ(tracker.locked_delta(), 500);
+  tracker.record_withdraw(UserId{3}, gwei(200));
+  EXPECT_EQ(tracker.position(FlowActor::bridge()), -300);
+  EXPECT_EQ(tracker.supply_delta(), 300);
+  EXPECT_EQ(tracker.locked_delta(), 300);
+  EXPECT_EQ(position_sum(tracker), 0);
+}
+
+TEST(FlowRecording, SlashSplitsRewardFromBurnAndAuctionSpendBurns) {
+  ValueFlowTracker tracker;
+  tracker.record_bond_post(FlowActor::seat(0), gwei(1000));
+  tracker.record_slash(FlowActor::seat(0), FlowActor::verifier(2), gwei(100),
+                       gwei(30));
+  // Bond in, slash out: 30 to the challenger, 70 burnt.
+  EXPECT_EQ(tracker.position(FlowActor::seat(0)), -1000 - 100);
+  EXPECT_EQ(tracker.position(FlowActor::verifier(2)), 30);
+  EXPECT_EQ(tracker.position(FlowActor::burn()), 70);
+  EXPECT_EQ(tracker.reason_total(FlowReason::kSlash), 100);
+  tracker.record_auction_spend(1, gwei(55));
+  EXPECT_EQ(tracker.position(FlowActor::seat(1)), -55);
+  EXPECT_EQ(tracker.reason_total(FlowReason::kAuctionSpend), 55);
+  // L1-side movements never touch the L2 conservation components.
+  EXPECT_EQ(tracker.supply_delta(), 0);
+  EXPECT_EQ(tracker.fee_delta(), 0);
+  EXPECT_EQ(position_sum(tracker), 0);
+}
+
+TEST(FlowBatches, SealFinalizeAndRevertKeepTheChainCanonical) {
+  ValueFlowTracker tracker;
+  tracker.set_attackers({UserId{1}});
+
+  // Batch 7: one mint, sealed, then finalized — settled history, pruned.
+  tracker.open_batch();
+  tracker.record_tx(vm::TxKind::kMint, UserId{1}, UserId{0}, gwei(10),
+                    gwei(1));
+  tracker.seal_batch(7);
+  ASSERT_EQ(tracker.batches().count(7), 1u);
+  EXPECT_TRUE(tracker.batches().at(7).sealed);
+  tracker.finalize_batch(7);
+  EXPECT_EQ(tracker.batches().count(7), 0u);
+  EXPECT_EQ(tracker.finalized_batches(), 1u);
+  EXPECT_EQ(tracker.supply_delta(), -11);
+
+  // Batch 8 reverts: every position and component delta rolls back to the
+  // post-batch-7 image, and the undo is logged under kRevert.
+  tracker.open_batch();
+  tracker.record_tx(vm::TxKind::kTransfer, UserId{1}, UserId{2}, gwei(40),
+                    gwei(3));
+  tracker.seal_batch(8);
+  EXPECT_EQ(tracker.position(FlowActor::attacker(UserId{1})), -11 + 37);
+  tracker.revert_batch(8);
+  EXPECT_EQ(tracker.reverted_batches(), 1u);
+  EXPECT_EQ(tracker.position(FlowActor::attacker(UserId{1})), -11);
+  EXPECT_EQ(tracker.position(FlowActor::victims()), 0);
+  EXPECT_EQ(tracker.supply_delta(), -11);
+  EXPECT_EQ(tracker.fee_delta(), 1);
+  EXPECT_EQ(tracker.reason_total(FlowReason::kSwap), 10);
+  // The undo is a log entry in the current epoch, not a global reason total
+  // (globals describe the canonical chain, which no longer contains batch 8).
+  ASSERT_EQ(tracker.epochs().count(0), 1u);
+  EXPECT_GT(tracker.epochs()
+                .at(0)
+                .reason_totals[static_cast<std::size_t>(FlowReason::kRevert)],
+            0);
+  EXPECT_EQ(position_sum(tracker), 0);
+
+  // Reverting or finalizing an unknown batch is a no-op.
+  tracker.revert_batch(99);
+  tracker.finalize_batch(99);
+  EXPECT_EQ(tracker.reverted_batches(), 1u);
+  EXPECT_EQ(tracker.finalized_batches(), 1u);
+
+  std::uint64_t bad_batch = 0;
+  EXPECT_EQ(tracker.worst_batch_imbalance(bad_batch), 0);
+}
+
+TEST(FlowEpochs, ShedAndDegradeBucketByStepCursor) {
+  ValueFlowTracker tracker;
+  const std::uint64_t len = tracker.epoch_len();
+  tracker.set_step(0);
+  tracker.note_shed(gwei(10));
+  tracker.note_degraded();
+  tracker.set_step(len + 1);  // next epoch
+  tracker.note_shed(gwei(5));
+  ASSERT_EQ(tracker.epochs().size(), 2u);
+  EXPECT_EQ(tracker.epochs().at(0).shed_count, 1u);
+  EXPECT_EQ(tracker.epochs().at(0).shed_value, 10);
+  EXPECT_EQ(tracker.epochs().at(0).degraded_windows, 1u);
+  EXPECT_EQ(tracker.epochs().at(1).shed_value, 5);
+  EXPECT_EQ(tracker.shed_count(), 2u);
+  EXPECT_EQ(tracker.shed_value(), 15);
+  EXPECT_EQ(tracker.degraded_windows(), 1u);
+  // Sheds count value turned away, not value moved: positions untouched.
+  EXPECT_TRUE(tracker.positions().empty());
+}
+
+// A representative mixed history used by the checkpoint and report tests.
+void populate(ValueFlowTracker& tracker) {
+  tracker.set_attackers({UserId{1}, UserId{4}});
+  tracker.set_step(3);
+  tracker.record_deposit(UserId{1}, gwei(1000));
+  tracker.open_batch();
+  tracker.record_tx(vm::TxKind::kMint, UserId{1}, UserId{0}, gwei(100),
+                    gwei(7));
+  tracker.record_tx(vm::TxKind::kTransfer, UserId{4}, UserId{9}, gwei(40),
+                    gwei(3));
+  tracker.seal_batch(1);
+  tracker.open_batch();
+  tracker.record_tx(vm::TxKind::kBurn, UserId{9}, UserId{9}, 0, gwei(2));
+  tracker.seal_batch(2);  // left pending: exercises batch serialization
+  tracker.record_bond_post(FlowActor::seat(0), gwei(500));
+  tracker.record_slash(FlowActor::seat(0), FlowActor::bond_pool(), gwei(50),
+                       gwei(10));
+  tracker.record_auction_spend(1, gwei(20));
+  tracker.note_shed(gwei(8));
+  tracker.note_degraded();
+}
+
+TEST(FlowCheckpoint, RoundTripIsByteIdentical) {
+  ValueFlowTracker tracker;
+  populate(tracker);
+
+  io::ByteWriter first;
+  tracker.save(first);
+  ValueFlowTracker restored;
+  io::ByteReader reader(first.buffer());
+  ASSERT_TRUE(restored.load(reader).ok());
+
+  // The restored image re-saves to the same bytes — the checkpoint
+  // fingerprint cannot drift across a SIGKILL + resume.
+  io::ByteWriter second;
+  restored.save(second);
+  EXPECT_EQ(first.buffer(), second.buffer());
+
+  EXPECT_EQ(restored.positions(), tracker.positions());
+  EXPECT_EQ(restored.supply_delta(), tracker.supply_delta());
+  EXPECT_EQ(restored.fee_delta(), tracker.fee_delta());
+  EXPECT_EQ(restored.burned_delta(), tracker.burned_delta());
+  EXPECT_EQ(restored.locked_delta(), tracker.locked_delta());
+  EXPECT_EQ(restored.shed_count(), tracker.shed_count());
+  EXPECT_EQ(restored.batches().size(), tracker.batches().size());
+  EXPECT_EQ(restored.epochs().size(), tracker.epochs().size());
+  EXPECT_TRUE(restored.is_attacker(UserId{4}));
+  EXPECT_FALSE(restored.is_attacker(UserId{9}));
+}
+
+TEST(FlowCheckpoint, LoadRejectsTruncationAndTrailingGarbage) {
+  ValueFlowTracker tracker;
+  populate(tracker);
+  io::ByteWriter w;
+  tracker.save(w);
+
+  // Every truncation point fails cleanly (validate-then-commit: the target
+  // tracker stays untouched).
+  const std::vector<std::uint8_t>& bytes = w.buffer();
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, bytes.size() / 2,
+                          bytes.size() - 1}) {
+    ValueFlowTracker victim;
+    io::ByteReader r(std::span<const std::uint8_t>(bytes.data(), cut));
+    EXPECT_FALSE(victim.load(r).ok()) << "cut=" << cut;
+    EXPECT_TRUE(victim.positions().empty());
+  }
+
+  std::vector<std::uint8_t> padded = bytes;
+  padded.push_back(0xff);
+  ValueFlowTracker victim;
+  io::ByteReader r(padded);
+  EXPECT_FALSE(victim.load(r).ok());
+}
+
+TEST(FlowReport, LinesValidateAgainstRunReportSchema) {
+  ValueFlowTracker tracker;
+  populate(tracker);
+  const std::vector<JsonObject> lines = tracker.report_lines();
+  ASSERT_FALSE(lines.empty());
+
+  RunReport report("flow_test");
+  bool saw_actor = false, saw_reason = false, saw_epoch = false;
+  for (const JsonObject& line : lines) {
+    const std::string& scope = line.at("scope").as_string();
+    saw_actor |= scope == "actor";
+    saw_reason |= scope == "reason";
+    saw_epoch |= scope == "epoch";
+    report.add_flow(line);
+  }
+  EXPECT_TRUE(saw_actor);
+  EXPECT_TRUE(saw_reason);
+  EXPECT_TRUE(saw_epoch);
+
+  // Every emitted line passes the schema validator the CLI and CI use.
+  const std::string jsonl = report.to_jsonl();
+  std::size_t start = 0, validated = 0;
+  while (start < jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string::npos) end = jsonl.size();
+    const std::string line = jsonl.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    Status s = RunReport::validate_line(line);
+    EXPECT_TRUE(s.ok()) << s.error().detail << " in " << line;
+    ++validated;
+  }
+  EXPECT_EQ(validated, lines.size() + 1);  // + meta
+
+  // A flow line with a bogus scope is rejected.
+  EXPECT_FALSE(RunReport::validate_line(
+                   "{\"type\":\"flow\",\"scope\":\"galaxy\",\"amount_gwei\":1}")
+                   .ok());
+  // Actor scope requires the actor field.
+  EXPECT_FALSE(RunReport::validate_line(
+                   "{\"type\":\"flow\",\"scope\":\"actor\",\"amount_gwei\":1}")
+                   .ok());
+}
+
+TEST(FlowMetrics, PublishExportsPositionGauges) {
+  if (!ValueFlowTracker::tx_hooks_compiled()) {
+    GTEST_SKIP() << "publish_metrics is a no-op under PAROLE_OBS_DISABLED";
+  }
+  ValueFlowTracker tracker;
+  populate(tracker);
+  MetricsRegistry& reg = MetricsRegistry::instance();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  tracker.publish_metrics();
+  reg.set_enabled(was_enabled);
+  EXPECT_EQ(reg.gauge("parole.flow.position.attacker").value(),
+            static_cast<double>(tracker.attacker_position()));
+  EXPECT_EQ(reg.gauge("parole.flow.position.bridge").value(),
+            static_cast<double>(tracker.position(FlowActor::bridge())));
+  EXPECT_EQ(reg.gauge("parole.flow.shed_value").value(),
+            static_cast<double>(tracker.shed_value()));
+}
+
+TEST(TelemetryUsage, SharedBlockDocumentsEveryFlagExactlyOnce) {
+  const std::string usage(kTelemetryFlagsUsage);
+  // One canonical block, embedded verbatim by every command's help text.
+  EXPECT_EQ(usage.rfind("telemetry flags", 0), 0u);
+  EXPECT_EQ(usage.back(), '\n');
+  for (const char* flag : kTelemetryFlagNames) {
+    const std::size_t first = usage.find(flag);
+    ASSERT_NE(first, std::string::npos) << flag << " undocumented";
+    // Exactly one mention — a duplicate means the block was hand-edited in
+    // two places and will drift. "--listen" must not also match a longer
+    // flag's tail, so search from just past the first hit.
+    EXPECT_EQ(usage.find(flag, first + 1), std::string::npos)
+        << flag << " documented twice";
+  }
+}
+
+}  // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "parole/obs/flow.hpp"
 #include "parole/obs/metrics.hpp"
 #include "parole/obs/trace.hpp"
 
@@ -21,8 +22,11 @@ int exercise_macros(int x) {
   PAROLE_OBS_GAUGE("parole.test.disabled_gauge", 1.0);
   PAROLE_OBS_OBSERVE("parole.test.disabled_hist", 2.0);
   PAROLE_OBS_SPAN("test.disabled_span");
+  PAROLE_FLOW(note_shed(parole::gwei(1)));
   if (x > 0) PAROLE_OBS_COUNT("parole.test.disabled_counter", 1);
+  if (x > 0) PAROLE_FLOW(note_degraded());
   for (int i = 0; i < x; ++i) PAROLE_OBS_SPAN("test.disabled_loop");
+  for (int i = 0; i < x; ++i) PAROLE_FLOW(note_degraded());
   return x + 1;
 }
 
@@ -53,4 +57,21 @@ TEST(ObsDisabled, RegistryApiStillUsableDirectly) {
   MetricsRegistry registry;
   registry.counter("parole.test.direct").add(2);
   EXPECT_EQ(registry.counter("parole.test.direct").value(), 2u);
+}
+
+TEST(ObsDisabled, FlowHookCompilesOutButTrackerApiSurvives) {
+  // The engine hook is gone (tx_hooks_compiled() is the invariant checker's
+  // skip signal) but the tracker itself — economic-event sinks, views,
+  // checkpointing — stays fully usable for the non-hot-path callers.
+  EXPECT_FALSE(ValueFlowTracker::tx_hooks_compiled());
+  ValueFlowTracker tracker;
+  tracker.record_deposit(parole::UserId{1}, parole::gwei(100));
+  EXPECT_EQ(tracker.locked_delta(), 100);
+  EXPECT_EQ(tracker.position(FlowActor::bridge()), -100);
+  // The disabled macro must evaluate nothing: a side-effecting argument is
+  // never touched.
+  int touched = 0;
+  PAROLE_FLOW(note_shed(parole::gwei(++touched)));
+  EXPECT_EQ(touched, 0);
+  EXPECT_EQ(tracker.shed_count(), 0u);
 }
